@@ -1,0 +1,119 @@
+// Experiment 5 (ICDE'12 paper evaluation): in-memory array operations.
+//
+// google-benchmark micro-benchmarks over the array kernel the SciSPARQL
+// expressions compile to: element-wise arithmetic, scalar broadcast,
+// aggregates, second-order MAP/CONDENSE, transpose and view slicing, over
+// array sizes from 1K to 1M elements.
+
+#include <benchmark/benchmark.h>
+
+#include "array/ops.h"
+
+namespace scisparql {
+namespace {
+
+NumericArray MakeArray(int64_t n) {
+  NumericArray a = NumericArray::Zeros(ElementType::kDouble, {n});
+  for (int64_t i = 0; i < n; ++i) a.SetDoubleAt(i, i * 0.25);
+  return a;
+}
+
+void BM_ElementwiseAdd(benchmark::State& state) {
+  NumericArray a = MakeArray(state.range(0));
+  NumericArray b = MakeArray(state.range(0));
+  for (auto _ : state) {
+    auto r = ElementwiseBinary(BinOp::kAdd, a, b);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ElementwiseAdd)->Arg(1 << 10)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_ScalarMultiply(benchmark::State& state) {
+  NumericArray a = MakeArray(state.range(0));
+  for (auto _ : state) {
+    auto r = ScalarBinary(BinOp::kMul, a, 1.5, false);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ScalarMultiply)->Arg(1 << 10)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_AggregateSum(benchmark::State& state) {
+  auto v = ResidentArray::Make(MakeArray(state.range(0)));
+  for (auto _ : state) {
+    auto r = v->Aggregate(AggOp::kSum);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AggregateSum)->Arg(1 << 10)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_MapSecondOrder(benchmark::State& state) {
+  NumericArray a = MakeArray(state.range(0));
+  auto fn = [](double x) -> Result<double> { return x * x + 1; };
+  for (auto _ : state) {
+    auto r = Map(a, fn);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MapSecondOrder)->Arg(1 << 10)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_Condense(benchmark::State& state) {
+  NumericArray a = MakeArray(state.range(0));
+  auto fn = [](double x, double y) -> Result<double> {
+    return x > y ? x : y;
+  };
+  for (auto _ : state) {
+    auto r = Condense(a, fn);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Condense)->Arg(1 << 10)->Arg(1 << 17)->Arg(1 << 20);
+
+void BM_Transpose(benchmark::State& state) {
+  int64_t side = state.range(0);
+  NumericArray a = NumericArray::Zeros(ElementType::kDouble, {side, side});
+  for (auto _ : state) {
+    auto r = Transpose(a);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * side * side);
+}
+BENCHMARK(BM_Transpose)->Arg(32)->Arg(256)->Arg(1024);
+
+void BM_StridedViewRead(benchmark::State& state) {
+  // Reading through a strided view vs. its compact copy: the cost of
+  // zero-copy slicing.
+  NumericArray a = MakeArray(state.range(0));
+  std::vector<Sub> subs = {Sub::Range(0, state.range(0) / 4, 4)};
+  NumericArray view = *a.View(subs);
+  for (auto _ : state) {
+    double sum = 0;
+    for (int64_t i = 0; i < view.NumElements(); ++i) {
+      sum += view.DoubleAt(i);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * view.NumElements());
+}
+BENCHMARK(BM_StridedViewRead)->Arg(1 << 12)->Arg(1 << 20);
+
+void BM_CompactStridedView(benchmark::State& state) {
+  NumericArray a = MakeArray(state.range(0));
+  std::vector<Sub> subs = {Sub::Range(0, state.range(0) / 4, 4)};
+  NumericArray view = *a.View(subs);
+  for (auto _ : state) {
+    NumericArray c = view.Compact();
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() * view.NumElements());
+}
+BENCHMARK(BM_CompactStridedView)->Arg(1 << 12)->Arg(1 << 20);
+
+}  // namespace
+}  // namespace scisparql
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+#ifndef SCISPARQL_BENCH_BENCH_COMMON_H_
+#define SCISPARQL_BENCH_BENCH_COMMON_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace scisparql {
+namespace bench {
+
+/// Wall-clock stopwatch in milliseconds.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(end - start_).count();
+  }
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Fixed-width table printer for the experiment harnesses; emits the same
+/// row/series structure the paper's evaluation tables report.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print() const {
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto line = [&]() {
+      for (size_t c = 0; c < widths.size(); ++c) {
+        std::printf("+%s", std::string(widths[c] + 2, '-').c_str());
+      }
+      std::printf("+\n");
+    };
+    auto print_row = [&](const std::vector<std::string>& row) {
+      for (size_t c = 0; c < widths.size(); ++c) {
+        std::string cell = c < row.size() ? row[c] : "";
+        std::printf("| %-*s ", static_cast<int>(widths[c]), cell.c_str());
+      }
+      std::printf("|\n");
+    };
+    line();
+    print_row(headers_);
+    line();
+    for (const auto& row : rows_) print_row(row);
+    line();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string TempDir(const std::string& name) {
+  std::string dir = "/tmp/scisparql_bench_" + name;
+  std::string cmd = "rm -rf " + dir + " && mkdir -p " + dir;
+  if (std::system(cmd.c_str()) != 0) return "/tmp";
+  return dir;
+}
+
+}  // namespace bench
+}  // namespace scisparql
+
+#endif  // SCISPARQL_BENCH_BENCH_COMMON_H_

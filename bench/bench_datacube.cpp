@@ -1,0 +1,109 @@
+// Experiment 7 (thesis Section 5.3.3): RDF Data Cube consolidation.
+//
+// Synthetic qb:DataSet instances with region x year observations are
+// consolidated into arrays + dictionaries. Reported per observation count:
+// triples before/after, consolidation time, and the time of an equivalent
+// analytical query in both representations (pattern matching over
+// observations vs. a single array aggregate).
+
+#include <sstream>
+
+#include "bench/bench_common.h"
+#include "engine/ssdm.h"
+#include "loaders/datacube.h"
+
+namespace scisparql {
+namespace {
+
+using bench::Fmt;
+using bench::Table;
+using bench::Timer;
+
+/// Generates a cube with `regions` x `years` observations.
+std::string CubeTurtle(int regions, int years) {
+  std::ostringstream out;
+  out << "@prefix qb: <http://purl.org/linked-data/cube#> .\n"
+         "@prefix ex: <http://example.org/> .\n"
+         "ex:ds a qb:DataSet .\n";
+  int n = 0;
+  for (int r = 0; r < regions; ++r) {
+    for (int y = 0; y < years; ++y) {
+      out << "ex:o" << ++n << " a qb:Observation ; qb:dataSet ex:ds ; "
+          << "ex:region ex:region" << r << " ; ex:year " << (2000 + y)
+          << " ; ex:value " << (r * 100 + y) << ".5 .\n";
+    }
+  }
+  return out.str();
+}
+
+const char* kObsQuery =
+    "PREFIX qb: <http://purl.org/linked-data/cube#>\n"
+    "PREFIX ex: <http://example.org/>\n"
+    "SELECT (SUM(?v) AS ?total) WHERE { ?o a qb:Observation ; "
+    "qb:dataSet ex:ds ; ex:value ?v }";
+
+const char* kArrayQuery =
+    "PREFIX ex: <http://example.org/>\n"
+    "SELECT (ASUM(?a) AS ?total) WHERE { ex:ds "
+    "<http://example.org/value#array> ?a }";
+
+}  // namespace
+}  // namespace scisparql
+
+int main() {
+  using namespace scisparql;
+  std::printf(
+      "Experiment 7 (Section 5.3.3): Data Cube consolidation — graph size "
+      "and query speedup\n\n");
+
+  Table table({"observations", "triples before", "triples after",
+               "consolidate ms", "obs-pattern query ms",
+               "array query ms", "totals equal"});
+
+  for (auto [regions, years] : std::vector<std::pair<int, int>>{
+           {5, 20}, {10, 50}, {20, 100}, {40, 200}}) {
+    std::string ttl = CubeTurtle(regions, years);
+
+    // Representation 1: raw observations.
+    SSDM obs_db;
+    if (!obs_db.LoadTurtleString(ttl).ok()) return 1;
+    size_t before = obs_db.dataset().default_graph().size();
+    const int reps = 5;
+    Timer obs_timer;
+    Term obs_total;
+    for (int i = 0; i < reps; ++i) {
+      auto r = obs_db.Query(kObsQuery);
+      if (!r.ok() || r->rows.empty()) return 1;
+      obs_total = r->rows[0][0];
+    }
+    double obs_ms = obs_timer.ElapsedMs() / reps;
+
+    // Representation 2: consolidated.
+    SSDM cube_db;
+    if (!cube_db.LoadTurtleString(ttl).ok()) return 1;
+    Timer cons_timer;
+    auto stats =
+        loaders::ConsolidateDataCubes(&cube_db.dataset().default_graph());
+    double cons_ms = cons_timer.ElapsedMs();
+    if (!stats.ok()) return 1;
+    Timer arr_timer;
+    Term arr_total;
+    for (int i = 0; i < reps; ++i) {
+      auto r = cube_db.Query(kArrayQuery);
+      if (!r.ok() || r->rows.empty()) return 1;
+      arr_total = r->rows[0][0];
+    }
+    double arr_ms = arr_timer.ElapsedMs() / reps;
+
+    table.AddRow({std::to_string(regions * years), std::to_string(before),
+                  std::to_string(stats->triples_after), Fmt(cons_ms, 2),
+                  Fmt(obs_ms, 3), Fmt(arr_ms, 3),
+                  obs_total == arr_total ? "yes" : "NO"});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: consolidation shrinks the graph by ~6x (5 triples\n"
+      "per observation fold into array cells) and the analytical query\n"
+      "drops from pattern-matching time to array-aggregate time.\n");
+  return 0;
+}

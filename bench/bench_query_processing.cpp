@@ -1,0 +1,114 @@
+// Experiment 8 (thesis Section 5.4): query-processing ablations.
+//
+// The translation pipeline's two optimizations — cost-based BGP join
+// ordering and filter pushdown — are toggled over join queries against a
+// synthetic social graph. Also reports property-path evaluation costs.
+// The paper's shape: ordering dominates when the parse order starts with
+// an unselective pattern; pushdown matters when a filter can cut the
+// intermediate result early.
+
+#include <sstream>
+
+#include "bench/bench_common.h"
+#include "engine/ssdm.h"
+
+namespace scisparql {
+namespace {
+
+using bench::Fmt;
+using bench::Table;
+using bench::Timer;
+
+/// Synthetic social graph: `people` persons, ring of knows edges plus a
+/// couple of hub nodes, ages, and one rare tag.
+void BuildGraph(SSDM* db, int people) {
+  Graph& g = db->dataset().default_graph();
+  const std::string ns = "http://example.org/";
+  Term knows = Term::Iri(ns + "knows");
+  Term age = Term::Iri(ns + "age");
+  Term name = Term::Iri(ns + "name");
+  Term type = Term::Iri(vocab::kRdfType);
+  Term person = Term::Iri(ns + "Person");
+  for (int i = 0; i < people; ++i) {
+    Term p = Term::Iri(ns + "p" + std::to_string(i));
+    g.Add(p, type, person);
+    g.Add(p, name, Term::String("person" + std::to_string(i)));
+    g.Add(p, age, Term::Integer(20 + i % 60));
+    g.Add(p, knows, Term::Iri(ns + "p" + std::to_string((i + 1) % people)));
+    g.Add(p, knows, Term::Iri(ns + "p" + std::to_string((i + 7) % people)));
+    if (i % (people / 4 + 1) == 0) {
+      g.Add(p, Term::Iri(ns + "tag"), Term::String("rare"));
+    }
+  }
+}
+
+double TimeQuery(SSDM* db, const std::string& q, int reps, size_t* rows) {
+  Timer timer;
+  for (int i = 0; i < reps; ++i) {
+    auto r = db->Query(q);
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n%s\n", r.status().ToString().c_str(),
+                   q.c_str());
+      std::exit(1);
+    }
+    *rows = r->rows.size();
+  }
+  return timer.ElapsedMs() / reps;
+}
+
+}  // namespace
+}  // namespace scisparql
+
+int main() {
+  using namespace scisparql;
+  const int kPeople = 2000;
+  std::printf(
+      "Experiment 8 (Section 5.4): query-processing ablations over a "
+      "%d-person graph\n\n",
+      kPeople);
+
+  SSDM db;
+  db.prefixes().Set("ex", "http://example.org/");
+  BuildGraph(&db, kPeople);
+
+  // The parse order puts the unselective patterns first; the optimizer
+  // must rotate the rare-tag pattern to the front.
+  const std::string join_query =
+      "SELECT ?n2 WHERE { ?a ex:knows ?b . ?b ex:knows ?c . "
+      "?c ex:name ?n2 . ?a ex:tag \"rare\" }";
+  // Two single-variable filters: pushdown can apply ?age = 21 as soon as
+  // ?age binds, long before the ?b side is expanded.
+  const std::string filter_query =
+      "SELECT ?b WHERE { ?a ex:age ?age . ?a ex:knows ?b . "
+      "?b ex:age ?age2 . FILTER (?age = 21) FILTER (?age2 > 25) }";
+  const std::string path_query =
+      "SELECT (COUNT(*) AS ?n) WHERE { ex:p0 ex:knows+ ?x }";
+
+  Table table({"query", "join order", "filter pushdown", "rows", "ms"});
+  size_t rows = 0;
+  for (bool optimize : {true, false}) {
+    for (bool push : {true, false}) {
+      db.exec_options().optimize_join_order = optimize;
+      db.exec_options().push_filters = push;
+      double ms1 = TimeQuery(&db, join_query, 3, &rows);
+      table.AddRow({"3-hop join + rare tag", optimize ? "cost" : "parse",
+                    push ? "on" : "off", std::to_string(rows), Fmt(ms1, 2)});
+      double ms2 = TimeQuery(&db, filter_query, 3, &rows);
+      table.AddRow({"join + equality filter", optimize ? "cost" : "parse",
+                    push ? "on" : "off", std::to_string(rows), Fmt(ms2, 2)});
+    }
+  }
+  db.exec_options().optimize_join_order = true;
+  db.exec_options().push_filters = true;
+  double ms3 = TimeQuery(&db, path_query, 3, &rows);
+  table.AddRow({"knows+ closure from hub", "cost", "on", std::to_string(rows),
+                Fmt(ms3, 2)});
+  table.Print();
+
+  std::printf("\nPlan with optimization on:\n%s\n",
+              db.Explain(join_query)->c_str());
+  std::printf(
+      "Expected shape: cost ordering beats parse order by a wide margin on\n"
+      "the 3-hop join; filter pushdown mainly helps the equality filter.\n");
+  return 0;
+}

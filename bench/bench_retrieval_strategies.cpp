@@ -1,0 +1,126 @@
+// Experiment 1 (thesis Section 6.3.2): comparing the retrieval strategies.
+//
+// For each array access pattern of the mini-benchmark query generator and
+// each retrieval strategy (naive per-chunk, buffered IN-list, SPD interval),
+// resolve the array view against the file and relational back-ends and
+// report round trips, chunks, bytes and wall time. The paper's headline
+// shape: interval queries dominate for regular patterns, the naive strategy
+// degrades linearly with the chunk count, and random access benefits least
+// from SPD.
+
+#include <cstdlib>
+#include <memory>
+
+#include "apps/minibench.h"
+#include "bench/bench_common.h"
+#include "storage/file_backend.h"
+#include "storage/kv_backend.h"
+#include "storage/relational_backend.h"
+
+namespace scisparql {
+namespace {
+
+using apps::AccessPattern;
+using bench::Fmt;
+using bench::Table;
+using bench::Timer;
+
+constexpr int64_t kRows = 1024;
+constexpr int64_t kCols = 1024;
+constexpr int64_t kChunkElems = 8192;
+
+NumericArray MakeMatrix() {
+  NumericArray a = NumericArray::Zeros(ElementType::kDouble, {kRows, kCols});
+  for (int64_t i = 0; i < a.NumElements(); ++i) {
+    a.SetDoubleAt(i, static_cast<double>(i % 1000));
+  }
+  return a;
+}
+
+struct Backend {
+  std::string name;
+  std::shared_ptr<ArrayStorage> storage;
+  ArrayId id;
+};
+
+void RunBackend(const Backend& backend, Table* table) {
+  for (AccessPattern pattern : apps::AllAccessPatterns()) {
+    for (RetrievalStrategy strategy :
+         {RetrievalStrategy::kNaive, RetrievalStrategy::kBuffered,
+          RetrievalStrategy::kSpd}) {
+      AprConfig cfg;
+      cfg.strategy = strategy;
+      cfg.buffer_size = 256;
+      auto base = *ArrayProxy::Open(backend.storage, backend.id, cfg);
+      auto access = *apps::GeneratePattern(base, pattern, 8, /*seed=*/42);
+
+      // Keep the relational back-end's own strategy aligned for batched
+      // calls.
+      if (auto* rel = dynamic_cast<RelationalArrayStorage*>(
+              backend.storage.get())) {
+        rel->set_strategy(strategy == RetrievalStrategy::kNaive
+                              ? relstore::SelectStrategy::kPerKey
+                              : relstore::SelectStrategy::kInList);
+      }
+
+      backend.storage->ResetStats();
+      Timer timer;
+      auto results = ResolveProxyBag(access.views, cfg);
+      double ms = timer.ElapsedMs();
+      if (!results.ok()) {
+        std::fprintf(stderr, "resolve failed: %s\n",
+                     results.status().ToString().c_str());
+        std::exit(1);
+      }
+      const StorageStats& stats = backend.storage->stats();
+      table->AddRow({backend.name, apps::AccessPatternName(pattern),
+                     RetrievalStrategyName(strategy),
+                     std::to_string(access.expected_elements),
+                     std::to_string(stats.queries),
+                     std::to_string(stats.chunks_fetched),
+                     std::to_string(stats.bytes_fetched), Fmt(ms, 3)});
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scisparql
+
+int main() {
+  using namespace scisparql;
+  std::printf(
+      "Experiment 1 (Section 6.3.2): retrieval strategies over a %lldx%lld "
+      "double array, %lld-element chunks\n\n",
+      static_cast<long long>(kRows), static_cast<long long>(kCols),
+      static_cast<long long>(kChunkElems));
+
+  NumericArray matrix = MakeMatrix();
+
+  std::string dir = bench::TempDir("retrieval");
+  auto file_storage = std::make_shared<FileArrayStorage>(dir);
+  ArrayId file_id = *file_storage->Store(matrix, kChunkElems);
+
+  auto db = *relstore::Database::Open(dir + "/rel.db", /*buffer_pages=*/512);
+  std::shared_ptr<RelationalArrayStorage> rel_storage(
+      std::move(*RelationalArrayStorage::Attach(db.get())));
+  ArrayId rel_id = *rel_storage->Store(matrix, kChunkElems);
+
+  std::shared_ptr<KvArrayStorage> kv_storage(
+      std::move(*KvArrayStorage::Open(dir + "/kv.log")));
+  ArrayId kv_id = *kv_storage->Store(matrix, kChunkElems);
+
+  Table table({"backend", "pattern", "strategy", "elements", "round-trips",
+               "chunks", "bytes", "ms"});
+  RunBackend({"file", file_storage, file_id}, &table);
+  RunBackend({"relational", rel_storage, rel_id}, &table);
+  RunBackend({"kv", kv_storage, kv_id}, &table);
+  table.Print();
+
+  std::printf(
+      "\nExpected shape: spd <= buffered << naive in round trips for the\n"
+      "regular patterns (row, strided-rows, whole-array); the random\n"
+      "pattern gains the least from SPD. The kv back-end only offers point\n"
+      "gets, so every strategy degenerates to one round trip per chunk —\n"
+      "the capability-envelope cost the thesis predicts for NoSQL stores.\n");
+  return 0;
+}

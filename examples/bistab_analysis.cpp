@@ -1,0 +1,73 @@
+// BISTAB analysis (the application of thesis Section 6.4): a parameter
+// sweep of a stochastic bistable process is stored as RDF metadata plus
+// trajectory arrays in the relational back-end, then analyzed with the
+// four application queries — all array access goes through lazy proxies
+// with SPD interval retrieval.
+
+#include <cstdio>
+
+#include "apps/bistab.h"
+#include "bench/bench_common.h"
+#include "storage/relational_backend.h"
+
+int main() {
+  using namespace scisparql;
+
+  // Array storage: the embedded relational engine, file-backed.
+  std::string dir = bench::TempDir("bistab_example");
+  auto rel_db = *relstore::Database::Open(dir + "/bistab.db", 1024);
+  std::shared_ptr<RelationalArrayStorage> storage(
+      std::move(*RelationalArrayStorage::Attach(rel_db.get())));
+  storage->set_strategy(relstore::SelectStrategy::kInterval);
+
+  SSDM db;
+  db.AttachStorage(storage);
+
+  apps::BistabConfig cfg;
+  cfg.parameter_cases = 6;
+  cfg.realizations = 4;
+  cfg.timesteps = 500;
+  cfg.storage = "relational";
+  cfg.chunk_elems = 256;
+  auto stats = apps::GenerateBistab(&db, cfg);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "Generated %d tasks (%lld array elements) -> %zu metadata triples; "
+      "trajectories live in the relational back-end.\n\n",
+      stats->tasks, static_cast<long long>(stats->array_elements),
+      stats->triples);
+
+  struct Step {
+    const char* title;
+    std::string query;
+  };
+  Step steps[] = {
+      {"Q1 - parameter cases with k_1 > 25 (metadata only):",
+       apps::BistabQ1(25.0)},
+      {"Q2 - final species-A level per matching task (single elements):",
+       apps::BistabQ2(25.0)},
+      {"Q3 - tasks whose mean species-A level exceeds 45 (AAPR):",
+       apps::BistabQ3(45.0)},
+      {"Q4 - fraction of realizations ending high, per parameter case:",
+       apps::BistabQ4(cfg.timesteps)},
+  };
+  for (const Step& step : steps) {
+    auto r = db.Query(step.query);
+    if (!r.ok()) {
+      std::fprintf(stderr, "query failed: %s\n%s\n",
+                   r.status().ToString().c_str(), step.query.c_str());
+      return 1;
+    }
+    std::printf("%s\n%s\n", step.title, r->ToTable(8).c_str());
+  }
+
+  std::printf(
+      "Back-end traffic: %llu round trips, %llu chunks, %llu bytes.\n",
+      static_cast<unsigned long long>(storage->stats().queries),
+      static_cast<unsigned long long>(storage->stats().chunks_fetched),
+      static_cast<unsigned long long>(storage->stats().bytes_fetched));
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Data Cube demo (thesis Section 5.3.3): load an RDF Data Cube of
+// statistical observations, consolidate it into arrays + dictionaries, and
+// query the consolidated form — the same information in a fraction of the
+// triples, with array-speed analytics.
+
+#include <cstdio>
+
+#include "engine/ssdm.h"
+#include "loaders/datacube.h"
+#include "loaders/turtle.h"
+
+int main() {
+  using namespace scisparql;
+  SSDM db;
+  db.prefixes().Set("ex", "http://example.org/");
+
+  // Population by region and year, published the Data Cube way: one
+  // qb:Observation per cell.
+  Status st = db.LoadTurtleString(R"(
+@prefix qb: <http://purl.org/linked-data/cube#> .
+@prefix ex: <http://example.org/> .
+ex:pop a qb:DataSet .
+ex:o11 a qb:Observation ; qb:dataSet ex:pop ;
+  ex:region ex:north ; ex:year 2001 ; ex:population 102.5 .
+ex:o12 a qb:Observation ; qb:dataSet ex:pop ;
+  ex:region ex:north ; ex:year 2002 ; ex:population 104.1 .
+ex:o13 a qb:Observation ; qb:dataSet ex:pop ;
+  ex:region ex:north ; ex:year 2003 ; ex:population 105.9 .
+ex:o21 a qb:Observation ; qb:dataSet ex:pop ;
+  ex:region ex:south ; ex:year 2001 ; ex:population 201.0 .
+ex:o22 a qb:Observation ; qb:dataSet ex:pop ;
+  ex:region ex:south ; ex:year 2002 ; ex:population 203.4 .
+ex:o23 a qb:Observation ; qb:dataSet ex:pop ;
+  ex:region ex:south ; ex:year 2003 ; ex:population 207.2 .
+)");
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  size_t before = db.dataset().default_graph().size();
+
+  auto stats = loaders::ConsolidateDataCubes(&db.dataset().default_graph());
+  if (!stats.ok()) {
+    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "Consolidated %d observations of %d dataset(s): %zu -> %zu triples.\n\n",
+      stats->observations, stats->datasets, before, stats->triples_after);
+
+  // The measure is now one array (regions x years, both sorted); the year
+  // dictionary is an RDF collection we can consolidate further.
+  (void)loaders::ConsolidateCollections(&db.dataset().default_graph());
+
+  auto r = db.Query(R"(
+SELECT (?a[1, :] AS ?north_series)
+       (?a[2, 3] AS ?south_2003)
+       (ASUM(?a[:, 3]) AS ?total_2003)
+       (AAVG(?a) AS ?grand_mean)
+WHERE { ex:pop <http://example.org/population#array> ?a })");
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Analytics over the consolidated cube:\n%s\n",
+              r->ToTable().c_str());
+
+  auto years = db.Query(
+      "SELECT ?dict WHERE { ex:pop <http://example.org/year#index> ?dict }");
+  std::printf("Year dictionary: %s\n",
+              years->rows[0][0].ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,81 @@
+// SSDM in client-server mode (Section 5.1): serves SciSPARQL statements
+// over TCP. This demo starts a server on an ephemeral port, connects a
+// client in the same process, and runs a remote session end to end —
+// with real sockets, exactly what a remote client would do.
+//
+// Usage: scisparql_server [port [file.ttl ...]]
+//   With a port argument the server stays up serving remote clients until
+//   killed; without one it runs the self-contained demo below.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "client/server.h"
+
+int main(int argc, char** argv) {
+  using namespace scisparql;
+  SSDM engine;
+  engine.prefixes().Set("ex", "http://example.org/");
+
+  if (argc > 1) {
+    int port = std::atoi(argv[1]);
+    for (int i = 2; i < argc; ++i) {
+      Status st = engine.LoadTurtleFile(argv[i]);
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+    client::SsdmServer server(&engine);
+    auto bound = server.Start(port);
+    if (!bound.ok()) {
+      std::fprintf(stderr, "%s\n", bound.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("SSDM serving on 127.0.0.1:%d — press Enter to stop.\n",
+                *bound);
+    (void)std::getchar();
+    return 0;
+  }
+
+  // --- Self-contained demo. ---
+  Status st = engine.LoadTurtleString(R"(
+@prefix ex: <http://example.org/> .
+ex:sensor1 ex:site "roof" ; ex:readings (20.5 21.0 22.4 21.8) .
+ex:sensor2 ex:site "basement" ; ex:readings (14.0 14.2 13.9 14.1) .
+)");
+  if (!st.ok()) return 1;
+
+  client::SsdmServer server(&engine);
+  auto port = server.Start(0);
+  if (!port.ok()) {
+    std::fprintf(stderr, "%s\n", port.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("server up on 127.0.0.1:%d\n\n", *port);
+
+  auto session = client::RemoteSession::Connect("127.0.0.1", *port);
+  if (!session.ok()) return 1;
+
+  auto rows = session->Query(R"(
+PREFIX ex: <http://example.org/>
+SELECT ?site (AAVG(?r) AS ?mean) (?r[1] AS ?first)
+WHERE { ?s ex:site ?site ; ex:readings ?r }
+ORDER BY ?site)");
+  if (!rows.ok()) {
+    std::fprintf(stderr, "%s\n", rows.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("remote SELECT (arrays travel materialized):\n%s\n",
+              rows->ToTable().c_str());
+
+  (void)session->Run(
+      "PREFIX ex: <http://example.org/> "
+      "INSERT DATA { ex:sensor3 ex:site \"attic\" }");
+  bool found = *session->Ask(
+      "PREFIX ex: <http://example.org/> ASK { ex:sensor3 ex:site ?x }");
+  std::printf("remote update visible: %s\n", found ? "yes" : "no");
+  std::printf("requests served: %llu\n",
+              static_cast<unsigned long long>(server.requests_served()));
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Interactive SciSPARQL shell — the "stand-alone system" mode of SSDM
+// (Section 5.1). Reads statements terminated by a line containing only
+// ";" (or EOF), executes them, and prints results. Meta-commands:
+//
+//   .load <file.ttl>    load a Turtle document into the default graph
+//   .explain <on|off>   print the plan before each SELECT
+//   .stats              triple counts per graph
+//   .help               this text
+//   .quit               exit
+//
+// Usage: scisparql_shell [file.ttl ...]     (loads the files, then REPLs;
+// with a non-tty stdin it runs in batch mode and exits at EOF.)
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/string_util.h"
+#include "engine/ssdm.h"
+#include "loaders/turtle.h"
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "SciSPARQL shell. End a statement with a line containing only ';'.\n"
+      "Meta-commands: .load <file>  .explain on|off  .translate on|off  .stats  .help  .quit\n");
+}
+
+void Execute(scisparql::SSDM* db, const std::string& text, bool explain) {
+  using scisparql::SSDM;
+  if (explain) {
+    auto plan = db->Explain(text);
+    if (plan.ok()) std::printf("%s", plan->c_str());
+  }
+  auto result = db->Execute(text);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  switch (result->kind) {
+    case SSDM::ExecResult::Kind::kRows:
+      std::printf("%s%zu row(s)\n", result->rows.ToTable().c_str(),
+                  result->rows.rows.size());
+      break;
+    case SSDM::ExecResult::Kind::kBool:
+      std::printf("%s\n", result->boolean ? "yes" : "no");
+      break;
+    case SSDM::ExecResult::Kind::kGraph: {
+      scisparql::PrefixMap prefixes = db->prefixes();
+      std::printf("%s(%zu triple(s))\n",
+                  scisparql::loaders::WriteTurtle(result->graph, prefixes)
+                      .c_str(),
+                  result->graph.size());
+      break;
+    }
+    case SSDM::ExecResult::Kind::kOk:
+      std::printf("ok\n");
+      break;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  scisparql::SSDM db;
+  db.prefixes().Set("ex", "http://example.org/");
+
+  for (int i = 1; i < argc; ++i) {
+    scisparql::Status st = db.LoadTurtleFile(argv[i]);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded %s (%zu triples)\n", argv[i],
+                db.dataset().default_graph().size());
+  }
+
+  PrintHelp();
+  bool explain = false;
+  bool translate = false;
+  std::string buffer;
+  std::string line;
+  std::printf("sparql> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    std::string stripped(scisparql::StripWhitespace(line));
+    if (buffer.empty() && !stripped.empty() && stripped[0] == '.') {
+      // Meta-command.
+      std::istringstream in(stripped);
+      std::string cmd, arg;
+      in >> cmd >> arg;
+      if (cmd == ".quit" || cmd == ".exit") break;
+      if (cmd == ".help") {
+        PrintHelp();
+      } else if (cmd == ".load") {
+        scisparql::Status st = db.LoadTurtleFile(arg);
+        std::printf("%s (%zu triples)\n",
+                    st.ok() ? "ok" : st.ToString().c_str(),
+                    db.dataset().default_graph().size());
+      } else if (cmd == ".translate") {
+        // Toggle: print the ObjectLog-style calculus form (§5.4.5) of each
+        // subsequent SELECT before executing it.
+        translate = arg != "off";
+        std::printf("translate %s\n", translate ? "on" : "off");
+      } else if (cmd == ".explain") {
+        explain = arg != "off";
+        std::printf("explain %s\n", explain ? "on" : "off");
+      } else if (cmd == ".stats") {
+        std::printf("default graph: %zu triples\n",
+                    db.dataset().default_graph().size());
+        for (const auto& [iri, g] : db.dataset().named_graphs()) {
+          std::printf("<%s>: %zu triples\n", iri.c_str(), g.size());
+        }
+      } else {
+        std::printf("unknown command %s\n", cmd.c_str());
+      }
+      std::printf("sparql> ");
+      std::fflush(stdout);
+      continue;
+    }
+    if (stripped == ";") {
+      if (!scisparql::StripWhitespace(buffer).empty()) {
+        if (translate) {
+          auto calc = db.Translate(buffer);
+          if (calc.ok()) std::printf("%s", calc->c_str());
+        }
+        Execute(&db, buffer, explain);
+      }
+      buffer.clear();
+      std::printf("sparql> ");
+      std::fflush(stdout);
+      continue;
+    }
+    buffer += line;
+    buffer += '\n';
+  }
+  // Batch mode: execute whatever remains at EOF.
+  if (!scisparql::StripWhitespace(buffer).empty()) {
+    Execute(&db, buffer, explain);
+  }
+  return 0;
+}

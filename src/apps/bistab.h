@@ -1,0 +1,65 @@
+#ifndef SCISPARQL_APPS_BISTAB_H_
+#define SCISPARQL_APPS_BISTAB_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "engine/ssdm.h"
+
+namespace scisparql {
+namespace apps {
+
+/// Synthetic stand-in for the BISTAB application of Section 6.4 — a
+/// computational-biology parameter sweep where a stochastic bistable
+/// chemical system is simulated repeatedly. Each *task* is one (parameter
+/// case, realization) pair; its inputs are the kinetic rates k_1, k_a,
+/// k_d, k_4 and its output is a trajectory array (timesteps x species).
+///
+/// The original dataset is not public; this generator reproduces its
+/// *shape* — the cardinalities (many tasks, few parameters each, one large
+/// array per task) and the bistable switching behaviour the application
+/// queries look for — with a deterministic pseudo-random process.
+struct BistabConfig {
+  int parameter_cases = 10;   ///< distinct (k_1, k_a, k_d, k_4) tuples
+  int realizations = 10;      ///< stochastic repetitions per case
+  int timesteps = 1000;       ///< trajectory length
+  uint64_t seed = 42;
+  std::string storage;        ///< back-end name; "" keeps arrays resident
+  int64_t chunk_elems = 8192;
+};
+
+struct BistabStats {
+  int tasks = 0;
+  size_t triples = 0;
+  int64_t array_elements = 0;
+};
+
+inline constexpr const char* kBistabNs = "http://example.org/bistab#";
+
+/// Populates the engine's default graph with the BISTAB dataset. Each task
+/// node carries:
+///   bi:k_1 bi:k_a bi:k_d bi:k_4   (xsd:double rates)
+///   bi:realization                (xsd:integer)
+///   bi:result                     (timesteps x 2 array: species A and B)
+/// and the experiment node links every task with bi:hasTask.
+Result<BistabStats> GenerateBistab(SSDM* engine, const BistabConfig& config);
+
+/// The four application queries of Section 6.4.4, reproduced over the
+/// synthetic data model. All use prefix bi: = kBistabNs.
+///
+/// Q1 — metadata-only: parameter-case selection (no array access).
+/// Q2 — single-element access: final state of species A per matching task.
+/// Q3 — array aggregation: tasks whose mean species-A level exceeds a
+///      threshold (AAPR delegates to the back-end when possible).
+/// Q4 — cross-task post-processing: per-parameter-case fraction of
+///      realizations that ended in the high state.
+std::string BistabQ1(double k1_min);
+std::string BistabQ2(double k1_min);
+std::string BistabQ3(double threshold);
+std::string BistabQ4(int timesteps);
+
+}  // namespace apps
+}  // namespace scisparql
+
+#endif  // SCISPARQL_APPS_BISTAB_H_

@@ -1,0 +1,168 @@
+#include "apps/minibench.h"
+
+#include <sstream>
+
+namespace scisparql {
+namespace apps {
+
+const char* AccessPatternName(AccessPattern p) {
+  switch (p) {
+    case AccessPattern::kSingleElement:
+      return "single-element";
+    case AccessPattern::kRow:
+      return "row";
+    case AccessPattern::kColumn:
+      return "column";
+    case AccessPattern::kStridedRows:
+      return "strided-rows";
+    case AccessPattern::kDiagonal:
+      return "diagonal";
+    case AccessPattern::kRandomElements:
+      return "random";
+    case AccessPattern::kWholeArray:
+      return "whole-array";
+  }
+  return "?";
+}
+
+std::vector<AccessPattern> AllAccessPatterns() {
+  return {AccessPattern::kSingleElement, AccessPattern::kRow,
+          AccessPattern::kColumn,        AccessPattern::kStridedRows,
+          AccessPattern::kDiagonal,      AccessPattern::kRandomElements,
+          AccessPattern::kWholeArray};
+}
+
+namespace {
+
+uint64_t Mix(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Result<GeneratedAccess> GeneratePattern(
+    const std::shared_ptr<ArrayProxy>& base, AccessPattern pattern,
+    int64_t param, uint64_t seed) {
+  const std::vector<int64_t>& shape = base->shape();
+  if (shape.size() != 2) {
+    return Status::InvalidArgument("mini-benchmark expects 2-D arrays");
+  }
+  const int64_t rows = shape[0];
+  const int64_t cols = shape[1];
+  uint64_t state = seed;
+
+  GeneratedAccess out;
+  out.pattern = pattern;
+
+  auto subscript = [&](std::vector<Sub> subs)
+      -> Result<std::shared_ptr<ArrayValue>> {
+    return base->Subscript(subs);
+  };
+
+  switch (pattern) {
+    case AccessPattern::kSingleElement: {
+      int64_t i = static_cast<int64_t>(Mix(state) % rows);
+      int64_t j = static_cast<int64_t>(Mix(state) % cols);
+      SCISPARQL_ASSIGN_OR_RETURN(
+          auto view, subscript({Sub::Index(i), Sub::Index(j)}));
+      out.views.push_back(std::move(view));
+      out.expected_elements = 1;
+      return out;
+    }
+    case AccessPattern::kRow: {
+      int64_t i = static_cast<int64_t>(Mix(state) % rows);
+      SCISPARQL_ASSIGN_OR_RETURN(
+          auto view, subscript({Sub::Index(i), Sub::All(cols)}));
+      out.views.push_back(std::move(view));
+      out.expected_elements = cols;
+      return out;
+    }
+    case AccessPattern::kColumn: {
+      int64_t j = static_cast<int64_t>(Mix(state) % cols);
+      SCISPARQL_ASSIGN_OR_RETURN(
+          auto view, subscript({Sub::All(rows), Sub::Index(j)}));
+      out.views.push_back(std::move(view));
+      out.expected_elements = rows;
+      return out;
+    }
+    case AccessPattern::kStridedRows: {
+      int64_t stride = param > 0 ? param : 4;
+      int64_t count = (rows - 1) / stride + 1;
+      SCISPARQL_ASSIGN_OR_RETURN(
+          auto view,
+          subscript({Sub::Range(0, count, stride), Sub::All(cols)}));
+      out.views.push_back(std::move(view));
+      out.expected_elements = count * cols;
+      return out;
+    }
+    case AccessPattern::kDiagonal: {
+      // One single-element view per diagonal cell, resolved as a bag.
+      int64_t n = std::min(rows, cols);
+      for (int64_t i = 0; i < n; ++i) {
+        SCISPARQL_ASSIGN_OR_RETURN(
+            auto view, subscript({Sub::Index(i), Sub::Index(i)}));
+        out.views.push_back(std::move(view));
+      }
+      out.expected_elements = n;
+      return out;
+    }
+    case AccessPattern::kRandomElements: {
+      int64_t n = param > 0 ? param : 64;
+      for (int64_t k = 0; k < n; ++k) {
+        int64_t i = static_cast<int64_t>(Mix(state) % rows);
+        int64_t j = static_cast<int64_t>(Mix(state) % cols);
+        SCISPARQL_ASSIGN_OR_RETURN(
+            auto view, subscript({Sub::Index(i), Sub::Index(j)}));
+        out.views.push_back(std::move(view));
+      }
+      out.expected_elements = n;
+      return out;
+    }
+    case AccessPattern::kWholeArray: {
+      SCISPARQL_ASSIGN_OR_RETURN(
+          auto view, subscript({Sub::All(rows), Sub::All(cols)}));
+      out.views.push_back(std::move(view));
+      out.expected_elements = rows * cols;
+      return out;
+    }
+  }
+  return Status::Internal("unknown access pattern");
+}
+
+std::string PatternAsSubscript(AccessPattern pattern,
+                               const std::vector<int64_t>& shape,
+                               int64_t param) {
+  std::ostringstream out;
+  switch (pattern) {
+    case AccessPattern::kSingleElement:
+      out << "?a[i, j]";
+      break;
+    case AccessPattern::kRow:
+      out << "?a[i, :]";
+      break;
+    case AccessPattern::kColumn:
+      out << "?a[:, j]";
+      break;
+    case AccessPattern::kStridedRows:
+      out << "?a[1:" << (shape.empty() ? 0 : shape[0]) << ":"
+          << (param > 0 ? param : 4) << ", :]";
+      break;
+    case AccessPattern::kDiagonal:
+      out << "?a[i, i] for all i";
+      break;
+    case AccessPattern::kRandomElements:
+      out << (param > 0 ? param : 64) << " random ?a[i, j]";
+      break;
+    case AccessPattern::kWholeArray:
+      out << "?a[:, :]";
+      break;
+  }
+  return out.str();
+}
+
+}  // namespace apps
+}  // namespace scisparql

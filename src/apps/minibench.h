@@ -1,0 +1,59 @@
+#ifndef SCISPARQL_APPS_MINIBENCH_H_
+#define SCISPARQL_APPS_MINIBENCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/array_proxy.h"
+
+namespace scisparql {
+namespace apps {
+
+/// Array access patterns of the mini-benchmark query generator
+/// (Section 6.3.1). The patterns span the best and worst cases of each
+/// storage choice: contiguous rows favour sequential interval reads,
+/// strided columns defeat 1-D chunk locality, random elements defeat
+/// everything except per-chunk caching.
+enum class AccessPattern : uint8_t {
+  kSingleElement,  ///< a[i, j]
+  kRow,            ///< a[i, :]           (contiguous span)
+  kColumn,         ///< a[:, j]           (stride = row length)
+  kStridedRows,    ///< a[lo:hi:k, :]     (regular blocks)
+  kDiagonal,       ///< a[i, i] for all i (stride = row length + 1)
+  kRandomElements, ///< n uniformly random cells
+  kWholeArray,     ///< a[:, :]
+};
+
+const char* AccessPatternName(AccessPattern p);
+std::vector<AccessPattern> AllAccessPatterns();
+
+/// One generated benchmark query: either a single array view, or (for the
+/// random pattern) a bag of single-element views resolved together via
+/// ResolveProxyBag (Section 6.2.4).
+struct GeneratedAccess {
+  AccessPattern pattern;
+  std::vector<std::shared_ptr<ArrayValue>> views;
+  int64_t expected_elements = 0;  ///< logical elements the views cover
+};
+
+/// Builds the views of `pattern` over a stored 2-D array opened as
+/// `base` (a whole-array proxy). `param` scales the pattern: the row
+/// stride for kStridedRows, the number of cells for kRandomElements
+/// (ignored otherwise). Deterministic in `seed`.
+Result<GeneratedAccess> GeneratePattern(
+    const std::shared_ptr<ArrayProxy>& base, AccessPattern pattern,
+    int64_t param, uint64_t seed);
+
+/// Equivalent SciSPARQL dereference text for documentation/EXPERIMENTS.md
+/// ("?a[17, :]" etc.).
+std::string PatternAsSubscript(AccessPattern pattern,
+                               const std::vector<int64_t>& shape,
+                               int64_t param);
+
+}  // namespace apps
+}  // namespace scisparql
+
+#endif  // SCISPARQL_APPS_MINIBENCH_H_

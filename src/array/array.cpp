@@ -1,0 +1,415 @@
+#include "array/array.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace scisparql {
+
+const char* ElementTypeName(ElementType t) {
+  switch (t) {
+    case ElementType::kInt64:
+      return "Int64";
+    case ElementType::kDouble:
+      return "Double";
+  }
+  return "?";
+}
+
+const char* AggOpName(AggOp op) {
+  switch (op) {
+    case AggOp::kSum:
+      return "sum";
+    case AggOp::kMin:
+      return "min";
+    case AggOp::kMax:
+      return "max";
+    case AggOp::kAvg:
+      return "avg";
+    case AggOp::kCount:
+      return "count";
+  }
+  return "?";
+}
+
+namespace {
+
+int64_t ShapeProduct(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) n *= d;
+  return n;
+}
+
+}  // namespace
+
+NumericArray::NumericArray()
+    : etype_(ElementType::kDouble),
+      buffer_(std::make_shared<std::vector<uint8_t>>()),
+      shape_{0},
+      strides_{1} {}
+
+std::vector<int64_t> NumericArray::RowMajorStrides(
+    const std::vector<int64_t>& shape) {
+  std::vector<int64_t> strides(shape.size(), 1);
+  for (int i = static_cast<int>(shape.size()) - 2; i >= 0; --i) {
+    strides[i] = strides[i + 1] * shape[i + 1];
+  }
+  return strides;
+}
+
+NumericArray NumericArray::Zeros(ElementType etype,
+                                 std::vector<int64_t> shape) {
+  NumericArray a;
+  a.etype_ = etype;
+  a.shape_ = std::move(shape);
+  a.strides_ = RowMajorStrides(a.shape_);
+  a.offset_ = 0;
+  a.buffer_ = std::make_shared<std::vector<uint8_t>>(
+      static_cast<size_t>(ShapeProduct(a.shape_) * ElementSize(etype)), 0);
+  return a;
+}
+
+Result<NumericArray> NumericArray::FromInts(std::vector<int64_t> shape,
+                                            std::vector<int64_t> data) {
+  if (ShapeProduct(shape) != static_cast<int64_t>(data.size())) {
+    return Status::InvalidArgument("array data does not match shape");
+  }
+  NumericArray a = Zeros(ElementType::kInt64, std::move(shape));
+  std::memcpy(a.data(), data.data(), data.size() * sizeof(int64_t));
+  return a;
+}
+
+Result<NumericArray> NumericArray::FromDoubles(std::vector<int64_t> shape,
+                                               std::vector<double> data) {
+  if (ShapeProduct(shape) != static_cast<int64_t>(data.size())) {
+    return Status::InvalidArgument("array data does not match shape");
+  }
+  NumericArray a = Zeros(ElementType::kDouble, std::move(shape));
+  std::memcpy(a.data(), data.data(), data.size() * sizeof(double));
+  return a;
+}
+
+NumericArray NumericArray::FromBuffer(
+    ElementType etype, std::vector<int64_t> shape,
+    std::shared_ptr<std::vector<uint8_t>> buffer) {
+  NumericArray a;
+  a.etype_ = etype;
+  a.shape_ = std::move(shape);
+  a.strides_ = RowMajorStrides(a.shape_);
+  a.offset_ = 0;
+  a.buffer_ = std::move(buffer);
+  return a;
+}
+
+int64_t NumericArray::NumElements() const { return ShapeProduct(shape_); }
+
+bool NumericArray::IsContiguous() const {
+  return strides_ == RowMajorStrides(shape_);
+}
+
+namespace {
+
+/// Element offset within the buffer for a multi-index, or -1 on bounds error.
+int64_t ResolveIndex(const std::vector<int64_t>& shape,
+                     const std::vector<int64_t>& strides, int64_t offset,
+                     std::span<const int64_t> idx) {
+  if (idx.size() != shape.size()) return -1;
+  int64_t pos = offset;
+  for (size_t i = 0; i < idx.size(); ++i) {
+    if (idx[i] < 0 || idx[i] >= shape[i]) return -1;
+    pos += idx[i] * strides[i];
+  }
+  return pos;
+}
+
+}  // namespace
+
+Result<double> NumericArray::GetDouble(std::span<const int64_t> idx) const {
+  int64_t pos = ResolveIndex(shape_, strides_, offset_, idx);
+  if (pos < 0) return Status::OutOfRange("array subscript out of bounds");
+  if (etype_ == ElementType::kDouble) {
+    double v;
+    std::memcpy(&v, data() + pos * 8, 8);
+    return v;
+  }
+  int64_t v;
+  std::memcpy(&v, data() + pos * 8, 8);
+  return static_cast<double>(v);
+}
+
+Result<int64_t> NumericArray::GetInt(std::span<const int64_t> idx) const {
+  int64_t pos = ResolveIndex(shape_, strides_, offset_, idx);
+  if (pos < 0) return Status::OutOfRange("array subscript out of bounds");
+  if (etype_ == ElementType::kInt64) {
+    int64_t v;
+    std::memcpy(&v, data() + pos * 8, 8);
+    return v;
+  }
+  double v;
+  std::memcpy(&v, data() + pos * 8, 8);
+  return static_cast<int64_t>(v);
+}
+
+Status NumericArray::Set(std::span<const int64_t> idx, double v) {
+  int64_t pos = ResolveIndex(shape_, strides_, offset_, idx);
+  if (pos < 0) return Status::OutOfRange("array subscript out of bounds");
+  if (etype_ == ElementType::kDouble) {
+    std::memcpy(data() + pos * 8, &v, 8);
+  } else {
+    int64_t i = static_cast<int64_t>(v);
+    std::memcpy(data() + pos * 8, &i, 8);
+  }
+  return Status::OK();
+}
+
+Status NumericArray::Set(std::span<const int64_t> idx, int64_t v) {
+  int64_t pos = ResolveIndex(shape_, strides_, offset_, idx);
+  if (pos < 0) return Status::OutOfRange("array subscript out of bounds");
+  if (etype_ == ElementType::kInt64) {
+    std::memcpy(data() + pos * 8, &v, 8);
+  } else {
+    double d = static_cast<double>(v);
+    std::memcpy(data() + pos * 8, &d, 8);
+  }
+  return Status::OK();
+}
+
+int64_t NumericArray::BufferIndex(int64_t linear) const {
+  int64_t pos = offset_;
+  for (int i = rank() - 1; i >= 0; --i) {
+    int64_t dim = shape_[i];
+    if (dim > 0) {
+      pos += (linear % dim) * strides_[i];
+      linear /= dim;
+    }
+  }
+  return pos;
+}
+
+double NumericArray::DoubleAt(int64_t linear) const {
+  int64_t pos = BufferIndex(linear);
+  if (etype_ == ElementType::kDouble) {
+    double v;
+    std::memcpy(&v, data() + pos * 8, 8);
+    return v;
+  }
+  int64_t v;
+  std::memcpy(&v, data() + pos * 8, 8);
+  return static_cast<double>(v);
+}
+
+int64_t NumericArray::IntAt(int64_t linear) const {
+  int64_t pos = BufferIndex(linear);
+  if (etype_ == ElementType::kInt64) {
+    int64_t v;
+    std::memcpy(&v, data() + pos * 8, 8);
+    return v;
+  }
+  double v;
+  std::memcpy(&v, data() + pos * 8, 8);
+  return static_cast<int64_t>(v);
+}
+
+void NumericArray::SetDoubleAt(int64_t linear, double v) {
+  int64_t pos = BufferIndex(linear);
+  if (etype_ == ElementType::kDouble) {
+    std::memcpy(data() + pos * 8, &v, 8);
+  } else {
+    int64_t i = static_cast<int64_t>(v);
+    std::memcpy(data() + pos * 8, &i, 8);
+  }
+}
+
+void NumericArray::SetIntAt(int64_t linear, int64_t v) {
+  int64_t pos = BufferIndex(linear);
+  if (etype_ == ElementType::kInt64) {
+    std::memcpy(data() + pos * 8, &v, 8);
+  } else {
+    double d = static_cast<double>(v);
+    std::memcpy(data() + pos * 8, &d, 8);
+  }
+}
+
+Result<std::vector<Sub>> NumericArray::ValidateSubs(
+    const std::vector<int64_t>& shape, std::span<const Sub> subs) {
+  if (subs.size() != shape.size()) {
+    return Status::InvalidArgument(
+        "subscript count does not match array rank");
+  }
+  std::vector<Sub> out(subs.begin(), subs.end());
+  for (size_t i = 0; i < out.size(); ++i) {
+    Sub& s = out[i];
+    if (s.kind == Sub::Kind::kIndex) {
+      if (s.index < 0 || s.index >= shape[i]) {
+        return Status::OutOfRange("array subscript out of bounds");
+      }
+    } else {
+      if (s.step == 0) return Status::InvalidArgument("zero subscript step");
+      if (s.count < 0) s.count = 0;
+      if (s.count > 0) {
+        int64_t last = s.lo + (s.count - 1) * s.step;
+        if (s.lo < 0 || s.lo >= shape[i] || last < 0 || last >= shape[i]) {
+          return Status::OutOfRange("array range subscript out of bounds");
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<NumericArray> NumericArray::View(std::span<const Sub> subs) const {
+  SCISPARQL_ASSIGN_OR_RETURN(std::vector<Sub> valid,
+                             ValidateSubs(shape_, subs));
+  NumericArray v;
+  v.etype_ = etype_;
+  v.buffer_ = buffer_;
+  v.offset_ = offset_;
+  v.shape_.clear();
+  v.strides_.clear();
+  for (size_t i = 0; i < valid.size(); ++i) {
+    const Sub& s = valid[i];
+    if (s.kind == Sub::Kind::kIndex) {
+      v.offset_ += s.index * strides_[i];
+    } else {
+      v.offset_ += s.lo * strides_[i];
+      v.shape_.push_back(s.count);
+      v.strides_.push_back(s.step * strides_[i]);
+    }
+  }
+  if (v.shape_.empty()) {
+    // Full dereference: represent the scalar as a one-element vector; the
+    // expression layer unwraps it into a scalar term.
+    v.shape_.push_back(1);
+    v.strides_.push_back(1);
+  }
+  return v;
+}
+
+NumericArray NumericArray::Compact() const {
+  if (IsContiguous() && offset_ == 0 &&
+      static_cast<int64_t>(buffer_->size()) == NumElements() * 8) {
+    return *this;
+  }
+  NumericArray out = Zeros(etype_, shape_);
+  int64_t n = NumElements();
+  for (int64_t i = 0; i < n; ++i) {
+    if (etype_ == ElementType::kDouble) {
+      out.SetDoubleAt(i, DoubleAt(i));
+    } else {
+      out.SetIntAt(i, IntAt(i));
+    }
+  }
+  return out;
+}
+
+bool NumericArray::NumericEquals(const NumericArray& other) const {
+  if (shape_ != other.shape_) return false;
+  int64_t n = NumElements();
+  for (int64_t i = 0; i < n; ++i) {
+    if (DoubleAt(i) != other.DoubleAt(i)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+void RenderDim(const NumericArray& a, std::vector<int64_t>& idx, size_t dim,
+               int64_t* budget, std::ostringstream& out) {
+  out << "[";
+  for (int64_t i = 0; i < a.shape()[dim]; ++i) {
+    if (i > 0) out << ", ";
+    if (*budget <= 0) {
+      out << "...";
+      break;
+    }
+    idx[dim] = i;
+    if (dim + 1 == static_cast<size_t>(a.rank())) {
+      --*budget;
+      if (a.etype() == ElementType::kInt64) {
+        out << a.GetInt(idx).value();
+      } else {
+        out << FormatDouble(a.GetDouble(idx).value());
+      }
+    } else {
+      RenderDim(a, idx, dim + 1, budget, out);
+    }
+  }
+  out << "]";
+}
+
+}  // namespace
+
+std::string NumericArray::ToString(int64_t max_elems) const {
+  std::ostringstream out;
+  std::vector<int64_t> idx(rank(), 0);
+  int64_t budget = max_elems;
+  RenderDim(*this, idx, 0, &budget, out);
+  return out.str();
+}
+
+int64_t ArrayValue::NumElements() const {
+  int64_t n = 1;
+  for (int64_t d : shape()) n *= d;
+  return n;
+}
+
+Result<double> ArrayValue::Aggregate(AggOp op) const {
+  SCISPARQL_ASSIGN_OR_RETURN(NumericArray a, Materialize());
+  int64_t n = a.NumElements();
+  if (op == AggOp::kCount) return static_cast<double>(n);
+  if (n == 0) {
+    if (op == AggOp::kSum) return 0.0;
+    return Status::InvalidArgument("aggregate over empty array");
+  }
+  double acc = (op == AggOp::kMin)   ? std::numeric_limits<double>::infinity()
+               : (op == AggOp::kMax) ? -std::numeric_limits<double>::infinity()
+                                     : 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    double v = a.DoubleAt(i);
+    switch (op) {
+      case AggOp::kSum:
+      case AggOp::kAvg:
+        acc += v;
+        break;
+      case AggOp::kMin:
+        acc = std::min(acc, v);
+        break;
+      case AggOp::kMax:
+        acc = std::max(acc, v);
+        break;
+      case AggOp::kCount:
+        break;
+    }
+  }
+  if (op == AggOp::kAvg) acc /= static_cast<double>(n);
+  return acc;
+}
+
+std::string ArrayValue::Describe() const {
+  std::ostringstream out;
+  out << (resident() ? "resident " : "proxy ");
+  const auto& sh = shape();
+  for (size_t i = 0; i < sh.size(); ++i) {
+    if (i > 0) out << "x";
+    out << sh[i];
+  }
+  out << " " << ElementTypeName(etype());
+  return out.str();
+}
+
+Result<double> ResidentArray::ElementAsDouble(
+    std::span<const int64_t> idx) const {
+  return array_.GetDouble(idx);
+}
+
+Result<std::shared_ptr<ArrayValue>> ResidentArray::Subscript(
+    std::span<const Sub> subs) const {
+  SCISPARQL_ASSIGN_OR_RETURN(NumericArray view, array_.View(subs));
+  return Make(std::move(view));
+}
+
+}  // namespace scisparql

@@ -1,0 +1,216 @@
+#ifndef SCISPARQL_ARRAY_ARRAY_H_
+#define SCISPARQL_ARRAY_ARRAY_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace scisparql {
+
+/// Element types supported by SciSPARQL numeric arrays. The paper's model
+/// (Section 5.2) stores homogeneous numeric multidimensional arrays; we
+/// support 64-bit integers and IEEE doubles, both 8 bytes wide so views can
+/// share buffers uniformly.
+enum class ElementType : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+};
+
+/// Size in bytes of one element of the given type (always 8 here, kept as a
+/// function so the storage layer does not hard-code it).
+inline int64_t ElementSize(ElementType) { return 8; }
+
+const char* ElementTypeName(ElementType t);
+
+/// A resolved (0-based) subscript applied to one array dimension, produced
+/// from the language-level 1-based dereference syntax `?a[i, lo:hi:stride]`.
+struct Sub {
+  /// kIndex selects a single coordinate and removes the dimension;
+  /// kRange keeps the dimension with `count` elements starting at `lo`
+  /// with step `step` (step may be negative).
+  enum class Kind : uint8_t { kIndex, kRange };
+
+  Kind kind = Kind::kIndex;
+  int64_t index = 0;  ///< for kIndex
+  int64_t lo = 0;     ///< for kRange: first selected coordinate
+  int64_t count = 0;  ///< for kRange: number of selected coordinates
+  int64_t step = 1;   ///< for kRange: distance between coordinates
+
+  static Sub Index(int64_t i) {
+    Sub s;
+    s.kind = Kind::kIndex;
+    s.index = i;
+    return s;
+  }
+  static Sub Range(int64_t lo, int64_t count, int64_t step = 1) {
+    Sub s;
+    s.kind = Kind::kRange;
+    s.lo = lo;
+    s.count = count;
+    s.step = step;
+    return s;
+  }
+  /// Selects the whole dimension of length `n`.
+  static Sub All(int64_t n) { return Range(0, n, 1); }
+};
+
+/// Dense numeric multidimensional array with NumPy-style view semantics:
+/// the logical array is defined by (shape, strides, offset) over a shared
+/// element buffer, so slicing is O(rank) and never copies. Layout of a
+/// freshly created array is row-major ("C order"), matching the linear
+/// chunked layout used by the external storage back-ends (Chapter 6).
+class NumericArray {
+ public:
+  /// Empty rank-1 array of doubles.
+  NumericArray();
+
+  /// Allocates a zero-initialized array.
+  static NumericArray Zeros(ElementType etype, std::vector<int64_t> shape);
+
+  /// Builds an array from row-major data. Fails if the element count does
+  /// not match the shape product.
+  static Result<NumericArray> FromInts(std::vector<int64_t> shape,
+                                       std::vector<int64_t> data);
+  static Result<NumericArray> FromDoubles(std::vector<int64_t> shape,
+                                          std::vector<double> data);
+
+  /// Wraps an existing raw buffer (used by the storage layer when
+  /// materializing proxies). `buffer` holds `offset + max-span` elements.
+  static NumericArray FromBuffer(ElementType etype,
+                                 std::vector<int64_t> shape,
+                                 std::shared_ptr<std::vector<uint8_t>> buffer);
+
+  ElementType etype() const { return etype_; }
+  int rank() const { return static_cast<int>(shape_.size()); }
+  const std::vector<int64_t>& shape() const { return shape_; }
+  const std::vector<int64_t>& strides() const { return strides_; }
+  int64_t offset() const { return offset_; }
+
+  /// Product of the shape; the number of logical elements in this view.
+  int64_t NumElements() const;
+
+  /// True when logical order coincides with a contiguous buffer span.
+  bool IsContiguous() const;
+
+  /// --- Multi-index element access (0-based, bounds-checked). ---
+  Result<double> GetDouble(std::span<const int64_t> idx) const;
+  Result<int64_t> GetInt(std::span<const int64_t> idx) const;
+  Status Set(std::span<const int64_t> idx, double v);
+  Status Set(std::span<const int64_t> idx, int64_t v);
+
+  /// --- Linear access in logical row-major order (unchecked, for ops). ---
+  double DoubleAt(int64_t linear) const;
+  int64_t IntAt(int64_t linear) const;
+  void SetDoubleAt(int64_t linear, double v);
+  void SetIntAt(int64_t linear, int64_t v);
+
+  /// Maps a logical linear index of this view to the element offset within
+  /// the underlying buffer. Exposed so the storage layer can translate view
+  /// elements to stored addresses.
+  int64_t BufferIndex(int64_t linear) const;
+
+  /// Applies one subscript per dimension; kIndex entries reduce the rank.
+  /// Subscripts must already be 0-based and validated against the shape by
+  /// `ValidateSubs`. The result shares this array's buffer.
+  Result<NumericArray> View(std::span<const Sub> subs) const;
+
+  /// Returns a compact row-major copy of this view.
+  NumericArray Compact() const;
+
+  /// Numeric element-wise equality (integer 2 equals double 2.0), the array
+  /// equality semantics of SciSPARQL Section 4.1.6.
+  bool NumericEquals(const NumericArray& other) const;
+
+  /// Renders e.g. "[[1, 2], [3, 4]]", eliding elements beyond `max_elems`.
+  std::string ToString(int64_t max_elems = 64) const;
+
+  /// Validates a language-produced subscript list against `shape`:
+  /// checks rank and bounds. Returns the normalized subs.
+  static Result<std::vector<Sub>> ValidateSubs(
+      const std::vector<int64_t>& shape, std::span<const Sub> subs);
+
+  /// Row-major strides for a given shape.
+  static std::vector<int64_t> RowMajorStrides(
+      const std::vector<int64_t>& shape);
+
+ private:
+  ElementType etype_;
+  std::shared_ptr<std::vector<uint8_t>> buffer_;
+  int64_t offset_ = 0;                // in elements
+  std::vector<int64_t> shape_;
+  std::vector<int64_t> strides_;      // in elements
+
+  const uint8_t* data() const { return buffer_->data(); }
+  uint8_t* data() { return buffer_->data(); }
+};
+
+/// Aggregate operations shared by in-memory arrays and storage back-ends
+/// (the AAPR interface of Section 6.1 delegates these when supported).
+enum class AggOp : uint8_t { kSum, kMin, kMax, kAvg, kCount };
+
+const char* AggOpName(AggOp op);
+
+/// Term-level array abstraction: either a resident NumericArray or a lazy
+/// proxy referring to an external back-end (defined in storage/). RDF terms
+/// hold `std::shared_ptr<ArrayValue>`.
+class ArrayValue {
+ public:
+  virtual ~ArrayValue() = default;
+
+  virtual ElementType etype() const = 0;
+  virtual const std::vector<int64_t>& shape() const = 0;
+  int rank() const { return static_cast<int>(shape().size()); }
+  int64_t NumElements() const;
+
+  /// True for resident arrays; false for proxies whose elements still live
+  /// in an external back-end.
+  virtual bool resident() const = 0;
+
+  /// Single element as double (integers are widened).
+  virtual Result<double> ElementAsDouble(std::span<const int64_t> idx) const = 0;
+
+  /// Applies subscripts lazily; proxies accumulate them without touching
+  /// storage (the "lazy fashion" of the abstract / Section 5.2).
+  virtual Result<std::shared_ptr<ArrayValue>> Subscript(
+      std::span<const Sub> subs) const = 0;
+
+  /// Produces a resident array; for proxies this is the APR call.
+  virtual Result<NumericArray> Materialize() const = 0;
+
+  /// Aggregate over all elements; back-ends may push this down (AAPR).
+  virtual Result<double> Aggregate(AggOp op) const;
+
+  /// Short description for diagnostics ("resident 3x4 Double", ...).
+  virtual std::string Describe() const;
+};
+
+/// ArrayValue wrapping a resident NumericArray.
+class ResidentArray : public ArrayValue {
+ public:
+  explicit ResidentArray(NumericArray array) : array_(std::move(array)) {}
+
+  static std::shared_ptr<ArrayValue> Make(NumericArray array) {
+    return std::make_shared<ResidentArray>(std::move(array));
+  }
+
+  ElementType etype() const override { return array_.etype(); }
+  const std::vector<int64_t>& shape() const override { return array_.shape(); }
+  bool resident() const override { return true; }
+  Result<double> ElementAsDouble(std::span<const int64_t> idx) const override;
+  Result<std::shared_ptr<ArrayValue>> Subscript(
+      std::span<const Sub> subs) const override;
+  Result<NumericArray> Materialize() const override { return array_; }
+
+  const NumericArray& array() const { return array_; }
+
+ private:
+  NumericArray array_;
+};
+
+}  // namespace scisparql
+
+#endif  // SCISPARQL_ARRAY_ARRAY_H_

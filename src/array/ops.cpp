@@ -1,0 +1,250 @@
+#include "array/ops.h"
+
+#include <cmath>
+
+namespace scisparql {
+
+const char* BinOpName(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd:
+      return "+";
+    case BinOp::kSub:
+      return "-";
+    case BinOp::kMul:
+      return "*";
+    case BinOp::kDiv:
+      return "/";
+    case BinOp::kMod:
+      return "mod";
+    case BinOp::kPow:
+      return "pow";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IntClosed(BinOp op) {
+  return op == BinOp::kAdd || op == BinOp::kSub || op == BinOp::kMul ||
+         op == BinOp::kMod;
+}
+
+Result<double> ApplyDouble(BinOp op, double x, double y) {
+  switch (op) {
+    case BinOp::kAdd:
+      return x + y;
+    case BinOp::kSub:
+      return x - y;
+    case BinOp::kMul:
+      return x * y;
+    case BinOp::kDiv:
+      if (y == 0) return Status::TypeError("division by zero");
+      return x / y;
+    case BinOp::kMod:
+      if (y == 0) return Status::TypeError("modulo by zero");
+      return std::fmod(x, y);
+    case BinOp::kPow:
+      return std::pow(x, y);
+  }
+  return Status::Internal("unknown binop");
+}
+
+Result<int64_t> ApplyInt(BinOp op, int64_t x, int64_t y) {
+  switch (op) {
+    case BinOp::kAdd:
+      return x + y;
+    case BinOp::kSub:
+      return x - y;
+    case BinOp::kMul:
+      return x * y;
+    case BinOp::kMod:
+      if (y == 0) return Status::TypeError("modulo by zero");
+      return x % y;
+    default:
+      return Status::Internal("non-integer binop");
+  }
+}
+
+}  // namespace
+
+Result<NumericArray> ElementwiseBinary(BinOp op, const NumericArray& a,
+                                       const NumericArray& b) {
+  if (a.shape() != b.shape()) {
+    return Status::TypeError("array arithmetic requires equal shapes");
+  }
+  bool as_int = a.etype() == ElementType::kInt64 &&
+                b.etype() == ElementType::kInt64 && IntClosed(op);
+  NumericArray out = NumericArray::Zeros(
+      as_int ? ElementType::kInt64 : ElementType::kDouble, a.shape());
+  int64_t n = a.NumElements();
+  for (int64_t i = 0; i < n; ++i) {
+    if (as_int) {
+      SCISPARQL_ASSIGN_OR_RETURN(int64_t v,
+                                 ApplyInt(op, a.IntAt(i), b.IntAt(i)));
+      out.SetIntAt(i, v);
+    } else {
+      SCISPARQL_ASSIGN_OR_RETURN(double v,
+                                 ApplyDouble(op, a.DoubleAt(i), b.DoubleAt(i)));
+      out.SetDoubleAt(i, v);
+    }
+  }
+  return out;
+}
+
+Result<NumericArray> ScalarBinary(BinOp op, const NumericArray& a, double b,
+                                  bool scalar_on_left) {
+  NumericArray out = NumericArray::Zeros(ElementType::kDouble, a.shape());
+  int64_t n = a.NumElements();
+  for (int64_t i = 0; i < n; ++i) {
+    double x = a.DoubleAt(i);
+    SCISPARQL_ASSIGN_OR_RETURN(
+        double v, scalar_on_left ? ApplyDouble(op, b, x) : ApplyDouble(op, x, b));
+    out.SetDoubleAt(i, v);
+  }
+  return out;
+}
+
+Result<NumericArray> ScalarBinaryInt(BinOp op, const NumericArray& a,
+                                     int64_t b, bool scalar_on_left) {
+  if (a.etype() != ElementType::kInt64 || !IntClosed(op)) {
+    return ScalarBinary(op, a, static_cast<double>(b), scalar_on_left);
+  }
+  NumericArray out = NumericArray::Zeros(ElementType::kInt64, a.shape());
+  int64_t n = a.NumElements();
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t x = a.IntAt(i);
+    SCISPARQL_ASSIGN_OR_RETURN(
+        int64_t v, scalar_on_left ? ApplyInt(op, b, x) : ApplyInt(op, x, b));
+    out.SetIntAt(i, v);
+  }
+  return out;
+}
+
+Result<NumericArray> UnaryNamed(const std::string& name,
+                                const NumericArray& a) {
+  double (*fn)(double) = nullptr;
+  if (name == "abs") {
+    fn = [](double x) { return std::fabs(x); };
+  } else if (name == "round") {
+    fn = [](double x) { return std::round(x); };
+  } else if (name == "floor") {
+    fn = [](double x) { return std::floor(x); };
+  } else if (name == "ceil") {
+    fn = [](double x) { return std::ceil(x); };
+  } else if (name == "sqrt") {
+    fn = [](double x) { return std::sqrt(x); };
+  } else if (name == "exp") {
+    fn = [](double x) { return std::exp(x); };
+  } else if (name == "ln") {
+    fn = [](double x) { return std::log(x); };
+  } else if (name == "log10") {
+    fn = [](double x) { return std::log10(x); };
+  } else if (name == "neg") {
+    fn = [](double x) { return -x; };
+  } else {
+    return Status::NotFound("unknown unary array function: " + name);
+  }
+  // abs/round/floor/ceil/neg preserve integer type.
+  bool keep_int = a.etype() == ElementType::kInt64 &&
+                  (name == "abs" || name == "round" || name == "floor" ||
+                   name == "ceil" || name == "neg");
+  NumericArray out = NumericArray::Zeros(
+      keep_int ? ElementType::kInt64 : ElementType::kDouble, a.shape());
+  int64_t n = a.NumElements();
+  for (int64_t i = 0; i < n; ++i) {
+    double v = fn(a.DoubleAt(i));
+    if (keep_int) {
+      out.SetIntAt(i, static_cast<int64_t>(v));
+    } else {
+      out.SetDoubleAt(i, v);
+    }
+  }
+  return out;
+}
+
+Result<NumericArray> Map(const NumericArray& a,
+                         const std::function<Result<double>(double)>& fn) {
+  NumericArray out = NumericArray::Zeros(ElementType::kDouble, a.shape());
+  int64_t n = a.NumElements();
+  for (int64_t i = 0; i < n; ++i) {
+    SCISPARQL_ASSIGN_OR_RETURN(double v, fn(a.DoubleAt(i)));
+    out.SetDoubleAt(i, v);
+  }
+  return out;
+}
+
+Result<NumericArray> Map2(
+    const NumericArray& a, const NumericArray& b,
+    const std::function<Result<double>(double, double)>& fn) {
+  if (a.shape() != b.shape()) {
+    return Status::TypeError("MAP over arrays of different shapes");
+  }
+  NumericArray out = NumericArray::Zeros(ElementType::kDouble, a.shape());
+  int64_t n = a.NumElements();
+  for (int64_t i = 0; i < n; ++i) {
+    SCISPARQL_ASSIGN_OR_RETURN(double v, fn(a.DoubleAt(i), b.DoubleAt(i)));
+    out.SetDoubleAt(i, v);
+  }
+  return out;
+}
+
+Result<double> Condense(
+    const NumericArray& a,
+    const std::function<Result<double>(double, double)>& fn) {
+  int64_t n = a.NumElements();
+  if (n == 0) return Status::InvalidArgument("CONDENSE over empty array");
+  double acc = a.DoubleAt(0);
+  for (int64_t i = 1; i < n; ++i) {
+    SCISPARQL_ASSIGN_OR_RETURN(acc, fn(acc, a.DoubleAt(i)));
+  }
+  return acc;
+}
+
+Result<NumericArray> Transpose(const NumericArray& a) {
+  if (a.rank() != 2) {
+    return Status::InvalidArgument("transpose requires a 2-D array");
+  }
+  NumericArray t =
+      NumericArray::Zeros(a.etype(), {a.shape()[1], a.shape()[0]});
+  for (int64_t i = 0; i < a.shape()[0]; ++i) {
+    for (int64_t j = 0; j < a.shape()[1]; ++j) {
+      int64_t src[] = {i, j};
+      int64_t dst[] = {j, i};
+      if (a.etype() == ElementType::kInt64) {
+        SCISPARQL_ASSIGN_OR_RETURN(int64_t x, a.GetInt(src));
+        SCISPARQL_RETURN_NOT_OK(t.Set(dst, x));
+      } else {
+        SCISPARQL_ASSIGN_OR_RETURN(double x, a.GetDouble(src));
+        SCISPARQL_RETURN_NOT_OK(t.Set(dst, x));
+      }
+    }
+  }
+  return t;
+}
+
+Result<NumericArray> Reshape(const NumericArray& a,
+                             std::vector<int64_t> shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) n *= d;
+  if (n != a.NumElements()) {
+    return Status::InvalidArgument("reshape changes element count");
+  }
+  NumericArray compact = a.Compact();
+  NumericArray out = NumericArray::Zeros(a.etype(), std::move(shape));
+  for (int64_t i = 0; i < n; ++i) {
+    if (a.etype() == ElementType::kInt64) {
+      out.SetIntAt(i, compact.IntAt(i));
+    } else {
+      out.SetDoubleAt(i, compact.DoubleAt(i));
+    }
+  }
+  return out;
+}
+
+NumericArray Iota(int64_t lo, int64_t count, int64_t step) {
+  NumericArray out = NumericArray::Zeros(ElementType::kInt64, {count});
+  for (int64_t i = 0; i < count; ++i) out.SetIntAt(i, lo + i * step);
+  return out;
+}
+
+}  // namespace scisparql

@@ -1,0 +1,66 @@
+#ifndef SCISPARQL_ARRAY_OPS_H_
+#define SCISPARQL_ARRAY_OPS_H_
+
+#include <functional>
+#include <string>
+
+#include "array/array.h"
+
+namespace scisparql {
+
+/// Element-wise array operations implementing SciSPARQL array arithmetic
+/// (Section 4.1.4) and the second-order array-algebra primitives
+/// (Section 4.3.1). All functions operate on resident arrays; the expression
+/// layer materializes proxies (APR) before calling them, or pushes the
+/// operation down to the back-end when the back-end advertises support.
+
+enum class BinOp : uint8_t { kAdd, kSub, kMul, kDiv, kMod, kPow };
+
+const char* BinOpName(BinOp op);
+
+/// `a op b` where both operands have identical shape. Result element type is
+/// Int64 only when both inputs are Int64 and the op is closed over integers
+/// (kAdd/kSub/kMul/kMod); kDiv and kPow always yield doubles.
+Result<NumericArray> ElementwiseBinary(BinOp op, const NumericArray& a,
+                                       const NumericArray& b);
+
+/// `a op scalar` / `scalar op a` (broadcast of a scalar over the array).
+Result<NumericArray> ScalarBinary(BinOp op, const NumericArray& a, double b,
+                                  bool scalar_on_left);
+Result<NumericArray> ScalarBinaryInt(BinOp op, const NumericArray& a,
+                                     int64_t b, bool scalar_on_left);
+
+/// Unary element-wise transform with a named double->double function:
+/// "abs", "round", "floor", "ceil", "sqrt", "exp", "ln", "log10", "neg".
+Result<NumericArray> UnaryNamed(const std::string& name,
+                                const NumericArray& a);
+
+/// Second-order mapper: the ARRAY-algebra MAP. Applies `fn` to every
+/// element (as double) producing a double array of the same shape.
+/// `fn` returning a non-ok Result aborts the mapping.
+Result<NumericArray> Map(const NumericArray& a,
+                         const std::function<Result<double>(double)>& fn);
+
+/// Binary mapper over two same-shape arrays (MAP with two array args).
+Result<NumericArray> Map2(
+    const NumericArray& a, const NumericArray& b,
+    const std::function<Result<double>(double, double)>& fn);
+
+/// Second-order CONDENSE: folds all elements with `fn`, starting from the
+/// first element (arrays must be non-empty).
+Result<double> Condense(const NumericArray& a,
+                        const std::function<Result<double>(double, double)>& fn);
+
+/// Transposes a 2-D array (view, no copy).
+Result<NumericArray> Transpose(const NumericArray& a);
+
+/// Reshapes to `shape` (copying when the view is not contiguous).
+Result<NumericArray> Reshape(const NumericArray& a,
+                             std::vector<int64_t> shape);
+
+/// Generator: [lo, lo+step, ...] with `count` elements.
+NumericArray Iota(int64_t lo, int64_t count, int64_t step = 1);
+
+}  // namespace scisparql
+
+#endif  // SCISPARQL_ARRAY_OPS_H_

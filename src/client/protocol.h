@@ -1,0 +1,47 @@
+#ifndef SCISPARQL_CLIENT_PROTOCOL_H_
+#define SCISPARQL_CLIENT_PROTOCOL_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "rdf/term.h"
+#include "sparql/executor.h"
+
+namespace scisparql {
+namespace client {
+
+/// Wire protocol of the SSDM client-server mode (Section 5.1 positions
+/// SSDM as "a stand-alone system, a client-server system, or a cluster of
+/// processes"). Messages are length-prefixed byte strings:
+///
+///   request:  [u32 length][statement text]
+///   response: [u32 length][payload]
+///
+/// The payload starts with a one-byte kind tag:
+///   'R' rows    — serialized QueryResult (SELECT)
+///   'B' boolean — one byte (ASK)
+///   'G' graph   — Turtle text (CONSTRUCT / DESCRIBE)
+///   'O' ok      — empty (updates / DEFINE)
+///   'E' error   — status code byte + message
+///
+/// Terms serialize with a kind tag; arrays travel as shape + row-major
+/// elements (proxies are materialized server-side — the client always
+/// receives resident data, which is what the Matlab integration does).
+
+/// Serializes one term (including arrays) to bytes.
+Status SerializeTerm(const Term& term, std::string* out);
+
+/// Deserializes a term; advances *pos.
+Result<Term> DeserializeTerm(const std::string& data, size_t* pos);
+
+/// Serializes a SELECT result.
+std::string SerializeResult(const sparql::QueryResult& result);
+Result<sparql::QueryResult> DeserializeResult(const std::string& data);
+
+/// Frames a payload with the u32 length prefix.
+std::string Frame(const std::string& payload);
+
+}  // namespace client
+}  // namespace scisparql
+
+#endif  // SCISPARQL_CLIENT_PROTOCOL_H_

@@ -1,0 +1,199 @@
+#include "client/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "client/protocol.h"
+#include "loaders/turtle.h"
+
+namespace scisparql {
+namespace client {
+
+namespace {
+
+/// Reads exactly `n` bytes; false on EOF/error.
+bool ReadAll(int fd, void* buf, size_t n) {
+  uint8_t* p = static_cast<uint8_t*>(buf);
+  while (n > 0) {
+    ssize_t r = ::recv(fd, p, n, 0);
+    if (r <= 0) return false;
+    p += r;
+    n -= static_cast<size_t>(r);
+  }
+  return true;
+}
+
+bool WriteAll(int fd, const void* buf, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(buf);
+  while (n > 0) {
+    ssize_t r = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (r <= 0) return false;
+    p += r;
+    n -= static_cast<size_t>(r);
+  }
+  return true;
+}
+
+Result<std::string> ReadFrame(int fd) {
+  uint32_t len;
+  if (!ReadAll(fd, &len, 4)) return Status::IoError("connection closed");
+  if (len > (64u << 20)) return Status::IoError("oversized frame");
+  std::string payload(len, '\0');
+  if (!ReadAll(fd, payload.data(), len)) {
+    return Status::IoError("truncated frame");
+  }
+  return payload;
+}
+
+Status WriteFrame(int fd, const std::string& payload) {
+  std::string framed = Frame(payload);
+  if (!WriteAll(fd, framed.data(), framed.size())) {
+    return Status::IoError("write failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<int> SsdmServer::Start(int port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::IoError("socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::IoError("bind() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 8) != 0) return Status::IoError("listen() failed");
+  running_ = true;
+  thread_ = std::thread([this]() { Serve(); });
+  return port_;
+}
+
+void SsdmServer::Stop() {
+  if (!running_.exchange(false)) return;
+  // Closing the listening socket unblocks accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (thread_.joinable()) thread_.join();
+  listen_fd_ = -1;
+}
+
+void SsdmServer::Serve() {
+  while (running_) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) break;  // listener closed
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void SsdmServer::HandleConnection(int fd) {
+  while (running_) {
+    Result<std::string> request = ReadFrame(fd);
+    if (!request.ok()) return;  // client disconnected
+    ++requests_;
+
+    std::string payload;
+    Result<SSDM::ExecResult> result = engine_->Execute(*request);
+    if (!result.ok()) {
+      payload.push_back('E');
+      payload.push_back(static_cast<char>(result.status().code()));
+      payload += result.status().message();
+    } else {
+      switch (result->kind) {
+        case SSDM::ExecResult::Kind::kRows:
+          payload.push_back('R');
+          payload += SerializeResult(result->rows);
+          break;
+        case SSDM::ExecResult::Kind::kBool:
+          payload.push_back('B');
+          payload.push_back(result->boolean ? 1 : 0);
+          break;
+        case SSDM::ExecResult::Kind::kGraph:
+          payload.push_back('G');
+          payload += loaders::WriteTurtle(result->graph, engine_->prefixes());
+          break;
+        case SSDM::ExecResult::Kind::kOk:
+          payload.push_back('O');
+          break;
+      }
+    }
+    if (!WriteFrame(fd, payload).ok()) return;
+  }
+}
+
+RemoteSession::~RemoteSession() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<RemoteSession> RemoteSession::Connect(const std::string& host,
+                                             int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IoError("connect() failed");
+  }
+  return RemoteSession(fd);
+}
+
+Result<std::string> RemoteSession::RoundTrip(const std::string& text) {
+  SCISPARQL_RETURN_NOT_OK(WriteFrame(fd_, text));
+  Result<std::string> payload = ReadFrame(fd_);
+  if (!payload.ok()) return payload.status();
+  if (payload->empty()) return Status::IoError("empty response");
+  if ((*payload)[0] == 'E') {
+    StatusCode code = payload->size() > 1
+                          ? static_cast<StatusCode>((*payload)[1])
+                          : StatusCode::kInternal;
+    return Status(code, payload->substr(2));
+  }
+  return payload;
+}
+
+Result<sparql::QueryResult> RemoteSession::Query(const std::string& text) {
+  Result<std::string> payload = RoundTrip(text);
+  if (!payload.ok()) return payload.status();
+  if (payload->empty() || (*payload)[0] != 'R') {
+    return Status::InvalidArgument("statement is not a SELECT query");
+  }
+  return DeserializeResult(payload->substr(1));
+}
+
+Result<bool> RemoteSession::Ask(const std::string& text) {
+  Result<std::string> payload = RoundTrip(text);
+  if (!payload.ok()) return payload.status();
+  if (payload->size() < 2 || (*payload)[0] != 'B') {
+    return Status::InvalidArgument("statement is not an ASK query");
+  }
+  return (*payload)[1] != 0;
+}
+
+Result<std::string> RemoteSession::Run(const std::string& text) {
+  Result<std::string> payload = RoundTrip(text);
+  if (!payload.ok()) return payload.status();
+  if (!payload->empty() && (*payload)[0] == 'G') return payload->substr(1);
+  return std::string();
+}
+
+}  // namespace client
+}  // namespace scisparql

@@ -1,0 +1,81 @@
+#ifndef SCISPARQL_CLIENT_SERVER_H_
+#define SCISPARQL_CLIENT_SERVER_H_
+
+#include <atomic>
+#include <thread>
+
+#include "common/status.h"
+#include "engine/ssdm.h"
+
+namespace scisparql {
+namespace client {
+
+/// TCP server exposing an SSDM engine to remote SciSPARQL clients — the
+/// client-server deployment mode of Section 5.1 (the Matlab integration of
+/// Chapter 7 talks to SSDM exactly this way). One statement per request;
+/// connections are handled sequentially on a background thread (the
+/// prototype's single query-processing loop).
+class SsdmServer {
+ public:
+  /// `engine` must outlive the server.
+  explicit SsdmServer(SSDM* engine) : engine_(engine) {}
+  ~SsdmServer() { Stop(); }
+
+  SsdmServer(const SsdmServer&) = delete;
+  SsdmServer& operator=(const SsdmServer&) = delete;
+
+  /// Binds to 127.0.0.1:`port` (0 = ephemeral) and starts serving on a
+  /// background thread. Returns the bound port.
+  Result<int> Start(int port = 0);
+
+  /// Stops accepting and joins the serving thread. Idempotent.
+  void Stop();
+
+  int port() const { return port_; }
+  uint64_t requests_served() const { return requests_; }
+
+ private:
+  void Serve();
+  void HandleConnection(int fd);
+
+  SSDM* engine_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> requests_{0};
+};
+
+/// Client side: connects to an SsdmServer and executes statements.
+class RemoteSession {
+ public:
+  ~RemoteSession();
+
+  RemoteSession(const RemoteSession&) = delete;
+  RemoteSession& operator=(const RemoteSession&) = delete;
+  RemoteSession(RemoteSession&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+
+  static Result<RemoteSession> Connect(const std::string& host, int port);
+
+  /// SELECT queries; other statement forms are reported as errors.
+  Result<sparql::QueryResult> Query(const std::string& text);
+
+  /// ASK queries.
+  Result<bool> Ask(const std::string& text);
+
+  /// Updates / DEFINE; also accepts CONSTRUCT (returns the Turtle text).
+  Result<std::string> Run(const std::string& text);
+
+ private:
+  explicit RemoteSession(int fd) : fd_(fd) {}
+
+  /// Sends a statement and returns the raw (kind-tagged) response payload.
+  Result<std::string> RoundTrip(const std::string& text);
+
+  int fd_ = -1;
+};
+
+}  // namespace client
+}  // namespace scisparql
+
+#endif  // SCISPARQL_CLIENT_SERVER_H_

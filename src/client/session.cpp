@@ -1,0 +1,65 @@
+#include "client/session.h"
+
+namespace scisparql {
+namespace client {
+
+Session::Session(SSDM* engine, std::string storage_name)
+    : engine_(engine), storage_name_(std::move(storage_name)) {}
+
+Result<Term> Session::StoreResult(
+    const std::string& experiment_iri, const std::string& property_iri,
+    const NumericArray& array,
+    const std::vector<std::pair<std::string, Term>>& metadata) {
+  Term value;
+  if (storage_name_.empty()) {
+    value = Term::Array(ResidentArray::Make(array.Compact()));
+  } else {
+    SCISPARQL_ASSIGN_OR_RETURN(value,
+                               engine_->StoreArray(array, storage_name_));
+  }
+  Graph& g = engine_->dataset().default_graph();
+  g.Add(Term::Iri(experiment_iri), Term::Iri(property_iri), value);
+  for (const auto& [prop, term] : metadata) {
+    g.Add(Term::Iri(experiment_iri), Term::Iri(prop), term);
+  }
+  return value;
+}
+
+Status Session::Annotate(const std::string& subject_iri,
+                         const std::string& property_iri, Term value) {
+  engine_->dataset().default_graph().Add(
+      Term::Iri(subject_iri), Term::Iri(property_iri), std::move(value));
+  return Status::OK();
+}
+
+Result<sparql::QueryResult> Session::Query(const std::string& text) {
+  return engine_->Query(text);
+}
+
+Result<NumericArray> Session::FetchArray(const std::string& text) {
+  SCISPARQL_ASSIGN_OR_RETURN(sparql::QueryResult r, engine_->Query(text));
+  if (r.rows.size() != 1 || r.rows[0].size() < 1) {
+    return Status::InvalidArgument(
+        "FetchArray expects exactly one result row, got " +
+        std::to_string(r.rows.size()));
+  }
+  const Term& cell = r.rows[0][0];
+  if (!cell.IsArray()) {
+    return Status::TypeError("query result is not an array: " +
+                             cell.ToString());
+  }
+  return cell.array()->Materialize();
+}
+
+Result<double> Session::FetchScalar(const std::string& text) {
+  SCISPARQL_ASSIGN_OR_RETURN(sparql::QueryResult r, engine_->Query(text));
+  if (r.rows.size() != 1 || r.rows[0].size() < 1) {
+    return Status::InvalidArgument(
+        "FetchScalar expects exactly one result row, got " +
+        std::to_string(r.rows.size()));
+  }
+  return r.rows[0][0].AsDouble();
+}
+
+}  // namespace client
+}  // namespace scisparql

@@ -1,0 +1,61 @@
+#ifndef SCISPARQL_CLIENT_SESSION_H_
+#define SCISPARQL_CLIENT_SESSION_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/ssdm.h"
+
+namespace scisparql {
+namespace client {
+
+/// Client-side integration API modeled after the SSDM-Matlab bridge
+/// (Chapter 7). A scientific-computing client keeps its traditional
+/// workflow — produce numeric arrays, tag them with experiment metadata —
+/// while SSDM stores the arrays in a back-end and the metadata as RDF, so
+/// both become queryable with SciSPARQL.
+///
+/// The paper's usage scenario (7.1): store a computation result with its
+/// parameter annotations, then later *search* for results by metadata and
+/// fetch only the slices needed.
+class Session {
+ public:
+  /// `storage_name` selects where StoreResult persists arrays ("" keeps
+  /// them resident in the graph).
+  Session(SSDM* engine, std::string storage_name = "");
+
+  /// Stores `array` as the value of (experiment, property) plus one triple
+  /// per metadata annotation. Returns the array term that was stored
+  /// (a proxy when a back-end is configured).
+  Result<Term> StoreResult(
+      const std::string& experiment_iri, const std::string& property_iri,
+      const NumericArray& array,
+      const std::vector<std::pair<std::string, Term>>& metadata = {});
+
+  /// Adds a single metadata annotation.
+  Status Annotate(const std::string& subject_iri,
+                  const std::string& property_iri, Term value);
+
+  /// Runs a SciSPARQL query (SELECT) and returns the result table.
+  Result<sparql::QueryResult> Query(const std::string& text);
+
+  /// Runs a query expected to yield exactly one array cell and
+  /// materializes it — the Matlab-side "fetch result into a matrix" call.
+  Result<NumericArray> FetchArray(const std::string& text);
+
+  /// Runs a query expected to yield exactly one numeric cell.
+  Result<double> FetchScalar(const std::string& text);
+
+  SSDM* engine() { return engine_; }
+
+ private:
+  SSDM* engine_;
+  std::string storage_name_;
+};
+
+}  // namespace client
+}  // namespace scisparql
+
+#endif  // SCISPARQL_CLIENT_SESSION_H_

@@ -1,0 +1,130 @@
+#ifndef SCISPARQL_COMMON_STATUS_H_
+#define SCISPARQL_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace scisparql {
+
+/// Error categories used across the library. Public API entry points never
+/// throw; they return Status (or Result<T>) instead.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed something malformed.
+  kParseError,        ///< SciSPARQL / Turtle / Data Cube syntax error.
+  kTypeError,         ///< Runtime type mismatch in expression evaluation.
+  kNotFound,          ///< Requested entity does not exist.
+  kAlreadyExists,     ///< Attempt to create a duplicate entity.
+  kOutOfRange,        ///< Subscript outside the array bounds.
+  kIoError,           ///< File / storage back-end failure.
+  kUnsupported,       ///< Feature not supported by this back-end.
+  kInternal,          ///< Invariant violation inside the engine.
+};
+
+/// Returns a short human-readable name ("ParseError", ...) for a code.
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight success-or-error value, modeled after the Arrow/Abseil style.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status ParseError(std::string m) {
+    return Status(StatusCode::kParseError, std::move(m));
+  }
+  static Status TypeError(std::string m) {
+    return Status(StatusCode::kTypeError, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status IoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status Unsupported(std::string m) {
+    return Status(StatusCode::kUnsupported, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "ParseError: unexpected token".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error result. On error the value is absent; accessing the value
+/// of an errored Result is a programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value keeps call sites terse
+  /// (`return my_array;`), mirroring arrow::Result.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit construction from a non-OK Status (`return st;`).
+  Result(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  T&& operator*() && { return std::move(*value_); }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define SCISPARQL_RETURN_NOT_OK(expr)             \
+  do {                                            \
+    ::scisparql::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+/// Evaluates a Result<T> expression and either assigns its value to `lhs`
+/// or propagates its error Status.
+#define SCISPARQL_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                    \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value();
+
+#define SCISPARQL_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define SCISPARQL_ASSIGN_OR_RETURN_NAME(a, b) \
+  SCISPARQL_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define SCISPARQL_ASSIGN_OR_RETURN(lhs, expr)                            \
+  SCISPARQL_ASSIGN_OR_RETURN_IMPL(                                       \
+      SCISPARQL_ASSIGN_OR_RETURN_NAME(_result_tmp_, __LINE__), lhs, expr)
+
+}  // namespace scisparql
+
+#endif  // SCISPARQL_COMMON_STATUS_H_

@@ -1,0 +1,51 @@
+#ifndef SCISPARQL_COMMON_STRING_UTIL_H_
+#define SCISPARQL_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scisparql {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// True if `s` begins with / ends with the given prefix or suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Joins the elements of `parts` with `sep` between them.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// ASCII lower-casing (SPARQL keywords are case-insensitive).
+std::string AsciiToLower(std::string_view s);
+std::string AsciiToUpper(std::string_view s);
+
+/// Case-insensitive ASCII equality, used for keyword recognition.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Escapes a string for embedding inside a Turtle/SPARQL double-quoted
+/// literal (backslash, quote, newline, tab, carriage return).
+std::string EscapeTurtleString(std::string_view s);
+
+/// Parses a non-negative decimal integer; returns false on overflow or
+/// non-digit characters.
+bool ParseUint64(std::string_view s, uint64_t* out);
+
+/// 64-bit hash combiner (boost-style) used by the containers in this repo.
+inline size_t HashCombine(size_t seed, size_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Formats a double the way SPARQL serializes xsd:double lexical forms:
+/// shortest representation that round-trips.
+std::string FormatDouble(double v);
+
+}  // namespace scisparql
+
+#endif  // SCISPARQL_COMMON_STRING_UTIL_H_

@@ -1,0 +1,217 @@
+#include "engine/ssdm.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "loaders/turtle.h"
+#include "sparql/calculus.h"
+
+namespace scisparql {
+
+SSDM::SSDM() : prefixes_(PrefixMap::WithDefaults()) {}
+
+Status SSDM::LoadTurtleFile(const std::string& path,
+                            const std::string& graph_iri) {
+  Graph* g = graph_iri.empty() ? &dataset_.default_graph()
+                               : &dataset_.GetOrCreateNamed(graph_iri);
+  loaders::TurtleOptions opts;
+  opts.prefixes = prefixes_;
+  return loaders::LoadTurtleFile(path, g, opts);
+}
+
+Status SSDM::LoadTurtleString(const std::string& text,
+                              const std::string& graph_iri) {
+  Graph* g = graph_iri.empty() ? &dataset_.default_graph()
+                               : &dataset_.GetOrCreateNamed(graph_iri);
+  loaders::TurtleOptions opts;
+  opts.prefixes = prefixes_;
+  return loaders::LoadTurtleString(text, g, opts);
+}
+
+Result<SSDM::ExecResult> SSDM::Execute(const std::string& text) {
+  SCISPARQL_ASSIGN_OR_RETURN(ast::Statement stmt,
+                             sparql::ParseStatement(text, prefixes_));
+  sparql::Executor exec(&dataset_, &registry_, exec_options_);
+  ExecResult out;
+
+  if (auto* def = std::get_if<ast::FunctionDef>(&stmt.node)) {
+    SCISPARQL_RETURN_NOT_OK(registry_.Define(*def));
+    out.kind = ExecResult::Kind::kOk;
+    return out;
+  }
+  if (auto* update = std::get_if<ast::UpdateOp>(&stmt.node)) {
+    SCISPARQL_RETURN_NOT_OK(exec.Update(*update));
+    out.kind = ExecResult::Kind::kOk;
+    return out;
+  }
+  const auto& q = std::get<std::shared_ptr<ast::SelectQuery>>(stmt.node);
+  switch (q->form) {
+    case ast::SelectQuery::Form::kSelect: {
+      SCISPARQL_ASSIGN_OR_RETURN(out.rows, exec.Select(*q));
+      out.kind = ExecResult::Kind::kRows;
+      return out;
+    }
+    case ast::SelectQuery::Form::kAsk: {
+      SCISPARQL_ASSIGN_OR_RETURN(out.boolean, exec.Ask(*q));
+      out.kind = ExecResult::Kind::kBool;
+      return out;
+    }
+    case ast::SelectQuery::Form::kConstruct: {
+      SCISPARQL_ASSIGN_OR_RETURN(out.graph, exec.Construct(*q));
+      out.kind = ExecResult::Kind::kGraph;
+      return out;
+    }
+    case ast::SelectQuery::Form::kDescribe: {
+      SCISPARQL_ASSIGN_OR_RETURN(out.graph, exec.Describe(*q));
+      out.kind = ExecResult::Kind::kGraph;
+      return out;
+    }
+  }
+  return Status::Internal("unknown query form");
+}
+
+Result<sparql::QueryResult> SSDM::Query(const std::string& text) {
+  SCISPARQL_ASSIGN_OR_RETURN(ExecResult r, Execute(text));
+  if (r.kind != ExecResult::Kind::kRows) {
+    return Status::InvalidArgument("statement is not a SELECT query");
+  }
+  return std::move(r.rows);
+}
+
+Result<bool> SSDM::Ask(const std::string& text) {
+  SCISPARQL_ASSIGN_OR_RETURN(ExecResult r, Execute(text));
+  if (r.kind != ExecResult::Kind::kBool) {
+    return Status::InvalidArgument("statement is not an ASK query");
+  }
+  return r.boolean;
+}
+
+Result<Graph> SSDM::Construct(const std::string& text) {
+  SCISPARQL_ASSIGN_OR_RETURN(ExecResult r, Execute(text));
+  if (r.kind != ExecResult::Kind::kGraph) {
+    return Status::InvalidArgument("statement is not a CONSTRUCT query");
+  }
+  return std::move(r.graph);
+}
+
+Status SSDM::Run(const std::string& text) {
+  SCISPARQL_ASSIGN_OR_RETURN(ExecResult r, Execute(text));
+  (void)r;
+  return Status::OK();
+}
+
+Result<std::string> SSDM::Explain(const std::string& text) {
+  SCISPARQL_ASSIGN_OR_RETURN(auto q, sparql::ParseQuery(text, prefixes_));
+  sparql::Executor exec(&dataset_, &registry_, exec_options_);
+  return exec.Explain(*q);
+}
+
+Result<std::string> SSDM::Translate(const std::string& text) {
+  SCISPARQL_ASSIGN_OR_RETURN(auto q, sparql::ParseQuery(text, prefixes_));
+  return sparql::RenderCalculus(*q);
+}
+
+void SSDM::RegisterForeign(
+    const std::string& name,
+    std::function<Result<Term>(std::span<const Term>)> fn, int arity,
+    double cost) {
+  sparql::ForeignFunction f;
+  f.fn = std::move(fn);
+  f.arity = arity;
+  f.cost = cost;
+  registry_.RegisterForeign(name, std::move(f));
+}
+
+void SSDM::AttachStorage(std::shared_ptr<ArrayStorage> storage) {
+  storages_[storage->name()] = std::move(storage);
+}
+
+std::shared_ptr<ArrayStorage> SSDM::FindStorage(
+    const std::string& name) const {
+  auto it = storages_.find(name);
+  return it == storages_.end() ? nullptr : it->second;
+}
+
+Result<Term> SSDM::StoreArray(const NumericArray& array,
+                              const std::string& storage_name,
+                              int64_t chunk_elems) {
+  std::shared_ptr<ArrayStorage> storage = FindStorage(storage_name);
+  if (storage == nullptr) {
+    return Status::NotFound("no attached storage: " + storage_name);
+  }
+  SCISPARQL_ASSIGN_OR_RETURN(ArrayId id, storage->Store(array, chunk_elems));
+  return OpenStoredArray(storage_name, id);
+}
+
+namespace {
+// Snapshot section marker. '#' makes it a comment to any plain Turtle
+// tool; the loader splits on it before parsing.
+constexpr const char* kGraphMarker = "#%GRAPH ";
+}  // namespace
+
+Status SSDM::SaveSnapshot(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) return Status::IoError("cannot write snapshot: " + path);
+  out << loaders::WriteTurtle(dataset_.default_graph(), prefixes_);
+  for (const auto& [iri, graph] : dataset_.named_graphs()) {
+    out << kGraphMarker << iri << "\n";
+    out << loaders::WriteTurtle(graph, prefixes_);
+  }
+  if (!out.good()) return Status::IoError("snapshot write failed");
+  return Status::OK();
+}
+
+Status SSDM::LoadSnapshot(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return Status::IoError("cannot read snapshot: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+
+  Dataset fresh;
+  std::string current_graph;  // "" = default
+  size_t pos = 0;
+  auto flush_section = [&](const std::string& section) -> Status {
+    Graph* g = current_graph.empty()
+                   ? &fresh.default_graph()
+                   : &fresh.GetOrCreateNamed(current_graph);
+    loaders::TurtleOptions opts;
+    opts.prefixes = prefixes_;
+    return loaders::LoadTurtleString(section, g, opts);
+  };
+  while (pos <= text.size()) {
+    size_t marker = text.find(kGraphMarker, pos);
+    // A marker only counts at the start of a line.
+    while (marker != std::string::npos && marker != 0 &&
+           text[marker - 1] != '\n') {
+      marker = text.find(kGraphMarker, marker + 1);
+    }
+    size_t end = marker == std::string::npos ? text.size() : marker;
+    SCISPARQL_RETURN_NOT_OK(flush_section(text.substr(pos, end - pos)));
+    if (marker == std::string::npos) break;
+    size_t line_end = text.find('\n', marker);
+    if (line_end == std::string::npos) line_end = text.size();
+    current_graph = std::string(StripWhitespace(text.substr(
+        marker + std::strlen(kGraphMarker),
+        line_end - marker - std::strlen(kGraphMarker))));
+    pos = line_end + 1;
+  }
+  dataset_ = std::move(fresh);
+  return Status::OK();
+}
+
+Result<Term> SSDM::OpenStoredArray(const std::string& storage_name,
+                                   ArrayId id) {
+  std::shared_ptr<ArrayStorage> storage = FindStorage(storage_name);
+  if (storage == nullptr) {
+    return Status::NotFound("no attached storage: " + storage_name);
+  }
+  SCISPARQL_ASSIGN_OR_RETURN(
+      std::shared_ptr<ArrayProxy> proxy,
+      ArrayProxy::Open(std::move(storage), id, exec_options_.apr));
+  return Term::Array(std::move(proxy));
+}
+
+}  // namespace scisparql

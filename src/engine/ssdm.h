@@ -1,0 +1,119 @@
+#ifndef SCISPARQL_ENGINE_SSDM_H_
+#define SCISPARQL_ENGINE_SSDM_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "rdf/graph.h"
+#include "rdf/namespaces.h"
+#include "sparql/executor.h"
+#include "sparql/functions.h"
+#include "sparql/parser.h"
+#include "storage/array_proxy.h"
+#include "storage/asei.h"
+
+namespace scisparql {
+
+/// Scientific SPARQL Database Manager — the engine facade (Chapter 5).
+/// Owns the RDF-with-Arrays dataset, the function registry, attached array
+/// storage back-ends, session prefixes and execution options; parses and
+/// executes SciSPARQL statements.
+class SSDM {
+ public:
+  SSDM();
+
+  SSDM(const SSDM&) = delete;
+  SSDM& operator=(const SSDM&) = delete;
+
+  // --- Data loading. ---
+
+  /// Loads a Turtle document into the default graph (or a named graph),
+  /// consolidating numeric RDF collections into arrays.
+  Status LoadTurtleFile(const std::string& path,
+                        const std::string& graph_iri = "");
+  Status LoadTurtleString(const std::string& text,
+                          const std::string& graph_iri = "");
+
+  // --- Statement execution. ---
+
+  /// Result of executing an arbitrary statement.
+  struct ExecResult {
+    enum class Kind { kRows, kBool, kGraph, kOk };
+    Kind kind = Kind::kOk;
+    sparql::QueryResult rows;  // SELECT
+    bool boolean = false;      // ASK
+    Graph graph;               // CONSTRUCT
+  };
+
+  /// Parses and executes one SciSPARQL statement of any form.
+  Result<ExecResult> Execute(const std::string& text);
+
+  /// SELECT-only convenience.
+  Result<sparql::QueryResult> Query(const std::string& text);
+  Result<bool> Ask(const std::string& text);
+  Result<Graph> Construct(const std::string& text);
+  /// Updates and DEFINE FUNCTION statements.
+  Status Run(const std::string& text);
+
+  /// Query plan description (Section 5.4's translation, post-optimization).
+  Result<std::string> Explain(const std::string& text);
+
+  /// ObjectLog-style domain-calculus rendering of a query — the
+  /// intermediate form of the thesis's translation algorithm (§5.4.5).
+  Result<std::string> Translate(const std::string& text);
+
+  // --- Functions. ---
+
+  sparql::FunctionRegistry& functions() { return registry_; }
+
+  /// Registers a C++ foreign function callable from queries (Section 4.4).
+  void RegisterForeign(const std::string& name,
+                       std::function<Result<Term>(std::span<const Term>)> fn,
+                       int arity = -1, double cost = 1.0);
+
+  // --- Array storage back-ends (Chapter 6). ---
+
+  /// Attaches a back-end under its name(); replaces a previous one.
+  void AttachStorage(std::shared_ptr<ArrayStorage> storage);
+  std::shared_ptr<ArrayStorage> FindStorage(const std::string& name) const;
+
+  /// Stores an array in the named back-end and returns an array term:
+  /// a lazy proxy for external back-ends.
+  Result<Term> StoreArray(const NumericArray& array,
+                          const std::string& storage_name,
+                          int64_t chunk_elems = 8192);
+
+  /// Opens a proxy term for an already-stored array (mediator scenario).
+  Result<Term> OpenStoredArray(const std::string& storage_name, ArrayId id);
+
+  // --- Memory snapshots (Section 2.2.3: the in-memory store "can be
+  // dumped to disk and loaded back to survive server restarts"). ---
+
+  /// Writes the whole dataset (default + named graphs) to a snapshot file.
+  /// Array proxies are materialized into the snapshot; defined functions
+  /// are not part of the dataset and are not saved.
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// Replaces the dataset with a snapshot's content.
+  Status LoadSnapshot(const std::string& path);
+
+  // --- Configuration and state. ---
+
+  Dataset& dataset() { return dataset_; }
+  const Dataset& dataset() const { return dataset_; }
+  PrefixMap& prefixes() { return prefixes_; }
+  sparql::ExecOptions& exec_options() { return exec_options_; }
+
+ private:
+  Dataset dataset_;
+  PrefixMap prefixes_;
+  sparql::FunctionRegistry registry_;
+  sparql::ExecOptions exec_options_;
+  std::map<std::string, std::shared_ptr<ArrayStorage>> storages_;
+};
+
+}  // namespace scisparql
+
+#endif  // SCISPARQL_ENGINE_SSDM_H_

@@ -1,0 +1,199 @@
+#include "loaders/datacube.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "rdf/namespaces.h"
+
+namespace scisparql {
+namespace loaders {
+
+namespace {
+
+/// Reads dimension/measure property IRIs from the dataset's data structure
+/// definition, if it has one.
+void ReadStructure(const Graph& g, const Term& dataset,
+                   std::set<std::string>* dimensions,
+                   std::set<std::string>* measures) {
+  const Term structure_p = Term::Iri(vocab::kQbStructure);
+  const Term component_p = Term::Iri(vocab::kQbComponent);
+  const Term dimension_p = Term::Iri(vocab::kQbDimension);
+  const Term measure_p = Term::Iri(vocab::kQbMeasure);
+  for (const Triple& s : g.MatchAll(dataset, structure_p, Term())) {
+    for (const Triple& c : g.MatchAll(s.o, component_p, Term())) {
+      for (const Triple& d : g.MatchAll(c.o, dimension_p, Term())) {
+        if (d.o.IsIri()) dimensions->insert(d.o.iri());
+      }
+      for (const Triple& m : g.MatchAll(c.o, measure_p, Term())) {
+        if (m.o.IsIri()) measures->insert(m.o.iri());
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<DataCubeStats> ConsolidateDataCubes(Graph* graph) {
+  DataCubeStats stats;
+  stats.triples_before = graph->size();
+
+  const Term type_p = Term::Iri(vocab::kRdfType);
+  const Term observation_t = Term::Iri(vocab::kQbObservation);
+  const Term dataset_p = Term::Iri(vocab::kQbDataSetProp);
+
+  // Group observations by dataset.
+  std::map<Term, std::vector<Term>, bool (*)(const Term&, const Term&)>
+      by_dataset([](const Term& a, const Term& b) {
+        return Term::Compare(a, b) < 0;
+      });
+  for (const Triple& t : graph->MatchAll(Term(), type_p, observation_t)) {
+    for (const Triple& d : graph->MatchAll(t.s, dataset_p, Term())) {
+      by_dataset[d.o].push_back(t.s);
+    }
+  }
+
+  for (auto& [dataset, observations] : by_dataset) {
+    std::set<std::string> dim_props;
+    std::set<std::string> measure_props;
+    ReadStructure(*graph, dataset, &dim_props, &measure_props);
+
+    // Collect per-observation property values.
+    struct Obs {
+      std::map<std::string, Term> values;
+    };
+    std::vector<Obs> rows;
+    std::set<std::string> all_props;
+    for (const Term& obs : observations) {
+      Obs row;
+      bool valid = true;
+      graph->Match(obs, Term(), Term(), [&](const Triple& t) -> bool {
+        if (!t.p.IsIri()) return true;
+        const std::string& p = t.p.iri();
+        if (p == vocab::kRdfType || p == vocab::kQbDataSetProp) return true;
+        if (row.values.count(p) > 0) valid = false;  // multi-valued: skip
+        row.values[p] = t.o;
+        all_props.insert(p);
+        return true;
+      });
+      if (valid) rows.push_back(std::move(row));
+    }
+    if (rows.empty()) continue;
+
+    if (dim_props.empty() && measure_props.empty()) {
+      // Heuristic classification when no DSD is present: properties whose
+      // values are doubles in every observation are measures; integers,
+      // IRIs and strings act as dimensions (integer-coded coordinates like
+      // years are far more common than integer measures).
+      for (const std::string& p : all_props) {
+        bool all_double = true;
+        for (const Obs& row : rows) {
+          auto it = row.values.find(p);
+          if (it != row.values.end() &&
+              it->second.kind() != Term::Kind::kDouble) {
+            all_double = false;
+            break;
+          }
+        }
+        if (all_double) {
+          measure_props.insert(p);
+        } else {
+          dim_props.insert(p);
+        }
+      }
+    }
+    if (measure_props.empty() || dim_props.empty()) continue;
+
+    // Dictionaries: sorted distinct values per dimension.
+    std::vector<std::string> dims(dim_props.begin(), dim_props.end());
+    std::vector<std::vector<Term>> dicts(dims.size());
+    for (size_t d = 0; d < dims.size(); ++d) {
+      std::vector<Term> values;
+      for (const Obs& row : rows) {
+        auto it = row.values.find(dims[d]);
+        if (it == row.values.end()) continue;
+        values.push_back(it->second);
+      }
+      std::sort(values.begin(), values.end(),
+                [](const Term& a, const Term& b) {
+                  return Term::Compare(a, b) < 0;
+                });
+      values.erase(std::unique(values.begin(), values.end(),
+                               [](const Term& a, const Term& b) {
+                                 return Term::Compare(a, b) == 0;
+                               }),
+                   values.end());
+      dicts[d] = std::move(values);
+    }
+    std::vector<int64_t> shape;
+    for (const auto& dict : dicts) {
+      shape.push_back(static_cast<int64_t>(dict.size()));
+    }
+
+    auto coordinate = [&](const Obs& row, std::vector<int64_t>* idx) -> bool {
+      idx->clear();
+      for (size_t d = 0; d < dims.size(); ++d) {
+        auto it = row.values.find(dims[d]);
+        if (it == row.values.end()) return false;
+        auto pos = std::lower_bound(
+            dicts[d].begin(), dicts[d].end(), it->second,
+            [](const Term& a, const Term& b) {
+              return Term::Compare(a, b) < 0;
+            });
+        idx->push_back(pos - dicts[d].begin());
+      }
+      return true;
+    };
+
+    // One array per measure; uncovered cells stay NaN.
+    for (const std::string& m : measure_props) {
+      NumericArray array = NumericArray::Zeros(ElementType::kDouble, shape);
+      int64_t n = array.NumElements();
+      for (int64_t i = 0; i < n; ++i) {
+        array.SetDoubleAt(i, std::nan(""));
+      }
+      std::vector<int64_t> idx;
+      for (const Obs& row : rows) {
+        auto it = row.values.find(m);
+        if (it == row.values.end() || !coordinate(row, &idx)) continue;
+        auto v = it->second.AsDouble();
+        if (!v.ok()) continue;
+        (void)array.Set(idx, *v);
+      }
+      graph->Add(dataset, Term::Iri(m + "#array"),
+                 Term::Array(ResidentArray::Make(std::move(array))));
+    }
+
+    // Dictionaries become RDF collections.
+    for (size_t d = 0; d < dims.size(); ++d) {
+      Term head = dicts[d].empty() ? Term::Iri(vocab::kRdfNil)
+                                   : Term::Blank(graph->FreshBlankLabel());
+      Term cur = head;
+      for (size_t i = 0; i < dicts[d].size(); ++i) {
+        graph->Add(cur, Term::Iri(vocab::kRdfFirst), dicts[d][i]);
+        Term next = i + 1 < dicts[d].size()
+                        ? Term::Blank(graph->FreshBlankLabel())
+                        : Term::Iri(vocab::kRdfNil);
+        graph->Add(cur, Term::Iri(vocab::kRdfRest), next);
+        cur = next;
+      }
+      graph->Add(dataset, Term::Iri(dims[d] + "#index"), head);
+    }
+
+    // Remove the observation sub-graphs.
+    for (const Term& obs : observations) {
+      for (const Triple& t : graph->MatchAll(obs, Term(), Term())) {
+        graph->Remove(t);
+      }
+      ++stats.observations;
+    }
+    ++stats.datasets;
+  }
+
+  stats.triples_after = graph->size();
+  return stats;
+}
+
+}  // namespace loaders
+}  // namespace scisparql

@@ -1,0 +1,43 @@
+#ifndef SCISPARQL_LOADERS_DATACUBE_H_
+#define SCISPARQL_LOADERS_DATACUBE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/graph.h"
+
+namespace scisparql {
+namespace loaders {
+
+/// Statistics returned by the Data Cube consolidation pass.
+struct DataCubeStats {
+  int datasets = 0;
+  int observations = 0;
+  size_t triples_before = 0;
+  size_t triples_after = 0;
+};
+
+/// Consolidates RDF Data Cube datasets (Section 5.3.3): observations of a
+/// qb:DataSet are folded into one numeric multidimensional array per
+/// measure property, with one dictionary (RDF collection of the distinct
+/// sorted dimension values) per dimension property. This drastically
+/// reduces graph size while preserving all information.
+///
+/// Dimension/measure roles are read from the dataset's qb:structure
+/// (qb:component / qb:dimension / qb:measure) when present; otherwise a
+/// heuristic is used (numeric-valued properties are measures, the rest are
+/// dimensions).
+///
+/// For a dataset node D with dimensions p1..pk (with n1..nk distinct
+/// values) and a measure m, the pass:
+///   * removes every qb:Observation of D and its triples,
+///   * adds (D, <p_i + "#index">, collection of sorted distinct values),
+///   * adds (D, <m + "#array">, array of shape n1 x ... x nk),
+/// where cells not covered by an observation are NaN.
+Result<DataCubeStats> ConsolidateDataCubes(Graph* graph);
+
+}  // namespace loaders
+}  // namespace scisparql
+
+#endif  // SCISPARQL_LOADERS_DATACUBE_H_

@@ -1,0 +1,469 @@
+#include "loaders/turtle.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "sparql/lexer.h"
+
+namespace scisparql {
+namespace loaders {
+
+namespace {
+
+using sparql::Token;
+using sparql::TokenType;
+
+class TurtleParser {
+ public:
+  TurtleParser(std::vector<Token> tokens, Graph* graph, PrefixMap prefixes)
+      : tokens_(std::move(tokens)),
+        graph_(graph),
+        prefixes_(std::move(prefixes)) {}
+
+  Status Run() {
+    while (Peek().type != TokenType::kEof) {
+      SCISPARQL_RETURN_NOT_OK(ParseStatement());
+    }
+    return Status::OK();
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() {
+    const Token& t = tokens_[pos_];
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+  }
+  Status Error(const std::string& msg) const {
+    const Token& t = Peek();
+    return Status::ParseError("Turtle: " + msg + " (near '" + t.text +
+                              "' at line " + std::to_string(t.line) + ")");
+  }
+  Status ExpectPunct(const char* p) {
+    if (!Peek().IsPunct(p)) {
+      return Error(std::string("expected '") + p + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ParseStatement() {
+    const Token& t = Peek();
+    // @prefix / @base arrive as language-tag tokens from the shared lexer.
+    if (t.type == TokenType::kLangTag &&
+        (t.text == "prefix" || t.text == "base")) {
+      bool is_prefix = t.text == "prefix";
+      Advance();
+      if (is_prefix) {
+        std::string prefix;
+        if (Peek().type == TokenType::kPname) {
+          std::string pname = Advance().text;
+          prefix = pname.substr(0, pname.find(':'));
+        } else if (Peek().IsPunct(":")) {
+          Advance();  // empty prefix declaration "@prefix : <...>"
+        } else {
+          return Error("expected prefix declaration");
+        }
+        if (Peek().type != TokenType::kIri) {
+          return Error("expected IRI in @prefix");
+        }
+        prefixes_.Set(prefix, Advance().text);
+      } else {
+        if (Peek().type != TokenType::kIri) {
+          return Error("expected IRI in @base");
+        }
+        base_ = Advance().text;
+      }
+      return ExpectPunct(".");
+    }
+    // SPARQL-style PREFIX / BASE (no trailing dot).
+    if (t.IsKeyword("PREFIX")) {
+      Advance();
+      std::string prefix;
+      if (Peek().type == TokenType::kPname) {
+        std::string pname = Advance().text;
+        prefix = pname.substr(0, pname.find(':'));
+      } else if (Peek().IsPunct(":")) {
+        Advance();
+      } else {
+        return Error("expected prefix declaration");
+      }
+      if (Peek().type != TokenType::kIri) return Error("expected IRI");
+      prefixes_.Set(prefix, Advance().text);
+      return Status::OK();
+    }
+    if (t.IsKeyword("BASE")) {
+      Advance();
+      if (Peek().type != TokenType::kIri) return Error("expected IRI");
+      base_ = Advance().text;
+      return Status::OK();
+    }
+
+    SCISPARQL_ASSIGN_OR_RETURN(Term subject, ParseNode());
+    SCISPARQL_RETURN_NOT_OK(ParsePredicateObjectList(subject));
+    return ExpectPunct(".");
+  }
+
+  Status ParsePredicateObjectList(const Term& subject) {
+    while (true) {
+      SCISPARQL_ASSIGN_OR_RETURN(Term predicate, ParseIri());
+      while (true) {
+        SCISPARQL_ASSIGN_OR_RETURN(Term object, ParseNode());
+        graph_->Add(subject, predicate, object);
+        if (Peek().IsPunct(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      if (Peek().IsPunct(";")) {
+        Advance();
+        if (Peek().IsPunct(".") || Peek().IsPunct("]") ||
+            Peek().type == TokenType::kEof) {
+          break;  // trailing semicolon
+        }
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  Result<Term> ParseIri() {
+    const Token& t = Peek();
+    if (t.type == TokenType::kIri) {
+      return Term::Iri(Resolve(Advance().text));
+    }
+    if (t.type == TokenType::kPname) {
+      auto full = prefixes_.Expand(t.text);
+      if (!full.has_value()) {
+        return Error("unknown prefix in '" + t.text + "'");
+      }
+      Advance();
+      return Term::Iri(*full);
+    }
+    if (t.IsKeyword("a")) {
+      Advance();
+      return Term::Iri(vocab::kRdfType);
+    }
+    return Error("expected an IRI");
+  }
+
+  std::string Resolve(const std::string& iri) {
+    if (!base_.empty() && iri.find(':') == std::string::npos) {
+      return base_ + iri;
+    }
+    return iri;
+  }
+
+  Result<Term> ParseNode() {
+    // Signed numbers inside collections: the shared lexer can emit the
+    // sign as punctuation after another number ("(1 -2)"), so fold it here.
+    if (Peek().IsPunct("-") || Peek().IsPunct("+")) {
+      bool neg = Peek().IsPunct("-");
+      const Token& next = Peek(1);
+      if (next.type == TokenType::kInteger) {
+        Advance();
+        int64_t v = std::atoll(Advance().text.c_str());
+        return Term::Integer(neg ? -v : v);
+      }
+      if (next.type == TokenType::kDecimal ||
+          next.type == TokenType::kDouble) {
+        Advance();
+        double v = std::atof(Advance().text.c_str());
+        return Term::Double(neg ? -v : v);
+      }
+    }
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kIri:
+      case TokenType::kPname:
+        return ParseIri();
+      case TokenType::kBlank:
+        return Term::Blank(Advance().text);
+      case TokenType::kInteger:
+        return Term::Integer(std::atoll(Advance().text.c_str()));
+      case TokenType::kDecimal:
+      case TokenType::kDouble:
+        return Term::Double(std::atof(Advance().text.c_str()));
+      case TokenType::kString: {
+        std::string value = Advance().text;
+        if (Peek().type == TokenType::kLangTag) {
+          return Term::LangString(std::move(value), Advance().text);
+        }
+        if (Peek().type == TokenType::kDtypeMarker) {
+          Advance();
+          SCISPARQL_ASSIGN_OR_RETURN(Term dt, ParseIri());
+          const std::string& iri = dt.iri();
+          if (iri == vocab::kXsdInteger) {
+            return Term::Integer(std::atoll(value.c_str()));
+          }
+          if (iri == vocab::kXsdDouble || iri == vocab::kXsdDecimal) {
+            return Term::Double(std::atof(value.c_str()));
+          }
+          if (iri == vocab::kXsdBoolean) {
+            return Term::Boolean(value == "true" || value == "1");
+          }
+          if (iri == vocab::kXsdString) {
+            return Term::String(std::move(value));
+          }
+          return Term::TypedLiteral(std::move(value), iri);
+        }
+        return Term::String(std::move(value));
+      }
+      case TokenType::kKeyword:
+        if (t.IsKeyword("true")) {
+          Advance();
+          return Term::Boolean(true);
+        }
+        if (t.IsKeyword("false")) {
+          Advance();
+          return Term::Boolean(false);
+        }
+        if (t.IsKeyword("a")) return ParseIri();
+        return Error("unexpected keyword '" + t.text + "'");
+      default:
+        break;
+    }
+    if (t.IsPunct("[")) {
+      Advance();
+      Term node = Term::Blank(graph_->FreshBlankLabel());
+      if (!Peek().IsPunct("]")) {
+        SCISPARQL_RETURN_NOT_OK(ParsePredicateObjectList(node));
+      }
+      SCISPARQL_RETURN_NOT_OK(ExpectPunct("]"));
+      return node;
+    }
+    if (t.IsPunct("(")) {
+      Advance();
+      std::vector<Term> items;
+      while (!Peek().IsPunct(")")) {
+        SCISPARQL_ASSIGN_OR_RETURN(Term item, ParseNode());
+        items.push_back(std::move(item));
+      }
+      Advance();  // )
+      if (items.empty()) return Term::Iri(vocab::kRdfNil);
+      Term head = Term::Blank(graph_->FreshBlankLabel());
+      Term cur = head;
+      for (size_t i = 0; i < items.size(); ++i) {
+        graph_->Add(cur, Term::Iri(vocab::kRdfFirst), items[i]);
+        Term next = i + 1 < items.size()
+                        ? Term::Blank(graph_->FreshBlankLabel())
+                        : Term::Iri(vocab::kRdfNil);
+        graph_->Add(cur, Term::Iri(vocab::kRdfRest), next);
+        cur = next;
+      }
+      return head;
+    }
+    return Error("expected a node");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  Graph* graph_;
+  PrefixMap prefixes_;
+  std::string base_;
+};
+
+// --- Collection consolidation (Section 5.3.2). ---
+
+/// Recursive structure of a parsed candidate collection.
+struct ListValue {
+  bool is_number = false;
+  bool is_int = false;
+  double number = 0;
+  int64_t int_value = 0;
+  std::vector<ListValue> children;  // when !is_number
+};
+
+/// Walks an rdf:first/rdf:rest chain; returns nullopt when the structure is
+/// not a well-formed list of numbers / nested lists.
+std::optional<ListValue> WalkList(const Graph& g, const Term& head,
+                                  std::vector<Triple>* scaffolding) {
+  ListValue out;
+  Term node = head;
+  const Term first_p = Term::Iri(vocab::kRdfFirst);
+  const Term rest_p = Term::Iri(vocab::kRdfRest);
+  const Term nil = Term::Iri(vocab::kRdfNil);
+  while (!(node == nil)) {
+    std::vector<Triple> firsts = g.MatchAll(node, first_p, Term());
+    std::vector<Triple> rests = g.MatchAll(node, rest_p, Term());
+    if (firsts.size() != 1 || rests.size() != 1) return std::nullopt;
+    const Term& item = firsts[0].o;
+    ListValue child;
+    if (item.kind() == Term::Kind::kInteger) {
+      child.is_number = child.is_int = true;
+      child.int_value = item.integer();
+      child.number = static_cast<double>(item.integer());
+    } else if (item.kind() == Term::Kind::kDouble) {
+      child.is_number = true;
+      child.number = item.dbl();
+    } else if (item.IsBlank() || item == nil) {
+      auto nested = WalkList(g, item, scaffolding);
+      if (!nested.has_value()) return std::nullopt;
+      child = std::move(*nested);
+    } else {
+      return std::nullopt;
+    }
+    out.children.push_back(std::move(child));
+    scaffolding->push_back(firsts[0]);
+    scaffolding->push_back(rests[0]);
+    node = rests[0].o;
+  }
+  return out;
+}
+
+/// Derives the shape of a nested list; nullopt when ragged or leaves mix
+/// numbers and sublists.
+bool DeriveShape(const ListValue& v, std::vector<int64_t>* shape, int depth,
+                 bool* all_int) {
+  if (v.is_number) {
+    if (!v.is_int) *all_int = false;
+    return depth == static_cast<int>(shape->size());
+  }
+  if (depth == static_cast<int>(shape->size())) {
+    shape->push_back(static_cast<int64_t>(v.children.size()));
+  } else if ((*shape)[depth] != static_cast<int64_t>(v.children.size())) {
+    return false;
+  }
+  for (const ListValue& c : v.children) {
+    if (c.is_number != v.children[0].is_number) return false;
+    if (!DeriveShape(c, shape, depth + 1, all_int)) return false;
+  }
+  return true;
+}
+
+void FlattenInto(const ListValue& v, std::vector<double>* dbl,
+                 std::vector<int64_t>* ints) {
+  if (v.is_number) {
+    dbl->push_back(v.number);
+    ints->push_back(v.int_value);
+    return;
+  }
+  for (const ListValue& c : v.children) FlattenInto(c, dbl, ints);
+}
+
+}  // namespace
+
+Result<int> ConsolidateCollections(Graph* graph) {
+  const Term first_p = Term::Iri(vocab::kRdfFirst);
+  const Term rest_p = Term::Iri(vocab::kRdfRest);
+
+  // Entry points: triples (s, p, head) where p is not part of the list
+  // scaffolding and head starts an rdf list.
+  std::vector<Triple> entries;
+  graph->ForEach([&](const Triple& t) {
+    if (t.p == first_p || t.p == rest_p) return;
+    if (!t.o.IsBlank()) return;
+    if (graph->Contains(t.o, first_p, Term())) entries.push_back(t);
+  });
+
+  int consolidated = 0;
+  for (const Triple& entry : entries) {
+    std::vector<Triple> scaffolding;
+    auto list = WalkList(*graph, entry.o, &scaffolding);
+    if (!list.has_value() || list->children.empty()) continue;
+    std::vector<int64_t> shape;
+    bool all_int = true;
+    if (!DeriveShape(*list, &shape, 0, &all_int)) continue;
+    std::vector<double> dbls;
+    std::vector<int64_t> ints;
+    FlattenInto(*list, &dbls, &ints);
+
+    Result<NumericArray> array =
+        all_int ? NumericArray::FromInts(shape, std::move(ints))
+                : NumericArray::FromDoubles(shape, std::move(dbls));
+    if (!array.ok()) continue;
+
+    graph->Remove(entry);
+    for (const Triple& t : scaffolding) graph->Remove(t);
+    graph->Add(entry.s, entry.p,
+               Term::Array(ResidentArray::Make(std::move(*array))));
+    ++consolidated;
+  }
+  return consolidated;
+}
+
+Status LoadTurtleString(const std::string& text, Graph* graph,
+                        const TurtleOptions& options) {
+  SCISPARQL_ASSIGN_OR_RETURN(std::vector<Token> tokens,
+                             sparql::Tokenize(text));
+  TurtleParser parser(std::move(tokens), graph, options.prefixes);
+  SCISPARQL_RETURN_NOT_OK(parser.Run());
+  if (options.consolidate_collections) {
+    SCISPARQL_ASSIGN_OR_RETURN(int n, ConsolidateCollections(graph));
+    (void)n;
+  }
+  return Status::OK();
+}
+
+Status LoadTurtleFile(const std::string& path, Graph* graph,
+                      const TurtleOptions& options) {
+  std::ifstream in(path);
+  if (!in.good()) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return LoadTurtleString(buf.str(), graph, options);
+}
+
+namespace {
+
+void WriteArrayAsCollection(const NumericArray& a, std::vector<int64_t>& idx,
+                            size_t dim, std::ostringstream& out) {
+  out << "(";
+  for (int64_t i = 0; i < a.shape()[dim]; ++i) {
+    if (i > 0) out << " ";
+    idx[dim] = i;
+    if (dim + 1 == static_cast<size_t>(a.rank())) {
+      if (a.etype() == ElementType::kInt64) {
+        out << a.GetInt(idx).value();
+      } else {
+        out << FormatDouble(a.GetDouble(idx).value());
+      }
+    } else {
+      WriteArrayAsCollection(a, idx, dim + 1, out);
+    }
+  }
+  out << ")";
+}
+
+std::string TermToTurtle(const Term& t, const PrefixMap& prefixes) {
+  switch (t.kind()) {
+    case Term::Kind::kIri:
+      return prefixes.Compact(t.iri());
+    case Term::Kind::kArray: {
+      auto m = t.array()->Materialize();
+      if (!m.ok()) return "()";
+      std::ostringstream out;
+      std::vector<int64_t> idx(m->rank(), 0);
+      WriteArrayAsCollection(*m, idx, 0, out);
+      return out.str();
+    }
+    default:
+      return t.ToString();
+  }
+}
+
+}  // namespace
+
+std::string WriteTurtle(const Graph& graph, const PrefixMap& prefixes) {
+  std::ostringstream out;
+  for (const auto& [prefix, ns] : prefixes.entries()) {
+    out << "@prefix " << prefix << ": <" << ns << "> .\n";
+  }
+  out << "\n";
+  graph.ForEach([&](const Triple& t) {
+    out << TermToTurtle(t.s, prefixes) << " " << TermToTurtle(t.p, prefixes)
+        << " " << TermToTurtle(t.o, prefixes) << " .\n";
+  });
+  return out.str();
+}
+
+}  // namespace loaders
+}  // namespace scisparql

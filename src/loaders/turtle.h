@@ -1,0 +1,48 @@
+#ifndef SCISPARQL_LOADERS_TURTLE_H_
+#define SCISPARQL_LOADERS_TURTLE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "rdf/graph.h"
+#include "rdf/namespaces.h"
+
+namespace scisparql {
+namespace loaders {
+
+/// Options controlling Turtle import.
+struct TurtleOptions {
+  /// Recognize nested RDF collections of numbers and consolidate them into
+  /// array values (Section 5.3.2): the 13-triple linked-list encoding of a
+  /// 2x2 matrix becomes a single triple with an array value.
+  bool consolidate_collections = true;
+
+  /// Prefixes pre-loaded before parsing (the file's own @prefix directives
+  /// extend these).
+  PrefixMap prefixes = PrefixMap::WithDefaults();
+};
+
+/// Parses a Turtle document and adds its triples to `graph`. Supports
+/// prefixes, base, a/true/false keywords, ; and , lists, blank node
+/// property lists, collections, numeric/boolean/typed/lang literals.
+Status LoadTurtleString(const std::string& text, Graph* graph,
+                        const TurtleOptions& options = TurtleOptions());
+
+Status LoadTurtleFile(const std::string& path, Graph* graph,
+                      const TurtleOptions& options = TurtleOptions());
+
+/// Serializes a graph to Turtle (arrays render as nested collections so the
+/// output round-trips through LoadTurtleString with consolidation on).
+std::string WriteTurtle(const Graph& graph, const PrefixMap& prefixes);
+
+/// Scans `graph` for nested RDF collections of numbers hanging off
+/// non-collection triples and replaces each with a consolidated array
+/// value, deleting the rdf:first/rdf:rest scaffolding. Returns the number
+/// of collections consolidated. (Used both by the loader and as a
+/// standalone pass, e.g. after INSERT DATA.)
+Result<int> ConsolidateCollections(Graph* graph);
+
+}  // namespace loaders
+}  // namespace scisparql
+
+#endif  // SCISPARQL_LOADERS_TURTLE_H_

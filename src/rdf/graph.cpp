@@ -1,0 +1,188 @@
+#include "rdf/graph.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace scisparql {
+
+std::string Triple::ToString() const {
+  return s.ToString() + " " + p.ToString() + " " + o.ToString() + " .";
+}
+
+size_t Graph::PairKeyHash::operator()(const PairKey& k) const {
+  return HashCombine(k.a.Hash(), k.b.Hash());
+}
+
+Graph Graph::Clone() const {
+  Graph g;
+  ForEach([&g](const Triple& t) { g.Add(t); });
+  return g;
+}
+
+void Graph::Add(Triple t) {
+  uint32_t id = static_cast<uint32_t>(triples_.size());
+  by_s_[t.s].push_back(id);
+  by_p_[t.p].push_back(id);
+  by_o_[t.o].push_back(id);
+  by_sp_[PairKey{t.s, t.p}].push_back(id);
+  by_po_[PairKey{t.p, t.o}].push_back(id);
+  triples_.push_back(std::move(t));
+  dead_.push_back(false);
+  ++live_count_;
+}
+
+size_t Graph::Remove(const Triple& t) {
+  size_t removed = 0;
+  auto it = by_sp_.find(PairKey{t.s, t.p});
+  if (it == by_sp_.end()) return 0;
+  for (uint32_t id : it->second) {
+    if (!dead_[id] && triples_[id].o == t.o) {
+      dead_[id] = true;
+      --live_count_;
+      ++dead_count_;
+      ++removed;
+    }
+  }
+  MaybeCompact();
+  return removed;
+}
+
+void Graph::Clear() {
+  triples_.clear();
+  dead_.clear();
+  live_count_ = 0;
+  dead_count_ = 0;
+  by_s_.clear();
+  by_p_.clear();
+  by_o_.clear();
+  by_sp_.clear();
+  by_po_.clear();
+}
+
+void Graph::MaybeCompact() {
+  if (dead_count_ < 1024 || dead_count_ * 2 < triples_.size()) return;
+  std::vector<Triple> live;
+  live.reserve(live_count_);
+  for (size_t i = 0; i < triples_.size(); ++i) {
+    if (!dead_[i]) live.push_back(std::move(triples_[i]));
+  }
+  uint64_t blank_counter = blank_counter_;
+  Clear();
+  blank_counter_ = blank_counter;
+  for (Triple& t : live) Add(std::move(t));
+}
+
+namespace {
+
+bool TermMatches(const Term& pattern, const Term& value) {
+  return pattern.IsUndef() || pattern == value;
+}
+
+}  // namespace
+
+void Graph::Match(const Term& s, const Term& p, const Term& o,
+                  const std::function<bool(const Triple&)>& cb) const {
+  // Pick the most selective available index.
+  const IdList* ids = nullptr;
+  static const IdList kEmpty;
+  auto lookup = [&](const auto& index, const auto& key) -> const IdList* {
+    auto it = index.find(key);
+    return it == index.end() ? &kEmpty : &it->second;
+  };
+  if (!s.IsUndef() && !p.IsUndef()) {
+    ids = lookup(by_sp_, PairKey{s, p});
+  } else if (!p.IsUndef() && !o.IsUndef()) {
+    ids = lookup(by_po_, PairKey{p, o});
+  } else if (!s.IsUndef()) {
+    ids = lookup(by_s_, s);
+  } else if (!o.IsUndef()) {
+    ids = lookup(by_o_, o);
+  } else if (!p.IsUndef()) {
+    ids = lookup(by_p_, p);
+  }
+
+  if (ids != nullptr) {
+    for (uint32_t id : *ids) {
+      if (dead_[id]) continue;
+      const Triple& t = triples_[id];
+      if (TermMatches(s, t.s) && TermMatches(p, t.p) && TermMatches(o, t.o)) {
+        if (!cb(t)) return;
+      }
+    }
+    return;
+  }
+  // Full scan (all three positions are wildcards).
+  for (size_t i = 0; i < triples_.size(); ++i) {
+    if (dead_[i]) continue;
+    if (!cb(triples_[i])) return;
+  }
+}
+
+std::vector<Triple> Graph::MatchAll(const Term& s, const Term& p,
+                                    const Term& o) const {
+  std::vector<Triple> out;
+  Match(s, p, o, [&out](const Triple& t) {
+    out.push_back(t);
+    return true;
+  });
+  return out;
+}
+
+bool Graph::Contains(const Term& s, const Term& p, const Term& o) const {
+  bool found = false;
+  Match(s, p, o, [&found](const Triple&) {
+    found = true;
+    return false;
+  });
+  return found;
+}
+
+int64_t Graph::EstimateMatches(const std::optional<Term>& s,
+                               const std::optional<Term>& p,
+                               const std::optional<Term>& o) const {
+  auto bucket = [&](const auto& index, const auto& key) -> int64_t {
+    auto it = index.find(key);
+    return it == index.end() ? 0 : static_cast<int64_t>(it->second.size());
+  };
+  if (s && p) return bucket(by_sp_, PairKey{*s, *p});
+  if (p && o) return bucket(by_po_, PairKey{*p, *o});
+  if (s && o) {
+    // No SO index; take the smaller of the single-term buckets.
+    return std::min(bucket(by_s_, *s), bucket(by_o_, *o));
+  }
+  if (s) return bucket(by_s_, *s);
+  if (o) return bucket(by_o_, *o);
+  if (p) return bucket(by_p_, *p);
+  return static_cast<int64_t>(live_count_);
+}
+
+void Graph::ForEach(const std::function<void(const Triple&)>& cb) const {
+  for (size_t i = 0; i < triples_.size(); ++i) {
+    if (!dead_[i]) cb(triples_[i]);
+  }
+}
+
+std::string Graph::FreshBlankLabel() {
+  return "b" + std::to_string(++blank_counter_);
+}
+
+Graph& Dataset::GetOrCreateNamed(const std::string& iri) {
+  return named_[iri];
+}
+
+const Graph* Dataset::FindNamed(const std::string& iri) const {
+  auto it = named_.find(iri);
+  return it == named_.end() ? nullptr : &it->second;
+}
+
+Graph* Dataset::FindNamed(const std::string& iri) {
+  auto it = named_.find(iri);
+  return it == named_.end() ? nullptr : &it->second;
+}
+
+bool Dataset::DropNamed(const std::string& iri) {
+  return named_.erase(iri) > 0;
+}
+
+}  // namespace scisparql

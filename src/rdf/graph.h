@@ -1,0 +1,139 @@
+#ifndef SCISPARQL_RDF_GRAPH_H_
+#define SCISPARQL_RDF_GRAPH_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace scisparql {
+
+/// One (subject, property, value) triple. The paper prefers "value" over
+/// "object" to stress that array values are first-class (footnote 2).
+struct Triple {
+  Term s;
+  Term p;
+  Term o;
+
+  bool operator==(const Triple& other) const {
+    return s == other.s && p == other.p && o == other.o;
+  }
+  std::string ToString() const;
+};
+
+/// In-memory RDF-with-Arrays graph: a triple table with hash indexes on
+/// S, P, O, SP and PO, the access paths the SciSPARQL executor probes
+/// during BGP evaluation (Section 5.4). Index bucket sizes double as the
+/// statistics feeding the cost-based join-order optimizer.
+class Graph {
+ public:
+  Graph() = default;
+
+  // Graphs own a potentially large triple table; moves are fine, copies
+  // must be requested explicitly via Clone().
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+
+  Graph Clone() const;
+
+  /// Inserts a triple (duplicates are allowed to keep loading O(1); Match
+  /// de-duplicates nothing, mirroring RDF multiset semantics of most stores'
+  /// internal tables — callers use DISTINCT at the query level).
+  void Add(Triple t);
+  void Add(Term s, Term p, Term o) {
+    Add(Triple{std::move(s), std::move(p), std::move(o)});
+  }
+
+  /// Removes all triples equal to `t`; returns how many were removed.
+  size_t Remove(const Triple& t);
+
+  /// Number of live triples.
+  size_t size() const { return live_count_; }
+  bool empty() const { return live_count_ == 0; }
+  void Clear();
+
+  /// Calls `cb` for every triple matching the pattern; Undef terms act as
+  /// wildcards. Returning false from `cb` stops the scan early.
+  void Match(const Term& s, const Term& p, const Term& o,
+             const std::function<bool(const Triple&)>& cb) const;
+
+  std::vector<Triple> MatchAll(const Term& s, const Term& p,
+                               const Term& o) const;
+
+  /// True if at least one matching triple exists.
+  bool Contains(const Term& s, const Term& p, const Term& o) const;
+
+  /// Cardinality estimate for a pattern where each position is either a
+  /// known constant or unknown (nullopt). Used by the optimizer; returns
+  /// exact bucket sizes for indexed combinations.
+  int64_t EstimateMatches(const std::optional<Term>& s,
+                          const std::optional<Term>& p,
+                          const std::optional<Term>& o) const;
+
+  /// Visits every live triple.
+  void ForEach(const std::function<void(const Triple&)>& cb) const;
+
+  /// Fresh blank node label unique within this graph ("b1", "b2", ...).
+  std::string FreshBlankLabel();
+
+ private:
+  using IdList = std::vector<uint32_t>;
+
+  struct PairKey {
+    Term a;
+    Term b;
+    bool operator==(const PairKey& o) const { return a == o.a && b == o.b; }
+  };
+  struct PairKeyHash {
+    size_t operator()(const PairKey& k) const;
+  };
+
+  void MaybeCompact();
+
+  std::vector<Triple> triples_;
+  std::vector<bool> dead_;
+  size_t live_count_ = 0;
+  size_t dead_count_ = 0;
+  uint64_t blank_counter_ = 0;
+
+  std::unordered_map<Term, IdList, TermHash> by_s_;
+  std::unordered_map<Term, IdList, TermHash> by_p_;
+  std::unordered_map<Term, IdList, TermHash> by_o_;
+  std::unordered_map<PairKey, IdList, PairKeyHash> by_sp_;
+  std::unordered_map<PairKey, IdList, PairKeyHash> by_po_;
+};
+
+/// An RDF dataset: one default graph plus named graphs, addressed by the
+/// GRAPH clause and FROM / FROM NAMED (Section 3.3.4).
+class Dataset {
+ public:
+  Graph& default_graph() { return default_graph_; }
+  const Graph& default_graph() const { return default_graph_; }
+
+  /// Returns the named graph, creating it when absent.
+  Graph& GetOrCreateNamed(const std::string& iri);
+  /// Returns the named graph or nullptr.
+  const Graph* FindNamed(const std::string& iri) const;
+  Graph* FindNamed(const std::string& iri);
+
+  bool DropNamed(const std::string& iri);
+
+  const std::map<std::string, Graph>& named_graphs() const {
+    return named_;
+  }
+
+ private:
+  Graph default_graph_;
+  std::map<std::string, Graph> named_;
+};
+
+}  // namespace scisparql
+
+#endif  // SCISPARQL_RDF_GRAPH_H_

@@ -1,0 +1,41 @@
+#include "rdf/namespaces.h"
+
+namespace scisparql {
+
+PrefixMap PrefixMap::WithDefaults() {
+  PrefixMap m;
+  m.Set("rdf", std::string(vocab::kRdfNs));
+  m.Set("rdfs", std::string(vocab::kRdfsNs));
+  m.Set("xsd", std::string(vocab::kXsdNs));
+  m.Set("qb", std::string(vocab::kQbNs));
+  return m;
+}
+
+void PrefixMap::Set(std::string prefix, std::string iri) {
+  entries_[std::move(prefix)] = std::move(iri);
+}
+
+std::optional<std::string> PrefixMap::Expand(std::string_view qname) const {
+  size_t colon = qname.find(':');
+  if (colon == std::string_view::npos) return std::nullopt;
+  auto it = entries_.find(std::string(qname.substr(0, colon)));
+  if (it == entries_.end()) return std::nullopt;
+  return it->second + std::string(qname.substr(colon + 1));
+}
+
+std::string PrefixMap::Compact(std::string_view iri) const {
+  const std::string* best_ns = nullptr;
+  const std::string* best_prefix = nullptr;
+  for (const auto& [prefix, ns] : entries_) {
+    if (iri.size() >= ns.size() && iri.substr(0, ns.size()) == ns) {
+      if (best_ns == nullptr || ns.size() > best_ns->size()) {
+        best_ns = &ns;
+        best_prefix = &prefix;
+      }
+    }
+  }
+  if (best_ns == nullptr) return "<" + std::string(iri) + ">";
+  return *best_prefix + ":" + std::string(iri.substr(best_ns->size()));
+}
+
+}  // namespace scisparql

@@ -1,0 +1,73 @@
+#ifndef SCISPARQL_RDF_NAMESPACES_H_
+#define SCISPARQL_RDF_NAMESPACES_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace scisparql {
+
+/// Well-known vocabulary IRIs used throughout the engine.
+namespace vocab {
+
+inline constexpr std::string_view kRdfNs =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+inline constexpr std::string_view kRdfsNs =
+    "http://www.w3.org/2000/01/rdf-schema#";
+inline constexpr std::string_view kXsdNs =
+    "http://www.w3.org/2001/XMLSchema#";
+inline constexpr std::string_view kQbNs = "http://purl.org/linked-data/cube#";
+
+inline const std::string kRdfType =
+    std::string(kRdfNs) + "type";
+inline const std::string kRdfFirst = std::string(kRdfNs) + "first";
+inline const std::string kRdfRest = std::string(kRdfNs) + "rest";
+inline const std::string kRdfNil = std::string(kRdfNs) + "nil";
+
+inline const std::string kXsdInteger = std::string(kXsdNs) + "integer";
+inline const std::string kXsdDouble = std::string(kXsdNs) + "double";
+inline const std::string kXsdDecimal = std::string(kXsdNs) + "decimal";
+inline const std::string kXsdBoolean = std::string(kXsdNs) + "boolean";
+inline const std::string kXsdString = std::string(kXsdNs) + "string";
+inline const std::string kXsdDateTime = std::string(kXsdNs) + "dateTime";
+
+// RDF Data Cube vocabulary (Section 5.3.3).
+inline const std::string kQbDataSet = std::string(kQbNs) + "DataSet";
+inline const std::string kQbObservation = std::string(kQbNs) + "Observation";
+inline const std::string kQbDataSetProp = std::string(kQbNs) + "dataSet";
+inline const std::string kQbStructure = std::string(kQbNs) + "structure";
+inline const std::string kQbComponent = std::string(kQbNs) + "component";
+inline const std::string kQbDimension = std::string(kQbNs) + "dimension";
+inline const std::string kQbMeasure = std::string(kQbNs) + "measure";
+
+}  // namespace vocab
+
+/// Prefix table mapping "foaf" -> "http://xmlns.com/foaf/0.1/" etc.
+/// Used by the Turtle loader, the SciSPARQL parser, and serializers.
+class PrefixMap {
+ public:
+  /// Creates a map preloaded with rdf/rdfs/xsd/qb prefixes.
+  static PrefixMap WithDefaults();
+
+  void Set(std::string prefix, std::string iri);
+
+  /// Expands "foaf:name" to a full IRI; nullopt if the prefix is unknown or
+  /// `qname` has no colon.
+  std::optional<std::string> Expand(std::string_view qname) const;
+
+  /// Compacts a full IRI to the longest-prefix qname; returns the IRI
+  /// unchanged (in <...> brackets) when no prefix matches.
+  std::string Compact(std::string_view iri) const;
+
+  const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace scisparql
+
+#endif  // SCISPARQL_RDF_NAMESPACES_H_

@@ -1,0 +1,104 @@
+#ifndef SCISPARQL_RELSTORE_BTREE_H_
+#define SCISPARQL_RELSTORE_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "relstore/buffer_pool.h"
+
+namespace scisparql {
+namespace relstore {
+
+/// Little-endian field access helpers shared by the page formats.
+inline uint16_t LoadU16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+inline void StoreU16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+}
+inline uint32_t LoadU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+inline void StoreU32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+inline uint64_t LoadU64(const uint8_t* p) {
+  return static_cast<uint64_t>(LoadU32(p)) |
+         (static_cast<uint64_t>(LoadU32(p + 4)) << 32);
+}
+inline void StoreU64(uint8_t* p, uint64_t v) {
+  StoreU32(p, static_cast<uint32_t>(v));
+  StoreU32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+
+/// Disk-resident B+-tree mapping uint64 keys to uint64 values. Keys may
+/// repeat (secondary indexes). Supports exact lookup, inclusive range scan
+/// and strided range scan — the access path behind the three SQL
+/// formulation strategies of Section 6.2.3: per-key queries, IN-list
+/// queries, and SPD interval queries.
+class BTree {
+ public:
+  /// Creates an empty tree; `root` receives the root page id that the
+  /// caller must persist (the catalog does).
+  static Result<BTree> Create(BufferPool* pool);
+
+  /// Opens an existing tree rooted at `root`.
+  static BTree Open(BufferPool* pool, PageId root);
+
+  PageId root() const { return root_; }
+
+  Status Insert(uint64_t key, uint64_t value);
+
+  /// Removes entries with exactly this (key, value) pair; returns count.
+  Result<size_t> Remove(uint64_t key, uint64_t value);
+
+  /// Calls `cb(key, value)` for each entry with key in [lo, hi]; `cb`
+  /// returning false stops the scan. Entries arrive in key order.
+  Status Scan(uint64_t lo, uint64_t hi,
+              const std::function<bool(uint64_t, uint64_t)>& cb) const;
+
+  /// Range scan that only reports keys congruent to lo modulo `stride`
+  /// (the SPD interval query: BETWEEN lo AND hi with a stride predicate).
+  Status ScanStrided(uint64_t lo, uint64_t hi, uint64_t stride,
+                     const std::function<bool(uint64_t, uint64_t)>& cb) const;
+
+  /// All values stored under `key`.
+  Result<std::vector<uint64_t>> Lookup(uint64_t key) const;
+
+  /// Number of entries (walks the leaf chain; O(n), for tests/stats).
+  Result<uint64_t> CountEntries() const;
+
+  /// Tree height (1 = root is a leaf); for tests.
+  Result<int> Height() const;
+
+ private:
+  BTree(BufferPool* pool, PageId root) : pool_(pool), root_(root) {}
+
+  // Node layout constants (see btree.cpp for the full layout comment).
+  static constexpr size_t kHeader = 8;
+
+  struct SplitResult {
+    bool split = false;
+    uint64_t sep_key = 0;
+    PageId right = kInvalidPage;
+  };
+
+  Result<SplitResult> InsertRec(PageId node, uint64_t key, uint64_t value);
+  Result<PageId> FindLeaf(uint64_t key) const;
+
+  BufferPool* pool_;
+  PageId root_;
+};
+
+}  // namespace relstore
+}  // namespace scisparql
+
+#endif  // SCISPARQL_RELSTORE_BTREE_H_

@@ -1,0 +1,85 @@
+#include "relstore/buffer_pool.h"
+
+namespace scisparql {
+namespace relstore {
+
+BufferPool::BufferPool(Pager* pager, size_t capacity_pages)
+    : pager_(pager), capacity_(capacity_pages == 0 ? 1 : capacity_pages) {}
+
+Result<uint8_t*> BufferPool::Pin(PageId id) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    ++hits_;
+    Frame& f = it->second;
+    if (f.in_lru) {
+      lru_.erase(f.lru_it);
+      f.in_lru = false;
+    }
+    ++f.pin_count;
+    return f.data.data();
+  }
+  ++misses_;
+  while (frames_.size() >= capacity_) {
+    SCISPARQL_RETURN_NOT_OK(EvictOne());
+  }
+  Frame f;
+  f.id = id;
+  f.pin_count = 1;
+  f.data.resize(pager_->page_size());
+  SCISPARQL_RETURN_NOT_OK(pager_->ReadPage(id, f.data.data()));
+  auto [ins, ok] = frames_.emplace(id, std::move(f));
+  (void)ok;
+  return ins->second.data.data();
+}
+
+void BufferPool::Unpin(PageId id, bool dirty) {
+  auto it = frames_.find(id);
+  if (it == frames_.end()) return;
+  Frame& f = it->second;
+  if (dirty) f.dirty = true;
+  if (f.pin_count > 0) --f.pin_count;
+  if (f.pin_count == 0 && !f.in_lru) {
+    lru_.push_front(id);
+    f.lru_it = lru_.begin();
+    f.in_lru = true;
+  }
+}
+
+Status BufferPool::EvictOne() {
+  // Evict the least recently unpinned frame.
+  if (lru_.empty()) {
+    return Status::Internal("buffer pool exhausted: all pages pinned");
+  }
+  PageId victim = lru_.back();
+  lru_.pop_back();
+  auto it = frames_.find(victim);
+  if (it != frames_.end()) {
+    Frame& f = it->second;
+    if (f.dirty) {
+      SCISPARQL_RETURN_NOT_OK(pager_->WritePage(victim, f.data.data()));
+    }
+    frames_.erase(it);
+    ++evictions_;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& [id, f] : frames_) {
+    if (f.dirty) {
+      SCISPARQL_RETURN_NOT_OK(pager_->WritePage(id, f.data.data()));
+      f.dirty = false;
+    }
+  }
+  return pager_->Sync();
+}
+
+Status BufferPool::Reset() {
+  SCISPARQL_RETURN_NOT_OK(FlushAll());
+  frames_.clear();
+  lru_.clear();
+  return Status::OK();
+}
+
+}  // namespace relstore
+}  // namespace scisparql

@@ -1,0 +1,127 @@
+#ifndef SCISPARQL_RELSTORE_BUFFER_POOL_H_
+#define SCISPARQL_RELSTORE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "relstore/pager.h"
+
+namespace scisparql {
+namespace relstore {
+
+/// Fixed-capacity page cache with LRU eviction. Pages must be pinned while
+/// accessed (use PageRef below) and marked dirty on modification; dirty
+/// pages are written back on eviction or FlushAll(). The pool capacity is
+/// the knob swept by the buffer-size benchmark (Experiment 2).
+class BufferPool {
+ public:
+  BufferPool(Pager* pager, size_t capacity_pages);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins the page, loading it from the pager on a miss. The pointer stays
+  /// valid until the matching Unpin.
+  Result<uint8_t*> Pin(PageId id);
+
+  void Unpin(PageId id, bool dirty);
+
+  /// Writes all dirty pages back to the pager.
+  Status FlushAll();
+
+  /// Drops every frame (flushing first). Used when benchmarks want a cold
+  /// cache between runs.
+  Status Reset();
+
+  size_t capacity() const { return capacity_; }
+  void set_capacity(size_t pages) { capacity_ = pages == 0 ? 1 : pages; }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+  void ResetStats() { hits_ = misses_ = evictions_ = 0; }
+
+  Pager* pager() { return pager_; }
+
+ private:
+  struct Frame {
+    PageId id = kInvalidPage;
+    int pin_count = 0;
+    bool dirty = false;
+    std::vector<uint8_t> data;
+    std::list<PageId>::iterator lru_it;  // valid only while unpinned
+    bool in_lru = false;
+  };
+
+  Status EvictOne();
+
+  Pager* pager_;
+  size_t capacity_;
+  std::unordered_map<PageId, Frame> frames_;
+  std::list<PageId> lru_;  // front = most recently unpinned
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+/// RAII pin on a buffer-pool page.
+class PageRef {
+ public:
+  PageRef() = default;
+  PageRef(BufferPool* pool, PageId id, uint8_t* data)
+      : pool_(pool), id_(id), data_(data) {}
+  ~PageRef() { Release(); }
+
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+  PageRef(PageRef&& o) noexcept { *this = std::move(o); }
+  PageRef& operator=(PageRef&& o) noexcept {
+    if (this != &o) {
+      Release();
+      pool_ = o.pool_;
+      id_ = o.id_;
+      data_ = o.data_;
+      dirty_ = o.dirty_;
+      o.pool_ = nullptr;
+      o.data_ = nullptr;
+    }
+    return *this;
+  }
+
+  /// Pins page `id` in `pool`.
+  static Result<PageRef> Acquire(BufferPool* pool, PageId id) {
+    SCISPARQL_ASSIGN_OR_RETURN(uint8_t* data, pool->Pin(id));
+    return PageRef(pool, id, data);
+  }
+
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+  PageId id() const { return id_; }
+  bool valid() const { return data_ != nullptr; }
+
+  /// Marks the page dirty; it will be written back before eviction.
+  void MarkDirty() { dirty_ = true; }
+
+  void Release() {
+    if (pool_ != nullptr && data_ != nullptr) {
+      pool_->Unpin(id_, dirty_);
+      pool_ = nullptr;
+      data_ = nullptr;
+    }
+  }
+
+ private:
+  BufferPool* pool_ = nullptr;
+  PageId id_ = kInvalidPage;
+  uint8_t* data_ = nullptr;
+  bool dirty_ = false;
+};
+
+}  // namespace relstore
+}  // namespace scisparql
+
+#endif  // SCISPARQL_RELSTORE_BUFFER_POOL_H_

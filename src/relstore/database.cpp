@@ -1,0 +1,374 @@
+#include "relstore/database.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace scisparql {
+namespace relstore {
+
+const char* SelectStrategyName(SelectStrategy s) {
+  switch (s) {
+    case SelectStrategy::kPerKey:
+      return "per-key";
+    case SelectStrategy::kInList:
+      return "in-list";
+    case SelectStrategy::kInterval:
+      return "spd-interval";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr uint32_t kCatalogMagic = 0x53534d44;  // "SSMD"
+
+void PutU8(std::string* s, uint8_t v) { s->push_back(static_cast<char>(v)); }
+void PutU16(std::string* s, uint16_t v) {
+  char b[2];
+  StoreU16(reinterpret_cast<uint8_t*>(b), v);
+  s->append(b, 2);
+}
+void PutU32(std::string* s, uint32_t v) {
+  char b[4];
+  StoreU32(reinterpret_cast<uint8_t*>(b), v);
+  s->append(b, 4);
+}
+void PutU64(std::string* s, uint64_t v) {
+  char b[8];
+  StoreU64(reinterpret_cast<uint8_t*>(b), v);
+  s->append(b, 8);
+}
+void PutString(std::string* s, const std::string& v) {
+  PutU16(s, static_cast<uint16_t>(v.size()));
+  s->append(v);
+}
+
+class CatalogReader {
+ public:
+  CatalogReader(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+
+  bool U8(uint8_t* v) {
+    if (pos_ + 1 > len_) return false;
+    *v = data_[pos_++];
+    return true;
+  }
+  bool U16(uint16_t* v) {
+    if (pos_ + 2 > len_) return false;
+    *v = LoadU16(data_ + pos_);
+    pos_ += 2;
+    return true;
+  }
+  bool U32(uint32_t* v) {
+    if (pos_ + 4 > len_) return false;
+    *v = LoadU32(data_ + pos_);
+    pos_ += 4;
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    if (pos_ + 8 > len_) return false;
+    *v = LoadU64(data_ + pos_);
+    pos_ += 8;
+    return true;
+  }
+  bool String(std::string* v) {
+    uint16_t n;
+    if (!U16(&n) || pos_ + n > len_) return false;
+    v->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Database>> Database::Open(const std::string& path,
+                                                 size_t buffer_pages,
+                                                 uint32_t page_size) {
+  std::unique_ptr<Database> db(new Database());
+  SCISPARQL_ASSIGN_OR_RETURN(db->pager_, Pager::Open(path, page_size));
+  db->pool_ = std::make_unique<BufferPool>(db->pager_.get(), buffer_pages);
+  if (db->pager_->page_count() == 0) {
+    db->pager_->Allocate();  // page 0 = catalog
+    SCISPARQL_RETURN_NOT_OK(db->SaveCatalog());
+  } else {
+    SCISPARQL_RETURN_NOT_OK(db->LoadCatalog());
+  }
+  return db;
+}
+
+Database::~Database() {
+  if (pool_ != nullptr) {
+    (void)SaveCatalog();
+    (void)pool_->FlushAll();
+  }
+}
+
+Status Database::SaveCatalog() {
+  std::string buf;
+  PutU32(&buf, kCatalogMagic);
+  PutU32(&buf, static_cast<uint32_t>(tables_.size()));
+  for (auto& [name, e] : tables_) {
+    PutString(&buf, name);
+    PutU16(&buf, static_cast<uint16_t>(e.schema.columns.size()));
+    for (const Column& c : e.schema.columns) {
+      PutString(&buf, c.name);
+      PutU8(&buf, static_cast<uint8_t>(c.type));
+    }
+    PutU32(&buf, e.info.first_page);
+    PutU32(&buf, e.info.last_page);
+    PutU64(&buf, e.info.row_count);
+    PutU8(&buf, e.index.has_value() ? 1 : 0);
+    PutU32(&buf, e.index.has_value() ? e.index->root() : kInvalidPage);
+  }
+  if (buf.size() > pager_->page_size()) {
+    return Status::Internal("catalog exceeds one page");
+  }
+  SCISPARQL_ASSIGN_OR_RETURN(PageRef page, PageRef::Acquire(pool_.get(), 0));
+  std::memset(page.data(), 0, pager_->page_size());
+  std::memcpy(page.data(), buf.data(), buf.size());
+  page.MarkDirty();
+  return Status::OK();
+}
+
+Status Database::LoadCatalog() {
+  SCISPARQL_ASSIGN_OR_RETURN(PageRef page, PageRef::Acquire(pool_.get(), 0));
+  CatalogReader r(page.data(), pager_->page_size());
+  uint32_t magic, count;
+  if (!r.U32(&magic) || magic != kCatalogMagic || !r.U32(&count)) {
+    return Status::IoError("bad catalog page");
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    uint16_t ncols;
+    if (!r.String(&name) || !r.U16(&ncols)) {
+      return Status::IoError("catalog truncated");
+    }
+    TableEntry e;
+    for (uint16_t c = 0; c < ncols; ++c) {
+      Column col;
+      uint8_t type;
+      if (!r.String(&col.name) || !r.U8(&type)) {
+        return Status::IoError("catalog truncated");
+      }
+      col.type = static_cast<ColType>(type);
+      e.schema.columns.push_back(std::move(col));
+    }
+    uint8_t has_index;
+    if (!r.U32(&e.info.first_page) || !r.U32(&e.info.last_page) ||
+        !r.U64(&e.info.row_count) || !r.U8(&has_index) ||
+        !r.U32(&e.index_root)) {
+      return Status::IoError("catalog truncated");
+    }
+    auto [it, ok] = tables_.emplace(name, std::move(e));
+    (void)ok;
+    TableEntry& entry = it->second;
+    entry.table =
+        std::make_unique<Table>(pool_.get(), &entry.info, entry.schema);
+    if (has_index) {
+      entry.index = BTree::Open(pool_.get(), entry.index_root);
+    }
+  }
+  return Status::OK();
+}
+
+Result<Table*> Database::CreateTable(const std::string& name, Schema schema,
+                                     bool indexed) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table exists: " + name);
+  }
+  TableEntry e;
+  e.schema = std::move(schema);
+  auto [it, ok] = tables_.emplace(name, std::move(e));
+  (void)ok;
+  TableEntry& entry = it->second;
+  entry.table =
+      std::make_unique<Table>(pool_.get(), &entry.info, entry.schema);
+  if (indexed) {
+    SCISPARQL_ASSIGN_OR_RETURN(BTree tree, BTree::Create(pool_.get()));
+    entry.index = tree;
+    entry.index_root = tree.root();
+  }
+  SCISPARQL_RETURN_NOT_OK(SaveCatalog());
+  return entry.table.get();
+}
+
+Database::TableEntry* Database::FindEntry(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+Table* Database::GetTable(const std::string& name) {
+  TableEntry* e = FindEntry(name);
+  return e == nullptr ? nullptr : e->table.get();
+}
+
+bool Database::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+Result<RecordId> Database::Insert(const std::string& table, const Row& row) {
+  TableEntry* e = FindEntry(table);
+  if (e == nullptr) return Status::NotFound("no table: " + table);
+  return e->table->Insert(row);
+}
+
+Result<RecordId> Database::InsertIndexed(const std::string& table,
+                                         uint64_t key, const Row& row) {
+  TableEntry* e = FindEntry(table);
+  if (e == nullptr) return Status::NotFound("no table: " + table);
+  if (!e->index.has_value()) {
+    return Status::InvalidArgument("table has no index: " + table);
+  }
+  SCISPARQL_ASSIGN_OR_RETURN(RecordId rid, e->table->Insert(row));
+  SCISPARQL_RETURN_NOT_OK(e->index->Insert(key, rid));
+  e->index_root = e->index->root();
+  return rid;
+}
+
+Result<size_t> Database::DeleteByKey(const std::string& table, uint64_t key) {
+  TableEntry* e = FindEntry(table);
+  if (e == nullptr) return Status::NotFound("no table: " + table);
+  if (!e->index.has_value()) {
+    return Status::InvalidArgument("table has no index: " + table);
+  }
+  SCISPARQL_ASSIGN_OR_RETURN(std::vector<uint64_t> rids, e->index->Lookup(key));
+  for (uint64_t rid : rids) {
+    SCISPARQL_RETURN_NOT_OK(e->table->Delete(rid));
+    SCISPARQL_ASSIGN_OR_RETURN(size_t n, e->index->Remove(key, rid));
+    (void)n;
+  }
+  return rids.size();
+}
+
+Status Database::SelectByKeys(
+    const std::string& table, std::span<const uint64_t> keys,
+    SelectStrategy strategy,
+    const std::function<bool(uint64_t, const Row&)>& cb, SelectStats* stats) {
+  TableEntry* e = FindEntry(table);
+  if (e == nullptr) return Status::NotFound("no table: " + table);
+  if (!e->index.has_value()) {
+    return Status::InvalidArgument("table has no index: " + table);
+  }
+  SelectStats local;
+  SelectStats* st = stats != nullptr ? stats : &local;
+
+  auto deliver = [&](uint64_t key, uint64_t rid) -> Result<bool> {
+    SCISPARQL_ASSIGN_OR_RETURN(Row row, e->table->Get(rid));
+    ++st->rows;
+    return cb(key, row);
+  };
+
+  switch (strategy) {
+    case SelectStrategy::kPerKey: {
+      // One round trip and one index descent per key.
+      for (uint64_t key : keys) {
+        ++st->queries;
+        ++st->index_probes;
+        SCISPARQL_ASSIGN_OR_RETURN(std::vector<uint64_t> rids,
+                                   e->index->Lookup(key));
+        for (uint64_t rid : rids) {
+          SCISPARQL_ASSIGN_OR_RETURN(bool more, deliver(key, rid));
+          if (!more) return Status::OK();
+        }
+      }
+      return Status::OK();
+    }
+    case SelectStrategy::kInList: {
+      // One round trip; the server still descends per key, but sorted
+      // probing gets strong buffer locality.
+      ++st->queries;
+      std::vector<uint64_t> sorted(keys.begin(), keys.end());
+      std::sort(sorted.begin(), sorted.end());
+      sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+      for (uint64_t key : sorted) {
+        ++st->index_probes;
+        SCISPARQL_ASSIGN_OR_RETURN(std::vector<uint64_t> rids,
+                                   e->index->Lookup(key));
+        for (uint64_t rid : rids) {
+          SCISPARQL_ASSIGN_OR_RETURN(bool more, deliver(key, rid));
+          if (!more) return Status::OK();
+        }
+      }
+      return Status::OK();
+    }
+    case SelectStrategy::kInterval: {
+      // SPD compresses the key sequence into interval queries.
+      std::vector<uint64_t> sorted(keys.begin(), keys.end());
+      std::sort(sorted.begin(), sorted.end());
+      sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+      std::vector<Interval> intervals = DetectPatterns(sorted);
+      return SelectByIntervals(table, intervals, cb, st);
+    }
+  }
+  return Status::Internal("unknown strategy");
+}
+
+Status Database::SelectByIntervals(
+    const std::string& table, std::span<const Interval> intervals,
+    const std::function<bool(uint64_t, const Row&)>& cb, SelectStats* stats) {
+  TableEntry* e = FindEntry(table);
+  if (e == nullptr) return Status::NotFound("no table: " + table);
+  if (!e->index.has_value()) {
+    return Status::InvalidArgument("table has no index: " + table);
+  }
+  SelectStats local;
+  SelectStats* st = stats != nullptr ? stats : &local;
+  bool stop = false;
+  for (const Interval& iv : intervals) {
+    if (stop) break;
+    ++st->queries;
+    ++st->index_probes;
+    Status scan_status = Status::OK();
+    auto handle = [&](uint64_t key, uint64_t rid) {
+      auto row = e->table->Get(rid);
+      if (!row.ok()) {
+        scan_status = row.status();
+        return false;
+      }
+      ++st->rows;
+      if (!cb(key, *row)) {
+        stop = true;
+        return false;
+      }
+      return true;
+    };
+    if (iv.stride <= 1) {
+      SCISPARQL_RETURN_NOT_OK(e->index->Scan(iv.start, iv.last(), handle));
+    } else {
+      SCISPARQL_RETURN_NOT_OK(
+          e->index->ScanStrided(iv.start, iv.last(), iv.stride, handle));
+    }
+    SCISPARQL_RETURN_NOT_OK(scan_status);
+  }
+  return Status::OK();
+}
+
+Status Database::SelectRange(
+    const std::string& table, uint64_t lo, uint64_t hi,
+    const std::function<bool(uint64_t, const Row&)>& cb, SelectStats* stats) {
+  if (hi < lo) return Status::OK();
+  Interval iv{lo, 1, hi - lo + 1};
+  return SelectByIntervals(table, std::span<const Interval>(&iv, 1), cb,
+                           stats);
+}
+
+Status Database::ScanAll(const std::string& table,
+                         const std::function<bool(const Row&)>& cb) {
+  TableEntry* e = FindEntry(table);
+  if (e == nullptr) return Status::NotFound("no table: " + table);
+  return e->table->ForEach(
+      [&cb](RecordId, const Row& row) { return cb(row); });
+}
+
+Status Database::Flush() {
+  SCISPARQL_RETURN_NOT_OK(SaveCatalog());
+  return pool_->FlushAll();
+}
+
+}  // namespace relstore
+}  // namespace scisparql

@@ -1,0 +1,125 @@
+#ifndef SCISPARQL_RELSTORE_DATABASE_H_
+#define SCISPARQL_RELSTORE_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "relstore/btree.h"
+#include "relstore/buffer_pool.h"
+#include "relstore/pager.h"
+#include "relstore/spd.h"
+#include "relstore/table.h"
+
+namespace scisparql {
+namespace relstore {
+
+/// How a batch of keys is presented to the back-end — the three "SQL
+/// formulation strategies" of Section 6.2.3:
+///  * kPerKey:   one point query per key (the naive strategy),
+///  * kInList:   one query with an explicit IN-list of keys,
+///  * kInterval: SPD-compressed interval (range + stride) queries.
+enum class SelectStrategy : uint8_t { kPerKey, kInList, kInterval };
+
+const char* SelectStrategyName(SelectStrategy s);
+
+/// Counters a Select run leaves behind, reported by the benchmarks. A
+/// "query" models one client-server round trip to the RDBMS, which is what
+/// dominated the paper's measurements.
+struct SelectStats {
+  uint64_t queries = 0;       ///< point/range queries issued
+  uint64_t rows = 0;          ///< rows returned
+  uint64_t index_probes = 0;  ///< B+-tree descents
+};
+
+/// The embedded relational database: a single page file shared by every
+/// table and index, a catalog persisted on page 0, and a typed query layer
+/// the SSDM relational back-end (Section 6.2) talks to.
+class Database {
+ public:
+  /// Opens (or creates) a database. Empty `path` keeps pages in memory.
+  static Result<std::unique_ptr<Database>> Open(const std::string& path,
+                                                size_t buffer_pages = 256,
+                                                uint32_t page_size =
+                                                    kDefaultPageSize);
+
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates a table. `indexed` adds a B+-tree keyed by a caller-encoded
+  /// uint64 passed to InsertIndexed.
+  Result<Table*> CreateTable(const std::string& name, Schema schema,
+                             bool indexed);
+
+  Table* GetTable(const std::string& name);
+  bool HasTable(const std::string& name) const;
+
+  /// Plain heap insert (unindexed access only).
+  Result<RecordId> Insert(const std::string& table, const Row& row);
+
+  /// Insert plus index maintenance under `key`.
+  Result<RecordId> InsertIndexed(const std::string& table, uint64_t key,
+                                 const Row& row);
+
+  /// Deletes all rows indexed under `key`; returns the count.
+  Result<size_t> DeleteByKey(const std::string& table, uint64_t key);
+
+  /// Fetches rows whose index key is in `keys`, issuing the physical
+  /// accesses according to `strategy`. Rows are delivered with their key;
+  /// `cb` returning false stops. `stats` (optional) accumulates counters.
+  Status SelectByKeys(const std::string& table,
+                      std::span<const uint64_t> keys,
+                      SelectStrategy strategy,
+                      const std::function<bool(uint64_t, const Row&)>& cb,
+                      SelectStats* stats = nullptr);
+
+  /// Fetches rows for precomputed intervals (the SPD output).
+  Status SelectByIntervals(const std::string& table,
+                           std::span<const Interval> intervals,
+                           const std::function<bool(uint64_t, const Row&)>& cb,
+                           SelectStats* stats = nullptr);
+
+  /// Index-ordered full range scan.
+  Status SelectRange(const std::string& table, uint64_t lo, uint64_t hi,
+                     const std::function<bool(uint64_t, const Row&)>& cb,
+                     SelectStats* stats = nullptr);
+
+  /// Full heap scan (no index required).
+  Status ScanAll(const std::string& table,
+                 const std::function<bool(const Row&)>& cb);
+
+  /// Persists the catalog and flushes dirty pages.
+  Status Flush();
+
+  BufferPool& buffer_pool() { return *pool_; }
+  Pager& pager() { return *pager_; }
+
+ private:
+  Database() = default;
+
+  struct TableEntry {
+    Schema schema;
+    TableInfo info;
+    std::unique_ptr<Table> table;
+    std::optional<BTree> index;
+    PageId index_root = kInvalidPage;
+  };
+
+  Status LoadCatalog();
+  Status SaveCatalog();
+
+  TableEntry* FindEntry(const std::string& name);
+
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BufferPool> pool_;
+  std::map<std::string, TableEntry> tables_;
+};
+
+}  // namespace relstore
+}  // namespace scisparql
+
+#endif  // SCISPARQL_RELSTORE_DATABASE_H_

@@ -1,0 +1,89 @@
+#include "relstore/pager.h"
+
+#include <cstring>
+
+namespace scisparql {
+namespace relstore {
+
+Pager::~Pager() {
+  if (file_ != nullptr) {
+    std::fflush(file_);
+    std::fclose(file_);
+  }
+}
+
+Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path,
+                                           uint32_t page_size) {
+  std::unique_ptr<Pager> pager(new Pager(path, page_size));
+  if (path.empty()) return pager;  // in-memory mode
+
+  // Open existing or create; "a+b" would force append semantics, so probe
+  // with r+b first and fall back to w+b.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) f = std::fopen(path.c_str(), "w+b");
+  if (f == nullptr) {
+    return Status::IoError("cannot open page file: " + path);
+  }
+  pager->file_ = f;
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    return Status::IoError("seek failed on: " + path);
+  }
+  long size = std::ftell(f);
+  pager->page_count_ = static_cast<PageId>(size / page_size);
+  return pager;
+}
+
+PageId Pager::Allocate() {
+  PageId id = page_count_++;
+  if (file_ == nullptr) {
+    memory_.emplace_back(page_size_, 0);
+  } else {
+    std::vector<uint8_t> zero(page_size_, 0);
+    std::fseek(file_, static_cast<long>(id) * page_size_, SEEK_SET);
+    std::fwrite(zero.data(), 1, page_size_, file_);
+    ++physical_writes_;
+  }
+  return id;
+}
+
+Status Pager::ReadPage(PageId id, uint8_t* buf) {
+  if (id >= page_count_) return Status::OutOfRange("page id out of range");
+  ++physical_reads_;
+  if (file_ == nullptr) {
+    std::memcpy(buf, memory_[id].data(), page_size_);
+    return Status::OK();
+  }
+  if (std::fseek(file_, static_cast<long>(id) * page_size_, SEEK_SET) != 0) {
+    return Status::IoError("seek failed");
+  }
+  if (std::fread(buf, 1, page_size_, file_) != page_size_) {
+    return Status::IoError("short page read");
+  }
+  return Status::OK();
+}
+
+Status Pager::WritePage(PageId id, const uint8_t* buf) {
+  if (id >= page_count_) return Status::OutOfRange("page id out of range");
+  ++physical_writes_;
+  if (file_ == nullptr) {
+    std::memcpy(memory_[id].data(), buf, page_size_);
+    return Status::OK();
+  }
+  if (std::fseek(file_, static_cast<long>(id) * page_size_, SEEK_SET) != 0) {
+    return Status::IoError("seek failed");
+  }
+  if (std::fwrite(buf, 1, page_size_, file_) != page_size_) {
+    return Status::IoError("short page write");
+  }
+  return Status::OK();
+}
+
+Status Pager::Sync() {
+  if (file_ != nullptr && std::fflush(file_) != 0) {
+    return Status::IoError("fflush failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace relstore
+}  // namespace scisparql

@@ -1,0 +1,49 @@
+#include "relstore/spd.h"
+
+namespace scisparql {
+namespace relstore {
+
+std::string Interval::ToString() const {
+  if (count == 1) return "[" + std::to_string(start) + "]";
+  return "[" + std::to_string(start) + ".." + std::to_string(last()) +
+         " step " + std::to_string(stride) + "]";
+}
+
+std::vector<Interval> DetectPatterns(std::span<const uint64_t> keys,
+                                     size_t min_run) {
+  std::vector<Interval> out;
+  size_t i = 0;
+  const size_t n = keys.size();
+  if (min_run < 2) min_run = 2;
+  while (i < n) {
+    if (i + 1 >= n) {
+      out.push_back(Interval{keys[i], 1, 1});
+      break;
+    }
+    uint64_t stride = keys[i + 1] - keys[i];
+    size_t j = i + 1;
+    while (j + 1 < n && keys[j + 1] - keys[j] == stride) ++j;
+    size_t run = j - i + 1;
+    if (run >= min_run && stride > 0) {
+      out.push_back(Interval{keys[i], stride, run});
+      i = j + 1;
+    } else {
+      out.push_back(Interval{keys[i], 1, 1});
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::vector<uint64_t> ExpandIntervals(std::span<const Interval> intervals) {
+  std::vector<uint64_t> out;
+  for (const Interval& iv : intervals) {
+    for (uint64_t k = 0; k < iv.count; ++k) {
+      out.push_back(iv.start + k * iv.stride);
+    }
+  }
+  return out;
+}
+
+}  // namespace relstore
+}  // namespace scisparql

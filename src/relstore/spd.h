@@ -1,0 +1,46 @@
+#ifndef SCISPARQL_RELSTORE_SPD_H_
+#define SCISPARQL_RELSTORE_SPD_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace scisparql {
+namespace relstore {
+
+/// An arithmetic progression of keys: start, start+stride, ...,
+/// start+(count-1)*stride. count == 1 degenerates to a single key.
+struct Interval {
+  uint64_t start = 0;
+  uint64_t stride = 1;
+  uint64_t count = 1;
+
+  uint64_t last() const { return start + (count - 1) * stride; }
+  bool operator==(const Interval& o) const {
+    return start == o.start && stride == o.stride && count == o.count;
+  }
+  std::string ToString() const;
+};
+
+/// Sequence Pattern Detector (Section 6.2.5). SSDM does not pre-shape array
+/// tiles for particular access patterns; instead it discovers regularity in
+/// the chunk-id sequence *at query run time* and turns runs into interval
+/// queries (`BETWEEN start AND last` with a stride predicate) against the
+/// back-end, which are dramatically cheaper than per-chunk lookups.
+///
+/// The detector greedily extends arithmetic runs: a run of at least
+/// `min_run` keys with a constant difference becomes one Interval; leftover
+/// keys become count-1 intervals. Input must be sorted ascending and
+/// duplicate-free.
+std::vector<Interval> DetectPatterns(std::span<const uint64_t> keys,
+                                     size_t min_run = 3);
+
+/// Expands intervals back into the explicit key sequence (tests use this to
+/// check DetectPatterns is lossless).
+std::vector<uint64_t> ExpandIntervals(std::span<const Interval> intervals);
+
+}  // namespace relstore
+}  // namespace scisparql
+
+#endif  // SCISPARQL_RELSTORE_SPD_H_

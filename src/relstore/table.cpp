@@ -1,0 +1,337 @@
+#include "relstore/table.h"
+
+#include <cstring>
+
+#include "relstore/btree.h"  // for Load/Store helpers
+
+namespace scisparql {
+namespace relstore {
+
+// Heap page layout
+// ----------------
+//   [0]   u8   type = 3 (heap) / 4 (overflow)
+//   [2]   u16  slot_count
+//   [4]   u16  free_end: lowest offset used by record data (data grows
+//              downward from page_size toward the slot directory)
+//   [8]   u32  next page in the table chain (heap) / chain (overflow)
+//   [12]  slot directory: slot i at 12 + 4*i = { u16 offset, u16 length };
+//         offset 0xffff marks a deleted slot.
+//
+// Overflow pages additionally store at [4] a u16 used-bytes count and carry
+// raw blob bytes from offset 12.
+
+namespace {
+
+constexpr uint8_t kHeapPage = 3;
+constexpr uint8_t kOverflowPage = 4;
+constexpr size_t kPageHeader = 12;
+constexpr size_t kSlotSize = 4;
+constexpr uint16_t kDeletedSlot = 0xffff;
+constexpr size_t kInlineBlobMax = 1024;
+
+uint16_t SlotCount(const uint8_t* p) { return LoadU16(p + 2); }
+void SetSlotCount(uint8_t* p, uint16_t c) { StoreU16(p + 2, c); }
+uint16_t FreeEnd(const uint8_t* p) { return LoadU16(p + 4); }
+void SetFreeEnd(uint8_t* p, uint16_t v) { StoreU16(p + 4, v); }
+uint32_t NextPage(const uint8_t* p) { return LoadU32(p + 8); }
+void SetNextPage(uint8_t* p, uint32_t v) { StoreU32(p + 8, v); }
+
+uint8_t* Slot(uint8_t* p, size_t i) { return p + kPageHeader + i * kSlotSize; }
+const uint8_t* Slot(const uint8_t* p, size_t i) {
+  return p + kPageHeader + i * kSlotSize;
+}
+
+void InitHeapPage(uint8_t* p, uint32_t page_size) {
+  std::memset(p, 0, page_size);
+  p[0] = kHeapPage;
+  SetSlotCount(p, 0);
+  SetFreeEnd(p, static_cast<uint16_t>(page_size));
+  SetNextPage(p, kInvalidPage);
+}
+
+size_t FreeSpace(const uint8_t* p) {
+  size_t dir_end = kPageHeader + SlotCount(p) * kSlotSize;
+  size_t free_end = FreeEnd(p);
+  return free_end > dir_end ? free_end - dir_end : 0;
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  char b[4];
+  StoreU32(reinterpret_cast<uint8_t*>(b), v);
+  out->append(b, 4);
+}
+void AppendU64(std::string* out, uint64_t v) {
+  char b[8];
+  StoreU64(reinterpret_cast<uint8_t*>(b), v);
+  out->append(b, 8);
+}
+
+}  // namespace
+
+int Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<std::string> Table::SerializeRow(const Row& row) {
+  if (row.size() != schema_.columns.size()) {
+    return Status::InvalidArgument("row arity does not match schema");
+  }
+  const uint32_t page_size = pool_->pager()->page_size();
+  std::string out;
+  for (size_t i = 0; i < row.size(); ++i) {
+    const Column& col = schema_.columns[i];
+    switch (col.type) {
+      case ColType::kInt64: {
+        if (!std::holds_alternative<int64_t>(row[i])) {
+          return Status::TypeError("expected int64 for column " + col.name);
+        }
+        AppendU64(&out, static_cast<uint64_t>(std::get<int64_t>(row[i])));
+        break;
+      }
+      case ColType::kDouble: {
+        if (!std::holds_alternative<double>(row[i])) {
+          return Status::TypeError("expected double for column " + col.name);
+        }
+        double d = std::get<double>(row[i]);
+        uint64_t bits;
+        std::memcpy(&bits, &d, 8);
+        AppendU64(&out, bits);
+        break;
+      }
+      case ColType::kText: {
+        if (!std::holds_alternative<std::string>(row[i])) {
+          return Status::TypeError("expected text for column " + col.name);
+        }
+        const std::string& s = std::get<std::string>(row[i]);
+        AppendU32(&out, static_cast<uint32_t>(s.size()));
+        out.append(s);
+        break;
+      }
+      case ColType::kBlob: {
+        if (!std::holds_alternative<std::string>(row[i])) {
+          return Status::TypeError("expected blob for column " + col.name);
+        }
+        const std::string& s = std::get<std::string>(row[i]);
+        if (s.size() <= kInlineBlobMax) {
+          out.push_back(1);  // inline
+          AppendU32(&out, static_cast<uint32_t>(s.size()));
+          out.append(s);
+        } else {
+          // Spill to an overflow chain.
+          out.push_back(0);
+          const size_t payload = page_size - kPageHeader;
+          PageId first = kInvalidPage;
+          PageId prev = kInvalidPage;
+          for (size_t off = 0; off < s.size(); off += payload) {
+            PageId id = pool_->pager()->Allocate();
+            SCISPARQL_ASSIGN_OR_RETURN(PageRef page,
+                                       PageRef::Acquire(pool_, id));
+            uint8_t* p = page.data();
+            std::memset(p, 0, page_size);
+            p[0] = kOverflowPage;
+            size_t n = std::min(payload, s.size() - off);
+            StoreU16(p + 4, static_cast<uint16_t>(n));
+            SetNextPage(p, kInvalidPage);
+            std::memcpy(p + kPageHeader, s.data() + off, n);
+            page.MarkDirty();
+            if (first == kInvalidPage) {
+              first = id;
+            } else {
+              SCISPARQL_ASSIGN_OR_RETURN(PageRef prev_page,
+                                         PageRef::Acquire(pool_, prev));
+              SetNextPage(prev_page.data(), id);
+              prev_page.MarkDirty();
+            }
+            prev = id;
+          }
+          AppendU32(&out, first);
+          AppendU64(&out, s.size());
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Result<Row> Table::DeserializeRow(const uint8_t* data, size_t len) const {
+  Row row;
+  size_t pos = 0;
+  auto need = [&](size_t n) -> Status {
+    if (pos + n > len) return Status::Internal("corrupt row encoding");
+    return Status::OK();
+  };
+  const uint32_t page_size = pool_->pager()->page_size();
+  for (const Column& col : schema_.columns) {
+    switch (col.type) {
+      case ColType::kInt64: {
+        SCISPARQL_RETURN_NOT_OK(need(8));
+        row.emplace_back(static_cast<int64_t>(LoadU64(data + pos)));
+        pos += 8;
+        break;
+      }
+      case ColType::kDouble: {
+        SCISPARQL_RETURN_NOT_OK(need(8));
+        uint64_t bits = LoadU64(data + pos);
+        double d;
+        std::memcpy(&d, &bits, 8);
+        row.emplace_back(d);
+        pos += 8;
+        break;
+      }
+      case ColType::kText: {
+        SCISPARQL_RETURN_NOT_OK(need(4));
+        uint32_t n = LoadU32(data + pos);
+        pos += 4;
+        SCISPARQL_RETURN_NOT_OK(need(n));
+        row.emplace_back(std::string(reinterpret_cast<const char*>(data + pos), n));
+        pos += n;
+        break;
+      }
+      case ColType::kBlob: {
+        SCISPARQL_RETURN_NOT_OK(need(1));
+        uint8_t inline_flag = data[pos++];
+        if (inline_flag == 1) {
+          SCISPARQL_RETURN_NOT_OK(need(4));
+          uint32_t n = LoadU32(data + pos);
+          pos += 4;
+          SCISPARQL_RETURN_NOT_OK(need(n));
+          row.emplace_back(
+              std::string(reinterpret_cast<const char*>(data + pos), n));
+          pos += n;
+        } else {
+          SCISPARQL_RETURN_NOT_OK(need(12));
+          PageId first = LoadU32(data + pos);
+          pos += 4;
+          uint64_t total = LoadU64(data + pos);
+          pos += 8;
+          std::string blob;
+          blob.reserve(total);
+          PageId id = first;
+          while (id != kInvalidPage && blob.size() < total) {
+            SCISPARQL_ASSIGN_OR_RETURN(PageRef page,
+                                       PageRef::Acquire(pool_, id));
+            const uint8_t* p = page.data();
+            if (p[0] != kOverflowPage) {
+              return Status::Internal("overflow chain corrupt");
+            }
+            uint16_t n = LoadU16(p + 4);
+            blob.append(reinterpret_cast<const char*>(p + kPageHeader), n);
+            id = NextPage(p);
+          }
+          if (blob.size() != total) {
+            return Status::Internal("overflow chain truncated");
+          }
+          (void)page_size;
+          row.emplace_back(std::move(blob));
+        }
+        break;
+      }
+    }
+  }
+  return row;
+}
+
+Result<PageId> Table::PageWithSpace(size_t need) {
+  const uint32_t page_size = pool_->pager()->page_size();
+  if (need + kSlotSize > page_size - kPageHeader) {
+    return Status::InvalidArgument("record too large for a heap page");
+  }
+  if (info_->last_page != kInvalidPage) {
+    SCISPARQL_ASSIGN_OR_RETURN(PageRef page,
+                               PageRef::Acquire(pool_, info_->last_page));
+    if (FreeSpace(page.data()) >= need + kSlotSize) return info_->last_page;
+  }
+  PageId id = pool_->pager()->Allocate();
+  {
+    SCISPARQL_ASSIGN_OR_RETURN(PageRef page, PageRef::Acquire(pool_, id));
+    InitHeapPage(page.data(), page_size);
+    page.MarkDirty();
+  }
+  if (info_->last_page != kInvalidPage) {
+    SCISPARQL_ASSIGN_OR_RETURN(PageRef prev,
+                               PageRef::Acquire(pool_, info_->last_page));
+    SetNextPage(prev.data(), id);
+    prev.MarkDirty();
+  } else {
+    info_->first_page = id;
+  }
+  info_->last_page = id;
+  return id;
+}
+
+Result<RecordId> Table::Insert(const Row& row) {
+  SCISPARQL_ASSIGN_OR_RETURN(std::string bytes, SerializeRow(row));
+  SCISPARQL_ASSIGN_OR_RETURN(PageId pid, PageWithSpace(bytes.size()));
+  SCISPARQL_ASSIGN_OR_RETURN(PageRef page, PageRef::Acquire(pool_, pid));
+  uint8_t* p = page.data();
+  uint16_t slot = SlotCount(p);
+  uint16_t off = static_cast<uint16_t>(FreeEnd(p) - bytes.size());
+  std::memcpy(p + off, bytes.data(), bytes.size());
+  StoreU16(Slot(p, slot), off);
+  StoreU16(Slot(p, slot) + 2, static_cast<uint16_t>(bytes.size()));
+  SetSlotCount(p, static_cast<uint16_t>(slot + 1));
+  SetFreeEnd(p, off);
+  page.MarkDirty();
+  ++info_->row_count;
+  return MakeRecordId(pid, slot);
+}
+
+Result<Row> Table::Get(RecordId rid) const {
+  SCISPARQL_ASSIGN_OR_RETURN(PageRef page,
+                             PageRef::Acquire(pool_, RecordPage(rid)));
+  const uint8_t* p = page.data();
+  uint16_t slot = RecordSlot(rid);
+  if (slot >= SlotCount(p)) return Status::NotFound("no such record");
+  uint16_t off = LoadU16(Slot(p, slot));
+  uint16_t len = LoadU16(Slot(p, slot) + 2);
+  if (off == kDeletedSlot) return Status::NotFound("record deleted");
+  return DeserializeRow(p + off, len);
+}
+
+Status Table::Delete(RecordId rid) {
+  SCISPARQL_ASSIGN_OR_RETURN(PageRef page,
+                             PageRef::Acquire(pool_, RecordPage(rid)));
+  uint8_t* p = page.data();
+  uint16_t slot = RecordSlot(rid);
+  if (slot >= SlotCount(p)) return Status::NotFound("no such record");
+  if (LoadU16(Slot(p, slot)) == kDeletedSlot) {
+    return Status::NotFound("record already deleted");
+  }
+  StoreU16(Slot(p, slot), kDeletedSlot);
+  page.MarkDirty();
+  if (info_->row_count > 0) --info_->row_count;
+  return Status::OK();
+}
+
+Status Table::ForEach(
+    const std::function<bool(RecordId, const Row&)>& cb) const {
+  PageId pid = info_->first_page;
+  while (pid != kInvalidPage) {
+    PageId next;
+    uint16_t slots;
+    {
+      SCISPARQL_ASSIGN_OR_RETURN(PageRef page, PageRef::Acquire(pool_, pid));
+      next = NextPage(page.data());
+      slots = SlotCount(page.data());
+    }
+    for (uint16_t s = 0; s < slots; ++s) {
+      SCISPARQL_ASSIGN_OR_RETURN(PageRef page, PageRef::Acquire(pool_, pid));
+      const uint8_t* p = page.data();
+      uint16_t off = LoadU16(Slot(p, s));
+      uint16_t len = LoadU16(Slot(p, s) + 2);
+      if (off == kDeletedSlot) continue;
+      SCISPARQL_ASSIGN_OR_RETURN(Row row, DeserializeRow(p + off, len));
+      page.Release();
+      if (!cb(MakeRecordId(pid, s), row)) return Status::OK();
+    }
+    pid = next;
+  }
+  return Status::OK();
+}
+
+}  // namespace relstore
+}  // namespace scisparql

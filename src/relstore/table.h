@@ -1,0 +1,96 @@
+#ifndef SCISPARQL_RELSTORE_TABLE_H_
+#define SCISPARQL_RELSTORE_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "relstore/buffer_pool.h"
+
+namespace scisparql {
+namespace relstore {
+
+/// Column types of the embedded relational engine. kBlob values larger
+/// than the inline threshold spill to overflow page chains, which is how
+/// array chunks bigger than one page are stored (Experiment 3 sweeps chunk
+/// sizes past the page size).
+enum class ColType : uint8_t { kInt64, kDouble, kText, kBlob };
+
+struct Column {
+  std::string name;
+  ColType type;
+};
+
+struct Schema {
+  std::vector<Column> columns;
+
+  int FindColumn(const std::string& name) const;
+};
+
+/// A cell value. Text and blob both use std::string as the byte container.
+using Value = std::variant<int64_t, double, std::string>;
+using Row = std::vector<Value>;
+
+inline int64_t AsInt(const Value& v) { return std::get<int64_t>(v); }
+inline double AsDoubleValue(const Value& v) { return std::get<double>(v); }
+inline const std::string& AsBytes(const Value& v) {
+  return std::get<std::string>(v);
+}
+
+/// Record id: (heap page id << 16) | slot number.
+using RecordId = uint64_t;
+inline RecordId MakeRecordId(PageId page, uint16_t slot) {
+  return (static_cast<uint64_t>(page) << 16) | slot;
+}
+inline PageId RecordPage(RecordId rid) {
+  return static_cast<PageId>(rid >> 16);
+}
+inline uint16_t RecordSlot(RecordId rid) {
+  return static_cast<uint16_t>(rid & 0xffff);
+}
+
+/// Mutable bookkeeping persisted by the catalog for each table.
+struct TableInfo {
+  PageId first_page = kInvalidPage;
+  PageId last_page = kInvalidPage;
+  uint64_t row_count = 0;
+};
+
+/// Heap table of rows stored in a chain of slotted pages. Oversized rows
+/// spill their blob columns into overflow chains. The table itself has no
+/// ordering; point access goes through a RecordId, typically found via a
+/// BTree index maintained by the Database layer.
+class Table {
+ public:
+  Table(BufferPool* pool, TableInfo* info, Schema schema)
+      : pool_(pool), info_(info), schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  uint64_t row_count() const { return info_->row_count; }
+
+  Result<RecordId> Insert(const Row& row);
+  Result<Row> Get(RecordId rid) const;
+  Status Delete(RecordId rid);
+
+  /// Visits all live rows in heap order; `cb` returning false stops.
+  Status ForEach(
+      const std::function<bool(RecordId, const Row&)>& cb) const;
+
+ private:
+  Result<std::string> SerializeRow(const Row& row);
+  Result<Row> DeserializeRow(const uint8_t* data, size_t len) const;
+
+  Result<PageId> PageWithSpace(size_t need);
+
+  BufferPool* pool_;
+  TableInfo* info_;
+  Schema schema_;
+};
+
+}  // namespace relstore
+}  // namespace scisparql
+
+#endif  // SCISPARQL_RELSTORE_TABLE_H_

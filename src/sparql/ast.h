@@ -1,0 +1,339 @@
+#ifndef SCISPARQL_SPARQL_AST_H_
+#define SCISPARQL_SPARQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "rdf/namespaces.h"
+#include "rdf/term.h"
+
+namespace scisparql {
+namespace ast {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// Binary operators, in SPARQL precedence groups (|| < && < comparisons <
+/// additive < multiplicative).
+enum class BinaryOp : uint8_t {
+  kOr,
+  kAnd,
+  kEq,
+  kNe,
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+};
+
+enum class UnaryOp : uint8_t { kNot, kNeg, kPlus };
+
+/// Aggregate function names (Section 3.5).
+enum class AggFunc : uint8_t {
+  kCount,
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+  kGroupConcat,
+  kSample,
+};
+
+/// One dimension of a SciSPARQL array dereference (Section 4.1.1):
+/// `?a[i]`, `?a[lo:hi]`, `?a[lo:hi:stride]`, `?a[:]`. Omitted bounds
+/// (null exprs) default to the full extent. Language subscripts are
+/// 1-based and inclusive.
+struct SubscriptExpr {
+  bool is_range = false;
+  ExprPtr index;   ///< single-index form
+  ExprPtr lo;      ///< range form; null = 1
+  ExprPtr hi;      ///< range form; null = dimension size
+  ExprPtr stride;  ///< range form; null = 1
+};
+
+struct Expr {
+  enum class Kind : uint8_t {
+    kTerm,       ///< constant RDF term
+    kVar,        ///< ?x
+    kBinary,
+    kUnary,
+    kCall,       ///< builtin / foreign / SciSPARQL-defined function call
+    kAggregate,
+    kExists,     ///< EXISTS { ... } / NOT EXISTS { ... }
+    kSubscript,  ///< base[sub, sub, ...] array dereference
+    kStar,       ///< `*` placeholder inside a partial application (closure)
+  };
+
+  Kind kind = Kind::kTerm;
+
+  // kTerm
+  Term term;
+  // kVar
+  std::string var;
+  // kBinary / kUnary
+  BinaryOp bop = BinaryOp::kOr;
+  UnaryOp uop = UnaryOp::kNot;
+  ExprPtr left, right;  // unary uses left only
+  // kCall: `fn` is a full IRI or a builtin name (upper-cased); args may
+  // contain kStar placeholders forming a lexical closure (Section 4.3).
+  std::string fn;
+  std::vector<ExprPtr> args;
+  // kAggregate
+  AggFunc agg = AggFunc::kCount;
+  bool agg_distinct = false;
+  ExprPtr agg_arg;          // null = COUNT(*)
+  std::string agg_sep;      // GROUP_CONCAT separator
+  // kExists
+  bool exists_negated = false;
+  std::shared_ptr<struct GraphPattern> exists_pattern;
+  // kSubscript
+  ExprPtr base;
+  std::vector<SubscriptExpr> subscripts;
+
+  static ExprPtr MakeTerm(Term t) {
+    auto e = std::make_shared<Expr>();
+    e->kind = Kind::kTerm;
+    e->term = std::move(t);
+    return e;
+  }
+  static ExprPtr MakeVar(std::string name) {
+    auto e = std::make_shared<Expr>();
+    e->kind = Kind::kVar;
+    e->var = std::move(name);
+    return e;
+  }
+  static ExprPtr MakeBinary(BinaryOp op, ExprPtr l, ExprPtr r) {
+    auto e = std::make_shared<Expr>();
+    e->kind = Kind::kBinary;
+    e->bop = op;
+    e->left = std::move(l);
+    e->right = std::move(r);
+    return e;
+  }
+  static ExprPtr MakeUnary(UnaryOp op, ExprPtr operand) {
+    auto e = std::make_shared<Expr>();
+    e->kind = Kind::kUnary;
+    e->uop = op;
+    e->left = std::move(operand);
+    return e;
+  }
+  static ExprPtr MakeCall(std::string fn, std::vector<ExprPtr> args) {
+    auto e = std::make_shared<Expr>();
+    e->kind = Kind::kCall;
+    e->fn = std::move(fn);
+    e->args = std::move(args);
+    return e;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Property paths (Section 3.4)
+// ---------------------------------------------------------------------------
+
+struct Path;
+using PathPtr = std::shared_ptr<Path>;
+
+struct Path {
+  enum class Kind : uint8_t {
+    kLink,        ///< plain IRI edge
+    kInverse,     ///< ^p
+    kSequence,    ///< p1 / p2
+    kAlternative, ///< p1 | p2
+    kZeroOrMore,  ///< p*
+    kOneOrMore,   ///< p+
+    kZeroOrOne,   ///< p?
+    kNegatedSet,  ///< !(p1 | ^p2 | ...)
+  };
+
+  Kind kind = Kind::kLink;
+  std::string iri;                   // kLink
+  PathPtr a, b;                      // children
+  std::vector<std::string> negated;          // forward edges of kNegatedSet
+  std::vector<std::string> negated_inverse;  // inverse edges of kNegatedSet
+
+  static PathPtr Link(std::string iri) {
+    auto p = std::make_shared<Path>();
+    p->kind = Kind::kLink;
+    p->iri = std::move(iri);
+    return p;
+  }
+  static PathPtr Unary(Kind k, PathPtr child) {
+    auto p = std::make_shared<Path>();
+    p->kind = k;
+    p->a = std::move(child);
+    return p;
+  }
+  static PathPtr Binary(Kind k, PathPtr a, PathPtr b) {
+    auto p = std::make_shared<Path>();
+    p->kind = k;
+    p->a = std::move(a);
+    p->b = std::move(b);
+    return p;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Graph patterns (Sections 3.2-3.3)
+// ---------------------------------------------------------------------------
+
+/// A triple pattern position: a constant term or a variable. (Expressions
+/// appear only in FILTER/BIND, per the grammar.)
+struct VarOrTerm {
+  bool is_var = false;
+  std::string var;
+  Term term;
+
+  static VarOrTerm Var(std::string name) {
+    VarOrTerm v;
+    v.is_var = true;
+    v.var = std::move(name);
+    return v;
+  }
+  static VarOrTerm Const(Term t) {
+    VarOrTerm v;
+    v.term = std::move(t);
+    return v;
+  }
+  std::string ToString() const { return is_var ? "?" + var : term.ToString(); }
+};
+
+/// Triple pattern whose predicate may be a variable, a plain IRI, or a
+/// complex property path.
+struct TriplePattern {
+  VarOrTerm s;
+  VarOrTerm p;     ///< used when `path` is null (IRI or variable predicate)
+  PathPtr path;    ///< non-null for complex paths
+  VarOrTerm o;
+};
+
+struct GraphPattern;
+using GraphPatternPtr = std::shared_ptr<GraphPattern>;
+
+/// VALUES inline data block.
+struct ValuesBlock {
+  std::vector<std::string> vars;
+  std::vector<std::vector<Term>> rows;  // Undef = the UNDEF keyword
+};
+
+struct PatternElement {
+  enum class Kind : uint8_t {
+    kTriple,
+    kOptional,
+    kUnion,      ///< two or more alternative groups
+    kGraph,      ///< GRAPH g { ... }
+    kFilter,
+    kBind,
+    kValues,
+    kMinus,
+    kGroup,      ///< nested plain group { ... }
+    kSubSelect,  ///< { SELECT ... } nested query
+  };
+
+  Kind kind = Kind::kTriple;
+  TriplePattern triple;
+  GraphPatternPtr child;                   // optional / graph / minus / group
+  std::vector<GraphPatternPtr> branches;   // union
+  VarOrTerm graph_name;                    // graph
+  ExprPtr expr;                            // filter / bind
+  std::string bind_var;                    // bind
+  ValuesBlock values;                      // values
+  std::shared_ptr<struct SelectQuery> subquery;  // sub-select
+};
+
+struct GraphPattern {
+  std::vector<PatternElement> elements;
+};
+
+// ---------------------------------------------------------------------------
+// Queries, function definitions and updates (Chapter 4)
+// ---------------------------------------------------------------------------
+
+struct SelectQuery {
+  enum class Form : uint8_t { kSelect, kAsk, kConstruct, kDescribe };
+
+  Form form = Form::kSelect;
+  bool distinct = false;
+  bool reduced = false;
+
+  /// Projections: expression + output name. Empty with select_all=true
+  /// means SELECT *.
+  struct Projection {
+    ExprPtr expr;
+    std::string name;
+  };
+  bool select_all = false;
+  std::vector<Projection> projections;
+
+  std::vector<TriplePattern> construct_template;
+
+  /// DESCRIBE targets: variables and/or constant IRIs. An empty WHERE is
+  /// allowed for constant targets.
+  std::vector<VarOrTerm> describe_targets;
+  bool has_where = true;
+
+  std::vector<std::string> from;        // FROM <g> (merged into default)
+  std::vector<std::string> from_named;  // FROM NAMED <g>
+
+  GraphPattern where;
+
+  std::vector<ExprPtr> group_by;
+  std::vector<ExprPtr> having;
+  struct OrderKey {
+    ExprPtr expr;
+    bool ascending = true;
+  };
+  std::vector<OrderKey> order_by;
+  int64_t limit = -1;   // -1 = none
+  int64_t offset = 0;
+};
+
+/// DEFINE FUNCTION name(?a, ?b) AS <select query> — a parameterized view
+/// (Section 4.2). Calls follow DAPLEX semantics: the body yields a bag of
+/// values of its first projection.
+struct FunctionDef {
+  std::string name;  // full IRI or plain identifier
+  std::vector<std::string> params;
+  std::shared_ptr<SelectQuery> body;
+};
+
+/// Update operations (SPARQL 1.1 Update subset + LOAD of Turtle files).
+struct UpdateOp {
+  enum class Kind : uint8_t {
+    kInsertData,
+    kDeleteData,
+    kDeleteWhere,
+    kModify,  ///< DELETE {...} INSERT {...} WHERE {...}
+    kLoad,
+    kClear,
+  };
+
+  Kind kind = Kind::kInsertData;
+  std::vector<TriplePattern> insert_template;  // ground for kInsertData
+  std::vector<TriplePattern> delete_template;
+  GraphPattern where;
+  std::string load_source;   // file path or IRI for LOAD
+  std::string graph;         // target graph IRI ("" = default)
+  bool clear_all = false;    // CLEAR ALL
+};
+
+/// A parsed SciSPARQL statement.
+struct Statement {
+  std::variant<std::shared_ptr<SelectQuery>, FunctionDef, UpdateOp> node;
+  PrefixMap prefixes;
+};
+
+}  // namespace ast
+}  // namespace scisparql
+
+#endif  // SCISPARQL_SPARQL_AST_H_

@@ -1,0 +1,384 @@
+#include "sparql/calculus.h"
+
+#include <sstream>
+
+namespace scisparql {
+namespace sparql {
+
+namespace {
+
+using ast::BinaryOp;
+using ast::Expr;
+using ast::ExprPtr;
+using ast::GraphPattern;
+using ast::PatternElement;
+using ast::VarOrTerm;
+
+// ---------------------------------------------------------------------------
+// Calculus rendering.
+// ---------------------------------------------------------------------------
+
+std::string RenderTerm(const VarOrTerm& vt) { return vt.ToString(); }
+
+std::string RenderExpr(const Expr& e);
+
+std::string RenderArgs(const std::vector<ExprPtr>& args) {
+  std::string out;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += RenderExpr(*args[i]);
+  }
+  return out;
+}
+
+const char* BinOpSymbol(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kOr:
+      return " OR ";
+    case BinaryOp::kAnd:
+      return " AND ";
+    case BinaryOp::kEq:
+      return " = ";
+    case BinaryOp::kNe:
+      return " != ";
+    case BinaryOp::kLt:
+      return " < ";
+    case BinaryOp::kGt:
+      return " > ";
+    case BinaryOp::kLe:
+      return " <= ";
+    case BinaryOp::kGe:
+      return " >= ";
+    case BinaryOp::kAdd:
+      return " + ";
+    case BinaryOp::kSub:
+      return " - ";
+    case BinaryOp::kMul:
+      return " * ";
+    case BinaryOp::kDiv:
+      return " / ";
+  }
+  return " ? ";
+}
+
+std::string RenderExpr(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kTerm:
+      return Term(e.term).ToString();
+    case Expr::Kind::kVar:
+      return "?" + e.var;
+    case Expr::Kind::kBinary:
+      return "(" + RenderExpr(*e.left) + BinOpSymbol(e.bop) +
+             RenderExpr(*e.right) + ")";
+    case Expr::Kind::kUnary:
+      return (e.uop == ast::UnaryOp::kNot
+                  ? "not("
+                  : e.uop == ast::UnaryOp::kNeg ? "neg(" : "(") +
+             RenderExpr(*e.left) + ")";
+    case Expr::Kind::kCall:
+      return e.fn + "(" + RenderArgs(e.args) + ")";
+    case Expr::Kind::kAggregate: {
+      std::string name;
+      switch (e.agg) {
+        case ast::AggFunc::kCount:
+          name = "count";
+          break;
+        case ast::AggFunc::kSum:
+          name = "sum";
+          break;
+        case ast::AggFunc::kAvg:
+          name = "avg";
+          break;
+        case ast::AggFunc::kMin:
+          name = "min";
+          break;
+        case ast::AggFunc::kMax:
+          name = "max";
+          break;
+        case ast::AggFunc::kGroupConcat:
+          name = "group_concat";
+          break;
+        case ast::AggFunc::kSample:
+          name = "sample";
+          break;
+      }
+      return name + "(" + (e.agg_arg ? RenderExpr(*e.agg_arg) : "*") + ")";
+    }
+    case Expr::Kind::kExists:
+      return std::string(e.exists_negated ? "not_exists(...)"
+                                          : "exists(...)");
+    case Expr::Kind::kSubscript: {
+      // The thesis's aref operator: aref(a, i1, ..., ik).
+      std::string out = "aref(" + RenderExpr(*e.base);
+      for (const auto& s : e.subscripts) {
+        out += ", ";
+        if (!s.is_range) {
+          out += RenderExpr(*s.index);
+        } else {
+          out += (s.lo ? RenderExpr(*s.lo) : std::string("lo")) + ":" +
+                 (s.hi ? RenderExpr(*s.hi) : std::string("hi"));
+          if (s.stride) out += ":" + RenderExpr(*s.stride);
+        }
+      }
+      return out + ")";
+    }
+    case Expr::Kind::kStar:
+      return "*";
+  }
+  return "?";
+}
+
+std::string RenderPath(const ast::Path& p) {
+  using K = ast::Path::Kind;
+  switch (p.kind) {
+    case K::kLink:
+      return "<" + p.iri + ">";
+    case K::kInverse:
+      return "inv(" + RenderPath(*p.a) + ")";
+    case K::kSequence:
+      return "seq(" + RenderPath(*p.a) + ", " + RenderPath(*p.b) + ")";
+    case K::kAlternative:
+      return "alt(" + RenderPath(*p.a) + ", " + RenderPath(*p.b) + ")";
+    case K::kZeroOrMore:
+      return "closure0(" + RenderPath(*p.a) + ")";
+    case K::kOneOrMore:
+      return "closure1(" + RenderPath(*p.a) + ")";
+    case K::kZeroOrOne:
+      return "opt(" + RenderPath(*p.a) + ")";
+    case K::kNegatedSet:
+      return "negated_set(...)";
+  }
+  return "?";
+}
+
+void RenderGroup(const GraphPattern& gp, int depth, std::ostringstream* out);
+
+void Indent(int depth, std::ostringstream* out) {
+  *out << std::string(static_cast<size_t>(depth) * 2 + 2, ' ');
+}
+
+void RenderElement(const PatternElement& e, int depth, bool* first,
+                   std::ostringstream* out) {
+  if (!*first) *out << " AND\n";
+  *first = false;
+  Indent(depth, out);
+  switch (e.kind) {
+    case PatternElement::Kind::kTriple:
+      if (e.triple.path != nullptr) {
+        *out << "path(" << RenderTerm(e.triple.s) << ", "
+             << RenderPath(*e.triple.path) << ", " << RenderTerm(e.triple.o)
+             << ")";
+      } else {
+        *out << "triple(" << RenderTerm(e.triple.s) << ", "
+             << RenderTerm(e.triple.p) << ", " << RenderTerm(e.triple.o)
+             << ")";
+      }
+      break;
+    case PatternElement::Kind::kFilter:
+      *out << "filter" << RenderExpr(*e.expr);
+      break;
+    case PatternElement::Kind::kBind:
+      *out << "bind(?" << e.bind_var << " := " << RenderExpr(*e.expr) << ")";
+      break;
+    case PatternElement::Kind::kOptional: {
+      *out << "leftjoin(\n";
+      RenderGroup(*e.child, depth + 1, out);
+      Indent(depth, out);
+      *out << ")";
+      break;
+    }
+    case PatternElement::Kind::kUnion: {
+      *out << "union(\n";
+      for (size_t b = 0; b < e.branches.size(); ++b) {
+        if (b > 0) {
+          Indent(depth, out);
+          *out << "|\n";
+        }
+        RenderGroup(*e.branches[b], depth + 1, out);
+      }
+      Indent(depth, out);
+      *out << ")";
+      break;
+    }
+    case PatternElement::Kind::kGraph:
+      *out << "graph(" << RenderTerm(e.graph_name) << ",\n";
+      RenderGroup(*e.child, depth + 1, out);
+      Indent(depth, out);
+      *out << ")";
+      break;
+    case PatternElement::Kind::kValues:
+      *out << "values(" << e.values.rows.size() << " rows)";
+      break;
+    case PatternElement::Kind::kMinus:
+      *out << "minus(\n";
+      RenderGroup(*e.child, depth + 1, out);
+      Indent(depth, out);
+      *out << ")";
+      break;
+    case PatternElement::Kind::kGroup:
+      *out << "(\n";
+      RenderGroup(*e.child, depth + 1, out);
+      Indent(depth, out);
+      *out << ")";
+      break;
+    case PatternElement::Kind::kSubSelect:
+      *out << "subquery(...)";
+      break;
+  }
+}
+
+void RenderGroup(const GraphPattern& gp, int depth, std::ostringstream* out) {
+  bool first = true;
+  if (gp.elements.empty()) {
+    Indent(depth, out);
+    *out << "true";
+  }
+  for (const PatternElement& e : gp.elements) {
+    RenderElement(e, depth, &first, out);
+  }
+  *out << "\n";
+}
+
+}  // namespace
+
+Result<std::string> RenderCalculus(const ast::SelectQuery& query) {
+  std::ostringstream out;
+  out << "result(";
+  if (query.select_all) {
+    out << "*";
+  } else {
+    for (size_t i = 0; i < query.projections.size(); ++i) {
+      if (i > 0) out << ", ";
+      const auto& p = query.projections[i];
+      if (p.expr->kind == Expr::Kind::kVar && p.expr->var == p.name) {
+        out << "?" << p.name;
+      } else {
+        out << "?" << p.name << " := " << RenderExpr(*p.expr);
+      }
+    }
+  }
+  out << ") <-\n";
+  RenderGroup(query.where, 0, &out);
+  if (!query.group_by.empty()) {
+    out << "  groupby(";
+    for (size_t i = 0; i < query.group_by.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << RenderExpr(*query.group_by[i]);
+    }
+    out << ")\n";
+  }
+  for (const auto& h : query.having) {
+    out << "  having" << RenderExpr(*h) << "\n";
+  }
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// DNF normalization (Section 5.4.4).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool IsOr(const ExprPtr& e) {
+  return e->kind == Expr::Kind::kBinary && e->bop == BinaryOp::kOr;
+}
+bool IsAnd(const ExprPtr& e) {
+  return e->kind == Expr::Kind::kBinary && e->bop == BinaryOp::kAnd;
+}
+bool IsNot(const ExprPtr& e) {
+  return e->kind == Expr::Kind::kUnary && e->uop == ast::UnaryOp::kNot;
+}
+
+/// Pushes negations to the leaves (negation normal form).
+ExprPtr ToNnf(const ExprPtr& e, bool negated) {
+  if (IsNot(e)) return ToNnf(e->left, !negated);
+  if (IsAnd(e) || IsOr(e)) {
+    BinaryOp op = IsAnd(e) ? (negated ? BinaryOp::kOr : BinaryOp::kAnd)
+                           : (negated ? BinaryOp::kAnd : BinaryOp::kOr);
+    return Expr::MakeBinary(op, ToNnf(e->left, negated),
+                            ToNnf(e->right, negated));
+  }
+  // Atom: negate comparisons directly where possible, else wrap in NOT.
+  if (negated && e->kind == Expr::Kind::kBinary) {
+    BinaryOp flipped;
+    switch (e->bop) {
+      case BinaryOp::kEq:
+        flipped = BinaryOp::kNe;
+        break;
+      case BinaryOp::kNe:
+        flipped = BinaryOp::kEq;
+        break;
+      case BinaryOp::kLt:
+        flipped = BinaryOp::kGe;
+        break;
+      case BinaryOp::kGe:
+        flipped = BinaryOp::kLt;
+        break;
+      case BinaryOp::kGt:
+        flipped = BinaryOp::kLe;
+        break;
+      case BinaryOp::kLe:
+        flipped = BinaryOp::kGt;
+        break;
+      default:
+        return Expr::MakeUnary(ast::UnaryOp::kNot, e);
+    }
+    return Expr::MakeBinary(flipped, e->left, e->right);
+  }
+  if (negated) return Expr::MakeUnary(ast::UnaryOp::kNot, e);
+  return e;
+}
+
+void CollectDisjuncts(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (IsOr(e)) {
+    CollectDisjuncts(e->left, out);
+    CollectDisjuncts(e->right, out);
+  } else {
+    out->push_back(e);
+  }
+}
+
+/// Distributes AND over OR on an NNF tree.
+ExprPtr Distribute(const ExprPtr& e) {
+  if (IsOr(e)) {
+    return Expr::MakeBinary(BinaryOp::kOr, Distribute(e->left),
+                            Distribute(e->right));
+  }
+  if (IsAnd(e)) {
+    ExprPtr l = Distribute(e->left);
+    ExprPtr r = Distribute(e->right);
+    std::vector<ExprPtr> ls, rs;
+    CollectDisjuncts(l, &ls);
+    CollectDisjuncts(r, &rs);
+    if (ls.size() == 1 && rs.size() == 1) {
+      return Expr::MakeBinary(BinaryOp::kAnd, l, r);
+    }
+    ExprPtr out;
+    for (const ExprPtr& a : ls) {
+      for (const ExprPtr& b : rs) {
+        ExprPtr conj = Expr::MakeBinary(BinaryOp::kAnd, a, b);
+        out = out == nullptr
+                  ? conj
+                  : Expr::MakeBinary(BinaryOp::kOr, std::move(out),
+                                     std::move(conj));
+      }
+    }
+    return out;
+  }
+  return e;
+}
+
+}  // namespace
+
+ast::ExprPtr NormalizeDnf(const ast::ExprPtr& expr) {
+  return Distribute(ToNnf(expr, false));
+}
+
+int CountDisjuncts(const ast::ExprPtr& expr) {
+  std::vector<ExprPtr> out;
+  CollectDisjuncts(expr, &out);
+  return static_cast<int>(out.size());
+}
+
+}  // namespace sparql
+}  // namespace scisparql

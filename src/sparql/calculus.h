@@ -1,0 +1,46 @@
+#ifndef SCISPARQL_SPARQL_CALCULUS_H_
+#define SCISPARQL_SPARQL_CALCULUS_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sparql/ast.h"
+
+namespace scisparql {
+namespace sparql {
+
+/// Renders a parsed SciSPARQL query in the ObjectLog-style domain calculus
+/// the thesis translates to (Section 5.4.5): the query becomes a rule whose
+/// head carries the projections and whose body is a conjunction of
+/// `triple(s, p, v)` predicates, filter predicates, and the structured
+/// operators the translation introduces — leftjoin() for OPTIONAL,
+/// union() for alternatives, path closures, aggregation wrappers, and the
+/// array operators (aref, asub, apr for proxy resolution points).
+///
+/// The rendering is a faithful *view* of the translation, not a second
+/// execution path: the executor consumes the same structure operationally.
+///
+/// Example:
+///   SELECT ?n WHERE { ?p foaf:name "Alice" ; foaf:knows ?f .
+///                     ?f foaf:name ?n }
+/// renders as
+///   result(?n) <-
+///     triple(?p, <...name>, "Alice") AND
+///     triple(?p, <...knows>, ?f) AND
+///     triple(?f, <...name>, ?n)
+Result<std::string> RenderCalculus(const ast::SelectQuery& query);
+
+/// Normalizes a filter expression to disjunctive normal form
+/// (Section 5.4.4): NOT is pushed to the leaves (De Morgan), and AND is
+/// distributed over OR, yielding OR-of-ANDs. Non-boolean sub-expressions
+/// are treated as atoms. The input is not modified; the result shares
+/// atom subtrees with it.
+ast::ExprPtr NormalizeDnf(const ast::ExprPtr& expr);
+
+/// Counts the disjuncts of a DNF expression (1 when no top-level OR).
+int CountDisjuncts(const ast::ExprPtr& expr);
+
+}  // namespace sparql
+}  // namespace scisparql
+
+#endif  // SCISPARQL_SPARQL_CALCULUS_H_

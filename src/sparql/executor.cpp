@@ -1,0 +1,1667 @@
+#include "sparql/executor.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+#include "loaders/turtle.h"
+
+namespace scisparql {
+namespace sparql {
+
+namespace {
+
+using ast::GraphPattern;
+using ast::PatternElement;
+using ast::SelectQuery;
+using ast::TriplePattern;
+using ast::VarOrTerm;
+
+/// Current solution under construction. Vars absent from the map are
+/// unbound. std::map keeps copies cheapish and iteration deterministic.
+using Binding = std::map<std::string, Term>;
+
+/// Continuation invoked for every solution; returns false to stop the
+/// enumeration early (ASK, LIMIT, EXISTS).
+using Cont = std::function<Result<bool>()>;
+
+bool IsInternalVar(const std::string& name) {
+  return !name.empty() && name[0] == '.';
+}
+
+/// Collects user-visible variables of a pattern in first-appearance order.
+void CollectPatternVars(const GraphPattern& gp, std::vector<std::string>* out,
+                        std::set<std::string>* seen) {
+  auto add = [&](const std::string& v) {
+    if (!IsInternalVar(v) && seen->insert(v).second) out->push_back(v);
+  };
+  auto add_vt = [&](const VarOrTerm& vt) {
+    if (vt.is_var) add(vt.var);
+  };
+  for (const PatternElement& e : gp.elements) {
+    switch (e.kind) {
+      case PatternElement::Kind::kTriple:
+        add_vt(e.triple.s);
+        add_vt(e.triple.p);
+        add_vt(e.triple.o);
+        break;
+      case PatternElement::Kind::kBind:
+        add(e.bind_var);
+        break;
+      case PatternElement::Kind::kValues:
+        for (const std::string& v : e.values.vars) add(v);
+        break;
+      case PatternElement::Kind::kGraph:
+        add_vt(e.graph_name);
+        if (e.child) CollectPatternVars(*e.child, out, seen);
+        break;
+      case PatternElement::Kind::kUnion:
+        for (const auto& b : e.branches) CollectPatternVars(*b, out, seen);
+        break;
+      case PatternElement::Kind::kOptional:
+      case PatternElement::Kind::kGroup:
+        if (e.child) CollectPatternVars(*e.child, out, seen);
+        break;
+      case PatternElement::Kind::kSubSelect:
+        if (e.subquery != nullptr) {
+          for (const auto& p : e.subquery->projections) add(p.name);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+/// Variables mentioned by an expression.
+void CollectExprVars(const ast::Expr& e, std::set<std::string>* out) {
+  switch (e.kind) {
+    case ast::Expr::Kind::kVar:
+      out->insert(e.var);
+      break;
+    case ast::Expr::Kind::kBinary:
+      CollectExprVars(*e.left, out);
+      CollectExprVars(*e.right, out);
+      break;
+    case ast::Expr::Kind::kUnary:
+      CollectExprVars(*e.left, out);
+      break;
+    case ast::Expr::Kind::kCall:
+      for (const auto& a : e.args) CollectExprVars(*a, out);
+      break;
+    case ast::Expr::Kind::kAggregate:
+      if (e.agg_arg) CollectExprVars(*e.agg_arg, out);
+      break;
+    case ast::Expr::Kind::kSubscript:
+      CollectExprVars(*e.base, out);
+      for (const auto& s : e.subscripts) {
+        if (s.index) CollectExprVars(*s.index, out);
+        if (s.lo) CollectExprVars(*s.lo, out);
+        if (s.hi) CollectExprVars(*s.hi, out);
+        if (s.stride) CollectExprVars(*s.stride, out);
+      }
+      break;
+    case ast::Expr::Kind::kExists:
+      // EXISTS correlates on every variable its pattern mentions; a pushed
+      // filter must wait until those are bound (or proven never-bound).
+      if (e.exists_pattern) {
+        std::vector<std::string> vars;
+        std::set<std::string> seen;
+        CollectPatternVars(*e.exists_pattern, &vars, &seen);
+        out->insert(vars.begin(), vars.end());
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void CollectAggNodes(const ast::Expr& e,
+                     std::vector<const ast::Expr*>* out) {
+  if (e.kind == ast::Expr::Kind::kAggregate) {
+    out->push_back(&e);
+    return;  // aggregates do not nest
+  }
+  if (e.left) CollectAggNodes(*e.left, out);
+  if (e.right) CollectAggNodes(*e.right, out);
+  for (const auto& a : e.args) CollectAggNodes(*a, out);
+  if (e.base) CollectAggNodes(*e.base, out);
+}
+
+/// Lexicographic row comparator on Term::Compare, for DISTINCT/dedup sets.
+struct RowLess {
+  bool operator()(const std::vector<Term>& a,
+                  const std::vector<Term>& b) const {
+    size_t n = std::min(a.size(), b.size());
+    for (size_t i = 0; i < n; ++i) {
+      int c = Term::Compare(a[i], b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ExecImpl: one query execution.
+// ---------------------------------------------------------------------------
+
+class ExecImpl {
+ public:
+  ExecImpl(Dataset* dataset, FunctionRegistry* registry,
+           const ExecOptions& options)
+      : dataset_(dataset), registry_(registry), options_(options) {}
+
+  struct State {
+    const Graph* graph;
+    Binding binding;
+  };
+
+  // --- Pattern evaluation. ---
+
+  Result<bool> EvalGroup(const GraphPattern& gp, State& st, const Cont& k) {
+    return EvalSteps(gp.elements, 0, st, k);
+  }
+
+  Result<bool> EvalSteps(const std::vector<PatternElement>& elems, size_t i,
+                         State& st, const Cont& k) {
+    if (i >= elems.size()) return k();
+
+    // Gather a maximal run of triple patterns into one BGP, pulling in any
+    // directly following FILTERs so they can be pushed into the join.
+    if (elems[i].kind == PatternElement::Kind::kTriple) {
+      std::vector<const TriplePattern*> bgp;
+      std::vector<const ast::Expr*> filters;
+      size_t j = i;
+      while (j < elems.size()) {
+        if (elems[j].kind == PatternElement::Kind::kTriple) {
+          bgp.push_back(&elems[j].triple);
+          ++j;
+        } else if (options_.push_filters &&
+                   elems[j].kind == PatternElement::Kind::kFilter) {
+          filters.push_back(elems[j].expr.get());
+          ++j;
+        } else {
+          break;
+        }
+      }
+      auto next = [this, &elems, j, &st, &k]() {
+        return EvalSteps(elems, j, st, k);
+      };
+      return EvalBgp(bgp, filters, st, next);
+    }
+
+    const PatternElement& e = elems[i];
+    auto next = [this, &elems, i, &st, &k]() {
+      return EvalSteps(elems, i + 1, st, k);
+    };
+
+    switch (e.kind) {
+      case PatternElement::Kind::kFilter: {
+        SCISPARQL_ASSIGN_OR_RETURN(bool pass, EvalFilter(*e.expr, st));
+        if (!pass) return true;
+        return next();
+      }
+      case PatternElement::Kind::kBind:
+        return EvalBind(e, st, next);
+      case PatternElement::Kind::kOptional:
+        return EvalOptional(e, st, next);
+      case PatternElement::Kind::kUnion: {
+        for (const auto& branch : e.branches) {
+          State sub{st.graph, st.binding};
+          SCISPARQL_ASSIGN_OR_RETURN(
+              bool more, EvalGroup(*branch, sub, [&]() -> Result<bool> {
+                // Continue the outer steps with the branch's bindings.
+                State merged{st.graph, sub.binding};
+                std::swap(st.binding, merged.binding);
+                auto restore = [&]() { std::swap(st.binding, merged.binding); };
+                auto r = EvalSteps(elems, i + 1, st, k);
+                restore();
+                return r;
+              }));
+          if (!more) return false;
+        }
+        return true;
+      }
+      case PatternElement::Kind::kGroup: {
+        return EvalGroup(*e.child, st, next);
+      }
+      case PatternElement::Kind::kGraph:
+        return EvalGraph(e, st, next);
+      case PatternElement::Kind::kValues:
+        return EvalValues(e, st, next);
+      case PatternElement::Kind::kMinus:
+        return EvalMinus(e, st, next);
+      case PatternElement::Kind::kSubSelect:
+        return EvalSubSelect(e, st, next);
+      default:
+        return Status::Internal("unexpected pattern element");
+    }
+  }
+
+  Result<bool> EvalFilter(const ast::Expr& expr, State& st) {
+    EvalContext ctx = MakeCtx(st);
+    Result<Term> v = EvalExpr(expr, ctx);
+    if (!v.ok()) return false;  // evaluation error = filter rejects
+    Result<bool> b = EffectiveBooleanValue(*v);
+    if (!b.ok()) return false;
+    return *b;
+  }
+
+  Result<bool> EvalBind(const PatternElement& e, State& st, const Cont& k) {
+    if (st.binding.count(e.bind_var) > 0) {
+      return Status::InvalidArgument("BIND to already-bound variable ?" +
+                                     e.bind_var);
+    }
+    EvalContext ctx = MakeCtx(st);
+
+    // Variables bound to array subscripts (Section 4.1.2): when the BIND
+    // expression is an array dereference whose index positions contain
+    // *unbound* variables, the dereference acts as a generator — one
+    // solution per element, with the index variables bound to the
+    // (1-based) subscripts.
+    if (e.expr->kind == ast::Expr::Kind::kSubscript) {
+      SCISPARQL_ASSIGN_OR_RETURN(std::optional<bool> generated,
+                                 EvalSubscriptGenerator(e, st, ctx, k));
+      if (generated.has_value()) return *generated;
+    }
+
+    // DAPLEX bag semantics for SciSPARQL-defined functions: a BIND whose
+    // expression is a direct call of a parameterized view emits one
+    // solution per element of the result bag (Section 4.2).
+    if (e.expr->kind == ast::Expr::Kind::kCall && registry_ != nullptr) {
+      const ast::FunctionDef* def = registry_->FindDefined(e.expr->fn);
+      if (def != nullptr) {
+        std::vector<Term> args;
+        for (const auto& a : e.expr->args) {
+          SCISPARQL_ASSIGN_OR_RETURN(Term t, EvalExpr(*a, ctx));
+          args.push_back(std::move(t));
+        }
+        SCISPARQL_ASSIGN_OR_RETURN(std::vector<Term> bag,
+                                   CallDefined(*def, args));
+        for (Term& value : bag) {
+          st.binding[e.bind_var] = std::move(value);
+          Result<bool> r = k();
+          st.binding.erase(e.bind_var);
+          if (!r.ok()) return r;
+          if (!*r) return false;
+        }
+        return true;
+      }
+    }
+
+    Result<Term> v = EvalExpr(*e.expr, ctx);
+    if (v.ok() && !v->IsUndef()) {
+      st.binding[e.bind_var] = std::move(*v);
+      Result<bool> r = k();
+      st.binding.erase(e.bind_var);
+      return r;
+    }
+    // Error: the variable stays unbound, the solution survives.
+    return k();
+  }
+
+  /// Implements the subscript-generator form of BIND. Returns nullopt when
+  /// the expression is an ordinary dereference (no unbound index vars) and
+  /// the generic path should handle it; otherwise the continue/stop flag.
+  Result<std::optional<bool>> EvalSubscriptGenerator(const PatternElement& e,
+                                                     State& st,
+                                                     EvalContext& ctx,
+                                                     const Cont& k) {
+    const ast::Expr& deref = *e.expr;
+    // The base array must be computable already.
+    Result<Term> base = EvalExpr(*deref.base, ctx);
+    if (!base.ok() || !base->IsArray()) return std::optional<bool>();
+    const auto& arr = base->array();
+    const std::vector<int64_t>& shape = arr->shape();
+    if (deref.subscripts.size() != shape.size()) return std::optional<bool>();
+
+    // Classify each dimension: enumerated (unbound index variable) or
+    // fixed (anything else, evaluated by the normal rules).
+    struct Dim {
+      bool enumerated = false;
+      std::string var;
+    };
+    std::vector<Dim> dims(shape.size());
+    bool any_enumerated = false;
+    for (size_t d = 0; d < deref.subscripts.size(); ++d) {
+      const ast::SubscriptExpr& s = deref.subscripts[d];
+      if (!s.is_range && s.index != nullptr &&
+          s.index->kind == ast::Expr::Kind::kVar &&
+          st.binding.count(s.index->var) == 0 &&
+          !IsInternalVar(s.index->var)) {
+        dims[d].enumerated = true;
+        dims[d].var = s.index->var;
+        any_enumerated = true;
+      }
+    }
+    if (!any_enumerated) return std::optional<bool>();
+
+    // Iterate the Cartesian product of the enumerated dimensions; for each
+    // combination bind the index variables (1-based) and evaluate the
+    // dereference through the ordinary evaluator (so fixed dims, ranges
+    // and bounds checks behave identically).
+    std::vector<size_t> enum_dims;
+    for (size_t d = 0; d < dims.size(); ++d) {
+      if (dims[d].enumerated) enum_dims.push_back(d);
+    }
+    std::vector<int64_t> idx(enum_dims.size(), 1);
+    bool more = true;
+    while (more) {
+      for (size_t p = 0; p < enum_dims.size(); ++p) {
+        st.binding[dims[enum_dims[p]].var] = Term::Integer(idx[p]);
+      }
+      Result<Term> v = EvalExpr(deref, ctx);
+      Result<bool> r = true;
+      if (v.ok() && !v->IsUndef()) {
+        st.binding[e.bind_var] = std::move(*v);
+        r = k();
+        st.binding.erase(e.bind_var);
+      }
+      for (size_t p = 0; p < enum_dims.size(); ++p) {
+        st.binding.erase(dims[enum_dims[p]].var);
+      }
+      if (!r.ok()) return r.status();
+      if (!*r) return std::optional<bool>(false);
+      // Advance the multi-index (1-based, bounded by the shape).
+      size_t p = 0;
+      while (p < enum_dims.size() &&
+             ++idx[p] > shape[enum_dims[p]]) {
+        idx[p] = 1;
+        ++p;
+      }
+      if (p == enum_dims.size()) more = false;
+    }
+    return std::optional<bool>(true);
+  }
+
+  Result<bool> EvalOptional(const PatternElement& e, State& st,
+                            const Cont& k) {
+    bool any = false;
+    SCISPARQL_ASSIGN_OR_RETURN(
+        bool more, EvalGroup(*e.child, st, [&]() -> Result<bool> {
+          any = true;
+          return k();
+        }));
+    if (!more) return false;
+    if (!any) return k();
+    return true;
+  }
+
+  Result<bool> EvalGraph(const PatternElement& e, State& st, const Cont& k) {
+    const GraphPattern& child = *e.child;
+    if (!e.graph_name.is_var) {
+      const Graph* g = dataset_->FindNamed(e.graph_name.term.iri());
+      if (g == nullptr) return true;  // no such graph: no solutions
+      const Graph* saved = st.graph;
+      st.graph = g;
+      Result<bool> r = EvalGroup(child, st, k);
+      st.graph = saved;
+      return r;
+    }
+    const std::string& var = e.graph_name.var;
+    auto it = st.binding.find(var);
+    if (it != st.binding.end()) {
+      if (!it->second.IsIri()) return true;
+      const Graph* g = dataset_->FindNamed(it->second.iri());
+      if (g == nullptr) return true;
+      const Graph* saved = st.graph;
+      st.graph = g;
+      Result<bool> r = EvalGroup(child, st, k);
+      st.graph = saved;
+      return r;
+    }
+    for (const auto& [iri, g] : dataset_->named_graphs()) {
+      st.binding[var] = Term::Iri(iri);
+      const Graph* saved = st.graph;
+      st.graph = &g;
+      Result<bool> r = EvalGroup(child, st, k);
+      st.graph = saved;
+      st.binding.erase(var);
+      if (!r.ok()) return r;
+      if (!*r) return false;
+    }
+    return true;
+  }
+
+  Result<bool> EvalValues(const PatternElement& e, State& st, const Cont& k) {
+    for (const auto& row : e.values.rows) {
+      std::vector<std::string> bound_here;
+      bool compatible = true;
+      for (size_t c = 0; c < e.values.vars.size(); ++c) {
+        const Term& v = row[c];
+        if (v.IsUndef()) continue;
+        auto it = st.binding.find(e.values.vars[c]);
+        if (it != st.binding.end()) {
+          if (!(it->second == v)) {
+            compatible = false;
+            break;
+          }
+        } else {
+          st.binding[e.values.vars[c]] = v;
+          bound_here.push_back(e.values.vars[c]);
+        }
+      }
+      Result<bool> r = compatible ? k() : Result<bool>(true);
+      for (const std::string& v : bound_here) st.binding.erase(v);
+      if (!r.ok()) return r;
+      if (!*r) return false;
+    }
+    return true;
+  }
+
+  Result<bool> EvalMinus(const PatternElement& e, State& st, const Cont& k) {
+    // MINUS: drop the current solution when some solution of the child
+    // pattern is compatible with it and shares at least one variable.
+    auto cache_it = minus_cache_.find(e.child.get());
+    if (cache_it == minus_cache_.end()) {
+      std::vector<Binding> solutions;
+      State sub{st.graph, Binding()};
+      SCISPARQL_ASSIGN_OR_RETURN(bool ok,
+                                 EvalGroup(*e.child, sub, [&]() -> Result<bool> {
+                                   solutions.push_back(sub.binding);
+                                   return true;
+                                 }));
+      (void)ok;
+      cache_it = minus_cache_.emplace(e.child.get(), std::move(solutions)).first;
+    }
+    for (const Binding& other : cache_it->second) {
+      bool shares = false;
+      bool compatible = true;
+      for (const auto& [var, value] : other) {
+        auto it = st.binding.find(var);
+        if (it == st.binding.end()) continue;
+        shares = true;
+        if (!(it->second == value)) {
+          compatible = false;
+          break;
+        }
+      }
+      if (shares && compatible) return true;  // dropped
+    }
+    return k();
+  }
+
+  Result<bool> EvalSubSelect(const PatternElement& e, State& st,
+                             const Cont& k) {
+    // SPARQL subqueries evaluate bottom-up: the inner SELECT runs once
+    // (against the dataset's default graph), then its projected rows join
+    // with the outer solution on shared variable names.
+    auto it = subselect_cache_.find(e.subquery.get());
+    if (it == subselect_cache_.end()) {
+      SCISPARQL_ASSIGN_OR_RETURN(QueryResult rows,
+                                 Select(*e.subquery, Binding()));
+      it = subselect_cache_.emplace(e.subquery.get(), std::move(rows)).first;
+    }
+    const QueryResult& rows = it->second;
+    for (const auto& row : rows.rows) {
+      std::vector<std::string> bound_here;
+      bool compatible = true;
+      for (size_t c = 0; c < rows.columns.size() && c < row.size(); ++c) {
+        if (row[c].IsUndef()) continue;
+        auto found = st.binding.find(rows.columns[c]);
+        if (found != st.binding.end()) {
+          if (!(found->second == row[c])) {
+            compatible = false;
+            break;
+          }
+        } else {
+          st.binding[rows.columns[c]] = row[c];
+          bound_here.push_back(rows.columns[c]);
+        }
+      }
+      Result<bool> r = compatible ? k() : Result<bool>(true);
+      for (const std::string& v : bound_here) st.binding.erase(v);
+      if (!r.ok()) return r;
+      if (!*r) return false;
+    }
+    return true;
+  }
+
+  // --- BGP evaluation with greedy cost-based ordering (Section 5.4). ---
+
+  /// Cardinality estimate of a pattern under the current binding.
+  /// `will_be_bound` are variables bound by already-chosen patterns (values
+  /// unknown, so they discount the estimate instead of indexing).
+  int64_t EstimatePattern(const TriplePattern& tp, const State& st,
+                          const std::set<std::string>& will_be_bound) const {
+    auto resolve = [&](const VarOrTerm& vt)
+        -> std::pair<std::optional<Term>, bool> {
+      if (!vt.is_var) return {vt.term, false};
+      auto it = st.binding.find(vt.var);
+      if (it != st.binding.end()) return {it->second, false};
+      return {std::nullopt, will_be_bound.count(vt.var) > 0};
+    };
+    if (tp.path != nullptr) {
+      // Complex paths: prefer them once an endpoint is bound.
+      auto [s, s_later] = resolve(tp.s);
+      auto [o, o_later] = resolve(tp.o);
+      int64_t base = static_cast<int64_t>(st.graph->size()) + 1;
+      if (s || o) return base / 10 + 1;
+      if (s_later || o_later) return base / 2 + 1;
+      return base;
+    }
+    auto [s, s_later] = resolve(tp.s);
+    auto [p, p_later] = resolve(tp.p);
+    auto [o, o_later] = resolve(tp.o);
+    int64_t est = st.graph->EstimateMatches(s, p, o) + 1;
+    // Join variables (bound later by chosen patterns) shrink the result.
+    int later = (s_later ? 1 : 0) + (p_later ? 1 : 0) + (o_later ? 1 : 0);
+    for (int i = 0; i < later; ++i) est = est / 4 + 1;
+    return est;
+  }
+
+  std::vector<const TriplePattern*> OrderBgp(
+      const std::vector<const TriplePattern*>& bgp, const State& st) const {
+    if (!options_.optimize_join_order || bgp.size() <= 1) return bgp;
+    std::vector<const TriplePattern*> remaining = bgp;
+    std::vector<const TriplePattern*> ordered;
+    std::set<std::string> bound;
+    auto add_vars = [&bound](const TriplePattern& tp) {
+      if (tp.s.is_var) bound.insert(tp.s.var);
+      if (tp.p.is_var) bound.insert(tp.p.var);
+      if (tp.o.is_var) bound.insert(tp.o.var);
+    };
+    while (!remaining.empty()) {
+      size_t best = 0;
+      int64_t best_est = EstimatePattern(*remaining[0], st, bound);
+      for (size_t i = 1; i < remaining.size(); ++i) {
+        int64_t est = EstimatePattern(*remaining[i], st, bound);
+        if (est < best_est) {
+          best = i;
+          best_est = est;
+        }
+      }
+      ordered.push_back(remaining[best]);
+      add_vars(*remaining[best]);
+      remaining.erase(remaining.begin() + best);
+    }
+    return ordered;
+  }
+
+  Result<bool> EvalBgp(const std::vector<const TriplePattern*>& bgp,
+                       const std::vector<const ast::Expr*>& filters,
+                       State& st, const Cont& k) {
+    std::vector<const TriplePattern*> ordered = OrderBgp(bgp, st);
+    std::vector<bool> filter_done(filters.size(), false);
+    return EvalBgpRec(ordered, filters, &filter_done, 0, st, k);
+  }
+
+  Result<bool> EvalBgpRec(const std::vector<const TriplePattern*>& patterns,
+                          const std::vector<const ast::Expr*>& filters,
+                          std::vector<bool>* filter_done, size_t i, State& st,
+                          const Cont& k) {
+    // Apply any pushed filter whose variables are now all bound.
+    std::vector<size_t> applied_here;
+    for (size_t f = 0; f < filters.size(); ++f) {
+      if ((*filter_done)[f]) continue;
+      std::set<std::string> vars;
+      CollectExprVars(*filters[f], &vars);
+      bool ready = true;
+      for (const std::string& v : vars) {
+        if (st.binding.count(v) == 0) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) continue;
+      (*filter_done)[f] = true;
+      applied_here.push_back(f);
+      SCISPARQL_ASSIGN_OR_RETURN(bool pass, EvalFilter(*filters[f], st));
+      if (!pass) {
+        for (size_t g : applied_here) (*filter_done)[g] = false;
+        return true;
+      }
+    }
+    auto undo_filters = [&]() {
+      for (size_t g : applied_here) (*filter_done)[g] = false;
+    };
+
+    if (i >= patterns.size()) {
+      // Remaining filters reference unbound vars: evaluate (will reject
+      // solutions via error->false) to respect SPARQL semantics.
+      for (size_t f = 0; f < filters.size(); ++f) {
+        if ((*filter_done)[f]) continue;
+        SCISPARQL_ASSIGN_OR_RETURN(bool pass, EvalFilter(*filters[f], st));
+        if (!pass) {
+          undo_filters();
+          return true;
+        }
+      }
+      Result<bool> r = k();
+      undo_filters();
+      return r;
+    }
+
+    const TriplePattern& tp = *patterns[i];
+    Result<bool> result = true;
+
+    if (tp.path != nullptr) {
+      result = EvalPathPattern(tp, patterns, filters, filter_done, i, st, k);
+      undo_filters();
+      return result;
+    }
+
+    auto resolve = [&](const VarOrTerm& vt) -> Term {
+      if (!vt.is_var) return vt.term;
+      auto it = st.binding.find(vt.var);
+      return it == st.binding.end() ? Term() : it->second;
+    };
+    Term s = resolve(tp.s);
+    Term p = resolve(tp.p);
+    Term o = resolve(tp.o);
+
+    Status inner_status = Status::OK();
+    bool keep_going = true;
+    st.graph->Match(s, p, o, [&](const Triple& t) -> bool {
+      // Bind wildcard positions, checking repeated-variable consistency.
+      std::vector<std::string> bound_here;
+      auto bind_pos = [&](const VarOrTerm& vt, const Term& value) -> bool {
+        if (!vt.is_var) return true;
+        auto it = st.binding.find(vt.var);
+        if (it != st.binding.end()) return it->second == value;
+        st.binding[vt.var] = value;
+        bound_here.push_back(vt.var);
+        return true;
+      };
+      bool consistent = bind_pos(tp.s, t.s) && bind_pos(tp.p, t.p) &&
+                        bind_pos(tp.o, t.o);
+      if (consistent) {
+        Result<bool> r =
+            EvalBgpRec(patterns, filters, filter_done, i + 1, st, k);
+        if (!r.ok()) {
+          inner_status = r.status();
+          keep_going = false;
+        } else if (!*r) {
+          keep_going = false;
+        }
+      }
+      for (const std::string& v : bound_here) st.binding.erase(v);
+      return keep_going;
+    });
+    undo_filters();
+    SCISPARQL_RETURN_NOT_OK(inner_status);
+    return keep_going;
+  }
+
+  Result<bool> EvalPathPattern(
+      const TriplePattern& tp,
+      const std::vector<const TriplePattern*>& patterns,
+      const std::vector<const ast::Expr*>& filters,
+      std::vector<bool>* filter_done, size_t i, State& st, const Cont& k) {
+    auto resolve = [&](const VarOrTerm& vt) -> std::optional<Term> {
+      if (!vt.is_var) return vt.term;
+      auto it = st.binding.find(vt.var);
+      if (it == st.binding.end()) return std::nullopt;
+      return it->second;
+    };
+    std::optional<Term> s = resolve(tp.s);
+    std::optional<Term> o = resolve(tp.o);
+    bool keep_going = true;
+    Status inner_status = Status::OK();
+    Status path_status = EvalPath(
+        *tp.path, s, o, *st.graph,
+        [&](const Term& sv, const Term& ov) -> bool {
+          std::vector<std::string> bound_here;
+          bool consistent = true;
+          auto bind_pos = [&](const VarOrTerm& vt, const Term& value) {
+            if (!vt.is_var) return;
+            auto it = st.binding.find(vt.var);
+            if (it != st.binding.end()) {
+              if (!(it->second == value)) consistent = false;
+            } else {
+              st.binding[vt.var] = value;
+              bound_here.push_back(vt.var);
+            }
+          };
+          bind_pos(tp.s, sv);
+          if (consistent) bind_pos(tp.o, ov);
+          if (consistent) {
+            Result<bool> r =
+                EvalBgpRec(patterns, filters, filter_done, i + 1, st, k);
+            if (!r.ok()) {
+              inner_status = r.status();
+              keep_going = false;
+            } else if (!*r) {
+              keep_going = false;
+            }
+          }
+          for (const std::string& v : bound_here) st.binding.erase(v);
+          return keep_going;
+        });
+    SCISPARQL_RETURN_NOT_OK(path_status);
+    SCISPARQL_RETURN_NOT_OK(inner_status);
+    return keep_going;
+  }
+
+  // --- Property path evaluation (Section 3.4). ---
+
+  using PairCb = std::function<bool(const Term&, const Term&)>;
+
+  Status EvalPath(const ast::Path& path, const std::optional<Term>& start,
+                  const std::optional<Term>& end, const Graph& g,
+                  const PairCb& cb) {
+    using K = ast::Path::Kind;
+    switch (path.kind) {
+      case K::kLink: {
+        Term p = Term::Iri(path.iri);
+        Term s = start.value_or(Term());
+        Term o = end.value_or(Term());
+        g.Match(s, p, o,
+                [&](const Triple& t) -> bool { return cb(t.s, t.o); });
+        return Status::OK();
+      }
+      case K::kInverse:
+        return EvalPath(*path.a, end, start, g,
+                        [&cb](const Term& s, const Term& o) {
+                          return cb(o, s);
+                        });
+      case K::kSequence: {
+        Status status = Status::OK();
+        bool more = true;
+        if (start.has_value() || !end.has_value()) {
+          // Forward: a from start, then b to end.
+          SCISPARQL_RETURN_NOT_OK(EvalPath(
+              *path.a, start, std::nullopt, g,
+              [&](const Term& s, const Term& mid) -> bool {
+                Status st2 = EvalPath(*path.b, mid, end, g,
+                                      [&](const Term&, const Term& o) {
+                                        more = cb(s, o);
+                                        return more;
+                                      });
+                if (!st2.ok()) {
+                  status = st2;
+                  return false;
+                }
+                return more;
+              }));
+          return status;
+        }
+        // Backward: b to end, then a to the midpoint.
+        SCISPARQL_RETURN_NOT_OK(EvalPath(
+            *path.b, std::nullopt, end, g,
+            [&](const Term& mid, const Term& o) -> bool {
+              Status st2 = EvalPath(*path.a, std::nullopt, mid, g,
+                                    [&](const Term& s, const Term&) {
+                                      more = cb(s, o);
+                                      return more;
+                                    });
+              if (!st2.ok()) {
+                status = st2;
+                return false;
+              }
+              return more;
+            }));
+        return status;
+      }
+      case K::kAlternative: {
+        bool more = true;
+        SCISPARQL_RETURN_NOT_OK(
+            EvalPath(*path.a, start, end, g, [&](const Term& s, const Term& o) {
+              more = cb(s, o);
+              return more;
+            }));
+        if (!more) return Status::OK();
+        return EvalPath(*path.b, start, end, g, cb);
+      }
+      case K::kZeroOrOne: {
+        // Zero step: start == end (or, unbound, every node with itself).
+        std::set<std::vector<Term>, RowLess> emitted;
+        bool more = true;
+        auto emit_once = [&](const Term& s, const Term& o) -> bool {
+          if (!emitted.insert({s, o}).second) return true;
+          more = cb(s, o);
+          return more;
+        };
+        if (start.has_value() && end.has_value()) {
+          if (*start == *end && !emit_once(*start, *end)) return Status::OK();
+        } else if (start.has_value()) {
+          if (!emit_once(*start, *start)) return Status::OK();
+        } else if (end.has_value()) {
+          if (!emit_once(*end, *end)) return Status::OK();
+        } else {
+          for (const Term& n : NodeUniverse(g)) {
+            if (!emit_once(n, n)) return Status::OK();
+          }
+        }
+        if (!more) return Status::OK();
+        return EvalPath(*path.a, start, end, g, emit_once);
+      }
+      case K::kZeroOrMore:
+      case K::kOneOrMore: {
+        bool include_zero = path.kind == K::kZeroOrMore;
+        if (start.has_value()) {
+          return ClosureFrom(*path.a, *start, end, g, include_zero, false, cb);
+        }
+        if (end.has_value()) {
+          // Traverse the inverse path from the bound end.
+          return ClosureFrom(*path.a, *end, std::nullopt, g, include_zero,
+                             true, [&cb](const Term& o, const Term& s) {
+                               return cb(s, o);
+                             });
+        }
+        for (const Term& n : NodeUniverse(g)) {
+          bool more = true;
+          SCISPARQL_RETURN_NOT_OK(ClosureFrom(
+              *path.a, n, std::nullopt, g, include_zero, false,
+              [&](const Term& s, const Term& o) {
+                more = cb(s, o);
+                return more;
+              }));
+          if (!more) return Status::OK();
+        }
+        return Status::OK();
+      }
+      case K::kNegatedSet: {
+        Term s = start.value_or(Term());
+        Term o = end.value_or(Term());
+        bool more = true;
+        g.Match(s, Term(), o, [&](const Triple& t) -> bool {
+          if (!t.p.IsIri()) return true;
+          for (const std::string& iri : path.negated) {
+            if (t.p.iri() == iri) return true;
+          }
+          more = cb(t.s, t.o);
+          return more;
+        });
+        if (!more || path.negated_inverse.empty()) return Status::OK();
+        // Inverse part: edges o <- s whose predicate is not in the set.
+        g.Match(o, Term(), s, [&](const Triple& t) -> bool {
+          if (!t.p.IsIri()) return true;
+          for (const std::string& iri : path.negated_inverse) {
+            if (t.p.iri() == iri) return true;
+          }
+          return cb(t.o, t.s);
+        });
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unknown path kind");
+  }
+
+  /// Breadth-first transitive closure of `step` starting at `origin`.
+  Status ClosureFrom(const ast::Path& step, const Term& origin,
+                     const std::optional<Term>& end, const Graph& g,
+                     bool include_zero, bool inverse, const PairCb& cb) {
+    // `visited` guards the frontier (each node is expanded once);
+    // `emitted` guards result pairs. They differ for the origin: when the
+    // origin is reachable through a cycle, one-or-more must report it even
+    // though it was never *enqueued* again.
+    std::unordered_set<Term, TermHash> visited;
+    std::unordered_set<Term, TermHash> emitted;
+    std::vector<Term> frontier = {origin};
+    visited.insert(origin);
+    int64_t budget = options_.max_path_visits;
+    bool more = true;
+    auto emit = [&](const Term& node) -> bool {
+      if (!emitted.insert(node).second) return true;
+      if (end.has_value() && !(*end == node)) return true;
+      more = cb(origin, node);
+      return more;
+    };
+    if (include_zero && !emit(origin)) return Status::OK();
+    while (!frontier.empty() && more) {
+      std::vector<Term> next;
+      for (const Term& node : frontier) {
+        if (!more) break;
+        std::optional<Term> from = inverse ? std::nullopt
+                                           : std::optional<Term>(node);
+        std::optional<Term> to =
+            inverse ? std::optional<Term>(node) : std::nullopt;
+        SCISPARQL_RETURN_NOT_OK(
+            EvalPath(step, from, to, g, [&](const Term& s, const Term& o) {
+              const Term& reached = inverse ? s : o;
+              if (--budget <= 0) {
+                more = false;
+                return false;
+              }
+              if (visited.insert(reached).second) next.push_back(reached);
+              return emit(reached);
+            }));
+      }
+      frontier = std::move(next);
+    }
+    return Status::OK();
+  }
+
+  const std::vector<Term>& NodeUniverse(const Graph& g) {
+    if (universe_graph_ != &g) {
+      universe_.clear();
+      std::unordered_set<Term, TermHash> seen;
+      g.ForEach([&](const Triple& t) {
+        if (seen.insert(t.s).second) universe_.push_back(t.s);
+        if (seen.insert(t.o).second) universe_.push_back(t.o);
+      });
+      universe_graph_ = &g;
+    }
+    return universe_;
+  }
+
+  // --- Expression context. ---
+
+  EvalContext MakeCtx(State& st) {
+    EvalContext ctx;
+    ctx.registry = registry_;
+    ctx.lookup = [&st](const std::string& name) -> Term {
+      auto it = st.binding.find(name);
+      return it == st.binding.end() ? Term() : it->second;
+    };
+    ctx.eval_exists = [this, &st](const GraphPattern& gp) -> Result<bool> {
+      bool found = false;
+      State sub{st.graph, st.binding};
+      SCISPARQL_ASSIGN_OR_RETURN(bool ok,
+                                 EvalGroup(gp, sub, [&found]() -> Result<bool> {
+                                   found = true;
+                                   return false;  // stop at first
+                                 }));
+      (void)ok;
+      return found;
+    };
+    ctx.call_defined = [this](const ast::FunctionDef& def,
+                              const std::vector<Term>& args) {
+      return CallDefined(def, args);
+    };
+    return ctx;
+  }
+
+  // --- Query forms. ---
+
+  Result<std::vector<Binding>> CollectSolutions(const SelectQuery& q,
+                                                Binding initial) {
+    const Graph* graph = &dataset_->default_graph();
+    // FROM <g>: query the merge of the named graphs instead of the default.
+    Graph merged;
+    if (!q.from.empty()) {
+      for (const std::string& iri : q.from) {
+        const Graph* g = dataset_->FindNamed(iri);
+        if (g != nullptr) {
+          g->ForEach([&merged](const Triple& t) { merged.Add(t); });
+        }
+      }
+      graph = &merged;
+    }
+    State st{graph, std::move(initial)};
+    std::vector<Binding> out;
+    SCISPARQL_ASSIGN_OR_RETURN(bool ok,
+                               EvalGroup(q.where, st, [&]() -> Result<bool> {
+                                 out.push_back(st.binding);
+                                 return true;
+                               }));
+    (void)ok;
+    return out;
+  }
+
+  /// Projections with expansion of SELECT *.
+  std::vector<SelectQuery::Projection> EffectiveProjections(
+      const SelectQuery& q) {
+    if (!q.select_all) return q.projections;
+    std::vector<std::string> vars;
+    std::set<std::string> seen;
+    CollectPatternVars(q.where, &vars, &seen);
+    std::vector<SelectQuery::Projection> out;
+    for (const std::string& v : vars) {
+      out.push_back({ast::Expr::MakeVar(v), v});
+    }
+    return out;
+  }
+
+  bool HasAggregates(const SelectQuery& q,
+                     const std::vector<SelectQuery::Projection>& projs) {
+    if (!q.group_by.empty()) return true;
+    std::vector<const ast::Expr*> aggs;
+    for (const auto& p : projs) CollectAggNodes(*p.expr, &aggs);
+    for (const auto& h : q.having) CollectAggNodes(*h, &aggs);
+    return !aggs.empty();
+  }
+
+  Result<Term> EvalAggregate(const ast::Expr& agg,
+                             const std::vector<Binding>& rows,
+                             const Graph* graph) {
+    std::vector<Term> values;
+    std::set<std::vector<Term>, RowLess> distinct;
+    for (const Binding& row : rows) {
+      if (agg.agg_arg == nullptr) {
+        // COUNT(*).
+        values.push_back(Term::Integer(1));
+        continue;
+      }
+      State st{graph, row};
+      EvalContext ctx = MakeCtx(st);
+      Result<Term> v = EvalExpr(*agg.agg_arg, ctx);
+      if (!v.ok() || v->IsUndef()) continue;  // errors are skipped
+      if (agg.agg_distinct && !distinct.insert({*v}).second) continue;
+      values.push_back(std::move(*v));
+    }
+    switch (agg.agg) {
+      case ast::AggFunc::kCount:
+        return Term::Integer(static_cast<int64_t>(values.size()));
+      case ast::AggFunc::kSum:
+      case ast::AggFunc::kAvg: {
+        double sum = 0;
+        bool all_int = true;
+        for (const Term& v : values) {
+          SCISPARQL_ASSIGN_OR_RETURN(double d, v.AsDouble());
+          if (v.kind() != Term::Kind::kInteger) all_int = false;
+          sum += d;
+        }
+        if (agg.agg == ast::AggFunc::kSum) {
+          if (all_int) return Term::Integer(static_cast<int64_t>(sum));
+          return Term::Double(sum);
+        }
+        if (values.empty()) return Status::TypeError("AVG of empty group");
+        return Term::Double(sum / static_cast<double>(values.size()));
+      }
+      case ast::AggFunc::kMin:
+      case ast::AggFunc::kMax: {
+        if (values.empty()) {
+          return Status::TypeError("MIN/MAX of empty group");
+        }
+        Term best = values[0];
+        for (size_t i = 1; i < values.size(); ++i) {
+          int c = Term::Compare(values[i], best);
+          if ((agg.agg == ast::AggFunc::kMin && c < 0) ||
+              (agg.agg == ast::AggFunc::kMax && c > 0)) {
+            best = values[i];
+          }
+        }
+        return best;
+      }
+      case ast::AggFunc::kGroupConcat: {
+        std::string out;
+        for (size_t i = 0; i < values.size(); ++i) {
+          if (i > 0) out += agg.agg_sep;
+          if (values[i].kind() == Term::Kind::kString) {
+            out += values[i].lexical();
+          } else {
+            out += values[i].ToString();
+          }
+        }
+        return Term::String(std::move(out));
+      }
+      case ast::AggFunc::kSample:
+        if (values.empty()) return Status::TypeError("SAMPLE of empty group");
+        return values[0];
+    }
+    return Status::Internal("unknown aggregate");
+  }
+
+  Result<QueryResult> Select(const SelectQuery& q, Binding initial) {
+    SCISPARQL_ASSIGN_OR_RETURN(std::vector<Binding> solutions,
+                               CollectSolutions(q, std::move(initial)));
+    std::vector<SelectQuery::Projection> projs = EffectiveProjections(q);
+    const Graph* graph = &dataset_->default_graph();
+
+    QueryResult result;
+    for (const auto& p : projs) result.columns.push_back(p.name);
+
+    struct OutRow {
+      std::vector<Term> cells;
+      std::vector<Term> order_keys;
+    };
+    std::vector<OutRow> rows;
+
+    if (HasAggregates(q, projs)) {
+      // Group solutions.
+      std::map<std::vector<Term>, std::vector<Binding>, RowLess> groups;
+      for (const Binding& sol : solutions) {
+        std::vector<Term> key;
+        State st{graph, sol};
+        EvalContext ctx = MakeCtx(st);
+        for (const auto& ge : q.group_by) {
+          Result<Term> v = EvalExpr(*ge, ctx);
+          key.push_back(v.ok() ? *v : Term());
+        }
+        groups[key].push_back(sol);
+      }
+      if (groups.empty() && q.group_by.empty()) {
+        groups[{}] = {};  // single empty group: COUNT(*) = 0 etc.
+      }
+      // Aggregate nodes used anywhere in the output.
+      std::vector<const ast::Expr*> agg_nodes;
+      for (const auto& p : projs) CollectAggNodes(*p.expr, &agg_nodes);
+      for (const auto& h : q.having) CollectAggNodes(*h, &agg_nodes);
+      for (const auto& o : q.order_by) CollectAggNodes(*o.expr, &agg_nodes);
+
+      for (const auto& [key, members] : groups) {
+        std::map<const ast::Expr*, Term> agg_values;
+        bool agg_error = false;
+        for (const ast::Expr* node : agg_nodes) {
+          Result<Term> v = EvalAggregate(*node, members, graph);
+          if (v.ok()) {
+            agg_values[node] = *v;
+          } else {
+            agg_error = true;  // leaves the aggregate undefined
+          }
+        }
+        (void)agg_error;
+        // Representative binding: first member, or group-key bindings.
+        Binding rep = members.empty() ? Binding() : members.front();
+        State st{graph, rep};
+        EvalContext ctx = MakeCtx(st);
+        ctx.agg_values = &agg_values;
+        // HAVING.
+        bool keep = true;
+        for (const auto& h : q.having) {
+          Result<Term> v = EvalExpr(*h, ctx);
+          if (!v.ok()) {
+            keep = false;
+            break;
+          }
+          Result<bool> b = EffectiveBooleanValue(*v);
+          if (!b.ok() || !*b) {
+            keep = false;
+            break;
+          }
+        }
+        if (!keep) continue;
+        OutRow row;
+        for (const auto& p : projs) {
+          Result<Term> v = EvalExpr(*p.expr, ctx);
+          row.cells.push_back(v.ok() ? *v : Term());
+        }
+        for (const auto& o : q.order_by) {
+          Result<Term> v = EvalExpr(*o.expr, ctx);
+          row.order_keys.push_back(v.ok() ? *v : Term());
+        }
+        rows.push_back(std::move(row));
+      }
+    } else {
+      for (const Binding& sol : solutions) {
+        State st{graph, sol};
+        EvalContext ctx = MakeCtx(st);
+        OutRow row;
+        for (const auto& p : projs) {
+          Result<Term> v = EvalExpr(*p.expr, ctx);
+          row.cells.push_back(v.ok() ? *v : Term());
+        }
+        for (const auto& o : q.order_by) {
+          Result<Term> v = EvalExpr(*o.expr, ctx);
+          row.order_keys.push_back(v.ok() ? *v : Term());
+        }
+        rows.push_back(std::move(row));
+      }
+    }
+
+    // ORDER BY.
+    if (!q.order_by.empty()) {
+      std::stable_sort(rows.begin(), rows.end(),
+                       [&q](const OutRow& a, const OutRow& b) {
+                         for (size_t i = 0; i < q.order_by.size(); ++i) {
+                           int c = Term::Compare(a.order_keys[i],
+                                                 b.order_keys[i]);
+                           if (c != 0) {
+                             return q.order_by[i].ascending ? c < 0 : c > 0;
+                           }
+                         }
+                         return false;
+                       });
+    }
+
+    // DISTINCT / REDUCED.
+    if (q.distinct || q.reduced) {
+      std::set<std::vector<Term>, RowLess> seen;
+      std::vector<OutRow> unique;
+      for (OutRow& row : rows) {
+        if (seen.insert(row.cells).second) unique.push_back(std::move(row));
+      }
+      rows = std::move(unique);
+    }
+
+    // OFFSET / LIMIT.
+    size_t begin = std::min(static_cast<size_t>(std::max<int64_t>(q.offset, 0)),
+                            rows.size());
+    size_t end = rows.size();
+    if (q.limit >= 0) {
+      end = std::min(end, begin + static_cast<size_t>(q.limit));
+    }
+    for (size_t i = begin; i < end; ++i) {
+      result.rows.push_back(std::move(rows[i].cells));
+    }
+    return result;
+  }
+
+  Result<bool> Ask(const SelectQuery& q) {
+    const Graph* graph = &dataset_->default_graph();
+    State st{graph, Binding()};
+    bool found = false;
+    SCISPARQL_ASSIGN_OR_RETURN(bool ok,
+                               EvalGroup(q.where, st, [&found]() -> Result<bool> {
+                                 found = true;
+                                 return false;
+                               }));
+    (void)ok;
+    return found;
+  }
+
+  Result<Graph> Construct(const SelectQuery& q) {
+    SCISPARQL_ASSIGN_OR_RETURN(std::vector<Binding> solutions,
+                               CollectSolutions(q, Binding()));
+    Graph out;
+    int blank_round = 0;
+    for (const Binding& sol : solutions) {
+      ++blank_round;
+      std::map<std::string, Term> blank_map;
+      bool ok = true;
+      std::vector<Triple> staged;
+      for (const TriplePattern& tp : q.construct_template) {
+        auto instantiate = [&](const VarOrTerm& vt) -> Term {
+          if (vt.is_var) {
+            if (IsInternalVar(vt.var)) {
+              // Collection / blank-list scaffolding in the template:
+              // fresh blank per solution.
+              auto [it, inserted] = blank_map.emplace(
+                  vt.var, Term::Blank(vt.var + "_" +
+                                      std::to_string(blank_round)));
+              (void)inserted;
+              return it->second;
+            }
+            auto it = sol.find(vt.var);
+            return it == sol.end() ? Term() : it->second;
+          }
+          if (vt.term.IsBlank()) {
+            auto [it, inserted] = blank_map.emplace(
+                vt.term.blank_label(),
+                Term::Blank(vt.term.blank_label() + "_" +
+                            std::to_string(blank_round)));
+            (void)inserted;
+            return it->second;
+          }
+          return vt.term;
+        };
+        Triple t{instantiate(tp.s), instantiate(tp.p), instantiate(tp.o)};
+        if (t.s.IsUndef() || t.p.IsUndef() || t.o.IsUndef() ||
+            t.s.IsLiteral() || !(t.p.IsIri())) {
+          ok = false;
+          break;
+        }
+        staged.push_back(std::move(t));
+      }
+      if (!ok) continue;
+      for (Triple& t : staged) out.Add(std::move(t));
+    }
+    return out;
+  }
+
+  Result<Graph> Describe(const SelectQuery& q) {
+    // Collect the resources to describe.
+    std::vector<Term> targets;
+    auto add_target = [&targets](Term t) {
+      for (const Term& existing : targets) {
+        if (existing == t) return;
+      }
+      targets.push_back(std::move(t));
+    };
+    if (q.has_where) {
+      SCISPARQL_ASSIGN_OR_RETURN(std::vector<Binding> solutions,
+                                 CollectSolutions(q, Binding()));
+      for (const Binding& sol : solutions) {
+        for (const VarOrTerm& target : q.describe_targets) {
+          if (target.is_var) {
+            auto it = sol.find(target.var);
+            if (it != sol.end()) add_target(it->second);
+          } else {
+            add_target(target.term);
+          }
+        }
+      }
+    } else {
+      for (const VarOrTerm& target : q.describe_targets) {
+        if (!target.is_var) add_target(target.term);
+      }
+    }
+    // Concise bounded description: all triples with the target as subject,
+    // expanding blank-node objects transitively.
+    const Graph& g = dataset_->default_graph();
+    Graph out;
+    std::unordered_set<Term, TermHash> visited;
+    std::vector<Term> frontier = targets;
+    while (!frontier.empty()) {
+      Term node = frontier.back();
+      frontier.pop_back();
+      if (!visited.insert(node).second) continue;
+      for (const Triple& t : g.MatchAll(node, Term(), Term())) {
+        out.Add(t);
+        if (t.o.IsBlank()) frontier.push_back(t.o);
+      }
+    }
+    return out;
+  }
+
+  Status Update(const ast::UpdateOp& op) {
+    using K = ast::UpdateOp::Kind;
+    Graph* target = op.graph.empty() ? &dataset_->default_graph()
+                                     : &dataset_->GetOrCreateNamed(op.graph);
+    switch (op.kind) {
+      case K::kInsertData: {
+        Binding empty;
+        SCISPARQL_RETURN_NOT_OK(
+            InstantiateInto(op.insert_template, empty, target, true));
+        // Numeric collections written in the data block consolidate into
+        // array values, exactly as they do at Turtle load time.
+        SCISPARQL_ASSIGN_OR_RETURN(int n,
+                                   loaders::ConsolidateCollections(target));
+        (void)n;
+        return Status::OK();
+      }
+      case K::kDeleteData: {
+        for (const TriplePattern& tp : op.delete_template) {
+          if (tp.s.is_var || tp.p.is_var || tp.o.is_var) {
+            return Status::InvalidArgument("DELETE DATA must be ground");
+          }
+          target->Remove(Triple{tp.s.term, tp.p.term, tp.o.term});
+        }
+        return Status::OK();
+      }
+      case K::kDeleteWhere:
+      case K::kModify: {
+        SelectQuery probe;
+        probe.where = op.where;
+        probe.select_all = true;
+        SCISPARQL_ASSIGN_OR_RETURN(std::vector<Binding> solutions,
+                                   CollectSolutions(probe, Binding()));
+        // Stage deletions and insertions, then apply (so an update never
+        // observes its own effects, per SPARQL Update semantics).
+        std::vector<Triple> to_delete;
+        std::vector<Triple> to_insert;
+        for (const Binding& sol : solutions) {
+          SCISPARQL_RETURN_NOT_OK(
+              StageTemplate(op.delete_template, sol, &to_delete));
+          SCISPARQL_RETURN_NOT_OK(
+              StageTemplate(op.insert_template, sol, &to_insert));
+        }
+        for (const Triple& t : to_delete) target->Remove(t);
+        for (const Triple& t : to_insert) target->Add(t);
+        return Status::OK();
+      }
+      case K::kLoad: {
+        loaders::TurtleOptions topt;
+        return loaders::LoadTurtleFile(op.load_source, target, topt);
+      }
+      case K::kClear: {
+        if (op.clear_all) {
+          dataset_->default_graph().Clear();
+          std::vector<std::string> names;
+          for (const auto& [iri, g] : dataset_->named_graphs()) {
+            names.push_back(iri);
+          }
+          for (const std::string& iri : names) dataset_->DropNamed(iri);
+          return Status::OK();
+        }
+        target->Clear();
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unknown update kind");
+  }
+
+  Status StageTemplate(const std::vector<TriplePattern>& tmpl,
+                       const Binding& sol, std::vector<Triple>* out) {
+    for (const TriplePattern& tp : tmpl) {
+      auto instantiate = [&](const VarOrTerm& vt) -> Term {
+        if (!vt.is_var) return vt.term;
+        auto it = sol.find(vt.var);
+        return it == sol.end() ? Term() : it->second;
+      };
+      Triple t{instantiate(tp.s), instantiate(tp.p), instantiate(tp.o)};
+      if (t.s.IsUndef() || t.p.IsUndef() || t.o.IsUndef()) continue;
+      out->push_back(std::move(t));
+    }
+    return Status::OK();
+  }
+
+  Status InstantiateInto(const std::vector<TriplePattern>& tmpl,
+                         const Binding& sol, Graph* target, bool fresh_blanks) {
+    std::map<std::string, Term> blank_map;
+    for (const TriplePattern& tp : tmpl) {
+      auto instantiate = [&](const VarOrTerm& vt) -> Result<Term> {
+        if (vt.is_var) {
+          // Parser-generated variables (from collections `(...)` and
+          // blank-node lists `[...]` inside the data block) become fresh
+          // blank nodes, like explicit blank labels do.
+          if (IsInternalVar(vt.var)) {
+            auto it = blank_map.find(vt.var);
+            if (it == blank_map.end()) {
+              it = blank_map
+                       .emplace(vt.var,
+                                Term::Blank(target->FreshBlankLabel()))
+                       .first;
+            }
+            return it->second;
+          }
+          auto it = sol.find(vt.var);
+          if (it == sol.end()) {
+            return Status::InvalidArgument("unbound variable in data block");
+          }
+          return it->second;
+        }
+        if (fresh_blanks && vt.term.IsBlank()) {
+          auto it = blank_map.find(vt.term.blank_label());
+          if (it == blank_map.end()) {
+            it = blank_map
+                     .emplace(vt.term.blank_label(),
+                              Term::Blank(target->FreshBlankLabel()))
+                     .first;
+          }
+          return it->second;
+        }
+        return vt.term;
+      };
+      SCISPARQL_ASSIGN_OR_RETURN(Term s, instantiate(tp.s));
+      SCISPARQL_ASSIGN_OR_RETURN(Term p, instantiate(tp.p));
+      SCISPARQL_ASSIGN_OR_RETURN(Term o, instantiate(tp.o));
+      target->Add(std::move(s), std::move(p), std::move(o));
+    }
+    return Status::OK();
+  }
+
+  Result<std::vector<Term>> CallDefined(const ast::FunctionDef& def,
+                                        const std::vector<Term>& args) {
+    if (++call_depth_ > 64) {
+      --call_depth_;
+      return Status::InvalidArgument("function recursion too deep: " +
+                                     def.name);
+    }
+    Binding initial;
+    for (size_t i = 0; i < def.params.size(); ++i) {
+      initial[def.params[i]] = args[i];
+    }
+    Result<QueryResult> result = Select(*def.body, std::move(initial));
+    --call_depth_;
+    SCISPARQL_RETURN_NOT_OK(result.status());
+    std::vector<Term> bag;
+    for (const auto& row : result->rows) {
+      if (!row.empty() && !row[0].IsUndef()) bag.push_back(row[0]);
+    }
+    return bag;
+  }
+
+  Result<std::string> Explain(const SelectQuery& q) {
+    std::ostringstream out;
+    out << "plan for " << (q.form == SelectQuery::Form::kSelect ? "SELECT"
+                           : q.form == SelectQuery::Form::kAsk ? "ASK"
+                                                               : "CONSTRUCT")
+        << ":\n";
+    ExplainGroup(q.where, 1, &out);
+    if (!q.group_by.empty()) out << "  group-by (" << q.group_by.size() << " keys)\n";
+    if (!q.order_by.empty()) out << "  order-by (" << q.order_by.size() << " keys)\n";
+    if (q.distinct) out << "  distinct\n";
+    if (q.limit >= 0) out << "  limit " << q.limit << "\n";
+    return out.str();
+  }
+
+  void ExplainGroup(const GraphPattern& gp, int depth, std::ostringstream* out) {
+    std::string pad(static_cast<size_t>(depth) * 2, ' ');
+    State st{&dataset_->default_graph(), Binding()};
+    size_t i = 0;
+    const auto& elems = gp.elements;
+    while (i < elems.size()) {
+      if (elems[i].kind == PatternElement::Kind::kTriple) {
+        std::vector<const TriplePattern*> bgp;
+        size_t j = i;
+        while (j < elems.size() &&
+               (elems[j].kind == PatternElement::Kind::kTriple ||
+                (options_.push_filters &&
+                 elems[j].kind == PatternElement::Kind::kFilter))) {
+          if (elems[j].kind == PatternElement::Kind::kTriple) {
+            bgp.push_back(&elems[j].triple);
+          }
+          ++j;
+        }
+        std::vector<const TriplePattern*> ordered = OrderBgp(bgp, st);
+        *out << pad << "bgp (" << (options_.optimize_join_order
+                                       ? "cost-ordered"
+                                       : "parse-ordered")
+             << "):\n";
+        std::set<std::string> bound;
+        for (const TriplePattern* tp : ordered) {
+          *out << pad << "  scan " << tp->s.ToString() << " "
+               << (tp->path ? std::string("<path>") : tp->p.ToString()) << " "
+               << tp->o.ToString() << "  (est "
+               << EstimatePattern(*tp, st, bound) << ")\n";
+          if (tp->s.is_var) bound.insert(tp->s.var);
+          if (tp->p.is_var) bound.insert(tp->p.var);
+          if (tp->o.is_var) bound.insert(tp->o.var);
+        }
+        i = j;
+        continue;
+      }
+      const PatternElement& e = elems[i];
+      switch (e.kind) {
+        case PatternElement::Kind::kFilter:
+          *out << pad << "filter\n";
+          break;
+        case PatternElement::Kind::kBind:
+          *out << pad << "bind ?" << e.bind_var << "\n";
+          break;
+        case PatternElement::Kind::kOptional:
+          *out << pad << "optional:\n";
+          ExplainGroup(*e.child, depth + 1, out);
+          break;
+        case PatternElement::Kind::kUnion:
+          *out << pad << "union (" << e.branches.size() << " branches):\n";
+          for (const auto& b : e.branches) ExplainGroup(*b, depth + 1, out);
+          break;
+        case PatternElement::Kind::kGraph:
+          *out << pad << "graph " << e.graph_name.ToString() << ":\n";
+          ExplainGroup(*e.child, depth + 1, out);
+          break;
+        case PatternElement::Kind::kMinus:
+          *out << pad << "minus:\n";
+          ExplainGroup(*e.child, depth + 1, out);
+          break;
+        case PatternElement::Kind::kValues:
+          *out << pad << "values (" << e.values.rows.size() << " rows)\n";
+          break;
+        case PatternElement::Kind::kGroup:
+          *out << pad << "group:\n";
+          ExplainGroup(*e.child, depth + 1, out);
+          break;
+        default:
+          break;
+      }
+      ++i;
+    }
+  }
+
+ private:
+  Dataset* dataset_;
+  FunctionRegistry* registry_;
+  const ExecOptions& options_;
+  int call_depth_ = 0;
+  std::map<const GraphPattern*, std::vector<Binding>> minus_cache_;
+  std::map<const SelectQuery*, QueryResult> subselect_cache_;
+  std::vector<Term> universe_;
+  const Graph* universe_graph_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// Executor facade.
+// ---------------------------------------------------------------------------
+
+Executor::Executor(Dataset* dataset, FunctionRegistry* registry,
+                   ExecOptions options)
+    : dataset_(dataset), registry_(registry), options_(options) {}
+
+Result<QueryResult> Executor::Select(const ast::SelectQuery& q) {
+  ExecImpl impl(dataset_, registry_, options_);
+  return impl.Select(q, {});
+}
+
+Result<bool> Executor::Ask(const ast::SelectQuery& q) {
+  ExecImpl impl(dataset_, registry_, options_);
+  return impl.Ask(q);
+}
+
+Result<Graph> Executor::Construct(const ast::SelectQuery& q) {
+  ExecImpl impl(dataset_, registry_, options_);
+  return impl.Construct(q);
+}
+
+Result<Graph> Executor::Describe(const ast::SelectQuery& q) {
+  ExecImpl impl(dataset_, registry_, options_);
+  return impl.Describe(q);
+}
+
+Status Executor::Update(const ast::UpdateOp& op) {
+  ExecImpl impl(dataset_, registry_, options_);
+  return impl.Update(op);
+}
+
+Result<std::string> Executor::Explain(const ast::SelectQuery& q) {
+  ExecImpl impl(dataset_, registry_, options_);
+  return impl.Explain(q);
+}
+
+Result<std::vector<Term>> Executor::CallDefined(const ast::FunctionDef& def,
+                                                const std::vector<Term>& args) {
+  ExecImpl impl(dataset_, registry_, options_);
+  return impl.CallDefined(def, args);
+}
+
+std::string QueryResult::ToTable(size_t max_rows) const {
+  std::vector<size_t> widths(columns.size());
+  std::vector<std::vector<std::string>> cells;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    widths[c] = columns[c].size();
+  }
+  size_t shown = std::min(max_rows, rows.size());
+  for (size_t r = 0; r < shown; ++r) {
+    std::vector<std::string> row;
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      row.push_back(rows[r][c].ToString());
+      if (c < widths.size()) widths[c] = std::max(widths[c], row[c].size());
+    }
+    cells.push_back(std::move(row));
+  }
+  std::ostringstream out;
+  auto line = [&]() {
+    for (size_t c = 0; c < columns.size(); ++c) {
+      out << "+" << std::string(widths[c] + 2, '-');
+    }
+    out << "+\n";
+  };
+  line();
+  for (size_t c = 0; c < columns.size(); ++c) {
+    out << "| " << columns[c]
+        << std::string(widths[c] - columns[c].size() + 1, ' ');
+  }
+  out << "|\n";
+  line();
+  for (const auto& row : cells) {
+    for (size_t c = 0; c < columns.size(); ++c) {
+      std::string cell = c < row.size() ? row[c] : "";
+      out << "| " << cell << std::string(widths[c] - cell.size() + 1, ' ');
+    }
+    out << "|\n";
+  }
+  line();
+  if (rows.size() > shown) {
+    out << "(" << rows.size() - shown << " more rows)\n";
+  }
+  return out.str();
+}
+
+}  // namespace sparql
+}  // namespace scisparql

@@ -1,0 +1,84 @@
+#ifndef SCISPARQL_SPARQL_EXECUTOR_H_
+#define SCISPARQL_SPARQL_EXECUTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/graph.h"
+#include "sparql/ast.h"
+#include "sparql/eval.h"
+#include "sparql/functions.h"
+#include "storage/asei.h"
+
+namespace scisparql {
+namespace sparql {
+
+/// A SELECT result: column names plus rows of terms (Undef = unbound).
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Term>> rows;
+
+  /// Fixed-width text rendering for examples and debugging.
+  std::string ToTable(size_t max_rows = 50) const;
+};
+
+/// Execution options — the knobs the E8 ablation benchmark flips.
+struct ExecOptions {
+  /// Greedy cost-based ordering of BGP triple patterns using graph
+  /// statistics (Section 5.4's cost-based optimization). Off = execute in
+  /// parse order.
+  bool optimize_join_order = true;
+
+  /// Hoist FILTERs to the earliest point where their variables are bound.
+  bool push_filters = true;
+
+  /// APR configuration threaded into array proxies created during
+  /// execution.
+  AprConfig apr;
+
+  /// Safety valve for property-path closure evaluation.
+  int64_t max_path_visits = 1000000;
+};
+
+/// Evaluates SciSPARQL queries and updates against a Dataset. The executor
+/// implements the operational semantics of Section 5.4.2: graph-pattern
+/// elements evaluate left to right with sideways information passing;
+/// within a basic graph pattern the optimizer is free to reorder joins.
+class Executor {
+ public:
+  Executor(Dataset* dataset, FunctionRegistry* registry,
+           ExecOptions options = ExecOptions());
+
+  Result<QueryResult> Select(const ast::SelectQuery& q);
+  Result<bool> Ask(const ast::SelectQuery& q);
+  Result<Graph> Construct(const ast::SelectQuery& q);
+  /// DESCRIBE: concise bounded description (subject triples plus
+  /// transitive blank-node expansion) of the target resources.
+  Result<Graph> Describe(const ast::SelectQuery& q);
+  Status Update(const ast::UpdateOp& op);
+
+  /// Text description of the executed plan (BGP order, pushed filters).
+  Result<std::string> Explain(const ast::SelectQuery& q);
+
+  /// Runs the body of a SciSPARQL-defined function with arguments bound to
+  /// its parameters; returns the bag of first-projection values.
+  Result<std::vector<Term>> CallDefined(const ast::FunctionDef& def,
+                                        const std::vector<Term>& args);
+
+  const ExecOptions& options() const { return options_; }
+  ExecOptions& options() { return options_; }
+
+ private:
+  friend class ExecImpl;
+
+  Dataset* dataset_;
+  FunctionRegistry* registry_;
+  ExecOptions options_;
+};
+
+}  // namespace sparql
+}  // namespace scisparql
+
+#endif  // SCISPARQL_SPARQL_EXECUTOR_H_

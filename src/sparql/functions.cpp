@@ -1,0 +1,75 @@
+#include "sparql/functions.h"
+
+#include <set>
+
+#include "common/string_util.h"
+
+namespace scisparql {
+namespace sparql {
+
+std::string FunctionRegistry::Normalize(const std::string& name) {
+  // IRIs are case-sensitive; bare identifiers are not.
+  if (name.find("://") != std::string::npos || name.find(':') != std::string::npos) {
+    return name;
+  }
+  return AsciiToUpper(name);
+}
+
+void FunctionRegistry::RegisterForeign(const std::string& name,
+                                       ForeignFunction fn) {
+  foreign_[Normalize(name)] = std::move(fn);
+}
+
+const ForeignFunction* FunctionRegistry::FindForeign(
+    const std::string& name) const {
+  auto it = foreign_.find(Normalize(name));
+  return it == foreign_.end() ? nullptr : &it->second;
+}
+
+Status FunctionRegistry::Define(ast::FunctionDef def) {
+  if (def.body == nullptr) {
+    return Status::InvalidArgument("function body missing");
+  }
+  defined_[Normalize(def.name)] = std::move(def);
+  return Status::OK();
+}
+
+const ast::FunctionDef* FunctionRegistry::FindDefined(
+    const std::string& name) const {
+  auto it = defined_.find(Normalize(name));
+  return it == defined_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> FunctionRegistry::ForeignNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, fn] : foreign_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> FunctionRegistry::DefinedNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, fn] : defined_) out.push_back(name);
+  return out;
+}
+
+bool IsBuiltinFunction(const std::string& upper_name) {
+  static const std::set<std::string> kBuiltins = {
+      // SPARQL 1.1 core.
+      "BOUND", "IF", "COALESCE", "STR", "LANG", "LANGMATCHES", "DATATYPE",
+      "IRI", "URI", "STRLEN", "SUBSTR", "UCASE", "LCASE", "CONTAINS",
+      "STRSTARTS", "STRENDS", "STRBEFORE", "STRAFTER", "CONCAT", "REPLACE",
+      "REGEX", "ABS", "CEIL", "FLOOR", "ROUND", "SAMETERM", "ISIRI",
+      "ISURI", "ISBLANK", "ISLITERAL", "ISNUMERIC", "STRDT", "STRLANG",
+      // SciSPARQL numeric extensions.
+      "SQRT", "EXP", "LN", "LOG10", "POW", "MOD",
+      // SciSPARQL array built-ins (Section 4.1.3).
+      "ISARRAY", "ADIMS", "ARANK", "AELEMS", "ASUM", "AAVG", "AMIN",
+      "AMAX", "TRANSPOSE", "RESHAPE", "ARRAY", "IOTA",
+      // Second-order array algebra (Section 4.3.1).
+      "MAP", "CONDENSE",
+  };
+  return kBuiltins.count(upper_name) > 0;
+}
+
+}  // namespace sparql
+}  // namespace scisparql

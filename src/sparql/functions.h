@@ -1,0 +1,63 @@
+#ifndef SCISPARQL_SPARQL_FUNCTIONS_H_
+#define SCISPARQL_SPARQL_FUNCTIONS_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/term.h"
+#include "sparql/ast.h"
+
+namespace scisparql {
+namespace sparql {
+
+/// A foreign function implemented in C++ and callable from SciSPARQL
+/// queries (Section 4.4). Cost and fanout estimates feed the optimizer the
+/// same way Amos II foreign predicates declare them.
+struct ForeignFunction {
+  std::function<Result<Term>(std::span<const Term>)> fn;
+  int arity = -1;       ///< -1 = variadic
+  double cost = 1.0;    ///< estimated cost per call, arbitrary units
+  double fanout = 1.0;  ///< expected results per call (always 1 here)
+  std::string doc;
+};
+
+/// Registry of foreign functions and SciSPARQL-defined functions
+/// (parameterized views, Section 4.2). Owned by the engine; shared by all
+/// executors.
+class FunctionRegistry {
+ public:
+  /// Registers (or replaces) a foreign function under `name` — either a
+  /// full IRI or a bare identifier (matched case-insensitively for bare
+  /// names, exactly for IRIs).
+  void RegisterForeign(const std::string& name, ForeignFunction fn);
+
+  const ForeignFunction* FindForeign(const std::string& name) const;
+
+  /// Stores a DEFINE FUNCTION definition; re-definition replaces.
+  Status Define(ast::FunctionDef def);
+
+  const ast::FunctionDef* FindDefined(const std::string& name) const;
+
+  std::vector<std::string> ForeignNames() const;
+  std::vector<std::string> DefinedNames() const;
+
+ private:
+  static std::string Normalize(const std::string& name);
+
+  std::map<std::string, ForeignFunction> foreign_;
+  std::map<std::string, ast::FunctionDef> defined_;
+};
+
+/// True for names the expression evaluator implements natively (STR,
+/// CONCAT, ASUM, MAP, ...). Used to give clear "unknown function" errors.
+bool IsBuiltinFunction(const std::string& upper_name);
+
+}  // namespace sparql
+}  // namespace scisparql
+
+#endif  // SCISPARQL_SPARQL_FUNCTIONS_H_

@@ -1,0 +1,361 @@
+#include "sparql/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace scisparql {
+namespace sparql {
+
+bool Token::IsKeyword(const char* kw) const {
+  return type == TokenType::kKeyword && EqualsIgnoreCase(text, kw);
+}
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+}
+bool IsLocalChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == '.' || c == '%';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : in_(input) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (true) {
+      SkipSpace();
+      if (AtEnd()) {
+        out.push_back(Make(TokenType::kEof, ""));
+        return out;
+      }
+      SCISPARQL_ASSIGN_OR_RETURN(Token t, Next());
+      out.push_back(std::move(t));
+      last_ = out.back().type;
+      last_text_ = out.back().text;
+    }
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= in_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < in_.size() ? in_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    char c = in_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  void SkipSpace() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '#') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token Make(TokenType type, std::string text) {
+    Token t;
+    t.type = type;
+    t.text = std::move(text);
+    t.line = line_;
+    t.col = col_;
+    return t;
+  }
+
+  Status Error(const std::string& msg) {
+    return Status::ParseError(msg + " at line " + std::to_string(line_) +
+                              ", column " + std::to_string(col_));
+  }
+
+  /// True when a '-'/'+' here should be folded into a numeric literal
+  /// (i.e. the previous token cannot end a value expression).
+  bool SignStartsNumber() const {
+    switch (last_) {
+      case TokenType::kInteger:
+      case TokenType::kDecimal:
+      case TokenType::kDouble:
+      case TokenType::kVar:
+      case TokenType::kIri:
+      case TokenType::kPname:
+      case TokenType::kString:
+      case TokenType::kKeyword:
+        return false;
+      case TokenType::kPunct:
+        return !(last_text_ == ")" || last_text_ == "]");
+      default:
+        return true;
+    }
+  }
+
+  Result<Token> LexString() {
+    char quote = Advance();
+    bool long_form = false;
+    if (Peek() == quote && Peek(1) == quote) {
+      Advance();
+      Advance();
+      long_form = true;
+    }
+    std::string value;
+    while (true) {
+      if (AtEnd()) return Error("unterminated string");
+      char c = Advance();
+      if (c == quote) {
+        if (!long_form) break;
+        if (Peek() == quote && Peek(1) == quote) {
+          Advance();
+          Advance();
+          break;
+        }
+        value += c;
+        continue;
+      }
+      if (c == '\\') {
+        if (AtEnd()) return Error("dangling escape");
+        char e = Advance();
+        switch (e) {
+          case 'n':
+            value += '\n';
+            break;
+          case 't':
+            value += '\t';
+            break;
+          case 'r':
+            value += '\r';
+            break;
+          case '\\':
+            value += '\\';
+            break;
+          case '"':
+            value += '"';
+            break;
+          case '\'':
+            value += '\'';
+            break;
+          default:
+            return Error(std::string("unknown escape \\") + e);
+        }
+        continue;
+      }
+      if (!long_form && c == '\n') return Error("newline in string");
+      value += c;
+    }
+    return Make(TokenType::kString, std::move(value));
+  }
+
+  Result<Token> LexNumber(bool negative) {
+    std::string text;
+    if (negative) text += '-';
+    bool saw_dot = false;
+    bool saw_exp = false;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        text += Advance();
+      } else if (c == '.' && !saw_dot && !saw_exp &&
+                 std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+        saw_dot = true;
+        text += Advance();
+      } else if ((c == 'e' || c == 'E') && !saw_exp) {
+        char n1 = Peek(1);
+        char n2 = Peek(2);
+        if (std::isdigit(static_cast<unsigned char>(n1)) ||
+            ((n1 == '+' || n1 == '-') &&
+             std::isdigit(static_cast<unsigned char>(n2)))) {
+          saw_exp = true;
+          text += Advance();  // e
+          if (Peek() == '+' || Peek() == '-') text += Advance();
+        } else {
+          break;
+        }
+      } else {
+        break;
+      }
+    }
+    TokenType type = saw_exp    ? TokenType::kDouble
+                     : saw_dot  ? TokenType::kDecimal
+                                : TokenType::kInteger;
+    return Make(type, std::move(text));
+  }
+
+  Result<Token> Next() {
+    char c = Peek();
+
+    // IRI reference: '<' followed by IRI characters up to '>' with no
+    // intervening whitespace. Otherwise '<' is the less-than operator.
+    if (c == '<') {
+      size_t scan = pos_ + 1;
+      bool is_iri = false;
+      while (scan < in_.size()) {
+        char s = in_[scan];
+        if (s == '>') {
+          is_iri = true;
+          break;
+        }
+        if (std::isspace(static_cast<unsigned char>(s)) || s == '<' ||
+            s == '"') {
+          break;
+        }
+        ++scan;
+      }
+      if (is_iri) {
+        Advance();  // <
+        std::string iri;
+        while (Peek() != '>') iri += Advance();
+        Advance();  // >
+        return Make(TokenType::kIri, std::move(iri));
+      }
+      Advance();
+      if (Peek() == '=') {
+        Advance();
+        return Make(TokenType::kPunct, "<=");
+      }
+      return Make(TokenType::kPunct, "<");
+    }
+
+    if (c == '"' || c == '\'') return LexString();
+
+    if (c == '@') {
+      Advance();
+      std::string tag;
+      while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                          Peek() == '-')) {
+        tag += Advance();
+      }
+      if (tag.empty()) return Error("empty language tag");
+      return Make(TokenType::kLangTag, std::move(tag));
+    }
+
+    if (c == '?' || c == '$') {
+      // Variable if a name follows; bare '?' is the path modifier.
+      if (IsNameStart(Peek(1)) ||
+          std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+        Advance();
+        std::string name;
+        while (!AtEnd() && IsNameChar(Peek())) name += Advance();
+        return Make(TokenType::kVar, std::move(name));
+      }
+      Advance();
+      return Make(TokenType::kPunct, "?");
+    }
+
+    if (c == '_' && Peek(1) == ':') {
+      Advance();
+      Advance();
+      std::string label;
+      while (!AtEnd() && IsLocalChar(Peek())) label += Advance();
+      while (!label.empty() && label.back() == '.') {
+        label.pop_back();
+        --pos_;  // give the dot back (statement terminator)
+      }
+      if (label.empty()) return Error("empty blank node label");
+      return Make(TokenType::kBlank, std::move(label));
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+      return LexNumber(false);
+    }
+    if ((c == '-' || c == '+') &&
+        (std::isdigit(static_cast<unsigned char>(Peek(1))) ||
+         (Peek(1) == '.' &&
+          std::isdigit(static_cast<unsigned char>(Peek(2))))) &&
+        SignStartsNumber()) {
+      bool neg = c == '-';
+      Advance();
+      return LexNumber(neg);
+    }
+
+    if (IsNameStart(c) || c == ':') {
+      // Bare name, possibly a prefixed name if a ':' follows.
+      std::string name;
+      while (!AtEnd() && IsNameChar(Peek())) name += Advance();
+      if (Peek() == ':') {
+        // An empty-prefix name (":x") requires a name-start local so that
+        // subscript ranges like "[1:10]" and bare ":" lex as punctuation.
+        if (name.empty() && !IsNameStart(Peek(1)) && Peek(1) != '%') {
+          Advance();
+          return Make(TokenType::kPunct, ":");
+        }
+        Advance();
+        std::string local;
+        while (!AtEnd() && IsLocalChar(Peek())) local += Advance();
+        while (!local.empty() && local.back() == '.') {
+          local.pop_back();
+          --pos_;
+        }
+        return Make(TokenType::kPname, name + ":" + local);
+      }
+      return Make(TokenType::kKeyword, std::move(name));
+    }
+
+    // Two-character operators.
+    if (c == '&' && Peek(1) == '&') {
+      Advance();
+      Advance();
+      return Make(TokenType::kPunct, "&&");
+    }
+    if (c == '|' && Peek(1) == '|') {
+      Advance();
+      Advance();
+      return Make(TokenType::kPunct, "||");
+    }
+    if (c == '!' && Peek(1) == '=') {
+      Advance();
+      Advance();
+      return Make(TokenType::kPunct, "!=");
+    }
+    if (c == '>' && Peek(1) == '=') {
+      Advance();
+      Advance();
+      return Make(TokenType::kPunct, ">=");
+    }
+    if (c == '^' && Peek(1) == '^') {
+      Advance();
+      Advance();
+      return Make(TokenType::kDtypeMarker, "^^");
+    }
+
+    // Single-character punctuation.
+    static const std::string kSingles = "{}()[],;.|/^*+?!=<>&:-";
+    if (kSingles.find(c) != std::string::npos) {
+      Advance();
+      return Make(TokenType::kPunct, std::string(1, c));
+    }
+    return Error(std::string("unexpected character '") + c + "'");
+  }
+
+  const std::string& in_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  TokenType last_ = TokenType::kEof;
+  std::string last_text_;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  return Lexer(input).Run();
+}
+
+}  // namespace sparql
+}  // namespace scisparql

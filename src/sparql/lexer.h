@@ -1,0 +1,50 @@
+#ifndef SCISPARQL_SPARQL_LEXER_H_
+#define SCISPARQL_SPARQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace scisparql {
+namespace sparql {
+
+enum class TokenType : uint8_t {
+  kEof,
+  kIri,         // <http://...> (brackets stripped)
+  kPname,       // prefix:local or prefix: or :local (kept verbatim)
+  kBlank,       // _:label (label kept)
+  kVar,         // ?x / $x (name kept)
+  kString,      // quoted string (unescaped)
+  kLangTag,     // @en
+  kDtypeMarker, // ^^
+  kInteger,
+  kDecimal,     // 1.5 / .5
+  kDouble,      // 1e3
+  kKeyword,     // bare identifier (SELECT, a, true, ...)
+  kPunct,       // one of: { } ( ) [ ] , ; . | / ^ * + ? ! = < > & :
+                //   and two-char: != <= >= && || :=
+};
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;  // payload (see TokenType comments)
+  int line = 1;
+  int col = 1;
+
+  bool IsPunct(const char* p) const {
+    return type == TokenType::kPunct && text == p;
+  }
+  /// Case-insensitive keyword check.
+  bool IsKeyword(const char* kw) const;
+};
+
+/// Tokenizes a SciSPARQL (or Turtle) document. Both languages share this
+/// lexer; the parsers interpret the token stream.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace sparql
+}  // namespace scisparql
+
+#endif  // SCISPARQL_SPARQL_LEXER_H_

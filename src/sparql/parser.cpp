@@ -1,0 +1,1232 @@
+#include "sparql/parser.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "sparql/lexer.h"
+
+namespace scisparql {
+namespace sparql {
+
+namespace {
+
+using ast::BinaryOp;
+using ast::Expr;
+using ast::ExprPtr;
+using ast::GraphPattern;
+using ast::GraphPatternPtr;
+using ast::Path;
+using ast::PathPtr;
+using ast::PatternElement;
+using ast::SelectQuery;
+using ast::SubscriptExpr;
+using ast::TriplePattern;
+using ast::UnaryOp;
+using ast::UpdateOp;
+using ast::VarOrTerm;
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, PrefixMap prefixes)
+      : tokens_(std::move(tokens)), prefixes_(std::move(prefixes)) {}
+
+  Result<ast::Statement> ParseStatement() {
+    SCISPARQL_RETURN_NOT_OK(ParsePrologue());
+    ast::Statement stmt;
+    const Token& t = Peek();
+    if (t.IsKeyword("SELECT") || t.IsKeyword("ASK") ||
+        t.IsKeyword("CONSTRUCT") || t.IsKeyword("DESCRIBE")) {
+      SCISPARQL_ASSIGN_OR_RETURN(auto q, ParseQueryBody());
+      stmt.node = q;
+    } else if (t.IsKeyword("DEFINE")) {
+      SCISPARQL_ASSIGN_OR_RETURN(ast::FunctionDef def, ParseDefine());
+      stmt.node = std::move(def);
+    } else if (t.IsKeyword("INSERT") || t.IsKeyword("DELETE") ||
+               t.IsKeyword("LOAD") || t.IsKeyword("CLEAR") ||
+               t.IsKeyword("WITH")) {
+      SCISPARQL_ASSIGN_OR_RETURN(UpdateOp op, ParseUpdate());
+      stmt.node = std::move(op);
+    } else {
+      return Error("expected SELECT, ASK, CONSTRUCT, DEFINE or an update");
+    }
+    if (Peek().IsPunct(";")) Advance();
+    if (Peek().type != TokenType::kEof) {
+      return Error("unexpected trailing input");
+    }
+    stmt.prefixes = prefixes_;
+    return stmt;
+  }
+
+ private:
+  // --- Token stream helpers. ---
+
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() {
+    const Token& t = tokens_[pos_];
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+  }
+  Status Error(const std::string& msg) const {
+    const Token& t = Peek();
+    return Status::ParseError(msg + " (near '" + t.text + "' at line " +
+                              std::to_string(t.line) + ")");
+  }
+  Status ExpectPunct(const char* p) {
+    if (!Peek().IsPunct(p)) {
+      return Error(std::string("expected '") + p + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!Peek().IsKeyword(kw)) {
+      return Error(std::string("expected ") + kw);
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  std::string FreshVar() { return "." + std::to_string(++anon_counter_); }
+
+  // --- Prologue. ---
+
+  Status ParsePrologue() {
+    while (true) {
+      if (Peek().IsKeyword("PREFIX")) {
+        Advance();
+        std::string prefix;
+        if (Peek().type == TokenType::kPname) {
+          std::string pname = Advance().text;
+          prefix = pname.substr(0, pname.find(':'));
+        } else if (Peek().IsPunct(":")) {
+          Advance();  // empty prefix: "PREFIX : <...>"
+        } else {
+          return Error("expected prefix name");
+        }
+        if (Peek().type != TokenType::kIri) {
+          return Error("expected IRI after PREFIX");
+        }
+        prefixes_.Set(prefix, Advance().text);
+      } else if (Peek().IsKeyword("BASE")) {
+        Advance();
+        if (Peek().type != TokenType::kIri) {
+          return Error("expected IRI after BASE");
+        }
+        base_ = Advance().text;
+      } else {
+        return Status::OK();
+      }
+    }
+  }
+
+  Result<std::string> ExpandPname(const std::string& pname) {
+    auto full = prefixes_.Expand(pname);
+    if (!full.has_value()) {
+      return Status::ParseError("unknown prefix in '" + pname + "'");
+    }
+    return *full;
+  }
+
+  /// Resolves an IRI token against BASE when relative.
+  std::string ResolveIri(const std::string& iri) {
+    if (!base_.empty() && iri.find("://") == std::string::npos &&
+        !StartsWith(iri, "urn:") && !StartsWith(iri, "file:")) {
+      return base_ + iri;
+    }
+    return iri;
+  }
+
+  // --- Queries. ---
+
+  Result<std::shared_ptr<SelectQuery>> ParseQueryBody() {
+    auto q = std::make_shared<SelectQuery>();
+    if (Peek().IsKeyword("SELECT")) {
+      Advance();
+      q->form = SelectQuery::Form::kSelect;
+      if (Peek().IsKeyword("DISTINCT")) {
+        Advance();
+        q->distinct = true;
+      } else if (Peek().IsKeyword("REDUCED")) {
+        Advance();
+        q->reduced = true;
+      }
+      SCISPARQL_RETURN_NOT_OK(ParseProjections(q.get()));
+    } else if (Peek().IsKeyword("ASK")) {
+      Advance();
+      q->form = SelectQuery::Form::kAsk;
+    } else if (Peek().IsKeyword("DESCRIBE")) {
+      Advance();
+      q->form = SelectQuery::Form::kDescribe;
+      while (true) {
+        const Token& t = Peek();
+        if (t.type == TokenType::kVar) {
+          q->describe_targets.push_back(
+              ast::VarOrTerm::Var(Advance().text));
+        } else if (t.type == TokenType::kIri ||
+                   t.type == TokenType::kPname) {
+          SCISPARQL_ASSIGN_OR_RETURN(Term iri, ParseIriTerm());
+          q->describe_targets.push_back(
+              ast::VarOrTerm::Const(std::move(iri)));
+        } else {
+          break;
+        }
+      }
+      if (q->describe_targets.empty()) {
+        return Error("DESCRIBE needs at least one target");
+      }
+    } else {
+      SCISPARQL_RETURN_NOT_OK(ExpectKeyword("CONSTRUCT"));
+      q->form = SelectQuery::Form::kConstruct;
+      SCISPARQL_RETURN_NOT_OK(ExpectPunct("{"));
+      SCISPARQL_ASSIGN_OR_RETURN(q->construct_template,
+                                 ParseTriplesTemplate());
+      SCISPARQL_RETURN_NOT_OK(ExpectPunct("}"));
+    }
+
+    while (Peek().IsKeyword("FROM")) {
+      Advance();
+      bool named = false;
+      if (Peek().IsKeyword("NAMED")) {
+        Advance();
+        named = true;
+      }
+      SCISPARQL_ASSIGN_OR_RETURN(Term g, ParseIriTerm());
+      (named ? q->from_named : q->from).push_back(g.iri());
+    }
+
+    if (Peek().IsKeyword("WHERE")) Advance();
+    if (Peek().IsPunct("{")) {
+      SCISPARQL_ASSIGN_OR_RETURN(q->where, ParseGroupGraphPattern());
+    } else if (q->form == SelectQuery::Form::kDescribe) {
+      q->has_where = false;  // DESCRIBE <iri> without a pattern
+    } else {
+      return Error("expected WHERE clause");
+    }
+
+    // Solution modifiers.
+    if (Peek().IsKeyword("GROUP")) {
+      Advance();
+      SCISPARQL_RETURN_NOT_OK(ExpectKeyword("BY"));
+      while (true) {
+        SCISPARQL_ASSIGN_OR_RETURN(ExprPtr e, ParseUnaryExpr());
+        q->group_by.push_back(std::move(e));
+        const Token& t = Peek();
+        if (t.IsKeyword("HAVING") || t.IsKeyword("ORDER") ||
+            t.IsKeyword("LIMIT") || t.IsKeyword("OFFSET") ||
+            t.type == TokenType::kEof || t.IsPunct(";") || t.IsPunct("}")) {
+          break;
+        }
+      }
+    }
+    if (Peek().IsKeyword("HAVING")) {
+      Advance();
+      SCISPARQL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpression());
+      q->having.push_back(std::move(e));
+    }
+    if (Peek().IsKeyword("ORDER")) {
+      Advance();
+      SCISPARQL_RETURN_NOT_OK(ExpectKeyword("BY"));
+      while (true) {
+        SelectQuery::OrderKey key;
+        if (Peek().IsKeyword("ASC") || Peek().IsKeyword("DESC")) {
+          key.ascending = Peek().IsKeyword("ASC");
+          Advance();
+          SCISPARQL_RETURN_NOT_OK(ExpectPunct("("));
+          SCISPARQL_ASSIGN_OR_RETURN(key.expr, ParseExpression());
+          SCISPARQL_RETURN_NOT_OK(ExpectPunct(")"));
+        } else {
+          SCISPARQL_ASSIGN_OR_RETURN(key.expr, ParseUnaryExpr());
+        }
+        q->order_by.push_back(std::move(key));
+        const Token& t = Peek();
+        if (t.IsKeyword("LIMIT") || t.IsKeyword("OFFSET") ||
+            t.type == TokenType::kEof || t.IsPunct(";") || t.IsPunct("}")) {
+          break;
+        }
+      }
+    }
+    // LIMIT and OFFSET in either order.
+    for (int i = 0; i < 2; ++i) {
+      if (Peek().IsKeyword("LIMIT")) {
+        Advance();
+        if (Peek().type != TokenType::kInteger) {
+          return Error("expected integer after LIMIT");
+        }
+        q->limit = std::atoll(Advance().text.c_str());
+      } else if (Peek().IsKeyword("OFFSET")) {
+        Advance();
+        if (Peek().type != TokenType::kInteger) {
+          return Error("expected integer after OFFSET");
+        }
+        q->offset = std::atoll(Advance().text.c_str());
+      }
+    }
+    return q;
+  }
+
+  Status ParseProjections(SelectQuery* q) {
+    if (Peek().IsPunct("*")) {
+      Advance();
+      q->select_all = true;
+      return Status::OK();
+    }
+    int counter = 0;
+    while (true) {
+      const Token& t = Peek();
+      if (t.IsKeyword("WHERE") || t.IsKeyword("FROM") || t.IsPunct("{")) {
+        if (q->projections.empty()) {
+          return Error("empty SELECT projection list");
+        }
+        return Status::OK();
+      }
+      SelectQuery::Projection proj;
+      if (t.IsPunct("(")) {
+        Advance();
+        SCISPARQL_ASSIGN_OR_RETURN(proj.expr, ParseExpression());
+        SCISPARQL_RETURN_NOT_OK(ExpectKeyword("AS"));
+        if (Peek().type != TokenType::kVar) {
+          return Error("expected variable after AS");
+        }
+        proj.name = Advance().text;
+        SCISPARQL_RETURN_NOT_OK(ExpectPunct(")"));
+      } else {
+        // Bare expression projection: a variable, possibly with array
+        // dereference or any other SciSPARQL expression.
+        SCISPARQL_ASSIGN_OR_RETURN(proj.expr, ParseUnaryExpr());
+        if (proj.expr->kind == Expr::Kind::kVar) {
+          proj.name = proj.expr->var;
+        } else if (proj.expr->kind == Expr::Kind::kSubscript &&
+                   proj.expr->base->kind == Expr::Kind::kVar) {
+          proj.name = proj.expr->base->var;
+        } else {
+          proj.name = "_expr" + std::to_string(++counter);
+        }
+      }
+      q->projections.push_back(std::move(proj));
+    }
+  }
+
+  // --- DEFINE FUNCTION. ---
+
+  Result<ast::FunctionDef> ParseDefine() {
+    SCISPARQL_RETURN_NOT_OK(ExpectKeyword("DEFINE"));
+    SCISPARQL_RETURN_NOT_OK(ExpectKeyword("FUNCTION"));
+    ast::FunctionDef def;
+    const Token& t = Peek();
+    if (t.type == TokenType::kIri) {
+      def.name = ResolveIri(Advance().text);
+    } else if (t.type == TokenType::kPname) {
+      SCISPARQL_ASSIGN_OR_RETURN(def.name, ExpandPname(Advance().text));
+    } else if (t.type == TokenType::kKeyword) {
+      def.name = Advance().text;
+    } else {
+      return Error("expected function name");
+    }
+    SCISPARQL_RETURN_NOT_OK(ExpectPunct("("));
+    if (!Peek().IsPunct(")")) {
+      while (true) {
+        if (Peek().type != TokenType::kVar) {
+          return Error("expected parameter variable");
+        }
+        def.params.push_back(Advance().text);
+        if (Peek().IsPunct(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    SCISPARQL_RETURN_NOT_OK(ExpectPunct(")"));
+    SCISPARQL_RETURN_NOT_OK(ExpectKeyword("AS"));
+    SCISPARQL_ASSIGN_OR_RETURN(def.body, ParseQueryBody());
+    return def;
+  }
+
+  // --- Updates. ---
+
+  Result<UpdateOp> ParseUpdate() {
+    UpdateOp op;
+    if (Peek().IsKeyword("LOAD")) {
+      Advance();
+      op.kind = UpdateOp::Kind::kLoad;
+      if (Peek().type == TokenType::kIri) {
+        op.load_source = Advance().text;
+      } else if (Peek().type == TokenType::kString) {
+        op.load_source = Advance().text;
+      } else {
+        return Error("expected source after LOAD");
+      }
+      if (Peek().IsKeyword("INTO")) {
+        Advance();
+        SCISPARQL_RETURN_NOT_OK(ExpectKeyword("GRAPH"));
+        SCISPARQL_ASSIGN_OR_RETURN(Term g, ParseIriTerm());
+        op.graph = g.iri();
+      }
+      return op;
+    }
+    if (Peek().IsKeyword("CLEAR")) {
+      Advance();
+      op.kind = UpdateOp::Kind::kClear;
+      if (Peek().IsKeyword("ALL")) {
+        Advance();
+        op.clear_all = true;
+      } else if (Peek().IsKeyword("DEFAULT")) {
+        Advance();
+      } else {
+        SCISPARQL_RETURN_NOT_OK(ExpectKeyword("GRAPH"));
+        SCISPARQL_ASSIGN_OR_RETURN(Term g, ParseIriTerm());
+        op.graph = g.iri();
+      }
+      return op;
+    }
+
+    if (Peek().IsKeyword("WITH")) {
+      Advance();
+      SCISPARQL_ASSIGN_OR_RETURN(Term g, ParseIriTerm());
+      op.graph = g.iri();
+    }
+
+    bool has_delete = false;
+    bool has_insert = false;
+    if (Peek().IsKeyword("DELETE")) {
+      Advance();
+      has_delete = true;
+      if (Peek().IsKeyword("DATA")) {
+        Advance();
+        op.kind = UpdateOp::Kind::kDeleteData;
+        SCISPARQL_RETURN_NOT_OK(ParseQuadData(&op.delete_template, &op.graph));
+        return op;
+      }
+      if (Peek().IsKeyword("WHERE")) {
+        Advance();
+        op.kind = UpdateOp::Kind::kDeleteWhere;
+        SCISPARQL_ASSIGN_OR_RETURN(op.where, ParseGroupGraphPattern());
+        // The pattern doubles as the delete template.
+        CollectTriples(op.where, &op.delete_template);
+        return op;
+      }
+      SCISPARQL_RETURN_NOT_OK(ExpectPunct("{"));
+      SCISPARQL_ASSIGN_OR_RETURN(op.delete_template, ParseTriplesTemplate());
+      SCISPARQL_RETURN_NOT_OK(ExpectPunct("}"));
+    }
+    if (Peek().IsKeyword("INSERT")) {
+      Advance();
+      has_insert = true;
+      if (Peek().IsKeyword("DATA")) {
+        Advance();
+        op.kind = UpdateOp::Kind::kInsertData;
+        SCISPARQL_RETURN_NOT_OK(ParseQuadData(&op.insert_template, &op.graph));
+        return op;
+      }
+      SCISPARQL_RETURN_NOT_OK(ExpectPunct("{"));
+      SCISPARQL_ASSIGN_OR_RETURN(op.insert_template, ParseTriplesTemplate());
+      SCISPARQL_RETURN_NOT_OK(ExpectPunct("}"));
+    }
+    if (!has_delete && !has_insert) {
+      return Error("expected INSERT or DELETE");
+    }
+    op.kind = UpdateOp::Kind::kModify;
+    SCISPARQL_RETURN_NOT_OK(ExpectKeyword("WHERE"));
+    SCISPARQL_ASSIGN_OR_RETURN(op.where, ParseGroupGraphPattern());
+    return op;
+  }
+
+  /// Parses `{ [GRAPH <g>] { triples } | triples }` for INSERT/DELETE DATA.
+  Status ParseQuadData(std::vector<TriplePattern>* out, std::string* graph) {
+    SCISPARQL_RETURN_NOT_OK(ExpectPunct("{"));
+    if (Peek().IsKeyword("GRAPH")) {
+      Advance();
+      SCISPARQL_ASSIGN_OR_RETURN(Term g, ParseIriTerm());
+      *graph = g.iri();
+      SCISPARQL_RETURN_NOT_OK(ExpectPunct("{"));
+      SCISPARQL_ASSIGN_OR_RETURN(*out, ParseTriplesTemplate());
+      SCISPARQL_RETURN_NOT_OK(ExpectPunct("}"));
+    } else {
+      SCISPARQL_ASSIGN_OR_RETURN(*out, ParseTriplesTemplate());
+    }
+    return ExpectPunct("}");
+  }
+
+  static void CollectTriples(const GraphPattern& gp,
+                             std::vector<TriplePattern>* out) {
+    for (const PatternElement& e : gp.elements) {
+      if (e.kind == PatternElement::Kind::kTriple) out->push_back(e.triple);
+      if (e.child != nullptr) CollectTriples(*e.child, out);
+    }
+  }
+
+  // --- Graph patterns. ---
+
+  Result<GraphPattern> ParseGroupGraphPattern() {
+    SCISPARQL_RETURN_NOT_OK(ExpectPunct("{"));
+    GraphPattern gp;
+    while (!Peek().IsPunct("}")) {
+      const Token& t = Peek();
+      if (t.IsKeyword("OPTIONAL")) {
+        Advance();
+        PatternElement e;
+        e.kind = PatternElement::Kind::kOptional;
+        SCISPARQL_ASSIGN_OR_RETURN(GraphPattern child,
+                                   ParseGroupGraphPattern());
+        e.child = std::make_shared<GraphPattern>(std::move(child));
+        gp.elements.push_back(std::move(e));
+      } else if (t.IsKeyword("MINUS")) {
+        Advance();
+        PatternElement e;
+        e.kind = PatternElement::Kind::kMinus;
+        SCISPARQL_ASSIGN_OR_RETURN(GraphPattern child,
+                                   ParseGroupGraphPattern());
+        e.child = std::make_shared<GraphPattern>(std::move(child));
+        gp.elements.push_back(std::move(e));
+      } else if (t.IsKeyword("FILTER")) {
+        Advance();
+        PatternElement e;
+        e.kind = PatternElement::Kind::kFilter;
+        SCISPARQL_ASSIGN_OR_RETURN(e.expr, ParseConstraint());
+        gp.elements.push_back(std::move(e));
+      } else if (t.IsKeyword("BIND")) {
+        Advance();
+        SCISPARQL_RETURN_NOT_OK(ExpectPunct("("));
+        PatternElement e;
+        e.kind = PatternElement::Kind::kBind;
+        SCISPARQL_ASSIGN_OR_RETURN(e.expr, ParseExpression());
+        SCISPARQL_RETURN_NOT_OK(ExpectKeyword("AS"));
+        if (Peek().type != TokenType::kVar) {
+          return Error("expected variable after AS");
+        }
+        e.bind_var = Advance().text;
+        SCISPARQL_RETURN_NOT_OK(ExpectPunct(")"));
+        gp.elements.push_back(std::move(e));
+      } else if (t.IsKeyword("VALUES")) {
+        Advance();
+        SCISPARQL_ASSIGN_OR_RETURN(PatternElement e, ParseValues());
+        gp.elements.push_back(std::move(e));
+      } else if (t.IsKeyword("GRAPH")) {
+        Advance();
+        PatternElement e;
+        e.kind = PatternElement::Kind::kGraph;
+        SCISPARQL_ASSIGN_OR_RETURN(e.graph_name, ParseVarOrIri());
+        SCISPARQL_ASSIGN_OR_RETURN(GraphPattern child,
+                                   ParseGroupGraphPattern());
+        e.child = std::make_shared<GraphPattern>(std::move(child));
+        gp.elements.push_back(std::move(e));
+      } else if (t.IsPunct("{") && Peek(1).IsKeyword("SELECT")) {
+        // Sub-select: { SELECT ... }.
+        Advance();  // {
+        PatternElement e;
+        e.kind = PatternElement::Kind::kSubSelect;
+        SCISPARQL_ASSIGN_OR_RETURN(e.subquery, ParseQueryBody());
+        SCISPARQL_RETURN_NOT_OK(ExpectPunct("}"));
+        gp.elements.push_back(std::move(e));
+      } else if (t.IsPunct("{")) {
+        // Group, possibly the head of a UNION chain.
+        SCISPARQL_ASSIGN_OR_RETURN(GraphPattern first,
+                                   ParseGroupGraphPattern());
+        if (Peek().IsKeyword("UNION")) {
+          PatternElement e;
+          e.kind = PatternElement::Kind::kUnion;
+          e.branches.push_back(
+              std::make_shared<GraphPattern>(std::move(first)));
+          while (Peek().IsKeyword("UNION")) {
+            Advance();
+            SCISPARQL_ASSIGN_OR_RETURN(GraphPattern next,
+                                       ParseGroupGraphPattern());
+            e.branches.push_back(
+                std::make_shared<GraphPattern>(std::move(next)));
+          }
+          gp.elements.push_back(std::move(e));
+        } else {
+          PatternElement e;
+          e.kind = PatternElement::Kind::kGroup;
+          e.child = std::make_shared<GraphPattern>(std::move(first));
+          gp.elements.push_back(std::move(e));
+        }
+      } else {
+        // Triples block.
+        SCISPARQL_RETURN_NOT_OK(ParseTriplesBlock(&gp));
+      }
+      if (Peek().IsPunct(".")) Advance();
+    }
+    SCISPARQL_RETURN_NOT_OK(ExpectPunct("}"));
+    return gp;
+  }
+
+  Result<PatternElement> ParseValues() {
+    PatternElement e;
+    e.kind = PatternElement::Kind::kValues;
+    if (Peek().type == TokenType::kVar) {
+      e.values.vars.push_back(Advance().text);
+      SCISPARQL_RETURN_NOT_OK(ExpectPunct("{"));
+      while (!Peek().IsPunct("}")) {
+        SCISPARQL_ASSIGN_OR_RETURN(Term t, ParseDataTerm());
+        e.values.rows.push_back({std::move(t)});
+      }
+      SCISPARQL_RETURN_NOT_OK(ExpectPunct("}"));
+      return e;
+    }
+    SCISPARQL_RETURN_NOT_OK(ExpectPunct("("));
+    while (Peek().type == TokenType::kVar) {
+      e.values.vars.push_back(Advance().text);
+    }
+    SCISPARQL_RETURN_NOT_OK(ExpectPunct(")"));
+    SCISPARQL_RETURN_NOT_OK(ExpectPunct("{"));
+    while (Peek().IsPunct("(")) {
+      Advance();
+      std::vector<Term> row;
+      while (!Peek().IsPunct(")")) {
+        if (Peek().IsKeyword("UNDEF")) {
+          Advance();
+          row.push_back(Term());
+        } else {
+          SCISPARQL_ASSIGN_OR_RETURN(Term t, ParseDataTerm());
+          row.push_back(std::move(t));
+        }
+      }
+      Advance();  // )
+      if (row.size() != e.values.vars.size()) {
+        return Error("VALUES row arity mismatch");
+      }
+      e.values.rows.push_back(std::move(row));
+    }
+    SCISPARQL_RETURN_NOT_OK(ExpectPunct("}"));
+    return e;
+  }
+
+  /// FILTER constraint: parenthesized expression or builtin call form.
+  Result<ExprPtr> ParseConstraint() {
+    if (Peek().IsPunct("(")) {
+      Advance();
+      SCISPARQL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpression());
+      SCISPARQL_RETURN_NOT_OK(ExpectPunct(")"));
+      return e;
+    }
+    return ParsePrimaryExpr();  // EXISTS { }, REGEX(...), etc.
+  }
+
+  /// Parses a run of triple patterns (with ; , blank-node lists and
+  /// collections) and appends them to `gp`.
+  Status ParseTriplesBlock(GraphPattern* gp) {
+    SCISPARQL_ASSIGN_OR_RETURN(VarOrTerm subject, ParseNode(gp));
+    return ParsePredicateObjectList(subject, gp);
+  }
+
+  Status ParsePredicateObjectList(const VarOrTerm& subject, GraphPattern* gp) {
+    while (true) {
+      TriplePattern tp;
+      tp.s = subject;
+      // Predicate: variable or property path.
+      if (Peek().type == TokenType::kVar) {
+        tp.p = VarOrTerm::Var(Advance().text);
+      } else {
+        SCISPARQL_ASSIGN_OR_RETURN(PathPtr path, ParsePath());
+        if (path->kind == Path::Kind::kLink) {
+          tp.p = VarOrTerm::Const(Term::Iri(path->iri));
+        } else {
+          tp.path = path;
+        }
+      }
+      // Object list.
+      while (true) {
+        TriplePattern one = tp;
+        SCISPARQL_ASSIGN_OR_RETURN(one.o, ParseNode(gp));
+        PatternElement e;
+        e.kind = PatternElement::Kind::kTriple;
+        e.triple = std::move(one);
+        gp->elements.push_back(std::move(e));
+        if (Peek().IsPunct(",")) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      if (Peek().IsPunct(";")) {
+        Advance();
+        // Allow trailing ';' before '.' or '}'.
+        if (Peek().IsPunct(".") || Peek().IsPunct("}")) break;
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  /// Parses a node in a triple pattern: var, term, blank-node property list
+  /// `[ ... ]`, or collection `( ... )`. Generated patterns are appended.
+  Result<VarOrTerm> ParseNode(GraphPattern* gp) {
+    const Token& t = Peek();
+    if (t.type == TokenType::kVar) {
+      return VarOrTerm::Var(Advance().text);
+    }
+    if (t.IsPunct("[")) {
+      Advance();
+      VarOrTerm node = VarOrTerm::Var(FreshVar());
+      if (!Peek().IsPunct("]")) {
+        SCISPARQL_RETURN_NOT_OK(ParsePredicateObjectList(node, gp));
+      }
+      SCISPARQL_RETURN_NOT_OK(ExpectPunct("]"));
+      return node;
+    }
+    if (t.IsPunct("(")) {
+      Advance();
+      // RDF collection: expand to rdf:first / rdf:rest chains.
+      std::vector<VarOrTerm> items;
+      while (!Peek().IsPunct(")")) {
+        SCISPARQL_ASSIGN_OR_RETURN(VarOrTerm item, ParseNode(gp));
+        items.push_back(std::move(item));
+      }
+      Advance();  // )
+      if (items.empty()) {
+        return VarOrTerm::Const(Term::Iri(vocab::kRdfNil));
+      }
+      VarOrTerm head = VarOrTerm::Var(FreshVar());
+      VarOrTerm cur = head;
+      for (size_t i = 0; i < items.size(); ++i) {
+        PatternElement first;
+        first.kind = PatternElement::Kind::kTriple;
+        first.triple.s = cur;
+        first.triple.p = VarOrTerm::Const(Term::Iri(vocab::kRdfFirst));
+        first.triple.o = items[i];
+        gp->elements.push_back(std::move(first));
+        VarOrTerm next = i + 1 < items.size()
+                             ? VarOrTerm::Var(FreshVar())
+                             : VarOrTerm::Const(Term::Iri(vocab::kRdfNil));
+        PatternElement rest;
+        rest.kind = PatternElement::Kind::kTriple;
+        rest.triple.s = cur;
+        rest.triple.p = VarOrTerm::Const(Term::Iri(vocab::kRdfRest));
+        rest.triple.o = next;
+        gp->elements.push_back(std::move(rest));
+        cur = next;
+      }
+      return head;
+    }
+    SCISPARQL_ASSIGN_OR_RETURN(Term term, ParseDataTerm());
+    return VarOrTerm::Const(std::move(term));
+  }
+
+  /// Parses triples for CONSTRUCT templates / INSERT / DELETE (no paths,
+  /// blank nodes stay blank nodes).
+  Result<std::vector<TriplePattern>> ParseTriplesTemplate() {
+    std::vector<TriplePattern> out;
+    GraphPattern scratch;
+    while (!Peek().IsPunct("}")) {
+      SCISPARQL_RETURN_NOT_OK(ParseTriplesBlock(&scratch));
+      if (Peek().IsPunct(".")) Advance();
+    }
+    for (PatternElement& e : scratch.elements) {
+      if (e.kind != PatternElement::Kind::kTriple) {
+        return Error("only triples allowed in a template");
+      }
+      out.push_back(std::move(e.triple));
+    }
+    return out;
+  }
+
+  // --- Property paths. ---
+
+  Result<PathPtr> ParsePath() { return ParsePathAlternative(); }
+
+  Result<PathPtr> ParsePathAlternative() {
+    SCISPARQL_ASSIGN_OR_RETURN(PathPtr p, ParsePathSequence());
+    while (Peek().IsPunct("|")) {
+      Advance();
+      SCISPARQL_ASSIGN_OR_RETURN(PathPtr rhs, ParsePathSequence());
+      p = Path::Binary(Path::Kind::kAlternative, std::move(p), std::move(rhs));
+    }
+    return p;
+  }
+
+  Result<PathPtr> ParsePathSequence() {
+    SCISPARQL_ASSIGN_OR_RETURN(PathPtr p, ParsePathElt());
+    while (Peek().IsPunct("/")) {
+      Advance();
+      SCISPARQL_ASSIGN_OR_RETURN(PathPtr rhs, ParsePathElt());
+      p = Path::Binary(Path::Kind::kSequence, std::move(p), std::move(rhs));
+    }
+    return p;
+  }
+
+  Result<PathPtr> ParsePathElt() {
+    bool inverse = false;
+    if (Peek().IsPunct("^")) {
+      Advance();
+      inverse = true;
+    }
+    SCISPARQL_ASSIGN_OR_RETURN(PathPtr p, ParsePathPrimary());
+    if (Peek().IsPunct("*")) {
+      Advance();
+      p = Path::Unary(Path::Kind::kZeroOrMore, std::move(p));
+    } else if (Peek().IsPunct("+")) {
+      Advance();
+      p = Path::Unary(Path::Kind::kOneOrMore, std::move(p));
+    } else if (Peek().IsPunct("?")) {
+      Advance();
+      p = Path::Unary(Path::Kind::kZeroOrOne, std::move(p));
+    }
+    if (inverse) p = Path::Unary(Path::Kind::kInverse, std::move(p));
+    return p;
+  }
+
+  Result<PathPtr> ParsePathPrimary() {
+    const Token& t = Peek();
+    if (t.IsPunct("(")) {
+      Advance();
+      SCISPARQL_ASSIGN_OR_RETURN(PathPtr p, ParsePath());
+      SCISPARQL_RETURN_NOT_OK(ExpectPunct(")"));
+      return p;
+    }
+    if (t.IsPunct("!")) {
+      Advance();
+      auto p = std::make_shared<Path>();
+      p->kind = Path::Kind::kNegatedSet;
+      auto parse_one = [&]() -> Status {
+        bool inv = false;
+        if (Peek().IsPunct("^")) {
+          Advance();
+          inv = true;
+        }
+        SCISPARQL_ASSIGN_OR_RETURN(Term iri, ParseIriTerm());
+        (inv ? p->negated_inverse : p->negated).push_back(iri.iri());
+        return Status::OK();
+      };
+      if (Peek().IsPunct("(")) {
+        Advance();
+        SCISPARQL_RETURN_NOT_OK(parse_one());
+        while (Peek().IsPunct("|")) {
+          Advance();
+          SCISPARQL_RETURN_NOT_OK(parse_one());
+        }
+        SCISPARQL_RETURN_NOT_OK(ExpectPunct(")"));
+      } else {
+        SCISPARQL_RETURN_NOT_OK(parse_one());
+      }
+      return p;
+    }
+    SCISPARQL_ASSIGN_OR_RETURN(Term iri, ParseIriTerm());
+    return Path::Link(iri.iri());
+  }
+
+  // --- Terms. ---
+
+  Result<Term> ParseIriTerm() {
+    const Token& t = Peek();
+    if (t.type == TokenType::kIri) {
+      return Term::Iri(ResolveIri(Advance().text));
+    }
+    if (t.type == TokenType::kPname) {
+      SCISPARQL_ASSIGN_OR_RETURN(std::string iri, ExpandPname(Advance().text));
+      return Term::Iri(std::move(iri));
+    }
+    if (t.IsKeyword("a")) {
+      Advance();
+      return Term::Iri(vocab::kRdfType);
+    }
+    return Error("expected an IRI");
+  }
+
+  Result<VarOrTerm> ParseVarOrIri() {
+    if (Peek().type == TokenType::kVar) {
+      return VarOrTerm::Var(Advance().text);
+    }
+    SCISPARQL_ASSIGN_OR_RETURN(Term t, ParseIriTerm());
+    return VarOrTerm::Const(std::move(t));
+  }
+
+  /// Ground term: IRI, blank node, or literal.
+  Result<Term> ParseDataTerm() {
+    // Fold a sign token into a following numeric literal (occurs in data
+    // blocks where the lexer's operator heuristic chose punctuation).
+    if (Peek().IsPunct("-") || Peek().IsPunct("+")) {
+      bool neg = Peek().IsPunct("-");
+      const Token& next = Peek(1);
+      if (next.type == TokenType::kInteger) {
+        Advance();
+        int64_t v = std::atoll(Advance().text.c_str());
+        return Term::Integer(neg ? -v : v);
+      }
+      if (next.type == TokenType::kDecimal ||
+          next.type == TokenType::kDouble) {
+        Advance();
+        double v = std::atof(Advance().text.c_str());
+        return Term::Double(neg ? -v : v);
+      }
+    }
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kIri:
+        return Term::Iri(ResolveIri(Advance().text));
+      case TokenType::kPname: {
+        SCISPARQL_ASSIGN_OR_RETURN(std::string iri,
+                                   ExpandPname(Advance().text));
+        return Term::Iri(std::move(iri));
+      }
+      case TokenType::kBlank:
+        return Term::Blank(Advance().text);
+      case TokenType::kInteger:
+        return Term::Integer(std::atoll(Advance().text.c_str()));
+      case TokenType::kDecimal:
+      case TokenType::kDouble:
+        return Term::Double(std::atof(Advance().text.c_str()));
+      case TokenType::kString: {
+        std::string value = Advance().text;
+        if (Peek().type == TokenType::kLangTag) {
+          return Term::LangString(std::move(value), Advance().text);
+        }
+        if (Peek().type == TokenType::kDtypeMarker) {
+          Advance();
+          SCISPARQL_ASSIGN_OR_RETURN(Term dt, ParseIriTerm());
+          const std::string& iri = dt.iri();
+          if (iri == vocab::kXsdInteger) {
+            return Term::Integer(std::atoll(value.c_str()));
+          }
+          if (iri == vocab::kXsdDouble || iri == vocab::kXsdDecimal) {
+            return Term::Double(std::atof(value.c_str()));
+          }
+          if (iri == vocab::kXsdBoolean) {
+            return Term::Boolean(value == "true" || value == "1");
+          }
+          if (iri == vocab::kXsdString) return Term::String(std::move(value));
+          return Term::TypedLiteral(std::move(value), iri);
+        }
+        return Term::String(std::move(value));
+      }
+      case TokenType::kKeyword:
+        if (t.IsKeyword("true")) {
+          Advance();
+          return Term::Boolean(true);
+        }
+        if (t.IsKeyword("false")) {
+          Advance();
+          return Term::Boolean(false);
+        }
+        if (t.IsKeyword("a")) {
+          Advance();
+          return Term::Iri(vocab::kRdfType);
+        }
+        return Error("unexpected keyword '" + t.text + "'");
+      default:
+        return Error("expected an RDF term");
+    }
+  }
+
+  // --- Expressions. ---
+
+  Result<ExprPtr> ParseExpression() { return ParseOrExpr(); }
+
+  Result<ExprPtr> ParseOrExpr() {
+    SCISPARQL_ASSIGN_OR_RETURN(ExprPtr e, ParseAndExpr());
+    while (Peek().IsPunct("||")) {
+      Advance();
+      SCISPARQL_ASSIGN_OR_RETURN(ExprPtr r, ParseAndExpr());
+      e = Expr::MakeBinary(BinaryOp::kOr, std::move(e), std::move(r));
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParseAndExpr() {
+    SCISPARQL_ASSIGN_OR_RETURN(ExprPtr e, ParseRelationalExpr());
+    while (Peek().IsPunct("&&")) {
+      Advance();
+      SCISPARQL_ASSIGN_OR_RETURN(ExprPtr r, ParseRelationalExpr());
+      e = Expr::MakeBinary(BinaryOp::kAnd, std::move(e), std::move(r));
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParseRelationalExpr() {
+    SCISPARQL_ASSIGN_OR_RETURN(ExprPtr e, ParseAdditiveExpr());
+    const Token& t = Peek();
+    BinaryOp op;
+    if (t.IsPunct("=")) {
+      op = BinaryOp::kEq;
+    } else if (t.IsPunct("!=")) {
+      op = BinaryOp::kNe;
+    } else if (t.IsPunct("<")) {
+      op = BinaryOp::kLt;
+    } else if (t.IsPunct(">")) {
+      op = BinaryOp::kGt;
+    } else if (t.IsPunct("<=")) {
+      op = BinaryOp::kLe;
+    } else if (t.IsPunct(">=")) {
+      op = BinaryOp::kGe;
+    } else if (t.IsKeyword("IN") || t.IsKeyword("NOT")) {
+      bool negated = t.IsKeyword("NOT");
+      Advance();
+      if (negated) SCISPARQL_RETURN_NOT_OK(ExpectKeyword("IN"));
+      SCISPARQL_RETURN_NOT_OK(ExpectPunct("("));
+      std::vector<ExprPtr> items;
+      if (!Peek().IsPunct(")")) {
+        while (true) {
+          SCISPARQL_ASSIGN_OR_RETURN(ExprPtr item, ParseExpression());
+          items.push_back(std::move(item));
+          if (Peek().IsPunct(",")) {
+            Advance();
+            continue;
+          }
+          break;
+        }
+      }
+      SCISPARQL_RETURN_NOT_OK(ExpectPunct(")"));
+      // Desugar: x IN (a, b) => x = a || x = b; NOT IN => conjunction.
+      ExprPtr folded;
+      for (ExprPtr& item : items) {
+        ExprPtr cmp = Expr::MakeBinary(
+            negated ? BinaryOp::kNe : BinaryOp::kEq,
+            std::make_shared<Expr>(*e), std::move(item));
+        if (folded == nullptr) {
+          folded = std::move(cmp);
+        } else {
+          folded = Expr::MakeBinary(negated ? BinaryOp::kAnd : BinaryOp::kOr,
+                                    std::move(folded), std::move(cmp));
+        }
+      }
+      if (folded == nullptr) {
+        folded = Expr::MakeTerm(Term::Boolean(negated));
+      }
+      return folded;
+    } else {
+      return e;
+    }
+    Advance();
+    SCISPARQL_ASSIGN_OR_RETURN(ExprPtr r, ParseAdditiveExpr());
+    return Expr::MakeBinary(op, std::move(e), std::move(r));
+  }
+
+  Result<ExprPtr> ParseAdditiveExpr() {
+    SCISPARQL_ASSIGN_OR_RETURN(ExprPtr e, ParseMultiplicativeExpr());
+    while (Peek().IsPunct("+") || Peek().IsPunct("-")) {
+      BinaryOp op = Peek().IsPunct("+") ? BinaryOp::kAdd : BinaryOp::kSub;
+      Advance();
+      SCISPARQL_ASSIGN_OR_RETURN(ExprPtr r, ParseMultiplicativeExpr());
+      e = Expr::MakeBinary(op, std::move(e), std::move(r));
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParseMultiplicativeExpr() {
+    SCISPARQL_ASSIGN_OR_RETURN(ExprPtr e, ParseUnaryExpr());
+    while (Peek().IsPunct("*") || Peek().IsPunct("/")) {
+      BinaryOp op = Peek().IsPunct("*") ? BinaryOp::kMul : BinaryOp::kDiv;
+      Advance();
+      SCISPARQL_ASSIGN_OR_RETURN(ExprPtr r, ParseUnaryExpr());
+      e = Expr::MakeBinary(op, std::move(e), std::move(r));
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParseUnaryExpr() {
+    const Token& t = Peek();
+    if (t.IsPunct("!")) {
+      Advance();
+      SCISPARQL_ASSIGN_OR_RETURN(ExprPtr e, ParseUnaryExpr());
+      return Expr::MakeUnary(UnaryOp::kNot, std::move(e));
+    }
+    if (t.IsPunct("-")) {
+      Advance();
+      SCISPARQL_ASSIGN_OR_RETURN(ExprPtr e, ParseUnaryExpr());
+      return Expr::MakeUnary(UnaryOp::kNeg, std::move(e));
+    }
+    if (t.IsPunct("+")) {
+      Advance();
+      SCISPARQL_ASSIGN_OR_RETURN(ExprPtr e, ParseUnaryExpr());
+      return Expr::MakeUnary(UnaryOp::kPlus, std::move(e));
+    }
+    return ParsePostfixExpr();
+  }
+
+  /// Primary expression with SciSPARQL array-dereference postfix.
+  Result<ExprPtr> ParsePostfixExpr() {
+    SCISPARQL_ASSIGN_OR_RETURN(ExprPtr e, ParsePrimaryExpr());
+    while (Peek().IsPunct("[")) {
+      Advance();
+      auto deref = std::make_shared<Expr>();
+      deref->kind = Expr::Kind::kSubscript;
+      deref->base = std::move(e);
+      while (!Peek().IsPunct("]")) {
+        SCISPARQL_ASSIGN_OR_RETURN(SubscriptExpr sub, ParseSubscript());
+        deref->subscripts.push_back(std::move(sub));
+        if (Peek().IsPunct(",")) Advance();
+      }
+      SCISPARQL_RETURN_NOT_OK(ExpectPunct("]"));
+      if (deref->subscripts.empty()) {
+        return Error("empty array subscript");
+      }
+      e = std::move(deref);
+    }
+    return e;
+  }
+
+  /// One dimension of `a[...]`: expr | [expr] ':' [expr] (':' expr)?
+  Result<SubscriptExpr> ParseSubscript() {
+    SubscriptExpr sub;
+    auto at_separator = [this]() {
+      return Peek().IsPunct(":") || Peek().IsPunct(",") || Peek().IsPunct("]");
+    };
+    if (!Peek().IsPunct(":")) {
+      SCISPARQL_ASSIGN_OR_RETURN(ExprPtr first, ParseAdditiveExpr());
+      if (!Peek().IsPunct(":")) {
+        sub.index = std::move(first);
+        return sub;
+      }
+      sub.lo = std::move(first);
+    }
+    sub.is_range = true;
+    SCISPARQL_RETURN_NOT_OK(ExpectPunct(":"));
+    if (!at_separator()) {
+      SCISPARQL_ASSIGN_OR_RETURN(sub.hi, ParseAdditiveExpr());
+    }
+    if (Peek().IsPunct(":")) {
+      Advance();
+      if (!at_separator()) {
+        SCISPARQL_ASSIGN_OR_RETURN(sub.stride, ParseAdditiveExpr());
+      }
+    }
+    return sub;
+  }
+
+  Result<ExprPtr> ParsePrimaryExpr() {
+    const Token& t = Peek();
+    if (t.IsPunct("(")) {
+      Advance();
+      SCISPARQL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpression());
+      SCISPARQL_RETURN_NOT_OK(ExpectPunct(")"));
+      return e;
+    }
+    if (t.type == TokenType::kVar) {
+      return Expr::MakeVar(Advance().text);
+    }
+    if (t.IsPunct("*")) {
+      // Closure placeholder (only meaningful inside partial applications).
+      Advance();
+      auto e = std::make_shared<Expr>();
+      e->kind = Expr::Kind::kStar;
+      return e;
+    }
+    // EXISTS / NOT EXISTS.
+    if (t.IsKeyword("EXISTS") ||
+        (t.IsKeyword("NOT") && Peek(1).IsKeyword("EXISTS"))) {
+      bool negated = t.IsKeyword("NOT");
+      Advance();
+      if (negated) Advance();
+      auto e = std::make_shared<Expr>();
+      e->kind = Expr::Kind::kExists;
+      e->exists_negated = negated;
+      SCISPARQL_ASSIGN_OR_RETURN(GraphPattern gp, ParseGroupGraphPattern());
+      e->exists_pattern = std::make_shared<GraphPattern>(std::move(gp));
+      return e;
+    }
+    // Aggregates.
+    if (t.type == TokenType::kKeyword) {
+      ast::AggFunc agg;
+      bool is_agg = true;
+      if (t.IsKeyword("COUNT")) {
+        agg = ast::AggFunc::kCount;
+      } else if (t.IsKeyword("SUM")) {
+        agg = ast::AggFunc::kSum;
+      } else if (t.IsKeyword("AVG")) {
+        agg = ast::AggFunc::kAvg;
+      } else if (t.IsKeyword("MIN")) {
+        agg = ast::AggFunc::kMin;
+      } else if (t.IsKeyword("MAX")) {
+        agg = ast::AggFunc::kMax;
+      } else if (t.IsKeyword("GROUP_CONCAT")) {
+        agg = ast::AggFunc::kGroupConcat;
+      } else if (t.IsKeyword("SAMPLE")) {
+        agg = ast::AggFunc::kSample;
+      } else {
+        is_agg = false;
+        agg = ast::AggFunc::kCount;
+      }
+      if (is_agg && Peek(1).IsPunct("(")) {
+        Advance();
+        Advance();
+        auto e = std::make_shared<Expr>();
+        e->kind = Expr::Kind::kAggregate;
+        e->agg = agg;
+        if (Peek().IsKeyword("DISTINCT")) {
+          Advance();
+          e->agg_distinct = true;
+        }
+        if (Peek().IsPunct("*")) {
+          Advance();
+        } else {
+          SCISPARQL_ASSIGN_OR_RETURN(e->agg_arg, ParseExpression());
+        }
+        if (Peek().IsPunct(";")) {
+          // GROUP_CONCAT(?x; SEPARATOR=", ")
+          Advance();
+          SCISPARQL_RETURN_NOT_OK(ExpectKeyword("SEPARATOR"));
+          SCISPARQL_RETURN_NOT_OK(ExpectPunct("="));
+          if (Peek().type != TokenType::kString) {
+            return Error("expected separator string");
+          }
+          e->agg_sep = Advance().text;
+        } else if (agg == ast::AggFunc::kGroupConcat) {
+          e->agg_sep = " ";
+        }
+        SCISPARQL_RETURN_NOT_OK(ExpectPunct(")"));
+        return e;
+      }
+    }
+    // Builtin or named function call: keyword/IRI/pname followed by '('.
+    if ((t.type == TokenType::kKeyword || t.type == TokenType::kIri ||
+         t.type == TokenType::kPname) &&
+        Peek(1).IsPunct("(")) {
+      std::string name;
+      if (t.type == TokenType::kKeyword) {
+        name = AsciiToUpper(Advance().text);
+      } else if (t.type == TokenType::kIri) {
+        name = ResolveIri(Advance().text);
+      } else {
+        SCISPARQL_ASSIGN_OR_RETURN(name, ExpandPname(Advance().text));
+      }
+      Advance();  // (
+      std::vector<ExprPtr> args;
+      if (!Peek().IsPunct(")")) {
+        while (true) {
+          SCISPARQL_ASSIGN_OR_RETURN(ExprPtr a, ParseExpression());
+          args.push_back(std::move(a));
+          if (Peek().IsPunct(",")) {
+            Advance();
+            continue;
+          }
+          break;
+        }
+      }
+      SCISPARQL_RETURN_NOT_OK(ExpectPunct(")"));
+      return Expr::MakeCall(std::move(name), std::move(args));
+    }
+    // Ground term.
+    SCISPARQL_ASSIGN_OR_RETURN(Term term, ParseDataTerm());
+    return Expr::MakeTerm(std::move(term));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  PrefixMap prefixes_;
+  std::string base_;
+  int anon_counter_ = 0;
+};
+
+}  // namespace
+
+Result<ast::Statement> ParseStatement(const std::string& text,
+                                      const PrefixMap& defaults) {
+  SCISPARQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  return Parser(std::move(tokens), defaults).ParseStatement();
+}
+
+Result<std::shared_ptr<ast::SelectQuery>> ParseQuery(
+    const std::string& text, const PrefixMap& defaults) {
+  SCISPARQL_ASSIGN_OR_RETURN(ast::Statement stmt,
+                             ParseStatement(text, defaults));
+  auto* q = std::get_if<std::shared_ptr<ast::SelectQuery>>(&stmt.node);
+  if (q == nullptr) return Status::ParseError("statement is not a query");
+  return *q;
+}
+
+}  // namespace sparql
+}  // namespace scisparql

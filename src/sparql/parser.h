@@ -1,0 +1,25 @@
+#ifndef SCISPARQL_SPARQL_PARSER_H_
+#define SCISPARQL_SPARQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sparql/ast.h"
+
+namespace scisparql {
+namespace sparql {
+
+/// Parses one SciSPARQL statement (query, DEFINE FUNCTION, or update).
+/// `defaults` provides prefixes available without a PREFIX declaration
+/// (the engine passes its session prefixes).
+Result<ast::Statement> ParseStatement(const std::string& text,
+                                      const PrefixMap& defaults);
+
+/// Convenience wrapper asserting the statement is a query.
+Result<std::shared_ptr<ast::SelectQuery>> ParseQuery(
+    const std::string& text, const PrefixMap& defaults);
+
+}  // namespace sparql
+}  // namespace scisparql
+
+#endif  // SCISPARQL_SPARQL_PARSER_H_

@@ -1,0 +1,33 @@
+#include "storage/asei.h"
+
+namespace scisparql {
+
+const char* RetrievalStrategyName(RetrievalStrategy s) {
+  switch (s) {
+    case RetrievalStrategy::kNaive:
+      return "naive";
+    case RetrievalStrategy::kBuffered:
+      return "buffered";
+    case RetrievalStrategy::kSpd:
+      return "spd";
+  }
+  return "?";
+}
+
+Status ArrayStorage::FetchIntervals(
+    ArrayId id, std::span<const relstore::Interval> intervals,
+    const std::function<void(uint64_t, const uint8_t*, size_t)>& cb) {
+  std::vector<uint64_t> ids = relstore::ExpandIntervals(intervals);
+  return FetchChunks(id, ids, cb);
+}
+
+Result<double> ArrayStorage::AggregateWhole(ArrayId, AggOp) {
+  return Status::Unsupported("back-end cannot push down aggregates: " +
+                             name());
+}
+
+Status ArrayStorage::Remove(ArrayId) {
+  return Status::Unsupported("back-end cannot remove arrays: " + name());
+}
+
+}  // namespace scisparql

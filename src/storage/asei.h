@@ -1,0 +1,116 @@
+#ifndef SCISPARQL_STORAGE_ASEI_H_
+#define SCISPARQL_STORAGE_ASEI_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "array/array.h"
+#include "common/status.h"
+#include "relstore/database.h"
+#include "relstore/spd.h"
+
+namespace scisparql {
+
+using ArrayId = uint32_t;
+
+/// Descriptor of an externally stored array. Arrays are laid out row-major
+/// and split into fixed-size one-dimensional chunks (the paper deliberately
+/// avoids multi-dimensional tiling, Section 2.5: "we split the arrays into
+/// one-dimensional chunks, so that the chunk size is the only parameter").
+struct StoredArrayMeta {
+  ArrayId id = 0;
+  ElementType etype = ElementType::kDouble;
+  std::vector<int64_t> shape;
+  int64_t chunk_elems = 8192;  ///< elements per chunk (64 KiB of doubles)
+
+  int64_t NumElements() const {
+    int64_t n = 1;
+    for (int64_t d : shape) n *= d;
+    return n;
+  }
+  int64_t NumChunks() const {
+    int64_t n = NumElements();
+    return n == 0 ? 0 : (n + chunk_elems - 1) / chunk_elems;
+  }
+};
+
+/// Cumulative access statistics a back-end maintains, read by the
+/// benchmark harness.
+struct StorageStats {
+  uint64_t queries = 0;         ///< round trips issued to the back-end
+  uint64_t chunks_fetched = 0;  ///< chunks transferred
+  uint64_t bytes_fetched = 0;   ///< payload bytes transferred
+};
+
+/// Array Storage Extensibility Interface (ASEI, Section 6.1): the contract
+/// every array back-end implements so SSDM can place APR (array-proxy-
+/// resolve) calls against it. Back-ends advertise capabilities; SSDM
+/// delegates what the back-end supports (e.g. aggregates) and emulates the
+/// rest client-side.
+class ArrayStorage {
+ public:
+  virtual ~ArrayStorage() = default;
+
+  virtual std::string name() const = 0;
+
+  /// True when the back-end can evaluate whole-array aggregates without
+  /// shipping chunks to the client (used by AAPR, Section 6.1).
+  virtual bool SupportsAggregatePushdown() const { return false; }
+
+  /// Persists a resident array; returns its storage-assigned id.
+  virtual Result<ArrayId> Store(const NumericArray& array,
+                                int64_t chunk_elems) = 0;
+
+  virtual Result<StoredArrayMeta> GetMeta(ArrayId id) const = 0;
+
+  /// Fetches the given chunks; `cb(chunk_id, bytes, len)` is invoked once
+  /// per chunk in unspecified order. `chunk_ids` need not be sorted.
+  virtual Status FetchChunks(
+      ArrayId id, std::span<const uint64_t> chunk_ids,
+      const std::function<void(uint64_t, const uint8_t*, size_t)>& cb) = 0;
+
+  /// Fetches chunk intervals produced by the Sequence Pattern Detector.
+  /// Default implementation expands intervals to explicit ids; back-ends
+  /// that can serve ranges natively override it.
+  virtual Status FetchIntervals(
+      ArrayId id, std::span<const relstore::Interval> intervals,
+      const std::function<void(uint64_t, const uint8_t*, size_t)>& cb);
+
+  /// Whole-array aggregate evaluated inside the back-end. Only valid when
+  /// SupportsAggregatePushdown(); default returns Unsupported.
+  virtual Result<double> AggregateWhole(ArrayId id, AggOp op);
+
+  /// Deletes a stored array; default Unsupported.
+  virtual Status Remove(ArrayId id);
+
+  const StorageStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = StorageStats(); }
+
+ protected:
+  StorageStats stats_;
+};
+
+/// How an APR call turns the needed chunk set into back-end requests — the
+/// client half of the Section 6.2.3 strategies.
+enum class RetrievalStrategy : uint8_t {
+  kNaive,     ///< one FetchChunks call per chunk
+  kBuffered,  ///< batched FetchChunks calls of at most `buffer_size` chunks
+  kSpd,       ///< SPD-detected interval fetches
+};
+
+const char* RetrievalStrategyName(RetrievalStrategy s);
+
+/// Per-connection APR configuration (strategy + batch buffer size swept by
+/// Experiments 1 and 2).
+struct AprConfig {
+  RetrievalStrategy strategy = RetrievalStrategy::kSpd;
+  size_t buffer_size = 256;  ///< max chunk refs per batched request
+};
+
+}  // namespace scisparql
+
+#endif  // SCISPARQL_STORAGE_ASEI_H_

@@ -1,0 +1,179 @@
+#include "storage/kv_backend.h"
+
+#include <cstring>
+
+namespace scisparql {
+
+// Log record format: [u32 key length][key][u32 value length][value].
+
+namespace {
+
+std::string MetaKey(ArrayId id) {
+  return "meta:" + std::to_string(id);
+}
+std::string ChunkKey(ArrayId id, uint64_t chunk) {
+  return "chunk:" + std::to_string(id) + ":" + std::to_string(chunk);
+}
+
+std::string EncodeMeta(const StoredArrayMeta& meta) {
+  std::string out;
+  out.resize(16 + meta.shape.size() * 8);
+  uint32_t etype = static_cast<uint32_t>(meta.etype);
+  uint32_t rank = static_cast<uint32_t>(meta.shape.size());
+  std::memcpy(out.data(), &etype, 4);
+  std::memcpy(out.data() + 4, &rank, 4);
+  std::memcpy(out.data() + 8, &meta.chunk_elems, 8);
+  std::memcpy(out.data() + 16, meta.shape.data(), meta.shape.size() * 8);
+  return out;
+}
+
+Result<StoredArrayMeta> DecodeMeta(ArrayId id, const std::string& bytes) {
+  if (bytes.size() < 16) return Status::Internal("short meta record");
+  StoredArrayMeta meta;
+  meta.id = id;
+  uint32_t etype, rank;
+  std::memcpy(&etype, bytes.data(), 4);
+  std::memcpy(&rank, bytes.data() + 4, 4);
+  std::memcpy(&meta.chunk_elems, bytes.data() + 8, 8);
+  meta.etype = static_cast<ElementType>(etype);
+  if (bytes.size() < 16 + rank * 8) {
+    return Status::Internal("short meta record (dims)");
+  }
+  meta.shape.resize(rank);
+  std::memcpy(meta.shape.data(), bytes.data() + 16, rank * 8);
+  return meta;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<KvArrayStorage>> KvArrayStorage::Open(
+    const std::string& path) {
+  std::unique_ptr<KvArrayStorage> kv(new KvArrayStorage(path));
+  kv->file_ = std::fopen(path.c_str(), "r+b");
+  if (kv->file_ == nullptr) kv->file_ = std::fopen(path.c_str(), "w+b");
+  if (kv->file_ == nullptr) {
+    return Status::IoError("cannot open kv log: " + path);
+  }
+  SCISPARQL_RETURN_NOT_OK(kv->LoadIndex());
+  return kv;
+}
+
+KvArrayStorage::~KvArrayStorage() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status KvArrayStorage::LoadIndex() {
+  std::fseek(file_, 0, SEEK_SET);
+  while (true) {
+    uint32_t key_len;
+    if (std::fread(&key_len, 1, 4, file_) != 4) break;  // EOF
+    std::string key(key_len, '\0');
+    if (std::fread(key.data(), 1, key_len, file_) != key_len) {
+      return Status::IoError("truncated kv log (key)");
+    }
+    uint32_t val_len;
+    if (std::fread(&val_len, 1, 4, file_) != 4) {
+      return Status::IoError("truncated kv log (length)");
+    }
+    Location loc;
+    loc.offset = std::ftell(file_);
+    loc.length = val_len;
+    if (std::fseek(file_, val_len, SEEK_CUR) != 0) {
+      return Status::IoError("truncated kv log (value)");
+    }
+    index_[key] = loc;  // later records win, log-structured style
+    // Recover the id counter from meta records.
+    if (key.rfind("meta:", 0) == 0) {
+      ArrayId id = static_cast<ArrayId>(std::atoll(key.c_str() + 5));
+      if (id >= next_id_) next_id_ = id + 1;
+    }
+  }
+  return Status::OK();
+}
+
+Status KvArrayStorage::Put(const std::string& key, const std::string& value) {
+  std::fseek(file_, 0, SEEK_END);
+  uint32_t key_len = static_cast<uint32_t>(key.size());
+  uint32_t val_len = static_cast<uint32_t>(value.size());
+  if (std::fwrite(&key_len, 1, 4, file_) != 4 ||
+      std::fwrite(key.data(), 1, key_len, file_) != key_len ||
+      std::fwrite(&val_len, 1, 4, file_) != 4) {
+    return Status::IoError("kv append failed");
+  }
+  Location loc;
+  loc.offset = std::ftell(file_);
+  loc.length = val_len;
+  if (std::fwrite(value.data(), 1, val_len, file_) != val_len) {
+    return Status::IoError("kv append failed");
+  }
+  index_[key] = loc;
+  return Status::OK();
+}
+
+Result<std::string> KvArrayStorage::Get(const std::string& key) const {
+  auto it = index_.find(key);
+  if (it == index_.end()) return Status::NotFound("no kv key: " + key);
+  std::string out(it->second.length, '\0');
+  if (std::fseek(file_, it->second.offset, SEEK_SET) != 0 ||
+      std::fread(out.data(), 1, out.size(), file_) != out.size()) {
+    return Status::IoError("kv read failed");
+  }
+  return out;
+}
+
+Result<ArrayId> KvArrayStorage::Store(const NumericArray& array,
+                                      int64_t chunk_elems) {
+  NumericArray compact = array.Compact();
+  ArrayId id = next_id_++;
+  StoredArrayMeta meta;
+  meta.id = id;
+  meta.etype = compact.etype();
+  meta.shape = compact.shape();
+  meta.chunk_elems = chunk_elems;
+  SCISPARQL_RETURN_NOT_OK(Put(MetaKey(id), EncodeMeta(meta)));
+
+  const int64_t total = compact.NumElements();
+  const int64_t chunks =
+      total == 0 ? 0 : (total + chunk_elems - 1) / chunk_elems;
+  for (int64_t c = 0; c < chunks; ++c) {
+    int64_t first = c * chunk_elems;
+    int64_t n = std::min(chunk_elems, total - first);
+    std::string blob(static_cast<size_t>(n * 8), '\0');
+    for (int64_t i = 0; i < n; ++i) {
+      if (compact.etype() == ElementType::kDouble) {
+        double v = compact.DoubleAt(first + i);
+        std::memcpy(blob.data() + i * 8, &v, 8);
+      } else {
+        int64_t v = compact.IntAt(first + i);
+        std::memcpy(blob.data() + i * 8, &v, 8);
+      }
+    }
+    SCISPARQL_RETURN_NOT_OK(
+        Put(ChunkKey(id, static_cast<uint64_t>(c)), blob));
+  }
+  return id;
+}
+
+Result<StoredArrayMeta> KvArrayStorage::GetMeta(ArrayId id) const {
+  auto bytes = Get(MetaKey(id));
+  if (!bytes.ok()) {
+    return Status::NotFound("no stored array " + std::to_string(id));
+  }
+  return DecodeMeta(id, *bytes);
+}
+
+Status KvArrayStorage::FetchChunks(
+    ArrayId id, std::span<const uint64_t> chunk_ids,
+    const std::function<void(uint64_t, const uint8_t*, size_t)>& cb) {
+  // One point get per chunk — all the store's API offers.
+  for (uint64_t c : chunk_ids) {
+    ++stats_.queries;
+    SCISPARQL_ASSIGN_OR_RETURN(std::string blob, Get(ChunkKey(id, c)));
+    ++stats_.chunks_fetched;
+    stats_.bytes_fetched += blob.size();
+    cb(c, reinterpret_cast<const uint8_t*>(blob.data()), blob.size());
+  }
+  return Status::OK();
+}
+
+}  // namespace scisparql

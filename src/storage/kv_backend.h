@@ -1,0 +1,69 @@
+#ifndef SCISPARQL_STORAGE_KV_BACKEND_H_
+#define SCISPARQL_STORAGE_KV_BACKEND_H_
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "storage/asei.h"
+
+namespace scisparql {
+
+/// NoSQL-style key-value array back-end. The thesis (Section 2.2.3)
+/// anticipates interfacing "not-only-SQL" stores whose APIs offer little
+/// beyond point lookups; this back-end models exactly that capability
+/// envelope on top of a log-structured file:
+///
+///   * point get/put of opaque values under string keys — nothing else;
+///   * NO native interval scans (FetchIntervals falls back to expanding
+///     SPD intervals into point gets, per the ASEI default);
+///   * NO aggregate pushdown (AAPR falls back to client-side evaluation).
+///
+/// The ASEI capability flags make SSDM degrade gracefully: the same
+/// queries run, with more data crossing the boundary — the trade-off the
+/// paper's NoSQL discussion predicts.
+class KvArrayStorage : public ArrayStorage {
+ public:
+  /// Opens (or creates) the log file; existing records are indexed by a
+  /// sequential scan, the usual recovery story of log-structured stores.
+  static Result<std::unique_ptr<KvArrayStorage>> Open(
+      const std::string& path);
+
+  ~KvArrayStorage() override;
+
+  std::string name() const override { return "kv"; }
+  bool SupportsAggregatePushdown() const override { return false; }
+
+  Result<ArrayId> Store(const NumericArray& array,
+                        int64_t chunk_elems) override;
+  Result<StoredArrayMeta> GetMeta(ArrayId id) const override;
+  Status FetchChunks(
+      ArrayId id, std::span<const uint64_t> chunk_ids,
+      const std::function<void(uint64_t, const uint8_t*, size_t)>& cb)
+      override;
+
+  /// Raw point access, for tests.
+  Result<std::string> Get(const std::string& key) const;
+  Status Put(const std::string& key, const std::string& value);
+
+  size_t key_count() const { return index_.size(); }
+
+ private:
+  explicit KvArrayStorage(std::string path) : path_(std::move(path)) {}
+
+  Status LoadIndex();
+
+  struct Location {
+    long offset = 0;  // of the value bytes
+    uint32_t length = 0;
+  };
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::map<std::string, Location> index_;
+  ArrayId next_id_ = 1;
+};
+
+}  // namespace scisparql
+
+#endif  // SCISPARQL_STORAGE_KV_BACKEND_H_

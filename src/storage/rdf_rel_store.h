@@ -1,0 +1,61 @@
+#ifndef SCISPARQL_STORAGE_RDF_REL_STORE_H_
+#define SCISPARQL_STORAGE_RDF_REL_STORE_H_
+
+#include <memory>
+#include <string>
+
+#include "rdf/graph.h"
+#include "storage/array_proxy.h"
+#include "storage/relational_backend.h"
+
+namespace scisparql {
+
+/// Persists RDF-with-Arrays graphs in the embedded relational engine under
+/// the SSDM storage schema of Section 6.2.1 — triples partitioned by value
+/// type (classification (b) of Section 2.2.3):
+///
+///   rdf_res(s, p, o)                    object is an IRI or blank node
+///   rdf_num(s, p, value, is_int)        object is a number
+///   rdf_lit(s, p, kind, lex, extra)     other literals
+///   rdf_arr(s, p, array_id)             object is an array (chunks live in
+///                                       the RelationalArrayStorage tables)
+///
+/// This is the "back-end scenario": SSDM keeps the working graph in memory
+/// and uses the RDBMS for scalable persistence; arrays load back as lazy
+/// proxies, so graph loading never touches chunk data.
+class RdfRelationalStore {
+ public:
+  static Result<std::unique_ptr<RdfRelationalStore>> Attach(
+      relstore::Database* db,
+      std::shared_ptr<RelationalArrayStorage> arrays);
+
+  /// Appends every triple of `graph` to the store. Resident array values
+  /// are chunked into the array tables; proxies already backed by this
+  /// store are stored by reference.
+  Status SaveGraph(const Graph& graph);
+
+  /// Loads all stored triples into `graph`. Array values come back as lazy
+  /// ArrayProxy terms configured with `apr`.
+  Status LoadGraph(Graph* graph, const AprConfig& apr = AprConfig()) const;
+
+  /// Number of triples in each partition, for tests and stats.
+  struct PartitionCounts {
+    uint64_t resources = 0;
+    uint64_t numbers = 0;
+    uint64_t literals = 0;
+    uint64_t arrays = 0;
+  };
+  Result<PartitionCounts> CountPartitions() const;
+
+ private:
+  RdfRelationalStore(relstore::Database* db,
+                     std::shared_ptr<RelationalArrayStorage> arrays)
+      : db_(db), arrays_(std::move(arrays)) {}
+
+  relstore::Database* db_;
+  std::shared_ptr<RelationalArrayStorage> arrays_;
+};
+
+}  // namespace scisparql
+
+#endif  // SCISPARQL_STORAGE_RDF_REL_STORE_H_

@@ -1,0 +1,164 @@
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "apps/bistab.h"
+#include "apps/minibench.h"
+#include "storage/memory_backend.h"
+#include "storage/relational_backend.h"
+
+namespace scisparql {
+namespace apps {
+namespace {
+
+TEST(Bistab, GeneratorProducesExpectedCardinalities) {
+  SSDM db;
+  BistabConfig cfg;
+  cfg.parameter_cases = 4;
+  cfg.realizations = 3;
+  cfg.timesteps = 50;
+  BistabStats stats = *GenerateBistab(&db, cfg);
+  EXPECT_EQ(stats.tasks, 12);
+  EXPECT_EQ(stats.array_elements, 12 * 50 * 2);
+  // experiment(type+desc) + 12 * (hasTask + type + 4 rates + realization +
+  // result) = 2 + 12*8.
+  EXPECT_EQ(stats.triples, 2u + 12u * 8u);
+}
+
+TEST(Bistab, DeterministicInSeed) {
+  SSDM db1, db2;
+  BistabConfig cfg;
+  cfg.parameter_cases = 2;
+  cfg.realizations = 2;
+  cfg.timesteps = 30;
+  ASSERT_TRUE(GenerateBistab(&db1, cfg).ok());
+  ASSERT_TRUE(GenerateBistab(&db2, cfg).ok());
+  auto q = std::string("PREFIX bi: <") + kBistabNs +
+           "> SELECT ?t (ASUM(?r) AS ?s) WHERE "
+           "{ ?t bi:result ?r } ORDER BY ?t";
+  auto r1 = db1.Query(q);
+  auto r2 = db2.Query(q);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  ASSERT_EQ(r1->rows.size(), r2->rows.size());
+  for (size_t i = 0; i < r1->rows.size(); ++i) {
+    EXPECT_EQ(r1->rows[i][1], r2->rows[i][1]);
+  }
+}
+
+TEST(Bistab, TrajectoriesAreBistable) {
+  SSDM db;
+  BistabConfig cfg;
+  cfg.parameter_cases = 5;
+  cfg.realizations = 2;
+  cfg.timesteps = 200;
+  ASSERT_TRUE(GenerateBistab(&db, cfg).ok());
+  // Species A stays within a plausible range around the two stable states.
+  auto r = db.Query(std::string("PREFIX bi: <") + kBistabNs +
+                    "> SELECT (AMIN(?r[:, 1]) AS ?lo) (AMAX(?r[:, 1]) AS ?hi) "
+                    "WHERE { ?t bi:result ?r }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  for (const auto& row : r->rows) {
+    EXPECT_GT(*row[0].AsDouble(), -20.0);
+    EXPECT_LT(*row[1].AsDouble(), 120.0);
+  }
+}
+
+TEST(Bistab, QueriesConsistentAcrossBackends) {
+  // The E4 invariant: Q1-Q4 return identical answers whether arrays are
+  // resident or proxied through a back-end.
+  BistabConfig cfg;
+  cfg.parameter_cases = 3;
+  cfg.realizations = 2;
+  cfg.timesteps = 60;
+
+  SSDM resident;
+  ASSERT_TRUE(GenerateBistab(&resident, cfg).ok());
+
+  SSDM proxied;
+  proxied.AttachStorage(std::make_shared<MemoryArrayStorage>());
+  BistabConfig cfg2 = cfg;
+  cfg2.storage = "memory";
+  cfg2.chunk_elems = 32;
+  ASSERT_TRUE(GenerateBistab(&proxied, cfg2).ok());
+
+  for (const std::string& q :
+       {BistabQ1(20.0), BistabQ2(20.0), BistabQ3(45.0),
+        BistabQ4(cfg.timesteps)}) {
+    auto r1 = resident.Query(q);
+    auto r2 = proxied.Query(q);
+    ASSERT_TRUE(r1.ok()) << r1.status().ToString() << "\n" << q;
+    ASSERT_TRUE(r2.ok()) << r2.status().ToString() << "\n" << q;
+    ASSERT_EQ(r1->rows.size(), r2->rows.size()) << q;
+    for (size_t i = 0; i < r1->rows.size(); ++i) {
+      for (size_t c = 0; c < r1->rows[i].size(); ++c) {
+        EXPECT_EQ(r1->rows[i][c], r2->rows[i][c]) << q;
+      }
+    }
+  }
+}
+
+class MinibenchPatterns : public ::testing::TestWithParam<AccessPattern> {};
+
+TEST_P(MinibenchPatterns, ViewsMatchResidentReference) {
+  auto storage = std::make_shared<MemoryArrayStorage>();
+  NumericArray ref = NumericArray::Zeros(ElementType::kDouble, {32, 48});
+  for (int64_t i = 0; i < ref.NumElements(); ++i) {
+    ref.SetDoubleAt(i, static_cast<double>(i));
+  }
+  ArrayId id = *storage->Store(ref, 64);
+  auto base = *ArrayProxy::Open(storage, id);
+
+  GeneratedAccess access = *GeneratePattern(base, GetParam(), 4, 1234);
+  EXPECT_FALSE(access.views.empty());
+  int64_t covered = 0;
+  for (const auto& view : access.views) {
+    NumericArray got = *view->Materialize();
+    covered += got.NumElements();
+    // Every element of the view must appear in the reference with the same
+    // value (views are element subsets).
+    for (int64_t k = 0; k < got.NumElements(); ++k) {
+      double v = got.DoubleAt(k);
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, ref.NumElements());
+      EXPECT_EQ(v, std::floor(v));
+    }
+  }
+  EXPECT_EQ(covered, access.expected_elements);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatterns, MinibenchPatterns,
+                         ::testing::ValuesIn(AllAccessPatterns()));
+
+TEST(Minibench, RowViewIsExactRow) {
+  auto storage = std::make_shared<MemoryArrayStorage>();
+  NumericArray ref = NumericArray::Zeros(ElementType::kDouble, {8, 10});
+  for (int64_t i = 0; i < 80; ++i) ref.SetDoubleAt(i, i);
+  ArrayId id = *storage->Store(ref, 16);
+  auto base = *ArrayProxy::Open(storage, id);
+  GeneratedAccess access =
+      *GeneratePattern(base, AccessPattern::kRow, 0, /*seed=*/7);
+  NumericArray row = *access.views[0]->Materialize();
+  ASSERT_EQ(row.NumElements(), 10);
+  // Row elements are consecutive.
+  for (int64_t k = 1; k < 10; ++k) {
+    EXPECT_DOUBLE_EQ(row.DoubleAt(k) - row.DoubleAt(k - 1), 1.0);
+  }
+}
+
+TEST(Minibench, PatternNamesAndSubscripts) {
+  for (AccessPattern p : AllAccessPatterns()) {
+    EXPECT_STRNE(AccessPatternName(p), "?");
+    EXPECT_FALSE(PatternAsSubscript(p, {10, 10}, 4).empty());
+  }
+}
+
+TEST(Minibench, RejectsNon2D) {
+  auto storage = std::make_shared<MemoryArrayStorage>();
+  ArrayId id =
+      *storage->Store(NumericArray::Zeros(ElementType::kDouble, {10}), 4);
+  auto base = *ArrayProxy::Open(storage, id);
+  EXPECT_FALSE(GeneratePattern(base, AccessPattern::kRow, 0, 1).ok());
+}
+
+}  // namespace
+}  // namespace apps
+}  // namespace scisparql

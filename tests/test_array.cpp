@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "array/array.h"
+
+namespace scisparql {
+namespace {
+
+NumericArray Matrix2x3() {
+  // [[1, 2, 3], [4, 5, 6]]
+  return *NumericArray::FromInts({2, 3}, {1, 2, 3, 4, 5, 6});
+}
+
+TEST(NumericArray, ZerosShapeAndType) {
+  NumericArray a = NumericArray::Zeros(ElementType::kDouble, {3, 4});
+  EXPECT_EQ(a.rank(), 2);
+  EXPECT_EQ(a.NumElements(), 12);
+  int64_t idx[] = {2, 3};
+  EXPECT_EQ(*a.GetDouble(idx), 0.0);
+}
+
+TEST(NumericArray, FromIntsChecksShape) {
+  EXPECT_FALSE(NumericArray::FromInts({2, 2}, {1, 2, 3}).ok());
+  EXPECT_TRUE(NumericArray::FromInts({2, 2}, {1, 2, 3, 4}).ok());
+}
+
+TEST(NumericArray, MultiIndexAccess) {
+  NumericArray a = Matrix2x3();
+  int64_t idx[] = {1, 2};
+  EXPECT_EQ(*a.GetInt(idx), 6);
+  int64_t idx2[] = {0, 0};
+  EXPECT_EQ(*a.GetInt(idx2), 1);
+  // Cross-type read widens.
+  EXPECT_EQ(*a.GetDouble(idx), 6.0);
+}
+
+TEST(NumericArray, BoundsChecked) {
+  NumericArray a = Matrix2x3();
+  int64_t bad1[] = {2, 0};
+  int64_t bad2[] = {0, -1};
+  int64_t bad3[] = {0};
+  EXPECT_EQ(a.GetInt(bad1).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(a.GetInt(bad2).status().code(), StatusCode::kOutOfRange);
+  EXPECT_FALSE(a.GetInt(bad3).ok());
+}
+
+TEST(NumericArray, LinearAccessRowMajor) {
+  NumericArray a = Matrix2x3();
+  for (int64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(a.IntAt(i), i + 1);
+  }
+}
+
+TEST(NumericArray, SetAndGet) {
+  NumericArray a = NumericArray::Zeros(ElementType::kInt64, {2, 2});
+  int64_t idx[] = {1, 0};
+  ASSERT_TRUE(a.Set(idx, int64_t{7}).ok());
+  EXPECT_EQ(*a.GetInt(idx), 7);
+  // Writing a double into an int array truncates.
+  ASSERT_TRUE(a.Set(idx, 8.9).ok());
+  EXPECT_EQ(*a.GetInt(idx), 8);
+}
+
+TEST(NumericArray, ViewSingleIndexReducesRank) {
+  NumericArray a = Matrix2x3();
+  std::vector<Sub> subs = {Sub::Index(1), Sub::All(3)};
+  NumericArray row = *a.View(subs);
+  EXPECT_EQ(row.rank(), 1);
+  ASSERT_EQ(row.shape()[0], 3);
+  EXPECT_EQ(row.IntAt(0), 4);
+  EXPECT_EQ(row.IntAt(2), 6);
+}
+
+TEST(NumericArray, ViewRangeWithStride) {
+  NumericArray a = *NumericArray::FromInts({10}, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  std::vector<Sub> subs = {Sub::Range(1, 4, 2)};  // 1,3,5,7
+  NumericArray v = *a.View(subs);
+  ASSERT_EQ(v.NumElements(), 4);
+  EXPECT_EQ(v.IntAt(0), 1);
+  EXPECT_EQ(v.IntAt(3), 7);
+}
+
+TEST(NumericArray, ViewNegativeStride) {
+  NumericArray a = *NumericArray::FromInts({5}, {0, 1, 2, 3, 4});
+  std::vector<Sub> subs = {Sub::Range(4, 5, -1)};
+  NumericArray v = *a.View(subs);
+  ASSERT_EQ(v.NumElements(), 5);
+  EXPECT_EQ(v.IntAt(0), 4);
+  EXPECT_EQ(v.IntAt(4), 0);
+}
+
+TEST(NumericArray, ViewSharesBuffer) {
+  NumericArray a = Matrix2x3();
+  std::vector<Sub> subs = {Sub::Index(0), Sub::All(3)};
+  NumericArray row = *a.View(subs);
+  int64_t idx[] = {0, 1};
+  ASSERT_TRUE(a.Set(idx, int64_t{99}).ok());
+  EXPECT_EQ(row.IntAt(1), 99);  // view observes the write
+}
+
+TEST(NumericArray, ViewOfViewComposes) {
+  NumericArray a =
+      *NumericArray::FromInts({4, 4}, {0,  1,  2,  3,  4,  5,  6,  7,
+                                       8,  9,  10, 11, 12, 13, 14, 15});
+  std::vector<Sub> s1 = {Sub::Range(1, 3, 1), Sub::Range(1, 3, 1)};
+  NumericArray inner = *a.View(s1);  // [[5,6,7],[9,10,11],[13,14,15]]
+  std::vector<Sub> s2 = {Sub::Index(1), Sub::Range(0, 2, 2)};
+  NumericArray v = *inner.View(s2);  // [9, 11]
+  ASSERT_EQ(v.NumElements(), 2);
+  EXPECT_EQ(v.IntAt(0), 9);
+  EXPECT_EQ(v.IntAt(1), 11);
+}
+
+TEST(NumericArray, ValidateSubsRejectsBadBounds) {
+  std::vector<int64_t> shape = {3, 4};
+  std::vector<Sub> bad_rank = {Sub::Index(0)};
+  EXPECT_FALSE(NumericArray::ValidateSubs(shape, bad_rank).ok());
+  std::vector<Sub> oob = {Sub::Index(3), Sub::Index(0)};
+  EXPECT_FALSE(NumericArray::ValidateSubs(shape, oob).ok());
+  std::vector<Sub> bad_range = {Sub::Range(0, 5, 1), Sub::Index(0)};
+  EXPECT_FALSE(NumericArray::ValidateSubs(shape, bad_range).ok());
+  std::vector<Sub> zero_step = {Sub::Range(0, 2, 0), Sub::Index(0)};
+  EXPECT_FALSE(NumericArray::ValidateSubs(shape, zero_step).ok());
+}
+
+TEST(NumericArray, CompactCopiesStridedView) {
+  NumericArray a = Matrix2x3();
+  std::vector<Sub> subs = {Sub::All(2), Sub::Range(0, 2, 2)};  // cols 0 and 2
+  NumericArray v = *a.View(subs);
+  EXPECT_FALSE(v.IsContiguous());
+  NumericArray c = v.Compact();
+  EXPECT_TRUE(c.IsContiguous());
+  EXPECT_EQ(c.IntAt(0), 1);
+  EXPECT_EQ(c.IntAt(1), 3);
+  EXPECT_EQ(c.IntAt(2), 4);
+  EXPECT_EQ(c.IntAt(3), 6);
+}
+
+TEST(NumericArray, NumericEqualsAcrossTypes) {
+  NumericArray ints = *NumericArray::FromInts({2}, {1, 2});
+  NumericArray dbls = *NumericArray::FromDoubles({2}, {1.0, 2.0});
+  EXPECT_TRUE(ints.NumericEquals(dbls));
+  NumericArray other = *NumericArray::FromDoubles({2}, {1.0, 2.5});
+  EXPECT_FALSE(ints.NumericEquals(other));
+  NumericArray shape = *NumericArray::FromInts({1, 2}, {1, 2});
+  EXPECT_FALSE(ints.NumericEquals(shape));
+}
+
+TEST(NumericArray, ToStringNested) {
+  NumericArray a = *NumericArray::FromInts({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(a.ToString(), "[[1, 2], [3, 4]]");
+}
+
+TEST(NumericArray, ToStringElides) {
+  NumericArray a = NumericArray::Zeros(ElementType::kInt64, {100});
+  std::string s = a.ToString(4);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+TEST(ResidentArrayValue, ImplementsInterface) {
+  auto v = ResidentArray::Make(Matrix2x3());
+  EXPECT_TRUE(v->resident());
+  EXPECT_EQ(v->rank(), 2);
+  EXPECT_EQ(v->NumElements(), 6);
+  int64_t idx[] = {1, 1};
+  EXPECT_EQ(*v->ElementAsDouble(idx), 5.0);
+  EXPECT_EQ(*v->Aggregate(AggOp::kSum), 21.0);
+  EXPECT_EQ(*v->Aggregate(AggOp::kMin), 1.0);
+  EXPECT_EQ(*v->Aggregate(AggOp::kMax), 6.0);
+  EXPECT_EQ(*v->Aggregate(AggOp::kAvg), 3.5);
+  EXPECT_EQ(*v->Aggregate(AggOp::kCount), 6.0);
+}
+
+TEST(ResidentArrayValue, SubscriptProducesView) {
+  auto v = ResidentArray::Make(Matrix2x3());
+  std::vector<Sub> subs = {Sub::Index(0), Sub::All(3)};
+  auto row = *v->Subscript(subs);
+  EXPECT_EQ(row->NumElements(), 3);
+  int64_t idx[] = {2};
+  EXPECT_EQ(*row->ElementAsDouble(idx), 3.0);
+}
+
+TEST(ArrayValue, AggregateEmptyArray) {
+  auto v = ResidentArray::Make(NumericArray::Zeros(ElementType::kDouble, {0}));
+  EXPECT_EQ(*v->Aggregate(AggOp::kSum), 0.0);
+  EXPECT_EQ(*v->Aggregate(AggOp::kCount), 0.0);
+  EXPECT_FALSE(v->Aggregate(AggOp::kMin).ok());
+}
+
+// Property-style sweep: a strided 1-D view must agree with a reference
+// computed from first principles for every (lo, count, step) combination.
+class ViewSweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+};
+
+TEST_P(ViewSweep, MatchesReference) {
+  auto [lo, count, step] = GetParam();
+  const int64_t n = 12;
+  std::vector<int64_t> data(n);
+  for (int64_t i = 0; i < n; ++i) data[i] = i * 10;
+  NumericArray a = *NumericArray::FromInts({n}, data);
+  int64_t last = lo + (count - 1) * step;
+  std::vector<Sub> subs = {Sub::Range(lo, count, step)};
+  auto view = a.View(subs);
+  bool in_bounds = lo >= 0 && lo < n && (count == 0 || (last >= 0 && last < n));
+  ASSERT_EQ(view.ok(), in_bounds);
+  if (!view.ok()) return;
+  ASSERT_EQ(view->NumElements(), count);
+  for (int64_t k = 0; k < count; ++k) {
+    EXPECT_EQ(view->IntAt(k), (lo + k * step) * 10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrides, ViewSweep,
+    ::testing::Combine(::testing::Values(0, 1, 5, 11),
+                       ::testing::Values(0, 1, 2, 4),
+                       ::testing::Values(-3, -1, 1, 2, 3)));
+
+}  // namespace
+}  // namespace scisparql

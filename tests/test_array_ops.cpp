@@ -1,0 +1,206 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "array/ops.h"
+
+namespace scisparql {
+namespace {
+
+NumericArray Ints(std::vector<int64_t> v) {
+  const int64_t n = static_cast<int64_t>(v.size());
+  return *NumericArray::FromInts({n}, std::move(v));
+}
+NumericArray Dbls(std::vector<double> v) {
+  const int64_t n = static_cast<int64_t>(v.size());
+  return *NumericArray::FromDoubles({n}, std::move(v));
+}
+
+TEST(ElementwiseBinary, IntAddStaysInt) {
+  NumericArray r = *ElementwiseBinary(BinOp::kAdd, Ints({1, 2}), Ints({10, 20}));
+  EXPECT_EQ(r.etype(), ElementType::kInt64);
+  EXPECT_EQ(r.IntAt(0), 11);
+  EXPECT_EQ(r.IntAt(1), 22);
+}
+
+TEST(ElementwiseBinary, DivAlwaysDouble) {
+  NumericArray r = *ElementwiseBinary(BinOp::kDiv, Ints({3, 9}), Ints({2, 3}));
+  EXPECT_EQ(r.etype(), ElementType::kDouble);
+  EXPECT_DOUBLE_EQ(r.DoubleAt(0), 1.5);
+  EXPECT_DOUBLE_EQ(r.DoubleAt(1), 3.0);
+}
+
+TEST(ElementwiseBinary, MixedTypesPromote) {
+  NumericArray r =
+      *ElementwiseBinary(BinOp::kMul, Ints({2, 3}), Dbls({0.5, 2.0}));
+  EXPECT_EQ(r.etype(), ElementType::kDouble);
+  EXPECT_DOUBLE_EQ(r.DoubleAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(r.DoubleAt(1), 6.0);
+}
+
+TEST(ElementwiseBinary, ShapeMismatchFails) {
+  auto r = ElementwiseBinary(BinOp::kAdd, Ints({1, 2}), Ints({1, 2, 3}));
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+}
+
+TEST(ElementwiseBinary, DivisionByZeroFails) {
+  EXPECT_FALSE(ElementwiseBinary(BinOp::kDiv, Dbls({1}), Dbls({0})).ok());
+  EXPECT_FALSE(ElementwiseBinary(BinOp::kMod, Ints({1}), Ints({0})).ok());
+}
+
+TEST(ScalarBinary, BroadcastBothSides) {
+  NumericArray left = *ScalarBinary(BinOp::kSub, Dbls({1, 2}), 10, true);
+  EXPECT_DOUBLE_EQ(left.DoubleAt(0), 9.0);   // 10 - 1
+  NumericArray right = *ScalarBinary(BinOp::kSub, Dbls({1, 2}), 10, false);
+  EXPECT_DOUBLE_EQ(right.DoubleAt(0), -9.0);  // 1 - 10
+}
+
+TEST(ScalarBinaryInt, KeepsIntegerWhenClosed) {
+  NumericArray r = *ScalarBinaryInt(BinOp::kMul, Ints({3, 4}), 2, false);
+  EXPECT_EQ(r.etype(), ElementType::kInt64);
+  EXPECT_EQ(r.IntAt(1), 8);
+  NumericArray d = *ScalarBinaryInt(BinOp::kDiv, Ints({3, 4}), 2, false);
+  EXPECT_EQ(d.etype(), ElementType::kDouble);
+  EXPECT_DOUBLE_EQ(d.DoubleAt(0), 1.5);
+}
+
+TEST(UnaryNamed, CoreFunctions) {
+  EXPECT_DOUBLE_EQ(UnaryNamed("abs", Dbls({-2.5}))->DoubleAt(0), 2.5);
+  EXPECT_DOUBLE_EQ(UnaryNamed("sqrt", Dbls({9}))->DoubleAt(0), 3.0);
+  EXPECT_DOUBLE_EQ(UnaryNamed("exp", Dbls({0}))->DoubleAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(UnaryNamed("ln", Dbls({std::exp(2.0)}))->DoubleAt(0), 2.0);
+  EXPECT_DOUBLE_EQ(UnaryNamed("log10", Dbls({1000}))->DoubleAt(0), 3.0);
+  EXPECT_DOUBLE_EQ(UnaryNamed("neg", Dbls({4}))->DoubleAt(0), -4.0);
+  EXPECT_DOUBLE_EQ(UnaryNamed("floor", Dbls({1.9}))->DoubleAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(UnaryNamed("ceil", Dbls({1.1}))->DoubleAt(0), 2.0);
+  EXPECT_DOUBLE_EQ(UnaryNamed("round", Dbls({1.5}))->DoubleAt(0), 2.0);
+}
+
+TEST(UnaryNamed, IntPreservingOps) {
+  NumericArray r = *UnaryNamed("abs", Ints({-3, 4}));
+  EXPECT_EQ(r.etype(), ElementType::kInt64);
+  EXPECT_EQ(r.IntAt(0), 3);
+  NumericArray s = *UnaryNamed("sqrt", Ints({4}));
+  EXPECT_EQ(s.etype(), ElementType::kDouble);
+}
+
+TEST(UnaryNamed, UnknownNameFails) {
+  EXPECT_EQ(UnaryNamed("sinh", Dbls({1})).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Map, AppliesFunction) {
+  NumericArray r = *Map(Ints({1, 2, 3}),
+                        [](double x) -> Result<double> { return x * x; });
+  EXPECT_DOUBLE_EQ(r.DoubleAt(2), 9.0);
+}
+
+TEST(Map, PropagatesError) {
+  auto r = Map(Ints({1, 2}), [](double x) -> Result<double> {
+    if (x > 1) return Status::TypeError("boom");
+    return x;
+  });
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Map2, PairwiseAndShapeCheck) {
+  NumericArray r = *Map2(Ints({1, 2}), Ints({10, 20}),
+                         [](double a, double b) -> Result<double> {
+                           return a + b;
+                         });
+  EXPECT_DOUBLE_EQ(r.DoubleAt(1), 22.0);
+  EXPECT_FALSE(Map2(Ints({1}), Ints({1, 2}),
+                    [](double, double) -> Result<double> { return 0; })
+                   .ok());
+}
+
+TEST(Condense, FoldsAllElements) {
+  EXPECT_DOUBLE_EQ(*Condense(Ints({1, 2, 3, 4}),
+                             [](double a, double b) -> Result<double> {
+                               return a + b;
+                             }),
+                   10.0);
+  EXPECT_DOUBLE_EQ(*Condense(Ints({5, 3, 9}),
+                             [](double a, double b) -> Result<double> {
+                               return std::max(a, b);
+                             }),
+                   9.0);
+  EXPECT_FALSE(Condense(NumericArray::Zeros(ElementType::kDouble, {0}),
+                        [](double a, double) -> Result<double> { return a; })
+                   .ok());
+}
+
+TEST(Transpose, SwapsDims) {
+  NumericArray a = *NumericArray::FromInts({2, 3}, {1, 2, 3, 4, 5, 6});
+  NumericArray t = *Transpose(a);
+  ASSERT_EQ(t.shape(), (std::vector<int64_t>{3, 2}));
+  int64_t idx[] = {2, 1};
+  EXPECT_EQ(*t.GetInt(idx), 6);
+  EXPECT_FALSE(Transpose(Ints({1, 2})).ok());
+}
+
+TEST(Transpose, Involution) {
+  NumericArray a = *NumericArray::FromInts({2, 3}, {1, 2, 3, 4, 5, 6});
+  NumericArray tt = *Transpose(*Transpose(a));
+  EXPECT_TRUE(a.NumericEquals(tt));
+}
+
+TEST(Reshape, PreservesElements) {
+  NumericArray a = Ints({1, 2, 3, 4, 5, 6});
+  NumericArray r = *Reshape(a, {2, 3});
+  int64_t idx[] = {1, 0};
+  EXPECT_EQ(*r.GetInt(idx), 4);
+  EXPECT_FALSE(Reshape(a, {4, 2}).ok());
+}
+
+TEST(Iota, GeneratesSequence) {
+  NumericArray a = Iota(5, 4, 3);
+  ASSERT_EQ(a.NumElements(), 4);
+  EXPECT_EQ(a.IntAt(0), 5);
+  EXPECT_EQ(a.IntAt(3), 14);
+}
+
+// Property: for every binary op, (a op b) elementwise equals scalar-applied
+// op on each element pair.
+class BinOpSweep : public ::testing::TestWithParam<BinOp> {};
+
+TEST_P(BinOpSweep, ElementwiseMatchesScalarSemantics) {
+  BinOp op = GetParam();
+  NumericArray a = Dbls({1.5, 2.0, -3.0, 4.25});
+  NumericArray b = Dbls({2.0, 0.5, 2.0, -1.0});
+  NumericArray r = *ElementwiseBinary(op, a, b);
+  for (int64_t i = 0; i < 4; ++i) {
+    double x = a.DoubleAt(i);
+    double y = b.DoubleAt(i);
+    double expected = 0;
+    switch (op) {
+      case BinOp::kAdd:
+        expected = x + y;
+        break;
+      case BinOp::kSub:
+        expected = x - y;
+        break;
+      case BinOp::kMul:
+        expected = x * y;
+        break;
+      case BinOp::kDiv:
+        expected = x / y;
+        break;
+      case BinOp::kMod:
+        expected = std::fmod(x, y);
+        break;
+      case BinOp::kPow:
+        expected = std::pow(x, y);
+        break;
+    }
+    EXPECT_DOUBLE_EQ(r.DoubleAt(i), expected) << BinOpName(op) << " @" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, BinOpSweep,
+                         ::testing::Values(BinOp::kAdd, BinOp::kSub,
+                                           BinOp::kMul, BinOp::kDiv,
+                                           BinOp::kMod, BinOp::kPow));
+
+}  // namespace
+}  // namespace scisparql

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "sparql/calculus.h"
+#include "sparql/parser.h"
+
+namespace scisparql {
+namespace sparql {
+namespace {
+
+PrefixMap Prefixes() {
+  PrefixMap m = PrefixMap::WithDefaults();
+  m.Set("foaf", "http://xmlns.com/foaf/0.1/");
+  m.Set("ex", "http://example.org/");
+  return m;
+}
+
+std::string Render(const std::string& query) {
+  auto q = ParseQuery(query, Prefixes());
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  auto s = RenderCalculus(**q);
+  EXPECT_TRUE(s.ok());
+  return s.ok() ? *s : "";
+}
+
+TEST(Calculus, BgpBecomesTripleConjunction) {
+  std::string c = Render(
+      "SELECT ?n WHERE { ?p foaf:name \"Alice\" ; foaf:knows ?f . "
+      "?f foaf:name ?n }");
+  EXPECT_NE(c.find("result(?n) <-"), std::string::npos);
+  EXPECT_NE(c.find("triple(?p, <http://xmlns.com/foaf/0.1/name>, \"Alice\")"),
+            std::string::npos);
+  EXPECT_NE(c.find(" AND\n"), std::string::npos);
+  // Three triple predicates.
+  size_t count = 0;
+  for (size_t pos = c.find("triple("); pos != std::string::npos;
+       pos = c.find("triple(", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(Calculus, OptionalRendersLeftjoin) {
+  std::string c = Render(
+      "SELECT ?x WHERE { ?x a foaf:Person OPTIONAL { ?x foaf:mbox ?m } }");
+  EXPECT_NE(c.find("leftjoin("), std::string::npos);
+}
+
+TEST(Calculus, UnionAndFilterRender) {
+  std::string c = Render(
+      "SELECT ?x WHERE { { ?x foaf:mbox ?m } UNION { ?x ex:email ?m } "
+      "FILTER (?x != ex:bad) }");
+  EXPECT_NE(c.find("union("), std::string::npos);
+  EXPECT_NE(c.find("filter"), std::string::npos);
+}
+
+TEST(Calculus, ArrayDereferenceRendersAref) {
+  std::string c = Render("SELECT (?a[2, 1:5] AS ?v) WHERE { ?s ex:p ?a }");
+  EXPECT_NE(c.find("aref(?a, 2, 1:5)"), std::string::npos);
+}
+
+TEST(Calculus, PathRendersClosure) {
+  std::string c = Render("SELECT ?x WHERE { ?x foaf:knows+/foaf:name ?n }");
+  EXPECT_NE(c.find("closure1("), std::string::npos);
+  EXPECT_NE(c.find("seq("), std::string::npos);
+}
+
+TEST(Calculus, AggregatesAndGroupBy) {
+  std::string c = Render(
+      "SELECT ?g (SUM(?v) AS ?s) WHERE { ?x ex:g ?g ; ex:v ?v } GROUP BY ?g "
+      "HAVING (SUM(?v) > 10)");
+  EXPECT_NE(c.find("?s := sum(?v)"), std::string::npos);
+  EXPECT_NE(c.find("groupby(?g)"), std::string::npos);
+  EXPECT_NE(c.find("having"), std::string::npos);
+}
+
+// --- DNF normalization (Section 5.4.4). ---
+
+ast::ExprPtr ParseExpr(const std::string& text) {
+  auto q = ParseQuery("SELECT (" + text + " AS ?x) WHERE { }", Prefixes());
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return (*q)->projections[0].expr;
+}
+
+std::string RenderDnf(const std::string& text) {
+  auto q = ParseQuery(
+      "SELECT (" + text + " AS ?x) WHERE { }", Prefixes());
+  auto dnf = NormalizeDnf((*q)->projections[0].expr);
+  // Re-render via calculus expression printer: wrap in a fake query.
+  ast::SelectQuery fake;
+  fake.projections.push_back({dnf, "x"});
+  return *RenderCalculus(fake);
+}
+
+TEST(Dnf, AtomUnchanged) {
+  auto e = NormalizeDnf(ParseExpr("?a > 1"));
+  EXPECT_EQ(CountDisjuncts(e), 1);
+}
+
+TEST(Dnf, DistributesAndOverOr) {
+  // (A || B) && C  =>  (A && C) || (B && C).
+  auto e = NormalizeDnf(ParseExpr("(?a = 1 || ?b = 2) && ?c = 3"));
+  EXPECT_EQ(CountDisjuncts(e), 2);
+}
+
+TEST(Dnf, DoubleDistribution) {
+  // (A || B) && (C || D) => 4 disjuncts.
+  auto e = NormalizeDnf(
+      ParseExpr("(?a = 1 || ?b = 2) && (?c = 3 || ?d = 4)"));
+  EXPECT_EQ(CountDisjuncts(e), 4);
+}
+
+TEST(Dnf, DeMorganPushesNegation) {
+  // !(A && B) => !A || !B; comparison atoms flip instead of wrapping.
+  auto e = NormalizeDnf(ParseExpr("!(?a = 1 && ?b < 2)"));
+  EXPECT_EQ(CountDisjuncts(e), 2);
+  std::string rendered = RenderDnf("!(?a = 1 && ?b < 2)");
+  EXPECT_NE(rendered.find("!="), std::string::npos);
+  EXPECT_NE(rendered.find(">="), std::string::npos);
+  EXPECT_EQ(rendered.find("not("), std::string::npos);
+}
+
+TEST(Dnf, DoubleNegationCancels) {
+  auto e = NormalizeDnf(ParseExpr("!!(?a = 1)"));
+  EXPECT_EQ(CountDisjuncts(e), 1);
+  ast::SelectQuery fake;
+  fake.projections.push_back({e, "x"});
+  EXPECT_EQ((*RenderCalculus(fake)).find("not("), std::string::npos);
+}
+
+TEST(Dnf, NonBooleanAtomsUntouched) {
+  auto e = NormalizeDnf(ParseExpr("ASUM(?a) > 10 || CONTAINS(?s, \"x\")"));
+  EXPECT_EQ(CountDisjuncts(e), 2);
+}
+
+}  // namespace
+}  // namespace sparql
+}  // namespace scisparql

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace scisparql {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  SCISPARQL_ASSIGN_OR_RETURN(int h, Half(x));
+  SCISPARQL_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(Result, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2=3 is odd
+  EXPECT_FALSE(Quarter(5).ok());
+}
+
+TEST(StringUtil, Split) {
+  auto parts = SplitString("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtil, Strip) {
+  EXPECT_EQ(StripWhitespace("  hi \t\n"), "hi");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(StringUtil, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("http://x", "http://"));
+  EXPECT_FALSE(StartsWith("ftp://x", "http://"));
+  EXPECT_TRUE(EndsWith("file.ttl", ".ttl"));
+  EXPECT_FALSE(EndsWith("x", "longer"));
+}
+
+TEST(StringUtil, CaseFunctions) {
+  EXPECT_EQ(AsciiToLower("SeLeCt"), "select");
+  EXPECT_EQ(AsciiToUpper("where"), "WHERE");
+  EXPECT_TRUE(EqualsIgnoreCase("OPTIONAL", "optional"));
+  EXPECT_FALSE(EqualsIgnoreCase("OPT", "OPTIONAL"));
+}
+
+TEST(StringUtil, EscapeTurtle) {
+  EXPECT_EQ(EscapeTurtleString("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST(StringUtil, ParseUint64) {
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseUint64("12345", &v));
+  EXPECT_EQ(v, 12345u);
+  EXPECT_FALSE(ParseUint64("", &v));
+  EXPECT_FALSE(ParseUint64("12x", &v));
+  EXPECT_FALSE(ParseUint64("-3", &v));
+}
+
+TEST(StringUtil, FormatDoubleRoundTrips) {
+  for (double v : {0.0, 1.0, -2.5, 0.1, 1e300, 3.141592653589793,
+                   1.0 / 3.0}) {
+    std::string s = FormatDouble(v);
+    EXPECT_EQ(std::stod(s), v) << s;
+  }
+}
+
+TEST(StringUtil, FormatDoubleLooksFloating) {
+  EXPECT_EQ(FormatDouble(2.0), "2.0");
+  EXPECT_NE(FormatDouble(1e20).find('e'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scisparql

@@ -1,0 +1,155 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "engine/ssdm.h"
+#include "loaders/datacube.h"
+#include "loaders/turtle.h"
+
+namespace scisparql {
+namespace loaders {
+namespace {
+
+/// A small RDF Data Cube: 2 regions x 3 years, one measure.
+const char* kCube = R"(
+@prefix qb: <http://purl.org/linked-data/cube#> .
+@prefix ex: <http://example.org/> .
+ex:ds a qb:DataSet .
+ex:o1 a qb:Observation ; qb:dataSet ex:ds ;
+  ex:region ex:north ; ex:year 2001 ; ex:population 10.0 .
+ex:o2 a qb:Observation ; qb:dataSet ex:ds ;
+  ex:region ex:north ; ex:year 2002 ; ex:population 11.0 .
+ex:o3 a qb:Observation ; qb:dataSet ex:ds ;
+  ex:region ex:north ; ex:year 2003 ; ex:population 12.0 .
+ex:o4 a qb:Observation ; qb:dataSet ex:ds ;
+  ex:region ex:south ; ex:year 2001 ; ex:population 20.0 .
+ex:o5 a qb:Observation ; qb:dataSet ex:ds ;
+  ex:region ex:south ; ex:year 2002 ; ex:population 21.0 .
+ex:o6 a qb:Observation ; qb:dataSet ex:ds ;
+  ex:region ex:south ; ex:year 2003 ; ex:population 22.0 .
+)";
+
+TEST(DataCube, ConsolidatesObservations) {
+  Graph g;
+  TurtleOptions opts;
+  ASSERT_TRUE(LoadTurtleString(kCube, &g, opts).ok());
+  size_t before = g.size();
+  DataCubeStats stats = *ConsolidateDataCubes(&g);
+  EXPECT_EQ(stats.datasets, 1);
+  EXPECT_EQ(stats.observations, 6);
+  EXPECT_EQ(stats.triples_before, before);
+  EXPECT_LT(stats.triples_after, stats.triples_before);
+
+  // The measure array hangs off the dataset node.
+  auto arrays = g.MatchAll(
+      Term::Iri("http://example.org/ds"),
+      Term::Iri("http://example.org/population#array"), Term());
+  ASSERT_EQ(arrays.size(), 1u);
+  ASSERT_TRUE(arrays[0].o.IsArray());
+  NumericArray a = *arrays[0].o.array()->Materialize();
+  // Dims sorted by IRI: region (2 values) then year (3 values)?
+  // Actually dims are the sorted property IRIs: ex:region < ex:year.
+  EXPECT_EQ(a.shape(), (std::vector<int64_t>{2, 3}));
+  // north < south lexically; years ascending.
+  int64_t idx[] = {0, 1};  // north, 2002
+  EXPECT_DOUBLE_EQ(*a.GetDouble(idx), 11.0);
+  int64_t idx2[] = {1, 2};  // south, 2003
+  EXPECT_DOUBLE_EQ(*a.GetDouble(idx2), 22.0);
+}
+
+TEST(DataCube, DictionariesAttached) {
+  Graph g;
+  TurtleOptions opts;
+  ASSERT_TRUE(LoadTurtleString(kCube, &g, opts).ok());
+  ASSERT_TRUE(ConsolidateDataCubes(&g).ok());
+  // Year dictionary: an RDF collection of 2001, 2002, 2003. It can itself
+  // be consolidated into an array by the collection pass.
+  ASSERT_TRUE(ConsolidateCollections(&g).ok());
+  auto dicts = g.MatchAll(Term::Iri("http://example.org/ds"),
+                          Term::Iri("http://example.org/year#index"), Term());
+  ASSERT_EQ(dicts.size(), 1u);
+  ASSERT_TRUE(dicts[0].o.IsArray());
+  EXPECT_EQ(dicts[0].o.array()->Materialize()->ToString(),
+            "[2001, 2002, 2003]");
+  // Region dictionary stays a collection (IRIs are not numeric).
+  auto rdict = g.MatchAll(Term::Iri("http://example.org/ds"),
+                          Term::Iri("http://example.org/region#index"),
+                          Term());
+  ASSERT_EQ(rdict.size(), 1u);
+  EXPECT_TRUE(rdict[0].o.IsBlank());
+}
+
+TEST(DataCube, MissingCellsAreNaN) {
+  Graph g;
+  TurtleOptions opts;
+  std::string sparse = std::string(kCube);
+  // Remove one observation line (o5).
+  size_t pos = sparse.find("ex:o5");
+  size_t end = sparse.find(".\n", pos);
+  sparse.erase(pos, end - pos + 2);
+  ASSERT_TRUE(LoadTurtleString(sparse, &g, opts).ok());
+  ASSERT_TRUE(ConsolidateDataCubes(&g).ok());
+  auto arrays = g.MatchAll(
+      Term::Iri("http://example.org/ds"),
+      Term::Iri("http://example.org/population#array"), Term());
+  NumericArray a = *arrays[0].o.array()->Materialize();
+  int64_t idx[] = {1, 1};  // south, 2002 (the removed one)
+  EXPECT_TRUE(std::isnan(*a.GetDouble(idx)));
+  int64_t idx2[] = {1, 0};
+  EXPECT_DOUBLE_EQ(*a.GetDouble(idx2), 20.0);
+}
+
+TEST(DataCube, ExplicitStructureDefinition) {
+  // With a DSD present, dimension/measure roles come from qb:structure
+  // even when the heuristic would disagree (year is numeric here but is
+  // declared a dimension).
+  const char* cube_with_dsd = R"(
+@prefix qb: <http://purl.org/linked-data/cube#> .
+@prefix ex: <http://example.org/> .
+ex:ds a qb:DataSet ; qb:structure ex:dsd .
+ex:dsd qb:component [ qb:dimension ex:year ] ;
+       qb:component [ qb:measure ex:val ] .
+ex:o1 a qb:Observation ; qb:dataSet ex:ds ; ex:year 1 ; ex:val 5.0 .
+ex:o2 a qb:Observation ; qb:dataSet ex:ds ; ex:year 2 ; ex:val 6.0 .
+)";
+  Graph g;
+  TurtleOptions opts;
+  ASSERT_TRUE(LoadTurtleString(cube_with_dsd, &g, opts).ok());
+  DataCubeStats stats = *ConsolidateDataCubes(&g);
+  EXPECT_EQ(stats.observations, 2);
+  auto arrays = g.MatchAll(Term::Iri("http://example.org/ds"),
+                           Term::Iri("http://example.org/val#array"), Term());
+  ASSERT_EQ(arrays.size(), 1u);
+  EXPECT_EQ(arrays[0].o.array()->shape(), (std::vector<int64_t>{2}));
+}
+
+TEST(DataCube, ConsolidatedCubeQueryable) {
+  SSDM db;
+  db.prefixes().Set("ex", "http://example.org/");
+  ASSERT_TRUE(db.LoadTurtleString(kCube).ok());
+  ASSERT_TRUE(
+      ConsolidateDataCubes(&db.dataset().default_graph()).ok());
+  auto r = db.Query(
+      "SELECT (?a[1, 2] AS ?north2002) (ASUM(?a[2, :]) AS ?southTotal) "
+      "WHERE { ex:ds <http://example.org/population#array> ?a }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0], Term::Double(11.0));
+  EXPECT_EQ(r->rows[0][1], Term::Double(63.0));
+}
+
+TEST(DataCube, NoObservationsNoChange) {
+  Graph g;
+  TurtleOptions opts;
+  ASSERT_TRUE(LoadTurtleString(
+                  "@prefix ex: <http://example.org/> .\nex:a ex:p 1 .", &g,
+                  opts)
+                  .ok());
+  DataCubeStats stats = *ConsolidateDataCubes(&g);
+  EXPECT_EQ(stats.datasets, 0);
+  EXPECT_EQ(stats.triples_before, stats.triples_after);
+}
+
+}  // namespace
+}  // namespace loaders
+}  // namespace scisparql

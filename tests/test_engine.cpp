@@ -1,0 +1,148 @@
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "engine/ssdm.h"
+#include "storage/memory_backend.h"
+
+namespace scisparql {
+namespace {
+
+TEST(Engine, ExecuteDispatchesAllForms) {
+  SSDM db;
+  db.prefixes().Set("ex", "http://example.org/");
+  ASSERT_TRUE(db.Run("INSERT DATA { ex:a ex:p 1 }").ok());
+
+  auto rows = db.Execute("SELECT ?v WHERE { ex:a ex:p ?v }");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->kind, SSDM::ExecResult::Kind::kRows);
+
+  auto ask = db.Execute("ASK { ex:a ex:p 1 }");
+  ASSERT_TRUE(ask.ok());
+  EXPECT_EQ(ask->kind, SSDM::ExecResult::Kind::kBool);
+  EXPECT_TRUE(ask->boolean);
+
+  auto graph = db.Execute("CONSTRUCT { ex:a ex:q ?v } WHERE { ex:a ex:p ?v }");
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->kind, SSDM::ExecResult::Kind::kGraph);
+
+  auto define = db.Execute(
+      "DEFINE FUNCTION f(?x) AS SELECT (?x AS ?y) WHERE { }");
+  ASSERT_TRUE(define.ok());
+  EXPECT_EQ(define->kind, SSDM::ExecResult::Kind::kOk);
+}
+
+TEST(Engine, TypedAccessorsRejectWrongForms) {
+  SSDM db;
+  EXPECT_FALSE(db.Query("ASK { ?s ?p ?o }").ok());
+  EXPECT_FALSE(db.Ask("SELECT ?s WHERE { ?s ?p ?o }").ok());
+  EXPECT_FALSE(db.Construct("ASK { ?s ?p ?o }").ok());
+}
+
+TEST(Engine, ParseErrorsSurface) {
+  SSDM db;
+  auto r = db.Execute("SELEKT ?x");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(Engine, SessionPrefixesAvailableWithoutDeclaration) {
+  SSDM db;
+  db.prefixes().Set("zz", "http://zz/");
+  ASSERT_TRUE(db.Run("INSERT DATA { zz:a zz:p 1 }").ok());
+  EXPECT_TRUE(*db.Ask("ASK { zz:a zz:p 1 }"));
+}
+
+TEST(Engine, StoreArrayRequiresAttachedStorage) {
+  SSDM db;
+  NumericArray a = NumericArray::Zeros(ElementType::kDouble, {4});
+  EXPECT_EQ(db.StoreArray(a, "memory").status().code(),
+            StatusCode::kNotFound);
+  db.AttachStorage(std::make_shared<MemoryArrayStorage>());
+  EXPECT_TRUE(db.StoreArray(a, "memory").ok());
+}
+
+TEST(Engine, SnapshotRoundTrip) {
+  std::string path = std::string(::testing::TempDir()) + "/snapshot.ssd";
+  std::remove(path.c_str());
+  {
+    SSDM db;
+    db.prefixes().Set("ex", "http://example.org/");
+    ASSERT_TRUE(db.LoadTurtleString(R"(
+@prefix ex: <http://example.org/> .
+ex:a ex:p 1 ; ex:label "one" ; ex:data ((1 2) (3 4)) .
+)").ok());
+    ASSERT_TRUE(db.LoadTurtleString(
+                    "@prefix ex: <http://example.org/> .\nex:n ex:in 2 .",
+                    "http://example.org/g1")
+                    .ok());
+    ASSERT_TRUE(db.SaveSnapshot(path).ok());
+  }
+  {
+    SSDM db;
+    db.prefixes().Set("ex", "http://example.org/");
+    ASSERT_TRUE(db.LoadSnapshot(path).ok());
+    EXPECT_EQ(db.dataset().default_graph().size(), 3u);
+    EXPECT_TRUE(*db.Ask("ASK { ex:a ex:label \"one\" }"));
+    EXPECT_TRUE(
+        *db.Ask("ASK { GRAPH <http://example.org/g1> { ex:n ex:in 2 } }"));
+    // The array survived (rewritten as a collection, re-consolidated).
+    auto r = db.Query("SELECT (ASUM(?a) AS ?s) WHERE { ex:a ex:data ?a }");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->rows[0][0], Term::Double(10));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Engine, SnapshotMaterializesProxies) {
+  std::string path = std::string(::testing::TempDir()) + "/snapshot2.ssd";
+  std::remove(path.c_str());
+  {
+    SSDM db;
+    db.prefixes().Set("ex", "http://example.org/");
+    db.AttachStorage(std::make_shared<MemoryArrayStorage>());
+    NumericArray a = NumericArray::Zeros(ElementType::kInt64, {3});
+    for (int64_t i = 0; i < 3; ++i) a.SetIntAt(i, i + 7);
+    Term proxy = *db.StoreArray(a, "memory");
+    db.dataset().default_graph().Add(Term::Iri("http://example.org/s"),
+                                     Term::Iri("http://example.org/d"),
+                                     proxy);
+    ASSERT_TRUE(db.SaveSnapshot(path).ok());
+  }
+  {
+    // No storage attached: the snapshot is self-contained.
+    SSDM db;
+    db.prefixes().Set("ex", "http://example.org/");
+    ASSERT_TRUE(db.LoadSnapshot(path).ok());
+    auto r = db.Query("SELECT ?a[2] WHERE { ex:s ex:d ?a }");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->rows[0][0], Term::Integer(8));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Engine, SnapshotReplacesExistingData) {
+  std::string path = std::string(::testing::TempDir()) + "/snapshot3.ssd";
+  std::remove(path.c_str());
+  SSDM source;
+  source.prefixes().Set("ex", "http://example.org/");
+  ASSERT_TRUE(source.Run("INSERT DATA { ex:x ex:p 1 }").ok());
+  ASSERT_TRUE(source.SaveSnapshot(path).ok());
+
+  SSDM target;
+  target.prefixes().Set("ex", "http://example.org/");
+  ASSERT_TRUE(target.Run("INSERT DATA { ex:old ex:junk 99 }").ok());
+  ASSERT_TRUE(target.LoadSnapshot(path).ok());
+  EXPECT_FALSE(*target.Ask("ASK { ex:old ex:junk 99 }"));
+  EXPECT_TRUE(*target.Ask("ASK { ex:x ex:p 1 }"));
+  std::remove(path.c_str());
+}
+
+TEST(Engine, LoadSnapshotMissingFileFails) {
+  SSDM db;
+  EXPECT_EQ(db.LoadSnapshot("/nonexistent.ssd").code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace scisparql

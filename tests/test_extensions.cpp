@@ -1,0 +1,174 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "engine/ssdm.h"
+
+namespace scisparql {
+namespace {
+
+class ExtensionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_.prefixes().Set("ex", "http://example.org/");
+    ASSERT_TRUE(db_.LoadTurtleString(R"(
+@prefix ex: <http://example.org/> .
+ex:a ex:score 10 ; ex:group ex:g1 .
+ex:b ex:score 20 ; ex:group ex:g1 .
+ex:c ex:score 30 ; ex:group ex:g2 .
+ex:d ex:score 40 ; ex:group ex:g2 .
+ex:g1 ex:label "first" . ex:g2 ex:label "second" .
+)").ok());
+  }
+
+  SSDM db_;
+};
+
+TEST_F(ExtensionsTest, SubSelectJoinsWithOuterPattern) {
+  // Inner query computes per-group maxima; outer joins back to labels.
+  auto r = db_.Query(R"(
+SELECT ?label ?mx WHERE {
+  { SELECT ?g (MAX(?s) AS ?mx) WHERE { ?x ex:score ?s ; ex:group ?g }
+    GROUP BY ?g }
+  ?g ex:label ?label
+} ORDER BY ?label)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[0][0].lexical(), "first");
+  EXPECT_EQ(r->rows[0][1], Term::Integer(20));
+  EXPECT_EQ(r->rows[1][1], Term::Integer(40));
+}
+
+TEST_F(ExtensionsTest, SubSelectWithLimitActsAsTopK) {
+  auto r = db_.Query(R"(
+SELECT ?s WHERE {
+  { SELECT ?s WHERE { ?x ex:score ?s } ORDER BY DESC(?s) LIMIT 2 }
+} ORDER BY ?s)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[0][0], Term::Integer(30));
+  EXPECT_EQ(r->rows[1][0], Term::Integer(40));
+}
+
+TEST_F(ExtensionsTest, DescribeConstantIri) {
+  auto g = db_.Execute("DESCRIBE ex:a");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  ASSERT_EQ(g->kind, SSDM::ExecResult::Kind::kGraph);
+  EXPECT_EQ(g->graph.size(), 2u);  // score + group
+}
+
+TEST_F(ExtensionsTest, DescribeWithWhere) {
+  auto g = db_.Execute(
+      "DESCRIBE ?x WHERE { ?x ex:score ?s FILTER (?s > 25) }");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->graph.size(), 4u);  // c and d, two triples each
+}
+
+TEST_F(ExtensionsTest, DescribeExpandsBlankNodes) {
+  ASSERT_TRUE(db_.LoadTurtleString(R"(
+@prefix ex: <http://example.org/> .
+ex:nested ex:has [ ex:inner 1 ; ex:deep [ ex:leaf 2 ] ] .
+)").ok());
+  auto g = db_.Execute("DESCRIBE ex:nested");
+  ASSERT_TRUE(g.ok());
+  // 1 root triple + 2 triples of the first blank + 1 of the nested blank.
+  EXPECT_EQ(g->graph.size(), 4u);
+}
+
+TEST_F(ExtensionsTest, InsertDataWithCollectionBecomesArray) {
+  ASSERT_TRUE(
+      db_.Run("INSERT DATA { ex:mat ex:data ((1 2) (3 4)) }").ok());
+  auto r = db_.Query(
+      "SELECT ?a[2, 2] (ASUM(?a) AS ?s) WHERE { ex:mat ex:data ?a }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0], Term::Integer(4));
+  EXPECT_EQ(r->rows[0][1], Term::Double(10));
+}
+
+TEST_F(ExtensionsTest, InsertDataWithBlankPropertyList) {
+  ASSERT_TRUE(db_.Run(
+      "INSERT DATA { ex:exp ex:config [ ex:alpha 1 ; ex:beta 2 ] }").ok());
+  auto r = db_.Query(
+      "SELECT ?b WHERE { ex:exp ex:config ?c . ?c ex:beta ?b }");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0], Term::Integer(2));
+}
+
+TEST_F(ExtensionsTest, ConstructTemplateWithCollection) {
+  Graph g = *db_.Construct(
+      "CONSTRUCT { ex:out ex:pair (1 2) } WHERE { }");
+  // 1 entry triple + 4 list triples (two cells).
+  EXPECT_EQ(g.size(), 5u);
+}
+
+TEST_F(ExtensionsTest, SubscriptGeneratorEnumeratesVector) {
+  // Section 4.1.2: an unbound index variable in a BIND dereference binds
+  // to every (1-based) subscript.
+  ASSERT_TRUE(db_.Run("INSERT DATA { ex:v ex:data (5 7 9) }").ok());
+  auto r = db_.Query(
+      "SELECT ?i ?v WHERE { ex:v ex:data ?a BIND (?a[?i] AS ?v) } "
+      "ORDER BY ?i");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 3u);
+  EXPECT_EQ(r->rows[0][0], Term::Integer(1));
+  EXPECT_EQ(r->rows[0][1], Term::Integer(5));
+  EXPECT_EQ(r->rows[2][1], Term::Integer(9));
+}
+
+TEST_F(ExtensionsTest, SubscriptGeneratorMatrixWithFilter) {
+  ASSERT_TRUE(db_.Run("INSERT DATA { ex:m ex:data ((1 2) (3 4)) }").ok());
+  auto r = db_.Query(
+      "SELECT ?i ?j WHERE { ex:m ex:data ?a BIND (?a[?i, ?j] AS ?v) "
+      "FILTER (?v >= 3) } ORDER BY ?i ?j");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[0][0], Term::Integer(2));
+  EXPECT_EQ(r->rows[0][1], Term::Integer(1));
+}
+
+TEST_F(ExtensionsTest, SubscriptGeneratorArgmaxIdiom) {
+  ASSERT_TRUE(db_.Run("INSERT DATA { ex:v ex:data (5 9 7) }").ok());
+  auto r = db_.Query(
+      "SELECT ?i WHERE { ex:v ex:data ?a BIND (?a[?i] AS ?v) "
+      "FILTER (?v = AMAX(?a)) }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0], Term::Integer(2));
+}
+
+TEST_F(ExtensionsTest, SubscriptGeneratorMixedFixedAndFree) {
+  ASSERT_TRUE(db_.Run("INSERT DATA { ex:m ex:data ((1 2) (3 4)) }").ok());
+  // Column 2 enumerated over rows.
+  auto r = db_.Query(
+      "SELECT ?i ?v WHERE { ex:m ex:data ?a BIND (?a[?i, 2] AS ?v) } "
+      "ORDER BY ?i");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[0][1], Term::Integer(2));
+  EXPECT_EQ(r->rows[1][1], Term::Integer(4));
+}
+
+TEST_F(ExtensionsTest, SubscriptWithBoundVarIsOrdinaryDeref) {
+  ASSERT_TRUE(db_.Run("INSERT DATA { ex:v ex:data (5 7 9) }").ok());
+  auto r = db_.Query(
+      "SELECT ?v WHERE { ex:v ex:data ?a . VALUES ?i { 2 } "
+      "BIND (?a[?i] AS ?v) }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0], Term::Integer(7));
+}
+
+TEST_F(ExtensionsTest, SubSelectStarColumns) {
+  auto r = db_.Query(R"(
+SELECT * WHERE {
+  { SELECT ?g (COUNT(*) AS ?n) WHERE { ?x ex:group ?g } GROUP BY ?g }
+} ORDER BY ?g)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->columns, (std::vector<std::string>{"g", "n"}));
+  EXPECT_EQ(r->rows.size(), 2u);
+}
+
+}  // namespace
+}  // namespace scisparql

@@ -1,0 +1,154 @@
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "engine/ssdm.h"
+
+namespace scisparql {
+namespace sparql {
+namespace {
+
+TEST(FunctionRegistry, ForeignRegistrationAndLookup) {
+  FunctionRegistry reg;
+  ForeignFunction f;
+  f.arity = 1;
+  f.cost = 2.5;
+  f.doc = "doubles a number";
+  f.fn = [](std::span<const Term> args) -> Result<Term> {
+    SCISPARQL_ASSIGN_OR_RETURN(int64_t x, args[0].AsInteger());
+    return Term::Integer(x * 2);
+  };
+  reg.RegisterForeign("myFunc", f);
+  // Bare names are case-insensitive.
+  EXPECT_NE(reg.FindForeign("MYFUNC"), nullptr);
+  EXPECT_NE(reg.FindForeign("myfunc"), nullptr);
+  EXPECT_EQ(reg.FindForeign("other"), nullptr);
+  EXPECT_EQ(reg.FindForeign("MYFUNC")->cost, 2.5);
+  // IRIs are case-sensitive.
+  reg.RegisterForeign("http://x/F", f);
+  EXPECT_NE(reg.FindForeign("http://x/F"), nullptr);
+  EXPECT_EQ(reg.FindForeign("http://x/f"), nullptr);
+}
+
+TEST(FunctionRegistry, ReRegistrationReplaces) {
+  FunctionRegistry reg;
+  ForeignFunction f1;
+  f1.cost = 1;
+  f1.fn = [](std::span<const Term>) -> Result<Term> {
+    return Term::Integer(1);
+  };
+  ForeignFunction f2 = f1;
+  f2.cost = 9;
+  reg.RegisterForeign("f", f1);
+  reg.RegisterForeign("f", f2);
+  EXPECT_EQ(reg.FindForeign("f")->cost, 9);
+  EXPECT_EQ(reg.ForeignNames().size(), 1u);
+}
+
+TEST(FunctionRegistry, DefineValidatesBody) {
+  FunctionRegistry reg;
+  ast::FunctionDef bad;
+  bad.name = "broken";
+  EXPECT_FALSE(reg.Define(bad).ok());
+}
+
+TEST(FunctionRegistry, DefinedNamesListed) {
+  SSDM db;
+  ASSERT_TRUE(db.Run("DEFINE FUNCTION one() AS SELECT (1 AS ?x) WHERE { }")
+                  .ok());
+  ASSERT_TRUE(db.Run("DEFINE FUNCTION two() AS SELECT (2 AS ?x) WHERE { }")
+                  .ok());
+  EXPECT_EQ(db.functions().DefinedNames().size(), 2u);
+}
+
+TEST(FunctionRegistry, BuiltinNamesRecognized) {
+  EXPECT_TRUE(IsBuiltinFunction("ASUM"));
+  EXPECT_TRUE(IsBuiltinFunction("CONCAT"));
+  EXPECT_TRUE(IsBuiltinFunction("MAP"));
+  EXPECT_FALSE(IsBuiltinFunction("NOSUCH"));
+}
+
+TEST(DefinedFunctions, ZeroArgFunction) {
+  SSDM db;
+  ASSERT_TRUE(
+      db.Run("DEFINE FUNCTION answer() AS SELECT (42 AS ?x) WHERE { }").ok());
+  auto r = db.Query("SELECT (answer() AS ?v) WHERE { }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows[0][0], Term::Integer(42));
+}
+
+TEST(DefinedFunctions, WrongArityRejected) {
+  SSDM db;
+  ASSERT_TRUE(db.Run("DEFINE FUNCTION inc(?x) AS "
+                     "SELECT (?x + 1 AS ?y) WHERE { }")
+                  .ok());
+  auto r = db.Query("SELECT (inc(1, 2) AS ?v) WHERE { }");
+  ASSERT_TRUE(r.ok());
+  // Expression errors surface as unbound projection cells.
+  EXPECT_TRUE(r->rows[0][0].IsUndef());
+}
+
+TEST(DefinedFunctions, RecursionDepthGuard) {
+  SSDM db;
+  // loop(?x) calls itself forever; the engine must bail out, not crash.
+  ASSERT_TRUE(db.Run("DEFINE FUNCTION loop(?x) AS "
+                     "SELECT (loop(?x) AS ?y) WHERE { }")
+                  .ok());
+  auto r = db.Query("SELECT (loop(1) AS ?v) WHERE { }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->rows[0][0].IsUndef());
+}
+
+TEST(DefinedFunctions, RedefinitionTakesEffect) {
+  SSDM db;
+  ASSERT_TRUE(
+      db.Run("DEFINE FUNCTION f() AS SELECT (1 AS ?x) WHERE { }").ok());
+  ASSERT_TRUE(
+      db.Run("DEFINE FUNCTION f() AS SELECT (2 AS ?x) WHERE { }").ok());
+  auto r = db.Query("SELECT (f() AS ?v) WHERE { }");
+  EXPECT_EQ(r->rows[0][0], Term::Integer(2));
+}
+
+TEST(DefinedFunctions, ViewOverGraphSeesUpdates) {
+  SSDM db;
+  db.prefixes().Set("ex", "http://example.org/");
+  ASSERT_TRUE(db.Run("DEFINE FUNCTION count_scores() AS "
+                     "SELECT (COUNT(*) AS ?n) WHERE { ?s ex:score ?v }")
+                  .ok());
+  auto r1 = db.Query("SELECT (count_scores() AS ?n) WHERE { }");
+  EXPECT_EQ(r1->rows[0][0], Term::Integer(0));
+  ASSERT_TRUE(db.Run("INSERT DATA { ex:a ex:score 1 . ex:b ex:score 2 }")
+                  .ok());
+  auto r2 = db.Query("SELECT (count_scores() AS ?n) WHERE { }");
+  EXPECT_EQ(r2->rows[0][0], Term::Integer(2));  // views are not snapshots
+}
+
+TEST(Load, UpdateLoadsTurtleFile) {
+  std::string path = std::string(::testing::TempDir()) + "/load_test.ttl";
+  {
+    std::ofstream out(path);
+    out << "@prefix ex: <http://example.org/> .\n"
+           "ex:thing ex:weight 12.5 ; ex:series (1 2 3) .\n";
+  }
+  SSDM db;
+  db.prefixes().Set("ex", "http://example.org/");
+  ASSERT_TRUE(db.Run("LOAD \"" + path + "\"").ok());
+  auto r = db.Query(
+      "SELECT ?w (ASUM(?s) AS ?sum) WHERE "
+      "{ ex:thing ex:weight ?w ; ex:series ?s }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0], Term::Double(12.5));
+  EXPECT_EQ(r->rows[0][1], Term::Double(6));
+  // LOAD INTO GRAPH targets a named graph.
+  ASSERT_TRUE(
+      db.Run("LOAD \"" + path + "\" INTO GRAPH ex:imported").ok());
+  auto g = db.Query(
+      "SELECT ?w WHERE { GRAPH ex:imported { ?t ex:weight ?w } }");
+  ASSERT_EQ(g->rows.size(), 1u);
+  EXPECT_FALSE(db.Run("LOAD \"/nonexistent.ttl\"").ok());
+}
+
+}  // namespace
+}  // namespace sparql
+}  // namespace scisparql

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "rdf/graph.h"
+#include "rdf/namespaces.h"
+
+namespace scisparql {
+namespace {
+
+Term I(const std::string& local) { return Term::Iri("http://ex/" + local); }
+
+Graph SmallGraph() {
+  Graph g;
+  g.Add(I("alice"), I("knows"), I("bob"));
+  g.Add(I("alice"), I("knows"), I("carol"));
+  g.Add(I("bob"), I("knows"), I("carol"));
+  g.Add(I("alice"), I("name"), Term::String("Alice"));
+  g.Add(I("bob"), I("name"), Term::String("Bob"));
+  return g;
+}
+
+TEST(Graph, AddAndSize) {
+  Graph g = SmallGraph();
+  EXPECT_EQ(g.size(), 5u);
+  EXPECT_FALSE(g.empty());
+}
+
+TEST(Graph, MatchBySubject) {
+  Graph g = SmallGraph();
+  auto ts = g.MatchAll(I("alice"), Term(), Term());
+  EXPECT_EQ(ts.size(), 3u);
+}
+
+TEST(Graph, MatchByPredicate) {
+  Graph g = SmallGraph();
+  EXPECT_EQ(g.MatchAll(Term(), I("knows"), Term()).size(), 3u);
+  EXPECT_EQ(g.MatchAll(Term(), I("name"), Term()).size(), 2u);
+}
+
+TEST(Graph, MatchByObject) {
+  Graph g = SmallGraph();
+  EXPECT_EQ(g.MatchAll(Term(), Term(), I("carol")).size(), 2u);
+}
+
+TEST(Graph, MatchSubjectPredicate) {
+  Graph g = SmallGraph();
+  EXPECT_EQ(g.MatchAll(I("alice"), I("knows"), Term()).size(), 2u);
+}
+
+TEST(Graph, MatchPredicateObject) {
+  Graph g = SmallGraph();
+  EXPECT_EQ(g.MatchAll(Term(), I("knows"), I("carol")).size(), 2u);
+}
+
+TEST(Graph, MatchFullTriple) {
+  Graph g = SmallGraph();
+  EXPECT_TRUE(g.Contains(I("alice"), I("knows"), I("bob")));
+  EXPECT_FALSE(g.Contains(I("bob"), I("knows"), I("alice")));
+}
+
+TEST(Graph, MatchAllWildcards) {
+  Graph g = SmallGraph();
+  EXPECT_EQ(g.MatchAll(Term(), Term(), Term()).size(), 5u);
+}
+
+TEST(Graph, MatchSubjectObjectWithoutIndex) {
+  Graph g = SmallGraph();
+  auto ts = g.MatchAll(I("alice"), Term(), I("bob"));
+  ASSERT_EQ(ts.size(), 1u);
+  EXPECT_EQ(ts[0].p, I("knows"));
+}
+
+TEST(Graph, EarlyStop) {
+  Graph g = SmallGraph();
+  int count = 0;
+  g.Match(Term(), I("knows"), Term(), [&count](const Triple&) {
+    ++count;
+    return count < 2;
+  });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Graph, RemoveExactTriples) {
+  Graph g = SmallGraph();
+  EXPECT_EQ(g.Remove(Triple{I("alice"), I("knows"), I("bob")}), 1u);
+  EXPECT_EQ(g.size(), 4u);
+  EXPECT_FALSE(g.Contains(I("alice"), I("knows"), I("bob")));
+  EXPECT_TRUE(g.Contains(I("alice"), I("knows"), I("carol")));
+  // Removing again is a no-op.
+  EXPECT_EQ(g.Remove(Triple{I("alice"), I("knows"), I("bob")}), 0u);
+}
+
+TEST(Graph, DuplicatesAllowed) {
+  Graph g;
+  g.Add(I("a"), I("p"), I("b"));
+  g.Add(I("a"), I("p"), I("b"));
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_EQ(g.Remove(Triple{I("a"), I("p"), I("b")}), 2u);
+}
+
+TEST(Graph, EstimateMatches) {
+  Graph g = SmallGraph();
+  EXPECT_EQ(g.EstimateMatches(std::nullopt, std::nullopt, std::nullopt), 5);
+  EXPECT_EQ(g.EstimateMatches(std::nullopt, I("knows"), std::nullopt), 3);
+  EXPECT_EQ(g.EstimateMatches(I("alice"), I("knows"), std::nullopt), 2);
+  EXPECT_EQ(g.EstimateMatches(std::nullopt, I("knows"), I("carol")), 2);
+  EXPECT_EQ(g.EstimateMatches(I("nobody"), std::nullopt, std::nullopt), 0);
+}
+
+TEST(Graph, CompactionAfterManyRemovals) {
+  Graph g;
+  for (int i = 0; i < 3000; ++i) {
+    g.Add(I("s" + std::to_string(i)), I("p"), Term::Integer(i));
+  }
+  for (int i = 0; i < 2500; ++i) {
+    EXPECT_EQ(g.Remove(Triple{I("s" + std::to_string(i)), I("p"),
+                              Term::Integer(i)}),
+              1u);
+  }
+  EXPECT_EQ(g.size(), 500u);
+  // Remaining triples still findable post-compaction.
+  EXPECT_TRUE(g.Contains(I("s2750"), I("p"), Term::Integer(2750)));
+  EXPECT_EQ(g.MatchAll(Term(), I("p"), Term()).size(), 500u);
+}
+
+TEST(Graph, CloneIsIndependent) {
+  Graph g = SmallGraph();
+  Graph copy = g.Clone();
+  copy.Add(I("x"), I("p"), I("y"));
+  EXPECT_EQ(g.size(), 5u);
+  EXPECT_EQ(copy.size(), 6u);
+}
+
+TEST(Graph, FreshBlankLabelsDistinct) {
+  Graph g;
+  EXPECT_NE(g.FreshBlankLabel(), g.FreshBlankLabel());
+}
+
+TEST(Graph, ArrayValuedTriples) {
+  Graph g;
+  Term arr = Term::Array(
+      ResidentArray::Make(*NumericArray::FromInts({3}, {1, 2, 3})));
+  g.Add(I("s"), I("data"), arr);
+  auto ts = g.MatchAll(I("s"), I("data"), Term());
+  ASSERT_EQ(ts.size(), 1u);
+  EXPECT_TRUE(ts[0].o.IsArray());
+  // Array values participate in exact matching too.
+  Term same = Term::Array(
+      ResidentArray::Make(*NumericArray::FromDoubles({3}, {1, 2, 3})));
+  EXPECT_TRUE(g.Contains(I("s"), I("data"), same));
+}
+
+TEST(Dataset, NamedGraphs) {
+  Dataset ds;
+  ds.default_graph().Add(I("a"), I("p"), I("b"));
+  ds.GetOrCreateNamed("http://g1").Add(I("c"), I("p"), I("d"));
+  EXPECT_NE(ds.FindNamed("http://g1"), nullptr);
+  EXPECT_EQ(ds.FindNamed("http://nope"), nullptr);
+  EXPECT_EQ(ds.FindNamed("http://g1")->size(), 1u);
+  EXPECT_TRUE(ds.DropNamed("http://g1"));
+  EXPECT_FALSE(ds.DropNamed("http://g1"));
+}
+
+TEST(Triple, ToStringRendersTurtleish) {
+  Triple t{I("s"), I("p"), Term::Integer(4)};
+  EXPECT_EQ(t.ToString(), "<http://ex/s> <http://ex/p> 4 .");
+}
+
+}  // namespace
+}  // namespace scisparql

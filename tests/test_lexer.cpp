@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "sparql/lexer.h"
+
+namespace scisparql {
+namespace sparql {
+namespace {
+
+std::vector<Token> Lex(const std::string& s) {
+  auto r = Tokenize(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : std::vector<Token>{};
+}
+
+TEST(Lexer, EmptyInput) {
+  auto toks = Lex("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].type, TokenType::kEof);
+}
+
+TEST(Lexer, IriRef) {
+  auto toks = Lex("<http://example.org/x?q=1>");
+  EXPECT_EQ(toks[0].type, TokenType::kIri);
+  EXPECT_EQ(toks[0].text, "http://example.org/x?q=1");
+}
+
+TEST(Lexer, LessThanVsIri) {
+  auto toks = Lex("?x < 5");
+  EXPECT_EQ(toks[0].type, TokenType::kVar);
+  EXPECT_TRUE(toks[1].IsPunct("<"));
+  EXPECT_EQ(toks[2].type, TokenType::kInteger);
+}
+
+TEST(Lexer, LessEqual) {
+  auto toks = Lex("?x <= 5");
+  EXPECT_TRUE(toks[1].IsPunct("<="));
+}
+
+TEST(Lexer, PrefixedNames) {
+  auto toks = Lex("foaf:name :local rdf:");
+  EXPECT_EQ(toks[0].type, TokenType::kPname);
+  EXPECT_EQ(toks[0].text, "foaf:name");
+  EXPECT_EQ(toks[1].type, TokenType::kPname);
+  EXPECT_EQ(toks[1].text, ":local");
+  EXPECT_EQ(toks[2].type, TokenType::kPname);
+  EXPECT_EQ(toks[2].text, "rdf:");
+}
+
+TEST(Lexer, BareColonIsPunct) {
+  auto toks = Lex("[ : , 1]");
+  EXPECT_TRUE(toks[1].IsPunct(":"));
+}
+
+TEST(Lexer, PnameTrailingDotReturned) {
+  // In "ex:v1." the final dot is the statement terminator.
+  auto toks = Lex("ex:v1.");
+  EXPECT_EQ(toks[0].text, "ex:v1");
+  EXPECT_TRUE(toks[1].IsPunct("."));
+}
+
+TEST(Lexer, Variables) {
+  auto toks = Lex("?x $y ?x_1");
+  EXPECT_EQ(toks[0].type, TokenType::kVar);
+  EXPECT_EQ(toks[0].text, "x");
+  EXPECT_EQ(toks[1].text, "y");
+  EXPECT_EQ(toks[2].text, "x_1");
+}
+
+TEST(Lexer, BlankNode) {
+  auto toks = Lex("_:b12 .");
+  EXPECT_EQ(toks[0].type, TokenType::kBlank);
+  EXPECT_EQ(toks[0].text, "b12");
+  EXPECT_TRUE(toks[1].IsPunct("."));
+}
+
+TEST(Lexer, Numbers) {
+  auto toks = Lex("42 3.14 1e6 2.5e-3 .5");
+  EXPECT_EQ(toks[0].type, TokenType::kInteger);
+  EXPECT_EQ(toks[1].type, TokenType::kDecimal);
+  EXPECT_EQ(toks[2].type, TokenType::kDouble);
+  EXPECT_EQ(toks[3].type, TokenType::kDouble);
+  EXPECT_EQ(toks[4].type, TokenType::kDecimal);
+  EXPECT_EQ(toks[4].text, ".5");
+}
+
+TEST(Lexer, SignedNumbersInData) {
+  auto toks = Lex("( -5 )");
+  EXPECT_EQ(toks[1].type, TokenType::kInteger);
+  EXPECT_EQ(toks[1].text, "-5");
+  // After a number the sign heuristic chooses the operator; the parsers
+  // fold punct+number back into a signed literal in data positions.
+  auto toks2 = Lex("( -5 +3 )");
+  EXPECT_TRUE(toks2[2].IsPunct("+"));
+  EXPECT_EQ(toks2[3].type, TokenType::kInteger);
+}
+
+TEST(Lexer, MinusAfterValueIsOperator) {
+  auto toks = Lex("?x -1");
+  EXPECT_TRUE(toks[1].IsPunct("-"));
+  EXPECT_EQ(toks[2].type, TokenType::kInteger);
+  EXPECT_EQ(toks[2].text, "1");
+}
+
+TEST(Lexer, IntegerDotNotConsumed) {
+  // "1." = integer then statement dot (Turtle pattern).
+  auto toks = Lex("1 .");
+  EXPECT_EQ(toks[0].type, TokenType::kInteger);
+  EXPECT_TRUE(toks[1].IsPunct("."));
+}
+
+TEST(Lexer, Strings) {
+  auto toks = Lex(R"("simple" 'single' "esc\"aped\n")");
+  EXPECT_EQ(toks[0].text, "simple");
+  EXPECT_EQ(toks[1].text, "single");
+  EXPECT_EQ(toks[2].text, "esc\"aped\n");
+}
+
+TEST(Lexer, LongStrings) {
+  auto toks = Lex("\"\"\"multi\nline \"quoted\" text\"\"\"");
+  EXPECT_EQ(toks[0].text, "multi\nline \"quoted\" text");
+}
+
+TEST(Lexer, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("\"oops").ok());
+}
+
+TEST(Lexer, LangTagAndDatatype) {
+  auto toks = Lex("\"chat\"@fr \"1\"^^xsd:integer");
+  EXPECT_EQ(toks[1].type, TokenType::kLangTag);
+  EXPECT_EQ(toks[1].text, "fr");
+  EXPECT_EQ(toks[3].type, TokenType::kDtypeMarker);
+  EXPECT_EQ(toks[4].type, TokenType::kPname);
+}
+
+TEST(Lexer, Comments) {
+  auto toks = Lex("?x # a comment\n?y");
+  EXPECT_EQ(toks[0].text, "x");
+  EXPECT_EQ(toks[1].text, "y");
+  EXPECT_EQ(toks[2].type, TokenType::kEof);
+}
+
+TEST(Lexer, TwoCharOperators) {
+  auto toks = Lex("&& || != >= ^^");
+  EXPECT_TRUE(toks[0].IsPunct("&&"));
+  EXPECT_TRUE(toks[1].IsPunct("||"));
+  EXPECT_TRUE(toks[2].IsPunct("!="));
+  EXPECT_TRUE(toks[3].IsPunct(">="));
+  EXPECT_EQ(toks[4].type, TokenType::kDtypeMarker);
+}
+
+TEST(Lexer, KeywordsCaseInsensitive) {
+  auto toks = Lex("select WHERE Optional");
+  EXPECT_TRUE(toks[0].IsKeyword("SELECT"));
+  EXPECT_TRUE(toks[1].IsKeyword("where"));
+  EXPECT_TRUE(toks[2].IsKeyword("OPTIONAL"));
+}
+
+TEST(Lexer, PathOperators) {
+  auto toks = Lex("foaf:knows+ ^foaf:made ?p*");
+  EXPECT_EQ(toks[0].type, TokenType::kPname);
+  EXPECT_TRUE(toks[1].IsPunct("+"));
+  EXPECT_TRUE(toks[2].IsPunct("^"));
+  EXPECT_EQ(toks[3].type, TokenType::kPname);
+  EXPECT_EQ(toks[4].type, TokenType::kVar);
+  EXPECT_TRUE(toks[5].IsPunct("*"));
+}
+
+TEST(Lexer, LineNumbersTracked) {
+  auto toks = Lex("?a\n\n?b");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 3);
+}
+
+TEST(Lexer, SubscriptTokens) {
+  auto toks = Lex("?a[1:10:2, :]");
+  EXPECT_EQ(toks[0].type, TokenType::kVar);
+  EXPECT_TRUE(toks[1].IsPunct("["));
+  EXPECT_EQ(toks[2].type, TokenType::kInteger);
+  EXPECT_TRUE(toks[3].IsPunct(":"));
+  EXPECT_EQ(toks[4].type, TokenType::kInteger);
+  EXPECT_TRUE(toks[5].IsPunct(":"));
+  EXPECT_EQ(toks[6].type, TokenType::kInteger);
+  EXPECT_TRUE(toks[7].IsPunct(","));
+  EXPECT_TRUE(toks[8].IsPunct(":"));
+  EXPECT_TRUE(toks[9].IsPunct("]"));
+}
+
+}  // namespace
+}  // namespace sparql
+}  // namespace scisparql

@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include "sparql/parser.h"
+
+namespace scisparql {
+namespace sparql {
+namespace {
+
+using ast::Expr;
+using ast::PatternElement;
+using ast::SelectQuery;
+
+PrefixMap Prefixes() {
+  PrefixMap m = PrefixMap::WithDefaults();
+  m.Set("foaf", "http://xmlns.com/foaf/0.1/");
+  m.Set("ex", "http://example.org/");
+  return m;
+}
+
+std::shared_ptr<SelectQuery> Parse(const std::string& q) {
+  auto r = ParseQuery(q, Prefixes());
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << "\nquery: " << q;
+  return r.ok() ? *r : nullptr;
+}
+
+TEST(Parser, SimpleSelect) {
+  auto q = Parse("SELECT ?x WHERE { ?x foaf:name \"Alice\" }");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->form, SelectQuery::Form::kSelect);
+  ASSERT_EQ(q->projections.size(), 1u);
+  EXPECT_EQ(q->projections[0].name, "x");
+  ASSERT_EQ(q->where.elements.size(), 1u);
+  const auto& tp = q->where.elements[0].triple;
+  EXPECT_TRUE(tp.s.is_var);
+  EXPECT_EQ(tp.p.term.iri(), "http://xmlns.com/foaf/0.1/name");
+  EXPECT_EQ(tp.o.term.lexical(), "Alice");
+}
+
+TEST(Parser, SelectStar) {
+  auto q = Parse("SELECT * WHERE { ?s ?p ?o }");
+  EXPECT_TRUE(q->select_all);
+}
+
+TEST(Parser, DistinctAndModifiers) {
+  auto q = Parse(
+      "SELECT DISTINCT ?x WHERE { ?x a foaf:Person } "
+      "ORDER BY DESC(?x) LIMIT 10 OFFSET 5");
+  EXPECT_TRUE(q->distinct);
+  ASSERT_EQ(q->order_by.size(), 1u);
+  EXPECT_FALSE(q->order_by[0].ascending);
+  EXPECT_EQ(q->limit, 10);
+  EXPECT_EQ(q->offset, 5);
+}
+
+TEST(Parser, PrologueOverridesDefaults) {
+  auto q = Parse(
+      "PREFIX foaf: <http://other/> SELECT ?x WHERE { ?x foaf:p ?y }");
+  EXPECT_EQ(q->where.elements[0].triple.p.term.iri(), "http://other/p");
+}
+
+TEST(Parser, UnknownPrefixFails) {
+  auto r = ParseQuery("SELECT ?x WHERE { ?x nope:p ?y }", Prefixes());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(Parser, SemicolonAndCommaLists) {
+  auto q = Parse(
+      "SELECT * WHERE { ?x foaf:name \"A\" ; foaf:knows ?y , ?z . }");
+  EXPECT_EQ(q->where.elements.size(), 3u);
+  // All share the subject.
+  for (const auto& e : q->where.elements) {
+    EXPECT_EQ(e.triple.s.var, "x");
+  }
+}
+
+TEST(Parser, AKeyword) {
+  auto q = Parse("SELECT ?x WHERE { ?x a foaf:Person }");
+  EXPECT_EQ(q->where.elements[0].triple.p.term.iri(),
+            std::string(vocab::kRdfType));
+}
+
+TEST(Parser, OptionalAndFilter) {
+  auto q = Parse(
+      "SELECT ?x WHERE { ?x a foaf:Person . "
+      "OPTIONAL { ?x foaf:mbox ?m } FILTER (?x != ex:bad) }");
+  ASSERT_EQ(q->where.elements.size(), 3u);
+  EXPECT_EQ(q->where.elements[1].kind, PatternElement::Kind::kOptional);
+  EXPECT_EQ(q->where.elements[2].kind, PatternElement::Kind::kFilter);
+}
+
+TEST(Parser, UnionChain) {
+  auto q = Parse(
+      "SELECT ?x WHERE { { ?x foaf:mbox ?m } UNION { ?x ex:email ?m } "
+      "UNION { ?x ex:mail ?m } }");
+  ASSERT_EQ(q->where.elements.size(), 1u);
+  EXPECT_EQ(q->where.elements[0].kind, PatternElement::Kind::kUnion);
+  EXPECT_EQ(q->where.elements[0].branches.size(), 3u);
+}
+
+TEST(Parser, BindAndValues) {
+  auto q = Parse(
+      "SELECT ?y WHERE { BIND (2 + 3 AS ?y) "
+      "VALUES (?a ?b) { (1 2) (UNDEF 4) } }");
+  EXPECT_EQ(q->where.elements[0].kind, PatternElement::Kind::kBind);
+  EXPECT_EQ(q->where.elements[0].bind_var, "y");
+  const auto& v = q->where.elements[1].values;
+  EXPECT_EQ(v.vars, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(v.rows.size(), 2u);
+  EXPECT_TRUE(v.rows[1][0].IsUndef());
+  EXPECT_EQ(v.rows[1][1], Term::Integer(4));
+}
+
+TEST(Parser, GraphClause) {
+  auto q = Parse("SELECT ?x WHERE { GRAPH ex:g { ?x ?p ?o } }");
+  EXPECT_EQ(q->where.elements[0].kind, PatternElement::Kind::kGraph);
+  EXPECT_EQ(q->where.elements[0].graph_name.term.iri(),
+            "http://example.org/g");
+}
+
+TEST(Parser, MinusClause) {
+  auto q = Parse("SELECT ?x WHERE { ?x a foaf:Person MINUS { ?x ex:bad true } }");
+  EXPECT_EQ(q->where.elements[1].kind, PatternElement::Kind::kMinus);
+}
+
+TEST(Parser, BlankNodePropertyList) {
+  auto q = Parse(
+      "SELECT ?n WHERE { [] foaf:knows [ foaf:name ?n ] }");
+  // Expands into 2 triples over fresh internal vars.
+  EXPECT_EQ(q->where.elements.size(), 2u);
+}
+
+TEST(Parser, CollectionInPattern) {
+  auto q = Parse("SELECT ?x WHERE { ?x ex:p (1 2) }");
+  // 1 entry triple + 2x(first, rest) = 5 triples.
+  EXPECT_EQ(q->where.elements.size(), 5u);
+}
+
+TEST(Parser, PropertyPathOperators) {
+  auto q = Parse("SELECT ?x WHERE { ?x foaf:knows+/foaf:name ?n }");
+  const auto& tp = q->where.elements[0].triple;
+  ASSERT_NE(tp.path, nullptr);
+  EXPECT_EQ(tp.path->kind, ast::Path::Kind::kSequence);
+  EXPECT_EQ(tp.path->a->kind, ast::Path::Kind::kOneOrMore);
+}
+
+TEST(Parser, InversePath) {
+  auto q = Parse("SELECT ?x WHERE { ?x ^foaf:knows ?y }");
+  EXPECT_EQ(q->where.elements[0].triple.path->kind,
+            ast::Path::Kind::kInverse);
+}
+
+TEST(Parser, NegatedPropertySet) {
+  auto q = Parse("SELECT ?x WHERE { ?x !(foaf:knows|^foaf:made) ?y }");
+  const auto& p = q->where.elements[0].triple.path;
+  EXPECT_EQ(p->kind, ast::Path::Kind::kNegatedSet);
+  EXPECT_EQ(p->negated.size(), 1u);
+  EXPECT_EQ(p->negated_inverse.size(), 1u);
+}
+
+TEST(Parser, SimpleLinkIsPlainPredicate) {
+  auto q = Parse("SELECT ?x WHERE { ?x foaf:knows ?y }");
+  EXPECT_EQ(q->where.elements[0].triple.path, nullptr);
+  EXPECT_FALSE(q->where.elements[0].triple.p.is_var);
+}
+
+TEST(Parser, GroupByHaving) {
+  auto q = Parse(
+      "SELECT ?k (COUNT(*) AS ?n) WHERE { ?x ex:k ?k } "
+      "GROUP BY ?k HAVING (COUNT(*) > 2)");
+  EXPECT_EQ(q->group_by.size(), 1u);
+  EXPECT_EQ(q->having.size(), 1u);
+  EXPECT_EQ(q->projections[1].expr->kind, Expr::Kind::kAggregate);
+}
+
+TEST(Parser, AggregateDistinctAndSeparator) {
+  auto q = Parse(
+      "SELECT (COUNT(DISTINCT ?x) AS ?n) "
+      "(GROUP_CONCAT(?x; SEPARATOR=\", \") AS ?all) WHERE { ?x ?p ?o }");
+  EXPECT_TRUE(q->projections[0].expr->agg_distinct);
+  EXPECT_EQ(q->projections[1].expr->agg_sep, ", ");
+}
+
+TEST(Parser, SubscriptSingleAndRanges) {
+  auto q = Parse("SELECT ?a[2, 1:10:3, :] WHERE { ?s ex:p ?a }");
+  const auto& proj = q->projections[0];
+  EXPECT_EQ(proj.name, "a");
+  ASSERT_EQ(proj.expr->kind, Expr::Kind::kSubscript);
+  ASSERT_EQ(proj.expr->subscripts.size(), 3u);
+  EXPECT_FALSE(proj.expr->subscripts[0].is_range);
+  EXPECT_TRUE(proj.expr->subscripts[1].is_range);
+  EXPECT_NE(proj.expr->subscripts[1].stride, nullptr);
+  EXPECT_TRUE(proj.expr->subscripts[2].is_range);
+  EXPECT_EQ(proj.expr->subscripts[2].lo, nullptr);
+  EXPECT_EQ(proj.expr->subscripts[2].hi, nullptr);
+}
+
+TEST(Parser, SubscriptExpressionIndexes) {
+  auto q = Parse("SELECT (?a[?i + 1] AS ?v) WHERE { ?s ex:p ?a }");
+  EXPECT_EQ(q->projections[0].expr->subscripts[0].index->kind,
+            Expr::Kind::kBinary);
+}
+
+TEST(Parser, ExistsInFilter) {
+  auto q = Parse(
+      "SELECT ?x WHERE { ?x a foaf:Person "
+      "FILTER NOT EXISTS { ?x foaf:mbox ?m } }");
+  const auto& f = q->where.elements[1];
+  EXPECT_EQ(f.expr->kind, Expr::Kind::kExists);
+  EXPECT_TRUE(f.expr->exists_negated);
+}
+
+TEST(Parser, InListDesugars) {
+  auto q = Parse("SELECT ?x WHERE { ?x ex:v ?v FILTER (?v IN (1, 2)) }");
+  const auto& f = q->where.elements[1].expr;
+  EXPECT_EQ(f->kind, Expr::Kind::kBinary);
+  EXPECT_EQ(f->bop, ast::BinaryOp::kOr);
+}
+
+TEST(Parser, AskAndConstruct) {
+  auto ask = Parse("ASK { ?x a foaf:Person }");
+  EXPECT_EQ(ask->form, SelectQuery::Form::kAsk);
+  auto con = Parse(
+      "CONSTRUCT { ?x ex:knownBy ?y } WHERE { ?y foaf:knows ?x }");
+  EXPECT_EQ(con->form, SelectQuery::Form::kConstruct);
+  EXPECT_EQ(con->construct_template.size(), 1u);
+}
+
+TEST(Parser, FromClauses) {
+  auto q = Parse(
+      "SELECT ?x FROM ex:g1 FROM NAMED ex:g2 WHERE { ?x ?p ?o }");
+  EXPECT_EQ(q->from, (std::vector<std::string>{"http://example.org/g1"}));
+  EXPECT_EQ(q->from_named,
+            (std::vector<std::string>{"http://example.org/g2"}));
+}
+
+TEST(Parser, DefineFunction) {
+  auto stmt = ParseStatement(
+      "DEFINE FUNCTION ex:scale(?x, ?k) AS SELECT (?x * ?k AS ?y) WHERE { }",
+      Prefixes());
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  auto* def = std::get_if<ast::FunctionDef>(&stmt->node);
+  ASSERT_NE(def, nullptr);
+  EXPECT_EQ(def->name, "http://example.org/scale");
+  EXPECT_EQ(def->params, (std::vector<std::string>{"x", "k"}));
+}
+
+TEST(Parser, InsertData) {
+  auto stmt = ParseStatement(
+      "INSERT DATA { ex:s ex:p 4 . ex:s ex:q \"v\" }", Prefixes());
+  ASSERT_TRUE(stmt.ok());
+  auto* op = std::get_if<ast::UpdateOp>(&stmt->node);
+  ASSERT_NE(op, nullptr);
+  EXPECT_EQ(op->kind, ast::UpdateOp::Kind::kInsertData);
+  EXPECT_EQ(op->insert_template.size(), 2u);
+}
+
+TEST(Parser, DeleteInsertWhere) {
+  auto stmt = ParseStatement(
+      "DELETE { ?s ex:old ?o } INSERT { ?s ex:new ?o } "
+      "WHERE { ?s ex:old ?o }",
+      Prefixes());
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  auto* op = std::get_if<ast::UpdateOp>(&stmt->node);
+  EXPECT_EQ(op->kind, ast::UpdateOp::Kind::kModify);
+  EXPECT_EQ(op->delete_template.size(), 1u);
+  EXPECT_EQ(op->insert_template.size(), 1u);
+}
+
+TEST(Parser, LoadAndClear) {
+  auto load = ParseStatement("LOAD \"/tmp/x.ttl\" INTO GRAPH ex:g",
+                             Prefixes());
+  ASSERT_TRUE(load.ok());
+  EXPECT_EQ(std::get<ast::UpdateOp>(load->node).load_source, "/tmp/x.ttl");
+  auto clear = ParseStatement("CLEAR ALL", Prefixes());
+  EXPECT_TRUE(std::get<ast::UpdateOp>(clear->node).clear_all);
+}
+
+TEST(Parser, ErrorsAreParseErrors) {
+  for (const char* bad : {
+           "SELECT WHERE { }",            // empty projections
+           "SELECT ?x { ?x ?p }",         // incomplete triple
+           "SELECT ?x WHERE { ?x ?p ?o ", // unterminated group
+           "FOO BAR",                     // unknown statement
+           "SELECT ?x WHERE { ?x ?p ?o } garbage",
+       }) {
+    auto r = ParseStatement(bad, Prefixes());
+    EXPECT_FALSE(r.ok()) << bad;
+  }
+}
+
+TEST(Parser, ClosurePlaceholderInCall) {
+  auto q = Parse("SELECT (MAP(ex:f(10, *), ?a) AS ?m) WHERE { ?s ex:p ?a }");
+  const auto& call = q->projections[0].expr;
+  ASSERT_EQ(call->kind, Expr::Kind::kCall);
+  EXPECT_EQ(call->fn, "MAP");
+  const auto& closure = call->args[0];
+  ASSERT_EQ(closure->kind, Expr::Kind::kCall);
+  EXPECT_EQ(closure->args[1]->kind, Expr::Kind::kStar);
+}
+
+TEST(Parser, OperatorPrecedence) {
+  auto q = Parse("SELECT (1 + 2 * 3 AS ?v) WHERE { }");
+  const auto& e = q->projections[0].expr;
+  EXPECT_EQ(e->bop, ast::BinaryOp::kAdd);
+  EXPECT_EQ(e->right->bop, ast::BinaryOp::kMul);
+}
+
+}  // namespace
+}  // namespace sparql
+}  // namespace scisparql

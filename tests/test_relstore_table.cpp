@@ -1,0 +1,264 @@
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "relstore/database.h"
+
+namespace scisparql {
+namespace relstore {
+namespace {
+
+Schema KvSchema() {
+  Schema s;
+  s.columns = {{"key", ColType::kInt64}, {"value", ColType::kText}};
+  return s;
+}
+
+Schema MixedSchema() {
+  Schema s;
+  s.columns = {{"id", ColType::kInt64},
+               {"score", ColType::kDouble},
+               {"name", ColType::kText},
+               {"payload", ColType::kBlob}};
+  return s;
+}
+
+TEST(Schema, FindColumn) {
+  Schema s = MixedSchema();
+  EXPECT_EQ(s.FindColumn("score"), 1);
+  EXPECT_EQ(s.FindColumn("nope"), -1);
+}
+
+TEST(Database, CreateAndGetTable) {
+  auto db = *Database::Open("");
+  ASSERT_TRUE(db->CreateTable("t", KvSchema(), false).ok());
+  EXPECT_NE(db->GetTable("t"), nullptr);
+  EXPECT_EQ(db->GetTable("nope"), nullptr);
+  EXPECT_TRUE(db->HasTable("t"));
+  EXPECT_FALSE(db->CreateTable("t", KvSchema(), false).ok());  // duplicate
+}
+
+TEST(Table, InsertGetRoundTrip) {
+  auto db = *Database::Open("");
+  Table* t = *db->CreateTable("t", MixedSchema(), false);
+  Row row = {int64_t{7}, 2.5, std::string("hello"), std::string("blobdata")};
+  RecordId rid = *t->Insert(row);
+  Row got = *t->Get(rid);
+  EXPECT_EQ(AsInt(got[0]), 7);
+  EXPECT_DOUBLE_EQ(AsDoubleValue(got[1]), 2.5);
+  EXPECT_EQ(AsBytes(got[2]), "hello");
+  EXPECT_EQ(AsBytes(got[3]), "blobdata");
+}
+
+TEST(Table, TypeMismatchRejected) {
+  auto db = *Database::Open("");
+  Table* t = *db->CreateTable("t", KvSchema(), false);
+  EXPECT_FALSE(t->Insert({2.5, std::string("x")}).ok());
+  EXPECT_FALSE(t->Insert({int64_t{1}}).ok());  // wrong arity
+}
+
+TEST(Table, LargeBlobSpillsToOverflowChain) {
+  auto db = *Database::Open("");
+  Table* t = *db->CreateTable("t", MixedSchema(), false);
+  // ~100 KiB blob: far bigger than one 8 KiB page.
+  std::string big(100 * 1024, 'x');
+  for (size_t i = 0; i < big.size(); ++i) big[i] = static_cast<char>(i % 251);
+  RecordId rid = *t->Insert({int64_t{1}, 0.0, std::string("big"), big});
+  Row got = *t->Get(rid);
+  EXPECT_EQ(AsBytes(got[3]), big);
+}
+
+TEST(Table, ManyRowsAcrossPages) {
+  auto db = *Database::Open("");
+  Table* t = *db->CreateTable("t", KvSchema(), false);
+  std::vector<RecordId> rids;
+  for (int i = 0; i < 5000; ++i) {
+    rids.push_back(
+        *t->Insert({int64_t{i}, "value-" + std::to_string(i)}));
+  }
+  EXPECT_EQ(t->row_count(), 5000u);
+  Row r = *t->Get(rids[4321]);
+  EXPECT_EQ(AsInt(r[0]), 4321);
+  EXPECT_EQ(AsBytes(r[1]), "value-4321");
+}
+
+TEST(Table, DeleteHidesRecord) {
+  auto db = *Database::Open("");
+  Table* t = *db->CreateTable("t", KvSchema(), false);
+  RecordId rid = *t->Insert({int64_t{1}, std::string("x")});
+  ASSERT_TRUE(t->Delete(rid).ok());
+  EXPECT_FALSE(t->Get(rid).ok());
+  EXPECT_FALSE(t->Delete(rid).ok());
+  EXPECT_EQ(t->row_count(), 0u);
+}
+
+TEST(Table, ForEachVisitsLiveRows) {
+  auto db = *Database::Open("");
+  Table* t = *db->CreateTable("t", KvSchema(), false);
+  RecordId a = *t->Insert({int64_t{1}, std::string("a")});
+  RecordId b = *t->Insert({int64_t{2}, std::string("b")});
+  (void)b;
+  ASSERT_TRUE(t->Delete(a).ok());
+  int count = 0;
+  ASSERT_TRUE(t->ForEach([&](RecordId, const Row& row) {
+    EXPECT_EQ(AsInt(row[0]), 2);
+    ++count;
+    return true;
+  }).ok());
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Database, IndexedInsertAndSelect) {
+  auto db = *Database::Open("");
+  ASSERT_TRUE(db->CreateTable("t", KvSchema(), true).ok());
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(db->InsertIndexed("t", static_cast<uint64_t>(i),
+                                  {int64_t{i}, "v" + std::to_string(i)})
+                    .ok());
+  }
+  std::vector<uint64_t> keys = {10, 500, 999};
+  int found = 0;
+  SelectStats stats;
+  ASSERT_TRUE(db->SelectByKeys("t", keys, SelectStrategy::kPerKey,
+                               [&](uint64_t k, const Row& row) {
+                                 EXPECT_EQ(static_cast<uint64_t>(AsInt(row[0])),
+                                           k);
+                                 ++found;
+                                 return true;
+                               },
+                               &stats)
+                  .ok());
+  EXPECT_EQ(found, 3);
+  EXPECT_EQ(stats.queries, 3u);  // one round trip per key
+  EXPECT_EQ(stats.rows, 3u);
+}
+
+TEST(Database, SelectStrategiesReturnSameRows) {
+  auto db = *Database::Open("");
+  ASSERT_TRUE(db->CreateTable("t", KvSchema(), true).ok());
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(db->InsertIndexed("t", static_cast<uint64_t>(i * 2),
+                                  {int64_t{i * 2}, std::string("v")})
+                    .ok());
+  }
+  std::vector<uint64_t> keys;
+  for (int i = 100; i < 200; i += 4) keys.push_back(static_cast<uint64_t>(i));
+
+  auto run = [&](SelectStrategy s, SelectStats* stats) {
+    std::vector<uint64_t> got;
+    EXPECT_TRUE(db->SelectByKeys("t", keys, s,
+                                 [&](uint64_t k, const Row&) {
+                                   got.push_back(k);
+                                   return true;
+                                 },
+                                 stats)
+                    .ok());
+    std::sort(got.begin(), got.end());
+    return got;
+  };
+  SelectStats naive, inlist, interval;
+  auto r1 = run(SelectStrategy::kPerKey, &naive);
+  auto r2 = run(SelectStrategy::kInList, &inlist);
+  auto r3 = run(SelectStrategy::kInterval, &interval);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(r2, r3);
+  EXPECT_EQ(r1.size(), keys.size());
+  // The strategies differ exactly in round-trip count.
+  EXPECT_EQ(naive.queries, keys.size());
+  EXPECT_EQ(inlist.queries, 1u);
+  EXPECT_LE(interval.queries, 2u);  // SPD folds the stride-4 run
+}
+
+TEST(Database, SelectRange) {
+  auto db = *Database::Open("");
+  ASSERT_TRUE(db->CreateTable("t", KvSchema(), true).ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(db->InsertIndexed("t", static_cast<uint64_t>(i),
+                                  {int64_t{i}, std::string("v")})
+                    .ok());
+  }
+  int n = 0;
+  ASSERT_TRUE(db->SelectRange("t", 10, 19, [&](uint64_t, const Row&) {
+    ++n;
+    return true;
+  }).ok());
+  EXPECT_EQ(n, 10);
+}
+
+TEST(Database, DeleteByKey) {
+  auto db = *Database::Open("");
+  ASSERT_TRUE(db->CreateTable("t", KvSchema(), true).ok());
+  ASSERT_TRUE(
+      db->InsertIndexed("t", 5, {int64_t{5}, std::string("a")}).ok());
+  ASSERT_TRUE(
+      db->InsertIndexed("t", 5, {int64_t{5}, std::string("b")}).ok());
+  EXPECT_EQ(*db->DeleteByKey("t", 5), 2u);
+  int n = 0;
+  std::vector<uint64_t> keys = {5};
+  ASSERT_TRUE(db->SelectByKeys("t", keys, SelectStrategy::kPerKey,
+                               [&](uint64_t, const Row&) {
+                                 ++n;
+                                 return true;
+                               })
+                  .ok());
+  EXPECT_EQ(n, 0);
+}
+
+TEST(Database, CatalogPersistsAcrossReopen) {
+  std::string path = std::string(::testing::TempDir()) + "/catalog_test.db";
+  std::remove(path.c_str());
+  {
+    auto db = *Database::Open(path);
+    ASSERT_TRUE(db->CreateTable("t", MixedSchema(), true).ok());
+    ASSERT_TRUE(db->InsertIndexed("t", 1,
+                                  {int64_t{1}, 3.5, std::string("persisted"),
+                                   std::string(20000, 'z')})
+                    .ok());
+    ASSERT_TRUE(db->Flush().ok());
+  }
+  {
+    auto db = *Database::Open(path);
+    ASSERT_TRUE(db->HasTable("t"));
+    std::vector<uint64_t> keys = {1};
+    int n = 0;
+    ASSERT_TRUE(db->SelectByKeys("t", keys, SelectStrategy::kPerKey,
+                                 [&](uint64_t, const Row& row) {
+                                   EXPECT_EQ(AsBytes(row[2]), "persisted");
+                                   EXPECT_EQ(AsBytes(row[3]).size(), 20000u);
+                                   ++n;
+                                   return true;
+                                 })
+                    .ok());
+    EXPECT_EQ(n, 1);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Database, ScanAll) {
+  auto db = *Database::Open("");
+  ASSERT_TRUE(db->CreateTable("t", KvSchema(), false).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(db->Insert("t", {int64_t{i}, std::string("x")}).ok());
+  }
+  int n = 0;
+  ASSERT_TRUE(db->ScanAll("t", [&](const Row&) {
+    ++n;
+    return true;
+  }).ok());
+  EXPECT_EQ(n, 10);
+}
+
+TEST(Database, UnindexedTableRejectsKeyOps) {
+  auto db = *Database::Open("");
+  ASSERT_TRUE(db->CreateTable("t", KvSchema(), false).ok());
+  EXPECT_FALSE(
+      db->InsertIndexed("t", 1, {int64_t{1}, std::string("x")}).ok());
+  std::vector<uint64_t> keys = {1};
+  EXPECT_FALSE(db->SelectByKeys("t", keys, SelectStrategy::kPerKey,
+                                [](uint64_t, const Row&) { return true; })
+                   .ok());
+}
+
+}  // namespace
+}  // namespace relstore
+}  // namespace scisparql

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "client/protocol.h"
+#include "client/server.h"
+
+namespace scisparql {
+namespace client {
+namespace {
+
+TEST(Protocol, TermRoundTripAllKinds) {
+  std::vector<Term> terms = {
+      Term(),
+      Term::Iri("http://x/y"),
+      Term::Blank("b1"),
+      Term::String("plain"),
+      Term::LangString("chat", "fr"),
+      Term::Integer(-42),
+      Term::Double(3.25),
+      Term::Boolean(true),
+      Term::TypedLiteral("2020-01-01", "http://dt"),
+      Term::Array(ResidentArray::Make(
+          *NumericArray::FromInts({2, 2}, {1, 2, 3, 4}))),
+      Term::Array(ResidentArray::Make(
+          *NumericArray::FromDoubles({3}, {0.5, 1.5, 2.5}))),
+  };
+  for (const Term& t : terms) {
+    std::string buf;
+    ASSERT_TRUE(SerializeTerm(t, &buf).ok());
+    size_t pos = 0;
+    Term back = *DeserializeTerm(buf, &pos);
+    EXPECT_EQ(pos, buf.size()) << t.ToString();
+    EXPECT_EQ(back.kind(), t.kind()) << t.ToString();
+    if (!t.IsUndef()) {
+      EXPECT_EQ(back, t) << t.ToString();
+    }
+  }
+}
+
+TEST(Protocol, ResultRoundTrip) {
+  sparql::QueryResult r;
+  r.columns = {"a", "b"};
+  r.rows.push_back({Term::Integer(1), Term::String("x")});
+  r.rows.push_back({Term(), Term::Double(2.5)});
+  auto back = *DeserializeResult(SerializeResult(r));
+  EXPECT_EQ(back.columns, r.columns);
+  ASSERT_EQ(back.rows.size(), 2u);
+  EXPECT_EQ(back.rows[0][0], Term::Integer(1));
+  EXPECT_TRUE(back.rows[1][0].IsUndef());
+}
+
+TEST(Protocol, TruncatedInputRejected) {
+  std::string buf;
+  ASSERT_TRUE(SerializeTerm(Term::String("hello"), &buf).ok());
+  for (size_t cut = 1; cut < buf.size(); ++cut) {
+    size_t pos = 0;
+    std::string partial = buf.substr(0, cut);
+    EXPECT_FALSE(DeserializeTerm(partial, &pos).ok()) << cut;
+  }
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine_.prefixes().Set("ex", "http://example.org/");
+    ASSERT_TRUE(engine_.LoadTurtleString(R"(
+@prefix ex: <http://example.org/> .
+ex:a ex:score 10 . ex:b ex:score 20 .
+ex:m ex:data ((1 2) (3 4)) .
+)").ok());
+    server_ = std::make_unique<SsdmServer>(&engine_);
+    auto port = server_->Start(0);
+    ASSERT_TRUE(port.ok()) << port.status().ToString();
+    port_ = *port;
+  }
+
+  void TearDown() override { server_->Stop(); }
+
+  SSDM engine_;
+  std::unique_ptr<SsdmServer> server_;
+  int port_ = 0;
+};
+
+TEST_F(ServerTest, RemoteSelect) {
+  auto session = *RemoteSession::Connect("127.0.0.1", port_);
+  auto r = session.Query(
+      "PREFIX ex: <http://example.org/> "
+      "SELECT ?v WHERE { ?s ex:score ?v } ORDER BY ?v");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[0][0], Term::Integer(10));
+}
+
+TEST_F(ServerTest, RemoteArrayResultsMaterialize) {
+  auto session = *RemoteSession::Connect("127.0.0.1", port_);
+  auto r = session.Query(
+      "PREFIX ex: <http://example.org/> "
+      "SELECT ?a (ASUM(?a) AS ?s) WHERE { ex:m ex:data ?a }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  ASSERT_TRUE(r->rows[0][0].IsArray());
+  EXPECT_TRUE(r->rows[0][0].array()->resident());
+  EXPECT_EQ(r->rows[0][0].array()->Materialize()->ToString(),
+            "[[1, 2], [3, 4]]");
+  EXPECT_EQ(r->rows[0][1], Term::Double(10));
+}
+
+TEST_F(ServerTest, RemoteAskAndUpdate) {
+  auto session = *RemoteSession::Connect("127.0.0.1", port_);
+  EXPECT_FALSE(*session.Ask(
+      "PREFIX ex: <http://example.org/> ASK { ex:c ex:score 30 }"));
+  ASSERT_TRUE(session.Run("PREFIX ex: <http://example.org/> "
+                          "INSERT DATA { ex:c ex:score 30 }")
+                  .ok());
+  EXPECT_TRUE(*session.Ask(
+      "PREFIX ex: <http://example.org/> ASK { ex:c ex:score 30 }"));
+  // The update really landed in the shared server-side engine.
+  EXPECT_TRUE(*engine_.Ask(
+      "PREFIX ex: <http://example.org/> ASK { ex:c ex:score 30 }"));
+}
+
+TEST_F(ServerTest, RemoteConstructReturnsTurtle) {
+  auto session = *RemoteSession::Connect("127.0.0.1", port_);
+  auto ttl = session.Run(
+      "PREFIX ex: <http://example.org/> "
+      "CONSTRUCT { ?s ex:double ?v } WHERE { ?s ex:score ?v }");
+  ASSERT_TRUE(ttl.ok()) << ttl.status().ToString();
+  EXPECT_NE(ttl->find("double"), std::string::npos);
+}
+
+TEST_F(ServerTest, RemoteErrorsPropagate) {
+  auto session = *RemoteSession::Connect("127.0.0.1", port_);
+  auto r = session.Query("SELECT garbage");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(ServerTest, SequentialConnections) {
+  for (int i = 0; i < 3; ++i) {
+    auto session = *RemoteSession::Connect("127.0.0.1", port_);
+    auto r = session.Query(
+        "PREFIX ex: <http://example.org/> "
+        "SELECT (COUNT(*) AS ?n) WHERE { ?s ex:score ?v }");
+    ASSERT_TRUE(r.ok());
+  }
+  EXPECT_GE(server_->requests_served(), 3u);
+}
+
+TEST(ServerLifecycle, StopIsIdempotent) {
+  SSDM engine;
+  SsdmServer server(&engine);
+  ASSERT_TRUE(server.Start(0).ok());
+  server.Stop();
+  server.Stop();
+}
+
+TEST(ServerLifecycle, ConnectToClosedPortFails) {
+  SSDM engine;
+  int dead_port;
+  {
+    SsdmServer server(&engine);
+    dead_port = *server.Start(0);
+  }
+  EXPECT_FALSE(RemoteSession::Connect("127.0.0.1", dead_port).ok());
+}
+
+}  // namespace
+}  // namespace client
+}  // namespace scisparql

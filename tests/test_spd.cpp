@@ -1,0 +1,92 @@
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "relstore/spd.h"
+
+namespace scisparql {
+namespace relstore {
+namespace {
+
+TEST(Spd, EmptyInput) {
+  EXPECT_TRUE(DetectPatterns({}).empty());
+}
+
+TEST(Spd, SingleKey) {
+  std::vector<uint64_t> keys = {42};
+  auto out = DetectPatterns(keys);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (Interval{42, 1, 1}));
+}
+
+TEST(Spd, ContiguousRun) {
+  std::vector<uint64_t> keys = {5, 6, 7, 8, 9};
+  auto out = DetectPatterns(keys);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (Interval{5, 1, 5}));
+  EXPECT_EQ(out[0].last(), 9u);
+}
+
+TEST(Spd, StridedRun) {
+  std::vector<uint64_t> keys = {10, 13, 16, 19};
+  auto out = DetectPatterns(keys);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (Interval{10, 3, 4}));
+}
+
+TEST(Spd, ShortRunsStaySingles) {
+  // Runs below min_run degrade to per-key intervals.
+  std::vector<uint64_t> keys = {1, 2};  // run of 2 < min_run 3
+  auto out = DetectPatterns(keys, 3);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].count, 1u);
+  EXPECT_EQ(out[1].count, 1u);
+}
+
+TEST(Spd, MixedRunsAndSingles) {
+  std::vector<uint64_t> keys = {1, 2, 3, 4, 100, 200, 210, 220, 230, 999};
+  auto out = DetectPatterns(keys);
+  // [1..4], 100, [200..230 step 10], 999 — but 100 and 200 start a
+  // candidate run (diff 100), too short, so they stay singles.
+  ASSERT_GE(out.size(), 3u);
+  EXPECT_EQ(out[0], (Interval{1, 1, 4}));
+  EXPECT_EQ(ExpandIntervals(out), keys);  // lossless in any case
+}
+
+TEST(Spd, MinRunRespected) {
+  std::vector<uint64_t> keys = {1, 2, 3};
+  EXPECT_EQ(DetectPatterns(keys, 3).size(), 1u);
+  EXPECT_EQ(DetectPatterns(keys, 4).size(), 3u);
+}
+
+TEST(Spd, IntervalToString) {
+  EXPECT_EQ((Interval{5, 1, 1}).ToString(), "[5]");
+  EXPECT_EQ((Interval{5, 2, 3}).ToString(), "[5..9 step 2]");
+}
+
+/// Property: for random sorted unique key sets, DetectPatterns is lossless
+/// (expansion reproduces the input) and never grows the representation.
+class SpdSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpdSweep, LosslessAndCompact) {
+  std::mt19937_64 rng(GetParam());
+  std::set<uint64_t> keys;
+  // Mix of a dense run, a strided run, and random noise.
+  uint64_t base = rng() % 1000;
+  for (uint64_t i = 0; i < 50; ++i) keys.insert(base + i);
+  for (uint64_t i = 0; i < 30; ++i) keys.insert(5000 + i * 7);
+  for (int i = 0; i < 40; ++i) keys.insert(rng() % 100000);
+  std::vector<uint64_t> sorted(keys.begin(), keys.end());
+
+  auto intervals = DetectPatterns(sorted);
+  EXPECT_EQ(ExpandIntervals(intervals), sorted);
+  EXPECT_LE(intervals.size(), sorted.size());
+  // The dense run must have been compressed.
+  EXPECT_LT(intervals.size(), sorted.size() - 40);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpdSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace relstore
+}  // namespace scisparql

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "rdf/namespaces.h"
+#include "rdf/term.h"
+
+namespace scisparql {
+namespace {
+
+TEST(Term, DefaultIsUndef) {
+  Term t;
+  EXPECT_TRUE(t.IsUndef());
+  EXPECT_FALSE(t.IsLiteral());
+  EXPECT_EQ(t.ToString(), "UNDEF");
+}
+
+TEST(Term, Factories) {
+  EXPECT_TRUE(Term::Iri("http://x").IsIri());
+  EXPECT_TRUE(Term::Blank("b1").IsBlank());
+  EXPECT_TRUE(Term::String("hi").IsLiteral());
+  EXPECT_TRUE(Term::Integer(1).IsNumeric());
+  EXPECT_TRUE(Term::Double(1.5).IsNumeric());
+  EXPECT_TRUE(Term::Boolean(true).IsLiteral());
+  EXPECT_FALSE(Term::Boolean(true).IsNumeric());
+  EXPECT_TRUE(Term::TypedLiteral("2020-01-01", vocab::kXsdDateTime)
+                  .IsLiteral());
+}
+
+TEST(Term, NumericEqualityAcrossKinds) {
+  EXPECT_EQ(Term::Integer(2), Term::Double(2.0));
+  EXPECT_NE(Term::Integer(2), Term::Double(2.5));
+  EXPECT_EQ(Term::Integer(2).Hash(), Term::Double(2.0).Hash());
+}
+
+TEST(Term, EqualitySameKind) {
+  EXPECT_EQ(Term::Iri("http://a"), Term::Iri("http://a"));
+  EXPECT_NE(Term::Iri("http://a"), Term::Iri("http://b"));
+  EXPECT_NE(Term::Iri("http://a"), Term::String("http://a"));
+  EXPECT_EQ(Term::LangString("chat", "fr"), Term::LangString("chat", "fr"));
+  EXPECT_NE(Term::LangString("chat", "fr"), Term::LangString("chat", "en"));
+  EXPECT_NE(Term::String("chat"), Term::LangString("chat", "fr"));
+}
+
+TEST(Term, BooleanNotEqualToNumber) {
+  EXPECT_NE(Term::Boolean(true), Term::Integer(1));
+}
+
+TEST(Term, AsDouble) {
+  EXPECT_EQ(*Term::Integer(3).AsDouble(), 3.0);
+  EXPECT_EQ(*Term::Double(2.5).AsDouble(), 2.5);
+  EXPECT_FALSE(Term::String("3").AsDouble().ok());
+}
+
+TEST(Term, AsInteger) {
+  EXPECT_EQ(*Term::Integer(3).AsInteger(), 3);
+  EXPECT_EQ(*Term::Double(4.0).AsInteger(), 4);
+  EXPECT_FALSE(Term::Double(4.5).AsInteger().ok());
+}
+
+TEST(Term, CompareTotalOrder) {
+  // Undef < blank < IRI < literal.
+  EXPECT_LT(Term::Compare(Term(), Term::Blank("a")), 0);
+  EXPECT_LT(Term::Compare(Term::Blank("a"), Term::Iri("http://x")), 0);
+  EXPECT_LT(Term::Compare(Term::Iri("http://x"), Term::Integer(0)), 0);
+  EXPECT_LT(Term::Compare(Term::Integer(1), Term::Integer(2)), 0);
+  EXPECT_LT(Term::Compare(Term::Integer(1), Term::Double(1.5)), 0);
+  EXPECT_EQ(Term::Compare(Term::Integer(2), Term::Double(2.0)), 0);
+  EXPECT_LT(Term::Compare(Term::String("a"), Term::String("b")), 0);
+}
+
+TEST(Term, ToStringForms) {
+  EXPECT_EQ(Term::Iri("http://x").ToString(), "<http://x>");
+  EXPECT_EQ(Term::Blank("b7").ToString(), "_:b7");
+  EXPECT_EQ(Term::String("hi").ToString(), "\"hi\"");
+  EXPECT_EQ(Term::LangString("hi", "en").ToString(), "\"hi\"@en");
+  EXPECT_EQ(Term::Integer(-4).ToString(), "-4");
+  EXPECT_EQ(Term::Boolean(false).ToString(), "false");
+  EXPECT_EQ(Term::TypedLiteral("x", "http://dt").ToString(),
+            "\"x\"^^<http://dt>");
+  EXPECT_EQ(Term::String("a\"b").ToString(), "\"a\\\"b\"");
+}
+
+TEST(Term, ArrayValueEquality) {
+  auto a1 = Term::Array(
+      ResidentArray::Make(*NumericArray::FromInts({2}, {1, 2})));
+  auto a2 = Term::Array(
+      ResidentArray::Make(*NumericArray::FromDoubles({2}, {1.0, 2.0})));
+  auto a3 = Term::Array(
+      ResidentArray::Make(*NumericArray::FromInts({2}, {1, 3})));
+  EXPECT_EQ(a1, a2);  // Section 4.1.6: numeric element-wise equality
+  EXPECT_NE(a1, a3);
+  EXPECT_EQ(a1.Hash(), a2.Hash());
+}
+
+TEST(Term, ArrayToString) {
+  auto a = Term::Array(
+      ResidentArray::Make(*NumericArray::FromInts({2, 2}, {1, 2, 3, 4})));
+  EXPECT_EQ(a.ToString(), "[[1, 2], [3, 4]]");
+}
+
+TEST(Term, HashConsistentWithEquality) {
+  std::vector<Term> terms = {
+      Term::Iri("http://a"), Term::Blank("a"),       Term::String("a"),
+      Term::Integer(1),      Term::Double(1.5),      Term::Boolean(true),
+      Term::LangString("a", "en"),
+      Term::TypedLiteral("a", "http://dt"),
+  };
+  for (const Term& a : terms) {
+    for (const Term& b : terms) {
+      if (a == b) {
+        EXPECT_EQ(a.Hash(), b.Hash());
+      }
+    }
+  }
+}
+
+TEST(PrefixMap, ExpandAndCompact) {
+  PrefixMap m = PrefixMap::WithDefaults();
+  m.Set("foaf", "http://xmlns.com/foaf/0.1/");
+  EXPECT_EQ(*m.Expand("foaf:name"), "http://xmlns.com/foaf/0.1/name");
+  EXPECT_FALSE(m.Expand("unknown:x").has_value());
+  EXPECT_FALSE(m.Expand("nocolon").has_value());
+  EXPECT_EQ(m.Compact("http://xmlns.com/foaf/0.1/name"), "foaf:name");
+  EXPECT_EQ(m.Compact("http://other/x"), "<http://other/x>");
+}
+
+TEST(PrefixMap, LongestPrefixWins) {
+  PrefixMap m;
+  m.Set("a", "http://x/");
+  m.Set("b", "http://x/deep/");
+  EXPECT_EQ(m.Compact("http://x/deep/y"), "b:y");
+}
+
+TEST(Vocab, WellKnownIris) {
+  EXPECT_EQ(vocab::kRdfType,
+            "http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+  EXPECT_EQ(vocab::kXsdInteger, "http://www.w3.org/2001/XMLSchema#integer");
+}
+
+}  // namespace
+}  // namespace scisparql

@@ -1,0 +1,162 @@
+// Fidelity suite: the worked examples of the thesis's Chapter 3 (SPARQL
+// overview) and Chapter 4 (SciSPARQL), run verbatim (modulo prefix
+// declarations) against the running dataset of Figure 5.
+
+#include <gtest/gtest.h>
+
+#include "engine/ssdm.h"
+
+namespace scisparql {
+namespace {
+
+class ThesisExamples : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Figure 5 (foaf:knows made symmetric, as drawn) + the Figure 4
+    // matrix example, + emails used by Section 3.3.
+    ASSERT_TRUE(db_.LoadTurtleString(R"(
+@prefix foaf: <http://xmlns.com/foaf/0.1/> .
+@prefix ex: <http://example.org/> .
+@prefix : <http://example.org/app#> .
+_:a a foaf:Person ; foaf:name "Alice" ; foaf:knows _:b , _:d .
+_:b a foaf:Person ; foaf:name "Bob" ; foaf:knows _:a .
+_:d a foaf:Person ; foaf:name "Daniel" ; foaf:knows _:a .
+_:c a foaf:Person ; foaf:name "Cindy" .
+_:b foaf:mbox <mailto:bob@example.org> .
+_:d ex:email "daniel@example.org" .
+_:a foaf:homepage <http://alice.example.org> .
+:s :p ((1 2) (3 4)) .
+)").ok());
+    db_.prefixes().Set("foaf", "http://xmlns.com/foaf/0.1/");
+    db_.prefixes().Set("ex", "http://example.org/");
+    db_.prefixes().Set("", "http://example.org/app#");
+  }
+
+  SSDM db_;
+};
+
+// Section 3.2: the first graph pattern example.
+TEST_F(ThesisExamples, Section32SingleTriplePattern) {
+  auto r = db_.Query(R"(
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT ?person
+WHERE { ?person foaf:name "Alice" })");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_TRUE(r->rows[0][0].IsBlank());
+}
+
+// Section 3.2: friend names via a conjunction with ';'.
+TEST_F(ThesisExamples, Section32FriendNames) {
+  auto r = db_.Query(R"(
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT ?friend_name
+WHERE { ?person foaf:name "Alice" ;
+                foaf:knows ?friend .
+        ?friend foaf:name ?friend_name }
+ORDER BY ?friend_name)");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[0][0].lexical(), "Bob");
+  EXPECT_EQ(r->rows[1][0].lexical(), "Daniel");
+}
+
+// Section 3.2: the blank-node shorthand form of the same query.
+TEST_F(ThesisExamples, Section32BlankNodeShorthand) {
+  auto r = db_.Query(R"(
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT ?friend_name
+WHERE { [] foaf:name "Alice" ;
+           foaf:knows [ foaf:name ?friend_name ] })");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 2u);
+}
+
+// Section 3.3.1: OPTIONAL produces unbound emails.
+TEST_F(ThesisExamples, Section331OptionalEmails) {
+  auto r = db_.Query(R"(
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT ?friend_name ?friend_email
+WHERE { ?person foaf:name "Alice" ;
+                foaf:knows ?friend .
+        ?friend foaf:name ?friend_name .
+        OPTIONAL { ?friend foaf:mbox ?friend_email } }
+ORDER BY ?friend_name)");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[0][1].ToString(), "<mailto:bob@example.org>");
+  EXPECT_TRUE(r->rows[1][1].IsUndef());  // Daniel: no foaf:mbox
+}
+
+// Section 3.3.2: UNION over foaf:mbox and ex:email.
+TEST_F(ThesisExamples, Section332UnionOfEmailProperties) {
+  auto r = db_.Query(R"(
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+PREFIX ex: <http://example.org/>
+SELECT ?friend_name ?friend_email
+WHERE { ?person foaf:name "Alice" ;
+                foaf:knows ?friend .
+        ?friend foaf:name ?friend_name .
+        { ?friend foaf:mbox ?friend_email }
+        UNION
+        { ?friend ex:email ?friend_email } }
+ORDER BY ?friend_name)");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[1][1].lexical(), "daniel@example.org");
+}
+
+// Section 3.3.2: knows in either direction, with DISTINCT.
+TEST_F(ThesisExamples, Section332EitherDirection) {
+  auto r = db_.Query(R"(
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT DISTINCT ?friend ?friend_name
+WHERE { ?friend foaf:name ?friend_name .
+        ?alice foaf:name "Alice" .
+        { ?alice foaf:knows ?friend }
+        UNION
+        { ?friend foaf:knows ?alice } }
+ORDER BY ?friend_name)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 2u);  // Bob and Daniel, deduplicated
+}
+
+// Section 3.3.3: homepage but no mbox.
+TEST_F(ThesisExamples, Section333ExistenceQuantifiers) {
+  auto r = db_.Query(R"(
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT ?p
+WHERE { ?p a foaf:Person .
+        FILTER ( EXISTS { ?p foaf:homepage [] }
+                 && NOT EXISTS { ?p foaf:mbox [] } ) })");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);  // Alice
+}
+
+// Section 2.3.5.1: the element-[2,1] query over the collection graph —
+// after consolidation the array subscript replaces the rdf:first/rest
+// chain, returning the same value 3.
+TEST_F(ThesisExamples, Section2351ElementAccess) {
+  auto r = db_.Query(R"(
+PREFIX : <http://example.org/app#>
+SELECT (?array[2, 1] AS ?element21)
+WHERE { :s :p ?array })");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0], Term::Integer(3));
+}
+
+// Chapter 4 flavor: array query combining metadata and array conditions.
+TEST_F(ThesisExamples, Chapter4CombinedDataAndMetadata) {
+  auto r = db_.Query(R"(
+PREFIX : <http://example.org/app#>
+SELECT (ASUM(?a) AS ?total) (ADIMS(?a)[1] AS ?rows)
+WHERE { :s :p ?a FILTER (ARANK(?a) = 2) })");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0], Term::Double(10));
+  EXPECT_EQ(r->rows[0][1], Term::Integer(2));
+}
+
+}  // namespace
+}  // namespace scisparql

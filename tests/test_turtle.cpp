@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "loaders/turtle.h"
+
+namespace scisparql {
+namespace loaders {
+namespace {
+
+Graph Load(const std::string& ttl, bool consolidate = true) {
+  Graph g;
+  TurtleOptions opts;
+  opts.consolidate_collections = consolidate;
+  Status st = LoadTurtleString(ttl, &g, opts);
+  EXPECT_TRUE(st.ok()) << st.ToString() << "\n" << ttl;
+  return g;
+}
+
+TEST(Turtle, BasicTriples) {
+  Graph g = Load(R"(
+@prefix ex: <http://ex/> .
+ex:a ex:p ex:b .
+ex:a ex:q "hello" .
+)");
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_TRUE(g.Contains(Term::Iri("http://ex/a"), Term::Iri("http://ex/p"),
+                         Term::Iri("http://ex/b")));
+}
+
+TEST(Turtle, SemicolonAndCommaShorthand) {
+  Graph g = Load(R"(
+@prefix ex: <http://ex/> .
+ex:a ex:p ex:b ; ex:q 1 , 2 , 3 .
+)");
+  EXPECT_EQ(g.size(), 4u);
+  EXPECT_TRUE(g.Contains(Term::Iri("http://ex/a"), Term::Iri("http://ex/q"),
+                         Term::Integer(2)));
+}
+
+TEST(Turtle, LiteralForms) {
+  Graph g = Load(R"(
+@prefix ex: <http://ex/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+ex:a ex:int 42 ; ex:neg -7 ; ex:dec 3.5 ; ex:dbl 1e3 ;
+     ex:str "s" ; ex:lang "chat"@fr ; ex:bool true ;
+     ex:typed "2020-01-02"^^xsd:dateTime ;
+     ex:typedint "5"^^xsd:integer .
+)");
+  auto one = [&](const char* p) {
+    auto v = g.MatchAll(Term::Iri("http://ex/a"),
+                        Term::Iri(std::string("http://ex/") + p), Term());
+    EXPECT_EQ(v.size(), 1u) << p;
+    return v[0].o;
+  };
+  EXPECT_EQ(one("int"), Term::Integer(42));
+  EXPECT_EQ(one("neg"), Term::Integer(-7));
+  EXPECT_EQ(one("dec"), Term::Double(3.5));
+  EXPECT_EQ(one("dbl"), Term::Double(1000));
+  EXPECT_EQ(one("str"), Term::String("s"));
+  EXPECT_EQ(one("lang"), Term::LangString("chat", "fr"));
+  EXPECT_EQ(one("bool"), Term::Boolean(true));
+  EXPECT_EQ(one("typed").datatype(),
+            "http://www.w3.org/2001/XMLSchema#dateTime");
+  EXPECT_EQ(one("typedint"), Term::Integer(5));
+}
+
+TEST(Turtle, BlankNodesAndPropertyLists) {
+  Graph g = Load(R"(
+@prefix ex: <http://ex/> .
+_:x ex:p _:y .
+ex:a ex:knows [ ex:name "Bob" ; ex:age 30 ] .
+)");
+  EXPECT_EQ(g.size(), 4u);
+  auto knows = g.MatchAll(Term::Iri("http://ex/a"),
+                          Term::Iri("http://ex/knows"), Term());
+  ASSERT_EQ(knows.size(), 1u);
+  EXPECT_TRUE(knows[0].o.IsBlank());
+  EXPECT_TRUE(g.Contains(knows[0].o, Term::Iri("http://ex/name"),
+                         Term::String("Bob")));
+}
+
+TEST(Turtle, SparqlStylePrefix) {
+  Graph g = Load("PREFIX ex: <http://ex/>\nex:a ex:p 1 .");
+  EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(Turtle, CollectionsConsolidateToArrays) {
+  // The thesis example (Figure 4): a 2x2 matrix as nested collections.
+  Graph g = Load(R"(
+@prefix ex: <http://ex/> .
+ex:s ex:p ((1 2) (3 4)) .
+)");
+  // 13 triples collapse into 1 with an array value.
+  EXPECT_EQ(g.size(), 1u);
+  auto ts = g.MatchAll(Term::Iri("http://ex/s"), Term::Iri("http://ex/p"),
+                       Term());
+  ASSERT_EQ(ts.size(), 1u);
+  ASSERT_TRUE(ts[0].o.IsArray());
+  NumericArray a = *ts[0].o.array()->Materialize();
+  EXPECT_EQ(a.shape(), (std::vector<int64_t>{2, 2}));
+  EXPECT_EQ(a.etype(), ElementType::kInt64);
+  int64_t idx[] = {1, 0};
+  EXPECT_EQ(*a.GetInt(idx), 3);
+}
+
+TEST(Turtle, ConsolidationOffKeepsListTriples) {
+  Graph g = Load("@prefix ex: <http://ex/> .\nex:s ex:p ((1 2) (3 4)) .",
+                 /*consolidate=*/false);
+  EXPECT_EQ(g.size(), 13u);
+}
+
+TEST(Turtle, MixedCollectionNotConsolidated) {
+  Graph g = Load(R"(
+@prefix ex: <http://ex/> .
+ex:s ex:p (1 "two" 3) .
+)");
+  // Non-numeric leaf keeps the list as triples.
+  EXPECT_GT(g.size(), 1u);
+}
+
+TEST(Turtle, RaggedCollectionNotConsolidated) {
+  Graph g = Load(R"(
+@prefix ex: <http://ex/> .
+ex:s ex:p ((1 2) (3)) .
+)");
+  EXPECT_GT(g.size(), 1u);
+}
+
+TEST(Turtle, DoubleCollectionBecomesDoubleArray) {
+  Graph g = Load("@prefix ex: <http://ex/> .\nex:s ex:p (1.5 2.5) .");
+  auto ts = g.MatchAll(Term(), Term::Iri("http://ex/p"), Term());
+  ASSERT_EQ(ts.size(), 1u);
+  EXPECT_EQ(ts[0].o.array()->etype(), ElementType::kDouble);
+}
+
+TEST(Turtle, EmptyCollectionIsNil) {
+  Graph g = Load("@prefix ex: <http://ex/> .\nex:s ex:p () .");
+  EXPECT_TRUE(g.Contains(Term::Iri("http://ex/s"), Term::Iri("http://ex/p"),
+                         Term::Iri(vocab::kRdfNil)));
+}
+
+TEST(Turtle, ParseErrorsReported) {
+  Graph g;
+  EXPECT_FALSE(LoadTurtleString("ex:a ex:b", &g).ok());        // no prefix
+  EXPECT_FALSE(LoadTurtleString("<a> <b> .", &g).ok());        // no object
+  EXPECT_FALSE(LoadTurtleString("@prefix ex <http://x> .", &g).ok());
+}
+
+TEST(Turtle, MissingFileFails) {
+  Graph g;
+  EXPECT_EQ(LoadTurtleFile("/nonexistent/file.ttl", &g).code(),
+            StatusCode::kIoError);
+}
+
+TEST(Turtle, WriterRoundTripsArrays) {
+  Graph g = Load(R"(
+@prefix ex: <http://ex/> .
+ex:s ex:p ((1 2) (3 4)) ; ex:q "text" ; ex:r ex:o .
+)");
+  PrefixMap prefixes = PrefixMap::WithDefaults();
+  prefixes.Set("ex", "http://ex/");
+  std::string ttl = WriteTurtle(g, prefixes);
+  Graph back;
+  TurtleOptions opts;
+  ASSERT_TRUE(LoadTurtleString(ttl, &back, opts).ok()) << ttl;
+  EXPECT_EQ(back.size(), g.size());
+  auto ts = back.MatchAll(Term::Iri("http://ex/s"), Term::Iri("http://ex/p"),
+                          Term());
+  ASSERT_EQ(ts.size(), 1u);
+  ASSERT_TRUE(ts[0].o.IsArray());
+  EXPECT_EQ(ts[0].o.array()->Materialize()->ToString(), "[[1, 2], [3, 4]]");
+}
+
+TEST(Turtle, FoafThesisExample) {
+  // The running example of Chapter 3 (Figure 5).
+  Graph g = Load(R"(
+@prefix foaf: <http://xmlns.com/foaf/0.1/> .
+_:a a foaf:Person ; foaf:name "Alice" ; foaf:knows _:b , _:d .
+_:b a foaf:Person ; foaf:name "Bob" ; foaf:knows _:a .
+_:c a foaf:Person ; foaf:name "Cindy" .
+_:d a foaf:Person ; foaf:name "Daniel" ; foaf:knows _:a .
+)");
+  EXPECT_EQ(g.size(), 12u);
+  EXPECT_EQ(g.MatchAll(Term(), Term::Iri(vocab::kRdfType),
+                       Term::Iri("http://xmlns.com/foaf/0.1/Person"))
+                .size(),
+            4u);
+}
+
+}  // namespace
+}  // namespace loaders
+}  // namespace scisparql
