@@ -65,6 +65,32 @@ class Table {
   std::vector<std::vector<std::string>> rows_;
 };
 
+/// Minimal JSON object builder for machine-readable result lines, so
+/// bench output can be scraped by scripts alongside the printed tables.
+class Json {
+ public:
+  Json& Str(const std::string& key, const std::string& value) {
+    return Raw(key, "\"" + value + "\"");
+  }
+  Json& Num(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.4f", value);
+    return Raw(key, buf);
+  }
+  Json& Int(const std::string& key, long long value) {
+    return Raw(key, std::to_string(value));
+  }
+  std::string Build() const { return "{" + body_ + "}"; }
+
+ private:
+  Json& Raw(const std::string& key, const std::string& rendered) {
+    if (!body_.empty()) body_ += ", ";
+    body_ += "\"" + key + "\": " + rendered;
+    return *this;
+  }
+  std::string body_;
+};
+
 inline std::string Fmt(double v, int prec = 2) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", prec, v);

@@ -26,15 +26,21 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
-    client::SsdmServer server(&engine);
+    client::SsdmServer::Options options;
+    options.sched.workers = 4;
+    options.sched.queue_capacity = 128;
+    client::SsdmServer server(&engine, options);
     auto bound = server.Start(port);
     if (!bound.ok()) {
       std::fprintf(stderr, "%s\n", bound.status().ToString().c_str());
       return 1;
     }
-    std::printf("SSDM serving on 127.0.0.1:%d — press Enter to stop.\n",
-                *bound);
+    std::printf(
+        "SSDM serving on 127.0.0.1:%d (%d workers) — press Enter to stop.\n",
+        *bound, options.sched.workers);
     (void)std::getchar();
+    server.Stop();
+    std::printf("scheduler: %s\n", server.scheduler_stats().ToString().c_str());
     return 0;
   }
 
@@ -77,5 +83,7 @@ ORDER BY ?site)");
   std::printf("remote update visible: %s\n", found ? "yes" : "no");
   std::printf("requests served: %llu\n",
               static_cast<unsigned long long>(server.requests_served()));
+  auto stats = session->Stats();
+  if (stats.ok()) std::printf("scheduler: %s\n", stats->c_str());
   return 0;
 }

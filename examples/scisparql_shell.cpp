@@ -4,6 +4,7 @@
 //
 //   .load <file.ttl>    load a Turtle document into the default graph
 //   .explain <on|off>   print the plan before each SELECT
+//   .timeout <ms>       per-statement deadline (0 = none)
 //   .stats              triple counts per graph
 //   .help               this text
 //   .quit               exit
@@ -11,7 +12,9 @@
 // Usage: scisparql_shell [file.ttl ...]     (loads the files, then REPLs;
 // with a non-tty stdin it runs in batch mode and exits at EOF.)
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -19,22 +22,30 @@
 #include "common/string_util.h"
 #include "engine/ssdm.h"
 #include "loaders/turtle.h"
+#include "sched/query_context.h"
 
 namespace {
 
 void PrintHelp() {
   std::printf(
       "SciSPARQL shell. End a statement with a line containing only ';'.\n"
-      "Meta-commands: .load <file>  .explain on|off  .translate on|off  .stats  .help  .quit\n");
+      "Meta-commands: .load <file>  .explain on|off  .translate on|off  "
+      ".timeout <ms>  .stats  .help  .quit\n");
 }
 
-void Execute(scisparql::SSDM* db, const std::string& text, bool explain) {
+void Execute(scisparql::SSDM* db, const std::string& text, bool explain,
+             long timeout_ms) {
   using scisparql::SSDM;
   if (explain) {
     auto plan = db->Explain(text);
     if (plan.ok()) std::printf("%s", plan->c_str());
   }
-  auto result = db->Execute(text);
+  scisparql::sched::QueryContext ctx;
+  if (timeout_ms > 0) {
+    ctx = scisparql::sched::QueryContext::WithTimeout(
+        std::chrono::milliseconds(timeout_ms));
+  }
+  auto result = db->Execute(text, timeout_ms > 0 ? &ctx : nullptr);
   if (!result.ok()) {
     std::printf("error: %s\n", result.status().ToString().c_str());
     return;
@@ -80,6 +91,7 @@ int main(int argc, char** argv) {
   PrintHelp();
   bool explain = false;
   bool translate = false;
+  long timeout_ms = 0;
   std::string buffer;
   std::string line;
   std::printf("sparql> ");
@@ -107,6 +119,9 @@ int main(int argc, char** argv) {
       } else if (cmd == ".explain") {
         explain = arg != "off";
         std::printf("explain %s\n", explain ? "on" : "off");
+      } else if (cmd == ".timeout") {
+        timeout_ms = std::atol(arg.c_str());
+        std::printf("timeout %ld ms\n", timeout_ms);
       } else if (cmd == ".stats") {
         std::printf("default graph: %zu triples\n",
                     db.dataset().default_graph().size());
@@ -126,7 +141,7 @@ int main(int argc, char** argv) {
           auto calc = db.Translate(buffer);
           if (calc.ok()) std::printf("%s", calc->c_str());
         }
-        Execute(&db, buffer, explain);
+        Execute(&db, buffer, explain, timeout_ms);
       }
       buffer.clear();
       std::printf("sparql> ");
@@ -138,7 +153,7 @@ int main(int argc, char** argv) {
   }
   // Batch mode: execute whatever remains at EOF.
   if (!scisparql::StripWhitespace(buffer).empty()) {
-    Execute(&db, buffer, explain);
+    Execute(&db, buffer, explain, timeout_ms);
   }
   return 0;
 }

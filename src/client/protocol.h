@@ -23,6 +23,11 @@ namespace client {
 ///   'G' graph   — Turtle text (CONSTRUCT / DESCRIBE)
 ///   'O' ok      — empty (updates / DEFINE)
 ///   'E' error   — status code byte + message
+///   'S' stats   — scheduler counters as text (reply to the "STATS" verb)
+///
+/// A request whose entire text is the verb "STATS" is answered by the
+/// server itself (scheduler counters, no engine access); every other
+/// request is a SciSPARQL statement submitted to the query scheduler.
 ///
 /// Terms serialize with a kind tag; arrays travel as shape + row-major
 /// elements (proxies are materialized server-side — the client always

@@ -5,7 +5,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
+#include <future>
 
 #include "client/protocol.h"
 #include "loaders/turtle.h"
@@ -15,46 +17,92 @@ namespace client {
 
 namespace {
 
-/// Reads exactly `n` bytes; false on EOF/error.
-bool ReadAll(int fd, void* buf, size_t n) {
+enum class IoOutcome { kOk, kClosed, kTimeout, kError };
+
+/// Reads exactly `n` bytes, retrying on EINTR so signal-heavy load cannot
+/// corrupt protocol framing; partial reads continue where they left off.
+/// A socket receive timeout (SO_RCVTIMEO) surfaces as kTimeout.
+IoOutcome ReadAll(int fd, void* buf, size_t n) {
   uint8_t* p = static_cast<uint8_t*>(buf);
   while (n > 0) {
     ssize_t r = ::recv(fd, p, n, 0);
-    if (r <= 0) return false;
+    if (r == 0) return IoOutcome::kClosed;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoOutcome::kTimeout;
+      return IoOutcome::kError;
+    }
     p += r;
     n -= static_cast<size_t>(r);
   }
-  return true;
+  return IoOutcome::kOk;
 }
 
-bool WriteAll(int fd, const void* buf, size_t n) {
+/// Writes exactly `n` bytes with the same EINTR / partial-transfer
+/// handling as ReadAll.
+IoOutcome WriteAll(int fd, const void* buf, size_t n) {
   const uint8_t* p = static_cast<const uint8_t*>(buf);
   while (n > 0) {
     ssize_t r = ::send(fd, p, n, MSG_NOSIGNAL);
-    if (r <= 0) return false;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoOutcome::kTimeout;
+      return IoOutcome::kError;
+    }
+    if (r == 0) return IoOutcome::kError;
     p += r;
     n -= static_cast<size_t>(r);
   }
-  return true;
+  return IoOutcome::kOk;
+}
+
+Status IoStatus(IoOutcome outcome, const char* what) {
+  switch (outcome) {
+    case IoOutcome::kOk:
+      return Status::OK();
+    case IoOutcome::kClosed:
+      return Status::IoError(std::string(what) + ": connection closed");
+    case IoOutcome::kTimeout:
+      return Status::DeadlineExceeded(std::string(what) + ": socket timeout");
+    case IoOutcome::kError:
+      return Status::IoError(std::string(what) + ": " +
+                             std::strerror(errno));
+  }
+  return Status::Internal("unreachable");
 }
 
 Result<std::string> ReadFrame(int fd) {
   uint32_t len;
-  if (!ReadAll(fd, &len, 4)) return Status::IoError("connection closed");
+  IoOutcome r = ReadAll(fd, &len, 4);
+  if (r != IoOutcome::kOk) return IoStatus(r, "read frame header");
   if (len > (64u << 20)) return Status::IoError("oversized frame");
   std::string payload(len, '\0');
-  if (!ReadAll(fd, payload.data(), len)) {
-    return Status::IoError("truncated frame");
-  }
+  r = ReadAll(fd, payload.data(), len);
+  if (r != IoOutcome::kOk) return IoStatus(r, "read frame body");
   return payload;
 }
 
 Status WriteFrame(int fd, const std::string& payload) {
   std::string framed = Frame(payload);
-  if (!WriteAll(fd, framed.data(), framed.size())) {
-    return Status::IoError("write failed");
-  }
-  return Status::OK();
+  return IoStatus(WriteAll(fd, framed.data(), framed.size()), "write frame");
+}
+
+/// 'E' payload: status code byte + message.
+std::string ErrorPayload(const Status& status) {
+  std::string payload;
+  payload.push_back('E');
+  payload.push_back(static_cast<char>(status.code()));
+  payload += status.message();
+  return payload;
+}
+
+/// True when the peer has closed its end (half-close or full disconnect).
+/// Pending unread data means the connection is alive (a pipelining
+/// client), so only a clean zero-byte read counts.
+bool PeerClosed(int fd) {
+  char probe;
+  ssize_t r = ::recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+  return r == 0;
 }
 
 }  // namespace
@@ -75,9 +123,11 @@ Result<int> SsdmServer::Start(int port) {
   socklen_t len = sizeof(addr);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
-  if (::listen(listen_fd_, 8) != 0) return Status::IoError("listen() failed");
+  if (::listen(listen_fd_, 64) != 0) return Status::IoError("listen() failed");
+  scheduler_ =
+      std::make_unique<sched::QueryScheduler>(engine_, options_.sched);
   running_ = true;
-  thread_ = std::thread([this]() { Serve(); });
+  accept_thread_ = std::thread([this]() { AcceptLoop(); });
   return port_;
 }
 
@@ -86,62 +136,149 @@ void SsdmServer::Stop() {
   // Closing the listening socket unblocks accept().
   ::shutdown(listen_fd_, SHUT_RDWR);
   ::close(listen_fd_);
-  if (thread_.joinable()) thread_.join();
+  if (accept_thread_.joinable()) accept_thread_.join();
   listen_fd_ = -1;
+  // Shut down live connections: their blocking reads fail, their wait
+  // loops observe !running_ and cancel in-flight queries.
+  std::vector<std::unique_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& conn : conns) ::shutdown(conn->fd, SHUT_RDWR);
+  for (auto& conn : conns) {
+    if (conn->thread.joinable()) conn->thread.join();
+    ::close(conn->fd);
+  }
+  if (scheduler_ != nullptr) scheduler_->Stop();
 }
 
-void SsdmServer::Serve() {
+sched::SchedulerStats SsdmServer::scheduler_stats() const {
+  return scheduler_ != nullptr ? scheduler_->stats() : sched::SchedulerStats();
+}
+
+void SsdmServer::AcceptLoop() {
   while (running_) {
     int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) break;  // listener closed
-    HandleConnection(fd);
-    ::close(fd);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed
+    }
+    ReapConnections();
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      if (!running_) {
+        ::close(fd);
+        return;
+      }
+      conns_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread([this, raw]() { ServeConnection(raw); });
   }
 }
 
-void SsdmServer::HandleConnection(int fd) {
-  while (running_) {
-    Result<std::string> request = ReadFrame(fd);
-    if (!request.ok()) return;  // client disconnected
-    ++requests_;
-
-    std::string payload;
-    Result<SSDM::ExecResult> result = engine_->Execute(*request);
-    if (!result.ok()) {
-      payload.push_back('E');
-      payload.push_back(static_cast<char>(result.status().code()));
-      payload += result.status().message();
-    } else {
-      switch (result->kind) {
-        case SSDM::ExecResult::Kind::kRows:
-          payload.push_back('R');
-          payload += SerializeResult(result->rows);
-          break;
-        case SSDM::ExecResult::Kind::kBool:
-          payload.push_back('B');
-          payload.push_back(result->boolean ? 1 : 0);
-          break;
-        case SSDM::ExecResult::Kind::kGraph:
-          payload.push_back('G');
-          payload += loaders::WriteTurtle(result->graph, engine_->prefixes());
-          break;
-        case SSDM::ExecResult::Kind::kOk:
-          payload.push_back('O');
-          break;
+void SsdmServer::ReapConnections() {
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if ((*it)->done.load()) {
+        finished.push_back(std::move(*it));
+        it = conns_.erase(it);
+      } else {
+        ++it;
       }
     }
-    if (!WriteFrame(fd, payload).ok()) return;
   }
+  for (auto& conn : finished) {
+    if (conn->thread.joinable()) conn->thread.join();
+    ::close(conn->fd);
+  }
+}
+
+void SsdmServer::ServeConnection(Connection* conn) {
+  while (running_) {
+    Result<std::string> request = ReadFrame(conn->fd);
+    if (!request.ok()) break;  // client disconnected
+    ++requests_;
+    std::string payload = Dispatch(*request, conn->fd);
+    if (!WriteFrame(conn->fd, payload).ok()) break;
+  }
+  conn->done.store(true);
+}
+
+std::string SsdmServer::Dispatch(const std::string& request, int fd) {
+  if (request == "STATS") {
+    std::string payload;
+    payload.push_back('S');
+    payload += scheduler_->stats().ToString();
+    return payload;
+  }
+
+  auto cancel = std::make_shared<std::atomic<bool>>(false);
+  sched::QueryContext ctx;
+  ctx.cancel = cancel;
+  auto promise = std::make_shared<std::promise<Result<SSDM::ExecResult>>>();
+  std::future<Result<SSDM::ExecResult>> future = promise->get_future();
+  Status admitted = scheduler_->Submit(
+      request, ctx, [promise](Result<SSDM::ExecResult> r) {
+        promise->set_value(std::move(r));
+      });
+  if (!admitted.ok()) return ErrorPayload(admitted);
+
+  // While a worker runs the statement, watch for server shutdown and for
+  // the client going away: either flips the cancel flag so the query
+  // stops mid-flight instead of burning a worker for a dead connection.
+  while (future.wait_for(std::chrono::milliseconds(20)) !=
+         std::future_status::ready) {
+    if (!running_.load() || PeerClosed(fd)) {
+      cancel->store(true);
+    }
+  }
+  Result<SSDM::ExecResult> result = future.get();
+
+  if (!result.ok()) return ErrorPayload(result.status());
+  std::string payload;
+  switch (result->kind) {
+    case SSDM::ExecResult::Kind::kRows:
+      payload.push_back('R');
+      payload += SerializeResult(result->rows);
+      break;
+    case SSDM::ExecResult::Kind::kBool:
+      payload.push_back('B');
+      payload.push_back(result->boolean ? 1 : 0);
+      break;
+    case SSDM::ExecResult::Kind::kGraph:
+      payload.push_back('G');
+      payload += loaders::WriteTurtle(result->graph, engine_->prefixes());
+      break;
+    case SSDM::ExecResult::Kind::kOk:
+      payload.push_back('O');
+      break;
+  }
+  return payload;
 }
 
 RemoteSession::~RemoteSession() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Result<RemoteSession> RemoteSession::Connect(const std::string& host,
-                                             int port) {
+Result<RemoteSession> RemoteSession::Connect(const std::string& host, int port,
+                                             std::chrono::milliseconds timeout) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Status::IoError("socket() failed");
+  if (timeout.count() > 0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+    // SO_SNDTIMEO also bounds connect() on Linux, so a black-holed server
+    // cannot hang the client during session setup either.
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<uint16_t>(port));
@@ -151,6 +288,9 @@ Result<RemoteSession> RemoteSession::Connect(const std::string& host,
   }
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     ::close(fd);
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINPROGRESS) {
+      return Status::DeadlineExceeded("connect timeout");
+    }
     return Status::IoError("connect() failed");
   }
   return RemoteSession(fd);
@@ -193,6 +333,15 @@ Result<std::string> RemoteSession::Run(const std::string& text) {
   if (!payload.ok()) return payload.status();
   if (!payload->empty() && (*payload)[0] == 'G') return payload->substr(1);
   return std::string();
+}
+
+Result<std::string> RemoteSession::Stats() {
+  Result<std::string> payload = RoundTrip("STATS");
+  if (!payload.ok()) return payload.status();
+  if (payload->empty() || (*payload)[0] != 'S') {
+    return Status::Internal("malformed STATS response");
+  }
+  return payload->substr(1);
 }
 
 }  // namespace client

@@ -2,48 +2,89 @@
 #define SCISPARQL_CLIENT_SERVER_H_
 
 #include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
 #include <thread>
+#include <vector>
 
 #include "common/status.h"
 #include "engine/ssdm.h"
+#include "sched/scheduler.h"
 
 namespace scisparql {
 namespace client {
 
 /// TCP server exposing an SSDM engine to remote SciSPARQL clients — the
 /// client-server deployment mode of Section 5.1 (the Matlab integration of
-/// Chapter 7 talks to SSDM exactly this way). One statement per request;
-/// connections are handled sequentially on a background thread (the
-/// prototype's single query-processing loop).
+/// Chapter 7 talks to SSDM exactly this way). One statement per request.
+///
+/// Connections are served concurrently: each connection gets an I/O thread
+/// that reads frames and submits statements to a sched::QueryScheduler —
+/// a fixed worker pool behind a bounded admission queue. Read statements
+/// run in parallel under a shared engine lock; updates take it
+/// exclusively. A full queue answers Unavailable ("server overloaded")
+/// instead of queueing unboundedly; a client that disconnects mid-query
+/// has its query cancelled cooperatively.
 class SsdmServer {
  public:
-  /// `engine` must outlive the server.
-  explicit SsdmServer(SSDM* engine) : engine_(engine) {}
+  struct Options {
+    /// Worker pool / admission queue / default per-query deadline.
+    sched::SchedulerOptions sched;
+  };
+
+  /// `engine` must outlive the server. While the server is running, all
+  /// engine access must go through it (the scheduler owns the engine
+  /// lock).
+  explicit SsdmServer(SSDM* engine, Options options = Options())
+      : engine_(engine), options_(options) {}
   ~SsdmServer() { Stop(); }
 
   SsdmServer(const SsdmServer&) = delete;
   SsdmServer& operator=(const SsdmServer&) = delete;
 
-  /// Binds to 127.0.0.1:`port` (0 = ephemeral) and starts serving on a
-  /// background thread. Returns the bound port.
+  /// Binds to 127.0.0.1:`port` (0 = ephemeral), starts the scheduler's
+  /// worker pool and the accept thread. Returns the bound port.
   Result<int> Start(int port = 0);
 
-  /// Stops accepting and joins the serving thread. Idempotent.
+  /// Stops accepting, shuts down live connections (cancelling their
+  /// in-flight queries), joins all threads and stops the scheduler.
+  /// Idempotent.
   void Stop();
 
   int port() const { return port_; }
   uint64_t requests_served() const { return requests_; }
 
+  /// Scheduler counters (admitted/rejected/completed/timed-out, queue
+  /// high-water, per-class latency sums) — also exposed to remote clients
+  /// through the STATS protocol verb.
+  sched::SchedulerStats scheduler_stats() const;
+
  private:
-  void Serve();
-  void HandleConnection(int fd);
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void ServeConnection(Connection* conn);
+  /// Builds the kind-tagged response payload for one request.
+  std::string Dispatch(const std::string& request, int fd);
+  /// Joins finished connection threads (called from the accept loop).
+  void ReapConnections();
 
   SSDM* engine_;
+  Options options_;
+  std::unique_ptr<sched::QueryScheduler> scheduler_;
   int listen_fd_ = -1;
   int port_ = 0;
-  std::thread thread_;
+  std::thread accept_thread_;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> requests_{0};
+
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_;
 };
 
 /// Client side: connects to an SsdmServer and executes statements.
@@ -55,7 +96,13 @@ class RemoteSession {
   RemoteSession& operator=(const RemoteSession&) = delete;
   RemoteSession(RemoteSession&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
 
-  static Result<RemoteSession> Connect(const std::string& host, int port);
+  /// `timeout` bounds connect and every subsequent request round-trip
+  /// (SO_RCVTIMEO/SO_SNDTIMEO), so a hung server cannot block the client
+  /// forever; an expired wait surfaces as DeadlineExceeded. Zero = no
+  /// timeout.
+  static Result<RemoteSession> Connect(
+      const std::string& host, int port,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(0));
 
   /// SELECT queries; other statement forms are reported as errors.
   Result<sparql::QueryResult> Query(const std::string& text);
@@ -65,6 +112,10 @@ class RemoteSession {
 
   /// Updates / DEFINE; also accepts CONSTRUCT (returns the Turtle text).
   Result<std::string> Run(const std::string& text);
+
+  /// The STATS protocol verb: the server's scheduler counters, rendered
+  /// as "admitted=... rejected=..." text.
+  Result<std::string> Stats();
 
  private:
   explicit RemoteSession(int fd) : fd_(fd) {}

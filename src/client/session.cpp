@@ -32,12 +32,24 @@ Status Session::Annotate(const std::string& subject_iri,
   return Status::OK();
 }
 
+Result<sparql::QueryResult> Session::RunQuery(const std::string& text) {
+  sched::QueryContext ctx;
+  if (query_timeout_.count() > 0) {
+    ctx = sched::QueryContext::WithTimeout(query_timeout_);
+  }
+  SCISPARQL_ASSIGN_OR_RETURN(SSDM::ExecResult r, engine_->Execute(text, &ctx));
+  if (r.kind != SSDM::ExecResult::Kind::kRows) {
+    return Status::InvalidArgument("statement is not a SELECT query");
+  }
+  return std::move(r.rows);
+}
+
 Result<sparql::QueryResult> Session::Query(const std::string& text) {
-  return engine_->Query(text);
+  return RunQuery(text);
 }
 
 Result<NumericArray> Session::FetchArray(const std::string& text) {
-  SCISPARQL_ASSIGN_OR_RETURN(sparql::QueryResult r, engine_->Query(text));
+  SCISPARQL_ASSIGN_OR_RETURN(sparql::QueryResult r, RunQuery(text));
   if (r.rows.size() != 1 || r.rows[0].size() < 1) {
     return Status::InvalidArgument(
         "FetchArray expects exactly one result row, got " +
@@ -52,7 +64,7 @@ Result<NumericArray> Session::FetchArray(const std::string& text) {
 }
 
 Result<double> Session::FetchScalar(const std::string& text) {
-  SCISPARQL_ASSIGN_OR_RETURN(sparql::QueryResult r, engine_->Query(text));
+  SCISPARQL_ASSIGN_OR_RETURN(sparql::QueryResult r, RunQuery(text));
   if (r.rows.size() != 1 || r.rows[0].size() < 1) {
     return Status::InvalidArgument(
         "FetchScalar expects exactly one result row, got " +

@@ -1,12 +1,14 @@
 #ifndef SCISPARQL_CLIENT_SESSION_H_
 #define SCISPARQL_CLIENT_SESSION_H_
 
+#include <chrono>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
 #include "engine/ssdm.h"
+#include "sched/query_context.h"
 
 namespace scisparql {
 namespace client {
@@ -48,11 +50,21 @@ class Session {
   /// Runs a query expected to yield exactly one numeric cell.
   Result<double> FetchScalar(const std::string& text);
 
+  /// Wall-clock budget applied to every statement this session runs
+  /// (threaded as a per-query deadline into the executor); zero = none.
+  void set_query_timeout(std::chrono::milliseconds timeout) {
+    query_timeout_ = timeout;
+  }
+
   SSDM* engine() { return engine_; }
 
  private:
+  /// SELECT with this session's deadline applied.
+  Result<sparql::QueryResult> RunQuery(const std::string& text);
+
   SSDM* engine_;
   std::string storage_name_;
+  std::chrono::milliseconds query_timeout_{0};
 };
 
 }  // namespace client

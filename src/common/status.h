@@ -20,6 +20,9 @@ enum class StatusCode {
   kIoError,           ///< File / storage back-end failure.
   kUnsupported,       ///< Feature not supported by this back-end.
   kInternal,          ///< Invariant violation inside the engine.
+  kCancelled,         ///< Query cancelled cooperatively (client gone).
+  kDeadlineExceeded,  ///< Query exceeded its deadline mid-flight.
+  kUnavailable,       ///< Server overloaded; retry later (admission control).
 };
 
 /// Returns a short human-readable name ("ParseError", ...) for a code.
@@ -60,6 +63,15 @@ class Status {
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

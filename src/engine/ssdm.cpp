@@ -1,5 +1,6 @@
 #include "engine/ssdm.h"
 
+#include <cctype>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -30,10 +31,59 @@ Status SSDM::LoadTurtleString(const std::string& text,
   return loaders::LoadTurtleString(text, g, opts);
 }
 
-Result<SSDM::ExecResult> SSDM::Execute(const std::string& text) {
+sched::StatementClass SSDM::ClassifyStatement(const std::string& text) {
+  size_t i = 0;
+  const size_t n = text.size();
+  auto word_at = [&](size_t pos) -> std::string {
+    std::string w;
+    while (pos < n && (std::isalpha(static_cast<unsigned char>(text[pos])) !=
+                       0)) {
+      w.push_back(static_cast<char>(
+          std::toupper(static_cast<unsigned char>(text[pos]))));
+      ++pos;
+    }
+    return w;
+  };
+  while (i < n) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+    } else if (c == '#') {  // comment to end of line
+      while (i < n && text[i] != '\n') ++i;
+    } else if (c == '<') {  // IRI token (a prolog PREFIX/BASE argument)
+      while (i < n && text[i] != '>') ++i;
+      if (i < n) ++i;
+    } else if (std::isalpha(static_cast<unsigned char>(c)) != 0) {
+      std::string w = word_at(i);
+      if (w == "PREFIX" || w == "BASE") {
+        i += w.size();
+        // Skip the prefix label up to ':' so e.g. "PREFIX select:" cannot
+        // confuse the classifier; the IRI is skipped by the '<' branch.
+        while (i < n && text[i] != ':' && text[i] != '<' && text[i] != '\n') {
+          ++i;
+        }
+        if (i < n && text[i] == ':') ++i;
+        continue;
+      }
+      if (w == "SELECT" || w == "ASK" || w == "CONSTRUCT" || w == "DESCRIBE") {
+        return sched::StatementClass::kRead;
+      }
+      return sched::StatementClass::kWrite;
+    } else {
+      // Anything else before the statement keyword: not a query form.
+      return sched::StatementClass::kWrite;
+    }
+  }
+  return sched::StatementClass::kWrite;
+}
+
+Result<SSDM::ExecResult> SSDM::Execute(const std::string& text,
+                                       const sched::QueryContext* ctx) {
   SCISPARQL_ASSIGN_OR_RETURN(ast::Statement stmt,
                              sparql::ParseStatement(text, prefixes_));
-  sparql::Executor exec(&dataset_, &registry_, exec_options_);
+  sparql::ExecOptions options = exec_options_;
+  options.query = ctx;
+  sparql::Executor exec(&dataset_, &registry_, options);
   ExecResult out;
 
   if (auto* def = std::get_if<ast::FunctionDef>(&stmt.node)) {

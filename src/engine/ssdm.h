@@ -47,8 +47,20 @@ class SSDM {
     Graph graph;               // CONSTRUCT
   };
 
-  /// Parses and executes one SciSPARQL statement of any form.
-  Result<ExecResult> Execute(const std::string& text);
+  /// Parses and executes one SciSPARQL statement of any form. When `ctx`
+  /// is non-null its deadline/cancel flag are observed cooperatively in
+  /// the executor's hot loops (the scheduler threads the per-query context
+  /// through here; direct callers may pass one too).
+  Result<ExecResult> Execute(const std::string& text,
+                             const sched::QueryContext* ctx = nullptr);
+
+  /// Concurrency class of a statement, decided from its leading keyword
+  /// (after the PREFIX/BASE prolog, comments and string/IRI tokens are
+  /// skipped) without a full parse: query forms are reads; updates, LOAD,
+  /// CLEAR and DEFINE FUNCTION are writes. Unrecognized statements
+  /// classify as writes, the conservative choice for the scheduler's
+  /// reader-writer lock.
+  static sched::StatementClass ClassifyStatement(const std::string& text);
 
   /// SELECT-only convenience.
   Result<sparql::QueryResult> Query(const std::string& text);

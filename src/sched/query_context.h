@@ -1,0 +1,70 @@
+#ifndef SCISPARQL_SCHED_QUERY_CONTEXT_H_
+#define SCISPARQL_SCHED_QUERY_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "common/status.h"
+
+namespace scisparql {
+namespace sched {
+
+/// Concurrency class of a statement, decided before execution so the
+/// scheduler can pick the right engine lock: read statements (SELECT, ASK,
+/// CONSTRUCT, DESCRIBE) run in parallel under a shared lock; write
+/// statements (updates, LOAD, CLEAR, DEFINE FUNCTION) take it exclusively.
+enum class StatementClass { kRead, kWrite };
+
+/// Per-query execution context threaded from the scheduler (or any direct
+/// caller) through ExecOptions into the executor's hot loops: a wall-clock
+/// deadline and a cooperative cancellation flag. Both are observed at the
+/// engine's iteration points (BGP join loop, property-path closure,
+/// aggregate and MAP/CONDENSE loops), so a timed-out or disconnected query
+/// stops mid-flight instead of running to completion.
+///
+/// The context is passive: whoever owns the query sets `cancel`; the
+/// executor only reads it. A default-constructed context never expires and
+/// is never cancelled, which keeps the uncontexted call paths free.
+struct QueryContext {
+  using Clock = std::chrono::steady_clock;
+
+  /// Absolute deadline; `Clock::time_point::max()` means none.
+  Clock::time_point deadline = Clock::time_point::max();
+
+  /// Shared so a connection handler can flip it after the query was handed
+  /// to a worker. Null means not cancellable.
+  std::shared_ptr<std::atomic<bool>> cancel;
+
+  static QueryContext WithTimeout(std::chrono::milliseconds timeout) {
+    QueryContext ctx;
+    ctx.deadline = Clock::now() + timeout;
+    return ctx;
+  }
+
+  bool has_deadline() const { return deadline != Clock::time_point::max(); }
+
+  bool cancelled() const {
+    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+  }
+
+  bool expired() const {
+    return has_deadline() && Clock::now() >= deadline;
+  }
+
+  /// The check the executor's loops run (amortized): Cancelled beats
+  /// DeadlineExceeded so an explicit cancel reports as such even after the
+  /// deadline has also passed.
+  Status Check() const {
+    if (cancelled()) return Status::Cancelled("query cancelled");
+    if (expired()) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace sched
+}  // namespace scisparql
+
+#endif  // SCISPARQL_SCHED_QUERY_CONTEXT_H_

@@ -1,0 +1,160 @@
+#include "sched/scheduler.h"
+
+#include <future>
+#include <sstream>
+#include <utility>
+
+namespace scisparql {
+namespace sched {
+
+std::string SchedulerStats::ToString() const {
+  std::ostringstream out;
+  out << "admitted=" << admitted << " rejected=" << rejected
+      << " completed=" << completed << " failed=" << failed
+      << " timed_out=" << timed_out << " cancelled=" << cancelled
+      << " reads=" << reads << " writes=" << writes
+      << " read_micros=" << read_micros << " write_micros=" << write_micros
+      << " queue_depth=" << queue_depth
+      << " queue_high_water=" << queue_high_water;
+  return out.str();
+}
+
+QueryScheduler::QueryScheduler(SSDM* engine, SchedulerOptions options)
+    : engine_(engine), options_([&options]() {
+        if (options.workers < 1) options.workers = 1;
+        if (options.queue_capacity < 1) options.queue_capacity = 1;
+        return options;
+      }()) {
+  running_ = true;
+  workers_.reserve(static_cast<size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+QueryScheduler::~QueryScheduler() { Stop(); }
+
+void QueryScheduler::Stop() {
+  std::deque<Task> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+    orphaned.swap(queue_);
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  for (Task& t : orphaned) {
+    if (t.done) t.done(Status::Unavailable("scheduler stopped"));
+  }
+}
+
+Status QueryScheduler::Submit(std::string statement, QueryContext ctx,
+                              Callback done) {
+  if (!ctx.has_deadline() && options_.default_timeout.count() > 0) {
+    ctx.deadline = QueryContext::Clock::now() + options_.default_timeout;
+  }
+  Task task;
+  task.cls = SSDM::ClassifyStatement(statement);
+  task.text = std::move(statement);
+  task.ctx = std::move(ctx);
+  task.done = std::move(done);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) {
+      ++stats_.rejected;
+      return Status::Unavailable("scheduler stopped");
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      ++stats_.rejected;
+      return Status::Unavailable("server overloaded: admission queue full");
+    }
+    queue_.push_back(std::move(task));
+    ++stats_.admitted;
+    stats_.queue_depth = queue_.size();
+    if (queue_.size() > stats_.queue_high_water) {
+      stats_.queue_high_water = queue_.size();
+    }
+  }
+  cv_.notify_one();
+  return Status::OK();
+}
+
+Result<SSDM::ExecResult> QueryScheduler::Execute(const std::string& statement,
+                                                 QueryContext ctx) {
+  auto promise = std::make_shared<std::promise<Result<SSDM::ExecResult>>>();
+  std::future<Result<SSDM::ExecResult>> future = promise->get_future();
+  Status admitted =
+      Submit(statement, std::move(ctx),
+             [promise](Result<SSDM::ExecResult> r) {
+               promise->set_value(std::move(r));
+             });
+  if (!admitted.ok()) return admitted;
+  return future.get();
+}
+
+void QueryScheduler::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this]() { return !running_ || !queue_.empty(); });
+      if (!running_) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      stats_.queue_depth = queue_.size();
+    }
+    auto start = std::chrono::steady_clock::now();
+    Result<SSDM::ExecResult> result = RunTask(task);
+    auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - start);
+    FinishTask(task, result.status(), elapsed);
+    if (task.done) task.done(std::move(result));
+  }
+}
+
+Result<SSDM::ExecResult> QueryScheduler::RunTask(const Task& task) {
+  // A query that spent its whole deadline waiting in the queue fails
+  // without touching the engine (and without taking the shared lock).
+  Status preflight = task.ctx.Check();
+  if (!preflight.ok()) return preflight;
+
+  if (task.cls == StatementClass::kRead) {
+    std::shared_lock<std::shared_mutex> lock(engine_mu_);
+    return engine_->Execute(task.text, &task.ctx);
+  }
+  std::unique_lock<std::shared_mutex> lock(engine_mu_);
+  return engine_->Execute(task.text, &task.ctx);
+}
+
+void QueryScheduler::FinishTask(const Task& task, const Status& status,
+                                std::chrono::microseconds elapsed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (task.cls == StatementClass::kRead) {
+    ++stats_.reads;
+    stats_.read_micros += static_cast<uint64_t>(elapsed.count());
+  } else {
+    ++stats_.writes;
+    stats_.write_micros += static_cast<uint64_t>(elapsed.count());
+  }
+  if (status.ok()) {
+    ++stats_.completed;
+  } else if (status.code() == StatusCode::kDeadlineExceeded) {
+    ++stats_.timed_out;
+  } else if (status.code() == StatusCode::kCancelled) {
+    ++stats_.cancelled;
+  } else {
+    ++stats_.failed;
+  }
+}
+
+SchedulerStats QueryScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace sched
+}  // namespace scisparql

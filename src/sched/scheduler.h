@@ -1,0 +1,126 @@
+#ifndef SCISPARQL_SCHED_SCHEDULER_H_
+#define SCISPARQL_SCHED_SCHEDULER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/ssdm.h"
+#include "sched/query_context.h"
+
+namespace scisparql {
+namespace sched {
+
+/// Tuning knobs for the query scheduler.
+struct SchedulerOptions {
+  /// Fixed worker-pool size (clamped to >= 1).
+  int workers = 4;
+
+  /// Admission-queue bound: statements submitted while this many are
+  /// already waiting are rejected with Unavailable instead of queueing
+  /// unboundedly (backpressure toward the clients).
+  size_t queue_capacity = 64;
+
+  /// Deadline applied to queries submitted without one; zero = none.
+  std::chrono::milliseconds default_timeout{0};
+};
+
+/// Scheduler counters, exposed through the STATS protocol verb and the
+/// SsdmServer accessors. Latency sums are wall-clock execution time (lock
+/// wait included — that *is* the latency a client observes) per class.
+struct SchedulerStats {
+  uint64_t admitted = 0;    ///< Accepted into the queue.
+  uint64_t rejected = 0;    ///< Turned away at admission (queue full).
+  uint64_t completed = 0;   ///< Executed and returned OK.
+  uint64_t failed = 0;      ///< Executed and returned a non-OK status.
+  uint64_t timed_out = 0;   ///< Ended with DeadlineExceeded (incl. in queue).
+  uint64_t cancelled = 0;   ///< Ended with Cancelled.
+  uint64_t reads = 0;       ///< Statements run under the shared lock.
+  uint64_t writes = 0;      ///< Statements run under the exclusive lock.
+  uint64_t read_micros = 0;   ///< Sum of read execution latencies (us).
+  uint64_t write_micros = 0;  ///< Sum of write execution latencies (us).
+  size_t queue_depth = 0;       ///< Waiting tasks right now.
+  size_t queue_high_water = 0;  ///< Deepest the queue has been.
+
+  /// "admitted=12 rejected=0 ..." — the STATS verb payload.
+  std::string ToString() const;
+};
+
+/// Concurrent query scheduler for an SSDM engine: a fixed-size worker pool
+/// fed by a bounded admission queue, with a reader-writer concurrency
+/// model over the engine (parallel SELECTs, exclusive updates), per-query
+/// deadlines and cooperative cancellation.
+///
+/// All statement execution routed through the scheduler is serialized
+/// against the engine correctly; callers must not mutate the engine
+/// directly while the scheduler is running.
+class QueryScheduler {
+ public:
+  using Callback = std::function<void(Result<SSDM::ExecResult>)>;
+
+  /// `engine` must outlive the scheduler. The worker pool starts
+  /// immediately.
+  explicit QueryScheduler(SSDM* engine, SchedulerOptions options = {});
+  ~QueryScheduler();
+
+  QueryScheduler(const QueryScheduler&) = delete;
+  QueryScheduler& operator=(const QueryScheduler&) = delete;
+
+  /// Stops accepting work, joins the workers, and fails queued tasks with
+  /// Unavailable. Idempotent.
+  void Stop();
+
+  /// Non-blocking admission: classifies the statement, applies the default
+  /// deadline, and enqueues it. Returns Unavailable immediately when the
+  /// queue is full or the scheduler is stopped; `done` then never runs.
+  /// `done` is invoked on a worker thread exactly once otherwise.
+  Status Submit(std::string statement, QueryContext ctx, Callback done);
+
+  /// Synchronous convenience: Submit + wait. Admission failures surface as
+  /// the returned status.
+  Result<SSDM::ExecResult> Execute(const std::string& statement,
+                                   QueryContext ctx = QueryContext());
+
+  SchedulerStats stats() const;
+  const SchedulerOptions& options() const { return options_; }
+
+ private:
+  struct Task {
+    std::string text;
+    QueryContext ctx;
+    Callback done;
+    StatementClass cls;
+  };
+
+  void WorkerLoop();
+  Result<SSDM::ExecResult> RunTask(const Task& task);
+  void FinishTask(const Task& task, const Status& status,
+                  std::chrono::microseconds elapsed);
+
+  SSDM* engine_;
+  const SchedulerOptions options_;
+
+  /// Reader-writer gate over the engine: shared for kRead, exclusive for
+  /// kWrite.
+  std::shared_mutex engine_mu_;
+
+  mutable std::mutex mu_;  // guards queue_, stats_, running_
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
+  bool running_ = false;
+  SchedulerStats stats_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sched
+}  // namespace scisparql
+
+#endif  // SCISPARQL_SCHED_SCHEDULER_H_

@@ -154,6 +154,14 @@ class Evaluator {
  public:
   explicit Evaluator(const EvalContext& ctx) : ctx_(ctx) {}
 
+  /// Cooperative deadline/cancellation check for element-wise loops,
+  /// amortized so the clock is read at most once per 64 elements.
+  Status CheckInterrupt() {
+    if (ctx_.query == nullptr) return Status::OK();
+    if ((++interrupt_tick_ & 0x3F) != 0) return Status::OK();
+    return ctx_.query->Check();
+  }
+
   Result<Term> Eval(const Expr& e) {
     switch (e.kind) {
       case Expr::Kind::kTerm:
@@ -522,7 +530,8 @@ class Evaluator {
     SCISPARQL_ASSIGN_OR_RETURN(NumericArray a, TermToArray(a_term));
     if (arrays == 1) {
       SCISPARQL_ASSIGN_OR_RETURN(
-          NumericArray r, Map(a, [&callable](double x) -> Result<double> {
+          NumericArray r, Map(a, [this, &callable](double x) -> Result<double> {
+            SCISPARQL_RETURN_NOT_OK(CheckInterrupt());
             double xs[] = {x};
             return callable(xs);
           }));
@@ -532,7 +541,8 @@ class Evaluator {
     SCISPARQL_ASSIGN_OR_RETURN(NumericArray b, TermToArray(b_term));
     SCISPARQL_ASSIGN_OR_RETURN(
         NumericArray r,
-        Map2(a, b, [&callable](double x, double y) -> Result<double> {
+        Map2(a, b, [this, &callable](double x, double y) -> Result<double> {
+          SCISPARQL_RETURN_NOT_OK(CheckInterrupt());
           double xs[] = {x, y};
           return callable(xs);
         }));
@@ -548,7 +558,8 @@ class Evaluator {
     SCISPARQL_ASSIGN_OR_RETURN(NumericArray a, TermToArray(a_term));
     SCISPARQL_ASSIGN_OR_RETURN(
         double r,
-        Condense(a, [&callable](double x, double y) -> Result<double> {
+        Condense(a, [this, &callable](double x, double y) -> Result<double> {
+          SCISPARQL_RETURN_NOT_OK(CheckInterrupt());
           double xs[] = {x, y};
           return callable(xs);
         }));
@@ -909,6 +920,7 @@ class Evaluator {
   }
 
   const EvalContext& ctx_;
+  uint32_t interrupt_tick_ = 0;
 };
 
 }  // namespace

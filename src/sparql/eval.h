@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "rdf/term.h"
+#include "sched/query_context.h"
 #include "sparql/ast.h"
 #include "sparql/functions.h"
 
@@ -36,6 +37,11 @@ struct EvalContext {
   /// Pre-computed values for aggregate sub-expressions (grouped queries),
   /// keyed by AST node identity.
   const std::map<const ast::Expr*, Term>* agg_values = nullptr;
+
+  /// Deadline/cancellation context of the enclosing query (may be null).
+  /// Observed in the element-wise loops (MAP / CONDENSE), which can call a
+  /// SciSPARQL-defined function per array element.
+  const sched::QueryContext* query = nullptr;
 };
 
 /// Evaluates a SciSPARQL expression. Returns a non-OK Status for SPARQL

@@ -159,6 +159,15 @@ class ExecImpl {
     Binding binding;
   };
 
+  /// Cooperative deadline/cancellation check for the hot loops. The flag
+  /// and clock reads are amortized over 64 calls so the common (uncontexted
+  /// or healthy) path stays one predictable branch.
+  Status CheckInterrupt() {
+    if (options_.query == nullptr) return Status::OK();
+    if ((++interrupt_tick_ & 0x3F) != 0) return Status::OK();
+    return options_.query->Check();
+  }
+
   // --- Pattern evaluation. ---
 
   Result<bool> EvalGroup(const GraphPattern& gp, State& st, const Cont& k) {
@@ -167,6 +176,7 @@ class ExecImpl {
 
   Result<bool> EvalSteps(const std::vector<PatternElement>& elems, size_t i,
                          State& st, const Cont& k) {
+    SCISPARQL_RETURN_NOT_OK(CheckInterrupt());
     if (i >= elems.size()) return k();
 
     // Gather a maximal run of triple patterns into one BGP, pulling in any
@@ -593,6 +603,9 @@ class ExecImpl {
                           const std::vector<const ast::Expr*>& filters,
                           std::vector<bool>* filter_done, size_t i, State& st,
                           const Cont& k) {
+    // The join loop re-enters here once per candidate binding per pattern,
+    // which makes it the natural cancellation point for BGP evaluation.
+    SCISPARQL_RETURN_NOT_OK(CheckInterrupt());
     // Apply any pushed filter whose variables are now all bound.
     std::vector<size_t> applied_here;
     for (size_t f = 0; f < filters.size(); ++f) {
@@ -894,6 +907,7 @@ class ExecImpl {
     std::vector<Term> frontier = {origin};
     visited.insert(origin);
     int64_t budget = options_.max_path_visits;
+    Status interrupted = Status::OK();
     bool more = true;
     auto emit = [&](const Term& node) -> bool {
       if (!emitted.insert(node).second) return true;
@@ -917,13 +931,22 @@ class ExecImpl {
                 more = false;
                 return false;
               }
+              // A pathological closure can expand for a long time without
+              // ever re-entering the BGP loop, so the deadline/cancel
+              // valve sits right next to the visit budget.
+              Status alive = CheckInterrupt();
+              if (!alive.ok()) {
+                interrupted = alive;
+                more = false;
+                return false;
+              }
               if (visited.insert(reached).second) next.push_back(reached);
               return emit(reached);
             }));
       }
       frontier = std::move(next);
     }
-    return Status::OK();
+    return interrupted;
   }
 
   const std::vector<Term>& NodeUniverse(const Graph& g) {
@@ -944,6 +967,7 @@ class ExecImpl {
   EvalContext MakeCtx(State& st) {
     EvalContext ctx;
     ctx.registry = registry_;
+    ctx.query = options_.query;
     ctx.lookup = [&st](const std::string& name) -> Term {
       auto it = st.binding.find(name);
       return it == st.binding.end() ? Term() : it->second;
@@ -1022,6 +1046,7 @@ class ExecImpl {
     std::vector<Term> values;
     std::set<std::vector<Term>, RowLess> distinct;
     for (const Binding& row : rows) {
+      SCISPARQL_RETURN_NOT_OK(CheckInterrupt());
       if (agg.agg_arg == nullptr) {
         // COUNT(*).
         values.push_back(Term::Integer(1));
@@ -1169,6 +1194,7 @@ class ExecImpl {
       }
     } else {
       for (const Binding& sol : solutions) {
+        SCISPARQL_RETURN_NOT_OK(CheckInterrupt());
         State st{graph, sol};
         EvalContext ctx = MakeCtx(st);
         OutRow row;
@@ -1569,6 +1595,7 @@ class ExecImpl {
   Dataset* dataset_;
   FunctionRegistry* registry_;
   const ExecOptions& options_;
+  uint32_t interrupt_tick_ = 0;
   int call_depth_ = 0;
   std::map<const GraphPattern*, std::vector<Binding>> minus_cache_;
   std::map<const SelectQuery*, QueryResult> subselect_cache_;

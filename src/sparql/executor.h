@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "rdf/graph.h"
+#include "sched/query_context.h"
 #include "sparql/ast.h"
 #include "sparql/eval.h"
 #include "sparql/functions.h"
@@ -40,6 +41,12 @@ struct ExecOptions {
 
   /// Safety valve for property-path closure evaluation.
   int64_t max_path_visits = 1000000;
+
+  /// Deadline / cancellation context for this execution (not owned; may be
+  /// null). Observed cooperatively in the executor's hot loops, so a
+  /// timed-out or cancelled query returns DeadlineExceeded / Cancelled
+  /// mid-flight instead of running to completion.
+  const sched::QueryContext* query = nullptr;
 };
 
 /// Evaluates SciSPARQL queries and updates against a Dataset. The executor

@@ -1,5 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "client/protocol.h"
 #include "client/server.h"
 
@@ -143,6 +151,221 @@ TEST_F(ServerTest, SequentialConnections) {
     ASSERT_TRUE(r.ok());
   }
   EXPECT_GE(server_->requests_served(), 3u);
+}
+
+TEST_F(ServerTest, ConcurrentClientsSelect) {
+  // N client threads, each its own connection, each running M SELECTs.
+  // Every response must be complete and correct — framing intact under
+  // interleaved connections, results consistent under the shared lock.
+  constexpr int kClients = 6;
+  constexpr int kQueriesEach = 8;
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      auto session = RemoteSession::Connect("127.0.0.1", port_);
+      if (!session.ok()) return;
+      for (int i = 0; i < kQueriesEach; ++i) {
+        auto r = session->Query(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?v WHERE { ?s ex:score ?v } ORDER BY ?v");
+        if (r.ok() && r->rows.size() == 2 &&
+            r->rows[0][0] == Term::Integer(10) &&
+            r->rows[1][0] == Term::Integer(20)) {
+          ++ok_count;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(ok_count.load(), kClients * kQueriesEach);
+  EXPECT_GE(server_->requests_served(),
+            static_cast<uint64_t>(kClients * kQueriesEach));
+  EXPECT_GE(server_->scheduler_stats().completed,
+            static_cast<uint64_t>(kClients * kQueriesEach));
+}
+
+TEST_F(ServerTest, ConcurrentReadersAndWriter) {
+  // A writer alternates score values over one connection while reader
+  // connections watch: every read must see exactly 2 score triples.
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      auto session = RemoteSession::Connect("127.0.0.1", port_);
+      if (!session.ok()) return;
+      while (!stop.load()) {
+        auto r = session->Query(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT (COUNT(*) AS ?n) WHERE { ?s ex:score ?v }");
+        if (r.ok() && r->rows[0][0] != Term::Integer(2)) ++bad;
+      }
+    });
+  }
+  auto writer = *RemoteSession::Connect("127.0.0.1", port_);
+  for (int i = 0; i < 10; ++i) {
+    auto r = writer.Run(
+        "PREFIX ex: <http://example.org/> "
+        "DELETE { ?s ex:score ?v } INSERT { ?s ex:score ?v } "
+        "WHERE { ?s ex:score ?v }");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+  }
+  stop = true;
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST_F(ServerTest, StatsVerb) {
+  auto session = *RemoteSession::Connect("127.0.0.1", port_);
+  ASSERT_TRUE(session
+                  .Query("PREFIX ex: <http://example.org/> "
+                         "SELECT ?v WHERE { ?s ex:score ?v }")
+                  .ok());
+  auto stats = session.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_NE(stats->find("admitted="), std::string::npos);
+  EXPECT_NE(stats->find("reads="), std::string::npos);
+  EXPECT_NE(stats->find("queue_high_water="), std::string::npos);
+}
+
+TEST_F(ServerTest, RemoteDeadlineExceeded) {
+  // A per-statement deadline inside the query text's context: use the
+  // scheduler's default timeout instead — restart the server with one.
+  server_->Stop();
+  SsdmServer::Options options;
+  options.sched.default_timeout = std::chrono::milliseconds(25);
+  engine_.RegisterForeign(
+      "http://example.org/nap",
+      [](std::span<const Term> args) -> Result<Term> {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        return args[0];
+      },
+      1);
+  // Enough rows that the amortized interrupt checks fire mid-query.
+  std::string ttl = "@prefix ex: <http://example.org/> .\n";
+  for (int i = 0; i < 300; ++i) {
+    ttl += "ex:row" + std::to_string(i) + " ex:val " + std::to_string(i) +
+           " .\n";
+  }
+  ASSERT_TRUE(engine_.LoadTurtleString(ttl).ok());
+  server_ = std::make_unique<SsdmServer>(&engine_, options);
+  port_ = *server_->Start(0);
+
+  auto session = *RemoteSession::Connect("127.0.0.1", port_);
+  auto r = session.Query(
+      "PREFIX ex: <http://example.org/> "
+      "SELECT (ex:nap(?v) AS ?x) WHERE { ?s ex:val ?v }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded)
+      << r.status().ToString();
+  // The engine lock was released: a remote update still succeeds.
+  EXPECT_TRUE(session
+                  .Run("PREFIX ex: <http://example.org/> "
+                       "INSERT DATA { ex:after ex:val 1 }")
+                  .ok());
+  EXPECT_GE(server_->scheduler_stats().timed_out, 1u);
+}
+
+TEST_F(ServerTest, OverloadedServerRejectsCleanly) {
+  // Rebuild the server with one worker and a one-slot queue; block the
+  // worker with a gated foreign function and verify the third client gets
+  // the documented Unavailable("server overloaded") error.
+  server_->Stop();
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  int entered = 0;
+  engine_.RegisterForeign(
+      "http://example.org/gate",
+      [&](std::span<const Term> args) -> Result<Term> {
+        std::unique_lock<std::mutex> lock(mu);
+        ++entered;
+        cv.notify_all();
+        cv.wait_for(lock, std::chrono::seconds(5), [&] { return release; });
+        return args[0];
+      },
+      1);
+  SsdmServer::Options options;
+  options.sched.workers = 1;
+  options.sched.queue_capacity = 1;
+  server_ = std::make_unique<SsdmServer>(&engine_, options);
+  port_ = *server_->Start(0);
+
+  const std::string slow =
+      "PREFIX ex: <http://example.org/> "
+      "SELECT (ex:gate(1) AS ?x) WHERE { }";
+  auto run_slow = [&] {
+    auto session = RemoteSession::Connect("127.0.0.1", port_);
+    ASSERT_TRUE(session.ok());
+    auto r = session->Query(slow);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+  };
+  std::thread t1(run_slow);
+  {  // Worker is busy inside the gate…
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                            [&] { return entered >= 1; }));
+  }
+  std::thread t2(run_slow);  // …this one fills the queue…
+  while (server_->scheduler_stats().queue_depth < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // …and this one must be turned away with a clean overload error.
+  auto session = *RemoteSession::Connect("127.0.0.1", port_);
+  auto r = session.Query(slow);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(r.status().message().find("overloaded"), std::string::npos);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+    cv.notify_all();
+  }
+  t1.join();
+  t2.join();
+  EXPECT_GE(server_->scheduler_stats().rejected, 1u);
+}
+
+TEST_F(ServerTest, ClientReceiveTimeout) {
+  // A client-side SO_RCVTIMEO bounds the wait for a slow server: block
+  // the only worker, then watch a 100 ms-timeout client give up with
+  // DeadlineExceeded instead of hanging.
+  server_->Stop();
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  engine_.RegisterForeign(
+      "http://example.org/gate",
+      [&](std::span<const Term> args) -> Result<Term> {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait_for(lock, std::chrono::seconds(5), [&] { return release; });
+        return args[0];
+      },
+      1);
+  SsdmServer::Options options;
+  options.sched.workers = 1;
+  server_ = std::make_unique<SsdmServer>(&engine_, options);
+  port_ = *server_->Start(0);
+
+  auto session = RemoteSession::Connect("127.0.0.1", port_,
+                                        std::chrono::milliseconds(100));
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  auto start = std::chrono::steady_clock::now();
+  auto r = session->Query(
+      "PREFIX ex: <http://example.org/> "
+      "SELECT (ex:gate(1) AS ?x) WHERE { }");
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded)
+      << r.status().ToString();
+  EXPECT_LT(elapsed, std::chrono::seconds(3));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+    cv.notify_all();
+  }
 }
 
 TEST(ServerLifecycle, StopIsIdempotent) {
