@@ -69,6 +69,9 @@ void Execute(scisparql::SSDM* db, const std::string& text, bool explain,
     case SSDM::ExecResult::Kind::kOk:
       std::printf("ok\n");
       break;
+    case SSDM::ExecResult::Kind::kInfo:
+      std::printf("%s\n", result->info.c_str());
+      break;
   }
 }
 

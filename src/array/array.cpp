@@ -250,8 +250,15 @@ Result<std::vector<Sub>> NumericArray::ValidateSubs(
     } else {
       if (s.step == 0) return Status::InvalidArgument("zero subscript step");
       if (s.count < 0) s.count = 0;
+      // A degenerate range never advances, so its step is irrelevant;
+      // normalizing it keeps the view's stride products small.
+      if (s.count <= 1) s.step = 1;
       if (s.count > 0) {
-        int64_t last = s.lo + (s.count - 1) * s.step;
+        // 128-bit: (count - 1) * step can exceed the int64 range for
+        // adversarial subs, and the wrapped value could pass the bounds
+        // check below.
+        __int128 last = static_cast<__int128>(s.lo) +
+                        static_cast<__int128>(s.count - 1) * s.step;
         if (s.lo < 0 || s.lo >= shape[i] || last < 0 || last >= shape[i]) {
           return Status::OutOfRange("array range subscript out of bounds");
         }

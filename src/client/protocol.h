@@ -23,11 +23,14 @@ namespace client {
 ///   'G' graph   — Turtle text (CONSTRUCT / DESCRIBE)
 ///   'O' ok      — empty (updates / DEFINE)
 ///   'E' error   — status code byte + message
-///   'S' stats   — scheduler counters as text (reply to the "STATS" verb)
+///   'S' stats   — scheduler counters + engine optimizer statistics as
+///                 text (reply to the "STATS" verb)
+///   'I' info    — plan/diagnostic text (reply to EXPLAIN statements)
 ///
-/// A request whose entire text is the verb "STATS" is answered by the
-/// server itself (scheduler counters, no engine access); every other
-/// request is a SciSPARQL statement submitted to the query scheduler.
+/// Every request — including the STATS verb and EXPLAIN statements, both
+/// classified as reads — is submitted to the query scheduler, so engine
+/// access always happens under its reader-writer lock; the server only
+/// adds its local scheduler counters to the STATS reply.
 ///
 /// Terms serialize with a kind tag; arrays travel as shape + row-major
 /// elements (proxies are materialized server-side — the client always

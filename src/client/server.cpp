@@ -211,12 +211,11 @@ void SsdmServer::ServeConnection(Connection* conn) {
 }
 
 std::string SsdmServer::Dispatch(const std::string& request, int fd) {
-  if (request == "STATS") {
-    std::string payload;
-    payload.push_back('S');
-    payload += scheduler_->stats().ToString();
-    return payload;
-  }
+  // "STATS" is answered with scheduler counters plus the engine's
+  // optimizer-statistics report. The engine part is produced by the
+  // engine's own STATS statement, which classifies as a read — so it goes
+  // through the scheduler below and runs under the shared engine lock
+  // like any query (no unsynchronized engine access from this thread).
 
   auto cancel = std::make_shared<std::atomic<bool>>(false);
   sched::QueryContext ctx;
@@ -257,6 +256,15 @@ std::string SsdmServer::Dispatch(const std::string& request, int fd) {
       break;
     case SSDM::ExecResult::Kind::kOk:
       payload.push_back('O');
+      break;
+    case SSDM::ExecResult::Kind::kInfo:
+      if (request == "STATS") {
+        payload.push_back('S');
+        payload += "scheduler: " + scheduler_->stats().ToString() + "\n";
+      } else {
+        payload.push_back('I');
+      }
+      payload += result->info;
       break;
   }
   return payload;
@@ -331,8 +339,20 @@ Result<bool> RemoteSession::Ask(const std::string& text) {
 Result<std::string> RemoteSession::Run(const std::string& text) {
   Result<std::string> payload = RoundTrip(text);
   if (!payload.ok()) return payload.status();
-  if (!payload->empty() && (*payload)[0] == 'G') return payload->substr(1);
+  if (!payload->empty() &&
+      ((*payload)[0] == 'G' || (*payload)[0] == 'I')) {
+    return payload->substr(1);
+  }
   return std::string();
+}
+
+Result<std::string> RemoteSession::Explain(const std::string& query) {
+  Result<std::string> payload = RoundTrip("EXPLAIN " + query);
+  if (!payload.ok()) return payload.status();
+  if (payload->empty() || (*payload)[0] != 'I') {
+    return Status::Internal("malformed EXPLAIN response");
+  }
+  return payload->substr(1);
 }
 
 Result<std::string> RemoteSession::Stats() {

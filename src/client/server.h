@@ -113,9 +113,14 @@ class RemoteSession {
   /// Updates / DEFINE; also accepts CONSTRUCT (returns the Turtle text).
   Result<std::string> Run(const std::string& text);
 
-  /// The STATS protocol verb: the server's scheduler counters, rendered
-  /// as "admitted=... rejected=..." text.
+  /// The STATS protocol verb: the server's scheduler counters plus the
+  /// engine's optimizer-statistics report (triple totals, per-predicate
+  /// counts, index fan-out histograms).
   Result<std::string> Stats();
+
+  /// Remote EXPLAIN: runs `query` server-side with profiling and returns
+  /// the plan text (chosen BGP order, estimated vs. actual cardinalities).
+  Result<std::string> Explain(const std::string& query);
 
  private:
   explicit RemoteSession(int fd) : fd_(fd) {}

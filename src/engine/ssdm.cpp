@@ -11,12 +11,25 @@
 
 namespace scisparql {
 
-SSDM::SSDM() : prefixes_(PrefixMap::WithDefaults()) {}
+SSDM::SSDM() : prefixes_(PrefixMap::WithDefaults()) {
+  EnsureStats(&dataset_.default_graph());
+  exec_options_.stats = &stats_;
+}
+
+void SSDM::EnsureStats(Graph* graph) {
+  const opt::GraphStats* existing = stats_.Find(graph);
+  // graph() == nullptr means a previous graph at this address was dropped
+  // and the collector orphaned; re-attach rebuilds from current content.
+  if (existing == nullptr || existing->graph() == nullptr) {
+    stats_.Attach(graph);
+  }
+}
 
 Status SSDM::LoadTurtleFile(const std::string& path,
                             const std::string& graph_iri) {
   Graph* g = graph_iri.empty() ? &dataset_.default_graph()
                                : &dataset_.GetOrCreateNamed(graph_iri);
+  EnsureStats(g);
   loaders::TurtleOptions opts;
   opts.prefixes = prefixes_;
   return loaders::LoadTurtleFile(path, g, opts);
@@ -26,6 +39,7 @@ Status SSDM::LoadTurtleString(const std::string& text,
                               const std::string& graph_iri) {
   Graph* g = graph_iri.empty() ? &dataset_.default_graph()
                                : &dataset_.GetOrCreateNamed(graph_iri);
+  EnsureStats(g);
   loaders::TurtleOptions opts;
   opts.prefixes = prefixes_;
   return loaders::LoadTurtleString(text, g, opts);
@@ -65,7 +79,8 @@ sched::StatementClass SSDM::ClassifyStatement(const std::string& text) {
         if (i < n && text[i] == ':') ++i;
         continue;
       }
-      if (w == "SELECT" || w == "ASK" || w == "CONSTRUCT" || w == "DESCRIBE") {
+      if (w == "SELECT" || w == "ASK" || w == "CONSTRUCT" ||
+          w == "DESCRIBE" || w == "EXPLAIN" || w == "STATS") {
         return sched::StatementClass::kRead;
       }
       return sched::StatementClass::kWrite;
@@ -79,6 +94,33 @@ sched::StatementClass SSDM::ClassifyStatement(const std::string& text) {
 
 Result<SSDM::ExecResult> SSDM::Execute(const std::string& text,
                                        const sched::QueryContext* ctx) {
+  // Introspection statements (not part of the query grammar). Both are
+  // classified as reads, so the scheduler serves them under its shared
+  // lock like any query.
+  std::string_view trimmed = StripWhitespace(text);
+  auto leading_word = [&]() {
+    std::string w;
+    for (char c : trimmed) {
+      if (std::isalpha(static_cast<unsigned char>(c)) == 0) break;
+      w.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    }
+    return w;
+  };
+  std::string head = leading_word();
+  if (head == "STATS" && head.size() == trimmed.size()) {
+    ExecResult out;
+    out.kind = ExecResult::Kind::kInfo;
+    out.info = StatsReport();
+    return out;
+  }
+  if (head == "EXPLAIN" && trimmed.size() > head.size()) {
+    ExecResult out;
+    SCISPARQL_ASSIGN_OR_RETURN(
+        out.info, Explain(std::string(trimmed.substr(head.size()))));
+    out.kind = ExecResult::Kind::kInfo;
+    return out;
+  }
+
   SCISPARQL_ASSIGN_OR_RETURN(ast::Statement stmt,
                              sparql::ParseStatement(text, prefixes_));
   sparql::ExecOptions options = exec_options_;
@@ -158,9 +200,22 @@ Result<std::string> SSDM::Explain(const std::string& text) {
   return exec.Explain(*q);
 }
 
+std::string SSDM::StatsReport() const {
+  std::ostringstream out;
+  out << "optimizer statistics (" << (exec_options_.optimize_join_order
+                                          ? "join reordering on"
+                                          : "join reordering off")
+      << "):\n";
+  out << stats_.ReportText();
+  return out.str();
+}
+
 Result<std::string> SSDM::Translate(const std::string& text) {
   SCISPARQL_ASSIGN_OR_RETURN(auto q, sparql::ParseQuery(text, prefixes_));
-  return sparql::RenderCalculus(*q);
+  if (!exec_options_.optimize_join_order) {
+    return sparql::RenderCalculus(*q);
+  }
+  return sparql::RenderCalculus(*q, &dataset_.default_graph(), &stats_);
 }
 
 void SSDM::RegisterForeign(
@@ -248,7 +303,17 @@ Status SSDM::LoadSnapshot(const std::string& path) {
         line_end - marker - std::strlen(kGraphMarker))));
     pos = line_end + 1;
   }
+  // Replacing the dataset invalidates every statistics collector (named
+  // graph objects die; the default graph keeps its address but gets new
+  // content and a null listener from the moved-in graph). Drop them while
+  // the old graphs are still alive, then re-attach against the new state.
+  stats_.Clear();
   dataset_ = std::move(fresh);
+  EnsureStats(&dataset_.default_graph());
+  for (const auto& [iri, graph] : dataset_.named_graphs()) {
+    (void)graph;
+    EnsureStats(dataset_.FindNamed(iri));
+  }
   return Status::OK();
 }
 

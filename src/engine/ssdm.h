@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "opt/stats.h"
 #include "rdf/graph.h"
 #include "rdf/namespaces.h"
 #include "sparql/executor.h"
@@ -40,11 +41,12 @@ class SSDM {
 
   /// Result of executing an arbitrary statement.
   struct ExecResult {
-    enum class Kind { kRows, kBool, kGraph, kOk };
+    enum class Kind { kRows, kBool, kGraph, kOk, kInfo };
     Kind kind = Kind::kOk;
     sparql::QueryResult rows;  // SELECT
     bool boolean = false;      // ASK
     Graph graph;               // CONSTRUCT
+    std::string info;          // EXPLAIN / STATS text
   };
 
   /// Parses and executes one SciSPARQL statement of any form. When `ctx`
@@ -69,8 +71,15 @@ class SSDM {
   /// Updates and DEFINE FUNCTION statements.
   Status Run(const std::string& text);
 
-  /// Query plan description (Section 5.4's translation, post-optimization).
+  /// Query plan description (Section 5.4's translation, post-optimization):
+  /// chosen BGP order with estimated vs. actual cardinalities per scan.
+  /// Also reachable as the `EXPLAIN <query>` statement through Execute.
   Result<std::string> Explain(const std::string& text);
+
+  /// Optimizer-statistics report for every graph with a collector (the
+  /// `STATS` statement). Covers triple totals, per-predicate counts,
+  /// distinct subject/object counts and index fan-out histograms.
+  std::string StatsReport() const;
 
   /// ObjectLog-style domain-calculus rendering of a query — the
   /// intermediate form of the thesis's translation algorithm (§5.4.5).
@@ -117,9 +126,17 @@ class SSDM {
   const Dataset& dataset() const { return dataset_; }
   PrefixMap& prefixes() { return prefixes_; }
   sparql::ExecOptions& exec_options() { return exec_options_; }
+  const opt::StatsRegistry& stats() const { return stats_; }
 
  private:
+  /// Ensures the graph has a statistics collector (attaching rebuilds from
+  /// current content if one is created).
+  void EnsureStats(Graph* graph);
+
   Dataset dataset_;
+  // Declared after dataset_ so collectors detach from still-live graphs on
+  // destruction.
+  opt::StatsRegistry stats_;
   PrefixMap prefixes_;
   sparql::FunctionRegistry registry_;
   sparql::ExecOptions exec_options_;

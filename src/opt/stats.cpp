@@ -1,0 +1,350 @@
+#include "opt/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace scisparql {
+namespace opt {
+
+// ---------------------------------------------------------------------------
+// EquiDepthHistogram
+// ---------------------------------------------------------------------------
+
+EquiDepthHistogram EquiDepthHistogram::Build(std::vector<double> values,
+                                             int buckets) {
+  EquiDepthHistogram h;
+  if (values.empty()) return h;
+  if (buckets < 1) buckets = 1;
+  std::sort(values.begin(), values.end());
+  h.count_ = static_cast<int64_t>(values.size());
+  h.min_ = values.front();
+  size_t n = values.size();
+  size_t b = std::min<size_t>(static_cast<size_t>(buckets), n);
+  h.bounds_.reserve(b);
+  for (size_t k = 1; k <= b; ++k) {
+    // Upper bound of bucket k: the ceil(k*n/b)-th smallest value.
+    size_t idx = (k * n) / b;
+    if (idx == 0) idx = 1;
+    h.bounds_.push_back(values[idx - 1]);
+  }
+  return h;
+}
+
+double EquiDepthHistogram::FractionLeq(double x) const {
+  if (count_ == 0) return 0.0;
+  if (x < min_) return 0.0;
+  size_t b = bounds_.size();
+  if (x >= bounds_.back()) return 1.0;
+  // First bucket whose upper bound exceeds x.
+  size_t i = static_cast<size_t>(
+      std::upper_bound(bounds_.begin(), bounds_.end(), x) - bounds_.begin());
+  double lo = i == 0 ? min_ : bounds_[i - 1];
+  double hi = bounds_[i];
+  double within = hi > lo ? (x - lo) / (hi - lo) : 1.0;
+  within = std::clamp(within, 0.0, 1.0);
+  return (static_cast<double>(i) + within) / static_cast<double>(b);
+}
+
+double EquiDepthHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  size_t b = bounds_.size();
+  double pos = q * static_cast<double>(b);
+  size_t i = std::min<size_t>(static_cast<size_t>(pos), b - 1);
+  double lo = i == 0 ? min_ : bounds_[i - 1];
+  double hi = bounds_[i];
+  double within = pos - static_cast<double>(i);
+  return lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
+}
+
+std::string EquiDepthHistogram::ToString() const {
+  std::ostringstream out;
+  out << "n=" << count_ << " min=" << min_;
+  if (!bounds_.empty()) {
+    out << " q50=" << Quantile(0.5) << " q90=" << Quantile(0.9)
+        << " max=" << bounds_.back();
+  }
+  return out.str();
+}
+
+const char* IndexOrderName(IndexOrder order) {
+  switch (order) {
+    case IndexOrder::kS:
+      return "S";
+    case IndexOrder::kP:
+      return "P";
+    case IndexOrder::kO:
+      return "O";
+    case IndexOrder::kSP:
+      return "SP";
+    case IndexOrder::kPO:
+      return "PO";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// GraphStats
+// ---------------------------------------------------------------------------
+
+GraphStats::~GraphStats() { Detach(); }
+
+const Term& GraphStats::ArraySentinel() {
+  static const Term sentinel = Term::Iri("scisparql:stats:array");
+  return sentinel;
+}
+
+const Term& GraphStats::NormalizeObject(const Term& o) {
+  return o.kind() == Term::Kind::kArray ? ArraySentinel() : o;
+}
+
+void GraphStats::Attach(Graph* graph) {
+  Detach();
+  graph_ = graph;
+  Rebuild();
+  graph_->SetListener(this);
+}
+
+void GraphStats::Detach() {
+  if (graph_ != nullptr && graph_->listener() == this) {
+    graph_->SetListener(nullptr);
+  }
+  graph_ = nullptr;
+}
+
+void GraphStats::ResetCounters() {
+  total_ = 0;
+  preds_.clear();
+  subjects_.counts.clear();
+  objects_.counts.clear();
+  hist_built_ = false;
+  ++mutations_;
+}
+
+void GraphStats::Rebuild() {
+  ResetCounters();
+  if (graph_ == nullptr) return;
+  graph_->ForEach([this](const Triple& t) { ApplyDelta(t, +1); });
+}
+
+void GraphStats::ApplyDelta(const Triple& t, int64_t delta) {
+  const Term& obj = NormalizeObject(t.o);
+  total_ += delta;
+  ++mutations_;
+  PredicateStats& ps = preds_[t.p];
+  ps.count += delta;
+  ps.value_hist_built = false;
+  if (t.o.IsNumeric()) ps.numeric_objects += delta;
+  if (delta > 0) {
+    ps.subjects[t.s] += 1;
+    ps.objects[obj] += 1;
+    subjects_.Inc(t.s);
+    objects_.Inc(obj);
+  } else {
+    auto dec = [](std::unordered_map<Term, int64_t, TermHash>& m,
+                  const Term& key) {
+      auto it = m.find(key);
+      if (it == m.end()) return;
+      if (--it->second <= 0) m.erase(it);
+    };
+    dec(ps.subjects, t.s);
+    dec(ps.objects, obj);
+    subjects_.Dec(t.s);
+    objects_.Dec(obj);
+  }
+  if (ps.count <= 0 && ps.subjects.empty() && ps.objects.empty()) {
+    preds_.erase(t.p);
+  }
+}
+
+void GraphStats::OnAdd(const Triple& t) { ApplyDelta(t, +1); }
+
+void GraphStats::OnRemove(const Triple& t) { ApplyDelta(t, -1); }
+
+void GraphStats::OnClear() { ResetCounters(); }
+
+const GraphStats::PredicateStats* GraphStats::FindPred(const Term& p) const {
+  auto it = preds_.find(p);
+  return it == preds_.end() ? nullptr : &it->second;
+}
+
+int64_t GraphStats::num_predicates() const {
+  return static_cast<int64_t>(preds_.size());
+}
+
+int64_t GraphStats::PredicateCount(const Term& p) const {
+  const PredicateStats* ps = FindPred(p);
+  return ps == nullptr ? 0 : ps->count;
+}
+
+int64_t GraphStats::DistinctSubjects(const Term& p) const {
+  const PredicateStats* ps = FindPred(p);
+  return ps == nullptr ? 0 : static_cast<int64_t>(ps->subjects.size());
+}
+
+int64_t GraphStats::DistinctObjects(const Term& p) const {
+  const PredicateStats* ps = FindPred(p);
+  return ps == nullptr ? 0 : static_cast<int64_t>(ps->objects.size());
+}
+
+int64_t GraphStats::DistinctSubjects() const {
+  return static_cast<int64_t>(subjects_.counts.size());
+}
+
+int64_t GraphStats::DistinctObjects() const {
+  return static_cast<int64_t>(objects_.counts.size());
+}
+
+bool GraphStats::HistogramsStale() const {
+  if (!hist_built_) return true;
+  if (graph_ == nullptr) return false;
+  uint64_t drift = graph_->version() - built_version_;
+  uint64_t slack = std::max<uint64_t>(
+      64, static_cast<uint64_t>(std::max<int64_t>(total_, 0)) / 8);
+  return drift > slack;
+}
+
+void GraphStats::RebuildIndexHistograms() const {
+  // Fan-out distributions of the five index orders, derived from the
+  // multiplicity maps (identical to the graph's hash-bucket sizes).
+  std::vector<double> s_sizes, p_sizes, o_sizes, sp_sizes, po_sizes;
+  for (const auto& [term, n] : subjects_.counts) {
+    (void)term;
+    s_sizes.push_back(static_cast<double>(n));
+  }
+  for (const auto& [term, n] : objects_.counts) {
+    (void)term;
+    o_sizes.push_back(static_cast<double>(n));
+  }
+  for (const auto& [pred, ps] : preds_) {
+    (void)pred;
+    p_sizes.push_back(static_cast<double>(ps.count));
+    for (const auto& [s, n] : ps.subjects) {
+      (void)s;
+      sp_sizes.push_back(static_cast<double>(n));
+    }
+    for (const auto& [o, n] : ps.objects) {
+      (void)o;
+      po_sizes.push_back(static_cast<double>(n));
+    }
+  }
+  index_hist_[0] = EquiDepthHistogram::Build(std::move(s_sizes));
+  index_hist_[1] = EquiDepthHistogram::Build(std::move(p_sizes));
+  index_hist_[2] = EquiDepthHistogram::Build(std::move(o_sizes));
+  index_hist_[3] = EquiDepthHistogram::Build(std::move(sp_sizes));
+  index_hist_[4] = EquiDepthHistogram::Build(std::move(po_sizes));
+  built_version_ = graph_ == nullptr ? 0 : graph_->version();
+  hist_built_ = true;
+}
+
+const EquiDepthHistogram& GraphStats::IndexHistogram(IndexOrder order) const {
+  if (HistogramsStale()) RebuildIndexHistograms();
+  return index_hist_[static_cast<int>(order)];
+}
+
+const EquiDepthHistogram* GraphStats::ObjectValueHistogram(
+    const Term& p, double* numeric_fraction) const {
+  const PredicateStats* ps = FindPred(p);
+  if (ps == nullptr || ps->count <= 0 || ps->numeric_objects <= 0) {
+    return nullptr;
+  }
+  if (numeric_fraction != nullptr) {
+    *numeric_fraction = static_cast<double>(ps->numeric_objects) /
+                        static_cast<double>(ps->count);
+  }
+  uint64_t version = graph_ == nullptr ? 0 : graph_->version();
+  if (!ps->value_hist_built ||
+      version - ps->value_hist_version >
+          std::max<uint64_t>(64, static_cast<uint64_t>(ps->count) / 8)) {
+    std::vector<double> values;
+    values.reserve(static_cast<size_t>(ps->numeric_objects));
+    for (const auto& [obj, n] : ps->objects) {
+      if (!obj.IsNumeric()) continue;
+      Result<double> d = obj.AsDouble();
+      if (!d.ok()) continue;
+      for (int64_t k = 0; k < n; ++k) values.push_back(*d);
+    }
+    ps->value_hist = EquiDepthHistogram::Build(std::move(values));
+    ps->value_hist_version = version;
+    ps->value_hist_built = true;
+  }
+  return ps->value_hist.empty() ? nullptr : &ps->value_hist;
+}
+
+std::string GraphStats::ReportText() const {
+  std::ostringstream out;
+  out << "triples=" << total_ << " predicates=" << num_predicates()
+      << " distinct_subjects=" << DistinctSubjects()
+      << " distinct_objects=" << DistinctObjects() << "\n";
+  // Predicates sorted by descending count, capped for readability.
+  std::vector<std::pair<const Term*, const PredicateStats*>> order;
+  order.reserve(preds_.size());
+  for (const auto& [p, ps] : preds_) order.push_back({&p, &ps});
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    if (a.second->count != b.second->count) {
+      return a.second->count > b.second->count;
+    }
+    return Term::Compare(*a.first, *b.first) < 0;
+  });
+  size_t shown = std::min<size_t>(order.size(), 20);
+  for (size_t i = 0; i < shown; ++i) {
+    const auto& [p, ps] = order[i];
+    out << "  pred " << p->ToString() << " count=" << ps->count
+        << " distinct_s=" << ps->subjects.size()
+        << " distinct_o=" << ps->objects.size() << "\n";
+  }
+  if (order.size() > shown) {
+    out << "  (" << order.size() - shown << " more predicates)\n";
+  }
+  static constexpr IndexOrder kOrders[] = {IndexOrder::kS, IndexOrder::kP,
+                                           IndexOrder::kO, IndexOrder::kSP,
+                                           IndexOrder::kPO};
+  for (IndexOrder ord : kOrders) {
+    out << "  index " << IndexOrderName(ord) << " fanout "
+        << IndexHistogram(ord).ToString() << "\n";
+  }
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// StatsRegistry
+// ---------------------------------------------------------------------------
+
+GraphStats* StatsRegistry::Attach(Graph* graph) {
+  auto& slot = stats_[graph];
+  if (slot == nullptr) slot = std::make_unique<GraphStats>();
+  slot->Attach(graph);
+  return slot.get();
+}
+
+void StatsRegistry::Remove(const Graph* graph) {
+  auto it = stats_.find(graph);
+  if (it == stats_.end()) return;
+  it->second->Detach();
+  stats_.erase(it);
+}
+
+void StatsRegistry::Clear() {
+  for (auto& [g, s] : stats_) s->Detach();
+  stats_.clear();
+}
+
+const GraphStats* StatsRegistry::Find(const Graph* graph) const {
+  auto it = stats_.find(graph);
+  return it == stats_.end() ? nullptr : it->second.get();
+}
+
+std::string StatsRegistry::ReportText() const {
+  std::ostringstream out;
+  size_t i = 0;
+  for (const auto& [g, s] : stats_) {
+    (void)g;
+    out << "graph[" << i++ << "] " << s->ReportText();
+  }
+  if (stats_.empty()) out << "no graph statistics collected\n";
+  return out.str();
+}
+
+}  // namespace opt
+}  // namespace scisparql

@@ -1,0 +1,195 @@
+#ifndef SCISPARQL_OPT_STATS_H_
+#define SCISPARQL_OPT_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/graph.h"
+#include "rdf/term.h"
+
+namespace scisparql {
+namespace opt {
+
+/// Small equi-depth (quantile) histogram. Stores B bucket boundaries such
+/// that each bucket holds ~count/B of the input values; selectivity lookups
+/// interpolate linearly inside a bucket. Used two ways by the optimizer:
+/// over *index bucket sizes* (fan-out skew per index order) and over the
+/// *numeric object values* of a predicate (range-FILTER selectivity).
+class EquiDepthHistogram {
+ public:
+  static constexpr int kDefaultBuckets = 16;
+
+  EquiDepthHistogram() = default;
+  static EquiDepthHistogram Build(std::vector<double> values,
+                                  int buckets = kDefaultBuckets);
+
+  bool empty() const { return count_ == 0; }
+  int64_t count() const { return count_; }
+  double min() const { return min_; }
+  double max() const { return bounds_.empty() ? min_ : bounds_.back(); }
+
+  /// Estimated fraction of values <= x, in [0, 1].
+  double FractionLeq(double x) const;
+
+  /// Quantile q in [0, 1] (q = 0.5 is the median).
+  double Quantile(double q) const;
+
+  std::string ToString() const;
+
+ private:
+  double min_ = 0;
+  std::vector<double> bounds_;  // upper bound of each bucket, ascending
+  int64_t count_ = 0;
+};
+
+/// The hash-index orders of rdf::Graph whose fan-out distributions the
+/// collector summarizes.
+enum class IndexOrder { kS, kP, kO, kSP, kPO };
+
+const char* IndexOrderName(IndexOrder order);
+
+/// Per-graph statistics for the cost-based join-order optimizer
+/// (Section 5.4): total triple count, per-predicate triple counts and
+/// distinct subject/object counts, plus equi-depth histograms. Counters
+/// are maintained *incrementally* through the GraphListener hook (exact
+/// under interleaved INSERT/DELETE, including duplicates); histograms are
+/// derived summaries, rebuilt lazily once enough mutations accumulate.
+class GraphStats : public GraphListener {
+ public:
+  GraphStats() = default;
+  ~GraphStats() override;
+
+  GraphStats(const GraphStats&) = delete;
+  GraphStats& operator=(const GraphStats&) = delete;
+
+  /// Builds the counters from the graph's current content and registers
+  /// this collector as the graph's mutation listener. Safe to call again
+  /// (e.g. after the graph object was replaced by a snapshot load).
+  void Attach(Graph* graph);
+
+  /// Unregisters the listener; counters keep their last values.
+  void Detach();
+
+  /// Recomputes every counter from scratch (the property tests diff this
+  /// against the incrementally maintained state).
+  void Rebuild();
+
+  // GraphListener:
+  void OnAdd(const Triple& t) override;
+  void OnRemove(const Triple& t) override;
+  void OnClear() override;
+  /// The graph died under us (DROP GRAPH / CLEAR ALL): orphan the
+  /// collector. Counters stay readable; the registry re-attaches on the
+  /// next EnsureStats for whatever graph next uses this slot.
+  void OnGraphDestroyed() override { graph_ = nullptr; }
+
+  // --- Counters. ---
+
+  int64_t total_triples() const { return total_; }
+  int64_t num_predicates() const;
+  int64_t PredicateCount(const Term& p) const;
+  /// Distinct subjects / objects among triples with predicate `p`.
+  int64_t DistinctSubjects(const Term& p) const;
+  int64_t DistinctObjects(const Term& p) const;
+  /// Distinct subjects / objects across the whole graph.
+  int64_t DistinctSubjects() const;
+  int64_t DistinctObjects() const;
+
+  // --- Histograms. ---
+
+  /// Fan-out histogram of one index order (distribution of bucket sizes).
+  /// Rebuilt lazily when the graph has drifted since the last build.
+  const EquiDepthHistogram& IndexHistogram(IndexOrder order) const;
+
+  /// Histogram over the numeric object values of predicate `p`, for
+  /// range-FILTER selectivity. Returns nullptr when the predicate has no
+  /// numeric objects. `numeric_fraction` (optional out) receives the
+  /// fraction of the predicate's objects that are numeric.
+  const EquiDepthHistogram* ObjectValueHistogram(
+      const Term& p, double* numeric_fraction = nullptr) const;
+
+  /// Human-readable summary (the STATS verb's optimizer section).
+  std::string ReportText() const;
+
+  const Graph* graph() const { return graph_; }
+
+ private:
+  struct PredicateStats {
+    int64_t count = 0;
+    // Multiplicity maps so distinct counts survive deletes of duplicates.
+    std::unordered_map<Term, int64_t, TermHash> subjects;
+    std::unordered_map<Term, int64_t, TermHash> objects;
+    // Numeric-object summary feeding the value histogram.
+    int64_t numeric_objects = 0;
+    mutable EquiDepthHistogram value_hist;
+    mutable uint64_t value_hist_version = 0;
+    mutable bool value_hist_built = false;
+  };
+
+  struct Multiset {
+    std::unordered_map<Term, int64_t, TermHash> counts;
+    void Inc(const Term& t) { ++counts[t]; }
+    void Dec(const Term& t) {
+      auto it = counts.find(t);
+      if (it == counts.end()) return;
+      if (--it->second <= 0) counts.erase(it);
+    }
+  };
+
+  void ApplyDelta(const Triple& t, int64_t delta);
+  void ResetCounters();
+  bool HistogramsStale() const;
+  void RebuildIndexHistograms() const;
+  const PredicateStats* FindPred(const Term& p) const;
+
+  /// Term used to key array-valued objects: hashing an array term would
+  /// materialize proxies (potentially remote I/O), so all array objects
+  /// share one sentinel bucket and count as a single distinct value.
+  static const Term& ArraySentinel();
+  static const Term& NormalizeObject(const Term& o);
+
+  Graph* graph_ = nullptr;
+  int64_t total_ = 0;
+  std::unordered_map<Term, PredicateStats, TermHash> preds_;
+  Multiset subjects_;
+  Multiset objects_;
+
+  // Lazy histogram cache: rebuilt when `built_version_` drifts from the
+  // graph version by more than a fraction of the triple count.
+  mutable EquiDepthHistogram index_hist_[5];
+  mutable uint64_t built_version_ = 0;
+  mutable bool hist_built_ = false;
+  uint64_t mutations_ = 0;
+};
+
+/// Maps graphs to their statistics collectors. Owned by the engine facade
+/// (SSDM); the executor receives a const pointer through ExecOptions and
+/// falls back to raw index-bucket estimates for graphs without stats.
+class StatsRegistry {
+ public:
+  /// Creates (or re-attaches) the collector for `graph`.
+  GraphStats* Attach(Graph* graph);
+
+  /// Drops the collector for `graph` (e.g. the graph is being destroyed).
+  void Remove(const Graph* graph);
+
+  void Clear();
+
+  const GraphStats* Find(const Graph* graph) const;
+
+  /// Concatenated ReportText of every registered collector.
+  std::string ReportText() const;
+
+ private:
+  std::map<const Graph*, std::unique_ptr<GraphStats>> stats_;
+};
+
+}  // namespace opt
+}  // namespace scisparql
+
+#endif  // SCISPARQL_OPT_STATS_H_

@@ -14,6 +14,10 @@ size_t Graph::PairKeyHash::operator()(const PairKey& k) const {
   return HashCombine(k.a.Hash(), k.b.Hash());
 }
 
+Graph::~Graph() {
+  if (listener_.ptr != nullptr) listener_.ptr->OnGraphDestroyed();
+}
+
 Graph Graph::Clone() const {
   Graph g;
   ForEach([&g](const Triple& t) { g.Add(t); });
@@ -27,6 +31,8 @@ void Graph::Add(Triple t) {
   by_o_[t.o].push_back(id);
   by_sp_[PairKey{t.s, t.p}].push_back(id);
   by_po_[PairKey{t.p, t.o}].push_back(id);
+  ++version_;
+  if (listener_.ptr != nullptr) listener_.ptr->OnAdd(t);
   triples_.push_back(std::move(t));
   dead_.push_back(false);
   ++live_count_;
@@ -42,6 +48,8 @@ size_t Graph::Remove(const Triple& t) {
       --live_count_;
       ++dead_count_;
       ++removed;
+      ++version_;
+      if (listener_.ptr != nullptr) listener_.ptr->OnRemove(triples_[id]);
     }
   }
   MaybeCompact();
@@ -58,6 +66,8 @@ void Graph::Clear() {
   by_o_.clear();
   by_sp_.clear();
   by_po_.clear();
+  ++version_;
+  if (listener_.ptr != nullptr) listener_.ptr->OnClear();
 }
 
 void Graph::MaybeCompact() {
@@ -67,10 +77,18 @@ void Graph::MaybeCompact() {
   for (size_t i = 0; i < triples_.size(); ++i) {
     if (!dead_[i]) live.push_back(std::move(triples_[i]));
   }
+  // Compaction rewrites the table without changing its logical content:
+  // the listener must not see the internal Clear+Add churn, and the
+  // version must not drift (it tracks logical mutations only).
+  GraphListener* listener = listener_.ptr;
+  listener_.ptr = nullptr;
   uint64_t blank_counter = blank_counter_;
+  uint64_t version = version_;
   Clear();
   blank_counter_ = blank_counter;
   for (Triple& t : live) Add(std::move(t));
+  version_ = version;
+  listener_.ptr = listener;
 }
 
 namespace {

@@ -26,6 +26,23 @@ struct Triple {
   std::string ToString() const;
 };
 
+/// Observer of graph mutations. The statistics collector (src/opt/)
+/// registers one per graph so per-predicate counters stay exact without
+/// rescanning the triple table after every update. Notifications fire for
+/// *logical* mutations only: internal housekeeping (tombstone compaction)
+/// is invisible to listeners.
+class GraphListener {
+ public:
+  virtual ~GraphListener() = default;
+  virtual void OnAdd(const Triple& t) = 0;
+  virtual void OnRemove(const Triple& t) = 0;
+  virtual void OnClear() = 0;
+  /// The observed graph is being destroyed (e.g. DROP GRAPH / CLEAR ALL).
+  /// The listener must drop its pointer to the graph; default is a no-op
+  /// for listeners whose lifetime is tied to the graph's.
+  virtual void OnGraphDestroyed() {}
+};
+
 /// In-memory RDF-with-Arrays graph: a triple table with hash indexes on
 /// S, P, O, SP and PO, the access paths the SciSPARQL executor probes
 /// during BGP evaluation (Section 5.4). Index bucket sizes double as the
@@ -33,9 +50,11 @@ struct Triple {
 class Graph {
  public:
   Graph() = default;
+  ~Graph();
 
   // Graphs own a potentially large triple table; moves are fine, copies
-  // must be requested explicitly via Clone().
+  // must be requested explicitly via Clone(). Moving transfers the
+  // listener registration: the moved-from graph no longer notifies it.
   Graph(const Graph&) = delete;
   Graph& operator=(const Graph&) = delete;
   Graph(Graph&&) = default;
@@ -83,6 +102,19 @@ class Graph {
   /// Fresh blank node label unique within this graph ("b1", "b2", ...).
   std::string FreshBlankLabel();
 
+  /// Registers (or clears, with nullptr) the single mutation listener.
+  /// The listener is not owned; destruction of the graph notifies it via
+  /// OnGraphDestroyed. Note that moving a Graph carries its listener
+  /// along; code that keys listeners by graph address (the stats registry)
+  /// re-attaches after moves.
+  void SetListener(GraphListener* listener) { listener_.ptr = listener; }
+  GraphListener* listener() const { return listener_.ptr; }
+
+  /// Monotonic logical-mutation counter: bumps on Add/Remove/Clear but not
+  /// on internal compaction. Lets derived structures (histograms) detect
+  /// staleness cheaply.
+  uint64_t version() const { return version_; }
+
  private:
   using IdList = std::vector<uint32_t>;
 
@@ -95,6 +127,19 @@ class Graph {
     size_t operator()(const PairKey& k) const;
   };
 
+  /// Listener pointer that nulls out when moved from, so a moved-from
+  /// graph cannot fire callbacks for a listener it no longer owns.
+  struct ListenerRef {
+    GraphListener* ptr = nullptr;
+    ListenerRef() = default;
+    ListenerRef(ListenerRef&& o) noexcept : ptr(o.ptr) { o.ptr = nullptr; }
+    ListenerRef& operator=(ListenerRef&& o) noexcept {
+      ptr = o.ptr;
+      o.ptr = nullptr;
+      return *this;
+    }
+  };
+
   void MaybeCompact();
 
   std::vector<Triple> triples_;
@@ -102,6 +147,8 @@ class Graph {
   size_t live_count_ = 0;
   size_t dead_count_ = 0;
   uint64_t blank_counter_ = 0;
+  uint64_t version_ = 0;
+  ListenerRef listener_;
 
   std::unordered_map<Term, IdList, TermHash> by_s_;
   std::unordered_map<Term, IdList, TermHash> by_p_;

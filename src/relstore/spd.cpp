@@ -16,15 +16,22 @@ std::vector<Interval> DetectPatterns(std::span<const uint64_t> keys,
   const size_t n = keys.size();
   if (min_run < 2) min_run = 2;
   while (i < n) {
-    if (i + 1 >= n) {
+    // A run needs a strictly increasing neighbor: on duplicate or
+    // unsorted input the uint64 difference wraps, and the wrapped value
+    // can read as a small positive stride. Such keys become singletons.
+    if (i + 1 >= n || keys[i + 1] <= keys[i]) {
       out.push_back(Interval{keys[i], 1, 1});
-      break;
+      ++i;
+      continue;
     }
     uint64_t stride = keys[i + 1] - keys[i];
     size_t j = i + 1;
-    while (j + 1 < n && keys[j + 1] - keys[j] == stride) ++j;
+    while (j + 1 < n && keys[j + 1] > keys[j] &&
+           keys[j + 1] - keys[j] == stride) {
+      ++j;
+    }
     size_t run = j - i + 1;
-    if (run >= min_run && stride > 0) {
+    if (run >= min_run) {
       out.push_back(Interval{keys[i], stride, run});
       i = j + 1;
     } else {

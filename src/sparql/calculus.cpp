@@ -2,6 +2,9 @@
 
 #include <sstream>
 
+#include "opt/planner.h"
+#include "opt/stats.h"
+
 namespace scisparql {
 namespace sparql {
 
@@ -151,13 +154,15 @@ std::string RenderPath(const ast::Path& p) {
   return "?";
 }
 
-void RenderGroup(const GraphPattern& gp, int depth, std::ostringstream* out);
+void RenderGroup(const GraphPattern& gp, int depth,
+                 const opt::CardinalityEstimator* est, std::ostringstream* out);
 
 void Indent(int depth, std::ostringstream* out) {
   *out << std::string(static_cast<size_t>(depth) * 2 + 2, ' ');
 }
 
-void RenderElement(const PatternElement& e, int depth, bool* first,
+void RenderElement(const PatternElement& e, int depth,
+                   const opt::CardinalityEstimator* est, bool* first,
                    std::ostringstream* out) {
   if (!*first) *out << " AND\n";
   *first = false;
@@ -182,7 +187,7 @@ void RenderElement(const PatternElement& e, int depth, bool* first,
       break;
     case PatternElement::Kind::kOptional: {
       *out << "leftjoin(\n";
-      RenderGroup(*e.child, depth + 1, out);
+      RenderGroup(*e.child, depth + 1, est, out);
       Indent(depth, out);
       *out << ")";
       break;
@@ -194,7 +199,7 @@ void RenderElement(const PatternElement& e, int depth, bool* first,
           Indent(depth, out);
           *out << "|\n";
         }
-        RenderGroup(*e.branches[b], depth + 1, out);
+        RenderGroup(*e.branches[b], depth + 1, est, out);
       }
       Indent(depth, out);
       *out << ")";
@@ -202,7 +207,7 @@ void RenderElement(const PatternElement& e, int depth, bool* first,
     }
     case PatternElement::Kind::kGraph:
       *out << "graph(" << RenderTerm(e.graph_name) << ",\n";
-      RenderGroup(*e.child, depth + 1, out);
+      RenderGroup(*e.child, depth + 1, est, out);
       Indent(depth, out);
       *out << ")";
       break;
@@ -211,13 +216,13 @@ void RenderElement(const PatternElement& e, int depth, bool* first,
       break;
     case PatternElement::Kind::kMinus:
       *out << "minus(\n";
-      RenderGroup(*e.child, depth + 1, out);
+      RenderGroup(*e.child, depth + 1, est, out);
       Indent(depth, out);
       *out << ")";
       break;
     case PatternElement::Kind::kGroup:
       *out << "(\n";
-      RenderGroup(*e.child, depth + 1, out);
+      RenderGroup(*e.child, depth + 1, est, out);
       Indent(depth, out);
       *out << ")";
       break;
@@ -227,14 +232,62 @@ void RenderElement(const PatternElement& e, int depth, bool* first,
   }
 }
 
-void RenderGroup(const GraphPattern& gp, int depth, std::ostringstream* out) {
+/// Pattern description with all variables free (the calculus view has no
+/// runtime bindings to resolve).
+opt::PatternDesc DescFor(const ast::TriplePattern& tp) {
+  opt::PatternDesc d;
+  auto fill = [](const VarOrTerm& vt, std::optional<Term>* c,
+                 std::string* var) {
+    if (vt.is_var) {
+      *var = vt.var;
+    } else {
+      *c = vt.term;
+    }
+  };
+  fill(tp.s, &d.s, &d.s_var);
+  if (tp.path != nullptr) {
+    d.is_path = true;
+  } else {
+    fill(tp.p, &d.p, &d.p_var);
+  }
+  fill(tp.o, &d.o, &d.o_var);
+  return d;
+}
+
+void RenderGroup(const GraphPattern& gp, int depth,
+                 const opt::CardinalityEstimator* est,
+                 std::ostringstream* out) {
   bool first = true;
   if (gp.elements.empty()) {
     Indent(depth, out);
     *out << "true";
   }
-  for (const PatternElement& e : gp.elements) {
-    RenderElement(e, depth, &first, out);
+  // With an estimator, runs of consecutive triple conjuncts render in the
+  // cost-based execution order instead of the textual one.
+  std::vector<const PatternElement*> order;
+  size_t i = 0;
+  const auto& elems = gp.elements;
+  while (i < elems.size()) {
+    if (est == nullptr || elems[i].kind != PatternElement::Kind::kTriple) {
+      order.push_back(&elems[i]);
+      ++i;
+      continue;
+    }
+    size_t j = i;
+    std::vector<opt::PatternDesc> descs;
+    while (j < elems.size() &&
+           elems[j].kind == PatternElement::Kind::kTriple) {
+      descs.push_back(DescFor(elems[j].triple));
+      ++j;
+    }
+    opt::BgpPlan plan = opt::PlanBgp(descs, {}, *est);
+    for (const opt::PlannedStep& s : plan.steps) {
+      order.push_back(&elems[i + s.input_index]);
+    }
+    i = j;
+  }
+  for (const PatternElement* e : order) {
+    RenderElement(*e, depth, est, &first, out);
   }
   *out << "\n";
 }
@@ -242,6 +295,16 @@ void RenderGroup(const GraphPattern& gp, int depth, std::ostringstream* out) {
 }  // namespace
 
 Result<std::string> RenderCalculus(const ast::SelectQuery& query) {
+  return RenderCalculus(query, nullptr, nullptr);
+}
+
+Result<std::string> RenderCalculus(const ast::SelectQuery& query,
+                                   const Graph* graph,
+                                   const opt::StatsRegistry* stats) {
+  std::optional<opt::CardinalityEstimator> est;
+  if (graph != nullptr) {
+    est.emplace(graph, stats == nullptr ? nullptr : stats->Find(graph));
+  }
   std::ostringstream out;
   out << "result(";
   if (query.select_all) {
@@ -258,7 +321,7 @@ Result<std::string> RenderCalculus(const ast::SelectQuery& query) {
     }
   }
   out << ") <-\n";
-  RenderGroup(query.where, 0, &out);
+  RenderGroup(query.where, 0, est.has_value() ? &*est : nullptr, &out);
   if (!query.group_by.empty()) {
     out << "  groupby(";
     for (size_t i = 0; i < query.group_by.size(); ++i) {

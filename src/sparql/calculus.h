@@ -7,6 +7,13 @@
 #include "sparql/ast.h"
 
 namespace scisparql {
+
+class Graph;
+
+namespace opt {
+class StatsRegistry;
+}  // namespace opt
+
 namespace sparql {
 
 /// Renders a parsed SciSPARQL query in the ObjectLog-style domain calculus
@@ -29,6 +36,15 @@ namespace sparql {
 ///     triple(?p, <...knows>, ?f) AND
 ///     triple(?f, <...name>, ?n)
 Result<std::string> RenderCalculus(const ast::SelectQuery& query);
+
+/// Statistics-aware variant: consecutive triple() conjuncts are rendered
+/// in the order the cost-based optimizer would execute them against
+/// `graph` (using `stats` when it has a collector for the graph), showing
+/// the post-optimization translation of Section 5.4.5. Either pointer may
+/// be null, which degrades to the textual rendering above.
+Result<std::string> RenderCalculus(const ast::SelectQuery& query,
+                                   const Graph* graph,
+                                   const opt::StatsRegistry* stats);
 
 /// Normalizes a filter expression to disjunctive normal form
 /// (Section 5.4.4): NOT is pushed to the leaves (De Morgan), and AND is

@@ -1,6 +1,7 @@
 #include "sparql/eval.h"
 
 #include <cmath>
+#include <cstdint>
 #include <regex>
 
 #include "array/ops.h"
@@ -294,6 +295,11 @@ class Evaluator {
       const ast::SubscriptExpr& s = e.subscripts[d];
       if (!s.is_range) {
         SCISPARQL_ASSIGN_OR_RETURN(int64_t i, EvalInt(*s.index));
+        if (i < 1 || i > shape[d]) {
+          return Status::OutOfRange("subscript " + std::to_string(i) +
+                                    " out of bounds for dimension of extent " +
+                                    std::to_string(shape[d]));
+        }
         subs.push_back(Sub::Index(i - 1));
         continue;
       }
@@ -310,12 +316,29 @@ class Evaluator {
       if (s.stride != nullptr) {
         SCISPARQL_ASSIGN_OR_RETURN(stride, EvalInt(*s.stride));
       }
-      if (stride == 0) return Status::TypeError("zero subscript stride");
+      if (stride == 0) {
+        return Status::InvalidArgument("zero subscript stride");
+      }
+      // Bounds are 1-based and inclusive; anything outside the dimension
+      // is rejected here so a bad range never reaches the view layer as a
+      // garbage shape. Bounded lo/hi also keep the count arithmetic below
+      // free of signed overflow.
+      if (lo < 1 || lo > shape[d] || hi < 1 || hi > shape[d]) {
+        return Status::InvalidArgument(
+            "subscript range " + std::to_string(lo) + ":" +
+            std::to_string(hi) + " out of bounds for dimension of extent " +
+            std::to_string(shape[d]));
+      }
       int64_t count;
       if (stride > 0) {
         count = hi >= lo ? (hi - lo) / stride + 1 : 0;
       } else {
-        count = lo >= hi ? (lo - hi) / (-stride) + 1 : 0;
+        // Two's-complement magnitude sidesteps UB when stride == INT64_MIN.
+        uint64_t mag = ~static_cast<uint64_t>(stride) + 1;
+        count = lo >= hi
+                    ? static_cast<int64_t>(
+                          static_cast<uint64_t>(lo - hi) / mag) + 1
+                    : 0;
       }
       subs.push_back(Sub::Range(lo - 1, count, stride));
     }

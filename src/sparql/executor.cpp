@@ -1,11 +1,13 @@
 #include "sparql/executor.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <set>
 #include <sstream>
 #include <unordered_set>
 
 #include "loaders/turtle.h"
+#include "opt/planner.h"
 
 namespace scisparql {
 namespace sparql {
@@ -30,8 +32,12 @@ bool IsInternalVar(const std::string& name) {
   return !name.empty() && name[0] == '.';
 }
 
-/// Collects user-visible variables of a pattern in first-appearance order.
 void CollectPatternVars(const GraphPattern& gp, std::vector<std::string>* out,
+                        std::set<std::string>* seen);
+
+/// Collects the user-visible variables one pattern element can bind. Also
+/// used to decide how far a group-scoped FILTER must be deferred.
+void CollectElementVars(const PatternElement& e, std::vector<std::string>* out,
                         std::set<std::string>* seen) {
   auto add = [&](const std::string& v) {
     if (!IsInternalVar(v) && seen->insert(v).second) out->push_back(v);
@@ -39,38 +45,44 @@ void CollectPatternVars(const GraphPattern& gp, std::vector<std::string>* out,
   auto add_vt = [&](const VarOrTerm& vt) {
     if (vt.is_var) add(vt.var);
   };
+  switch (e.kind) {
+    case PatternElement::Kind::kTriple:
+      add_vt(e.triple.s);
+      add_vt(e.triple.p);
+      add_vt(e.triple.o);
+      break;
+    case PatternElement::Kind::kBind:
+      add(e.bind_var);
+      break;
+    case PatternElement::Kind::kValues:
+      for (const std::string& v : e.values.vars) add(v);
+      break;
+    case PatternElement::Kind::kGraph:
+      add_vt(e.graph_name);
+      if (e.child) CollectPatternVars(*e.child, out, seen);
+      break;
+    case PatternElement::Kind::kUnion:
+      for (const auto& b : e.branches) CollectPatternVars(*b, out, seen);
+      break;
+    case PatternElement::Kind::kOptional:
+    case PatternElement::Kind::kGroup:
+      if (e.child) CollectPatternVars(*e.child, out, seen);
+      break;
+    case PatternElement::Kind::kSubSelect:
+      if (e.subquery != nullptr) {
+        for (const auto& p : e.subquery->projections) add(p.name);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+/// Collects user-visible variables of a pattern in first-appearance order.
+void CollectPatternVars(const GraphPattern& gp, std::vector<std::string>* out,
+                        std::set<std::string>* seen) {
   for (const PatternElement& e : gp.elements) {
-    switch (e.kind) {
-      case PatternElement::Kind::kTriple:
-        add_vt(e.triple.s);
-        add_vt(e.triple.p);
-        add_vt(e.triple.o);
-        break;
-      case PatternElement::Kind::kBind:
-        add(e.bind_var);
-        break;
-      case PatternElement::Kind::kValues:
-        for (const std::string& v : e.values.vars) add(v);
-        break;
-      case PatternElement::Kind::kGraph:
-        add_vt(e.graph_name);
-        if (e.child) CollectPatternVars(*e.child, out, seen);
-        break;
-      case PatternElement::Kind::kUnion:
-        for (const auto& b : e.branches) CollectPatternVars(*b, out, seen);
-        break;
-      case PatternElement::Kind::kOptional:
-      case PatternElement::Kind::kGroup:
-        if (e.child) CollectPatternVars(*e.child, out, seen);
-        break;
-      case PatternElement::Kind::kSubSelect:
-        if (e.subquery != nullptr) {
-          for (const auto& p : e.subquery->projections) add(p.name);
-        }
-        break;
-      default:
-        break;
-    }
+    CollectElementVars(e, out, seen);
   }
 }
 
@@ -129,6 +141,103 @@ void CollectAggNodes(const ast::Expr& e,
   if (e.base) CollectAggNodes(*e.base, out);
 }
 
+/// Numeric sort key for ORDER BY: native numerics by value, plus typed
+/// literals with an XSD numeric datatype whose lexical form fully parses
+/// (Term::Compare alone would order e.g. xsd:decimal literals lexically
+/// against xsd:integer values). Returns nullopt for everything else.
+std::optional<double> NumericOrderKey(const Term& t) {
+  if (t.IsNumeric()) {
+    Result<double> v = t.AsDouble();
+    if (v.ok()) return *v;
+    return std::nullopt;
+  }
+  if (t.kind() != Term::Kind::kTypedLiteral) return std::nullopt;
+  static const char kXsd[] = "http://www.w3.org/2001/XMLSchema#";
+  const std::string& dt = t.datatype();
+  if (dt.compare(0, sizeof(kXsd) - 1, kXsd) != 0) return std::nullopt;
+  static const std::set<std::string> kNumericTypes = {
+      "integer",          "decimal",         "double",
+      "float",            "int",             "long",
+      "short",            "byte",            "nonNegativeInteger",
+      "nonPositiveInteger", "negativeInteger", "positiveInteger",
+      "unsignedLong",     "unsignedInt",     "unsignedShort",
+      "unsignedByte"};
+  if (kNumericTypes.count(dt.substr(sizeof(kXsd) - 1)) == 0) {
+    return std::nullopt;
+  }
+  const std::string& lex = t.lexical();
+  if (lex.empty()) return std::nullopt;
+  char* end = nullptr;
+  double v = std::strtod(lex.c_str(), &end);
+  if (end == nullptr || *end != '\0') return std::nullopt;
+  return v;
+}
+
+/// ORDER BY comparator: mixed numeric bindings (xsd:integer vs xsd:double
+/// vs numeric typed literals) compare by value; everything else falls back
+/// to the SPARQL term order. Numerics still sort before non-numerics
+/// because Term::Compare ranks numeric kinds first.
+int CompareOrderKeys(const Term& a, const Term& b) {
+  std::optional<double> na = NumericOrderKey(a);
+  std::optional<double> nb = NumericOrderKey(b);
+  if (na.has_value() && nb.has_value()) {
+    if (*na < *nb) return -1;
+    if (*nb < *na) return 1;
+    return 0;
+  }
+  return Term::Compare(a, b);
+}
+
+/// Extracts sargable conjuncts (?v op numeric-constant) from a FILTER
+/// expression for the cardinality estimator. Walks through top-level ANDs;
+/// anything non-sargable is simply skipped (it only loses a hint).
+void ExtractFilterHints(const ast::Expr& e,
+                        std::vector<opt::FilterHint>* out) {
+  if (e.kind != ast::Expr::Kind::kBinary) return;
+  if (e.bop == ast::BinaryOp::kAnd) {
+    if (e.left) ExtractFilterHints(*e.left, out);
+    if (e.right) ExtractFilterHints(*e.right, out);
+    return;
+  }
+  opt::RangeOp op;
+  switch (e.bop) {
+    case ast::BinaryOp::kLt: op = opt::RangeOp::kLt; break;
+    case ast::BinaryOp::kLe: op = opt::RangeOp::kLe; break;
+    case ast::BinaryOp::kGt: op = opt::RangeOp::kGt; break;
+    case ast::BinaryOp::kGe: op = opt::RangeOp::kGe; break;
+    case ast::BinaryOp::kEq: op = opt::RangeOp::kEq; break;
+    case ast::BinaryOp::kNe: op = opt::RangeOp::kNe; break;
+    default: return;
+  }
+  auto flip = [](opt::RangeOp o) {
+    switch (o) {
+      case opt::RangeOp::kLt: return opt::RangeOp::kGt;
+      case opt::RangeOp::kLe: return opt::RangeOp::kGe;
+      case opt::RangeOp::kGt: return opt::RangeOp::kLt;
+      case opt::RangeOp::kGe: return opt::RangeOp::kLe;
+      default: return o;
+    }
+  };
+  auto numeric_const = [](const ast::Expr* x) -> std::optional<double> {
+    if (x == nullptr || x->kind != ast::Expr::Kind::kTerm) return std::nullopt;
+    if (!x->term.IsNumeric()) return std::nullopt;
+    Result<double> v = x->term.AsDouble();
+    if (!v.ok()) return std::nullopt;
+    return *v;
+  };
+  const ast::Expr* l = e.left.get();
+  const ast::Expr* r = e.right.get();
+  if (l != nullptr && l->kind == ast::Expr::Kind::kVar) {
+    if (std::optional<double> c = numeric_const(r)) {
+      out->push_back({l->var, op, *c});
+    }
+  } else if (r != nullptr && r->kind == ast::Expr::Kind::kVar) {
+    if (std::optional<double> c = numeric_const(l)) {
+      out->push_back({r->var, flip(op), *c});
+    }
+  }
+}
+
 /// Lexicographic row comparator on Term::Compare, for DISTINCT/dedup sets.
 struct RowLess {
   bool operator()(const std::vector<Term>& a,
@@ -170,28 +279,71 @@ class ExecImpl {
 
   // --- Pattern evaluation. ---
 
-  Result<bool> EvalGroup(const GraphPattern& gp, State& st, const Cont& k) {
-    return EvalSteps(gp.elements, 0, st, k);
+  /// Element order used for evaluation. SPARQL FILTERs scope over the
+  /// *whole* group, so a FILTER whose variables can still be bound by a
+  /// later element (typically an OPTIONAL) is deferred to just after the
+  /// last such element instead of being evaluated where it appears
+  /// textually (where the unbound variable would make it an error and
+  /// reject every solution). Cached per pattern for the query's lifetime.
+  const std::vector<const PatternElement*>& GroupView(const GraphPattern& gp) {
+    auto cached = group_views_.find(&gp);
+    if (cached != group_views_.end()) return cached->second;
+    const auto& elems = gp.elements;
+    std::vector<int> defer_after(elems.size(), -1);
+    for (size_t f = 0; f < elems.size(); ++f) {
+      if (elems[f].kind != PatternElement::Kind::kFilter) continue;
+      std::set<std::string> fvars;
+      CollectExprVars(*elems[f].expr, &fvars);
+      for (size_t j = f + 1; j < elems.size(); ++j) {
+        if (elems[j].kind == PatternElement::Kind::kFilter) continue;
+        std::vector<std::string> evars;
+        std::set<std::string> seen;
+        CollectElementVars(elems[j], &evars, &seen);
+        for (const std::string& v : evars) {
+          if (fvars.count(v) > 0) {
+            defer_after[f] = static_cast<int>(j);
+            break;
+          }
+        }
+      }
+    }
+    std::vector<const PatternElement*> view;
+    view.reserve(elems.size());
+    for (size_t i = 0; i < elems.size(); ++i) {
+      if (elems[i].kind == PatternElement::Kind::kFilter &&
+          defer_after[i] >= 0) {
+        continue;
+      }
+      view.push_back(&elems[i]);
+      for (size_t f = 0; f < elems.size(); ++f) {
+        if (defer_after[f] == static_cast<int>(i)) view.push_back(&elems[f]);
+      }
+    }
+    return group_views_.emplace(&gp, std::move(view)).first->second;
   }
 
-  Result<bool> EvalSteps(const std::vector<PatternElement>& elems, size_t i,
-                         State& st, const Cont& k) {
+  Result<bool> EvalGroup(const GraphPattern& gp, State& st, const Cont& k) {
+    return EvalSteps(GroupView(gp), 0, st, k);
+  }
+
+  Result<bool> EvalSteps(const std::vector<const PatternElement*>& elems,
+                         size_t i, State& st, const Cont& k) {
     SCISPARQL_RETURN_NOT_OK(CheckInterrupt());
     if (i >= elems.size()) return k();
 
     // Gather a maximal run of triple patterns into one BGP, pulling in any
     // directly following FILTERs so they can be pushed into the join.
-    if (elems[i].kind == PatternElement::Kind::kTriple) {
+    if (elems[i]->kind == PatternElement::Kind::kTriple) {
       std::vector<const TriplePattern*> bgp;
       std::vector<const ast::Expr*> filters;
       size_t j = i;
       while (j < elems.size()) {
-        if (elems[j].kind == PatternElement::Kind::kTriple) {
-          bgp.push_back(&elems[j].triple);
+        if (elems[j]->kind == PatternElement::Kind::kTriple) {
+          bgp.push_back(&elems[j]->triple);
           ++j;
         } else if (options_.push_filters &&
-                   elems[j].kind == PatternElement::Kind::kFilter) {
-          filters.push_back(elems[j].expr.get());
+                   elems[j]->kind == PatternElement::Kind::kFilter) {
+          filters.push_back(elems[j]->expr.get());
           ++j;
         } else {
           break;
@@ -203,7 +355,7 @@ class ExecImpl {
       return EvalBgp(bgp, filters, st, next);
     }
 
-    const PatternElement& e = elems[i];
+    const PatternElement& e = *elems[i];
     auto next = [this, &elems, i, &st, &k]() {
       return EvalSteps(elems, i + 1, st, k);
     };
@@ -530,73 +682,94 @@ class ExecImpl {
     return true;
   }
 
-  // --- BGP evaluation with greedy cost-based ordering (Section 5.4). ---
+  // --- BGP evaluation with cost-based ordering (Section 5.4). ---
 
-  /// Cardinality estimate of a pattern under the current binding.
-  /// `will_be_bound` are variables bound by already-chosen patterns (values
-  /// unknown, so they discount the estimate instead of indexing).
-  int64_t EstimatePattern(const TriplePattern& tp, const State& st,
-                          const std::set<std::string>& will_be_bound) const {
-    auto resolve = [&](const VarOrTerm& vt)
-        -> std::pair<std::optional<Term>, bool> {
-      if (!vt.is_var) return {vt.term, false};
+  /// Abstracts a triple pattern for the cost model: variables already bound
+  /// in the current solution are resolved to constants, the rest stay
+  /// symbolic so the estimator can discount them as join variables.
+  opt::PatternDesc MakeDesc(const TriplePattern& tp, const State& st) const {
+    opt::PatternDesc d;
+    auto fill = [&](const VarOrTerm& vt, std::optional<Term>* c,
+                    std::string* var) {
+      if (!vt.is_var) {
+        *c = vt.term;
+        return;
+      }
       auto it = st.binding.find(vt.var);
-      if (it != st.binding.end()) return {it->second, false};
-      return {std::nullopt, will_be_bound.count(vt.var) > 0};
+      if (it != st.binding.end()) {
+        *c = it->second;
+      } else {
+        *var = vt.var;
+      }
     };
+    fill(tp.s, &d.s, &d.s_var);
     if (tp.path != nullptr) {
-      // Complex paths: prefer them once an endpoint is bound.
-      auto [s, s_later] = resolve(tp.s);
-      auto [o, o_later] = resolve(tp.o);
-      int64_t base = static_cast<int64_t>(st.graph->size()) + 1;
-      if (s || o) return base / 10 + 1;
-      if (s_later || o_later) return base / 2 + 1;
-      return base;
+      d.is_path = true;
+    } else {
+      fill(tp.p, &d.p, &d.p_var);
     }
-    auto [s, s_later] = resolve(tp.s);
-    auto [p, p_later] = resolve(tp.p);
-    auto [o, o_later] = resolve(tp.o);
-    int64_t est = st.graph->EstimateMatches(s, p, o) + 1;
-    // Join variables (bound later by chosen patterns) shrink the result.
-    int later = (s_later ? 1 : 0) + (p_later ? 1 : 0) + (o_later ? 1 : 0);
-    for (int i = 0; i < later; ++i) est = est / 4 + 1;
-    return est;
+    fill(tp.o, &d.o, &d.o_var);
+    return d;
   }
 
-  std::vector<const TriplePattern*> OrderBgp(
-      const std::vector<const TriplePattern*>& bgp, const State& st) const {
-    if (!options_.optimize_join_order || bgp.size() <= 1) return bgp;
-    std::vector<const TriplePattern*> remaining = bgp;
-    std::vector<const TriplePattern*> ordered;
-    std::set<std::string> bound;
-    auto add_vars = [&bound](const TriplePattern& tp) {
-      if (tp.s.is_var) bound.insert(tp.s.var);
-      if (tp.p.is_var) bound.insert(tp.p.var);
-      if (tp.o.is_var) bound.insert(tp.o.var);
-    };
-    while (!remaining.empty()) {
-      size_t best = 0;
-      int64_t best_est = EstimatePattern(*remaining[0], st, bound);
-      for (size_t i = 1; i < remaining.size(); ++i) {
-        int64_t est = EstimatePattern(*remaining[i], st, bound);
-        if (est < best_est) {
-          best = i;
-          best_est = est;
-        }
+  /// A BGP's execution order plus per-step cumulative estimates (what
+  /// EXPLAIN prints next to the actual counts).
+  struct OrderedBgp {
+    std::vector<const TriplePattern*> patterns;
+    std::vector<int64_t> est;  // estimated cumulative rows after each step
+    bool reordered = false;
+  };
+
+  OrderedBgp OrderBgp(const std::vector<const TriplePattern*>& bgp,
+                      const std::vector<const ast::Expr*>& filters,
+                      const State& st) const {
+    std::vector<opt::PatternDesc> descs;
+    descs.reserve(bgp.size());
+    for (const TriplePattern* tp : bgp) descs.push_back(MakeDesc(*tp, st));
+    std::vector<opt::FilterHint> hints;
+    for (const ast::Expr* f : filters) ExtractFilterHints(*f, &hints);
+    const opt::GraphStats* stats =
+        options_.stats == nullptr ? nullptr : options_.stats->Find(st.graph);
+    opt::CardinalityEstimator estimator(st.graph, stats);
+
+    OrderedBgp out;
+    if (!options_.optimize_join_order) {
+      // Textual order; still estimate each step so EXPLAIN has numbers.
+      std::set<std::string> bound;
+      double card = 1.0;
+      for (const TriplePattern* tp : bgp) {
+        const opt::PatternDesc& d = descs[out.patterns.size()];
+        int64_t step = estimator.Estimate(d, bound, hints);
+        card = std::min(1e15, card * static_cast<double>(step));
+        out.patterns.push_back(tp);
+        out.est.push_back(static_cast<int64_t>(std::max(1.0, card)));
+        for (const std::string& v : d.Vars()) bound.insert(v);
       }
-      ordered.push_back(remaining[best]);
-      add_vars(*remaining[best]);
-      remaining.erase(remaining.begin() + best);
+      return out;
     }
-    return ordered;
+
+    opt::BgpPlan plan = opt::PlanBgp(descs, hints, estimator);
+    for (const opt::PlannedStep& s : plan.steps) {
+      out.patterns.push_back(bgp[s.input_index]);
+      out.est.push_back(s.cumulative);
+    }
+    out.reordered = plan.reordered;
+    return out;
   }
 
   Result<bool> EvalBgp(const std::vector<const TriplePattern*>& bgp,
                        const std::vector<const ast::Expr*>& filters,
                        State& st, const Cont& k) {
-    std::vector<const TriplePattern*> ordered = OrderBgp(bgp, st);
+    OrderedBgp ordered = OrderBgp(bgp, filters, st);
+    if (profile_ && !bgp.empty()) {
+      // Remember the first plan chosen for this (textual) BGP so EXPLAIN
+      // can render estimated vs. actual cardinalities side by side.
+      plan_records_.emplace(bgp[0],
+                            PlanRecord{ordered.patterns, ordered.est,
+                                       ordered.reordered});
+    }
     std::vector<bool> filter_done(filters.size(), false);
-    return EvalBgpRec(ordered, filters, &filter_done, 0, st, k);
+    return EvalBgpRec(ordered.patterns, filters, &filter_done, 0, st, k);
   }
 
   Result<bool> EvalBgpRec(const std::vector<const TriplePattern*>& patterns,
@@ -682,6 +855,7 @@ class ExecImpl {
       bool consistent = bind_pos(tp.s, t.s) && bind_pos(tp.p, t.p) &&
                         bind_pos(tp.o, t.o);
       if (consistent) {
+        if (profile_) ++scan_actual_[patterns[i]];
         Result<bool> r =
             EvalBgpRec(patterns, filters, filter_done, i + 1, st, k);
         if (!r.ok()) {
@@ -732,6 +906,7 @@ class ExecImpl {
           bind_pos(tp.s, sv);
           if (consistent) bind_pos(tp.o, ov);
           if (consistent) {
+            if (profile_) ++scan_actual_[patterns[i]];
             Result<bool> r =
                 EvalBgpRec(patterns, filters, filter_done, i + 1, st, k);
             if (!r.ok()) {
@@ -1215,8 +1390,8 @@ class ExecImpl {
       std::stable_sort(rows.begin(), rows.end(),
                        [&q](const OutRow& a, const OutRow& b) {
                          for (size_t i = 0; i < q.order_by.size(); ++i) {
-                           int c = Term::Compare(a.order_keys[i],
-                                                 b.order_keys[i]);
+                           int c = CompareOrderKeys(a.order_keys[i],
+                                                    b.order_keys[i]);
                            if (c != 0) {
                              return q.order_by[i].ascending ? c < 0 : c > 0;
                            }
@@ -1504,16 +1679,25 @@ class ExecImpl {
   }
 
   Result<std::string> Explain(const SelectQuery& q) {
+    // EXPLAIN is analyze-style: run the query once with per-scan profiling
+    // so the plan can report estimated *and* actual cardinalities.
+    profile_ = true;
+    Result<std::vector<Binding>> sols = CollectSolutions(q, Binding());
+    profile_ = false;
     std::ostringstream out;
     out << "plan for " << (q.form == SelectQuery::Form::kSelect ? "SELECT"
                            : q.form == SelectQuery::Form::kAsk ? "ASK"
                                                                : "CONSTRUCT")
         << ":\n";
+    if (!sols.ok()) {
+      out << "  (execution failed: " << sols.status().message() << ")\n";
+    }
     ExplainGroup(q.where, 1, &out);
     if (!q.group_by.empty()) out << "  group-by (" << q.group_by.size() << " keys)\n";
     if (!q.order_by.empty()) out << "  order-by (" << q.order_by.size() << " keys)\n";
     if (q.distinct) out << "  distinct\n";
     if (q.limit >= 0) out << "  limit " << q.limit << "\n";
+    if (sols.ok()) out << "  solutions: " << sols->size() << "\n";
     return out.str();
   }
 
@@ -1521,39 +1705,56 @@ class ExecImpl {
     std::string pad(static_cast<size_t>(depth) * 2, ' ');
     State st{&dataset_->default_graph(), Binding()};
     size_t i = 0;
-    const auto& elems = gp.elements;
+    // Same element order the evaluator uses (group-scoped FILTERs moved
+    // past the elements that bind their variables).
+    const std::vector<const PatternElement*>& elems = GroupView(gp);
     while (i < elems.size()) {
-      if (elems[i].kind == PatternElement::Kind::kTriple) {
+      if (elems[i]->kind == PatternElement::Kind::kTriple) {
         std::vector<const TriplePattern*> bgp;
+        std::vector<const ast::Expr*> filters;
         size_t j = i;
         while (j < elems.size() &&
-               (elems[j].kind == PatternElement::Kind::kTriple ||
+               (elems[j]->kind == PatternElement::Kind::kTriple ||
                 (options_.push_filters &&
-                 elems[j].kind == PatternElement::Kind::kFilter))) {
-          if (elems[j].kind == PatternElement::Kind::kTriple) {
-            bgp.push_back(&elems[j].triple);
+                 elems[j]->kind == PatternElement::Kind::kFilter))) {
+          if (elems[j]->kind == PatternElement::Kind::kTriple) {
+            bgp.push_back(&elems[j]->triple);
+          } else {
+            filters.push_back(elems[j]->expr.get());
           }
           ++j;
         }
-        std::vector<const TriplePattern*> ordered = OrderBgp(bgp, st);
-        *out << pad << "bgp (" << (options_.optimize_join_order
-                                       ? "cost-ordered"
-                                       : "parse-ordered")
-             << "):\n";
-        std::set<std::string> bound;
-        for (const TriplePattern* tp : ordered) {
+        // Prefer the plan recorded during the profiled run (it saw the
+        // real graph and bindings); fall back to planning statically for
+        // pattern runs that never executed.
+        const PlanRecord* rec = nullptr;
+        auto it = plan_records_.find(bgp.empty() ? nullptr : bgp[0]);
+        if (it != plan_records_.end()) rec = &it->second;
+        OrderedBgp planned;
+        if (rec == nullptr) planned = OrderBgp(bgp, filters, st);
+        const std::vector<const TriplePattern*>& order =
+            rec != nullptr ? rec->order : planned.patterns;
+        const std::vector<int64_t>& est = rec != nullptr ? rec->est
+                                                         : planned.est;
+        bool reordered = rec != nullptr ? rec->reordered : planned.reordered;
+        *out << pad << "bgp ("
+             << (options_.optimize_join_order ? "cost-ordered"
+                                              : "parse-ordered")
+             << (reordered ? ", reordered" : "") << "):\n";
+        for (size_t s = 0; s < order.size(); ++s) {
+          const TriplePattern* tp = order[s];
+          int64_t actual = 0;
+          auto ait = scan_actual_.find(tp);
+          if (ait != scan_actual_.end()) actual = ait->second;
           *out << pad << "  scan " << tp->s.ToString() << " "
                << (tp->path ? std::string("<path>") : tp->p.ToString()) << " "
-               << tp->o.ToString() << "  (est "
-               << EstimatePattern(*tp, st, bound) << ")\n";
-          if (tp->s.is_var) bound.insert(tp->s.var);
-          if (tp->p.is_var) bound.insert(tp->p.var);
-          if (tp->o.is_var) bound.insert(tp->o.var);
+               << tp->o.ToString() << "  (est " << est[s] << ", actual "
+               << actual << ")\n";
         }
         i = j;
         continue;
       }
-      const PatternElement& e = elems[i];
+      const PatternElement& e = *elems[i];
       switch (e.kind) {
         case PatternElement::Kind::kFilter:
           *out << pad << "filter\n";
@@ -1592,6 +1793,14 @@ class ExecImpl {
   }
 
  private:
+  /// Plan chosen for one textual BGP (keyed by its first triple pattern),
+  /// captured during a profiled (EXPLAIN) run.
+  struct PlanRecord {
+    std::vector<const TriplePattern*> order;
+    std::vector<int64_t> est;
+    bool reordered = false;
+  };
+
   Dataset* dataset_;
   FunctionRegistry* registry_;
   const ExecOptions& options_;
@@ -1601,6 +1810,14 @@ class ExecImpl {
   std::map<const SelectQuery*, QueryResult> subselect_cache_;
   std::vector<Term> universe_;
   const Graph* universe_graph_ = nullptr;
+  /// Evaluation-order views per group (node-stable map: EvalSteps holds
+  /// references into the values across recursion).
+  std::map<const GraphPattern*, std::vector<const PatternElement*>>
+      group_views_;
+  /// EXPLAIN profiling: per-scan actual binding counts and recorded plans.
+  bool profile_ = false;
+  std::map<const TriplePattern*, int64_t> scan_actual_;
+  std::map<const TriplePattern*, PlanRecord> plan_records_;
 };
 
 // ---------------------------------------------------------------------------

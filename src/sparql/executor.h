@@ -14,6 +14,11 @@
 #include "storage/asei.h"
 
 namespace scisparql {
+
+namespace opt {
+class StatsRegistry;
+}  // namespace opt
+
 namespace sparql {
 
 /// A SELECT result: column names plus rows of terms (Undef = unbound).
@@ -27,13 +32,19 @@ struct QueryResult {
 
 /// Execution options — the knobs the E8 ablation benchmark flips.
 struct ExecOptions {
-  /// Greedy cost-based ordering of BGP triple patterns using graph
-  /// statistics (Section 5.4's cost-based optimization). Off = execute in
-  /// parse order.
+  /// Cost-based ordering of BGP triple patterns (Section 5.4's cost-based
+  /// optimization): exhaustive DP for small BGPs, greedy beyond. Off =
+  /// execute in parse order.
   bool optimize_join_order = true;
 
   /// Hoist FILTERs to the earliest point where their variables are bound.
   bool push_filters = true;
+
+  /// Graph statistics registry feeding the join-order cost model
+  /// (per-predicate counts, distinct-value counts, histograms). Not owned;
+  /// may be null, in which case the optimizer falls back to raw
+  /// index-bucket estimates with fixed join discounts.
+  const opt::StatsRegistry* stats = nullptr;
 
   /// APR configuration threaded into array proxies created during
   /// execution.

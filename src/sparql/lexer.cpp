@@ -1,6 +1,7 @@
 #include "sparql/lexer.h"
 
 #include <cctype>
+#include <cstdint>
 
 #include "common/string_util.h"
 
@@ -22,6 +23,25 @@ bool IsNameChar(char c) {
 bool IsLocalChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
          c == '-' || c == '.' || c == '%';
+}
+
+/// Appends the UTF-8 encoding of a code point (caller validates range).
+void AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
 }
 
 class Lexer {
@@ -150,6 +170,36 @@ class Lexer {
           case '\'':
             value += '\'';
             break;
+          case 'u':
+          case 'U': {
+            // SPARQL \uXXXX / \UXXXXXXXX numeric escapes: decode the code
+            // point and append its UTF-8 encoding.
+            int digits = e == 'u' ? 4 : 8;
+            uint32_t cp = 0;
+            for (int d = 0; d < digits; ++d) {
+              if (AtEnd()) {
+                return Error(std::string("truncated \\") + e + " escape");
+              }
+              char h = Advance();
+              int v;
+              if (h >= '0' && h <= '9') {
+                v = h - '0';
+              } else if (h >= 'a' && h <= 'f') {
+                v = h - 'a' + 10;
+              } else if (h >= 'A' && h <= 'F') {
+                v = h - 'A' + 10;
+              } else {
+                return Error(std::string("bad hex digit '") + h +
+                             "' in \\" + e + " escape");
+              }
+              cp = (cp << 4) | static_cast<uint32_t>(v);
+            }
+            if (cp > 0x10FFFF || (cp >= 0xD800 && cp <= 0xDFFF)) {
+              return Error("escape is not a valid Unicode code point");
+            }
+            AppendUtf8(cp, &value);
+            break;
+          }
           default:
             return Error(std::string("unknown escape \\") + e);
         }

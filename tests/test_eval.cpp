@@ -179,6 +179,33 @@ TEST_F(EvalFixture, SubscriptRanges) {
   EXPECT_EQ(strided->array()->Materialize()->ToString(), "[11, 31]");
 }
 
+TEST_F(EvalFixture, SubscriptRangeValidation) {
+  SetVar("a", Matrix3x4());
+  // Bounds outside the 1-based dimension extent are a clean error.
+  auto hi_oob = Eval("?a[1:9, 1]");
+  ASSERT_FALSE(hi_oob.ok());
+  EXPECT_EQ(hi_oob.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(hi_oob.status().message().find("out of bounds"),
+            std::string::npos);
+  auto lo_oob = Eval("?a[0:2, 1]");
+  ASSERT_FALSE(lo_oob.ok());
+  EXPECT_EQ(lo_oob.status().code(), StatusCode::kInvalidArgument);
+
+  auto zero_stride = Eval("?a[1:3:0, 1]");
+  ASSERT_FALSE(zero_stride.ok());
+  EXPECT_EQ(zero_stride.status().code(), StatusCode::kInvalidArgument);
+
+  // Index (non-range) subscripts keep their out-of-range code.
+  auto idx_oob = Eval("?a[4, 1]");
+  ASSERT_FALSE(idx_oob.ok());
+  EXPECT_EQ(idx_oob.status().code(), StatusCode::kOutOfRange);
+
+  // Negative stride walks backwards and stays supported.
+  auto reversed = Eval("?a[3:1:-1, 1]");
+  ASSERT_TRUE(reversed.ok()) << reversed.status().ToString();
+  EXPECT_EQ(reversed->array()->Materialize()->ToString(), "[31, 21, 11]");
+}
+
 TEST_F(EvalFixture, SubscriptComputedIndex) {
   SetVar("a", Matrix3x4());
   SetVar("i", Term::Integer(2));

@@ -390,5 +390,70 @@ TEST_F(ExecutorTest, NestedOptionalOrderSensitivity) {
   EXPECT_EQ(r.rows[0][1], Term::Integer(2));
 }
 
+TEST_F(ExecutorTest, FilterOnVariableBoundOnlyInLaterOptional) {
+  // ?v is bound by the OPTIONAL *after* the filter appears textually.
+  // Group semantics: the filter applies to the whole group solution, so it
+  // must see the OPTIONAL's binding (and not run early against unbound ?v).
+  ASSERT_TRUE(db_.Run("INSERT DATA { ex:v1 ex:bonus 25 }").ok());
+  auto r = Q(R"(
+SELECT ?s ?b WHERE {
+  ?s ex:score ?v . FILTER(?b > 20)
+  OPTIONAL { ?s ex:bonus ?b }
+})");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].iri(), "http://example.org/v1");
+  EXPECT_EQ(r.rows[0][1], Term::Integer(25));
+}
+
+TEST_F(ExecutorTest, FilterOnUnboundOptionalVarIsFalseNotError) {
+  // When the OPTIONAL never binds ?b, the filter evaluates to an error,
+  // which counts as false for that solution — the query must still
+  // succeed (returning no rows), not abort.
+  auto r = Q(R"(
+SELECT ?s WHERE {
+  ?s ex:score ?v . FILTER(?b > 20)
+  OPTIONAL { ?s ex:missing ?b }
+})");
+  EXPECT_TRUE(r.rows.empty());
+}
+
+TEST_F(ExecutorTest, OrderByComparesMixedNumericTypesByValue) {
+  // 9.5 as xsd:double must sort between the integers 2 and 30, not
+  // lexically / by type.
+  ASSERT_TRUE(db_.Run("INSERT DATA { ex:m1 ex:metric 2 }").ok());
+  ASSERT_TRUE(db_.Run("INSERT DATA { ex:m2 ex:metric 9.5 }").ok());
+  ASSERT_TRUE(db_.Run("INSERT DATA { ex:m3 ex:metric 30 }").ok());
+  ASSERT_TRUE(
+      db_.Run("INSERT DATA { ex:m4 ex:metric "
+              "\"12\"^^<http://www.w3.org/2001/XMLSchema#double> }")
+          .ok());
+  auto r = Q("SELECT ?s ?m WHERE { ?s ex:metric ?m } ORDER BY ?m");
+  ASSERT_EQ(r.rows.size(), 4u);
+  EXPECT_EQ(r.rows[0][0].iri(), "http://example.org/m1");  // 2
+  EXPECT_EQ(r.rows[1][0].iri(), "http://example.org/m2");  // 9.5
+  EXPECT_EQ(r.rows[2][0].iri(), "http://example.org/m4");  // "12"^^double
+  EXPECT_EQ(r.rows[3][0].iri(), "http://example.org/m3");  // 30
+}
+
+TEST_F(ExecutorTest, ArraySliceBadBoundsAreCleanErrors) {
+  // ex:m ex:data is the 2x2 matrix from the fixture. Out-of-range bounds
+  // and zero strides error out in the expression layer, which surfaces
+  // here as an unbound projection (same contract as BIND errors) — never
+  // as a garbage-shaped view. The error codes themselves are asserted in
+  // test_eval.cpp.
+  auto oob = Q("SELECT (?a[1:9, 1] AS ?x) WHERE { ex:m ex:data ?a }");
+  ASSERT_EQ(oob.rows.size(), 1u);
+  EXPECT_TRUE(oob.rows[0][0].IsUndef());
+
+  auto zero = Q("SELECT (?a[1:2:0, 1] AS ?x) WHERE { ex:m ex:data ?a }");
+  ASSERT_EQ(zero.rows.size(), 1u);
+  EXPECT_TRUE(zero.rows[0][0].IsUndef());
+
+  // In-range slice still works.
+  auto ok = Q("SELECT (?a[1:2, 1] AS ?x) WHERE { ex:m ex:data ?a }");
+  ASSERT_EQ(ok.rows.size(), 1u);
+  EXPECT_FALSE(ok.rows[0][0].IsUndef());
+}
+
 }  // namespace
 }  // namespace scisparql

@@ -185,6 +185,42 @@ TEST(Lexer, SubscriptTokens) {
   EXPECT_TRUE(toks[9].IsPunct("]"));
 }
 
+TEST(Lexer, UnicodeEscapes) {
+  // U+0041 = 'A' (ASCII), U+00E9 = e-acute (2-byte UTF-8).
+  auto toks = Lex(R"("\u0041\u00E9")");
+  ASSERT_EQ(toks[0].type, TokenType::kString);
+  EXPECT_EQ(toks[0].text, "A\xC3\xA9");
+
+  // 8-digit form, astral plane (U+1F600 -> 4-byte UTF-8).
+  auto astral = Lex(R"("\U0001F600")");
+  ASSERT_EQ(astral[0].type, TokenType::kString);
+  EXPECT_EQ(astral[0].text, "\xF0\x9F\x98\x80");
+
+  // Three-byte BMP code point (U+20AC, euro sign) mixed with simple escapes.
+  auto mixed = Lex(R"("x\u20ACy\n")");
+  EXPECT_EQ(mixed[0].text, "x\xE2\x82\xACy\n");
+}
+
+TEST(Lexer, MalformedUnicodeEscapes) {
+  // Too few hex digits before the closing quote.
+  auto short4 = Tokenize(R"("\u00Z1")");
+  ASSERT_FALSE(short4.ok());
+  EXPECT_NE(short4.status().message().find("hex digit"), std::string::npos);
+
+  // Truncated at end of input.
+  auto trunc = Tokenize("\"\\u00");
+  EXPECT_FALSE(trunc.ok());
+  auto trunc8 = Tokenize("\"\\U0001F6");
+  EXPECT_FALSE(trunc8.ok());
+
+  // Surrogate halves and beyond-Unicode code points are invalid.
+  auto surrogate = Tokenize(R"("\uD800")");
+  ASSERT_FALSE(surrogate.ok());
+  EXPECT_NE(surrogate.status().message().find("code point"),
+            std::string::npos);
+  EXPECT_FALSE(Tokenize(R"("\U00110000")").ok());
+}
+
 }  // namespace
 }  // namespace sparql
 }  // namespace scisparql

@@ -1,0 +1,280 @@
+// Tests for the statistics + cost-based join-ordering layer (src/opt/).
+
+#include <algorithm>
+#include <array>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/ssdm.h"
+#include "opt/planner.h"
+#include "opt/stats.h"
+
+namespace scisparql {
+namespace {
+
+Term Iri(const std::string& local) {
+  return Term::Iri("http://example.org/" + local);
+}
+
+// --- Equi-depth histogram. ---
+
+TEST(EquiDepthHistogram, QuantilesAndFractions) {
+  std::vector<double> values;
+  for (int i = 1; i <= 1000; ++i) values.push_back(i);
+  auto h = opt::EquiDepthHistogram::Build(values, 16);
+  EXPECT_EQ(h.count(), 1000);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  EXPECT_NEAR(h.Quantile(0.5), 500.0, 80.0);
+  EXPECT_NEAR(h.FractionLeq(250.0), 0.25, 0.08);
+  EXPECT_DOUBLE_EQ(h.FractionLeq(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.FractionLeq(2000.0), 1.0);
+  // Monotone.
+  double prev = 0;
+  for (double x = 0; x <= 1100; x += 50) {
+    double f = h.FractionLeq(x);
+    EXPECT_GE(f, prev);
+    prev = f;
+  }
+}
+
+TEST(EquiDepthHistogram, EmptyAndSingleton) {
+  auto empty = opt::EquiDepthHistogram::Build({});
+  EXPECT_TRUE(empty.empty());
+  auto one = opt::EquiDepthHistogram::Build({42.0});
+  EXPECT_EQ(one.count(), 1);
+  EXPECT_DOUBLE_EQ(one.FractionLeq(41.0), 0.0);
+  EXPECT_DOUBLE_EQ(one.FractionLeq(43.0), 1.0);
+}
+
+// --- Incremental counter maintenance. ---
+
+struct StatsSnapshot {
+  int64_t total, num_preds, subj, obj;
+  std::vector<std::array<int64_t, 3>> per_pred;  // count, dsubj, dobj
+
+  static StatsSnapshot Of(const opt::GraphStats& s,
+                          const std::vector<Term>& preds) {
+    StatsSnapshot out{s.total_triples(), s.num_predicates(),
+                      s.DistinctSubjects(), s.DistinctObjects(), {}};
+    for (const Term& p : preds) {
+      out.per_pred.push_back(
+          {s.PredicateCount(p), s.DistinctSubjects(p), s.DistinctObjects(p)});
+    }
+    return out;
+  }
+  bool operator==(const StatsSnapshot& o) const {
+    return total == o.total && num_preds == o.num_preds && subj == o.subj &&
+           obj == o.obj && per_pred == o.per_pred;
+  }
+};
+
+/// Property: after any interleaving of INSERT/DELETE (with duplicates and
+/// no-op deletes), the incrementally maintained counters equal a
+/// from-scratch rebuild.
+TEST(GraphStats, IncrementalMatchesRebuildUnderInterleavedMutations) {
+  std::mt19937 rng(20260807);
+  Graph g;
+  opt::GraphStats stats;
+  stats.Attach(&g);
+
+  std::vector<Term> preds;
+  for (int i = 0; i < 5; ++i) preds.push_back(Iri("p" + std::to_string(i)));
+  auto subject = [&](int i) { return Iri("s" + std::to_string(i)); };
+  auto object = [&](int i) {
+    return i % 2 == 0 ? Term::Integer(i) : Term(Iri("o" + std::to_string(i)));
+  };
+
+  std::vector<Triple> live;
+  for (int round = 0; round < 6; ++round) {
+    for (int step = 0; step < 300; ++step) {
+      int roll = static_cast<int>(rng() % 10);
+      if (roll < 6 || live.empty()) {
+        Triple t{subject(static_cast<int>(rng() % 40)),
+                 preds[rng() % preds.size()],
+                 object(static_cast<int>(rng() % 25))};
+        // Occasionally insert an exact duplicate.
+        if (roll == 0 && !live.empty()) t = live[rng() % live.size()];
+        g.Add(t);
+        live.push_back(t);
+      } else if (roll < 9) {
+        size_t idx = rng() % live.size();
+        Triple t = live[idx];
+        size_t removed = g.Remove(t);
+        ASSERT_GE(removed, 1u);
+        // Remove() drops *all* equal triples; mirror that in the shadow.
+        live.erase(std::remove(live.begin(), live.end(), t), live.end());
+        (void)removed;
+      } else {
+        // No-op delete of a triple that is not in the graph.
+        g.Remove(Triple{subject(999), preds[0], object(998)});
+      }
+    }
+    ASSERT_EQ(static_cast<size_t>(stats.total_triples()), live.size());
+    StatsSnapshot incremental = StatsSnapshot::Of(stats, preds);
+    stats.Rebuild();
+    StatsSnapshot rebuilt = StatsSnapshot::Of(stats, preds);
+    EXPECT_TRUE(incremental == rebuilt) << "divergence in round " << round;
+  }
+
+  g.Clear();
+  EXPECT_EQ(stats.total_triples(), 0);
+  EXPECT_EQ(stats.num_predicates(), 0);
+  stats.Detach();
+}
+
+TEST(GraphStats, SurvivesGraphDestruction) {
+  opt::GraphStats stats;
+  {
+    Graph g;
+    g.Add(Iri("s"), Iri("p"), Term::Integer(1));
+    stats.Attach(&g);
+    EXPECT_EQ(stats.total_triples(), 1);
+  }
+  // Orphaned, not dangling: counters stay readable.
+  EXPECT_EQ(stats.graph(), nullptr);
+  EXPECT_EQ(stats.total_triples(), 1);
+}
+
+// --- Planner. ---
+
+opt::PatternDesc Pat(const std::string& s_var, const Term& p,
+                     const std::string& o_var) {
+  opt::PatternDesc d;
+  d.s_var = s_var;
+  d.p = p;
+  d.p_var = "";
+  d.o_var = o_var;
+  return d;
+}
+
+TEST(Planner, StarQueryLeadsWithRarePredicate) {
+  Graph g;
+  for (int i = 0; i < 200; ++i) {
+    Term s = Iri("s" + std::to_string(i));
+    g.Add(s, Iri("wide"), Term::Integer(i));
+    g.Add(s, Iri("wide"), Term::Integer(i + 1000));
+    if (i < 3) g.Add(s, Iri("rare"), Term::Integer(i));
+  }
+  opt::GraphStats stats;
+  stats.Attach(&g);
+  opt::CardinalityEstimator est(&g, &stats);
+
+  std::vector<opt::PatternDesc> bgp = {Pat("s", Iri("wide"), "w"),
+                                       Pat("s", Iri("rare"), "r")};
+  opt::BgpPlan plan = opt::PlanBgp(bgp, {}, est);
+  ASSERT_EQ(plan.steps.size(), 2u);
+  EXPECT_TRUE(plan.reordered);
+  EXPECT_EQ(plan.steps[0].input_index, 1u);  // rare first
+  EXPECT_EQ(plan.steps[1].input_index, 0u);
+  // Leading with the rare pattern keeps the whole plan's intermediate
+  // results far below the wide predicate's scan size.
+  EXPECT_LE(plan.steps[0].estimate, 10);
+  EXPECT_LT(plan.steps.back().cumulative, 100);
+}
+
+TEST(Planner, FilterHintTightensEstimate) {
+  Graph g;
+  for (int i = 0; i < 100; ++i) {
+    g.Add(Iri("s" + std::to_string(i)), Iri("score"), Term::Integer(i));
+  }
+  opt::GraphStats stats;
+  stats.Attach(&g);
+  opt::CardinalityEstimator est(&g, &stats);
+
+  opt::PatternDesc d = Pat("s", Iri("score"), "v");
+  int64_t plain = est.Estimate(d, {});
+  opt::FilterHint hint{"v", opt::RangeOp::kLt, 10.0};
+  int64_t hinted = est.Estimate(d, {}, {hint});
+  EXPECT_LT(hinted, plain);
+}
+
+// --- End-to-end through the engine. ---
+
+class OptEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_.prefixes().Set("ex", "http://example.org/");
+    Graph& g = db_.dataset().default_graph();
+    for (int i = 0; i < 120; ++i) {
+      Term s = Iri("s" + std::to_string(i));
+      g.Add(s, Iri("wide"), Term::Integer(i));
+      g.Add(s, Iri("wide"), Term::Integer(i + 500));
+      if (i % 10 == 0) g.Add(s, Iri("mid"), Term::Integer(i));
+      if (i % 40 == 0) g.Add(s, Iri("rare"), Term::Integer(i));
+    }
+  }
+
+  std::vector<std::string> SortedRows(const sparql::QueryResult& r) {
+    std::vector<std::string> out;
+    for (const auto& row : r.rows) {
+      std::string line;
+      for (const auto& t : row) line += t.ToString() + "|";
+      out.push_back(line);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  SSDM db_;
+};
+
+TEST_F(OptEngineTest, OptimizedAndTextualOrdersAgree) {
+  const std::string queries[] = {
+      "SELECT ?s ?w WHERE { ?s ex:wide ?w . ?s ex:mid ?m . ?s ex:rare ?r }",
+      "SELECT ?s WHERE { ?s ex:wide ?w . ?s ex:rare ?r . FILTER(?w < 50) }",
+  };
+  for (const std::string& q : queries) {
+    db_.exec_options().optimize_join_order = true;
+    auto on = db_.Query(q);
+    ASSERT_TRUE(on.ok()) << on.status().ToString();
+    db_.exec_options().optimize_join_order = false;
+    auto off = db_.Query(q);
+    ASSERT_TRUE(off.ok()) << off.status().ToString();
+    db_.exec_options().optimize_join_order = true;
+    EXPECT_EQ(SortedRows(*on), SortedRows(*off)) << q;
+    EXPECT_FALSE(on->rows.empty()) << q;
+  }
+}
+
+TEST_F(OptEngineTest, ExplainReportsEstimatedAndActualCardinalities) {
+  auto plan = db_.Explain(
+      "SELECT ?s WHERE { ?s ex:wide ?w . ?s ex:rare ?r }");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_NE(plan->find("cost-ordered"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find(", reordered"), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("est "), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("actual "), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("rare"), std::string::npos) << *plan;
+}
+
+TEST_F(OptEngineTest, ExplainStatementAndStatsVerbThroughExecute) {
+  auto info = db_.Execute("EXPLAIN SELECT ?s WHERE { ?s ex:rare ?r }");
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->kind, SSDM::ExecResult::Kind::kInfo);
+  EXPECT_NE(info->info.find("scan"), std::string::npos);
+
+  auto stats = db_.Execute("STATS");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->kind, SSDM::ExecResult::Kind::kInfo);
+  EXPECT_NE(stats->info.find("triples"), std::string::npos) << stats->info;
+}
+
+TEST_F(OptEngineTest, StatsFollowEngineUpdates) {
+  const opt::GraphStats* s =
+      db_.stats().Find(&db_.dataset().default_graph());
+  ASSERT_NE(s, nullptr);
+  int64_t before = s->total_triples();
+  ASSERT_TRUE(
+      db_.Execute("INSERT DATA { ex:new ex:wide 7 . ex:new ex:rare 8 }")
+          .ok());
+  EXPECT_EQ(s->total_triples(), before + 2);
+  ASSERT_TRUE(db_.Execute("DELETE DATA { ex:new ex:rare 8 }").ok());
+  EXPECT_EQ(s->total_triples(), before + 1);
+}
+
+}  // namespace
+}  // namespace scisparql
