@@ -10,6 +10,7 @@
 #include <future>
 
 #include "client/protocol.h"
+#include "common/string_util.h"
 #include "loaders/turtle.h"
 
 namespace scisparql {
@@ -258,7 +259,10 @@ std::string SsdmServer::Dispatch(const std::string& request, int fd) {
       payload.push_back('O');
       break;
     case SSDM::ExecResult::Kind::kInfo:
-      if (request == "STATS") {
+      // Same normalization as SSDM::Execute's STATS recognition, so a
+      // request like " stats " gets the 'S' tag + scheduler counters
+      // rather than silently degrading to a plain 'I' reply.
+      if (EqualsIgnoreCase(StripWhitespace(request), "STATS")) {
         payload.push_back('S');
         payload += "scheduler: " + scheduler_->stats().ToString() + "\n";
       } else {

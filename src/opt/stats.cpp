@@ -31,6 +31,41 @@ EquiDepthHistogram EquiDepthHistogram::Build(std::vector<double> values,
   return h;
 }
 
+EquiDepthHistogram EquiDepthHistogram::BuildWeighted(
+    std::vector<std::pair<double, int64_t>> weighted, int buckets) {
+  EquiDepthHistogram h;
+  weighted.erase(std::remove_if(weighted.begin(), weighted.end(),
+                                [](const auto& w) { return w.second <= 0; }),
+                 weighted.end());
+  if (weighted.empty()) return h;
+  if (buckets < 1) buckets = 1;
+  std::sort(weighted.begin(), weighted.end());
+  int64_t total = 0;
+  for (const auto& [value, n] : weighted) {
+    (void)value;
+    total += n;
+  }
+  h.count_ = total;
+  h.min_ = weighted.front().first;
+  size_t b = static_cast<size_t>(std::min<int64_t>(buckets, total));
+  h.bounds_.reserve(b);
+  // Upper bound of bucket k is the value at 1-based rank (k*total)/b of
+  // the expanded multiset; ranks are nondecreasing in k, so one forward
+  // walk over the cumulative counts finds them all.
+  size_t wi = 0;
+  int64_t cum = weighted[0].second;
+  for (size_t k = 1; k <= b; ++k) {
+    int64_t rank = (static_cast<int64_t>(k) * total) / static_cast<int64_t>(b);
+    if (rank == 0) rank = 1;
+    while (cum < rank) {
+      ++wi;
+      cum += weighted[wi].second;
+    }
+    h.bounds_.push_back(weighted[wi].first);
+  }
+  return h;
+}
+
 double EquiDepthHistogram::FractionLeq(double x) const {
   if (count_ == 0) return 0.0;
   if (x < min_) return 0.0;
@@ -239,6 +274,12 @@ void GraphStats::RebuildIndexHistograms() const {
 }
 
 const EquiDepthHistogram& GraphStats::IndexHistogram(IndexOrder order) const {
+  // Lazy rebuild under lazy_mu_: concurrent read queries (shared engine
+  // lock) may call this simultaneously; the first one through rebuilds,
+  // the rest see fresh caches. Staleness cannot change while readers are
+  // active (graph mutations require the exclusive lock), so the returned
+  // reference stays valid outside the mutex.
+  std::lock_guard<std::mutex> lock(lazy_mu_);
   if (HistogramsStale()) RebuildIndexHistograms();
   return index_hist_[static_cast<int>(order)];
 }
@@ -254,18 +295,22 @@ const EquiDepthHistogram* GraphStats::ObjectValueHistogram(
                         static_cast<double>(ps->count);
   }
   uint64_t version = graph_ == nullptr ? 0 : graph_->version();
+  std::lock_guard<std::mutex> lock(lazy_mu_);  // see IndexHistogram
   if (!ps->value_hist_built ||
       version - ps->value_hist_version >
           std::max<uint64_t>(64, static_cast<uint64_t>(ps->count) / 8)) {
-    std::vector<double> values;
-    values.reserve(static_cast<size_t>(ps->numeric_objects));
+    // Weighted quantiles straight from the (value, multiplicity) map —
+    // no per-triple expansion, so a hot predicate with millions of
+    // triples costs O(distinct values) on this read path.
+    std::vector<std::pair<double, int64_t>> values;
+    values.reserve(ps->objects.size());
     for (const auto& [obj, n] : ps->objects) {
       if (!obj.IsNumeric()) continue;
       Result<double> d = obj.AsDouble();
       if (!d.ok()) continue;
-      for (int64_t k = 0; k < n; ++k) values.push_back(*d);
+      values.push_back({*d, n});
     }
-    ps->value_hist = EquiDepthHistogram::Build(std::move(values));
+    ps->value_hist = EquiDepthHistogram::BuildWeighted(std::move(values));
     ps->value_hist_version = version;
     ps->value_hist_built = true;
   }
@@ -312,6 +357,16 @@ std::string GraphStats::ReportText() const {
 // ---------------------------------------------------------------------------
 
 GraphStats* StatsRegistry::Attach(Graph* graph) {
+  // Garbage-collect collectors orphaned by graph destruction: their keys
+  // are freed addresses, so they can never be looked up legitimately
+  // again (a new graph reusing the address gets a fresh collector here).
+  for (auto it = stats_.begin(); it != stats_.end();) {
+    if (it->second->graph() == nullptr && it->first != graph) {
+      it = stats_.erase(it);
+    } else {
+      ++it;
+    }
+  }
   auto& slot = stats_[graph];
   if (slot == nullptr) slot = std::make_unique<GraphStats>();
   slot->Attach(graph);
@@ -340,9 +395,12 @@ std::string StatsRegistry::ReportText() const {
   size_t i = 0;
   for (const auto& [g, s] : stats_) {
     (void)g;
+    // Orphaned collectors (their graph was dropped) keep stale counters
+    // for a dead graph — not part of the current dataset, so hide them.
+    if (s->graph() == nullptr) continue;
     out << "graph[" << i++ << "] " << s->ReportText();
   }
-  if (stats_.empty()) out << "no graph statistics collected\n";
+  if (i == 0) out << "no graph statistics collected\n";
   return out.str();
 }
 

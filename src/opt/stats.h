@@ -4,9 +4,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "rdf/graph.h"
@@ -27,6 +29,14 @@ class EquiDepthHistogram {
   EquiDepthHistogram() = default;
   static EquiDepthHistogram Build(std::vector<double> values,
                                   int buckets = kDefaultBuckets);
+
+  /// Builds from (value, multiplicity) pairs without materializing one
+  /// entry per occurrence; produces exactly the same histogram Build()
+  /// would on the multiplicity-expanded input. Non-positive
+  /// multiplicities are ignored.
+  static EquiDepthHistogram BuildWeighted(
+      std::vector<std::pair<double, int64_t>> weighted,
+      int buckets = kDefaultBuckets);
 
   bool empty() const { return count_ == 0; }
   int64_t count() const { return count_; }
@@ -161,6 +171,14 @@ class GraphStats : public GraphListener {
 
   // Lazy histogram cache: rebuilt when `built_version_` drifts from the
   // graph version by more than a fraction of the triple count.
+  // `lazy_mu_` serializes the rebuilds (index histograms and the
+  // per-predicate value histograms): histogram accessors are const and run
+  // on the scheduler's shared-lock read path, so concurrent queries may
+  // race to rebuild the same cache. Counter mutations still require the
+  // exclusive engine lock — the mutex only makes *readers* safe against
+  // each other, which also keeps a returned histogram reference stable
+  // until the next write phase.
+  mutable std::mutex lazy_mu_;
   mutable EquiDepthHistogram index_hist_[5];
   mutable uint64_t built_version_ = 0;
   mutable bool hist_built_ = false;
@@ -172,7 +190,10 @@ class GraphStats : public GraphListener {
 /// falls back to raw index-bucket estimates for graphs without stats.
 class StatsRegistry {
  public:
-  /// Creates (or re-attaches) the collector for `graph`.
+  /// Creates (or re-attaches) the collector for `graph`. Also
+  /// garbage-collects collectors orphaned by graph destruction
+  /// (DROP GRAPH / CLEAR ALL), so entries keyed by freed addresses do
+  /// not accumulate across the engine's stats-lifecycle calls.
   GraphStats* Attach(Graph* graph);
 
   /// Drops the collector for `graph` (e.g. the graph is being destroyed).

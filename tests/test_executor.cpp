@@ -435,6 +435,36 @@ TEST_F(ExecutorTest, OrderByComparesMixedNumericTypesByValue) {
   EXPECT_EQ(r.rows[3][0].iri(), "http://example.org/m3");  // 30
 }
 
+TEST_F(ExecutorTest, OrderByRejectsNonXsdNumericLexicalForms) {
+  // xsd:long/xsd:float stay typed literals (the parser only folds
+  // integer/decimal/double to native terms), so their lexical forms go
+  // through the executor's numeric-sort-key parse. strtod would read
+  // "0x10" as 16 and slot it between 9 and 20; XSD numeric syntax has no
+  // hex, so the literal must fall back to term order after the numeric
+  // group. A leading '+' *is* valid XSD syntax and must keep its key.
+  ASSERT_TRUE(db_.Run("INSERT DATA { ex:h1 ex:metric 9 }").ok());
+  ASSERT_TRUE(db_.Run("INSERT DATA { ex:h2 ex:metric 20 }").ok());
+  ASSERT_TRUE(
+      db_.Run("INSERT DATA { ex:h3 ex:metric "
+              "\"0x10\"^^<http://www.w3.org/2001/XMLSchema#long> }")
+          .ok());
+  ASSERT_TRUE(
+      db_.Run("INSERT DATA { ex:h4 ex:metric "
+              "\"12\"^^<http://www.w3.org/2001/XMLSchema#long> }")
+          .ok());
+  ASSERT_TRUE(
+      db_.Run("INSERT DATA { ex:h5 ex:metric "
+              "\"+12.5\"^^<http://www.w3.org/2001/XMLSchema#float> }")
+          .ok());
+  auto r = Q("SELECT ?s WHERE { ?s ex:metric ?m } ORDER BY ?m");
+  ASSERT_EQ(r.rows.size(), 5u);
+  EXPECT_EQ(r.rows[0][0].iri(), "http://example.org/h1");  // 9
+  EXPECT_EQ(r.rows[1][0].iri(), "http://example.org/h4");  // "12"^^long
+  EXPECT_EQ(r.rows[2][0].iri(), "http://example.org/h5");  // "+12.5"^^float
+  EXPECT_EQ(r.rows[3][0].iri(), "http://example.org/h2");  // 20
+  EXPECT_EQ(r.rows[4][0].iri(), "http://example.org/h3");  // 0x10: term order
+}
+
 TEST_F(ExecutorTest, ArraySliceBadBoundsAreCleanErrors) {
   // ex:m ex:data is the 2x2 matrix from the fixture. Out-of-range bounds
   // and zero strides error out in the expression layer, which surfaces

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
+#include <memory>
 #include <random>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -48,6 +52,42 @@ TEST(EquiDepthHistogram, EmptyAndSingleton) {
   EXPECT_EQ(one.count(), 1);
   EXPECT_DOUBLE_EQ(one.FractionLeq(41.0), 0.0);
   EXPECT_DOUBLE_EQ(one.FractionLeq(43.0), 1.0);
+}
+
+/// Property: BuildWeighted over (value, multiplicity) pairs produces
+/// exactly the histogram Build produces over the expanded multiset — the
+/// read path may swap one for the other freely.
+TEST(EquiDepthHistogram, WeightedBuildMatchesExpandedBuild) {
+  std::mt19937 rng(20260807);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<std::pair<double, int64_t>> weighted;
+    std::vector<double> expanded;
+    int distinct = 1 + static_cast<int>(rng() % 40);
+    for (int i = 0; i < distinct; ++i) {
+      double v = static_cast<double>(rng() % 1000) / 4.0;
+      int64_t n = 1 + static_cast<int64_t>(rng() % 7);
+      weighted.push_back({v, n});
+      for (int64_t k = 0; k < n; ++k) expanded.push_back(v);
+    }
+    int buckets = 1 + static_cast<int>(rng() % 20);
+    auto a = opt::EquiDepthHistogram::BuildWeighted(weighted, buckets);
+    auto b = opt::EquiDepthHistogram::Build(expanded, buckets);
+    ASSERT_EQ(a.count(), b.count()) << "trial " << trial;
+    ASSERT_DOUBLE_EQ(a.min(), b.min()) << "trial " << trial;
+    ASSERT_DOUBLE_EQ(a.max(), b.max()) << "trial " << trial;
+    for (double q = 0.0; q <= 1.0; q += 0.1) {
+      ASSERT_DOUBLE_EQ(a.Quantile(q), b.Quantile(q))
+          << "trial " << trial << " q=" << q;
+    }
+    for (double x = -1.0; x <= 251.0; x += 7.0) {
+      ASSERT_DOUBLE_EQ(a.FractionLeq(x), b.FractionLeq(x))
+          << "trial " << trial << " x=" << x;
+    }
+  }
+  EXPECT_TRUE(opt::EquiDepthHistogram::BuildWeighted({}).empty());
+  // Non-positive multiplicities are ignored.
+  EXPECT_TRUE(
+      opt::EquiDepthHistogram::BuildWeighted({{1.0, 0}, {2.0, -3}}).empty());
 }
 
 // --- Incremental counter maintenance. ---
@@ -137,6 +177,74 @@ TEST(GraphStats, SurvivesGraphDestruction) {
   // Orphaned, not dangling: counters stay readable.
   EXPECT_EQ(stats.graph(), nullptr);
   EXPECT_EQ(stats.total_triples(), 1);
+}
+
+/// Regression test for the lazy-rebuild data race: histogram accessors are
+/// const and run on the scheduler's shared-lock read path, so concurrent
+/// read queries may hit an unbuilt/stale cache simultaneously. Run under
+/// TSan this fails without the internal rebuild mutex.
+TEST(GraphStats, ConcurrentHistogramReadsAreRaceFree) {
+  Graph g;
+  for (int i = 0; i < 400; ++i) {
+    Term s = Iri("s" + std::to_string(i % 40));
+    g.Add(s, Iri("score"), Term::Integer(i % 97));
+    g.Add(s, Iri("label"), Iri("o" + std::to_string(i % 13)));
+  }
+  opt::GraphStats stats;
+  stats.Attach(&g);
+  for (int round = 0; round < 3; ++round) {
+    stats.Rebuild();  // re-stales every histogram cache between rounds
+    std::atomic<int64_t> sink{0};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 8; ++t) {
+      readers.emplace_back([&]() {
+        static constexpr opt::IndexOrder kOrders[] = {
+            opt::IndexOrder::kS, opt::IndexOrder::kP, opt::IndexOrder::kO,
+            opt::IndexOrder::kSP, opt::IndexOrder::kPO};
+        for (int rep = 0; rep < 10; ++rep) {
+          for (opt::IndexOrder ord : kOrders) {
+            sink += stats.IndexHistogram(ord).count();
+          }
+          double frac = 0;
+          const opt::EquiDepthHistogram* h =
+              stats.ObjectValueHistogram(Iri("score"), &frac);
+          if (h != nullptr) sink += h->count();
+        }
+      });
+    }
+    for (auto& th : readers) th.join();
+    EXPECT_GT(sink.load(), 0);
+  }
+  stats.Detach();
+}
+
+// --- Registry lifecycle. ---
+
+TEST(StatsRegistry, AttachPrunesOrphanedCollectors) {
+  opt::StatsRegistry reg;
+  auto doomed = std::make_unique<Graph>();
+  doomed->Add(Iri("s"), Iri("p"), Term::Integer(1));
+  reg.Attach(doomed.get());
+  // The registry keys by address; the lookups below use the freed address
+  // purely as a map key and never dereference it.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuse-after-free"
+  const Graph* dead_key = doomed.get();
+  doomed.reset();  // DROP GRAPH: the collector is orphaned, not removed
+
+  ASSERT_NE(reg.Find(dead_key), nullptr);
+  EXPECT_EQ(reg.Find(dead_key)->graph(), nullptr);
+  // An orphan's stale counters must not surface in the report.
+  EXPECT_NE(reg.ReportText().find("no graph statistics"), std::string::npos);
+
+  // The next lifecycle call sweeps the entry keyed by the freed address.
+  Graph live;
+  reg.Attach(&live);
+  if (&live != dead_key) {
+    EXPECT_EQ(reg.Find(dead_key), nullptr);
+  }
+  EXPECT_NE(reg.Find(&live), nullptr);
+#pragma GCC diagnostic pop
 }
 
 // --- Planner. ---
@@ -261,6 +369,35 @@ TEST_F(OptEngineTest, ExplainStatementAndStatsVerbThroughExecute) {
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
   EXPECT_EQ(stats->kind, SSDM::ExecResult::Kind::kInfo);
   EXPECT_NE(stats->info.find("triples"), std::string::npos) << stats->info;
+}
+
+TEST(StatsLifecycle, DroppedGraphsLeaveTheStatsReport) {
+  SSDM db;
+  ASSERT_TRUE(db.LoadTurtleString(
+                    "<http://example.org/s> <http://example.org/p> 1 .")
+                  .ok());
+  ASSERT_TRUE(db.LoadTurtleString(
+                    "<http://example.org/s> <http://example.org/p> 2 .",
+                    "http://example.org/g")
+                  .ok());
+  auto count_graphs = [](const std::string& report) {
+    size_t n = 0, pos = 0;
+    while ((pos = report.find("graph[", pos)) != std::string::npos) {
+      ++n;
+      pos += 6;
+    }
+    return n;
+  };
+  auto before = db.Execute("STATS");
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  EXPECT_EQ(count_graphs(before->info), 2u);
+
+  // CLEAR ALL destroys the named graph; its orphaned collector must drop
+  // out of the report instead of showing the dead graph's last counters.
+  ASSERT_TRUE(db.Execute("CLEAR ALL").ok());
+  auto after = db.Execute("STATS");
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(count_graphs(after->info), 1u);
 }
 
 TEST_F(OptEngineTest, StatsFollowEngineUpdates) {

@@ -1,8 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstring>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -227,6 +233,42 @@ TEST_F(ServerTest, StatsVerb) {
   EXPECT_NE(stats->find("admitted="), std::string::npos);
   EXPECT_NE(stats->find("reads="), std::string::npos);
   EXPECT_NE(stats->find("queue_high_water="), std::string::npos);
+}
+
+TEST_F(ServerTest, StatsVerbNormalizesWhitespaceAndCase) {
+  // The engine recognizes the STATS verb trimmed and case-insensitively;
+  // the server's response tagging must agree, or " stats " would come
+  // back as a plain 'I' info reply without the scheduler counters.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port_));
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  auto read_exact = [&](void* buf, size_t n) {
+    uint8_t* p = static_cast<uint8_t*>(buf);
+    while (n > 0) {
+      ssize_t r = ::recv(fd, p, n, 0);
+      if (r <= 0) return false;
+      p += r;
+      n -= static_cast<size_t>(r);
+    }
+    return true;
+  };
+  std::string framed = Frame("  stats \n");
+  ASSERT_EQ(::send(fd, framed.data(), framed.size(), 0),
+            static_cast<ssize_t>(framed.size()));
+  uint32_t len = 0;
+  ASSERT_TRUE(read_exact(&len, 4));
+  std::string payload(len, '\0');
+  ASSERT_TRUE(read_exact(payload.data(), len));
+  ::close(fd);
+  ASSERT_FALSE(payload.empty());
+  EXPECT_EQ(payload[0], 'S') << payload;
+  EXPECT_NE(payload.find("scheduler:"), std::string::npos) << payload;
+  EXPECT_NE(payload.find("admitted="), std::string::npos) << payload;
 }
 
 TEST_F(ServerTest, RemoteDeadlineExceeded) {
