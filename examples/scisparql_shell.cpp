@@ -6,6 +6,7 @@
 //   .explain <on|off>   print the plan before each SELECT
 //   .timeout <ms>       per-statement deadline (0 = none)
 //   .stats              triple counts per graph
+//   .metrics            Prometheus-style engine metrics exposition
 //   .help               this text
 //   .quit               exit
 //
@@ -30,7 +31,7 @@ void PrintHelp() {
   std::printf(
       "SciSPARQL shell. End a statement with a line containing only ';'.\n"
       "Meta-commands: .load <file>  .explain on|off  .translate on|off  "
-      ".timeout <ms>  .stats  .help  .quit\n");
+      ".timeout <ms>  .stats  .metrics  .help  .quit\n");
 }
 
 void Execute(scisparql::SSDM* db, const std::string& text, bool explain,
@@ -130,6 +131,15 @@ int main(int argc, char** argv) {
                     db.dataset().default_graph().size());
         for (const auto& [iri, g] : db.dataset().named_graphs()) {
           std::printf("<%s>: %zu triples\n", iri.c_str(), g.size());
+        }
+      } else if (cmd == ".metrics") {
+        scisparql::QueryRequest req;
+        req.text = "METRICS";
+        auto out = db.Execute(req);
+        if (out.ok()) {
+          std::printf("%s", out->info().c_str());
+        } else {
+          std::printf("error: %s\n", out.status().ToString().c_str());
         }
       } else {
         std::printf("unknown command %s\n", cmd.c_str());

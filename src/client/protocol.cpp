@@ -227,5 +227,79 @@ std::string Frame(const std::string& payload) {
   return out;
 }
 
+namespace {
+
+constexpr uint8_t kFlagWantTrace = 1u << 0;
+constexpr uint8_t kFlagHasOptimize = 1u << 1;
+constexpr uint8_t kFlagOptimizeValue = 1u << 2;
+constexpr uint8_t kFlagHasPushFilters = 1u << 3;
+constexpr uint8_t kFlagPushFiltersValue = 1u << 4;
+
+}  // namespace
+
+std::string EncodeRequest(const WireRequest& req) {
+  std::string out;
+  out.push_back(kStructuredMarker);
+  uint8_t flags = 0;
+  if (req.want_trace) flags |= kFlagWantTrace;
+  if (req.has_optimize) {
+    flags |= kFlagHasOptimize;
+    if (req.optimize) flags |= kFlagOptimizeValue;
+  }
+  if (req.has_push_filters) {
+    flags |= kFlagHasPushFilters;
+    if (req.push_filters) flags |= kFlagPushFiltersValue;
+  }
+  out.push_back(static_cast<char>(flags));
+  PutU64(&out, static_cast<uint64_t>(req.timeout.count()));
+  out += req.text;
+  return out;
+}
+
+Result<WireRequest> DecodeRequest(const std::string& payload) {
+  if (payload.size() < 10 || payload[0] != kStructuredMarker) {
+    return Status::InvalidArgument("malformed structured request");
+  }
+  WireRequest req;
+  uint8_t flags = static_cast<uint8_t>(payload[1]);
+  req.want_trace = (flags & kFlagWantTrace) != 0;
+  req.has_optimize = (flags & kFlagHasOptimize) != 0;
+  req.optimize = (flags & kFlagOptimizeValue) != 0;
+  req.has_push_filters = (flags & kFlagHasPushFilters) != 0;
+  req.push_filters = (flags & kFlagPushFiltersValue) != 0;
+  uint64_t timeout_ms = 0;
+  std::memcpy(&timeout_ms, payload.data() + 2, 8);
+  req.timeout = std::chrono::milliseconds(timeout_ms);
+  req.text = payload.substr(10);
+  return req;
+}
+
+std::string EncodeResponse(const WireResponse& resp) {
+  std::string out;
+  out.push_back(kStructuredMarker);
+  out.push_back(resp.kind);
+  PutU32(&out, static_cast<uint32_t>(resp.body.size()));
+  out += resp.body;
+  out += resp.trace;
+  return out;
+}
+
+Result<WireResponse> DecodeResponse(const std::string& payload) {
+  if (payload.size() < 6 || payload[0] != kStructuredMarker) {
+    return Status::IoError("malformed structured response");
+  }
+  WireResponse resp;
+  resp.kind = payload[1];
+  size_t pos = 2;
+  uint32_t body_len = 0;
+  if (!GetU32(payload, &pos, &body_len) ||
+      pos + body_len > payload.size()) {
+    return Status::IoError("truncated structured response");
+  }
+  resp.body = payload.substr(pos, body_len);
+  resp.trace = payload.substr(pos + body_len);
+  return resp;
+}
+
 }  // namespace client
 }  // namespace scisparql

@@ -1,6 +1,7 @@
 #ifndef SCISPARQL_CLIENT_PROTOCOL_H_
 #define SCISPARQL_CLIENT_PROTOCOL_H_
 
+#include <chrono>
 #include <string>
 
 #include "common/status.h"
@@ -14,23 +15,41 @@ namespace client {
 /// SSDM as "a stand-alone system, a client-server system, or a cluster of
 /// processes"). Messages are length-prefixed byte strings:
 ///
-///   request:  [u32 length][statement text]
+///   request:  [u32 length][payload]
 ///   response: [u32 length][payload]
 ///
-/// The payload starts with a one-byte kind tag:
-///   'R' rows    — serialized QueryResult (SELECT)
-///   'B' boolean — one byte (ASK)
-///   'G' graph   — Turtle text (CONSTRUCT / DESCRIBE)
-///   'O' ok      — empty (updates / DEFINE)
-///   'E' error   — status code byte + message
-///   'S' stats   — scheduler counters + engine optimizer statistics as
-///                 text (reply to the "STATS" verb)
-///   'I' info    — plan/diagnostic text (reply to EXPLAIN statements)
+/// Two request forms share the frame. A payload whose first byte is 0x01
+/// is a *structured* request — the wire mirror of engine::QueryRequest:
 ///
-/// Every request — including the STATS verb and EXPLAIN statements, both
-/// classified as reads — is submitted to the query scheduler, so engine
-/// access always happens under its reader-writer lock; the server only
-/// adds its local scheduler counters to the STATS reply.
+///   [0x01][flags u8][timeout_ms u64 LE][statement text]
+///     flags bit 0: record a trace and return it with the response
+///     flags bit 1: override optimize_join_order; bit 2: its value
+///     flags bit 3: override push_filters;       bit 4: its value
+///
+/// (No SciSPARQL statement starts with byte 0x01, so the marker cannot
+/// collide with a legacy text request.) A structured request is answered
+/// with a structured response:
+///
+///   [0x01][kind u8][u32 LE body length][body][rendered trace text]
+///     kind 'R' rows    — serialized QueryResult (SELECT)
+///          'B' boolean — one byte (ASK)
+///          'G' graph   — Turtle text (CONSTRUCT / DESCRIBE)
+///          'U' update  — decimal triples-touched count (updates / DEFINE)
+///          'I' info    — EXPLAIN [ANALYZE] / STATS / METRICS text
+///
+/// Any other first byte is a legacy request: the bare statement text,
+/// answered with a one-byte kind tag + body:
+///   'R' rows, 'B' boolean, 'G' graph, 'O' ok (updates / DEFINE),
+///   'I' info, 'S' stats ("STATS" verb: scheduler counters + engine
+///   optimizer statistics).
+///
+/// Errors use 'E' (status code byte + message) in both forms.
+///
+/// Every request — including the STATS/METRICS verbs and EXPLAIN
+/// statements, all classified as reads — is submitted to the query
+/// scheduler, so engine access always happens under its reader-writer
+/// lock; the server only adds its local scheduler counters to the STATS
+/// reply.
 ///
 /// Terms serialize with a kind tag; arrays travel as shape + row-major
 /// elements (proxies are materialized server-side — the client always
@@ -48,6 +67,35 @@ Result<sparql::QueryResult> DeserializeResult(const std::string& data);
 
 /// Frames a payload with the u32 length prefix.
 std::string Frame(const std::string& payload);
+
+/// First byte of structured request and response payloads.
+constexpr char kStructuredMarker = '\x01';
+
+/// Decoded structured request — the wire mirror of engine::QueryRequest.
+struct WireRequest {
+  std::string text;
+  std::chrono::milliseconds timeout{0};
+  bool want_trace = false;
+  bool has_optimize = false;
+  bool optimize = true;
+  bool has_push_filters = false;
+  bool push_filters = true;
+};
+
+std::string EncodeRequest(const WireRequest& req);
+/// Decodes a payload that starts with kStructuredMarker.
+Result<WireRequest> DecodeRequest(const std::string& payload);
+
+/// Decoded structured response: kind tag, kind-specific body, and the
+/// rendered trace (empty unless the request asked for one).
+struct WireResponse {
+  char kind = 'I';
+  std::string body;
+  std::string trace;
+};
+
+std::string EncodeResponse(const WireResponse& resp);
+Result<WireResponse> DecodeResponse(const std::string& payload);
 
 }  // namespace client
 }  // namespace scisparql

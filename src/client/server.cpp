@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <future>
 
@@ -212,19 +213,40 @@ void SsdmServer::ServeConnection(Connection* conn) {
 }
 
 std::string SsdmServer::Dispatch(const std::string& request, int fd) {
-  // "STATS" is answered with scheduler counters plus the engine's
-  // optimizer-statistics report. The engine part is produced by the
-  // engine's own STATS statement, which classifies as a read — so it goes
-  // through the scheduler below and runs under the shared engine lock
-  // like any query (no unsynchronized engine access from this thread).
+  // Both request forms funnel into one QueryRequest and one scheduler
+  // submission; only the response encoding differs. The "STATS" verb is
+  // answered with scheduler counters plus the engine's report; the engine
+  // part is produced by the engine's own STATS statement, which classifies
+  // as a read — so it goes through the scheduler below and runs under the
+  // shared engine lock like any query (no unsynchronized engine access
+  // from this thread).
+  bool structured = !request.empty() && request[0] == kStructuredMarker;
+  QueryRequest req;
+  obs::QueryTrace trace;
+  bool want_trace = false;
+  if (structured) {
+    Result<WireRequest> wire = DecodeRequest(request);
+    if (!wire.ok()) return ErrorPayload(wire.status());
+    req.text = std::move(wire->text);
+    req.timeout = wire->timeout;
+    if (wire->has_optimize || wire->has_push_filters) {
+      sparql::ExecOptions opts = engine_->exec_options();
+      if (wire->has_optimize) opts.optimize_join_order = wire->optimize;
+      if (wire->has_push_filters) opts.push_filters = wire->push_filters;
+      req.options = opts;
+    }
+    want_trace = wire->want_trace;
+    if (want_trace) req.trace_sink = &trace;
+  } else {
+    req.text = request;
+  }
 
   auto cancel = std::make_shared<std::atomic<bool>>(false);
-  sched::QueryContext ctx;
-  ctx.cancel = cancel;
-  auto promise = std::make_shared<std::promise<Result<SSDM::ExecResult>>>();
-  std::future<Result<SSDM::ExecResult>> future = promise->get_future();
-  Status admitted = scheduler_->Submit(
-      request, ctx, [promise](Result<SSDM::ExecResult> r) {
+  req.cancel = cancel;
+  auto promise = std::make_shared<std::promise<Result<QueryOutcome>>>();
+  std::future<Result<QueryOutcome>> future = promise->get_future();
+  Status admitted =
+      scheduler_->Submit(std::move(req), [promise](Result<QueryOutcome> r) {
         promise->set_value(std::move(r));
       });
   if (!admitted.ok()) return ErrorPayload(admitted);
@@ -238,27 +260,64 @@ std::string SsdmServer::Dispatch(const std::string& request, int fd) {
       cancel->store(true);
     }
   }
-  Result<SSDM::ExecResult> result = future.get();
+  Result<QueryOutcome> result = future.get();
 
   if (!result.ok()) return ErrorPayload(result.status());
+
+  if (structured) {
+    // The serialize phase is part of the query's trace: it is wall time
+    // the client observes before its answer arrives.
+    obs::TraceSpan* ser_span =
+        want_trace ? trace.AddChild(nullptr, "serialize") : nullptr;
+    obs::SpanTimer ser_timer(ser_span);
+    WireResponse resp;
+    switch (result->kind()) {
+      case QueryOutcome::Kind::kRows:
+        resp.kind = 'R';
+        resp.body = SerializeResult(result->rows());
+        break;
+      case QueryOutcome::Kind::kGraph:
+        resp.kind = 'G';
+        resp.body = loaders::WriteTurtle(result->graph(), engine_->prefixes());
+        break;
+      case QueryOutcome::Kind::kAsk:
+        resp.kind = 'B';
+        resp.body.push_back(result->ask() ? 1 : 0);
+        break;
+      case QueryOutcome::Kind::kUpdateCount:
+        resp.kind = 'U';
+        resp.body = std::to_string(result->update_count());
+        break;
+      case QueryOutcome::Kind::kInfo:
+        resp.kind = 'I';
+        resp.body = result->info();
+        break;
+    }
+    ser_timer.Stop();
+    if (want_trace) resp.trace = trace.Render();
+    return EncodeResponse(resp);
+  }
+
+  // Legacy text request: legacy kind tags ('O' for updates/DEFINE, and
+  // the 'S' STATS compatibility tag).
   std::string payload;
-  switch (result->kind) {
-    case SSDM::ExecResult::Kind::kRows:
+  switch (result->kind()) {
+    case QueryOutcome::Kind::kRows:
       payload.push_back('R');
-      payload += SerializeResult(result->rows);
+      payload += SerializeResult(result->rows());
       break;
-    case SSDM::ExecResult::Kind::kBool:
+    case QueryOutcome::Kind::kAsk:
       payload.push_back('B');
-      payload.push_back(result->boolean ? 1 : 0);
+      payload.push_back(result->ask() ? 1 : 0);
       break;
-    case SSDM::ExecResult::Kind::kGraph:
+    case QueryOutcome::Kind::kGraph:
       payload.push_back('G');
-      payload += loaders::WriteTurtle(result->graph, engine_->prefixes());
+      payload += loaders::WriteTurtle(result->graph(), engine_->prefixes());
       break;
-    case SSDM::ExecResult::Kind::kOk:
+    case QueryOutcome::Kind::kUpdateCount:
       payload.push_back('O');
       break;
-    case SSDM::ExecResult::Kind::kInfo:
+    case QueryOutcome::Kind::kInfo:
       // Same normalization as SSDM::Execute's STATS recognition, so a
       // request like " stats " gets the 'S' tag + scheduler counters
       // rather than silently degrading to a plain 'I' reply.
@@ -268,7 +327,7 @@ std::string SsdmServer::Dispatch(const std::string& request, int fd) {
       } else {
         payload.push_back('I');
       }
-      payload += result->info;
+      payload += result->info();
       break;
   }
   return payload;
@@ -322,6 +381,52 @@ Result<std::string> RemoteSession::RoundTrip(const std::string& text) {
   return payload;
 }
 
+Result<QueryOutcome> RemoteSession::Execute(const QueryRequest& req) {
+  WireRequest wire;
+  wire.text = req.text;
+  wire.timeout = req.timeout;
+  wire.want_trace = req.trace_sink != nullptr;
+  if (req.options.has_value()) {
+    wire.has_optimize = true;
+    wire.optimize = req.options->optimize_join_order;
+    wire.has_push_filters = true;
+    wire.push_filters = req.options->push_filters;
+  }
+  Result<std::string> payload = RoundTrip(EncodeRequest(wire));
+  if (!payload.ok()) return payload.status();
+  SCISPARQL_ASSIGN_OR_RETURN(WireResponse resp, DecodeResponse(*payload));
+  if (req.trace_sink != nullptr) {
+    req.trace_sink->AdoptRendered(std::move(resp.trace));
+  }
+  switch (resp.kind) {
+    case 'R': {
+      SCISPARQL_ASSIGN_OR_RETURN(sparql::QueryResult rows,
+                                 DeserializeResult(resp.body));
+      return QueryOutcome{std::move(rows)};
+    }
+    case 'B':
+      if (resp.body.empty()) return Status::IoError("empty ASK response");
+      return QueryOutcome{resp.body[0] != 0};
+    case 'G': {
+      // Rebuild the graph client-side so remote CONSTRUCT/DESCRIBE yield
+      // the same outcome shape as embedded execution.
+      Graph g;
+      loaders::TurtleOptions opts;
+      SCISPARQL_RETURN_NOT_OK(loaders::LoadTurtleString(resp.body, &g, opts));
+      return QueryOutcome{std::move(g)};
+    }
+    case 'U': {
+      QueryOutcome::UpdateCount u;
+      u.count = std::strtoll(resp.body.c_str(), nullptr, 10);
+      return QueryOutcome{u};
+    }
+    case 'I':
+      return QueryOutcome{QueryOutcome::Info{std::move(resp.body)}};
+    default:
+      return Status::IoError("unknown response kind tag");
+  }
+}
+
 Result<sparql::QueryResult> RemoteSession::Query(const std::string& text) {
   Result<std::string> payload = RoundTrip(text);
   if (!payload.ok()) return payload.status();
@@ -364,6 +469,15 @@ Result<std::string> RemoteSession::Stats() {
   if (!payload.ok()) return payload.status();
   if (payload->empty() || (*payload)[0] != 'S') {
     return Status::Internal("malformed STATS response");
+  }
+  return payload->substr(1);
+}
+
+Result<std::string> RemoteSession::Metrics() {
+  Result<std::string> payload = RoundTrip("METRICS");
+  if (!payload.ok()) return payload.status();
+  if (payload->empty() || (*payload)[0] != 'I') {
+    return Status::Internal("malformed METRICS response");
   }
   return payload->substr(1);
 }

@@ -87,7 +87,11 @@ class SsdmServer {
   std::vector<std::unique_ptr<Connection>> conns_;
 };
 
-/// Client side: connects to an SsdmServer and executes statements.
+/// Client side: connects to an SsdmServer and executes statements. Offers
+/// the same QueryRequest/QueryOutcome surface as the embedded engine —
+/// Execute() ships the request's timeout, option overrides and trace wish
+/// over the wire as a structured frame and rebuilds the outcome (including
+/// CONSTRUCT graphs) client-side.
 class RemoteSession {
  public:
   ~RemoteSession();
@@ -104,6 +108,13 @@ class RemoteSession {
       const std::string& host, int port,
       std::chrono::milliseconds timeout = std::chrono::milliseconds(0));
 
+  /// Unified remote execution. `req.timeout` is enforced server-side
+  /// (queue wait included); `req.options`' planner flags travel with the
+  /// request; when `req.trace_sink` is non-null the server records a trace
+  /// and the rendered span tree is adopted into the sink. `req.cancel` is
+  /// not transported — disconnecting cancels the in-flight statement.
+  Result<QueryOutcome> Execute(const QueryRequest& req);
+
   /// SELECT queries; other statement forms are reported as errors.
   Result<sparql::QueryResult> Query(const std::string& text);
 
@@ -117,6 +128,9 @@ class RemoteSession {
   /// engine's optimizer-statistics report (triple totals, per-predicate
   /// counts, index fan-out histograms).
   Result<std::string> Stats();
+
+  /// The METRICS verb: the server's Prometheus-style metrics exposition.
+  Result<std::string> Metrics();
 
   /// Remote EXPLAIN: runs `query` server-side with profiling and returns
   /// the plan text (chosen BGP order, estimated vs. actual cardinalities).

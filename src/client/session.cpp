@@ -32,44 +32,71 @@ Status Session::Annotate(const std::string& subject_iri,
   return Status::OK();
 }
 
+Result<QueryOutcome> Session::Execute(QueryRequest req) {
+  if (req.timeout.count() == 0) req.timeout = query_timeout_;
+  return engine_->Execute(req);
+}
+
 Result<sparql::QueryResult> Session::RunQuery(const std::string& text) {
-  sched::QueryContext ctx;
-  if (query_timeout_.count() > 0) {
-    ctx = sched::QueryContext::WithTimeout(query_timeout_);
-  }
-  SCISPARQL_ASSIGN_OR_RETURN(SSDM::ExecResult r, engine_->Execute(text, &ctx));
-  if (r.kind != SSDM::ExecResult::Kind::kRows) {
+  QueryRequest req;
+  req.text = text;
+  SCISPARQL_ASSIGN_OR_RETURN(QueryOutcome out, Execute(std::move(req)));
+  if (out.kind() != QueryOutcome::Kind::kRows) {
     return Status::InvalidArgument("statement is not a SELECT query");
   }
-  return std::move(r.rows);
+  return std::move(out.rows());
 }
 
 Result<sparql::QueryResult> Session::Query(const std::string& text) {
   return RunQuery(text);
 }
 
+namespace {
+
+/// The projected variable a Fetch call is after — names the thing that was
+/// missing or malformed in error messages.
+std::string FetchTarget(const sparql::QueryResult& r) {
+  return r.columns.empty() ? std::string("(no projection)")
+                           : "?" + r.columns[0];
+}
+
+/// Shared single-cell contract of FetchArray/FetchScalar: exactly one row
+/// with at least one column. Zero rows is NotFound (the query matched
+/// nothing — a distinct, often retryable condition); anything else is a
+/// malformed request.
+Status CheckSingleCell(const sparql::QueryResult& r, const char* what) {
+  if (r.rows.empty()) {
+    return Status::NotFound(std::string(what) + ": no result row for " +
+                            FetchTarget(r));
+  }
+  if (r.rows.size() > 1) {
+    return Status::InvalidArgument(
+        std::string(what) + " expects exactly one result row for " +
+        FetchTarget(r) + ", got " + std::to_string(r.rows.size()));
+  }
+  if (r.rows[0].empty()) {
+    return Status::InvalidArgument(std::string(what) +
+                                   ": result row has no columns");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 Result<NumericArray> Session::FetchArray(const std::string& text) {
   SCISPARQL_ASSIGN_OR_RETURN(sparql::QueryResult r, RunQuery(text));
-  if (r.rows.size() != 1 || r.rows[0].size() < 1) {
-    return Status::InvalidArgument(
-        "FetchArray expects exactly one result row, got " +
-        std::to_string(r.rows.size()));
-  }
+  SCISPARQL_RETURN_NOT_OK(CheckSingleCell(r, "FetchArray"));
   const Term& cell = r.rows[0][0];
   if (!cell.IsArray()) {
-    return Status::TypeError("query result is not an array: " +
-                             cell.ToString());
+    return Status::TypeError("FetchArray: value of " + FetchTarget(r) +
+                             " is not an array: " + cell.ToString());
   }
   return cell.array()->Materialize();
 }
 
 Result<double> Session::FetchScalar(const std::string& text) {
   SCISPARQL_ASSIGN_OR_RETURN(sparql::QueryResult r, RunQuery(text));
-  if (r.rows.size() != 1 || r.rows[0].size() < 1) {
-    return Status::InvalidArgument(
-        "FetchScalar expects exactly one result row, got " +
-        std::to_string(r.rows.size()));
-  }
+  SCISPARQL_RETURN_NOT_OK(CheckSingleCell(r, "FetchScalar"));
   return r.rows[0][0].AsDouble();
 }
 

@@ -40,14 +40,22 @@ class Session {
   Status Annotate(const std::string& subject_iri,
                   const std::string& property_iri, Term value);
 
+  /// Unified execution of any statement form, with this session's default
+  /// deadline applied when the request carries none. The same surface
+  /// RemoteSession offers over the wire.
+  Result<QueryOutcome> Execute(QueryRequest req);
+
   /// Runs a SciSPARQL query (SELECT) and returns the result table.
   Result<sparql::QueryResult> Query(const std::string& text);
 
   /// Runs a query expected to yield exactly one array cell and
   /// materializes it — the Matlab-side "fetch result into a matrix" call.
+  /// Zero rows reports NotFound; anything else unexpected reports
+  /// InvalidArgument / TypeError, naming the projected variable.
   Result<NumericArray> FetchArray(const std::string& text);
 
-  /// Runs a query expected to yield exactly one numeric cell.
+  /// Runs a query expected to yield exactly one numeric cell. Same error
+  /// contract as FetchArray.
   Result<double> FetchScalar(const std::string& text);
 
   /// Wall-clock budget applied to every statement this session runs

@@ -1,0 +1,84 @@
+#ifndef SCISPARQL_ENGINE_QUERY_API_H_
+#define SCISPARQL_ENGINE_QUERY_API_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "obs/trace.h"
+#include "rdf/graph.h"
+#include "sparql/executor.h"
+
+namespace scisparql {
+
+/// One statement to execute, with everything that shapes its execution:
+/// the unified entry point of the engine, the scheduler, the embedded
+/// Session and the remote protocol. The grown-by-accretion surface
+/// (Execute/Query/Ask/Construct/Run + EXPLAIN/STATS string verbs) now
+/// funnels through this one shape.
+struct QueryRequest {
+  /// The SciSPARQL statement — any form, including the introspection
+  /// verbs (EXPLAIN [ANALYZE] <query>, STATS, METRICS).
+  std::string text;
+
+  /// Execution-option overrides; the engine's session defaults apply when
+  /// unset. (Only the planner flags travel over the wire; storage/APR
+  /// configuration stays server-side.)
+  std::optional<sparql::ExecOptions> options;
+
+  /// Wall-clock budget for this statement; zero = none. Queue wait counts
+  /// against it when the request goes through the scheduler.
+  std::chrono::milliseconds timeout{0};
+
+  /// Optional cooperative-cancellation flag: the owner sets it, the
+  /// executor's hot loops observe it.
+  std::shared_ptr<std::atomic<bool>> cancel;
+
+  /// When non-null, the engine records the structured trace (span tree
+  /// parse -> optimize -> execute -> serialize, with per-scan rows in/out)
+  /// into this sink. Null = tracing off; the hot paths then cost one
+  /// branch. Not owned; must outlive the call.
+  obs::QueryTrace* trace_sink = nullptr;
+};
+
+/// The result of executing a QueryRequest — a tagged variant over the five
+/// statement shapes. The variant's alternative order IS the Kind order, so
+/// kind() is just the index.
+struct QueryOutcome {
+  enum class Kind {
+    kRows = 0,     ///< SELECT
+    kGraph,        ///< CONSTRUCT / DESCRIBE
+    kAsk,          ///< ASK
+    kUpdateCount,  ///< updates, LOAD, CLEAR, DEFINE (triples touched)
+    kInfo,         ///< EXPLAIN [ANALYZE] / STATS / METRICS text
+  };
+
+  struct UpdateCount {
+    int64_t count = 0;
+  };
+  struct Info {
+    std::string text;
+  };
+
+  std::variant<sparql::QueryResult, Graph, bool, UpdateCount, Info> value;
+
+  Kind kind() const { return static_cast<Kind>(value.index()); }
+
+  sparql::QueryResult& rows() { return std::get<sparql::QueryResult>(value); }
+  const sparql::QueryResult& rows() const {
+    return std::get<sparql::QueryResult>(value);
+  }
+  Graph& graph() { return std::get<Graph>(value); }
+  const Graph& graph() const { return std::get<Graph>(value); }
+  bool ask() const { return std::get<bool>(value); }
+  int64_t update_count() const { return std::get<UpdateCount>(value).count; }
+  const std::string& info() const { return std::get<Info>(value).text; }
+};
+
+}  // namespace scisparql
+
+#endif  // SCISPARQL_ENGINE_QUERY_API_H_

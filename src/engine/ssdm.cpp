@@ -7,6 +7,7 @@
 
 #include "common/string_util.h"
 #include "loaders/turtle.h"
+#include "obs/metrics.h"
 #include "sparql/calculus.h"
 
 namespace scisparql {
@@ -80,7 +81,8 @@ sched::StatementClass SSDM::ClassifyStatement(const std::string& text) {
         continue;
       }
       if (w == "SELECT" || w == "ASK" || w == "CONSTRUCT" ||
-          w == "DESCRIBE" || w == "EXPLAIN" || w == "STATS") {
+          w == "DESCRIBE" || w == "EXPLAIN" || w == "STATS" ||
+          w == "METRICS") {
         return sched::StatementClass::kRead;
       }
       return sched::StatementClass::kWrite;
@@ -92,76 +94,177 @@ sched::StatementClass SSDM::ClassifyStatement(const std::string& text) {
   return sched::StatementClass::kWrite;
 }
 
-Result<SSDM::ExecResult> SSDM::Execute(const std::string& text,
-                                       const sched::QueryContext* ctx) {
-  // Introspection statements (not part of the query grammar). Both are
+namespace {
+
+/// Per-statement-kind execution counters (registered once, bumped with one
+/// sharded atomic add per statement).
+obs::Counter& StatementCounter(const char* kind) {
+  return obs::DefaultMetrics().GetCounter(
+      "ssdm_statements_total", std::string("kind=\"") + kind + "\"",
+      "Statements executed by the engine, by statement kind.");
+}
+
+}  // namespace
+
+Result<QueryOutcome> SSDM::Execute(const QueryRequest& req,
+                                   const sched::QueryContext* ctx) {
+  // Build a context from the request when the caller didn't hand one down
+  // (the scheduler computes its own at admission, with queue wait already
+  // counted against the deadline).
+  sched::QueryContext local_ctx;
+  if (ctx == nullptr && (req.timeout.count() > 0 || req.cancel != nullptr)) {
+    if (req.timeout.count() > 0) {
+      local_ctx = sched::QueryContext::WithTimeout(req.timeout);
+    }
+    local_ctx.cancel = req.cancel;
+    ctx = &local_ctx;
+  }
+
+  // Introspection statements (not part of the query grammar). All are
   // classified as reads, so the scheduler serves them under its shared
   // lock like any query.
-  std::string_view trimmed = StripWhitespace(text);
-  auto leading_word = [&]() {
+  std::string_view trimmed = StripWhitespace(req.text);
+  auto leading_word = [](std::string_view sv) {
     std::string w;
-    for (char c : trimmed) {
+    for (char c : sv) {
       if (std::isalpha(static_cast<unsigned char>(c)) == 0) break;
       w.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
     }
     return w;
   };
-  std::string head = leading_word();
+  std::string head = leading_word(trimmed);
   if (head == "STATS" && head.size() == trimmed.size()) {
-    ExecResult out;
-    out.kind = ExecResult::Kind::kInfo;
-    out.info = StatsReport();
-    return out;
+    StatementCounter("info").Add();
+    return QueryOutcome{QueryOutcome::Info{StatsReport()}};
+  }
+  if (head == "METRICS" && head.size() == trimmed.size()) {
+    StatementCounter("info").Add();
+    return QueryOutcome{
+        QueryOutcome::Info{obs::DefaultMetrics().RenderPrometheusText()}};
   }
   if (head == "EXPLAIN" && trimmed.size() > head.size()) {
-    ExecResult out;
-    SCISPARQL_ASSIGN_OR_RETURN(
-        out.info, Explain(std::string(trimmed.substr(head.size()))));
-    out.kind = ExecResult::Kind::kInfo;
-    return out;
+    std::string_view rest = StripWhitespace(trimmed.substr(head.size()));
+    std::string second = leading_word(rest);
+    if (second == "ANALYZE" && rest.size() > second.size()) {
+      // EXPLAIN ANALYZE: execute the statement with a local trace sink and
+      // return the rendered span tree (phase timings plus the same
+      // per-scan actual cardinalities EXPLAIN reports).
+      obs::QueryTrace trace;
+      QueryRequest sub = req;
+      sub.text = std::string(rest.substr(second.size()));
+      sub.trace_sink = &trace;
+      SCISPARQL_ASSIGN_OR_RETURN(QueryOutcome sub_out, Execute(sub, ctx));
+      (void)sub_out;
+      StatementCounter("info").Add();
+      return QueryOutcome{QueryOutcome::Info{trace.Render()}};
+    }
+    StatementCounter("info").Add();
+    SCISPARQL_ASSIGN_OR_RETURN(std::string plan,
+                               Explain(std::string(rest)));
+    return QueryOutcome{QueryOutcome::Info{std::move(plan)}};
   }
 
+  obs::QueryTrace* trace = req.trace_sink;
+  obs::SpanTimer total_timer(trace != nullptr ? trace->root() : nullptr);
+
+  obs::TraceSpan* parse_span =
+      trace != nullptr ? trace->AddChild(nullptr, "parse") : nullptr;
+  obs::SpanTimer parse_timer(parse_span);
   SCISPARQL_ASSIGN_OR_RETURN(ast::Statement stmt,
-                             sparql::ParseStatement(text, prefixes_));
-  sparql::ExecOptions options = exec_options_;
+                             sparql::ParseStatement(req.text, prefixes_));
+  parse_timer.Stop();
+
+  sparql::ExecOptions options =
+      req.options.has_value() ? *req.options : exec_options_;
+  // Engine-owned state always wins over caller-supplied option structs:
+  // the statistics registry belongs to this engine, and the per-call
+  // context/trace come from the request.
+  options.stats = &stats_;
   options.query = ctx;
+  options.trace = trace;
   sparql::Executor exec(&dataset_, &registry_, options);
-  ExecResult out;
+
+  obs::TraceSpan* exec_span =
+      trace != nullptr ? trace->AddChild(nullptr, "execute") : nullptr;
+  if (trace != nullptr) trace->set_attach_point(exec_span);
+  obs::SpanTimer exec_timer(exec_span);
 
   if (auto* def = std::get_if<ast::FunctionDef>(&stmt.node)) {
     SCISPARQL_RETURN_NOT_OK(registry_.Define(*def));
-    out.kind = ExecResult::Kind::kOk;
-    return out;
+    StatementCounter("define").Add();
+    return QueryOutcome{QueryOutcome::UpdateCount{0}};
   }
   if (auto* update = std::get_if<ast::UpdateOp>(&stmt.node)) {
-    SCISPARQL_RETURN_NOT_OK(exec.Update(*update));
-    out.kind = ExecResult::Kind::kOk;
-    return out;
+    SCISPARQL_ASSIGN_OR_RETURN(int64_t n, exec.Update(*update));
+    StatementCounter("update").Add();
+    if (exec_span != nullptr) exec_span->SetAttr("triples_touched", n);
+    return QueryOutcome{QueryOutcome::UpdateCount{n}};
   }
   const auto& q = std::get<std::shared_ptr<ast::SelectQuery>>(stmt.node);
   switch (q->form) {
     case ast::SelectQuery::Form::kSelect: {
-      SCISPARQL_ASSIGN_OR_RETURN(out.rows, exec.Select(*q));
-      out.kind = ExecResult::Kind::kRows;
-      return out;
+      SCISPARQL_ASSIGN_OR_RETURN(sparql::QueryResult rows, exec.Select(*q));
+      StatementCounter("select").Add();
+      if (exec_span != nullptr) {
+        exec_span->SetAttr("rows",
+                           static_cast<int64_t>(rows.rows.size()));
+      }
+      return QueryOutcome{std::move(rows)};
     }
     case ast::SelectQuery::Form::kAsk: {
-      SCISPARQL_ASSIGN_OR_RETURN(out.boolean, exec.Ask(*q));
-      out.kind = ExecResult::Kind::kBool;
-      return out;
+      SCISPARQL_ASSIGN_OR_RETURN(bool b, exec.Ask(*q));
+      StatementCounter("ask").Add();
+      return QueryOutcome{b};
     }
     case ast::SelectQuery::Form::kConstruct: {
-      SCISPARQL_ASSIGN_OR_RETURN(out.graph, exec.Construct(*q));
-      out.kind = ExecResult::Kind::kGraph;
-      return out;
+      SCISPARQL_ASSIGN_OR_RETURN(Graph g, exec.Construct(*q));
+      StatementCounter("construct").Add();
+      if (exec_span != nullptr) {
+        exec_span->SetAttr("triples", static_cast<int64_t>(g.size()));
+      }
+      return QueryOutcome{std::move(g)};
     }
     case ast::SelectQuery::Form::kDescribe: {
-      SCISPARQL_ASSIGN_OR_RETURN(out.graph, exec.Describe(*q));
-      out.kind = ExecResult::Kind::kGraph;
-      return out;
+      SCISPARQL_ASSIGN_OR_RETURN(Graph g, exec.Describe(*q));
+      StatementCounter("describe").Add();
+      return QueryOutcome{std::move(g)};
     }
   }
   return Status::Internal("unknown query form");
+}
+
+Result<SSDM::ExecResult> SSDM::Execute(const std::string& text,
+                                       const sched::QueryContext* ctx) {
+  QueryRequest req;
+  req.text = text;
+  SCISPARQL_ASSIGN_OR_RETURN(QueryOutcome out, Execute(req, ctx));
+  return ToExecResult(std::move(out));
+}
+
+SSDM::ExecResult SSDM::ToExecResult(QueryOutcome out) {
+  ExecResult r;
+  switch (out.kind()) {
+    case QueryOutcome::Kind::kRows:
+      r.kind = ExecResult::Kind::kRows;
+      r.rows = std::move(out.rows());
+      break;
+    case QueryOutcome::Kind::kGraph:
+      r.kind = ExecResult::Kind::kGraph;
+      r.graph = std::move(out.graph());
+      break;
+    case QueryOutcome::Kind::kAsk:
+      r.kind = ExecResult::Kind::kBool;
+      r.boolean = out.ask();
+      break;
+    case QueryOutcome::Kind::kUpdateCount:
+      r.kind = ExecResult::Kind::kOk;
+      break;
+    case QueryOutcome::Kind::kInfo:
+      r.kind = ExecResult::Kind::kInfo;
+      r.info = out.info();
+      break;
+  }
+  return r;
 }
 
 Result<sparql::QueryResult> SSDM::Query(const std::string& text) {

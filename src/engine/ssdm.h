@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "engine/query_api.h"
 #include "opt/stats.h"
 #include "rdf/graph.h"
 #include "rdf/namespaces.h"
@@ -39,7 +40,19 @@ class SSDM {
 
   // --- Statement execution. ---
 
-  /// Result of executing an arbitrary statement.
+  /// The unified entry point: parses and executes one SciSPARQL statement
+  /// of any form — query, update, DEFINE FUNCTION, or the introspection
+  /// verbs EXPLAIN [ANALYZE] <query>, STATS and METRICS — honouring the
+  /// request's option overrides, timeout/cancel flag and trace sink.
+  ///
+  /// When `ctx` is non-null it takes precedence over the request's
+  /// timeout/cancel fields; the scheduler passes a context whose absolute
+  /// deadline was computed at admission so queue wait counts against it.
+  Result<QueryOutcome> Execute(const QueryRequest& req,
+                               const sched::QueryContext* ctx = nullptr);
+
+  /// Legacy result shape, kept so pre-QueryOutcome callers and tests work
+  /// unchanged. kOk folds both update and DEFINE outcomes.
   struct ExecResult {
     enum class Kind { kRows, kBool, kGraph, kOk, kInfo };
     Kind kind = Kind::kOk;
@@ -49,12 +62,15 @@ class SSDM {
     std::string info;          // EXPLAIN / STATS text
   };
 
-  /// Parses and executes one SciSPARQL statement of any form. When `ctx`
-  /// is non-null its deadline/cancel flag are observed cooperatively in
-  /// the executor's hot loops (the scheduler threads the per-query context
-  /// through here; direct callers may pass one too).
+  /// Deprecated: thin wrapper over Execute(QueryRequest); prefer the
+  /// QueryRequest/QueryOutcome form.
   Result<ExecResult> Execute(const std::string& text,
                              const sched::QueryContext* ctx = nullptr);
+
+  /// Folds a QueryOutcome into the legacy result shape (kAsk -> kBool,
+  /// kUpdateCount -> kOk). Used by the deprecated wrappers here and in the
+  /// scheduler.
+  static ExecResult ToExecResult(QueryOutcome out);
 
   /// Concurrency class of a statement, decided from its leading keyword
   /// (after the PREFIX/BASE prolog, comments and string/IRI tokens are
@@ -64,7 +80,8 @@ class SSDM {
   /// reader-writer lock.
   static sched::StatementClass ClassifyStatement(const std::string& text);
 
-  /// SELECT-only convenience.
+  /// Deprecated single-form conveniences: thin wrappers over
+  /// Execute(QueryRequest) that check the outcome kind.
   Result<sparql::QueryResult> Query(const std::string& text);
   Result<bool> Ask(const std::string& text);
   Result<Graph> Construct(const std::string& text);

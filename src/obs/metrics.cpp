@@ -1,0 +1,143 @@
+#include "obs/metrics.h"
+
+#include <sstream>
+
+namespace scisparql {
+namespace obs {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void SetEnabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+size_t ShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t idx =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return idx;
+}
+
+constexpr std::array<uint64_t, 7> Histogram::kBounds;
+
+MetricsRegistry::Entry& MetricsRegistry::GetEntry(const std::string& family,
+                                                  const std::string& labels,
+                                                  const std::string& help,
+                                                  Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& instruments = entries_[family];
+  auto it = instruments.find(labels);
+  if (it == instruments.end()) {
+    auto entry = std::make_unique<Entry>();
+    entry->family = family;
+    entry->labels = labels;
+    entry->help = help;
+    entry->kind = kind;
+    switch (kind) {
+      case Kind::kCounter:
+        entry->counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        entry->gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        entry->histogram = std::make_unique<Histogram>();
+        break;
+    }
+    it = instruments.emplace(labels, std::move(entry)).first;
+  }
+  return *it->second;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& family,
+                                     const std::string& labels,
+                                     const std::string& help) {
+  return *GetEntry(family, labels, help, Kind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& family,
+                                 const std::string& labels,
+                                 const std::string& help) {
+  return *GetEntry(family, labels, help, Kind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& family,
+                                         const std::string& labels,
+                                         const std::string& help) {
+  return *GetEntry(family, labels, help, Kind::kHistogram).histogram;
+}
+
+namespace {
+
+/// `name` or `name{labels}` — also merges extra labels (`le`) into an
+/// existing label set.
+std::string SampleName(const std::string& family, const std::string& labels,
+                       const std::string& extra = "") {
+  std::string all = labels;
+  if (!extra.empty()) {
+    if (!all.empty()) all += ",";
+    all += extra;
+  }
+  if (all.empty()) return family;
+  return family + "{" + all + "}";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [family, instruments] : entries_) {
+    if (instruments.empty()) continue;
+    const Entry& first = *instruments.begin()->second;
+    if (!first.help.empty()) {
+      out << "# HELP " << family << " " << first.help << "\n";
+    }
+    const char* type = first.kind == Kind::kCounter   ? "counter"
+                       : first.kind == Kind::kGauge   ? "gauge"
+                                                      : "histogram";
+    out << "# TYPE " << family << " " << type << "\n";
+    for (const auto& [labels, entry] : instruments) {
+      switch (entry->kind) {
+        case Kind::kCounter:
+          out << SampleName(family, labels) << " " << entry->counter->Value()
+              << "\n";
+          break;
+        case Kind::kGauge:
+          out << SampleName(family, labels) << " " << entry->gauge->Value()
+              << "\n";
+          break;
+        case Kind::kHistogram: {
+          auto counts = entry->histogram->BucketCounts();
+          uint64_t cumulative = 0;
+          for (size_t b = 0; b < Histogram::kBounds.size(); ++b) {
+            cumulative += counts[b];
+            out << SampleName(family + "_bucket", labels,
+                              "le=\"" +
+                                  std::to_string(Histogram::kBounds[b]) +
+                                  "\"")
+                << " " << cumulative << "\n";
+          }
+          cumulative += counts[Histogram::kBounds.size()];
+          out << SampleName(family + "_bucket", labels, "le=\"+Inf\"") << " "
+              << cumulative << "\n";
+          out << SampleName(family + "_sum", labels) << " "
+              << entry->histogram->SumMicros() << "\n";
+          out << SampleName(family + "_count", labels) << " " << cumulative
+              << "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out.str();
+}
+
+MetricsRegistry& DefaultMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace scisparql

@@ -1,0 +1,90 @@
+#include "obs/trace.h"
+
+#include <ctime>
+#include <sstream>
+
+namespace scisparql {
+namespace obs {
+
+uint64_t ThreadCpuNanos() {
+#ifdef CLOCK_THREAD_CPUTIME_ID
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+#else
+  return 0;
+#endif
+}
+
+QueryTrace::QueryTrace() : root_(std::make_unique<TraceSpan>()) {
+  root_->name = "query";
+}
+
+TraceSpan* QueryTrace::AddChild(TraceSpan* parent, std::string name) {
+  if (parent == nullptr) parent = root();
+  auto span = std::make_unique<TraceSpan>();
+  span->name = std::move(name);
+  TraceSpan* raw = span.get();
+  parent->children.push_back(std::move(span));
+  return raw;
+}
+
+namespace {
+
+std::string FmtMs(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return buf;
+}
+
+void RenderSpan(const TraceSpan& span, int depth, std::ostringstream* out) {
+  *out << std::string(static_cast<size_t>(depth) * 2, ' ') << span.name;
+  if (span.wall_ms > 0 || span.cpu_ms > 0) {
+    *out << "  wall=" << FmtMs(span.wall_ms) << "ms cpu=" << FmtMs(span.cpu_ms)
+         << "ms";
+  }
+  if (!span.attrs.empty()) {
+    *out << "  (";
+    for (size_t i = 0; i < span.attrs.size(); ++i) {
+      if (i > 0) *out << ", ";
+      *out << span.attrs[i].first << " " << span.attrs[i].second;
+    }
+    *out << ")";
+  }
+  *out << "\n";
+  for (const auto& child : span.children) {
+    RenderSpan(*child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string QueryTrace::Render() const {
+  if (!rendered_.empty()) return rendered_;
+  std::ostringstream out;
+  RenderSpan(*root_, 0, &out);
+  return out.str();
+}
+
+SpanTimer::SpanTimer(TraceSpan* span) : span_(span) {
+  if (span_ == nullptr) return;
+  wall_start_ = std::chrono::steady_clock::now();
+  cpu_start_ns_ = ThreadCpuNanos();
+}
+
+void SpanTimer::Stop() {
+  if (span_ == nullptr) return;
+  auto wall_end = std::chrono::steady_clock::now();
+  span_->wall_ms +=
+      std::chrono::duration<double, std::milli>(wall_end - wall_start_)
+          .count();
+  uint64_t cpu_end = ThreadCpuNanos();
+  if (cpu_end >= cpu_start_ns_ && cpu_start_ns_ != 0) {
+    span_->cpu_ms += static_cast<double>(cpu_end - cpu_start_ns_) / 1e6;
+  }
+  span_ = nullptr;
+}
+
+}  // namespace obs
+}  // namespace scisparql

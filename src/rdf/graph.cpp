@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace scisparql {
 
@@ -99,8 +100,43 @@ bool TermMatches(const Term& pattern, const Term& value) {
 
 }  // namespace
 
+namespace {
+
+/// Triple-scan counters, shared by every graph in the process. The per-row
+/// cost is a plain local increment; the sharded atomics are touched twice
+/// per Match call (once for the scan, once for the row total).
+struct ScanMetrics {
+  obs::Counter& scans;
+  obs::Counter& rows;
+};
+
+ScanMetrics& GraphMetrics() {
+  obs::MetricsRegistry& reg = obs::DefaultMetrics();
+  static ScanMetrics* m = new ScanMetrics{
+      reg.GetCounter("ssdm_rdf_scans_total", "",
+                     "Triple-index scans (Graph::Match calls)."),
+      reg.GetCounter("ssdm_rdf_scan_rows_total", "",
+                     "Matching triples delivered by triple-index scans."),
+  };
+  return *m;
+}
+
+/// Accumulates delivered-row counts locally and flushes once on scope
+/// exit, covering the early-return paths.
+struct RowTally {
+  obs::Counter& counter;
+  uint64_t n = 0;
+  ~RowTally() {
+    if (n > 0) counter.Add(n);
+  }
+};
+
+}  // namespace
+
 void Graph::Match(const Term& s, const Term& p, const Term& o,
                   const std::function<bool(const Triple&)>& cb) const {
+  GraphMetrics().scans.Add();
+  RowTally tally{GraphMetrics().rows};
   // Pick the most selective available index.
   const IdList* ids = nullptr;
   static const IdList kEmpty;
@@ -125,6 +161,7 @@ void Graph::Match(const Term& s, const Term& p, const Term& o,
       if (dead_[id]) continue;
       const Triple& t = triples_[id];
       if (TermMatches(s, t.s) && TermMatches(p, t.p) && TermMatches(o, t.o)) {
+        ++tally.n;
         if (!cb(t)) return;
       }
     }
@@ -133,6 +170,7 @@ void Graph::Match(const Term& s, const Term& p, const Term& o,
   // Full scan (all three positions are wildcards).
   for (size_t i = 0; i < triples_.size(); ++i) {
     if (dead_[i]) continue;
+    ++tally.n;
     if (!cb(triples_[i])) return;
   }
 }

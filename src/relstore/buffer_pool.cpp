@@ -1,7 +1,34 @@
 #include "relstore/buffer_pool.h"
 
+#include "obs/metrics.h"
+
 namespace scisparql {
 namespace relstore {
+
+namespace {
+
+/// Process-wide buffer-pool counters, mirroring the per-pool hits_/misses_/
+/// evictions_ members in the METRICS exposition.
+struct PoolMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& evictions;
+};
+
+PoolMetrics& Metrics() {
+  obs::MetricsRegistry& reg = obs::DefaultMetrics();
+  static PoolMetrics* m = new PoolMetrics{
+      reg.GetCounter("ssdm_buffer_pool_hits_total", "",
+                     "Page pins served from a resident frame."),
+      reg.GetCounter("ssdm_buffer_pool_misses_total", "",
+                     "Page pins that had to read from the pager."),
+      reg.GetCounter("ssdm_buffer_pool_evictions_total", "",
+                     "Frames evicted to make room for a new page."),
+  };
+  return *m;
+}
+
+}  // namespace
 
 BufferPool::BufferPool(Pager* pager, size_t capacity_pages)
     : pager_(pager), capacity_(capacity_pages == 0 ? 1 : capacity_pages) {}
@@ -10,6 +37,7 @@ Result<uint8_t*> BufferPool::Pin(PageId id) {
   auto it = frames_.find(id);
   if (it != frames_.end()) {
     ++hits_;
+    Metrics().hits.Add();
     Frame& f = it->second;
     if (f.in_lru) {
       lru_.erase(f.lru_it);
@@ -19,6 +47,7 @@ Result<uint8_t*> BufferPool::Pin(PageId id) {
     return f.data.data();
   }
   ++misses_;
+  Metrics().misses.Add();
   while (frames_.size() >= capacity_) {
     SCISPARQL_RETURN_NOT_OK(EvictOne());
   }
@@ -60,6 +89,7 @@ Status BufferPool::EvictOne() {
     }
     frames_.erase(it);
     ++evictions_;
+    Metrics().evictions.Add();
   }
   return Status::OK();
 }

@@ -4,8 +4,60 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace scisparql {
 namespace sched {
+
+namespace {
+
+/// Scheduler metrics, registered once and shared by every scheduler in the
+/// process (handles are stable; all mutations are sharded atomics).
+struct SchedMetrics {
+  obs::Counter& admitted;
+  obs::Counter& rejected;
+  obs::Counter& completed;
+  obs::Counter& failed;
+  obs::Counter& timed_out;
+  obs::Counter& cancelled;
+  obs::Gauge& queue_depth;
+  obs::Histogram& wait_micros;
+  obs::Histogram& read_micros;
+  obs::Histogram& write_micros;
+};
+
+SchedMetrics& Metrics() {
+  obs::MetricsRegistry& reg = obs::DefaultMetrics();
+  static SchedMetrics* m = new SchedMetrics{
+      reg.GetCounter("ssdm_sched_admitted_total", "",
+                     "Statements accepted into the admission queue."),
+      reg.GetCounter("ssdm_sched_rejected_total", "",
+                     "Statements rejected at admission (queue full or "
+                     "scheduler stopped)."),
+      reg.GetCounter("ssdm_sched_completed_total", "",
+                     "Scheduled statements that finished OK."),
+      reg.GetCounter("ssdm_sched_failed_total", "",
+                     "Scheduled statements that finished with an error."),
+      reg.GetCounter("ssdm_sched_timeout_total", "",
+                     "Scheduled statements that exceeded their deadline."),
+      reg.GetCounter("ssdm_sched_cancelled_total", "",
+                     "Scheduled statements cancelled by their owner."),
+      reg.GetGauge("ssdm_sched_queue_depth", "",
+                   "Tasks waiting in the admission queue right now."),
+      reg.GetHistogram("ssdm_sched_wait_micros", "",
+                       "Time from admission to a worker picking the task "
+                       "up, in microseconds."),
+      reg.GetHistogram("ssdm_query_micros", "class=\"read\"",
+                       "End-to-end execution latency of scheduled "
+                       "statements, in microseconds, by concurrency class."),
+      reg.GetHistogram("ssdm_query_micros", "class=\"write\"",
+                       "End-to-end execution latency of scheduled "
+                       "statements, in microseconds, by concurrency class."),
+  };
+  return *m;
+}
+
+}  // namespace
 
 std::string SchedulerStats::ToString() const {
   std::ostringstream out;
@@ -52,24 +104,36 @@ void QueryScheduler::Stop() {
   }
 }
 
-Status QueryScheduler::Submit(std::string statement, QueryContext ctx,
-                              Callback done) {
+Status QueryScheduler::Submit(QueryRequest req, OutcomeCallback done) {
+  QueryContext ctx;
+  if (req.timeout.count() > 0) {
+    ctx = QueryContext::WithTimeout(req.timeout);
+  }
+  ctx.cancel = req.cancel;
+  return SubmitTask(std::move(req), std::move(ctx), std::move(done));
+}
+
+Status QueryScheduler::SubmitTask(QueryRequest req, QueryContext ctx,
+                                  OutcomeCallback done) {
   if (!ctx.has_deadline() && options_.default_timeout.count() > 0) {
     ctx.deadline = QueryContext::Clock::now() + options_.default_timeout;
   }
   Task task;
-  task.cls = SSDM::ClassifyStatement(statement);
-  task.text = std::move(statement);
+  task.cls = SSDM::ClassifyStatement(req.text);
+  task.req = std::move(req);
   task.ctx = std::move(ctx);
   task.done = std::move(done);
+  task.enqueued = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!running_) {
       ++stats_.rejected;
+      Metrics().rejected.Add();
       return Status::Unavailable("scheduler stopped");
     }
     if (queue_.size() >= options_.queue_capacity) {
       ++stats_.rejected;
+      Metrics().rejected.Add();
       return Status::Unavailable("server overloaded: admission queue full");
     }
     queue_.push_back(std::move(task));
@@ -78,9 +142,38 @@ Status QueryScheduler::Submit(std::string statement, QueryContext ctx,
     if (queue_.size() > stats_.queue_high_water) {
       stats_.queue_high_water = queue_.size();
     }
+    Metrics().admitted.Add();
+    Metrics().queue_depth.Set(static_cast<int64_t>(queue_.size()));
   }
   cv_.notify_one();
   return Status::OK();
+}
+
+Result<QueryOutcome> QueryScheduler::Execute(QueryRequest req) {
+  auto promise = std::make_shared<std::promise<Result<QueryOutcome>>>();
+  std::future<Result<QueryOutcome>> future = promise->get_future();
+  Status admitted = Submit(std::move(req), [promise](Result<QueryOutcome> r) {
+    promise->set_value(std::move(r));
+  });
+  if (!admitted.ok()) return admitted;
+  return future.get();
+}
+
+Status QueryScheduler::Submit(std::string statement, QueryContext ctx,
+                              Callback done) {
+  QueryRequest req;
+  req.text = std::move(statement);
+  OutcomeCallback adapter;
+  if (done) {
+    adapter = [done = std::move(done)](Result<QueryOutcome> r) {
+      if (!r.ok()) {
+        done(r.status());
+        return;
+      }
+      done(SSDM::ToExecResult(std::move(*r)));
+    };
+  }
+  return SubmitTask(std::move(req), std::move(ctx), std::move(adapter));
 }
 
 Result<SSDM::ExecResult> QueryScheduler::Execute(const std::string& statement,
@@ -106,9 +199,14 @@ void QueryScheduler::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       stats_.queue_depth = queue_.size();
+      Metrics().queue_depth.Set(static_cast<int64_t>(queue_.size()));
     }
     auto start = std::chrono::steady_clock::now();
-    Result<SSDM::ExecResult> result = RunTask(task);
+    Metrics().wait_micros.Observe(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            start - task.enqueued)
+            .count()));
+    Result<QueryOutcome> result = RunTask(task);
     auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
         std::chrono::steady_clock::now() - start);
     FinishTask(task, result.status(), elapsed);
@@ -116,7 +214,7 @@ void QueryScheduler::WorkerLoop() {
   }
 }
 
-Result<SSDM::ExecResult> QueryScheduler::RunTask(const Task& task) {
+Result<QueryOutcome> QueryScheduler::RunTask(const Task& task) {
   // A query that spent its whole deadline waiting in the queue fails
   // without touching the engine (and without taking the shared lock).
   Status preflight = task.ctx.Check();
@@ -124,21 +222,37 @@ Result<SSDM::ExecResult> QueryScheduler::RunTask(const Task& task) {
 
   if (task.cls == StatementClass::kRead) {
     std::shared_lock<std::shared_mutex> lock(engine_mu_);
-    return engine_->Execute(task.text, &task.ctx);
+    return engine_->Execute(task.req, &task.ctx);
   }
   std::unique_lock<std::shared_mutex> lock(engine_mu_);
-  return engine_->Execute(task.text, &task.ctx);
+  return engine_->Execute(task.req, &task.ctx);
 }
 
 void QueryScheduler::FinishTask(const Task& task, const Status& status,
                                 std::chrono::microseconds elapsed) {
+  uint64_t micros = static_cast<uint64_t>(elapsed.count());
+  if (task.cls == StatementClass::kRead) {
+    Metrics().read_micros.Observe(micros);
+  } else {
+    Metrics().write_micros.Observe(micros);
+  }
+  if (status.ok()) {
+    Metrics().completed.Add();
+  } else if (status.code() == StatusCode::kDeadlineExceeded) {
+    Metrics().timed_out.Add();
+  } else if (status.code() == StatusCode::kCancelled) {
+    Metrics().cancelled.Add();
+  } else {
+    Metrics().failed.Add();
+  }
+
   std::lock_guard<std::mutex> lock(mu_);
   if (task.cls == StatementClass::kRead) {
     ++stats_.reads;
-    stats_.read_micros += static_cast<uint64_t>(elapsed.count());
+    stats_.read_micros += micros;
   } else {
     ++stats_.writes;
-    stats_.write_micros += static_cast<uint64_t>(elapsed.count());
+    stats_.write_micros += micros;
   }
   if (status.ok()) {
     ++stats_.completed;

@@ -65,6 +65,7 @@ struct SchedulerStats {
 class QueryScheduler {
  public:
   using Callback = std::function<void(Result<SSDM::ExecResult>)>;
+  using OutcomeCallback = std::function<void(Result<QueryOutcome>)>;
 
   /// `engine` must outlive the scheduler. The worker pool starts
   /// immediately.
@@ -78,14 +79,22 @@ class QueryScheduler {
   /// Unavailable. Idempotent.
   void Stop();
 
-  /// Non-blocking admission: classifies the statement, applies the default
-  /// deadline, and enqueues it. Returns Unavailable immediately when the
-  /// queue is full or the scheduler is stopped; `done` then never runs.
-  /// `done` is invoked on a worker thread exactly once otherwise.
+  /// Non-blocking admission of a unified request: classifies the
+  /// statement, converts the request's timeout into an absolute deadline
+  /// *at admission* (so queue wait counts against it), applies the default
+  /// deadline when the request has none, and enqueues. Returns Unavailable
+  /// immediately when the queue is full or the scheduler is stopped;
+  /// `done` then never runs. `done` is invoked on a worker thread exactly
+  /// once otherwise.
+  Status Submit(QueryRequest req, OutcomeCallback done);
+
+  /// Synchronous convenience: Submit + wait.
+  Result<QueryOutcome> Execute(QueryRequest req);
+
+  /// Deprecated string-based admission; wraps Submit(QueryRequest).
   Status Submit(std::string statement, QueryContext ctx, Callback done);
 
-  /// Synchronous convenience: Submit + wait. Admission failures surface as
-  /// the returned status.
+  /// Deprecated synchronous convenience over the legacy result shape.
   Result<SSDM::ExecResult> Execute(const std::string& statement,
                                    QueryContext ctx = QueryContext());
 
@@ -94,14 +103,16 @@ class QueryScheduler {
 
  private:
   struct Task {
-    std::string text;
+    QueryRequest req;
     QueryContext ctx;
-    Callback done;
+    OutcomeCallback done;
     StatementClass cls;
+    std::chrono::steady_clock::time_point enqueued;
   };
 
+  Status SubmitTask(QueryRequest req, QueryContext ctx, OutcomeCallback done);
   void WorkerLoop();
-  Result<SSDM::ExecResult> RunTask(const Task& task);
+  Result<QueryOutcome> RunTask(const Task& task);
   void FinishTask(const Task& task, const Status& status,
                   std::chrono::microseconds elapsed);
 

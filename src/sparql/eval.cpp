@@ -163,6 +163,14 @@ class Evaluator {
     return ctx_.query->Check();
   }
 
+  /// Per-element checkpoint of the MAP/CONDENSE loops: the cancellation
+  /// check plus (when profiling) one counter bump, so tracing rides the
+  /// existing interrupt hook instead of adding a second branch.
+  Status ElemTick() {
+    if (ctx_.eval_stats != nullptr) ++ctx_.eval_stats->elem_calls;
+    return CheckInterrupt();
+  }
+
   Result<Term> Eval(const Expr& e) {
     switch (e.kind) {
       case Expr::Kind::kTerm:
@@ -554,7 +562,7 @@ class Evaluator {
     if (arrays == 1) {
       SCISPARQL_ASSIGN_OR_RETURN(
           NumericArray r, Map(a, [this, &callable](double x) -> Result<double> {
-            SCISPARQL_RETURN_NOT_OK(CheckInterrupt());
+            SCISPARQL_RETURN_NOT_OK(ElemTick());
             double xs[] = {x};
             return callable(xs);
           }));
@@ -565,7 +573,7 @@ class Evaluator {
     SCISPARQL_ASSIGN_OR_RETURN(
         NumericArray r,
         Map2(a, b, [this, &callable](double x, double y) -> Result<double> {
-          SCISPARQL_RETURN_NOT_OK(CheckInterrupt());
+          SCISPARQL_RETURN_NOT_OK(ElemTick());
           double xs[] = {x, y};
           return callable(xs);
         }));
@@ -582,7 +590,7 @@ class Evaluator {
     SCISPARQL_ASSIGN_OR_RETURN(
         double r,
         Condense(a, [this, &callable](double x, double y) -> Result<double> {
-          SCISPARQL_RETURN_NOT_OK(CheckInterrupt());
+          SCISPARQL_RETURN_NOT_OK(ElemTick());
           double xs[] = {x, y};
           return callable(xs);
         }));

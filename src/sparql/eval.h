@@ -15,6 +15,14 @@
 namespace scisparql {
 namespace sparql {
 
+/// Per-query expression-evaluation counters, recorded by the evaluator's
+/// element-wise loops (MAP / CONDENSE) when a query is profiled. Written by
+/// the single thread evaluating the query.
+struct EvalCounters {
+  /// Function applications performed element-wise over arrays.
+  int64_t elem_calls = 0;
+};
+
 /// Environment for expression evaluation. The executor fills the hooks so
 /// the evaluator can run EXISTS sub-patterns and SciSPARQL-defined
 /// functions without depending on the executor's headers.
@@ -42,6 +50,10 @@ struct EvalContext {
   /// Observed in the element-wise loops (MAP / CONDENSE), which can call a
   /// SciSPARQL-defined function per array element.
   const sched::QueryContext* query = nullptr;
+
+  /// Profiling counters (may be null = off). The hot loops pay one branch
+  /// when off, mirroring the cancellation checkpoints.
+  EvalCounters* eval_stats = nullptr;
 };
 
 /// Evaluates a SciSPARQL expression. Returns a non-OK Status for SPARQL

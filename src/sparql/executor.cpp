@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <charconv>
+#include <chrono>
 #include <set>
 #include <sstream>
 #include <unordered_set>
@@ -338,7 +339,12 @@ class ExecImpl {
  public:
   ExecImpl(Dataset* dataset, FunctionRegistry* registry,
            const ExecOptions& options)
-      : dataset_(dataset), registry_(registry), options_(options) {}
+      : dataset_(dataset),
+        registry_(registry),
+        options_(options),
+        // A trace sink turns on the same per-scan profiling EXPLAIN uses,
+        // so EXPLAIN ANALYZE and EXPLAIN report identical actual counts.
+        profile_(options.trace != nullptr) {}
 
   struct State {
     const Graph* graph;
@@ -837,7 +843,14 @@ class ExecImpl {
   Result<bool> EvalBgp(const std::vector<const TriplePattern*>& bgp,
                        const std::vector<const ast::Expr*>& filters,
                        State& st, const Cont& k) {
+    std::chrono::steady_clock::time_point opt_start;
+    if (profile_) opt_start = std::chrono::steady_clock::now();
     OrderedBgp ordered = OrderBgp(bgp, filters, st);
+    if (profile_) {
+      optimize_nanos_ += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - opt_start)
+                             .count();
+    }
     if (profile_ && !bgp.empty()) {
       // Remember the first plan chosen for this (textual) BGP so EXPLAIN
       // can render estimated vs. actual cardinalities side by side.
@@ -919,6 +932,7 @@ class ExecImpl {
     Status inner_status = Status::OK();
     bool keep_going = true;
     st.graph->Match(s, p, o, [&](const Triple& t) -> bool {
+      if (profile_) ++scan_input_[patterns[i]];
       // Bind wildcard positions, checking repeated-variable consistency.
       std::vector<std::string> bound_here;
       auto bind_pos = [&](const VarOrTerm& vt, const Term& value) -> bool {
@@ -968,6 +982,7 @@ class ExecImpl {
     Status path_status = EvalPath(
         *tp.path, s, o, *st.graph,
         [&](const Term& sv, const Term& ov) -> bool {
+          if (profile_) ++scan_input_[patterns[i]];
           std::vector<std::string> bound_here;
           bool consistent = true;
           auto bind_pos = [&](const VarOrTerm& vt, const Term& value) {
@@ -1220,6 +1235,7 @@ class ExecImpl {
     EvalContext ctx;
     ctx.registry = registry_;
     ctx.query = options_.query;
+    ctx.eval_stats = profile_ ? &eval_counters_ : nullptr;
     ctx.lookup = [&st](const std::string& name) -> Term {
       auto it = st.binding.find(name);
       return it == st.binding.end() ? Term() : it->second;
@@ -1607,12 +1623,16 @@ class ExecImpl {
     return out;
   }
 
-  Status Update(const ast::UpdateOp& op) {
+  /// Returns the number of triples touched: net size change for data
+  /// blocks and LOAD, staged delete+insert volume for pattern updates,
+  /// triples dropped for CLEAR.
+  Result<int64_t> Update(const ast::UpdateOp& op) {
     using K = ast::UpdateOp::Kind;
     Graph* target = op.graph.empty() ? &dataset_->default_graph()
                                      : &dataset_->GetOrCreateNamed(op.graph);
     switch (op.kind) {
       case K::kInsertData: {
+        int64_t before = static_cast<int64_t>(target->size());
         Binding empty;
         SCISPARQL_RETURN_NOT_OK(
             InstantiateInto(op.insert_template, empty, target, true));
@@ -1621,16 +1641,17 @@ class ExecImpl {
         SCISPARQL_ASSIGN_OR_RETURN(int n,
                                    loaders::ConsolidateCollections(target));
         (void)n;
-        return Status::OK();
+        return static_cast<int64_t>(target->size()) - before;
       }
       case K::kDeleteData: {
+        int64_t before = static_cast<int64_t>(target->size());
         for (const TriplePattern& tp : op.delete_template) {
           if (tp.s.is_var || tp.p.is_var || tp.o.is_var) {
             return Status::InvalidArgument("DELETE DATA must be ground");
           }
           target->Remove(Triple{tp.s.term, tp.p.term, tp.o.term});
         }
-        return Status::OK();
+        return before - static_cast<int64_t>(target->size());
       }
       case K::kDeleteWhere:
       case K::kModify: {
@@ -1651,24 +1672,31 @@ class ExecImpl {
         }
         for (const Triple& t : to_delete) target->Remove(t);
         for (const Triple& t : to_insert) target->Add(t);
-        return Status::OK();
+        return static_cast<int64_t>(to_delete.size() + to_insert.size());
       }
       case K::kLoad: {
+        int64_t before = static_cast<int64_t>(target->size());
         loaders::TurtleOptions topt;
-        return loaders::LoadTurtleFile(op.load_source, target, topt);
+        SCISPARQL_RETURN_NOT_OK(
+            loaders::LoadTurtleFile(op.load_source, target, topt));
+        return static_cast<int64_t>(target->size()) - before;
       }
       case K::kClear: {
         if (op.clear_all) {
+          int64_t dropped =
+              static_cast<int64_t>(dataset_->default_graph().size());
           dataset_->default_graph().Clear();
           std::vector<std::string> names;
           for (const auto& [iri, g] : dataset_->named_graphs()) {
+            dropped += static_cast<int64_t>(g.size());
             names.push_back(iri);
           }
           for (const std::string& iri : names) dataset_->DropNamed(iri);
-          return Status::OK();
+          return dropped;
         }
+        int64_t dropped = static_cast<int64_t>(target->size());
         target->Clear();
-        return Status::OK();
+        return dropped;
       }
     }
     return Status::Internal("unknown update kind");
@@ -1760,7 +1788,7 @@ class ExecImpl {
     // so the plan can report estimated *and* actual cardinalities.
     profile_ = true;
     Result<std::vector<Binding>> sols = CollectSolutions(q, Binding());
-    profile_ = false;
+    profile_ = options_.trace != nullptr;
     std::ostringstream out;
     out << "plan for " << (q.form == SelectQuery::Form::kSelect ? "SELECT"
                            : q.form == SelectQuery::Form::kAsk ? "ASK"
@@ -1869,6 +1897,41 @@ class ExecImpl {
     }
   }
 
+  /// Appends the profiled operator detail under the trace's attach point:
+  /// one "bgp" span per executed BGP with a "scan" child per step (pattern
+  /// text, estimated cardinality, rows in, rows out), an "optimize" span
+  /// with the accumulated join-ordering time, and the expression-eval
+  /// counters. Called by the facade after the query finishes.
+  void EmitTrace() {
+    obs::QueryTrace* trace = options_.trace;
+    if (trace == nullptr) return;
+    obs::TraceSpan* at = trace->attach_point();
+    for (const auto& [first, rec] : plan_records_) {
+      obs::TraceSpan* bgp = trace->AddChild(at, "bgp");
+      if (rec.reordered) bgp->SetAttr("reordered", "yes");
+      for (size_t s = 0; s < rec.order.size(); ++s) {
+        const TriplePattern* tp = rec.order[s];
+        obs::TraceSpan* scan = trace->AddChild(bgp, "scan");
+        scan->SetAttr("pattern",
+                      tp->s.ToString() + " " +
+                          (tp->path ? std::string("<path>") : tp->p.ToString()) +
+                          " " + tp->o.ToString());
+        scan->SetAttr("est", rec.est[s]);
+        auto in = scan_input_.find(tp);
+        scan->SetAttr("in", in == scan_input_.end() ? 0 : in->second);
+        auto out = scan_actual_.find(tp);
+        scan->SetAttr("out", out == scan_actual_.end() ? 0 : out->second);
+      }
+    }
+    if (optimize_nanos_ > 0) {
+      obs::TraceSpan* opt = trace->AddChild(at, "optimize");
+      opt->wall_ms = static_cast<double>(optimize_nanos_) / 1e6;
+    }
+    if (eval_counters_.elem_calls > 0) {
+      at->SetAttr("eval_elem_calls", eval_counters_.elem_calls);
+    }
+  }
+
  private:
   /// Plan chosen for one textual BGP (keyed by its first triple pattern),
   /// captured during a profiled (EXPLAIN) run.
@@ -1891,10 +1954,15 @@ class ExecImpl {
   /// references into the values across recursion).
   std::map<const GraphPattern*, std::vector<const PatternElement*>>
       group_views_;
-  /// EXPLAIN profiling: per-scan actual binding counts and recorded plans.
+  /// EXPLAIN / tracing profiling: per-scan candidate (in) and consistent
+  /// (out) binding counts, recorded plans, optimizer time and eval-loop
+  /// counters.
   bool profile_ = false;
   std::map<const TriplePattern*, int64_t> scan_actual_;
+  std::map<const TriplePattern*, int64_t> scan_input_;
   std::map<const TriplePattern*, PlanRecord> plan_records_;
+  int64_t optimize_nanos_ = 0;
+  EvalCounters eval_counters_;
 };
 
 // ---------------------------------------------------------------------------
@@ -1907,25 +1975,33 @@ Executor::Executor(Dataset* dataset, FunctionRegistry* registry,
 
 Result<QueryResult> Executor::Select(const ast::SelectQuery& q) {
   ExecImpl impl(dataset_, registry_, options_);
-  return impl.Select(q, {});
+  Result<QueryResult> r = impl.Select(q, {});
+  impl.EmitTrace();
+  return r;
 }
 
 Result<bool> Executor::Ask(const ast::SelectQuery& q) {
   ExecImpl impl(dataset_, registry_, options_);
-  return impl.Ask(q);
+  Result<bool> r = impl.Ask(q);
+  impl.EmitTrace();
+  return r;
 }
 
 Result<Graph> Executor::Construct(const ast::SelectQuery& q) {
   ExecImpl impl(dataset_, registry_, options_);
-  return impl.Construct(q);
+  Result<Graph> r = impl.Construct(q);
+  impl.EmitTrace();
+  return r;
 }
 
 Result<Graph> Executor::Describe(const ast::SelectQuery& q) {
   ExecImpl impl(dataset_, registry_, options_);
-  return impl.Describe(q);
+  Result<Graph> r = impl.Describe(q);
+  impl.EmitTrace();
+  return r;
 }
 
-Status Executor::Update(const ast::UpdateOp& op) {
+Result<int64_t> Executor::Update(const ast::UpdateOp& op) {
   ExecImpl impl(dataset_, registry_, options_);
   return impl.Update(op);
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/trace.h"
 #include "rdf/graph.h"
 #include "sched/query_context.h"
 #include "sparql/ast.h"
@@ -58,6 +59,12 @@ struct ExecOptions {
   /// timed-out or cancelled query returns DeadlineExceeded / Cancelled
   /// mid-flight instead of running to completion.
   const sched::QueryContext* query = nullptr;
+
+  /// Trace sink (not owned; may be null). Non-null turns on profiling: the
+  /// executor records per-scan input/output cardinalities and optimizer
+  /// time, and appends operator spans under trace->attach_point() when the
+  /// query finishes. Null keeps the hot loops at one branch.
+  obs::QueryTrace* trace = nullptr;
 };
 
 /// Evaluates SciSPARQL queries and updates against a Dataset. The executor
@@ -75,7 +82,9 @@ class Executor {
   /// DESCRIBE: concise bounded description (subject triples plus
   /// transitive blank-node expansion) of the target resources.
   Result<Graph> Describe(const ast::SelectQuery& q);
-  Status Update(const ast::UpdateOp& op);
+  /// Executes an update / LOAD / CLEAR operation; returns the number of
+  /// triples touched (inserted + deleted).
+  Result<int64_t> Update(const ast::UpdateOp& op);
 
   /// Text description of the executed plan (BGP order, pushed filters).
   Result<std::string> Explain(const ast::SelectQuery& q);
