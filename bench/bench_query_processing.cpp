@@ -13,6 +13,12 @@
 // run (`--smoke`, used by CI) exits non-zero when the default path costs
 // more than 5% over the disabled baseline, and writes the measurements to
 // BENCH_obs.json.
+//
+// `--cache` switches to the caching benchmark instead: cold (result cache
+// off, every query fully executed) vs. warm (result cache on, hits after a
+// priming pass), plus text-form vs. prepared execution. With `--smoke` it
+// gates on warm hits being at least 3x faster than cold execution and
+// writes BENCH_cache.json.
 
 #include <algorithm>
 #include <cstring>
@@ -114,14 +120,111 @@ ObsCosts MeasureObsCosts(SSDM* db, const std::vector<std::string>& queries,
   return best;
 }
 
+/// Caching ablation: the same read workload cold (result cache off) and
+/// warm (result cache on, primed), plus text-form vs. prepared execution
+/// of a parameterized query. Returns the process exit code.
+int RunCacheBench(bool smoke, int people) {
+  std::printf(
+      "Caching benchmark: cold vs. warm reads over a %d-person graph\n\n",
+      people);
+
+  SSDM db;
+  db.prefixes().Set("ex", "http://example.org/");
+  BuildGraph(&db, people);
+
+  const std::vector<std::string> workload = {
+      "SELECT ?n2 WHERE { ?a ex:knows ?b . ?b ex:knows ?c . "
+      "?c ex:name ?n2 . ?a ex:tag \"rare\" }",
+      "SELECT ?b WHERE { ?a ex:age ?age . ?a ex:knows ?b . "
+      "?b ex:age ?age2 . FILTER (?age = 21) FILTER (?age2 > 25) }",
+      "SELECT (COUNT(*) AS ?n) WHERE { ex:p0 ex:knows+ ?x }",
+  };
+  const int passes = smoke ? 5 : 11;
+
+  // Interleaved min-of-N, so machine drift hits both configurations.
+  double cold_ms = 1e300, warm_ms = 1e300;
+  for (int p = 0; p < passes; ++p) {
+    db.DisableResultCache();
+    cold_ms = std::min(cold_ms, WorkloadPass(&db, workload, false));
+    db.EnableResultCache();
+    WorkloadPass(&db, workload, false);  // prime
+    warm_ms = std::min(warm_ms, WorkloadPass(&db, workload, false));
+  }
+  double speedup = cold_ms / warm_ms;
+
+  // Prepared execution of a parameterized query vs. re-submitting the
+  // full text (both with the result cache off: this isolates the shared
+  // parse + memoized join orders, not result reuse).
+  db.DisableResultCache();
+  const std::string text_query =
+      "SELECT ?b WHERE { ?a ex:age ?age . ?a ex:knows ?b . "
+      "FILTER (?age = 21) }";
+  auto prep = db.Run(
+      "PREPARE by_age(?age0) AS SELECT ?b WHERE "
+      "{ ?a ex:age ?age . ?a ex:knows ?b . FILTER (?age = ?age0) }");
+  if (!prep.ok()) {
+    std::fprintf(stderr, "%s\n", prep.ToString().c_str());
+    return 1;
+  }
+  const int reps = smoke ? 30 : 100;
+  size_t rows = 0;
+  double text_ms = TimeQuery(&db, text_query, reps, &rows);
+  double prepared_ms = TimeQuery(&db, "EXECUTE by_age(21)", reps, &rows);
+
+  Table table({"configuration", "ms/pass"});
+  table.AddRow({"cold (result cache off)", Fmt(cold_ms, 3)});
+  table.AddRow({"warm (result cache hits)", Fmt(warm_ms, 3)});
+  table.AddRow({"text re-submission (per query)", Fmt(text_ms, 3)});
+  table.AddRow({"EXECUTE prepared (per query)", Fmt(prepared_ms, 3)});
+  table.Print();
+
+  const double kGateSpeedup = 3.0;
+  bool gate_ok = speedup >= kGateSpeedup;
+  std::printf("\nwarm-hit speedup: %.1fx (gate: >= %.1fx)\n", speedup,
+              kGateSpeedup);
+
+  auto counters = db.cache().counters();
+  bench::Json json;
+  json.Str("bench", "query_cache")
+      .Int("people", people)
+      .Int("passes", passes)
+      .Num("cold_ms", cold_ms)
+      .Num("warm_ms", warm_ms)
+      .Num("speedup", speedup)
+      .Num("text_ms", text_ms)
+      .Num("prepared_ms", prepared_ms)
+      .Int("result_hits", static_cast<int64_t>(counters.result_hits))
+      .Int("result_misses", static_cast<int64_t>(counters.result_misses))
+      .Num("gate_speedup", kGateSpeedup)
+      .Int("gate_ok", gate_ok ? 1 : 0);
+  std::ofstream out("BENCH_cache.json");
+  out << json.Build() << "\n";
+  out.close();
+  std::printf("%s\n", json.Build().c_str());
+
+  if (smoke && !gate_ok) {
+    std::fprintf(stderr,
+                 "FAIL: warm cache hits only %.1fx faster than cold "
+                 "execution (gate %.1fx)\n",
+                 speedup, kGateSpeedup);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace scisparql
 
 int main(int argc, char** argv) {
   using namespace scisparql;
   bool smoke = false;
+  bool cache_mode = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--cache") == 0) cache_mode = true;
+  }
+  if (cache_mode) {
+    return RunCacheBench(smoke, smoke ? 600 : 2000);
   }
   const int kPeople = smoke ? 600 : 2000;
   std::printf(

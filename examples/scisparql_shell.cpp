@@ -5,6 +5,11 @@
 //   .load <file.ttl>    load a Turtle document into the default graph
 //   .explain <on|off>   print the plan before each SELECT
 //   .timeout <ms>       per-statement deadline (0 = none)
+//   .prepare            list prepared statements; with arguments,
+//                       ".prepare q1(?x) AS SELECT ..." runs PREPARE on one
+//                       line (then call it with "EXECUTE q1(...) ;")
+//   .cache <on|off>     toggle the result cache; ".cache" prints both
+//                       layers' hit/miss/invalidation/eviction counters
 //   .stats              triple counts per graph
 //   .metrics            Prometheus-style engine metrics exposition
 //   .help               this text
@@ -31,7 +36,8 @@ void PrintHelp() {
   std::printf(
       "SciSPARQL shell. End a statement with a line containing only ';'.\n"
       "Meta-commands: .load <file>  .explain on|off  .translate on|off  "
-      ".timeout <ms>  .stats  .metrics  .help  .quit\n");
+      ".timeout <ms>  .prepare [name(...) AS query]  .cache [on|off]  "
+      ".stats  .metrics  .help  .quit\n");
 }
 
 void Execute(scisparql::SSDM* db, const std::string& text, bool explain,
@@ -126,6 +132,37 @@ int main(int argc, char** argv) {
       } else if (cmd == ".timeout") {
         timeout_ms = std::atol(arg.c_str());
         std::printf("timeout %ld ms\n", timeout_ms);
+      } else if (cmd == ".prepare") {
+        if (arg.empty()) {
+          auto names = db.cache().PreparedNames();
+          if (names.empty()) {
+            std::printf("no prepared statements\n");
+          } else {
+            for (const auto& name : names) {
+              auto ps = db.cache().FindPrepared(name);
+              std::printf("%s/%zu\n", name.c_str(),
+                          ps == nullptr ? 0 : ps->params.size());
+            }
+          }
+        } else {
+          // ".prepare q1(?x) AS SELECT ..." == "PREPARE q1(?x) AS ..." as
+          // a one-line statement.
+          std::string rest(scisparql::StripWhitespace(
+              stripped.substr(std::string(".prepare").size())));
+          Execute(&db, "PREPARE " + rest, false, timeout_ms);
+        }
+      } else if (cmd == ".cache") {
+        if (arg == "on") {
+          db.EnableResultCache();
+          std::printf("result cache on\n");
+        } else if (arg == "off") {
+          db.DisableResultCache();
+          std::printf("result cache off\n");
+        } else {
+          std::printf("%s\nresult_bytes=%zu result_entries=%zu\n",
+                      db.cache().counters().ToString().c_str(),
+                      db.cache().result_bytes(), db.cache().result_entries());
+        }
       } else if (cmd == ".stats") {
         std::printf("default graph: %zu triples\n",
                     db.dataset().default_graph().size());

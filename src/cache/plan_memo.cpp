@@ -1,0 +1,83 @@
+#include "cache/plan_memo.h"
+
+#include "obs/metrics.h"
+
+namespace scisparql {
+namespace cache {
+
+namespace {
+
+obs::Counter& PlanInvalidations() {
+  static obs::Counter& c = obs::DefaultMetrics().GetCounter(
+      "ssdm_cache_plan_invalidations_total", "",
+      "Memoized BGP join orders dropped because the underlying graph's "
+      "version advanced.");
+  return c;
+}
+
+}  // namespace
+
+bool PlanMemo::Lookup(const std::string& sig, const void* graph,
+                      uint64_t version, Entry* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(sig);
+  if (it == map_.end()) return false;
+  if (it->second.graph != graph || it->second.graph_version != version) {
+    map_.erase(it);
+    ++invalidations_;
+    PlanInvalidations().Add();
+    return false;
+  }
+  *out = it->second;
+  return true;
+}
+
+void PlanMemo::Insert(const std::string& sig, Entry e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (map_.size() >= kMaxEntries) map_.clear();
+  map_[sig] = std::move(e);
+}
+
+void PlanMemo::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.clear();
+}
+
+size_t PlanMemo::SweepAgainst(
+    const std::vector<std::pair<const void*, uint64_t>>& live) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  for (auto it = map_.begin(); it != map_.end();) {
+    bool valid = false;
+    for (const auto& [g, v] : live) {
+      if (it->second.graph == g) {
+        valid = it->second.graph_version == v;
+        break;
+      }
+    }
+    if (valid) {
+      ++it;
+    } else {
+      it = map_.erase(it);
+      ++dropped;
+    }
+  }
+  if (dropped > 0) {
+    invalidations_ += dropped;
+    PlanInvalidations().Add(dropped);
+  }
+  return dropped;
+}
+
+size_t PlanMemo::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+uint64_t PlanMemo::invalidations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return invalidations_;
+}
+
+}  // namespace cache
+}  // namespace scisparql

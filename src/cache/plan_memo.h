@@ -1,0 +1,76 @@
+#ifndef SCISPARQL_CACHE_PLAN_MEMO_H_
+#define SCISPARQL_CACHE_PLAN_MEMO_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace scisparql {
+namespace cache {
+
+/// Memo of optimized BGP join orders for one cached statement. The
+/// executor plans basic graph patterns at execution time (bound variables
+/// are resolved to constants first), so the memo key is a signature of the
+/// *resolved* pattern descriptions plus the pushed filter hints — not the
+/// query text. Each entry remembers the graph it was planned against and
+/// that graph's version(); a lookup whose version differs drops the entry
+/// and reports an invalidation, so join-order decisions are revalidated
+/// after data drift instead of blindly reused.
+///
+/// The memo never dereferences its stored graph pointer — it is an
+/// identity only — so entries cannot touch freed graphs. The owning
+/// QueryCache clears memos wholesale on epoch bumps (LoadSnapshot,
+/// CLEAR ALL), which is when graph objects actually die.
+///
+/// Thread-safe: the scheduler runs concurrent readers over shared plans.
+class PlanMemo {
+ public:
+  struct Entry {
+    std::vector<size_t> order;  ///< position -> input pattern index
+    std::vector<int64_t> est;   ///< cumulative row estimate per step
+    bool reordered = false;
+    const void* graph = nullptr;  ///< identity of the graph planned against
+    uint64_t graph_version = 0;   ///< its version() at planning time
+  };
+
+  /// True (and *out filled) when `sig` is memoized against exactly this
+  /// (graph, version). A stale entry is erased and counted as a plan
+  /// invalidation.
+  bool Lookup(const std::string& sig, const void* graph, uint64_t version,
+              Entry* out);
+
+  void Insert(const std::string& sig, Entry e);
+
+  /// Drops every memoized order.
+  void Clear();
+
+  /// Drops entries whose graph is absent from `live` or present with a
+  /// different version; returns how many were dropped. `live` pairs graph
+  /// identities with their current version().
+  size_t SweepAgainst(
+      const std::vector<std::pair<const void*, uint64_t>>& live);
+
+  size_t size() const;
+
+  /// Stale entries dropped by Lookup/SweepAgainst over this memo's
+  /// lifetime.
+  uint64_t invalidations() const;
+
+ private:
+  /// Safety valve: a prepared statement executed with ever-changing
+  /// arguments produces a new signature per argument set; cap the map so
+  /// it cannot grow without bound.
+  static constexpr size_t kMaxEntries = 512;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> map_;
+  uint64_t invalidations_ = 0;
+};
+
+}  // namespace cache
+}  // namespace scisparql
+
+#endif  // SCISPARQL_CACHE_PLAN_MEMO_H_

@@ -234,6 +234,7 @@ constexpr uint8_t kFlagHasOptimize = 1u << 1;
 constexpr uint8_t kFlagOptimizeValue = 1u << 2;
 constexpr uint8_t kFlagHasPushFilters = 1u << 3;
 constexpr uint8_t kFlagPushFiltersValue = 1u << 4;
+constexpr uint8_t kFlagPreparedExec = 1u << 5;
 
 }  // namespace
 
@@ -250,8 +251,22 @@ std::string EncodeRequest(const WireRequest& req) {
     flags |= kFlagHasPushFilters;
     if (req.push_filters) flags |= kFlagPushFiltersValue;
   }
+  if (req.is_prepared) flags |= kFlagPreparedExec;
   out.push_back(static_cast<char>(flags));
   PutU64(&out, static_cast<uint64_t>(req.timeout.count()));
+  if (req.is_prepared) {
+    PutString(&out, req.prepared_name);
+    PutU32(&out, static_cast<uint32_t>(req.prepared_args.size()));
+    for (const Term& a : req.prepared_args) {
+      Status st = SerializeTerm(a, &out);
+      if (!st.ok()) {
+        // Unserializable argument (e.g. dead proxy): degrade to UNDEF, as
+        // the result serializer does for cells.
+        out.push_back(static_cast<char>(Term::Kind::kUndef));
+      }
+    }
+    return out;
+  }
   out += req.text;
   return out;
 }
@@ -270,6 +285,21 @@ Result<WireRequest> DecodeRequest(const std::string& payload) {
   uint64_t timeout_ms = 0;
   std::memcpy(&timeout_ms, payload.data() + 2, 8);
   req.timeout = std::chrono::milliseconds(timeout_ms);
+  if ((flags & kFlagPreparedExec) != 0) {
+    req.is_prepared = true;
+    size_t pos = 10;
+    uint32_t argc = 0;
+    if (!GetString(payload, &pos, &req.prepared_name) ||
+        !GetU32(payload, &pos, &argc)) {
+      return Status::InvalidArgument("malformed prepared-exec request");
+    }
+    req.prepared_args.reserve(argc);
+    for (uint32_t i = 0; i < argc; ++i) {
+      SCISPARQL_ASSIGN_OR_RETURN(Term t, DeserializeTerm(payload, &pos));
+      req.prepared_args.push_back(std::move(t));
+    }
+    return req;
+  }
   req.text = payload.substr(10);
   return req;
 }

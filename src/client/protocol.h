@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "rdf/term.h"
@@ -25,6 +26,11 @@ namespace client {
 ///     flags bit 0: record a trace and return it with the response
 ///     flags bit 1: override optimize_join_order; bit 2: its value
 ///     flags bit 3: override push_filters;       bit 4: its value
+///     flags bit 5: prepared execution — the payload after the header is
+///                  [name string][argc u32][term]* instead of statement
+///                  text (the wire mirror of QueryRequest::prepared;
+///                  strings are u32-length-prefixed, terms use the term
+///                  serialization below)
 ///
 /// (No SciSPARQL statement starts with byte 0x01, so the marker cannot
 /// collide with a legacy text request.) A structured request is answered
@@ -80,6 +86,11 @@ struct WireRequest {
   bool optimize = true;
   bool has_push_filters = false;
   bool push_filters = true;
+  /// Prepared execution (flag bit 5): run the statement PREPARE'd under
+  /// `prepared_name` with these ground arguments; `text` is unused.
+  bool is_prepared = false;
+  std::string prepared_name;
+  std::vector<Term> prepared_args;
 };
 
 std::string EncodeRequest(const WireRequest& req);

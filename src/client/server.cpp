@@ -227,7 +227,14 @@ std::string SsdmServer::Dispatch(const std::string& request, int fd) {
   if (structured) {
     Result<WireRequest> wire = DecodeRequest(request);
     if (!wire.ok()) return ErrorPayload(wire.status());
-    req.text = std::move(wire->text);
+    if (wire->is_prepared) {
+      QueryRequest::PreparedCall call;
+      call.name = std::move(wire->prepared_name);
+      call.args = std::move(wire->prepared_args);
+      req.prepared = std::move(call);
+    } else {
+      req.text = std::move(wire->text);
+    }
     req.timeout = wire->timeout;
     if (wire->has_optimize || wire->has_push_filters) {
       sparql::ExecOptions opts = engine_->exec_options();
@@ -383,7 +390,13 @@ Result<std::string> RemoteSession::RoundTrip(const std::string& text) {
 
 Result<QueryOutcome> RemoteSession::Execute(const QueryRequest& req) {
   WireRequest wire;
-  wire.text = req.text;
+  if (req.prepared.has_value()) {
+    wire.is_prepared = true;
+    wire.prepared_name = req.prepared->name;
+    wire.prepared_args = req.prepared->args;
+  } else {
+    wire.text = req.text;
+  }
   wire.timeout = req.timeout;
   wire.want_trace = req.trace_sink != nullptr;
   if (req.options.has_value()) {
@@ -462,6 +475,35 @@ Result<std::string> RemoteSession::Explain(const std::string& query) {
     return Status::Internal("malformed EXPLAIN response");
   }
   return payload->substr(1);
+}
+
+Status RemoteSession::Prepare(const std::string& name,
+                              const std::vector<std::string>& params,
+                              const std::string& query) {
+  std::string text = "PREPARE " + name;
+  if (!params.empty()) {
+    text += "(";
+    for (size_t i = 0; i < params.size(); ++i) {
+      if (i > 0) text += ", ";
+      text += "?" + params[i];
+    }
+    text += ")";
+  }
+  text += " AS " + query;
+  QueryRequest req;
+  req.text = std::move(text);
+  Result<QueryOutcome> out = Execute(req);
+  return out.status();
+}
+
+Result<QueryOutcome> RemoteSession::ExecutePrepared(
+    const std::string& name, const std::vector<Term>& args) {
+  QueryRequest req;
+  QueryRequest::PreparedCall call;
+  call.name = name;
+  call.args = args;
+  req.prepared = std::move(call);
+  return Execute(req);
 }
 
 Result<std::string> RemoteSession::Stats() {

@@ -136,6 +136,19 @@ class RemoteSession {
   /// the plan text (chosen BGP order, estimated vs. actual cardinalities).
   Result<std::string> Explain(const std::string& query);
 
+  /// Registers a prepared statement server-side — composes and runs
+  /// `PREPARE name(?p1, ...) AS query`. Parameter names are given without
+  /// the leading '?'. Re-preparing a name replaces its definition.
+  Status Prepare(const std::string& name,
+                 const std::vector<std::string>& params,
+                 const std::string& query);
+
+  /// Runs a PREPARE'd statement with ground arguments via the binary
+  /// prepared-exec frame: no statement text, no server-side parse — the
+  /// server binds the arguments to the cached body directly.
+  Result<QueryOutcome> ExecutePrepared(const std::string& name,
+                                       const std::vector<Term>& args);
+
  private:
   explicit RemoteSession(int fd) : fd_(fd) {}
 

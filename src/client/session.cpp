@@ -51,6 +51,34 @@ Result<sparql::QueryResult> Session::Query(const std::string& text) {
   return RunQuery(text);
 }
 
+Status Session::Prepare(const std::string& name,
+                        const std::vector<std::string>& params,
+                        const std::string& query) {
+  std::string text = "PREPARE " + name;
+  if (!params.empty()) {
+    text += "(";
+    for (size_t i = 0; i < params.size(); ++i) {
+      if (i > 0) text += ", ";
+      text += "?" + params[i];
+    }
+    text += ")";
+  }
+  text += " AS " + query;
+  QueryRequest req;
+  req.text = std::move(text);
+  return Execute(std::move(req)).status();
+}
+
+Result<QueryOutcome> Session::ExecutePrepared(const std::string& name,
+                                              std::vector<Term> args) {
+  QueryRequest req;
+  QueryRequest::PreparedCall call;
+  call.name = name;
+  call.args = std::move(args);
+  req.prepared = std::move(call);
+  return Execute(std::move(req));
+}
+
 namespace {
 
 /// The projected variable a Fetch call is after — names the thing that was

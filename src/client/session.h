@@ -58,6 +58,19 @@ class Session {
   /// contract as FetchArray.
   Result<double> FetchScalar(const std::string& text);
 
+  /// Registers a prepared statement with the engine — equivalent to
+  /// running `PREPARE name(?p1, ...) AS query`. Parameter names are given
+  /// without the leading '?'; re-preparing a name replaces it.
+  Status Prepare(const std::string& name,
+                 const std::vector<std::string>& params,
+                 const std::string& query);
+
+  /// Runs a PREPARE'd statement with ground arguments through the engine's
+  /// prepared path: shared parsed body, memoized join orders, and (when
+  /// the result cache is enabled) hits under the prepared key.
+  Result<QueryOutcome> ExecutePrepared(const std::string& name,
+                                       std::vector<Term> args);
+
   /// Wall-clock budget applied to every statement this session runs
   /// (threaded as a per-query deadline into the executor); zero = none.
   void set_query_timeout(std::chrono::milliseconds timeout) {

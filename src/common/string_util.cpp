@@ -108,6 +108,116 @@ bool ParseUint64(std::string_view s, uint64_t* out) {
   return true;
 }
 
+size_t Utf8SequenceLength(std::string_view s, size_t i) {
+  unsigned char lead = static_cast<unsigned char>(s[i]);
+  size_t n = 1;
+  if ((lead & 0xE0) == 0xC0) {
+    n = 2;
+  } else if ((lead & 0xF0) == 0xE0) {
+    n = 3;
+  } else if ((lead & 0xF8) == 0xF0) {
+    n = 4;
+  } else {
+    // ASCII byte or a stray continuation/invalid byte: one "code point".
+    return 1;
+  }
+  // A truncated or broken sequence counts only its valid continuation
+  // bytes, so malformed input still advances and never loops.
+  size_t have = 1;
+  while (have < n && i + have < s.size() &&
+         (static_cast<unsigned char>(s[i + have]) & 0xC0) == 0x80) {
+    ++have;
+  }
+  return have;
+}
+
+size_t Utf8Length(std::string_view s) {
+  size_t count = 0;
+  for (size_t i = 0; i < s.size(); i += Utf8SequenceLength(s, i)) ++count;
+  return count;
+}
+
+std::string Utf8Substr(std::string_view s, int64_t start, int64_t len) {
+  // Positions p kept: start <= p and (len < 0 or p < start + len), 1-based.
+  // Computing the exclusive end in the caller's coordinates first keeps the
+  // below-1 start semantics exact without overflow gymnastics.
+  if (len == 0) return std::string();
+  int64_t first = start < 1 ? 1 : start;
+  int64_t end = 0;  // exclusive; 0 = unbounded
+  if (len > 0) {
+    // start + len can't overflow into nonsense for in-range int64 inputs
+    // the parser produces, but saturate defensively anyway.
+    end = (start > INT64_MAX - len) ? INT64_MAX : start + len;
+    if (end <= first) return std::string();
+  }
+  std::string out;
+  int64_t pos = 1;
+  for (size_t i = 0; i < s.size();) {
+    size_t n = Utf8SequenceLength(s, i);
+    if (end != 0 && pos >= end) break;
+    if (pos >= first) out.append(s.substr(i, n));
+    i += n;
+    ++pos;
+  }
+  return out;
+}
+
+std::string NormalizeQueryText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  size_t i = 0;
+  const size_t n = text.size();
+  auto copy_quoted = [&](std::string_view delim) {
+    out.append(delim);
+    i += delim.size();
+    while (i < n) {
+      if (text[i] == '\\' && delim.size() == 1 && i + 1 < n) {
+        out.push_back(text[i]);
+        out.push_back(text[i + 1]);
+        i += 2;
+        continue;
+      }
+      if (text.substr(i, delim.size()) == delim) {
+        out.append(delim);
+        i += delim.size();
+        return;
+      }
+      out.push_back(text[i]);
+      ++i;
+    }
+  };
+  bool pending_space = false;
+  while (i < n) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = true;
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (i < n && text[i] != '\n') ++i;
+      pending_space = true;
+      continue;
+    }
+    if (pending_space && !out.empty()) out.push_back(' ');
+    pending_space = false;
+    if (text.substr(i, 3) == "\"\"\"" || text.substr(i, 3) == "'''") {
+      copy_quoted(text.substr(i, 3));
+    } else if (c == '"' || c == '\'') {
+      copy_quoted(text.substr(i, 1));
+    } else if (c == '<') {
+      // IRI token: copy verbatim up to '>' (IRIs cannot contain spaces,
+      // but keep the raw bytes to be safe).
+      while (i < n && text[i] != '>') out.push_back(text[i++]);
+      if (i < n) out.push_back(text[i++]);
+    } else {
+      out.push_back(c);
+      ++i;
+    }
+  }
+  return out;
+}
+
 std::string FormatDouble(double v) {
   // Try increasing precision until the value round-trips, so serialized
   // query results compare exactly in tests.

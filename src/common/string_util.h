@@ -37,6 +37,33 @@ std::string EscapeTurtleString(std::string_view s);
 /// non-digit characters.
 bool ParseUint64(std::string_view s, uint64_t* out);
 
+// --- UTF-8 code-point helpers (shared by the SPARQL string built-ins,
+// which are specified over characters, not bytes). Lone continuation or
+// otherwise malformed bytes are treated as one code point each, so the
+// functions never reject input and never split a valid multi-byte
+// sequence.
+
+/// Number of code points in `s`.
+size_t Utf8Length(std::string_view s);
+
+/// Byte length of the UTF-8 sequence starting at `s[i]` (>= 1; clamped to
+/// the end of the string for truncated sequences).
+size_t Utf8SequenceLength(std::string_view s, size_t i);
+
+/// fn:substring semantics over code points, with SPARQL/XPath 1-based
+/// positions: returns the characters at positions p satisfying
+/// `start <= p` and, when `len >= 0`, `p < start + len`. A start below 1
+/// therefore shortens the effective length instead of clamping — e.g.
+/// SUBSTR("hello", 0, 3) = "he" and SUBSTR("hello", -1, 2) = "".
+/// `len < 0` means "to the end of the string".
+std::string Utf8Substr(std::string_view s, int64_t start, int64_t len = -1);
+
+/// Normalizes a SciSPARQL statement for use as a cache key: collapses
+/// whitespace runs to one space, drops comments, and trims — while leaving
+/// quoted literals ("...", '...', and their long forms) and <IRI> tokens
+/// untouched, so semantically distinct statements never collide.
+std::string NormalizeQueryText(std::string_view text);
+
 /// 64-bit hash combiner (boost-style) used by the containers in this repo.
 inline size_t HashCombine(size_t seed, size_t v) {
   return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));

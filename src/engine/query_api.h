@@ -8,6 +8,7 @@
 #include <optional>
 #include <string>
 #include <variant>
+#include <vector>
 
 #include "obs/trace.h"
 #include "rdf/graph.h"
@@ -43,6 +44,17 @@ struct QueryRequest {
   /// into this sink. Null = tracing off; the hot paths then cost one
   /// branch. Not owned; must outlive the call.
   obs::QueryTrace* trace_sink = nullptr;
+
+  /// Structured prepared-statement execution: when set, `text` is ignored
+  /// and the statement PREPARE'd under `name` runs with these ground
+  /// arguments — equivalent to `EXECUTE name(args...)` but skipping the
+  /// parser entirely. This is what the wire protocol's prepared-exec frame
+  /// decodes into.
+  struct PreparedCall {
+    std::string name;
+    std::vector<Term> args;
+  };
+  std::optional<PreparedCall> prepared;
 };
 
 /// The result of executing a QueryRequest — a tagged variant over the five

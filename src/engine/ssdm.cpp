@@ -82,7 +82,8 @@ sched::StatementClass SSDM::ClassifyStatement(const std::string& text) {
       }
       if (w == "SELECT" || w == "ASK" || w == "CONSTRUCT" ||
           w == "DESCRIBE" || w == "EXPLAIN" || w == "STATS" ||
-          w == "METRICS") {
+          w == "METRICS" || w == "EXECUTE") {
+        // EXECUTE runs a PREPARE'd body, which is always a query form.
         return sched::StatementClass::kRead;
       }
       return sched::StatementClass::kWrite;
@@ -106,6 +107,179 @@ obs::Counter& StatementCounter(const char* kind) {
 
 }  // namespace
 
+std::string SSDM::CacheKeyFor(const std::string& text) const {
+  // The same text parses differently under a different prefix table, so
+  // the key carries a fingerprint of the session prefixes.
+  size_t fp = 0;
+  for (const auto& [prefix, iri] : prefixes_.entries()) {
+    fp = HashCombine(fp, std::hash<std::string>{}(prefix));
+    fp = HashCombine(fp, std::hash<std::string>{}(iri));
+  }
+  std::string key = NormalizeQueryText(text);
+  key += '\x1f';
+  key += std::to_string(fp);
+  return key;
+}
+
+void SSDM::EnableResultCache(size_t budget_bytes) {
+  cache::QueryCache::Config c = cache_.config();
+  c.result_cache = true;
+  c.result_budget_bytes = budget_bytes;
+  cache_.Configure(c);
+}
+
+void SSDM::DisableResultCache() {
+  cache::QueryCache::Config c = cache_.config();
+  c.result_cache = false;
+  cache_.Configure(c);
+}
+
+namespace {
+
+/// Result-cache key for a prepared call: name + definition generation +
+/// rendered arguments. Returns false (uncacheable call) when an argument
+/// is an array — rendering one would materialize the payload.
+bool PreparedResultKey(const cache::PreparedStatement& ps,
+                       const std::vector<Term>& args, std::string* out) {
+  std::string key = "\x1d";
+  key += "EXECUTE";
+  key += '\x1f';
+  key += ps.name;
+  key += '\x1f';
+  key += std::to_string(ps.generation);
+  for (const Term& a : args) {
+    if (a.kind() == Term::Kind::kArray) return false;
+    key += '\x1f';
+    key += a.ToString();
+  }
+  *out = std::move(key);
+  return true;
+}
+
+}  // namespace
+
+bool SSDM::TryCachedResult(const QueryRequest& req, QueryOutcome* out) {
+  if (req.trace_sink != nullptr || !cache_.config().result_cache) {
+    return false;
+  }
+  std::string key;
+  if (req.prepared.has_value()) {
+    std::shared_ptr<const cache::PreparedStatement> ps =
+        cache_.FindPrepared(req.prepared->name);
+    if (ps == nullptr || !PreparedResultKey(*ps, req.prepared->args, &key)) {
+      return false;
+    }
+  } else {
+    key = CacheKeyFor(req.text);
+  }
+  return cache_.LookupResult(key, dataset_, registry_.generation(), out,
+                             /*count_miss=*/false);
+}
+
+Result<QueryOutcome> SSDM::RunQueryForm(const ast::SelectQuery& q,
+                                        sparql::Executor& exec,
+                                        obs::TraceSpan* exec_span) {
+  switch (q.form) {
+    case ast::SelectQuery::Form::kSelect: {
+      SCISPARQL_ASSIGN_OR_RETURN(sparql::QueryResult rows, exec.Select(q));
+      StatementCounter("select").Add();
+      if (exec_span != nullptr) {
+        exec_span->SetAttr("rows", static_cast<int64_t>(rows.rows.size()));
+      }
+      return QueryOutcome{std::move(rows)};
+    }
+    case ast::SelectQuery::Form::kAsk: {
+      SCISPARQL_ASSIGN_OR_RETURN(bool b, exec.Ask(q));
+      StatementCounter("ask").Add();
+      return QueryOutcome{b};
+    }
+    case ast::SelectQuery::Form::kConstruct: {
+      SCISPARQL_ASSIGN_OR_RETURN(Graph g, exec.Construct(q));
+      StatementCounter("construct").Add();
+      if (exec_span != nullptr) {
+        exec_span->SetAttr("triples", static_cast<int64_t>(g.size()));
+      }
+      return QueryOutcome{std::move(g)};
+    }
+    case ast::SelectQuery::Form::kDescribe: {
+      SCISPARQL_ASSIGN_OR_RETURN(Graph g, exec.Describe(q));
+      StatementCounter("describe").Add();
+      return QueryOutcome{std::move(g)};
+    }
+  }
+  return Status::Internal("unknown query form");
+}
+
+Result<QueryOutcome> SSDM::RunPrepared(const std::string& name,
+                                       const std::vector<Term>& args,
+                                       const sparql::ExecOptions& base_options,
+                                       const sched::QueryContext* ctx,
+                                       obs::QueryTrace* trace) {
+  std::shared_ptr<const cache::PreparedStatement> ps = cache_.FindPrepared(name);
+  if (ps == nullptr) {
+    return Status::NotFound("no prepared statement named '" + name + "'");
+  }
+  if (args.size() != ps->params.size()) {
+    return Status::InvalidArgument(
+        "prepared statement '" + name + "' takes " +
+        std::to_string(ps->params.size()) + " argument(s), got " +
+        std::to_string(args.size()));
+  }
+
+  std::string key;
+  bool keyable = PreparedResultKey(*ps, args, &key);
+  bool use_result_cache =
+      keyable && trace == nullptr && cache_.config().result_cache;
+  if (use_result_cache) {
+    QueryOutcome hit;
+    if (cache_.LookupResult(key, dataset_, registry_.generation(), &hit)) {
+      StatementCounter(hit.kind() == QueryOutcome::Kind::kAsk ? "ask"
+                                                              : "select")
+          .Add();
+      return hit;
+    }
+  }
+
+  // Bind the parameters by prepending a single-row VALUES block to a
+  // shallow copy of the shared body: the executor's sideways information
+  // passing then treats them as constants everywhere (BGPs, FILTERs,
+  // projections), and the plan memo keys on the resolved constants.
+  ast::SelectQuery bound = *ps->body;
+  if (!ps->params.empty()) {
+    ast::PatternElement values;
+    values.kind = ast::PatternElement::Kind::kValues;
+    values.values.vars = ps->params;
+    values.values.rows.push_back(args);
+    bound.where.elements.insert(bound.where.elements.begin(),
+                                std::move(values));
+  }
+
+  sparql::ExecOptions options = base_options;
+  options.stats = &stats_;
+  options.query = ctx;
+  options.trace = trace;
+  options.plan_memo = ps->memo.get();
+  sparql::Executor exec(&dataset_, &registry_, options);
+
+  obs::TraceSpan* exec_span =
+      trace != nullptr ? trace->AddChild(nullptr, "execute") : nullptr;
+  if (trace != nullptr) trace->set_attach_point(exec_span);
+  obs::SpanTimer exec_timer(exec_span);
+  SCISPARQL_ASSIGN_OR_RETURN(QueryOutcome out,
+                             RunQueryForm(bound, exec, exec_span));
+  exec_timer.Stop();
+
+  if (use_result_cache) {
+    cache::CacheAnalysis analysis = cache::AnalyzeQuery(bound, &registry_);
+    if (analysis.cacheable) {
+      cache_.StoreResult(key, out,
+                         cache::DepsFor(analysis, dataset_,
+                                        registry_.generation()));
+    }
+  }
+  return out;
+}
+
 Result<QueryOutcome> SSDM::Execute(const QueryRequest& req,
                                    const sched::QueryContext* ctx) {
   // Build a context from the request when the caller didn't hand one down
@@ -118,6 +292,13 @@ Result<QueryOutcome> SSDM::Execute(const QueryRequest& req,
     }
     local_ctx.cancel = req.cancel;
     ctx = &local_ctx;
+  }
+
+  // Structured prepared execution skips the parser entirely.
+  if (req.prepared.has_value()) {
+    return RunPrepared(req.prepared->name, req.prepared->args,
+                       req.options.has_value() ? *req.options : exec_options_,
+                       ctx, req.trace_sink);
   }
 
   // Introspection statements (not part of the query grammar). All are
@@ -167,12 +348,67 @@ Result<QueryOutcome> SSDM::Execute(const QueryRequest& req,
   obs::QueryTrace* trace = req.trace_sink;
   obs::SpanTimer total_timer(trace != nullptr ? trace->root() : nullptr);
 
-  obs::TraceSpan* parse_span =
-      trace != nullptr ? trace->AddChild(nullptr, "parse") : nullptr;
-  obs::SpanTimer parse_timer(parse_span);
-  SCISPARQL_ASSIGN_OR_RETURN(ast::Statement stmt,
-                             sparql::ParseStatement(req.text, prefixes_));
-  parse_timer.Stop();
+  const std::string cache_key = CacheKeyFor(req.text);
+  obs::TraceSpan* cache_span =
+      trace != nullptr ? trace->AddChild(nullptr, "cache") : nullptr;
+  obs::SpanTimer cache_timer(cache_span);
+
+  // Result cache: serve a still-valid read outcome without parsing. Text
+  // EXECUTE is excluded — its result key must carry the prepared-statement
+  // generation (re-PREPARE changes the result under identical text), so
+  // RunPrepared owns that lookup.
+  bool result_cacheable_form =
+      ClassifyStatement(req.text) == sched::StatementClass::kRead &&
+      head != "EXECUTE" && head != "EXPLAIN" && head != "STATS" &&
+      head != "METRICS";
+  bool use_result_cache = result_cacheable_form && trace == nullptr &&
+                          cache_.config().result_cache;
+  if (use_result_cache) {
+    QueryOutcome hit;
+    if (cache_.LookupResult(cache_key, dataset_, registry_.generation(),
+                            &hit)) {
+      StatementCounter(hit.kind() == QueryOutcome::Kind::kAsk ? "ask"
+                                                              : "select")
+          .Add();
+      return hit;
+    }
+  }
+
+  // Plan cache: normalized text -> parsed AST + memoized BGP orders. The
+  // memo's shared_ptr is held locally so a concurrent clear of the plan
+  // map cannot free it mid-execution.
+  ast::Statement stmt;
+  std::shared_ptr<cache::PlanMemo> memo;
+  bool plan_hit = false;
+  {
+    cache::QueryCache::CachedPlan cached;
+    if (cache_.LookupPlan(cache_key, &cached)) {
+      stmt = std::move(cached.stmt);
+      memo = std::move(cached.memo);
+      plan_hit = true;
+    }
+  }
+  if (cache_span != nullptr) {
+    cache_span->SetAttr("plan", plan_hit ? "hit" : "miss");
+  }
+  cache_timer.Stop();
+
+  if (!plan_hit) {
+    obs::TraceSpan* parse_span =
+        trace != nullptr ? trace->AddChild(nullptr, "parse") : nullptr;
+    obs::SpanTimer parse_timer(parse_span);
+    SCISPARQL_ASSIGN_OR_RETURN(stmt,
+                               sparql::ParseStatement(req.text, prefixes_));
+    parse_timer.Stop();
+    // Only query forms are worth caching: the AST is data-independent and
+    // parses dominate short statements. Updates, DEFINE and PREPARE have
+    // side effects on execution, so they always take the full path.
+    if (std::holds_alternative<std::shared_ptr<ast::SelectQuery>>(
+            stmt.node)) {
+      memo = std::make_shared<cache::PlanMemo>();
+      cache_.StorePlan(cache_key, {stmt, memo});
+    }
+  }
 
   sparql::ExecOptions options =
       req.options.has_value() ? *req.options : exec_options_;
@@ -182,55 +418,59 @@ Result<QueryOutcome> SSDM::Execute(const QueryRequest& req,
   options.stats = &stats_;
   options.query = ctx;
   options.trace = trace;
+  options.plan_memo = memo.get();
   sparql::Executor exec(&dataset_, &registry_, options);
+
+  if (auto* def = std::get_if<ast::FunctionDef>(&stmt.node)) {
+    SCISPARQL_RETURN_NOT_OK(registry_.Define(*def));
+    StatementCounter("define").Add();
+    // The generation bump makes result entries that called registry
+    // functions stale; drop them now so the counters move with the DEFINE.
+    cache_.Sweep(dataset_, registry_.generation());
+    return QueryOutcome{QueryOutcome::UpdateCount{0}};
+  }
+  if (auto* prep = std::get_if<ast::PrepareStmt>(&stmt.node)) {
+    SCISPARQL_RETURN_NOT_OK(cache_.DefinePrepared(
+        prep->name, prep->params,
+        std::shared_ptr<const ast::SelectQuery>(prep->body)));
+    StatementCounter("prepare").Add();
+    return QueryOutcome{QueryOutcome::UpdateCount{0}};
+  }
+  if (auto* call = std::get_if<ast::ExecuteStmt>(&stmt.node)) {
+    return RunPrepared(call->name, call->args, options, ctx, trace);
+  }
 
   obs::TraceSpan* exec_span =
       trace != nullptr ? trace->AddChild(nullptr, "execute") : nullptr;
   if (trace != nullptr) trace->set_attach_point(exec_span);
   obs::SpanTimer exec_timer(exec_span);
 
-  if (auto* def = std::get_if<ast::FunctionDef>(&stmt.node)) {
-    SCISPARQL_RETURN_NOT_OK(registry_.Define(*def));
-    StatementCounter("define").Add();
-    return QueryOutcome{QueryOutcome::UpdateCount{0}};
-  }
   if (auto* update = std::get_if<ast::UpdateOp>(&stmt.node)) {
     SCISPARQL_ASSIGN_OR_RETURN(int64_t n, exec.Update(*update));
     StatementCounter("update").Add();
     if (exec_span != nullptr) exec_span->SetAttr("triples_touched", n);
+    if (update->kind == ast::UpdateOp::Kind::kClear && update->clear_all) {
+      // CLEAR ALL destroys the named graph objects: epoch-bump both cache
+      // layers rather than chase dead pointers.
+      cache_.InvalidateAll();
+    } else {
+      cache_.Sweep(dataset_, registry_.generation());
+    }
     return QueryOutcome{QueryOutcome::UpdateCount{n}};
   }
   const auto& q = std::get<std::shared_ptr<ast::SelectQuery>>(stmt.node);
-  switch (q->form) {
-    case ast::SelectQuery::Form::kSelect: {
-      SCISPARQL_ASSIGN_OR_RETURN(sparql::QueryResult rows, exec.Select(*q));
-      StatementCounter("select").Add();
-      if (exec_span != nullptr) {
-        exec_span->SetAttr("rows",
-                           static_cast<int64_t>(rows.rows.size()));
-      }
-      return QueryOutcome{std::move(rows)};
-    }
-    case ast::SelectQuery::Form::kAsk: {
-      SCISPARQL_ASSIGN_OR_RETURN(bool b, exec.Ask(*q));
-      StatementCounter("ask").Add();
-      return QueryOutcome{b};
-    }
-    case ast::SelectQuery::Form::kConstruct: {
-      SCISPARQL_ASSIGN_OR_RETURN(Graph g, exec.Construct(*q));
-      StatementCounter("construct").Add();
-      if (exec_span != nullptr) {
-        exec_span->SetAttr("triples", static_cast<int64_t>(g.size()));
-      }
-      return QueryOutcome{std::move(g)};
-    }
-    case ast::SelectQuery::Form::kDescribe: {
-      SCISPARQL_ASSIGN_OR_RETURN(Graph g, exec.Describe(*q));
-      StatementCounter("describe").Add();
-      return QueryOutcome{std::move(g)};
+  SCISPARQL_ASSIGN_OR_RETURN(QueryOutcome out,
+                             RunQueryForm(*q, exec, exec_span));
+  exec_timer.Stop();
+  if (use_result_cache) {
+    cache::CacheAnalysis analysis = cache::AnalyzeQuery(*q, &registry_);
+    if (analysis.cacheable) {
+      cache_.StoreResult(cache_key, out,
+                         cache::DepsFor(analysis, dataset_,
+                                        registry_.generation()));
     }
   }
-  return Status::Internal("unknown query form");
+  return out;
 }
 
 Result<SSDM::ExecResult> SSDM::Execute(const std::string& text,
@@ -412,6 +652,9 @@ Status SSDM::LoadSnapshot(const std::string& path) {
   // the old graphs are still alive, then re-attach against the new state.
   stats_.Clear();
   dataset_ = std::move(fresh);
+  // Graph objects were just destroyed and replaced: bump the cache epoch so
+  // neither layer can serve (or revalidate against) the old dataset.
+  cache_.InvalidateAll();
   EnsureStats(&dataset_.default_graph());
   for (const auto& [iri, graph] : dataset_.named_graphs()) {
     (void)graph;

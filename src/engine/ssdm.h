@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "cache/query_cache.h"
 #include "common/status.h"
 #include "engine/query_api.h"
 #include "opt/stats.h"
@@ -134,8 +135,31 @@ class SSDM {
   /// are not part of the dataset and are not saved.
   Status SaveSnapshot(const std::string& path) const;
 
-  /// Replaces the dataset with a snapshot's content.
+  /// Replaces the dataset with a snapshot's content. Destroys the named
+  /// graph objects of the old dataset, so it bumps the query cache's epoch
+  /// (emptying both the plan and result layers); CLEAR ALL and DropAll-style
+  /// replacements do the same.
   Status LoadSnapshot(const std::string& path);
+
+  // --- Caching & prepared statements. ---
+
+  /// The engine's two-layer query cache (plan cache + opt-in result cache)
+  /// and prepared-statement registry. Exposed for tests, the shell and the
+  /// scheduler's fast path.
+  cache::QueryCache& cache() { return cache_; }
+  const cache::QueryCache& cache() const { return cache_; }
+
+  /// Turns the opt-in result cache on with the given LRU byte budget
+  /// (materialized array payloads count against it).
+  void EnableResultCache(size_t budget_bytes = 8u << 20);
+  void DisableResultCache();
+
+  /// Scheduler fast path: serves `req` straight from the result cache when
+  /// a still-valid entry exists, without parsing or planning. Never counts
+  /// a miss (the full Execute path will), so speculative probes don't skew
+  /// the counters. Returns false for traced requests — a trace needs the
+  /// real execution.
+  bool TryCachedResult(const QueryRequest& req, QueryOutcome* out);
 
   // --- Configuration and state. ---
 
@@ -150,6 +174,25 @@ class SSDM {
   /// current content if one is created).
   void EnsureStats(Graph* graph);
 
+  /// Shared Form dispatch for direct queries and prepared EXECUTE.
+  Result<QueryOutcome> RunQueryForm(const ast::SelectQuery& q,
+                                    sparql::Executor& exec,
+                                    obs::TraceSpan* exec_span);
+
+  /// Runs a prepared statement with `args` bound to its parameters,
+  /// consulting/feeding the result cache under the prepared key
+  /// (name + generation + rendered args).
+  Result<QueryOutcome> RunPrepared(const std::string& name,
+                                   const std::vector<Term>& args,
+                                   const sparql::ExecOptions& base_options,
+                                   const sched::QueryContext* ctx,
+                                   obs::QueryTrace* trace);
+
+  /// Cache key for a statement text: normalized query text plus a
+  /// fingerprint of the session prefix table (the same text parses
+  /// differently under different prefixes).
+  std::string CacheKeyFor(const std::string& text) const;
+
   Dataset dataset_;
   // Declared after dataset_ so collectors detach from still-live graphs on
   // destruction.
@@ -158,6 +201,7 @@ class SSDM {
   sparql::FunctionRegistry registry_;
   sparql::ExecOptions exec_options_;
   std::map<std::string, std::shared_ptr<ArrayStorage>> storages_;
+  cache::QueryCache cache_;
 };
 
 }  // namespace scisparql

@@ -65,6 +65,7 @@ std::string SchedulerStats::ToString() const {
       << " completed=" << completed << " failed=" << failed
       << " timed_out=" << timed_out << " cancelled=" << cancelled
       << " reads=" << reads << " writes=" << writes
+      << " cache_fast_path=" << cache_fast_path
       << " read_micros=" << read_micros << " write_micros=" << write_micros
       << " queue_depth=" << queue_depth
       << " queue_high_water=" << queue_high_water;
@@ -105,6 +106,33 @@ void QueryScheduler::Stop() {
 }
 
 Status QueryScheduler::Submit(QueryRequest req, OutcomeCallback done) {
+  // Cached-read fast path: an untraced read whose outcome is still valid
+  // in the engine's result cache is served inline without queueing. The
+  // shared-lock probe is non-blocking — if a writer holds the engine, the
+  // request just takes the normal admission path.
+  if (req.trace_sink == nullptr && done != nullptr) {
+    bool is_read =
+        req.prepared.has_value() ||
+        SSDM::ClassifyStatement(req.text) == StatementClass::kRead;
+    if (is_read && engine_mu_.try_lock_shared()) {
+      QueryOutcome hit;
+      bool served = engine_->TryCachedResult(req, &hit);
+      engine_mu_.unlock_shared();
+      if (served) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (!running_) {
+            ++stats_.rejected;
+            Metrics().rejected.Add();
+            return Status::Unavailable("scheduler stopped");
+          }
+          ++stats_.cache_fast_path;
+        }
+        done(std::move(hit));
+        return Status::OK();
+      }
+    }
+  }
   QueryContext ctx;
   if (req.timeout.count() > 0) {
     ctx = QueryContext::WithTimeout(req.timeout);
@@ -119,7 +147,10 @@ Status QueryScheduler::SubmitTask(QueryRequest req, QueryContext ctx,
     ctx.deadline = QueryContext::Clock::now() + options_.default_timeout;
   }
   Task task;
-  task.cls = SSDM::ClassifyStatement(req.text);
+  // Structured prepared calls have no text to classify; they always run a
+  // PREPARE'd query body, so they are reads.
+  task.cls = req.prepared.has_value() ? StatementClass::kRead
+                                      : SSDM::ClassifyStatement(req.text);
   task.req = std::move(req);
   task.ctx = std::move(ctx);
   task.done = std::move(done);

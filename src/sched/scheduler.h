@@ -45,6 +45,8 @@ struct SchedulerStats {
   uint64_t cancelled = 0;   ///< Ended with Cancelled.
   uint64_t reads = 0;       ///< Statements run under the shared lock.
   uint64_t writes = 0;      ///< Statements run under the exclusive lock.
+  uint64_t cache_fast_path = 0;  ///< Reads served from the result cache at
+                                 ///< Submit, skipping the admission queue.
   uint64_t read_micros = 0;   ///< Sum of read execution latencies (us).
   uint64_t write_micros = 0;  ///< Sum of write execution latencies (us).
   size_t queue_depth = 0;       ///< Waiting tasks right now.
@@ -86,6 +88,13 @@ class QueryScheduler {
   /// immediately when the queue is full or the scheduler is stopped;
   /// `done` then never runs. `done` is invoked on a worker thread exactly
   /// once otherwise.
+  ///
+  /// Fast path: when the engine's result cache holds a still-valid outcome
+  /// for an untraced read, `done` runs inline on the submitter's thread and
+  /// the request never enters the admission queue (counted in
+  /// SchedulerStats::cache_fast_path). The probe uses try_lock_shared, so
+  /// it never blocks the submitter behind a writer — contention simply
+  /// falls back to normal admission.
   Status Submit(QueryRequest req, OutcomeCallback done);
 
   /// Synchronous convenience: Submit + wait.

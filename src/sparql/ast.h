@@ -327,9 +327,27 @@ struct UpdateOp {
   bool clear_all = false;    // CLEAR ALL
 };
 
+/// PREPARE name(?a, ?b) AS <select query> — a named, parameterized
+/// statement registered with the engine's cache layer. EXECUTE binds the
+/// parameters to ground terms and runs the shared body, skipping the
+/// parse/plan phases on every call.
+struct PrepareStmt {
+  std::string name;
+  std::vector<std::string> params;
+  std::shared_ptr<SelectQuery> body;
+};
+
+/// EXECUTE name(arg, ...) with ground-term arguments.
+struct ExecuteStmt {
+  std::string name;
+  std::vector<Term> args;
+};
+
 /// A parsed SciSPARQL statement.
 struct Statement {
-  std::variant<std::shared_ptr<SelectQuery>, FunctionDef, UpdateOp> node;
+  std::variant<std::shared_ptr<SelectQuery>, FunctionDef, UpdateOp,
+               PrepareStmt, ExecuteStmt>
+      node;
   PrefixMap prefixes;
 };
 

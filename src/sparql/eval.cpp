@@ -694,17 +694,33 @@ class Evaluator {
     }
 
     // --- Strings. ---
+    // SPARQL 1.1 §17.4.3: the string functions operate on *characters*
+    // (code points), and the ones that derive a new string from their
+    // first argument carry that argument's language tag into the result.
+    auto string_like = [](const Term& src, std::string value) {
+      if (src.kind() == Term::Kind::kString && !src.lang().empty()) {
+        return Term::LangString(std::move(value), src.lang());
+      }
+      return Term::String(std::move(value));
+    };
+    // Argument compatibility (§17.4.3.14, applied to STRBEFORE/STRAFTER):
+    // the second argument must be a simple/xsd:string literal or share the
+    // first argument's language tag.
+    auto langs_compatible = [](const Term& a, const Term& b) {
+      if (b.kind() != Term::Kind::kString || b.lang().empty()) return true;
+      return a.kind() == Term::Kind::kString && a.lang() == b.lang();
+    };
     if (fn == "STRLEN") {
       SCISPARQL_RETURN_NOT_OK(arity(1));
-      return Term::Integer(static_cast<int64_t>(args[0].lexical().size()));
+      return Term::Integer(static_cast<int64_t>(Utf8Length(args[0].lexical())));
     }
     if (fn == "UCASE") {
       SCISPARQL_RETURN_NOT_OK(arity(1));
-      return Term::String(AsciiToUpper(args[0].lexical()));
+      return string_like(args[0], AsciiToUpper(args[0].lexical()));
     }
     if (fn == "LCASE") {
       SCISPARQL_RETURN_NOT_OK(arity(1));
-      return Term::String(AsciiToLower(args[0].lexical()));
+      return string_like(args[0], AsciiToLower(args[0].lexical()));
     }
     if (fn == "SUBSTR") {
       if (args.size() != 2 && args.size() != 3) {
@@ -712,25 +728,41 @@ class Evaluator {
       }
       const std::string& s = args[0].lexical();
       SCISPARQL_ASSIGN_OR_RETURN(int64_t start, args[1].AsInteger());
-      int64_t len = -1;
+      // fn:substring keeps positions p with start <= p < start + len; a
+      // below-1 start therefore eats into the length rather than clamping,
+      // and an explicitly non-positive length selects nothing. The
+      // positions are code points, not bytes.
+      int64_t len = -1;  // no third argument: to the end of the string
       if (args.size() == 3) {
         SCISPARQL_ASSIGN_OR_RETURN(len, args[2].AsInteger());
+        if (len < 0) len = 0;
       }
-      if (start < 1) start = 1;
-      size_t from = static_cast<size_t>(start - 1);
-      if (from >= s.size()) return Term::String("");
-      if (len < 0) return Term::String(s.substr(from));
-      return Term::String(s.substr(from, static_cast<size_t>(len)));
+      return string_like(args[0], Utf8Substr(s, start, len));
     }
     if (fn == "CONCAT") {
+      // Per §17.4.3.12 the result is lang-tagged when every input carries
+      // the same tag; any untagged or differently-tagged input degrades the
+      // result to a plain literal.
       std::string out;
-      for (const Term& a : args) {
+      std::string common_lang;
+      bool all_same_lang = !args.empty();
+      for (size_t ai = 0; ai < args.size(); ++ai) {
+        const Term& a = args[ai];
         if (a.kind() == Term::Kind::kString) {
           out += a.lexical();
+          if (ai == 0) {
+            common_lang = a.lang();
+          } else if (a.lang() != common_lang) {
+            all_same_lang = false;
+          }
         } else {
+          all_same_lang = false;
           Term copy = a;
           out += copy.ToString();
         }
+      }
+      if (all_same_lang && !common_lang.empty()) {
+        return Term::LangString(std::move(out), common_lang);
       }
       return Term::String(std::move(out));
     }
@@ -749,16 +781,24 @@ class Evaluator {
     }
     if (fn == "STRBEFORE") {
       SCISPARQL_RETURN_NOT_OK(arity(2));
+      if (!langs_compatible(args[0], args[1])) {
+        return Status::TypeError("STRBEFORE: incompatible language tags");
+      }
       size_t pos = args[0].lexical().find(args[1].lexical());
+      // A failed match yields the *simple* empty literal; a successful one
+      // (including a zero-length prefix) carries arg 1's language tag.
       if (pos == std::string::npos) return Term::String("");
-      return Term::String(args[0].lexical().substr(0, pos));
+      return string_like(args[0], args[0].lexical().substr(0, pos));
     }
     if (fn == "STRAFTER") {
       SCISPARQL_RETURN_NOT_OK(arity(2));
+      if (!langs_compatible(args[0], args[1])) {
+        return Status::TypeError("STRAFTER: incompatible language tags");
+      }
       size_t pos = args[0].lexical().find(args[1].lexical());
       if (pos == std::string::npos) return Term::String("");
-      return Term::String(
-          args[0].lexical().substr(pos + args[1].lexical().size()));
+      return string_like(
+          args[0], args[0].lexical().substr(pos + args[1].lexical().size()));
     }
     if (fn == "REPLACE") {
       if (args.size() != 3) return Status::TypeError("REPLACE expects 3 args");

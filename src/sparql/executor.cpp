@@ -316,6 +316,43 @@ void ExtractFilterHints(const ast::Expr& e,
   }
 }
 
+/// Builds the plan-memo key for a resolved BGP: every pattern position
+/// rendered as either its constant term or its variable name, plus the
+/// filter hints that feed the cost model. Returns false (no memoization)
+/// when a resolved constant is an array — rendering one would materialize
+/// the proxy, which costs more than planning.
+bool MemoSignature(const std::vector<opt::PatternDesc>& descs,
+                   const std::vector<opt::FilterHint>& hints,
+                   std::string* out) {
+  std::string sig;
+  auto pos = [&sig](const std::optional<Term>& c, const std::string& var) {
+    if (c.has_value()) {
+      if (c->kind() == Term::Kind::kArray) return false;
+      sig += c->ToString();
+    } else {
+      sig += '?';
+      sig += var;
+    }
+    sig += '\x1f';
+    return true;
+  };
+  for (const opt::PatternDesc& d : descs) {
+    if (!pos(d.s, d.s_var) || !pos(d.p, d.p_var) || !pos(d.o, d.o_var)) {
+      return false;
+    }
+    if (d.is_path) sig += '~';
+    sig += '\x1e';
+  }
+  for (const opt::FilterHint& h : hints) {
+    sig += h.var;
+    sig += static_cast<char>('0' + static_cast<int>(h.op));
+    sig += std::to_string(h.bound);
+    sig += '\x1f';
+  }
+  *out = std::move(sig);
+  return true;
+}
+
 /// Lexicographic row comparator on Term::Compare, for DISTINCT/dedup sets.
 struct RowLess {
   bool operator()(const std::vector<Term>& a,
@@ -831,12 +868,43 @@ class ExecImpl {
       return out;
     }
 
+    // Plan memo: the same resolved-pattern signature planned against the
+    // same graph version reuses the prior join order; on version drift the
+    // memo entry is dropped and the enumeration runs again.
+    std::string memo_sig;
+    bool memoizable = options_.plan_memo != nullptr && st.graph != nullptr &&
+                      MemoSignature(descs, hints, &memo_sig);
+    if (memoizable) {
+      cache::PlanMemo::Entry hit;
+      if (options_.plan_memo->Lookup(memo_sig, st.graph, st.graph->version(),
+                                     &hit) &&
+          hit.order.size() == bgp.size()) {
+        for (size_t i = 0; i < hit.order.size(); ++i) {
+          out.patterns.push_back(bgp[hit.order[i]]);
+        }
+        out.est = std::move(hit.est);
+        out.reordered = hit.reordered;
+        return out;
+      }
+    }
+
     opt::BgpPlan plan = opt::PlanBgp(descs, hints, estimator);
     for (const opt::PlannedStep& s : plan.steps) {
       out.patterns.push_back(bgp[s.input_index]);
       out.est.push_back(s.cumulative);
     }
     out.reordered = plan.reordered;
+    if (memoizable) {
+      cache::PlanMemo::Entry e;
+      for (const opt::PlannedStep& s : plan.steps) {
+        e.order.push_back(s.input_index);
+      }
+      e.est = out.est;
+      e.reordered = out.reordered;
+      e.graph = st.graph;
+      e.graph_version = st.graph->version();
+      options_.plan_memo->Insert(memo_sig, std::move(e));
+    }
     return out;
   }
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/plan_memo.h"
 #include "common/status.h"
 #include "obs/trace.h"
 #include "rdf/graph.h"
@@ -65,6 +66,12 @@ struct ExecOptions {
   /// time, and appends operator spans under trace->attach_point() when the
   /// query finishes. Null keeps the hot loops at one branch.
   obs::QueryTrace* trace = nullptr;
+
+  /// Memo of optimized BGP join orders for this statement (not owned; may
+  /// be null). The engine's plan cache hands the same memo to every
+  /// execution of a cached statement, so the Selinger enumeration runs
+  /// once per (BGP signature, graph version) instead of once per query.
+  cache::PlanMemo* plan_memo = nullptr;
 };
 
 /// Evaluates SciSPARQL queries and updates against a Dataset. The executor

@@ -18,6 +18,7 @@ std::string FunctionRegistry::Normalize(const std::string& name) {
 void FunctionRegistry::RegisterForeign(const std::string& name,
                                        ForeignFunction fn) {
   foreign_[Normalize(name)] = std::move(fn);
+  ++generation_;
 }
 
 const ForeignFunction* FunctionRegistry::FindForeign(
@@ -31,6 +32,7 @@ Status FunctionRegistry::Define(ast::FunctionDef def) {
     return Status::InvalidArgument("function body missing");
   }
   defined_[Normalize(def.name)] = std::move(def);
+  ++generation_;
   return Status::OK();
 }
 

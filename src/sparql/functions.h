@@ -46,11 +46,17 @@ class FunctionRegistry {
   std::vector<std::string> ForeignNames() const;
   std::vector<std::string> DefinedNames() const;
 
+  /// Monotone registration counter (starts at 1, bumps on every
+  /// RegisterForeign/Define): result-cache entries that call registry
+  /// functions record it, so redefining a function invalidates them.
+  uint64_t generation() const { return generation_; }
+
  private:
   static std::string Normalize(const std::string& name);
 
   std::map<std::string, ForeignFunction> foreign_;
   std::map<std::string, ast::FunctionDef> defined_;
+  uint64_t generation_ = 1;
 };
 
 /// True for names the expression evaluator implements natively (STR,

@@ -41,13 +41,21 @@ class Parser {
     } else if (t.IsKeyword("DEFINE")) {
       SCISPARQL_ASSIGN_OR_RETURN(ast::FunctionDef def, ParseDefine());
       stmt.node = std::move(def);
+    } else if (t.IsKeyword("PREPARE")) {
+      SCISPARQL_ASSIGN_OR_RETURN(ast::PrepareStmt prep, ParsePrepare());
+      stmt.node = std::move(prep);
+    } else if (t.IsKeyword("EXECUTE")) {
+      SCISPARQL_ASSIGN_OR_RETURN(ast::ExecuteStmt exec, ParseExecute());
+      stmt.node = std::move(exec);
     } else if (t.IsKeyword("INSERT") || t.IsKeyword("DELETE") ||
                t.IsKeyword("LOAD") || t.IsKeyword("CLEAR") ||
                t.IsKeyword("WITH")) {
       SCISPARQL_ASSIGN_OR_RETURN(UpdateOp op, ParseUpdate());
       stmt.node = std::move(op);
     } else {
-      return Error("expected SELECT, ASK, CONSTRUCT, DEFINE or an update");
+      return Error(
+          "expected SELECT, ASK, CONSTRUCT, DEFINE, PREPARE, EXECUTE or an "
+          "update");
     }
     if (Peek().IsPunct(";")) Advance();
     if (Peek().type != TokenType::kEof) {
@@ -343,6 +351,71 @@ class Parser {
     SCISPARQL_RETURN_NOT_OK(ExpectKeyword("AS"));
     SCISPARQL_ASSIGN_OR_RETURN(def.body, ParseQueryBody());
     return def;
+  }
+
+  // --- PREPARE / EXECUTE. ---
+
+  /// Statement name: a bare identifier (lexed as a keyword token), a
+  /// prefixed name, or a full IRI — the same shapes DEFINE FUNCTION takes.
+  Result<std::string> ParseStatementName() {
+    const Token& t = Peek();
+    if (t.type == TokenType::kIri) return ResolveIri(Advance().text);
+    if (t.type == TokenType::kPname) return ExpandPname(Advance().text);
+    if (t.type == TokenType::kKeyword) return Advance().text;
+    return Error("expected a statement name");
+  }
+
+  /// PREPARE name[(?p1, ?p2, ...)] AS <query>.
+  Result<ast::PrepareStmt> ParsePrepare() {
+    SCISPARQL_RETURN_NOT_OK(ExpectKeyword("PREPARE"));
+    ast::PrepareStmt prep;
+    SCISPARQL_ASSIGN_OR_RETURN(prep.name, ParseStatementName());
+    if (Peek().IsPunct("(")) {
+      Advance();
+      if (!Peek().IsPunct(")")) {
+        while (true) {
+          if (Peek().type != TokenType::kVar) {
+            return Error("expected parameter variable");
+          }
+          prep.params.push_back(Advance().text);
+          if (Peek().IsPunct(",")) {
+            Advance();
+            continue;
+          }
+          break;
+        }
+      }
+      SCISPARQL_RETURN_NOT_OK(ExpectPunct(")"));
+    }
+    SCISPARQL_RETURN_NOT_OK(ExpectKeyword("AS"));
+    // The body may be a complete query text with its own prologue — that is
+    // what Session::Prepare composes from a stand-alone query string.
+    SCISPARQL_RETURN_NOT_OK(ParsePrologue());
+    SCISPARQL_ASSIGN_OR_RETURN(prep.body, ParseQueryBody());
+    return prep;
+  }
+
+  /// EXECUTE name[(arg, arg, ...)] with ground-term arguments.
+  Result<ast::ExecuteStmt> ParseExecute() {
+    SCISPARQL_RETURN_NOT_OK(ExpectKeyword("EXECUTE"));
+    ast::ExecuteStmt exec;
+    SCISPARQL_ASSIGN_OR_RETURN(exec.name, ParseStatementName());
+    if (Peek().IsPunct("(")) {
+      Advance();
+      if (!Peek().IsPunct(")")) {
+        while (true) {
+          SCISPARQL_ASSIGN_OR_RETURN(Term arg, ParseDataTerm());
+          exec.args.push_back(std::move(arg));
+          if (Peek().IsPunct(",")) {
+            Advance();
+            continue;
+          }
+          break;
+        }
+      }
+      SCISPARQL_RETURN_NOT_OK(ExpectPunct(")"));
+    }
+    return exec;
   }
 
   // --- Updates. ---

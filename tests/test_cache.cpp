@@ -1,0 +1,411 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/query_cache.h"
+#include "client/server.h"
+#include "client/session.h"
+#include "engine/ssdm.h"
+#include "obs/metrics.h"
+#include "sched/scheduler.h"
+
+namespace scisparql {
+namespace cache {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr char kSelectScores[] =
+    "PREFIX ex: <http://example.org/> "
+    "SELECT ?s ?v WHERE { ?s ex:score ?v } ORDER BY ?v";
+
+class CacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_.prefixes().Set("ex", "http://example.org/");
+    ASSERT_TRUE(db_.LoadTurtleString(R"(
+@prefix ex: <http://example.org/> .
+ex:a ex:score 10 . ex:b ex:score 20 . ex:c ex:score 30 .
+)")
+                    .ok());
+  }
+
+  uint64_t ObsCount(const std::string& layer, const std::string& event) {
+    return obs::DefaultMetrics()
+        .GetCounter("ssdm_cache_" + layer + "_" + event + "_total", "", "")
+        .Value();
+  }
+
+  SSDM db_;
+};
+
+TEST_F(CacheTest, PlanCacheHitAfterMiss) {
+  CacheCounters before = db_.cache().counters();
+  ASSERT_TRUE(db_.Query(kSelectScores).ok());
+  CacheCounters after_first = db_.cache().counters();
+  EXPECT_EQ(after_first.plan_misses, before.plan_misses + 1);
+  EXPECT_EQ(after_first.plan_hits, before.plan_hits);
+
+  auto r = db_.Query(kSelectScores);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 3u);
+  CacheCounters after_second = db_.cache().counters();
+  EXPECT_EQ(after_second.plan_hits, after_first.plan_hits + 1);
+  EXPECT_EQ(after_second.plan_misses, after_first.plan_misses);
+}
+
+TEST_F(CacheTest, PlanCacheNormalizesWhitespaceAndComments) {
+  ASSERT_TRUE(db_.Query(kSelectScores).ok());
+  CacheCounters before = db_.cache().counters();
+  auto r = db_.Query(
+      "PREFIX ex: <http://example.org/>\n"
+      "# a comment\n"
+      "SELECT   ?s ?v\nWHERE { ?s ex:score ?v }   ORDER BY ?v");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(db_.cache().counters().plan_hits, before.plan_hits + 1);
+}
+
+TEST_F(CacheTest, ResultCacheHitThenInsertInvalidatesBothLayers) {
+  db_.EnableResultCache();
+  uint64_t obs_hits = ObsCount("result", "hits");
+  uint64_t obs_misses = ObsCount("result", "misses");
+  uint64_t obs_inval = ObsCount("result", "invalidations");
+
+  auto cold = db_.Query(kSelectScores);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_EQ(cold->rows.size(), 3u);
+  EXPECT_EQ(ObsCount("result", "misses"), obs_misses + 1);
+  EXPECT_EQ(db_.cache().result_entries(), 1u);
+
+  auto warm = db_.Query(kSelectScores);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->rows.size(), 3u);
+  EXPECT_EQ(warm->rows, cold->rows);
+  EXPECT_EQ(ObsCount("result", "hits"), obs_hits + 1);
+
+  // A write into the referenced graph must observably invalidate the
+  // cached outcome — the counter moves with the INSERT, not the next read.
+  CacheCounters pre_write = db_.cache().counters();
+  ASSERT_TRUE(db_.Run("PREFIX ex: <http://example.org/> "
+                      "INSERT DATA { ex:d ex:score 40 }")
+                  .ok());
+  CacheCounters post_write = db_.cache().counters();
+  EXPECT_GT(post_write.result_invalidations, pre_write.result_invalidations);
+  EXPECT_GT(ObsCount("result", "invalidations"), obs_inval);
+  EXPECT_EQ(db_.cache().result_entries(), 0u);
+
+  // The next read misses and sees the new triple.
+  auto fresh = db_.Query(kSelectScores);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->rows.size(), 4u);
+  EXPECT_EQ(ObsCount("result", "misses"), obs_misses + 2);
+}
+
+TEST_F(CacheTest, DeleteInvalidatesCachedResult) {
+  db_.EnableResultCache();
+  ASSERT_TRUE(db_.Query(kSelectScores).ok());
+  ASSERT_EQ(db_.cache().result_entries(), 1u);
+  ASSERT_TRUE(db_.Run("PREFIX ex: <http://example.org/> "
+                      "DELETE WHERE { ex:a ex:score ?v }")
+                  .ok());
+  EXPECT_EQ(db_.cache().result_entries(), 0u);
+  auto r = db_.Query(kSelectScores);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 2u);
+}
+
+TEST_F(CacheTest, ClearAllBumpsEpochAndDropsResults) {
+  db_.EnableResultCache();
+  ASSERT_TRUE(db_.Query(kSelectScores).ok());
+  ASSERT_GT(db_.cache().plan_entries(), 0u);
+  ASSERT_GT(db_.cache().result_entries(), 0u);
+  uint64_t epoch = db_.cache().epoch();
+  CacheCounters before = db_.cache().counters();
+  ASSERT_TRUE(db_.Run("CLEAR ALL").ok());
+  EXPECT_GT(db_.cache().epoch(), epoch);
+  EXPECT_EQ(db_.cache().result_entries(), 0u);
+  // Parsed ASTs are data-independent and survive the epoch bump; re-running
+  // the query is a plan hit but must recompute the (now empty) answer.
+  auto r = db_.Query(kSelectScores);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->rows.empty());
+  EXPECT_EQ(db_.cache().counters().plan_hits, before.plan_hits + 1);
+}
+
+TEST_F(CacheTest, LoadSnapshotBumpsEpoch) {
+  std::string path = std::string(::testing::TempDir()) + "/cache_epoch.ssd";
+  ASSERT_TRUE(db_.SaveSnapshot(path).ok());
+  ASSERT_TRUE(db_.Run("PREFIX ex: <http://example.org/> "
+                      "INSERT DATA { ex:d ex:score 40 }")
+                  .ok());
+  db_.EnableResultCache();
+  auto with_insert = db_.Query(kSelectScores);
+  ASSERT_TRUE(with_insert.ok());
+  ASSERT_EQ(with_insert->rows.size(), 4u);
+  uint64_t epoch = db_.cache().epoch();
+
+  // Restoring the pre-INSERT snapshot destroys the graph objects; the
+  // cached 4-row outcome must not survive into the restored dataset.
+  ASSERT_TRUE(db_.LoadSnapshot(path).ok());
+  EXPECT_GT(db_.cache().epoch(), epoch);
+  EXPECT_EQ(db_.cache().result_entries(), 0u);
+  auto restored = db_.Query(kSelectScores);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->rows.size(), 3u);
+}
+
+TEST_F(CacheTest, EvictionUnderByteBudget) {
+  db_.EnableResultCache(/*budget_bytes=*/4096);
+  uint64_t obs_evict = ObsCount("result", "evictions");
+  // Distinct ~1 KiB constant results: the fifth cannot fit alongside the
+  // first four, so the least recently used entries are evicted.
+  std::string big(1024, 'x');
+  for (int i = 0; i < 6; ++i) {
+    std::string q = "SELECT (CONCAT(\"" + std::to_string(i) + "\", \"" + big +
+                    "\") AS ?x) WHERE { }";
+    ASSERT_TRUE(db_.Query(q).ok());
+  }
+  EXPECT_GT(db_.cache().counters().result_evictions, 0u);
+  EXPECT_GT(ObsCount("result", "evictions"), obs_evict);
+  EXPECT_LE(db_.cache().result_bytes(), 4096u);
+  EXPECT_LT(db_.cache().result_entries(), 6u);
+}
+
+TEST_F(CacheTest, OversizedResultIsNotCached) {
+  db_.EnableResultCache(/*budget_bytes=*/128);
+  std::string big(1024, 'y');
+  ASSERT_TRUE(db_.Query("SELECT (\"" + big + "\" AS ?x) WHERE { }").ok());
+  EXPECT_EQ(db_.cache().result_entries(), 0u);
+  EXPECT_EQ(db_.cache().result_bytes(), 0u);
+}
+
+TEST_F(CacheTest, NonDeterministicQueriesAreNotCached) {
+  db_.EnableResultCache();
+  ASSERT_TRUE(db_.Query("SELECT (RAND() AS ?r) WHERE { }").ok());
+  ASSERT_TRUE(db_.Query("SELECT (RAND() AS ?r) WHERE { }").ok());
+  EXPECT_EQ(db_.cache().result_entries(), 0u);
+  ASSERT_TRUE(db_.Query("SELECT (NOW() AS ?t) WHERE { }").ok());
+  EXPECT_EQ(db_.cache().result_entries(), 0u);
+}
+
+TEST_F(CacheTest, PrepareExecuteTextForm) {
+  ASSERT_TRUE(db_.Run("PREFIX ex: <http://example.org/> "
+                      "PREPARE above(?min) AS "
+                      "SELECT ?s WHERE { ?s ex:score ?v . "
+                      "FILTER(?v > ?min) } ORDER BY ?s")
+                  .ok());
+  auto names = db_.cache().PreparedNames();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "above");
+
+  auto r = db_.Query("EXECUTE above(15)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[0][0], Term::Iri("http://example.org/b"));
+  EXPECT_EQ(r->rows[1][0], Term::Iri("http://example.org/c"));
+
+  // Different argument, different answer — parameters are real bindings.
+  auto r2 = db_.Query("EXECUTE above(25)");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->rows.size(), 1u);
+
+  // Arity and name errors.
+  EXPECT_FALSE(db_.Query("EXECUTE above(1, 2)").ok());
+  EXPECT_FALSE(db_.Query("EXECUTE nosuch(1)").ok());
+
+  // EXECUTE classifies as a read so the scheduler can run it under the
+  // shared engine lock.
+  EXPECT_EQ(SSDM::ClassifyStatement("EXECUTE above(15)"),
+            sched::StatementClass::kRead);
+}
+
+TEST_F(CacheTest, PreparedResultsHitUnderPreparedKey) {
+  db_.EnableResultCache();
+  ASSERT_TRUE(db_.Run("PREFIX ex: <http://example.org/> "
+                      "PREPARE above(?min) AS "
+                      "SELECT ?s WHERE { ?s ex:score ?v . FILTER(?v > ?min) }")
+                  .ok());
+  CacheCounters before = db_.cache().counters();
+  ASSERT_TRUE(db_.Query("EXECUTE above(15)").ok());
+  ASSERT_TRUE(db_.Query("EXECUTE above(15)").ok());
+  CacheCounters after = db_.cache().counters();
+  EXPECT_EQ(after.result_hits, before.result_hits + 1);
+  // A different argument is a different key.
+  ASSERT_TRUE(db_.Query("EXECUTE above(25)").ok());
+  EXPECT_EQ(db_.cache().counters().result_hits, before.result_hits + 1);
+}
+
+TEST_F(CacheTest, RePrepareInvalidatesOldCachedResults) {
+  db_.EnableResultCache();
+  ASSERT_TRUE(db_.Run("PREFIX ex: <http://example.org/> "
+                      "PREPARE q(?min) AS "
+                      "SELECT ?s WHERE { ?s ex:score ?v . FILTER(?v > ?min) }")
+                  .ok());
+  auto first = db_.Query("EXECUTE q(5)");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->rows.size(), 3u);
+
+  // Re-PREPARE under the same name with a different body: the old cached
+  // outcome must not be served (the result key carries the generation).
+  ASSERT_TRUE(db_.Run("PREFIX ex: <http://example.org/> "
+                      "PREPARE q(?min) AS "
+                      "SELECT ?s WHERE { ?s ex:score ?v . FILTER(?v < ?min) }")
+                  .ok());
+  auto second = db_.Query("EXECUTE q(5)");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->rows.size(), 0u);
+}
+
+TEST_F(CacheTest, SessionPreparedApi) {
+  client::Session session(&db_);
+  ASSERT_TRUE(session
+                  .Prepare("by_score", {"v"},
+                           "PREFIX ex: <http://example.org/> "
+                           "SELECT ?s WHERE { ?s ex:score ?v }")
+                  .ok());
+  auto out = session.ExecutePrepared("by_score", {Term::Integer(20)});
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->kind(), QueryOutcome::Kind::kRows);
+  ASSERT_EQ(out->rows().rows.size(), 1u);
+  EXPECT_EQ(out->rows().rows[0][0], Term::Iri("http://example.org/b"));
+
+  auto bad = session.ExecutePrepared("by_score", {});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST_F(CacheTest, SchedulerServesCachedReadsOnFastPath) {
+  db_.EnableResultCache();
+  ASSERT_TRUE(db_.Query(kSelectScores).ok());  // populate
+
+  sched::QueryScheduler sched(&db_);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  sparql::QueryResult got;
+  QueryRequest req;
+  req.text = kSelectScores;
+  ASSERT_TRUE(sched
+                  .Submit(req,
+                          [&](Result<QueryOutcome> out) {
+                            std::lock_guard<std::mutex> lock(mu);
+                            if (out.ok() &&
+                                out->kind() == QueryOutcome::Kind::kRows) {
+                              got = std::move(out->rows());
+                            }
+                            done = true;
+                            cv.notify_one();
+                          })
+                  .ok());
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, 5s, [&] { return done; }));
+  EXPECT_EQ(got.rows.size(), 3u);
+  EXPECT_GE(sched.stats().cache_fast_path, 1u);
+}
+
+TEST_F(CacheTest, RemotePreparedRoundTrip) {
+  client::SsdmServer server(&db_);
+  auto port = server.Start(0);
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+
+  auto session = *client::RemoteSession::Connect("127.0.0.1", *port);
+  ASSERT_TRUE(session
+                  .Prepare("above", {"min"},
+                           "PREFIX ex: <http://example.org/> "
+                           "SELECT ?s WHERE { ?s ex:score ?v . "
+                           "FILTER(?v > ?min) } ORDER BY ?s")
+                  .ok());
+  auto out = session.ExecutePrepared("above", {Term::Integer(15)});
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->kind(), QueryOutcome::Kind::kRows);
+  ASSERT_EQ(out->rows().rows.size(), 2u);
+  EXPECT_EQ(out->rows().rows[0][0], Term::Iri("http://example.org/b"));
+
+  // Arity mismatch is reported across the wire, not silently mis-bound.
+  auto bad = session.ExecutePrepared("above", {});
+  EXPECT_FALSE(bad.ok());
+  // So is a name that was never prepared.
+  auto missing = session.ExecutePrepared("nosuch", {Term::Integer(1)});
+  EXPECT_FALSE(missing.ok());
+
+  server.Stop();
+}
+
+// Concurrency stress for TSan: scheduler readers hitting the result cache
+// while a writer invalidates it. Exercises the fast-path probe under the
+// shared engine lock racing sweeps under the exclusive lock.
+TEST_F(CacheTest, ConcurrentReadsRaceWriterStress) {
+  db_.EnableResultCache();
+  sched::QueryScheduler sched(&db_);
+
+  constexpr int kReaders = 3;
+  constexpr int kReadsEach = 25;
+  constexpr int kWrites = 10;
+
+  std::atomic<int> pending{0};
+  std::atomic<int> read_errors{0};
+  std::mutex mu;
+  std::condition_variable cv;
+
+  auto on_done = [&](bool is_read) {
+    return [&, is_read](Result<QueryOutcome> out) {
+      // Reads must always succeed; admission-control rejections of writes
+      // are acceptable under load.
+      if (is_read && !out.ok()) read_errors.fetch_add(1);
+      if (pending.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_one();
+      }
+    };
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(kReaders + 1);
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kReadsEach; ++i) {
+        QueryRequest req;
+        req.text = kSelectScores;
+        pending.fetch_add(1);
+        if (!sched.Submit(std::move(req), on_done(true)).ok()) {
+          pending.fetch_sub(1);
+          std::this_thread::sleep_for(1ms);
+        }
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    for (int i = 0; i < kWrites; ++i) {
+      QueryRequest req;
+      std::ostringstream stmt;
+      stmt << "PREFIX ex: <http://example.org/> INSERT DATA { ex:w" << i
+           << " ex:other " << i << " }";
+      req.text = stmt.str();
+      pending.fetch_add(1);
+      if (!sched.Submit(std::move(req), on_done(false)).ok()) {
+        pending.fetch_sub(1);
+      }
+      std::this_thread::sleep_for(1ms);
+    }
+  });
+  for (auto& t : threads) t.join();
+
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, 30s, [&] { return pending.load() == 0; }));
+  EXPECT_EQ(read_errors.load(), 0);
+
+  auto r = db_.Query(kSelectScores);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 3u);
+}
+
+}  // namespace
+}  // namespace cache
+}  // namespace scisparql

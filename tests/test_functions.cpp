@@ -149,6 +149,104 @@ TEST(Load, UpdateLoadsTurtleFile) {
   EXPECT_FALSE(db.Run("LOAD \"/nonexistent.ttl\"").ok());
 }
 
+// --- String-builtin conformance: UTF-8 code-point semantics
+// (fn:substring) and language-tag propagation (SPARQL 1.1 §17.4.3). ---
+
+/// Evaluates one constant expression through a projection.
+Term Eval1(const std::string& expr) {
+  SSDM db;
+  auto rows = db.Query("SELECT (" + expr + " AS ?x) WHERE { }");
+  EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+  if (!rows.ok() || rows->rows.empty() || rows->rows[0].empty()) {
+    return Term();
+  }
+  return rows->rows[0][0];
+}
+
+TEST(StringBuiltins, StrlenCountsCodePoints) {
+  // "noël" is 5 bytes but 4 code points ("\u00eb" = ë, 2 bytes in UTF-8).
+  EXPECT_EQ(Eval1("STRLEN(\"no\\u00ebl\")"), Term::Integer(4));
+  EXPECT_EQ(Eval1("STRLEN(\"\")"), Term::Integer(0));
+}
+
+TEST(StringBuiltins, SubstrUsesCodePointPositions) {
+  // fn:substring is 1-based and counts characters, not bytes.
+  EXPECT_EQ(Eval1("SUBSTR(\"no\\u00ebl\", 2, 2)").lexical(), "o\xc3\xab");
+  EXPECT_EQ(Eval1("SUBSTR(\"no\\u00ebl\", 3)").lexical(), "\xc3\xabl");
+  EXPECT_EQ(Eval1("SUBSTR(\"motorcar\", 6)").lexical(), "car");
+  EXPECT_EQ(Eval1("SUBSTR(\"metadata\", 4, 3)").lexical(), "ada");
+}
+
+TEST(StringBuiltins, SubstrStartBeforeOneShortensLength) {
+  // fn:substring keeps positions p with max(start,1) <= p < start+len, so
+  // a start before 1 consumes part of the length, it is not clamped.
+  EXPECT_EQ(Eval1("SUBSTR(\"12345\", 0, 3)").lexical(), "12");
+  EXPECT_EQ(Eval1("SUBSTR(\"12345\", -2, 6)").lexical(), "123");
+  EXPECT_EQ(Eval1("SUBSTR(\"12345\", 0)").lexical(), "12345");
+  // An explicit non-positive length selects nothing.
+  EXPECT_EQ(Eval1("SUBSTR(\"12345\", 1, 0)").lexical(), "");
+  EXPECT_EQ(Eval1("SUBSTR(\"12345\", 2, -1)").lexical(), "");
+  // Start past the end selects nothing.
+  EXPECT_EQ(Eval1("SUBSTR(\"12345\", 9)").lexical(), "");
+}
+
+TEST(StringBuiltins, DerivedStringsCarryFirstArgumentLang) {
+  Term sub = Eval1("SUBSTR(\"cha\\u00eene\"@fr, 1, 3)");
+  EXPECT_EQ(sub.lexical(), "cha");
+  EXPECT_EQ(sub.lang(), "fr");
+  Term up = Eval1("UCASE(\"chat\"@fr)");
+  EXPECT_EQ(up.lexical(), "CHAT");
+  EXPECT_EQ(up.lang(), "fr");
+  Term low = Eval1("LCASE(\"CHAT\"@fr)");
+  EXPECT_EQ(low.lexical(), "chat");
+  EXPECT_EQ(low.lang(), "fr");
+}
+
+TEST(StringBuiltins, StrBeforeAfterLangCompatibility) {
+  // Simple-string second argument: derived string keeps arg 1's tag.
+  Term before = Eval1("STRBEFORE(\"abc\"@en, \"b\")");
+  EXPECT_EQ(before.lexical(), "a");
+  EXPECT_EQ(before.lang(), "en");
+  Term after = Eval1("STRAFTER(\"abc\"@en, \"b\")");
+  EXPECT_EQ(after.lexical(), "c");
+  EXPECT_EQ(after.lang(), "en");
+  // Matching tags are compatible.
+  EXPECT_EQ(Eval1("STRAFTER(\"abc\"@en, \"ab\"@en)").lexical(), "c");
+  // No match yields a *simple* empty string, tag dropped.
+  Term miss = Eval1("STRBEFORE(\"abc\"@en, \"z\")");
+  EXPECT_EQ(miss.lexical(), "");
+  EXPECT_EQ(miss.lang(), "");
+  // Incompatible tags are an error: the projection comes back unbound.
+  EXPECT_EQ(Eval1("STRBEFORE(\"abc\"@en, \"b\"@cy)").kind(),
+            Term::Kind::kUndef);
+  EXPECT_EQ(Eval1("STRAFTER(\"abc\"@en, \"b\"@cy)").kind(),
+            Term::Kind::kUndef);
+  // ...and a plain-string first argument cannot match a tagged second.
+  EXPECT_EQ(Eval1("STRBEFORE(\"abc\", \"b\"@cy)").kind(),
+            Term::Kind::kUndef);
+}
+
+TEST(StringBuiltins, ConcatLangPropagation) {
+  // All inputs sharing one tag: the tag survives.
+  Term same = Eval1("CONCAT(\"foo\"@en, \"bar\"@en)");
+  EXPECT_EQ(same.lexical(), "foobar");
+  EXPECT_EQ(same.lang(), "en");
+  // Mixed or partial tags: plain literal.
+  EXPECT_EQ(Eval1("CONCAT(\"foo\"@en, \"bar\")").lang(), "");
+  EXPECT_EQ(Eval1("CONCAT(\"foo\"@en, \"bar\"@fr)").lang(), "");
+  EXPECT_EQ(Eval1("CONCAT(\"foo\", \"bar\"@en)").lang(), "");
+  EXPECT_EQ(Eval1("CONCAT(\"foo\", \"bar\"@en)").lexical(), "foobar");
+}
+
+TEST(StringBuiltins, ContainsWorksOnMultiByteStrings) {
+  EXPECT_EQ(Eval1("CONTAINS(\"no\\u00ebl\", \"\\u00eb\")"),
+            Term::Boolean(true));
+  EXPECT_EQ(Eval1("STRSTARTS(\"\\u00e9tat\", \"\\u00e9\")"),
+            Term::Boolean(true));
+  EXPECT_EQ(Eval1("STRENDS(\"caf\\u00e9\", \"\\u00e9\")"),
+            Term::Boolean(true));
+}
+
 }  // namespace
 }  // namespace sparql
 }  // namespace scisparql
