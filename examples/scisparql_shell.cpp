@@ -3,6 +3,10 @@
 // ";" (or EOF), executes them, and prints results. Meta-commands:
 //
 //   .load <file.ttl>    load a Turtle document into the default graph
+//   .open <dir>         attach a durable store: recover from the newest
+//                       snapshot + WAL in <dir>, then log every update
+//   .checkpoint         write a checksummed snapshot and truncate the WAL
+//                       (requires a prior .open)
 //   .explain <on|off>   print the plan before each SELECT
 //   .timeout <ms>       per-statement deadline (0 = none)
 //   .prepare            list prepared statements; with arguments,
@@ -35,7 +39,8 @@ namespace {
 void PrintHelp() {
   std::printf(
       "SciSPARQL shell. End a statement with a line containing only ';'.\n"
-      "Meta-commands: .load <file>  .explain on|off  .translate on|off  "
+      "Meta-commands: .load <file>  .open <dir>  .checkpoint  "
+      ".explain on|off  .translate on|off  "
       ".timeout <ms>  .prepare [name(...) AS query]  .cache [on|off]  "
       ".stats  .metrics  .help  .quit\n");
 }
@@ -121,6 +126,20 @@ int main(int argc, char** argv) {
         std::printf("%s (%zu triples)\n",
                     st.ok() ? "ok" : st.ToString().c_str(),
                     db.dataset().default_graph().size());
+      } else if (cmd == ".open") {
+        if (arg.empty()) {
+          std::printf("usage: .open <dir>\n");
+        } else {
+          scisparql::Status st = db.Open(arg);
+          std::printf("%s\n", st.ok() ? "ok" : st.ToString().c_str());
+        }
+      } else if (cmd == ".checkpoint") {
+        auto info = db.Checkpoint();
+        if (info.ok()) {
+          std::printf("%s\n", info->c_str());
+        } else {
+          std::printf("error: %s\n", info.status().ToString().c_str());
+        }
       } else if (cmd == ".translate") {
         // Toggle: print the ObjectLog-style calculus form (§5.4.5) of each
         // subsequent SELECT before executing it.

@@ -5,10 +5,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <future>
+#include <thread>
 
 #include "client/protocol.h"
 #include "common/string_util.h"
@@ -344,8 +346,12 @@ RemoteSession::~RemoteSession() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Result<RemoteSession> RemoteSession::Connect(const std::string& host, int port,
-                                             std::chrono::milliseconds timeout) {
+namespace {
+
+/// One TCP dial with the session's socket timeouts applied. Separated out
+/// so Connect()'s retry loop and RemoteSession::Reconnect share it.
+Result<int> DialServer(const std::string& host, int port,
+                       std::chrono::milliseconds timeout) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Status::IoError("socket() failed");
   if (timeout.count() > 0) {
@@ -371,21 +377,133 @@ Result<RemoteSession> RemoteSession::Connect(const std::string& host, int port,
     }
     return Status::IoError("connect() failed");
   }
-  return RemoteSession(fd);
+  return fd;
 }
 
-Result<std::string> RemoteSession::RoundTrip(const std::string& text) {
-  SCISPARQL_RETURN_NOT_OK(WriteFrame(fd_, text));
-  Result<std::string> payload = ReadFrame(fd_);
-  if (!payload.ok()) return payload.status();
-  if (payload->empty()) return Status::IoError("empty response");
-  if ((*payload)[0] == 'E') {
-    StatusCode code = payload->size() > 1
-                          ? static_cast<StatusCode>((*payload)[1])
-                          : StatusCode::kInternal;
-    return Status(code, payload->substr(2));
+bool RetriableConnectError(const Status& st) {
+  // InvalidArgument (bad address) will not heal on its own; transport
+  // errors and connect timeouts can — the server may just be restarting.
+  return st.code() == StatusCode::kIoError ||
+         st.code() == StatusCode::kDeadlineExceeded;
+}
+
+}  // namespace
+
+RemoteSession::RemoteSession(int fd, std::string host, int port,
+                             std::chrono::milliseconds timeout,
+                             RetryOptions retry)
+    : fd_(fd),
+      host_(std::move(host)),
+      port_(port),
+      timeout_(timeout),
+      retry_(retry) {
+  // Seed the jitter generator from wall time and the session identity so
+  // concurrent sessions spread their retries.
+  rng_state_ = static_cast<uint64_t>(
+                   std::chrono::steady_clock::now().time_since_epoch().count())
+               ^ (reinterpret_cast<uintptr_t>(this) << 16) ^ 0x9e3779b97f4a7c15ull;
+}
+
+std::chrono::milliseconds RemoteSession::BackoffDelay(int attempt) {
+  double base = static_cast<double>(retry_.initial_backoff.count());
+  for (int i = 0; i < attempt; ++i) base *= retry_.multiplier;
+  base = std::min(base, static_cast<double>(retry_.max_backoff.count()));
+  // xorshift64 — plenty for jitter, no <random> machinery per call.
+  rng_state_ ^= rng_state_ << 13;
+  rng_state_ ^= rng_state_ >> 7;
+  rng_state_ ^= rng_state_ << 17;
+  double unit = static_cast<double>(rng_state_ % 10000) / 10000.0;  // [0,1)
+  double jittered = base * (1.0 + retry_.jitter * (2.0 * unit - 1.0));
+  if (jittered < 0) jittered = 0;
+  return std::chrono::milliseconds(static_cast<int64_t>(jittered));
+}
+
+Result<RemoteSession> RemoteSession::Connect(
+    const std::string& host, int port, std::chrono::milliseconds timeout) {
+  return Connect(host, port, timeout, RetryOptions());
+}
+
+Result<RemoteSession> RemoteSession::Connect(const std::string& host, int port,
+                                             std::chrono::milliseconds timeout,
+                                             RetryOptions retry) {
+  if (retry.max_attempts < 1) retry.max_attempts = 1;
+  RemoteSession session(-1, host, port, timeout, retry);
+  auto start = std::chrono::steady_clock::now();
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < retry.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(session.BackoffDelay(attempt - 1));
+    }
+    Result<int> fd = DialServer(host, port, timeout);
+    if (fd.ok()) {
+      session.fd_ = *fd;
+      return session;
+    }
+    last = fd.status();
+    if (!RetriableConnectError(last)) return last;
+    // A session timeout caps the whole retry budget, backoff included —
+    // the caller asked for a bound on session setup, not per attempt.
+    if (timeout.count() > 0 &&
+        std::chrono::steady_clock::now() - start >= timeout) {
+      break;
+    }
   }
-  return payload;
+  return Status(last.code(),
+                last.message() + " (after " +
+                    std::to_string(retry.max_attempts) + " attempts)");
+}
+
+Status RemoteSession::Reconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  SCISPARQL_ASSIGN_OR_RETURN(int fd, DialServer(host_, port_, timeout_));
+  fd_ = fd;
+  return Status::OK();
+}
+
+Result<std::string> RemoteSession::RoundTrip(const std::string& text,
+                                             bool retry_safe) {
+  int attempts = retry_safe ? std::max(retry_.max_attempts, 1) : 1;
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(BackoffDelay(attempt - 1));
+      Status re = Reconnect();
+      if (!re.ok()) {
+        last = re;
+        continue;  // burn an attempt; the server may come back
+      }
+    }
+    if (fd_ < 0) {
+      last = Status::IoError("session not connected");
+      continue;
+    }
+    Status sent = WriteFrame(fd_, text);
+    Result<std::string> payload =
+        sent.ok() ? ReadFrame(fd_) : Result<std::string>(sent);
+    if (payload.ok()) {
+      if (payload->empty()) return Status::IoError("empty response");
+      if ((*payload)[0] == 'E') {
+        StatusCode code = payload->size() > 1
+                              ? static_cast<StatusCode>((*payload)[1])
+                              : StatusCode::kInternal;
+        return Status(code, payload->substr(2));
+      }
+      return payload;
+    }
+    last = payload.status();
+    // Only transport failures are worth a resend. A DeadlineExceeded
+    // round-trip is NOT: the server may still be executing the statement,
+    // and re-submitting would double the work (or the write).
+    if (last.code() != StatusCode::kIoError) return last;
+  }
+  if (attempts > 1) {
+    return Status(last.code(), last.message() + " (after " +
+                                   std::to_string(attempts) + " attempts)");
+  }
+  return last;
 }
 
 Result<QueryOutcome> RemoteSession::Execute(const QueryRequest& req) {
@@ -405,7 +523,12 @@ Result<QueryOutcome> RemoteSession::Execute(const QueryRequest& req) {
     wire.has_push_filters = true;
     wire.push_filters = req.options->push_filters;
   }
-  Result<std::string> payload = RoundTrip(EncodeRequest(wire));
+  // Prepared calls always run a PREPARE'd query body and plain reads are
+  // idempotent; both are safe to resend over a fresh connection.
+  bool retry_safe =
+      req.prepared.has_value() ||
+      SSDM::ClassifyStatement(req.text) == sched::StatementClass::kRead;
+  Result<std::string> payload = RoundTrip(EncodeRequest(wire), retry_safe);
   if (!payload.ok()) return payload.status();
   SCISPARQL_ASSIGN_OR_RETURN(WireResponse resp, DecodeResponse(*payload));
   if (req.trace_sink != nullptr) {
@@ -441,7 +564,8 @@ Result<QueryOutcome> RemoteSession::Execute(const QueryRequest& req) {
 }
 
 Result<sparql::QueryResult> RemoteSession::Query(const std::string& text) {
-  Result<std::string> payload = RoundTrip(text);
+  Result<std::string> payload = RoundTrip(
+      text, SSDM::ClassifyStatement(text) == sched::StatementClass::kRead);
   if (!payload.ok()) return payload.status();
   if (payload->empty() || (*payload)[0] != 'R') {
     return Status::InvalidArgument("statement is not a SELECT query");
@@ -450,7 +574,8 @@ Result<sparql::QueryResult> RemoteSession::Query(const std::string& text) {
 }
 
 Result<bool> RemoteSession::Ask(const std::string& text) {
-  Result<std::string> payload = RoundTrip(text);
+  Result<std::string> payload = RoundTrip(
+      text, SSDM::ClassifyStatement(text) == sched::StatementClass::kRead);
   if (!payload.ok()) return payload.status();
   if (payload->size() < 2 || (*payload)[0] != 'B') {
     return Status::InvalidArgument("statement is not an ASK query");
@@ -469,7 +594,7 @@ Result<std::string> RemoteSession::Run(const std::string& text) {
 }
 
 Result<std::string> RemoteSession::Explain(const std::string& query) {
-  Result<std::string> payload = RoundTrip("EXPLAIN " + query);
+  Result<std::string> payload = RoundTrip("EXPLAIN " + query, true);
   if (!payload.ok()) return payload.status();
   if (payload->empty() || (*payload)[0] != 'I') {
     return Status::Internal("malformed EXPLAIN response");
@@ -507,7 +632,7 @@ Result<QueryOutcome> RemoteSession::ExecutePrepared(
 }
 
 Result<std::string> RemoteSession::Stats() {
-  Result<std::string> payload = RoundTrip("STATS");
+  Result<std::string> payload = RoundTrip("STATS", true);
   if (!payload.ok()) return payload.status();
   if (payload->empty() || (*payload)[0] != 'S') {
     return Status::Internal("malformed STATS response");
@@ -516,7 +641,7 @@ Result<std::string> RemoteSession::Stats() {
 }
 
 Result<std::string> RemoteSession::Metrics() {
-  Result<std::string> payload = RoundTrip("METRICS");
+  Result<std::string> payload = RoundTrip("METRICS", true);
   if (!payload.ok()) return payload.status();
   if (payload->empty() || (*payload)[0] != 'I') {
     return Status::Internal("malformed METRICS response");

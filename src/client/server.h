@@ -3,8 +3,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -94,19 +96,45 @@ class SsdmServer {
 /// CONSTRUCT graphs) client-side.
 class RemoteSession {
  public:
+  /// Transient-failure policy for Connect() and for resending read-class
+  /// statements after a broken connection. Backoff between attempts grows
+  /// geometrically with `multiplier`, capped at `max_backoff`, with a
+  /// uniform ±`jitter` fraction applied so a fleet of clients does not
+  /// retry in lockstep after a server restart.
+  struct RetryOptions {
+    int max_attempts = 3;  ///< Total tries; 1 disables retry entirely.
+    std::chrono::milliseconds initial_backoff{50};
+    double multiplier = 2.0;
+    std::chrono::milliseconds max_backoff{1000};
+    double jitter = 0.3;
+  };
+
   ~RemoteSession();
 
   RemoteSession(const RemoteSession&) = delete;
   RemoteSession& operator=(const RemoteSession&) = delete;
-  RemoteSession(RemoteSession&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  RemoteSession(RemoteSession&& o) noexcept
+      : fd_(o.fd_),
+        host_(std::move(o.host_)),
+        port_(o.port_),
+        timeout_(o.timeout_),
+        retry_(o.retry_),
+        rng_state_(o.rng_state_) {
+    o.fd_ = -1;
+  }
 
   /// `timeout` bounds connect and every subsequent request round-trip
   /// (SO_RCVTIMEO/SO_SNDTIMEO), so a hung server cannot block the client
   /// forever; an expired wait surfaces as DeadlineExceeded. Zero = no
-  /// timeout.
+  /// timeout. Connect failures are retried per `retry` (the two-argument
+  /// overload uses the RetryOptions defaults); when `timeout` is set it
+  /// also caps the total time spent across attempts and backoff.
   static Result<RemoteSession> Connect(
       const std::string& host, int port,
       std::chrono::milliseconds timeout = std::chrono::milliseconds(0));
+  static Result<RemoteSession> Connect(const std::string& host, int port,
+                                       std::chrono::milliseconds timeout,
+                                       RetryOptions retry);
 
   /// Unified remote execution. `req.timeout` is enforced server-side
   /// (queue wait included); `req.options`' planner flags travel with the
@@ -150,12 +178,30 @@ class RemoteSession {
                                        const std::vector<Term>& args);
 
  private:
-  explicit RemoteSession(int fd) : fd_(fd) {}
+  RemoteSession(int fd, std::string host, int port,
+                std::chrono::milliseconds timeout, RetryOptions retry);
 
   /// Sends a statement and returns the raw (kind-tagged) response payload.
-  Result<std::string> RoundTrip(const std::string& text);
+  /// When `retry_safe` is true (read-class statements and prepared calls —
+  /// safe to run twice) a broken connection is re-established with backoff
+  /// and the request resent, up to retry_.max_attempts tries. Timeouts are
+  /// never retried: the server may still be executing the statement.
+  Result<std::string> RoundTrip(const std::string& text,
+                                bool retry_safe = false);
+
+  /// Closes the current socket and dials the server again (one attempt;
+  /// the caller owns the backoff loop).
+  Status Reconnect();
+
+  /// Next backoff delay for `attempt` (0-based), with jitter applied.
+  std::chrono::milliseconds BackoffDelay(int attempt);
 
   int fd_ = -1;
+  std::string host_;
+  int port_ = 0;
+  std::chrono::milliseconds timeout_{0};
+  RetryOptions retry_;
+  uint64_t rng_state_ = 0;  ///< xorshift state for retry jitter
 };
 
 }  // namespace client

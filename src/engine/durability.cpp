@@ -1,0 +1,125 @@
+#include "engine/durability.h"
+
+#include <sstream>
+
+namespace scisparql {
+namespace engine {
+
+std::string DurabilityManager::RecoveryInfo::ToString() const {
+  std::ostringstream out;
+  out << "recovery: snapshot="
+      << (snapshot_path.empty() ? "<none>" : snapshot_path)
+      << " snapshots_skipped=" << snapshots_skipped
+      << " batches_replayed=" << batches_replayed
+      << " records_replayed=" << records_replayed
+      << " torn_tail=" << (torn_tail ? "true" : "false")
+      << " next_lsn=" << next_lsn;
+  return out.str();
+}
+
+DurabilityManager::DurabilityManager(storage::Vfs* vfs, std::string dir)
+    : vfs_(vfs),
+      dir_(std::move(dir)),
+      wal_appends_(obs::DefaultMetrics().GetCounter(
+          "ssdm_wal_appends_total", "",
+          "WAL batch appends (one per durable update statement).")),
+      wal_records_(obs::DefaultMetrics().GetCounter(
+          "ssdm_wal_records_total", "",
+          "Redo records written to the WAL (commit markers excluded).")),
+      wal_bytes_(obs::DefaultMetrics().GetCounter(
+          "ssdm_wal_bytes_total", "", "Bytes appended to the WAL.")),
+      wal_fsyncs_(obs::DefaultMetrics().GetCounter(
+          "ssdm_wal_fsyncs_total", "",
+          "fsync calls issued by the WAL group commit.")),
+      wal_errors_(obs::DefaultMetrics().GetCounter(
+          "ssdm_wal_errors_total", "",
+          "WAL append failures; each flips the engine read-only.")),
+      checkpoints_(obs::DefaultMetrics().GetCounter(
+          "ssdm_checkpoints_total", "",
+          "Snapshots successfully written by CHECKPOINT.")),
+      recovery_records_(obs::DefaultMetrics().GetCounter(
+          "ssdm_recovery_replayed_records_total", "",
+          "Redo records re-applied from the WAL during crash recovery.")),
+      recovery_torn_tail_(obs::DefaultMetrics().GetCounter(
+          "ssdm_recovery_torn_tail_total", "",
+          "Recoveries that found (and cleanly discarded) a torn WAL "
+          "tail.")),
+      recovery_fallback_(obs::DefaultMetrics().GetCounter(
+          "ssdm_recovery_snapshot_fallback_total", "",
+          "Corrupt snapshots skipped during recovery in favour of an "
+          "older one.")),
+      read_only_gauge_(obs::DefaultMetrics().GetGauge(
+          "ssdm_engine_read_only", "",
+          "1 while the engine rejects writes after a durable-media "
+          "failure.")) {}
+
+Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Open(
+    storage::Vfs* vfs, std::string dir) {
+  SCISPARQL_RETURN_NOT_OK(vfs->CreateDir(dir));
+  std::unique_ptr<DurabilityManager> dm(
+      new DurabilityManager(vfs, std::move(dir)));
+  SCISPARQL_RETURN_NOT_OK(vfs->CreateDir(dm->wal_dir()));
+  dm->read_only_gauge_.Set(0);
+  return dm;
+}
+
+Status DurabilityManager::StartWal(uint64_t next_lsn) {
+  SCISPARQL_ASSIGN_OR_RETURN(
+      wal_, storage::WalWriter::Create(vfs_, wal_dir(), next_lsn));
+  return Status::OK();
+}
+
+Status DurabilityManager::LogStatement(
+    std::vector<storage::WalRecord>* records) {
+  if (records->empty()) return Status::OK();
+  if (read_only()) {
+    return Status::Unavailable("engine is read-only: " + read_only_reason());
+  }
+  uint64_t bytes_before = wal_->bytes_written();
+  Status st = wal_->AppendBatch(*records);
+  if (!st.ok()) {
+    wal_errors_.Add();
+    EnterReadOnly("WAL append failed: " + st.message());
+    return Status::Unavailable(
+        "update applied in memory but could not be made durable (" +
+        st.message() + "); engine is now read-only");
+  }
+  wal_appends_.Add();
+  wal_fsyncs_.Add();
+  wal_records_.Add(records->size());
+  wal_bytes_.Add(wal_->bytes_written() - bytes_before);
+  return Status::OK();
+}
+
+void DurabilityManager::EnterReadOnly(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(reason_mu_);
+    // Keep the first reason — it names the root cause.
+    if (read_only_reason_.empty()) read_only_reason_ = reason;
+  }
+  read_only_.store(true, std::memory_order_release);
+  read_only_gauge_.Set(1);
+}
+
+std::string DurabilityManager::read_only_reason() const {
+  std::lock_guard<std::mutex> lock(reason_mu_);
+  return read_only_reason_;
+}
+
+void DurabilityManager::RecordRecovery(const RecoveryInfo& info) {
+  recovery_ = info;
+  recovery_records_.Add(info.records_replayed);
+  if (info.torn_tail) recovery_torn_tail_.Add();
+  if (info.snapshots_skipped > 0) {
+    recovery_fallback_.Add(info.snapshots_skipped);
+  }
+}
+
+void DurabilityManager::RecordCheckpoint() { checkpoints_.Add(); }
+
+void DurabilityManager::RecordSnapshotFallback(uint64_t n) {
+  recovery_fallback_.Add(n);
+}
+
+}  // namespace engine
+}  // namespace scisparql

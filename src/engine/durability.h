@@ -1,0 +1,142 @@
+#ifndef SCISPARQL_ENGINE_DURABILITY_H_
+#define SCISPARQL_ENGINE_DURABILITY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "sparql/executor.h"
+#include "storage/vfs.h"
+#include "storage/wal.h"
+
+namespace scisparql {
+namespace engine {
+
+/// MutationSink that buffers one statement's physical mutations as WAL
+/// records. The engine installs a fresh instance per update statement and
+/// hands the buffer to DurabilityManager::LogStatement afterwards.
+class WalCapture : public sparql::MutationSink {
+ public:
+  void OnAdd(const std::string& graph_iri, const Triple& t) override {
+    records_.push_back(
+        {storage::WalRecord::Type::kAdd, 0, graph_iri, t});
+  }
+  void OnRemove(const std::string& graph_iri, const Triple& t) override {
+    records_.push_back(
+        {storage::WalRecord::Type::kRemove, 0, graph_iri, t});
+  }
+  void OnClear(const std::string& graph_iri) override {
+    records_.push_back(
+        {storage::WalRecord::Type::kClearGraph, 0, graph_iri, Triple()});
+  }
+  void OnClearAll() override {
+    records_.push_back({storage::WalRecord::Type::kClearAll, 0, "", Triple()});
+  }
+
+  std::vector<storage::WalRecord>& records() { return records_; }
+
+ private:
+  std::vector<storage::WalRecord> records_;
+};
+
+/// Holds the durable-store state of one SSDM engine: the directory layout
+/// (`<dir>/snap-*.ssnp` snapshots, `<dir>/wal/wal-*.log` segments), the
+/// WAL writer, the read-only degradation flag and the durability metrics.
+/// Recovery itself is orchestrated by SSDM::Open, which needs the engine's
+/// loaders, caches and statistics; this class owns everything below that.
+class DurabilityManager {
+ public:
+  /// What recovery found; kept for introspection and reported as a trace
+  /// line in the CHECKPOINT/Open summaries.
+  struct RecoveryInfo {
+    std::string snapshot_path;       ///< "" when no snapshot existed.
+    uint64_t snapshots_skipped = 0;  ///< Corrupt snapshots fallen past.
+    uint64_t records_replayed = 0;
+    uint64_t batches_replayed = 0;
+    bool torn_tail = false;
+    uint64_t next_lsn = 1;
+    std::string ToString() const;
+  };
+
+  /// Creates `dir` (and `dir`/wal) if needed. Does not open the WAL writer
+  /// yet — SSDM::Open calls StartWal once replay determined the next LSN.
+  static Result<std::unique_ptr<DurabilityManager>> Open(storage::Vfs* vfs,
+                                                         std::string dir);
+
+  storage::Vfs* vfs() const { return vfs_; }
+  const std::string& dir() const { return dir_; }
+  std::string wal_dir() const { return dir_ + "/wal"; }
+
+  Status StartWal(uint64_t next_lsn);
+  storage::WalWriter* wal() { return wal_.get(); }
+
+  /// Group-commits one statement's records (plus a commit marker) with a
+  /// single write and fsync. An I/O failure here means an acknowledged
+  /// update could be lost, so it flips the engine read-only and returns
+  /// Unavailable. An empty buffer is a no-op (nothing to make durable).
+  Status LogStatement(std::vector<storage::WalRecord>* records);
+
+  // --- Read-only degradation. ---
+
+  bool read_only() const {
+    return read_only_.load(std::memory_order_acquire);
+  }
+  void EnterReadOnly(const std::string& reason);
+  std::string read_only_reason() const;
+
+  // --- Snapshot sequencing (monotonic; recovery seeds it from the highest
+  // on-disk seq). ---
+
+  void set_snapshot_seq(uint64_t seq) { snapshot_seq_ = seq; }
+  uint64_t AllocateSnapshotSeq() { return ++snapshot_seq_; }
+
+  /// LSN covered by the newest durable snapshot (0 = none yet). Checkpoint
+  /// truncates the WAL only below the *previous* snapshot's LSN, so the
+  /// retained fallback snapshot plus the kept WAL can still recover
+  /// everything if the new snapshot turns out corrupt.
+  void set_last_snapshot_lsn(uint64_t lsn) { last_snapshot_lsn_ = lsn; }
+  uint64_t last_snapshot_lsn() const { return last_snapshot_lsn_; }
+
+  // --- Accounting. ---
+
+  void RecordRecovery(const RecoveryInfo& info);
+  const RecoveryInfo& recovery() const { return recovery_; }
+  void RecordCheckpoint();
+  void RecordSnapshotFallback(uint64_t n);
+
+ private:
+  DurabilityManager(storage::Vfs* vfs, std::string dir);
+
+  storage::Vfs* vfs_;
+  std::string dir_;
+  std::unique_ptr<storage::WalWriter> wal_;
+  uint64_t snapshot_seq_ = 0;
+  uint64_t last_snapshot_lsn_ = 0;
+
+  std::atomic<bool> read_only_{false};
+  mutable std::mutex reason_mu_;
+  std::string read_only_reason_;
+
+  RecoveryInfo recovery_;
+
+  obs::Counter& wal_appends_;
+  obs::Counter& wal_records_;
+  obs::Counter& wal_bytes_;
+  obs::Counter& wal_fsyncs_;
+  obs::Counter& wal_errors_;
+  obs::Counter& checkpoints_;
+  obs::Counter& recovery_records_;
+  obs::Counter& recovery_torn_tail_;
+  obs::Counter& recovery_fallback_;
+  obs::Gauge& read_only_gauge_;
+};
+
+}  // namespace engine
+}  // namespace scisparql
+
+#endif  // SCISPARQL_ENGINE_DURABILITY_H_

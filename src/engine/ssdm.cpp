@@ -6,9 +6,12 @@
 #include <sstream>
 
 #include "common/string_util.h"
+#include "engine/durability.h"
 #include "loaders/turtle.h"
 #include "obs/metrics.h"
 #include "sparql/calculus.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
 
 namespace scisparql {
 
@@ -16,6 +19,8 @@ SSDM::SSDM() : prefixes_(PrefixMap::WithDefaults()) {
   EnsureStats(&dataset_.default_graph());
   exec_options_.stats = &stats_;
 }
+
+SSDM::~SSDM() = default;
 
 void SSDM::EnsureStats(Graph* graph) {
   const opt::GraphStats* existing = stats_.Find(graph);
@@ -323,6 +328,13 @@ Result<QueryOutcome> SSDM::Execute(const QueryRequest& req,
     return QueryOutcome{
         QueryOutcome::Info{obs::DefaultMetrics().RenderPrometheusText()}};
   }
+  // CHECKPOINT is deliberately absent from ClassifyStatement's read list,
+  // so the scheduler runs it under the exclusive lock like any update.
+  if (head == "CHECKPOINT" && head.size() == trimmed.size()) {
+    SCISPARQL_ASSIGN_OR_RETURN(std::string summary, Checkpoint());
+    StatementCounter("checkpoint").Add();
+    return QueryOutcome{QueryOutcome::Info{std::move(summary)}};
+  }
   if (head == "EXPLAIN" && trimmed.size() > head.size()) {
     std::string_view rest = StripWhitespace(trimmed.substr(head.size()));
     std::string second = leading_word(rest);
@@ -446,7 +458,21 @@ Result<QueryOutcome> SSDM::Execute(const QueryRequest& req,
   obs::SpanTimer exec_timer(exec_span);
 
   if (auto* update = std::get_if<ast::UpdateOp>(&stmt.node)) {
-    SCISPARQL_ASSIGN_OR_RETURN(int64_t n, exec.Update(*update));
+    if (read_only()) {
+      return Status::Unavailable("engine is read-only: " +
+                                 read_only_reason());
+    }
+    engine::WalCapture capture;
+    if (durability_ != nullptr) exec.options().mutations = &capture;
+    Result<int64_t> updated = exec.Update(*update);
+    // The WAL must cover whatever reached memory even when the statement
+    // failed partway (there is no rollback): recovery replays this log to
+    // reconverge with the state surviving readers observed.
+    if (durability_ != nullptr) {
+      SCISPARQL_RETURN_NOT_OK(durability_->LogStatement(&capture.records()));
+    }
+    SCISPARQL_RETURN_NOT_OK(updated.status());
+    int64_t n = *updated;
     StatementCounter("update").Add();
     if (exec_span != nullptr) exec_span->SetAttr("triples_touched", n);
     if (update->kind == ast::UpdateOp::Kind::kClear && update->clear_all) {
@@ -594,24 +620,87 @@ Result<Term> SSDM::StoreArray(const NumericArray& array,
 }
 
 namespace {
-// Snapshot section marker. '#' makes it a comment to any plain Turtle
-// tool; the loader splits on it before parsing.
+// Legacy snapshot section marker. '#' makes it a comment to any plain
+// Turtle tool; the pre-SSNP loader splits on it before parsing.
 constexpr const char* kGraphMarker = "#%GRAPH ";
+
+/// Renders the dataset into checksummed-snapshot sections + footer.
+void BuildSnapshotSections(const Dataset& dataset, const PrefixMap& prefixes,
+                           uint64_t wal_lsn,
+                           std::vector<storage::SnapshotSection>* sections,
+                           storage::SnapshotFooter* footer) {
+  footer->wal_lsn = wal_lsn;
+  sections->push_back(
+      {"", loaders::WriteTurtle(dataset.default_graph(), prefixes)});
+  footer->graphs.push_back({"", dataset.default_graph().version(),
+                            dataset.default_graph().size()});
+  for (const auto& [iri, graph] : dataset.named_graphs()) {
+    sections->push_back({iri, loaders::WriteTurtle(graph, prefixes)});
+    footer->graphs.push_back({iri, graph.version(), graph.size()});
+  }
+}
+
 }  // namespace
 
-Status SSDM::SaveSnapshot(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out.good()) return Status::IoError("cannot write snapshot: " + path);
-  out << loaders::WriteTurtle(dataset_.default_graph(), prefixes_);
-  for (const auto& [iri, graph] : dataset_.named_graphs()) {
-    out << kGraphMarker << iri << "\n";
-    out << loaders::WriteTurtle(graph, prefixes_);
+Status SSDM::BuildDatasetFromSections(
+    const std::vector<std::pair<std::string, std::string>>& sections,
+    Dataset* out) {
+  for (const auto& [iri, turtle] : sections) {
+    Graph* g = iri.empty() ? &out->default_graph()
+                           : &out->GetOrCreateNamed(iri);
+    loaders::TurtleOptions opts;
+    opts.prefixes = prefixes_;
+    SCISPARQL_RETURN_NOT_OK(loaders::LoadTurtleString(turtle, g, opts));
   }
-  if (!out.good()) return Status::IoError("snapshot write failed");
   return Status::OK();
 }
 
+void SSDM::InstallDataset(Dataset fresh) {
+  // Replacing the dataset invalidates every statistics collector (named
+  // graph objects die; the default graph keeps its address but gets new
+  // content and a null listener from the moved-in graph). Drop them while
+  // the old graphs are still alive, then re-attach against the new state.
+  stats_.Clear();
+  dataset_ = std::move(fresh);
+  // Graph objects were just destroyed and replaced: bump the cache epoch so
+  // neither layer can serve (or revalidate against) the old dataset.
+  cache_.InvalidateAll();
+  EnsureStats(&dataset_.default_graph());
+  for (const auto& [iri, graph] : dataset_.named_graphs()) {
+    (void)graph;
+    EnsureStats(dataset_.FindNamed(iri));
+  }
+}
+
+Status SSDM::SaveSnapshot(const std::string& path) const {
+  storage::Vfs* vfs =
+      durability_ != nullptr ? durability_->vfs() : storage::DefaultVfs();
+  std::vector<storage::SnapshotSection> sections;
+  storage::SnapshotFooter footer;
+  // A standalone snapshot is not coordinated with the WAL; only
+  // Checkpoint() stamps a real LSN.
+  BuildSnapshotSections(dataset_, prefixes_, /*wal_lsn=*/0, &sections,
+                        &footer);
+  return storage::WriteSnapshot(vfs, path, sections, footer);
+}
+
 Status SSDM::LoadSnapshot(const std::string& path) {
+  storage::Vfs* vfs =
+      durability_ != nullptr ? durability_->vfs() : storage::DefaultVfs();
+  if (storage::IsSnapshotFile(vfs, path)) {
+    SCISPARQL_ASSIGN_OR_RETURN(storage::SnapshotContents contents,
+                               storage::ReadSnapshot(vfs, path));
+    std::vector<std::pair<std::string, std::string>> sections;
+    for (storage::SnapshotSection& sec : contents.sections) {
+      sections.emplace_back(std::move(sec.graph_iri), std::move(sec.turtle));
+    }
+    Dataset fresh;
+    SCISPARQL_RETURN_NOT_OK(BuildDatasetFromSections(sections, &fresh));
+    InstallDataset(std::move(fresh));
+    return Status::OK();
+  }
+
+  // Legacy plain-Turtle snapshot with "#%GRAPH <iri>" markers.
   std::ifstream in(path);
   if (!in.good()) return Status::IoError("cannot read snapshot: " + path);
   std::ostringstream buf;
@@ -646,21 +735,180 @@ Status SSDM::LoadSnapshot(const std::string& path) {
         line_end - marker - std::strlen(kGraphMarker))));
     pos = line_end + 1;
   }
-  // Replacing the dataset invalidates every statistics collector (named
-  // graph objects die; the default graph keeps its address but gets new
-  // content and a null listener from the moved-in graph). Drop them while
-  // the old graphs are still alive, then re-attach against the new state.
-  stats_.Clear();
-  dataset_ = std::move(fresh);
-  // Graph objects were just destroyed and replaced: bump the cache epoch so
-  // neither layer can serve (or revalidate against) the old dataset.
-  cache_.InvalidateAll();
-  EnsureStats(&dataset_.default_graph());
-  for (const auto& [iri, graph] : dataset_.named_graphs()) {
-    (void)graph;
-    EnsureStats(dataset_.FindNamed(iri));
-  }
+  InstallDataset(std::move(fresh));
   return Status::OK();
+}
+
+// --- Durable store. ---
+
+bool SSDM::read_only() const {
+  if (durability_ != nullptr) return durability_->read_only();
+  return soft_read_only_.load(std::memory_order_acquire);
+}
+
+void SSDM::EnterReadOnly(const std::string& reason) {
+  if (durability_ != nullptr) {
+    durability_->EnterReadOnly(reason);
+    return;
+  }
+  if (soft_read_only_reason_.empty()) soft_read_only_reason_ = reason;
+  soft_read_only_.store(true, std::memory_order_release);
+  obs::DefaultMetrics()
+      .GetGauge("ssdm_engine_read_only", "",
+                "1 while the engine rejects writes after a durable-media "
+                "failure.")
+      .Set(1);
+}
+
+std::string SSDM::read_only_reason() const {
+  if (durability_ != nullptr) return durability_->read_only_reason();
+  return soft_read_only_reason_;
+}
+
+Status SSDM::Open(const std::string& dir, storage::Vfs* vfs) {
+  if (durability_ != nullptr) {
+    return Status::InvalidArgument("durable store already open: " +
+                                   durability_->dir());
+  }
+  if (vfs == nullptr) vfs = storage::DefaultVfs();
+  SCISPARQL_ASSIGN_OR_RETURN(std::unique_ptr<engine::DurabilityManager> dm,
+                             engine::DurabilityManager::Open(vfs, dir));
+  engine::DurabilityManager::RecoveryInfo info;
+
+  // Newest CRC-valid snapshot wins; corrupt ones fall back to older
+  // snapshots (whose WAL segments the failed checkpoint never truncated).
+  SCISPARQL_ASSIGN_OR_RETURN(auto snaps, storage::ListSnapshots(vfs, dir));
+  Dataset fresh;
+  uint64_t after_lsn = 0;
+  for (auto it = snaps.rbegin(); it != snaps.rend(); ++it) {
+    Result<storage::SnapshotContents> contents =
+        storage::ReadSnapshot(vfs, it->second);
+    if (!contents.ok()) {
+      ++info.snapshots_skipped;
+      continue;
+    }
+    std::vector<std::pair<std::string, std::string>> sections;
+    for (storage::SnapshotSection& sec : contents->sections) {
+      sections.emplace_back(std::move(sec.graph_iri), std::move(sec.turtle));
+    }
+    Dataset candidate;
+    Status built = BuildDatasetFromSections(sections, &candidate);
+    if (!built.ok()) {
+      ++info.snapshots_skipped;
+      continue;
+    }
+    fresh = std::move(candidate);
+    after_lsn = contents->footer.wal_lsn;
+    info.snapshot_path = it->second;
+    break;
+  }
+
+  // Replay committed WAL batches past the snapshot. Replay is idempotent
+  // relative to the snapshot because every record below `after_lsn` is
+  // skipped and batches apply whole-or-not-at-all.
+  auto resolve = [this](const std::string& storage_name,
+                        uint64_t array_id) -> Result<Term> {
+    return OpenStoredArray(storage_name, static_cast<ArrayId>(array_id));
+  };
+  auto apply = [&fresh](const storage::WalRecord& rec) -> Status {
+    using T = storage::WalRecord::Type;
+    switch (rec.type) {
+      case T::kAdd:
+        (rec.graph.empty() ? fresh.default_graph()
+                           : fresh.GetOrCreateNamed(rec.graph))
+            .Add(rec.triple);
+        return Status::OK();
+      case T::kRemove:
+        (rec.graph.empty() ? fresh.default_graph()
+                           : fresh.GetOrCreateNamed(rec.graph))
+            .Remove(rec.triple);
+        return Status::OK();
+      case T::kClearGraph:
+        if (rec.graph.empty()) {
+          fresh.default_graph().Clear();
+        } else if (Graph* g = fresh.FindNamed(rec.graph)) {
+          g->Clear();
+        }
+        return Status::OK();
+      case T::kClearAll: {
+        fresh.default_graph().Clear();
+        std::vector<std::string> names;
+        for (const auto& [iri, g] : fresh.named_graphs()) {
+          (void)g;
+          names.push_back(iri);
+        }
+        for (const std::string& iri : names) fresh.DropNamed(iri);
+        return Status::OK();
+      }
+      case T::kCommit:
+        return Status::OK();  // markers are consumed by the replayer
+    }
+    return Status::Internal("unknown WAL record type");
+  };
+  SCISPARQL_ASSIGN_OR_RETURN(
+      storage::WalReplayStats replay,
+      storage::ReplayWal(vfs, dm->wal_dir(), after_lsn, resolve, apply));
+
+  InstallDataset(std::move(fresh));
+  uint64_t next_lsn = std::max(after_lsn, replay.last_lsn) + 1;
+  SCISPARQL_RETURN_NOT_OK(dm->StartWal(next_lsn));
+  dm->set_snapshot_seq(snaps.empty() ? 0 : snaps.back().first);
+  dm->set_last_snapshot_lsn(after_lsn);
+  info.records_replayed = replay.records_applied;
+  info.batches_replayed = replay.batches_applied;
+  info.torn_tail = replay.torn_tail;
+  info.next_lsn = next_lsn;
+  dm->RecordRecovery(info);
+  durability_ = std::move(dm);
+  return Status::OK();
+}
+
+Result<std::string> SSDM::Checkpoint() {
+  if (durability_ == nullptr) {
+    return Status::InvalidArgument(
+        "no durable store attached: call Open() first");
+  }
+  if (durability_->read_only()) {
+    return Status::Unavailable("engine is read-only: " +
+                               durability_->read_only_reason());
+  }
+  storage::WalWriter* wal = durability_->wal();
+  // Rotation seals the current segment so every LSN covered by the new
+  // snapshot lives in segments the truncation below may delete, and no
+  // kept segment mixes covered with uncovered records.
+  wal->Rotate();
+  const uint64_t snapshot_lsn = wal->next_lsn() - 1;
+
+  std::vector<storage::SnapshotSection> sections;
+  storage::SnapshotFooter footer;
+  BuildSnapshotSections(dataset_, prefixes_, snapshot_lsn, &sections,
+                        &footer);
+
+  uint64_t seq = durability_->AllocateSnapshotSeq();
+  std::string path =
+      durability_->dir() + "/" + storage::SnapshotFileName(seq);
+  SCISPARQL_RETURN_NOT_OK(
+      storage::WriteSnapshot(durability_->vfs(), path, sections, footer));
+  // Truncate only WAL the *previous* snapshot no longer needs: if this new
+  // snapshot is later found corrupt, recovery falls back to the retained
+  // one and replays the kept segments across the gap.
+  const uint64_t keep_from = durability_->last_snapshot_lsn() + 1;
+  SCISPARQL_RETURN_NOT_OK(storage::TruncateWalBelow(
+      durability_->vfs(), durability_->wal_dir(), keep_from));
+  durability_->set_last_snapshot_lsn(snapshot_lsn);
+  // Keep the newest two snapshots — current plus the corruption fallback;
+  // pruning older ones is best-effort cleanup.
+  SCISPARQL_ASSIGN_OR_RETURN(
+      auto snaps, storage::ListSnapshots(durability_->vfs(),
+                                         durability_->dir()));
+  for (size_t i = 0; i + 2 < snaps.size(); ++i) {
+    (void)durability_->vfs()->Remove(snaps[i].second);
+  }
+  durability_->RecordCheckpoint();
+  std::ostringstream out;
+  out << "checkpoint: snapshot " << path << " at lsn " << snapshot_lsn
+      << ", wal truncated below lsn " << keep_from;
+  return out.str();
 }
 
 Result<Term> SSDM::OpenStoredArray(const std::string& storage_name,

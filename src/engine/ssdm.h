@@ -1,9 +1,12 @@
 #ifndef SCISPARQL_ENGINE_SSDM_H_
 #define SCISPARQL_ENGINE_SSDM_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "cache/query_cache.h"
 #include "common/status.h"
@@ -16,8 +19,13 @@
 #include "sparql/parser.h"
 #include "storage/array_proxy.h"
 #include "storage/asei.h"
+#include "storage/vfs.h"
 
 namespace scisparql {
+
+namespace engine {
+class DurabilityManager;
+}  // namespace engine
 
 /// Scientific SPARQL Database Manager — the engine facade (Chapter 5).
 /// Owns the RDF-with-Arrays dataset, the function registry, attached array
@@ -26,9 +34,49 @@ namespace scisparql {
 class SSDM {
  public:
   SSDM();
+  ~SSDM();
 
   SSDM(const SSDM&) = delete;
   SSDM& operator=(const SSDM&) = delete;
+
+  // --- Durable store (write-ahead log + checksummed snapshots). ---
+
+  /// Opens (or creates) a durable store at directory `dir` and recovers
+  /// the dataset from it: the newest CRC-valid snapshot is loaded (corrupt
+  /// ones are skipped in favour of older ones), then the write-ahead log
+  /// is replayed past the snapshot's LSN — committed batches only, so the
+  /// dataset lands on an exact statement boundary; a torn tail from a
+  /// crash mid-append is discarded cleanly. Afterwards every update
+  /// statement routed through Execute() appends redo records to the WAL
+  /// and fsyncs *before* the statement is acknowledged.
+  ///
+  /// Attach array storage back-ends before calling Open so WAL records
+  /// that reference stored arrays can be resolved during replay. Loads via
+  /// the direct LoadTurtle* API are NOT logged — use the LOAD statement,
+  /// or run CHECKPOINT after a bulk load.
+  ///
+  /// `vfs` defaults to the real filesystem; tests pass a FaultyVfs.
+  Status Open(const std::string& dir, storage::Vfs* vfs = nullptr);
+
+  /// Writes a new checksummed snapshot (atomic temp-file + rename),
+  /// truncates WAL segments it supersedes, and prunes all but the
+  /// previous snapshot (kept as the corruption fallback). Also reachable
+  /// as the `CHECKPOINT` statement, which the scheduler runs under the
+  /// exclusive lock. Returns a one-line summary.
+  Result<std::string> Checkpoint();
+
+  /// True once a durable-media failure (failed WAL append/fsync) flipped
+  /// the engine into read-only degradation: updates and CHECKPOINT return
+  /// Unavailable while queries keep being served.
+  bool read_only() const;
+
+  /// Manually enters read-only mode (also used by tests and by the
+  /// scheduler's degradation test).
+  void EnterReadOnly(const std::string& reason);
+  std::string read_only_reason() const;
+
+  /// The durability subsystem, or nullptr when Open() was never called.
+  engine::DurabilityManager* durability() { return durability_.get(); }
 
   // --- Data loading. ---
 
@@ -193,6 +241,16 @@ class SSDM {
   /// differently under different prefixes).
   std::string CacheKeyFor(const std::string& text) const;
 
+  /// Builds a Dataset from decoded snapshot sections (Turtle per graph).
+  Status BuildDatasetFromSections(
+      const std::vector<std::pair<std::string, std::string>>& sections,
+      Dataset* out);
+
+  /// Swaps `fresh` in for the current dataset: clears statistics first
+  /// (collectors reference dying graphs), epoch-bumps both cache layers,
+  /// re-attaches collectors to the new graphs.
+  void InstallDataset(Dataset fresh);
+
   Dataset dataset_;
   // Declared after dataset_ so collectors detach from still-live graphs on
   // destruction.
@@ -202,6 +260,12 @@ class SSDM {
   sparql::ExecOptions exec_options_;
   std::map<std::string, std::shared_ptr<ArrayStorage>> storages_;
   cache::QueryCache cache_;
+  std::unique_ptr<engine::DurabilityManager> durability_;
+
+  /// Read-only degradation for engines without a durable store (the
+  /// durability manager tracks its own flag when Open() was called).
+  std::atomic<bool> soft_read_only_{false};
+  std::string soft_read_only_reason_;
 };
 
 }  // namespace scisparql

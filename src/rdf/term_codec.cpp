@@ -1,0 +1,181 @@
+#include "rdf/term_codec.h"
+
+#include <cstring>
+#include <vector>
+
+namespace scisparql {
+namespace rdf {
+
+void PutU32(std::string* out, uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out->append(b, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out->append(b, 8);
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+bool GetU32(const std::string& data, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > data.size()) return false;
+  std::memcpy(v, data.data() + *pos, 4);
+  *pos += 4;
+  return true;
+}
+
+bool GetU64(const std::string& data, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > data.size()) return false;
+  std::memcpy(v, data.data() + *pos, 8);
+  *pos += 8;
+  return true;
+}
+
+bool GetString(const std::string& data, size_t* pos, std::string* s) {
+  uint32_t n;
+  if (!GetU32(data, pos, &n) || *pos + n > data.size()) return false;
+  s->assign(data, *pos, n);
+  *pos += n;
+  return true;
+}
+
+Status SerializeTerm(const Term& term, std::string* out) {
+  out->push_back(static_cast<char>(term.kind()));
+  switch (term.kind()) {
+    case Term::Kind::kUndef:
+      return Status::OK();
+    case Term::Kind::kIri:
+      PutString(out, term.iri());
+      return Status::OK();
+    case Term::Kind::kBlank:
+      PutString(out, term.blank_label());
+      return Status::OK();
+    case Term::Kind::kString:
+      PutString(out, term.lexical());
+      PutString(out, term.lang());
+      return Status::OK();
+    case Term::Kind::kInteger:
+      PutU64(out, static_cast<uint64_t>(term.integer()));
+      return Status::OK();
+    case Term::Kind::kDouble: {
+      uint64_t bits;
+      double d = term.dbl();
+      std::memcpy(&bits, &d, 8);
+      PutU64(out, bits);
+      return Status::OK();
+    }
+    case Term::Kind::kBoolean:
+      out->push_back(term.boolean() ? 1 : 0);
+      return Status::OK();
+    case Term::Kind::kTypedLiteral:
+      PutString(out, term.lexical());
+      PutString(out, term.datatype());
+      return Status::OK();
+    case Term::Kind::kArray: {
+      SCISPARQL_ASSIGN_OR_RETURN(NumericArray a, term.array()->Materialize());
+      out->push_back(static_cast<char>(a.etype()));
+      PutU32(out, static_cast<uint32_t>(a.rank()));
+      for (int64_t d : a.shape()) PutU64(out, static_cast<uint64_t>(d));
+      int64_t n = a.NumElements();
+      for (int64_t i = 0; i < n; ++i) {
+        if (a.etype() == ElementType::kDouble) {
+          double v = a.DoubleAt(i);
+          uint64_t bits;
+          std::memcpy(&bits, &v, 8);
+          PutU64(out, bits);
+        } else {
+          PutU64(out, static_cast<uint64_t>(a.IntAt(i)));
+        }
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown term kind");
+}
+
+Result<Term> DeserializeTerm(const std::string& data, size_t* pos) {
+  if (*pos >= data.size()) return Status::Internal("truncated term");
+  Term::Kind kind = static_cast<Term::Kind>(data[(*pos)++]);
+  auto fail = []() { return Status::Internal("truncated term payload"); };
+  switch (kind) {
+    case Term::Kind::kUndef:
+      return Term();
+    case Term::Kind::kIri: {
+      std::string s;
+      if (!GetString(data, pos, &s)) return fail();
+      return Term::Iri(std::move(s));
+    }
+    case Term::Kind::kBlank: {
+      std::string s;
+      if (!GetString(data, pos, &s)) return fail();
+      return Term::Blank(std::move(s));
+    }
+    case Term::Kind::kString: {
+      std::string s, lang;
+      if (!GetString(data, pos, &s) || !GetString(data, pos, &lang)) {
+        return fail();
+      }
+      return lang.empty() ? Term::String(std::move(s))
+                          : Term::LangString(std::move(s), std::move(lang));
+    }
+    case Term::Kind::kInteger: {
+      uint64_t v;
+      if (!GetU64(data, pos, &v)) return fail();
+      return Term::Integer(static_cast<int64_t>(v));
+    }
+    case Term::Kind::kDouble: {
+      uint64_t bits;
+      if (!GetU64(data, pos, &bits)) return fail();
+      double d;
+      std::memcpy(&d, &bits, 8);
+      return Term::Double(d);
+    }
+    case Term::Kind::kBoolean: {
+      if (*pos >= data.size()) return fail();
+      return Term::Boolean(data[(*pos)++] != 0);
+    }
+    case Term::Kind::kTypedLiteral: {
+      std::string lex, dt;
+      if (!GetString(data, pos, &lex) || !GetString(data, pos, &dt)) {
+        return fail();
+      }
+      return Term::TypedLiteral(std::move(lex), std::move(dt));
+    }
+    case Term::Kind::kArray: {
+      if (*pos >= data.size()) return fail();
+      ElementType etype = static_cast<ElementType>(data[(*pos)++]);
+      uint32_t rank;
+      if (!GetU32(data, pos, &rank)) return fail();
+      std::vector<int64_t> shape(rank);
+      for (uint32_t d = 0; d < rank; ++d) {
+        uint64_t v;
+        if (!GetU64(data, pos, &v)) return fail();
+        shape[d] = static_cast<int64_t>(v);
+      }
+      NumericArray a = NumericArray::Zeros(etype, shape);
+      int64_t n = a.NumElements();
+      for (int64_t i = 0; i < n; ++i) {
+        uint64_t bits;
+        if (!GetU64(data, pos, &bits)) return fail();
+        if (etype == ElementType::kDouble) {
+          double d;
+          std::memcpy(&d, &bits, 8);
+          a.SetDoubleAt(i, d);
+        } else {
+          a.SetIntAt(i, static_cast<int64_t>(bits));
+        }
+      }
+      return Term::Array(ResidentArray::Make(std::move(a)));
+    }
+  }
+  return Status::Internal("unknown term kind tag");
+}
+
+}  // namespace rdf
+}  // namespace scisparql

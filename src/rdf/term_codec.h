@@ -1,0 +1,34 @@
+#ifndef SCISPARQL_RDF_TERM_CODEC_H_
+#define SCISPARQL_RDF_TERM_CODEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "rdf/term.h"
+
+namespace scisparql {
+namespace rdf {
+
+/// Little-endian primitive framing shared by the wire protocol and the
+/// write-ahead log. Strings are u32-length-prefixed.
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+void PutString(std::string* out, const std::string& s);
+bool GetU32(const std::string& data, size_t* pos, uint32_t* v);
+bool GetU64(const std::string& data, size_t* pos, uint64_t* v);
+bool GetString(const std::string& data, size_t* pos, std::string* s);
+
+/// Serializes one term with a kind tag. Arrays are materialized and travel
+/// as shape + row-major elements, so the bytes are self-contained (the WAL
+/// substitutes a storage reference for proxies before calling this; the
+/// wire protocol always materializes).
+Status SerializeTerm(const Term& term, std::string* out);
+
+/// Deserializes a term; advances *pos.
+Result<Term> DeserializeTerm(const std::string& data, size_t* pos);
+
+}  // namespace rdf
+}  // namespace scisparql
+
+#endif  // SCISPARQL_RDF_TERM_CODEC_H_

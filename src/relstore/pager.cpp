@@ -5,30 +5,16 @@
 namespace scisparql {
 namespace relstore {
 
-Pager::~Pager() {
-  if (file_ != nullptr) {
-    std::fflush(file_);
-    std::fclose(file_);
-  }
-}
-
 Result<std::unique_ptr<Pager>> Pager::Open(const std::string& path,
-                                           uint32_t page_size) {
+                                           uint32_t page_size,
+                                           storage::Vfs* vfs) {
   std::unique_ptr<Pager> pager(new Pager(path, page_size));
   if (path.empty()) return pager;  // in-memory mode
 
-  // Open existing or create; "a+b" would force append semantics, so probe
-  // with r+b first and fall back to w+b.
-  std::FILE* f = std::fopen(path.c_str(), "r+b");
-  if (f == nullptr) f = std::fopen(path.c_str(), "w+b");
-  if (f == nullptr) {
-    return Status::IoError("cannot open page file: " + path);
-  }
-  pager->file_ = f;
-  if (std::fseek(f, 0, SEEK_END) != 0) {
-    return Status::IoError("seek failed on: " + path);
-  }
-  long size = std::ftell(f);
+  if (vfs == nullptr) vfs = storage::DefaultVfs();
+  SCISPARQL_ASSIGN_OR_RETURN(
+      pager->file_, vfs->Open(path, storage::Vfs::OpenMode::kReadWrite));
+  SCISPARQL_ASSIGN_OR_RETURN(uint64_t size, pager->file_->Size());
   pager->page_count_ = static_cast<PageId>(size / page_size);
   return pager;
 }
@@ -38,9 +24,13 @@ PageId Pager::Allocate() {
   if (file_ == nullptr) {
     memory_.emplace_back(page_size_, 0);
   } else {
+    // The zero fill keeps ReadPage of a never-written page well-defined;
+    // Allocate cannot report I/O errors, so a failure here surfaces as a
+    // short read / failed write on the first real use of the page.
     std::vector<uint8_t> zero(page_size_, 0);
-    std::fseek(file_, static_cast<long>(id) * page_size_, SEEK_SET);
-    std::fwrite(zero.data(), 1, page_size_, file_);
+    Status st = file_->WriteAt(static_cast<uint64_t>(id) * page_size_,
+                               zero.data(), page_size_);
+    (void)st;
     ++physical_writes_;
   }
   return id;
@@ -53,12 +43,10 @@ Status Pager::ReadPage(PageId id, uint8_t* buf) {
     std::memcpy(buf, memory_[id].data(), page_size_);
     return Status::OK();
   }
-  if (std::fseek(file_, static_cast<long>(id) * page_size_, SEEK_SET) != 0) {
-    return Status::IoError("seek failed");
-  }
-  if (std::fread(buf, 1, page_size_, file_) != page_size_) {
-    return Status::IoError("short page read");
-  }
+  SCISPARQL_ASSIGN_OR_RETURN(
+      size_t got,
+      file_->ReadAt(static_cast<uint64_t>(id) * page_size_, buf, page_size_));
+  if (got != page_size_) return Status::IoError("short page read");
   return Status::OK();
 }
 
@@ -69,19 +57,12 @@ Status Pager::WritePage(PageId id, const uint8_t* buf) {
     std::memcpy(memory_[id].data(), buf, page_size_);
     return Status::OK();
   }
-  if (std::fseek(file_, static_cast<long>(id) * page_size_, SEEK_SET) != 0) {
-    return Status::IoError("seek failed");
-  }
-  if (std::fwrite(buf, 1, page_size_, file_) != page_size_) {
-    return Status::IoError("short page write");
-  }
-  return Status::OK();
+  return file_->WriteAt(static_cast<uint64_t>(id) * page_size_, buf,
+                        page_size_);
 }
 
 Status Pager::Sync() {
-  if (file_ != nullptr && std::fflush(file_) != 0) {
-    return Status::IoError("fflush failed");
-  }
+  if (file_ != nullptr) return file_->Sync();
   return Status::OK();
 }
 

@@ -2,12 +2,12 @@
 #define SCISPARQL_RELSTORE_PAGER_H_
 
 #include <cstdint>
-#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "storage/vfs.h"
 
 namespace scisparql {
 namespace relstore {
@@ -25,15 +25,17 @@ inline constexpr uint32_t kDefaultPageSize = 8192;
 /// this access-path behaviour).
 class Pager {
  public:
-  ~Pager();
+  ~Pager() = default;
 
   Pager(const Pager&) = delete;
   Pager& operator=(const Pager&) = delete;
 
   /// Opens (or creates) a page file at `path`. An empty `path` keeps all
-  /// pages in memory only — convenient for tests.
+  /// pages in memory only — convenient for tests. `vfs` defaults to the
+  /// real filesystem; tests inject a FaultyVfs.
   static Result<std::unique_ptr<Pager>> Open(
-      const std::string& path, uint32_t page_size = kDefaultPageSize);
+      const std::string& path, uint32_t page_size = kDefaultPageSize,
+      storage::Vfs* vfs = nullptr);
 
   uint32_t page_size() const { return page_size_; }
   PageId page_count() const { return page_count_; }
@@ -44,6 +46,8 @@ class Pager {
   Status ReadPage(PageId id, uint8_t* buf);
   Status WritePage(PageId id, const uint8_t* buf);
 
+  /// Durably flushes written pages to the device (fsync, not just a
+  /// buffered flush).
   Status Sync();
 
   /// --- I/O statistics (reset-able, read by the benchmark harness). ---
@@ -61,7 +65,7 @@ class Pager {
   std::string path_;
   uint32_t page_size_;
   PageId page_count_ = 0;
-  std::FILE* file_ = nullptr;                 // null for in-memory pagers
+  std::unique_ptr<storage::VfsFile> file_;    // null for in-memory pagers
   std::vector<std::vector<uint8_t>> memory_;  // in-memory mode storage
   uint64_t physical_reads_ = 0;
   uint64_t physical_writes_ = 0;

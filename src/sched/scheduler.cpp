@@ -155,6 +155,17 @@ Status QueryScheduler::SubmitTask(QueryRequest req, QueryContext ctx,
   task.ctx = std::move(ctx);
   task.done = std::move(done);
   task.enqueued = std::chrono::steady_clock::now();
+  // Degraded engines reject writers at admission so they don't occupy
+  // queue slots (reads keep flowing under the shared lock). The engine
+  // re-checks at execution for writes already queued when the flip
+  // happened.
+  if (task.cls == StatementClass::kWrite && engine_->read_only()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.rejected;
+    Metrics().rejected.Add();
+    return Status::Unavailable("engine is read-only: " +
+                               engine_->read_only_reason());
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!running_) {

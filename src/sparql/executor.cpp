@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <charconv>
 #include <chrono>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <unordered_set>
@@ -1691,6 +1692,47 @@ class ExecImpl {
     return out;
   }
 
+  /// Forwards a graph's mutation callbacks to both the previously
+  /// installed listener (the statistics collector) and a MutationSink,
+  /// for the duration of one Update(). Capturing at the Graph level —
+  /// rather than at the update-operation level — means indirect mutations
+  /// (collection consolidation, LOAD) are recorded too.
+  class CaptureListener : public GraphListener {
+   public:
+    CaptureListener(Graph* graph, std::string graph_iri, MutationSink* sink)
+        : graph_(graph),
+          graph_iri_(std::move(graph_iri)),
+          sink_(sink),
+          prev_(graph->listener()) {
+      graph_->SetListener(this);
+    }
+    ~CaptureListener() override {
+      if (graph_ != nullptr) graph_->SetListener(prev_);
+    }
+    void OnAdd(const Triple& t) override {
+      if (prev_ != nullptr) prev_->OnAdd(t);
+      sink_->OnAdd(graph_iri_, t);
+    }
+    void OnRemove(const Triple& t) override {
+      if (prev_ != nullptr) prev_->OnRemove(t);
+      sink_->OnRemove(graph_iri_, t);
+    }
+    void OnClear() override {
+      if (prev_ != nullptr) prev_->OnClear();
+      sink_->OnClear(graph_iri_);
+    }
+    void OnGraphDestroyed() override {
+      if (prev_ != nullptr) prev_->OnGraphDestroyed();
+      graph_ = nullptr;  // nothing to restore; the graph is gone
+    }
+
+   private:
+    Graph* graph_;
+    std::string graph_iri_;
+    MutationSink* sink_;
+    GraphListener* prev_;
+  };
+
   /// Returns the number of triples touched: net size change for data
   /// blocks and LOAD, staged delete+insert volume for pattern updates,
   /// triples dropped for CLEAR.
@@ -1698,6 +1740,21 @@ class ExecImpl {
     using K = ast::UpdateOp::Kind;
     Graph* target = op.graph.empty() ? &dataset_->default_graph()
                                      : &dataset_->GetOrCreateNamed(op.graph);
+    // CLEAR logs as one logical record (the per-triple stream would be
+    // both huge and redundant); everything else captures triple-by-triple
+    // through the graph's listener chain.
+    std::optional<CaptureListener> capture;
+    if (options_.mutations != nullptr) {
+      if (op.kind == K::kClear) {
+        if (op.clear_all) {
+          options_.mutations->OnClearAll();
+        } else {
+          options_.mutations->OnClear(op.graph);
+        }
+      } else {
+        capture.emplace(target, op.graph, options_.mutations);
+      }
+    }
     switch (op.kind) {
       case K::kInsertData: {
         int64_t before = static_cast<int64_t>(target->size());

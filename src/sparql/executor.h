@@ -33,6 +33,22 @@ struct QueryResult {
 };
 
 /// Execution options — the knobs the E8 ablation benchmark flips.
+/// Receiver of the physical mutations an Update() applies — the durability
+/// layer's WAL capture hook. Callbacks fire synchronously, in application
+/// order, for every logical mutation including indirect ones (collection
+/// consolidation after INSERT DATA, triples added by LOAD), so replaying
+/// the recorded stream against the pre-update dataset reproduces the
+/// post-update dataset exactly without re-evaluating patterns.
+class MutationSink {
+ public:
+  virtual ~MutationSink() = default;
+  /// `graph_iri` is "" for the default graph.
+  virtual void OnAdd(const std::string& graph_iri, const Triple& t) = 0;
+  virtual void OnRemove(const std::string& graph_iri, const Triple& t) = 0;
+  virtual void OnClear(const std::string& graph_iri) = 0;
+  virtual void OnClearAll() = 0;
+};
+
 struct ExecOptions {
   /// Cost-based ordering of BGP triple patterns (Section 5.4's cost-based
   /// optimization): exhaustive DP for small BGPs, greedy beyond. Off =
@@ -72,6 +88,11 @@ struct ExecOptions {
   /// execution of a cached statement, so the Selinger enumeration runs
   /// once per (BGP signature, graph version) instead of once per query.
   cache::PlanMemo* plan_memo = nullptr;
+
+  /// Mutation capture for Update() (not owned; may be null). The engine
+  /// installs its WAL collector here per update statement; queries never
+  /// touch it.
+  MutationSink* mutations = nullptr;
 };
 
 /// Evaluates SciSPARQL queries and updates against a Dataset. The executor

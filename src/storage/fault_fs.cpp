@@ -1,0 +1,188 @@
+#include "storage/fault_fs.h"
+
+#include <algorithm>
+
+namespace scisparql {
+namespace storage {
+
+namespace {
+
+/// File wrapper: routes every mutating call through the owner's fault
+/// machinery; reads only check the crashed state.
+class FaultyFile : public VfsFile {
+ public:
+  FaultyFile(FaultyVfs* owner, std::unique_ptr<VfsFile> base)
+      : owner_(owner), base_(std::move(base)) {}
+
+  Result<size_t> ReadAt(uint64_t off, void* buf, size_t n) override {
+    SCISPARQL_RETURN_NOT_OK(owner_->CheckAlive());
+    return base_->ReadAt(off, buf, n);
+  }
+
+  Status WriteAt(uint64_t off, const void* buf, size_t n) override {
+    FaultyVfs::OpDecision d = owner_->NextOp(/*is_sync=*/false);
+    if (!d.fail) return base_->WriteAt(off, buf, n);
+    if (d.persist_prefix && d.partial_bytes > 0) {
+      // A short / torn write: a prefix of the buffer reaches the device
+      // before the failure. Deliberately persisted through the base so
+      // recovery sees exactly the torn bytes.
+      size_t k = std::min(d.partial_bytes, n);
+      (void)base_->WriteAt(off, buf, k);
+    }
+    return Status::IoError(d.message);
+  }
+
+  Result<uint64_t> Size() override {
+    SCISPARQL_RETURN_NOT_OK(owner_->CheckAlive());
+    return base_->Size();
+  }
+
+  Status Truncate(uint64_t size) override {
+    FaultyVfs::OpDecision d = owner_->NextOp(/*is_sync=*/false);
+    if (!d.fail) return base_->Truncate(size);
+    return Status::IoError(d.message);
+  }
+
+  Status Sync() override {
+    FaultyVfs::OpDecision d = owner_->NextOp(/*is_sync=*/true);
+    if (!d.fail) return base_->Sync();
+    return Status::IoError(d.message);
+  }
+
+ private:
+  FaultyVfs* owner_;
+  std::unique_ptr<VfsFile> base_;
+};
+
+}  // namespace
+
+void FaultyVfs::ScheduleFault(uint64_t op_index, FaultKind kind,
+                              size_t partial_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_.push_back({op_index, kind, partial_bytes});
+}
+
+void FaultyVfs::FailAllWrites(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_all_writes_ = on;
+}
+
+void FaultyVfs::FailAllSyncs(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_all_syncs_ = on;
+}
+
+void FaultyVfs::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_.clear();
+  ops_ = 0;
+  fired_ = 0;
+  crashed_ = false;
+  fail_all_writes_ = false;
+  fail_all_syncs_ = false;
+}
+
+uint64_t FaultyVfs::op_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+uint64_t FaultyVfs::faults_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+bool FaultyVfs::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+Status FaultyVfs::CheckAlive() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::IoError("injected crash: process is dead");
+  return Status::OK();
+}
+
+FaultyVfs::OpDecision FaultyVfs::NextOp(bool is_sync) {
+  std::lock_guard<std::mutex> lock(mu_);
+  OpDecision d;
+  if (crashed_) {
+    d.fail = true;
+    d.message = "injected crash: process is dead";
+    return d;
+  }
+  uint64_t index = ops_++;
+  for (auto it = faults_.begin(); it != faults_.end(); ++it) {
+    if (it->op_index != index) continue;
+    ++fired_;
+    d.fail = true;
+    switch (it->kind) {
+      case FaultKind::kShortWrite:
+        d.persist_prefix = true;
+        d.partial_bytes = it->partial_bytes;
+        d.message = "injected short write";
+        break;
+      case FaultKind::kTornWrite:
+        d.persist_prefix = true;
+        d.partial_bytes = it->partial_bytes;
+        d.message = "injected torn write (crash)";
+        crashed_ = true;
+        break;
+      case FaultKind::kEnospc:
+        d.message = "injected ENOSPC: no space left on device";
+        break;
+      case FaultKind::kSyncFail:
+        d.message = "injected fsync failure";
+        break;
+      case FaultKind::kCrash:
+        d.message = "injected crash";
+        crashed_ = true;
+        break;
+    }
+    faults_.erase(it);
+    return d;
+  }
+  if (is_sync ? (fail_all_syncs_ || fail_all_writes_) : fail_all_writes_) {
+    ++fired_;
+    d.fail = true;
+    d.message = is_sync ? "injected persistent fsync failure"
+                        : "injected persistent write failure";
+  }
+  return d;
+}
+
+Result<std::unique_ptr<VfsFile>> FaultyVfs::Open(const std::string& path,
+                                                 OpenMode mode) {
+  SCISPARQL_RETURN_NOT_OK(CheckAlive());
+  auto base = base_->Open(path, mode);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<VfsFile>(
+      new FaultyFile(this, std::move(*base)));
+}
+
+Status FaultyVfs::Rename(const std::string& from, const std::string& to) {
+  OpDecision d = NextOp(/*is_sync=*/false);
+  if (d.fail) return Status::IoError(d.message);
+  return base_->Rename(from, to);
+}
+
+Status FaultyVfs::Remove(const std::string& path) {
+  OpDecision d = NextOp(/*is_sync=*/false);
+  if (d.fail) return Status::IoError(d.message);
+  return base_->Remove(path);
+}
+
+bool FaultyVfs::Exists(const std::string& path) { return base_->Exists(path); }
+
+Status FaultyVfs::CreateDir(const std::string& path) {
+  SCISPARQL_RETURN_NOT_OK(CheckAlive());
+  return base_->CreateDir(path);
+}
+
+Result<std::vector<std::string>> FaultyVfs::ListDir(const std::string& dir) {
+  SCISPARQL_RETURN_NOT_OK(CheckAlive());
+  return base_->ListDir(dir);
+}
+
+}  // namespace storage
+}  // namespace scisparql

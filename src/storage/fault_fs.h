@@ -1,0 +1,123 @@
+#ifndef SCISPARQL_STORAGE_FAULT_FS_H_
+#define SCISPARQL_STORAGE_FAULT_FS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/vfs.h"
+
+namespace scisparql {
+namespace storage {
+
+/// Kinds of injectable failure at a mutating I/O operation.
+enum class FaultKind : uint8_t {
+  kShortWrite,   ///< Persist only a prefix of the buffer, report IoError.
+  kTornWrite,    ///< Persist a prefix, then the process "dies" (all
+                 ///< subsequent I/O fails until Reset) — models a crash
+                 ///< mid-write leaving a torn record on disk.
+  kEnospc,       ///< Persist nothing, report ENOSPC-style IoError.
+  kSyncFail,     ///< The fsync reports failure (data may or may not be
+                 ///< durable — the caller must treat it as not).
+  kCrash,        ///< Persist nothing; process dies as with kTornWrite.
+};
+
+/// Fault-injecting VFS wrapper. Every *mutating* operation (WriteAt,
+/// Truncate, Sync, Rename, Remove) consumes one op index from a global
+/// counter; scripted faults trigger when their index comes up. Reads are
+/// never faulted directly but fail once the VFS is in the crashed state.
+///
+/// The crash-matrix test drives this in two passes: a clean run to learn
+/// the op count N, then one run per k in [0, N) with a crash scheduled at
+/// op k, followed by recovery on a pristine VFS over the same directory.
+///
+/// Thread-safe: faults and counters are guarded by a mutex (the engine's
+/// exclusive write lock already serializes durable writes, but reads may
+/// run concurrently).
+class FaultyVfs : public Vfs {
+ public:
+  /// `base` must outlive this wrapper.
+  explicit FaultyVfs(Vfs* base) : base_(base) {}
+
+  // --- Scripting. ---
+
+  /// Schedules `kind` to fire at the mutating op with 0-based index
+  /// `op_index` (counted from construction or the last Reset).
+  /// `partial_bytes` limits how much of a faulted write persists
+  /// (kShortWrite / kTornWrite).
+  void ScheduleFault(uint64_t op_index, FaultKind kind,
+                     size_t partial_bytes = 0);
+
+  /// Crash (persist nothing more) at op `op_index`.
+  void CrashAtOp(uint64_t op_index) { ScheduleFault(op_index, FaultKind::kCrash); }
+
+  /// Every write from now on fails (persistent media failure — the
+  /// degradation-to-read-only scenario). Syncs fail too.
+  void FailAllWrites(bool on);
+
+  /// Every fsync from now on fails while writes succeed (the
+  /// lost-write-cache scenario).
+  void FailAllSyncs(bool on);
+
+  /// Clears scripted faults, the crashed state and the op counter.
+  void Reset();
+
+  /// Mutating ops observed since construction / Reset.
+  uint64_t op_count() const;
+
+  /// Faults actually fired.
+  uint64_t faults_fired() const;
+
+  bool crashed() const;
+
+  // --- Vfs. ---
+
+  Result<std::unique_ptr<VfsFile>> Open(const std::string& path,
+                                        OpenMode mode) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+  Status CreateDir(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override;
+
+  // --- Internal plumbing, public so the file wrapper (an implementation
+  // detail in fault_fs.cpp) can reach it. Not part of the test API. ---
+
+  /// Decision for one mutating op, taken under the mutex.
+  struct OpDecision {
+    bool fail = false;
+    bool crash_after = false;   ///< Enter crashed state after handling.
+    size_t partial_bytes = 0;   ///< For writes: bytes to persist anyway.
+    bool persist_prefix = false;
+    std::string message;
+  };
+
+  /// Consumes one op index and returns what to do. `is_sync` selects the
+  /// FailAllSyncs blanket; writes/truncates/renames use FailAllWrites.
+  OpDecision NextOp(bool is_sync);
+  Status CheckAlive() const;
+
+ private:
+  struct ScriptedFault {
+    uint64_t op_index;
+    FaultKind kind;
+    size_t partial_bytes;
+  };
+
+  Vfs* base_;
+  mutable std::mutex mu_;
+  std::vector<ScriptedFault> faults_;
+  uint64_t ops_ = 0;
+  uint64_t fired_ = 0;
+  bool crashed_ = false;
+  bool fail_all_writes_ = false;
+  bool fail_all_syncs_ = false;
+};
+
+}  // namespace storage
+}  // namespace scisparql
+
+#endif  // SCISPARQL_STORAGE_FAULT_FS_H_

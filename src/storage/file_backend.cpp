@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <limits>
+#include <memory>
 
 namespace scisparql {
 
@@ -19,18 +20,13 @@ namespace {
 
 constexpr uint32_t kMagic = 0x53534152;
 
-struct FileCloser {
-  void operator()(std::FILE* f) const {
-    if (f != nullptr) std::fclose(f);
-  }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
-
 size_t HeaderSize(int rank) { return 16 + 8 * static_cast<size_t>(rank); }
 
 }  // namespace
 
-FileArrayStorage::FileArrayStorage(std::string dir) : dir_(std::move(dir)) {}
+FileArrayStorage::FileArrayStorage(std::string dir, storage::Vfs* vfs)
+    : dir_(std::move(dir)),
+      vfs_(vfs == nullptr ? storage::DefaultVfs() : vfs) {}
 
 std::string FileArrayStorage::PathFor(ArrayId id) const {
   auto it = linked_.find(id);
@@ -42,36 +38,43 @@ Result<ArrayId> FileArrayStorage::Store(const NumericArray& array,
                                         int64_t chunk_elems) {
   NumericArray compact = array.Compact();
   ArrayId id = next_id_++;
-  FilePtr f(std::fopen(PathFor(id).c_str(), "wb"));
-  if (f == nullptr) {
-    return Status::IoError("cannot create array file: " + PathFor(id));
+  SCISPARQL_ASSIGN_OR_RETURN(
+      std::unique_ptr<storage::VfsFile> f,
+      vfs_->Open(PathFor(id), storage::Vfs::OpenMode::kTruncate));
+  // Header and dims are assembled in one buffer written with a single
+  // checked positional write; the element payload follows in one more.
+  const int rank = static_cast<int>(compact.rank());
+  std::string head(HeaderSize(rank), '\0');
+  std::memcpy(head.data(), &kMagic, 4);
+  head[4] = static_cast<char>(compact.etype());
+  head[5] = static_cast<char>(rank);
+  head[6] = head[7] = 0;
+  std::memcpy(head.data() + 8, &chunk_elems, 8);
+  {
+    size_t off = 16;
+    for (int64_t d : compact.shape()) {
+      std::memcpy(head.data() + off, &d, 8);
+      off += 8;
+    }
   }
-  uint8_t header[16];
-  std::memcpy(header, &kMagic, 4);
-  header[4] = static_cast<uint8_t>(compact.etype());
-  header[5] = static_cast<uint8_t>(compact.rank());
-  header[6] = header[7] = 0;
-  std::memcpy(header + 8, &chunk_elems, 8);
-  std::fwrite(header, 1, sizeof(header), f.get());
-  for (int64_t d : compact.shape()) {
-    std::fwrite(&d, 1, 8, f.get());
-  }
-  // Compact arrays are contiguous row-major; write elements one by one to
+  SCISPARQL_RETURN_NOT_OK(f->WriteAt(0, head.data(), head.size()));
+
+  // Compact arrays are contiguous row-major; copy elements one by one to
   // stay independent of the internal buffer layout.
   const int64_t n = compact.NumElements();
+  std::string body(static_cast<size_t>(n) * 8, '\0');
   for (int64_t i = 0; i < n; ++i) {
-    uint8_t buf[8];
     if (compact.etype() == ElementType::kDouble) {
       double v = compact.DoubleAt(i);
-      std::memcpy(buf, &v, 8);
+      std::memcpy(body.data() + i * 8, &v, 8);
     } else {
       int64_t v = compact.IntAt(i);
-      std::memcpy(buf, &v, 8);
-    }
-    if (std::fwrite(buf, 1, 8, f.get()) != 8) {
-      return Status::IoError("short write to array file");
+      std::memcpy(body.data() + i * 8, &v, 8);
     }
   }
+  SCISPARQL_RETURN_NOT_OK(f->WriteAt(head.size(), body.data(), body.size()));
+  SCISPARQL_RETURN_NOT_OK(f->Sync());
+
   StoredArrayMeta meta;
   meta.id = id;
   meta.etype = compact.etype();
@@ -82,14 +85,12 @@ Result<ArrayId> FileArrayStorage::Store(const NumericArray& array,
 }
 
 Result<StoredArrayMeta> FileArrayStorage::ReadHeader(ArrayId id) const {
-  FilePtr f(std::fopen(PathFor(id).c_str(), "rb"));
-  if (f == nullptr) {
-    return Status::NotFound("no array file: " + PathFor(id));
-  }
+  auto f = vfs_->Open(PathFor(id), storage::Vfs::OpenMode::kRead);
+  if (!f.ok()) return Status::NotFound("no array file: " + PathFor(id));
   uint8_t header[16];
-  if (std::fread(header, 1, sizeof(header), f.get()) != sizeof(header)) {
-    return Status::IoError("short array file header");
-  }
+  SCISPARQL_ASSIGN_OR_RETURN(size_t got,
+                             (*f)->ReadAt(0, header, sizeof(header)));
+  if (got != sizeof(header)) return Status::IoError("short array file header");
   uint32_t magic;
   std::memcpy(&magic, header, 4);
   if (magic != kMagic) return Status::IoError("bad array file magic");
@@ -99,8 +100,11 @@ Result<StoredArrayMeta> FileArrayStorage::ReadHeader(ArrayId id) const {
   int rank = header[5];
   std::memcpy(&meta.chunk_elems, header + 8, 8);
   meta.shape.resize(rank);
-  for (int i = 0; i < rank; ++i) {
-    if (std::fread(&meta.shape[i], 1, 8, f.get()) != 8) {
+  if (rank > 0) {
+    SCISPARQL_ASSIGN_OR_RETURN(
+        got, (*f)->ReadAt(16, meta.shape.data(),
+                          static_cast<size_t>(rank) * 8));
+    if (got != static_cast<size_t>(rank) * 8) {
       return Status::IoError("short array file header (dims)");
     }
   }
@@ -119,8 +123,8 @@ Status FileArrayStorage::FetchChunks(
     ArrayId id, std::span<const uint64_t> chunk_ids,
     const std::function<void(uint64_t, const uint8_t*, size_t)>& cb) {
   SCISPARQL_ASSIGN_OR_RETURN(StoredArrayMeta meta, GetMeta(id));
-  FilePtr f(std::fopen(PathFor(id).c_str(), "rb"));
-  if (f == nullptr) return Status::NotFound("no array file: " + PathFor(id));
+  auto f = vfs_->Open(PathFor(id), storage::Vfs::OpenMode::kRead);
+  if (!f.ok()) return Status::NotFound("no array file: " + PathFor(id));
   const size_t header = HeaderSize(static_cast<int>(meta.shape.size()));
   const int64_t total = meta.NumElements();
   ++stats_.queries;
@@ -131,14 +135,11 @@ Status FileArrayStorage::FetchChunks(
     int64_t n = std::min<int64_t>(meta.chunk_elems, total - first);
     buf.resize(static_cast<size_t>(n * 8));
     ++seeks_;
-    if (std::fseek(f.get(),
-                   static_cast<long>(header + static_cast<size_t>(first) * 8),
-                   SEEK_SET) != 0) {
-      return Status::IoError("seek failed in array file");
-    }
-    if (std::fread(buf.data(), 1, buf.size(), f.get()) != buf.size()) {
-      return Status::IoError("short chunk read");
-    }
+    SCISPARQL_ASSIGN_OR_RETURN(
+        size_t got,
+        (*f)->ReadAt(header + static_cast<uint64_t>(first) * 8, buf.data(),
+                     buf.size()));
+    if (got != buf.size()) return Status::IoError("short chunk read");
     ++stats_.chunks_fetched;
     stats_.bytes_fetched += buf.size();
     cb(cid, buf.data(), buf.size());
@@ -153,8 +154,8 @@ Status FileArrayStorage::FetchIntervals(
   // sequential read spanning [start, last]; chunks not in the stride are
   // read but dropped (still cheaper than a seek per chunk).
   SCISPARQL_ASSIGN_OR_RETURN(StoredArrayMeta meta, GetMeta(id));
-  FilePtr f(std::fopen(PathFor(id).c_str(), "rb"));
-  if (f == nullptr) return Status::NotFound("no array file: " + PathFor(id));
+  auto f = vfs_->Open(PathFor(id), storage::Vfs::OpenMode::kRead);
+  if (!f.ok()) return Status::NotFound("no array file: " + PathFor(id));
   const size_t header = HeaderSize(static_cast<int>(meta.shape.size()));
   const int64_t total = meta.NumElements();
   ++stats_.queries;
@@ -170,15 +171,11 @@ Status FileArrayStorage::FetchIntervals(
     int64_t span = end_elem - first_elem;
     buf.resize(static_cast<size_t>(span * 8));
     ++seeks_;
-    if (std::fseek(f.get(),
-                   static_cast<long>(header +
-                                     static_cast<size_t>(first_elem) * 8),
-                   SEEK_SET) != 0) {
-      return Status::IoError("seek failed in array file");
-    }
-    if (std::fread(buf.data(), 1, buf.size(), f.get()) != buf.size()) {
-      return Status::IoError("short interval read");
-    }
+    SCISPARQL_ASSIGN_OR_RETURN(
+        size_t got,
+        (*f)->ReadAt(header + static_cast<uint64_t>(first_elem) * 8,
+                     buf.data(), buf.size()));
+    if (got != buf.size()) return Status::IoError("short interval read");
     stats_.bytes_fetched += buf.size();
     for (uint64_t cid = iv.start; cid <= iv.last(); cid += iv.stride) {
       int64_t coff = (static_cast<int64_t>(cid) * meta.chunk_elems -
@@ -249,9 +246,8 @@ Status FileArrayStorage::Remove(ArrayId id) {
   std::string path = PathFor(id);
   meta_cache_.erase(id);
   linked_.erase(id);
-  if (std::remove(path.c_str()) != 0) {
-    return Status::NotFound("no array file: " + path);
-  }
+  Status st = vfs_->Remove(path);
+  if (!st.ok()) return Status::NotFound("no array file: " + path);
   return Status::OK();
 }
 

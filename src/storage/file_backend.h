@@ -1,11 +1,11 @@
 #ifndef SCISPARQL_STORAGE_FILE_BACKEND_H_
 #define SCISPARQL_STORAGE_FILE_BACKEND_H_
 
-#include <cstdio>
 #include <map>
 #include <string>
 
 #include "storage/asei.h"
+#include "storage/vfs.h"
 
 namespace scisparql {
 
@@ -18,8 +18,9 @@ namespace scisparql {
 class FileArrayStorage : public ArrayStorage {
  public:
   /// `dir` must exist and be writable; existing container files in it are
-  /// picked up on first access by id.
-  explicit FileArrayStorage(std::string dir);
+  /// picked up on first access by id. `vfs` defaults to the real
+  /// filesystem; tests inject a FaultyVfs.
+  explicit FileArrayStorage(std::string dir, storage::Vfs* vfs = nullptr);
 
   std::string name() const override { return "file"; }
   bool SupportsAggregatePushdown() const override { return true; }
@@ -49,6 +50,7 @@ class FileArrayStorage : public ArrayStorage {
   Result<StoredArrayMeta> ReadHeader(ArrayId id) const;
 
   std::string dir_;
+  storage::Vfs* vfs_;
   ArrayId next_id_ = 1;
   std::map<ArrayId, std::string> linked_;  // id -> explicit path
   mutable std::map<ArrayId, StoredArrayMeta> meta_cache_;

@@ -1,10 +1,11 @@
 #include "storage/kv_backend.h"
 
+#include <cstdlib>
 #include <cstring>
 
-namespace scisparql {
+#include "common/crc32c.h"
 
-// Log record format: [u32 key length][key][u32 value length][value].
+namespace scisparql {
 
 namespace {
 
@@ -44,69 +45,113 @@ Result<StoredArrayMeta> DecodeMeta(ArrayId id, const std::string& bytes) {
   return meta;
 }
 
+uint32_t RecordCrc(const std::string& key, const std::string& value) {
+  uint32_t crc = Crc32c(key);
+  return Crc32cExtend(crc, value.data(), value.size());
+}
+
 }  // namespace
 
 Result<std::unique_ptr<KvArrayStorage>> KvArrayStorage::Open(
-    const std::string& path) {
-  std::unique_ptr<KvArrayStorage> kv(new KvArrayStorage(path));
-  kv->file_ = std::fopen(path.c_str(), "r+b");
-  if (kv->file_ == nullptr) kv->file_ = std::fopen(path.c_str(), "w+b");
-  if (kv->file_ == nullptr) {
-    return Status::IoError("cannot open kv log: " + path);
-  }
+    const std::string& path, storage::Vfs* vfs) {
+  if (vfs == nullptr) vfs = storage::DefaultVfs();
+  std::unique_ptr<KvArrayStorage> kv(new KvArrayStorage(path, vfs));
+  SCISPARQL_ASSIGN_OR_RETURN(
+      kv->file_, vfs->Open(path, storage::Vfs::OpenMode::kReadWrite));
   SCISPARQL_RETURN_NOT_OK(kv->LoadIndex());
   return kv;
 }
 
-KvArrayStorage::~KvArrayStorage() {
-  if (file_ != nullptr) std::fclose(file_);
-}
+KvArrayStorage::~KvArrayStorage() = default;
 
 Status KvArrayStorage::LoadIndex() {
-  std::fseek(file_, 0, SEEK_SET);
-  while (true) {
-    uint32_t key_len;
-    if (std::fread(&key_len, 1, 4, file_) != 4) break;  // EOF
-    std::string key(key_len, '\0');
-    if (std::fread(key.data(), 1, key_len, file_) != key_len) {
-      return Status::IoError("truncated kv log (key)");
+  SCISPARQL_ASSIGN_OR_RETURN(uint64_t size, file_->Size());
+  std::string data(size, '\0');
+  SCISPARQL_ASSIGN_OR_RETURN(size_t got, file_->ReadAt(0, data.data(), size));
+  data.resize(got);
+
+  auto read_u32 = [&data](size_t* pos, uint32_t* v) {
+    if (*pos + 4 > data.size()) return false;
+    std::memcpy(v, data.data() + *pos, 4);
+    *pos += 4;
+    return true;
+  };
+
+  size_t pos = 0;
+  size_t valid_end = 0;  // end of the last well-formed record
+  bool torn = false;
+  while (pos < data.size()) {
+    size_t rec_start = pos;
+    uint32_t key_len, val_len, stored_crc;
+    std::string key;
+    if (!read_u32(&pos, &key_len) || pos + key_len > data.size()) {
+      torn = true;
+      break;
     }
-    uint32_t val_len;
-    if (std::fread(&val_len, 1, 4, file_) != 4) {
-      return Status::IoError("truncated kv log (length)");
+    key.assign(data, pos, key_len);
+    pos += key_len;
+    if (!read_u32(&pos, &val_len) || pos + val_len > data.size()) {
+      torn = true;
+      break;
     }
-    Location loc;
-    loc.offset = std::ftell(file_);
-    loc.length = val_len;
-    if (std::fseek(file_, val_len, SEEK_CUR) != 0) {
-      return Status::IoError("truncated kv log (value)");
+    uint64_t val_off = pos;
+    std::string value = data.substr(pos, val_len);
+    pos += val_len;
+    if (!read_u32(&pos, &stored_crc)) {
+      torn = true;
+      break;
     }
-    index_[key] = loc;  // later records win, log-structured style
+    if (Crc32cUnmask(stored_crc) != RecordCrc(key, value)) {
+      if (pos == data.size()) {
+        // A checksum-invalid *final* record is the torn tail a crash
+        // mid-append leaves behind: drop it like a short one.
+        torn = true;
+        pos = rec_start;
+        break;
+      }
+      // Mid-log mismatch with intact framing: silent corruption of one
+      // record. Reject it; a later copy of the key may still win.
+      ++rejected_records_;
+      continue;
+    }
+    valid_end = pos;
+    index_[key] = Location{val_off, val_len};  // later records win
     // Recover the id counter from meta records.
     if (key.rfind("meta:", 0) == 0) {
       ArrayId id = static_cast<ArrayId>(std::atoll(key.c_str() + 5));
       if (id >= next_id_) next_id_ = id + 1;
     }
   }
+  if (torn) {
+    truncated_tail_ = true;
+    SCISPARQL_RETURN_NOT_OK(file_->Truncate(valid_end));
+    end_offset_ = valid_end;
+  } else {
+    end_offset_ = data.size();
+  }
   return Status::OK();
 }
 
 Status KvArrayStorage::Put(const std::string& key, const std::string& value) {
-  std::fseek(file_, 0, SEEK_END);
+  std::string frame;
+  frame.reserve(12 + key.size() + value.size());
   uint32_t key_len = static_cast<uint32_t>(key.size());
   uint32_t val_len = static_cast<uint32_t>(value.size());
-  if (std::fwrite(&key_len, 1, 4, file_) != 4 ||
-      std::fwrite(key.data(), 1, key_len, file_) != key_len ||
-      std::fwrite(&val_len, 1, 4, file_) != 4) {
-    return Status::IoError("kv append failed");
-  }
-  Location loc;
-  loc.offset = std::ftell(file_);
-  loc.length = val_len;
-  if (std::fwrite(value.data(), 1, val_len, file_) != val_len) {
-    return Status::IoError("kv append failed");
-  }
-  index_[key] = loc;
+  uint32_t crc = Crc32cMask(RecordCrc(key, value));
+  frame.append(reinterpret_cast<const char*>(&key_len), 4);
+  frame.append(key);
+  frame.append(reinterpret_cast<const char*>(&val_len), 4);
+  frame.append(value);
+  frame.append(reinterpret_cast<const char*>(&crc), 4);
+  // One positional write at the logical end; on failure the offset does
+  // not advance and the index is untouched, so the partial bytes sit past
+  // the logical end where the next Put overwrites them and recovery's CRC
+  // check discards them.
+  SCISPARQL_RETURN_NOT_OK(
+      file_->WriteAt(end_offset_, frame.data(), frame.size()));
+  index_[key] =
+      Location{end_offset_ + 8 + key.size(), val_len};
+  end_offset_ += frame.size();
   return Status::OK();
 }
 
@@ -114,10 +159,9 @@ Result<std::string> KvArrayStorage::Get(const std::string& key) const {
   auto it = index_.find(key);
   if (it == index_.end()) return Status::NotFound("no kv key: " + key);
   std::string out(it->second.length, '\0');
-  if (std::fseek(file_, it->second.offset, SEEK_SET) != 0 ||
-      std::fread(out.data(), 1, out.size(), file_) != out.size()) {
-    return Status::IoError("kv read failed");
-  }
+  SCISPARQL_ASSIGN_OR_RETURN(
+      size_t got, file_->ReadAt(it->second.offset, out.data(), out.size()));
+  if (got != out.size()) return Status::IoError("kv read failed");
   return out;
 }
 

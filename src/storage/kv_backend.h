@@ -1,11 +1,13 @@
 #ifndef SCISPARQL_STORAGE_KV_BACKEND_H_
 #define SCISPARQL_STORAGE_KV_BACKEND_H_
 
-#include <cstdio>
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "storage/asei.h"
+#include "storage/vfs.h"
 
 namespace scisparql {
 
@@ -22,12 +24,21 @@ namespace scisparql {
 /// The ASEI capability flags make SSDM degrade gracefully: the same
 /// queries run, with more data crossing the boundary — the trade-off the
 /// paper's NoSQL discussion predicts.
+///
+/// Log record format: [u32 key_len][key][u32 val_len][value]
+/// [u32 masked crc32c(key || value)]. The CRC lets recovery tell a torn
+/// trailing record (truncated away with a warning counter) from silent
+/// mid-log corruption (the record is rejected; later copies of the key
+/// still win, log-structured style).
 class KvArrayStorage : public ArrayStorage {
  public:
   /// Opens (or creates) the log file; existing records are indexed by a
   /// sequential scan, the usual recovery story of log-structured stores.
+  /// A torn trailing record — the tail a crash mid-Put leaves behind — is
+  /// truncated off; see truncated_tail(). `vfs` defaults to the real
+  /// filesystem.
   static Result<std::unique_ptr<KvArrayStorage>> Open(
-      const std::string& path);
+      const std::string& path, storage::Vfs* vfs = nullptr);
 
   ~KvArrayStorage() override;
 
@@ -48,20 +59,30 @@ class KvArrayStorage : public ArrayStorage {
 
   size_t key_count() const { return index_.size(); }
 
+  /// True when Open() found and truncated a torn trailing record.
+  bool truncated_tail() const { return truncated_tail_; }
+  /// Mid-log records dropped for CRC mismatch during Open().
+  uint64_t rejected_records() const { return rejected_records_; }
+
  private:
-  explicit KvArrayStorage(std::string path) : path_(std::move(path)) {}
+  KvArrayStorage(std::string path, storage::Vfs* vfs)
+      : path_(std::move(path)), vfs_(vfs) {}
 
   Status LoadIndex();
 
   struct Location {
-    long offset = 0;  // of the value bytes
+    uint64_t offset = 0;  // of the value bytes
     uint32_t length = 0;
   };
 
   std::string path_;
-  std::FILE* file_ = nullptr;
+  storage::Vfs* vfs_;
+  std::unique_ptr<storage::VfsFile> file_;
+  uint64_t end_offset_ = 0;  ///< Logical end of the log (append point).
   std::map<std::string, Location> index_;
   ArrayId next_id_ = 1;
+  bool truncated_tail_ = false;
+  uint64_t rejected_records_ = 0;
 };
 
 }  // namespace scisparql

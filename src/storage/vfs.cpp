@@ -1,0 +1,180 @@
+#include "storage/vfs.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace scisparql {
+namespace storage {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+class PosixFile : public VfsFile {
+ public:
+  explicit PosixFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Result<size_t> ReadAt(uint64_t off, void* buf, size_t n) override {
+    size_t done = 0;
+    while (done < n) {
+      ssize_t r = ::pread(fd_, static_cast<char*>(buf) + done, n - done,
+                          static_cast<off_t>(off + done));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError(ErrnoMessage("read failed on", path_));
+      }
+      if (r == 0) break;  // EOF
+      done += static_cast<size_t>(r);
+    }
+    return done;
+  }
+
+  Status WriteAt(uint64_t off, const void* buf, size_t n) override {
+    size_t done = 0;
+    while (done < n) {
+      ssize_t w = ::pwrite(fd_, static_cast<const char*>(buf) + done,
+                           n - done, static_cast<off_t>(off + done));
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError(ErrnoMessage("write failed on", path_));
+      }
+      if (w == 0) {
+        return Status::IoError("zero-length write on " + path_);
+      }
+      done += static_cast<size_t>(w);
+    }
+    return Status::OK();
+  }
+
+  Result<uint64_t> Size() override {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) {
+      return Status::IoError(ErrnoMessage("stat failed on", path_));
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return Status::IoError(ErrnoMessage("truncate failed on", path_));
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) {
+      return Status::IoError(ErrnoMessage("fsync failed on", path_));
+    }
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixVfs : public Vfs {
+ public:
+  Result<std::unique_ptr<VfsFile>> Open(const std::string& path,
+                                        OpenMode mode) override {
+    int flags = 0;
+    switch (mode) {
+      case OpenMode::kRead:
+        flags = O_RDONLY;
+        break;
+      case OpenMode::kReadWrite:
+        flags = O_RDWR | O_CREAT;
+        break;
+      case OpenMode::kTruncate:
+        flags = O_RDWR | O_CREAT | O_TRUNC;
+        break;
+    }
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) {
+      if (errno == ENOENT) {
+        return Status::NotFound("no such file: " + path);
+      }
+      return Status::IoError(ErrnoMessage("cannot open", path));
+    }
+    return std::unique_ptr<VfsFile>(new PosixFile(fd, path));
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IoError(ErrnoMessage("rename failed for", from));
+    }
+    return SyncDirOf(to);
+  }
+
+  Status Remove(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+      return Status::IoError(ErrnoMessage("unlink failed for", path));
+    }
+    return Status::OK();
+  }
+
+  bool Exists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  Status CreateDir(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::IoError(ErrnoMessage("mkdir failed for", path));
+    }
+    return Status::OK();
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) {
+      if (errno == ENOENT) {
+        return Status::NotFound("no such directory: " + dir);
+      }
+      return Status::IoError(ErrnoMessage("opendir failed for", dir));
+    }
+    std::vector<std::string> names;
+    while (dirent* e = ::readdir(d)) {
+      std::string name = e->d_name;
+      if (name == "." || name == "..") continue;
+      names.push_back(std::move(name));
+    }
+    ::closedir(d);
+    return names;
+  }
+
+ private:
+  /// fsyncs the directory containing `path`, making a just-completed
+  /// rename durable. Best effort on filesystems that refuse dir fsync.
+  Status SyncDirOf(const std::string& path) {
+    size_t slash = path.find_last_of('/');
+    std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return Status::OK();
+    ::fsync(fd);
+    ::close(fd);
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Vfs* DefaultVfs() {
+  static PosixVfs* vfs = new PosixVfs();
+  return vfs;
+}
+
+}  // namespace storage
+}  // namespace scisparql

@@ -1,0 +1,76 @@
+#ifndef SCISPARQL_STORAGE_VFS_H_
+#define SCISPARQL_STORAGE_VFS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace scisparql {
+namespace storage {
+
+/// An open file handle. All offsets are absolute (pread/pwrite style), so
+/// a handle can be shared by readers without seek races. Implementations
+/// turn partial writes into either completion (by looping) or an error —
+/// callers never see a silent short write.
+class VfsFile {
+ public:
+  virtual ~VfsFile() = default;
+
+  /// Reads up to `n` bytes at `off`. Returns the number of bytes read; a
+  /// value < n means EOF was reached (not an error).
+  virtual Result<size_t> ReadAt(uint64_t off, void* buf, size_t n) = 0;
+
+  /// Writes exactly `n` bytes at `off` (extending the file if needed).
+  virtual Status WriteAt(uint64_t off, const void* buf, size_t n) = 0;
+
+  virtual Result<uint64_t> Size() = 0;
+  virtual Status Truncate(uint64_t size) = 0;
+
+  /// Durably flushes written data to the device (fsync).
+  virtual Status Sync() = 0;
+};
+
+/// Virtual file system: the single seam through which every durable byte
+/// of the engine travels — the WAL, snapshots, the pager, and the array
+/// back-ends. Production uses the POSIX implementation behind
+/// DefaultVfs(); tests wrap it in a FaultyVfs (fault_fs.h) to script
+/// short writes, torn writes, ENOSPC, fsync failures and crashes at any
+/// I/O point.
+class Vfs {
+ public:
+  enum class OpenMode {
+    kRead,       ///< Existing file, read-only.
+    kReadWrite,  ///< Create if missing; read/write; preserve content.
+    kTruncate,   ///< Create or truncate to empty; read/write.
+  };
+
+  virtual ~Vfs() = default;
+
+  virtual Result<std::unique_ptr<VfsFile>> Open(const std::string& path,
+                                                OpenMode mode) = 0;
+
+  /// Atomically replaces `to` with `from` (POSIX rename), then syncs the
+  /// containing directory so the rename itself is durable.
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  virtual Status Remove(const std::string& path) = 0;
+
+  virtual bool Exists(const std::string& path) = 0;
+
+  /// Creates `path` (a single level) if missing.
+  virtual Status CreateDir(const std::string& path) = 0;
+
+  /// Names (not paths) of the entries in `dir`, excluding "." / "..".
+  virtual Result<std::vector<std::string>> ListDir(const std::string& dir) = 0;
+};
+
+/// The process-wide POSIX VFS.
+Vfs* DefaultVfs();
+
+}  // namespace storage
+}  // namespace scisparql
+
+#endif  // SCISPARQL_STORAGE_VFS_H_

@@ -1,0 +1,345 @@
+#include "storage/wal.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "common/crc32c.h"
+#include "rdf/term_codec.h"
+#include "storage/array_proxy.h"
+
+namespace scisparql {
+namespace storage {
+
+namespace {
+
+constexpr char kSegmentMagic[4] = {'S', 'S', 'W', 'L'};
+constexpr uint32_t kSegmentFormat = 1;
+constexpr size_t kSegmentHeaderSize = 16;
+
+/// Term framing inside triple bodies: inline bytes or a back-end ref.
+constexpr uint8_t kTermInline = 0;
+constexpr uint8_t kTermProxyRef = 1;
+
+std::string SegmentName(uint64_t first_lsn) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "wal-%016" PRIx64 ".log", first_lsn);
+  return buf;
+}
+
+/// Parses "wal-<hex16>.log"; returns false for other directory entries.
+bool ParseSegmentName(const std::string& name, uint64_t* first_lsn) {
+  if (name.size() != 4 + 16 + 4 || name.rfind("wal-", 0) != 0 ||
+      name.compare(name.size() - 4, 4, ".log") != 0) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (size_t i = 4; i < 20; ++i) {
+    char c = name[i];
+    uint64_t digit;
+    if (c >= '0' && c <= '9') digit = static_cast<uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') digit = static_cast<uint64_t>(c - 'a' + 10);
+    else return false;
+    v = (v << 4) | digit;
+  }
+  *first_lsn = v;
+  return true;
+}
+
+Status SerializeWalTerm(const Term& term, std::string* out) {
+  // Proxies log as (storage, id) references — the payload already lives in
+  // the back-end; inlining it would double-store every stored array.
+  if (term.kind() == Term::Kind::kArray && !term.array()->resident()) {
+    auto* proxy = dynamic_cast<const ArrayProxy*>(term.array().get());
+    if (proxy != nullptr && proxy->storage() != nullptr) {
+      out->push_back(static_cast<char>(kTermProxyRef));
+      rdf::PutString(out, proxy->storage()->name());
+      rdf::PutU64(out, static_cast<uint64_t>(proxy->array_id()));
+      return Status::OK();
+    }
+  }
+  out->push_back(static_cast<char>(kTermInline));
+  return rdf::SerializeTerm(term, out);
+}
+
+Result<Term> DeserializeWalTerm(
+    const std::string& data, size_t* pos,
+    const std::function<Result<Term>(const std::string&, uint64_t)>&
+        resolve_ref) {
+  if (*pos >= data.size()) return Status::Internal("truncated WAL term");
+  uint8_t tag = static_cast<uint8_t>(data[(*pos)++]);
+  if (tag == kTermInline) return rdf::DeserializeTerm(data, pos);
+  if (tag == kTermProxyRef) {
+    std::string storage_name;
+    uint64_t id;
+    if (!rdf::GetString(data, pos, &storage_name) ||
+        !rdf::GetU64(data, pos, &id)) {
+      return Status::Internal("truncated WAL proxy reference");
+    }
+    if (!resolve_ref) {
+      return Status::IoError("WAL record references array storage '" +
+                             storage_name + "' but no resolver is attached");
+    }
+    return resolve_ref(storage_name, id);
+  }
+  return Status::Internal("unknown WAL term tag");
+}
+
+std::string EncodeRecordPayload(const WalRecord& rec, Status* status) {
+  std::string payload;
+  rdf::PutU64(&payload, rec.lsn);
+  payload.push_back(static_cast<char>(rec.type));
+  switch (rec.type) {
+    case WalRecord::Type::kAdd:
+    case WalRecord::Type::kRemove: {
+      rdf::PutString(&payload, rec.graph);
+      Status st = SerializeWalTerm(rec.triple.s, &payload);
+      if (st.ok()) st = SerializeWalTerm(rec.triple.p, &payload);
+      if (st.ok()) st = SerializeWalTerm(rec.triple.o, &payload);
+      if (!st.ok()) *status = st;
+      break;
+    }
+    case WalRecord::Type::kClearGraph:
+      rdf::PutString(&payload, rec.graph);
+      break;
+    case WalRecord::Type::kClearAll:
+    case WalRecord::Type::kCommit:
+      break;
+  }
+  return payload;
+}
+
+Result<WalRecord> DecodeRecordPayload(
+    const std::string& payload,
+    const std::function<Result<Term>(const std::string&, uint64_t)>&
+        resolve_ref) {
+  WalRecord rec;
+  size_t pos = 0;
+  if (!rdf::GetU64(payload, &pos, &rec.lsn) || pos >= payload.size()) {
+    return Status::Internal("truncated WAL record header");
+  }
+  rec.type = static_cast<WalRecord::Type>(payload[pos++]);
+  switch (rec.type) {
+    case WalRecord::Type::kAdd:
+    case WalRecord::Type::kRemove: {
+      if (!rdf::GetString(payload, &pos, &rec.graph)) {
+        return Status::Internal("truncated WAL record graph");
+      }
+      SCISPARQL_ASSIGN_OR_RETURN(rec.triple.s,
+                                 DeserializeWalTerm(payload, &pos, resolve_ref));
+      SCISPARQL_ASSIGN_OR_RETURN(rec.triple.p,
+                                 DeserializeWalTerm(payload, &pos, resolve_ref));
+      SCISPARQL_ASSIGN_OR_RETURN(rec.triple.o,
+                                 DeserializeWalTerm(payload, &pos, resolve_ref));
+      return rec;
+    }
+    case WalRecord::Type::kClearGraph:
+      if (!rdf::GetString(payload, &pos, &rec.graph)) {
+        return Status::Internal("truncated WAL record graph");
+      }
+      return rec;
+    case WalRecord::Type::kClearAll:
+    case WalRecord::Type::kCommit:
+      return rec;
+  }
+  return Status::Internal("unknown WAL record type");
+}
+
+void FrameRecord(const std::string& payload, std::string* out) {
+  rdf::PutU32(out, static_cast<uint32_t>(payload.size()));
+  rdf::PutU32(out, Crc32cMask(Crc32c(payload)));
+  out->append(payload);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Create(Vfs* vfs, std::string dir,
+                                                     uint64_t next_lsn) {
+  SCISPARQL_RETURN_NOT_OK(vfs->CreateDir(dir));
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(vfs, std::move(dir), next_lsn));
+}
+
+Status WalWriter::EnsureSegment() {
+  if (file_ != nullptr) return Status::OK();
+  std::string path = dir_ + "/" + SegmentName(next_lsn_);
+  SCISPARQL_ASSIGN_OR_RETURN(file_, vfs_->Open(path, Vfs::OpenMode::kTruncate));
+  std::string header(kSegmentMagic, 4);
+  rdf::PutU32(&header, kSegmentFormat);
+  rdf::PutU64(&header, next_lsn_);
+  Status st = file_->WriteAt(0, header.data(), header.size());
+  if (!st.ok()) {
+    file_.reset();
+    return st;
+  }
+  offset_ = header.size();
+  return Status::OK();
+}
+
+Status WalWriter::AppendBatch(std::vector<WalRecord>& records) {
+  SCISPARQL_RETURN_NOT_OK(EnsureSegment());
+  // Assign LSNs, then frame everything — records plus the commit marker —
+  // into one blob so the batch hits the device with one write + one fsync.
+  std::string blob;
+  Status encode_status = Status::OK();
+  uint64_t lsn = next_lsn_;
+  for (WalRecord& rec : records) {
+    rec.lsn = lsn++;
+    FrameRecord(EncodeRecordPayload(rec, &encode_status), &blob);
+    if (!encode_status.ok()) return encode_status;
+  }
+  WalRecord commit;
+  commit.type = WalRecord::Type::kCommit;
+  commit.lsn = lsn++;
+  FrameRecord(EncodeRecordPayload(commit, &encode_status), &blob);
+  if (!encode_status.ok()) return encode_status;
+
+  SCISPARQL_RETURN_NOT_OK(file_->WriteAt(offset_, blob.data(), blob.size()));
+  SCISPARQL_RETURN_NOT_OK(file_->Sync());
+  // Only a fully durable batch advances the log: a torn write leaves
+  // garbage past offset_ that the next successful append overwrites.
+  offset_ += blob.size();
+  next_lsn_ = lsn;
+  ++appends_;
+  bytes_written_ += blob.size();
+  return Status::OK();
+}
+
+void WalWriter::Rotate() {
+  file_.reset();
+  offset_ = 0;
+}
+
+namespace {
+
+struct Segment {
+  uint64_t first_lsn;
+  std::string path;
+  bool operator<(const Segment& o) const { return first_lsn < o.first_lsn; }
+};
+
+Result<std::vector<Segment>> ListSegments(Vfs* vfs, const std::string& dir) {
+  std::vector<Segment> segments;
+  auto names = vfs->ListDir(dir);
+  if (!names.ok()) {
+    if (names.status().code() == StatusCode::kNotFound) return segments;
+    return names.status();
+  }
+  for (const std::string& name : *names) {
+    uint64_t first_lsn;
+    if (ParseSegmentName(name, &first_lsn)) {
+      segments.push_back({first_lsn, dir + "/" + name});
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+  return segments;
+}
+
+}  // namespace
+
+Result<WalReplayStats> ReplayWal(
+    Vfs* vfs, const std::string& dir, uint64_t after_lsn,
+    const std::function<Result<Term>(const std::string&, uint64_t)>&
+        resolve_ref,
+    const std::function<Status(const WalRecord&)>& apply) {
+  WalReplayStats stats;
+  SCISPARQL_ASSIGN_OR_RETURN(std::vector<Segment> segments,
+                             ListSegments(vfs, dir));
+  for (size_t si = 0; si < segments.size(); ++si) {
+    const bool final_segment = si + 1 == segments.size();
+    SCISPARQL_ASSIGN_OR_RETURN(
+        std::unique_ptr<VfsFile> f,
+        vfs->Open(segments[si].path, Vfs::OpenMode::kRead));
+    SCISPARQL_ASSIGN_OR_RETURN(uint64_t size, f->Size());
+    std::string data(size, '\0');
+    SCISPARQL_ASSIGN_OR_RETURN(size_t got, f->ReadAt(0, data.data(), size));
+    data.resize(got);
+
+    // A statement's batch never spans segments, so the pending buffer
+    // resets per segment; a batch left uncommitted at segment end is a
+    // torn tail (final segment) or corruption (earlier segment).
+    std::vector<WalRecord> pending;
+    bool torn = false;
+    std::string corrupt_reason;
+
+    size_t pos = 0;
+    if (data.size() < kSegmentHeaderSize ||
+        std::memcmp(data.data(), kSegmentMagic, 4) != 0) {
+      torn = true;
+      corrupt_reason = "bad segment header";
+    } else {
+      pos = kSegmentHeaderSize;
+    }
+
+    while (!torn && pos < data.size()) {
+      uint32_t len, stored_crc;
+      size_t frame_start = pos;
+      if (!rdf::GetU32(data, &pos, &len) ||
+          !rdf::GetU32(data, &pos, &stored_crc) || pos + len > data.size()) {
+        torn = true;
+        corrupt_reason = "truncated record frame";
+        pos = frame_start;
+        break;
+      }
+      std::string payload = data.substr(pos, len);
+      pos += len;
+      if (Crc32cUnmask(stored_crc) != Crc32c(payload)) {
+        torn = true;
+        corrupt_reason = "record checksum mismatch";
+        pos = frame_start;
+        break;
+      }
+      SCISPARQL_ASSIGN_OR_RETURN(WalRecord rec,
+                                 DecodeRecordPayload(payload, resolve_ref));
+      if (rec.type == WalRecord::Type::kCommit) {
+        for (const WalRecord& r : pending) {
+          if (r.lsn <= after_lsn) {
+            ++stats.records_skipped;
+            continue;
+          }
+          SCISPARQL_RETURN_NOT_OK(apply(r));
+          ++stats.records_applied;
+        }
+        if (!pending.empty() && pending.back().lsn > after_lsn) {
+          ++stats.batches_applied;
+        }
+        stats.last_lsn = std::max(stats.last_lsn, rec.lsn);
+        pending.clear();
+      } else {
+        pending.push_back(std::move(rec));
+      }
+    }
+
+    if (!pending.empty() && !torn) {
+      // Records without a commit marker at segment end: the process died
+      // between the write and the fsync's completion being observed.
+      torn = true;
+      corrupt_reason = "uncommitted batch at segment end";
+    }
+    if (torn) {
+      if (!final_segment) {
+        return Status::IoError("corrupt WAL record in non-final segment " +
+                               segments[si].path + " (" + corrupt_reason +
+                               "): acknowledged updates may be lost");
+      }
+      stats.torn_tail = true;
+    }
+  }
+  return stats;
+}
+
+Status TruncateWalBelow(Vfs* vfs, const std::string& dir,
+                        uint64_t keep_from_lsn) {
+  SCISPARQL_ASSIGN_OR_RETURN(std::vector<Segment> segments,
+                             ListSegments(vfs, dir));
+  for (const Segment& seg : segments) {
+    if (seg.first_lsn < keep_from_lsn) {
+      SCISPARQL_RETURN_NOT_OK(vfs->Remove(seg.path));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace scisparql

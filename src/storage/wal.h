@@ -1,0 +1,125 @@
+#ifndef SCISPARQL_STORAGE_WAL_H_
+#define SCISPARQL_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "rdf/graph.h"
+#include "storage/vfs.h"
+
+namespace scisparql {
+namespace storage {
+
+/// One redo record. Physical logging: the capture hook in the executor's
+/// update path records the exact triples added/removed (including the
+/// side effects of collection consolidation and LOAD), so replay never
+/// re-evaluates query patterns.
+struct WalRecord {
+  enum class Type : uint8_t {
+    kAdd = 1,         ///< graph += triple
+    kRemove = 2,      ///< graph -= all copies of triple
+    kClearGraph = 3,  ///< CLEAR of one graph ("" = default)
+    kClearAll = 4,    ///< CLEAR ALL (default cleared, named graphs dropped)
+    kCommit = 5,      ///< statement boundary (written by AppendBatch)
+  };
+
+  Type type = Type::kAdd;
+  uint64_t lsn = 0;   ///< Assigned by the writer.
+  std::string graph;  ///< Target graph IRI; "" = default graph.
+  Triple triple;      ///< For kAdd / kRemove.
+};
+
+/// Segmented write-ahead log.
+///
+/// On-disk layout: `<dir>/wal-<first_lsn:016x>.log`, each segment
+///
+///   header: "SSWL" u32 | format u32 | first_lsn u64
+///   record: [u32 payload_len][u32 masked crc32c(payload)][payload]
+///   payload: [u64 lsn][u8 type][type-specific body]
+///
+/// Triple bodies carry the graph IRI plus three terms; array-valued terms
+/// serialize inline (resident payloads) or as a (storage name, array id)
+/// reference when the value is a proxy into an attached back-end.
+///
+/// AppendBatch frames all records of one statement plus a trailing kCommit
+/// into a single buffered write followed by one fsync — the group commit
+/// that makes an acknowledged update durable. Replay applies only
+/// complete, CRC-valid, committed batches, so a crash anywhere inside
+/// AppendBatch leaves the statement entirely absent (pre-update state)
+/// while a crash after it leaves the statement entirely present.
+class WalWriter {
+ public:
+  /// `next_lsn` is where numbering resumes (1 for a fresh log; recovery
+  /// passes last replayed LSN + 1). The first segment is created lazily on
+  /// the first append, so a log that is never written leaves no file.
+  static Result<std::unique_ptr<WalWriter>> Create(Vfs* vfs, std::string dir,
+                                                   uint64_t next_lsn);
+
+  /// Appends `records` plus a commit marker as one batch: assigns LSNs,
+  /// writes one contiguous blob, fsyncs. On any error the log's in-memory
+  /// offset is NOT advanced — the torn bytes (if any) sit past the logical
+  /// end and are overwritten by the next append or ignored by replay.
+  Status AppendBatch(std::vector<WalRecord>& records);
+
+  /// Next LSN to be assigned.
+  uint64_t next_lsn() const { return next_lsn_; }
+
+  /// Closes the current segment; the next append opens a fresh one. Called
+  /// by checkpointing so completed segments can be deleted afterwards.
+  void Rotate();
+
+  uint64_t appends() const { return appends_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  WalWriter(Vfs* vfs, std::string dir, uint64_t next_lsn)
+      : vfs_(vfs), dir_(std::move(dir)), next_lsn_(next_lsn) {}
+
+  Status EnsureSegment();
+
+  Vfs* vfs_;
+  std::string dir_;
+  uint64_t next_lsn_;
+  std::unique_ptr<VfsFile> file_;  // current segment (null until first append)
+  uint64_t offset_ = 0;
+  uint64_t appends_ = 0;
+  uint64_t bytes_written_ = 0;
+};
+
+/// Outcome of a WAL replay pass.
+struct WalReplayStats {
+  uint64_t batches_applied = 0;
+  uint64_t records_applied = 0;
+  uint64_t records_skipped = 0;  ///< Committed but at/below `after_lsn`.
+  uint64_t last_lsn = 0;         ///< Highest committed LSN seen.
+  bool torn_tail = false;        ///< Final segment ended mid-record/batch.
+};
+
+/// Replays every committed batch in `dir` whose records have
+/// `lsn > after_lsn`, in LSN order, calling `apply` per record. A torn or
+/// CRC-invalid tail in the *final* segment stops replay cleanly
+/// (torn_tail = true); corruption in an earlier segment is an IoError —
+/// acknowledged updates would be missing. `resolve_ref` materializes
+/// proxy-reference terms (storage name + array id) back into terms.
+Result<WalReplayStats> ReplayWal(
+    Vfs* vfs, const std::string& dir, uint64_t after_lsn,
+    const std::function<Result<Term>(const std::string& storage_name,
+                                     uint64_t array_id)>& resolve_ref,
+    const std::function<Status(const WalRecord&)>& apply);
+
+/// Deletes segments whose first LSN is below `keep_from_lsn`. Correct only
+/// when every record below `keep_from_lsn` is already covered by a
+/// snapshot AND no kept segment contains records below it — the
+/// checkpoint sequence (Rotate, snapshot at LSN `next_lsn - 1`, truncate
+/// with `keep_from_lsn = next_lsn`) guarantees both.
+Status TruncateWalBelow(Vfs* vfs, const std::string& dir,
+                        uint64_t keep_from_lsn);
+
+}  // namespace storage
+}  // namespace scisparql
+
+#endif  // SCISPARQL_STORAGE_WAL_H_

@@ -4,6 +4,7 @@
 
 #include "storage/array_proxy.h"
 #include "storage/kv_backend.h"
+#include "storage/vfs.h"
 
 namespace scisparql {
 namespace {
@@ -121,6 +122,89 @@ TEST(KvBackend, StrategiesStillAgreeOnContent) {
       EXPECT_TRUE(got.NumericEquals(expected));
     }
   }
+}
+
+TEST(KvBackend, TornTrailingRecordTruncatedOnReopen) {
+  std::string path = TempLog("kv_torn.log");
+  {
+    auto kv = *KvArrayStorage::Open(path);
+    ASSERT_TRUE(kv->Put("k1", "value-one").ok());
+    ASSERT_TRUE(kv->Put("k2", "value-two").ok());
+  }
+  // Append half a record — the tail a crash mid-Put leaves behind.
+  storage::Vfs* vfs = storage::DefaultVfs();
+  {
+    auto f = *vfs->Open(path, storage::Vfs::OpenMode::kReadWrite);
+    uint64_t size = *f->Size();
+    uint32_t key_len = 7;
+    std::string torn(reinterpret_cast<const char*>(&key_len), 4);
+    torn += "par";  // only 3 of the promised 7 key bytes
+    ASSERT_TRUE(f->WriteAt(size, torn.data(), torn.size()).ok());
+  }
+  auto kv = *KvArrayStorage::Open(path);
+  EXPECT_TRUE(kv->truncated_tail());
+  EXPECT_EQ(kv->rejected_records(), 0u);
+  EXPECT_EQ(*kv->Get("k1"), "value-one");
+  EXPECT_EQ(*kv->Get("k2"), "value-two");
+  // The log stays usable: the torn bytes were truncated away, so a new
+  // record lands where they were and survives another reopen.
+  ASSERT_TRUE(kv->Put("k3", "value-three").ok());
+  auto again = *KvArrayStorage::Open(path);
+  EXPECT_FALSE(again->truncated_tail());
+  EXPECT_EQ(*again->Get("k3"), "value-three");
+}
+
+TEST(KvBackend, MidLogCorruptionRejectsOnlyThatRecord) {
+  std::string path = TempLog("kv_midlog.log");
+  {
+    auto kv = *KvArrayStorage::Open(path);
+    ASSERT_TRUE(kv->Put("a", "aaaa").ok());
+    ASSERT_TRUE(kv->Put("b", "bbbb").ok());
+  }
+  // Flip a byte inside the FIRST record's value:
+  // [u32 key_len=1]["a"][u32 val_len=4] puts the value at offset 9.
+  storage::Vfs* vfs = storage::DefaultVfs();
+  {
+    auto f = *vfs->Open(path, storage::Vfs::OpenMode::kReadWrite);
+    const char junk = 'Z';
+    ASSERT_TRUE(f->WriteAt(9, &junk, 1).ok());
+  }
+  auto kv = *KvArrayStorage::Open(path);
+  EXPECT_FALSE(kv->truncated_tail());  // framing is intact
+  EXPECT_EQ(kv->rejected_records(), 1u);
+  EXPECT_EQ(kv->Get("a").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(*kv->Get("b"), "bbbb");
+}
+
+TEST(KvBackend, ChecksumInvalidFinalRecordTreatedAsTornTail) {
+  std::string path = TempLog("kv_crc_tail.log");
+  uint64_t first_end;
+  {
+    auto kv = *KvArrayStorage::Open(path);
+    ASSERT_TRUE(kv->Put("k1", "value-one").ok());
+    storage::Vfs* vfs = storage::DefaultVfs();
+    auto f = *vfs->Open(path, storage::Vfs::OpenMode::kRead);
+    first_end = *f->Size();
+    ASSERT_TRUE(kv->Put("k2", "value-two").ok());
+  }
+  // Corrupt the LAST record's trailing CRC: a crash between the data and
+  // checksum hitting disk. Recovery must drop it like a short record.
+  storage::Vfs* vfs = storage::DefaultVfs();
+  {
+    auto f = *vfs->Open(path, storage::Vfs::OpenMode::kReadWrite);
+    uint64_t size = *f->Size();
+    char last;
+    ASSERT_EQ(*f->ReadAt(size - 1, &last, 1), 1u);
+    last = static_cast<char>(last ^ 0x5a);
+    ASSERT_TRUE(f->WriteAt(size - 1, &last, 1).ok());
+  }
+  auto kv = *KvArrayStorage::Open(path);
+  EXPECT_TRUE(kv->truncated_tail());
+  EXPECT_EQ(*kv->Get("k1"), "value-one");
+  EXPECT_EQ(kv->Get("k2").status().code(), StatusCode::kNotFound);
+  storage::Vfs* check = storage::DefaultVfs();
+  auto f = *check->Open(path, storage::Vfs::OpenMode::kRead);
+  EXPECT_EQ(*f->Size(), first_end);  // torn record physically truncated
 }
 
 }  // namespace

@@ -436,6 +436,27 @@ TEST_F(SchedTest, SessionQueryTimeout) {
   EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
 }
 
+TEST_F(SchedTest, ReadOnlyEngineRejectsWritesKeepsReads) {
+  SchedulerOptions options;
+  options.workers = 1;
+  QueryScheduler sched(&db_, options);
+  db_.EnterReadOnly("media failure (test)");
+
+  // Writers bounce at admission with the degradation reason...
+  auto update = sched.Execute(
+      "PREFIX ex: <http://example.org/> INSERT DATA { ex:z ex:val 9 }");
+  ASSERT_FALSE(update.ok());
+  EXPECT_EQ(update.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(update.status().message().find("read-only"), std::string::npos);
+
+  // ...while reads keep being served.
+  auto rows = sched.Execute(
+      "PREFIX ex: <http://example.org/> SELECT ?v WHERE { ex:a ex:val ?v }");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows.rows.size(), 1u);
+  EXPECT_GE(sched.stats().rejected, 1u);
+}
+
 }  // namespace
 }  // namespace sched
 }  // namespace scisparql

@@ -428,6 +428,74 @@ TEST(ServerLifecycle, ConnectToClosedPortFails) {
   EXPECT_FALSE(RemoteSession::Connect("127.0.0.1", dead_port).ok());
 }
 
+TEST(RemoteRetry, ConnectReportsAttemptCountOnRefusedPort) {
+  // Find a port with nothing listening by binding-then-closing a listener.
+  SSDM engine;
+  int dead_port;
+  {
+    SsdmServer server(&engine);
+    dead_port = *server.Start(0);
+  }
+  RemoteSession::RetryOptions retry;
+  retry.max_attempts = 2;
+  retry.initial_backoff = std::chrono::milliseconds(5);
+  auto session = RemoteSession::Connect(
+      "127.0.0.1", dead_port, std::chrono::milliseconds(500), retry);
+  ASSERT_FALSE(session.ok());
+  EXPECT_NE(session.status().message().find("after 2 attempts"),
+            std::string::npos);
+}
+
+TEST(RemoteRetry, BadAddressFailsWithoutRetry) {
+  RemoteSession::RetryOptions retry;
+  retry.max_attempts = 5;
+  retry.initial_backoff = std::chrono::milliseconds(50);
+  auto start = std::chrono::steady_clock::now();
+  auto session = RemoteSession::Connect(
+      "not-an-ip", 1, std::chrono::milliseconds(0), retry);
+  ASSERT_FALSE(session.ok());
+  EXPECT_EQ(session.status().code(), StatusCode::kInvalidArgument);
+  // No backoff sleeps: a bad address cannot heal, so it must fail fast.
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(50));
+}
+
+TEST_F(ServerTest, ReadResendsAfterServerRestart) {
+  RemoteSession::RetryOptions retry;
+  retry.max_attempts = 4;
+  retry.initial_backoff = std::chrono::milliseconds(10);
+  auto session = *RemoteSession::Connect(
+      "127.0.0.1", port_, std::chrono::milliseconds(2000), retry);
+  const std::string query =
+      "PREFIX ex: <http://example.org/> SELECT ?s WHERE { ?s ex:score 10 }";
+  ASSERT_TRUE(session.Query(query).ok());
+
+  // Bounce the server on the same port: the session's connection is dead,
+  // but a read-class statement transparently reconnects and resends.
+  server_->Stop();
+  server_ = std::make_unique<SsdmServer>(&engine_);
+  ASSERT_TRUE(server_->Start(port_).ok());
+  auto rows = session.Query(query);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->rows.size(), 1u);
+}
+
+TEST_F(ServerTest, UpdateIsNotResentOverBrokenConnection) {
+  RemoteSession::RetryOptions retry;
+  retry.max_attempts = 4;
+  retry.initial_backoff = std::chrono::milliseconds(10);
+  auto session = *RemoteSession::Connect(
+      "127.0.0.1", port_, std::chrono::milliseconds(2000), retry);
+  server_->Stop();
+  server_ = std::make_unique<SsdmServer>(&engine_);
+  ASSERT_TRUE(server_->Start(port_).ok());
+  // Updates are not idempotent, so the broken connection surfaces as an
+  // error instead of a silent double-apply.
+  auto run = session.Run(
+      "PREFIX ex: <http://example.org/> INSERT DATA { ex:r ex:score 1 }");
+  EXPECT_FALSE(run.ok());
+}
+
 }  // namespace
 }  // namespace client
 }  // namespace scisparql

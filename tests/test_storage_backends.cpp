@@ -3,9 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include "storage/fault_fs.h"
 #include "storage/file_backend.h"
 #include "storage/memory_backend.h"
 #include "storage/relational_backend.h"
+#include "storage/snapshot.h"
 
 namespace scisparql {
 namespace {
@@ -225,6 +227,90 @@ TEST(RelationalBackend, StrategyAffectsQueryCount) {
                                 [](uint64_t, const uint8_t*, size_t) {})
                   .ok());
   EXPECT_EQ(storage->last_select_stats().queries, 1u);  // one stride-2 run
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: the file back-end reports I/O failures instead of
+// silently persisting a truncated container.
+// ---------------------------------------------------------------------------
+
+class FileBackendFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/asei_fault_test";
+    (void)::system(("rm -rf " + dir_ + " && mkdir -p " + dir_).c_str());
+  }
+  NumericArray TestArray(int64_t n) {
+    NumericArray a = NumericArray::Zeros(ElementType::kDouble, {n});
+    for (int64_t i = 0; i < n; ++i) a.SetDoubleAt(i, i * 0.5);
+    return a;
+  }
+  std::string dir_;
+};
+
+TEST_F(FileBackendFaultTest, ShortHeaderWriteSurfacesAsError) {
+  storage::FaultyVfs faulty(storage::DefaultVfs());
+  FileArrayStorage fs(dir_, &faulty);
+  // Op 0 is the header write; persist only 4 of its bytes.
+  faulty.ScheduleFault(0, storage::FaultKind::kShortWrite, 4);
+  EXPECT_FALSE(fs.Store(TestArray(32), 16).ok());
+  EXPECT_EQ(faulty.faults_fired(), 1u);
+}
+
+TEST_F(FileBackendFaultTest, EnospcOnBodyWriteSurfacesAsError) {
+  storage::FaultyVfs faulty(storage::DefaultVfs());
+  FileArrayStorage fs(dir_, &faulty);
+  // Op 1 is the element-body write.
+  faulty.ScheduleFault(1, storage::FaultKind::kEnospc);
+  EXPECT_FALSE(fs.Store(TestArray(32), 16).ok());
+}
+
+TEST_F(FileBackendFaultTest, StoreSucceedsAndReadsBackWithoutFaults) {
+  storage::FaultyVfs faulty(storage::DefaultVfs());
+  FileArrayStorage fs(dir_, &faulty);
+  ArrayId id = *fs.Store(TestArray(32), 16);
+  StoredArrayMeta meta = *fs.GetMeta(id);
+  EXPECT_EQ(meta.NumElements(), 32);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot file format.
+// ---------------------------------------------------------------------------
+
+TEST(Snapshot, RoundTripAndCorruptionDetection) {
+  storage::Vfs* vfs = storage::DefaultVfs();
+  std::string dir = ::testing::TempDir() + "/snap_format_test";
+  (void)::system(("rm -rf " + dir + " && mkdir -p " + dir).c_str());
+  std::string path = dir + "/" + storage::SnapshotFileName(1);
+
+  std::vector<storage::SnapshotSection> sections;
+  sections.push_back({"", "<http://x/a> <http://x/p> 1 .\n"});
+  sections.push_back({"http://x/g", "<http://x/b> <http://x/q> 2 .\n"});
+  storage::SnapshotFooter footer;
+  footer.wal_lsn = 42;
+  footer.graphs.push_back({"", 1, 1});
+  footer.graphs.push_back({"http://x/g", 1, 1});
+  ASSERT_TRUE(storage::WriteSnapshot(vfs, path, sections, footer).ok());
+  EXPECT_TRUE(storage::IsSnapshotFile(vfs, path));
+
+  auto contents = *storage::ReadSnapshot(vfs, path);
+  ASSERT_EQ(contents.sections.size(), 2u);
+  EXPECT_EQ(contents.sections[1].graph_iri, "http://x/g");
+  EXPECT_EQ(contents.footer.wal_lsn, 42u);
+  ASSERT_EQ(contents.footer.graphs.size(), 2u);
+
+  // Any flipped byte must fail a CRC — section or footer alike.
+  auto f = *vfs->Open(path, storage::Vfs::OpenMode::kReadWrite);
+  uint64_t size = *f->Size();
+  for (uint64_t off : {size / 3, size / 2, size - 2}) {
+    char b;
+    ASSERT_EQ(*f->ReadAt(off, &b, 1), 1u);
+    char flipped = static_cast<char>(b ^ 0x40);
+    ASSERT_TRUE(f->WriteAt(off, &flipped, 1).ok());
+    EXPECT_FALSE(storage::ReadSnapshot(vfs, path).ok()) << "offset " << off;
+    ASSERT_TRUE(f->WriteAt(off, &b, 1).ok());  // restore for the next probe
+  }
+  EXPECT_TRUE(storage::ReadSnapshot(vfs, path).ok());
 }
 
 }  // namespace
