@@ -12,16 +12,29 @@
 // reported separately for transparency: on one core it cannot exceed 1x.
 //
 // Output: a table plus machine-readable JSON lines ("RESULT {...}").
+//
+// --replicas N switches to the replication read-scaling mode: one durable
+// primary plus 1..N WAL-streaming replicas, 16 ReplicaRouter clients
+// fanning reads across the replicas while a writer drives updates through
+// the primary. Reports aggregate read qps per replica count and the
+// replica lag observed under write load, and writes BENCH_repl.json.
+// --smoke shrinks the run and asserts the scaling/convergence gates.
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
+#include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "client/server.h"
 #include "engine/ssdm.h"
+#include "repl/replica.h"
+#include "repl/router.h"
 #include "sched/scheduler.h"
 
 namespace scisparql {
@@ -104,11 +117,354 @@ double RunWorkload(SSDM* db, int workers, const std::vector<std::string>& mix,
   return total / (elapsed_ms / 1000.0);
 }
 
+// ---------------------------------------------------------------------------
+// Replication read-scaling mode (--replicas N).
+// ---------------------------------------------------------------------------
+
+constexpr int kReplClients = 16;
+
+const char kNs[] = "http://example.org/";
+
+/// The simulated array-store fetch, registered on every engine that may
+/// serve reads (foreign functions are engine-local and do not replicate).
+void RegisterFetch(SSDM* db) {
+  db->RegisterForeign(
+      std::string(kNs) + "fetch",
+      [](std::span<const Term> args) -> Result<Term> {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(kFetchLatencyMs));
+        return args[0];
+      },
+      1, /*cost=*/100.0);
+}
+
+/// One replica: memory engine + server + WAL applier off the primary.
+struct ReplNode {
+  SSDM engine;
+  std::unique_ptr<client::SsdmServer> server;
+  std::unique_ptr<repl::ReplicaApplier> applier;
+  int port = 0;
+
+  Status Start(int primary_port, const std::string& id) {
+    engine.prefixes().Set("ex", kNs);
+    RegisterFetch(&engine);
+    client::SsdmServer::Options opts;
+    opts.sched.workers = 4;
+    opts.sched.queue_capacity = 256;
+    server = std::make_unique<client::SsdmServer>(&engine, opts);
+    auto bound = server->Start(0);
+    if (!bound.ok()) return bound.status();
+    port = *bound;
+    repl::ReplicaApplier::Options aopts;
+    aopts.replica_id = id;
+    aopts.primary_port = primary_port;
+    aopts.poll_interval = std::chrono::milliseconds(5);
+    applier = std::make_unique<repl::ReplicaApplier>(&engine, aopts);
+    return applier->Start(server->scheduler());
+  }
+
+  void Stop() {
+    if (applier != nullptr) applier->Stop();
+    if (server != nullptr) server->Stop();
+  }
+  ~ReplNode() { Stop(); }
+};
+
+/// Read-mostly workload for the routers: array fetches dominate (the
+/// mediator's bread and butter), one CPU-bound aggregate keeps the mix
+/// honest. All read-class, so the router fans them across replicas.
+std::vector<std::string> ReplicaReadMix() {
+  const std::string prolog = "PREFIX ex: <http://example.org/> ";
+  return {
+      prolog + "SELECT (ex:fetch(?a) AS ?v) WHERE { ex:p1 ex:age ?a }",
+      prolog + "SELECT (ex:fetch(?a) AS ?v) WHERE { ex:p2 ex:age ?a }",
+      prolog + "SELECT (ex:fetch(?a) AS ?v) WHERE { ex:p3 ex:age ?a }",
+      prolog + "SELECT (AVG(?a) AS ?m) WHERE "
+               "{ ?x ex:age ?a FILTER(?a > 40) }",
+  };
+}
+
+struct ReplRunResult {
+  int replicas = 0;
+  double read_qps = 0;
+  int errors = 0;
+  uint64_t replica_reads = 0;
+  uint64_t primary_reads = 0;
+  uint64_t writes = 0;
+  double write_qps = 0;
+  uint64_t max_lag = 0;   ///< Peak LSN lag sampled during the read run.
+  bool converged = false; ///< All replicas reached the final write LSN.
+};
+
+/// One measurement: n fresh replicas stream from the primary, 16 router
+/// clients issue `total_reads` reads while a writer keeps updating the
+/// primary; lag is sampled throughout and convergence checked at the end.
+ReplRunResult RunReplicaWorkload(int primary_port, int n, int total_reads,
+                                 std::atomic<uint64_t>* write_seq) {
+  ReplRunResult out;
+  out.replicas = n;
+
+  std::vector<std::unique_ptr<ReplNode>> nodes;
+  std::vector<repl::ReplicaRouter::Endpoint> replica_eps;
+  for (int i = 0; i < n; ++i) {
+    auto node = std::make_unique<ReplNode>();
+    Status st = node->Start(primary_port, "bench-r" + std::to_string(i + 1));
+    if (!st.ok()) {
+      std::fprintf(stderr, "replica start failed: %s\n", st.ToString().c_str());
+      out.errors = total_reads;
+      return out;
+    }
+    replica_eps.push_back({"127.0.0.1", node->port});
+    nodes.push_back(std::move(node));
+  }
+  repl::ReplicaRouter::Endpoint primary_ep{"127.0.0.1", primary_port};
+
+  // Let the fresh replicas absorb the seed data before the clock starts.
+  auto warm = client::RemoteSession::Connect("127.0.0.1", primary_port);
+  if (!warm.ok()) {
+    out.errors = total_reads;
+    return out;
+  }
+  auto probe = repl::ProbeLsn(&*warm);
+  uint64_t seed_lsn = probe.ok() ? probe->lsn : 0;
+  for (auto& node : nodes) {
+    node->applier->WaitForLsn(seed_lsn, std::chrono::seconds(20));
+  }
+
+  std::atomic<bool> stop_writer{false};
+  std::atomic<bool> stop_sampler{false};
+  std::atomic<uint64_t> writes{0};
+  std::atomic<uint64_t> last_write_lsn{0};
+  std::atomic<uint64_t> max_lag{0};
+
+  // Writer: a steady update stream through the primary, ~1 write/ms.
+  std::thread writer([&] {
+    auto router = repl::ReplicaRouter::Connect(primary_ep, {});
+    if (!router.ok()) return;
+    const std::string prolog = "PREFIX ex: <http://example.org/> ";
+    while (!stop_writer.load()) {
+      uint64_t i = write_seq->fetch_add(1);
+      auto r = router->Run(prolog + "INSERT DATA { ex:w" + std::to_string(i) +
+                           " ex:wval " + std::to_string(i) + " }");
+      if (r.ok()) {
+        writes.fetch_add(1);
+        last_write_lsn.store(router->last_write_lsn());
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  // Lag sampler: peak (primary LSN − replica applied LSN) across replicas.
+  std::thread sampler([&] {
+    while (!stop_sampler.load()) {
+      uint64_t lag = 0;
+      for (auto& node : nodes) lag = std::max(lag, node->applier->lag());
+      uint64_t prev = max_lag.load();
+      while (lag > prev && !max_lag.compare_exchange_weak(prev, lag)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
+  std::vector<std::string> mix = ReplicaReadMix();
+  std::atomic<int> next{0};
+  std::atomic<int> failed{0};
+  std::atomic<uint64_t> replica_reads{0};
+  std::atomic<uint64_t> primary_reads{0};
+
+  Timer timer;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kReplClients; ++c) {
+    clients.emplace_back([&] {
+      auto router = repl::ReplicaRouter::Connect(primary_ep, replica_eps);
+      if (!router.ok()) {
+        failed.fetch_add(total_reads / kReplClients);
+        return;
+      }
+      for (int i = next.fetch_add(1); i < total_reads;
+           i = next.fetch_add(1)) {
+        auto r = router->Query(mix[i % mix.size()]);
+        if (!r.ok()) failed.fetch_add(1);
+      }
+      replica_reads.fetch_add(router->stats().replica_reads);
+      primary_reads.fetch_add(router->stats().primary_reads);
+    });
+  }
+  for (auto& t : clients) t.join();
+  double elapsed_ms = timer.ElapsedMs();
+  double write_elapsed_ms = elapsed_ms;
+
+  stop_writer.store(true);
+  writer.join();
+  stop_sampler.store(true);
+  sampler.join();
+
+  // Convergence: every replica must reach the last acked write.
+  uint64_t target = last_write_lsn.load();
+  out.converged = true;
+  for (auto& node : nodes) {
+    if (!node->applier->WaitForLsn(target, std::chrono::seconds(20))) {
+      out.converged = false;
+    }
+  }
+
+  out.read_qps = total_reads / (elapsed_ms / 1000.0);
+  out.errors = failed.load();
+  out.replica_reads = replica_reads.load();
+  out.primary_reads = primary_reads.load();
+  out.writes = writes.load();
+  out.write_qps = out.writes / (write_elapsed_ms / 1000.0);
+  out.max_lag = max_lag.load();
+  return out;
+}
+
+int RunReplicationBench(int max_replicas, bool smoke) {
+  const int total_reads = smoke ? 480 : 1500;
+
+  // Durable primary, seeded through the statement path so the seed data
+  // lands in the WAL and ships to the replicas.
+  SSDM primary;
+  primary.prefixes().Set("ex", kNs);
+  RegisterFetch(&primary);
+  std::string dir = bench::TempDir("repl_primary");
+  Status open = primary.Open(dir);
+  if (!open.ok()) {
+    std::fprintf(stderr, "primary open failed: %s\n", open.ToString().c_str());
+    return 1;
+  }
+  const std::string prolog = "PREFIX ex: <http://example.org/> ";
+  for (int base = 0; base < kPeople; base += 50) {
+    std::ostringstream stmt;
+    stmt << prolog << "INSERT DATA {";
+    for (int i = base; i < base + 50 && i < kPeople; ++i) {
+      stmt << " ex:p" << i << " ex:age " << (20 + i % 60) << " .";
+      stmt << " ex:p" << i << " ex:knows ex:p" << ((i + 1) % kPeople) << " .";
+    }
+    stmt << " }";
+    Status st = primary.Run(stmt.str());
+    if (!st.ok()) {
+      std::fprintf(stderr, "seed failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  client::SsdmServer::Options sopts;
+  sopts.sched.workers = 4;
+  sopts.sched.queue_capacity = 256;
+  client::SsdmServer server(&primary, sopts);
+  auto bound = server.Start(0);
+  if (!bound.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 bound.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("replication read scaling: %d reads per run, %d router "
+              "clients, %d ms simulated array-store latency per fetch, "
+              "writer at ~1 update/ms\n\n",
+              total_reads, kReplClients, kFetchLatencyMs);
+
+  std::atomic<uint64_t> write_seq{0};
+  std::vector<ReplRunResult> results;
+  Table table({"replicas", "read qps", "speedup", "replica reads",
+               "writes", "max lag"});
+  double base_qps = 0;
+  std::string runs_json;
+  for (int n = 1; n <= max_replicas; ++n) {
+    ReplRunResult r = RunReplicaWorkload(*bound, n, total_reads, &write_seq);
+    if (n == 1) base_qps = r.read_qps;
+    results.push_back(r);
+    table.AddRow({std::to_string(n), Fmt(r.read_qps, 1),
+                  Fmt(r.read_qps / base_qps, 2) + "x",
+                  std::to_string(r.replica_reads), std::to_string(r.writes),
+                  std::to_string(r.max_lag)});
+    std::string line = Json()
+                           .Str("bench", "replication_read_scaling")
+                           .Int("replicas", n)
+                           .Int("reads", total_reads)
+                           .Int("clients", kReplClients)
+                           .Num("read_qps", r.read_qps)
+                           .Num("speedup_vs_1", r.read_qps / base_qps)
+                           .Int("replica_reads", (long long)r.replica_reads)
+                           .Int("primary_reads", (long long)r.primary_reads)
+                           .Int("writes", (long long)r.writes)
+                           .Num("write_qps", r.write_qps)
+                           .Int("max_lag_lsn", (long long)r.max_lag)
+                           .Int("errors", r.errors)
+                           .Int("converged", r.converged ? 1 : 0)
+                           .Build();
+    std::printf("RESULT %s\n", line.c_str());
+    if (!runs_json.empty()) runs_json += ", ";
+    runs_json += line;
+  }
+  std::printf("\n");
+  table.Print();
+
+  server.Stop();
+
+  std::ofstream json_out("BENCH_repl.json");
+  json_out << "{\"bench\": \"replication_read_scaling\", \"clients\": "
+           << kReplClients << ", \"reads_per_run\": " << total_reads
+           << ", \"fetch_latency_ms\": " << kFetchLatencyMs
+           << ", \"runs\": [" << runs_json << "]}\n";
+  json_out.close();
+  std::printf("wrote BENCH_repl.json\n");
+
+  int rc = 0;
+  for (const ReplRunResult& r : results) {
+    if (r.errors > 0) {
+      std::fprintf(stderr, "FAIL: %d reads failed at %d replicas\n", r.errors,
+                   r.replicas);
+      rc = 1;
+    }
+    if (!r.converged) {
+      std::fprintf(stderr, "FAIL: replicas did not converge at n=%d\n",
+                   r.replicas);
+      rc = 1;
+    }
+  }
+  if (smoke && results.size() >= 3) {
+    double scale = results[2].read_qps / results[0].read_qps;
+    if (scale < 1.8) {
+      std::fprintf(stderr,
+                   "FAIL: read qps scaled only %.2fx from 1 to 3 replicas "
+                   "(want >= 1.8x)\n",
+                   scale);
+      rc = 1;
+    } else {
+      std::printf("smoke: read qps scaled %.2fx from 1 to 3 replicas\n",
+                  scale);
+    }
+  }
+  return rc;
+}
+
 }  // namespace
 }  // namespace scisparql
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scisparql;
+
+  int replicas = 0;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--replicas") == 0 && i + 1 < argc) {
+      replicas = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--replicas N] [--smoke]\n"
+                   "  (no flags)    scheduler worker-pool scaling bench\n"
+                   "  --replicas N  replication read scaling at 1..N "
+                   "replicas, writes BENCH_repl.json\n"
+                   "  --smoke       shorter run + scaling assertions\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (replicas > 0) return RunReplicationBench(replicas, smoke);
+
   SSDM db;
   db.prefixes().Set("ex", "http://example.org/");
   BuildGraph(&db);

@@ -1,16 +1,109 @@
 // SSDM in client-server mode (Section 5.1): serves SciSPARQL statements
-// over TCP. This demo starts a server on an ephemeral port, connects a
-// client in the same process, and runs a remote session end to end —
-// with real sockets, exactly what a remote client would do.
+// over TCP. Three ways to run it:
 //
-// Usage: scisparql_server [port [file.ttl ...]]
-//   With a port argument the server stays up serving remote clients until
-//   killed; without one it runs the self-contained demo below.
+//   scisparql_server                         self-contained demo (below)
+//   scisparql_server <port> [file.ttl ...]   legacy: serve until Enter/kill
+//   scisparql_server [--port N] [--open DIR] [--replica-of HOST:PORT]
+//                    [--id NAME] [file.ttl ...]
+//
+// The flag form is what the replication smoke test drives:
+//   --port N            listen port (0 = ephemeral; the bound port is
+//                       printed on the "SSDM serving ..." line)
+//   --open DIR          durable store: recover snapshot+WAL, log updates
+//   --replica-of H:P    run as a read replica of the SSDM server at H:P —
+//                       a background applier streams the primary's WAL
+//                       and applies it through this server's scheduler;
+//                       client writes are rejected with a pointer to the
+//                       primary. Combined with --open the replica writes
+//                       the stream through to its own WAL and recovers
+//                       locally on restart, rejoining at its applied LSN.
+//   --id NAME           replica id reported to the primary (metrics label)
+//
+// With stdin at EOF (e.g. </dev/null under a launcher script) the server
+// keeps serving until killed; interactively, Enter stops it.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "client/server.h"
+#include "repl/replica.h"
+
+namespace {
+
+bool IsNumber(const char* s) {
+  if (*s == '\0') return false;
+  for (; *s != '\0'; ++s) {
+    if (*s < '0' || *s > '9') return false;
+  }
+  return true;
+}
+
+/// Blocks until Enter (interactive) or forever (stdin already at EOF —
+/// the launcher owns our lifetime and kills us).
+void WaitForStop() {
+  if (std::getchar() != EOF) return;
+  for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
+}
+
+int ServeForever(scisparql::SSDM* engine, int port, const std::string& open_dir,
+                 const std::string& primary, const std::string& replica_id) {
+  using namespace scisparql;
+  if (!open_dir.empty()) {
+    Status st = engine->Open(open_dir);
+    if (!st.ok()) {
+      std::fprintf(stderr, "open %s: %s\n", open_dir.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  client::SsdmServer::Options options;
+  options.sched.workers = 4;
+  options.sched.queue_capacity = 128;
+  client::SsdmServer server(engine, options);
+  auto bound = server.Start(port);
+  if (!bound.ok()) {
+    std::fprintf(stderr, "%s\n", bound.status().ToString().c_str());
+    return 1;
+  }
+
+  std::unique_ptr<repl::ReplicaApplier> applier;
+  if (!primary.empty()) {
+    size_t colon = primary.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "--replica-of wants HOST:PORT, got %s\n",
+                   primary.c_str());
+      return 1;
+    }
+    repl::ReplicaApplier::Options ropts;
+    ropts.replica_id = replica_id;
+    ropts.primary_host = primary.substr(0, colon);
+    ropts.primary_port = std::atoi(primary.c_str() + colon + 1);
+    applier = std::make_unique<repl::ReplicaApplier>(engine, ropts);
+    Status st = applier->Start(server.scheduler());
+    if (!st.ok()) {
+      std::fprintf(stderr, "replica start: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::printf("SSDM serving on 127.0.0.1:%d (%s, lsn=%llu)\n", *bound,
+              primary.empty() ? "primary" : ("replica of " + primary).c_str(),
+              static_cast<unsigned long long>(engine->last_lsn()));
+  std::fflush(stdout);
+  WaitForStop();
+  if (applier != nullptr) applier->Stop();
+  server.Stop();
+  std::printf("scheduler: %s\n", server.scheduler_stats().ToString().c_str());
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace scisparql;
@@ -18,30 +111,51 @@ int main(int argc, char** argv) {
   engine.prefixes().Set("ex", "http://example.org/");
 
   if (argc > 1) {
-    int port = std::atoi(argv[1]);
-    for (int i = 2; i < argc; ++i) {
-      Status st = engine.LoadTurtleFile(argv[i]);
+    int port = 0;
+    std::string open_dir, primary, replica_id = "replica";
+    std::vector<const char*> files;
+    bool flags_seen = false;
+    if (IsNumber(argv[1])) {
+      // Legacy positional form: <port> [file.ttl ...].
+      port = std::atoi(argv[1]);
+      for (int i = 2; i < argc; ++i) files.push_back(argv[i]);
+    } else {
+      for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char* {
+          return i + 1 < argc ? argv[++i] : "";
+        };
+        if (a == "--port") {
+          port = std::atoi(next());
+          flags_seen = true;
+        } else if (a == "--open") {
+          open_dir = next();
+          flags_seen = true;
+        } else if (a == "--replica-of") {
+          primary = next();
+          flags_seen = true;
+        } else if (a == "--id") {
+          replica_id = next();
+          flags_seen = true;
+        } else {
+          files.push_back(argv[i]);
+        }
+      }
+      if (!flags_seen) {
+        std::fprintf(stderr,
+                     "usage: scisparql_server [--port N] [--open DIR] "
+                     "[--replica-of HOST:PORT] [--id NAME] [file.ttl ...]\n");
+        return 2;
+      }
+    }
+    for (const char* f : files) {
+      Status st = engine.LoadTurtleFile(f);
       if (!st.ok()) {
         std::fprintf(stderr, "%s\n", st.ToString().c_str());
         return 1;
       }
     }
-    client::SsdmServer::Options options;
-    options.sched.workers = 4;
-    options.sched.queue_capacity = 128;
-    client::SsdmServer server(&engine, options);
-    auto bound = server.Start(port);
-    if (!bound.ok()) {
-      std::fprintf(stderr, "%s\n", bound.status().ToString().c_str());
-      return 1;
-    }
-    std::printf(
-        "SSDM serving on 127.0.0.1:%d (%d workers) — press Enter to stop.\n",
-        *bound, options.sched.workers);
-    (void)std::getchar();
-    server.Stop();
-    std::printf("scheduler: %s\n", server.scheduler_stats().ToString().c_str());
-    return 0;
+    return ServeForever(&engine, port, open_dir, primary, replica_id);
   }
 
   // --- Self-contained demo. ---

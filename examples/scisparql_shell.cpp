@@ -14,6 +14,14 @@
 //                       line (then call it with "EXECUTE q1(...) ;")
 //   .cache <on|off>     toggle the result cache; ".cache" prints both
 //                       layers' hit/miss/invalidation/eviction counters
+//   .replica <host> <port>  turn this shell's engine into a live read
+//                       replica of the SSDM server at host:port: a
+//                       background applier streams the primary's WAL and
+//                       all subsequent statements run through a local
+//                       scheduler (reads serve here, writes are rejected
+//                       with a pointer to the primary)
+//   .lsn                applied LSN (and, as a replica, the primary's LSN
+//                       and current lag)
 //   .stats              triple counts per graph
 //   .metrics            Prometheus-style engine metrics exposition
 //   .help               this text
@@ -32,14 +40,22 @@
 #include "common/string_util.h"
 #include "engine/ssdm.h"
 #include "loaders/turtle.h"
+#include "repl/replica.h"
 #include "sched/query_context.h"
+#include "sched/scheduler.h"
 
 namespace {
+
+/// Set by .replica: once the applier mutates the engine from its own
+/// thread, every statement must go through the scheduler's lock.
+std::unique_ptr<scisparql::sched::QueryScheduler> g_scheduler;
+std::unique_ptr<scisparql::repl::ReplicaApplier> g_applier;
 
 void PrintHelp() {
   std::printf(
       "SciSPARQL shell. End a statement with a line containing only ';'.\n"
       "Meta-commands: .load <file>  .open <dir>  .checkpoint  "
+      ".replica <host> <port>  .lsn  "
       ".explain on|off  .translate on|off  "
       ".timeout <ms>  .prepare [name(...) AS query]  .cache [on|off]  "
       ".stats  .metrics  .help  .quit\n");
@@ -57,7 +73,12 @@ void Execute(scisparql::SSDM* db, const std::string& text, bool explain,
     ctx = scisparql::sched::QueryContext::WithTimeout(
         std::chrono::milliseconds(timeout_ms));
   }
-  auto result = db->Execute(text, timeout_ms > 0 ? &ctx : nullptr);
+  auto result =
+      g_scheduler != nullptr
+          ? g_scheduler->Execute(text, timeout_ms > 0
+                                           ? ctx
+                                           : scisparql::sched::QueryContext())
+          : db->Execute(text, timeout_ms > 0 ? &ctx : nullptr);
   if (!result.ok()) {
     std::printf("error: %s\n", result.status().ToString().c_str());
     return;
@@ -116,8 +137,8 @@ int main(int argc, char** argv) {
     if (buffer.empty() && !stripped.empty() && stripped[0] == '.') {
       // Meta-command.
       std::istringstream in(stripped);
-      std::string cmd, arg;
-      in >> cmd >> arg;
+      std::string cmd, arg, arg2;
+      in >> cmd >> arg >> arg2;
       if (cmd == ".quit" || cmd == ".exit") break;
       if (cmd == ".help") {
         PrintHelp();
@@ -140,6 +161,40 @@ int main(int argc, char** argv) {
         } else {
           std::printf("error: %s\n", info.status().ToString().c_str());
         }
+      } else if (cmd == ".replica") {
+        if (arg.empty() || arg2.empty()) {
+          std::printf("usage: .replica <host> <port>\n");
+        } else if (g_applier != nullptr) {
+          std::printf("already a replica of %s\n",
+                      db.write_reject_reason().c_str());
+        } else {
+          scisparql::sched::SchedulerOptions sopts;
+          sopts.workers = 2;
+          g_scheduler =
+              std::make_unique<scisparql::sched::QueryScheduler>(&db, sopts);
+          scisparql::repl::ReplicaApplier::Options ropts;
+          ropts.replica_id = "shell";
+          ropts.primary_host = arg;
+          ropts.primary_port = std::atoi(arg2.c_str());
+          g_applier = std::make_unique<scisparql::repl::ReplicaApplier>(
+              &db, ropts);
+          (void)g_applier->Start(g_scheduler.get());
+          std::printf("replicating from %s:%s — writes now belong on the "
+                      "primary\n", arg.c_str(), arg2.c_str());
+        }
+      } else if (cmd == ".lsn") {
+        std::printf("applied_lsn=%llu",
+                    static_cast<unsigned long long>(db.last_lsn()));
+        if (g_applier != nullptr) {
+          std::printf(" primary_lsn=%llu lag=%llu connected=%s",
+                      static_cast<unsigned long long>(
+                          g_applier->primary_lsn()),
+                      static_cast<unsigned long long>(g_applier->lag()),
+                      g_applier->connected() ? "yes" : "no");
+          std::string err = g_applier->last_error();
+          if (!err.empty()) std::printf(" last_error=\"%s\"", err.c_str());
+        }
+        std::printf("\n");
       } else if (cmd == ".translate") {
         // Toggle: print the ObjectLog-style calculus form (§5.4.5) of each
         // subsequent SELECT before executing it.

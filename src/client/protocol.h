@@ -40,8 +40,14 @@ namespace client {
 ///     kind 'R' rows    — serialized QueryResult (SELECT)
 ///          'B' boolean — one byte (ASK)
 ///          'G' graph   — Turtle text (CONSTRUCT / DESCRIBE)
-///          'U' update  — decimal triples-touched count (updates / DEFINE)
+///          'U' update  — decimal triples-touched count (updates / DEFINE),
+///                        optionally followed by " <commit lsn>" on durable
+///                        engines (the client's read-your-writes token)
 ///          'I' info    — EXPLAIN [ANALYZE] / STATS / METRICS text
+///
+/// A payload whose first byte is 0x02 is a *replication* request — LSN
+/// probes, WAL-batch fetches and bootstrap snapshots, documented in
+/// repl/wire.h — served by the same port and frame format.
 ///
 /// Any other first byte is a legacy request: the bare statement text,
 /// answered with a one-byte kind tag + body:

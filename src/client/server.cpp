@@ -112,6 +112,7 @@ bool PeerClosed(int fd) {
 }  // namespace
 
 Result<int> SsdmServer::Start(int port) {
+  shipper_ = std::make_unique<repl::WalShipper>(engine_);
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) return Status::IoError("socket() failed");
   int one = 1;
@@ -215,6 +216,14 @@ void SsdmServer::ServeConnection(Connection* conn) {
 }
 
 std::string SsdmServer::Dispatch(const std::string& request, int fd) {
+  // Replication verbs (marker 0x02) are served by the WAL shipper on this
+  // I/O thread: probe and fetch never touch the engine (the durable-LSN
+  // atomic gates what the segment scan may ship), and the snapshot verb
+  // goes through the scheduler as a read like everything else.
+  if (!request.empty() && request[0] == repl::kReplMarker) {
+    Result<std::string> reply = shipper_->Handle(request, scheduler_.get());
+    return reply.ok() ? *reply : ErrorPayload(reply.status());
+  }
   // Both request forms funnel into one QueryRequest and one scheduler
   // submission; only the response encoding differs. The "STATS" verb is
   // answered with scheduler counters plus the engine's report; the engine
@@ -293,10 +302,16 @@ std::string SsdmServer::Dispatch(const std::string& request, int fd) {
         resp.kind = 'B';
         resp.body.push_back(result->ask() ? 1 : 0);
         break;
-      case QueryOutcome::Kind::kUpdateCount:
+      case QueryOutcome::Kind::kUpdateCount: {
         resp.kind = 'U';
         resp.body = std::to_string(result->update_count());
+        // The commit LSN rides along as a second decimal field — the
+        // client's read-your-writes token. Old clients strtoll the count
+        // and never look past the space.
+        uint64_t lsn = std::get<QueryOutcome::UpdateCount>(result->value).lsn;
+        if (lsn > 0) resp.body += " " + std::to_string(lsn);
         break;
+      }
       case QueryOutcome::Kind::kInfo:
         resp.kind = 'I';
         resp.body = result->info();
@@ -404,18 +419,24 @@ RemoteSession::RemoteSession(int fd, std::string host, int port,
                ^ (reinterpret_cast<uintptr_t>(this) << 16) ^ 0x9e3779b97f4a7c15ull;
 }
 
-std::chrono::milliseconds RemoteSession::BackoffDelay(int attempt) {
-  double base = static_cast<double>(retry_.initial_backoff.count());
-  for (int i = 0; i < attempt; ++i) base *= retry_.multiplier;
-  base = std::min(base, static_cast<double>(retry_.max_backoff.count()));
+std::chrono::milliseconds RetryBackoff(
+    const RemoteSession::RetryOptions& retry, int attempt,
+    uint64_t* rng_state) {
+  double base = static_cast<double>(retry.initial_backoff.count());
+  for (int i = 0; i < attempt; ++i) base *= retry.multiplier;
+  base = std::min(base, static_cast<double>(retry.max_backoff.count()));
   // xorshift64 — plenty for jitter, no <random> machinery per call.
-  rng_state_ ^= rng_state_ << 13;
-  rng_state_ ^= rng_state_ >> 7;
-  rng_state_ ^= rng_state_ << 17;
-  double unit = static_cast<double>(rng_state_ % 10000) / 10000.0;  // [0,1)
-  double jittered = base * (1.0 + retry_.jitter * (2.0 * unit - 1.0));
+  *rng_state ^= *rng_state << 13;
+  *rng_state ^= *rng_state >> 7;
+  *rng_state ^= *rng_state << 17;
+  double unit = static_cast<double>(*rng_state % 10000) / 10000.0;  // [0,1)
+  double jittered = base * (1.0 + retry.jitter * (2.0 * unit - 1.0));
   if (jittered < 0) jittered = 0;
   return std::chrono::milliseconds(static_cast<int64_t>(jittered));
+}
+
+std::chrono::milliseconds RemoteSession::BackoffDelay(int attempt) {
+  return RetryBackoff(retry_, attempt, &rng_state_);
 }
 
 Result<RemoteSession> RemoteSession::Connect(
@@ -553,7 +574,13 @@ Result<QueryOutcome> RemoteSession::Execute(const QueryRequest& req) {
     }
     case 'U': {
       QueryOutcome::UpdateCount u;
-      u.count = std::strtoll(resp.body.c_str(), nullptr, 10);
+      char* rest = nullptr;
+      u.count = std::strtoll(resp.body.c_str(), &rest, 10);
+      // Optional second field: the commit LSN of the acked update (absent
+      // from servers predating replication, and from non-durable engines).
+      if (rest != nullptr && *rest == ' ') {
+        u.lsn = std::strtoull(rest + 1, nullptr, 10);
+      }
       return QueryOutcome{u};
     }
     case 'I':

@@ -12,6 +12,7 @@
 
 #include "common/status.h"
 #include "engine/ssdm.h"
+#include "repl/shipper.h"
 #include "sched/scheduler.h"
 
 namespace scisparql {
@@ -57,6 +58,15 @@ class SsdmServer {
   int port() const { return port_; }
   uint64_t requests_served() const { return requests_; }
 
+  /// The scheduler serializing all engine access while the server runs
+  /// (null before Start). A replica applier attaches here so its apply
+  /// path takes the same exclusive lock the served reads respect.
+  sched::QueryScheduler* scheduler() { return scheduler_.get(); }
+
+  /// The WAL shipper answering replication requests on this server's port
+  /// (null before Start). Exposes per-replica applied LSN / lag state.
+  repl::WalShipper* shipper() { return shipper_.get(); }
+
   /// Scheduler counters (admitted/rejected/completed/timed-out, queue
   /// high-water, per-class latency sums) — also exposed to remote clients
   /// through the STATS protocol verb.
@@ -79,6 +89,7 @@ class SsdmServer {
   SSDM* engine_;
   Options options_;
   std::unique_ptr<sched::QueryScheduler> scheduler_;
+  std::unique_ptr<repl::WalShipper> shipper_;
   int listen_fd_ = -1;
   int port_ = 0;
   std::thread accept_thread_;
@@ -177,6 +188,15 @@ class RemoteSession {
   Result<QueryOutcome> ExecutePrepared(const std::string& name,
                                        const std::vector<Term>& args);
 
+  /// Raw request round-trip for protocol extensions layered on the same
+  /// frames (the replication verbs): sends `payload` verbatim and returns
+  /// the raw response payload, with the usual 'E' error mapping. Set
+  /// `retry_safe` only for idempotent requests — they are resent over a
+  /// fresh connection per the retry policy, exactly like reads.
+  Result<std::string> Call(const std::string& payload, bool retry_safe) {
+    return RoundTrip(payload, retry_safe);
+  }
+
  private:
   RemoteSession(int fd, std::string host, int port,
                 std::chrono::milliseconds timeout, RetryOptions retry);
@@ -203,6 +223,16 @@ class RemoteSession {
   RetryOptions retry_;
   uint64_t rng_state_ = 0;  ///< xorshift state for retry jitter
 };
+
+/// The backoff schedule behind RemoteSession's retries, exposed as a pure
+/// function of (options, attempt, rng state) so the policy is testable
+/// without sockets: geometric growth by `multiplier` from
+/// `initial_backoff`, capped at `max_backoff`, then ±`jitter` applied
+/// uniformly. `rng_state` is xorshift64 state, advanced on every call
+/// (with jitter 0 the result is exact and deterministic).
+std::chrono::milliseconds RetryBackoff(
+    const RemoteSession::RetryOptions& retry, int attempt,
+    uint64_t* rng_state);
 
 }  // namespace client
 }  // namespace scisparql

@@ -23,6 +23,9 @@ enum class StatusCode {
   kCancelled,         ///< Query cancelled cooperatively (client gone).
   kDeadlineExceeded,  ///< Query exceeded its deadline mid-flight.
   kUnavailable,       ///< Server overloaded; retry later (admission control).
+  // New codes append here: the numeric values travel as wire-protocol
+  // error bytes, so reordering the list would change meanings remotely.
+  kFailedPrecondition,  ///< Operation requires a state the system is not in.
 };
 
 /// Returns a short human-readable name ("ParseError", ...) for a code.
@@ -72,6 +75,9 @@ class Status {
   }
   static Status Unavailable(std::string m) {
     return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

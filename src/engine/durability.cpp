@@ -66,6 +66,7 @@ Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Open(
 Status DurabilityManager::StartWal(uint64_t next_lsn) {
   SCISPARQL_ASSIGN_OR_RETURN(
       wal_, storage::WalWriter::Create(vfs_, wal_dir(), next_lsn));
+  set_durable_lsn(next_lsn - 1);
   return Status::OK();
 }
 
@@ -88,6 +89,28 @@ Status DurabilityManager::LogStatement(
   wal_fsyncs_.Add();
   wal_records_.Add(records->size());
   wal_bytes_.Add(wal_->bytes_written() - bytes_before);
+  set_durable_lsn(wal_->next_lsn() - 1);
+  return Status::OK();
+}
+
+Status DurabilityManager::LogShippedFrames(const std::string& frames,
+                                           uint64_t last_lsn) {
+  if (frames.empty()) return Status::OK();
+  if (read_only()) {
+    return Status::Unavailable("engine is read-only: " + read_only_reason());
+  }
+  Status st = wal_->AppendRaw(frames, last_lsn + 1);
+  if (!st.ok()) {
+    wal_errors_.Add();
+    EnterReadOnly("replica WAL append failed: " + st.message());
+    return Status::Unavailable(
+        "shipped batch applied in memory but could not be written through "
+        "to the local WAL (" + st.message() + "); store is now read-only");
+  }
+  wal_appends_.Add();
+  wal_fsyncs_.Add();
+  wal_bytes_.Add(frames.size());
+  set_durable_lsn(last_lsn);
   return Status::OK();
 }
 

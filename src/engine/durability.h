@@ -75,11 +75,30 @@ class DurabilityManager {
   Status StartWal(uint64_t next_lsn);
   storage::WalWriter* wal() { return wal_.get(); }
 
+  /// Last LSN made durable in this store (the newest commit marker on
+  /// disk; 0 = none). Updated after every successful append and readable
+  /// without the engine lock — the WAL shipper polls it to decide whether
+  /// a replica is caught up, and the update path stamps it into the ack.
+  uint64_t durable_lsn() const {
+    return durable_lsn_.load(std::memory_order_acquire);
+  }
+  void set_durable_lsn(uint64_t lsn) {
+    durable_lsn_.store(lsn, std::memory_order_release);
+  }
+
   /// Group-commits one statement's records (plus a commit marker) with a
   /// single write and fsync. An I/O failure here means an acknowledged
   /// update could be lost, so it flips the engine read-only and returns
   /// Unavailable. An empty buffer is a no-op (nothing to make durable).
   Status LogStatement(std::vector<storage::WalRecord>* records);
+
+  /// Replica write-through: appends a shipped run of committed batches
+  /// verbatim (`last_lsn` = the run's final commit LSN) with the same
+  /// fsync and read-only degradation semantics as LogStatement. A failure
+  /// here flips the store read-only so the local log never grows a gap —
+  /// the replica keeps applying in memory and restarts fall back to
+  /// snapshot + stream.
+  Status LogShippedFrames(const std::string& frames, uint64_t last_lsn);
 
   // --- Read-only degradation. ---
 
@@ -117,6 +136,7 @@ class DurabilityManager {
   std::unique_ptr<storage::WalWriter> wal_;
   uint64_t snapshot_seq_ = 0;
   uint64_t last_snapshot_lsn_ = 0;
+  std::atomic<uint64_t> durable_lsn_{0};
 
   std::atomic<bool> read_only_{false};
   mutable std::mutex reason_mu_;

@@ -71,6 +71,10 @@ struct QueryOutcome {
 
   struct UpdateCount {
     int64_t count = 0;
+    /// Commit LSN the update reached durably (0 when the engine has no
+    /// durable store). This is the read-your-writes token: a client that
+    /// got `lsn` acked can demand reads from replicas at or past it.
+    uint64_t lsn = 0;
   };
   struct Info {
     std::string text;

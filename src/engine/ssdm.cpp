@@ -1,5 +1,6 @@
 #include "engine/ssdm.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstring>
 #include <fstream>
@@ -9,6 +10,7 @@
 #include "engine/durability.h"
 #include "loaders/turtle.h"
 #include "obs/metrics.h"
+#include "repl/wire.h"
 #include "sparql/calculus.h"
 #include "storage/snapshot.h"
 #include "storage/wal.h"
@@ -87,8 +89,10 @@ sched::StatementClass SSDM::ClassifyStatement(const std::string& text) {
       }
       if (w == "SELECT" || w == "ASK" || w == "CONSTRUCT" ||
           w == "DESCRIBE" || w == "EXPLAIN" || w == "STATS" ||
-          w == "METRICS" || w == "EXECUTE") {
+          w == "METRICS" || w == "EXECUTE" || w == "REPL") {
         // EXECUTE runs a PREPARE'd body, which is always a query form.
+        // REPL introspection (LSN/STATUS/SNAPSHOT) must run under the
+        // shared lock so replicas can serve it while applying.
         return sched::StatementClass::kRead;
       }
       return sched::StatementClass::kWrite;
@@ -328,6 +332,12 @@ Result<QueryOutcome> SSDM::Execute(const QueryRequest& req,
     return QueryOutcome{
         QueryOutcome::Info{obs::DefaultMetrics().RenderPrometheusText()}};
   }
+  if (head == "REPL" && trimmed.size() > head.size()) {
+    std::string verb =
+        leading_word(StripWhitespace(trimmed.substr(head.size())));
+    StatementCounter("info").Add();
+    return ExecuteReplStatement(verb);
+  }
   // CHECKPOINT is deliberately absent from ClassifyStatement's read list,
   // so the scheduler runs it under the exclusive lock like any update.
   if (head == "CHECKPOINT" && head.size() == trimmed.size()) {
@@ -458,9 +468,8 @@ Result<QueryOutcome> SSDM::Execute(const QueryRequest& req,
   obs::SpanTimer exec_timer(exec_span);
 
   if (auto* update = std::get_if<ast::UpdateOp>(&stmt.node)) {
-    if (read_only()) {
-      return Status::Unavailable("engine is read-only: " +
-                                 read_only_reason());
+    if (rejects_writes()) {
+      return Status::Unavailable(write_reject_reason());
     }
     engine::WalCapture capture;
     if (durability_ != nullptr) exec.options().mutations = &capture;
@@ -482,7 +491,11 @@ Result<QueryOutcome> SSDM::Execute(const QueryRequest& req,
     } else {
       cache_.Sweep(dataset_, registry_.generation());
     }
-    return QueryOutcome{QueryOutcome::UpdateCount{n}};
+    // The LSN in the ack is the read-your-writes token: LogStatement ran
+    // under the same exclusive lock, so durable_lsn here is exactly this
+    // statement's commit LSN.
+    uint64_t ack_lsn = durability_ != nullptr ? durability_->durable_lsn() : 0;
+    return QueryOutcome{QueryOutcome::UpdateCount{n, ack_lsn}};
   }
   const auto& q = std::get<std::shared_ptr<ast::SelectQuery>>(stmt.node);
   SCISPARQL_ASSIGN_OR_RETURN(QueryOutcome out,
@@ -766,6 +779,15 @@ std::string SSDM::read_only_reason() const {
 }
 
 Status SSDM::Open(const std::string& dir, storage::Vfs* vfs) {
+  // A degraded (sticky read-only) engine must not start writing a fresh
+  // store: recovery would WAL-replay and StartWal against media the engine
+  // already decided it cannot trust. Checked before the already-open guard
+  // so a degraded store reports its real condition, not "already open".
+  if (read_only()) {
+    return Status::FailedPrecondition(
+        "engine is read-only and cannot open a durable store: " +
+        read_only_reason());
+  }
   if (durability_ != nullptr) {
     return Status::InvalidArgument("durable store already open: " +
                                    durability_->dir());
@@ -864,6 +886,12 @@ Status SSDM::Open(const std::string& dir, storage::Vfs* vfs) {
 }
 
 Result<std::string> SSDM::Checkpoint() {
+  if (replica_mode()) {
+    // Client CHECKPOINT belongs on the primary — answered first so even a
+    // memory-only replica points the caller there; the applier compacts a
+    // durable replica's own store via CheckpointAsReplica on its schedule.
+    return Status::Unavailable(write_reject_reason());
+  }
   if (durability_ == nullptr) {
     return Status::InvalidArgument(
         "no durable store attached: call Open() first");
@@ -872,6 +900,22 @@ Result<std::string> SSDM::Checkpoint() {
     return Status::Unavailable("engine is read-only: " +
                                durability_->read_only_reason());
   }
+  return CheckpointLocked();
+}
+
+Result<std::string> SSDM::CheckpointAsReplica() {
+  if (durability_ == nullptr) {
+    return Status::InvalidArgument(
+        "no durable store attached: call Open() first");
+  }
+  if (durability_->read_only()) {
+    return Status::Unavailable("engine is read-only: " +
+                               durability_->read_only_reason());
+  }
+  return CheckpointLocked();
+}
+
+Result<std::string> SSDM::CheckpointLocked() {
   storage::WalWriter* wal = durability_->wal();
   // Rotation seals the current segment so every LSN covered by the new
   // snapshot lives in segments the truncation below may delete, and no
@@ -909,6 +953,166 @@ Result<std::string> SSDM::Checkpoint() {
   out << "checkpoint: snapshot " << path << " at lsn " << snapshot_lsn
       << ", wal truncated below lsn " << keep_from;
   return out.str();
+}
+
+// --- Replication. ---
+
+uint64_t SSDM::last_lsn() const {
+  uint64_t durable = durability_ != nullptr ? durability_->durable_lsn() : 0;
+  uint64_t applied = applied_lsn_.load(std::memory_order_acquire);
+  return std::max(durable, applied);
+}
+
+void SSDM::EnterReplicaMode(const std::string& primary_desc) {
+  replica_primary_ = primary_desc;
+  // Recovery hand-off: whatever snapshot + local-WAL recovery rebuilt is
+  // the stream position to resume from.
+  applied_lsn_.store(last_lsn(), std::memory_order_release);
+  replica_mode_.store(true, std::memory_order_release);
+}
+
+std::string SSDM::write_reject_reason() const {
+  if (read_only()) return "engine is read-only: " + read_only_reason();
+  if (replica_mode()) {
+    std::string r = "replica is read-only; send writes to the primary";
+    if (!replica_primary_.empty()) r += " at " + replica_primary_;
+    return r;
+  }
+  return "";
+}
+
+Status SSDM::ApplyReplicationFrames(const std::string& frames) {
+  const uint64_t after = last_lsn();
+  auto resolve = [this](const std::string& storage_name,
+                        uint64_t array_id) -> Result<Term> {
+    return OpenStoredArray(storage_name, static_cast<ArrayId>(array_id));
+  };
+  bool cleared_all = false;
+  auto apply = [this, &cleared_all](const storage::WalRecord& rec) -> Status {
+    using T = storage::WalRecord::Type;
+    switch (rec.type) {
+      case T::kAdd: {
+        Graph* g = rec.graph.empty() ? &dataset_.default_graph()
+                                     : &dataset_.GetOrCreateNamed(rec.graph);
+        EnsureStats(g);
+        g->Add(rec.triple);
+        return Status::OK();
+      }
+      case T::kRemove: {
+        Graph* g = rec.graph.empty() ? &dataset_.default_graph()
+                                     : &dataset_.GetOrCreateNamed(rec.graph);
+        EnsureStats(g);
+        g->Remove(rec.triple);
+        return Status::OK();
+      }
+      case T::kClearGraph:
+        if (rec.graph.empty()) {
+          dataset_.default_graph().Clear();
+        } else if (Graph* g = dataset_.FindNamed(rec.graph)) {
+          g->Clear();
+        }
+        return Status::OK();
+      case T::kClearAll: {
+        dataset_.default_graph().Clear();
+        std::vector<std::string> names;
+        for (const auto& [iri, g] : dataset_.named_graphs()) {
+          (void)g;
+          names.push_back(iri);
+        }
+        for (const std::string& iri : names) dataset_.DropNamed(iri);
+        cleared_all = true;
+        return Status::OK();
+      }
+      case T::kCommit:
+        return Status::OK();
+    }
+    return Status::Internal("unknown WAL record type");
+  };
+  SCISPARQL_ASSIGN_OR_RETURN(
+      storage::WalReplayStats stats,
+      storage::ApplyWalFrames(frames, after, resolve, apply));
+  if (stats.last_lsn > after) {
+    // Write the shipped batches through to the local log before exposing
+    // the new LSN: a durable replica's WAL stays a byte-identical prefix of
+    // the primary's. A write-through failure flips the store read-only
+    // (inside LogShippedFrames) and replication degrades to memory-only —
+    // the applied LSN still advances so reads stay fresh.
+    if (durability_ != nullptr && !durability_->read_only()) {
+      (void)durability_->LogShippedFrames(frames, stats.last_lsn);
+    }
+    applied_lsn_.store(stats.last_lsn, std::memory_order_release);
+  }
+  // Same invalidation discipline as the local update path: version bumps
+  // from Add/Remove/Clear let Sweep evict precisely; CLEAR ALL destroyed
+  // graph objects, so epoch-bump instead.
+  if (cleared_all) {
+    cache_.InvalidateAll();
+  } else if (stats.records_applied > 0) {
+    cache_.Sweep(dataset_, registry_.generation());
+  }
+  return Status::OK();
+}
+
+Status SSDM::BootstrapFromReplication(
+    const std::vector<std::pair<std::string, std::string>>& sections,
+    uint64_t lsn) {
+  Dataset fresh;
+  SCISPARQL_RETURN_NOT_OK(BuildDatasetFromSections(sections, &fresh));
+  InstallDataset(std::move(fresh));
+  applied_lsn_.store(lsn, std::memory_order_release);
+  if (durability_ != nullptr && !durability_->read_only()) {
+    // Re-base the local store on the primary's timeline: everything in the
+    // local WAL predates the shipped snapshot, so drop what we can, restart
+    // the writer at lsn+1 and persist a checkpoint so the next restart
+    // recovers to this point instead of a stale one. Failure leaves memory
+    // correct but the store untrustworthy -> sticky read-only, replication
+    // continues memory-only.
+    Status st = storage::TruncateWalBelow(durability_->vfs(),
+                                          durability_->wal_dir(), lsn + 1);
+    if (st.ok()) {
+      durability_->wal()->ResetTo(lsn + 1);
+      durability_->set_durable_lsn(lsn);
+      st = CheckpointLocked().status();
+    }
+    if (!st.ok()) {
+      EnterReadOnly("replica bootstrap could not re-base the local store: " +
+                    st.message());
+    }
+  }
+  return Status::OK();
+}
+
+Result<QueryOutcome> SSDM::ExecuteReplStatement(const std::string& verb) {
+  if (verb == "LSN") {
+    return QueryOutcome{QueryOutcome::Info{std::to_string(last_lsn())}};
+  }
+  if (verb == "STATUS") {
+    std::ostringstream out;
+    out << "role=" << (replica_mode() ? "replica" : "primary")
+        << " lsn=" << last_lsn()
+        << " durable=" << (durability_ != nullptr ? "true" : "false")
+        << " read_only=" << (read_only() ? "true" : "false");
+    if (replica_mode() && !replica_primary_.empty()) {
+      out << " primary=" << replica_primary_;
+    }
+    return QueryOutcome{QueryOutcome::Info{out.str()}};
+  }
+  if (verb == "SNAPSHOT") {
+    // A consistent full-dataset export for replica bootstrap, taken under
+    // whatever lock the scheduler granted this read-class statement. The
+    // Info body is the replication snapshot encoding, not display text.
+    std::vector<std::pair<std::string, std::string>> sections;
+    sections.emplace_back(
+        "", loaders::WriteTurtle(dataset_.default_graph(), prefixes_));
+    for (const auto& [iri, graph] : dataset_.named_graphs()) {
+      sections.emplace_back(iri, loaders::WriteTurtle(graph, prefixes_));
+    }
+    return QueryOutcome{
+        QueryOutcome::Info{repl::EncodeSnapshotBody(sections, last_lsn())}};
+  }
+  return Status::InvalidArgument(
+      "unknown REPL statement: REPL " + verb +
+      " (expected REPL LSN, REPL STATUS or REPL SNAPSHOT)");
 }
 
 Result<Term> SSDM::OpenStoredArray(const std::string& storage_name,

@@ -78,6 +78,59 @@ class SSDM {
   /// The durability subsystem, or nullptr when Open() was never called.
   engine::DurabilityManager* durability() { return durability_.get(); }
 
+  // --- Replication (src/repl): a primary exports its redo stream through
+  // the WAL shipper; a replica applies it via the methods below. ---
+
+  /// Highest LSN whose effects are visible in this engine: the newest
+  /// durable commit LSN on a primary, the newest streamed-and-applied LSN
+  /// on a replica. Lock-free — heartbeats and lag gauges read it without
+  /// touching the engine lock.
+  uint64_t last_lsn() const;
+
+  /// Puts the engine into replica apply mode: client updates and
+  /// CHECKPOINT are rejected with Unavailable (like sticky read-only,
+  /// naming `primary_desc` as where writes belong) while the streamed
+  /// apply path below keeps mutating the dataset. Call after Open() when
+  /// the replica keeps a durable store of its own — recovery then hands
+  /// off from snapshot+WAL to the live stream at last_lsn().
+  void EnterReplicaMode(const std::string& primary_desc);
+  bool replica_mode() const {
+    return replica_mode_.load(std::memory_order_acquire);
+  }
+
+  /// True when client write statements must be rejected — read-only
+  /// degradation or replica mode. The scheduler checks this at admission;
+  /// `write_reject_reason` names the cause.
+  bool rejects_writes() const { return read_only() || replica_mode(); }
+  std::string write_reject_reason() const;
+
+  /// Applies a shipped run of complete committed WAL batches (the frames
+  /// of a storage::WalShipment) to the live dataset: records at or below
+  /// last_lsn() are skipped (idempotent re-delivery), graph versions bump
+  /// through the normal mutation path so the stats and plan/result caches
+  /// invalidate exactly as they do for local updates. Durable replicas
+  /// write the frames through to their own WAL so a restart resumes from
+  /// the last applied LSN instead of re-streaming everything. The caller
+  /// must hold the engine exclusively (the scheduler's ExecuteExclusive
+  /// when the replica is serving reads).
+  Status ApplyReplicationFrames(const std::string& frames);
+
+  /// Full-resync hand-off for a replica that fell behind the primary's
+  /// WAL retention: replaces the dataset with the shipped snapshot
+  /// sections (graph IRI -> Turtle, "" = default graph) and restarts LSN
+  /// tracking at `lsn`. A durable replica re-bases its local store —
+  /// wipes the stale WAL, writes a checkpoint at `lsn` — so the next
+  /// restart recovers to the new timeline.
+  Status BootstrapFromReplication(
+      const std::vector<std::pair<std::string, std::string>>& sections,
+      uint64_t lsn);
+
+  /// Replica-side checkpoint: the same snapshot + WAL-truncation sequence
+  /// as Checkpoint(), but permitted in replica mode — the applier compacts
+  /// the local store periodically so restart recovery replays a bounded
+  /// stream suffix. Caller must hold the engine exclusively.
+  Result<std::string> CheckpointAsReplica();
+
   // --- Data loading. ---
 
   /// Loads a Turtle document into the default graph (or a named graph),
@@ -251,6 +304,15 @@ class SSDM {
   /// re-attaches collectors to the new graphs.
   void InstallDataset(Dataset fresh);
 
+  /// The checkpoint sequence shared by Checkpoint() and
+  /// CheckpointAsReplica(), after their mode guards.
+  Result<std::string> CheckpointLocked();
+
+  /// The REPL introspection statement family (REPL LSN / STATUS /
+  /// SNAPSHOT), classified as reads so replicas serve them under the
+  /// shared lock.
+  Result<QueryOutcome> ExecuteReplStatement(const std::string& verb);
+
   Dataset dataset_;
   // Declared after dataset_ so collectors detach from still-live graphs on
   // destruction.
@@ -266,6 +328,12 @@ class SSDM {
   /// durability manager tracks its own flag when Open() was called).
   std::atomic<bool> soft_read_only_{false};
   std::string soft_read_only_reason_;
+
+  /// Replica apply mode: highest streamed LSN applied so far, and where
+  /// client writes should go instead.
+  std::atomic<bool> replica_mode_{false};
+  std::atomic<uint64_t> applied_lsn_{0};
+  std::string replica_primary_;
 };
 
 }  // namespace scisparql

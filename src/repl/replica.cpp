@@ -1,0 +1,204 @@
+#include "repl/replica.h"
+
+#include "engine/durability.h"
+#include "obs/metrics.h"
+#include "sched/scheduler.h"
+
+namespace scisparql {
+namespace repl {
+
+namespace {
+
+obs::Gauge& AppliedLsnGauge(const std::string& id) {
+  return obs::DefaultMetrics().GetGauge(
+      "ssdm_repl_applied_lsn", "replica=\"" + id + "\"",
+      "LSN this replica has applied locally.");
+}
+
+obs::Gauge& ConnectedGauge(const std::string& id) {
+  return obs::DefaultMetrics().GetGauge(
+      "ssdm_repl_connected", "replica=\"" + id + "\"",
+      "1 while the replica's apply loop holds a session to the primary.");
+}
+
+obs::Counter& AppliesCounter(const std::string& id) {
+  return obs::DefaultMetrics().GetCounter(
+      "ssdm_repl_applies_total", "replica=\"" + id + "\"",
+      "Shipped batch runs applied by this replica.");
+}
+
+obs::Counter& ReceivedBytesCounter(const std::string& id) {
+  return obs::DefaultMetrics().GetCounter(
+      "ssdm_repl_bytes_received_total", "replica=\"" + id + "\"",
+      "Raw WAL bytes received from the primary.");
+}
+
+obs::Counter& BootstrapCounter(const std::string& id) {
+  return obs::DefaultMetrics().GetCounter(
+      "ssdm_repl_bootstraps_total", "replica=\"" + id + "\"",
+      "Full snapshot re-bases after falling behind WAL retention.");
+}
+
+}  // namespace
+
+ReplicaApplier::ReplicaApplier(SSDM* engine, Options options)
+    : engine_(engine), options_(std::move(options)) {}
+
+ReplicaApplier::~ReplicaApplier() { Stop(); }
+
+Status ReplicaApplier::Start(sched::QueryScheduler* sched) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return Status::OK();
+  sched_ = sched;
+  engine_->EnterReplicaMode(options_.primary_host + ":" +
+                            std::to_string(options_.primary_port));
+  running_ = true;
+  thread_ = std::thread([this]() { Loop(); });
+  return Status::OK();
+}
+
+void ReplicaApplier::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_ && !thread_.joinable()) return;
+    running_ = false;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  session_.reset();
+  connected_.store(false);
+  ConnectedGauge(options_.replica_id).Set(0);
+}
+
+std::string ReplicaApplier::last_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_error_;
+}
+
+void ReplicaApplier::SetError(const Status& st) {
+  std::lock_guard<std::mutex> lock(mu_);
+  last_error_ = st.ToString();
+}
+
+bool ReplicaApplier::WaitForLsn(uint64_t lsn,
+                                std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_for(lock, timeout,
+                      [&]() { return engine_->last_lsn() >= lsn; });
+}
+
+Status ReplicaApplier::ApplyExclusive(
+    const std::function<Status(SSDM*)>& fn) {
+  if (sched_ != nullptr) return sched_->ExecuteExclusive(fn);
+  return fn(engine_);
+}
+
+void ReplicaApplier::Loop() {
+  while (true) {
+    bool progressed = PollOnce();
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!running_) return;
+    if (!progressed) {
+      // Caught up (or failed): idle until the next poll tick. Stop() wakes
+      // the wait so shutdown never stalls a full interval.
+      cv_.wait_for(lock, options_.poll_interval, [this]() { return !running_; });
+      if (!running_) return;
+    }
+  }
+}
+
+bool ReplicaApplier::PollOnce() {
+  if (session_ == nullptr) {
+    Result<client::RemoteSession> s = client::RemoteSession::Connect(
+        options_.primary_host, options_.primary_port,
+        options_.session_timeout, options_.retry);
+    if (!s.ok()) {
+      SetError(s.status());
+      connected_.store(false);
+      ConnectedGauge(options_.replica_id).Set(0);
+      return false;
+    }
+    session_ = std::make_unique<client::RemoteSession>(std::move(*s));
+    connected_.store(true);
+    ConnectedGauge(options_.replica_id).Set(1);
+  }
+
+  ReplFetchRequest fetch;
+  fetch.replica_id = options_.replica_id;
+  fetch.after_lsn = engine_->last_lsn();
+  fetch.applied_lsn = fetch.after_lsn;
+  fetch.max_bytes = options_.max_fetch_bytes;
+  Result<ReplBatchReply> reply = FetchBatch(session_.get(), fetch);
+  if (!reply.ok()) {
+    if (reply.status().code() == StatusCode::kOutOfRange) {
+      // Fell behind WAL retention: full resync, then resume streaming from
+      // the snapshot's LSN.
+      Result<ReplSnapshotReply> snap = FetchSnapshot(session_.get());
+      if (!snap.ok()) {
+        SetError(snap.status());
+        return false;
+      }
+      Status applied = ApplyExclusive([&](SSDM* engine) {
+        return engine->BootstrapFromReplication(snap->sections, snap->lsn);
+      });
+      if (!applied.ok()) {
+        SetError(applied);
+        return false;
+      }
+      bootstraps_.fetch_add(1);
+      BootstrapCounter(options_.replica_id).Add();
+      primary_lsn_.store(std::max(primary_lsn_.load(), snap->lsn),
+                         std::memory_order_release);
+      AppliedLsnGauge(options_.replica_id)
+          .Set(static_cast<int64_t>(engine_->last_lsn()));
+      cv_.notify_all();
+      return true;
+    }
+    SetError(reply.status());
+    // Transport trouble: drop the session so the next round redials with
+    // the retry policy's backoff.
+    session_.reset();
+    connected_.store(false);
+    ConnectedGauge(options_.replica_id).Set(0);
+    return false;
+  }
+
+  primary_lsn_.store(reply->primary_lsn, std::memory_order_release);
+  if (reply->frames.empty()) {
+    cv_.notify_all();  // callers waiting on an LSN we already hold
+    return false;      // caught up; idle until the next tick
+  }
+
+  bytes_received_.fetch_add(reply->frames.size());
+  ReceivedBytesCounter(options_.replica_id).Add(reply->frames.size());
+  Status applied = ApplyExclusive([&](SSDM* engine) {
+    return engine->ApplyReplicationFrames(reply->frames);
+  });
+  if (!applied.ok()) {
+    SetError(applied);
+    return false;
+  }
+  applies_.fetch_add(1);
+  AppliesCounter(options_.replica_id).Add();
+  AppliedLsnGauge(options_.replica_id)
+      .Set(static_cast<int64_t>(engine_->last_lsn()));
+  cv_.notify_all();
+
+  // Bound restart replay on durable replicas: checkpoint after enough
+  // streamed bytes. Failure degrades the local store (sticky read-only
+  // inside the engine) but never stops replication.
+  bytes_since_checkpoint_ += reply->frames.size();
+  if (options_.checkpoint_every_bytes > 0 &&
+      bytes_since_checkpoint_ >= options_.checkpoint_every_bytes &&
+      engine_->durability() != nullptr && !engine_->read_only()) {
+    bytes_since_checkpoint_ = 0;
+    Status ck = ApplyExclusive([](SSDM* engine) {
+      return engine->CheckpointAsReplica().status();
+    });
+    if (!ck.ok()) SetError(ck);
+  }
+  return true;
+}
+
+}  // namespace repl
+}  // namespace scisparql

@@ -1,0 +1,128 @@
+#ifndef SCISPARQL_REPL_REPLICA_H_
+#define SCISPARQL_REPL_REPLICA_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "client/server.h"
+#include "common/status.h"
+#include "engine/ssdm.h"
+#include "repl/wire.h"
+
+namespace scisparql {
+namespace repl {
+
+/// Replica-side apply loop: connects to a primary's server, streams
+/// committed WAL batches from its shipper, and applies them continuously
+/// to a local SSDM engine while that engine serves read-class and prepared
+/// queries. Starting the applier flips the engine into replica mode
+/// (client writes answered Unavailable, pointing at the primary); applying
+/// goes through the scheduler's exclusive path so it interleaves cleanly
+/// with served reads.
+///
+/// Falling behind the primary's WAL retention surfaces as OutOfRange on
+/// fetch; the applier then pulls a full snapshot and re-bases
+/// (SSDM::BootstrapFromReplication) before resuming the stream. A durable
+/// replica writes the stream through to its own WAL and checkpoints
+/// periodically, so a restart recovers locally and rejoins the stream at
+/// its last applied LSN instead of re-bootstrapping.
+class ReplicaApplier {
+ public:
+  struct Options {
+    std::string replica_id = "replica";
+    std::string primary_host = "127.0.0.1";
+    int primary_port = 0;
+
+    /// Connect/fetch retry and socket-timeout policy toward the primary.
+    client::RemoteSession::RetryOptions retry;
+    std::chrono::milliseconds session_timeout{5000};
+
+    /// Idle poll cadence once caught up (a shipped batch restarts the next
+    /// fetch immediately).
+    std::chrono::milliseconds poll_interval{50};
+
+    /// Per-fetch shipping budget; bigger batches amortize round-trips,
+    /// smaller ones bound how long the apply path holds the engine.
+    uint32_t max_fetch_bytes = 4u << 20;
+
+    /// Durable replicas checkpoint their local store after this many
+    /// streamed bytes, bounding restart replay. 0 disables.
+    uint64_t checkpoint_every_bytes = 32ull << 20;
+  };
+
+  ReplicaApplier(SSDM* engine, Options options);
+  ~ReplicaApplier();
+
+  ReplicaApplier(const ReplicaApplier&) = delete;
+  ReplicaApplier& operator=(const ReplicaApplier&) = delete;
+
+  /// Enters replica mode on the engine and starts the apply thread. When
+  /// `sched` is non-null every engine mutation goes through
+  /// sched->ExecuteExclusive (required when the engine serves concurrent
+  /// reads through that scheduler); null applies directly, for embedded
+  /// single-threaded use. Idempotent while running.
+  Status Start(sched::QueryScheduler* sched = nullptr);
+
+  /// Stops and joins the apply thread. The engine stays in replica mode —
+  /// read-only until a new applier (or process restart) takes over.
+  void Stop();
+
+  /// Highest LSN applied locally (the engine's view).
+  uint64_t applied_lsn() const { return engine_->last_lsn(); }
+  /// The primary's durable LSN as of the last successful fetch.
+  uint64_t primary_lsn() const {
+    return primary_lsn_.load(std::memory_order_acquire);
+  }
+  uint64_t lag() const {
+    uint64_t p = primary_lsn(), a = applied_lsn();
+    return p > a ? p - a : 0;
+  }
+  uint64_t applies() const { return applies_.load(); }
+  uint64_t bytes_received() const { return bytes_received_.load(); }
+  uint64_t bootstraps() const { return bootstraps_.load(); }
+  bool connected() const { return connected_.load(); }
+  std::string last_error() const;
+
+  /// Blocks until the local applied LSN reaches `lsn` (true) or `timeout`
+  /// elapses (false) — the replica half of read-your-writes.
+  bool WaitForLsn(uint64_t lsn, std::chrono::milliseconds timeout);
+
+ private:
+  void Loop();
+  /// One connect-if-needed + fetch + apply round. Returns true when a
+  /// batch was applied (poll again immediately), false when caught up or
+  /// the round failed (sleep before the next round).
+  bool PollOnce();
+  Status ApplyExclusive(const std::function<Status(SSDM*)>& fn);
+  void SetError(const Status& st);
+
+  SSDM* engine_;
+  Options options_;
+  sched::QueryScheduler* sched_ = nullptr;
+
+  std::unique_ptr<client::RemoteSession> session_;
+  std::thread thread_;
+
+  mutable std::mutex mu_;  // guards running_, last_error_; cv pairs with it
+  std::condition_variable cv_;
+  bool running_ = false;
+  std::string last_error_;
+
+  std::atomic<uint64_t> primary_lsn_{0};
+  std::atomic<uint64_t> applies_{0};
+  std::atomic<uint64_t> bytes_received_{0};
+  std::atomic<uint64_t> bootstraps_{0};
+  std::atomic<bool> connected_{false};
+  uint64_t bytes_since_checkpoint_ = 0;  // apply-thread only
+};
+
+}  // namespace repl
+}  // namespace scisparql
+
+#endif  // SCISPARQL_REPL_REPLICA_H_

@@ -1,0 +1,201 @@
+#include "repl/router.h"
+
+#include <thread>
+
+#include "engine/ssdm.h"
+
+namespace scisparql {
+namespace repl {
+
+namespace {
+
+bool IsTransportError(const Status& st) {
+  // IoError: broken pipe / refused connection. Unavailable: the backend
+  // answered but cannot serve (overload, shutdown) — also worth routing
+  // around. Semantic errors (parse, NotFound, ...) would fail identically
+  // everywhere, so they are not.
+  return st.code() == StatusCode::kIoError ||
+         st.code() == StatusCode::kUnavailable;
+}
+
+bool IsReadRequest(const QueryRequest& req) {
+  return req.prepared.has_value() ||
+         SSDM::ClassifyStatement(req.text) == sched::StatementClass::kRead;
+}
+
+}  // namespace
+
+ReplicaRouter::ReplicaRouter(RouterOptions options,
+                             std::unique_ptr<client::RemoteSession> primary)
+    : options_(options), primary_(std::move(primary)) {}
+
+Result<ReplicaRouter> ReplicaRouter::Connect(
+    const Endpoint& primary, const std::vector<Endpoint>& replicas) {
+  return Connect(primary, replicas, RouterOptions());
+}
+
+Result<ReplicaRouter> ReplicaRouter::Connect(
+    const Endpoint& primary, const std::vector<Endpoint>& replicas,
+    RouterOptions options) {
+  SCISPARQL_ASSIGN_OR_RETURN(
+      client::RemoteSession session,
+      client::RemoteSession::Connect(primary.host, primary.port,
+                                     options.timeout, options.retry));
+  ReplicaRouter router(
+      options,
+      std::make_unique<client::RemoteSession>(std::move(session)));
+  for (const Endpoint& ep : replicas) {
+    ReplicaSlot slot;
+    slot.endpoint = ep;
+    // Dial eagerly but tolerate failure: a replica that is still starting
+    // begins quarantined and joins the rotation once EnsureSlot redials.
+    Result<client::RemoteSession> s = client::RemoteSession::Connect(
+        ep.host, ep.port, options.timeout, options.retry);
+    if (s.ok()) {
+      slot.session =
+          std::make_unique<client::RemoteSession>(std::move(*s));
+    } else {
+      slot.quarantined_until =
+          std::chrono::steady_clock::now() + options.health_backoff;
+    }
+    router.replicas_.push_back(std::move(slot));
+  }
+  return router;
+}
+
+Status ReplicaRouter::EnsureSlot(ReplicaSlot* slot) {
+  if (slot->session != nullptr) return Status::OK();
+  Result<client::RemoteSession> s = client::RemoteSession::Connect(
+      slot->endpoint.host, slot->endpoint.port, options_.timeout,
+      options_.retry);
+  if (!s.ok()) {
+    Quarantine(slot);
+    return s.status();
+  }
+  slot->session = std::make_unique<client::RemoteSession>(std::move(*s));
+  return Status::OK();
+}
+
+void ReplicaRouter::Quarantine(ReplicaSlot* slot) {
+  slot->session.reset();
+  slot->known_lsn = 0;
+  slot->quarantined_until =
+      std::chrono::steady_clock::now() + options_.health_backoff;
+  ++stats_.failovers;
+}
+
+Result<QueryOutcome> ReplicaRouter::TryReplica(ReplicaSlot* slot,
+                                               const QueryRequest& req,
+                                               uint64_t min_lsn,
+                                               bool* transport_failed) {
+  *transport_failed = false;
+  Status ready = EnsureSlot(slot);
+  if (!ready.ok()) {
+    *transport_failed = true;
+    return ready;
+  }
+  if (min_lsn > 0 && slot->known_lsn < min_lsn) {
+    // The cached LSN is stale the moment it's read, but only in the safe
+    // direction (the stream is monotone): probe to refresh, and skip the
+    // replica when it genuinely hasn't caught up.
+    Result<ReplProbeReply> probe = ProbeLsn(slot->session.get());
+    if (!probe.ok()) {
+      *transport_failed = IsTransportError(probe.status());
+      if (*transport_failed) Quarantine(slot);
+      return probe.status();
+    }
+    slot->known_lsn = probe->lsn;
+    if (slot->known_lsn < min_lsn) {
+      ++stats_.stale_skips;
+      return Status::Unavailable("replica behind the required LSN");
+    }
+  }
+  Result<QueryOutcome> out = slot->session->Execute(req);
+  if (!out.ok() && IsTransportError(out.status())) {
+    *transport_failed = true;
+    Quarantine(slot);
+  }
+  return out;
+}
+
+Result<QueryOutcome> ReplicaRouter::Execute(const QueryRequest& req) {
+  if (IsReadRequest(req)) {
+    return ExecuteRead(req,
+                       options_.read_your_writes ? last_write_lsn_ : 0);
+  }
+  // Everything else — updates, CHECKPOINT, DEFINE, PREPARE — belongs on
+  // the primary; replicas reject it anyway.
+  ++stats_.writes;
+  Result<QueryOutcome> out = primary_->Execute(req);
+  if (out.ok() && out->kind() == QueryOutcome::Kind::kUpdateCount) {
+    uint64_t lsn = std::get<QueryOutcome::UpdateCount>(out->value).lsn;
+    if (lsn > last_write_lsn_) last_write_lsn_ = lsn;
+  }
+  return out;
+}
+
+Result<QueryOutcome> ReplicaRouter::ExecuteRead(const QueryRequest& req,
+                                                uint64_t min_lsn) {
+  if (replicas_.empty()) {
+    ++stats_.primary_reads;
+    return primary_->Execute(req);
+  }
+  auto deadline = std::chrono::steady_clock::now() + options_.staleness_wait;
+  bool first_pass = true;
+  for (;;) {
+    size_t skipped_stale = 0;
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      ReplicaSlot* slot = &replicas_[next_replica_++ % replicas_.size()];
+      if (std::chrono::steady_clock::now() < slot->quarantined_until) {
+        continue;
+      }
+      bool transport_failed = false;
+      Result<QueryOutcome> out =
+          TryReplica(slot, req, min_lsn, &transport_failed);
+      if (out.ok()) {
+        ++stats_.replica_reads;
+        return out;
+      }
+      if (transport_failed) continue;  // quarantined; next candidate
+      if (out.status().code() == StatusCode::kUnavailable) {
+        ++skipped_stale;
+        continue;  // behind the horizon; another replica may be ahead
+      }
+      return out;  // semantic error: identical everywhere
+    }
+    // Every replica is down or behind. Stale replicas are worth a short
+    // wait (the stream is live); dead ones are not — fall through to the
+    // primary, which is always fresh.
+    if (skipped_stale == 0 || !first_pass ||
+        std::chrono::steady_clock::now() >= deadline) {
+      break;
+    }
+    std::this_thread::sleep_until(
+        std::min(deadline, std::chrono::steady_clock::now() +
+                               std::chrono::milliseconds(20)));
+    first_pass = std::chrono::steady_clock::now() < deadline;
+  }
+  ++stats_.primary_reads;
+  return primary_->Execute(req);
+}
+
+Result<sparql::QueryResult> ReplicaRouter::Query(const std::string& text) {
+  QueryRequest req;
+  req.text = text;
+  SCISPARQL_ASSIGN_OR_RETURN(QueryOutcome out, Execute(req));
+  if (out.kind() != QueryOutcome::Kind::kRows) {
+    return Status::InvalidArgument("statement is not a SELECT query");
+  }
+  return std::move(out.rows());
+}
+
+Result<std::string> ReplicaRouter::Run(const std::string& text) {
+  QueryRequest req;
+  req.text = text;
+  SCISPARQL_ASSIGN_OR_RETURN(QueryOutcome out, Execute(req));
+  if (out.kind() == QueryOutcome::Kind::kInfo) return out.info();
+  return std::string();
+}
+
+}  // namespace repl
+}  // namespace scisparql

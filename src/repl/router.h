@@ -1,0 +1,122 @@
+#ifndef SCISPARQL_REPL_ROUTER_H_
+#define SCISPARQL_REPL_ROUTER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/server.h"
+#include "common/status.h"
+#include "engine/query_api.h"
+#include "repl/wire.h"
+
+namespace scisparql {
+namespace repl {
+
+/// Client-side LSN-bounded routing over one primary and N replicas.
+///
+/// Updates (and CHECKPOINT, and anything not classified as a read) go to
+/// the primary; the update ack's commit LSN is remembered as the session's
+/// write horizon. Read-class and prepared statements fan out across the
+/// replicas round-robin. With read_your_writes on (the default), a read
+/// is only served by a replica whose applied LSN has reached the write
+/// horizon: the router probes the candidate's LSN, skips stale replicas,
+/// briefly waits for them to catch up, and ultimately falls back to the
+/// primary — a read after an acked write can never observe pre-update
+/// state, no matter which backend answers.
+///
+/// A replica that fails transport-wise is quarantined for
+/// `health_backoff` and traffic routes around it (RemoteSession's own
+/// retry/backoff covers transient blips below that). Not thread-safe:
+/// one router per client thread, like RemoteSession itself.
+class ReplicaRouter {
+ public:
+  struct Endpoint {
+    std::string host;
+    int port = 0;
+  };
+
+  struct RouterOptions {
+    client::RemoteSession::RetryOptions retry;
+    std::chrono::milliseconds timeout{5000};
+
+    /// Enforce the session's write horizon on replica reads.
+    bool read_your_writes = true;
+
+    /// Total time to wait for *some* replica to reach the required LSN
+    /// before falling back to the primary.
+    std::chrono::milliseconds staleness_wait{250};
+
+    /// How long a transport-failed replica stays out of rotation.
+    std::chrono::milliseconds health_backoff{500};
+  };
+
+  struct RouterStats {
+    uint64_t primary_reads = 0;    ///< Reads served by the primary.
+    uint64_t replica_reads = 0;    ///< Reads served by replicas.
+    uint64_t writes = 0;           ///< Statements routed to the primary.
+    uint64_t stale_skips = 0;      ///< Replica skipped: LSN behind horizon.
+    uint64_t failovers = 0;        ///< Replica quarantined after an error.
+  };
+
+  /// Connects to the primary (fatal on failure) and to each replica
+  /// (failures tolerated — the endpoint starts quarantined and is redialed
+  /// lazily). With no replicas the router degenerates to a plain primary
+  /// session.
+  static Result<ReplicaRouter> Connect(const Endpoint& primary,
+                                       const std::vector<Endpoint>& replicas,
+                                       RouterOptions options);
+  static Result<ReplicaRouter> Connect(const Endpoint& primary,
+                                       const std::vector<Endpoint>& replicas);
+
+  /// Unified execution with routing. Reads may be served by any
+  /// sufficiently fresh backend; everything else goes to the primary and
+  /// advances the write horizon from the ack's LSN.
+  Result<QueryOutcome> Execute(const QueryRequest& req);
+
+  /// Read-class execution with an explicit staleness bound: only backends
+  /// at or past `min_lsn` may answer. Execute() calls this with the write
+  /// horizon; callers with cross-session tokens can pass their own.
+  Result<QueryOutcome> ExecuteRead(const QueryRequest& req, uint64_t min_lsn);
+
+  Result<sparql::QueryResult> Query(const std::string& text);
+  Result<std::string> Run(const std::string& text);
+
+  /// The LSN of this session's last acked write (0 = none yet).
+  uint64_t last_write_lsn() const { return last_write_lsn_; }
+  const RouterStats& stats() const { return stats_; }
+  size_t replica_count() const { return replicas_.size(); }
+
+ private:
+  struct ReplicaSlot {
+    Endpoint endpoint;
+    std::unique_ptr<client::RemoteSession> session;  // null = not connected
+    uint64_t known_lsn = 0;  ///< Last LSN this replica reported.
+    std::chrono::steady_clock::time_point quarantined_until{};
+  };
+
+  ReplicaRouter(RouterOptions options,
+                std::unique_ptr<client::RemoteSession> primary);
+
+  /// Ensures the slot has a live session (redials past quarantine).
+  Status EnsureSlot(ReplicaSlot* slot);
+  void Quarantine(ReplicaSlot* slot);
+  /// One attempt against one replica; distinguishes transport failures
+  /// (quarantine + try elsewhere) from semantic errors (return to caller).
+  Result<QueryOutcome> TryReplica(ReplicaSlot* slot, const QueryRequest& req,
+                                  uint64_t min_lsn, bool* transport_failed);
+
+  RouterOptions options_;
+  std::unique_ptr<client::RemoteSession> primary_;
+  std::vector<ReplicaSlot> replicas_;
+  size_t next_replica_ = 0;  ///< Round-robin cursor.
+  uint64_t last_write_lsn_ = 0;
+  RouterStats stats_;
+};
+
+}  // namespace repl
+}  // namespace scisparql
+
+#endif  // SCISPARQL_REPL_ROUTER_H_

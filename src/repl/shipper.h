@@ -1,0 +1,70 @@
+#ifndef SCISPARQL_REPL_SHIPPER_H_
+#define SCISPARQL_REPL_SHIPPER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/ssdm.h"
+#include "repl/wire.h"
+
+namespace scisparql {
+namespace sched {
+class QueryScheduler;
+}  // namespace sched
+
+namespace repl {
+
+/// Primary-side WAL shipper: answers the replication verbs on behalf of an
+/// SsdmServer. Shipping is pull-based — each replica polls with its last
+/// applied LSN and the shipper streams raw committed WAL frames straight
+/// out of the segment files, so a fetch never takes the engine lock: the
+/// durability manager's atomic durable LSN gates what is visible, and
+/// ReadWalShipment only returns whole committed batches. Only the snapshot
+/// verb touches the dataset, and it goes through the scheduler as a
+/// read-class statement (consistent cut under the shared lock).
+///
+/// The shipper also keeps a per-replica registry (applied LSN, lag,
+/// last-seen time) fed by the fetch requests themselves, exported as
+/// ssdm_repl_* metrics.
+class WalShipper {
+ public:
+  explicit WalShipper(SSDM* engine);
+
+  /// State of one polling replica, keyed by its self-reported id.
+  struct ReplicaState {
+    uint64_t applied_lsn = 0;  ///< Replica's last applied LSN.
+    uint64_t shipped_lsn = 0;  ///< Last LSN this shipper sent it.
+    uint64_t fetches = 0;
+    std::chrono::steady_clock::time_point last_seen{};
+  };
+
+  /// Serves one replication request (payload starting with kReplMarker);
+  /// returns the response payload. `sched` runs the snapshot statement —
+  /// it must be the scheduler serializing all other engine access.
+  Result<std::string> Handle(const std::string& request,
+                             sched::QueryScheduler* sched);
+
+  std::vector<std::pair<std::string, ReplicaState>> replicas() const;
+
+ private:
+  Result<std::string> HandleFetch(const std::string& request);
+  Result<std::string> HandleSnapshot(sched::QueryScheduler* sched);
+  void NoteReplica(const ReplFetchRequest& req, uint64_t shipped_lsn,
+                   uint64_t primary_lsn);
+
+  SSDM* engine_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, ReplicaState> replicas_;
+};
+
+}  // namespace repl
+}  // namespace scisparql
+
+#endif  // SCISPARQL_REPL_SHIPPER_H_

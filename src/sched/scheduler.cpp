@@ -155,16 +155,15 @@ Status QueryScheduler::SubmitTask(QueryRequest req, QueryContext ctx,
   task.ctx = std::move(ctx);
   task.done = std::move(done);
   task.enqueued = std::chrono::steady_clock::now();
-  // Degraded engines reject writers at admission so they don't occupy
-  // queue slots (reads keep flowing under the shared lock). The engine
-  // re-checks at execution for writes already queued when the flip
-  // happened.
-  if (task.cls == StatementClass::kWrite && engine_->read_only()) {
+  // Degraded or replica-mode engines reject writers at admission so they
+  // don't occupy queue slots (reads keep flowing under the shared lock).
+  // The engine re-checks at execution for writes already queued when the
+  // flip happened.
+  if (task.cls == StatementClass::kWrite && engine_->rejects_writes()) {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.rejected;
     Metrics().rejected.Add();
-    return Status::Unavailable("engine is read-only: " +
-                               engine_->read_only_reason());
+    return Status::Unavailable(engine_->write_reject_reason());
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -229,6 +228,12 @@ Result<SSDM::ExecResult> QueryScheduler::Execute(const std::string& statement,
              });
   if (!admitted.ok()) return admitted;
   return future.get();
+}
+
+Status QueryScheduler::ExecuteExclusive(
+    const std::function<Status(SSDM*)>& fn) {
+  std::unique_lock<std::shared_mutex> lock(engine_mu_);
+  return fn(engine_);
 }
 
 void QueryScheduler::WorkerLoop() {

@@ -107,6 +107,15 @@ class QueryScheduler {
   Result<SSDM::ExecResult> Execute(const std::string& statement,
                                    QueryContext ctx = QueryContext());
 
+  /// Runs `fn` on the caller's thread holding the engine lock exclusively,
+  /// bypassing admission and classification. This is the hook for internal
+  /// engine maintenance that is not a client statement — a replication
+  /// applier mutating the dataset between the reads this scheduler serves.
+  /// Client writes must keep going through Submit: this path ignores the
+  /// queue bound, deadlines, and the rejects_writes() admission check (a
+  /// replica rejects client writers but must still apply its stream).
+  Status ExecuteExclusive(const std::function<Status(SSDM*)>& fn);
+
   SchedulerStats stats() const;
   const SchedulerOptions& options() const { return options_; }
 

@@ -22,14 +22,15 @@ constexpr size_t kSegmentHeaderSize = 16;
 constexpr uint8_t kTermInline = 0;
 constexpr uint8_t kTermProxyRef = 1;
 
-std::string SegmentName(uint64_t first_lsn) {
+}  // namespace
+
+std::string WalSegmentFileName(uint64_t first_lsn) {
   char buf[40];
   std::snprintf(buf, sizeof(buf), "wal-%016" PRIx64 ".log", first_lsn);
   return buf;
 }
 
-/// Parses "wal-<hex16>.log"; returns false for other directory entries.
-bool ParseSegmentName(const std::string& name, uint64_t* first_lsn) {
+bool ParseWalSegmentFileName(const std::string& name, uint64_t* first_lsn) {
   if (name.size() != 4 + 16 + 4 || name.rfind("wal-", 0) != 0 ||
       name.compare(name.size() - 4, 4, ".log") != 0) {
     return false;
@@ -46,6 +47,31 @@ bool ParseSegmentName(const std::string& name, uint64_t* first_lsn) {
   *first_lsn = v;
   return true;
 }
+
+Result<std::vector<WalSegmentInfo>> ListWalSegments(Vfs* vfs,
+                                                    const std::string& dir) {
+  std::vector<WalSegmentInfo> segments;
+  auto names = vfs->ListDir(dir);
+  if (!names.ok()) {
+    if (names.status().code() == StatusCode::kNotFound) return segments;
+    return names.status();
+  }
+  for (const std::string& name : *names) {
+    uint64_t first_lsn;
+    if (ParseWalSegmentFileName(name, &first_lsn)) {
+      segments.push_back({first_lsn, dir + "/" + name});
+    }
+  }
+  // Numeric sort on the parsed index, never on the file name: shipping and
+  // replay must see segment 0x10 after 0x9 regardless of naming width.
+  std::sort(segments.begin(), segments.end(),
+            [](const WalSegmentInfo& a, const WalSegmentInfo& b) {
+              return a.first_lsn < b.first_lsn;
+            });
+  return segments;
+}
+
+namespace {
 
 Status SerializeWalTerm(const Term& term, std::string* out) {
   // Proxies log as (storage, id) references — the payload already lives in
@@ -163,7 +189,7 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Create(Vfs* vfs, std::string dir,
 
 Status WalWriter::EnsureSegment() {
   if (file_ != nullptr) return Status::OK();
-  std::string path = dir_ + "/" + SegmentName(next_lsn_);
+  std::string path = dir_ + "/" + WalSegmentFileName(next_lsn_);
   SCISPARQL_ASSIGN_OR_RETURN(file_, vfs_->Open(path, Vfs::OpenMode::kTruncate));
   std::string header(kSegmentMagic, 4);
   rdf::PutU32(&header, kSegmentFormat);
@@ -206,6 +232,19 @@ Status WalWriter::AppendBatch(std::vector<WalRecord>& records) {
   return Status::OK();
 }
 
+Status WalWriter::AppendRaw(const std::string& frames, uint64_t next_lsn) {
+  if (frames.empty()) return Status::OK();
+  SCISPARQL_RETURN_NOT_OK(EnsureSegment());
+  SCISPARQL_RETURN_NOT_OK(
+      file_->WriteAt(offset_, frames.data(), frames.size()));
+  SCISPARQL_RETURN_NOT_OK(file_->Sync());
+  offset_ += frames.size();
+  next_lsn_ = next_lsn;
+  ++appends_;
+  bytes_written_ += frames.size();
+  return Status::OK();
+}
+
 void WalWriter::Rotate() {
   file_.reset();
   offset_ = 0;
@@ -213,27 +252,58 @@ void WalWriter::Rotate() {
 
 namespace {
 
-struct Segment {
-  uint64_t first_lsn;
-  std::string path;
-  bool operator<(const Segment& o) const { return first_lsn < o.first_lsn; }
-};
-
-Result<std::vector<Segment>> ListSegments(Vfs* vfs, const std::string& dir) {
-  std::vector<Segment> segments;
-  auto names = vfs->ListDir(dir);
-  if (!names.ok()) {
-    if (names.status().code() == StatusCode::kNotFound) return segments;
-    return names.status();
-  }
-  for (const std::string& name : *names) {
-    uint64_t first_lsn;
-    if (ParseSegmentName(name, &first_lsn)) {
-      segments.push_back({first_lsn, dir + "/" + name});
+/// Scans the frame stream in data[pos, end) applying committed batches
+/// above `after_lsn` — the loop ReplayWal and ApplyWalFrames share. A
+/// statement's batch never spans streams, so pending records left without
+/// a commit marker at stream end count as torn. A torn or CRC-invalid
+/// frame stops the scan with a non-empty *stop_reason; the caller decides
+/// whether that is a clean tail (final segment mid-append) or corruption.
+Status ScanFrameStream(
+    const std::string& data, size_t pos, uint64_t after_lsn,
+    const std::function<Result<Term>(const std::string&, uint64_t)>&
+        resolve_ref,
+    const std::function<Status(const WalRecord&)>& apply,
+    WalReplayStats* stats, std::string* stop_reason) {
+  std::vector<WalRecord> pending;
+  while (pos < data.size()) {
+    uint32_t len, stored_crc;
+    if (!rdf::GetU32(data, &pos, &len) ||
+        !rdf::GetU32(data, &pos, &stored_crc) || pos + len > data.size()) {
+      *stop_reason = "truncated record frame";
+      return Status::OK();
+    }
+    std::string payload = data.substr(pos, len);
+    pos += len;
+    if (Crc32cUnmask(stored_crc) != Crc32c(payload)) {
+      *stop_reason = "record checksum mismatch";
+      return Status::OK();
+    }
+    SCISPARQL_ASSIGN_OR_RETURN(WalRecord rec,
+                               DecodeRecordPayload(payload, resolve_ref));
+    if (rec.type == WalRecord::Type::kCommit) {
+      for (const WalRecord& r : pending) {
+        if (r.lsn <= after_lsn) {
+          ++stats->records_skipped;
+          continue;
+        }
+        SCISPARQL_RETURN_NOT_OK(apply(r));
+        ++stats->records_applied;
+      }
+      if (!pending.empty() && pending.back().lsn > after_lsn) {
+        ++stats->batches_applied;
+      }
+      stats->last_lsn = std::max(stats->last_lsn, rec.lsn);
+      pending.clear();
+    } else {
+      pending.push_back(std::move(rec));
     }
   }
-  std::sort(segments.begin(), segments.end());
-  return segments;
+  if (!pending.empty()) {
+    // Records without a commit marker at stream end: the process died
+    // between the write and the fsync's completion being observed.
+    *stop_reason = "uncommitted batch at segment end";
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -244,8 +314,8 @@ Result<WalReplayStats> ReplayWal(
         resolve_ref,
     const std::function<Status(const WalRecord&)>& apply) {
   WalReplayStats stats;
-  SCISPARQL_ASSIGN_OR_RETURN(std::vector<Segment> segments,
-                             ListSegments(vfs, dir));
+  SCISPARQL_ASSIGN_OR_RETURN(std::vector<WalSegmentInfo> segments,
+                             ListWalSegments(vfs, dir));
   for (size_t si = 0; si < segments.size(); ++si) {
     const bool final_segment = si + 1 == segments.size();
     SCISPARQL_ASSIGN_OR_RETURN(
@@ -256,71 +326,19 @@ Result<WalReplayStats> ReplayWal(
     SCISPARQL_ASSIGN_OR_RETURN(size_t got, f->ReadAt(0, data.data(), size));
     data.resize(got);
 
-    // A statement's batch never spans segments, so the pending buffer
-    // resets per segment; a batch left uncommitted at segment end is a
-    // torn tail (final segment) or corruption (earlier segment).
-    std::vector<WalRecord> pending;
-    bool torn = false;
-    std::string corrupt_reason;
-
-    size_t pos = 0;
+    std::string stop_reason;
     if (data.size() < kSegmentHeaderSize ||
         std::memcmp(data.data(), kSegmentMagic, 4) != 0) {
-      torn = true;
-      corrupt_reason = "bad segment header";
+      stop_reason = "bad segment header";
     } else {
-      pos = kSegmentHeaderSize;
+      SCISPARQL_RETURN_NOT_OK(ScanFrameStream(data, kSegmentHeaderSize,
+                                              after_lsn, resolve_ref, apply,
+                                              &stats, &stop_reason));
     }
-
-    while (!torn && pos < data.size()) {
-      uint32_t len, stored_crc;
-      size_t frame_start = pos;
-      if (!rdf::GetU32(data, &pos, &len) ||
-          !rdf::GetU32(data, &pos, &stored_crc) || pos + len > data.size()) {
-        torn = true;
-        corrupt_reason = "truncated record frame";
-        pos = frame_start;
-        break;
-      }
-      std::string payload = data.substr(pos, len);
-      pos += len;
-      if (Crc32cUnmask(stored_crc) != Crc32c(payload)) {
-        torn = true;
-        corrupt_reason = "record checksum mismatch";
-        pos = frame_start;
-        break;
-      }
-      SCISPARQL_ASSIGN_OR_RETURN(WalRecord rec,
-                                 DecodeRecordPayload(payload, resolve_ref));
-      if (rec.type == WalRecord::Type::kCommit) {
-        for (const WalRecord& r : pending) {
-          if (r.lsn <= after_lsn) {
-            ++stats.records_skipped;
-            continue;
-          }
-          SCISPARQL_RETURN_NOT_OK(apply(r));
-          ++stats.records_applied;
-        }
-        if (!pending.empty() && pending.back().lsn > after_lsn) {
-          ++stats.batches_applied;
-        }
-        stats.last_lsn = std::max(stats.last_lsn, rec.lsn);
-        pending.clear();
-      } else {
-        pending.push_back(std::move(rec));
-      }
-    }
-
-    if (!pending.empty() && !torn) {
-      // Records without a commit marker at segment end: the process died
-      // between the write and the fsync's completion being observed.
-      torn = true;
-      corrupt_reason = "uncommitted batch at segment end";
-    }
-    if (torn) {
+    if (!stop_reason.empty()) {
       if (!final_segment) {
         return Status::IoError("corrupt WAL record in non-final segment " +
-                               segments[si].path + " (" + corrupt_reason +
+                               segments[si].path + " (" + stop_reason +
                                "): acknowledged updates may be lost");
       }
       stats.torn_tail = true;
@@ -329,11 +347,122 @@ Result<WalReplayStats> ReplayWal(
   return stats;
 }
 
+Result<WalReplayStats> ApplyWalFrames(
+    const std::string& frames, uint64_t after_lsn,
+    const std::function<Result<Term>(const std::string&, uint64_t)>&
+        resolve_ref,
+    const std::function<Status(const WalRecord&)>& apply) {
+  WalReplayStats stats;
+  std::string stop_reason;
+  SCISPARQL_RETURN_NOT_OK(ScanFrameStream(frames, 0, after_lsn, resolve_ref,
+                                          apply, &stats, &stop_reason));
+  if (!stop_reason.empty()) {
+    return Status::IoError("corrupt shipped WAL frames (" + stop_reason +
+                           ")");
+  }
+  return stats;
+}
+
+Result<WalShipment> ReadWalShipment(Vfs* vfs, const std::string& dir,
+                                    uint64_t after_lsn, size_t max_bytes) {
+  SCISPARQL_ASSIGN_OR_RETURN(std::vector<WalSegmentInfo> segments,
+                             ListWalSegments(vfs, dir));
+  if (segments.empty() || segments[0].first_lsn > after_lsn + 1) {
+    return Status::OutOfRange(
+        "WAL no longer reaches back to lsn " + std::to_string(after_lsn) +
+        " (truncated by a checkpoint); bootstrap from a snapshot");
+  }
+  // Start at the last segment whose first LSN is <= after_lsn + 1: every
+  // earlier one holds only records the requester already has.
+  size_t start = 0;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    if (segments[i].first_lsn <= after_lsn + 1) start = i;
+  }
+
+  WalShipment out;
+  out.last_lsn = after_lsn;
+  for (size_t si = start; si < segments.size(); ++si) {
+    const bool final_segment = si + 1 == segments.size();
+    Result<std::unique_ptr<VfsFile>> f =
+        vfs->Open(segments[si].path, Vfs::OpenMode::kRead);
+    if (!f.ok()) {
+      // A concurrent checkpoint may delete a segment between listing and
+      // open; the requester retries and sees the post-truncation picture.
+      if (f.status().code() == StatusCode::kNotFound) {
+        return Status::Unavailable("WAL segment vanished (checkpoint in "
+                                   "progress); retry");
+      }
+      return f.status();
+    }
+    SCISPARQL_ASSIGN_OR_RETURN(uint64_t size, (*f)->Size());
+    std::string data(size, '\0');
+    SCISPARQL_ASSIGN_OR_RETURN(size_t got, (*f)->ReadAt(0, data.data(), size));
+    data.resize(got);
+
+    std::string stop_reason;
+    size_t pos = kSegmentHeaderSize;
+    if (data.size() < kSegmentHeaderSize ||
+        std::memcmp(data.data(), kSegmentMagic, 4) != 0) {
+      stop_reason = "bad segment header";
+      pos = data.size();
+    }
+    // Collect raw frames batch-wise: only CRC-valid, committed batches
+    // ship. Record payloads are not term-decoded — the LSN/type prefix is
+    // enough to find batch boundaries, and the bytes travel verbatim.
+    std::string batch;
+    while (pos < data.size()) {
+      size_t frame_start = pos;
+      uint32_t len, stored_crc;
+      if (!rdf::GetU32(data, &pos, &len) ||
+          !rdf::GetU32(data, &pos, &stored_crc) || pos + len > data.size()) {
+        stop_reason = "truncated record frame";
+        break;
+      }
+      std::string payload = data.substr(pos, len);
+      pos += len;
+      if (Crc32cUnmask(stored_crc) != Crc32c(payload)) {
+        stop_reason = "record checksum mismatch";
+        break;
+      }
+      uint64_t lsn;
+      size_t ppos = 0;
+      if (!rdf::GetU64(payload, &ppos, &lsn) || ppos >= payload.size()) {
+        stop_reason = "truncated record header";
+        break;
+      }
+      auto type = static_cast<WalRecord::Type>(payload[ppos]);
+      batch.append(data, frame_start, pos - frame_start);
+      if (type != WalRecord::Type::kCommit) continue;
+      if (lsn > after_lsn) {
+        out.frames += batch;
+        out.last_lsn = lsn;
+        if (out.frames.size() >= max_bytes) {
+          out.truncated = true;
+          return out;
+        }
+      }
+      batch.clear();
+    }
+    if (!batch.empty() && stop_reason.empty()) {
+      stop_reason = "uncommitted batch at segment end";
+    }
+    if (!stop_reason.empty()) {
+      if (!final_segment) {
+        return Status::IoError("corrupt WAL record in non-final segment " +
+                               segments[si].path + " (" + stop_reason +
+                               "): acknowledged updates may be lost");
+      }
+      break;  // writer mid-append; ship what is committed so far
+    }
+  }
+  return out;
+}
+
 Status TruncateWalBelow(Vfs* vfs, const std::string& dir,
                         uint64_t keep_from_lsn) {
-  SCISPARQL_ASSIGN_OR_RETURN(std::vector<Segment> segments,
-                             ListSegments(vfs, dir));
-  for (const Segment& seg : segments) {
+  SCISPARQL_ASSIGN_OR_RETURN(std::vector<WalSegmentInfo> segments,
+                             ListWalSegments(vfs, dir));
+  for (const WalSegmentInfo& seg : segments) {
     if (seg.first_lsn < keep_from_lsn) {
       SCISPARQL_RETURN_NOT_OK(vfs->Remove(seg.path));
     }

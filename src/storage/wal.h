@@ -68,9 +68,25 @@ class WalWriter {
   /// Next LSN to be assigned.
   uint64_t next_lsn() const { return next_lsn_; }
 
+  /// Replica write-through: appends an already-framed run of complete
+  /// committed batches verbatim (as produced by ReadWalShipment) and
+  /// advances numbering to `next_lsn` — the shipped run's last commit LSN
+  /// plus one. One write + one fsync, like AppendBatch. The caller must
+  /// ship contiguously from this writer's current next_lsn(), so segment
+  /// names keep matching their first record's LSN.
+  Status AppendRaw(const std::string& frames, uint64_t next_lsn);
+
   /// Closes the current segment; the next append opens a fresh one. Called
   /// by checkpointing so completed segments can be deleted afterwards.
   void Rotate();
+
+  /// Rotates and restarts numbering at `next_lsn` — the replication
+  /// bootstrap hand-off, where a replica re-bases its local log onto the
+  /// LSN of a snapshot just received from the primary.
+  void ResetTo(uint64_t next_lsn) {
+    Rotate();
+    next_lsn_ = next_lsn;
+  }
 
   uint64_t appends() const { return appends_; }
   uint64_t bytes_written() const { return bytes_written_; }
@@ -89,6 +105,29 @@ class WalWriter {
   uint64_t appends_ = 0;
   uint64_t bytes_written_ = 0;
 };
+
+/// One WAL segment on disk, keyed by the LSN of its first record.
+struct WalSegmentInfo {
+  uint64_t first_lsn = 0;
+  std::string path;
+};
+
+/// "wal-<first_lsn:016x>.log". The fixed-width zero-padded hex name makes
+/// lexicographic directory order match numeric order, but nothing relies
+/// on that: enumeration always parses the index back out and sorts
+/// numerically (see ListWalSegments), so segment 0x10 can never sort
+/// before 0x9 even if the naming scheme changes width.
+std::string WalSegmentFileName(uint64_t first_lsn);
+
+/// Parses a segment file name; returns false for other directory entries
+/// (including near-misses like truncated hex or foreign "wal-*" files).
+bool ParseWalSegmentFileName(const std::string& name, uint64_t* first_lsn);
+
+/// Every WAL segment in `dir`, ascending by parsed first LSN — the
+/// numeric ordering replay, truncation and replication shipping all share.
+/// A missing directory is an empty list, not an error.
+Result<std::vector<WalSegmentInfo>> ListWalSegments(Vfs* vfs,
+                                                    const std::string& dir);
 
 /// Outcome of a WAL replay pass.
 struct WalReplayStats {
@@ -110,6 +149,39 @@ Result<WalReplayStats> ReplayWal(
     const std::function<Result<Term>(const std::string& storage_name,
                                      uint64_t array_id)>& resolve_ref,
     const std::function<Status(const WalRecord&)>& apply);
+
+/// Applies a contiguous run of raw record frames — complete committed
+/// batches as shipped by ReadWalShipment — with the same LSN filtering and
+/// whole-batch semantics as ReplayWal. Unlike replay there is no torn-tail
+/// allowance: the frames were CRC-verified at the source, so any framing or
+/// checksum defect here is an IoError (corruption in transit or a buggy
+/// shipper), never silently dropped.
+Result<WalReplayStats> ApplyWalFrames(
+    const std::string& frames, uint64_t after_lsn,
+    const std::function<Result<Term>(const std::string& storage_name,
+                                     uint64_t array_id)>& resolve_ref,
+    const std::function<Status(const WalRecord&)>& apply);
+
+/// A run of committed batches read back out of the log for shipping.
+struct WalShipment {
+  /// Raw record frames (including each batch's commit marker), verbatim
+  /// bytes from the segment files — the unit a replica applies and writes
+  /// through to its own log.
+  std::string frames;
+  uint64_t last_lsn = 0;  ///< Commit LSN of the last included batch.
+  bool truncated = false;  ///< Stopped early at `max_bytes`; more remains.
+};
+
+/// Collects every committed batch whose commit LSN is > `after_lsn`, in
+/// LSN order, stopping after the first batch that pushes the run past
+/// `max_bytes` (at least one batch is always shipped when available).
+/// Frames are CRC-verified before inclusion; a torn tail in the final
+/// segment ends the run cleanly (the writer is mid-append), corruption in
+/// an earlier segment is an IoError. Returns OutOfRange when the log no
+/// longer reaches back to `after_lsn` — a checkpoint truncated those
+/// segments, so the caller must bootstrap from a snapshot instead.
+Result<WalShipment> ReadWalShipment(Vfs* vfs, const std::string& dir,
+                                    uint64_t after_lsn, size_t max_bytes);
 
 /// Deletes segments whose first LSN is below `keep_from_lsn`. Correct only
 /// when every record below `keep_from_lsn` is already covered by a

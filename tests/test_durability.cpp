@@ -328,6 +328,118 @@ TEST(Durability, FsyncFailureAlsoDegrades) {
   EXPECT_TRUE(db.read_only());
 }
 
+// ---------------------------------------------------------------------------
+// Segment enumeration ordering. Replication ships segments in enumeration
+// order, so segment 10 sorting before segment 9 (the classic
+// lexicographic-vs-numeric bug) would ship LSNs out of order.
+// ---------------------------------------------------------------------------
+
+TEST(Wal, SegmentEnumerationIsNumericPastSegmentNine) {
+  storage::Vfs* vfs = storage::DefaultVfs();
+  std::string dir = FreshDir("wal_seg_order");
+  ASSERT_TRUE(vfs->CreateDir(dir).ok());
+
+  // Twelve segments whose first LSNs straddle every width boundary a
+  // lexicographic sort of unpadded names would scramble (9 vs 10, 0xf vs
+  // 0x10, 0xff vs 0x100, ...). Each batch consumes two LSNs (record +
+  // commit), hence the gaps.
+  std::vector<uint64_t> first_lsns = {1,     4,     9,      0x10,   0xf0,
+                                      0x100, 0xffe, 0x1000, 0xfffe, 0x10000,
+                                      0xffffe, 0x100000};
+  auto wal = *storage::WalWriter::Create(vfs, dir, first_lsns[0]);
+  for (uint64_t lsn : first_lsns) {
+    wal->ResetTo(lsn);
+    std::vector<storage::WalRecord> batch = {
+        {storage::WalRecord::Type::kAdd, 0, "",
+         Triple{I("s" + std::to_string(lsn)), I("p"), I("o")}}};
+    ASSERT_TRUE(wal->AppendBatch(batch).ok());
+  }
+
+  // Foreign and near-miss entries that enumeration must skip, including
+  // the unpadded names a width change could produce.
+  for (const char* junk :
+       {"wal-10.log", "wal-2.log", "wal-zzzzzzzzzzzzzzzz.log",
+        "wal-00000000000000010.log", "notes.txt"}) {
+    auto f = *vfs->Open(dir + "/" + junk, storage::Vfs::OpenMode::kTruncate);
+    ASSERT_TRUE(f->WriteAt(0, "x", 1).ok());
+  }
+
+  auto segments = *storage::ListWalSegments(vfs, dir);
+  ASSERT_EQ(segments.size(), first_lsns.size());
+  for (size_t i = 0; i < segments.size(); ++i) {
+    EXPECT_EQ(segments[i].first_lsn, first_lsns[i]) << "position " << i;
+  }
+
+  // Name round trip, and the zero-padding property that keeps plain
+  // directory listings readable.
+  for (uint64_t lsn : {uint64_t{9}, uint64_t{10}, uint64_t{0x10000}}) {
+    uint64_t back = 0;
+    ASSERT_TRUE(
+        storage::ParseWalSegmentFileName(storage::WalSegmentFileName(lsn), &back));
+    EXPECT_EQ(back, lsn);
+  }
+  EXPECT_LT(storage::WalSegmentFileName(9), storage::WalSegmentFileName(10));
+
+  // Replay walks all twelve segments in LSN order despite the junk files.
+  uint64_t prev_lsn = 0;
+  bool ordered = true;
+  auto resolve = [](const std::string&, uint64_t) -> Result<Term> {
+    return Status::Internal("unused");
+  };
+  auto stats = *storage::ReplayWal(vfs, dir, 0, resolve,
+                                   [&](const storage::WalRecord& rec) -> Status {
+                                     if (rec.lsn <= prev_lsn) ordered = false;
+                                     prev_lsn = rec.lsn;
+                                     return Status::OK();
+                                   });
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(stats.batches_applied, first_lsns.size());
+  EXPECT_EQ(stats.last_lsn, first_lsns.back() + 1);  // +1: the commit marker
+
+  // Shipping shares the same enumeration: one pass returns every batch
+  // in order with the same final LSN.
+  auto shipment = *storage::ReadWalShipment(vfs, dir, 0, 64u << 20);
+  EXPECT_FALSE(shipment.truncated);
+  EXPECT_EQ(shipment.last_lsn, stats.last_lsn);
+}
+
+// ---------------------------------------------------------------------------
+// Read-only mode guards: CHECKPOINT and Open on a degraded engine must
+// fail cleanly without attempting any mutating I/O.
+// ---------------------------------------------------------------------------
+
+TEST(Durability, ReadOnlyEngineCheckpointAndOpenNeverWrite) {
+  storage::FaultyVfs faulty(storage::DefaultVfs());
+  std::string dir = FreshDir("dur_ro_guards");
+  SSDM db;
+  db.prefixes().Set("ex", "http://example.org/");
+  ASSERT_TRUE(db.Open(dir, &faulty).ok());
+  ASSERT_TRUE(db.Run("INSERT DATA { ex:a ex:p 1 }").ok());
+
+  faulty.FailAllWrites(true);
+  EXPECT_EQ(db.Run("INSERT DATA { ex:b ex:p 2 }").code(),
+            StatusCode::kUnavailable);
+  ASSERT_TRUE(db.read_only());
+
+  // The media "recovers", but the sticky flag must keep CHECKPOINT and
+  // Open from touching the disk at all — not merely from succeeding.
+  faulty.FailAllWrites(false);
+  const uint64_t ops_before = faulty.op_count();
+
+  auto ck = db.Checkpoint();
+  EXPECT_EQ(ck.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(faulty.op_count(), ops_before) << "CHECKPOINT wrote while degraded";
+
+  std::string other = FreshDir("dur_ro_guards_other");
+  Status open = db.Open(other, &faulty);
+  EXPECT_EQ(open.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(faulty.op_count(), ops_before) << "Open wrote while degraded";
+  EXPECT_FALSE(faulty.Exists(other));
+
+  // Reads still flow.
+  EXPECT_TRUE(AskPresent(&db, "ex:a ex:p 1"));
+}
+
 TEST(Durability, RecoveryCountersAppearInMetrics) {
   std::string dir = FreshDir("dur_metrics");
   {

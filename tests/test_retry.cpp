@@ -1,0 +1,220 @@
+// RemoteSession retry-policy tests: the backoff schedule as a pure
+// function (geometric growth, max_backoff cap, jitter bounds), and the
+// resend semantics against misbehaving servers — read-class statements
+// are resent over fresh connections up to max_attempts, updates are
+// never resent, and DeadlineExceeded is never retried (the server may
+// still be executing the statement).
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/server.h"
+
+namespace scisparql {
+namespace client {
+namespace {
+
+using std::chrono::milliseconds;
+
+RemoteSession::RetryOptions NoJitter() {
+  RemoteSession::RetryOptions retry;
+  retry.initial_backoff = milliseconds(50);
+  retry.multiplier = 2.0;
+  retry.max_backoff = milliseconds(1000);
+  retry.jitter = 0.0;
+  return retry;
+}
+
+TEST(RetryBackoff, GeometricGrowthCappedAtMax) {
+  RemoteSession::RetryOptions retry = NoJitter();
+  uint64_t rng = 42;
+  const int64_t want[] = {50, 100, 200, 400, 800, 1000, 1000, 1000};
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    EXPECT_EQ(RetryBackoff(retry, attempt, &rng).count(), want[attempt])
+        << "attempt " << attempt;
+  }
+}
+
+TEST(RetryBackoff, MultiplierOneIsConstant) {
+  RemoteSession::RetryOptions retry = NoJitter();
+  retry.multiplier = 1.0;
+  uint64_t rng = 7;
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    EXPECT_EQ(RetryBackoff(retry, attempt, &rng).count(), 50);
+  }
+}
+
+TEST(RetryBackoff, JitterStaysWithinDocumentedBounds) {
+  RemoteSession::RetryOptions retry = NoJitter();
+  retry.initial_backoff = milliseconds(100);
+  retry.jitter = 0.3;
+  uint64_t rng = 12345;
+  int64_t lo = INT64_MAX, hi = INT64_MIN;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t d = RetryBackoff(retry, 0, &rng).count();
+    // base * (1 ± 0.3), floored by the integer cast.
+    EXPECT_GE(d, 70) << "draw " << i;
+    EXPECT_LE(d, 130) << "draw " << i;
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  // The draws actually spread — a constant "jitter" would defeat the
+  // thundering-herd purpose.
+  EXPECT_LT(lo, 85);
+  EXPECT_GT(hi, 115);
+}
+
+TEST(RetryBackoff, RngStateAdvancesEvenWithoutJitter) {
+  RemoteSession::RetryOptions retry = NoJitter();
+  uint64_t rng = 99;
+  (void)RetryBackoff(retry, 0, &rng);
+  EXPECT_NE(rng, 99u);
+}
+
+TEST(RetryBackoff, CapAppliesBeforeJitterSoDelayNeverRunsAway) {
+  RemoteSession::RetryOptions retry = NoJitter();
+  retry.jitter = 0.3;
+  uint64_t rng = 5;
+  for (int i = 0; i < 500; ++i) {
+    // Far past the cap: base is max_backoff, jitter can add at most 30%.
+    EXPECT_LE(RetryBackoff(retry, 40, &rng).count(), 1300);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Resend semantics against a misbehaving server.
+// ---------------------------------------------------------------------------
+
+/// Minimal scriptable peer: accepts connections on a loopback port and
+/// either closes them immediately after reading a frame header byte
+/// (kCloseOnRequest) or reads and never replies (kBlackHole). Counts
+/// accepted connections — the observable that distinguishes "resent over
+/// a fresh connection" from "gave up".
+class MisbehavingServer {
+ public:
+  enum class Mode { kCloseOnRequest, kBlackHole };
+
+  explicit MisbehavingServer(Mode mode) : mode_(mode) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                            &len),
+              0);
+    port_ = ntohs(addr.sin_port);
+    EXPECT_EQ(::listen(listen_fd_, 16), 0);
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  ~MisbehavingServer() {
+    stop_.store(true);
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    thread_.join();
+    for (int fd : held_) ::close(fd);
+  }
+
+  int port() const { return port_; }
+  int accepts() const { return accepts_.load(); }
+
+ private:
+  void Loop() {
+    for (;;) {
+      int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) {
+        if (stop_.load()) return;
+        continue;
+      }
+      accepts_.fetch_add(1);
+      if (mode_ == Mode::kCloseOnRequest) {
+        char buf[64];
+        (void)::recv(fd, buf, sizeof(buf), 0);  // let the request arrive
+        ::close(fd);
+      } else {
+        held_.push_back(fd);  // never answer; closed in the destructor
+      }
+    }
+  }
+
+  Mode mode_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int> accepts_{0};
+  std::vector<int> held_;
+};
+
+RemoteSession::RetryOptions FastRetry(int attempts) {
+  RemoteSession::RetryOptions retry;
+  retry.max_attempts = attempts;
+  retry.initial_backoff = milliseconds(1);
+  retry.max_backoff = milliseconds(5);
+  retry.jitter = 0.0;
+  return retry;
+}
+
+TEST(RemoteRetry, ReadsAreResentUpToMaxAttempts) {
+  MisbehavingServer server(MisbehavingServer::Mode::kCloseOnRequest);
+  auto session = RemoteSession::Connect("127.0.0.1", server.port(),
+                                        milliseconds(2000), FastRetry(3));
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  auto r = session->Query("SELECT ?s WHERE { ?s ?p ?o }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  EXPECT_NE(r.status().message().find("after 3 attempts"), std::string::npos)
+      << r.status().ToString();
+  // Initial connect + one reconnect per resend: attempt 1 reuses the
+  // session's connection, attempts 2 and 3 redial.
+  EXPECT_EQ(server.accepts(), 3);
+}
+
+TEST(RemoteRetry, UpdatesAreNeverResent) {
+  MisbehavingServer server(MisbehavingServer::Mode::kCloseOnRequest);
+  auto session = RemoteSession::Connect("127.0.0.1", server.port(),
+                                        milliseconds(2000), FastRetry(3));
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  auto r = session->Run(
+      "PREFIX ex: <http://example.org/> INSERT DATA { ex:a ex:p 1 }");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+  // One connection total: the update was sent once and never replayed,
+  // even though the retry policy allows 3 attempts for reads.
+  EXPECT_EQ(server.accepts(), 1);
+}
+
+TEST(RemoteRetry, DeadlineExceededIsNeverRetried) {
+  MisbehavingServer server(MisbehavingServer::Mode::kBlackHole);
+  auto session = RemoteSession::Connect("127.0.0.1", server.port(),
+                                        milliseconds(150), FastRetry(3));
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  auto start = std::chrono::steady_clock::now();
+  auto r = session->Query("SELECT ?s WHERE { ?s ?p ?o }");
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  // A single timed-out round-trip, not three: the server may still be
+  // executing, so resending would double the work.
+  EXPECT_EQ(server.accepts(), 1);
+  EXPECT_LT(elapsed, milliseconds(1000));
+}
+
+}  // namespace
+}  // namespace client
+}  // namespace scisparql

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Replication smoke test: launches one durable primary and two replicas as
+# separate scisparql_server processes, drives a mixed read/write workload
+# through tools/repl_check (read-your-writes, convergence, role
+# enforcement), then kills the durable replica mid-stream, keeps writing,
+# and restarts it from its own store to prove it recovers locally and
+# catches back up to the primary's LSN.
+#
+# Usage: tools/repl_smoke.sh [build-dir]      (default: build)
+set -euo pipefail
+
+BUILD="${1:-build}"
+SERVER="$BUILD/examples/scisparql_server"
+CHECK="$BUILD/tools/repl_check"
+WORK="$(mktemp -d)"
+PIDS=()
+
+cleanup() {
+  for pid in ${PIDS[@]+"${PIDS[@]}"}; do kill "$pid" 2>/dev/null || true; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Waits for a server log to print its "SSDM serving on 127.0.0.1:PORT"
+# line and echoes the bound port.
+wait_port() {
+  local log="$1" port=""
+  for _ in $(seq 1 150); do
+    port=$(sed -n 's/.*SSDM serving on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' \
+           "$log" | head -n1)
+    if [ -n "$port" ]; then echo "$port"; return 0; fi
+    sleep 0.1
+  done
+  echo "smoke: server did not come up ($log):" >&2
+  cat "$log" >&2
+  return 1
+}
+
+"$SERVER" --port 0 --open "$WORK/primary" \
+    </dev/null >"$WORK/primary.log" 2>&1 &
+PIDS+=($!)
+PPORT=$(wait_port "$WORK/primary.log")
+
+"$SERVER" --port 0 --replica-of "127.0.0.1:$PPORT" --id r1 \
+    </dev/null >"$WORK/r1.log" 2>&1 &
+PIDS+=($!)
+R1PORT=$(wait_port "$WORK/r1.log")
+
+"$SERVER" --port 0 --open "$WORK/r2" --replica-of "127.0.0.1:$PPORT" --id r2 \
+    </dev/null >"$WORK/r2.log" 2>&1 &
+R2PID=$!
+PIDS+=($R2PID)
+R2PORT=$(wait_port "$WORK/r2.log")
+
+echo "smoke: primary=$PPORT r1=$R1PORT r2=$R2PORT"
+"$CHECK" --tag a "$PPORT" "$R1PORT" "$R2PORT"
+
+# Kill the durable replica mid-stream and keep writing: the surviving
+# replica must stay in sync while r2 is down.
+kill "$R2PID"
+wait "$R2PID" 2>/dev/null || true
+"$CHECK" --tag b "$PPORT" "$R1PORT"
+
+# Restart r2 from its own store: local recovery, then stream catch-up
+# from its last applied LSN.
+"$SERVER" --port 0 --open "$WORK/r2" --replica-of "127.0.0.1:$PPORT" --id r2 \
+    </dev/null >"$WORK/r2-restart.log" 2>&1 &
+PIDS+=($!)
+R2PORT=$(wait_port "$WORK/r2-restart.log")
+"$CHECK" --tag c "$PPORT" "$R1PORT" "$R2PORT"
+
+echo "smoke: replication OK (restart catch-up verified)"
