@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "obs/metrics.h"
+#include "rdf/dictionary.h"
 
 namespace scisparql {
 namespace cache {
@@ -482,7 +483,10 @@ size_t QueryCache::plan_entries() const {
 namespace {
 
 size_t TermBytes(const Term& t) {
-  size_t bytes = sizeof(Term) + t.lexical().size() + t.lang().size();
+  // Struct + inline string payloads (lexical form, language tag / datatype
+  // IRI) + array elements. String-heavy result sets used to evade the
+  // budget because only the array share was charged.
+  size_t bytes = sizeof(Term) + TermStringBytes(t);
   if (t.IsArray() && t.array() != nullptr) {
     bytes += static_cast<size_t>(t.array()->NumElements()) * 8;
   }
@@ -493,13 +497,29 @@ size_t TermBytes(const Term& t) {
 
 size_t QueryCache::EstimateOutcomeBytes(const QueryOutcome& outcome) {
   size_t bytes = sizeof(QueryOutcome);
-  if (outcome.kind() == QueryOutcome::Kind::kRows) {
-    const sparql::QueryResult& r = outcome.rows();
-    for (const std::string& c : r.columns) bytes += c.size() + 16;
-    for (const auto& row : r.rows) {
-      bytes += sizeof(row);
-      for (const Term& t : row) bytes += TermBytes(t);
+  switch (outcome.kind()) {
+    case QueryOutcome::Kind::kRows: {
+      const sparql::QueryResult& r = outcome.rows();
+      for (const std::string& c : r.columns) bytes += c.size() + 16;
+      for (const auto& row : r.rows) {
+        bytes += sizeof(row);
+        for (const Term& t : row) bytes += TermBytes(t);
+      }
+      break;
     }
+    case QueryOutcome::Kind::kGraph: {
+      // CONSTRUCT / DESCRIBE result: triple structs plus the
+      // dictionary-resident string bytes (each distinct term's strings
+      // are interned once in the graph's dictionary).
+      const Graph& g = outcome.graph();
+      bytes += g.size() * sizeof(Triple) + g.dict().string_bytes();
+      break;
+    }
+    case QueryOutcome::Kind::kInfo:
+      bytes += outcome.info().size();
+      break;
+    default:
+      break;
   }
   return bytes;
 }

@@ -12,6 +12,7 @@
 #include "obs/metrics.h"
 #include "repl/wire.h"
 #include "sparql/calculus.h"
+#include "storage/dict_section.h"
 #include "storage/snapshot.h"
 #include "storage/wal.h"
 
@@ -638,19 +639,27 @@ namespace {
 constexpr const char* kGraphMarker = "#%GRAPH ";
 
 /// Renders the dataset into checksummed-snapshot sections + footer.
-void BuildSnapshotSections(const Dataset& dataset, const PrefixMap& prefixes,
-                           uint64_t wal_lsn,
-                           std::vector<storage::SnapshotSection>* sections,
-                           storage::SnapshotFooter* footer) {
+/// Sections are dictionary-encoded (distinct terms once, triples as index
+/// tuples, stored arrays as back-end refs instead of materialized
+/// collections); the loader still accepts Turtle bodies from older
+/// snapshots.
+Status BuildSnapshotSections(const Dataset& dataset, const PrefixMap& prefixes,
+                             uint64_t wal_lsn,
+                             std::vector<storage::SnapshotSection>* sections,
+                             storage::SnapshotFooter* footer) {
+  (void)prefixes;
   footer->wal_lsn = wal_lsn;
-  sections->push_back(
-      {"", loaders::WriteTurtle(dataset.default_graph(), prefixes)});
+  SCISPARQL_ASSIGN_OR_RETURN(
+      std::string body, storage::EncodeDictSection(dataset.default_graph()));
+  sections->push_back({"", std::move(body)});
   footer->graphs.push_back({"", dataset.default_graph().version(),
                             dataset.default_graph().size()});
   for (const auto& [iri, graph] : dataset.named_graphs()) {
-    sections->push_back({iri, loaders::WriteTurtle(graph, prefixes)});
+    SCISPARQL_ASSIGN_OR_RETURN(body, storage::EncodeDictSection(graph));
+    sections->push_back({iri, std::move(body)});
     footer->graphs.push_back({iri, graph.version(), graph.size()});
   }
+  return Status::OK();
 }
 
 }  // namespace
@@ -658,12 +667,21 @@ void BuildSnapshotSections(const Dataset& dataset, const PrefixMap& prefixes,
 Status SSDM::BuildDatasetFromSections(
     const std::vector<std::pair<std::string, std::string>>& sections,
     Dataset* out) {
-  for (const auto& [iri, turtle] : sections) {
+  for (const auto& [iri, body] : sections) {
     Graph* g = iri.empty() ? &out->default_graph()
                            : &out->GetOrCreateNamed(iri);
+    if (storage::IsDictSection(body)) {
+      auto resolve = [this](const std::string& name,
+                            uint64_t id) -> Result<Term> {
+        return OpenStoredArray(name, static_cast<ArrayId>(id));
+      };
+      SCISPARQL_RETURN_NOT_OK(storage::DecodeDictSection(body, resolve, g));
+      continue;
+    }
+    // Legacy Turtle section (pre-dictionary snapshot).
     loaders::TurtleOptions opts;
     opts.prefixes = prefixes_;
-    SCISPARQL_RETURN_NOT_OK(loaders::LoadTurtleString(turtle, g, opts));
+    SCISPARQL_RETURN_NOT_OK(loaders::LoadTurtleString(body, g, opts));
   }
   return Status::OK();
 }
@@ -692,8 +710,8 @@ Status SSDM::SaveSnapshot(const std::string& path) const {
   storage::SnapshotFooter footer;
   // A standalone snapshot is not coordinated with the WAL; only
   // Checkpoint() stamps a real LSN.
-  BuildSnapshotSections(dataset_, prefixes_, /*wal_lsn=*/0, &sections,
-                        &footer);
+  SCISPARQL_RETURN_NOT_OK(BuildSnapshotSections(
+      dataset_, prefixes_, /*wal_lsn=*/0, &sections, &footer));
   return storage::WriteSnapshot(vfs, path, sections, footer);
 }
 
@@ -925,8 +943,9 @@ Result<std::string> SSDM::CheckpointLocked() {
 
   std::vector<storage::SnapshotSection> sections;
   storage::SnapshotFooter footer;
-  BuildSnapshotSections(dataset_, prefixes_, snapshot_lsn, &sections,
-                        &footer);
+  SCISPARQL_RETURN_NOT_OK(BuildSnapshotSections(dataset_, prefixes_,
+                                                snapshot_lsn, &sections,
+                                                &footer));
 
   uint64_t seq = durability_->AllocateSnapshotSeq();
   std::string path =

@@ -19,6 +19,25 @@ int64_t ClampCard(double c) {
 
 }  // namespace
 
+const char* PhysicalOpName(PhysicalOp op) {
+  switch (op) {
+    case PhysicalOp::kIndexScan:
+      return "index-scan";
+    case PhysicalOp::kMergeJoin:
+      return "merge-join";
+    case PhysicalOp::kHashJoin:
+      return "hash-join";
+  }
+  return "?";
+}
+
+PhysicalOp ChoosePhysicalJoin(bool merge_possible, double left_rows,
+                              double right_rows, bool* build_left) {
+  if (build_left != nullptr) *build_left = left_rows <= right_rows;
+  if (merge_possible) return PhysicalOp::kMergeJoin;
+  return PhysicalOp::kHashJoin;
+}
+
 std::vector<std::string> PatternDesc::Vars() const {
   std::vector<std::string> out;
   if (!s_var.empty()) out.push_back(s_var);
@@ -86,6 +105,24 @@ int64_t CardinalityEstimator::Estimate(
   int64_t base = graph_->EstimateMatches(d.s, d.p, d.o) + 1;
 
   if (stats_ == nullptr) {
+    // Without the statistics registry, fall back to the aggregated counts
+    // of the ID-space permutation indexes when they happen to be built
+    // (PeekIdIndexes never forces a build): total / distinct is the exact
+    // mean bucket size per position, a far better join-variable discount
+    // than the fixed one below.
+    const IdIndexes* idx = graph_->PeekIdIndexes();
+    if (idx != nullptr && !idx->spo.empty()) {
+      double n = static_cast<double>(idx->spo.size());
+      double est = static_cast<double>(base);
+      auto discount = [&](size_t distinct) {
+        double avg = n / static_cast<double>(std::max<size_t>(1, distinct));
+        est = std::max(1.0, est * (avg / n));
+      };
+      if (s_later) discount(idx->distinct_s);
+      if (p_later) discount(idx->distinct_p);
+      if (o_later) discount(idx->distinct_o);
+      return ClampCard(est);
+    }
     // Fallback heuristic (the pre-statistics behavior): each join
     // variable quarters the estimate.
     int later_count = (s_later ? 1 : 0) + (p_later ? 1 : 0) + (o_later ? 1 : 0);

@@ -78,6 +78,27 @@ struct BgpPlan {
   double cost = 0;          // sum of estimated intermediate result sizes
 };
 
+/// Physical operator executing one step of an ID-space BGP pipeline: the
+/// first pattern is always an index scan over the best-fitting permutation;
+/// every later pattern joins the accumulated intermediate result with its
+/// own index scan via merge or hash.
+enum class PhysicalOp {
+  kIndexScan,
+  kMergeJoin,
+  kHashJoin,
+};
+
+const char* PhysicalOpName(PhysicalOp op);
+
+/// Cost rule for one join step over the ID space. `merge_possible` means
+/// both inputs arrive sorted on the single shared join variable — the
+/// permutation indexes provide sort order for free and no sort operator
+/// exists, so a merge join is then strictly cheapest (one interleaved
+/// pass, no build table). Otherwise a hash join, building on the smaller
+/// input; `*build_left` reports which side that is.
+PhysicalOp ChoosePhysicalJoin(bool merge_possible, double left_rows,
+                              double right_rows, bool* build_left);
+
 /// Join-order enumeration over the conjuncts of a basic graph pattern:
 /// exhaustive dynamic programming (Selinger-style over subsets, cost = sum
 /// of intermediate cardinalities) for BGPs up to `dp_limit` patterns,

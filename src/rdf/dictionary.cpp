@@ -1,0 +1,120 @@
+#include "rdf/dictionary.h"
+
+#include <cmath>
+#include <cstring>
+#include <functional>
+
+#include "common/string_util.h"
+
+namespace scisparql {
+
+namespace {
+
+/// Bit pattern of a double, so exact-identity hashing distinguishes e.g.
+/// 0.0 from -0.0 the same way ExactEq below does (via memcmp semantics).
+uint64_t DoubleBits(double d) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d), "double is not 64-bit");
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+size_t TermDictionary::ExactHash::operator()(const Term& t) const {
+  size_t h = std::hash<int>()(static_cast<int>(t.kind()));
+  switch (t.kind()) {
+    case Term::Kind::kUndef:
+      return h;
+    case Term::Kind::kInteger:
+      return HashCombine(h, std::hash<int64_t>()(t.integer()));
+    case Term::Kind::kDouble:
+      return HashCombine(h, std::hash<uint64_t>()(DoubleBits(t.dbl())));
+    case Term::Kind::kBoolean:
+      return HashCombine(h, std::hash<bool>()(t.boolean()));
+    case Term::Kind::kArray:
+      // Object identity: proxies are never materialized by the dictionary.
+      return HashCombine(h, std::hash<const void*>()(t.array().get()));
+    default:
+      return HashCombine(HashCombine(h, std::hash<std::string>()(t.lexical())),
+                         std::hash<std::string>()(t.lang()));
+  }
+}
+
+bool TermDictionary::ExactEq::operator()(const Term& a, const Term& b) const {
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case Term::Kind::kUndef:
+      return true;
+    case Term::Kind::kInteger:
+      return a.integer() == b.integer();
+    case Term::Kind::kDouble:
+      return DoubleBits(a.dbl()) == DoubleBits(b.dbl());
+    case Term::Kind::kBoolean:
+      return a.boolean() == b.boolean();
+    case Term::Kind::kArray:
+      return a.array().get() == b.array().get();
+    default:
+      // lexical()/lang() cover iri(), blank_label() and datatype() too —
+      // they alias the same two underlying fields for every kind.
+      return a.lexical() == b.lexical() && a.lang() == b.lang();
+  }
+}
+
+size_t TermStringBytes(const Term& t) {
+  switch (t.kind()) {
+    case Term::Kind::kUndef:
+    case Term::Kind::kInteger:
+    case Term::Kind::kDouble:
+    case Term::Kind::kBoolean:
+    case Term::Kind::kArray:
+      return 0;
+    default:
+      return t.lexical().size() + t.lang().size();
+  }
+}
+
+uint32_t TermDictionary::Intern(const Term& t) {
+  auto it = ids_.find(t);
+  if (it != ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(terms_.size());
+  terms_.push_back(t);
+  ids_.emplace(t, id);
+  string_bytes_ += TermStringBytes(t);
+  if (t.kind() == Term::Kind::kArray) ++array_terms_;
+  // Detect when both representations of one numeric value are interned:
+  // from then on ID equality is narrower than SPARQL `=` and the ID-join
+  // fast path must stand down for this graph.
+  if (!numeric_alias_) {
+    if (t.kind() == Term::Kind::kInteger) {
+      // operator== compares mixed numerics after widening the integer to
+      // double, so the aliasing double of integer I is exactly (double)I.
+      if (ids_.count(Term::Double(static_cast<double>(t.integer()))) > 0) {
+        numeric_alias_ = true;
+      }
+    } else if (t.kind() == Term::Kind::kDouble) {
+      double d = t.dbl();
+      if (d == std::floor(d) && d >= -9.2e18 && d <= 9.2e18 &&
+          ids_.count(Term::Integer(static_cast<int64_t>(d))) > 0) {
+        numeric_alias_ = true;
+      }
+    }
+  }
+  return id;
+}
+
+std::optional<uint32_t> TermDictionary::Find(const Term& t) const {
+  auto it = ids_.find(t);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+void TermDictionary::Clear() {
+  terms_.clear();
+  ids_.clear();
+  array_terms_ = 0;
+  string_bytes_ = 0;
+  numeric_alias_ = false;
+}
+
+}  // namespace scisparql

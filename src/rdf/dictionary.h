@@ -1,0 +1,85 @@
+#ifndef SCISPARQL_RDF_DICTIONARY_H_
+#define SCISPARQL_RDF_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace scisparql {
+
+/// Interned term dictionary: a bijection between RDF terms and dense
+/// fixed-width 32-bit IDs, in the style of RDF-3X's DictionarySegment. The
+/// graph interns every term at insertion time, so triples can be mirrored
+/// as ID tuples and joins can run over integers instead of string-bearing
+/// Terms; results materialize back through `term(id)`.
+///
+/// Interning is by *exact* term identity (kind plus all fields), not by
+/// Term::operator== value equality: the integer 2 and the double 2.0 are
+/// distinct dictionary entries even though `2 == 2.0` under SPARQL numeric
+/// comparison, and arrays intern by object identity (no materialization).
+/// This keeps the dictionary lossless — a term round-trips through its ID
+/// bit-for-bit, which snapshot encoding depends on — at the cost of the ID
+/// space not being usable as a value-equality join key when a graph mixes
+/// representations. The `join_safe()` flag reports exactly that: the
+/// executor's ID-join fast path only engages when ID equality and term
+/// equality coincide for every interned term.
+class TermDictionary {
+ public:
+  static constexpr uint32_t kNoId = 0xFFFFFFFFu;
+
+  /// Returns the ID of `t`, interning it first if absent.
+  uint32_t Intern(const Term& t);
+
+  /// Returns the ID of `t` without interning, or nullopt.
+  std::optional<uint32_t> Find(const Term& t) const;
+
+  /// The interned term for a dictionary ID (must be < size()).
+  const Term& term(uint32_t id) const { return terms_[id]; }
+
+  size_t size() const { return terms_.size(); }
+  void Clear();
+
+  /// Number of interned array terms. Arrays intern by object identity, so
+  /// their IDs do not respect the element-wise value equality Term defines.
+  size_t array_terms() const { return array_terms_; }
+
+  /// True when some integer and some double intern to different IDs while
+  /// comparing equal under SPARQL numeric `=` (e.g. 2 and 2.0 both
+  /// present): ID-equality joins would miss cross-representation matches.
+  bool has_numeric_alias() const { return numeric_alias_; }
+
+  /// ID equality coincides with Term equality for every interned term:
+  /// safe to evaluate joins over IDs.
+  bool join_safe() const { return array_terms_ == 0 && !numeric_alias_; }
+
+  /// Heap string bytes (lexical forms, language tags, datatype IRIs) held
+  /// by the interned terms — the dictionary-resident share of a result
+  /// row's footprint, used by the result cache's byte accounting.
+  size_t string_bytes() const { return string_bytes_; }
+
+ private:
+  struct ExactHash {
+    size_t operator()(const Term& t) const;
+  };
+  struct ExactEq {
+    bool operator()(const Term& a, const Term& b) const;
+  };
+
+  std::vector<Term> terms_;
+  std::unordered_map<Term, uint32_t, ExactHash, ExactEq> ids_;
+  size_t array_terms_ = 0;
+  size_t string_bytes_ = 0;
+  bool numeric_alias_ = false;
+};
+
+/// Heap string bytes owned by one term (0 for numerics/booleans; array
+/// element payloads are charged separately by the caller).
+size_t TermStringBytes(const Term& t);
+
+}  // namespace scisparql
+
+#endif  // SCISPARQL_RDF_DICTIONARY_H_

@@ -15,8 +15,51 @@ size_t Graph::PairKeyHash::operator()(const PairKey& k) const {
   return HashCombine(k.a.Hash(), k.b.Hash());
 }
 
+Graph::Graph() : id_cache_(std::make_unique<IdIndexCache>()) {}
+
 Graph::~Graph() {
   if (listener_.ptr != nullptr) listener_.ptr->OnGraphDestroyed();
+}
+
+Graph::Graph(Graph&& o) noexcept
+    : triples_(std::move(o.triples_)),
+      dead_(std::move(o.dead_)),
+      live_count_(o.live_count_),
+      dead_count_(o.dead_count_),
+      blank_counter_(o.blank_counter_),
+      version_(o.version_),
+      listener_(std::move(o.listener_)),
+      by_s_(std::move(o.by_s_)),
+      by_p_(std::move(o.by_p_)),
+      by_o_(std::move(o.by_o_)),
+      by_sp_(std::move(o.by_sp_)),
+      by_po_(std::move(o.by_po_)),
+      dict_(std::move(o.dict_)),
+      id_triples_(std::move(o.id_triples_)),
+      table_stamp_(o.table_stamp_),
+      id_cache_(std::move(o.id_cache_)) {
+  o.id_cache_ = std::make_unique<IdIndexCache>();
+}
+
+Graph& Graph::operator=(Graph&& o) noexcept {
+  triples_ = std::move(o.triples_);
+  dead_ = std::move(o.dead_);
+  live_count_ = o.live_count_;
+  dead_count_ = o.dead_count_;
+  blank_counter_ = o.blank_counter_;
+  version_ = o.version_;
+  listener_ = std::move(o.listener_);
+  by_s_ = std::move(o.by_s_);
+  by_p_ = std::move(o.by_p_);
+  by_o_ = std::move(o.by_o_);
+  by_sp_ = std::move(o.by_sp_);
+  by_po_ = std::move(o.by_po_);
+  dict_ = std::move(o.dict_);
+  id_triples_ = std::move(o.id_triples_);
+  table_stamp_ = o.table_stamp_;
+  id_cache_ = std::move(o.id_cache_);
+  o.id_cache_ = std::make_unique<IdIndexCache>();
+  return *this;
 }
 
 Graph Graph::Clone() const {
@@ -32,7 +75,10 @@ void Graph::Add(Triple t) {
   by_o_[t.o].push_back(id);
   by_sp_[PairKey{t.s, t.p}].push_back(id);
   by_po_[PairKey{t.p, t.o}].push_back(id);
+  id_triples_.push_back(
+      IdTriple{dict_.Intern(t.s), dict_.Intern(t.p), dict_.Intern(t.o)});
   ++version_;
+  ++table_stamp_;
   if (listener_.ptr != nullptr) listener_.ptr->OnAdd(t);
   triples_.push_back(std::move(t));
   dead_.push_back(false);
@@ -50,6 +96,7 @@ size_t Graph::Remove(const Triple& t) {
       ++dead_count_;
       ++removed;
       ++version_;
+      ++table_stamp_;
       if (listener_.ptr != nullptr) listener_.ptr->OnRemove(triples_[id]);
     }
   }
@@ -67,7 +114,10 @@ void Graph::Clear() {
   by_o_.clear();
   by_sp_.clear();
   by_po_.clear();
+  dict_.Clear();
+  id_triples_.clear();
   ++version_;
+  ++table_stamp_;
   if (listener_.ptr != nullptr) listener_.ptr->OnClear();
 }
 
@@ -217,6 +267,36 @@ void Graph::ForEach(const std::function<void(const Triple&)>& cb) const {
   for (size_t i = 0; i < triples_.size(); ++i) {
     if (!dead_[i]) cb(triples_[i]);
   }
+}
+
+void Graph::ForEachId(const std::function<void(const IdTriple&)>& cb) const {
+  for (size_t i = 0; i < id_triples_.size(); ++i) {
+    if (!dead_[i]) cb(id_triples_[i]);
+  }
+}
+
+const IdIndexes& Graph::EnsureIdIndexes() const {
+  IdIndexCache* c = id_cache_.get();
+  // Fast path: a fresh build is published with release ordering, and the
+  // table cannot change concurrently with readers (mutations run under the
+  // engine's exclusive lock), so an acquire load of the stamp suffices.
+  if (c->built_stamp.load(std::memory_order_acquire) == table_stamp_) {
+    return c->idx;
+  }
+  std::lock_guard<std::mutex> lock(c->mu);
+  if (c->built_stamp.load(std::memory_order_relaxed) != table_stamp_) {
+    BuildIdIndexes(id_triples_, dead_, &c->idx);
+    c->built_stamp.store(table_stamp_, std::memory_order_release);
+  }
+  return c->idx;
+}
+
+const IdIndexes* Graph::PeekIdIndexes() const {
+  IdIndexCache* c = id_cache_.get();
+  if (c->built_stamp.load(std::memory_order_acquire) == table_stamp_) {
+    return &c->idx;
+  }
+  return nullptr;
 }
 
 std::string Graph::FreshBlankLabel() {

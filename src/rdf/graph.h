@@ -1,14 +1,19 @@
 #ifndef SCISPARQL_RDF_GRAPH_H_
 #define SCISPARQL_RDF_GRAPH_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "rdf/dictionary.h"
+#include "rdf/id_index.h"
 #include "rdf/term.h"
 
 namespace scisparql {
@@ -49,16 +54,18 @@ class GraphListener {
 /// statistics feeding the cost-based join-order optimizer.
 class Graph {
  public:
-  Graph() = default;
+  Graph();
   ~Graph();
 
   // Graphs own a potentially large triple table; moves are fine, copies
   // must be requested explicitly via Clone(). Moving transfers the
   // listener registration: the moved-from graph no longer notifies it.
+  // (Spelled out rather than defaulted so the moved-from graph gets a
+  // fresh ID-index cache instead of a null one.)
   Graph(const Graph&) = delete;
   Graph& operator=(const Graph&) = delete;
-  Graph(Graph&&) = default;
-  Graph& operator=(Graph&&) = default;
+  Graph(Graph&& o) noexcept;
+  Graph& operator=(Graph&& o) noexcept;
 
   Graph Clone() const;
 
@@ -115,6 +122,31 @@ class Graph {
   /// staleness cheaply.
   uint64_t version() const { return version_; }
 
+  // --- Dictionary-encoded view (ID space). ---
+
+  /// Term dictionary: every term in the graph is interned at insertion.
+  const TermDictionary& dict() const { return dict_; }
+
+  /// The triple table as dictionary IDs, parallel to the Term table
+  /// (tombstoned rows included; pair with ForEachId for live rows only).
+  const std::vector<IdTriple>& id_table() const { return id_triples_; }
+
+  /// Visits every live triple as dictionary IDs, in ForEach order.
+  void ForEachId(const std::function<void(const IdTriple&)>& cb) const;
+
+  /// Sorted SPO/POS/OSP permutation indexes over the live ID tuples,
+  /// built lazily and cached until the next table change (including
+  /// compaction, which renumbers IDs). Thread-safe for concurrent readers;
+  /// the returned reference stays valid until the next mutating call,
+  /// which the engine's exclusive write lock already orders after all
+  /// readers.
+  const IdIndexes& EnsureIdIndexes() const;
+
+  /// The cached permutation indexes if they are already built and fresh,
+  /// else nullptr — lets the planner consult aggregated distinct counts
+  /// without paying the build on graphs that never reach the ID-join path.
+  const IdIndexes* PeekIdIndexes() const;
+
  private:
   using IdList = std::vector<uint32_t>;
 
@@ -140,6 +172,14 @@ class Graph {
     }
   };
 
+  /// Lazily built permutation indexes plus their freshness stamp. Held
+  /// behind a unique_ptr so the mutex does not pin the (move-only) graph.
+  struct IdIndexCache {
+    std::mutex mu;
+    std::atomic<uint64_t> built_stamp{~0ull};
+    IdIndexes idx;
+  };
+
   void MaybeCompact();
 
   std::vector<Triple> triples_;
@@ -155,6 +195,14 @@ class Graph {
   std::unordered_map<Term, IdList, TermHash> by_o_;
   std::unordered_map<PairKey, IdList, PairKeyHash> by_sp_;
   std::unordered_map<PairKey, IdList, PairKeyHash> by_po_;
+
+  TermDictionary dict_;
+  std::vector<IdTriple> id_triples_;  // parallel to triples_/dead_
+  /// Bumps on *every* table rewrite — logical mutations and compaction
+  /// alike (compaction renumbers dictionary IDs even though version()
+  /// stands still), so the ID-index cache can detect staleness.
+  uint64_t table_stamp_ = 0;
+  std::unique_ptr<IdIndexCache> id_cache_;
 };
 
 /// An RDF dataset: one default graph plus named graphs, addressed by the

@@ -1,0 +1,106 @@
+#include "rdf/id_index.h"
+
+#include <algorithm>
+
+namespace scisparql {
+
+const char* PermName(Perm perm) {
+  switch (perm) {
+    case Perm::kSpo:
+      return "SPO";
+    case Perm::kPos:
+      return "POS";
+    default:
+      return "OSP";
+  }
+}
+
+namespace {
+
+bool PermLess(Perm perm, const IdTriple& a, const IdTriple& b) {
+  return PermKey(perm, a) < PermKey(perm, b);
+}
+
+/// Distinct (first) and distinct (first, second) key prefixes of a sorted
+/// permutation — one linear pass.
+void CountPrefixes(const std::vector<IdTriple>& sorted, Perm perm,
+                   size_t* distinct1, size_t* distinct2) {
+  *distinct1 = 0;
+  *distinct2 = 0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    std::array<uint32_t, 3> k = PermKey(perm, sorted[i]);
+    if (i == 0) {
+      *distinct1 = *distinct2 = 1;
+      continue;
+    }
+    std::array<uint32_t, 3> prev = PermKey(perm, sorted[i - 1]);
+    if (k[0] != prev[0]) {
+      ++*distinct1;
+      ++*distinct2;
+    } else if (k[1] != prev[1]) {
+      ++*distinct2;
+    }
+  }
+}
+
+}  // namespace
+
+void BuildIdIndexes(const std::vector<IdTriple>& table,
+                    const std::vector<bool>& dead, IdIndexes* out) {
+  out->spo.clear();
+  size_t live = 0;
+  for (size_t i = 0; i < table.size(); ++i) {
+    if (i >= dead.size() || !dead[i]) ++live;
+  }
+  out->spo.reserve(live);
+  for (size_t i = 0; i < table.size(); ++i) {
+    if (i < dead.size() && dead[i]) continue;
+    out->spo.push_back(table[i]);
+  }
+  out->pos = out->spo;
+  out->osp = out->spo;
+  std::sort(out->spo.begin(), out->spo.end(),
+            [](const IdTriple& a, const IdTriple& b) {
+              return PermLess(Perm::kSpo, a, b);
+            });
+  std::sort(out->pos.begin(), out->pos.end(),
+            [](const IdTriple& a, const IdTriple& b) {
+              return PermLess(Perm::kPos, a, b);
+            });
+  std::sort(out->osp.begin(), out->osp.end(),
+            [](const IdTriple& a, const IdTriple& b) {
+              return PermLess(Perm::kOsp, a, b);
+            });
+  CountPrefixes(out->spo, Perm::kSpo, &out->distinct_s, &out->distinct_sp);
+  CountPrefixes(out->pos, Perm::kPos, &out->distinct_p, &out->distinct_po);
+  CountPrefixes(out->osp, Perm::kOsp, &out->distinct_o, &out->distinct_os);
+}
+
+std::pair<size_t, size_t> PrefixRange(const std::vector<IdTriple>& sorted,
+                                      Perm perm,
+                                      const std::array<uint32_t, 3>& key,
+                                      int n_fixed) {
+  if (n_fixed <= 0) return {0, sorted.size()};
+  auto less = [perm, n_fixed](const IdTriple& t,
+                              const std::array<uint32_t, 3>& k) {
+    std::array<uint32_t, 3> tk = PermKey(perm, t);
+    for (int i = 0; i < n_fixed; ++i) {
+      if (tk[i] != k[i]) return tk[i] < k[i];
+    }
+    return false;
+  };
+  auto greater = [perm, n_fixed](const std::array<uint32_t, 3>& k,
+                                 const IdTriple& t) {
+    std::array<uint32_t, 3> tk = PermKey(perm, t);
+    for (int i = 0; i < n_fixed; ++i) {
+      if (tk[i] != k[i]) return k[i] < tk[i];
+    }
+    return false;
+  };
+  auto lo = std::lower_bound(sorted.begin(), sorted.end(), key, less);
+  auto hi = std::upper_bound(lo, sorted.end(), key, greater);
+  return {static_cast<size_t>(lo - sorted.begin()),
+          static_cast<size_t>(hi - sorted.begin())};
+}
+
+}  // namespace scisparql

@@ -1,0 +1,94 @@
+#ifndef SCISPARQL_RDF_ID_INDEX_H_
+#define SCISPARQL_RDF_ID_INDEX_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace scisparql {
+
+/// One triple lowered to dictionary IDs — 12 bytes instead of three
+/// string-bearing Terms.
+struct IdTriple {
+  uint32_t s = 0;
+  uint32_t p = 0;
+  uint32_t o = 0;
+
+  bool operator==(const IdTriple& other) const {
+    return s == other.s && p == other.p && o == other.o;
+  }
+};
+
+/// Sort orders of the permutation indexes, named by key order (RDF-3X's
+/// FactsSegment orderings, reduced to the three the executor probes: any
+/// combination of fixed positions maps onto a contiguous prefix range of
+/// one of them).
+enum class Perm : uint8_t {
+  kSpo = 0,  ///< sorted by (s, p, o)
+  kPos = 1,  ///< sorted by (p, o, s)
+  kOsp = 2,  ///< sorted by (o, s, p)
+};
+
+/// The triple's components in `perm` key order.
+inline std::array<uint32_t, 3> PermKey(Perm perm, const IdTriple& t) {
+  switch (perm) {
+    case Perm::kSpo:
+      return {t.s, t.p, t.o};
+    case Perm::kPos:
+      return {t.p, t.o, t.s};
+    default:
+      return {t.o, t.s, t.p};
+  }
+}
+
+const char* PermName(Perm perm);
+
+/// Sorted ID-tuple permutation indexes over one graph's live triples, plus
+/// the aggregated variants (distinct leading-prefix counts, cf. RDF-3X's
+/// AggregatedIndexScan / FullyAggregatedIndexScan) the cardinality
+/// estimator consumes. Rebuilt lazily per graph mutation stamp; duplicates
+/// are kept (RDF multiset semantics).
+struct IdIndexes {
+  std::vector<IdTriple> spo;
+  std::vector<IdTriple> pos;
+  std::vector<IdTriple> osp;
+
+  /// Fully aggregated: distinct values per single position.
+  size_t distinct_s = 0;
+  size_t distinct_p = 0;
+  size_t distinct_o = 0;
+  /// Aggregated: distinct leading pairs per permutation.
+  size_t distinct_sp = 0;
+  size_t distinct_po = 0;
+  size_t distinct_os = 0;
+
+  const std::vector<IdTriple>& perm(Perm p) const {
+    switch (p) {
+      case Perm::kSpo:
+        return spo;
+      case Perm::kPos:
+        return pos;
+      default:
+        return osp;
+    }
+  }
+};
+
+/// Builds all three permutations (and the aggregated counts) from the
+/// graph's triple table; `dead[i]` rows are skipped.
+void BuildIdIndexes(const std::vector<IdTriple>& table,
+                    const std::vector<bool>& dead, IdIndexes* out);
+
+/// Contiguous [begin, end) range of `sorted` (ordered per `perm`) whose
+/// first `n_fixed` key components equal key[0..n_fixed). n_fixed == 0
+/// returns the whole vector.
+std::pair<size_t, size_t> PrefixRange(const std::vector<IdTriple>& sorted,
+                                      Perm perm,
+                                      const std::array<uint32_t, 3>& key,
+                                      int n_fixed);
+
+}  // namespace scisparql
+
+#endif  // SCISPARQL_RDF_ID_INDEX_H_

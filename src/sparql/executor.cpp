@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <charconv>
 #include <chrono>
+#include <cmath>
 #include <optional>
 #include <set>
 #include <sstream>
@@ -10,6 +11,7 @@
 
 #include "loaders/turtle.h"
 #include "opt/planner.h"
+#include "sparql/id_join.h"
 
 namespace scisparql {
 namespace sparql {
@@ -388,6 +390,26 @@ class ExecImpl {
     const Graph* graph;
     Binding binding;
   };
+
+  /// One evaluated ORDER BY key. SPARQL's term order puts unbound lowest,
+  /// but an *erroring* key expression is not the same thing as an unbound
+  /// variable — conflating them makes `ORDER BY (1/?x)` interleave its
+  /// failures with genuinely unbound rows. Errors carry their own flag and
+  /// sort in a separate band.
+  struct OrderKeyVal {
+    Term term;
+    bool error = false;
+  };
+
+  OrderKeyVal EvalOrderKey(const ast::Expr& e, State& st, EvalContext& ctx) {
+    if (e.kind == ast::Expr::Kind::kVar &&
+        st.binding.find(e.var) == st.binding.end()) {
+      return {};  // genuinely unbound: lowest band, not an error
+    }
+    Result<Term> v = EvalExpr(e, ctx);
+    if (!v.ok()) return {Term(), true};
+    return {*v, false};
+  }
 
   /// Cooperative deadline/cancellation check for the hot loops. The flag
   /// and clock reads are amortized over 64 calls so the common (uncontexted
@@ -927,8 +949,183 @@ class ExecImpl {
                             PlanRecord{ordered.patterns, ordered.est,
                                        ordered.reordered});
     }
+    std::optional<Result<bool>> fast =
+        TryEvalBgpIds(ordered, bgp, filters, st, k);
+    if (fast.has_value()) return *fast;
     std::vector<bool> filter_done(filters.size(), false);
     return EvalBgpRec(ordered.patterns, filters, &filter_done, 0, st, k);
+  }
+
+  /// Attempts to evaluate the ordered BGP over the graph's dictionary-ID
+  /// permutation indexes (merge / hash joins instead of nested
+  /// scan-and-bind). Returns nullopt when the fast path does not apply —
+  /// single pattern, property paths, a graph whose ID space is not
+  /// join-safe, or an intermediate result past the materialization cap —
+  /// and the caller falls back to scan-and-bind.
+  std::optional<Result<bool>> TryEvalBgpIds(
+      const OrderedBgp& ordered, const std::vector<const TriplePattern*>& bgp,
+      const std::vector<const ast::Expr*>& filters, State& st, const Cont& k) {
+    if (!options_.use_id_joins || st.graph == nullptr) return std::nullopt;
+    if (ordered.patterns.size() < 2) return std::nullopt;
+    for (const TriplePattern* tp : ordered.patterns) {
+      if (tp->path != nullptr) return std::nullopt;
+    }
+    const TermDictionary& dict = st.graph->dict();
+    if (!dict.join_safe()) return std::nullopt;
+
+    // Lower the patterns to the ID space: constants and already-bound
+    // variables resolve through the dictionary, unbound variables get
+    // dense output slots.
+    std::vector<std::string> slot_vars;
+    std::map<std::string, int> slot_of;
+    bool missing_const = false;
+    auto resolve_const = [&](const Term& t) -> uint32_t {
+      std::optional<uint32_t> id = dict.Find(t);
+      // Under join_safe() the graph holds at most one representation of
+      // any numeric value, but it may be the other kind than the query
+      // constant (2 matches a stored 2.0); probe both exact kinds.
+      if (!id.has_value() && t.kind() == Term::Kind::kInteger) {
+        id = dict.Find(Term::Double(static_cast<double>(t.integer())));
+      } else if (!id.has_value() && t.kind() == Term::Kind::kDouble) {
+        double d = t.dbl();
+        if (d == std::floor(d) && d >= -9.2e18 && d <= 9.2e18) {
+          id = dict.Find(Term::Integer(static_cast<int64_t>(d)));
+        }
+      }
+      if (!id.has_value()) {
+        missing_const = true;
+        return 0;
+      }
+      return *id;
+    };
+    auto lower = [&](const VarOrTerm& vt) -> IdSlot {
+      IdSlot s;
+      if (vt.is_var) {
+        auto bound = st.binding.find(vt.var);
+        if (bound == st.binding.end()) {
+          auto [it, fresh] =
+              slot_of.emplace(vt.var, static_cast<int>(slot_vars.size()));
+          if (fresh) slot_vars.push_back(vt.var);
+          s.is_var = true;
+          s.slot = it->second;
+          return s;
+        }
+        s.const_id = resolve_const(bound->second);
+        return s;
+      }
+      s.const_id = resolve_const(vt.term);
+      return s;
+    };
+    std::vector<IdPattern> pats;
+    pats.reserve(ordered.patterns.size());
+    for (const TriplePattern* tp : ordered.patterns) {
+      IdPattern p;
+      p.s = lower(tp->s);
+      p.p = lower(tp->p);
+      p.o = lower(tp->o);
+      pats.push_back(p);
+    }
+    if (missing_const) {
+      // A constant absent from the dictionary occurs in no triple: the
+      // BGP has zero solutions and evaluation simply continues.
+      return Result<bool>(true);
+    }
+
+    const IdIndexes& idx = st.graph->EnsureIdIndexes();
+    IdJoinResult res;
+    bool overflow = false;
+    std::function<Status()> interrupt;
+    if (options_.query != nullptr) {
+      interrupt = [this]() { return CheckInterrupt(); };
+    }
+    Status js = ExecuteIdJoin(idx, pats, options_.id_join_max_rows, interrupt,
+                              &res, &overflow);
+    if (!js.ok()) return Result<bool>(js);
+    if (overflow) return std::nullopt;
+
+    if (profile_) RecordIdJoinProfile(ordered, bgp, slot_vars, res);
+
+    // Emit the solutions: bind the slot variables through pre-inserted
+    // map cells (Binding is node-based, so the iterators survive whatever
+    // the continuation does to other keys), then apply every pushed
+    // filter — the same end-of-BGP accept/reject state scan-and-bind
+    // reaches, since EvalFilter maps evaluation errors to rejection.
+    std::vector<Binding::iterator> cells;
+    cells.reserve(res.slots.size());
+    for (int slot : res.slots) {
+      cells.push_back(
+          st.binding.emplace(slot_vars[static_cast<size_t>(slot)], Term())
+              .first);
+    }
+    bool keep_going = true;
+    Status inner = Status::OK();
+    const size_t stride = res.slots.size();
+    for (size_t r = 0; r < res.rows && keep_going; ++r) {
+      Status alive = CheckInterrupt();
+      if (!alive.ok()) {
+        inner = alive;
+        break;
+      }
+      for (size_t c = 0; c < stride; ++c) {
+        cells[c]->second = dict.term(res.data[r * stride + c]);
+      }
+      bool pass = true;
+      for (const ast::Expr* f : filters) {
+        Result<bool> pb = EvalFilter(*f, st);
+        if (!pb.ok()) {
+          inner = pb.status();
+          keep_going = false;
+          pass = false;
+          break;
+        }
+        if (!*pb) {
+          pass = false;
+          break;
+        }
+      }
+      if (!pass) continue;
+      Result<bool> kr = k();
+      if (!kr.ok()) {
+        inner = kr.status();
+        break;
+      }
+      if (!*kr) keep_going = false;
+    }
+    for (int slot : res.slots) {
+      st.binding.erase(slot_vars[static_cast<size_t>(slot)]);
+    }
+    if (!inner.ok()) return Result<bool>(inner);
+    return Result<bool>(keep_going);
+  }
+
+  /// Folds an ID-join run into the EXPLAIN / trace profile: per-pattern
+  /// scan and output cardinalities, plus the physical-operator labels on
+  /// the BGP's plan record (first run wins, matching plan capture).
+  void RecordIdJoinProfile(const OrderedBgp& ordered,
+                           const std::vector<const TriplePattern*>& bgp,
+                           const std::vector<std::string>& slot_vars,
+                           const IdJoinResult& res) {
+    for (size_t i = 0; i < res.steps.size() && i < ordered.patterns.size();
+         ++i) {
+      scan_input_[ordered.patterns[i]] +=
+          static_cast<int64_t>(res.steps[i].scan_rows);
+      scan_actual_[ordered.patterns[i]] +=
+          static_cast<int64_t>(res.steps[i].out_rows);
+    }
+    if (bgp.empty()) return;
+    auto it = plan_records_.find(bgp[0]);
+    if (it == plan_records_.end() || !it->second.phys.empty()) return;
+    for (const IdJoinStep& s : res.steps) {
+      std::string label = std::string(opt::PhysicalOpName(s.op)) + "(" +
+                          PermName(s.perm);
+      if (s.op == opt::PhysicalOp::kMergeJoin && s.join_slot >= 0) {
+        label += " on ?" + slot_vars[static_cast<size_t>(s.join_slot)];
+      } else if (s.op == opt::PhysicalOp::kHashJoin) {
+        label += s.build_left ? ", build=left" : ", build=scan";
+      }
+      label += ")";
+      it->second.phys.push_back(std::move(label));
+    }
   }
 
   Result<bool> EvalBgpRec(const std::vector<const TriplePattern*>& patterns,
@@ -1460,7 +1657,7 @@ class ExecImpl {
 
     struct OutRow {
       std::vector<Term> cells;
-      std::vector<Term> order_keys;
+      std::vector<OrderKeyVal> order_keys;
     };
     std::vector<OutRow> rows;
 
@@ -1520,12 +1717,13 @@ class ExecImpl {
         if (!keep) continue;
         OutRow row;
         for (const auto& p : projs) {
+          // A failing projection yields an unbound cell, same as an
+          // OPTIONAL that did not match.
           Result<Term> v = EvalExpr(*p.expr, ctx);
           row.cells.push_back(v.ok() ? *v : Term());
         }
         for (const auto& o : q.order_by) {
-          Result<Term> v = EvalExpr(*o.expr, ctx);
-          row.order_keys.push_back(v.ok() ? *v : Term());
+          row.order_keys.push_back(EvalOrderKey(*o.expr, st, ctx));
         }
         rows.push_back(std::move(row));
       }
@@ -1540,8 +1738,7 @@ class ExecImpl {
           row.cells.push_back(v.ok() ? *v : Term());
         }
         for (const auto& o : q.order_by) {
-          Result<Term> v = EvalExpr(*o.expr, ctx);
-          row.order_keys.push_back(v.ok() ? *v : Term());
+          row.order_keys.push_back(EvalOrderKey(*o.expr, st, ctx));
         }
         rows.push_back(std::move(row));
       }
@@ -1549,17 +1746,23 @@ class ExecImpl {
 
     // ORDER BY.
     if (!q.order_by.empty()) {
-      std::stable_sort(rows.begin(), rows.end(),
-                       [&q](const OutRow& a, const OutRow& b) {
-                         for (size_t i = 0; i < q.order_by.size(); ++i) {
-                           int c = CompareOrderKeys(a.order_keys[i],
-                                                    b.order_keys[i]);
-                           if (c != 0) {
-                             return q.order_by[i].ascending ? c < 0 : c > 0;
-                           }
-                         }
-                         return false;
-                       });
+      std::stable_sort(
+          rows.begin(), rows.end(), [&q](const OutRow& a, const OutRow& b) {
+            for (size_t i = 0; i < q.order_by.size(); ++i) {
+              const OrderKeyVal& ka = a.order_keys[i];
+              const OrderKeyVal& kb = b.order_keys[i];
+              // Error'd keys form their own band after every non-error
+              // key (ahead of them under DESC, like any comparison);
+              // within the band the stable sort preserves input order.
+              int c = ka.error != kb.error
+                          ? (ka.error ? 1 : -1)
+                          : CompareOrderKeys(ka.term, kb.term);
+              if (c != 0) {
+                return q.order_by[i].ascending ? c < 0 : c > 0;
+              }
+            }
+            return false;
+          });
     }
 
     // DISTINCT / REDUCED.
@@ -1979,7 +2182,11 @@ class ExecImpl {
           *out << pad << "  scan " << tp->s.ToString() << " "
                << (tp->path ? std::string("<path>") : tp->p.ToString()) << " "
                << tp->o.ToString() << "  (est " << est[s] << ", actual "
-               << actual << ")\n";
+               << actual << ")";
+          if (rec != nullptr && s < rec->phys.size()) {
+            *out << "  [" << rec->phys[s] << "]";
+          }
+          *out << "\n";
         }
         i = j;
         continue;
@@ -2042,6 +2249,7 @@ class ExecImpl {
                           (tp->path ? std::string("<path>") : tp->p.ToString()) +
                           " " + tp->o.ToString());
         scan->SetAttr("est", rec.est[s]);
+        if (s < rec.phys.size()) scan->SetAttr("phys", rec.phys[s]);
         auto in = scan_input_.find(tp);
         scan->SetAttr("in", in == scan_input_.end() ? 0 : in->second);
         auto out = scan_actual_.find(tp);
@@ -2064,6 +2272,10 @@ class ExecImpl {
     std::vector<const TriplePattern*> order;
     std::vector<int64_t> est;
     bool reordered = false;
+    /// Physical-operator labels per step when the ID-join path ran
+    /// ("index-scan(SPO)", "merge-join(POS on ?x)", ...); empty when the
+    /// BGP executed via scan-and-bind.
+    std::vector<std::string> phys;
   };
 
   Dataset* dataset_;

@@ -58,6 +58,17 @@ struct ExecOptions {
   /// Hoist FILTERs to the earliest point where their variables are bound.
   bool push_filters = true;
 
+  /// Evaluate multi-pattern BGPs over the dictionary-ID permutation
+  /// indexes — prefix-range index scans combined by merge / hash joins —
+  /// whenever the graph's ID space is join-safe (no arrays, no mixed
+  /// numeric representations). Off = always scan-and-bind.
+  bool use_id_joins = true;
+
+  /// Row cap for ID-join intermediate results. Past it the BGP falls back
+  /// to scan-and-bind, which streams bindings instead of materializing
+  /// the join.
+  size_t id_join_max_rows = 8u << 20;
+
   /// Graph statistics registry feeding the join-order cost model
   /// (per-predicate counts, distinct-value counts, histograms). Not owned;
   /// may be null, in which case the optimizer falls back to raw

@@ -1,0 +1,71 @@
+#ifndef SCISPARQL_SPARQL_ID_JOIN_H_
+#define SCISPARQL_SPARQL_ID_JOIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "opt/planner.h"
+#include "rdf/id_index.h"
+
+namespace scisparql {
+namespace sparql {
+
+/// One position of a triple pattern lowered to the ID space: either a
+/// dictionary-resolved constant (the term itself, or a variable already
+/// bound by an enclosing pattern) or an output slot. Slots are the BGP's
+/// distinct unbound variables, numbered densely from 0 by the caller.
+struct IdSlot {
+  bool is_var = false;
+  uint32_t const_id = 0;  // when !is_var
+  int slot = -1;          // when is_var
+};
+
+struct IdPattern {
+  IdSlot s, p, o;
+};
+
+/// What one pipeline step did, for EXPLAIN / tracing: the permutation its
+/// index scan used, how it was joined into the accumulated result, and the
+/// scan / output cardinalities.
+struct IdJoinStep {
+  opt::PhysicalOp op = opt::PhysicalOp::kIndexScan;
+  Perm perm = Perm::kSpo;  // permutation the step's index scan probed
+  int join_slot = -1;      // merge-join key slot (kMergeJoin only)
+  bool build_left = false; // hash build side (kHashJoin only)
+  size_t scan_rows = 0;    // rows in the scan's prefix range
+  size_t out_rows = 0;     // accumulated rows after this step
+};
+
+/// Materialized join result: `data` is row-major with stride
+/// `slots.size()`; column c holds the IDs bound to slot `slots[c]`.
+struct IdJoinResult {
+  std::vector<int> slots;
+  std::vector<uint32_t> data;
+  size_t rows = 0;
+  std::vector<IdJoinStep> steps;
+};
+
+/// Evaluates a BGP entirely over the sorted ID-tuple permutation indexes:
+/// each pattern becomes a prefix-range index scan, joined into the
+/// accumulated intermediate result by merge join when both sides arrive
+/// sorted on their single shared slot, else by hash join building the
+/// smaller side (opt::ChoosePhysicalJoin). Duplicates are preserved
+/// (multiset semantics); a pattern sharing no slot degenerates to a cross
+/// product. Patterns execute in the given (planner) order.
+///
+/// If any intermediate result would exceed `max_rows`, sets *overflow and
+/// returns OK with `out` incomplete — the caller falls back to
+/// scan-and-bind. `interrupt` (may be null) is polled between operators
+/// and inside long loops; its error aborts the join.
+Status ExecuteIdJoin(const IdIndexes& idx,
+                     const std::vector<IdPattern>& patterns, size_t max_rows,
+                     const std::function<Status()>& interrupt,
+                     IdJoinResult* out, bool* overflow);
+
+}  // namespace sparql
+}  // namespace scisparql
+
+#endif  // SCISPARQL_SPARQL_ID_JOIN_H_

@@ -263,13 +263,20 @@ class Parser {
         if (Peek().type != TokenType::kInteger) {
           return Error("expected integer after LIMIT");
         }
-        q->limit = std::atoll(Advance().text.c_str());
+        int64_t v = std::atoll(Advance().text.c_str());
+        // The lexer folds a leading '-' into the integer token, and the
+        // executor treats a negative limit as "no limit" — reject here so
+        // LIMIT -1 is a parse error, not an accidental unbounded query.
+        if (v < 0) return Error("LIMIT must be non-negative");
+        q->limit = v;
       } else if (Peek().IsKeyword("OFFSET")) {
         Advance();
         if (Peek().type != TokenType::kInteger) {
           return Error("expected integer after OFFSET");
         }
-        q->offset = std::atoll(Advance().text.c_str());
+        int64_t v = std::atoll(Advance().text.c_str());
+        if (v < 0) return Error("OFFSET must be non-negative");
+        q->offset = v;
       }
     }
     return q;

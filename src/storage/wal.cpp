@@ -4,6 +4,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <unordered_map>
 
 #include "common/crc32c.h"
 #include "rdf/term_codec.h"
@@ -18,9 +19,14 @@ constexpr char kSegmentMagic[4] = {'S', 'S', 'W', 'L'};
 constexpr uint32_t kSegmentFormat = 1;
 constexpr size_t kSegmentHeaderSize = 16;
 
-/// Term framing inside triple bodies: inline bytes or a back-end ref.
+/// Term framing inside triple bodies: inline bytes, a back-end ref, or a
+/// back-reference to an earlier term of the same batch (dictionary
+/// compression — bulk loads repeat predicates and subjects constantly, so
+/// most terms of a batch collapse to a 5-byte ref). Batches never span
+/// segments or shipment streams, so the reference scope is self-contained.
 constexpr uint8_t kTermInline = 0;
 constexpr uint8_t kTermProxyRef = 1;
+constexpr uint8_t kTermDictRef = 2;
 
 }  // namespace
 
@@ -73,30 +79,73 @@ Result<std::vector<WalSegmentInfo>> ListWalSegments(Vfs* vfs,
 
 namespace {
 
-Status SerializeWalTerm(const Term& term, std::string* out) {
+/// Batch-scoped term interning for the encoder: serialized term bytes →
+/// dense index, assigned in emission order. The first occurrence is
+/// written out verbatim; repeats become kTermDictRef + index.
+struct BatchTermEncoder {
+  std::unordered_map<std::string, uint32_t> ids;
+};
+
+/// Decoder mirror: every inline / proxy-ref term appends here in decode
+/// order (exactly the encoder's first occurrences), so a dict-ref index
+/// addresses this vector directly. Cleared at each commit marker.
+struct BatchTermDecoder {
+  std::vector<Term> terms;
+};
+
+Status SerializeWalTerm(const Term& term, BatchTermEncoder* enc,
+                        std::string* out) {
+  std::string one;
   // Proxies log as (storage, id) references — the payload already lives in
   // the back-end; inlining it would double-store every stored array.
+  bool encoded = false;
   if (term.kind() == Term::Kind::kArray && !term.array()->resident()) {
     auto* proxy = dynamic_cast<const ArrayProxy*>(term.array().get());
     if (proxy != nullptr && proxy->storage() != nullptr) {
-      out->push_back(static_cast<char>(kTermProxyRef));
-      rdf::PutString(out, proxy->storage()->name());
-      rdf::PutU64(out, static_cast<uint64_t>(proxy->array_id()));
+      one.push_back(static_cast<char>(kTermProxyRef));
+      rdf::PutString(&one, proxy->storage()->name());
+      rdf::PutU64(&one, static_cast<uint64_t>(proxy->array_id()));
+      encoded = true;
+    }
+  }
+  if (!encoded) {
+    one.push_back(static_cast<char>(kTermInline));
+    SCISPARQL_RETURN_NOT_OK(rdf::SerializeTerm(term, &one));
+  }
+  if (enc != nullptr) {
+    auto [it, fresh] =
+        enc->ids.emplace(one, static_cast<uint32_t>(enc->ids.size()));
+    if (!fresh) {
+      out->push_back(static_cast<char>(kTermDictRef));
+      rdf::PutU32(out, it->second);
       return Status::OK();
     }
   }
-  out->push_back(static_cast<char>(kTermInline));
-  return rdf::SerializeTerm(term, out);
+  out->append(one);
+  return Status::OK();
 }
 
 Result<Term> DeserializeWalTerm(
     const std::string& data, size_t* pos,
     const std::function<Result<Term>(const std::string&, uint64_t)>&
-        resolve_ref) {
+        resolve_ref,
+    BatchTermDecoder* dec) {
   if (*pos >= data.size()) return Status::Internal("truncated WAL term");
   uint8_t tag = static_cast<uint8_t>(data[(*pos)++]);
-  if (tag == kTermInline) return rdf::DeserializeTerm(data, pos);
-  if (tag == kTermProxyRef) {
+  if (tag == kTermDictRef) {
+    uint32_t idx;
+    if (!rdf::GetU32(data, pos, &idx)) {
+      return Status::Internal("truncated WAL term back-reference");
+    }
+    if (dec == nullptr || idx >= dec->terms.size()) {
+      return Status::Internal("WAL term back-reference out of range");
+    }
+    return dec->terms[idx];
+  }
+  Term term;
+  if (tag == kTermInline) {
+    SCISPARQL_ASSIGN_OR_RETURN(term, rdf::DeserializeTerm(data, pos));
+  } else if (tag == kTermProxyRef) {
     std::string storage_name;
     uint64_t id;
     if (!rdf::GetString(data, pos, &storage_name) ||
@@ -107,12 +156,16 @@ Result<Term> DeserializeWalTerm(
       return Status::IoError("WAL record references array storage '" +
                              storage_name + "' but no resolver is attached");
     }
-    return resolve_ref(storage_name, id);
+    SCISPARQL_ASSIGN_OR_RETURN(term, resolve_ref(storage_name, id));
+  } else {
+    return Status::Internal("unknown WAL term tag");
   }
-  return Status::Internal("unknown WAL term tag");
+  if (dec != nullptr) dec->terms.push_back(term);
+  return term;
 }
 
-std::string EncodeRecordPayload(const WalRecord& rec, Status* status) {
+std::string EncodeRecordPayload(const WalRecord& rec, BatchTermEncoder* enc,
+                                Status* status) {
   std::string payload;
   rdf::PutU64(&payload, rec.lsn);
   payload.push_back(static_cast<char>(rec.type));
@@ -120,9 +173,9 @@ std::string EncodeRecordPayload(const WalRecord& rec, Status* status) {
     case WalRecord::Type::kAdd:
     case WalRecord::Type::kRemove: {
       rdf::PutString(&payload, rec.graph);
-      Status st = SerializeWalTerm(rec.triple.s, &payload);
-      if (st.ok()) st = SerializeWalTerm(rec.triple.p, &payload);
-      if (st.ok()) st = SerializeWalTerm(rec.triple.o, &payload);
+      Status st = SerializeWalTerm(rec.triple.s, enc, &payload);
+      if (st.ok()) st = SerializeWalTerm(rec.triple.p, enc, &payload);
+      if (st.ok()) st = SerializeWalTerm(rec.triple.o, enc, &payload);
       if (!st.ok()) *status = st;
       break;
     }
@@ -139,7 +192,8 @@ std::string EncodeRecordPayload(const WalRecord& rec, Status* status) {
 Result<WalRecord> DecodeRecordPayload(
     const std::string& payload,
     const std::function<Result<Term>(const std::string&, uint64_t)>&
-        resolve_ref) {
+        resolve_ref,
+    BatchTermDecoder* dec) {
   WalRecord rec;
   size_t pos = 0;
   if (!rdf::GetU64(payload, &pos, &rec.lsn) || pos >= payload.size()) {
@@ -152,12 +206,12 @@ Result<WalRecord> DecodeRecordPayload(
       if (!rdf::GetString(payload, &pos, &rec.graph)) {
         return Status::Internal("truncated WAL record graph");
       }
-      SCISPARQL_ASSIGN_OR_RETURN(rec.triple.s,
-                                 DeserializeWalTerm(payload, &pos, resolve_ref));
-      SCISPARQL_ASSIGN_OR_RETURN(rec.triple.p,
-                                 DeserializeWalTerm(payload, &pos, resolve_ref));
-      SCISPARQL_ASSIGN_OR_RETURN(rec.triple.o,
-                                 DeserializeWalTerm(payload, &pos, resolve_ref));
+      SCISPARQL_ASSIGN_OR_RETURN(
+          rec.triple.s, DeserializeWalTerm(payload, &pos, resolve_ref, dec));
+      SCISPARQL_ASSIGN_OR_RETURN(
+          rec.triple.p, DeserializeWalTerm(payload, &pos, resolve_ref, dec));
+      SCISPARQL_ASSIGN_OR_RETURN(
+          rec.triple.o, DeserializeWalTerm(payload, &pos, resolve_ref, dec));
       return rec;
     }
     case WalRecord::Type::kClearGraph:
@@ -209,16 +263,17 @@ Status WalWriter::AppendBatch(std::vector<WalRecord>& records) {
   // into one blob so the batch hits the device with one write + one fsync.
   std::string blob;
   Status encode_status = Status::OK();
+  BatchTermEncoder enc;
   uint64_t lsn = next_lsn_;
   for (WalRecord& rec : records) {
     rec.lsn = lsn++;
-    FrameRecord(EncodeRecordPayload(rec, &encode_status), &blob);
+    FrameRecord(EncodeRecordPayload(rec, &enc, &encode_status), &blob);
     if (!encode_status.ok()) return encode_status;
   }
   WalRecord commit;
   commit.type = WalRecord::Type::kCommit;
   commit.lsn = lsn++;
-  FrameRecord(EncodeRecordPayload(commit, &encode_status), &blob);
+  FrameRecord(EncodeRecordPayload(commit, &enc, &encode_status), &blob);
   if (!encode_status.ok()) return encode_status;
 
   SCISPARQL_RETURN_NOT_OK(file_->WriteAt(offset_, blob.data(), blob.size()));
@@ -265,6 +320,7 @@ Status ScanFrameStream(
     const std::function<Status(const WalRecord&)>& apply,
     WalReplayStats* stats, std::string* stop_reason) {
   std::vector<WalRecord> pending;
+  BatchTermDecoder dec;
   while (pos < data.size()) {
     uint32_t len, stored_crc;
     if (!rdf::GetU32(data, &pos, &len) ||
@@ -278,9 +334,12 @@ Status ScanFrameStream(
       *stop_reason = "record checksum mismatch";
       return Status::OK();
     }
-    SCISPARQL_ASSIGN_OR_RETURN(WalRecord rec,
-                               DecodeRecordPayload(payload, resolve_ref));
+    SCISPARQL_ASSIGN_OR_RETURN(
+        WalRecord rec, DecodeRecordPayload(payload, resolve_ref, &dec));
     if (rec.type == WalRecord::Type::kCommit) {
+      // Back-references are batch-scoped; the commit marker ends the
+      // encoder's scope, so the decoder's mirror resets with it.
+      dec.terms.clear();
       for (const WalRecord& r : pending) {
         if (r.lsn <= after_lsn) {
           ++stats->records_skipped;

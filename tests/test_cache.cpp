@@ -179,6 +179,52 @@ TEST_F(CacheTest, EvictionUnderByteBudget) {
   EXPECT_LT(db_.cache().result_entries(), 6u);
 }
 
+TEST_F(CacheTest, EntryBytesChargeDictionaryResidentStrings) {
+  // Two one-row outcomes differing only in lexical payload size: the byte
+  // estimate must grow with the string bytes the terms pin (whether held
+  // inline or interned in the graph dictionary), not just sizeof(Term).
+  std::string long_name(2000, 'n');
+  ASSERT_TRUE(db_.Run("PREFIX ex: <http://example.org/> INSERT DATA { "
+                      "ex:short ex:name \"tiny\" . "
+                      "ex:long ex:name \"" +
+                      long_name + "\" }")
+                  .ok());
+  db_.EnableResultCache();
+  ASSERT_TRUE(db_.Query("PREFIX ex: <http://example.org/> SELECT ?n WHERE "
+                        "{ ex:short ex:name ?n }")
+                  .ok());
+  size_t small_bytes = db_.cache().result_bytes();
+  ASSERT_GT(small_bytes, 0u);
+  ASSERT_TRUE(db_.Query("PREFIX ex: <http://example.org/> SELECT ?n WHERE "
+                        "{ ex:long ex:name ?n }")
+                  .ok());
+  EXPECT_GE(db_.cache().result_bytes(), small_bytes + long_name.size());
+}
+
+TEST_F(CacheTest, GraphResidentStringsDriveEvictionAtBudget) {
+  // Each result row carries a ~1 KiB string fetched from the graph (so the
+  // bytes live in the term dictionary, not in query-text constants). With
+  // a 4 KiB budget the six distinct results cannot all stay resident; the
+  // budget must notice the string payloads and evict.
+  std::string stmt = "PREFIX ex: <http://example.org/> INSERT DATA {";
+  for (int i = 0; i < 6; ++i) {
+    stmt += " ex:doc" + std::to_string(i) + " ex:body \"" +
+            std::string(1024, static_cast<char>('a' + i)) + "\" .";
+  }
+  stmt += " }";
+  ASSERT_TRUE(db_.Run(stmt).ok());
+  db_.EnableResultCache(/*budget_bytes=*/4096);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(db_.Query("PREFIX ex: <http://example.org/> SELECT ?b WHERE "
+                          "{ ex:doc" +
+                          std::to_string(i) + " ex:body ?b }")
+                    .ok());
+  }
+  EXPECT_GT(db_.cache().counters().result_evictions, 0u);
+  EXPECT_LE(db_.cache().result_bytes(), 4096u);
+  EXPECT_LT(db_.cache().result_entries(), 6u);
+}
+
 TEST_F(CacheTest, OversizedResultIsNotCached) {
   db_.EnableResultCache(/*budget_bytes=*/128);
   std::string big(1024, 'y');

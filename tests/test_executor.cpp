@@ -485,5 +485,77 @@ TEST_F(ExecutorTest, ArraySliceBadBoundsAreCleanErrors) {
   EXPECT_FALSE(ok.rows[0][0].IsUndef());
 }
 
+// ---------------------------------------------------------------------------
+// ORDER BY banding: unbound keys vs error keys are distinct sort bands.
+// ---------------------------------------------------------------------------
+
+/// Rows in three key classes: bound values, unbound (no ex:val at all),
+/// and values that make the sort expression error (division by zero).
+class OrderBandTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_.prefixes().Set("ex", "http://example.org/");
+    ASSERT_TRUE(db_.Run(R"(INSERT DATA {
+      ex:r1 ex:val 4 . ex:r1 ex:tag "b4" .
+      ex:r2 ex:val 0 . ex:r2 ex:tag "e1" .
+      ex:r3 ex:tag "u1" .
+      ex:r4 ex:val 2 . ex:r4 ex:tag "b2" .
+      ex:r5 ex:tag "u2" .
+      ex:r6 ex:val 0 . ex:r6 ex:tag "e2" .
+    })")
+                    .ok());
+  }
+
+  std::vector<std::string> Tags(const std::string& order) {
+    auto r = db_.Query(
+        "PREFIX ex: <http://example.org/> SELECT ?t WHERE { ?s ex:tag ?t . "
+        "OPTIONAL { ?s ex:val ?v } } ORDER BY " +
+        order);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    std::vector<std::string> tags;
+    if (r.ok()) {
+      for (const auto& row : r->rows) tags.push_back(row[0].lexical());
+    }
+    return tags;
+  }
+
+  SSDM db_;
+};
+
+TEST_F(OrderBandTest, BareUnboundVariableSortsInUnboundBandNotError) {
+  // ?v unbound ranks lowest in the term order; 0-valued rows are plain
+  // bound keys here, nothing errors.
+  EXPECT_EQ(Tags("?v ?t"),
+            (std::vector<std::string>{"u1", "u2", "e1", "e2", "b2", "b4"}));
+  EXPECT_EQ(Tags("DESC(?v) ?t"),
+            (std::vector<std::string>{"b4", "b2", "e1", "e2", "u1", "u2"}));
+}
+
+TEST_F(OrderBandTest, ErroredKeysSortInTheirOwnBandAfterValues) {
+  // (10 / ?v) errors for ?v = 0 *and* for unbound ?v (the expression, not
+  // the bare variable, fails to evaluate). Errors band after every
+  // successfully computed key, ascending: b4 -> 10/4, b2 -> 10/2.
+  EXPECT_EQ(Tags("(10 / ?v) ?t"),
+            (std::vector<std::string>{"b4", "b2", "e1", "e2", "u1", "u2"}));
+}
+
+TEST_F(OrderBandTest, DescFlipsTheErrorBandToTheFront) {
+  EXPECT_EQ(Tags("DESC(10 / ?v) ?t"),
+            (std::vector<std::string>{"e1", "e2", "u1", "u2", "b2", "b4"}));
+}
+
+TEST_F(OrderBandTest, ErroredProjectionYieldsUnboundCell) {
+  auto r = db_.Query(
+      "PREFIX ex: <http://example.org/> SELECT ?t (10 / ?v AS ?k) WHERE { "
+      "?s ex:tag ?t . OPTIONAL { ?s ex:val ?v } } ORDER BY ?t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 6u);
+  // b2/b4 compute; e1/e2 (divide by zero) and u1/u2 (unbound ?v) are
+  // unbound cells, not dropped rows and not an aborted query.
+  EXPECT_FALSE(r->rows[0][1].IsUndef());  // b2
+  EXPECT_FALSE(r->rows[1][1].IsUndef());  // b4
+  for (size_t i = 2; i < 6; ++i) EXPECT_TRUE(r->rows[i][1].IsUndef());
+}
+
 }  // namespace
 }  // namespace scisparql

@@ -1,0 +1,435 @@
+// Dictionary / ID-tuple layer tests: term interning, permutation indexes,
+// ID-join vs scan-and-bind equivalence, physical-operator reporting in
+// EXPLAIN / EXPLAIN ANALYZE, the solution-modifier pipeline over both
+// executors, dictionary-encoded WAL batches and snapshot sections.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/ssdm.h"
+#include "rdf/dictionary.h"
+#include "rdf/graph.h"
+#include "rdf/id_index.h"
+#include "storage/dict_section.h"
+#include "storage/vfs.h"
+#include "storage/wal.h"
+
+namespace scisparql {
+namespace {
+
+Term I(const std::string& local) {
+  return Term::Iri("http://example.org/" + local);
+}
+
+// ---------------------------------------------------------------------------
+// TermDictionary.
+// ---------------------------------------------------------------------------
+
+TEST(Dictionary, InternIsExactIdentityAndRoundTrips) {
+  TermDictionary d;
+  uint32_t a = d.Intern(I("a"));
+  uint32_t b = d.Intern(I("b"));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(d.Intern(I("a")), a);  // same term, same ID
+  EXPECT_EQ(d.term(a), I("a"));
+  EXPECT_EQ(d.term(b), I("b"));
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(*d.Find(I("a")), a);
+  EXPECT_FALSE(d.Find(I("missing")).has_value());
+}
+
+TEST(Dictionary, NumericAliasDisablesJoinSafety) {
+  TermDictionary d;
+  d.Intern(Term::Integer(2));
+  d.Intern(Term::Double(2.5));
+  // 2 and 2.5 are not value-equal: still join safe.
+  EXPECT_TRUE(d.join_safe());
+  d.Intern(Term::Double(2.0));
+  // 2 and 2.0 compare equal under SPARQL `=` but hold distinct IDs.
+  EXPECT_TRUE(d.has_numeric_alias());
+  EXPECT_FALSE(d.join_safe());
+}
+
+TEST(Dictionary, ArrayTermsDisableJoinSafety) {
+  TermDictionary d;
+  EXPECT_TRUE(d.join_safe());
+  NumericArray a = NumericArray::Zeros(ElementType::kInt64, {2});
+  d.Intern(Term::Array(ResidentArray::Make(std::move(a))));
+  EXPECT_EQ(d.array_terms(), 1u);
+  EXPECT_FALSE(d.join_safe());
+}
+
+TEST(Dictionary, StringBytesTrackLexicalPayloads) {
+  TermDictionary d;
+  EXPECT_EQ(d.string_bytes(), 0u);
+  d.Intern(Term::Integer(7));
+  EXPECT_EQ(d.string_bytes(), 0u);
+  d.Intern(Term::String("hello"));
+  size_t after_string = d.string_bytes();
+  EXPECT_GE(after_string, 5u);
+  d.Intern(I("a-rather-long-iri-to-count"));
+  EXPECT_GT(d.string_bytes(), after_string);
+  d.Clear();
+  EXPECT_EQ(d.string_bytes(), 0u);
+  EXPECT_EQ(d.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Permutation indexes.
+// ---------------------------------------------------------------------------
+
+TEST(IdIndexes, PermutationsAreSortedAndCoverLiveRows) {
+  Graph g;
+  g.Add(I("s1"), I("p"), I("o1"));
+  g.Add(I("s2"), I("p"), I("o2"));
+  g.Add(I("s1"), I("q"), I("o2"));
+  g.Add(I("s3"), I("p"), I("o1"));
+  const IdIndexes& idx = g.EnsureIdIndexes();
+  ASSERT_EQ(idx.spo.size(), 4u);
+  ASSERT_EQ(idx.pos.size(), 4u);
+  ASSERT_EQ(idx.osp.size(), 4u);
+  for (Perm perm : {Perm::kSpo, Perm::kPos, Perm::kOsp}) {
+    const auto& v = idx.perm(perm);
+    EXPECT_TRUE(std::is_sorted(v.begin(), v.end(),
+                               [perm](const IdTriple& a, const IdTriple& b) {
+                                 return PermKey(perm, a) < PermKey(perm, b);
+                               }))
+        << PermName(perm);
+  }
+  EXPECT_EQ(idx.distinct_s, 3u);
+  EXPECT_EQ(idx.distinct_p, 2u);
+  EXPECT_EQ(idx.distinct_o, 2u);
+  EXPECT_EQ(idx.distinct_sp, 4u);  // every (s,p) pair is unique here
+}
+
+TEST(IdIndexes, PrefixRangeSelectsMatchingRun) {
+  Graph g;
+  for (int i = 0; i < 5; ++i) g.Add(I("s" + std::to_string(i)), I("p"), I("o"));
+  g.Add(I("s0"), I("q"), I("x"));
+  const IdIndexes& idx = g.EnsureIdIndexes();
+  uint32_t p = *g.dict().Find(I("p"));
+  auto [lo, hi] = PrefixRange(idx.pos, Perm::kPos, {p, 0, 0}, 1);
+  EXPECT_EQ(hi - lo, 5u);
+  for (size_t i = lo; i < hi; ++i) EXPECT_EQ(idx.pos[i].p, p);
+  // Whole-table range.
+  auto [alo, ahi] = PrefixRange(idx.spo, Perm::kSpo, {0, 0, 0}, 0);
+  EXPECT_EQ(ahi - alo, g.size());
+}
+
+TEST(IdIndexes, RebuildAfterRemoveSkipsTombstones) {
+  Graph g;
+  g.Add(I("a"), I("p"), I("b"));
+  g.Add(I("a"), I("p"), I("c"));
+  EXPECT_EQ(g.EnsureIdIndexes().spo.size(), 2u);
+  g.Remove(Triple{I("a"), I("p"), I("b")});
+  const IdIndexes& idx = g.EnsureIdIndexes();
+  ASSERT_EQ(idx.spo.size(), 1u);
+  EXPECT_EQ(idx.spo[0].o, *g.dict().Find(I("c")));
+}
+
+// ---------------------------------------------------------------------------
+// ID-join fast path vs scan-and-bind: identical results.
+// ---------------------------------------------------------------------------
+
+/// Engine with a small social-graph-shaped dataset exercised by every
+/// equivalence query below, run through both executors.
+class IdJoinTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_.prefixes().Set("ex", "http://example.org/");
+    ASSERT_TRUE(db_.LoadTurtleString(R"(
+@prefix ex: <http://example.org/> .
+ex:a ex:knows ex:b , ex:c ; ex:age 30 ; ex:name "alice" .
+ex:b ex:knows ex:c , ex:a ; ex:age 25 ; ex:name "bob" .
+ex:c ex:knows ex:d ; ex:age 25 ; ex:name "cindy" .
+ex:d ex:knows ex:a ; ex:age 40 ; ex:name "dan" .
+ex:e ex:age 30 ; ex:name "eve" .
+ex:loop ex:knows ex:loop .
+)")
+                    .ok());
+  }
+
+  /// Runs `q` with ID joins on and off and returns both row sets; asserts
+  /// both succeed.
+  void BothPaths(const std::string& q, std::vector<std::vector<Term>>* id_rows,
+                 std::vector<std::vector<Term>>* scan_rows) {
+    db_.exec_options().use_id_joins = true;
+    auto r1 = db_.Query(q);
+    ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+    *id_rows = r1->rows;
+    db_.exec_options().use_id_joins = false;
+    auto r2 = db_.Query(q);
+    ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+    *scan_rows = r2->rows;
+    db_.exec_options().use_id_joins = true;
+  }
+
+  /// Asserts both executors produce the same multiset of rows.
+  void ExpectSameRows(const std::string& q) {
+    std::vector<std::vector<Term>> id_rows, scan_rows;
+    BothPaths(q, &id_rows, &scan_rows);
+    auto key = [](const std::vector<Term>& row) {
+      std::string k;
+      for (const Term& t : row) k += t.ToString() + "\x1f";
+      return k;
+    };
+    std::vector<std::string> a, b;
+    for (const auto& r : id_rows) a.push_back(key(r));
+    for (const auto& r : scan_rows) b.push_back(key(r));
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << q;
+  }
+
+  /// Asserts both executors produce identical ordered rows.
+  void ExpectSameOrderedRows(const std::string& q) {
+    std::vector<std::vector<Term>> id_rows, scan_rows;
+    BothPaths(q, &id_rows, &scan_rows);
+    EXPECT_EQ(id_rows, scan_rows) << q;
+  }
+
+  SSDM db_;
+};
+
+TEST_F(IdJoinTest, StarChainAndCrossQueriesMatchScanAndBind) {
+  // Subject star (hash joins).
+  ExpectSameRows("SELECT ?s ?f ?a WHERE { ?s ex:knows ?f . ?s ex:age ?a }");
+  // Chain (object of one pattern is subject of the next).
+  ExpectSameRows(
+      "SELECT ?a ?c WHERE { ?a ex:knows ?b . ?b ex:knows ?c }");
+  // Object-object join (merge join).
+  ExpectSameRows(
+      "SELECT ?x ?y WHERE { ?x ex:knows ?f . ?y ex:knows ?f }");
+  // Cross product: no shared variables.
+  ExpectSameRows("SELECT ?n ?m WHERE { ex:a ex:name ?n . ex:e ex:name ?m }");
+  // Three-pattern mix with a constant object.
+  ExpectSameRows(
+      "SELECT ?s ?n WHERE { ?s ex:age 25 . ?s ex:name ?n . ?s ex:knows ?f }");
+}
+
+TEST_F(IdJoinTest, RepeatedVariablesAndMissingConstantsMatch) {
+  // Repeated variable inside one pattern (self-loop).
+  ExpectSameRows("SELECT ?x ?n WHERE { ?x ex:knows ?x . ?x ex:knows ?n }");
+  // Constant absent from the data: zero solutions, not an error.
+  ExpectSameRows(
+      "SELECT ?s ?o WHERE { ?s ex:nothere ?o . ?o ex:knows ?x }");
+}
+
+TEST_F(IdJoinTest, FiltersApplyIdenticallyOnBothPaths) {
+  ExpectSameRows(
+      "SELECT ?s ?a WHERE { ?s ex:knows ?f . ?s ex:age ?a . "
+      "FILTER(?a > 24 && ?a < 31) }");
+  // A filter that errors for some rows (division by zero semantics):
+  // error rows are rejected on both paths.
+  ExpectSameRows(
+      "SELECT ?s WHERE { ?s ex:age ?a . ?s ex:knows ?f . "
+      "FILTER(10 / (?a - 25) > 0) }");
+}
+
+TEST_F(IdJoinTest, CrossKindNumericConstantsMatch) {
+  ASSERT_TRUE(db_.Run("INSERT DATA { ex:m ex:score 10.0 . "
+                      "ex:m ex:name \"mallory\" }")
+                  .ok());
+  // Integer literal 10 must match the stored double 10.0 on both paths
+  // (the ID executor probes both numeric kinds of the dictionary).
+  ExpectSameRows("SELECT ?n WHERE { ?s ex:score 10 . ?s ex:name ?n }");
+}
+
+TEST_F(IdJoinTest, OverflowFallsBackToScanAndBind) {
+  db_.exec_options().id_join_max_rows = 2;  // force mid-join overflow
+  auto r = db_.Query(
+      "SELECT ?s ?f ?a WHERE { ?s ex:knows ?f . ?s ex:age ?a }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.size(), 6u);
+  db_.exec_options().id_join_max_rows = 8u << 20;
+}
+
+TEST_F(IdJoinTest, NumericAliasInDataDisablesFastPathSafely) {
+  // Interning both 25 and 25.0 makes ID equality diverge from SPARQL `=`;
+  // the executor must fall back, and results must still be correct.
+  ASSERT_TRUE(db_.Run("INSERT DATA { ex:z ex:age 25.0 . "
+                      "ex:z ex:knows ex:a }")
+                  .ok());
+  EXPECT_FALSE(db_.dataset().default_graph().dict().join_safe());
+  ExpectSameRows("SELECT ?s WHERE { ?s ex:age 25 . ?s ex:knows ?f }");
+}
+
+// ---------------------------------------------------------------------------
+// Physical operators in EXPLAIN / EXPLAIN ANALYZE.
+// ---------------------------------------------------------------------------
+
+TEST_F(IdJoinTest, ExplainShowsChosenPhysicalOperators) {
+  const std::string star =
+      "SELECT ?s ?f ?a WHERE { ?s ex:knows ?f . ?s ex:age ?a }";
+  ASSERT_TRUE(db_.Query(star).ok());
+  auto plan = db_.Explain(star);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("index-scan("), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("hash-join("), std::string::npos) << *plan;
+
+  const std::string obj =
+      "SELECT ?x ?y WHERE { ?x ex:knows ?f . ?y ex:knows ?f }";
+  ASSERT_TRUE(db_.Query(obj).ok());
+  auto plan2 = db_.Explain(obj);
+  ASSERT_TRUE(plan2.ok());
+  EXPECT_NE(plan2->find("merge-join("), std::string::npos) << *plan2;
+}
+
+TEST_F(IdJoinTest, ExplainAnalyzeCarriesPhysicalOperators) {
+  auto out = db_.Execute(
+      "EXPLAIN ANALYZE SELECT ?x ?y WHERE { ?x ex:knows ?f . "
+      "?y ex:knows ?f }");
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_NE(out->info.find("merge-join("), std::string::npos) << out->info;
+}
+
+// ---------------------------------------------------------------------------
+// Solution-modifier pipeline over both executors (satellite: ORDER BY /
+// DISTINCT / OFFSET / LIMIT interplay must not depend on the join path).
+// ---------------------------------------------------------------------------
+
+TEST_F(IdJoinTest, OrderByProducesIdenticalRowsOnBothPaths) {
+  // Total order (age, then name) — both executors must agree exactly.
+  ExpectSameOrderedRows(
+      "SELECT ?a ?n WHERE { ?s ex:age ?a . ?s ex:name ?n } "
+      "ORDER BY ?a ?n");
+  ExpectSameOrderedRows(
+      "SELECT ?a ?n WHERE { ?s ex:age ?a . ?s ex:name ?n } "
+      "ORDER BY DESC(?a) ?n");
+}
+
+TEST_F(IdJoinTest, DistinctPreservesSortedOrderOnBothPaths) {
+  ExpectSameOrderedRows(
+      "SELECT DISTINCT ?a WHERE { ?s ex:age ?a . ?s ex:name ?n } "
+      "ORDER BY ?a");
+}
+
+TEST_F(IdJoinTest, OffsetPastEndAndLimitZeroOnBothPaths) {
+  for (bool id_joins : {true, false}) {
+    db_.exec_options().use_id_joins = id_joins;
+    auto past = db_.Query(
+        "SELECT ?s WHERE { ?s ex:age ?a . ?s ex:name ?n } OFFSET 100");
+    ASSERT_TRUE(past.ok());
+    EXPECT_TRUE(past->rows.empty());
+    auto zero = db_.Query(
+        "SELECT ?s WHERE { ?s ex:age ?a . ?s ex:name ?n } LIMIT 0");
+    ASSERT_TRUE(zero.ok());
+    EXPECT_TRUE(zero->rows.empty());
+  }
+  db_.exec_options().use_id_joins = true;
+}
+
+TEST_F(IdJoinTest, DistinctWithLimitOnBothPaths) {
+  ExpectSameOrderedRows(
+      "SELECT DISTINCT ?a WHERE { ?s ex:age ?a . ?s ex:name ?n } "
+      "ORDER BY ?a LIMIT 2");
+}
+
+// ---------------------------------------------------------------------------
+// Dictionary-encoded WAL batches.
+// ---------------------------------------------------------------------------
+
+TEST(WalDictRefs, RepeatedTermsRoundTripThroughBatchRefs) {
+  storage::Vfs* vfs = storage::DefaultVfs();
+  std::string dir = ::testing::TempDir() + "/wal_dict_refs";
+  (void)::system(("rm -rf " + dir).c_str());
+  ASSERT_TRUE(vfs->CreateDir(dir).ok());
+  auto wal = *storage::WalWriter::Create(vfs, dir, 1);
+
+  // One batch whose terms repeat heavily (shared subject and predicate):
+  // repeats are written as dictionary back-references, and must decode to
+  // the identical triples.
+  std::vector<storage::WalRecord> batch;
+  for (int i = 0; i < 16; ++i) {
+    batch.push_back({storage::WalRecord::Type::kAdd, 0, "",
+                     Triple{I("subject"), I("predicate"),
+                            I("o" + std::to_string(i % 4))}});
+  }
+  ASSERT_TRUE(wal->AppendBatch(batch).ok());
+  // A second batch reusing the same terms: back-references are batch-
+  // scoped, so this one re-emits them and decodes independently.
+  std::vector<storage::WalRecord> batch2 = {
+      {storage::WalRecord::Type::kRemove, 0, "",
+       Triple{I("subject"), I("predicate"), I("o1")}}};
+  ASSERT_TRUE(wal->AppendBatch(batch2).ok());
+
+  auto resolve = [](const std::string&, uint64_t) -> Result<Term> {
+    return Status::Internal("no proxies in this test");
+  };
+  Graph g;
+  auto stats = *storage::ReplayWal(
+      vfs, dir, 0, resolve, [&g](const storage::WalRecord& rec) -> Status {
+        if (rec.type == storage::WalRecord::Type::kAdd) g.Add(rec.triple);
+        if (rec.type == storage::WalRecord::Type::kRemove)
+          g.Remove(rec.triple);
+        return Status::OK();
+      });
+  EXPECT_EQ(stats.batches_applied, 2u);
+  // 16 adds (4 distinct objects x4 dups); Remove drops all 4 o1 copies.
+  EXPECT_EQ(g.size(), 12u);
+  EXPECT_TRUE(g.Contains(I("subject"), I("predicate"), I("o0")));
+  EXPECT_FALSE(g.Contains(I("subject"), I("predicate"), I("o1")));
+
+  // The repeated terms must actually have been compressed: the segment
+  // should be far smaller than 16 verbatim triple encodings.
+  auto names = *vfs->ListDir(dir);
+  ASSERT_EQ(names.size(), 1u);
+  auto f = *vfs->Open(dir + "/" + names[0], storage::Vfs::OpenMode::kRead);
+  uint64_t size = *f->Size();
+  size_t one_triple = 3 * (5 + I("subject").iri().size());
+  EXPECT_LT(size, 17 * one_triple);
+}
+
+// ---------------------------------------------------------------------------
+// Dictionary-encoded snapshot sections.
+// ---------------------------------------------------------------------------
+
+TEST(DictSection, RoundTripsTermsOnceAndSkipsTombstones) {
+  Graph g;
+  for (int i = 0; i < 50; ++i) {
+    g.Add(I("s" + std::to_string(i % 5)), I("p"), Term::Integer(i));
+    g.Add(I("s" + std::to_string(i % 5)), I("label"),
+          Term::String("node" + std::to_string(i % 5)));
+  }
+  g.Remove(Triple{I("s0"), I("p"), Term::Integer(0)});
+
+  auto body = storage::EncodeDictSection(g);
+  ASSERT_TRUE(body.ok()) << body.status().ToString();
+  EXPECT_TRUE(storage::IsDictSection(*body));
+
+  Graph out;
+  ASSERT_TRUE(storage::DecodeDictSection(*body, nullptr, &out).ok());
+  EXPECT_EQ(out.size(), g.size());
+  EXPECT_FALSE(out.Contains(I("s0"), I("p"), Term::Integer(0)));
+  EXPECT_TRUE(out.Contains(I("s1"), I("p"), Term::Integer(1)));
+  EXPECT_TRUE(
+      out.Contains(I("s2"), I("label"), Term::String("node2")));
+}
+
+TEST(DictSection, TurtleBodiesAreNotMistakenForSections) {
+  EXPECT_FALSE(storage::IsDictSection("@prefix ex: <http://e/> ."));
+  EXPECT_FALSE(storage::IsDictSection(""));
+  Graph g;
+  EXPECT_EQ(
+      storage::DecodeDictSection("not a section", nullptr, &g).code(),
+      StatusCode::kInternal);
+}
+
+TEST(DictSection, CorruptBodiesFailCleanly) {
+  Graph g;
+  g.Add(I("a"), I("p"), I("b"));
+  std::string body = *storage::EncodeDictSection(g);
+  // Truncations anywhere must error, never crash or mis-decode.
+  for (size_t cut = 1; cut < body.size(); cut += 3) {
+    Graph out;
+    std::string torn = body.substr(0, cut);
+    if (!storage::IsDictSection(torn)) continue;
+    EXPECT_FALSE(storage::DecodeDictSection(torn, nullptr, &out).ok());
+  }
+}
+
+}  // namespace
+}  // namespace scisparql

@@ -52,6 +52,26 @@ TEST(Parser, DistinctAndModifiers) {
   EXPECT_EQ(q->offset, 5);
 }
 
+TEST(Parser, NegativeLimitAndOffsetAreParseErrors) {
+  // Regression: a negative count used to survive parsing and read as "no
+  // limit" in the executor. It must be rejected at parse time.
+  for (const char* bad : {
+           "SELECT ?x WHERE { ?x a foaf:Person } LIMIT -1",
+           "SELECT ?x WHERE { ?x a foaf:Person } OFFSET -5",
+           "SELECT ?x WHERE { ?x a foaf:Person } LIMIT 10 OFFSET -1",
+           "SELECT ?x WHERE { ?x a foaf:Person } LIMIT -10 OFFSET 1",
+       }) {
+    auto r = ParseQuery(bad, Prefixes());
+    EXPECT_FALSE(r.ok()) << bad;
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError) << bad;
+  }
+  // Zero stays legal: LIMIT 0 means "no rows", OFFSET 0 is a no-op.
+  auto q = Parse("SELECT ?x WHERE { ?x a foaf:Person } LIMIT 0 OFFSET 0");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->limit, 0);
+  EXPECT_EQ(q->offset, 0);
+}
+
 TEST(Parser, PrologueOverridesDefaults) {
   auto q = Parse(
       "PREFIX foaf: <http://other/> SELECT ?x WHERE { ?x foaf:p ?y }");
