@@ -97,14 +97,14 @@ int main() {
     Setup setup = Build(kind, dir);
     for (const QuerySpec& q : queries) {
       Timer timer;
-      auto r = setup.engine->Query(q.text);
+      auto r = setup.engine->Execute(q.text);
       double ms = timer.ElapsedMs();
       if (!r.ok()) {
         std::fprintf(stderr, "%s failed on %s: %s\n", q.name.c_str(),
                      kind.c_str(), r.status().ToString().c_str());
         return 1;
       }
-      table.AddRow({q.name, kind, std::to_string(r->rows.size()),
+      table.AddRow({q.name, kind, std::to_string(r->rows().rows.size()),
                     Fmt(ms, 2)});
     }
   }

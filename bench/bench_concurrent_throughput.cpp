@@ -32,10 +32,13 @@
 
 #include "bench/bench_common.h"
 #include "client/server.h"
+#include "engine/durability.h"
 #include "engine/ssdm.h"
 #include "repl/replica.h"
 #include "repl/router.h"
 #include "sched/scheduler.h"
+#include "storage/vfs.h"
+#include "storage/wal.h"
 
 namespace scisparql {
 namespace {
@@ -115,6 +118,243 @@ double RunWorkload(SSDM* db, int workers, const std::vector<std::string>& mix,
   double elapsed_ms = timer.ElapsedMs();
   *errors = failed.load();
   return total / (elapsed_ms / 1000.0);
+}
+
+// ---------------------------------------------------------------------------
+// Write-path group-commit mode (--mixed).
+// ---------------------------------------------------------------------------
+
+/// VfsFile wrapper that makes Sync() cost a fixed wall-clock latency, like
+/// a real disk's flush. Without this, an in-page-cache fsync is so cheap
+/// that group commit has nothing to coalesce and the bench measures noise.
+class SlowSyncFile : public storage::VfsFile {
+ public:
+  SlowSyncFile(std::unique_ptr<storage::VfsFile> base,
+               std::chrono::microseconds delay)
+      : base_(std::move(base)), delay_(delay) {}
+  Result<size_t> ReadAt(uint64_t off, void* buf, size_t n) override {
+    return base_->ReadAt(off, buf, n);
+  }
+  Status WriteAt(uint64_t off, const void* buf, size_t n) override {
+    return base_->WriteAt(off, buf, n);
+  }
+  Result<uint64_t> Size() override { return base_->Size(); }
+  Status Truncate(uint64_t size) override { return base_->Truncate(size); }
+  Status Sync() override {
+    std::this_thread::sleep_for(delay_);
+    return base_->Sync();
+  }
+
+ private:
+  std::unique_ptr<storage::VfsFile> base_;
+  std::chrono::microseconds delay_;
+};
+
+class SlowSyncVfs : public storage::Vfs {
+ public:
+  SlowSyncVfs(storage::Vfs* base, std::chrono::microseconds delay)
+      : base_(base), delay_(delay) {}
+  Result<std::unique_ptr<storage::VfsFile>> Open(const std::string& path,
+                                                 OpenMode mode) override {
+    auto f = base_->Open(path, mode);
+    if (!f.ok()) return f.status();
+    return std::unique_ptr<storage::VfsFile>(
+        new SlowSyncFile(std::move(*f), delay_));
+  }
+  Status Rename(const std::string& from, const std::string& to) override {
+    return base_->Rename(from, to);
+  }
+  Status Remove(const std::string& path) override {
+    return base_->Remove(path);
+  }
+  bool Exists(const std::string& path) override {
+    return base_->Exists(path);
+  }
+  Status CreateDir(const std::string& path) override {
+    return base_->CreateDir(path);
+  }
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    return base_->ListDir(dir);
+  }
+
+ private:
+  storage::Vfs* base_;
+  std::chrono::microseconds delay_;
+};
+
+struct WriteRunResult {
+  int writers = 0;
+  double update_qps = 0;
+  uint64_t commits = 0;
+  uint64_t fsyncs = 0;
+  uint64_t appends = 0;
+  uint64_t escalated = 0;
+  int errors = 0;
+};
+
+/// One measurement: `writers` client threads drive single-triple INSERTs
+/// through the scheduler of a durable engine (fsyncs cost ~1.5 ms via
+/// SlowSyncVfs) while two readers count triples continuously — the mixed
+/// workload the differential index + group commit were built for.
+WriteRunResult RunWriteWorkload(int writers, int total_updates) {
+  WriteRunResult out;
+  out.writers = writers;
+
+  static SlowSyncVfs vfs(storage::DefaultVfs(),
+                         std::chrono::microseconds(1500));
+  SSDM db;
+  db.prefixes().Set("ex", "http://example.org/");
+  std::string dir =
+      bench::TempDir("write_bench_w" + std::to_string(writers));
+  Status open = db.Open(dir, &vfs);
+  if (!open.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", open.ToString().c_str());
+    out.errors = total_updates;
+    return out;
+  }
+
+  sched::SchedulerOptions options;
+  options.workers = writers + 2;  // writers plus the readers
+  options.queue_capacity = 1024;
+  sched::QueryScheduler sched(&db, options);
+
+  storage::WalWriter* wal = db.durability()->wal();
+  uint64_t fsyncs0 = wal->fsyncs();
+  uint64_t appends0 = wal->appends();
+
+  std::atomic<bool> stop_readers{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop_readers.load(std::memory_order_acquire)) {
+        (void)sched.Execute(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT (COUNT(?s) AS ?n) WHERE { ?s ex:val ?v }");
+      }
+    });
+  }
+
+  std::atomic<int> next{0};
+  std::atomic<int> failed{0};
+  std::atomic<uint64_t> commits{0};
+  Timer timer;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < writers; ++w) {
+    threads.emplace_back([&] {
+      for (int i = next.fetch_add(1); i < total_updates;
+           i = next.fetch_add(1)) {
+        auto r = sched.Execute(
+            "PREFIX ex: <http://example.org/> INSERT DATA { ex:u" +
+            std::to_string(i) + " ex:val " + std::to_string(i) + " }");
+        if (r.ok()) {
+          commits.fetch_add(1);
+        } else {
+          ++failed;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  double elapsed_ms = timer.ElapsedMs();
+  stop_readers.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  out.update_qps = total_updates / (elapsed_ms / 1000.0);
+  out.commits = commits.load();
+  out.fsyncs = wal->fsyncs() - fsyncs0;
+  out.appends = wal->appends() - appends0;
+  out.escalated = sched.stats().escalated;
+  out.errors = failed.load();
+  sched.Stop();
+  return out;
+}
+
+int RunWriteBench(bool smoke) {
+  const int total_updates = smoke ? 300 : 1200;
+
+  std::printf("mixed write workload: %d single-triple updates per run, "
+              "2 background readers, ~1.5 ms simulated fsync latency\n\n",
+              total_updates);
+
+  std::vector<WriteRunResult> results;
+  Table table({"writers", "update qps", "speedup", "commits", "fsyncs",
+               "fsyncs/commit"});
+  double base_qps = 0;
+  std::string runs_json;
+  for (int writers : {1, 2, 4}) {
+    WriteRunResult r = RunWriteWorkload(writers, total_updates);
+    if (writers == 1) base_qps = r.update_qps;
+    results.push_back(r);
+    double per_commit =
+        r.commits > 0 ? static_cast<double>(r.fsyncs) / r.commits : 0;
+    table.AddRow({std::to_string(writers), Fmt(r.update_qps, 1),
+                  Fmt(r.update_qps / base_qps, 2) + "x",
+                  std::to_string(r.commits), std::to_string(r.fsyncs),
+                  Fmt(per_commit, 2)});
+    std::string line = Json()
+                           .Str("bench", "concurrent_write_throughput")
+                           .Int("writers", writers)
+                           .Int("updates", total_updates)
+                           .Num("update_qps", r.update_qps)
+                           .Num("speedup_vs_1", r.update_qps / base_qps)
+                           .Int("commits", (long long)r.commits)
+                           .Int("wal_fsyncs", (long long)r.fsyncs)
+                           .Int("wal_appends", (long long)r.appends)
+                           .Num("fsyncs_per_commit", per_commit)
+                           .Int("escalated", (long long)r.escalated)
+                           .Int("errors", r.errors)
+                           .Build();
+    std::printf("RESULT %s\n", line.c_str());
+    if (!runs_json.empty()) runs_json += ", ";
+    runs_json += line;
+  }
+  std::printf("\n");
+  table.Print();
+
+  std::ofstream json_out("BENCH_write.json");
+  json_out << "{\"bench\": \"concurrent_write_throughput\", "
+           << "\"updates_per_run\": " << total_updates
+           << ", \"runs\": [" << runs_json << "]}\n";
+  json_out.close();
+  std::printf("wrote BENCH_write.json\n");
+
+  int rc = 0;
+  for (const WriteRunResult& r : results) {
+    if (r.errors > 0) {
+      std::fprintf(stderr, "FAIL: %d updates failed at %d writers\n",
+                   r.errors, r.writers);
+      rc = 1;
+    }
+  }
+  // Gates. Group commit must (a) scale update throughput: with fsync
+  // latency dominating, 4 coalescing writers clear 2x a single writer;
+  // (b) keep fsyncs sub-linear in commits under concurrency.
+  const WriteRunResult& four = results.back();
+  double scale = four.update_qps / results.front().update_qps;
+  if (scale < 2.0) {
+    std::fprintf(stderr,
+                 "FAIL: update qps scaled only %.2fx from 1 to 4 writers "
+                 "(want >= 2x)\n",
+                 scale);
+    rc = 1;
+  } else {
+    std::printf("gate: update qps scaled %.2fx from 1 to 4 writers\n",
+                scale);
+  }
+  if (four.commits > 0 && four.fsyncs >= four.commits) {
+    std::fprintf(stderr,
+                 "FAIL: %llu fsyncs for %llu commits at 4 writers — group "
+                 "commit is not coalescing\n",
+                 (unsigned long long)four.fsyncs,
+                 (unsigned long long)four.commits);
+    rc = 1;
+  } else {
+    std::printf("gate: %.2f fsyncs per commit at 4 writers\n",
+                four.commits > 0
+                    ? static_cast<double>(four.fsyncs) / four.commits
+                    : 0.0);
+  }
+  return rc;
 }
 
 // ---------------------------------------------------------------------------
@@ -341,7 +581,7 @@ int RunReplicationBench(int max_replicas, bool smoke) {
       stmt << " ex:p" << i << " ex:knows ex:p" << ((i + 1) % kPeople) << " .";
     }
     stmt << " }";
-    Status st = primary.Run(stmt.str());
+    Status st = primary.Execute(stmt.str()).status();
     if (!st.ok()) {
       std::fprintf(stderr, "seed failed: %s\n", st.ToString().c_str());
       return 1;
@@ -447,15 +687,20 @@ int main(int argc, char** argv) {
 
   int replicas = 0;
   bool smoke = false;
+  bool write_mode = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--replicas") == 0 && i + 1 < argc) {
       replicas = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--mixed") == 0) {
+      write_mode = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--replicas N] [--smoke]\n"
+                   "usage: %s [--mixed] [--replicas N] [--smoke]\n"
                    "  (no flags)    scheduler worker-pool scaling bench\n"
+                   "  --mixed       concurrent write scaling (group commit "
+                   "+ differential index), writes BENCH_write.json\n"
                    "  --replicas N  replication read scaling at 1..N "
                    "replicas, writes BENCH_repl.json\n"
                    "  --smoke       shorter run + scaling assertions\n",
@@ -463,6 +708,7 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (write_mode) return RunWriteBench(smoke);
   if (replicas > 0) return RunReplicationBench(replicas, smoke);
 
   SSDM db;

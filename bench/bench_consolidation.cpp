@@ -95,8 +95,8 @@ int main() {
     std::string chain_q = ChainQuery(x, x);
     Timer chain_timer;
     for (int r = 0; r < reps; ++r) {
-      auto res = chain_db.Query(chain_q);
-      if (!res.ok() || res->rows.size() != 1) {
+      auto res = chain_db.Execute(chain_q);
+      if (!res.ok() || res->rows().rows.size() != 1) {
         std::fprintf(stderr, "chain query failed\n");
         return 1;
       }
@@ -128,8 +128,8 @@ int main() {
           << (x + 1) << "] AS ?element) WHERE { ex:s ex:p ?a }";
     Timer sub_timer;
     for (int r = 0; r < reps; ++r) {
-      auto res = array_db.Query(sub_q.str());
-      if (!res.ok() || res->rows.size() != 1) {
+      auto res = array_db.Execute(sub_q.str());
+      if (!res.ok() || res->rows().rows.size() != 1) {
         std::fprintf(stderr, "subscript query failed\n");
         return 1;
       }

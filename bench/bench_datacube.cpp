@@ -72,9 +72,9 @@ int main() {
     Timer obs_timer;
     Term obs_total;
     for (int i = 0; i < reps; ++i) {
-      auto r = obs_db.Query(kObsQuery);
-      if (!r.ok() || r->rows.empty()) return 1;
-      obs_total = r->rows[0][0];
+      auto r = obs_db.Execute(kObsQuery);
+      if (!r.ok() || r->rows().rows.empty()) return 1;
+      obs_total = r->rows().rows[0][0];
     }
     double obs_ms = obs_timer.ElapsedMs() / reps;
 
@@ -89,9 +89,9 @@ int main() {
     Timer arr_timer;
     Term arr_total;
     for (int i = 0; i < reps; ++i) {
-      auto r = cube_db.Query(kArrayQuery);
-      if (!r.ok() || r->rows.empty()) return 1;
-      arr_total = r->rows[0][0];
+      auto r = cube_db.Execute(kArrayQuery);
+      if (!r.ok() || r->rows().rows.empty()) return 1;
+      arr_total = r->rows().rows[0][0];
     }
     double arr_ms = arr_timer.ElapsedMs() / reps;
 

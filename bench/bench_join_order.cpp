@@ -94,13 +94,13 @@ void BuildThesis(Graph* g, int people) {
 double TimeQuery(SSDM* db, const std::string& q, int reps, size_t* rows) {
   Timer timer;
   for (int i = 0; i < reps; ++i) {
-    auto r = db->Query(q);
+    auto r = db->Execute(q);
     if (!r.ok()) {
       std::fprintf(stderr, "query failed: %s\n%s\n",
                    r.status().ToString().c_str(), q.c_str());
       std::exit(1);
     }
-    *rows = r->rows.size();
+    *rows = r->rows().rows.size();
   }
   return timer.ElapsedMs() / reps;
 }

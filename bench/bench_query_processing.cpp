@@ -64,13 +64,13 @@ void BuildGraph(SSDM* db, int people) {
 double TimeQuery(SSDM* db, const std::string& q, int reps, size_t* rows) {
   Timer timer;
   for (int i = 0; i < reps; ++i) {
-    auto r = db->Query(q);
+    auto r = db->Execute(q);
     if (!r.ok()) {
       std::fprintf(stderr, "%s\n%s\n", r.status().ToString().c_str(),
                    q.c_str());
       std::exit(1);
     }
-    *rows = r->rows.size();
+    *rows = r->rows().rows.size();
   }
   return timer.ElapsedMs() / reps;
 }
@@ -159,11 +159,11 @@ int RunCacheBench(bool smoke, int people) {
   const std::string text_query =
       "SELECT ?b WHERE { ?a ex:age ?age . ?a ex:knows ?b . "
       "FILTER (?age = 21) }";
-  auto prep = db.Run(
+  auto prep = db.Execute(
       "PREPARE by_age(?age0) AS SELECT ?b WHERE "
       "{ ?a ex:age ?age . ?a ex:knows ?b . FILTER (?age = ?age0) }");
   if (!prep.ok()) {
-    std::fprintf(stderr, "%s\n", prep.ToString().c_str());
+    std::fprintf(stderr, "%s\n", prep.status().ToString().c_str());
     return 1;
   }
   const int reps = smoke ? 30 : 100;

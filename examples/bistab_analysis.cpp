@@ -55,13 +55,13 @@ int main() {
        apps::BistabQ4(cfg.timesteps)},
   };
   for (const Step& step : steps) {
-    auto r = db.Query(step.query);
+    auto r = db.Execute(step.query);
     if (!r.ok()) {
       std::fprintf(stderr, "query failed: %s\n%s\n",
                    r.status().ToString().c_str(), step.query.c_str());
       return 1;
     }
-    std::printf("%s\n%s\n", step.title, r->ToTable(8).c_str());
+    std::printf("%s\n%s\n", step.title, r->rows().ToTable(8).c_str());
   }
 
   std::printf(

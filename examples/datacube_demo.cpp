@@ -52,7 +52,7 @@ ex:o23 a qb:Observation ; qb:dataSet ex:pop ;
   // dictionary is an RDF collection we can consolidate further.
   (void)loaders::ConsolidateCollections(&db.dataset().default_graph());
 
-  auto r = db.Query(R"(
+  auto r = db.Execute(R"(
 SELECT (?a[1, :] AS ?north_series)
        (?a[2, 3] AS ?south_2003)
        (ASUM(?a[:, 3]) AS ?total_2003)
@@ -63,11 +63,11 @@ WHERE { ex:pop <http://example.org/population#array> ?a })");
     return 1;
   }
   std::printf("Analytics over the consolidated cube:\n%s\n",
-              r->ToTable().c_str());
+              r->rows().ToTable().c_str());
 
-  auto years = db.Query(
+  auto years = db.Execute(
       "SELECT ?dict WHERE { ex:pop <http://example.org/year#index> ?dict }");
   std::printf("Year dictionary: %s\n",
-              years->rows[0][0].ToString().c_str());
+              years->rows().rows[0][0].ToString().c_str());
   return 0;
 }

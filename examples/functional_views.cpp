@@ -24,45 +24,45 @@ ex:s3 ex:temp (15.0 18.2 22.5 25.1 23.3) ; ex:station "lund" .
   // 1. A parameterized view: stations whose mean temperature exceeds a
   // threshold. Calling it in BIND has bag semantics — one solution per
   // element of the result.
-  (void)db.Run(R"(
+  (void)db.Execute(R"(
 DEFINE FUNCTION ex:warmStations(?min) AS
 SELECT ?name WHERE {
   ?s ex:temp ?t ; ex:station ?name
   FILTER (AAVG(?t) > ?min)
 })");
-  auto warm = db.Query(
+  auto warm = db.Execute(
       "SELECT ?name WHERE { BIND (ex:warmStations(10.0) AS ?name) } "
       "ORDER BY ?name");
   std::printf("Stations with mean > 10.0 (via parameterized view):\n%s\n",
-              warm->ToTable().c_str());
+              warm->rows().ToTable().c_str());
 
   // 2. Function composition in scalar position.
-  (void)db.Run("DEFINE FUNCTION ex:c2f(?c) AS "
+  (void)db.Execute("DEFINE FUNCTION ex:c2f(?c) AS "
                "SELECT (?c * 9 / 5 + 32 AS ?f) WHERE { }");
-  auto composed = db.Query(
+  auto composed = db.Execute(
       "SELECT ?name (ex:c2f(AMAX(?t)) AS ?max_f) "
       "WHERE { ?s ex:temp ?t ; ex:station ?name } ORDER BY ?name");
   std::printf("Max temperature in Fahrenheit:\n%s\n",
-              composed->ToTable().c_str());
+              composed->rows().ToTable().c_str());
 
   // 3. Second-order MAP with a lexical closure: convert a whole series.
   // ex:scale(*, ?k) captures ?k from the solution environment.
-  (void)db.Run("DEFINE FUNCTION ex:scale(?x, ?k) AS "
+  (void)db.Execute("DEFINE FUNCTION ex:scale(?x, ?k) AS "
                "SELECT (?x * ?k AS ?y) WHERE { }");
-  auto mapped = db.Query(R"(
+  auto mapped = db.Execute(R"(
 SELECT ?name (MAP(ex:scale(*, ?k), ?t) AS ?scaled)
 WHERE { ?s ex:temp ?t ; ex:station ?name . BIND (10 AS ?k) }
 ORDER BY ?name LIMIT 1)");
-  std::printf("MAP with closure (x10):\n%s\n", mapped->ToTable().c_str());
+  std::printf("MAP with closure (x10):\n%s\n", mapped->rows().ToTable().c_str());
 
   // 4. CONDENSE folds a series with a binary function.
-  (void)db.Run("DEFINE FUNCTION ex:hotter(?a, ?b) AS "
+  (void)db.Execute("DEFINE FUNCTION ex:hotter(?a, ?b) AS "
                "SELECT (IF(?a > ?b, ?a, ?b) AS ?m) WHERE { }");
-  auto condensed = db.Query(
+  auto condensed = db.Execute(
       "SELECT ?name (CONDENSE(ex:hotter, ?t) AS ?max) "
       "WHERE { ?s ex:temp ?t ; ex:station ?name } ORDER BY ?name");
   std::printf("CONDENSE with a defined function:\n%s\n",
-              condensed->ToTable().c_str());
+              condensed->rows().ToTable().c_str());
 
   // 5. A C++ foreign function with a cost estimate for the optimizer.
   db.RegisterForeign(
@@ -72,9 +72,9 @@ ORDER BY ?name LIMIT 1)");
         return Term::Double(t * 1.1 + 2.0);  // toy model
       },
       /*arity=*/1, /*cost=*/3.0);
-  auto foreign = db.Query(
+  auto foreign = db.Execute(
       "SELECT ?name (ex:heatIndex(AAVG(?t)) AS ?hi) "
       "WHERE { ?s ex:temp ?t ; ex:station ?name } ORDER BY ?name");
-  std::printf("Foreign C++ function:\n%s\n", foreign->ToTable().c_str());
+  std::printf("Foreign C++ function:\n%s\n", foreign->rows().ToTable().c_str());
   return 0;
 }

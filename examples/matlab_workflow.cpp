@@ -75,8 +75,9 @@ SELECT ?s[1:10] WHERE { ?r <http://example.org/frequency> 1.5 ;
                          "http://example.org/quality",
                          Term::String("publication-ready"));
   std::printf("Annotated run3: %s\n",
-              *db.Ask("ASK { ?r <http://example.org/quality> "
-                      "\"publication-ready\" }")
+              db.Execute("ASK { ?r <http://example.org/quality> "
+                         "\"publication-ready\" }")
+                      ->ask()
                   ? "found"
                   : "missing");
 
@@ -89,10 +90,10 @@ SELECT ?s[1:10] WHERE { ?r <http://example.org/frequency> 1.5 ;
   db2.dataset().default_graph().Add(
       Term::Iri("http://example.org/imported"),
       Term::Iri("http://example.org/signal"), proxy);
-  auto check = db2.Query(
+  auto check = db2.Execute(
       "SELECT (AELEMS(?s) AS ?n) WHERE { ?x "
       "<http://example.org/signal> ?s }");
   std::printf("Mediator scenario: linked foreign file has %s samples.\n",
-              check->rows[0][0].ToString().c_str());
+              check->rows().rows[0][0].ToString().c_str());
   return 0;
 }

@@ -33,34 +33,34 @@ ex:m ex:label "measurement 42" ;
   }
 
   // 1. Plain SPARQL: who does Alice know?
-  auto friends = db.Query(R"(
+  auto friends = db.Execute(R"(
 SELECT ?name WHERE {
   [] foaf:name "Alice" ; foaf:knows [ foaf:name ?name ]
 } ORDER BY ?name)");
-  std::printf("Alice knows:\n%s\n", friends->ToTable().c_str());
+  std::printf("Alice knows:\n%s\n", friends->rows().ToTable().c_str());
 
   // 2. Property paths: everyone transitively reachable from Alice.
-  auto reachable = db.Query(R"(
+  auto reachable = db.Execute(R"(
 SELECT DISTINCT ?name WHERE {
   ?a foaf:name "Alice" . ?a foaf:knows+ ?p . ?p foaf:name ?name
 } ORDER BY ?name)");
-  std::printf("Transitively known:\n%s\n", reachable->ToTable().c_str());
+  std::printf("Transitively known:\n%s\n", reachable->rows().ToTable().c_str());
 
   // 3. SciSPARQL arrays: 1-based dereference, slices and aggregates in the
   // same query that matches metadata.
-  auto arrays = db.Query(R"(
+  auto arrays = db.Execute(R"(
 SELECT ?label ?a[2, 3] (ASUM(?a[1, :]) AS ?row1sum) (AAVG(?a) AS ?mean)
 WHERE { ?m ex:label ?label ; ex:data ?a })");
-  std::printf("Array query:\n%s\n", arrays->ToTable().c_str());
+  std::printf("Array query:\n%s\n", arrays->rows().ToTable().c_str());
 
   // 4. Array arithmetic produces new arrays.
-  auto scaled = db.Query(
+  auto scaled = db.Execute(
       "SELECT ((?a * 2)[1, 1] AS ?doubled) WHERE { ?m ex:data ?a }");
-  std::printf("Array arithmetic:\n%s\n", scaled->ToTable().c_str());
+  std::printf("Array arithmetic:\n%s\n", scaled->rows().ToTable().c_str());
 
   // 5. Updates.
-  (void)db.Run("INSERT DATA { ex:m ex:validated true }");
-  bool validated = *db.Ask("ASK { ex:m ex:validated true }");
+  (void)db.Execute("INSERT DATA { ex:m ex:validated true }");
+  bool validated = db.Execute("ASK { ex:m ex:validated true }")->ask();
   std::printf("validated: %s\n\n", validated ? "true" : "false");
 
   // 6. The optimizer's plan for a join query.

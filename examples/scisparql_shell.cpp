@@ -63,47 +63,43 @@ void PrintHelp() {
 
 void Execute(scisparql::SSDM* db, const std::string& text, bool explain,
              long timeout_ms) {
-  using scisparql::SSDM;
+  using scisparql::QueryOutcome;
   if (explain) {
     auto plan = db->Explain(text);
     if (plan.ok()) std::printf("%s", plan->c_str());
   }
-  scisparql::sched::QueryContext ctx;
+  scisparql::QueryRequest req(text);
   if (timeout_ms > 0) {
-    ctx = scisparql::sched::QueryContext::WithTimeout(
-        std::chrono::milliseconds(timeout_ms));
+    req.timeout = std::chrono::milliseconds(timeout_ms);
   }
-  auto result =
-      g_scheduler != nullptr
-          ? g_scheduler->Execute(text, timeout_ms > 0
-                                           ? ctx
-                                           : scisparql::sched::QueryContext())
-          : db->Execute(text, timeout_ms > 0 ? &ctx : nullptr);
+  auto result = g_scheduler != nullptr ? g_scheduler->Execute(std::move(req))
+                                       : db->Execute(std::move(req));
   if (!result.ok()) {
     std::printf("error: %s\n", result.status().ToString().c_str());
     return;
   }
-  switch (result->kind) {
-    case SSDM::ExecResult::Kind::kRows:
-      std::printf("%s%zu row(s)\n", result->rows.ToTable().c_str(),
-                  result->rows.rows.size());
+  switch (result->kind()) {
+    case QueryOutcome::Kind::kRows:
+      std::printf("%s%zu row(s)\n", result->rows().ToTable().c_str(),
+                  result->rows().rows.size());
       break;
-    case SSDM::ExecResult::Kind::kBool:
-      std::printf("%s\n", result->boolean ? "yes" : "no");
+    case QueryOutcome::Kind::kAsk:
+      std::printf("%s\n", result->ask() ? "yes" : "no");
       break;
-    case SSDM::ExecResult::Kind::kGraph: {
+    case QueryOutcome::Kind::kGraph: {
       scisparql::PrefixMap prefixes = db->prefixes();
       std::printf("%s(%zu triple(s))\n",
-                  scisparql::loaders::WriteTurtle(result->graph, prefixes)
+                  scisparql::loaders::WriteTurtle(result->graph(), prefixes)
                       .c_str(),
-                  result->graph.size());
+                  result->graph().size());
       break;
     }
-    case SSDM::ExecResult::Kind::kOk:
-      std::printf("ok\n");
+    case QueryOutcome::Kind::kUpdateCount:
+      std::printf("ok (%lld)\n",
+                  static_cast<long long>(result->update_count()));
       break;
-    case SSDM::ExecResult::Kind::kInfo:
-      std::printf("%s\n", result->info.c_str());
+    case QueryOutcome::Kind::kInfo:
+      std::printf("%s\n", result->info().c_str());
       break;
   }
 }

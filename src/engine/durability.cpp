@@ -66,18 +66,24 @@ Result<std::unique_ptr<DurabilityManager>> DurabilityManager::Open(
 Status DurabilityManager::StartWal(uint64_t next_lsn) {
   SCISPARQL_ASSIGN_OR_RETURN(
       wal_, storage::WalWriter::Create(vfs_, wal_dir(), next_lsn));
+  // Fsync/byte accounting lives at the device seam: with group commit one
+  // fsync can cover many statements, so per-call counting over-reports.
+  wal_->set_on_sync([this](size_t bytes) {
+    wal_fsyncs_.Add();
+    wal_bytes_.Add(static_cast<uint64_t>(bytes));
+  });
   set_durable_lsn(next_lsn - 1);
   return Status::OK();
 }
 
-Status DurabilityManager::LogStatement(
-    std::vector<storage::WalRecord>* records) {
+Status DurabilityManager::LogStatement(std::vector<storage::WalRecord>* records,
+                                       uint64_t* commit_lsn) {
   if (records->empty()) return Status::OK();
   if (read_only()) {
     return Status::Unavailable("engine is read-only: " + read_only_reason());
   }
-  uint64_t bytes_before = wal_->bytes_written();
-  Status st = wal_->AppendBatch(*records);
+  uint64_t my_commit = 0;
+  Status st = wal_->AppendBatch(*records, &my_commit);
   if (!st.ok()) {
     wal_errors_.Add();
     EnterReadOnly("WAL append failed: " + st.message());
@@ -86,10 +92,11 @@ Status DurabilityManager::LogStatement(
         st.message() + "); engine is now read-only");
   }
   wal_appends_.Add();
-  wal_fsyncs_.Add();
   wal_records_.Add(records->size());
-  wal_bytes_.Add(wal_->bytes_written() - bytes_before);
-  set_durable_lsn(wal_->next_lsn() - 1);
+  // Our own commit LSN, not next_lsn()-1: another writer may have appended
+  // (but not yet synced) past us by the time we get here.
+  AdvanceDurableLsn(my_commit);
+  if (commit_lsn) *commit_lsn = my_commit;
   return Status::OK();
 }
 
@@ -108,9 +115,7 @@ Status DurabilityManager::LogShippedFrames(const std::string& frames,
         "to the local WAL (" + st.message() + "); store is now read-only");
   }
   wal_appends_.Add();
-  wal_fsyncs_.Add();
-  wal_bytes_.Add(frames.size());
-  set_durable_lsn(last_lsn);
+  AdvanceDurableLsn(last_lsn);
   return Status::OK();
 }
 

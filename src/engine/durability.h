@@ -85,12 +85,25 @@ class DurabilityManager {
   void set_durable_lsn(uint64_t lsn) {
     durable_lsn_.store(lsn, std::memory_order_release);
   }
+  /// Monotonic advance — concurrent committers finish out of order, so each
+  /// publishes its own commit LSN and the gauge keeps the maximum.
+  void AdvanceDurableLsn(uint64_t lsn) {
+    uint64_t cur = durable_lsn_.load(std::memory_order_relaxed);
+    while (cur < lsn && !durable_lsn_.compare_exchange_weak(
+                            cur, lsn, std::memory_order_release,
+                            std::memory_order_relaxed)) {
+    }
+  }
 
-  /// Group-commits one statement's records (plus a commit marker) with a
-  /// single write and fsync. An I/O failure here means an acknowledged
-  /// update could be lost, so it flips the engine read-only and returns
-  /// Unavailable. An empty buffer is a no-op (nothing to make durable).
-  Status LogStatement(std::vector<storage::WalRecord>* records);
+  /// Group-commits one statement's records (plus a commit marker); returns
+  /// once they are durable — possibly sharing a single fsync with other
+  /// concurrent committers. `commit_lsn`, when non-null, receives this
+  /// batch's commit-marker LSN (the caller's read-your-writes ack token).
+  /// An I/O failure here means an acknowledged update could be lost, so it
+  /// flips the engine read-only and returns Unavailable. An empty buffer
+  /// is a no-op (nothing to make durable).
+  Status LogStatement(std::vector<storage::WalRecord>* records,
+                      uint64_t* commit_lsn = nullptr);
 
   /// Replica write-through: appends a shipped run of committed batches
   /// verbatim (`last_lsn` = the run's final commit LSN) with the same

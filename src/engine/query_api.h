@@ -22,6 +22,12 @@ namespace scisparql {
 /// (Execute/Query/Ask/Construct/Run + EXPLAIN/STATS string verbs) now
 /// funnels through this one shape.
 struct QueryRequest {
+  QueryRequest() = default;
+  /// Implicit from statement text: `Execute("SELECT ...")` keeps reading
+  /// naturally while every call funnels through the unified request shape.
+  QueryRequest(std::string statement) : text(std::move(statement)) {}
+  QueryRequest(const char* statement) : text(statement) {}
+
   /// The SciSPARQL statement — any form, including the introspection
   /// verbs (EXPLAIN [ANALYZE] <query>, STATS, METRICS).
   std::string text;

@@ -96,13 +96,35 @@ sched::StatementClass SSDM::ClassifyStatement(const std::string& text) {
         // shared lock so replicas can serve it while applying.
         return sched::StatementClass::kRead;
       }
-      return sched::StatementClass::kWrite;
+      if (w == "INSERT" || w == "DELETE" || w == "WITH") {
+        // Data updates run under the shared lock: they append into the
+        // differential index and group-commit their WAL batch. WITH is the
+        // `WITH <g> DELETE/INSERT` modify form. A write that turns out to
+        // need exclusivity anyway (it would create a named graph) reports
+        // the retry sentinel and the scheduler escalates.
+        return sched::StatementClass::kWrite;
+      }
+      // LOAD, CLEAR, DEFINE, PREPARE, CHECKPOINT and anything unrecognized
+      // mutate engine or dataset structure: exclusive lock.
+      return sched::StatementClass::kExclusive;
     } else {
       // Anything else before the statement keyword: not a query form.
-      return sched::StatementClass::kWrite;
+      return sched::StatementClass::kExclusive;
     }
   }
-  return sched::StatementClass::kWrite;
+  return sched::StatementClass::kExclusive;
+}
+
+namespace {
+/// The escalation sentinel's message (see NeedsExclusiveRetry): matched by
+/// string so the Status needs no side channel.
+constexpr const char* kNeedsExclusiveMsg =
+    "statement requires exclusive engine access";
+}  // namespace
+
+bool SSDM::NeedsExclusiveRetry(const Status& st) {
+  return st.code() == StatusCode::kFailedPrecondition &&
+         st.message() == kNeedsExclusiveMsg;
 }
 
 namespace {
@@ -472,14 +494,33 @@ Result<QueryOutcome> SSDM::Execute(const QueryRequest& req,
     if (rejects_writes()) {
       return Status::Unavailable(write_reject_reason());
     }
+    if (ctx != nullptr && !ctx->exclusive) {
+      // Running under the scheduler's shared lock (the differential write
+      // path). Statements that must mutate dataset or engine structure —
+      // LOAD, CLEAR, or any update whose named target graph does not exist
+      // yet (creating it mutates the shared graph map) — report the retry
+      // sentinel; the scheduler re-runs them under the exclusive lock.
+      bool needs_exclusive = update->kind == ast::UpdateOp::Kind::kLoad ||
+                             update->kind == ast::UpdateOp::Kind::kClear ||
+                             (!update->graph.empty() &&
+                              dataset_.FindNamed(update->graph) == nullptr);
+      if (needs_exclusive) {
+        return Status::FailedPrecondition(kNeedsExclusiveMsg);
+      }
+    }
     engine::WalCapture capture;
     if (durability_ != nullptr) exec.options().mutations = &capture;
     Result<int64_t> updated = exec.Update(*update);
     // The WAL must cover whatever reached memory even when the statement
     // failed partway (there is no rollback): recovery replays this log to
     // reconverge with the state surviving readers observed.
+    uint64_t ack_lsn = 0;
     if (durability_ != nullptr) {
-      SCISPARQL_RETURN_NOT_OK(durability_->LogStatement(&capture.records()));
+      SCISPARQL_RETURN_NOT_OK(
+          durability_->LogStatement(&capture.records(), &ack_lsn));
+      // A no-op statement logs nothing; its read-your-writes token is
+      // whatever is durable already.
+      if (ack_lsn == 0) ack_lsn = durability_->durable_lsn();
     }
     SCISPARQL_RETURN_NOT_OK(updated.status());
     int64_t n = *updated;
@@ -492,10 +533,9 @@ Result<QueryOutcome> SSDM::Execute(const QueryRequest& req,
     } else {
       cache_.Sweep(dataset_, registry_.generation());
     }
-    // The LSN in the ack is the read-your-writes token: LogStatement ran
-    // under the same exclusive lock, so durable_lsn here is exactly this
-    // statement's commit LSN.
-    uint64_t ack_lsn = durability_ != nullptr ? durability_->durable_lsn() : 0;
+    // The LSN in the ack is the read-your-writes token: under group commit
+    // concurrent committers finish out of order, so the ack carries this
+    // statement's own commit LSN (the out-param), not the global gauge.
     return QueryOutcome{QueryOutcome::UpdateCount{n, ack_lsn}};
   }
   const auto& q = std::get<std::shared_ptr<ast::SelectQuery>>(stmt.node);
@@ -511,70 +551,6 @@ Result<QueryOutcome> SSDM::Execute(const QueryRequest& req,
     }
   }
   return out;
-}
-
-Result<SSDM::ExecResult> SSDM::Execute(const std::string& text,
-                                       const sched::QueryContext* ctx) {
-  QueryRequest req;
-  req.text = text;
-  SCISPARQL_ASSIGN_OR_RETURN(QueryOutcome out, Execute(req, ctx));
-  return ToExecResult(std::move(out));
-}
-
-SSDM::ExecResult SSDM::ToExecResult(QueryOutcome out) {
-  ExecResult r;
-  switch (out.kind()) {
-    case QueryOutcome::Kind::kRows:
-      r.kind = ExecResult::Kind::kRows;
-      r.rows = std::move(out.rows());
-      break;
-    case QueryOutcome::Kind::kGraph:
-      r.kind = ExecResult::Kind::kGraph;
-      r.graph = std::move(out.graph());
-      break;
-    case QueryOutcome::Kind::kAsk:
-      r.kind = ExecResult::Kind::kBool;
-      r.boolean = out.ask();
-      break;
-    case QueryOutcome::Kind::kUpdateCount:
-      r.kind = ExecResult::Kind::kOk;
-      break;
-    case QueryOutcome::Kind::kInfo:
-      r.kind = ExecResult::Kind::kInfo;
-      r.info = out.info();
-      break;
-  }
-  return r;
-}
-
-Result<sparql::QueryResult> SSDM::Query(const std::string& text) {
-  SCISPARQL_ASSIGN_OR_RETURN(ExecResult r, Execute(text));
-  if (r.kind != ExecResult::Kind::kRows) {
-    return Status::InvalidArgument("statement is not a SELECT query");
-  }
-  return std::move(r.rows);
-}
-
-Result<bool> SSDM::Ask(const std::string& text) {
-  SCISPARQL_ASSIGN_OR_RETURN(ExecResult r, Execute(text));
-  if (r.kind != ExecResult::Kind::kBool) {
-    return Status::InvalidArgument("statement is not an ASK query");
-  }
-  return r.boolean;
-}
-
-Result<Graph> SSDM::Construct(const std::string& text) {
-  SCISPARQL_ASSIGN_OR_RETURN(ExecResult r, Execute(text));
-  if (r.kind != ExecResult::Kind::kGraph) {
-    return Status::InvalidArgument("statement is not a CONSTRUCT query");
-  }
-  return std::move(r.graph);
-}
-
-Status SSDM::Run(const std::string& text) {
-  SCISPARQL_ASSIGN_OR_RETURN(ExecResult r, Execute(text));
-  (void)r;
-  return Status::OK();
 }
 
 Result<std::string> SSDM::Explain(const std::string& text) {
@@ -686,6 +662,26 @@ Status SSDM::BuildDatasetFromSections(
   return Status::OK();
 }
 
+void SSDM::BeginConcurrentWrites() {
+  if (concurrent_refs_.fetch_add(1, std::memory_order_acq_rel) == 0) {
+    dataset_.SetConcurrentWrites(true);
+  }
+}
+
+void SSDM::EndConcurrentWrites() {
+  if (concurrent_refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last holder out: fold what remains so base-mode callers (snapshot
+    // encoding, ID-index builds) see the complete picture, then return the
+    // graphs to in-place base mutation.
+    dataset_.FoldDeltas();
+    dataset_.SetConcurrentWrites(false);
+  }
+}
+
+size_t SSDM::PendingDeltaOps() const { return dataset_.PendingDeltaOps(); }
+
+size_t SSDM::FoldDeltas() { return dataset_.FoldDeltas(); }
+
 void SSDM::InstallDataset(Dataset fresh) {
   // Replacing the dataset invalidates every statistics collector (named
   // graph objects die; the default graph keeps its address but gets new
@@ -693,6 +689,10 @@ void SSDM::InstallDataset(Dataset fresh) {
   // the old graphs are still alive, then re-attach against the new state.
   stats_.Clear();
   dataset_ = std::move(fresh);
+  // The moved-in dataset carries its own flag state; the engine's
+  // concurrent-writes refcount is the truth.
+  dataset_.SetConcurrentWrites(
+      concurrent_refs_.load(std::memory_order_acquire) > 0);
   // Graph objects were just destroyed and replaced: bump the cache epoch so
   // neither layer can serve (or revalidate against) the old dataset.
   cache_.InvalidateAll();
@@ -703,9 +703,11 @@ void SSDM::InstallDataset(Dataset fresh) {
   }
 }
 
-Status SSDM::SaveSnapshot(const std::string& path) const {
+Status SSDM::SaveSnapshot(const std::string& path) {
   storage::Vfs* vfs =
       durability_ != nullptr ? durability_->vfs() : storage::DefaultVfs();
+  // The dictionary encoder walks the base indexes only.
+  dataset_.FoldDeltas();
   std::vector<storage::SnapshotSection> sections;
   storage::SnapshotFooter footer;
   // A standalone snapshot is not coordinated with the WAL; only
@@ -771,6 +773,91 @@ Status SSDM::LoadSnapshot(const std::string& path) {
 }
 
 // --- Durable store. ---
+
+namespace {
+
+/// Feeds a replayed WAL record stream through Graph::Apply: contiguous
+/// add/remove runs against the same graph accumulate into one WriteBatch,
+/// so replay uses the batch-atomic mutation entry point (and its delta or
+/// base mode) instead of issuing a one-element batch per record. CLEAR
+/// records flush the staged batch first, then take effect in stream order.
+class ReplayBatcher {
+ public:
+  using EnsureFn = std::function<void(Graph*)>;
+
+  /// `ensure` (optional) runs on a target graph right before its batch is
+  /// applied — the replication path attaches statistics collectors to
+  /// graphs the stream creates.
+  explicit ReplayBatcher(Dataset* dataset, EnsureFn ensure = nullptr)
+      : dataset_(dataset), ensure_(std::move(ensure)) {}
+
+  Status Apply(const storage::WalRecord& rec) {
+    using T = storage::WalRecord::Type;
+    switch (rec.type) {
+      case T::kAdd:
+        Stage(rec.graph)->Add(rec.triple);
+        return Status::OK();
+      case T::kRemove:
+        Stage(rec.graph)->RemoveAll(rec.triple);
+        return Status::OK();
+      case T::kClearGraph:
+        // Flush first: a staged batch may be what creates the graph this
+        // record clears.
+        Flush();
+        if (rec.graph.empty()) {
+          dataset_->default_graph().Clear();
+        } else if (Graph* g = dataset_->FindNamed(rec.graph)) {
+          g->Clear();
+        }
+        return Status::OK();
+      case T::kClearAll: {
+        Flush();
+        dataset_->default_graph().Clear();
+        std::vector<std::string> names;
+        for (const auto& [iri, g] : dataset_->named_graphs()) {
+          (void)g;
+          names.push_back(iri);
+        }
+        for (const std::string& iri : names) dataset_->DropNamed(iri);
+        cleared_all_ = true;
+        return Status::OK();
+      }
+      case T::kCommit:
+        return Status::OK();  // markers are consumed by the replayer
+    }
+    return Status::Internal("unknown WAL record type");
+  }
+
+  /// Applies the staged batch, if any. Call once more after the stream
+  /// ends.
+  void Flush() {
+    if (batch_.empty()) return;
+    Graph* g = target_.empty() ? &dataset_->default_graph()
+                               : &dataset_->GetOrCreateNamed(target_);
+    if (ensure_) ensure_(g);
+    g->Apply(std::move(batch_));
+    batch_ = WriteBatch();
+  }
+
+  /// True once a kClearAll record went through — the caller epoch-bumps
+  /// its caches instead of sweeping against destroyed graph objects.
+  bool cleared_all() const { return cleared_all_; }
+
+ private:
+  WriteBatch* Stage(const std::string& graph) {
+    if (!batch_.empty() && graph != target_) Flush();
+    target_ = graph;
+    return &batch_;
+  }
+
+  Dataset* dataset_;
+  EnsureFn ensure_;
+  WriteBatch batch_;
+  std::string target_;
+  bool cleared_all_ = false;
+};
+
+}  // namespace
 
 bool SSDM::read_only() const {
   if (durability_ != nullptr) return durability_->read_only();
@@ -850,44 +937,14 @@ Status SSDM::Open(const std::string& dir, storage::Vfs* vfs) {
                         uint64_t array_id) -> Result<Term> {
     return OpenStoredArray(storage_name, static_cast<ArrayId>(array_id));
   };
-  auto apply = [&fresh](const storage::WalRecord& rec) -> Status {
-    using T = storage::WalRecord::Type;
-    switch (rec.type) {
-      case T::kAdd:
-        (rec.graph.empty() ? fresh.default_graph()
-                           : fresh.GetOrCreateNamed(rec.graph))
-            .Add(rec.triple);
-        return Status::OK();
-      case T::kRemove:
-        (rec.graph.empty() ? fresh.default_graph()
-                           : fresh.GetOrCreateNamed(rec.graph))
-            .Remove(rec.triple);
-        return Status::OK();
-      case T::kClearGraph:
-        if (rec.graph.empty()) {
-          fresh.default_graph().Clear();
-        } else if (Graph* g = fresh.FindNamed(rec.graph)) {
-          g->Clear();
-        }
-        return Status::OK();
-      case T::kClearAll: {
-        fresh.default_graph().Clear();
-        std::vector<std::string> names;
-        for (const auto& [iri, g] : fresh.named_graphs()) {
-          (void)g;
-          names.push_back(iri);
-        }
-        for (const std::string& iri : names) fresh.DropNamed(iri);
-        return Status::OK();
-      }
-      case T::kCommit:
-        return Status::OK();  // markers are consumed by the replayer
-    }
-    return Status::Internal("unknown WAL record type");
+  ReplayBatcher batcher(&fresh);
+  auto apply = [&batcher](const storage::WalRecord& rec) -> Status {
+    return batcher.Apply(rec);
   };
   SCISPARQL_ASSIGN_OR_RETURN(
       storage::WalReplayStats replay,
       storage::ReplayWal(vfs, dm->wal_dir(), after_lsn, resolve, apply));
+  batcher.Flush();
 
   InstallDataset(std::move(fresh));
   uint64_t next_lsn = std::max(after_lsn, replay.last_lsn) + 1;
@@ -934,6 +991,10 @@ Result<std::string> SSDM::CheckpointAsReplica() {
 }
 
 Result<std::string> SSDM::CheckpointLocked() {
+  // The snapshot encoder reads the base indexes only; the caller holds the
+  // engine exclusively, so folding here is safe and makes the snapshot
+  // cover every committed delta.
+  dataset_.FoldDeltas();
   storage::WalWriter* wal = durability_->wal();
   // Rotation seals the current segment so every LSN covered by the new
   // snapshot lives in segments the truncation below may delete, and no
@@ -1006,50 +1067,15 @@ Status SSDM::ApplyReplicationFrames(const std::string& frames) {
                         uint64_t array_id) -> Result<Term> {
     return OpenStoredArray(storage_name, static_cast<ArrayId>(array_id));
   };
-  bool cleared_all = false;
-  auto apply = [this, &cleared_all](const storage::WalRecord& rec) -> Status {
-    using T = storage::WalRecord::Type;
-    switch (rec.type) {
-      case T::kAdd: {
-        Graph* g = rec.graph.empty() ? &dataset_.default_graph()
-                                     : &dataset_.GetOrCreateNamed(rec.graph);
-        EnsureStats(g);
-        g->Add(rec.triple);
-        return Status::OK();
-      }
-      case T::kRemove: {
-        Graph* g = rec.graph.empty() ? &dataset_.default_graph()
-                                     : &dataset_.GetOrCreateNamed(rec.graph);
-        EnsureStats(g);
-        g->Remove(rec.triple);
-        return Status::OK();
-      }
-      case T::kClearGraph:
-        if (rec.graph.empty()) {
-          dataset_.default_graph().Clear();
-        } else if (Graph* g = dataset_.FindNamed(rec.graph)) {
-          g->Clear();
-        }
-        return Status::OK();
-      case T::kClearAll: {
-        dataset_.default_graph().Clear();
-        std::vector<std::string> names;
-        for (const auto& [iri, g] : dataset_.named_graphs()) {
-          (void)g;
-          names.push_back(iri);
-        }
-        for (const std::string& iri : names) dataset_.DropNamed(iri);
-        cleared_all = true;
-        return Status::OK();
-      }
-      case T::kCommit:
-        return Status::OK();
-    }
-    return Status::Internal("unknown WAL record type");
+  ReplayBatcher batcher(&dataset_,
+                        [this](Graph* g) { EnsureStats(g); });
+  auto apply = [&batcher](const storage::WalRecord& rec) -> Status {
+    return batcher.Apply(rec);
   };
   SCISPARQL_ASSIGN_OR_RETURN(
       storage::WalReplayStats stats,
       storage::ApplyWalFrames(frames, after, resolve, apply));
+  batcher.Flush();
   if (stats.last_lsn > after) {
     // Write the shipped batches through to the local log before exposing
     // the new LSN: a durable replica's WAL stays a byte-identical prefix of
@@ -1064,7 +1090,7 @@ Status SSDM::ApplyReplicationFrames(const std::string& frames) {
   // Same invalidation discipline as the local update path: version bumps
   // from Add/Remove/Clear let Sweep evict precisely; CLEAR ALL destroyed
   // graph objects, so epoch-bump instead.
-  if (cleared_all) {
+  if (batcher.cleared_all()) {
     cache_.InvalidateAll();
   } else if (stats.records_applied > 0) {
     cache_.Sweep(dataset_, registry_.generation());

@@ -153,42 +153,40 @@ class SSDM {
   Result<QueryOutcome> Execute(const QueryRequest& req,
                                const sched::QueryContext* ctx = nullptr);
 
-  /// Legacy result shape, kept so pre-QueryOutcome callers and tests work
-  /// unchanged. kOk folds both update and DEFINE outcomes.
-  struct ExecResult {
-    enum class Kind { kRows, kBool, kGraph, kOk, kInfo };
-    Kind kind = Kind::kOk;
-    sparql::QueryResult rows;  // SELECT
-    bool boolean = false;      // ASK
-    Graph graph;               // CONSTRUCT
-    std::string info;          // EXPLAIN / STATS text
-  };
-
-  /// Deprecated: thin wrapper over Execute(QueryRequest); prefer the
-  /// QueryRequest/QueryOutcome form.
-  Result<ExecResult> Execute(const std::string& text,
-                             const sched::QueryContext* ctx = nullptr);
-
-  /// Folds a QueryOutcome into the legacy result shape (kAsk -> kBool,
-  /// kUpdateCount -> kOk). Used by the deprecated wrappers here and in the
-  /// scheduler.
-  static ExecResult ToExecResult(QueryOutcome out);
-
   /// Concurrency class of a statement, decided from its leading keyword
   /// (after the PREFIX/BASE prolog, comments and string/IRI tokens are
-  /// skipped) without a full parse: query forms are reads; updates, LOAD,
-  /// CLEAR and DEFINE FUNCTION are writes. Unrecognized statements
-  /// classify as writes, the conservative choice for the scheduler's
-  /// reader-writer lock.
+  /// skipped) without a full parse: query forms are reads; INSERT/DELETE
+  /// updates are writes (they run under the scheduler's shared lock via
+  /// the differential index); LOAD, CLEAR, DEFINE FUNCTION, PREPARE,
+  /// CHECKPOINT and anything unrecognized classify as exclusive, the
+  /// conservative choice for statements that mutate engine structure.
   static sched::StatementClass ClassifyStatement(const std::string& text);
 
-  /// Deprecated single-form conveniences: thin wrappers over
-  /// Execute(QueryRequest) that check the outcome kind.
-  Result<sparql::QueryResult> Query(const std::string& text);
-  Result<bool> Ask(const std::string& text);
-  Result<Graph> Construct(const std::string& text);
-  /// Updates and DEFINE FUNCTION statements.
-  Status Run(const std::string& text);
+  // --- Concurrent write mode (the scheduler drives this). ---
+
+  /// Refcounted switch for the differential-index write path: while at
+  /// least one holder is active, batch mutations append into per-graph
+  /// deltas instead of the base indexes, so the scheduler can run
+  /// write-class statements under its shared lock. The last EndConcurrent-
+  /// Writes folds all pending deltas and returns graphs to base mode; the
+  /// caller must hold the engine exclusively for that final call (the
+  /// scheduler calls it from Stop after the workers are joined).
+  void BeginConcurrentWrites();
+  void EndConcurrentWrites();
+
+  /// Unfolded delta operations across all graphs — the compactor's
+  /// trigger. Lock-free reads of per-graph atomic counters.
+  size_t PendingDeltaOps() const;
+
+  /// Folds every graph's pending delta into its base indexes. Caller must
+  /// hold the engine exclusively; returns the operations folded.
+  size_t FoldDeltas();
+
+  /// True when `st` is the engine's escalation sentinel: a write-class
+  /// statement admitted under the shared lock turned out to need the
+  /// exclusive lock (it would create a named graph, or its prolog hid an
+  /// exclusive form). The scheduler re-runs such statements exclusively.
+  static bool NeedsExclusiveRetry(const Status& st);
 
   /// Query plan description (Section 5.4's translation, post-optimization):
   /// chosen BGP order with estimated vs. actual cardinalities per scan.
@@ -233,8 +231,9 @@ class SSDM {
 
   /// Writes the whole dataset (default + named graphs) to a snapshot file.
   /// Array proxies are materialized into the snapshot; defined functions
-  /// are not part of the dataset and are not saved.
-  Status SaveSnapshot(const std::string& path) const;
+  /// are not part of the dataset and are not saved. Folds pending deltas
+  /// first (the snapshot encoder walks the base indexes), hence non-const.
+  Status SaveSnapshot(const std::string& path);
 
   /// Replaces the dataset with a snapshot's content. Destroys the named
   /// graph objects of the old dataset, so it bumps the query cache's epoch
@@ -334,6 +333,10 @@ class SSDM {
   std::atomic<bool> replica_mode_{false};
   std::atomic<uint64_t> applied_lsn_{0};
   std::string replica_primary_;
+
+  /// BeginConcurrentWrites nesting depth; the dataset's concurrent-writes
+  /// flag is on exactly while this is positive.
+  std::atomic<int> concurrent_refs_{0};
 };
 
 }  // namespace scisparql

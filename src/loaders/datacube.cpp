@@ -6,6 +6,7 @@
 #include <set>
 
 #include "rdf/namespaces.h"
+#include "rdf/write_batch.h"
 
 namespace scisparql {
 namespace loaders {
@@ -147,6 +148,9 @@ Result<DataCubeStats> ConsolidateDataCubes(Graph* graph) {
     };
 
     // One array per measure; uncovered cells stay NaN.
+    // The whole consolidation of one dataset — new arrays, dictionary
+    // collections, observation teardown — lands as one atomic batch.
+    WriteBatch batch;
     for (const std::string& m : measure_props) {
       NumericArray array = NumericArray::Zeros(ElementType::kDouble, shape);
       int64_t n = array.NumElements();
@@ -161,8 +165,8 @@ Result<DataCubeStats> ConsolidateDataCubes(Graph* graph) {
         if (!v.ok()) continue;
         (void)array.Set(idx, *v);
       }
-      graph->Add(dataset, Term::Iri(m + "#array"),
-                 Term::Array(ResidentArray::Make(std::move(array))));
+      batch.Add(dataset, Term::Iri(m + "#array"),
+                Term::Array(ResidentArray::Make(std::move(array))));
     }
 
     // Dictionaries become RDF collections.
@@ -171,23 +175,24 @@ Result<DataCubeStats> ConsolidateDataCubes(Graph* graph) {
                                    : Term::Blank(graph->FreshBlankLabel());
       Term cur = head;
       for (size_t i = 0; i < dicts[d].size(); ++i) {
-        graph->Add(cur, Term::Iri(vocab::kRdfFirst), dicts[d][i]);
+        batch.Add(cur, Term::Iri(vocab::kRdfFirst), dicts[d][i]);
         Term next = i + 1 < dicts[d].size()
                         ? Term::Blank(graph->FreshBlankLabel())
                         : Term::Iri(vocab::kRdfNil);
-        graph->Add(cur, Term::Iri(vocab::kRdfRest), next);
+        batch.Add(cur, Term::Iri(vocab::kRdfRest), next);
         cur = next;
       }
-      graph->Add(dataset, Term::Iri(dims[d] + "#index"), head);
+      batch.Add(dataset, Term::Iri(dims[d] + "#index"), head);
     }
 
     // Remove the observation sub-graphs.
     for (const Term& obs : observations) {
       for (const Triple& t : graph->MatchAll(obs, Term(), Term())) {
-        graph->Remove(t);
+        batch.RemoveAll(t);
       }
       ++stats.observations;
     }
+    graph->Apply(std::move(batch));
     ++stats.datasets;
   }
 

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/string_util.h"
+#include "rdf/write_batch.h"
 #include "sparql/lexer.h"
 
 namespace scisparql {
@@ -29,6 +30,10 @@ class TurtleParser {
     }
     return Status::OK();
   }
+
+  /// The staged mutations; the caller applies them in one Graph::Apply so
+  /// a document is either loaded whole or (on a parse error) not at all.
+  WriteBatch TakeBatch() { return std::move(batch_); }
 
  private:
   const Token& Peek(size_t ahead = 0) const {
@@ -115,7 +120,7 @@ class TurtleParser {
       SCISPARQL_ASSIGN_OR_RETURN(Term predicate, ParseIri());
       while (true) {
         SCISPARQL_ASSIGN_OR_RETURN(Term object, ParseNode());
-        graph_->Add(subject, predicate, object);
+        batch_.Add(subject, predicate, object);
         if (Peek().IsPunct(",")) {
           Advance();
           continue;
@@ -252,11 +257,11 @@ class TurtleParser {
       Term head = Term::Blank(graph_->FreshBlankLabel());
       Term cur = head;
       for (size_t i = 0; i < items.size(); ++i) {
-        graph_->Add(cur, Term::Iri(vocab::kRdfFirst), items[i]);
+        batch_.Add(cur, Term::Iri(vocab::kRdfFirst), items[i]);
         Term next = i + 1 < items.size()
                         ? Term::Blank(graph_->FreshBlankLabel())
                         : Term::Iri(vocab::kRdfNil);
-        graph_->Add(cur, Term::Iri(vocab::kRdfRest), next);
+        batch_.Add(cur, Term::Iri(vocab::kRdfRest), next);
         cur = next;
       }
       return head;
@@ -266,7 +271,8 @@ class TurtleParser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
-  Graph* graph_;
+  Graph* graph_;  // blank-label allocation only; mutations go to batch_
+  WriteBatch batch_;
   PrefixMap prefixes_;
   std::string base_;
 };
@@ -381,10 +387,12 @@ Result<int> ConsolidateCollections(Graph* graph) {
                 : NumericArray::FromDoubles(shape, std::move(dbls));
     if (!array.ok()) continue;
 
-    graph->Remove(entry);
-    for (const Triple& t : scaffolding) graph->Remove(t);
-    graph->Add(entry.s, entry.p,
-               Term::Array(ResidentArray::Make(std::move(*array))));
+    WriteBatch batch;
+    batch.RemoveAll(entry);
+    for (const Triple& t : scaffolding) batch.RemoveAll(t);
+    batch.Add(entry.s, entry.p,
+              Term::Array(ResidentArray::Make(std::move(*array))));
+    graph->Apply(std::move(batch));
     ++consolidated;
   }
   return consolidated;
@@ -396,6 +404,7 @@ Status LoadTurtleString(const std::string& text, Graph* graph,
                              sparql::Tokenize(text));
   TurtleParser parser(std::move(tokens), graph, options.prefixes);
   SCISPARQL_RETURN_NOT_OK(parser.Run());
+  graph->Apply(parser.TakeBatch());
   if (options.consolidate_collections) {
     SCISPARQL_ASSIGN_OR_RETURN(int n, ConsolidateCollections(graph));
     (void)n;

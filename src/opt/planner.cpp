@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 
 namespace scisparql {
 namespace opt {
@@ -50,9 +51,9 @@ double CardinalityEstimator::HintSelectivity(const Term& p,
                                              const FilterHint& hint) const {
   if (stats_ == nullptr) return 1.0;
   double numeric_fraction = 1.0;
-  const EquiDepthHistogram* hist =
+  std::optional<EquiDepthHistogram> hist =
       stats_->ObjectValueHistogram(p, &numeric_fraction);
-  if (hist == nullptr) return 1.0;
+  if (!hist.has_value()) return 1.0;
   double sel;
   switch (hint.op) {
     case RangeOp::kLt:

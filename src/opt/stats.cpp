@@ -136,12 +136,14 @@ const Term& GraphStats::NormalizeObject(const Term& o) {
 
 void GraphStats::Attach(Graph* graph) {
   Detach();
+  std::unique_lock<std::shared_mutex> lock(mu_);
   graph_ = graph;
-  Rebuild();
+  RebuildLocked();
   graph_->SetListener(this);
 }
 
 void GraphStats::Detach() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (graph_ != nullptr && graph_->listener() == this) {
     graph_->SetListener(nullptr);
   }
@@ -158,6 +160,11 @@ void GraphStats::ResetCounters() {
 }
 
 void GraphStats::Rebuild() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  RebuildLocked();
+}
+
+void GraphStats::RebuildLocked() {
   ResetCounters();
   if (graph_ == nullptr) return;
   graph_->ForEach([this](const Triple& t) { ApplyDelta(t, +1); });
@@ -193,11 +200,20 @@ void GraphStats::ApplyDelta(const Triple& t, int64_t delta) {
   }
 }
 
-void GraphStats::OnAdd(const Triple& t) { ApplyDelta(t, +1); }
+void GraphStats::OnAdd(const Triple& t) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  ApplyDelta(t, +1);
+}
 
-void GraphStats::OnRemove(const Triple& t) { ApplyDelta(t, -1); }
+void GraphStats::OnRemove(const Triple& t) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  ApplyDelta(t, -1);
+}
 
-void GraphStats::OnClear() { ResetCounters(); }
+void GraphStats::OnClear() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  ResetCounters();
+}
 
 const GraphStats::PredicateStats* GraphStats::FindPred(const Term& p) const {
   auto it = preds_.find(p);
@@ -205,29 +221,35 @@ const GraphStats::PredicateStats* GraphStats::FindPred(const Term& p) const {
 }
 
 int64_t GraphStats::num_predicates() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return static_cast<int64_t>(preds_.size());
 }
 
 int64_t GraphStats::PredicateCount(const Term& p) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   const PredicateStats* ps = FindPred(p);
   return ps == nullptr ? 0 : ps->count;
 }
 
 int64_t GraphStats::DistinctSubjects(const Term& p) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   const PredicateStats* ps = FindPred(p);
   return ps == nullptr ? 0 : static_cast<int64_t>(ps->subjects.size());
 }
 
 int64_t GraphStats::DistinctObjects(const Term& p) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   const PredicateStats* ps = FindPred(p);
   return ps == nullptr ? 0 : static_cast<int64_t>(ps->objects.size());
 }
 
 int64_t GraphStats::DistinctSubjects() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return static_cast<int64_t>(subjects_.counts.size());
 }
 
 int64_t GraphStats::DistinctObjects() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return static_cast<int64_t>(objects_.counts.size());
 }
 
@@ -273,29 +295,31 @@ void GraphStats::RebuildIndexHistograms() const {
   hist_built_ = true;
 }
 
-const EquiDepthHistogram& GraphStats::IndexHistogram(IndexOrder order) const {
-  // Lazy rebuild under lazy_mu_: concurrent read queries (shared engine
-  // lock) may call this simultaneously; the first one through rebuilds,
-  // the rest see fresh caches. Staleness cannot change while readers are
-  // active (graph mutations require the exclusive lock), so the returned
-  // reference stays valid outside the mutex.
-  std::lock_guard<std::mutex> lock(lazy_mu_);
+const EquiDepthHistogram& GraphStats::IndexHistogramLocked(
+    IndexOrder order) const {
   if (HistogramsStale()) RebuildIndexHistograms();
   return index_hist_[static_cast<int>(order)];
 }
 
-const EquiDepthHistogram* GraphStats::ObjectValueHistogram(
+EquiDepthHistogram GraphStats::IndexHistogram(IndexOrder order) const {
+  // Unique even though const: the lazy rebuild mutates the cache. Copied
+  // out so concurrent writers/rebuilds can never invalidate the result.
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return IndexHistogramLocked(order);
+}
+
+std::optional<EquiDepthHistogram> GraphStats::ObjectValueHistogram(
     const Term& p, double* numeric_fraction) const {
+  std::unique_lock<std::shared_mutex> lock(mu_);  // see IndexHistogram
   const PredicateStats* ps = FindPred(p);
   if (ps == nullptr || ps->count <= 0 || ps->numeric_objects <= 0) {
-    return nullptr;
+    return std::nullopt;
   }
   if (numeric_fraction != nullptr) {
     *numeric_fraction = static_cast<double>(ps->numeric_objects) /
                         static_cast<double>(ps->count);
   }
   uint64_t version = graph_ == nullptr ? 0 : graph_->version();
-  std::lock_guard<std::mutex> lock(lazy_mu_);  // see IndexHistogram
   if (!ps->value_hist_built ||
       version - ps->value_hist_version >
           std::max<uint64_t>(64, static_cast<uint64_t>(ps->count) / 8)) {
@@ -314,14 +338,20 @@ const EquiDepthHistogram* GraphStats::ObjectValueHistogram(
     ps->value_hist_version = version;
     ps->value_hist_built = true;
   }
-  return ps->value_hist.empty() ? nullptr : &ps->value_hist;
+  if (ps->value_hist.empty()) return std::nullopt;
+  return ps->value_hist;
 }
 
 std::string GraphStats::ReportText() const {
+  // Unique: the index-histogram section below may lazily rebuild.
+  std::unique_lock<std::shared_mutex> lock(mu_);
   std::ostringstream out;
-  out << "triples=" << total_ << " predicates=" << num_predicates()
-      << " distinct_subjects=" << DistinctSubjects()
-      << " distinct_objects=" << DistinctObjects() << "\n";
+  out << "triples=" << total_
+      << " predicates=" << static_cast<int64_t>(preds_.size())
+      << " distinct_subjects="
+      << static_cast<int64_t>(subjects_.counts.size())
+      << " distinct_objects="
+      << static_cast<int64_t>(objects_.counts.size()) << "\n";
   // Predicates sorted by descending count, capped for readability.
   std::vector<std::pair<const Term*, const PredicateStats*>> order;
   order.reserve(preds_.size());
@@ -347,7 +377,7 @@ std::string GraphStats::ReportText() const {
                                            IndexOrder::kPO};
   for (IndexOrder ord : kOrders) {
     out << "  index " << IndexOrderName(ord) << " fanout "
-        << IndexHistogram(ord).ToString() << "\n";
+        << IndexHistogramLocked(ord).ToString() << "\n";
   }
   return out.str();
 }

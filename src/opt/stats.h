@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -69,6 +70,13 @@ const char* IndexOrderName(IndexOrder order);
 /// are maintained *incrementally* through the GraphListener hook (exact
 /// under interleaved INSERT/DELETE, including duplicates); histograms are
 /// derived summaries, rebuilt lazily once enough mutations accumulate.
+///
+/// Thread-safe: an internal shared mutex lets planner reads (shared
+/// engine lock) run against listener mutations, which under the
+/// concurrent write path also execute on the shared engine lock
+/// (serialized per graph by the delta mutex, but concurrent with
+/// readers). Histogram accessors return by value so a returned summary
+/// can never be invalidated by a concurrent lazy rebuild.
 class GraphStats : public GraphListener {
  public:
   GraphStats() = default;
@@ -96,11 +104,17 @@ class GraphStats : public GraphListener {
   /// The graph died under us (DROP GRAPH / CLEAR ALL): orphan the
   /// collector. Counters stay readable; the registry re-attaches on the
   /// next EnsureStats for whatever graph next uses this slot.
-  void OnGraphDestroyed() override { graph_ = nullptr; }
+  void OnGraphDestroyed() override {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    graph_ = nullptr;
+  }
 
   // --- Counters. ---
 
-  int64_t total_triples() const { return total_; }
+  int64_t total_triples() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return total_;
+  }
   int64_t num_predicates() const;
   int64_t PredicateCount(const Term& p) const;
   /// Distinct subjects / objects among triples with predicate `p`.
@@ -114,19 +128,23 @@ class GraphStats : public GraphListener {
 
   /// Fan-out histogram of one index order (distribution of bucket sizes).
   /// Rebuilt lazily when the graph has drifted since the last build.
-  const EquiDepthHistogram& IndexHistogram(IndexOrder order) const;
+  /// Returned by value: a concurrent rebuild would invalidate references.
+  EquiDepthHistogram IndexHistogram(IndexOrder order) const;
 
   /// Histogram over the numeric object values of predicate `p`, for
-  /// range-FILTER selectivity. Returns nullptr when the predicate has no
+  /// range-FILTER selectivity. Empty optional when the predicate has no
   /// numeric objects. `numeric_fraction` (optional out) receives the
   /// fraction of the predicate's objects that are numeric.
-  const EquiDepthHistogram* ObjectValueHistogram(
+  std::optional<EquiDepthHistogram> ObjectValueHistogram(
       const Term& p, double* numeric_fraction = nullptr) const;
 
   /// Human-readable summary (the STATS verb's optimizer section).
   std::string ReportText() const;
 
-  const Graph* graph() const { return graph_; }
+  const Graph* graph() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return graph_;
+  }
 
  private:
   struct PredicateStats {
@@ -151,10 +169,14 @@ class GraphStats : public GraphListener {
     }
   };
 
+  // Unlocked internals; every public entry point takes mu_ first
+  // (unique for mutation and lazy rebuilds, shared for counter reads).
+  void RebuildLocked();
   void ApplyDelta(const Triple& t, int64_t delta);
   void ResetCounters();
   bool HistogramsStale() const;
   void RebuildIndexHistograms() const;
+  const EquiDepthHistogram& IndexHistogramLocked(IndexOrder order) const;
   const PredicateStats* FindPred(const Term& p) const;
 
   /// Term used to key array-valued objects: hashing an array term would
@@ -169,16 +191,13 @@ class GraphStats : public GraphListener {
   Multiset subjects_;
   Multiset objects_;
 
+  // Guards every member. Listener callbacks and Rebuild/Attach take it
+  // unique; counter getters take it shared; histogram accessors take it
+  // unique because the lazy rebuild mutates the caches below even on the
+  // const read path.
+  mutable std::shared_mutex mu_;
   // Lazy histogram cache: rebuilt when `built_version_` drifts from the
   // graph version by more than a fraction of the triple count.
-  // `lazy_mu_` serializes the rebuilds (index histograms and the
-  // per-predicate value histograms): histogram accessors are const and run
-  // on the scheduler's shared-lock read path, so concurrent queries may
-  // race to rebuild the same cache. Counter mutations still require the
-  // exclusive engine lock — the mutex only makes *readers* safe against
-  // each other, which also keeps a returned histogram reference stable
-  // until the next write phase.
-  mutable std::mutex lazy_mu_;
   mutable EquiDepthHistogram index_hist_[5];
   mutable uint64_t built_version_ = 0;
   mutable bool hist_built_ = false;

@@ -1,6 +1,7 @@
 #include "rdf/graph.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "common/string_util.h"
 #include "obs/metrics.h"
@@ -11,11 +12,13 @@ std::string Triple::ToString() const {
   return s.ToString() + " " + p.ToString() + " " + o.ToString() + " .";
 }
 
-size_t Graph::PairKeyHash::operator()(const PairKey& k) const {
-  return HashCombine(k.a.Hash(), k.b.Hash());
+size_t TripleHash::operator()(const Triple& t) const {
+  return HashCombine(HashCombine(t.s.Hash(), t.p.Hash()), t.o.Hash());
 }
 
-Graph::Graph() : id_cache_(std::make_unique<IdIndexCache>()) {}
+Graph::Graph()
+    : id_cache_(std::make_unique<IdIndexCache>()),
+      delta_(std::make_unique<DeltaState>()) {}
 
 Graph::~Graph() {
   if (listener_.ptr != nullptr) listener_.ptr->OnGraphDestroyed();
@@ -24,41 +27,48 @@ Graph::~Graph() {
 Graph::Graph(Graph&& o) noexcept
     : triples_(std::move(o.triples_)),
       dead_(std::move(o.dead_)),
-      live_count_(o.live_count_),
+      live_count_(o.live_count_.load(std::memory_order_relaxed)),
       dead_count_(o.dead_count_),
-      blank_counter_(o.blank_counter_),
-      version_(o.version_),
+      blank_counter_(o.blank_counter_.load(std::memory_order_relaxed)),
+      version_(o.version_.load(std::memory_order_relaxed)),
       listener_(std::move(o.listener_)),
-      by_s_(std::move(o.by_s_)),
-      by_p_(std::move(o.by_p_)),
-      by_o_(std::move(o.by_o_)),
-      by_sp_(std::move(o.by_sp_)),
-      by_po_(std::move(o.by_po_)),
       dict_(std::move(o.dict_)),
       id_triples_(std::move(o.id_triples_)),
       table_stamp_(o.table_stamp_),
-      id_cache_(std::move(o.id_cache_)) {
+      id_cache_(std::move(o.id_cache_)),
+      concurrent_(o.concurrent_.load(std::memory_order_relaxed)),
+      delta_ops_(o.delta_ops_.load(std::memory_order_relaxed)),
+      delta_(std::move(o.delta_)) {
   o.id_cache_ = std::make_unique<IdIndexCache>();
+  o.delta_ = std::make_unique<DeltaState>();
+  o.live_count_.store(0, std::memory_order_relaxed);
+  o.delta_ops_.store(0, std::memory_order_relaxed);
 }
 
 Graph& Graph::operator=(Graph&& o) noexcept {
   triples_ = std::move(o.triples_);
   dead_ = std::move(o.dead_);
-  live_count_ = o.live_count_;
+  live_count_.store(o.live_count_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
   dead_count_ = o.dead_count_;
-  blank_counter_ = o.blank_counter_;
-  version_ = o.version_;
+  blank_counter_.store(o.blank_counter_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  version_.store(o.version_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
   listener_ = std::move(o.listener_);
-  by_s_ = std::move(o.by_s_);
-  by_p_ = std::move(o.by_p_);
-  by_o_ = std::move(o.by_o_);
-  by_sp_ = std::move(o.by_sp_);
-  by_po_ = std::move(o.by_po_);
   dict_ = std::move(o.dict_);
   id_triples_ = std::move(o.id_triples_);
   table_stamp_ = o.table_stamp_;
   id_cache_ = std::move(o.id_cache_);
+  concurrent_.store(o.concurrent_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  delta_ops_.store(o.delta_ops_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  delta_ = std::move(o.delta_);
   o.id_cache_ = std::make_unique<IdIndexCache>();
+  o.delta_ = std::make_unique<DeltaState>();
+  o.live_count_.store(0, std::memory_order_relaxed);
+  o.delta_ops_.store(0, std::memory_order_relaxed);
   return *this;
 }
 
@@ -68,77 +78,195 @@ Graph Graph::Clone() const {
   return g;
 }
 
-void Graph::Add(Triple t) {
-  uint32_t id = static_cast<uint32_t>(triples_.size());
-  by_s_[t.s].push_back(id);
-  by_p_[t.p].push_back(id);
-  by_o_[t.o].push_back(id);
-  by_sp_[PairKey{t.s, t.p}].push_back(id);
-  by_po_[PairKey{t.p, t.o}].push_back(id);
-  id_triples_.push_back(
-      IdTriple{dict_.Intern(t.s), dict_.Intern(t.p), dict_.Intern(t.o)});
-  ++version_;
-  ++table_stamp_;
-  if (listener_.ptr != nullptr) listener_.ptr->OnAdd(t);
-  triples_.push_back(std::move(t));
-  dead_.push_back(false);
-  ++live_count_;
+Graph::ApplyResult Graph::Apply(WriteBatch&& batch, GraphListener* observer) {
+  if (batch.empty()) return {};
+  if (concurrent_.load(std::memory_order_acquire)) {
+    return ApplyDelta(std::move(batch), observer);
+  }
+  return ApplyBase(std::move(batch), observer);
 }
 
-size_t Graph::Remove(const Triple& t) {
-  size_t removed = 0;
-  auto it = by_sp_.find(PairKey{t.s, t.p});
-  if (it == by_sp_.end()) return 0;
-  for (uint32_t id : it->second) {
-    if (!dead_[id] && triples_[id].o == t.o) {
-      dead_[id] = true;
-      --live_count_;
-      ++dead_count_;
-      ++removed;
-      ++version_;
-      ++table_stamp_;
-      if (listener_.ptr != nullptr) listener_.ptr->OnRemove(triples_[id]);
+Graph::ApplyResult Graph::ApplyBase(WriteBatch&& batch,
+                                    GraphListener* observer) {
+  ApplyResult res;
+  std::vector<WriteBatch::Op> ops = batch.Release();
+  for (WriteBatch::Op& op : ops) {
+    if (op.kind == WriteBatch::OpKind::kAdd) {
+      AddBase(std::move(op.t), observer);
+      ++res.added;
+    } else {
+      res.removed += static_cast<int64_t>(RemoveBase(op.t, observer));
     }
   }
   MaybeCompact();
+  return res;
+}
+
+Graph::ApplyResult Graph::ApplyDelta(WriteBatch&& batch,
+                                     GraphListener* observer) {
+  ApplyResult res;
+  std::lock_guard<std::mutex> lock(delta_->mu);
+  // Every op of the batch commits at one epoch, published with a single
+  // store after the whole batch is in the delta: a reader that snapshots
+  // the epoch without the mutex can never observe a batch prefix.
+  const uint64_t epoch =
+      version_.load(std::memory_order_relaxed) + batch.size();
+  size_t new_ops = 0;
+  for (const WriteBatch::Op& op : batch.ops()) {
+    if (op.kind == WriteBatch::OpKind::kAdd) {
+      delta_->cells[op.t].ops.push_back(DeltaOp{epoch, true});
+      ++new_ops;
+      ++res.added;
+      if (listener_.ptr != nullptr) listener_.ptr->OnAdd(op.t);
+      if (observer != nullptr) observer->OnAdd(op.t);
+    } else {
+      DeltaCell& cell = delta_->cells[op.t];
+      size_t adds = 0;
+      bool cleared = false;
+      for (const DeltaOp& d : cell.ops) {
+        if (d.is_add) {
+          ++adds;
+        } else {
+          adds = 0;
+          cleared = true;
+        }
+      }
+      size_t m = adds + (cleared ? 0 : BaseMultiplicity(op.t));
+      cell.ops.push_back(DeltaOp{epoch, false});
+      ++new_ops;
+      res.removed += static_cast<int64_t>(m);
+      for (size_t i = 0; i < m; ++i) {
+        if (listener_.ptr != nullptr) listener_.ptr->OnRemove(op.t);
+        if (observer != nullptr) observer->OnRemove(op.t);
+      }
+    }
+  }
+  delta_ops_.fetch_add(new_ops, std::memory_order_release);
+  live_count_.fetch_add(res.added - res.removed, std::memory_order_release);
+  version_.store(epoch, std::memory_order_release);
+  return res;
+}
+
+void Graph::AddBase(Triple t, GraphListener* observer) {
+  id_triples_.push_back(
+      IdTriple{dict_.Intern(t.s), dict_.Intern(t.p), dict_.Intern(t.o)});
+  version_.fetch_add(1, std::memory_order_release);
+  ++table_stamp_;
+  if (listener_.ptr != nullptr) listener_.ptr->OnAdd(t);
+  if (observer != nullptr) observer->OnAdd(t);
+  triples_.push_back(std::move(t));
+  dead_.push_back(false);
+  live_count_.fetch_add(1, std::memory_order_release);
+}
+
+size_t Graph::RemoveBase(const Triple& t, GraphListener* observer) {
+  size_t removed = 0;
+  for (size_t i = 0; i < triples_.size(); ++i) {
+    if (dead_[i] || !(triples_[i] == t)) continue;
+    dead_[i] = true;
+    ++dead_count_;
+    ++removed;
+    version_.fetch_add(1, std::memory_order_release);
+    ++table_stamp_;
+    if (listener_.ptr != nullptr) listener_.ptr->OnRemove(triples_[i]);
+    if (observer != nullptr) observer->OnRemove(triples_[i]);
+  }
+  live_count_.fetch_sub(static_cast<int64_t>(removed),
+                        std::memory_order_release);
   return removed;
 }
 
 void Graph::Clear() {
   triples_.clear();
   dead_.clear();
-  live_count_ = 0;
+  live_count_.store(0, std::memory_order_release);
   dead_count_ = 0;
-  by_s_.clear();
-  by_p_.clear();
-  by_o_.clear();
-  by_sp_.clear();
-  by_po_.clear();
   dict_.Clear();
   id_triples_.clear();
-  ++version_;
+  if (delta_) {
+    std::lock_guard<std::mutex> lock(delta_->mu);
+    delta_->cells.clear();
+  }
+  delta_ops_.store(0, std::memory_order_release);
+  version_.fetch_add(1, std::memory_order_release);
   ++table_stamp_;
   if (listener_.ptr != nullptr) listener_.ptr->OnClear();
+}
+
+size_t Graph::FoldDelta() {
+  if (!delta_ || delta_ops_.load(std::memory_order_acquire) == 0) return 0;
+  std::unordered_map<Triple, DeltaCell, TripleHash> cells;
+  size_t folded;
+  {
+    std::lock_guard<std::mutex> lock(delta_->mu);
+    cells.swap(delta_->cells);
+    folded = delta_ops_.exchange(0, std::memory_order_acq_rel);
+  }
+  // Resolve each cell to its final state. Tombstones only ever target
+  // copies of the same (value-equal) triple, so per-cell resolution is
+  // order-exact even though cross-cell order is not preserved.
+  std::unordered_set<Triple, TripleHash> tombstoned;
+  std::vector<std::pair<const Triple*, size_t>> appends;
+  for (auto& entry : cells) {
+    size_t adds = 0;
+    bool cleared = false;
+    for (const DeltaOp& d : entry.second.ops) {
+      if (d.is_add) {
+        ++adds;
+      } else {
+        adds = 0;
+        cleared = true;
+      }
+    }
+    if (cleared) tombstoned.insert(entry.first);
+    if (adds > 0) appends.emplace_back(&entry.first, adds);
+  }
+  if (!tombstoned.empty()) {
+    for (size_t i = 0; i < triples_.size(); ++i) {
+      if (!dead_[i] && tombstoned.count(triples_[i]) > 0) {
+        dead_[i] = true;
+        ++dead_count_;
+      }
+    }
+  }
+  // Append the net inserts. Counters, version and listeners were all
+  // handled at Apply time — the fold is logically invisible.
+  for (const auto& a : appends) {
+    const Triple& t = *a.first;
+    IdTriple ids{dict_.Intern(t.s), dict_.Intern(t.p), dict_.Intern(t.o)};
+    for (size_t i = 0; i < a.second; ++i) {
+      id_triples_.push_back(ids);
+      triples_.push_back(t);
+      dead_.push_back(false);
+    }
+  }
+  ++table_stamp_;
+  MaybeCompact();
+  return folded;
 }
 
 void Graph::MaybeCompact() {
   if (dead_count_ < 1024 || dead_count_ * 2 < triples_.size()) return;
   std::vector<Triple> live;
-  live.reserve(live_count_);
+  live.reserve(triples_.size() - dead_count_);
   for (size_t i = 0; i < triples_.size(); ++i) {
     if (!dead_[i]) live.push_back(std::move(triples_[i]));
   }
   // Compaction rewrites the table without changing its logical content:
   // the listener must not see the internal Clear+Add churn, and the
-  // version must not drift (it tracks logical mutations only).
+  // version must not drift (it tracks logical mutations only). Rebuilds
+  // through AddBase regardless of write mode — the table rows being
+  // rewritten are base rows by definition.
   GraphListener* listener = listener_.ptr;
   listener_.ptr = nullptr;
-  uint64_t blank_counter = blank_counter_;
-  uint64_t version = version_;
+  uint64_t blank_counter = blank_counter_.load(std::memory_order_relaxed);
+  uint64_t version = version_.load(std::memory_order_relaxed);
+  int64_t live_count = live_count_.load(std::memory_order_relaxed);
   Clear();
-  blank_counter_ = blank_counter;
-  for (Triple& t : live) Add(std::move(t));
-  version_ = version;
+  blank_counter_.store(blank_counter, std::memory_order_relaxed);
+  for (Triple& t : live) AddBase(std::move(t), nullptr);
+  version_.store(version, std::memory_order_release);
+  live_count_.store(live_count, std::memory_order_release);
   listener_.ptr = listener;
 }
 
@@ -147,10 +275,6 @@ namespace {
 bool TermMatches(const Term& pattern, const Term& value) {
   return pattern.IsUndef() || pattern == value;
 }
-
-}  // namespace
-
-namespace {
 
 /// Triple-scan counters, shared by every graph in the process. The per-row
 /// cost is a plain local increment; the sharded atomics are touched twice
@@ -181,47 +305,169 @@ struct RowTally {
   }
 };
 
+const Term& UndefTerm() {
+  static const Term* t = new Term();
+  return *t;
+}
+
 }  // namespace
+
+size_t Graph::BaseMultiplicity(const Triple& t) const {
+  size_t n = 0;
+  ScanBase(t.s, t.p, t.o, [&n](const Triple&) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+bool Graph::SnapshotDelta(uint64_t snapshot, const Term& s, const Term& p,
+                          const Term& o,
+                          std::vector<ResolvedCell>* out) const {
+  if (!delta_ || delta_ops_.load(std::memory_order_acquire) == 0) {
+    return false;
+  }
+  bool any_cleared = false;
+  std::lock_guard<std::mutex> lock(delta_->mu);
+  for (const auto& entry : delta_->cells) {
+    const Triple& t = entry.first;
+    if (!TermMatches(s, t.s) || !TermMatches(p, t.p) || !TermMatches(o, t.o)) {
+      continue;
+    }
+    ResolvedCell rc;
+    rc.t = t;
+    for (const DeltaOp& d : entry.second.ops) {
+      if (d.epoch > snapshot) break;  // ops are in epoch order
+      if (d.is_add) {
+        ++rc.adds;
+      } else {
+        rc.adds = 0;
+        rc.cleared = true;
+      }
+    }
+    if (rc.adds == 0 && !rc.cleared) continue;
+    any_cleared |= rc.cleared;
+    out->push_back(std::move(rc));
+  }
+  return any_cleared;
+}
+
+bool Graph::ScanBase(const Term& s, const Term& p, const Term& o,
+                     const std::function<bool(const Triple&)>& cb) const {
+  const bool have_s = !s.IsUndef();
+  const bool have_p = !p.IsUndef();
+  const bool have_o = !o.IsUndef();
+
+  bool id_ok = have_s || have_p || have_o;
+  uint32_t sid = 0, pid = 0, oid = 0;
+  if (id_ok) {
+    // A dictionary hit pins a constant to one ID — range-exact unless
+    // other interned terms can be value-equal under a different ID
+    // (numeric aliasing, arrays interned by object identity). A miss
+    // proves absence for exact-identity kinds; numerics and arrays may
+    // still value-match a differently represented interned term, so they
+    // fall back to the filtered scan.
+    auto resolve = [&](const Term& t, uint32_t* out_id) -> bool {
+      std::optional<uint32_t> id = dict_.Find(t);
+      if (id.has_value()) {
+        if ((t.IsNumeric() && dict_.has_numeric_alias()) || t.IsArray()) {
+          id_ok = false;
+          return true;
+        }
+        *out_id = *id;
+        return true;
+      }
+      if (t.IsNumeric() || t.IsArray()) {
+        id_ok = false;
+        return true;
+      }
+      return false;  // definitively no base matches
+    };
+    if (have_s && !resolve(s, &sid)) return true;
+    if (have_p && !resolve(p, &pid)) return true;
+    if (have_o && !resolve(o, &oid)) return true;
+  }
+
+  if (id_ok) {
+    Perm perm;
+    std::array<uint32_t, 3> key{};
+    int n_fixed;
+    if (have_s && have_p && have_o) {
+      perm = Perm::kSpo, key = {sid, pid, oid}, n_fixed = 3;
+    } else if (have_s && have_p) {
+      perm = Perm::kSpo, key = {sid, pid, 0}, n_fixed = 2;
+    } else if (have_p && have_o) {
+      perm = Perm::kPos, key = {pid, oid, 0}, n_fixed = 2;
+    } else if (have_s && have_o) {
+      perm = Perm::kOsp, key = {oid, sid, 0}, n_fixed = 2;
+    } else if (have_s) {
+      perm = Perm::kSpo, key = {sid, 0, 0}, n_fixed = 1;
+    } else if (have_p) {
+      perm = Perm::kPos, key = {pid, 0, 0}, n_fixed = 1;
+    } else {
+      perm = Perm::kOsp, key = {oid, 0, 0}, n_fixed = 1;
+    }
+    const IdIndexes& idx = EnsureIdIndexes();
+    std::pair<size_t, size_t> range =
+        PrefixRange(idx.perm(perm), perm, key, n_fixed);
+    const std::vector<uint32_t>& rows = idx.rows(perm);
+    for (size_t i = range.first; i < range.second; ++i) {
+      if (!cb(triples_[rows[i]])) return false;
+    }
+    return true;
+  }
+
+  // Filtered table scan: all-wildcard patterns and constants the
+  // dictionary cannot pin to a single ID.
+  for (size_t i = 0; i < triples_.size(); ++i) {
+    if (dead_[i]) continue;
+    const Triple& t = triples_[i];
+    if (TermMatches(s, t.s) && TermMatches(p, t.p) && TermMatches(o, t.o)) {
+      if (!cb(t)) return false;
+    }
+  }
+  return true;
+}
 
 void Graph::Match(const Term& s, const Term& p, const Term& o,
                   const std::function<bool(const Triple&)>& cb) const {
+  MatchAt(~0ull, s, p, o, cb);
+}
+
+void Graph::MatchAt(uint64_t snapshot, const Term& s, const Term& p,
+                    const Term& o,
+                    const std::function<bool(const Triple&)>& cb) const {
   GraphMetrics().scans.Add();
   RowTally tally{GraphMetrics().rows};
-  // Pick the most selective available index.
-  const IdList* ids = nullptr;
-  static const IdList kEmpty;
-  auto lookup = [&](const auto& index, const auto& key) -> const IdList* {
-    auto it = index.find(key);
-    return it == index.end() ? &kEmpty : &it->second;
-  };
-  if (!s.IsUndef() && !p.IsUndef()) {
-    ids = lookup(by_sp_, PairKey{s, p});
-  } else if (!p.IsUndef() && !o.IsUndef()) {
-    ids = lookup(by_po_, PairKey{p, o});
-  } else if (!s.IsUndef()) {
-    ids = lookup(by_s_, s);
-  } else if (!o.IsUndef()) {
-    ids = lookup(by_o_, o);
-  } else if (!p.IsUndef()) {
-    ids = lookup(by_p_, p);
-  }
 
-  if (ids != nullptr) {
-    for (uint32_t id : *ids) {
-      if (dead_[id]) continue;
-      const Triple& t = triples_[id];
-      if (TermMatches(s, t.s) && TermMatches(p, t.p) && TermMatches(o, t.o)) {
-        ++tally.n;
-        if (!cb(t)) return;
-      }
-    }
+  std::vector<ResolvedCell> cells;
+  const bool any_cleared = SnapshotDelta(snapshot, s, p, o, &cells);
+
+  if (cells.empty()) {
+    ScanBase(s, p, o, [&](const Triple& t) {
+      ++tally.n;
+      return cb(t);
+    });
     return;
   }
-  // Full scan (all three positions are wildcards).
-  for (size_t i = 0; i < triples_.size(); ++i) {
-    if (dead_[i]) continue;
+
+  std::unordered_set<Triple, TripleHash> cleared_set;
+  if (any_cleared) {
+    for (const ResolvedCell& rc : cells) {
+      if (rc.cleared) cleared_set.insert(rc.t);
+    }
+  }
+  bool stopped = !ScanBase(s, p, o, [&](const Triple& t) {
+    if (any_cleared && cleared_set.count(t) > 0) return true;
     ++tally.n;
-    if (!cb(triples_[i])) return;
+    return cb(t);
+  });
+  if (stopped) return;
+  for (const ResolvedCell& rc : cells) {
+    for (size_t i = 0; i < rc.adds; ++i) {
+      ++tally.n;
+      if (!cb(rc.t)) return;
+    }
   }
 }
 
@@ -247,25 +493,91 @@ bool Graph::Contains(const Term& s, const Term& p, const Term& o) const {
 int64_t Graph::EstimateMatches(const std::optional<Term>& s,
                                const std::optional<Term>& p,
                                const std::optional<Term>& o) const {
-  auto bucket = [&](const auto& index, const auto& key) -> int64_t {
-    auto it = index.find(key);
-    return it == index.end() ? 0 : static_cast<int64_t>(it->second.size());
-  };
-  if (s && p) return bucket(by_sp_, PairKey{*s, *p});
-  if (p && o) return bucket(by_po_, PairKey{*p, *o});
-  if (s && o) {
-    // No SO index; take the smaller of the single-term buckets.
-    return std::min(bucket(by_s_, *s), bucket(by_o_, *o));
+  const Term& ts = s ? *s : UndefTerm();
+  const Term& tp = p ? *p : UndefTerm();
+  const Term& to = o ? *o : UndefTerm();
+
+  int64_t base = 0;
+  const bool have_s = s.has_value();
+  const bool have_p = p.has_value();
+  const bool have_o = o.has_value();
+  if (!have_s && !have_p && !have_o) {
+    base = static_cast<int64_t>(triples_.size() - dead_count_);
+  } else {
+    // Resolve constants to IDs; a miss (or an alias-prone kind) estimates
+    // zero for that constant — estimates need not chase value aliases.
+    uint32_t sid = 0, pid = 0, oid = 0;
+    bool resolved = true;
+    auto resolve = [&](const Term& t, uint32_t* out_id) {
+      std::optional<uint32_t> id = dict_.Find(t);
+      if (!id.has_value()) return false;
+      *out_id = *id;
+      return true;
+    };
+    if (have_s && !resolve(ts, &sid)) resolved = false;
+    if (resolved && have_p && !resolve(tp, &pid)) resolved = false;
+    if (resolved && have_o && !resolve(to, &oid)) resolved = false;
+    if (resolved) {
+      Perm perm;
+      std::array<uint32_t, 3> key{};
+      int n_fixed;
+      if (have_s && have_p && have_o) {
+        perm = Perm::kSpo, key = {sid, pid, oid}, n_fixed = 3;
+      } else if (have_s && have_p) {
+        perm = Perm::kSpo, key = {sid, pid, 0}, n_fixed = 2;
+      } else if (have_p && have_o) {
+        perm = Perm::kPos, key = {pid, oid, 0}, n_fixed = 2;
+      } else if (have_s && have_o) {
+        perm = Perm::kOsp, key = {oid, sid, 0}, n_fixed = 2;
+      } else if (have_s) {
+        perm = Perm::kSpo, key = {sid, 0, 0}, n_fixed = 1;
+      } else if (have_p) {
+        perm = Perm::kPos, key = {pid, 0, 0}, n_fixed = 1;
+      } else {
+        perm = Perm::kOsp, key = {oid, 0, 0}, n_fixed = 1;
+      }
+      const IdIndexes& idx = EnsureIdIndexes();
+      std::pair<size_t, size_t> range =
+          PrefixRange(idx.perm(perm), perm, key, n_fixed);
+      base = static_cast<int64_t>(range.second - range.first);
+    }
   }
-  if (s) return bucket(by_s_, *s);
-  if (o) return bucket(by_o_, *o);
-  if (p) return bucket(by_p_, *p);
-  return static_cast<int64_t>(live_count_);
+
+  if (delta_ops_.load(std::memory_order_acquire) > 0) {
+    std::vector<ResolvedCell> cells;
+    SnapshotDelta(~0ull, ts, tp, to, &cells);
+    for (const ResolvedCell& rc : cells) {
+      base += static_cast<int64_t>(rc.adds);
+      if (rc.cleared) base -= static_cast<int64_t>(BaseMultiplicity(rc.t));
+    }
+    if (base < 0) base = 0;
+  }
+  return base;
 }
 
 void Graph::ForEach(const std::function<void(const Triple&)>& cb) const {
+  std::vector<ResolvedCell> cells;
+  const bool any_cleared =
+      SnapshotDelta(~0ull, UndefTerm(), UndefTerm(), UndefTerm(), &cells);
+  if (cells.empty()) {
+    for (size_t i = 0; i < triples_.size(); ++i) {
+      if (!dead_[i]) cb(triples_[i]);
+    }
+    return;
+  }
+  std::unordered_set<Triple, TripleHash> cleared_set;
+  if (any_cleared) {
+    for (const ResolvedCell& rc : cells) {
+      if (rc.cleared) cleared_set.insert(rc.t);
+    }
+  }
   for (size_t i = 0; i < triples_.size(); ++i) {
-    if (!dead_[i]) cb(triples_[i]);
+    if (dead_[i]) continue;
+    if (any_cleared && cleared_set.count(triples_[i]) > 0) continue;
+    cb(triples_[i]);
+  }
+  for (const ResolvedCell& rc : cells) {
+    for (size_t i = 0; i < rc.adds; ++i) cb(rc.t);
   }
 }
 
@@ -278,8 +590,10 @@ void Graph::ForEachId(const std::function<void(const IdTriple&)>& cb) const {
 const IdIndexes& Graph::EnsureIdIndexes() const {
   IdIndexCache* c = id_cache_.get();
   // Fast path: a fresh build is published with release ordering, and the
-  // table cannot change concurrently with readers (mutations run under the
-  // engine's exclusive lock), so an acquire load of the stamp suffices.
+  // base table cannot change concurrently with readers (base-mode
+  // mutations and delta folds run under the engine's exclusive lock;
+  // concurrent-mode writers only touch the delta), so an acquire load of
+  // the stamp suffices.
   if (c->built_stamp.load(std::memory_order_acquire) == table_stamp_) {
     return c->idx;
   }
@@ -300,11 +614,17 @@ const IdIndexes* Graph::PeekIdIndexes() const {
 }
 
 std::string Graph::FreshBlankLabel() {
-  return "b" + std::to_string(++blank_counter_);
+  return "b" +
+         std::to_string(blank_counter_.fetch_add(1, std::memory_order_acq_rel) +
+                        1);
 }
 
 Graph& Dataset::GetOrCreateNamed(const std::string& iri) {
-  return named_[iri];
+  auto it = named_.find(iri);
+  if (it != named_.end()) return it->second;
+  Graph& g = named_[iri];
+  g.SetConcurrentWrites(concurrent_writes_);
+  return g;
 }
 
 const Graph* Dataset::FindNamed(const std::string& iri) const {
@@ -319,6 +639,24 @@ Graph* Dataset::FindNamed(const std::string& iri) {
 
 bool Dataset::DropNamed(const std::string& iri) {
   return named_.erase(iri) > 0;
+}
+
+void Dataset::SetConcurrentWrites(bool on) {
+  concurrent_writes_ = on;
+  default_graph_.SetConcurrentWrites(on);
+  for (auto& entry : named_) entry.second.SetConcurrentWrites(on);
+}
+
+size_t Dataset::PendingDeltaOps() const {
+  size_t n = default_graph_.delta_ops();
+  for (const auto& entry : named_) n += entry.second.delta_ops();
+  return n;
+}
+
+size_t Dataset::FoldDeltas() {
+  size_t n = default_graph_.FoldDelta();
+  for (auto& entry : named_) n += entry.second.FoldDelta();
+  return n;
 }
 
 }  // namespace scisparql

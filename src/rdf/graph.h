@@ -15,27 +15,19 @@
 #include "rdf/dictionary.h"
 #include "rdf/id_index.h"
 #include "rdf/term.h"
+#include "rdf/triple.h"
+#include "rdf/write_batch.h"
 
 namespace scisparql {
-
-/// One (subject, property, value) triple. The paper prefers "value" over
-/// "object" to stress that array values are first-class (footnote 2).
-struct Triple {
-  Term s;
-  Term p;
-  Term o;
-
-  bool operator==(const Triple& other) const {
-    return s == other.s && p == other.p && o == other.o;
-  }
-  std::string ToString() const;
-};
 
 /// Observer of graph mutations. The statistics collector (src/opt/)
 /// registers one per graph so per-predicate counters stay exact without
 /// rescanning the triple table after every update. Notifications fire for
-/// *logical* mutations only: internal housekeeping (tombstone compaction)
-/// is invisible to listeners.
+/// *logical* mutations only: internal housekeeping (delta folding,
+/// tombstone compaction) is invisible to listeners. Under concurrent
+/// writes, callbacks are serialized by the graph's delta mutex but may
+/// arrive from any writer thread — listeners must synchronize their own
+/// state against their readers.
 class GraphListener {
  public:
   virtual ~GraphListener() = default;
@@ -48,10 +40,21 @@ class GraphListener {
   virtual void OnGraphDestroyed() {}
 };
 
-/// In-memory RDF-with-Arrays graph: a triple table with hash indexes on
-/// S, P, O, SP and PO, the access paths the SciSPARQL executor probes
-/// during BGP evaluation (Section 5.4). Index bucket sizes double as the
-/// statistics feeding the cost-based join-order optimizer.
+/// In-memory RDF-with-Arrays graph: a dictionary-encoded triple table with
+/// sorted SPO/POS/OSP permutation indexes (the access paths the SciSPARQL
+/// executor probes during BGP evaluation, Section 5.4) plus an in-memory
+/// differential index for concurrent writers.
+///
+/// Two write modes:
+///  - Base mode (default): Apply mutates the triple table directly. This
+///    is the bulk-load/recovery path and requires external exclusivity.
+///  - Concurrent mode (SetConcurrentWrites(true)): Apply appends into a
+///    small mutex-guarded delta of inserts/tombstones keyed to version()
+///    epochs; the base table and its permutations stay immutable, so any
+///    number of readers can scan while writers commit. Readers merge the
+///    delta on scan with batch-atomic snapshot semantics. FoldDelta —
+///    called by the engine's background compactor under the exclusive
+///    lock — folds the delta into the base table and permutations.
 class Graph {
  public:
   Graph();
@@ -69,26 +72,92 @@ class Graph {
 
   Graph Clone() const;
 
-  /// Inserts a triple (duplicates are allowed to keep loading O(1); Match
-  /// de-duplicates nothing, mirroring RDF multiset semantics of most stores'
-  /// internal tables — callers use DISTINCT at the query level).
-  void Add(Triple t);
+  /// Outcome of applying one WriteBatch: copies inserted and copies
+  /// removed (a RemoveAll of an absent triple removes zero).
+  struct ApplyResult {
+    int64_t added = 0;
+    int64_t removed = 0;
+  };
+
+  /// Applies a batch of mutations atomically with respect to readers: no
+  /// Match/ForEach ever observes a proper prefix of the batch. The only
+  /// mutation entry point — Add/Remove are shims over one-element batches.
+  ///
+  /// `observer`, when non-null, receives the same per-copy OnAdd/OnRemove
+  /// callbacks as the registered listener (the WAL capture hook); it is
+  /// scoped to this call, so concurrent writers can each bring their own
+  /// without racing on SetListener.
+  ApplyResult Apply(WriteBatch&& batch, GraphListener* observer = nullptr);
+
+  /// Deprecated shim: one-element batch insert. Prefer building a
+  /// WriteBatch and calling Apply once per logical statement.
+  void Add(Triple t) {
+    WriteBatch b;
+    b.Add(std::move(t));
+    Apply(std::move(b));
+  }
   void Add(Term s, Term p, Term o) {
     Add(Triple{std::move(s), std::move(p), std::move(o)});
   }
 
-  /// Removes all triples equal to `t`; returns how many were removed.
-  size_t Remove(const Triple& t);
+  /// Deprecated shim: one-element batch removing all triples equal to
+  /// `t`; returns how many were removed.
+  size_t Remove(const Triple& t) {
+    WriteBatch b;
+    b.RemoveAll(t);
+    return static_cast<size_t>(Apply(std::move(b)).removed);
+  }
 
-  /// Number of live triples.
-  size_t size() const { return live_count_; }
-  bool empty() const { return live_count_ == 0; }
+  /// Number of live triples (base plus unfolded delta).
+  size_t size() const {
+    return static_cast<size_t>(live_count_.load(std::memory_order_acquire));
+  }
+  bool empty() const { return size() == 0; }
   void Clear();
 
+  // --- Concurrent write mode & the differential index. ---
+
+  /// Switches between base-mode writes (direct table mutation, requires
+  /// external exclusivity) and concurrent-mode writes (delta admission
+  /// under the graph's internal mutex). Call under exclusivity.
+  void SetConcurrentWrites(bool on) {
+    concurrent_.store(on, std::memory_order_release);
+  }
+  bool concurrent_writes() const {
+    return concurrent_.load(std::memory_order_acquire);
+  }
+
+  /// Number of unfolded delta operations (lock-free approximation for the
+  /// compactor's trigger check).
+  size_t delta_ops() const {
+    return delta_ops_.load(std::memory_order_acquire);
+  }
+  bool HasDelta() const { return delta_ops() > 0; }
+
+  /// Folds the differential index into the base table and permutations.
+  /// Requires external exclusivity (no concurrent readers or writers).
+  /// Logically invisible: fires no listener callbacks and leaves
+  /// version() untouched — readers see the same triples before and after.
+  /// Returns the number of delta operations folded.
+  size_t FoldDelta();
+
+  /// The current epoch: Match results at this snapshot stay frozen even
+  /// as later batches commit. Pass to MatchAt.
+  uint64_t SnapshotEpoch() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
   /// Calls `cb` for every triple matching the pattern; Undef terms act as
-  /// wildcards. Returning false from `cb` stops the scan early.
+  /// wildcards. Returning false from `cb` stops the scan early. The
+  /// Triple reference is valid only for the duration of the callback.
   void Match(const Term& s, const Term& p, const Term& o,
              const std::function<bool(const Triple&)>& cb) const;
+
+  /// Match as of a snapshot epoch: delta batches committed after
+  /// `snapshot` are invisible. (Base-table content is always included —
+  /// the fold only runs once no reader can still hold an older epoch.)
+  void MatchAt(uint64_t snapshot, const Term& s, const Term& p, const Term& o,
+               const std::function<bool(const Triple&)>& cb) const;
 
   std::vector<Triple> MatchAll(const Term& s, const Term& p,
                                const Term& o) const;
@@ -97,13 +166,14 @@ class Graph {
   bool Contains(const Term& s, const Term& p, const Term& o) const;
 
   /// Cardinality estimate for a pattern where each position is either a
-  /// known constant or unknown (nullopt). Used by the optimizer; returns
-  /// exact bucket sizes for indexed combinations.
+  /// known constant or unknown (nullopt). Used by the optimizer; exact
+  /// prefix-range counts for dictionary-resolvable constants, adjusted by
+  /// the unfolded delta.
   int64_t EstimateMatches(const std::optional<Term>& s,
                           const std::optional<Term>& p,
                           const std::optional<Term>& o) const;
 
-  /// Visits every live triple.
+  /// Visits every live triple (base plus delta).
   void ForEach(const std::function<void(const Triple&)>& cb) const;
 
   /// Fresh blank node label unique within this graph ("b1", "b2", ...).
@@ -117,29 +187,36 @@ class Graph {
   void SetListener(GraphListener* listener) { listener_.ptr = listener; }
   GraphListener* listener() const { return listener_.ptr; }
 
-  /// Monotonic logical-mutation counter: bumps on Add/Remove/Clear but not
-  /// on internal compaction. Lets derived structures (histograms) detect
-  /// staleness cheaply.
-  uint64_t version() const { return version_; }
+  /// Monotonic logical-mutation counter: bumps on every applied operation
+  /// but not on internal housekeeping (delta folds, compaction). Doubles
+  /// as the snapshot epoch for the differential index: every operation of
+  /// a batch carries the epoch at which it committed.
+  uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
 
   // --- Dictionary-encoded view (ID space). ---
 
-  /// Term dictionary: every term in the graph is interned at insertion.
+  /// Term dictionary: every base-table term is interned at insertion.
+  /// Unfolded delta triples are not interned until the fold.
   const TermDictionary& dict() const { return dict_; }
 
-  /// The triple table as dictionary IDs, parallel to the Term table
+  /// The base triple table as dictionary IDs, parallel to the Term table
   /// (tombstoned rows included; pair with ForEachId for live rows only).
   const std::vector<IdTriple>& id_table() const { return id_triples_; }
 
-  /// Visits every live triple as dictionary IDs, in ForEach order.
+  /// Visits every live *base* triple as dictionary IDs, in table order.
+  /// Callers that need the unfolded delta too (none in-tree: the ID-join
+  /// path falls back to term scans while a delta is pending, and snapshot
+  /// encoding folds first) must check HasDelta().
   void ForEachId(const std::function<void(const IdTriple&)>& cb) const;
 
-  /// Sorted SPO/POS/OSP permutation indexes over the live ID tuples,
-  /// built lazily and cached until the next table change (including
-  /// compaction, which renumbers IDs). Thread-safe for concurrent readers;
-  /// the returned reference stays valid until the next mutating call,
-  /// which the engine's exclusive write lock already orders after all
-  /// readers.
+  /// Sorted SPO/POS/OSP permutation indexes over the live *base* ID
+  /// tuples, built lazily and cached until the next base-table change
+  /// (including compaction, which renumbers IDs). Thread-safe for
+  /// concurrent readers; concurrent-mode writers never touch the base
+  /// table, so the returned reference stays valid until the next fold or
+  /// base-mode mutation, which run under the engine's exclusive lock.
   const IdIndexes& EnsureIdIndexes() const;
 
   /// The cached permutation indexes if they are already built and fresh,
@@ -148,17 +225,6 @@ class Graph {
   const IdIndexes* PeekIdIndexes() const;
 
  private:
-  using IdList = std::vector<uint32_t>;
-
-  struct PairKey {
-    Term a;
-    Term b;
-    bool operator==(const PairKey& o) const { return a == o.a && b == o.b; }
-  };
-  struct PairKeyHash {
-    size_t operator()(const PairKey& k) const;
-  };
-
   /// Listener pointer that nulls out when moved from, so a moved-from
   /// graph cannot fire callbacks for a listener it no longer owns.
   struct ListenerRef {
@@ -180,29 +246,78 @@ class Graph {
     IdIndexes idx;
   };
 
+  /// One differential-index operation: the epoch (version value) at which
+  /// it committed, and whether it inserts one copy or tombstones all
+  /// copies present at that epoch.
+  struct DeltaOp {
+    uint64_t epoch;
+    bool is_add;
+  };
+
+  /// Per-triple delta cell: the ops touching one (value-equal) triple, in
+  /// commit order.
+  struct DeltaCell {
+    std::vector<DeltaOp> ops;
+  };
+
+  /// The differential index. Keyed by triple value equality — the same
+  /// equality Remove and Match use. Guarded by `mu`; writers hold it for
+  /// the whole batch (batch atomicity), readers only long enough to copy
+  /// the matching cells out.
+  struct DeltaState {
+    mutable std::mutex mu;
+    std::unordered_map<Triple, DeltaCell, TripleHash> cells;
+  };
+
+  /// A delta cell resolved at a snapshot: whether the base copies are
+  /// tombstoned, and how many delta-inserted copies are live.
+  struct ResolvedCell {
+    Triple t;
+    size_t adds = 0;
+    bool cleared = false;
+  };
+
+  void AddBase(Triple t, GraphListener* observer);
+  size_t RemoveBase(const Triple& t, GraphListener* observer);
+  ApplyResult ApplyBase(WriteBatch&& batch, GraphListener* observer);
+  ApplyResult ApplyDelta(WriteBatch&& batch, GraphListener* observer);
+
+  /// Copies of `t` (value equality) live in the base table.
+  size_t BaseMultiplicity(const Triple& t) const;
+
+  /// Resolves every delta cell matching the pattern at `snapshot` into
+  /// `out`; returns true if any matched cell tombstones base copies.
+  bool SnapshotDelta(uint64_t snapshot, const Term& s, const Term& p,
+                     const Term& o, std::vector<ResolvedCell>* out) const;
+
+  /// Scans base-table triples matching the pattern (permutation prefix
+  /// range when the constants resolve in the dictionary, filtered table
+  /// scan otherwise). Returns false if the callback stopped the scan.
+  bool ScanBase(const Term& s, const Term& p, const Term& o,
+                const std::function<bool(const Triple&)>& cb) const;
+
   void MaybeCompact();
 
   std::vector<Triple> triples_;
   std::vector<bool> dead_;
-  size_t live_count_ = 0;
+  std::atomic<int64_t> live_count_{0};
   size_t dead_count_ = 0;
-  uint64_t blank_counter_ = 0;
-  uint64_t version_ = 0;
+  std::atomic<uint64_t> blank_counter_{0};
+  std::atomic<uint64_t> version_{0};
   ListenerRef listener_;
-
-  std::unordered_map<Term, IdList, TermHash> by_s_;
-  std::unordered_map<Term, IdList, TermHash> by_p_;
-  std::unordered_map<Term, IdList, TermHash> by_o_;
-  std::unordered_map<PairKey, IdList, PairKeyHash> by_sp_;
-  std::unordered_map<PairKey, IdList, PairKeyHash> by_po_;
 
   TermDictionary dict_;
   std::vector<IdTriple> id_triples_;  // parallel to triples_/dead_
-  /// Bumps on *every* table rewrite — logical mutations and compaction
-  /// alike (compaction renumbers dictionary IDs even though version()
-  /// stands still), so the ID-index cache can detect staleness.
+  /// Bumps on *every* base-table rewrite — base-mode mutations, delta
+  /// folds and compaction alike (the latter two renumber dictionary IDs
+  /// even though version() stands still), so the ID-index cache can
+  /// detect staleness.
   uint64_t table_stamp_ = 0;
   std::unique_ptr<IdIndexCache> id_cache_;
+
+  std::atomic<bool> concurrent_{false};
+  std::atomic<size_t> delta_ops_{0};
+  std::unique_ptr<DeltaState> delta_;
 };
 
 /// An RDF dataset: one default graph plus named graphs, addressed by the
@@ -212,7 +327,9 @@ class Dataset {
   Graph& default_graph() { return default_graph_; }
   const Graph& default_graph() const { return default_graph_; }
 
-  /// Returns the named graph, creating it when absent.
+  /// Returns the named graph, creating it when absent. Creation mutates
+  /// the graph map: under concurrent writers it must run exclusively (the
+  /// scheduler escalates statements that need it).
   Graph& GetOrCreateNamed(const std::string& iri);
   /// Returns the named graph or nullptr.
   const Graph* FindNamed(const std::string& iri) const;
@@ -223,10 +340,24 @@ class Dataset {
   const std::map<std::string, Graph>& named_graphs() const {
     return named_;
   }
+  std::map<std::string, Graph>& named_graphs() { return named_; }
+
+  /// Propagates the write mode to the default graph and every named
+  /// graph, present and future.
+  void SetConcurrentWrites(bool on);
+  bool concurrent_writes() const { return concurrent_writes_; }
+
+  /// Total unfolded delta ops across all graphs (compactor trigger).
+  size_t PendingDeltaOps() const;
+
+  /// Folds every graph's differential index; requires exclusivity.
+  /// Returns total ops folded.
+  size_t FoldDeltas();
 
  private:
   Graph default_graph_;
   std::map<std::string, Graph> named_;
+  bool concurrent_writes_ = false;
 };
 
 }  // namespace scisparql

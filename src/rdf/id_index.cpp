@@ -47,30 +47,28 @@ void CountPrefixes(const std::vector<IdTriple>& sorted, Perm perm,
 
 void BuildIdIndexes(const std::vector<IdTriple>& table,
                     const std::vector<bool>& dead, IdIndexes* out) {
-  out->spo.clear();
-  size_t live = 0;
-  for (size_t i = 0; i < table.size(); ++i) {
-    if (i >= dead.size() || !dead[i]) ++live;
-  }
-  out->spo.reserve(live);
+  std::vector<uint32_t> live_rows;
+  live_rows.reserve(table.size());
   for (size_t i = 0; i < table.size(); ++i) {
     if (i < dead.size() && dead[i]) continue;
-    out->spo.push_back(table[i]);
+    live_rows.push_back(static_cast<uint32_t>(i));
   }
-  out->pos = out->spo;
-  out->osp = out->spo;
-  std::sort(out->spo.begin(), out->spo.end(),
-            [](const IdTriple& a, const IdTriple& b) {
-              return PermLess(Perm::kSpo, a, b);
-            });
-  std::sort(out->pos.begin(), out->pos.end(),
-            [](const IdTriple& a, const IdTriple& b) {
-              return PermLess(Perm::kPos, a, b);
-            });
-  std::sort(out->osp.begin(), out->osp.end(),
-            [](const IdTriple& a, const IdTriple& b) {
-              return PermLess(Perm::kOsp, a, b);
-            });
+  auto build_one = [&](Perm perm, std::vector<IdTriple>* sorted,
+                       std::vector<uint32_t>* rows) {
+    *rows = live_rows;
+    // Stable, so duplicate keys keep table order and scans are
+    // deterministic across rebuilds.
+    std::stable_sort(rows->begin(), rows->end(),
+                     [&](uint32_t a, uint32_t b) {
+                       return PermLess(perm, table[a], table[b]);
+                     });
+    sorted->clear();
+    sorted->reserve(rows->size());
+    for (uint32_t r : *rows) sorted->push_back(table[r]);
+  };
+  build_one(Perm::kSpo, &out->spo, &out->spo_rows);
+  build_one(Perm::kPos, &out->pos, &out->pos_rows);
+  build_one(Perm::kOsp, &out->osp, &out->osp_rows);
   CountPrefixes(out->spo, Perm::kSpo, &out->distinct_s, &out->distinct_sp);
   CountPrefixes(out->pos, Perm::kPos, &out->distinct_p, &out->distinct_po);
   CountPrefixes(out->osp, Perm::kOsp, &out->distinct_o, &out->distinct_os);

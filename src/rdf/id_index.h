@@ -55,6 +55,14 @@ struct IdIndexes {
   std::vector<IdTriple> pos;
   std::vector<IdTriple> osp;
 
+  /// Row index (into the graph's triple table) of each permutation entry,
+  /// parallel to spo/pos/osp. Lets a prefix-range scan hand back the
+  /// original string-bearing Triple without materializing terms from the
+  /// dictionary.
+  std::vector<uint32_t> spo_rows;
+  std::vector<uint32_t> pos_rows;
+  std::vector<uint32_t> osp_rows;
+
   /// Fully aggregated: distinct values per single position.
   size_t distinct_s = 0;
   size_t distinct_p = 0;
@@ -72,6 +80,17 @@ struct IdIndexes {
         return pos;
       default:
         return osp;
+    }
+  }
+
+  const std::vector<uint32_t>& rows(Perm p) const {
+    switch (p) {
+      case Perm::kSpo:
+        return spo_rows;
+      case Perm::kPos:
+        return pos_rows;
+      default:
+        return osp_rows;
     }
   }
 };

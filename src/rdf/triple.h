@@ -1,0 +1,32 @@
+#ifndef SCISPARQL_RDF_TRIPLE_H_
+#define SCISPARQL_RDF_TRIPLE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "rdf/term.h"
+
+namespace scisparql {
+
+/// One (subject, property, value) triple. The paper prefers "value" over
+/// "object" to stress that array values are first-class (footnote 2).
+struct Triple {
+  Term s;
+  Term p;
+  Term o;
+
+  bool operator==(const Triple& other) const {
+    return s == other.s && p == other.p && o == other.o;
+  }
+  std::string ToString() const;
+};
+
+/// Value-equality hash for Triple, consistent with Triple::operator==
+/// (which compares Terms by SPARQL value equality, e.g. 2 == 2.0).
+struct TripleHash {
+  size_t operator()(const Triple& t) const;
+};
+
+}  // namespace scisparql
+
+#endif  // SCISPARQL_RDF_TRIPLE_H_

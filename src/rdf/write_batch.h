@@ -1,0 +1,55 @@
+#ifndef SCISPARQL_RDF_WRITE_BATCH_H_
+#define SCISPARQL_RDF_WRITE_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "rdf/triple.h"
+
+namespace scisparql {
+
+/// An ordered list of mutations applied to one Graph as a unit via
+/// Graph::Apply — the only mutation entry point. Readers never observe a
+/// prefix of a batch: either none of its operations are visible or all of
+/// them are. Operation order within the batch is preserved (a RemoveAll
+/// followed by an Add of the same triple nets one copy), which is what
+/// DELETE/INSERT WHERE compiles to.
+class WriteBatch {
+ public:
+  enum class OpKind : uint8_t {
+    kAdd,        ///< insert one copy of the triple
+    kRemoveAll,  ///< remove every copy equal to the triple
+  };
+
+  struct Op {
+    OpKind kind;
+    Triple t;
+  };
+
+  void Add(Triple t) { ops_.push_back(Op{OpKind::kAdd, std::move(t)}); }
+  void Add(Term s, Term p, Term o) {
+    Add(Triple{std::move(s), std::move(p), std::move(o)});
+  }
+  void RemoveAll(Triple t) {
+    ops_.push_back(Op{OpKind::kRemoveAll, std::move(t)});
+  }
+
+  bool empty() const { return ops_.empty(); }
+  size_t size() const { return ops_.size(); }
+  void clear() { ops_.clear(); }
+  void reserve(size_t n) { ops_.reserve(n); }
+
+  const std::vector<Op>& ops() const { return ops_; }
+
+  /// Moves the ops out (Graph::Apply consumes the batch).
+  std::vector<Op> Release() { return std::move(ops_); }
+
+ private:
+  std::vector<Op> ops_;
+};
+
+}  // namespace scisparql
+
+#endif  // SCISPARQL_RDF_WRITE_BATCH_H_

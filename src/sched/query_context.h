@@ -13,8 +13,13 @@ namespace sched {
 /// Concurrency class of a statement, decided before execution so the
 /// scheduler can pick the right engine lock: read statements (SELECT, ASK,
 /// CONSTRUCT, DESCRIBE) run in parallel under a shared lock; write
-/// statements (updates, LOAD, CLEAR, DEFINE FUNCTION) take it exclusively.
-enum class StatementClass { kRead, kWrite };
+/// statements (INSERT/DELETE data and pattern updates) also run under the
+/// shared lock — they append into per-graph differential indexes and
+/// group-commit their WAL batches, so several writers make progress
+/// concurrently; exclusive statements (LOAD, CLEAR, DEFINE FUNCTION,
+/// PREPARE, CHECKPOINT, anything unrecognized) mutate engine or dataset
+/// structure and take the lock exclusively.
+enum class StatementClass { kRead, kWrite, kExclusive };
 
 /// Per-query execution context threaded from the scheduler (or any direct
 /// caller) through ExecOptions into the executor's hot loops: a wall-clock
@@ -35,6 +40,16 @@ struct QueryContext {
   /// Shared so a connection handler can flip it after the query was handed
   /// to a worker. Null means not cancellable.
   std::shared_ptr<std::atomic<bool>> cancel;
+
+  /// True when the statement runs with the engine held exclusively (no
+  /// concurrent readers or writers). Direct callers own the engine, so the
+  /// default is true; the scheduler clears it for write-class statements
+  /// admitted under the shared lock, and the engine answers with the
+  /// FailedPrecondition retry sentinel (SSDM::NeedsExclusiveRetry) when
+  /// such a statement turns out to need exclusivity after parsing — e.g.
+  /// it would create a named graph — so the scheduler re-runs it under
+  /// the exclusive lock.
+  bool exclusive = true;
 
   static QueryContext WithTimeout(std::chrono::milliseconds timeout) {
     QueryContext ctx;

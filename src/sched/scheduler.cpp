@@ -20,6 +20,8 @@ struct SchedMetrics {
   obs::Counter& failed;
   obs::Counter& timed_out;
   obs::Counter& cancelled;
+  obs::Counter& escalated;
+  obs::Counter& compactions;
   obs::Gauge& queue_depth;
   obs::Histogram& wait_micros;
   obs::Histogram& read_micros;
@@ -42,6 +44,12 @@ SchedMetrics& Metrics() {
                      "Scheduled statements that exceeded their deadline."),
       reg.GetCounter("ssdm_sched_cancelled_total", "",
                      "Scheduled statements cancelled by their owner."),
+      reg.GetCounter("ssdm_sched_escalated_total", "",
+                     "Shared-lock write statements re-run under the "
+                     "exclusive lock."),
+      reg.GetCounter("ssdm_sched_compactions_total", "",
+                     "Background folds of differential indexes into the "
+                     "base indexes."),
       reg.GetGauge("ssdm_sched_queue_depth", "",
                    "Tasks waiting in the admission queue right now."),
       reg.GetHistogram("ssdm_sched_wait_micros", "",
@@ -65,6 +73,7 @@ std::string SchedulerStats::ToString() const {
       << " completed=" << completed << " failed=" << failed
       << " timed_out=" << timed_out << " cancelled=" << cancelled
       << " reads=" << reads << " writes=" << writes
+      << " escalated=" << escalated << " compactions=" << compactions
       << " cache_fast_path=" << cache_fast_path
       << " read_micros=" << read_micros << " write_micros=" << write_micros
       << " queue_depth=" << queue_depth
@@ -79,10 +88,14 @@ QueryScheduler::QueryScheduler(SSDM* engine, SchedulerOptions options)
         return options;
       }()) {
   running_ = true;
+  // While the scheduler is attached, updates go through the differential
+  // write path so the workers can run them under the shared lock.
+  engine_->BeginConcurrentWrites();
   workers_.reserve(static_cast<size_t>(options_.workers));
   for (int i = 0; i < options_.workers; ++i) {
     workers_.emplace_back([this]() { WorkerLoop(); });
   }
+  compactor_ = std::thread([this]() { CompactorLoop(); });
 }
 
 QueryScheduler::~QueryScheduler() { Stop(); }
@@ -96,10 +109,16 @@ void QueryScheduler::Stop() {
     orphaned.swap(queue_);
   }
   cv_.notify_all();
+  compact_cv_.notify_all();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
   workers_.clear();
+  if (compactor_.joinable()) compactor_.join();
+  // Workers and compactor are gone, so the engine is held exclusively by
+  // this thread in effect; the final release folds remaining deltas and
+  // returns the graphs to base mode.
+  engine_->EndConcurrentWrites();
   for (Task& t : orphaned) {
     if (t.done) t.done(Status::Unavailable("scheduler stopped"));
   }
@@ -159,7 +178,7 @@ Status QueryScheduler::SubmitTask(QueryRequest req, QueryContext ctx,
   // don't occupy queue slots (reads keep flowing under the shared lock).
   // The engine re-checks at execution for writes already queued when the
   // flip happened.
-  if (task.cls == StatementClass::kWrite && engine_->rejects_writes()) {
+  if (task.cls != StatementClass::kRead && engine_->rejects_writes()) {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.rejected;
     Metrics().rejected.Add();
@@ -196,36 +215,6 @@ Result<QueryOutcome> QueryScheduler::Execute(QueryRequest req) {
   Status admitted = Submit(std::move(req), [promise](Result<QueryOutcome> r) {
     promise->set_value(std::move(r));
   });
-  if (!admitted.ok()) return admitted;
-  return future.get();
-}
-
-Status QueryScheduler::Submit(std::string statement, QueryContext ctx,
-                              Callback done) {
-  QueryRequest req;
-  req.text = std::move(statement);
-  OutcomeCallback adapter;
-  if (done) {
-    adapter = [done = std::move(done)](Result<QueryOutcome> r) {
-      if (!r.ok()) {
-        done(r.status());
-        return;
-      }
-      done(SSDM::ToExecResult(std::move(*r)));
-    };
-  }
-  return SubmitTask(std::move(req), std::move(ctx), std::move(adapter));
-}
-
-Result<SSDM::ExecResult> QueryScheduler::Execute(const std::string& statement,
-                                                 QueryContext ctx) {
-  auto promise = std::make_shared<std::promise<Result<SSDM::ExecResult>>>();
-  std::future<Result<SSDM::ExecResult>> future = promise->get_future();
-  Status admitted =
-      Submit(statement, std::move(ctx),
-             [promise](Result<SSDM::ExecResult> r) {
-               promise->set_value(std::move(r));
-             });
   if (!admitted.ok()) return admitted;
   return future.get();
 }
@@ -271,8 +260,47 @@ Result<QueryOutcome> QueryScheduler::RunTask(const Task& task) {
     std::shared_lock<std::shared_mutex> lock(engine_mu_);
     return engine_->Execute(task.req, &task.ctx);
   }
+  if (task.cls == StatementClass::kWrite) {
+    // Differential write path: run under the shared lock with the
+    // exclusivity bit cleared; the engine appends into per-graph deltas
+    // and group-commits the WAL batch alongside concurrent writers.
+    {
+      std::shared_lock<std::shared_mutex> lock(engine_mu_);
+      QueryContext shared_ctx = task.ctx;
+      shared_ctx.exclusive = false;
+      Result<QueryOutcome> r = engine_->Execute(task.req, &shared_ctx);
+      if (r.ok() || !SSDM::NeedsExclusiveRetry(r.status())) return r;
+    }
+    // The statement needs engine exclusivity after all (e.g. it creates a
+    // named graph): fall through and re-run under the exclusive lock.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.escalated;
+    }
+    Metrics().escalated.Add();
+  }
   std::unique_lock<std::shared_mutex> lock(engine_mu_);
   return engine_->Execute(task.req, &task.ctx);
+}
+
+void QueryScheduler::CompactorLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (running_) {
+    compact_cv_.wait_for(lock, options_.compact_interval);
+    if (!running_) break;
+    if (engine_->PendingDeltaOps() < options_.compact_threshold) continue;
+    lock.unlock();
+    size_t folded = 0;
+    {
+      std::unique_lock<std::shared_mutex> engine_lock(engine_mu_);
+      folded = engine_->FoldDeltas();
+    }
+    lock.lock();
+    if (folded > 0) {
+      ++stats_.compactions;
+      Metrics().compactions.Add();
+    }
+  }
 }
 
 void QueryScheduler::FinishTask(const Task& task, const Status& status,

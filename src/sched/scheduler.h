@@ -31,6 +31,15 @@ struct SchedulerOptions {
 
   /// Deadline applied to queries submitted without one; zero = none.
   std::chrono::milliseconds default_timeout{0};
+
+  /// How often the background compactor wakes to check the differential
+  /// indexes.
+  std::chrono::milliseconds compact_interval{10};
+
+  /// Pending delta operations (across all graphs) above which the
+  /// compactor takes the exclusive lock and folds them into the base
+  /// indexes.
+  size_t compact_threshold = 512;
 };
 
 /// Scheduler counters, exposed through the STATS protocol verb and the
@@ -44,7 +53,11 @@ struct SchedulerStats {
   uint64_t timed_out = 0;   ///< Ended with DeadlineExceeded (incl. in queue).
   uint64_t cancelled = 0;   ///< Ended with Cancelled.
   uint64_t reads = 0;       ///< Statements run under the shared lock.
-  uint64_t writes = 0;      ///< Statements run under the exclusive lock.
+  uint64_t writes = 0;      ///< Write/exclusive-class statements run.
+  uint64_t escalated = 0;   ///< Shared-lock writes re-run exclusively
+                            ///< (needed to create a named graph etc.).
+  uint64_t compactions = 0;  ///< Background delta folds into the base
+                             ///< indexes.
   uint64_t cache_fast_path = 0;  ///< Reads served from the result cache at
                                  ///< Submit, skipping the admission queue.
   uint64_t read_micros = 0;   ///< Sum of read execution latencies (us).
@@ -57,16 +70,25 @@ struct SchedulerStats {
 };
 
 /// Concurrent query scheduler for an SSDM engine: a fixed-size worker pool
-/// fed by a bounded admission queue, with a reader-writer concurrency
-/// model over the engine (parallel SELECTs, exclusive updates), per-query
-/// deadlines and cooperative cancellation.
+/// fed by a bounded admission queue, a three-class concurrency model over
+/// the engine, per-query deadlines and cooperative cancellation.
+///
+/// Reads run in parallel under the shared lock. Write-class statements
+/// (INSERT/DELETE updates) ALSO run under the shared lock: while the
+/// scheduler is attached the engine is in concurrent-write mode, so
+/// updates append into per-graph differential indexes and group-commit
+/// their WAL batches — several writers make progress per fsync. A write
+/// that turns out to need engine exclusivity (it would create a named
+/// graph) is re-run under the exclusive lock (SchedulerStats::escalated).
+/// Exclusive-class statements (LOAD, CLEAR, DEFINE, PREPARE, CHECKPOINT)
+/// take the lock exclusively. A background compactor folds accumulated
+/// deltas into the base indexes under brief exclusive sections.
 ///
 /// All statement execution routed through the scheduler is serialized
 /// against the engine correctly; callers must not mutate the engine
 /// directly while the scheduler is running.
 class QueryScheduler {
  public:
-  using Callback = std::function<void(Result<SSDM::ExecResult>)>;
   using OutcomeCallback = std::function<void(Result<QueryOutcome>)>;
 
   /// `engine` must outlive the scheduler. The worker pool starts
@@ -100,13 +122,6 @@ class QueryScheduler {
   /// Synchronous convenience: Submit + wait.
   Result<QueryOutcome> Execute(QueryRequest req);
 
-  /// Deprecated string-based admission; wraps Submit(QueryRequest).
-  Status Submit(std::string statement, QueryContext ctx, Callback done);
-
-  /// Deprecated synchronous convenience over the legacy result shape.
-  Result<SSDM::ExecResult> Execute(const std::string& statement,
-                                   QueryContext ctx = QueryContext());
-
   /// Runs `fn` on the caller's thread holding the engine lock exclusively,
   /// bypassing admission and classification. This is the hook for internal
   /// engine maintenance that is not a client statement — a replication
@@ -130,6 +145,7 @@ class QueryScheduler {
 
   Status SubmitTask(QueryRequest req, QueryContext ctx, OutcomeCallback done);
   void WorkerLoop();
+  void CompactorLoop();
   Result<QueryOutcome> RunTask(const Task& task);
   void FinishTask(const Task& task, const Status& status,
                   std::chrono::microseconds elapsed);
@@ -137,16 +153,18 @@ class QueryScheduler {
   SSDM* engine_;
   const SchedulerOptions options_;
 
-  /// Reader-writer gate over the engine: shared for kRead, exclusive for
-  /// kWrite.
+  /// Gate over the engine: shared for kRead and kWrite (delta admission),
+  /// exclusive for kExclusive, escalated writes and compaction.
   std::shared_mutex engine_mu_;
 
   mutable std::mutex mu_;  // guards queue_, stats_, running_
   std::condition_variable cv_;
+  std::condition_variable compact_cv_;
   std::deque<Task> queue_;
   bool running_ = false;
   SchedulerStats stats_;
   std::vector<std::thread> workers_;
+  std::thread compactor_;
 };
 
 }  // namespace sched

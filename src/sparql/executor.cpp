@@ -966,6 +966,10 @@ class ExecImpl {
       const OrderedBgp& ordered, const std::vector<const TriplePattern*>& bgp,
       const std::vector<const ast::Expr*>& filters, State& st, const Cont& k) {
     if (!options_.use_id_joins || st.graph == nullptr) return std::nullopt;
+    // The ID permutations cover only the folded base table; a graph with
+    // unfolded delta operations would give the join a stale view, so fall
+    // back to (delta-aware) scan-and-bind until the compactor catches up.
+    if (st.graph->HasDelta()) return std::nullopt;
     if (ordered.patterns.size() < 2) return std::nullopt;
     for (const TriplePattern* tp : ordered.patterns) {
       if (tp->path != nullptr) return std::nullopt;
@@ -1936,50 +1940,74 @@ class ExecImpl {
     GraphListener* prev_;
   };
 
+  /// Forwards Graph::Apply's per-copy callbacks to a MutationSink with the
+  /// graph IRI attached — the batch path's WAL capture. Unlike
+  /// CaptureListener it swaps no graph state, so several writers can apply
+  /// batches to the same graph concurrently, each with its own observer.
+  class SinkObserver : public GraphListener {
+   public:
+    SinkObserver(std::string graph_iri, MutationSink* sink)
+        : graph_iri_(std::move(graph_iri)), sink_(sink) {}
+    void OnAdd(const Triple& t) override { sink_->OnAdd(graph_iri_, t); }
+    void OnRemove(const Triple& t) override {
+      sink_->OnRemove(graph_iri_, t);
+    }
+    void OnClear() override {}
+    void OnGraphDestroyed() override {}
+
+   private:
+    std::string graph_iri_;
+    MutationSink* sink_;
+  };
+
   /// Returns the number of triples touched: net size change for data
   /// blocks and LOAD, staged delete+insert volume for pattern updates,
   /// triples dropped for CLEAR.
+  ///
+  /// The data and pattern forms (INSERT DATA, DELETE DATA, DELETE WHERE,
+  /// DELETE/INSERT) stage their mutations into one WriteBatch and commit
+  /// it with a single Graph::Apply — atomic to concurrent readers and safe
+  /// under the scheduler's shared lock. LOAD and CLEAR mutate graph and
+  /// dataset structure directly; the scheduler classifies them exclusive.
   Result<int64_t> Update(const ast::UpdateOp& op) {
     using K = ast::UpdateOp::Kind;
     Graph* target = op.graph.empty() ? &dataset_->default_graph()
                                      : &dataset_->GetOrCreateNamed(op.graph);
-    // CLEAR logs as one logical record (the per-triple stream would be
-    // both huge and redundant); everything else captures triple-by-triple
-    // through the graph's listener chain.
-    std::optional<CaptureListener> capture;
-    if (options_.mutations != nullptr) {
-      if (op.kind == K::kClear) {
-        if (op.clear_all) {
-          options_.mutations->OnClearAll();
-        } else {
-          options_.mutations->OnClear(op.graph);
-        }
-      } else {
-        capture.emplace(target, op.graph, options_.mutations);
-      }
+    std::optional<SinkObserver> observe;
+    if (options_.mutations != nullptr && op.kind != K::kClear &&
+        op.kind != K::kLoad) {
+      observe.emplace(op.graph, options_.mutations);
     }
+    GraphListener* observer = observe ? &*observe : nullptr;
     switch (op.kind) {
       case K::kInsertData: {
-        int64_t before = static_cast<int64_t>(target->size());
+        // Instantiate into a staging graph — blank labels still drawn from
+        // the target so they stay unique there — consolidate numeric
+        // collections exactly as Turtle loading does, then commit the
+        // staged content as one batch.
+        Graph staging;
         Binding empty;
-        SCISPARQL_RETURN_NOT_OK(
-            InstantiateInto(op.insert_template, empty, target, true));
-        // Numeric collections written in the data block consolidate into
-        // array values, exactly as they do at Turtle load time.
+        SCISPARQL_RETURN_NOT_OK(InstantiateInto(op.insert_template, empty,
+                                                &staging, true, target));
         SCISPARQL_ASSIGN_OR_RETURN(int n,
-                                   loaders::ConsolidateCollections(target));
+                                   loaders::ConsolidateCollections(&staging));
         (void)n;
-        return static_cast<int64_t>(target->size()) - before;
+        WriteBatch batch;
+        batch.reserve(staging.size());
+        staging.ForEach([&batch](const Triple& t) { batch.Add(t); });
+        Graph::ApplyResult r = target->Apply(std::move(batch), observer);
+        return r.added - r.removed;
       }
       case K::kDeleteData: {
-        int64_t before = static_cast<int64_t>(target->size());
+        WriteBatch batch;
+        batch.reserve(op.delete_template.size());
         for (const TriplePattern& tp : op.delete_template) {
           if (tp.s.is_var || tp.p.is_var || tp.o.is_var) {
             return Status::InvalidArgument("DELETE DATA must be ground");
           }
-          target->Remove(Triple{tp.s.term, tp.p.term, tp.o.term});
+          batch.RemoveAll(Triple{tp.s.term, tp.p.term, tp.o.term});
         }
-        return before - static_cast<int64_t>(target->size());
+        return target->Apply(std::move(batch), observer).removed;
       }
       case K::kDeleteWhere:
       case K::kModify: {
@@ -1988,8 +2016,9 @@ class ExecImpl {
         probe.select_all = true;
         SCISPARQL_ASSIGN_OR_RETURN(std::vector<Binding> solutions,
                                    CollectSolutions(probe, Binding()));
-        // Stage deletions and insertions, then apply (so an update never
-        // observes its own effects, per SPARQL Update semantics).
+        // Stage deletions and insertions, then apply as one batch (so an
+        // update never observes its own effects, per SPARQL Update
+        // semantics, and readers see either none or all of it).
         std::vector<Triple> to_delete;
         std::vector<Triple> to_insert;
         for (const Binding& sol : solutions) {
@@ -1998,11 +2027,23 @@ class ExecImpl {
           SCISPARQL_RETURN_NOT_OK(
               StageTemplate(op.insert_template, sol, &to_insert));
         }
-        for (const Triple& t : to_delete) target->Remove(t);
-        for (const Triple& t : to_insert) target->Add(t);
-        return static_cast<int64_t>(to_delete.size() + to_insert.size());
+        WriteBatch batch;
+        batch.reserve(to_delete.size() + to_insert.size());
+        for (Triple& t : to_delete) batch.RemoveAll(std::move(t));
+        for (Triple& t : to_insert) batch.Add(std::move(t));
+        int64_t staged =
+            static_cast<int64_t>(to_delete.size() + to_insert.size());
+        target->Apply(std::move(batch), observer);
+        return staged;
       }
       case K::kLoad: {
+        // Exclusive-class: the loader mutates the target through many
+        // small applies, so the listener-swap capture that also sees the
+        // loader's indirect mutations is still the right hook here.
+        std::optional<CaptureListener> capture;
+        if (options_.mutations != nullptr) {
+          capture.emplace(target, op.graph, options_.mutations);
+        }
         int64_t before = static_cast<int64_t>(target->size());
         loaders::TurtleOptions topt;
         SCISPARQL_RETURN_NOT_OK(
@@ -2010,6 +2051,15 @@ class ExecImpl {
         return static_cast<int64_t>(target->size()) - before;
       }
       case K::kClear: {
+        // CLEAR logs as one logical record (the per-triple stream would be
+        // both huge and redundant).
+        if (options_.mutations != nullptr) {
+          if (op.clear_all) {
+            options_.mutations->OnClearAll();
+          } else {
+            options_.mutations->OnClear(op.graph);
+          }
+        }
         if (op.clear_all) {
           int64_t dropped =
               static_cast<int64_t>(dataset_->default_graph().size());
@@ -2045,8 +2095,14 @@ class ExecImpl {
     return Status::OK();
   }
 
+  /// Instantiates a template into `target`. Fresh blank labels are drawn
+  /// from `blank_namer` when given (the batch update path instantiates
+  /// into a staging graph but needs labels unique in the real target);
+  /// FreshBlankLabel is atomic, so this is safe under the shared lock.
   Status InstantiateInto(const std::vector<TriplePattern>& tmpl,
-                         const Binding& sol, Graph* target, bool fresh_blanks) {
+                         const Binding& sol, Graph* target, bool fresh_blanks,
+                         Graph* blank_namer = nullptr) {
+    Graph* namer = blank_namer != nullptr ? blank_namer : target;
     std::map<std::string, Term> blank_map;
     for (const TriplePattern& tp : tmpl) {
       auto instantiate = [&](const VarOrTerm& vt) -> Result<Term> {
@@ -2059,7 +2115,7 @@ class ExecImpl {
             if (it == blank_map.end()) {
               it = blank_map
                        .emplace(vt.var,
-                                Term::Blank(target->FreshBlankLabel()))
+                                Term::Blank(namer->FreshBlankLabel()))
                        .first;
             }
             return it->second;
@@ -2075,7 +2131,7 @@ class ExecImpl {
           if (it == blank_map.end()) {
             it = blank_map
                      .emplace(vt.term.blank_label(),
-                              Term::Blank(target->FreshBlankLabel()))
+                              Term::Blank(namer->FreshBlankLabel()))
                      .first;
           }
           return it->second;

@@ -241,13 +241,14 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Create(Vfs* vfs, std::string dir,
       new WalWriter(vfs, std::move(dir), next_lsn));
 }
 
-Status WalWriter::EnsureSegment() {
+Status WalWriter::EnsureSegmentLocked() {
   if (file_ != nullptr) return Status::OK();
-  std::string path = dir_ + "/" + WalSegmentFileName(next_lsn_);
+  uint64_t first_lsn = next_lsn_.load(std::memory_order_relaxed);
+  std::string path = dir_ + "/" + WalSegmentFileName(first_lsn);
   SCISPARQL_ASSIGN_OR_RETURN(file_, vfs_->Open(path, Vfs::OpenMode::kTruncate));
   std::string header(kSegmentMagic, 4);
   rdf::PutU32(&header, kSegmentFormat);
-  rdf::PutU64(&header, next_lsn_);
+  rdf::PutU64(&header, first_lsn);
   Status st = file_->WriteAt(0, header.data(), header.size());
   if (!st.ok()) {
     file_.reset();
@@ -257,14 +258,30 @@ Status WalWriter::EnsureSegment() {
   return Status::OK();
 }
 
-Status WalWriter::AppendBatch(std::vector<WalRecord>& records) {
-  SCISPARQL_RETURN_NOT_OK(EnsureSegment());
-  // Assign LSNs, then frame everything — records plus the commit marker —
-  // into one blob so the batch hits the device with one write + one fsync.
+Status WalWriter::AppendBatch(std::vector<WalRecord>& records,
+                              uint64_t* commit_lsn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!sticky_error_.ok()) return sticky_error_;
+
+  // The segment file is named by the first LSN it contains, so it must be
+  // created before this batch advances the counter (first batch after a
+  // Create/Rotate/ResetTo). No-op when the segment is already open.
+  {
+    Status seg = EnsureSegmentLocked();
+    if (!seg.ok()) {
+      sticky_error_ = seg;
+      cv_.notify_all();
+      return seg;
+    }
+  }
+
+  // Encode and enqueue under the mutex: LSN assignment order, pending
+  // buffer order and on-disk order coincide, so replication always ships
+  // monotonically increasing LSNs even with concurrent committers.
   std::string blob;
   Status encode_status = Status::OK();
   BatchTermEncoder enc;
-  uint64_t lsn = next_lsn_;
+  uint64_t lsn = next_lsn_.load(std::memory_order_relaxed);
   for (WalRecord& rec : records) {
     rec.lsn = lsn++;
     FrameRecord(EncodeRecordPayload(rec, &enc, &encode_status), &blob);
@@ -276,33 +293,98 @@ Status WalWriter::AppendBatch(std::vector<WalRecord>& records) {
   FrameRecord(EncodeRecordPayload(commit, &enc, &encode_status), &blob);
   if (!encode_status.ok()) return encode_status;
 
-  SCISPARQL_RETURN_NOT_OK(file_->WriteAt(offset_, blob.data(), blob.size()));
-  SCISPARQL_RETURN_NOT_OK(file_->Sync());
-  // Only a fully durable batch advances the log: a torn write leaves
-  // garbage past offset_ that the next successful append overwrites.
-  offset_ += blob.size();
-  next_lsn_ = lsn;
-  ++appends_;
-  bytes_written_ += blob.size();
+  const uint64_t my_commit = commit.lsn;
+  next_lsn_.store(lsn, std::memory_order_release);
+  pending_.append(blob);
+  pending_last_commit_ = my_commit;
+  if (commit_lsn != nullptr) *commit_lsn = my_commit;
+
+  if (flushing_) {
+    // Follower: a leader is on the device and will pick our bytes up in
+    // its drain loop (or we become leader below once it hands off).
+    cv_.wait(lock, [&] {
+      return !sticky_error_.ok() || synced_lsn_ >= my_commit || !flushing_;
+    });
+    if (synced_lsn_ >= my_commit) {
+      appends_.fetch_add(1, std::memory_order_acq_rel);
+      return Status::OK();
+    }
+    if (!sticky_error_.ok()) return sticky_error_;
+    // Leader finished without covering us (we enqueued after its last
+    // drain check): fall through and lead the next group ourselves.
+  }
+
+  // Leader: drain the pending buffer — one write + one fsync per pass,
+  // covering every batch that piled up while the previous pass was on the
+  // device.
+  flushing_ = true;
+  Status st = EnsureSegmentLocked();
+  while (st.ok() && !pending_.empty()) {
+    std::string group;
+    group.swap(pending_);
+    const uint64_t group_commit = pending_last_commit_;
+    const uint64_t off = offset_;
+    VfsFile* file = file_.get();
+    lock.unlock();
+    st = file->WriteAt(off, group.data(), group.size());
+    if (st.ok()) st = file->Sync();
+    lock.lock();
+    if (!st.ok()) break;
+    // Only a fully durable group advances the log: a torn write leaves
+    // garbage past offset_ that the next successful flush overwrites.
+    offset_ = off + group.size();
+    synced_lsn_ = std::max(synced_lsn_, group_commit);
+    fsyncs_.fetch_add(1, std::memory_order_acq_rel);
+    bytes_written_.fetch_add(group.size(), std::memory_order_acq_rel);
+    if (on_sync_) on_sync_(group.size());
+    cv_.notify_all();
+  }
+  flushing_ = false;
+  if (!st.ok()) {
+    sticky_error_ = st;
+    cv_.notify_all();
+    return st;
+  }
+  cv_.notify_all();
+  appends_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 
 Status WalWriter::AppendRaw(const std::string& frames, uint64_t next_lsn) {
   if (frames.empty()) return Status::OK();
-  SCISPARQL_RETURN_NOT_OK(EnsureSegment());
-  SCISPARQL_RETURN_NOT_OK(
-      file_->WriteAt(offset_, frames.data(), frames.size()));
-  SCISPARQL_RETURN_NOT_OK(file_->Sync());
+  std::unique_lock<std::mutex> lock(mu_);
+  // Write-through is single-writer (the replica applier), but wait out any
+  // in-flight group so the two paths never interleave on the device.
+  cv_.wait(lock, [&] { return !flushing_ || !sticky_error_.ok(); });
+  if (!sticky_error_.ok()) return sticky_error_;
+  Status st = EnsureSegmentLocked();
+  if (st.ok()) st = file_->WriteAt(offset_, frames.data(), frames.size());
+  if (st.ok()) st = file_->Sync();
+  if (!st.ok()) {
+    sticky_error_ = st;
+    cv_.notify_all();
+    return st;
+  }
   offset_ += frames.size();
-  next_lsn_ = next_lsn;
-  ++appends_;
-  bytes_written_ += frames.size();
+  next_lsn_.store(next_lsn, std::memory_order_release);
+  appends_.fetch_add(1, std::memory_order_acq_rel);
+  fsyncs_.fetch_add(1, std::memory_order_acq_rel);
+  bytes_written_.fetch_add(frames.size(), std::memory_order_acq_rel);
+  if (on_sync_) on_sync_(frames.size());
   return Status::OK();
 }
 
 void WalWriter::Rotate() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !flushing_; });
   file_.reset();
   offset_ = 0;
+}
+
+void WalWriter::ResetTo(uint64_t next_lsn) {
+  Rotate();
+  std::lock_guard<std::mutex> lock(mu_);
+  next_lsn_.store(next_lsn, std::memory_order_release);
 }
 
 namespace {

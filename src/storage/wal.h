@@ -1,9 +1,12 @@
 #ifndef SCISPARQL_STORAGE_WAL_H_
 #define SCISPARQL_STORAGE_WAL_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -46,11 +49,20 @@ struct WalRecord {
 /// reference when the value is a proxy into an attached back-end.
 ///
 /// AppendBatch frames all records of one statement plus a trailing kCommit
-/// into a single buffered write followed by one fsync — the group commit
-/// that makes an acknowledged update durable. Replay applies only
-/// complete, CRC-valid, committed batches, so a crash anywhere inside
-/// AppendBatch leaves the statement entirely absent (pre-update state)
-/// while a crash after it leaves the statement entirely present.
+/// and makes them durable with group commit: concurrent committers encode
+/// and enqueue under the writer's mutex (so LSN assignment order, buffer
+/// order and on-disk order all coincide — the invariant replication
+/// shipping relies on), then one of them becomes the flush leader, writes
+/// the whole pending run and fsyncs once while the followers wait on a
+/// condition variable until their commit LSN is covered. Fsyncs therefore
+/// grow sub-linearly with writer count. Replay applies only complete,
+/// CRC-valid, committed batches, so a crash anywhere inside AppendBatch
+/// leaves the statement entirely absent (pre-update state) while a crash
+/// after it leaves the statement entirely present.
+///
+/// Any device error is sticky: the failed group's committers get the
+/// error, and every later append fails fast with it — mirroring the
+/// engine's read-only degradation, which is the only caller policy.
 class WalWriter {
  public:
   /// `next_lsn` is where numbering resumes (1 for a fresh log; recovery
@@ -59,51 +71,75 @@ class WalWriter {
   static Result<std::unique_ptr<WalWriter>> Create(Vfs* vfs, std::string dir,
                                                    uint64_t next_lsn);
 
-  /// Appends `records` plus a commit marker as one batch: assigns LSNs,
-  /// writes one contiguous blob, fsyncs. On any error the log's in-memory
-  /// offset is NOT advanced — the torn bytes (if any) sit past the logical
-  /// end and are overwritten by the next append or ignored by replay.
-  Status AppendBatch(std::vector<WalRecord>& records);
+  /// Appends `records` plus a commit marker as one batch and returns once
+  /// the batch is durable (its group's fsync completed). Thread-safe.
+  /// `commit_lsn`, when non-null, receives the batch's commit-marker LSN —
+  /// the caller's read-your-writes token.
+  Status AppendBatch(std::vector<WalRecord>& records,
+                     uint64_t* commit_lsn = nullptr);
 
   /// Next LSN to be assigned.
-  uint64_t next_lsn() const { return next_lsn_; }
+  uint64_t next_lsn() const {
+    return next_lsn_.load(std::memory_order_acquire);
+  }
 
   /// Replica write-through: appends an already-framed run of complete
   /// committed batches verbatim (as produced by ReadWalShipment) and
   /// advances numbering to `next_lsn` — the shipped run's last commit LSN
-  /// plus one. One write + one fsync, like AppendBatch. The caller must
-  /// ship contiguously from this writer's current next_lsn(), so segment
-  /// names keep matching their first record's LSN.
+  /// plus one. One write + one fsync. The caller must ship contiguously
+  /// from this writer's current next_lsn(), so segment names keep
+  /// matching their first record's LSN.
   Status AppendRaw(const std::string& frames, uint64_t next_lsn);
 
   /// Closes the current segment; the next append opens a fresh one. Called
-  /// by checkpointing so completed segments can be deleted afterwards.
+  /// by checkpointing (under the engine's exclusive lock) so completed
+  /// segments can be deleted afterwards.
   void Rotate();
 
   /// Rotates and restarts numbering at `next_lsn` — the replication
   /// bootstrap hand-off, where a replica re-bases its local log onto the
   /// LSN of a snapshot just received from the primary.
-  void ResetTo(uint64_t next_lsn) {
-    Rotate();
-    next_lsn_ = next_lsn;
+  void ResetTo(uint64_t next_lsn);
+
+  /// Hook invoked (under the writer's mutex) after each successful fsync
+  /// with the number of bytes that flush made durable — the metrics seam.
+  void set_on_sync(std::function<void(size_t bytes)> fn) {
+    on_sync_ = std::move(fn);
   }
 
-  uint64_t appends() const { return appends_; }
-  uint64_t bytes_written() const { return bytes_written_; }
+  /// Logical batches appended (one per AppendBatch/AppendRaw call).
+  uint64_t appends() const { return appends_.load(std::memory_order_acquire); }
+  /// Device fsyncs issued — sub-linear in appends() under concurrency.
+  uint64_t fsyncs() const { return fsyncs_.load(std::memory_order_acquire); }
+  uint64_t bytes_written() const {
+    return bytes_written_.load(std::memory_order_acquire);
+  }
 
  private:
   WalWriter(Vfs* vfs, std::string dir, uint64_t next_lsn)
       : vfs_(vfs), dir_(std::move(dir)), next_lsn_(next_lsn) {}
 
-  Status EnsureSegment();
+  /// Opens the current segment if absent. Requires mu_.
+  Status EnsureSegmentLocked();
 
   Vfs* vfs_;
   std::string dir_;
-  uint64_t next_lsn_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::atomic<uint64_t> next_lsn_;
   std::unique_ptr<VfsFile> file_;  // current segment (null until first append)
-  uint64_t offset_ = 0;
-  uint64_t appends_ = 0;
-  uint64_t bytes_written_ = 0;
+  uint64_t offset_ = 0;            // guarded by mu_
+  bool flushing_ = false;          // a leader is on the device
+  std::string pending_;            // encoded frames awaiting flush, LSN order
+  uint64_t pending_last_commit_ = 0;  // commit LSN of last pending batch
+  uint64_t synced_lsn_ = 0;           // highest durably flushed commit LSN
+  Status sticky_error_ = Status::OK();
+  std::function<void(size_t)> on_sync_;
+
+  std::atomic<uint64_t> appends_{0};
+  std::atomic<uint64_t> fsyncs_{0};
+  std::atomic<uint64_t> bytes_written_{0};
 };
 
 /// One WAL segment on disk, keyed by the LSN of its first record.

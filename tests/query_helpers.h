@@ -1,0 +1,47 @@
+#ifndef SCISPARQL_TESTS_QUERY_HELPERS_H_
+#define SCISPARQL_TESTS_QUERY_HELPERS_H_
+
+#include <string>
+#include <utility>
+
+#include "engine/query_api.h"
+#include "engine/ssdm.h"
+
+namespace scisparql {
+
+// Single-form conveniences over SSDM::Execute(QueryRequest) for tests:
+// each runs one statement and checks the outcome kind, so assertions stay
+// one-liners without every test unpacking the QueryOutcome variant.
+
+inline Result<sparql::QueryResult> Query(SSDM& db, const std::string& text) {
+  SCISPARQL_ASSIGN_OR_RETURN(QueryOutcome out, db.Execute(text));
+  if (out.kind() != QueryOutcome::Kind::kRows) {
+    return Status::InvalidArgument("statement is not a SELECT query");
+  }
+  return std::move(out.rows());
+}
+
+inline Result<bool> Ask(SSDM& db, const std::string& text) {
+  SCISPARQL_ASSIGN_OR_RETURN(QueryOutcome out, db.Execute(text));
+  if (out.kind() != QueryOutcome::Kind::kAsk) {
+    return Status::InvalidArgument("statement is not an ASK query");
+  }
+  return out.ask();
+}
+
+inline Result<Graph> Construct(SSDM& db, const std::string& text) {
+  SCISPARQL_ASSIGN_OR_RETURN(QueryOutcome out, db.Execute(text));
+  if (out.kind() != QueryOutcome::Kind::kGraph) {
+    return Status::InvalidArgument("statement is not a CONSTRUCT query");
+  }
+  return std::move(out.graph());
+}
+
+/// Updates, DEFINE FUNCTION, PREPARE — statements run for effect.
+inline Status Run(SSDM& db, const std::string& text) {
+  return db.Execute(text).status();
+}
+
+}  // namespace scisparql
+
+#endif  // SCISPARQL_TESTS_QUERY_HELPERS_H_

@@ -5,6 +5,7 @@
 #include "apps/minibench.h"
 #include "storage/memory_backend.h"
 #include "storage/relational_backend.h"
+#include "query_helpers.h"
 
 namespace scisparql {
 namespace apps {
@@ -35,8 +36,8 @@ TEST(Bistab, DeterministicInSeed) {
   auto q = std::string("PREFIX bi: <") + kBistabNs +
            "> SELECT ?t (ASUM(?r) AS ?s) WHERE "
            "{ ?t bi:result ?r } ORDER BY ?t";
-  auto r1 = db1.Query(q);
-  auto r2 = db2.Query(q);
+  auto r1 = Query(db1, q);
+  auto r2 = Query(db2, q);
   ASSERT_TRUE(r1.ok() && r2.ok());
   ASSERT_EQ(r1->rows.size(), r2->rows.size());
   for (size_t i = 0; i < r1->rows.size(); ++i) {
@@ -52,7 +53,7 @@ TEST(Bistab, TrajectoriesAreBistable) {
   cfg.timesteps = 200;
   ASSERT_TRUE(GenerateBistab(&db, cfg).ok());
   // Species A stays within a plausible range around the two stable states.
-  auto r = db.Query(std::string("PREFIX bi: <") + kBistabNs +
+  auto r = Query(db, std::string("PREFIX bi: <") + kBistabNs +
                     "> SELECT (AMIN(?r[:, 1]) AS ?lo) (AMAX(?r[:, 1]) AS ?hi) "
                     "WHERE { ?t bi:result ?r }");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
@@ -83,8 +84,8 @@ TEST(Bistab, QueriesConsistentAcrossBackends) {
   for (const std::string& q :
        {BistabQ1(20.0), BistabQ2(20.0), BistabQ3(45.0),
         BistabQ4(cfg.timesteps)}) {
-    auto r1 = resident.Query(q);
-    auto r2 = proxied.Query(q);
+    auto r1 = Query(resident, q);
+    auto r2 = Query(proxied, q);
     ASSERT_TRUE(r1.ok()) << r1.status().ToString() << "\n" << q;
     ASSERT_TRUE(r2.ok()) << r2.status().ToString() << "\n" << q;
     ASSERT_EQ(r1->rows.size(), r2->rows.size()) << q;

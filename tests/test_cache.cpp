@@ -16,6 +16,7 @@
 #include "engine/ssdm.h"
 #include "obs/metrics.h"
 #include "sched/scheduler.h"
+#include "query_helpers.h"
 
 namespace scisparql {
 namespace cache {
@@ -49,12 +50,12 @@ ex:a ex:score 10 . ex:b ex:score 20 . ex:c ex:score 30 .
 
 TEST_F(CacheTest, PlanCacheHitAfterMiss) {
   CacheCounters before = db_.cache().counters();
-  ASSERT_TRUE(db_.Query(kSelectScores).ok());
+  ASSERT_TRUE(Query(db_, kSelectScores).ok());
   CacheCounters after_first = db_.cache().counters();
   EXPECT_EQ(after_first.plan_misses, before.plan_misses + 1);
   EXPECT_EQ(after_first.plan_hits, before.plan_hits);
 
-  auto r = db_.Query(kSelectScores);
+  auto r = Query(db_, kSelectScores);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->rows.size(), 3u);
   CacheCounters after_second = db_.cache().counters();
@@ -63,9 +64,9 @@ TEST_F(CacheTest, PlanCacheHitAfterMiss) {
 }
 
 TEST_F(CacheTest, PlanCacheNormalizesWhitespaceAndComments) {
-  ASSERT_TRUE(db_.Query(kSelectScores).ok());
+  ASSERT_TRUE(Query(db_, kSelectScores).ok());
   CacheCounters before = db_.cache().counters();
-  auto r = db_.Query(
+  auto r = Query(db_, 
       "PREFIX ex: <http://example.org/>\n"
       "# a comment\n"
       "SELECT   ?s ?v\nWHERE { ?s ex:score ?v }   ORDER BY ?v");
@@ -79,13 +80,13 @@ TEST_F(CacheTest, ResultCacheHitThenInsertInvalidatesBothLayers) {
   uint64_t obs_misses = ObsCount("result", "misses");
   uint64_t obs_inval = ObsCount("result", "invalidations");
 
-  auto cold = db_.Query(kSelectScores);
+  auto cold = Query(db_, kSelectScores);
   ASSERT_TRUE(cold.ok());
   ASSERT_EQ(cold->rows.size(), 3u);
   EXPECT_EQ(ObsCount("result", "misses"), obs_misses + 1);
   EXPECT_EQ(db_.cache().result_entries(), 1u);
 
-  auto warm = db_.Query(kSelectScores);
+  auto warm = Query(db_, kSelectScores);
   ASSERT_TRUE(warm.ok());
   EXPECT_EQ(warm->rows.size(), 3u);
   EXPECT_EQ(warm->rows, cold->rows);
@@ -94,7 +95,7 @@ TEST_F(CacheTest, ResultCacheHitThenInsertInvalidatesBothLayers) {
   // A write into the referenced graph must observably invalidate the
   // cached outcome — the counter moves with the INSERT, not the next read.
   CacheCounters pre_write = db_.cache().counters();
-  ASSERT_TRUE(db_.Run("PREFIX ex: <http://example.org/> "
+  ASSERT_TRUE(scisparql::Run(db_, "PREFIX ex: <http://example.org/> "
                       "INSERT DATA { ex:d ex:score 40 }")
                   .ok());
   CacheCounters post_write = db_.cache().counters();
@@ -103,7 +104,7 @@ TEST_F(CacheTest, ResultCacheHitThenInsertInvalidatesBothLayers) {
   EXPECT_EQ(db_.cache().result_entries(), 0u);
 
   // The next read misses and sees the new triple.
-  auto fresh = db_.Query(kSelectScores);
+  auto fresh = Query(db_, kSelectScores);
   ASSERT_TRUE(fresh.ok());
   EXPECT_EQ(fresh->rows.size(), 4u);
   EXPECT_EQ(ObsCount("result", "misses"), obs_misses + 2);
@@ -111,30 +112,30 @@ TEST_F(CacheTest, ResultCacheHitThenInsertInvalidatesBothLayers) {
 
 TEST_F(CacheTest, DeleteInvalidatesCachedResult) {
   db_.EnableResultCache();
-  ASSERT_TRUE(db_.Query(kSelectScores).ok());
+  ASSERT_TRUE(Query(db_, kSelectScores).ok());
   ASSERT_EQ(db_.cache().result_entries(), 1u);
-  ASSERT_TRUE(db_.Run("PREFIX ex: <http://example.org/> "
+  ASSERT_TRUE(scisparql::Run(db_, "PREFIX ex: <http://example.org/> "
                       "DELETE WHERE { ex:a ex:score ?v }")
                   .ok());
   EXPECT_EQ(db_.cache().result_entries(), 0u);
-  auto r = db_.Query(kSelectScores);
+  auto r = Query(db_, kSelectScores);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->rows.size(), 2u);
 }
 
 TEST_F(CacheTest, ClearAllBumpsEpochAndDropsResults) {
   db_.EnableResultCache();
-  ASSERT_TRUE(db_.Query(kSelectScores).ok());
+  ASSERT_TRUE(Query(db_, kSelectScores).ok());
   ASSERT_GT(db_.cache().plan_entries(), 0u);
   ASSERT_GT(db_.cache().result_entries(), 0u);
   uint64_t epoch = db_.cache().epoch();
   CacheCounters before = db_.cache().counters();
-  ASSERT_TRUE(db_.Run("CLEAR ALL").ok());
+  ASSERT_TRUE(scisparql::Run(db_, "CLEAR ALL").ok());
   EXPECT_GT(db_.cache().epoch(), epoch);
   EXPECT_EQ(db_.cache().result_entries(), 0u);
   // Parsed ASTs are data-independent and survive the epoch bump; re-running
   // the query is a plan hit but must recompute the (now empty) answer.
-  auto r = db_.Query(kSelectScores);
+  auto r = Query(db_, kSelectScores);
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r->rows.empty());
   EXPECT_EQ(db_.cache().counters().plan_hits, before.plan_hits + 1);
@@ -143,11 +144,11 @@ TEST_F(CacheTest, ClearAllBumpsEpochAndDropsResults) {
 TEST_F(CacheTest, LoadSnapshotBumpsEpoch) {
   std::string path = std::string(::testing::TempDir()) + "/cache_epoch.ssd";
   ASSERT_TRUE(db_.SaveSnapshot(path).ok());
-  ASSERT_TRUE(db_.Run("PREFIX ex: <http://example.org/> "
+  ASSERT_TRUE(scisparql::Run(db_, "PREFIX ex: <http://example.org/> "
                       "INSERT DATA { ex:d ex:score 40 }")
                   .ok());
   db_.EnableResultCache();
-  auto with_insert = db_.Query(kSelectScores);
+  auto with_insert = Query(db_, kSelectScores);
   ASSERT_TRUE(with_insert.ok());
   ASSERT_EQ(with_insert->rows.size(), 4u);
   uint64_t epoch = db_.cache().epoch();
@@ -157,7 +158,7 @@ TEST_F(CacheTest, LoadSnapshotBumpsEpoch) {
   ASSERT_TRUE(db_.LoadSnapshot(path).ok());
   EXPECT_GT(db_.cache().epoch(), epoch);
   EXPECT_EQ(db_.cache().result_entries(), 0u);
-  auto restored = db_.Query(kSelectScores);
+  auto restored = Query(db_, kSelectScores);
   ASSERT_TRUE(restored.ok());
   EXPECT_EQ(restored->rows.size(), 3u);
 }
@@ -171,7 +172,7 @@ TEST_F(CacheTest, EvictionUnderByteBudget) {
   for (int i = 0; i < 6; ++i) {
     std::string q = "SELECT (CONCAT(\"" + std::to_string(i) + "\", \"" + big +
                     "\") AS ?x) WHERE { }";
-    ASSERT_TRUE(db_.Query(q).ok());
+    ASSERT_TRUE(Query(db_, q).ok());
   }
   EXPECT_GT(db_.cache().counters().result_evictions, 0u);
   EXPECT_GT(ObsCount("result", "evictions"), obs_evict);
@@ -184,18 +185,18 @@ TEST_F(CacheTest, EntryBytesChargeDictionaryResidentStrings) {
   // estimate must grow with the string bytes the terms pin (whether held
   // inline or interned in the graph dictionary), not just sizeof(Term).
   std::string long_name(2000, 'n');
-  ASSERT_TRUE(db_.Run("PREFIX ex: <http://example.org/> INSERT DATA { "
+  ASSERT_TRUE(scisparql::Run(db_, "PREFIX ex: <http://example.org/> INSERT DATA { "
                       "ex:short ex:name \"tiny\" . "
                       "ex:long ex:name \"" +
                       long_name + "\" }")
                   .ok());
   db_.EnableResultCache();
-  ASSERT_TRUE(db_.Query("PREFIX ex: <http://example.org/> SELECT ?n WHERE "
+  ASSERT_TRUE(Query(db_, "PREFIX ex: <http://example.org/> SELECT ?n WHERE "
                         "{ ex:short ex:name ?n }")
                   .ok());
   size_t small_bytes = db_.cache().result_bytes();
   ASSERT_GT(small_bytes, 0u);
-  ASSERT_TRUE(db_.Query("PREFIX ex: <http://example.org/> SELECT ?n WHERE "
+  ASSERT_TRUE(Query(db_, "PREFIX ex: <http://example.org/> SELECT ?n WHERE "
                         "{ ex:long ex:name ?n }")
                   .ok());
   EXPECT_GE(db_.cache().result_bytes(), small_bytes + long_name.size());
@@ -212,10 +213,10 @@ TEST_F(CacheTest, GraphResidentStringsDriveEvictionAtBudget) {
             std::string(1024, static_cast<char>('a' + i)) + "\" .";
   }
   stmt += " }";
-  ASSERT_TRUE(db_.Run(stmt).ok());
+  ASSERT_TRUE(scisparql::Run(db_, stmt).ok());
   db_.EnableResultCache(/*budget_bytes=*/4096);
   for (int i = 0; i < 6; ++i) {
-    ASSERT_TRUE(db_.Query("PREFIX ex: <http://example.org/> SELECT ?b WHERE "
+    ASSERT_TRUE(Query(db_, "PREFIX ex: <http://example.org/> SELECT ?b WHERE "
                           "{ ex:doc" +
                           std::to_string(i) + " ex:body ?b }")
                     .ok());
@@ -228,22 +229,22 @@ TEST_F(CacheTest, GraphResidentStringsDriveEvictionAtBudget) {
 TEST_F(CacheTest, OversizedResultIsNotCached) {
   db_.EnableResultCache(/*budget_bytes=*/128);
   std::string big(1024, 'y');
-  ASSERT_TRUE(db_.Query("SELECT (\"" + big + "\" AS ?x) WHERE { }").ok());
+  ASSERT_TRUE(Query(db_, "SELECT (\"" + big + "\" AS ?x) WHERE { }").ok());
   EXPECT_EQ(db_.cache().result_entries(), 0u);
   EXPECT_EQ(db_.cache().result_bytes(), 0u);
 }
 
 TEST_F(CacheTest, NonDeterministicQueriesAreNotCached) {
   db_.EnableResultCache();
-  ASSERT_TRUE(db_.Query("SELECT (RAND() AS ?r) WHERE { }").ok());
-  ASSERT_TRUE(db_.Query("SELECT (RAND() AS ?r) WHERE { }").ok());
+  ASSERT_TRUE(Query(db_, "SELECT (RAND() AS ?r) WHERE { }").ok());
+  ASSERT_TRUE(Query(db_, "SELECT (RAND() AS ?r) WHERE { }").ok());
   EXPECT_EQ(db_.cache().result_entries(), 0u);
-  ASSERT_TRUE(db_.Query("SELECT (NOW() AS ?t) WHERE { }").ok());
+  ASSERT_TRUE(Query(db_, "SELECT (NOW() AS ?t) WHERE { }").ok());
   EXPECT_EQ(db_.cache().result_entries(), 0u);
 }
 
 TEST_F(CacheTest, PrepareExecuteTextForm) {
-  ASSERT_TRUE(db_.Run("PREFIX ex: <http://example.org/> "
+  ASSERT_TRUE(scisparql::Run(db_, "PREFIX ex: <http://example.org/> "
                       "PREPARE above(?min) AS "
                       "SELECT ?s WHERE { ?s ex:score ?v . "
                       "FILTER(?v > ?min) } ORDER BY ?s")
@@ -252,20 +253,20 @@ TEST_F(CacheTest, PrepareExecuteTextForm) {
   ASSERT_EQ(names.size(), 1u);
   EXPECT_EQ(names[0], "above");
 
-  auto r = db_.Query("EXECUTE above(15)");
+  auto r = Query(db_, "EXECUTE above(15)");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   ASSERT_EQ(r->rows.size(), 2u);
   EXPECT_EQ(r->rows[0][0], Term::Iri("http://example.org/b"));
   EXPECT_EQ(r->rows[1][0], Term::Iri("http://example.org/c"));
 
   // Different argument, different answer — parameters are real bindings.
-  auto r2 = db_.Query("EXECUTE above(25)");
+  auto r2 = Query(db_, "EXECUTE above(25)");
   ASSERT_TRUE(r2.ok());
   EXPECT_EQ(r2->rows.size(), 1u);
 
   // Arity and name errors.
-  EXPECT_FALSE(db_.Query("EXECUTE above(1, 2)").ok());
-  EXPECT_FALSE(db_.Query("EXECUTE nosuch(1)").ok());
+  EXPECT_FALSE(Query(db_, "EXECUTE above(1, 2)").ok());
+  EXPECT_FALSE(Query(db_, "EXECUTE nosuch(1)").ok());
 
   // EXECUTE classifies as a read so the scheduler can run it under the
   // shared engine lock.
@@ -275,37 +276,37 @@ TEST_F(CacheTest, PrepareExecuteTextForm) {
 
 TEST_F(CacheTest, PreparedResultsHitUnderPreparedKey) {
   db_.EnableResultCache();
-  ASSERT_TRUE(db_.Run("PREFIX ex: <http://example.org/> "
+  ASSERT_TRUE(scisparql::Run(db_, "PREFIX ex: <http://example.org/> "
                       "PREPARE above(?min) AS "
                       "SELECT ?s WHERE { ?s ex:score ?v . FILTER(?v > ?min) }")
                   .ok());
   CacheCounters before = db_.cache().counters();
-  ASSERT_TRUE(db_.Query("EXECUTE above(15)").ok());
-  ASSERT_TRUE(db_.Query("EXECUTE above(15)").ok());
+  ASSERT_TRUE(Query(db_, "EXECUTE above(15)").ok());
+  ASSERT_TRUE(Query(db_, "EXECUTE above(15)").ok());
   CacheCounters after = db_.cache().counters();
   EXPECT_EQ(after.result_hits, before.result_hits + 1);
   // A different argument is a different key.
-  ASSERT_TRUE(db_.Query("EXECUTE above(25)").ok());
+  ASSERT_TRUE(Query(db_, "EXECUTE above(25)").ok());
   EXPECT_EQ(db_.cache().counters().result_hits, before.result_hits + 1);
 }
 
 TEST_F(CacheTest, RePrepareInvalidatesOldCachedResults) {
   db_.EnableResultCache();
-  ASSERT_TRUE(db_.Run("PREFIX ex: <http://example.org/> "
+  ASSERT_TRUE(scisparql::Run(db_, "PREFIX ex: <http://example.org/> "
                       "PREPARE q(?min) AS "
                       "SELECT ?s WHERE { ?s ex:score ?v . FILTER(?v > ?min) }")
                   .ok());
-  auto first = db_.Query("EXECUTE q(5)");
+  auto first = Query(db_, "EXECUTE q(5)");
   ASSERT_TRUE(first.ok());
   EXPECT_EQ(first->rows.size(), 3u);
 
   // Re-PREPARE under the same name with a different body: the old cached
   // outcome must not be served (the result key carries the generation).
-  ASSERT_TRUE(db_.Run("PREFIX ex: <http://example.org/> "
+  ASSERT_TRUE(scisparql::Run(db_, "PREFIX ex: <http://example.org/> "
                       "PREPARE q(?min) AS "
                       "SELECT ?s WHERE { ?s ex:score ?v . FILTER(?v < ?min) }")
                   .ok());
-  auto second = db_.Query("EXECUTE q(5)");
+  auto second = Query(db_, "EXECUTE q(5)");
   ASSERT_TRUE(second.ok());
   EXPECT_EQ(second->rows.size(), 0u);
 }
@@ -329,7 +330,7 @@ TEST_F(CacheTest, SessionPreparedApi) {
 
 TEST_F(CacheTest, SchedulerServesCachedReadsOnFastPath) {
   db_.EnableResultCache();
-  ASSERT_TRUE(db_.Query(kSelectScores).ok());  // populate
+  ASSERT_TRUE(Query(db_, kSelectScores).ok());  // populate
 
   sched::QueryScheduler sched(&db_);
   std::mutex mu;
@@ -447,7 +448,7 @@ TEST_F(CacheTest, ConcurrentReadsRaceWriterStress) {
   ASSERT_TRUE(cv.wait_for(lock, 30s, [&] { return pending.load() == 0; }));
   EXPECT_EQ(read_errors.load(), 0);
 
-  auto r = db_.Query(kSelectScores);
+  auto r = Query(db_, kSelectScores);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->rows.size(), 3u);
 }

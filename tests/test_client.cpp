@@ -3,6 +3,7 @@
 #include "client/session.h"
 #include "storage/file_backend.h"
 #include "storage/memory_backend.h"
+#include "query_helpers.h"
 
 namespace scisparql {
 namespace client {
@@ -86,7 +87,7 @@ TEST(Session, AnnotateAfterTheFact) {
                             "http://example.org/quality",
                             Term::String("validated"))
                   .ok());
-  EXPECT_TRUE(*db.Ask("ASK { ?e ex:quality \"validated\" }"));
+  EXPECT_TRUE(*Ask(db, "ASK { ?e ex:quality \"validated\" }"));
 }
 
 TEST(Session, FetchArrayErrors) {
@@ -96,7 +97,7 @@ TEST(Session, FetchArrayErrors) {
   // Zero rows.
   EXPECT_FALSE(session.FetchArray("SELECT ?x WHERE { ?x ex:no ?y }").ok());
   // Non-array cell.
-  ASSERT_TRUE(db.Run("INSERT DATA { ex:a ex:v 5 }").ok());
+  ASSERT_TRUE(scisparql::Run(db, "INSERT DATA { ex:a ex:v 5 }").ok());
   EXPECT_FALSE(session.FetchArray("SELECT ?v WHERE { ex:a ex:v ?v }").ok());
   EXPECT_DOUBLE_EQ(
       *session.FetchScalar("SELECT ?v WHERE { ex:a ex:v ?v }"), 5.0);
@@ -125,7 +126,7 @@ TEST(Session, FileBackendWorkflowSurvivesEngineRestart) {
     db.dataset().default_graph().Add(Term::Iri("http://example.org/exp"),
                                      Term::Iri("http://example.org/linked"),
                                      t);
-    auto r = db.Query(
+    auto r = Query(db, 
         "SELECT (ASUM(?a) AS ?s) WHERE { ?e "
         "<http://example.org/linked> ?a }");
     ASSERT_TRUE(r.ok()) << r.status().ToString();

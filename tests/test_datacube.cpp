@@ -5,6 +5,7 @@
 #include "engine/ssdm.h"
 #include "loaders/datacube.h"
 #include "loaders/turtle.h"
+#include "query_helpers.h"
 
 namespace scisparql {
 namespace loaders {
@@ -129,7 +130,7 @@ TEST(DataCube, ConsolidatedCubeQueryable) {
   ASSERT_TRUE(db.LoadTurtleString(kCube).ok());
   ASSERT_TRUE(
       ConsolidateDataCubes(&db.dataset().default_graph()).ok());
-  auto r = db.Query(
+  auto r = Query(db, 
       "SELECT (?a[1, 2] AS ?north2002) (ASUM(?a[2, :]) AS ?southTotal) "
       "WHERE { ex:ds <http://example.org/population#array> ?a }");
   ASSERT_TRUE(r.ok()) << r.status().ToString();

@@ -15,6 +15,7 @@
 #include "storage/snapshot.h"
 #include "storage/vfs.h"
 #include "storage/wal.h"
+#include "query_helpers.h"
 
 namespace scisparql {
 namespace {
@@ -138,7 +139,7 @@ TEST(Wal, TornTailStopsCleanlyAndKeepsCommittedBatches) {
 
 bool AskPresent(SSDM* db, const std::string& pattern) {
   auto r = db->Execute("ASK { " + pattern + " }");
-  return r.ok() && r->boolean;
+  return r.ok() && r->ask();
 }
 
 TEST(Durability, ReopenRecoversWalOnlyStore) {
@@ -147,9 +148,9 @@ TEST(Durability, ReopenRecoversWalOnlyStore) {
     SSDM db;
     db.prefixes().Set("ex", "http://example.org/");
     ASSERT_TRUE(db.Open(dir).ok());
-    ASSERT_TRUE(db.Run("INSERT DATA { ex:a ex:p 1 }").ok());
-    ASSERT_TRUE(db.Run("INSERT DATA { ex:b ex:p 2 }").ok());
-    ASSERT_TRUE(db.Run("DELETE DATA { ex:a ex:p 1 }").ok());
+    ASSERT_TRUE(scisparql::Run(db, "INSERT DATA { ex:a ex:p 1 }").ok());
+    ASSERT_TRUE(scisparql::Run(db, "INSERT DATA { ex:b ex:p 2 }").ok());
+    ASSERT_TRUE(scisparql::Run(db, "DELETE DATA { ex:a ex:p 1 }").ok());
   }
   SSDM rec;
   rec.prefixes().Set("ex", "http://example.org/");
@@ -166,11 +167,11 @@ TEST(Durability, CheckpointThenMoreUpdatesThenReopen) {
     SSDM db;
     db.prefixes().Set("ex", "http://example.org/");
     ASSERT_TRUE(db.Open(dir).ok());
-    ASSERT_TRUE(db.Run("INSERT DATA { ex:a ex:p 1 }").ok());
+    ASSERT_TRUE(scisparql::Run(db, "INSERT DATA { ex:a ex:p 1 }").ok());
     auto ck = db.Execute("CHECKPOINT");
     ASSERT_TRUE(ck.ok());
-    EXPECT_NE(ck->info.find("checkpoint: snapshot"), std::string::npos);
-    ASSERT_TRUE(db.Run("INSERT DATA { ex:b ex:p 2 }").ok());
+    EXPECT_NE(ck->info().find("checkpoint: snapshot"), std::string::npos);
+    ASSERT_TRUE(scisparql::Run(db, "INSERT DATA { ex:b ex:p 2 }").ok());
   }
   SSDM rec;
   rec.prefixes().Set("ex", "http://example.org/");
@@ -186,11 +187,11 @@ TEST(Durability, CorruptedSnapshotFallsBackLosslessly) {
     SSDM db;
     db.prefixes().Set("ex", "http://example.org/");
     ASSERT_TRUE(db.Open(dir).ok());
-    ASSERT_TRUE(db.Run("INSERT DATA { ex:a ex:p 1 }").ok());
+    ASSERT_TRUE(scisparql::Run(db, "INSERT DATA { ex:a ex:p 1 }").ok());
     ASSERT_TRUE(db.Execute("CHECKPOINT").ok());
-    ASSERT_TRUE(db.Run("INSERT DATA { ex:b ex:p 2 }").ok());
+    ASSERT_TRUE(scisparql::Run(db, "INSERT DATA { ex:b ex:p 2 }").ok());
     ASSERT_TRUE(db.Execute("CHECKPOINT").ok());
-    ASSERT_TRUE(db.Run("INSERT DATA { ex:c ex:p 3 }").ok());
+    ASSERT_TRUE(scisparql::Run(db, "INSERT DATA { ex:c ex:p 3 }").ok());
   }
   // Flip bytes in the middle of the newest snapshot: its section CRCs no
   // longer verify, so recovery must fall back to the older snapshot and
@@ -241,7 +242,7 @@ WorkloadAcks RunWorkload(storage::Vfs* vfs, const std::string& dir) {
   if (!db.Open(dir, vfs).ok()) return acks;
   for (int i = 0; i < kStatements; ++i) {
     if (i == 3) (void)db.Execute("CHECKPOINT");  // mid-workload checkpoint
-    acks.stmt[static_cast<size_t>(i)] = db.Run(StatementText(i)).ok();
+    acks.stmt[static_cast<size_t>(i)] = scisparql::Run(db, StatementText(i)).ok();
   }
   return acks;
 }
@@ -291,11 +292,11 @@ TEST(Durability, MediaFailureFlipsEngineReadOnly) {
   SSDM db;
   db.prefixes().Set("ex", "http://example.org/");
   ASSERT_TRUE(db.Open(dir, &faulty).ok());
-  ASSERT_TRUE(db.Run("INSERT DATA { ex:a ex:p 1 }").ok());
+  ASSERT_TRUE(scisparql::Run(db, "INSERT DATA { ex:a ex:p 1 }").ok());
   EXPECT_FALSE(db.read_only());
 
   faulty.FailAllWrites(true);  // the disk is gone for good
-  Status st = db.Run("INSERT DATA { ex:b ex:p 2 }");
+  Status st = scisparql::Run(db, "INSERT DATA { ex:b ex:p 2 }");
   EXPECT_EQ(st.code(), StatusCode::kUnavailable);
   EXPECT_TRUE(db.read_only());
   EXPECT_NE(db.read_only_reason(), "");
@@ -303,7 +304,7 @@ TEST(Durability, MediaFailureFlipsEngineReadOnly) {
   // Writers stay rejected even after the fault clears (the flag is sticky
   // — an operator restarts the engine once the media is trustworthy).
   faulty.FailAllWrites(false);
-  EXPECT_EQ(db.Run("INSERT DATA { ex:c ex:p 3 }").code(),
+  EXPECT_EQ(scisparql::Run(db, "INSERT DATA { ex:c ex:p 3 }").code(),
             StatusCode::kUnavailable);
   EXPECT_EQ(db.Execute("CHECKPOINT").status().code(),
             StatusCode::kUnavailable);
@@ -312,8 +313,8 @@ TEST(Durability, MediaFailureFlipsEngineReadOnly) {
   EXPECT_TRUE(AskPresent(&db, "ex:a ex:p 1"));
   auto metrics = db.Execute("METRICS");
   ASSERT_TRUE(metrics.ok());
-  EXPECT_NE(metrics->info.find("ssdm_engine_read_only 1"), std::string::npos);
-  EXPECT_NE(metrics->info.find("ssdm_wal_errors_total"), std::string::npos);
+  EXPECT_NE(metrics->info().find("ssdm_engine_read_only 1"), std::string::npos);
+  EXPECT_NE(metrics->info().find("ssdm_wal_errors_total"), std::string::npos);
 }
 
 TEST(Durability, FsyncFailureAlsoDegrades) {
@@ -323,7 +324,7 @@ TEST(Durability, FsyncFailureAlsoDegrades) {
   db.prefixes().Set("ex", "http://example.org/");
   ASSERT_TRUE(db.Open(dir, &faulty).ok());
   faulty.FailAllSyncs(true);
-  EXPECT_EQ(db.Run("INSERT DATA { ex:a ex:p 1 }").code(),
+  EXPECT_EQ(scisparql::Run(db, "INSERT DATA { ex:a ex:p 1 }").code(),
             StatusCode::kUnavailable);
   EXPECT_TRUE(db.read_only());
 }
@@ -414,10 +415,10 @@ TEST(Durability, ReadOnlyEngineCheckpointAndOpenNeverWrite) {
   SSDM db;
   db.prefixes().Set("ex", "http://example.org/");
   ASSERT_TRUE(db.Open(dir, &faulty).ok());
-  ASSERT_TRUE(db.Run("INSERT DATA { ex:a ex:p 1 }").ok());
+  ASSERT_TRUE(scisparql::Run(db, "INSERT DATA { ex:a ex:p 1 }").ok());
 
   faulty.FailAllWrites(true);
-  EXPECT_EQ(db.Run("INSERT DATA { ex:b ex:p 2 }").code(),
+  EXPECT_EQ(scisparql::Run(db, "INSERT DATA { ex:b ex:p 2 }").code(),
             StatusCode::kUnavailable);
   ASSERT_TRUE(db.read_only());
 
@@ -446,15 +447,15 @@ TEST(Durability, RecoveryCountersAppearInMetrics) {
     SSDM db;
     db.prefixes().Set("ex", "http://example.org/");
     ASSERT_TRUE(db.Open(dir).ok());
-    ASSERT_TRUE(db.Run("INSERT DATA { ex:a ex:p 1 }").ok());
+    ASSERT_TRUE(scisparql::Run(db, "INSERT DATA { ex:a ex:p 1 }").ok());
   }
   SSDM rec;
   ASSERT_TRUE(rec.Open(dir).ok());
   auto metrics = rec.Execute("METRICS");
   ASSERT_TRUE(metrics.ok());
-  EXPECT_NE(metrics->info.find("ssdm_recovery_replayed_records_total"),
+  EXPECT_NE(metrics->info().find("ssdm_recovery_replayed_records_total"),
             std::string::npos);
-  EXPECT_NE(metrics->info.find("ssdm_wal_appends_total"), std::string::npos);
+  EXPECT_NE(metrics->info().find("ssdm_wal_appends_total"), std::string::npos);
 }
 
 }  // namespace

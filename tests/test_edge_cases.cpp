@@ -10,6 +10,7 @@
 #include "engine/ssdm.h"
 #include "storage/file_backend.h"
 #include "storage/memory_backend.h"
+#include "query_helpers.h"
 
 namespace scisparql {
 namespace {
@@ -122,7 +123,7 @@ class QueryEdge : public ::testing::Test {
  protected:
   void SetUp() override {
     db_.prefixes().Set("ex", "http://example.org/");
-    ASSERT_TRUE(db_.Run("INSERT DATA { ex:a ex:v 1 . ex:b ex:v 2 . "
+    ASSERT_TRUE(scisparql::Run(db_, "INSERT DATA { ex:a ex:v 1 . ex:b ex:v 2 . "
                         "ex:c ex:v 3 }")
                     .ok());
   }
@@ -130,22 +131,22 @@ class QueryEdge : public ::testing::Test {
 };
 
 TEST_F(QueryEdge, LimitZero) {
-  auto r = db_.Query("SELECT ?v WHERE { ?s ex:v ?v } LIMIT 0");
+  auto r = Query(db_, "SELECT ?v WHERE { ?s ex:v ?v } LIMIT 0");
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r->rows.empty());
 }
 
 TEST_F(QueryEdge, OffsetBeyondEnd) {
-  auto r = db_.Query("SELECT ?v WHERE { ?s ex:v ?v } OFFSET 10");
+  auto r = Query(db_, "SELECT ?v WHERE { ?s ex:v ?v } OFFSET 10");
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r->rows.empty());
 }
 
 TEST_F(QueryEdge, OrderByMixedTypesTotalOrder) {
-  ASSERT_TRUE(db_.Run("INSERT DATA { ex:d ex:v \"text\" . "
+  ASSERT_TRUE(scisparql::Run(db_, "INSERT DATA { ex:d ex:v \"text\" . "
                       "ex:e ex:v ex:iri . ex:f ex:v true }")
                   .ok());
-  auto r = db_.Query("SELECT ?v WHERE { ?s ex:v ?v } ORDER BY ?v");
+  auto r = Query(db_, "SELECT ?v WHERE { ?s ex:v ?v } ORDER BY ?v");
   ASSERT_TRUE(r.ok());
   ASSERT_EQ(r->rows.size(), 6u);
   // IRIs sort before literals; booleans before numerics before strings
@@ -157,14 +158,14 @@ TEST_F(QueryEdge, OrderByMixedTypesTotalOrder) {
 }
 
 TEST_F(QueryEdge, EmptyWhereYieldsOneSolution) {
-  auto r = db_.Query("SELECT (1 + 1 AS ?two) WHERE { }");
+  auto r = Query(db_, "SELECT (1 + 1 AS ?two) WHERE { }");
   ASSERT_TRUE(r.ok());
   ASSERT_EQ(r->rows.size(), 1u);
   EXPECT_EQ(r->rows[0][0], Term::Integer(2));
 }
 
 TEST_F(QueryEdge, DistinctOnProjectedExpressions) {
-  auto r = db_.Query(
+  auto r = Query(db_, 
       "SELECT DISTINCT (IF(?v > 1, 1, 0) AS ?flag) WHERE { ?s ex:v ?v }");
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->rows.size(), 2u);
@@ -172,7 +173,7 @@ TEST_F(QueryEdge, DistinctOnProjectedExpressions) {
 
 TEST_F(QueryEdge, AggregateOverUnboundSkips) {
   // OPTIONAL leaves ?w unbound for every row; SUM skips them, COUNT(?w)=0.
-  auto r = db_.Query(
+  auto r = Query(db_, 
       "SELECT (COUNT(?w) AS ?n) (SUM(?w) AS ?s) WHERE "
       "{ ?x ex:v ?v OPTIONAL { ?x ex:w ?w } }");
   ASSERT_TRUE(r.ok());
@@ -181,17 +182,17 @@ TEST_F(QueryEdge, AggregateOverUnboundSkips) {
 }
 
 TEST_F(QueryEdge, DeeplyNestedGroups) {
-  auto r = db_.Query(
+  auto r = Query(db_, 
       "SELECT ?v WHERE { { { { ?s ex:v ?v } } } FILTER (?v = 2) }");
   ASSERT_TRUE(r.ok());
   ASSERT_EQ(r->rows.size(), 1u);
 }
 
 TEST_F(QueryEdge, CyclicPathTerminates) {
-  ASSERT_TRUE(db_.Run("INSERT DATA { ex:a ex:next ex:b . "
+  ASSERT_TRUE(scisparql::Run(db_, "INSERT DATA { ex:a ex:next ex:b . "
                       "ex:b ex:next ex:a }")
                   .ok());
-  auto r = db_.Query(
+  auto r = Query(db_, 
       "SELECT (COUNT(*) AS ?n) WHERE { ex:a ex:next+ ?x }");
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->rows[0][0], Term::Integer(2));  // b and a (via cycle)
@@ -200,12 +201,12 @@ TEST_F(QueryEdge, CyclicPathTerminates) {
 TEST_F(QueryEdge, PathVisitBudgetStopsRunaway) {
   // A long chain with a tiny budget: evaluation stops without error.
   for (int i = 0; i < 50; ++i) {
-    ASSERT_TRUE(db_.Run("INSERT DATA { ex:n" + std::to_string(i) +
+    ASSERT_TRUE(scisparql::Run(db_, "INSERT DATA { ex:n" + std::to_string(i) +
                         " ex:next ex:n" + std::to_string(i + 1) + " }")
                     .ok());
   }
   db_.exec_options().max_path_visits = 10;
-  auto r = db_.Query("SELECT (COUNT(*) AS ?n) WHERE { ex:n0 ex:next+ ?x }");
+  auto r = Query(db_, "SELECT (COUNT(*) AS ?n) WHERE { ex:n0 ex:next+ ?x }");
   ASSERT_TRUE(r.ok());
   EXPECT_LT(*r->rows[0][0].AsInteger(), 50);
 }

@@ -4,6 +4,7 @@
 
 #include "engine/ssdm.h"
 #include "storage/memory_backend.h"
+#include "query_helpers.h"
 
 namespace scisparql {
 namespace {
@@ -11,32 +12,32 @@ namespace {
 TEST(Engine, ExecuteDispatchesAllForms) {
   SSDM db;
   db.prefixes().Set("ex", "http://example.org/");
-  ASSERT_TRUE(db.Run("INSERT DATA { ex:a ex:p 1 }").ok());
+  ASSERT_TRUE(scisparql::Run(db, "INSERT DATA { ex:a ex:p 1 }").ok());
 
   auto rows = db.Execute("SELECT ?v WHERE { ex:a ex:p ?v }");
   ASSERT_TRUE(rows.ok());
-  EXPECT_EQ(rows->kind, SSDM::ExecResult::Kind::kRows);
+  EXPECT_EQ(rows->kind(), QueryOutcome::Kind::kRows);
 
   auto ask = db.Execute("ASK { ex:a ex:p 1 }");
   ASSERT_TRUE(ask.ok());
-  EXPECT_EQ(ask->kind, SSDM::ExecResult::Kind::kBool);
-  EXPECT_TRUE(ask->boolean);
+  EXPECT_EQ(ask->kind(), QueryOutcome::Kind::kAsk);
+  EXPECT_TRUE(ask->ask());
 
   auto graph = db.Execute("CONSTRUCT { ex:a ex:q ?v } WHERE { ex:a ex:p ?v }");
   ASSERT_TRUE(graph.ok());
-  EXPECT_EQ(graph->kind, SSDM::ExecResult::Kind::kGraph);
+  EXPECT_EQ(graph->kind(), QueryOutcome::Kind::kGraph);
 
   auto define = db.Execute(
       "DEFINE FUNCTION f(?x) AS SELECT (?x AS ?y) WHERE { }");
   ASSERT_TRUE(define.ok());
-  EXPECT_EQ(define->kind, SSDM::ExecResult::Kind::kOk);
+  EXPECT_EQ(define->kind(), QueryOutcome::Kind::kUpdateCount);
 }
 
 TEST(Engine, TypedAccessorsRejectWrongForms) {
   SSDM db;
-  EXPECT_FALSE(db.Query("ASK { ?s ?p ?o }").ok());
-  EXPECT_FALSE(db.Ask("SELECT ?s WHERE { ?s ?p ?o }").ok());
-  EXPECT_FALSE(db.Construct("ASK { ?s ?p ?o }").ok());
+  EXPECT_FALSE(Query(db, "ASK { ?s ?p ?o }").ok());
+  EXPECT_FALSE(Ask(db, "SELECT ?s WHERE { ?s ?p ?o }").ok());
+  EXPECT_FALSE(Construct(db, "ASK { ?s ?p ?o }").ok());
 }
 
 TEST(Engine, ParseErrorsSurface) {
@@ -49,8 +50,8 @@ TEST(Engine, ParseErrorsSurface) {
 TEST(Engine, SessionPrefixesAvailableWithoutDeclaration) {
   SSDM db;
   db.prefixes().Set("zz", "http://zz/");
-  ASSERT_TRUE(db.Run("INSERT DATA { zz:a zz:p 1 }").ok());
-  EXPECT_TRUE(*db.Ask("ASK { zz:a zz:p 1 }"));
+  ASSERT_TRUE(scisparql::Run(db, "INSERT DATA { zz:a zz:p 1 }").ok());
+  EXPECT_TRUE(*Ask(db, "ASK { zz:a zz:p 1 }"));
 }
 
 TEST(Engine, StoreArrayRequiresAttachedStorage) {
@@ -83,11 +84,11 @@ ex:a ex:p 1 ; ex:label "one" ; ex:data ((1 2) (3 4)) .
     db.prefixes().Set("ex", "http://example.org/");
     ASSERT_TRUE(db.LoadSnapshot(path).ok());
     EXPECT_EQ(db.dataset().default_graph().size(), 3u);
-    EXPECT_TRUE(*db.Ask("ASK { ex:a ex:label \"one\" }"));
+    EXPECT_TRUE(*Ask(db, "ASK { ex:a ex:label \"one\" }"));
     EXPECT_TRUE(
-        *db.Ask("ASK { GRAPH <http://example.org/g1> { ex:n ex:in 2 } }"));
+        *Ask(db, "ASK { GRAPH <http://example.org/g1> { ex:n ex:in 2 } }"));
     // The array survived (rewritten as a collection, re-consolidated).
-    auto r = db.Query("SELECT (ASUM(?a) AS ?s) WHERE { ex:a ex:data ?a }");
+    auto r = Query(db, "SELECT (ASUM(?a) AS ?s) WHERE { ex:a ex:data ?a }");
     ASSERT_TRUE(r.ok()) << r.status().ToString();
     EXPECT_EQ(r->rows[0][0], Term::Double(10));
   }
@@ -114,7 +115,7 @@ TEST(Engine, SnapshotMaterializesProxies) {
     SSDM db;
     db.prefixes().Set("ex", "http://example.org/");
     ASSERT_TRUE(db.LoadSnapshot(path).ok());
-    auto r = db.Query("SELECT ?a[2] WHERE { ex:s ex:d ?a }");
+    auto r = Query(db, "SELECT ?a[2] WHERE { ex:s ex:d ?a }");
     ASSERT_TRUE(r.ok()) << r.status().ToString();
     EXPECT_EQ(r->rows[0][0], Term::Integer(8));
   }
@@ -126,15 +127,15 @@ TEST(Engine, SnapshotReplacesExistingData) {
   std::remove(path.c_str());
   SSDM source;
   source.prefixes().Set("ex", "http://example.org/");
-  ASSERT_TRUE(source.Run("INSERT DATA { ex:x ex:p 1 }").ok());
+  ASSERT_TRUE(scisparql::Run(source, "INSERT DATA { ex:x ex:p 1 }").ok());
   ASSERT_TRUE(source.SaveSnapshot(path).ok());
 
   SSDM target;
   target.prefixes().Set("ex", "http://example.org/");
-  ASSERT_TRUE(target.Run("INSERT DATA { ex:old ex:junk 99 }").ok());
+  ASSERT_TRUE(scisparql::Run(target, "INSERT DATA { ex:old ex:junk 99 }").ok());
   ASSERT_TRUE(target.LoadSnapshot(path).ok());
-  EXPECT_FALSE(*target.Ask("ASK { ex:old ex:junk 99 }"));
-  EXPECT_TRUE(*target.Ask("ASK { ex:x ex:p 1 }"));
+  EXPECT_FALSE(*Ask(target, "ASK { ex:old ex:junk 99 }"));
+  EXPECT_TRUE(*Ask(target, "ASK { ex:x ex:p 1 }"));
   std::remove(path.c_str());
 }
 

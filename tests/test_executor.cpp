@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "engine/ssdm.h"
+#include "query_helpers.h"
 
 namespace scisparql {
 namespace {
@@ -36,7 +37,7 @@ ex:v1 ex:score 10 . ex:v2 ex:score 20 . ex:v3 ex:score 30 .
   }
 
   sparql::QueryResult Q(const std::string& text) {
-    auto r = db_.Query(text);
+    auto r = Query(db_, text);
     EXPECT_TRUE(r.ok()) << r.status().ToString() << "\n" << text;
     return r.ok() ? *r : sparql::QueryResult{};
   }
@@ -200,7 +201,7 @@ TEST_F(ExecutorTest, CountEmptyGroupIsZero) {
 }
 
 TEST_F(ExecutorTest, GroupByWithHaving) {
-  ASSERT_TRUE(db_.Run("INSERT DATA { ex:v4 ex:score 30 }").ok());
+  ASSERT_TRUE(scisparql::Run(db_, "INSERT DATA { ex:v4 ex:score 30 }").ok());
   auto r = Q("SELECT ?v (COUNT(*) AS ?n) WHERE { ?x ex:score ?v } "
              "GROUP BY ?v HAVING (COUNT(*) > 1) ");
   ASSERT_EQ(r.rows.size(), 1u);
@@ -219,7 +220,7 @@ TEST_F(ExecutorTest, GroupConcatAndSample) {
 }
 
 TEST_F(ExecutorTest, CountDistinct) {
-  ASSERT_TRUE(db_.Run("INSERT DATA { ex:v4 ex:score 30 }").ok());
+  ASSERT_TRUE(scisparql::Run(db_, "INSERT DATA { ex:v4 ex:score 30 }").ok());
   auto r = Q("SELECT (COUNT(DISTINCT ?v) AS ?n) WHERE { ?x ex:score ?v }");
   EXPECT_EQ(r.rows[0][0], Term::Integer(3));
 }
@@ -241,19 +242,19 @@ TEST_F(ExecutorTest, SelectStarColumns) {
 }
 
 TEST_F(ExecutorTest, AskQueries) {
-  EXPECT_TRUE(*db_.Ask("ASK { ?x foaf:name \"Alice\" }"));
-  EXPECT_FALSE(*db_.Ask("ASK { ?x foaf:name \"Nobody\" }"));
+  EXPECT_TRUE(*Ask(db_, "ASK { ?x foaf:name \"Alice\" }"));
+  EXPECT_FALSE(*Ask(db_, "ASK { ?x foaf:name \"Nobody\" }"));
 }
 
 TEST_F(ExecutorTest, ConstructBuildsGraph) {
-  Graph g = *db_.Construct(
+  Graph g = *Construct(db_, 
       "CONSTRUCT { ?y ex:knownBy ?x } WHERE { ?x foaf:knows ?y }");
   EXPECT_EQ(g.size(), 3u);
 }
 
 TEST_F(ExecutorTest, ConstructSkipsInvalidTriples) {
   // Unbound ?m (no matches inside OPTIONAL) must not produce triples.
-  Graph g = *db_.Construct(
+  Graph g = *Construct(db_, 
       "CONSTRUCT { ?p ex:mail ?m } WHERE { ?p foaf:name ?n "
       "OPTIONAL { ?p foaf:mbox ?m } }");
   EXPECT_EQ(g.size(), 1u);  // only Alice has a mailbox
@@ -280,29 +281,29 @@ TEST_F(ExecutorTest, FromMergesNamedGraph) {
 }
 
 TEST_F(ExecutorTest, UpdateInsertDelete) {
-  ASSERT_TRUE(db_.Run("INSERT DATA { ex:new ex:score 40 }").ok());
-  EXPECT_TRUE(*db_.Ask("ASK { ex:new ex:score 40 }"));
-  ASSERT_TRUE(db_.Run("DELETE DATA { ex:new ex:score 40 }").ok());
-  EXPECT_FALSE(*db_.Ask("ASK { ex:new ex:score 40 }"));
+  ASSERT_TRUE(scisparql::Run(db_, "INSERT DATA { ex:new ex:score 40 }").ok());
+  EXPECT_TRUE(*Ask(db_, "ASK { ex:new ex:score 40 }"));
+  ASSERT_TRUE(scisparql::Run(db_, "DELETE DATA { ex:new ex:score 40 }").ok());
+  EXPECT_FALSE(*Ask(db_, "ASK { ex:new ex:score 40 }"));
 }
 
 TEST_F(ExecutorTest, UpdateModify) {
-  ASSERT_TRUE(db_.Run("DELETE { ?s ex:score ?v } "
+  ASSERT_TRUE(scisparql::Run(db_, "DELETE { ?s ex:score ?v } "
                       "INSERT { ?s ex:points ?v } "
                       "WHERE { ?s ex:score ?v }")
                   .ok());
-  EXPECT_FALSE(*db_.Ask("ASK { ?s ex:score ?v }"));
+  EXPECT_FALSE(*Ask(db_, "ASK { ?s ex:score ?v }"));
   auto r = Q("SELECT (COUNT(*) AS ?n) WHERE { ?s ex:points ?v }");
   EXPECT_EQ(r.rows[0][0], Term::Integer(3));
 }
 
 TEST_F(ExecutorTest, UpdateDeleteWhere) {
-  ASSERT_TRUE(db_.Run("DELETE WHERE { ?s ex:score ?v }").ok());
-  EXPECT_FALSE(*db_.Ask("ASK { ?s ex:score ?v }"));
+  ASSERT_TRUE(scisparql::Run(db_, "DELETE WHERE { ?s ex:score ?v }").ok());
+  EXPECT_FALSE(*Ask(db_, "ASK { ?s ex:score ?v }"));
 }
 
 TEST_F(ExecutorTest, ClearGraph) {
-  ASSERT_TRUE(db_.Run("CLEAR DEFAULT").ok());
+  ASSERT_TRUE(scisparql::Run(db_, "CLEAR DEFAULT").ok());
   EXPECT_TRUE(db_.dataset().default_graph().empty());
 }
 
@@ -314,7 +315,7 @@ TEST_F(ExecutorTest, ArrayQueryOnGraphData) {
 }
 
 TEST_F(ExecutorTest, DefinedFunctionScalarCall) {
-  ASSERT_TRUE(db_.Run("DEFINE FUNCTION ex:twice(?x) AS "
+  ASSERT_TRUE(scisparql::Run(db_, "DEFINE FUNCTION ex:twice(?x) AS "
                       "SELECT (?x * 2 AS ?y) WHERE { }")
                   .ok());
   auto r = Q("SELECT (ex:twice(21) AS ?v) WHERE { }");
@@ -325,7 +326,7 @@ TEST_F(ExecutorTest, DefinedFunctionAsParameterizedView) {
   // A functional view over the graph (Section 4.2): scores above a
   // threshold. Called via BIND, it has DAPLEX bag semantics: one solution
   // per element.
-  ASSERT_TRUE(db_.Run("DEFINE FUNCTION ex:bigScores(?min) AS "
+  ASSERT_TRUE(scisparql::Run(db_, "DEFINE FUNCTION ex:bigScores(?min) AS "
                       "SELECT ?v WHERE { ?s ex:score ?v FILTER (?v > ?min) }")
                   .ok());
   auto r = Q("SELECT ?v WHERE { BIND (ex:bigScores(15) AS ?v) } ORDER BY ?v");
@@ -333,10 +334,10 @@ TEST_F(ExecutorTest, DefinedFunctionAsParameterizedView) {
 }
 
 TEST_F(ExecutorTest, DefinedFunctionComposition) {
-  ASSERT_TRUE(db_.Run("DEFINE FUNCTION ex:inc(?x) AS "
+  ASSERT_TRUE(scisparql::Run(db_, "DEFINE FUNCTION ex:inc(?x) AS "
                       "SELECT (?x + 1 AS ?y) WHERE { }")
                   .ok());
-  ASSERT_TRUE(db_.Run("DEFINE FUNCTION ex:inc2(?x) AS "
+  ASSERT_TRUE(scisparql::Run(db_, "DEFINE FUNCTION ex:inc2(?x) AS "
                       "SELECT (ex:inc(ex:inc(?x)) AS ?y) WHERE { }")
                   .ok());
   auto r = Q("SELECT (ex:inc2(40) AS ?v) WHERE { }");
@@ -382,7 +383,7 @@ TEST_F(ExecutorTest, ExplainShowsCostOrderedPlan) {
 TEST_F(ExecutorTest, NestedOptionalOrderSensitivity) {
   // The operational-semantics example family of Section 5.4.2: OPTIONAL
   // evaluated left-to-right with sideways information passing.
-  ASSERT_TRUE(db_.Run("INSERT DATA { ex:o1 ex:p 1 . ex:o1 ex:q 2 }").ok());
+  ASSERT_TRUE(scisparql::Run(db_, "INSERT DATA { ex:o1 ex:p 1 . ex:o1 ex:q 2 }").ok());
   auto r = Q("SELECT ?x ?y WHERE { ex:o1 ex:p ?x "
              "OPTIONAL { ex:o1 ex:q ?y } OPTIONAL { ex:o1 ex:q ?x } }");
   ASSERT_EQ(r.rows.size(), 1u);
@@ -394,7 +395,7 @@ TEST_F(ExecutorTest, FilterOnVariableBoundOnlyInLaterOptional) {
   // ?v is bound by the OPTIONAL *after* the filter appears textually.
   // Group semantics: the filter applies to the whole group solution, so it
   // must see the OPTIONAL's binding (and not run early against unbound ?v).
-  ASSERT_TRUE(db_.Run("INSERT DATA { ex:v1 ex:bonus 25 }").ok());
+  ASSERT_TRUE(scisparql::Run(db_, "INSERT DATA { ex:v1 ex:bonus 25 }").ok());
   auto r = Q(R"(
 SELECT ?s ?b WHERE {
   ?s ex:score ?v . FILTER(?b > 20)
@@ -420,11 +421,11 @@ SELECT ?s WHERE {
 TEST_F(ExecutorTest, OrderByComparesMixedNumericTypesByValue) {
   // 9.5 as xsd:double must sort between the integers 2 and 30, not
   // lexically / by type.
-  ASSERT_TRUE(db_.Run("INSERT DATA { ex:m1 ex:metric 2 }").ok());
-  ASSERT_TRUE(db_.Run("INSERT DATA { ex:m2 ex:metric 9.5 }").ok());
-  ASSERT_TRUE(db_.Run("INSERT DATA { ex:m3 ex:metric 30 }").ok());
+  ASSERT_TRUE(scisparql::Run(db_, "INSERT DATA { ex:m1 ex:metric 2 }").ok());
+  ASSERT_TRUE(scisparql::Run(db_, "INSERT DATA { ex:m2 ex:metric 9.5 }").ok());
+  ASSERT_TRUE(scisparql::Run(db_, "INSERT DATA { ex:m3 ex:metric 30 }").ok());
   ASSERT_TRUE(
-      db_.Run("INSERT DATA { ex:m4 ex:metric "
+      scisparql::Run(db_, "INSERT DATA { ex:m4 ex:metric "
               "\"12\"^^<http://www.w3.org/2001/XMLSchema#double> }")
           .ok());
   auto r = Q("SELECT ?s ?m WHERE { ?s ex:metric ?m } ORDER BY ?m");
@@ -442,18 +443,18 @@ TEST_F(ExecutorTest, OrderByRejectsNonXsdNumericLexicalForms) {
   // "0x10" as 16 and slot it between 9 and 20; XSD numeric syntax has no
   // hex, so the literal must fall back to term order after the numeric
   // group. A leading '+' *is* valid XSD syntax and must keep its key.
-  ASSERT_TRUE(db_.Run("INSERT DATA { ex:h1 ex:metric 9 }").ok());
-  ASSERT_TRUE(db_.Run("INSERT DATA { ex:h2 ex:metric 20 }").ok());
+  ASSERT_TRUE(scisparql::Run(db_, "INSERT DATA { ex:h1 ex:metric 9 }").ok());
+  ASSERT_TRUE(scisparql::Run(db_, "INSERT DATA { ex:h2 ex:metric 20 }").ok());
   ASSERT_TRUE(
-      db_.Run("INSERT DATA { ex:h3 ex:metric "
+      scisparql::Run(db_, "INSERT DATA { ex:h3 ex:metric "
               "\"0x10\"^^<http://www.w3.org/2001/XMLSchema#long> }")
           .ok());
   ASSERT_TRUE(
-      db_.Run("INSERT DATA { ex:h4 ex:metric "
+      scisparql::Run(db_, "INSERT DATA { ex:h4 ex:metric "
               "\"12\"^^<http://www.w3.org/2001/XMLSchema#long> }")
           .ok());
   ASSERT_TRUE(
-      db_.Run("INSERT DATA { ex:h5 ex:metric "
+      scisparql::Run(db_, "INSERT DATA { ex:h5 ex:metric "
               "\"+12.5\"^^<http://www.w3.org/2001/XMLSchema#float> }")
           .ok());
   auto r = Q("SELECT ?s WHERE { ?s ex:metric ?m } ORDER BY ?m");
@@ -495,7 +496,7 @@ class OrderBandTest : public ::testing::Test {
  protected:
   void SetUp() override {
     db_.prefixes().Set("ex", "http://example.org/");
-    ASSERT_TRUE(db_.Run(R"(INSERT DATA {
+    ASSERT_TRUE(scisparql::Run(db_, R"(INSERT DATA {
       ex:r1 ex:val 4 . ex:r1 ex:tag "b4" .
       ex:r2 ex:val 0 . ex:r2 ex:tag "e1" .
       ex:r3 ex:tag "u1" .
@@ -507,7 +508,7 @@ class OrderBandTest : public ::testing::Test {
   }
 
   std::vector<std::string> Tags(const std::string& order) {
-    auto r = db_.Query(
+    auto r = Query(db_, 
         "PREFIX ex: <http://example.org/> SELECT ?t WHERE { ?s ex:tag ?t . "
         "OPTIONAL { ?s ex:val ?v } } ORDER BY " +
         order);
@@ -545,7 +546,7 @@ TEST_F(OrderBandTest, DescFlipsTheErrorBandToTheFront) {
 }
 
 TEST_F(OrderBandTest, ErroredProjectionYieldsUnboundCell) {
-  auto r = db_.Query(
+  auto r = Query(db_, 
       "PREFIX ex: <http://example.org/> SELECT ?t (10 / ?v AS ?k) WHERE { "
       "?s ex:tag ?t . OPTIONAL { ?s ex:val ?v } } ORDER BY ?t");
   ASSERT_TRUE(r.ok()) << r.status().ToString();

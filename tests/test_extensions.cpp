@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "engine/ssdm.h"
+#include "query_helpers.h"
 
 namespace scisparql {
 namespace {
@@ -26,7 +27,7 @@ ex:g1 ex:label "first" . ex:g2 ex:label "second" .
 
 TEST_F(ExtensionsTest, SubSelectJoinsWithOuterPattern) {
   // Inner query computes per-group maxima; outer joins back to labels.
-  auto r = db_.Query(R"(
+  auto r = Query(db_, R"(
 SELECT ?label ?mx WHERE {
   { SELECT ?g (MAX(?s) AS ?mx) WHERE { ?x ex:score ?s ; ex:group ?g }
     GROUP BY ?g }
@@ -40,7 +41,7 @@ SELECT ?label ?mx WHERE {
 }
 
 TEST_F(ExtensionsTest, SubSelectWithLimitActsAsTopK) {
-  auto r = db_.Query(R"(
+  auto r = Query(db_, R"(
 SELECT ?s WHERE {
   { SELECT ?s WHERE { ?x ex:score ?s } ORDER BY DESC(?s) LIMIT 2 }
 } ORDER BY ?s)");
@@ -53,15 +54,15 @@ SELECT ?s WHERE {
 TEST_F(ExtensionsTest, DescribeConstantIri) {
   auto g = db_.Execute("DESCRIBE ex:a");
   ASSERT_TRUE(g.ok()) << g.status().ToString();
-  ASSERT_EQ(g->kind, SSDM::ExecResult::Kind::kGraph);
-  EXPECT_EQ(g->graph.size(), 2u);  // score + group
+  ASSERT_EQ(g->kind(), QueryOutcome::Kind::kGraph);
+  EXPECT_EQ(g->graph().size(), 2u);  // score + group
 }
 
 TEST_F(ExtensionsTest, DescribeWithWhere) {
   auto g = db_.Execute(
       "DESCRIBE ?x WHERE { ?x ex:score ?s FILTER (?s > 25) }");
   ASSERT_TRUE(g.ok()) << g.status().ToString();
-  EXPECT_EQ(g->graph.size(), 4u);  // c and d, two triples each
+  EXPECT_EQ(g->graph().size(), 4u);  // c and d, two triples each
 }
 
 TEST_F(ExtensionsTest, DescribeExpandsBlankNodes) {
@@ -72,13 +73,13 @@ ex:nested ex:has [ ex:inner 1 ; ex:deep [ ex:leaf 2 ] ] .
   auto g = db_.Execute("DESCRIBE ex:nested");
   ASSERT_TRUE(g.ok());
   // 1 root triple + 2 triples of the first blank + 1 of the nested blank.
-  EXPECT_EQ(g->graph.size(), 4u);
+  EXPECT_EQ(g->graph().size(), 4u);
 }
 
 TEST_F(ExtensionsTest, InsertDataWithCollectionBecomesArray) {
   ASSERT_TRUE(
-      db_.Run("INSERT DATA { ex:mat ex:data ((1 2) (3 4)) }").ok());
-  auto r = db_.Query(
+      scisparql::Run(db_, "INSERT DATA { ex:mat ex:data ((1 2) (3 4)) }").ok());
+  auto r = Query(db_, 
       "SELECT ?a[2, 2] (ASUM(?a) AS ?s) WHERE { ex:mat ex:data ?a }");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   ASSERT_EQ(r->rows.size(), 1u);
@@ -87,9 +88,9 @@ TEST_F(ExtensionsTest, InsertDataWithCollectionBecomesArray) {
 }
 
 TEST_F(ExtensionsTest, InsertDataWithBlankPropertyList) {
-  ASSERT_TRUE(db_.Run(
+  ASSERT_TRUE(scisparql::Run(db_, 
       "INSERT DATA { ex:exp ex:config [ ex:alpha 1 ; ex:beta 2 ] }").ok());
-  auto r = db_.Query(
+  auto r = Query(db_, 
       "SELECT ?b WHERE { ex:exp ex:config ?c . ?c ex:beta ?b }");
   ASSERT_TRUE(r.ok());
   ASSERT_EQ(r->rows.size(), 1u);
@@ -97,7 +98,7 @@ TEST_F(ExtensionsTest, InsertDataWithBlankPropertyList) {
 }
 
 TEST_F(ExtensionsTest, ConstructTemplateWithCollection) {
-  Graph g = *db_.Construct(
+  Graph g = *Construct(db_, 
       "CONSTRUCT { ex:out ex:pair (1 2) } WHERE { }");
   // 1 entry triple + 4 list triples (two cells).
   EXPECT_EQ(g.size(), 5u);
@@ -106,8 +107,8 @@ TEST_F(ExtensionsTest, ConstructTemplateWithCollection) {
 TEST_F(ExtensionsTest, SubscriptGeneratorEnumeratesVector) {
   // Section 4.1.2: an unbound index variable in a BIND dereference binds
   // to every (1-based) subscript.
-  ASSERT_TRUE(db_.Run("INSERT DATA { ex:v ex:data (5 7 9) }").ok());
-  auto r = db_.Query(
+  ASSERT_TRUE(scisparql::Run(db_, "INSERT DATA { ex:v ex:data (5 7 9) }").ok());
+  auto r = Query(db_, 
       "SELECT ?i ?v WHERE { ex:v ex:data ?a BIND (?a[?i] AS ?v) } "
       "ORDER BY ?i");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
@@ -118,8 +119,8 @@ TEST_F(ExtensionsTest, SubscriptGeneratorEnumeratesVector) {
 }
 
 TEST_F(ExtensionsTest, SubscriptGeneratorMatrixWithFilter) {
-  ASSERT_TRUE(db_.Run("INSERT DATA { ex:m ex:data ((1 2) (3 4)) }").ok());
-  auto r = db_.Query(
+  ASSERT_TRUE(scisparql::Run(db_, "INSERT DATA { ex:m ex:data ((1 2) (3 4)) }").ok());
+  auto r = Query(db_, 
       "SELECT ?i ?j WHERE { ex:m ex:data ?a BIND (?a[?i, ?j] AS ?v) "
       "FILTER (?v >= 3) } ORDER BY ?i ?j");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
@@ -129,8 +130,8 @@ TEST_F(ExtensionsTest, SubscriptGeneratorMatrixWithFilter) {
 }
 
 TEST_F(ExtensionsTest, SubscriptGeneratorArgmaxIdiom) {
-  ASSERT_TRUE(db_.Run("INSERT DATA { ex:v ex:data (5 9 7) }").ok());
-  auto r = db_.Query(
+  ASSERT_TRUE(scisparql::Run(db_, "INSERT DATA { ex:v ex:data (5 9 7) }").ok());
+  auto r = Query(db_, 
       "SELECT ?i WHERE { ex:v ex:data ?a BIND (?a[?i] AS ?v) "
       "FILTER (?v = AMAX(?a)) }");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
@@ -139,9 +140,9 @@ TEST_F(ExtensionsTest, SubscriptGeneratorArgmaxIdiom) {
 }
 
 TEST_F(ExtensionsTest, SubscriptGeneratorMixedFixedAndFree) {
-  ASSERT_TRUE(db_.Run("INSERT DATA { ex:m ex:data ((1 2) (3 4)) }").ok());
+  ASSERT_TRUE(scisparql::Run(db_, "INSERT DATA { ex:m ex:data ((1 2) (3 4)) }").ok());
   // Column 2 enumerated over rows.
-  auto r = db_.Query(
+  auto r = Query(db_, 
       "SELECT ?i ?v WHERE { ex:m ex:data ?a BIND (?a[?i, 2] AS ?v) } "
       "ORDER BY ?i");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
@@ -151,8 +152,8 @@ TEST_F(ExtensionsTest, SubscriptGeneratorMixedFixedAndFree) {
 }
 
 TEST_F(ExtensionsTest, SubscriptWithBoundVarIsOrdinaryDeref) {
-  ASSERT_TRUE(db_.Run("INSERT DATA { ex:v ex:data (5 7 9) }").ok());
-  auto r = db_.Query(
+  ASSERT_TRUE(scisparql::Run(db_, "INSERT DATA { ex:v ex:data (5 7 9) }").ok());
+  auto r = Query(db_, 
       "SELECT ?v WHERE { ex:v ex:data ?a . VALUES ?i { 2 } "
       "BIND (?a[?i] AS ?v) }");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
@@ -161,7 +162,7 @@ TEST_F(ExtensionsTest, SubscriptWithBoundVarIsOrdinaryDeref) {
 }
 
 TEST_F(ExtensionsTest, SubSelectStarColumns) {
-  auto r = db_.Query(R"(
+  auto r = Query(db_, R"(
 SELECT * WHERE {
   { SELECT ?g (COUNT(*) AS ?n) WHERE { ?x ex:group ?g } GROUP BY ?g }
 } ORDER BY ?g)");

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "engine/ssdm.h"
+#include "query_helpers.h"
 
 namespace scisparql {
 namespace sparql {
@@ -54,9 +55,9 @@ TEST(FunctionRegistry, DefineValidatesBody) {
 
 TEST(FunctionRegistry, DefinedNamesListed) {
   SSDM db;
-  ASSERT_TRUE(db.Run("DEFINE FUNCTION one() AS SELECT (1 AS ?x) WHERE { }")
+  ASSERT_TRUE(scisparql::Run(db, "DEFINE FUNCTION one() AS SELECT (1 AS ?x) WHERE { }")
                   .ok());
-  ASSERT_TRUE(db.Run("DEFINE FUNCTION two() AS SELECT (2 AS ?x) WHERE { }")
+  ASSERT_TRUE(scisparql::Run(db, "DEFINE FUNCTION two() AS SELECT (2 AS ?x) WHERE { }")
                   .ok());
   EXPECT_EQ(db.functions().DefinedNames().size(), 2u);
 }
@@ -71,18 +72,18 @@ TEST(FunctionRegistry, BuiltinNamesRecognized) {
 TEST(DefinedFunctions, ZeroArgFunction) {
   SSDM db;
   ASSERT_TRUE(
-      db.Run("DEFINE FUNCTION answer() AS SELECT (42 AS ?x) WHERE { }").ok());
-  auto r = db.Query("SELECT (answer() AS ?v) WHERE { }");
+      scisparql::Run(db, "DEFINE FUNCTION answer() AS SELECT (42 AS ?x) WHERE { }").ok());
+  auto r = Query(db, "SELECT (answer() AS ?v) WHERE { }");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(r->rows[0][0], Term::Integer(42));
 }
 
 TEST(DefinedFunctions, WrongArityRejected) {
   SSDM db;
-  ASSERT_TRUE(db.Run("DEFINE FUNCTION inc(?x) AS "
+  ASSERT_TRUE(scisparql::Run(db, "DEFINE FUNCTION inc(?x) AS "
                      "SELECT (?x + 1 AS ?y) WHERE { }")
                   .ok());
-  auto r = db.Query("SELECT (inc(1, 2) AS ?v) WHERE { }");
+  auto r = Query(db, "SELECT (inc(1, 2) AS ?v) WHERE { }");
   ASSERT_TRUE(r.ok());
   // Expression errors surface as unbound projection cells.
   EXPECT_TRUE(r->rows[0][0].IsUndef());
@@ -91,10 +92,10 @@ TEST(DefinedFunctions, WrongArityRejected) {
 TEST(DefinedFunctions, RecursionDepthGuard) {
   SSDM db;
   // loop(?x) calls itself forever; the engine must bail out, not crash.
-  ASSERT_TRUE(db.Run("DEFINE FUNCTION loop(?x) AS "
+  ASSERT_TRUE(scisparql::Run(db, "DEFINE FUNCTION loop(?x) AS "
                      "SELECT (loop(?x) AS ?y) WHERE { }")
                   .ok());
-  auto r = db.Query("SELECT (loop(1) AS ?v) WHERE { }");
+  auto r = Query(db, "SELECT (loop(1) AS ?v) WHERE { }");
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r->rows[0][0].IsUndef());
 }
@@ -102,24 +103,24 @@ TEST(DefinedFunctions, RecursionDepthGuard) {
 TEST(DefinedFunctions, RedefinitionTakesEffect) {
   SSDM db;
   ASSERT_TRUE(
-      db.Run("DEFINE FUNCTION f() AS SELECT (1 AS ?x) WHERE { }").ok());
+      scisparql::Run(db, "DEFINE FUNCTION f() AS SELECT (1 AS ?x) WHERE { }").ok());
   ASSERT_TRUE(
-      db.Run("DEFINE FUNCTION f() AS SELECT (2 AS ?x) WHERE { }").ok());
-  auto r = db.Query("SELECT (f() AS ?v) WHERE { }");
+      scisparql::Run(db, "DEFINE FUNCTION f() AS SELECT (2 AS ?x) WHERE { }").ok());
+  auto r = Query(db, "SELECT (f() AS ?v) WHERE { }");
   EXPECT_EQ(r->rows[0][0], Term::Integer(2));
 }
 
 TEST(DefinedFunctions, ViewOverGraphSeesUpdates) {
   SSDM db;
   db.prefixes().Set("ex", "http://example.org/");
-  ASSERT_TRUE(db.Run("DEFINE FUNCTION count_scores() AS "
+  ASSERT_TRUE(scisparql::Run(db, "DEFINE FUNCTION count_scores() AS "
                      "SELECT (COUNT(*) AS ?n) WHERE { ?s ex:score ?v }")
                   .ok());
-  auto r1 = db.Query("SELECT (count_scores() AS ?n) WHERE { }");
+  auto r1 = Query(db, "SELECT (count_scores() AS ?n) WHERE { }");
   EXPECT_EQ(r1->rows[0][0], Term::Integer(0));
-  ASSERT_TRUE(db.Run("INSERT DATA { ex:a ex:score 1 . ex:b ex:score 2 }")
+  ASSERT_TRUE(scisparql::Run(db, "INSERT DATA { ex:a ex:score 1 . ex:b ex:score 2 }")
                   .ok());
-  auto r2 = db.Query("SELECT (count_scores() AS ?n) WHERE { }");
+  auto r2 = Query(db, "SELECT (count_scores() AS ?n) WHERE { }");
   EXPECT_EQ(r2->rows[0][0], Term::Integer(2));  // views are not snapshots
 }
 
@@ -132,8 +133,8 @@ TEST(Load, UpdateLoadsTurtleFile) {
   }
   SSDM db;
   db.prefixes().Set("ex", "http://example.org/");
-  ASSERT_TRUE(db.Run("LOAD \"" + path + "\"").ok());
-  auto r = db.Query(
+  ASSERT_TRUE(scisparql::Run(db, "LOAD \"" + path + "\"").ok());
+  auto r = Query(db, 
       "SELECT ?w (ASUM(?s) AS ?sum) WHERE "
       "{ ex:thing ex:weight ?w ; ex:series ?s }");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
@@ -142,11 +143,11 @@ TEST(Load, UpdateLoadsTurtleFile) {
   EXPECT_EQ(r->rows[0][1], Term::Double(6));
   // LOAD INTO GRAPH targets a named graph.
   ASSERT_TRUE(
-      db.Run("LOAD \"" + path + "\" INTO GRAPH ex:imported").ok());
-  auto g = db.Query(
+      scisparql::Run(db, "LOAD \"" + path + "\" INTO GRAPH ex:imported").ok());
+  auto g = Query(db, 
       "SELECT ?w WHERE { GRAPH ex:imported { ?t ex:weight ?w } }");
   ASSERT_EQ(g->rows.size(), 1u);
-  EXPECT_FALSE(db.Run("LOAD \"/nonexistent.ttl\"").ok());
+  EXPECT_FALSE(scisparql::Run(db, "LOAD \"/nonexistent.ttl\"").ok());
 }
 
 // --- String-builtin conformance: UTF-8 code-point semantics
@@ -155,7 +156,7 @@ TEST(Load, UpdateLoadsTurtleFile) {
 /// Evaluates one constant expression through a projection.
 Term Eval1(const std::string& expr) {
   SSDM db;
-  auto rows = db.Query("SELECT (" + expr + " AS ?x) WHERE { }");
+  auto rows = Query(db, "SELECT (" + expr + " AS ?x) WHERE { }");
   EXPECT_TRUE(rows.ok()) << rows.status().ToString();
   if (!rows.ok() || rows->rows.empty() || rows->rows[0].empty()) {
     return Term();

@@ -16,6 +16,7 @@
 #include "storage/dict_section.h"
 #include "storage/vfs.h"
 #include "storage/wal.h"
+#include "query_helpers.h"
 
 namespace scisparql {
 namespace {
@@ -157,11 +158,11 @@ ex:loop ex:knows ex:loop .
   void BothPaths(const std::string& q, std::vector<std::vector<Term>>* id_rows,
                  std::vector<std::vector<Term>>* scan_rows) {
     db_.exec_options().use_id_joins = true;
-    auto r1 = db_.Query(q);
+    auto r1 = Query(db_, q);
     ASSERT_TRUE(r1.ok()) << r1.status().ToString();
     *id_rows = r1->rows;
     db_.exec_options().use_id_joins = false;
-    auto r2 = db_.Query(q);
+    auto r2 = Query(db_, q);
     ASSERT_TRUE(r2.ok()) << r2.status().ToString();
     *scan_rows = r2->rows;
     db_.exec_options().use_id_joins = true;
@@ -230,7 +231,7 @@ TEST_F(IdJoinTest, FiltersApplyIdenticallyOnBothPaths) {
 }
 
 TEST_F(IdJoinTest, CrossKindNumericConstantsMatch) {
-  ASSERT_TRUE(db_.Run("INSERT DATA { ex:m ex:score 10.0 . "
+  ASSERT_TRUE(scisparql::Run(db_, "INSERT DATA { ex:m ex:score 10.0 . "
                       "ex:m ex:name \"mallory\" }")
                   .ok());
   // Integer literal 10 must match the stored double 10.0 on both paths
@@ -240,7 +241,7 @@ TEST_F(IdJoinTest, CrossKindNumericConstantsMatch) {
 
 TEST_F(IdJoinTest, OverflowFallsBackToScanAndBind) {
   db_.exec_options().id_join_max_rows = 2;  // force mid-join overflow
-  auto r = db_.Query(
+  auto r = Query(db_, 
       "SELECT ?s ?f ?a WHERE { ?s ex:knows ?f . ?s ex:age ?a }");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(r->rows.size(), 6u);
@@ -250,7 +251,7 @@ TEST_F(IdJoinTest, OverflowFallsBackToScanAndBind) {
 TEST_F(IdJoinTest, NumericAliasInDataDisablesFastPathSafely) {
   // Interning both 25 and 25.0 makes ID equality diverge from SPARQL `=`;
   // the executor must fall back, and results must still be correct.
-  ASSERT_TRUE(db_.Run("INSERT DATA { ex:z ex:age 25.0 . "
+  ASSERT_TRUE(scisparql::Run(db_, "INSERT DATA { ex:z ex:age 25.0 . "
                       "ex:z ex:knows ex:a }")
                   .ok());
   EXPECT_FALSE(db_.dataset().default_graph().dict().join_safe());
@@ -264,7 +265,7 @@ TEST_F(IdJoinTest, NumericAliasInDataDisablesFastPathSafely) {
 TEST_F(IdJoinTest, ExplainShowsChosenPhysicalOperators) {
   const std::string star =
       "SELECT ?s ?f ?a WHERE { ?s ex:knows ?f . ?s ex:age ?a }";
-  ASSERT_TRUE(db_.Query(star).ok());
+  ASSERT_TRUE(Query(db_, star).ok());
   auto plan = db_.Explain(star);
   ASSERT_TRUE(plan.ok());
   EXPECT_NE(plan->find("index-scan("), std::string::npos) << *plan;
@@ -272,7 +273,7 @@ TEST_F(IdJoinTest, ExplainShowsChosenPhysicalOperators) {
 
   const std::string obj =
       "SELECT ?x ?y WHERE { ?x ex:knows ?f . ?y ex:knows ?f }";
-  ASSERT_TRUE(db_.Query(obj).ok());
+  ASSERT_TRUE(Query(db_, obj).ok());
   auto plan2 = db_.Explain(obj);
   ASSERT_TRUE(plan2.ok());
   EXPECT_NE(plan2->find("merge-join("), std::string::npos) << *plan2;
@@ -283,7 +284,7 @@ TEST_F(IdJoinTest, ExplainAnalyzeCarriesPhysicalOperators) {
       "EXPLAIN ANALYZE SELECT ?x ?y WHERE { ?x ex:knows ?f . "
       "?y ex:knows ?f }");
   ASSERT_TRUE(out.ok()) << out.status().ToString();
-  EXPECT_NE(out->info.find("merge-join("), std::string::npos) << out->info;
+  EXPECT_NE(out->info().find("merge-join("), std::string::npos) << out->info();
 }
 
 // ---------------------------------------------------------------------------
@@ -310,11 +311,11 @@ TEST_F(IdJoinTest, DistinctPreservesSortedOrderOnBothPaths) {
 TEST_F(IdJoinTest, OffsetPastEndAndLimitZeroOnBothPaths) {
   for (bool id_joins : {true, false}) {
     db_.exec_options().use_id_joins = id_joins;
-    auto past = db_.Query(
+    auto past = Query(db_, 
         "SELECT ?s WHERE { ?s ex:age ?a . ?s ex:name ?n } OFFSET 100");
     ASSERT_TRUE(past.ok());
     EXPECT_TRUE(past->rows.empty());
-    auto zero = db_.Query(
+    auto zero = Query(db_, 
         "SELECT ?s WHERE { ?s ex:age ?a . ?s ex:name ?n } LIMIT 0");
     ASSERT_TRUE(zero.ok());
     EXPECT_TRUE(zero->rows.empty());

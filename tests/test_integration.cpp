@@ -8,6 +8,7 @@
 #include "storage/memory_backend.h"
 #include "storage/rdf_rel_store.h"
 #include "storage/relational_backend.h"
+#include "query_helpers.h"
 
 namespace scisparql {
 namespace {
@@ -42,8 +43,8 @@ ex:exp2 a ex:Experiment ; ex:temperature 310.0 ;
       "SELECT ?e (ASUM(?a) AS ?total) (?a[2, 3] AS ?corner) WHERE { "
       "?e a ex:Experiment ; ex:samples ?a ; ex:temperature ?t "
       "FILTER (?t > 305) }";
-  auto r1 = original.Query(query);
-  auto r2 = reloaded.Query(query);
+  auto r1 = Query(original, query);
+  auto r2 = Query(reloaded, query);
   ASSERT_TRUE(r1.ok()) << r1.status().ToString();
   ASSERT_TRUE(r2.ok()) << r2.status().ToString();
   ASSERT_EQ(r1->rows.size(), 1u);
@@ -71,7 +72,7 @@ TEST(Integration, BistabOverRelationalBackend) {
   cfg.chunk_elems = 32;
   ASSERT_TRUE(apps::GenerateBistab(&db, cfg).ok());
 
-  auto q3 = db.Query(apps::BistabQ3(-1e9));
+  auto q3 = Query(db, apps::BistabQ3(-1e9));
   ASSERT_TRUE(q3.ok()) << q3.status().ToString();
   EXPECT_EQ(q3->rows.size(), 4u);  // every task has a mean
   for (const auto& row : q3->rows) {
@@ -80,7 +81,7 @@ TEST(Integration, BistabOverRelationalBackend) {
     EXPECT_LT(mean, 120);
   }
 
-  auto q4 = db.Query(apps::BistabQ4(cfg.timesteps));
+  auto q4 = Query(db, apps::BistabQ4(cfg.timesteps));
   ASSERT_TRUE(q4.ok()) << q4.status().ToString();
   EXPECT_EQ(q4->rows.size(), 2u);  // one row per parameter case
 }
@@ -95,7 +96,7 @@ TEST(Integration, ConstructWithArrayPostprocessing) {
 ex:a ex:vec (3 1 2) .
 ex:b ex:vec (9 8 7) .
 )").ok());
-  Graph derived = *db.Construct(
+  Graph derived = *Construct(db, 
       "CONSTRUCT { ?s ex:max ?m } WHERE { ?s ex:vec ?v "
       "BIND (AMAX(?v) AS ?m) }");
   EXPECT_EQ(derived.size(), 2u);
@@ -119,10 +120,10 @@ TEST(Integration, FunctionalViewOverProxies) {
   db.dataset().default_graph().Add(Term::Iri("http://example.org/series"),
                                    Term::Iri("http://example.org/data"),
                                    proxy);
-  ASSERT_TRUE(db.Run(
+  ASSERT_TRUE(scisparql::Run(db, 
       "DEFINE FUNCTION ex:mean(?arr) AS SELECT (AAVG(?arr) AS ?m) WHERE { }")
                   .ok());
-  auto r = db.Query(
+  auto r = Query(db, 
       "SELECT (ex:mean(?d) AS ?m) WHERE { ex:series ex:data ?d }");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(r->rows[0][0], Term::Double(4.5));
@@ -140,7 +141,7 @@ ex:b ex:value (1 2 3) .
 ex:c ex:value "text" .
 )").ok());
   // ISARRAY dispatches; non-arrays survive via IF.
-  auto r = db.Query(
+  auto r = Query(db, 
       "SELECT ?s (IF(ISARRAY(?v), ASUM(?v), ?v) AS ?n) "
       "WHERE { ?s ex:value ?v } ORDER BY ?s");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
@@ -167,7 +168,7 @@ ex:s ex:m ((1.5 2.5) (3.5 4.5)) ; ex:tag "roundtrip" .
   db2.prefixes().Set("ex", "http://example.org/");
   ASSERT_TRUE(db2.LoadTurtleString(ttl).ok());
   const char* q = "SELECT (ASUM(?m) AS ?s) WHERE { ?x ex:m ?m }";
-  EXPECT_EQ(db.Query(q)->rows[0][0], db2.Query(q)->rows[0][0]);
+  EXPECT_EQ(Query(db, q)->rows[0][0], Query(db2, q)->rows[0][0]);
 }
 
 }  // namespace

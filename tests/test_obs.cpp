@@ -265,12 +265,12 @@ TEST_F(ObsEngineTest, UpdateCountsTriplesTouched) {
 TEST_F(ObsEngineTest, LegacyWrapperMatchesUnifiedOutcome) {
   auto legacy = db_.Execute("SELECT ?s WHERE { ?s ex:tag ex:t1 }");
   ASSERT_TRUE(legacy.ok());
-  ASSERT_EQ(legacy->kind, SSDM::ExecResult::Kind::kRows);
-  EXPECT_EQ(legacy->rows.rows.size(), 2u);
+  ASSERT_EQ(legacy->kind(), QueryOutcome::Kind::kRows);
+  EXPECT_EQ(legacy->rows().rows.size(), 2u);
 
   auto legacy_update = db_.Execute("INSERT DATA { ex:f ex:val 6 }");
   ASSERT_TRUE(legacy_update.ok());
-  EXPECT_EQ(legacy_update->kind, SSDM::ExecResult::Kind::kOk);
+  EXPECT_EQ(legacy_update->kind(), QueryOutcome::Kind::kUpdateCount);
 }
 
 TEST_F(ObsEngineTest, StatementCountersTrackKinds) {

@@ -4,6 +4,7 @@
 #include <array>
 #include <atomic>
 #include <memory>
+#include <optional>
 #include <random>
 #include <string>
 #include <thread>
@@ -15,6 +16,7 @@
 #include "engine/ssdm.h"
 #include "opt/planner.h"
 #include "opt/stats.h"
+#include "query_helpers.h"
 
 namespace scisparql {
 namespace {
@@ -206,9 +208,9 @@ TEST(GraphStats, ConcurrentHistogramReadsAreRaceFree) {
             sink += stats.IndexHistogram(ord).count();
           }
           double frac = 0;
-          const opt::EquiDepthHistogram* h =
+          std::optional<opt::EquiDepthHistogram> h =
               stats.ObjectValueHistogram(Iri("score"), &frac);
-          if (h != nullptr) sink += h->count();
+          if (h.has_value()) sink += h->count();
         }
       });
     }
@@ -337,10 +339,10 @@ TEST_F(OptEngineTest, OptimizedAndTextualOrdersAgree) {
   };
   for (const std::string& q : queries) {
     db_.exec_options().optimize_join_order = true;
-    auto on = db_.Query(q);
+    auto on = Query(db_, q);
     ASSERT_TRUE(on.ok()) << on.status().ToString();
     db_.exec_options().optimize_join_order = false;
-    auto off = db_.Query(q);
+    auto off = Query(db_, q);
     ASSERT_TRUE(off.ok()) << off.status().ToString();
     db_.exec_options().optimize_join_order = true;
     EXPECT_EQ(SortedRows(*on), SortedRows(*off)) << q;
@@ -362,13 +364,13 @@ TEST_F(OptEngineTest, ExplainReportsEstimatedAndActualCardinalities) {
 TEST_F(OptEngineTest, ExplainStatementAndStatsVerbThroughExecute) {
   auto info = db_.Execute("EXPLAIN SELECT ?s WHERE { ?s ex:rare ?r }");
   ASSERT_TRUE(info.ok()) << info.status().ToString();
-  EXPECT_EQ(info->kind, SSDM::ExecResult::Kind::kInfo);
-  EXPECT_NE(info->info.find("scan"), std::string::npos);
+  EXPECT_EQ(info->kind(), QueryOutcome::Kind::kInfo);
+  EXPECT_NE(info->info().find("scan"), std::string::npos);
 
   auto stats = db_.Execute("STATS");
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
-  EXPECT_EQ(stats->kind, SSDM::ExecResult::Kind::kInfo);
-  EXPECT_NE(stats->info.find("triples"), std::string::npos) << stats->info;
+  EXPECT_EQ(stats->kind(), QueryOutcome::Kind::kInfo);
+  EXPECT_NE(stats->info().find("triples"), std::string::npos) << stats->info();
 }
 
 TEST(StatsLifecycle, DroppedGraphsLeaveTheStatsReport) {
@@ -390,14 +392,14 @@ TEST(StatsLifecycle, DroppedGraphsLeaveTheStatsReport) {
   };
   auto before = db.Execute("STATS");
   ASSERT_TRUE(before.ok()) << before.status().ToString();
-  EXPECT_EQ(count_graphs(before->info), 2u);
+  EXPECT_EQ(count_graphs(before->info()), 2u);
 
   // CLEAR ALL destroys the named graph; its orphaned collector must drop
   // out of the report instead of showing the dead graph's last counters.
   ASSERT_TRUE(db.Execute("CLEAR ALL").ok());
   auto after = db.Execute("STATS");
   ASSERT_TRUE(after.ok()) << after.status().ToString();
-  EXPECT_EQ(count_graphs(after->info), 1u);
+  EXPECT_EQ(count_graphs(after->info()), 1u);
 }
 
 TEST_F(OptEngineTest, StatsFollowEngineUpdates) {

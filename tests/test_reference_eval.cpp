@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "engine/ssdm.h"
+#include "query_helpers.h"
 
 namespace scisparql {
 namespace {
@@ -142,7 +143,7 @@ TEST_P(ReferenceSweep, ExecutorMatchesBruteForce) {
 
   for (bool optimize : {true, false}) {
     db.exec_options().optimize_join_order = optimize;
-    auto r = db.Query(query);
+    auto r = Query(db, query);
     ASSERT_TRUE(r.ok()) << r.status().ToString() << "\n" << query;
     // The executor returns a multiset; brute force distinct assignments of
     // triples can produce duplicate rows too. Compare as sets (DISTINCT

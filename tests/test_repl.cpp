@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "client/server.h"
+#include "query_helpers.h"
 #include "repl/replica.h"
 #include "repl/router.h"
 #include "repl/wire.h"
@@ -92,8 +93,7 @@ TEST(Replication, ReplicasConvergeAndServeReads) {
   ASSERT_TRUE(r2.StartReplica(primary.port, "r2").ok());
 
   for (int i = 0; i < 20; ++i) {
-    ASSERT_TRUE(primary.engine
-                    .Run(std::string(kPrefix) + "INSERT DATA { ex:s" +
+    ASSERT_TRUE(scisparql::Run(primary.engine, std::string(kPrefix) + "INSERT DATA { ex:s" +
                          std::to_string(i) + " ex:p " + std::to_string(i) +
                          " }")
                     .ok());
@@ -124,10 +124,10 @@ TEST(Replication, ReplicasConvergeAndServeReads) {
   // REPL statements answer through the normal execute path.
   auto lsn = r1.engine.Execute("REPL LSN");
   ASSERT_TRUE(lsn.ok());
-  EXPECT_EQ(std::stoull(lsn->info), target);
+  EXPECT_EQ(std::stoull(lsn->info()), target);
   auto status = r1.engine.Execute("REPL STATUS");
   ASSERT_TRUE(status.ok());
-  EXPECT_NE(status->info.find("role=replica"), std::string::npos);
+  EXPECT_NE(status->info().find("role=replica"), std::string::npos);
 }
 
 TEST(Replication, ReplicaRejectsWritesWithPointerToPrimary) {
@@ -139,7 +139,7 @@ TEST(Replication, ReplicaRejectsWritesWithPointerToPrimary) {
   // Direct engine write, and a write through the replica's server — both
   // must bounce with Unavailable naming the primary, and stick nothing.
   Status direct =
-      r1.engine.Run(std::string(kPrefix) + "INSERT DATA { ex:x ex:p 1 }");
+      scisparql::Run(r1.engine, std::string(kPrefix) + "INSERT DATA { ex:x ex:p 1 }");
   EXPECT_EQ(direct.code(), StatusCode::kUnavailable);
   EXPECT_NE(direct.message().find("primary"), std::string::npos);
 
@@ -151,7 +151,7 @@ TEST(Replication, ReplicaRejectsWritesWithPointerToPrimary) {
 
   auto ask = r1.engine.Execute(std::string(kPrefix) + "ASK { ex:x ex:p 1 }");
   ASSERT_TRUE(ask.ok());
-  EXPECT_FALSE(ask->boolean);
+  EXPECT_FALSE(ask->ask());
 
   // CHECKPOINT is a primary-side operation too.
   EXPECT_EQ(r1.engine.Checkpoint().status().code(), StatusCode::kUnavailable);
@@ -161,7 +161,7 @@ TEST(Replication, ApplyInvalidatesReplicaResultCache) {
   Node primary;
   ASSERT_TRUE(primary.StartPrimary(FreshDir("repl_cache_p")).ok());
   ASSERT_TRUE(
-      primary.engine.Run(std::string(kPrefix) + "INSERT DATA { ex:a ex:p 1 }")
+      scisparql::Run(primary.engine, std::string(kPrefix) + "INSERT DATA { ex:a ex:p 1 }")
           .ok());
   Node r1;
   ASSERT_TRUE(r1.StartReplica(primary.port, "r1").ok());
@@ -172,12 +172,12 @@ TEST(Replication, ApplyInvalidatesReplicaResultCache) {
       std::string(kPrefix) + "SELECT ?s WHERE { ?s ex:p ?v }";
   auto cold = r1.engine.Execute(q);
   ASSERT_TRUE(cold.ok());
-  EXPECT_EQ(cold->rows.rows.size(), 1u);
+  EXPECT_EQ(cold->rows().rows.size(), 1u);
   auto warm = r1.engine.Execute(q);  // now cached
   ASSERT_TRUE(warm.ok());
 
   ASSERT_TRUE(
-      primary.engine.Run(std::string(kPrefix) + "INSERT DATA { ex:b ex:p 2 }")
+      scisparql::Run(primary.engine, std::string(kPrefix) + "INSERT DATA { ex:b ex:p 2 }")
           .ok());
   ASSERT_TRUE(WaitCaughtUp(&r1, primary.engine.last_lsn()));
 
@@ -185,15 +185,14 @@ TEST(Replication, ApplyInvalidatesReplicaResultCache) {
   // here would freeze the replica's reads at bootstrap time.
   auto fresh = r1.engine.Execute(q);
   ASSERT_TRUE(fresh.ok());
-  EXPECT_EQ(fresh->rows.rows.size(), 2u);
+  EXPECT_EQ(fresh->rows().rows.size(), 2u);
 }
 
 TEST(Replication, LateJoinerBootstrapsFromSnapshotAfterTruncation) {
   Node primary;
   ASSERT_TRUE(primary.StartPrimary(FreshDir("repl_boot_p")).ok());
   for (int i = 0; i < 10; ++i) {
-    ASSERT_TRUE(primary.engine
-                    .Run(std::string(kPrefix) + "INSERT DATA { ex:s" +
+    ASSERT_TRUE(scisparql::Run(primary.engine, std::string(kPrefix) + "INSERT DATA { ex:s" +
                          std::to_string(i) + " ex:p " + std::to_string(i) +
                          " }")
                     .ok());
@@ -204,7 +203,7 @@ TEST(Replication, LateJoinerBootstrapsFromSnapshotAfterTruncation) {
   // and must take the snapshot path.
   ASSERT_TRUE(primary.engine.Checkpoint().ok());
   ASSERT_TRUE(
-      primary.engine.Run(std::string(kPrefix) + "INSERT DATA { ex:extra ex:q 1 }")
+      scisparql::Run(primary.engine, std::string(kPrefix) + "INSERT DATA { ex:extra ex:q 1 }")
           .ok());
   ASSERT_TRUE(primary.engine.Checkpoint().ok());
 
@@ -216,16 +215,16 @@ TEST(Replication, LateJoinerBootstrapsFromSnapshotAfterTruncation) {
   auto rows = r1.engine.Execute(std::string(kPrefix) +
                                 "SELECT ?s WHERE { ?s ex:p ?v }");
   ASSERT_TRUE(rows.ok());
-  EXPECT_EQ(rows->rows.rows.size(), 10u);
+  EXPECT_EQ(rows->rows().rows.size(), 10u);
 
   // The stream continues past the bootstrap point.
   ASSERT_TRUE(
-      primary.engine.Run(std::string(kPrefix) + "INSERT DATA { ex:z ex:p 99 }")
+      scisparql::Run(primary.engine, std::string(kPrefix) + "INSERT DATA { ex:z ex:p 99 }")
           .ok());
   ASSERT_TRUE(WaitCaughtUp(&r1, primary.engine.last_lsn()));
   auto ask = r1.engine.Execute(std::string(kPrefix) + "ASK { ex:z ex:p 99 }");
   ASSERT_TRUE(ask.ok());
-  EXPECT_TRUE(ask->boolean);
+  EXPECT_TRUE(ask->ask());
 }
 
 TEST(Replication, DurableReplicaRestartsAndCatchesUpFromItsOwnStore) {
@@ -237,8 +236,7 @@ TEST(Replication, DurableReplicaRestartsAndCatchesUpFromItsOwnStore) {
     Node r1;
     ASSERT_TRUE(r1.StartReplica(primary.port, "r1", rdir).ok());
     for (int i = 0; i < 8; ++i) {
-      ASSERT_TRUE(primary.engine
-                      .Run(std::string(kPrefix) + "INSERT DATA { ex:s" +
+      ASSERT_TRUE(scisparql::Run(primary.engine, std::string(kPrefix) + "INSERT DATA { ex:s" +
                            std::to_string(i) + " ex:p " + std::to_string(i) +
                            " }")
                       .ok());
@@ -250,8 +248,7 @@ TEST(Replication, DurableReplicaRestartsAndCatchesUpFromItsOwnStore) {
 
   // The primary keeps writing while the replica is down.
   for (int i = 8; i < 16; ++i) {
-    ASSERT_TRUE(primary.engine
-                    .Run(std::string(kPrefix) + "INSERT DATA { ex:s" +
+    ASSERT_TRUE(scisparql::Run(primary.engine, std::string(kPrefix) + "INSERT DATA { ex:s" +
                          std::to_string(i) + " ex:p " + std::to_string(i) +
                          " }")
                     .ok());
@@ -269,7 +266,7 @@ TEST(Replication, DurableReplicaRestartsAndCatchesUpFromItsOwnStore) {
   auto rows = r2.engine.Execute(std::string(kPrefix) +
                                 "SELECT ?s WHERE { ?s ex:p ?v }");
   ASSERT_TRUE(rows.ok());
-  EXPECT_EQ(rows->rows.rows.size(), 16u);
+  EXPECT_EQ(rows->rows().rows.size(), 16u);
 }
 
 // ---------------------------------------------------------------------------
@@ -343,7 +340,7 @@ TEST(Replication, RouterRoutesAroundDeadReplica) {
   Node primary;
   ASSERT_TRUE(primary.StartPrimary(FreshDir("repl_dead_p")).ok());
   ASSERT_TRUE(
-      primary.engine.Run(std::string(kPrefix) + "INSERT DATA { ex:a ex:p 1 }")
+      scisparql::Run(primary.engine, std::string(kPrefix) + "INSERT DATA { ex:a ex:p 1 }")
           .ok());
   Node r1;
   ASSERT_TRUE(r1.StartReplica(primary.port, "r1").ok());

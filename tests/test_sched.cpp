@@ -70,8 +70,15 @@ TEST_F(SchedTest, ClassifyStatement) {
             SC::kWrite);
   EXPECT_EQ(SSDM::ClassifyStatement("DELETE WHERE { ?s ?p ?o }"),
             SC::kWrite);
-  EXPECT_EQ(SSDM::ClassifyStatement("LOAD <file.ttl>"), SC::kWrite);
+  // Statements that mutate engine or dataset structure take the lock
+  // exclusively.
+  EXPECT_EQ(SSDM::ClassifyStatement("LOAD <file.ttl>"), SC::kExclusive);
   EXPECT_EQ(SSDM::ClassifyStatement("DEFINE FUNCTION ex:f(?x) AS SELECT ?x"),
+            SC::kExclusive);
+  EXPECT_EQ(SSDM::ClassifyStatement("CLEAR ALL"), SC::kExclusive);
+  EXPECT_EQ(SSDM::ClassifyStatement("CHECKPOINT"), SC::kExclusive);
+  EXPECT_EQ(SSDM::ClassifyStatement(
+                "WITH <http://g> DELETE { ?s ?p ?o } WHERE { ?s ?p ?o }"),
             SC::kWrite);
   // Prolog, comments and odd casing must not confuse the classifier.
   EXPECT_EQ(SSDM::ClassifyStatement(
@@ -83,9 +90,9 @@ TEST_F(SchedTest, ClassifyStatement) {
   EXPECT_EQ(SSDM::ClassifyStatement(
                 "PREFIX ex: <http://example.org/> INSERT DATA { ex:a ex:b 1 }"),
             SC::kWrite);
-  // Garbage / empty statements are conservatively treated as writes.
-  EXPECT_EQ(SSDM::ClassifyStatement(""), SC::kWrite);
-  EXPECT_EQ(SSDM::ClassifyStatement("42"), SC::kWrite);
+  // Garbage / empty statements are conservatively treated as exclusive.
+  EXPECT_EQ(SSDM::ClassifyStatement(""), SC::kExclusive);
+  EXPECT_EQ(SSDM::ClassifyStatement("42"), SC::kExclusive);
 }
 
 TEST_F(SchedTest, ExecutesReadsAndWrites) {
@@ -97,7 +104,7 @@ TEST_F(SchedTest, ExecutesReadsAndWrites) {
       "PREFIX ex: <http://example.org/> "
       "SELECT ?s WHERE { ?s ex:val ?v } ORDER BY ?v");
   ASSERT_TRUE(rows.ok()) << rows.status().ToString();
-  EXPECT_EQ(rows->rows.rows.size(), 4u);
+  EXPECT_EQ(rows->rows().rows.size(), 4u);
 
   auto update = sched.Execute(
       "PREFIX ex: <http://example.org/> INSERT DATA { ex:e ex:val 5 }");
@@ -106,7 +113,7 @@ TEST_F(SchedTest, ExecutesReadsAndWrites) {
   auto ask = sched.Execute(
       "PREFIX ex: <http://example.org/> ASK { ex:e ex:val 5 }");
   ASSERT_TRUE(ask.ok());
-  EXPECT_TRUE(ask->boolean);
+  EXPECT_TRUE(ask->ask());
 
   SchedulerStats stats = sched.stats();
   EXPECT_EQ(stats.admitted, 3u);
@@ -181,24 +188,21 @@ TEST_F(SchedTest, FullQueueRejectsWithUnavailable) {
 
   std::promise<Status> p1, p2;
   ASSERT_TRUE(sched
-                  .Submit(slow, QueryContext(),
-                          [&](Result<SSDM::ExecResult> r) {
-                            p1.set_value(r.status());
-                          })
+                  .Submit(slow, [&](Result<QueryOutcome> r) {
+                    p1.set_value(r.status());
+                  })
                   .ok());
   {  // Wait until the worker is actually busy inside the gate.
     std::unique_lock<std::mutex> lock(mu);
     ASSERT_TRUE(cv.wait_for(lock, 5s, [&] { return entered; }));
   }
   ASSERT_TRUE(sched
-                  .Submit(slow, QueryContext(),
-                          [&](Result<SSDM::ExecResult> r) {
-                            p2.set_value(r.status());
-                          })
+                  .Submit(slow, [&](Result<QueryOutcome> r) {
+                    p2.set_value(r.status());
+                  })
                   .ok());
 
-  Status overloaded = sched.Submit(
-      slow, QueryContext(), [](Result<SSDM::ExecResult>) {});
+  Status overloaded = sched.Submit(slow, [](Result<QueryOutcome>) {});
   EXPECT_EQ(overloaded.code(), StatusCode::kUnavailable);
   EXPECT_NE(overloaded.message().find("overloaded"), std::string::npos);
 
@@ -226,11 +230,12 @@ TEST_F(SchedTest, DeadlineExceededMidQuery) {
   RegisterNap(1);
   QueryScheduler sched(&db_);
 
-  auto start = std::chrono::steady_clock::now();
-  auto r = sched.Execute(
+  QueryRequest req(
       "PREFIX ex: <http://example.org/> "
-      "SELECT (ex:nap(?v) AS ?x) WHERE { ?s ex:val ?v }",
-      QueryContext::WithTimeout(25ms));
+      "SELECT (ex:nap(?v) AS ?x) WHERE { ?s ex:val ?v }");
+  req.timeout = 25ms;
+  auto start = std::chrono::steady_clock::now();
+  auto r = sched.Execute(std::move(req));
   auto elapsed = std::chrono::steady_clock::now() - start;
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded)
@@ -258,11 +263,12 @@ TEST_F(SchedTest, DeadlineExceededOnPathologicalPropertyPath) {
   ASSERT_TRUE(db_.LoadTurtleString(ttl.str()).ok());
 
   QueryScheduler sched(&db_);
-  auto start = std::chrono::steady_clock::now();
-  auto r = sched.Execute(
+  QueryRequest req(
       "PREFIX ex: <http://example.org/> "
-      "SELECT (COUNT(*) AS ?n) WHERE { ?x ex:knows+ ?y }",
-      QueryContext::WithTimeout(2ms));
+      "SELECT (COUNT(*) AS ?n) WHERE { ?x ex:knows+ ?y }");
+  req.timeout = 2ms;
+  auto start = std::chrono::steady_clock::now();
+  auto r = sched.Execute(std::move(req));
   auto elapsed = std::chrono::steady_clock::now() - start;
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded)
@@ -273,22 +279,63 @@ TEST_F(SchedTest, DeadlineExceededOnPathologicalPropertyPath) {
       "PREFIX ex: <http://example.org/> "
       "SELECT (COUNT(*) AS ?n) WHERE { ex:n0 ex:knows+ ?y }");
   ASSERT_TRUE(full.ok()) << full.status().ToString();
-  EXPECT_EQ(full->rows.rows[0][0], Term::Integer(kNodes));
+  EXPECT_EQ(full->rows().rows[0][0], Term::Integer(kNodes));
 }
 
 TEST_F(SchedTest, ExpiredBeforeDequeueNeverTouchesEngine) {
-  QueryScheduler sched(&db_);
-  QueryContext ctx;
-  ctx.deadline = QueryContext::Clock::now() - 1ms;
-  auto r = sched.Execute(
-      "PREFIX ex: <http://example.org/> INSERT DATA { ex:z ex:val 0 }", ctx);
-  ASSERT_FALSE(r.ok());
-  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  // One worker held inside a gated read; a write with a tiny timeout
+  // expires while still queued and must never touch the engine.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  bool entered = false;
+  db_.RegisterForeign(
+      "http://example.org/gate",
+      [&](std::span<const Term> args) -> Result<Term> {
+        std::unique_lock<std::mutex> lock(mu);
+        entered = true;
+        cv.notify_all();
+        cv.wait_for(lock, 5s, [&] { return release; });
+        return args[0];
+      },
+      1);
+  SchedulerOptions options;
+  options.workers = 1;
+  QueryScheduler sched(&db_, options);
+  std::promise<Status> gated;
+  ASSERT_TRUE(sched
+                  .Submit("PREFIX ex: <http://example.org/> "
+                          "SELECT (ex:gate(1) AS ?x) WHERE { }",
+                          [&](Result<QueryOutcome> r) {
+                            gated.set_value(r.status());
+                          })
+                  .ok());
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, 5s, [&] { return entered; }));
+  }
+  QueryRequest req(
+      "PREFIX ex: <http://example.org/> INSERT DATA { ex:z ex:val 0 }");
+  req.timeout = 1ms;
+  std::promise<Status> expired;
+  ASSERT_TRUE(sched.Submit(std::move(req), [&](Result<QueryOutcome> r) {
+                       expired.set_value(r.status());
+                     })
+                  .ok());
+  std::this_thread::sleep_for(20ms);  // let the queued write's deadline pass
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+    cv.notify_all();
+  }
+  EXPECT_TRUE(gated.get_future().get().ok());
+  Status st = expired.get_future().get();
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
   // The write was dropped before execution.
   auto ask = sched.Execute(
       "PREFIX ex: <http://example.org/> ASK { ex:z ex:val 0 }");
   ASSERT_TRUE(ask.ok());
-  EXPECT_FALSE(ask->boolean);
+  EXPECT_FALSE(ask->ask());
   EXPECT_EQ(sched.stats().timed_out, 1u);
 }
 
@@ -309,17 +356,17 @@ TEST_F(SchedTest, CooperativeCancellation) {
   LoadManyRows(500);
   RegisterNap(2);
   QueryScheduler sched(&db_);
-  QueryContext ctx;
-  ctx.cancel = std::make_shared<std::atomic<bool>>(false);
+  auto cancel = std::make_shared<std::atomic<bool>>(false);
 
   auto future = std::async(std::launch::async, [&] {
-    return sched.Execute(
+    QueryRequest req(
         "PREFIX ex: <http://example.org/> "
-        "SELECT (ex:nap(?v) AS ?x) WHERE { ?s ex:val ?v }",
-        ctx);
+        "SELECT (ex:nap(?v) AS ?x) WHERE { ?s ex:val ?v }");
+    req.cancel = cancel;
+    return sched.Execute(std::move(req));
   });
   std::this_thread::sleep_for(50ms);
-  ctx.cancel->store(true);
+  cancel->store(true);
   auto r = future.get();
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kCancelled)
@@ -353,7 +400,7 @@ TEST_F(SchedTest, WritersSerializedAgainstReaders) {
             "PREFIX ex: <http://example.org/> "
             "SELECT (COUNT(?s) AS ?c) WHERE { ?s ex:state ?st }");
         if (!r.ok()) continue;  // overload is acceptable, torn state is not
-        if (r->rows.rows[0][0] != Term::Integer(100)) ++bad_counts;
+        if (r->rows().rows[0][0] != Term::Integer(100)) ++bad_counts;
       }
     });
   }
@@ -397,11 +444,10 @@ TEST_F(SchedTest, StopFailsQueuedWorkCleanly) {
       "PREFIX ex: <http://example.org/> "
       "SELECT (ex:gate(1) AS ?x) WHERE { }";
   std::promise<Status> queued;
-  ASSERT_TRUE(sched->Submit(slow, QueryContext(), [](Result<SSDM::ExecResult>) {})
-                  .ok());
+  ASSERT_TRUE(sched->Submit(slow, [](Result<QueryOutcome>) {}).ok());
   ASSERT_TRUE(sched
-                  ->Submit(slow, QueryContext(),
-                           [&](Result<SSDM::ExecResult> r) {
+                  ->Submit(slow,
+                           [&](Result<QueryOutcome> r) {
                              queued.set_value(r.status());
                            })
                   .ok());
@@ -417,8 +463,7 @@ TEST_F(SchedTest, StopFailsQueuedWorkCleanly) {
   EXPECT_EQ(st.code(), StatusCode::kUnavailable);
 
   // Submitting after Stop is a clean rejection.
-  Status after = sched->Submit(slow, QueryContext(),
-                               [](Result<SSDM::ExecResult>) {});
+  Status after = sched->Submit(slow, [](Result<QueryOutcome>) {});
   EXPECT_EQ(after.code(), StatusCode::kUnavailable);
 }
 
@@ -453,7 +498,7 @@ TEST_F(SchedTest, ReadOnlyEngineRejectsWritesKeepsReads) {
   auto rows = sched.Execute(
       "PREFIX ex: <http://example.org/> SELECT ?v WHERE { ex:a ex:val ?v }");
   ASSERT_TRUE(rows.ok());
-  EXPECT_EQ(rows->rows.rows.size(), 1u);
+  EXPECT_EQ(rows->rows().rows.size(), 1u);
   EXPECT_GE(sched.stats().rejected, 1u);
 }
 

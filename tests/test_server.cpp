@@ -16,6 +16,7 @@
 
 #include "client/protocol.h"
 #include "client/server.h"
+#include "query_helpers.h"
 
 namespace scisparql {
 namespace client {
@@ -128,7 +129,7 @@ TEST_F(ServerTest, RemoteAskAndUpdate) {
   EXPECT_TRUE(*session.Ask(
       "PREFIX ex: <http://example.org/> ASK { ex:c ex:score 30 }"));
   // The update really landed in the shared server-side engine.
-  EXPECT_TRUE(*engine_.Ask(
+  EXPECT_TRUE(*Ask(engine_, 
       "PREFIX ex: <http://example.org/> ASK { ex:c ex:score 30 }"));
 }
 

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "engine/ssdm.h"
+#include "query_helpers.h"
 
 namespace scisparql {
 namespace {
@@ -37,7 +38,7 @@ _:a foaf:homepage <http://alice.example.org> .
 
 // Section 3.2: the first graph pattern example.
 TEST_F(ThesisExamples, Section32SingleTriplePattern) {
-  auto r = db_.Query(R"(
+  auto r = Query(db_, R"(
 PREFIX foaf: <http://xmlns.com/foaf/0.1/>
 SELECT ?person
 WHERE { ?person foaf:name "Alice" })");
@@ -48,7 +49,7 @@ WHERE { ?person foaf:name "Alice" })");
 
 // Section 3.2: friend names via a conjunction with ';'.
 TEST_F(ThesisExamples, Section32FriendNames) {
-  auto r = db_.Query(R"(
+  auto r = Query(db_, R"(
 PREFIX foaf: <http://xmlns.com/foaf/0.1/>
 SELECT ?friend_name
 WHERE { ?person foaf:name "Alice" ;
@@ -63,7 +64,7 @@ ORDER BY ?friend_name)");
 
 // Section 3.2: the blank-node shorthand form of the same query.
 TEST_F(ThesisExamples, Section32BlankNodeShorthand) {
-  auto r = db_.Query(R"(
+  auto r = Query(db_, R"(
 PREFIX foaf: <http://xmlns.com/foaf/0.1/>
 SELECT ?friend_name
 WHERE { [] foaf:name "Alice" ;
@@ -74,7 +75,7 @@ WHERE { [] foaf:name "Alice" ;
 
 // Section 3.3.1: OPTIONAL produces unbound emails.
 TEST_F(ThesisExamples, Section331OptionalEmails) {
-  auto r = db_.Query(R"(
+  auto r = Query(db_, R"(
 PREFIX foaf: <http://xmlns.com/foaf/0.1/>
 SELECT ?friend_name ?friend_email
 WHERE { ?person foaf:name "Alice" ;
@@ -90,7 +91,7 @@ ORDER BY ?friend_name)");
 
 // Section 3.3.2: UNION over foaf:mbox and ex:email.
 TEST_F(ThesisExamples, Section332UnionOfEmailProperties) {
-  auto r = db_.Query(R"(
+  auto r = Query(db_, R"(
 PREFIX foaf: <http://xmlns.com/foaf/0.1/>
 PREFIX ex: <http://example.org/>
 SELECT ?friend_name ?friend_email
@@ -108,7 +109,7 @@ ORDER BY ?friend_name)");
 
 // Section 3.3.2: knows in either direction, with DISTINCT.
 TEST_F(ThesisExamples, Section332EitherDirection) {
-  auto r = db_.Query(R"(
+  auto r = Query(db_, R"(
 PREFIX foaf: <http://xmlns.com/foaf/0.1/>
 SELECT DISTINCT ?friend ?friend_name
 WHERE { ?friend foaf:name ?friend_name .
@@ -123,7 +124,7 @@ ORDER BY ?friend_name)");
 
 // Section 3.3.3: homepage but no mbox.
 TEST_F(ThesisExamples, Section333ExistenceQuantifiers) {
-  auto r = db_.Query(R"(
+  auto r = Query(db_, R"(
 PREFIX foaf: <http://xmlns.com/foaf/0.1/>
 SELECT ?p
 WHERE { ?p a foaf:Person .
@@ -137,7 +138,7 @@ WHERE { ?p a foaf:Person .
 // after consolidation the array subscript replaces the rdf:first/rest
 // chain, returning the same value 3.
 TEST_F(ThesisExamples, Section2351ElementAccess) {
-  auto r = db_.Query(R"(
+  auto r = Query(db_, R"(
 PREFIX : <http://example.org/app#>
 SELECT (?array[2, 1] AS ?element21)
 WHERE { :s :p ?array })");
@@ -148,7 +149,7 @@ WHERE { :s :p ?array })");
 
 // Chapter 4 flavor: array query combining metadata and array conditions.
 TEST_F(ThesisExamples, Chapter4CombinedDataAndMetadata) {
-  auto r = db_.Query(R"(
+  auto r = Query(db_, R"(
 PREFIX : <http://example.org/app#>
 SELECT (ASUM(?a) AS ?total) (ADIMS(?a)[1] AS ?rows)
 WHERE { :s :p ?a FILTER (ARANK(?a) = 2) })");
