@@ -269,6 +269,198 @@ WriteRunResult RunWriteWorkload(int writers, int total_updates) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Read-during-write measurement (part of --mixed): delta-aware ID scans.
+// ---------------------------------------------------------------------------
+
+constexpr int kReadBenchEntities = 3000;
+
+struct ReadDuringWriteResult {
+  double qps = 0;
+  int errors = 0;
+  size_t pending_delta = 0;
+};
+
+/// Read qps of a two-pattern star BGP while 4 writers commit a sustained
+/// insert stream through the scheduler. `use_id_joins` selects the
+/// delta-aware ID-join path or the scan-and-bind executor — the latter is
+/// what every read regressed to while a delta was pending before the
+/// differential ID runs existed, so the ratio is the fast path's win.
+/// `analyze_out` (may be null) receives EXPLAIN ANALYZE of the read query
+/// captured while the delta is still pending.
+ReadDuringWriteResult RunReadsUnderWrites(SSDM* db, bool use_id_joins,
+                                          int total_reads,
+                                          std::string* analyze_out) {
+  ReadDuringWriteResult out;
+  db->exec_options().use_id_joins = use_id_joins;
+
+  sched::SchedulerOptions options;
+  options.workers = 8;
+  options.queue_capacity = 1024;
+  // Production compaction cadence: the delta is pending essentially all
+  // the time under this write rate, but stays bounded — otherwise the
+  // scan-and-bind baseline, which pays O(delta) per probe, degrades
+  // quadratically and the comparison measures delta size, not executors.
+  options.compact_interval = std::chrono::milliseconds(10);
+  options.compact_threshold = 512;
+  sched::QueryScheduler sched(db, options);
+
+  const std::string prolog = "PREFIX ex: <http://example.org/> ";
+  const std::string read_q =
+      prolog +
+      "SELECT (COUNT(*) AS ?n) WHERE { ?x ex:knows ?y . ?x ex:age ?a }";
+
+  // Churn on the same predicates the reads scan, so every scan genuinely
+  // merges delta rows — but over a bounded subject set (insert/delete
+  // pairs), so compaction folds a constant-size base instead of an
+  // ever-growing one.
+  auto churn_triples = [](int w, int k) {
+    std::string s = "ex:w" + std::to_string(w) + "_" + std::to_string(k % 16);
+    return s + " ex:age " + std::to_string(20 + k % 60) + " . " + s +
+           " ex:knows ex:e" + std::to_string(k % kReadBenchEntities);
+  };
+  auto churn_insert = [&](int w, int k) {
+    return prolog + "INSERT DATA { " + churn_triples(w, k) + " }";
+  };
+  auto churn_delete = [&](int w, int k) {
+    return prolog + "DELETE DATA { " + churn_triples(w, k) + " }";
+  };
+  // Prime a pending delta so even the first read sees one.
+  (void)sched.Execute(churn_insert(99, 0));
+
+  std::atomic<bool> stop_writers{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&, w] {
+      for (int k = 0; !stop_writers.load(std::memory_order_acquire); ++k) {
+        (void)sched.Execute(churn_insert(w, k));
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+        if (stop_writers.load(std::memory_order_acquire)) break;
+        (void)sched.Execute(churn_delete(w, k));
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+      }
+    });
+  }
+
+  std::atomic<int> next{0};
+  std::atomic<int> failed{0};
+  Timer timer;
+  std::vector<std::thread> readers;
+  for (int c = 0; c < 4; ++c) {
+    readers.emplace_back([&] {
+      for (int i = next.fetch_add(1); i < total_reads;
+           i = next.fetch_add(1)) {
+        auto r = sched.Execute(read_q);
+        if (!r.ok()) ++failed;
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  double elapsed_ms = timer.ElapsedMs();
+  stop_writers.store(true, std::memory_order_release);
+  for (auto& t : writers) t.join();
+
+  out.pending_delta = db->PendingDeltaOps();
+  if (analyze_out != nullptr) {
+    // Re-arm a small pending delta (below the compact threshold, so the
+    // compactor leaves it alone) and capture the plan with the scheduler
+    // otherwise idle: the scans must still merge the delta runs.
+    (void)sched.Execute(churn_insert(99, 1));
+    auto a = db->Execute("EXPLAIN ANALYZE " + read_q);
+    *analyze_out = a.ok() ? a->info() : a.status().ToString();
+  }
+  out.qps = total_reads / (elapsed_ms / 1000.0);
+  out.errors = failed.load();
+  sched.Stop();
+  return out;
+}
+
+/// Builds the read-bench engine, measures both executors under identical
+/// write pressure, prints/gates the ratio and appends to `runs_json`.
+/// Returns non-zero if a gate failed.
+int RunReadDuringWriteBench(bool smoke, std::string* runs_json) {
+  const int total_reads = smoke ? 60 : 300;
+
+  SSDM db;
+  db.prefixes().Set("ex", "http://example.org/");
+  Graph& g = db.dataset().default_graph();
+  const std::string ns = "http://example.org/";
+  Term knows = Term::Iri(ns + "knows");
+  Term age = Term::Iri(ns + "age");
+  for (int i = 0; i < kReadBenchEntities; ++i) {
+    Term p = Term::Iri(ns + "e" + std::to_string(i));
+    g.Add(p, age, Term::Integer(20 + i % 60));
+    g.Add(p, knows,
+          Term::Iri(ns + "e" + std::to_string((i + 1) % kReadBenchEntities)));
+    g.Add(p, knows,
+          Term::Iri(ns + "e" + std::to_string((i + 7) % kReadBenchEntities)));
+  }
+
+  std::printf("\nread-during-write workload: %d two-pattern star reads, "
+              "4 reader + 4 writer threads, delta kept pending\n",
+              total_reads);
+
+  std::string plan;
+  ReadDuringWriteResult id_run =
+      RunReadsUnderWrites(&db, /*use_id_joins=*/true, total_reads, &plan);
+  db.FoldDeltas();
+  ReadDuringWriteResult scan_run =
+      RunReadsUnderWrites(&db, /*use_id_joins=*/false, total_reads, nullptr);
+  db.exec_options().use_id_joins = true;
+
+  double ratio = scan_run.qps > 0 ? id_run.qps / scan_run.qps : 0;
+  bool plan_kept_id_path = plan.find("index-scan(") != std::string::npos &&
+                           plan.find("+delta") != std::string::npos;
+  std::printf("  id-join path:      %8.1f qps (%zu delta ops pending)\n",
+              id_run.qps, id_run.pending_delta);
+  std::printf("  scan-and-bind:     %8.1f qps (%zu delta ops pending)\n",
+              scan_run.qps, scan_run.pending_delta);
+  std::printf("  ratio: %.2fx; plan under writes: %s\n", ratio,
+              plan_kept_id_path ? "ID path with +delta scans" : plan.c_str());
+
+  std::string line =
+      Json()
+          .Str("bench", "read_during_write")
+          .Int("reads", total_reads)
+          .Num("id_join_qps", id_run.qps)
+          .Num("scan_and_bind_qps", scan_run.qps)
+          .Num("speedup_vs_fallback", ratio)
+          .Int("id_run_pending_delta", (long long)id_run.pending_delta)
+          .Int("scan_run_pending_delta", (long long)scan_run.pending_delta)
+          .Int("plan_kept_id_path", plan_kept_id_path ? 1 : 0)
+          .Int("errors", id_run.errors + scan_run.errors)
+          .Build();
+  std::printf("RESULT %s\n", line.c_str());
+  if (!runs_json->empty()) *runs_json += ", ";
+  *runs_json += line;
+
+  int rc = 0;
+  if (id_run.errors + scan_run.errors > 0) {
+    std::fprintf(stderr, "FAIL: %d reads failed during write pressure\n",
+                 id_run.errors + scan_run.errors);
+    rc = 1;
+  }
+  if (!plan_kept_id_path) {
+    std::fprintf(stderr,
+                 "FAIL: reads regressed off the ID-join path while a delta "
+                 "was pending; EXPLAIN ANALYZE said:\n%s\n",
+                 plan.c_str());
+    rc = 1;
+  }
+  if (ratio < 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: ID-join reads under write pressure only %.2fx the "
+                 "scan-and-bind fallback (want >= 3x)\n",
+                 ratio);
+    rc = 1;
+  } else {
+    std::printf("gate: reads under sustained writes %.2fx over the "
+                "scan-and-bind fallback\n",
+                ratio);
+  }
+  return rc;
+}
+
 int RunWriteBench(bool smoke) {
   const int total_updates = smoke ? 300 : 1200;
 
@@ -311,6 +503,10 @@ int RunWriteBench(bool smoke) {
   std::printf("\n");
   table.Print();
 
+  // Read side of the mixed load: the delta-aware ID-scan gate. Its RESULT
+  // line joins the runs array so BENCH_write.json trends both directions.
+  int read_rc = RunReadDuringWriteBench(smoke, &runs_json);
+
   std::ofstream json_out("BENCH_write.json");
   json_out << "{\"bench\": \"concurrent_write_throughput\", "
            << "\"updates_per_run\": " << total_updates
@@ -318,7 +514,7 @@ int RunWriteBench(bool smoke) {
   json_out.close();
   std::printf("wrote BENCH_write.json\n");
 
-  int rc = 0;
+  int rc = read_rc;
   for (const WriteRunResult& r : results) {
     if (r.errors > 0) {
       std::fprintf(stderr, "FAIL: %d updates failed at %d writers\n",

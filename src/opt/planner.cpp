@@ -113,7 +113,12 @@ int64_t CardinalityEstimator::Estimate(
     // than the fixed one below.
     const IdIndexes* idx = graph_->PeekIdIndexes();
     if (idx != nullptr && !idx->spo.empty()) {
-      double n = static_cast<double>(idx->spo.size());
+      // The permutations cover only the folded base table; pending delta
+      // operations are extra rows the ID-join path will merge in, so fold
+      // them into the total to keep the mean bucket sizes honest under
+      // sustained writes.
+      double n =
+          static_cast<double>(idx->spo.size() + graph_->delta_ops());
       double est = static_cast<double>(base);
       auto discount = [&](size_t distinct) {
         double avg = n / static_cast<double>(std::max<size_t>(1, distinct));

@@ -1,8 +1,10 @@
 #include "rdf/dictionary.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <functional>
+#include <mutex>
 
 #include "common/string_util.h"
 
@@ -74,47 +76,159 @@ size_t TermStringBytes(const Term& t) {
   }
 }
 
+TermDictionary::TermDictionary() = default;
+
+TermDictionary::~TermDictionary() = default;
+
+void TermDictionary::MoveFrom(TermDictionary&& o) {
+  ids_ = std::move(o.ids_);
+  chunk_store_ = std::move(o.chunk_store_);
+  dirs_ = std::move(o.dirs_);
+  huge_ints_ = o.huge_ints_;
+  dir_.store(o.dir_.load(std::memory_order_relaxed),
+             std::memory_order_relaxed);
+  size_.store(o.size_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+  array_terms_.store(o.array_terms_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  string_bytes_.store(o.string_bytes_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  numeric_alias_.store(o.numeric_alias_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  o.Reset();
+}
+
+void TermDictionary::Reset() {
+  ids_.clear();
+  chunk_store_.clear();
+  dirs_.clear();
+  huge_ints_ = 0;
+  dir_.store(nullptr, std::memory_order_relaxed);
+  size_.store(0, std::memory_order_release);
+  array_terms_.store(0, std::memory_order_relaxed);
+  string_bytes_.store(0, std::memory_order_relaxed);
+  numeric_alias_.store(false, std::memory_order_relaxed);
+}
+
+TermDictionary::TermDictionary(TermDictionary&& o) noexcept {
+  MoveFrom(std::move(o));
+}
+
+TermDictionary& TermDictionary::operator=(TermDictionary&& o) noexcept {
+  if (this != &o) MoveFrom(std::move(o));
+  return *this;
+}
+
+void TermDictionary::DetectAlias(const Term& t) {
+  if (t.kind() == Term::Kind::kInteger) {
+    const int64_t i = t.integer();
+    if (i <= -kExactCastBound || i >= kExactCastBound) ++huge_ints_;
+    if (numeric_alias_.load(std::memory_order_relaxed)) return;
+    // operator== compares mixed numerics after widening the integer to
+    // double, so every double equal to integer i is exactly (double)i —
+    // one probe is complete at any magnitude. -0.0 interns apart from 0.0
+    // (bit-pattern identity) yet compares equal, hence the extra probe.
+    if (ids_.count(Term::Double(static_cast<double>(i))) > 0 ||
+        (i == 0 && ids_.count(Term::Double(-0.0)) > 0)) {
+      numeric_alias_.store(true, std::memory_order_release);
+    }
+    return;
+  }
+  if (t.kind() != Term::Kind::kDouble) return;
+  const double d = t.dbl();
+  if (!std::isfinite(d) || d != std::floor(d)) return;  // no integer equals it
+  if (d > -static_cast<double>(kExactCastBound) &&
+      d < static_cast<double>(kExactCastBound)) {
+    if (numeric_alias_.load(std::memory_order_relaxed)) return;
+    if (ids_.count(Term::Integer(static_cast<int64_t>(d))) > 0 ||
+        (d == 0.0 &&
+         ids_.count(Term::Double(DoubleBits(d) == DoubleBits(0.0) ? -0.0
+                                                                  : 0.0)) >
+             0)) {
+      numeric_alias_.store(true, std::memory_order_release);
+    }
+    return;
+  }
+  // Integral double at or past 2^53 (and within the int64 span, else no
+  // integer can equal it): a whole range of integers widens to this value,
+  // so probing the single back-cast candidate would miss aliases like
+  // 9007199254740993 vs 9007199254740992.0. Flag conservatively whenever
+  // any such integer is interned; data this large is vanishingly rare.
+  if (d >= -9223372036854775808.0 && d < 9223372036854775808.0 &&
+      huge_ints_ > 0) {
+    numeric_alias_.store(true, std::memory_order_release);
+  }
+}
+
 uint32_t TermDictionary::Intern(const Term& t) {
+  {
+    std::shared_lock<std::shared_mutex> rlock(mu_);
+    auto it = ids_.find(t);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = ids_.find(t);
   if (it != ids_.end()) return it->second;
-  uint32_t id = static_cast<uint32_t>(terms_.size());
-  terms_.push_back(t);
-  ids_.emplace(t, id);
-  string_bytes_ += TermStringBytes(t);
-  if (t.kind() == Term::Kind::kArray) ++array_terms_;
-  // Detect when both representations of one numeric value are interned:
-  // from then on ID equality is narrower than SPARQL `=` and the ID-join
-  // fast path must stand down for this graph.
-  if (!numeric_alias_) {
-    if (t.kind() == Term::Kind::kInteger) {
-      // operator== compares mixed numerics after widening the integer to
-      // double, so the aliasing double of integer I is exactly (double)I.
-      if (ids_.count(Term::Double(static_cast<double>(t.integer()))) > 0) {
-        numeric_alias_ = true;
+
+  const uint32_t id =
+      static_cast<uint32_t>(size_.load(std::memory_order_relaxed));
+  const uint32_t chunk = id >> kChunkBits;
+  if (chunk == chunk_store_.size()) {
+    chunk_store_.push_back(std::make_unique<Term[]>(kChunkSize));
+    const ChunkDir* cur = dir_.load(std::memory_order_relaxed);
+    if (cur == nullptr || chunk == cur->chunks.size()) {
+      // Out of directory capacity: publish a doubled copy. The old
+      // directory stays alive (dirs_) for readers holding a stale load.
+      auto next = std::make_unique<ChunkDir>();
+      next->chunks.resize(cur == nullptr ? 8 : cur->chunks.size() * 2,
+                          nullptr);
+      if (cur != nullptr) {
+        std::copy(cur->chunks.begin(), cur->chunks.end(),
+                  next->chunks.begin());
       }
-    } else if (t.kind() == Term::Kind::kDouble) {
-      double d = t.dbl();
-      if (d == std::floor(d) && d >= -9.2e18 && d <= 9.2e18 &&
-          ids_.count(Term::Integer(static_cast<int64_t>(d))) > 0) {
-        numeric_alias_ = true;
-      }
+      next->chunks[chunk] = chunk_store_.back().get();
+      const ChunkDir* published = next.get();
+      dirs_.push_back(std::move(next));
+      dir_.store(published, std::memory_order_release);
+    } else {
+      // Capacity to spare: fill the pre-sized slot in place. Readers never
+      // dereference it before an ID in this chunk is published to them.
+      const_cast<ChunkDir*>(cur)->chunks[chunk] = chunk_store_.back().get();
     }
   }
+  chunk_store_[chunk][id & kChunkMask] = t;
+
+  DetectAlias(t);
+  string_bytes_.fetch_add(TermStringBytes(t), std::memory_order_relaxed);
+  if (t.kind() == Term::Kind::kArray) {
+    array_terms_.fetch_add(1, std::memory_order_release);
+  }
+  ids_.emplace(t, id);
+  // Publish the ID last: any channel that hands this ID to a reader is
+  // itself ordered after the critical section, so the slot write above is
+  // visible wherever the ID is.
+  size_.store(static_cast<size_t>(id) + 1, std::memory_order_release);
   return id;
 }
 
 std::optional<uint32_t> TermDictionary::Find(const Term& t) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = ids_.find(t);
   if (it == ids_.end()) return std::nullopt;
   return it->second;
 }
 
 void TermDictionary::Clear() {
-  terms_.clear();
+  std::unique_lock<std::shared_mutex> lock(mu_);
   ids_.clear();
-  array_terms_ = 0;
-  string_bytes_ = 0;
-  numeric_alias_ = false;
+  chunk_store_.clear();
+  dirs_.clear();
+  huge_ints_ = 0;
+  dir_.store(nullptr, std::memory_order_release);
+  size_.store(0, std::memory_order_release);
+  array_terms_.store(0, std::memory_order_relaxed);
+  string_bytes_.store(0, std::memory_order_relaxed);
+  numeric_alias_.store(false, std::memory_order_relaxed);
 }
 
 }  // namespace scisparql

@@ -1,8 +1,11 @@
 #ifndef SCISPARQL_RDF_DICTIONARY_H_
 #define SCISPARQL_RDF_DICTIONARY_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -13,9 +16,10 @@ namespace scisparql {
 
 /// Interned term dictionary: a bijection between RDF terms and dense
 /// fixed-width 32-bit IDs, in the style of RDF-3X's DictionarySegment. The
-/// graph interns every term at insertion time, so triples can be mirrored
-/// as ID tuples and joins can run over integers instead of string-bearing
-/// Terms; results materialize back through `term(id)`.
+/// graph interns every term at insertion time — including delta-admitted
+/// triples under concurrent writes — so triples can be mirrored as ID
+/// tuples and joins can run over integers instead of string-bearing Terms;
+/// results materialize back through `term(id)`.
 ///
 /// Interning is by *exact* term identity (kind plus all fields), not by
 /// Term::operator== value equality: the integer 2 and the double 2.0 are
@@ -27,41 +31,102 @@ namespace scisparql {
 /// representations. The `join_safe()` flag reports exactly that: the
 /// executor's ID-join fast path only engages when ID equality and term
 /// equality coincide for every interned term.
+///
+/// Thread safety: writers (Intern) serialize behind an internal mutex and
+/// may run concurrently with any number of readers. Find takes the mutex
+/// shared; term(id) and the counters are lock-free. term(id) is safe for
+/// any *published* ID — one obtained from Find, from a delta-run snapshot,
+/// or from the base ID table — because every publication channel carries a
+/// release/acquire edge ordered after the slot write (terms live in
+/// fixed-size chunks whose addresses never move, so no reader ever
+/// observes a relocation). Clear and the move operations require external
+/// exclusivity, which Graph's contracts already guarantee.
 class TermDictionary {
  public:
   static constexpr uint32_t kNoId = 0xFFFFFFFFu;
 
-  /// Returns the ID of `t`, interning it first if absent.
+  /// Largest magnitude at which int64 -> double -> int64 is the identity:
+  /// beyond 2^53 several integers widen to the same double, so cast-based
+  /// alias probes stop being injective. Shared by Intern's alias detection
+  /// and the executor's constant lowering.
+  static constexpr int64_t kExactCastBound = int64_t{1} << 53;
+
+  TermDictionary();
+  ~TermDictionary();
+  TermDictionary(const TermDictionary&) = delete;
+  TermDictionary& operator=(const TermDictionary&) = delete;
+  // Moves require external exclusivity (no concurrent readers or writers
+  // on either side); Graph only moves under the engine's exclusive lock.
+  TermDictionary(TermDictionary&& o) noexcept;
+  TermDictionary& operator=(TermDictionary&& o) noexcept;
+
+  /// Returns the ID of `t`, interning it first if absent. Safe to call
+  /// from concurrent writers; serialized internally.
   uint32_t Intern(const Term& t);
 
-  /// Returns the ID of `t` without interning, or nullopt.
+  /// Returns the ID of `t` without interning, or nullopt. Safe to call
+  /// concurrently with Intern.
   std::optional<uint32_t> Find(const Term& t) const;
 
-  /// The interned term for a dictionary ID (must be < size()).
-  const Term& term(uint32_t id) const { return terms_[id]; }
+  /// The interned term for a published dictionary ID (must be < size()).
+  /// Lock-free: chunked storage gives terms stable addresses for the
+  /// dictionary's lifetime.
+  const Term& term(uint32_t id) const {
+    const ChunkDir* dir = dir_.load(std::memory_order_acquire);
+    return dir->chunks[id >> kChunkBits][id & kChunkMask];
+  }
 
-  size_t size() const { return terms_.size(); }
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  /// Requires external exclusivity: frees every chunk, so outstanding
+  /// term(id) references must have drained.
   void Clear();
 
   /// Number of interned array terms. Arrays intern by object identity, so
   /// their IDs do not respect the element-wise value equality Term defines.
-  size_t array_terms() const { return array_terms_; }
+  size_t array_terms() const {
+    return array_terms_.load(std::memory_order_acquire);
+  }
 
   /// True when some integer and some double intern to different IDs while
   /// comparing equal under SPARQL numeric `=` (e.g. 2 and 2.0 both
   /// present): ID-equality joins would miss cross-representation matches.
-  bool has_numeric_alias() const { return numeric_alias_; }
+  /// Past the 2^53 cast bound the detection is conservative — any integral
+  /// double coexisting with any |i| >= 2^53 integer raises the flag, since
+  /// enumerating the whole range of integers that widen to one such double
+  /// is infeasible.
+  bool has_numeric_alias() const {
+    return numeric_alias_.load(std::memory_order_acquire);
+  }
 
   /// ID equality coincides with Term equality for every interned term:
-  /// safe to evaluate joins over IDs.
-  bool join_safe() const { return array_terms_ == 0 && !numeric_alias_; }
+  /// safe to evaluate joins over IDs. May flip true -> false at any time
+  /// under concurrent writers (never false -> true short of Clear), so the
+  /// ID-join path re-checks it after lowering its constants.
+  bool join_safe() const { return array_terms() == 0 && !has_numeric_alias(); }
 
   /// Heap string bytes (lexical forms, language tags, datatype IRIs) held
   /// by the interned terms — the dictionary-resident share of a result
   /// row's footprint, used by the result cache's byte accounting.
-  size_t string_bytes() const { return string_bytes_; }
+  size_t string_bytes() const {
+    return string_bytes_.load(std::memory_order_acquire);
+  }
 
  private:
+  static constexpr uint32_t kChunkBits = 10;
+  static constexpr uint32_t kChunkSize = 1u << kChunkBits;
+  static constexpr uint32_t kChunkMask = kChunkSize - 1;
+
+  /// Immutable-capacity chunk directory. The current directory's tail
+  /// slots are filled in by writers as chunks are allocated; readers only
+  /// dereference slots covering IDs that were published to them, which
+  /// happens-after the slot write. When capacity runs out a doubled copy
+  /// is published through dir_ and the old one is retained until Clear so
+  /// stale loads stay valid.
+  struct ChunkDir {
+    std::vector<Term*> chunks;
+  };
+
   struct ExactHash {
     size_t operator()(const Term& t) const;
   };
@@ -69,11 +134,26 @@ class TermDictionary {
     bool operator()(const Term& a, const Term& b) const;
   };
 
-  std::vector<Term> terms_;
-  std::unordered_map<Term, uint32_t, ExactHash, ExactEq> ids_;
-  size_t array_terms_ = 0;
-  size_t string_bytes_ = 0;
-  bool numeric_alias_ = false;
+  /// Numeric-alias bookkeeping for a term about to be inserted; runs under
+  /// the writer lock, before the ID is published.
+  void DetectAlias(const Term& t);
+
+  void MoveFrom(TermDictionary&& o);
+  void Reset();
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<Term, uint32_t, ExactHash, ExactEq> ids_;  // guarded by mu_
+  std::vector<std::unique_ptr<Term[]>> chunk_store_;            // guarded by mu_
+  std::vector<std::unique_ptr<ChunkDir>> dirs_;                 // guarded by mu_
+  /// Count of interned integers with |i| >= 2^53 (see has_numeric_alias);
+  /// guarded by mu_.
+  size_t huge_ints_ = 0;
+
+  std::atomic<const ChunkDir*> dir_{nullptr};
+  std::atomic<size_t> size_{0};
+  std::atomic<size_t> array_terms_{0};
+  std::atomic<size_t> string_bytes_{0};
+  std::atomic<bool> numeric_alias_{false};
 };
 
 /// Heap string bytes owned by one term (0 for numerics/booleans; array

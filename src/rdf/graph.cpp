@@ -102,6 +102,34 @@ Graph::ApplyResult Graph::ApplyBase(WriteBatch&& batch,
   return res;
 }
 
+Graph::DeltaCell& Graph::DeltaCellFor(const Triple& t) {
+  auto [it, fresh] = delta_->cells.try_emplace(t);
+  if (fresh) {
+    // First touch of this triple: intern its terms now — before the
+    // batch's epoch is published — so readers that captured a snapshot
+    // covering this batch can resolve its constants through the
+    // dictionary, and mirror the cell into the per-permutation sorted
+    // runs the ID-join executor merges with the base permutations.
+    // Insertion keeps each run sorted; the compactor bounds the delta, so
+    // the O(delta) splice stays cheap relative to the batch itself.
+    DeltaRunEntry e;
+    e.ids = IdTriple{dict_.Intern(t.s), dict_.Intern(t.p), dict_.Intern(t.o)};
+    e.cell = &it->second;
+    auto splice = [&e](Perm perm, std::vector<DeltaRunEntry>* run) {
+      auto pos = std::upper_bound(
+          run->begin(), run->end(), e,
+          [perm](const DeltaRunEntry& a, const DeltaRunEntry& b) {
+            return PermKey(perm, a.ids) < PermKey(perm, b.ids);
+          });
+      run->insert(pos, e);
+    };
+    splice(Perm::kSpo, &delta_->run_spo);
+    splice(Perm::kPos, &delta_->run_pos);
+    splice(Perm::kOsp, &delta_->run_osp);
+  }
+  return it->second;
+}
+
 Graph::ApplyResult Graph::ApplyDelta(WriteBatch&& batch,
                                      GraphListener* observer) {
   ApplyResult res;
@@ -114,13 +142,13 @@ Graph::ApplyResult Graph::ApplyDelta(WriteBatch&& batch,
   size_t new_ops = 0;
   for (const WriteBatch::Op& op : batch.ops()) {
     if (op.kind == WriteBatch::OpKind::kAdd) {
-      delta_->cells[op.t].ops.push_back(DeltaOp{epoch, true});
+      DeltaCellFor(op.t).ops.push_back(DeltaOp{epoch, true});
       ++new_ops;
       ++res.added;
       if (listener_.ptr != nullptr) listener_.ptr->OnAdd(op.t);
       if (observer != nullptr) observer->OnAdd(op.t);
     } else {
-      DeltaCell& cell = delta_->cells[op.t];
+      DeltaCell& cell = DeltaCellFor(op.t);
       size_t adds = 0;
       bool cleared = false;
       for (const DeltaOp& d : cell.ops) {
@@ -186,6 +214,9 @@ void Graph::Clear() {
   if (delta_) {
     std::lock_guard<std::mutex> lock(delta_->mu);
     delta_->cells.clear();
+    delta_->run_spo.clear();
+    delta_->run_pos.clear();
+    delta_->run_osp.clear();
   }
   delta_ops_.store(0, std::memory_order_release);
   version_.fetch_add(1, std::memory_order_release);
@@ -200,6 +231,12 @@ size_t Graph::FoldDelta() {
   {
     std::lock_guard<std::mutex> lock(delta_->mu);
     cells.swap(delta_->cells);
+    // Retire the ID runs atomically with the cells they point into; the
+    // executor re-snapshots after the fold and finds an empty delta, with
+    // the folded rows now served by the rebuilt base permutations.
+    delta_->run_spo.clear();
+    delta_->run_pos.clear();
+    delta_->run_osp.clear();
     folded = delta_ops_.exchange(0, std::memory_order_acq_rel);
   }
   // Resolve each cell to its final state. Tombstones only ever target
@@ -350,6 +387,40 @@ bool Graph::SnapshotDelta(uint64_t snapshot, const Term& s, const Term& p,
     out->push_back(std::move(rc));
   }
   return any_cleared;
+}
+
+void Graph::SnapshotDeltaIds(uint64_t snapshot, DeltaIdRuns* out) const {
+  out->clear();
+  if (!delta_ || delta_ops_.load(std::memory_order_acquire) == 0) return;
+  std::lock_guard<std::mutex> lock(delta_->mu);
+  // Ops within a cell are in epoch order, so resolution truncates at the
+  // first op past the snapshot — same rule as SnapshotDelta, minus the
+  // Term materialization. Entries whose visible state is a no-op (all ops
+  // past the snapshot, or adds cancelled without a tombstone) drop out, so
+  // `out` stays empty for snapshots predating every pending batch.
+  auto resolve = [&](const std::vector<DeltaRunEntry>& run,
+                     std::vector<DeltaIdEntry>* dst) {
+    dst->reserve(run.size());
+    for (const DeltaRunEntry& e : run) {
+      DeltaIdEntry r;
+      r.t = e.ids;
+      for (const DeltaOp& d : e.cell->ops) {
+        if (d.epoch > snapshot) break;
+        if (d.is_add) {
+          ++r.adds;
+        } else {
+          r.adds = 0;
+          r.cleared = true;
+        }
+      }
+      if (r.adds == 0 && !r.cleared) continue;
+      out->any_cleared |= r.cleared;
+      dst->push_back(r);
+    }
+  };
+  resolve(delta_->run_spo, &out->spo);
+  resolve(delta_->run_pos, &out->pos);
+  resolve(delta_->run_osp, &out->osp);
 }
 
 bool Graph::ScanBase(const Term& s, const Term& p, const Term& o,

@@ -197,8 +197,10 @@ class Graph {
 
   // --- Dictionary-encoded view (ID space). ---
 
-  /// Term dictionary: every base-table term is interned at insertion.
-  /// Unfolded delta triples are not interned until the fold.
+  /// Term dictionary: every term is interned at insertion — base-table
+  /// terms by AddBase, delta-admitted terms at Apply time under the delta
+  /// mutex — so query constants resolve through the dictionary even while
+  /// a delta is unfolded.
   const TermDictionary& dict() const { return dict_; }
 
   /// The base triple table as dictionary IDs, parallel to the Term table
@@ -206,10 +208,19 @@ class Graph {
   const std::vector<IdTriple>& id_table() const { return id_triples_; }
 
   /// Visits every live *base* triple as dictionary IDs, in table order.
-  /// Callers that need the unfolded delta too (none in-tree: the ID-join
-  /// path falls back to term scans while a delta is pending, and snapshot
-  /// encoding folds first) must check HasDelta().
+  /// Callers that need the unfolded delta too must merge in
+  /// SnapshotDeltaIds (the ID-join path does exactly that; snapshot
+  /// encoding folds first, so it never has to).
   void ForEachId(const std::function<void(const IdTriple&)>& cb) const;
+
+  /// Resolves the pending delta at `snapshot` into per-permutation sorted
+  /// runs of ID tuples — the executor merges these with the base
+  /// permutations so ID-space scans observe exactly the triples MatchAt
+  /// would at the same epoch. `out` is cleared first and left empty when
+  /// no delta operation with epoch <= snapshot exists. Thread-safe against
+  /// concurrent writers; the returned IDs are published (safe for
+  /// dict().term()) because Apply interns before exposing an epoch.
+  void SnapshotDeltaIds(uint64_t snapshot, DeltaIdRuns* out) const;
 
   /// Sorted SPO/POS/OSP permutation indexes over the live *base* ID
   /// tuples, built lazily and cached until the next base-table change
@@ -260,13 +271,28 @@ class Graph {
     std::vector<DeltaOp> ops;
   };
 
+  /// One delta cell mirrored into the ID space: the triple's dictionary
+  /// IDs (interned at Apply time) plus a stable pointer to its cell, whose
+  /// op list snapshots resolve against. unordered_map never invalidates
+  /// value addresses, so the pointer survives rehashing.
+  struct DeltaRunEntry {
+    IdTriple ids;
+    const DeltaCell* cell = nullptr;
+  };
+
   /// The differential index. Keyed by triple value equality — the same
   /// equality Remove and Match use. Guarded by `mu`; writers hold it for
   /// the whole batch (batch atomicity), readers only long enough to copy
-  /// the matching cells out.
+  /// the matching cells out. The runs mirror `cells` sorted per
+  /// permutation key order (one entry per distinct triple), kept in step
+  /// by Apply so SnapshotDeltaIds can emit merge-ready runs without
+  /// sorting on the read path.
   struct DeltaState {
     mutable std::mutex mu;
     std::unordered_map<Triple, DeltaCell, TripleHash> cells;
+    std::vector<DeltaRunEntry> run_spo;
+    std::vector<DeltaRunEntry> run_pos;
+    std::vector<DeltaRunEntry> run_osp;
   };
 
   /// A delta cell resolved at a snapshot: whether the base copies are
@@ -281,6 +307,11 @@ class Graph {
   size_t RemoveBase(const Triple& t, GraphListener* observer);
   ApplyResult ApplyBase(WriteBatch&& batch, GraphListener* observer);
   ApplyResult ApplyDelta(WriteBatch&& batch, GraphListener* observer);
+
+  /// The delta cell for `t`, creating it on first touch — which interns
+  /// the triple's terms and splices the cell into the sorted ID runs.
+  /// Caller holds the delta mutex.
+  DeltaCell& DeltaCellFor(const Triple& t);
 
   /// Copies of `t` (value equality) live in the base table.
   size_t BaseMultiplicity(const Triple& t) const;

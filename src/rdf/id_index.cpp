@@ -74,22 +74,28 @@ void BuildIdIndexes(const std::vector<IdTriple>& table,
   CountPrefixes(out->osp, Perm::kOsp, &out->distinct_o, &out->distinct_os);
 }
 
-std::pair<size_t, size_t> PrefixRange(const std::vector<IdTriple>& sorted,
-                                      Perm perm,
-                                      const std::array<uint32_t, 3>& key,
-                                      int n_fixed) {
+namespace {
+
+/// Shared PrefixRange body over any element type that projects to an
+/// IdTriple (the base permutations hold IdTriple directly, delta runs wrap
+/// one in a DeltaIdEntry).
+template <typename T, typename Proj>
+std::pair<size_t, size_t> PrefixRangeImpl(const std::vector<T>& sorted,
+                                          Perm perm,
+                                          const std::array<uint32_t, 3>& key,
+                                          int n_fixed, Proj proj) {
   if (n_fixed <= 0) return {0, sorted.size()};
-  auto less = [perm, n_fixed](const IdTriple& t,
-                              const std::array<uint32_t, 3>& k) {
-    std::array<uint32_t, 3> tk = PermKey(perm, t);
+  auto less = [perm, n_fixed, &proj](const T& e,
+                                     const std::array<uint32_t, 3>& k) {
+    std::array<uint32_t, 3> tk = PermKey(perm, proj(e));
     for (int i = 0; i < n_fixed; ++i) {
       if (tk[i] != k[i]) return tk[i] < k[i];
     }
     return false;
   };
-  auto greater = [perm, n_fixed](const std::array<uint32_t, 3>& k,
-                                 const IdTriple& t) {
-    std::array<uint32_t, 3> tk = PermKey(perm, t);
+  auto greater = [perm, n_fixed, &proj](const std::array<uint32_t, 3>& k,
+                                        const T& e) {
+    std::array<uint32_t, 3> tk = PermKey(perm, proj(e));
     for (int i = 0; i < n_fixed; ++i) {
       if (tk[i] != k[i]) return k[i] < tk[i];
     }
@@ -99,6 +105,27 @@ std::pair<size_t, size_t> PrefixRange(const std::vector<IdTriple>& sorted,
   auto hi = std::upper_bound(lo, sorted.end(), key, greater);
   return {static_cast<size_t>(lo - sorted.begin()),
           static_cast<size_t>(hi - sorted.begin())};
+}
+
+}  // namespace
+
+std::pair<size_t, size_t> PrefixRange(const std::vector<IdTriple>& sorted,
+                                      Perm perm,
+                                      const std::array<uint32_t, 3>& key,
+                                      int n_fixed) {
+  return PrefixRangeImpl(sorted, perm, key, n_fixed,
+                         [](const IdTriple& t) -> const IdTriple& {
+                           return t;
+                         });
+}
+
+std::pair<size_t, size_t> DeltaPrefixRange(
+    const std::vector<DeltaIdEntry>& sorted, Perm perm,
+    const std::array<uint32_t, 3>& key, int n_fixed) {
+  return PrefixRangeImpl(sorted, perm, key, n_fixed,
+                         [](const DeltaIdEntry& e) -> const IdTriple& {
+                           return e.t;
+                         });
 }
 
 }  // namespace scisparql

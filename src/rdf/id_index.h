@@ -108,6 +108,49 @@ std::pair<size_t, size_t> PrefixRange(const std::vector<IdTriple>& sorted,
                                       const std::array<uint32_t, 3>& key,
                                       int n_fixed);
 
+/// One differential-index cell resolved at a snapshot epoch and lowered to
+/// dictionary IDs: how many delta-inserted copies of the triple are live,
+/// and whether a tombstone suppresses its base-table copies.
+struct DeltaIdEntry {
+  IdTriple t;
+  uint32_t adds = 0;
+  bool cleared = false;
+};
+
+/// A graph's pending delta resolved at one snapshot epoch, sorted per
+/// permutation order — the second input of the ID-join executor's two-run
+/// merge scans (the first being the immutable base permutation). All three
+/// runs hold the same entries, only the sort order differs.
+struct DeltaIdRuns {
+  std::vector<DeltaIdEntry> spo;
+  std::vector<DeltaIdEntry> pos;
+  std::vector<DeltaIdEntry> osp;
+  bool any_cleared = false;
+
+  bool empty() const { return spo.empty(); }
+  void clear() {
+    spo.clear();
+    pos.clear();
+    osp.clear();
+    any_cleared = false;
+  }
+  const std::vector<DeltaIdEntry>& run(Perm p) const {
+    switch (p) {
+      case Perm::kSpo:
+        return spo;
+      case Perm::kPos:
+        return pos;
+      default:
+        return osp;
+    }
+  }
+};
+
+/// PrefixRange over a sorted delta run.
+std::pair<size_t, size_t> DeltaPrefixRange(
+    const std::vector<DeltaIdEntry>& sorted, Perm perm,
+    const std::array<uint32_t, 3>& key, int n_fixed);
+
 }  // namespace scisparql
 
 #endif  // SCISPARQL_RDF_ID_INDEX_H_

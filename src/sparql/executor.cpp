@@ -1,6 +1,7 @@
 #include "sparql/executor.h"
 
 #include <algorithm>
+#include <cassert>
 #include <charconv>
 #include <chrono>
 #include <cmath>
@@ -958,18 +959,16 @@ class ExecImpl {
 
   /// Attempts to evaluate the ordered BGP over the graph's dictionary-ID
   /// permutation indexes (merge / hash joins instead of nested
-  /// scan-and-bind). Returns nullopt when the fast path does not apply —
-  /// single pattern, property paths, a graph whose ID space is not
-  /// join-safe, or an intermediate result past the materialization cap —
-  /// and the caller falls back to scan-and-bind.
+  /// scan-and-bind), merging any pending delta at a snapshot epoch
+  /// captured on entry. Returns nullopt when the fast path does not apply
+  /// — single pattern, property paths, a graph whose ID space is not
+  /// join-safe, a constant past the exact int<->double cast range, or an
+  /// intermediate result past the materialization cap — and the caller
+  /// falls back to scan-and-bind.
   std::optional<Result<bool>> TryEvalBgpIds(
       const OrderedBgp& ordered, const std::vector<const TriplePattern*>& bgp,
       const std::vector<const ast::Expr*>& filters, State& st, const Cont& k) {
     if (!options_.use_id_joins || st.graph == nullptr) return std::nullopt;
-    // The ID permutations cover only the folded base table; a graph with
-    // unfolded delta operations would give the join a stale view, so fall
-    // back to (delta-aware) scan-and-bind until the compactor catches up.
-    if (st.graph->HasDelta()) return std::nullopt;
     if (ordered.patterns.size() < 2) return std::nullopt;
     for (const TriplePattern* tp : ordered.patterns) {
       if (tp->path != nullptr) return std::nullopt;
@@ -977,23 +976,64 @@ class ExecImpl {
     const TermDictionary& dict = st.graph->dict();
     if (!dict.join_safe()) return std::nullopt;
 
+    // Pin the read snapshot *before* touching the dictionary or the
+    // delta: writers intern a batch's terms and splice its delta cells
+    // under the delta mutex before publishing its epoch, so every batch
+    // with epoch <= snapshot is fully resolvable below, and every later
+    // batch is excluded by the epoch filter — exactly MatchAt(snapshot)
+    // semantics, even while writers keep committing mid-query.
+    const uint64_t snapshot = st.graph->SnapshotEpoch();
+    DeltaIdRuns delta_runs;
+    st.graph->SnapshotDeltaIds(snapshot, &delta_runs);
+
     // Lower the patterns to the ID space: constants and already-bound
     // variables resolve through the dictionary, unbound variables get
     // dense output slots.
     std::vector<std::string> slot_vars;
     std::map<std::string, int> slot_of;
     bool missing_const = false;
+    bool lossy_const = false;
     auto resolve_const = [&](const Term& t) -> uint32_t {
       std::optional<uint32_t> id = dict.Find(t);
       // Under join_safe() the graph holds at most one representation of
       // any numeric value, but it may be the other kind than the query
-      // constant (2 matches a stored 2.0); probe both exact kinds.
+      // constant (2 matches a stored 2.0); probe the other exact kind.
+      // The probes cast across int64/double, which is only injective
+      // below 2^53 — past that, several integers widen to one double
+      // (9007199254740993 widens to 9007199254740992.0), so a cast-based
+      // probe could pin the constant to the ID of a merely-adjacent
+      // stored value or miss an equal one. Such constants mark the
+      // lowering lossy and the BGP falls back to term-space
+      // scan-and-bind, whose Term::operator== is authoritative.
       if (!id.has_value() && t.kind() == Term::Kind::kInteger) {
-        id = dict.Find(Term::Double(static_cast<double>(t.integer())));
+        const int64_t i = t.integer();
+        if (i > -TermDictionary::kExactCastBound &&
+            i < TermDictionary::kExactCastBound) {
+          id = dict.Find(Term::Double(static_cast<double>(i)));
+          // 0 and -0.0 compare equal but intern apart (bit identity).
+          if (!id.has_value() && i == 0) id = dict.Find(Term::Double(-0.0));
+        } else {
+          lossy_const = true;
+          return 0;
+        }
       } else if (!id.has_value() && t.kind() == Term::Kind::kDouble) {
-        double d = t.dbl();
-        if (d == std::floor(d) && d >= -9.2e18 && d <= 9.2e18) {
-          id = dict.Find(Term::Integer(static_cast<int64_t>(d)));
+        const double d = t.dbl();
+        if (d == std::floor(d) && std::isfinite(d)) {
+          if (d > -static_cast<double>(TermDictionary::kExactCastBound) &&
+              d < static_cast<double>(TermDictionary::kExactCastBound)) {
+            id = dict.Find(Term::Integer(static_cast<int64_t>(d)));
+            if (!id.has_value() && d == 0.0) {
+              id = dict.Find(Term::Double(std::signbit(d) ? 0.0 : -0.0));
+            }
+          } else if (d >= -9223372036854775808.0 &&
+                     d < 9223372036854775808.0) {
+            // Integral double past 2^53 but within the int64 span: a
+            // whole range of integers compares equal to it.
+            lossy_const = true;
+            return 0;
+          }
+          // Past the int64 span no integer can equal it: an exact miss
+          // is a definitive miss.
         }
       }
       if (!id.has_value()) {
@@ -1029,20 +1069,37 @@ class ExecImpl {
       p.o = lower(tp->o);
       pats.push_back(p);
     }
+    if (lossy_const) return std::nullopt;
     if (missing_const) {
-      // A constant absent from the dictionary occurs in no triple: the
-      // BGP has zero solutions and evaluation simply continues.
+      // A constant absent from the dictionary occurs in no triple — delta
+      // triples included, since Apply interns them before publishing
+      // their epoch and our snapshot was captured before these Finds ran:
+      // the BGP has zero solutions and evaluation simply continues.
       return Result<bool>(true);
     }
+    // Re-check join safety: a writer may have interned an aliasing
+    // numeric (or an array term) since the entry check, in which case the
+    // IDs just resolved are no longer trustworthy equality witnesses. The
+    // flag only ever flips towards unsafe, so passing here proves every
+    // Find above ran against an alias-free dictionary.
+    if (!dict.join_safe()) return std::nullopt;
 
     const IdIndexes& idx = st.graph->EnsureIdIndexes();
+    // A batch committing between the snapshot capture above and this
+    // point cannot leak post-snapshot rows into the join: the base table
+    // and its permutations are immutable under the shared lock (folds and
+    // base-mode writes require exclusivity, so the epoch can only have
+    // grown by delta commits), and every delta op carries its batch's
+    // epoch, which the run resolution filtered against `snapshot`.
+    assert(st.graph->SnapshotEpoch() >= snapshot);
     IdJoinResult res;
     bool overflow = false;
     std::function<Status()> interrupt;
     if (options_.query != nullptr) {
       interrupt = [this]() { return CheckInterrupt(); };
     }
-    Status js = ExecuteIdJoin(idx, pats, options_.id_join_max_rows, interrupt,
+    Status js = ExecuteIdJoin(idx, delta_runs.empty() ? nullptr : &delta_runs,
+                              pats, options_.id_join_max_rows, interrupt,
                               &res, &overflow);
     if (!js.ok()) return Result<bool>(js);
     if (overflow) return std::nullopt;
@@ -1122,6 +1179,10 @@ class ExecImpl {
     for (const IdJoinStep& s : res.steps) {
       std::string label = std::string(opt::PhysicalOpName(s.op)) + "(" +
                           PermName(s.perm);
+      // Mark scans that merged a pending delta run, so EXPLAIN under
+      // concurrent writes shows the ID path holding rather than falling
+      // back to term scans.
+      if (s.delta) label += "+delta";
       if (s.op == opt::PhysicalOp::kMergeJoin && s.join_slot >= 0) {
         label += " on ?" + slot_vars[static_cast<size_t>(s.join_slot)];
       } else if (s.op == opt::PhysicalOp::kHashJoin) {

@@ -94,29 +94,73 @@ ScanPlan PlanScan(const IdPattern& pat) {
   return sp;
 }
 
-/// Materializes the pattern's prefix range. `*scanned` is the raw range
-/// length (before repeated-slot filtering) — what EXPLAIN reports as the
-/// scan's input cardinality.
-void RunScan(const IdIndexes& idx, const ScanPlan& sp, Relation* rel,
-             size_t* scanned) {
+/// Materializes the pattern's prefix range, merged with the matching
+/// delta run when one is pending. `*scanned` is the raw range length of
+/// both runs (before repeated-slot filtering) — what EXPLAIN reports as
+/// the scan's input cardinality. Sets *delta_hit when the delta run
+/// contributed to (or suppressed rows from) the range.
+void RunScan(const IdIndexes& idx, const DeltaIdRuns* delta,
+             const ScanPlan& sp, Relation* rel, size_t* scanned,
+             bool* delta_hit) {
   const std::vector<IdTriple>& v = idx.perm(sp.perm);
   auto [lo, hi] = PrefixRange(v, sp.perm, sp.key, sp.n_fixed);
-  *scanned = hi - lo;
   rel->slots = sp.out_slot;
   rel->sorted_slot = sp.out_slot.empty() ? -1 : sp.out_slot[0];
-  rel->data.reserve((hi - lo) * sp.out_comp.size());
-  for (size_t i = lo; i < hi; ++i) {
-    const uint32_t c3[3] = {v[i].s, v[i].p, v[i].o};
-    bool keep = true;
+  auto emit = [&](const IdTriple& t) {
+    const uint32_t c3[3] = {t.s, t.p, t.o};
     for (const auto& [a, b] : sp.eq) {
-      if (c3[a] != c3[b]) {
-        keep = false;
-        break;
-      }
+      if (c3[a] != c3[b]) return;
     }
-    if (!keep) continue;
     for (int comp : sp.out_comp) rel->data.push_back(c3[comp]);
     ++rel->rows;
+  };
+
+  if (delta == nullptr || delta->empty()) {
+    *scanned = hi - lo;
+    rel->data.reserve((hi - lo) * sp.out_comp.size());
+    for (size_t i = lo; i < hi; ++i) emit(v[i]);
+    return;
+  }
+
+  // Two-run merge in permutation key order. A permutation key is a
+  // bijective rearrangement of the triple's components, so equal keys mean
+  // equal ID tuples — and, under join_safe(), equal triples — which makes
+  // tombstone suppression exact: a cleared delta entry swallows precisely
+  // the base copies of its own triple.
+  const std::vector<DeltaIdEntry>& d = delta->run(sp.perm);
+  auto [dlo, dhi] = DeltaPrefixRange(d, sp.perm, sp.key, sp.n_fixed);
+  *scanned = (hi - lo) + (dhi - dlo);
+  *delta_hit = dhi > dlo;
+  rel->data.reserve(*scanned * sp.out_comp.size());
+  size_t bi = lo, di = dlo;
+  while (bi < hi || di < dhi) {
+    if (di >= dhi) {
+      emit(v[bi++]);
+      continue;
+    }
+    if (bi >= hi) {
+      const DeltaIdEntry& e = d[di++];
+      for (uint32_t c = 0; c < e.adds; ++c) emit(e.t);
+      continue;
+    }
+    const std::array<uint32_t, 3> bk = PermKey(sp.perm, v[bi]);
+    const std::array<uint32_t, 3> dk = PermKey(sp.perm, d[di].t);
+    if (bk < dk) {
+      emit(v[bi++]);
+    } else if (dk < bk) {
+      const DeltaIdEntry& e = d[di++];
+      for (uint32_t c = 0; c < e.adds; ++c) emit(e.t);
+    } else {
+      // Same triple: the tombstone (if any) suppresses every base copy —
+      // duplicates of one key are contiguous — then the delta's surviving
+      // inserts follow, keeping the output sorted.
+      const DeltaIdEntry& e = d[di++];
+      while (bi < hi && v[bi] == e.t) {
+        if (!e.cleared) emit(v[bi]);
+        ++bi;
+      }
+      for (uint32_t c = 0; c < e.adds; ++c) emit(e.t);
+    }
   }
 }
 
@@ -239,7 +283,7 @@ Status HashJoin(const Relation& left, const Relation& right,
 
 }  // namespace
 
-Status ExecuteIdJoin(const IdIndexes& idx,
+Status ExecuteIdJoin(const IdIndexes& idx, const DeltaIdRuns* delta,
                      const std::vector<IdPattern>& patterns, size_t max_rows,
                      const std::function<Status()>& interrupt,
                      IdJoinResult* out, bool* overflow) {
@@ -252,7 +296,7 @@ Status ExecuteIdJoin(const IdIndexes& idx,
     Relation scan;
     IdJoinStep step;
     step.perm = sp.perm;
-    RunScan(idx, sp, &scan, &step.scan_rows);
+    RunScan(idx, delta, sp, &scan, &step.scan_rows, &step.delta);
 
     if (first) {
       step.op = opt::PhysicalOp::kIndexScan;

@@ -35,7 +35,8 @@ struct IdJoinStep {
   Perm perm = Perm::kSpo;  // permutation the step's index scan probed
   int join_slot = -1;      // merge-join key slot (kMergeJoin only)
   bool build_left = false; // hash build side (kHashJoin only)
-  size_t scan_rows = 0;    // rows in the scan's prefix range
+  bool delta = false;      // scan merged a pending delta run
+  size_t scan_rows = 0;    // rows in the scan's prefix range(s)
   size_t out_rows = 0;     // accumulated rows after this step
 };
 
@@ -56,11 +57,19 @@ struct IdJoinResult {
 /// (multiset semantics); a pattern sharing no slot degenerates to a cross
 /// product. Patterns execute in the given (planner) order.
 ///
+/// `delta` (may be null) is the graph's pending differential index
+/// resolved at the query's snapshot epoch (Graph::SnapshotDeltaIds). When
+/// non-empty, every index scan becomes a two-run merge of the immutable
+/// base permutation with the matching delta run: tombstoned entries
+/// suppress their base copies, delta inserts are emitted in key order, so
+/// the scan output stays sorted and merge-join eligibility survives
+/// concurrent writes.
+///
 /// If any intermediate result would exceed `max_rows`, sets *overflow and
 /// returns OK with `out` incomplete — the caller falls back to
 /// scan-and-bind. `interrupt` (may be null) is polled between operators
 /// and inside long loops; its error aborts the join.
-Status ExecuteIdJoin(const IdIndexes& idx,
+Status ExecuteIdJoin(const IdIndexes& idx, const DeltaIdRuns* delta,
                      const std::vector<IdPattern>& patterns, size_t max_rows,
                      const std::function<Status()>& interrupt,
                      IdJoinResult* out, bool* overflow);

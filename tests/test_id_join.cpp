@@ -54,6 +54,53 @@ TEST(Dictionary, NumericAliasDisablesJoinSafety) {
   EXPECT_FALSE(d.join_safe());
 }
 
+TEST(Dictionary, HugeNumericCoexistenceFlagsAliasConservatively) {
+  // Past 2^53 the int64 -> double cast stops being injective:
+  // (double)9007199254740993 is exactly 9007199254740992.0, so the two
+  // compare equal under SPARQL `=` while interning apart.
+  {
+    TermDictionary d;
+    d.Intern(Term::Double(9007199254740992.0));  // 2^53
+    EXPECT_TRUE(d.join_safe());
+    d.Intern(Term::Integer(9007199254740993));
+    // The integer-side probe is exact at any magnitude.
+    EXPECT_FALSE(d.join_safe());
+  }
+  {
+    TermDictionary d;
+    d.Intern(Term::Integer(9007199254740993));
+    EXPECT_TRUE(d.join_safe());
+    // The double-side probe cannot enumerate every integer that widens to
+    // 2^53, so coexistence with any huge integer flags conservatively.
+    d.Intern(Term::Double(9007199254740992.0));
+    EXPECT_FALSE(d.join_safe());
+  }
+  {
+    // Below the bound detection stays exact: distinct values never flag.
+    TermDictionary d;
+    d.Intern(Term::Integer(4096));
+    d.Intern(Term::Double(4097.0));
+    EXPECT_TRUE(d.join_safe());
+  }
+}
+
+TEST(Dictionary, SignedZerosAliasAcrossRepresentations) {
+  // 0.0 and -0.0 intern apart (bit-pattern identity) but compare equal.
+  {
+    TermDictionary d;
+    d.Intern(Term::Double(0.0));
+    EXPECT_TRUE(d.join_safe());
+    d.Intern(Term::Double(-0.0));
+    EXPECT_FALSE(d.join_safe());
+  }
+  {
+    TermDictionary d;
+    d.Intern(Term::Double(-0.0));
+    d.Intern(Term::Integer(0));
+    EXPECT_FALSE(d.join_safe());
+  }
+}
+
 TEST(Dictionary, ArrayTermsDisableJoinSafety) {
   TermDictionary d;
   EXPECT_TRUE(d.join_safe());
@@ -256,6 +303,92 @@ TEST_F(IdJoinTest, NumericAliasInDataDisablesFastPathSafely) {
                   .ok());
   EXPECT_FALSE(db_.dataset().default_graph().dict().join_safe());
   ExpectSameRows("SELECT ?s WHERE { ?s ex:age 25 . ?s ex:knows ?f }");
+}
+
+TEST_F(IdJoinTest, IntegerConstantPastDoublePrecisionMatchesScanAndBind) {
+  // Stored double 2^53; the query constant 2^53+1 widens to exactly that
+  // double under SPARQL `=`, but the int64 -> double cast used to lower it
+  // into the ID space is lossy at this magnitude. The lowering must fall
+  // back to scan-and-bind rather than pin the constant to (or past) the
+  // stored ID.
+  ASSERT_TRUE(scisparql::Run(db_, "INSERT DATA { ex:big ex:score 9007199254740992.0 . "
+                      "ex:big ex:name \"big\" }")
+                  .ok());
+  ExpectSameRows(
+      "SELECT ?n WHERE { ?s ex:score 9007199254740993 . ?s ex:name ?n }");
+  // Exactly-representable magnitudes keep the exact cross-kind probe.
+  ExpectSameRows(
+      "SELECT ?n WHERE { ?s ex:score 9007199254740992 . ?s ex:name ?n }");
+}
+
+TEST(IdJoinEdge, DoubleConstantPastPrecisionDoesNotMissStoredInteger) {
+  // The mirror image: a huge integer stored, a double query constant equal
+  // to it under widening. Casting the double back to int64 yields 2^53 and
+  // the probe misses 2^53+1 — the old "missing constant -> zero solutions"
+  // early return silently dropped the row.
+  SSDM db;
+  db.prefixes().Set("ex", "http://example.org/");
+  ASSERT_TRUE(scisparql::Run(db, "INSERT DATA { ex:huge ex:score 9007199254740993 . "
+                      "ex:huge ex:name \"huge\" }")
+                  .ok());
+  EXPECT_TRUE(db.dataset().default_graph().dict().join_safe());
+  for (bool id_joins : {true, false}) {
+    db.exec_options().use_id_joins = id_joins;
+    auto r = Query(db,
+                   "SELECT ?n WHERE { ?s ex:score 9007199254740992.0 . "
+                   "?s ex:name ?n }");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->rows.size(), 1u) << "use_id_joins=" << id_joins;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Delta-aware ID-space scans: pending writes must not evict the fast path.
+// ---------------------------------------------------------------------------
+
+TEST_F(IdJoinTest, DeltaResidentConstantsResolveThroughIdPath) {
+  db_.dataset().SetConcurrentWrites(true);
+  // 33 and "fred" exist only in the unfolded delta: Apply interns them at
+  // commit, so the ID path must find them instead of concluding "constant
+  // missing from dictionary -> zero solutions".
+  ASSERT_TRUE(scisparql::Run(db_, "INSERT DATA { ex:f ex:age 33 . ex:f ex:knows ex:a . "
+                      "ex:f ex:name \"fred\" }")
+                  .ok());
+  ASSERT_TRUE(db_.dataset().default_graph().HasDelta());
+  db_.exec_options().use_id_joins = true;
+  auto r = Query(db_, "SELECT ?n WHERE { ?s ex:age 33 . ?s ex:name ?n }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][0], Term::String("fred"));
+  ExpectSameRows("SELECT ?s ?f ?a WHERE { ?s ex:knows ?f . ?s ex:age ?a }");
+  // The equivalence checks above must have run against a still-pending
+  // delta, not a folded one.
+  EXPECT_TRUE(db_.dataset().default_graph().HasDelta());
+}
+
+TEST_F(IdJoinTest, DeltaTombstonesSuppressBaseRowsOnIdPath) {
+  db_.dataset().SetConcurrentWrites(true);
+  ASSERT_TRUE(scisparql::Run(db_, "DELETE DATA { ex:b ex:knows ex:c }").ok());
+  ASSERT_TRUE(scisparql::Run(db_, "INSERT DATA { ex:b ex:knows ex:e }").ok());
+  ASSERT_TRUE(db_.dataset().default_graph().HasDelta());
+  ExpectSameRows("SELECT ?a ?c WHERE { ?a ex:knows ?b . ?b ex:knows ?c }");
+  ExpectSameRows("SELECT ?s ?f ?a WHERE { ?s ex:knows ?f . ?s ex:age ?a }");
+  EXPECT_TRUE(db_.dataset().default_graph().HasDelta());
+}
+
+TEST_F(IdJoinTest, ExplainShowsDeltaMergedScansWhileDeltaPending) {
+  db_.dataset().SetConcurrentWrites(true);
+  ASSERT_TRUE(scisparql::Run(db_, "INSERT DATA { ex:f ex:age 27 . ex:f ex:knows ex:a }")
+                  .ok());
+  ASSERT_TRUE(db_.dataset().default_graph().HasDelta());
+  const std::string star =
+      "SELECT ?s ?f ?a WHERE { ?s ex:knows ?f . ?s ex:age ?a }";
+  ASSERT_TRUE(Query(db_, star).ok());
+  auto plan = db_.Explain(star);
+  ASSERT_TRUE(plan.ok());
+  // Still the ID path — and the scans advertise the merged delta run.
+  EXPECT_NE(plan->find("index-scan("), std::string::npos) << *plan;
+  EXPECT_NE(plan->find("+delta"), std::string::npos) << *plan;
 }
 
 // ---------------------------------------------------------------------------

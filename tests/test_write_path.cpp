@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "engine/durability.h"
 #include "engine/ssdm.h"
 #include "query_helpers.h"
+#include "rdf/dictionary.h"
 #include "rdf/graph.h"
 #include "rdf/write_batch.h"
 #include "sched/scheduler.h"
@@ -180,6 +182,220 @@ TEST(WritePath, MatchAgreesWithReferenceScanAcrossDeltaStates) {
   check("delta-pending");
   g.FoldDelta();
   check("folded");
+}
+
+// ---------------------------------------------------------------------------
+// Delta-aware ID-space scans: the fast path must survive pending deltas.
+// ---------------------------------------------------------------------------
+
+/// ID-join vs scan-and-bind equivalence across every delta state, for star
+/// and chain BGPs (the sweep the ID path must win without regressing
+/// correctness). Runs under TSan in CI like the rest of this file.
+TEST(WritePath, IdJoinMatchesScanAndBindAcrossDeltaStates) {
+  SSDM db;
+  db.prefixes().Set("ex", "http://example.org/");
+  std::ostringstream ttl;
+  ttl << "@prefix ex: <http://example.org/> .\n";
+  for (int i = 0; i < 24; ++i) {
+    ttl << "ex:s" << i << " ex:p ex:o" << (i % 6) << " .\n";
+    ttl << "ex:s" << i << " ex:q " << (i % 4) << " .\n";
+    ttl << "ex:o" << (i % 6) << " ex:r ex:t" << (i % 3) << " .\n";
+  }
+  ASSERT_TRUE(db.LoadTurtleString(ttl.str()).ok());
+  db.dataset().SetConcurrentWrites(true);
+
+  const std::vector<std::string> queries = {
+      // Star join.
+      "PREFIX ex: <http://example.org/> "
+      "SELECT ?s ?o ?v WHERE { ?s ex:p ?o . ?s ex:q ?v }",
+      // Chain join.
+      "PREFIX ex: <http://example.org/> "
+      "SELECT ?s ?t WHERE { ?s ex:p ?o . ?o ex:r ?t }",
+      // Star with a base-resident constant.
+      "PREFIX ex: <http://example.org/> "
+      "SELECT ?s ?o WHERE { ?s ex:p ?o . ?s ex:q 2 }",
+      // Star with a constant that only ever exists in the delta.
+      "PREFIX ex: <http://example.org/> "
+      "SELECT ?s ?o WHERE { ?s ex:p ?o . ?s ex:q 7 }",
+  };
+  auto row_key = [](const std::vector<Term>& row) {
+    std::string k;
+    for (const Term& t : row) k += t.ToString() + "\x1f";
+    return k;
+  };
+  auto check_all = [&](const char* stage) {
+    for (const std::string& q : queries) {
+      db.exec_options().use_id_joins = true;
+      auto a = Query(db, q);
+      ASSERT_TRUE(a.ok()) << a.status().ToString();
+      db.exec_options().use_id_joins = false;
+      auto b = Query(db, q);
+      ASSERT_TRUE(b.ok()) << b.status().ToString();
+      db.exec_options().use_id_joins = true;
+      std::multiset<std::string> id_rows, scan_rows;
+      for (const auto& r : a->rows) id_rows.insert(row_key(r));
+      for (const auto& r : b->rows) scan_rows.insert(row_key(r));
+      EXPECT_EQ(id_rows, scan_rows) << stage << ": " << q;
+    }
+  };
+
+  auto& g = db.dataset().default_graph();
+  ASSERT_FALSE(g.HasDelta());
+  check_all("empty delta");
+
+  // Pending inserts, including terms the base has never seen (7, ex:onew).
+  ASSERT_TRUE(scisparql::Run(db,
+                  "PREFIX ex: <http://example.org/> INSERT DATA { "
+                  "ex:n1 ex:p ex:o2 . ex:n1 ex:q 7 . ex:n2 ex:p ex:onew . "
+                  "ex:onew ex:r ex:t9 . ex:n2 ex:q 2 }")
+                  .ok());
+  ASSERT_TRUE(g.HasDelta());
+  check_all("pending inserts");
+
+  // Pending tombstones over base rows.
+  ASSERT_TRUE(scisparql::Run(db,
+                  "PREFIX ex: <http://example.org/> DELETE DATA { "
+                  "ex:s0 ex:p ex:o0 . ex:s1 ex:q 1 }")
+                  .ok());
+  check_all("pending tombstones");
+
+  // Mixed: tombstone a delta-inserted row, re-insert a tombstoned base row
+  // twice (multiplicity through a cleared cell).
+  ASSERT_TRUE(
+      scisparql::Run(
+          db,
+          "PREFIX ex: <http://example.org/> DELETE DATA { ex:n1 ex:p ex:o2 }")
+          .ok());
+  ASSERT_TRUE(scisparql::Run(db,
+                  "PREFIX ex: <http://example.org/> INSERT DATA { "
+                  "ex:s0 ex:p ex:o0 . ex:s0 ex:p ex:o0 }")
+                  .ok());
+  ASSERT_TRUE(g.HasDelta());
+  check_all("mixed");
+
+  // Post-compaction: the fold retires the delta runs with the cells.
+  db.dataset().FoldDeltas();
+  ASSERT_FALSE(g.HasDelta());
+  check_all("post-compaction");
+}
+
+/// Readers running multi-pattern BGPs through the ID path race four writers
+/// committing deltas (satellite: the epoch captured at BGP entry must bound
+/// every scan — a batch landing between the join-safety check and
+/// EnsureIdIndexes must not leak post-snapshot rows). The flip statements
+/// keep the per-snapshot invariant COUNT == 60 detectable if a scan ever
+/// mixes epochs; the churn writers grow the dictionary concurrently so TSan
+/// sees interning race materialization.
+TEST(WritePath, IdJoinReadersHoldFastPathWhileWritersCommit) {
+  SSDM db;
+  db.prefixes().Set("ex", "http://example.org/");
+  std::ostringstream ttl;
+  ttl << "@prefix ex: <http://example.org/> .\n";
+  for (int i = 0; i < 60; ++i) {
+    ttl << "ex:item" << i << " ex:state \"a\" .\n";
+    ttl << "ex:item" << i << " ex:kind ex:widget .\n";
+  }
+  ASSERT_TRUE(db.LoadTurtleString(ttl.str()).ok());
+
+  sched::SchedulerOptions options;
+  options.workers = 6;
+  options.queue_capacity = 1024;
+  options.compact_interval = 1h;  // keep the delta pending for the whole run
+  options.compact_threshold = 1;
+  sched::QueryScheduler sched(&db, options);
+
+  const std::string count_q =
+      "PREFIX ex: <http://example.org/> "
+      "SELECT (COUNT(?s) AS ?c) WHERE { ?s ex:state ?st . "
+      "?s ex:kind ex:widget }";
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        auto res = sched.Execute(count_q);
+        if (!res.ok()) continue;  // overload is fine, torn state is not
+        if (res->rows().rows[0][0] != Term::Integer(60)) ++bad;
+      }
+    });
+  }
+
+  const char* flip[2] = {
+      "PREFIX ex: <http://example.org/> "
+      "DELETE { ?s ex:state \"a\" } INSERT { ?s ex:state \"b\" } "
+      "WHERE { ?s ex:state \"a\" }",
+      "PREFIX ex: <http://example.org/> "
+      "DELETE { ?s ex:state \"b\" } INSERT { ?s ex:state \"a\" } "
+      "WHERE { ?s ex:state \"b\" }"};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&, w] {
+      for (int i = 0; i < 12; ++i) {
+        // Two writers flip states; two insert brand-new terms so the
+        // dictionary grows under the readers' feet.
+        std::string q =
+            (w < 2) ? flip[w % 2]
+                    : "PREFIX ex: <http://example.org/> INSERT DATA { ex:w" +
+                          std::to_string(w) + " ex:tick " +
+                          std::to_string(w * 1000 + i) + " }";
+        auto r = sched.Execute(q);
+        if (!r.ok()) --i;  // queue-full: retry
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop = true;
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(bad.load(), 0);
+
+  // The whole run executed against a pending delta (the compactor never
+  // fired), and the plan must still be the ID path with delta-merged scans
+  // — not the old whole-query fallback to term scans.
+  ASSERT_GT(db.PendingDeltaOps(), 0u);
+  auto out = db.Execute("EXPLAIN ANALYZE " + count_q);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_NE(out->info().find("index-scan("), std::string::npos) << out->info();
+  EXPECT_NE(out->info().find("+delta"), std::string::npos) << out->info();
+}
+
+/// Raw dictionary torture: writers intern overlapping and disjoint terms
+/// while readers resolve ids lock-free; every published id must round-trip.
+TEST(WritePath, DictionaryServesReadersWhileWritersIntern) {
+  TermDictionary d;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&d, w] {
+      for (int i = 0; i < 4000; ++i) {
+        d.Intern(Term::Integer(i));  // contended: both writers race these
+        d.Intern(Term::String("w" + std::to_string(w) + "-" +
+                              std::to_string(i)));
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&d, &stop] {
+      while (!stop.load(std::memory_order_acquire)) {
+        size_t n = d.size();
+        if (n == 0) continue;
+        // term() is lock-free; any id below size() must already be
+        // published and must round-trip through Find.
+        const Term& t = d.term(static_cast<uint32_t>(n - 1));
+        auto id = d.Find(t);
+        if (!id.has_value() || *id >= d.size()) std::abort();
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(d.size(), 4000u + 2u * 4000u);
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_TRUE(d.Find(Term::Integer(i)).has_value()) << i;
+  }
 }
 
 // ---------------------------------------------------------------------------
