@@ -12,8 +12,10 @@
 #include <future>
 #include <thread>
 
+#include "client/net.h"
 #include "client/protocol.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 #include "loaders/turtle.h"
 
 namespace scisparql {
@@ -21,75 +23,9 @@ namespace client {
 
 namespace {
 
-enum class IoOutcome { kOk, kClosed, kTimeout, kError };
-
-/// Reads exactly `n` bytes, retrying on EINTR so signal-heavy load cannot
-/// corrupt protocol framing; partial reads continue where they left off.
-/// A socket receive timeout (SO_RCVTIMEO) surfaces as kTimeout.
-IoOutcome ReadAll(int fd, void* buf, size_t n) {
-  uint8_t* p = static_cast<uint8_t*>(buf);
-  while (n > 0) {
-    ssize_t r = ::recv(fd, p, n, 0);
-    if (r == 0) return IoOutcome::kClosed;
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoOutcome::kTimeout;
-      return IoOutcome::kError;
-    }
-    p += r;
-    n -= static_cast<size_t>(r);
-  }
-  return IoOutcome::kOk;
-}
-
-/// Writes exactly `n` bytes with the same EINTR / partial-transfer
-/// handling as ReadAll.
-IoOutcome WriteAll(int fd, const void* buf, size_t n) {
-  const uint8_t* p = static_cast<const uint8_t*>(buf);
-  while (n > 0) {
-    ssize_t r = ::send(fd, p, n, MSG_NOSIGNAL);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoOutcome::kTimeout;
-      return IoOutcome::kError;
-    }
-    if (r == 0) return IoOutcome::kError;
-    p += r;
-    n -= static_cast<size_t>(r);
-  }
-  return IoOutcome::kOk;
-}
-
-Status IoStatus(IoOutcome outcome, const char* what) {
-  switch (outcome) {
-    case IoOutcome::kOk:
-      return Status::OK();
-    case IoOutcome::kClosed:
-      return Status::IoError(std::string(what) + ": connection closed");
-    case IoOutcome::kTimeout:
-      return Status::DeadlineExceeded(std::string(what) + ": socket timeout");
-    case IoOutcome::kError:
-      return Status::IoError(std::string(what) + ": " +
-                             std::strerror(errno));
-  }
-  return Status::Internal("unreachable");
-}
-
-Result<std::string> ReadFrame(int fd) {
-  uint32_t len;
-  IoOutcome r = ReadAll(fd, &len, 4);
-  if (r != IoOutcome::kOk) return IoStatus(r, "read frame header");
-  if (len > (64u << 20)) return Status::IoError("oversized frame");
-  std::string payload(len, '\0');
-  r = ReadAll(fd, payload.data(), len);
-  if (r != IoOutcome::kOk) return IoStatus(r, "read frame body");
-  return payload;
-}
-
-Status WriteFrame(int fd, const std::string& payload) {
-  std::string framed = Frame(payload);
-  return IoStatus(WriteAll(fd, framed.data(), framed.size()), "write frame");
-}
+using net::PeerClosed;
+using net::ReadFrame;
+using net::WriteFrame;
 
 /// 'E' payload: status code byte + message.
 std::string ErrorPayload(const Status& status) {
@@ -100,18 +36,10 @@ std::string ErrorPayload(const Status& status) {
   return payload;
 }
 
-/// True when the peer has closed its end (half-close or full disconnect).
-/// Pending unread data means the connection is alive (a pipelining
-/// client), so only a clean zero-byte read counts.
-bool PeerClosed(int fd) {
-  char probe;
-  ssize_t r = ::recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
-  return r == 0;
-}
-
 }  // namespace
 
 Result<int> SsdmServer::Start(int port) {
+  if (!options_.node_id.empty()) engine_->set_node_id(options_.node_id);
   shipper_ = std::make_unique<repl::WalShipper>(engine_);
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) return Status::IoError("socket() failed");
@@ -153,6 +81,7 @@ void SsdmServer::Stop() {
   for (auto& conn : conns) ::shutdown(conn->fd, SHUT_RDWR);
   for (auto& conn : conns) {
     if (conn->thread.joinable()) conn->thread.join();
+    net::ForgetFd(conn->fd);
     ::close(conn->fd);
   }
   if (scheduler_ != nullptr) scheduler_->Stop();
@@ -170,6 +99,7 @@ void SsdmServer::AcceptLoop() {
       break;  // listener closed
     }
     ReapConnections();
+    net::RegisterFd(fd, port_);
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
     Connection* raw = conn.get();
@@ -200,6 +130,7 @@ void SsdmServer::ReapConnections() {
   }
   for (auto& conn : finished) {
     if (conn->thread.joinable()) conn->thread.join();
+    net::ForgetFd(conn->fd);
     ::close(conn->fd);
   }
 }
@@ -259,6 +190,23 @@ std::string SsdmServer::Dispatch(const std::string& request, int fd) {
     req.text = request;
   }
 
+  // Self-fencing lease: a primary cut off from its replicas must stop
+  // taking writes before the cluster can elect a successor, or a client
+  // could get an ack no future primary knows about.
+  if (options_.fence_timeout.count() > 0 && !engine_->replica_mode() &&
+      !req.prepared.has_value() &&
+      SSDM::ClassifyStatement(req.text) != sched::StatementClass::kRead &&
+      shipper_->FencedOut(options_.fence_timeout)) {
+    obs::DefaultMetrics()
+        .GetCounter("ssdm_repl_fenced_writes_total", "",
+                    "Write statements rejected by the primary's "
+                    "self-fencing lease.")
+        .Add();
+    return ErrorPayload(Status::Unavailable(
+        "primary is fenced: no replica has fetched within the fence "
+        "window; a failover may be in progress"));
+  }
+
   auto cancel = std::make_shared<std::atomic<bool>>(false);
   req.cancel = cancel;
   auto promise = std::make_shared<std::promise<Result<QueryOutcome>>>();
@@ -281,6 +229,20 @@ std::string SsdmServer::Dispatch(const std::string& request, int fd) {
   Result<QueryOutcome> result = future.get();
 
   if (!result.ok()) return ErrorPayload(result.status());
+
+  // Semi-synchronous acknowledgement: the ack promises the write survives
+  // a failover, which candidate selection (highest applied LSN) can only
+  // honor once some replica actually applied it.
+  if (options_.sync_ack_timeout.count() > 0 && !engine_->replica_mode() &&
+      result->kind() == QueryOutcome::Kind::kUpdateCount) {
+    uint64_t lsn = std::get<QueryOutcome::UpdateCount>(result->value).lsn;
+    if (lsn > 0 && !shipper_->WaitForReplicaLsn(
+                       lsn, options_.sync_ack_timeout)) {
+      return ErrorPayload(Status::Unavailable(
+          "update is durable locally but no replica acknowledged it "
+          "within the sync-ack window; it may be lost across a failover"));
+    }
+  }
 
   if (structured) {
     // The serialize phase is part of the query's trace: it is wall time
@@ -308,8 +270,13 @@ std::string SsdmServer::Dispatch(const std::string& request, int fd) {
         // The commit LSN rides along as a second decimal field — the
         // client's read-your-writes token. Old clients strtoll the count
         // and never look past the space.
-        uint64_t lsn = std::get<QueryOutcome::UpdateCount>(result->value).lsn;
-        if (lsn > 0) resp.body += " " + std::to_string(lsn);
+        const auto& u = std::get<QueryOutcome::UpdateCount>(result->value);
+        if (u.lsn > 0) {
+          resp.body += " " + std::to_string(u.lsn);
+          // Third field: the executing primary's fencing term, so routers
+          // can spot acks from a deposed primary.
+          resp.body += " " + std::to_string(u.term);
+        }
         break;
       }
       case QueryOutcome::Kind::kInfo:
@@ -358,42 +325,15 @@ std::string SsdmServer::Dispatch(const std::string& request, int fd) {
 }
 
 RemoteSession::~RemoteSession() {
-  if (fd_ >= 0) ::close(fd_);
+  if (fd_ >= 0) {
+    net::ForgetFd(fd_);
+    ::close(fd_);
+  }
 }
 
 namespace {
 
-/// One TCP dial with the session's socket timeouts applied. Separated out
-/// so Connect()'s retry loop and RemoteSession::Reconnect share it.
-Result<int> DialServer(const std::string& host, int port,
-                       std::chrono::milliseconds timeout) {
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return Status::IoError("socket() failed");
-  if (timeout.count() > 0) {
-    timeval tv{};
-    tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
-    tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
-    // SO_SNDTIMEO also bounds connect() on Linux, so a black-holed server
-    // cannot hang the client during session setup either.
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-  }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    return Status::InvalidArgument("bad host address: " + host);
-  }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINPROGRESS) {
-      return Status::DeadlineExceeded("connect timeout");
-    }
-    return Status::IoError("connect() failed");
-  }
-  return fd;
-}
+using net::DialServer;
 
 bool RetriableConnectError(const Status& st) {
   // InvalidArgument (bad address) will not heal on its own; transport
@@ -476,6 +416,7 @@ Result<RemoteSession> RemoteSession::Connect(const std::string& host, int port,
 
 Status RemoteSession::Reconnect() {
   if (fd_ >= 0) {
+    net::ForgetFd(fd_);
     ::close(fd_);
     fd_ = -1;
   }
@@ -579,7 +520,12 @@ Result<QueryOutcome> RemoteSession::Execute(const QueryRequest& req) {
       // Optional second field: the commit LSN of the acked update (absent
       // from servers predating replication, and from non-durable engines).
       if (rest != nullptr && *rest == ' ') {
-        u.lsn = std::strtoull(rest + 1, nullptr, 10);
+        char* rest2 = nullptr;
+        u.lsn = std::strtoull(rest + 1, &rest2, 10);
+        // Optional third field: the primary's fencing term.
+        if (rest2 != nullptr && *rest2 == ' ') {
+          u.term = std::strtoull(rest2 + 1, nullptr, 10);
+        }
       }
       return QueryOutcome{u};
     }

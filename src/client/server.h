@@ -34,13 +34,36 @@ class SsdmServer {
   struct Options {
     /// Worker pool / admission queue / default per-query deadline.
     sched::SchedulerOptions sched;
+
+    /// Stable node identity for failover elections; installed into the
+    /// engine on Start when non-empty.
+    std::string node_id;
+
+    /// Semi-synchronous write acknowledgement: after an update commits
+    /// locally, wait up to this long for at least one replica to report
+    /// the commit LSN applied before acking the client; on timeout the
+    /// client gets Unavailable (the write is durable locally but NOT
+    /// acknowledged — it may be lost across a failover). Zero (default)
+    /// acks on local durability alone. Only meaningful on a primary that
+    /// has replicas.
+    std::chrono::milliseconds sync_ack_timeout{0};
+
+    /// Self-fencing lease: a primary that has seen replicas but received
+    /// no replication fetch within this window assumes it is partitioned
+    /// from the cluster (a promotion may be in progress on the other
+    /// side) and rejects write-class statements with Unavailable until a
+    /// fetch arrives again. Zero (default) disables the lease. Set it at
+    /// or below the failure detector's liveness threshold so the old
+    /// primary stops accepting writes before anyone else can be elected.
+    std::chrono::milliseconds fence_timeout{0};
   };
 
   /// `engine` must outlive the server. While the server is running, all
   /// engine access must go through it (the scheduler owns the engine
   /// lock).
-  explicit SsdmServer(SSDM* engine, Options options = Options())
-      : engine_(engine), options_(options) {}
+  explicit SsdmServer(SSDM* engine) : SsdmServer(engine, Options()) {}
+  SsdmServer(SSDM* engine, Options options)
+      : engine_(engine), options_(std::move(options)) {}
   ~SsdmServer() { Stop(); }
 
   SsdmServer(const SsdmServer&) = delete;

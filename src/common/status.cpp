@@ -32,6 +32,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Unavailable";
     case StatusCode::kFailedPrecondition:
       return "FailedPrecondition";
+    case StatusCode::kWrongTerm:
+      return "WrongTerm";
   }
   return "Unknown";
 }

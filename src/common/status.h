@@ -26,6 +26,7 @@ enum class StatusCode {
   // New codes append here: the numeric values travel as wire-protocol
   // error bytes, so reordering the list would change meanings remotely.
   kFailedPrecondition,  ///< Operation requires a state the system is not in.
+  kWrongTerm,           ///< Replication request carried a stale fencing term.
 };
 
 /// Returns a short human-readable name ("ParseError", ...) for a code.
@@ -78,6 +79,9 @@ class Status {
   }
   static Status FailedPrecondition(std::string m) {
     return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status WrongTerm(std::string m) {
+    return Status(StatusCode::kWrongTerm, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -81,6 +81,10 @@ struct QueryOutcome {
     /// durable store). This is the read-your-writes token: a client that
     /// got `lsn` acked can demand reads from replicas at or past it.
     uint64_t lsn = 0;
+    /// Fencing term of the primary that executed the update (0 when the
+    /// engine has never replicated). A router tracks the maximum it has
+    /// seen to recognize acks from a deposed primary.
+    uint64_t term = 0;
   };
   struct Info {
     std::string text;

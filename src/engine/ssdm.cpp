@@ -536,7 +536,7 @@ Result<QueryOutcome> SSDM::Execute(const QueryRequest& req,
     // The LSN in the ack is the read-your-writes token: under group commit
     // concurrent committers finish out of order, so the ack carries this
     // statement's own commit LSN (the out-param), not the global gauge.
-    return QueryOutcome{QueryOutcome::UpdateCount{n, ack_lsn}};
+    return QueryOutcome{QueryOutcome::UpdateCount{n, ack_lsn, term()}};
   }
   const auto& q = std::get<std::shared_ptr<ast::SelectQuery>>(stmt.node);
   SCISPARQL_ASSIGN_OR_RETURN(QueryOutcome out,
@@ -824,6 +824,8 @@ class ReplayBatcher {
       }
       case T::kCommit:
         return Status::OK();  // markers are consumed by the replayer
+      case T::kTermBump:
+        return Status::OK();  // no dataset effect; callers track the term
     }
     return Status::Internal("unknown WAL record type");
   }
@@ -926,6 +928,7 @@ Status SSDM::Open(const std::string& dir, storage::Vfs* vfs) {
     }
     fresh = std::move(candidate);
     after_lsn = contents->footer.wal_lsn;
+    AdoptTerm(contents->footer.term);
     info.snapshot_path = it->second;
     break;
   }
@@ -938,7 +941,11 @@ Status SSDM::Open(const std::string& dir, storage::Vfs* vfs) {
     return OpenStoredArray(storage_name, static_cast<ArrayId>(array_id));
   };
   ReplayBatcher batcher(&fresh);
-  auto apply = [&batcher](const storage::WalRecord& rec) -> Status {
+  auto apply = [this, &batcher](const storage::WalRecord& rec) -> Status {
+    if (rec.type == storage::WalRecord::Type::kTermBump) {
+      AdoptTerm(rec.aux);
+      return Status::OK();
+    }
     return batcher.Apply(rec);
   };
   SCISPARQL_ASSIGN_OR_RETURN(
@@ -1007,6 +1014,7 @@ Result<std::string> SSDM::CheckpointLocked() {
   SCISPARQL_RETURN_NOT_OK(BuildSnapshotSections(dataset_, prefixes_,
                                                 snapshot_lsn, &sections,
                                                 &footer));
+  footer.term = term();
 
   uint64_t seq = durability_->AllocateSnapshotSeq();
   std::string path =
@@ -1051,6 +1059,64 @@ void SSDM::EnterReplicaMode(const std::string& primary_desc) {
   replica_mode_.store(true, std::memory_order_release);
 }
 
+namespace {
+
+obs::Gauge& TermGauge() {
+  return obs::DefaultMetrics().GetGauge(
+      "ssdm_repl_term", "", "Current replication fencing term of this node.");
+}
+
+}  // namespace
+
+void SSDM::AdoptTerm(uint64_t t) {
+  uint64_t cur = term_.load(std::memory_order_relaxed);
+  while (t > cur && !term_.compare_exchange_weak(cur, t,
+                                                 std::memory_order_release,
+                                                 std::memory_order_relaxed)) {
+  }
+  TermGauge().Set(static_cast<int64_t>(term()));
+}
+
+Status SSDM::Promote(uint64_t new_term) {
+  if (!replica_mode()) {
+    return Status::FailedPrecondition("Promote: engine is not a replica");
+  }
+  if (read_only()) {
+    return Status::Unavailable("Promote: engine is read-only: " +
+                               read_only_reason());
+  }
+  if (new_term <= term()) new_term = term() + 1;
+  if (durability_ != nullptr) {
+    // The bump is a normal committed batch: it persists locally, ships to
+    // followers through the ordinary stream (they adopt it on apply), and
+    // replays on restart. If it cannot be made durable, promotion fails
+    // and the engine stays a replica.
+    std::vector<storage::WalRecord> records;
+    storage::WalRecord bump;
+    bump.type = storage::WalRecord::Type::kTermBump;
+    bump.aux = new_term;
+    records.push_back(std::move(bump));
+    SCISPARQL_RETURN_NOT_OK(durability_->LogStatement(&records));
+  }
+  AdoptTerm(new_term);
+  replica_mode_.store(false, std::memory_order_release);
+  replica_primary_.clear();
+  obs::DefaultMetrics()
+      .GetCounter("ssdm_repl_promotions_total", "",
+                  "Times this node promoted itself to primary.")
+      .Add();
+  return Status::OK();
+}
+
+void SSDM::DemoteToReplica(uint64_t new_term, const std::string& primary_desc) {
+  AdoptTerm(new_term);
+  EnterReplicaMode(primary_desc);
+  obs::DefaultMetrics()
+      .GetCounter("ssdm_repl_demotions_total", "",
+                  "Times this node stepped down after seeing a higher term.")
+      .Add();
+}
+
 std::string SSDM::write_reject_reason() const {
   if (read_only()) return "engine is read-only: " + read_only_reason();
   if (replica_mode()) {
@@ -1069,7 +1135,13 @@ Status SSDM::ApplyReplicationFrames(const std::string& frames) {
   };
   ReplayBatcher batcher(&dataset_,
                         [this](Graph* g) { EnsureStats(g); });
-  auto apply = [&batcher](const storage::WalRecord& rec) -> Status {
+  auto apply = [this, &batcher](const storage::WalRecord& rec) -> Status {
+    if (rec.type == storage::WalRecord::Type::kTermBump) {
+      // A promotion upstream: the stream carries the new term to every
+      // follower, exactly like recovery does locally.
+      AdoptTerm(rec.aux);
+      return Status::OK();
+    }
     return batcher.Apply(rec);
   };
   SCISPARQL_ASSIGN_OR_RETURN(
@@ -1106,18 +1178,31 @@ Status SSDM::BootstrapFromReplication(
   InstallDataset(std::move(fresh));
   applied_lsn_.store(lsn, std::memory_order_release);
   if (durability_ != nullptr && !durability_->read_only()) {
-    // Re-base the local store on the primary's timeline: everything in the
-    // local WAL predates the shipped snapshot, so drop what we can, restart
-    // the writer at lsn+1 and persist a checkpoint so the next restart
-    // recovers to this point instead of a stale one. Failure leaves memory
-    // correct but the store untrustworthy -> sticky read-only, replication
-    // continues memory-only.
-    Status st = storage::TruncateWalBelow(durability_->vfs(),
-                                          durability_->wal_dir(), lsn + 1);
+    // Re-base the local store on the primary's timeline: drop the ENTIRE
+    // local WAL — a demoted ex-primary can hold segments AHEAD of the
+    // snapshot LSN whose contents diverge from the new timeline, so
+    // keeping anything past the snapshot would poison the next recovery.
+    // Then restart the writer at lsn+1 and persist a checkpoint so the
+    // next restart recovers to this point instead of a stale one. Failure
+    // leaves memory correct but the store untrustworthy -> sticky
+    // read-only, replication continues memory-only.
+    Status st = storage::TruncateWalBelow(
+        durability_->vfs(), durability_->wal_dir(), UINT64_MAX);
     if (st.ok()) {
       durability_->wal()->ResetTo(lsn + 1);
       durability_->set_durable_lsn(lsn);
       st = CheckpointLocked().status();
+    }
+    if (st.ok()) {
+      // Old-timeline snapshots are equally poisonous as fallbacks: prune
+      // everything but the checkpoint just written.
+      auto snaps =
+          storage::ListSnapshots(durability_->vfs(), durability_->dir());
+      if (snaps.ok()) {
+        for (size_t i = 0; i + 1 < snaps->size(); ++i) {
+          (void)durability_->vfs()->Remove((*snaps)[i].second);
+        }
+      }
     }
     if (!st.ok()) {
       EnterReadOnly("replica bootstrap could not re-base the local store: " +
@@ -1134,7 +1219,8 @@ Result<QueryOutcome> SSDM::ExecuteReplStatement(const std::string& verb) {
   if (verb == "STATUS") {
     std::ostringstream out;
     out << "role=" << (replica_mode() ? "replica" : "primary")
-        << " lsn=" << last_lsn()
+        << " lsn=" << last_lsn() << " term=" << term()
+        << " node=" << node_id_
         << " durable=" << (durability_ != nullptr ? "true" : "false")
         << " read_only=" << (read_only() ? "true" : "false");
     if (replica_mode() && !replica_primary_.empty()) {
@@ -1152,8 +1238,8 @@ Result<QueryOutcome> SSDM::ExecuteReplStatement(const std::string& verb) {
     for (const auto& [iri, graph] : dataset_.named_graphs()) {
       sections.emplace_back(iri, loaders::WriteTurtle(graph, prefixes_));
     }
-    return QueryOutcome{
-        QueryOutcome::Info{repl::EncodeSnapshotBody(sections, last_lsn())}};
+    return QueryOutcome{QueryOutcome::Info{
+        repl::EncodeSnapshotBody(sections, last_lsn(), term())}};
   }
   return Status::InvalidArgument(
       "unknown REPL statement: REPL " + verb +

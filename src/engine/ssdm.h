@@ -98,6 +98,39 @@ class SSDM {
     return replica_mode_.load(std::memory_order_acquire);
   }
 
+  // --- Fencing term (replication generation number). ---
+
+  /// Current fencing term. 1 on a fresh store; recovery restores the
+  /// maximum of the snapshot footer's term and any kTermBump records in
+  /// the WAL; replicas adopt terms carried by the stream and by wire
+  /// replies. Monotonic for the lifetime of a store.
+  uint64_t term() const { return term_.load(std::memory_order_acquire); }
+
+  /// Raises the term to `t` if it is higher (CAS-max; lower terms are
+  /// ignored). Safe from any thread.
+  void AdoptTerm(uint64_t t);
+
+  /// Replica -> primary hand-off. Requires replica mode and a writable
+  /// store; the caller must hold the engine exclusively (ExecuteExclusive)
+  /// with the applier already stopped, so the dataset is at the tip of
+  /// everything received. Bumps the term to at least `new_term` (always
+  /// past the current one), logs a kTermBump batch so the new term is
+  /// durable and ships to followers, and exits replica mode. On a WAL
+  /// append failure the engine stays a replica.
+  Status Promote(uint64_t new_term);
+
+  /// Primary -> replica hand-off after observing a higher term: adopts
+  /// `new_term`, enters replica mode pointing at `primary_desc`. The
+  /// caller must hold the engine exclusively and subsequently restart an
+  /// applier with force_resync (the local WAL may hold unshipped writes
+  /// that diverge from the new primary's timeline).
+  void DemoteToReplica(uint64_t new_term, const std::string& primary_desc);
+
+  /// Stable node identity used for deterministic election tie-breaks and
+  /// reported in probe replies. Defaults to "node".
+  const std::string& node_id() const { return node_id_; }
+  void set_node_id(std::string id) { node_id_ = std::move(id); }
+
   /// True when client write statements must be rejected — read-only
   /// degradation or replica mode. The scheduler checks this at admission;
   /// `write_reject_reason` names the cause.
@@ -333,6 +366,10 @@ class SSDM {
   std::atomic<bool> replica_mode_{false};
   std::atomic<uint64_t> applied_lsn_{0};
   std::string replica_primary_;
+
+  /// Replication fencing term and node identity (see term()/Promote()).
+  std::atomic<uint64_t> term_{1};
+  std::string node_id_ = "node";
 
   /// BeginConcurrentWrites nesting depth; the dataset's concurrent-writes
   /// flag is on exactly while this is positive.

@@ -34,6 +34,7 @@ Graph::Graph(Graph&& o) noexcept
       listener_(std::move(o.listener_)),
       dict_(std::move(o.dict_)),
       id_triples_(std::move(o.id_triples_)),
+      live_set_(std::move(o.live_set_)),
       table_stamp_(o.table_stamp_),
       id_cache_(std::move(o.id_cache_)),
       concurrent_(o.concurrent_.load(std::memory_order_relaxed)),
@@ -58,6 +59,7 @@ Graph& Graph::operator=(Graph&& o) noexcept {
   listener_ = std::move(o.listener_);
   dict_ = std::move(o.dict_);
   id_triples_ = std::move(o.id_triples_);
+  live_set_ = std::move(o.live_set_);
   table_stamp_ = o.table_stamp_;
   id_cache_ = std::move(o.id_cache_);
   concurrent_.store(o.concurrent_.load(std::memory_order_relaxed),
@@ -90,11 +92,35 @@ Graph::ApplyResult Graph::ApplyBase(WriteBatch&& batch,
                                     GraphListener* observer) {
   ApplyResult res;
   std::vector<WriteBatch::Op> ops = batch.Release();
-  for (WriteBatch::Op& op : ops) {
+  // RDF graphs are sets: adding a triple the graph already holds is a
+  // no-op. The skipped copy fires no listener, so the WAL and the
+  // replication stream never carry it — which is what makes a re-sent
+  // INSERT DATA (a router retrying an un-acked write across a failover)
+  // genuinely idempotent. Presence is resolved for the whole batch up
+  // front (O(1) per distinct triple via BaseContains) before any
+  // mutation, then tracked through the ops so in-batch Add/Remove
+  // sequences stay order-exact.
+  // Each op keeps a pointer into the map from its first lookup: a term
+  // that is not equal to itself (an array with a NaN cell) would miss a
+  // second find(), so there is none — such triples get one node per op
+  // and simply never deduplicate, consistent with NaN comparison.
+  std::unordered_map<Triple, bool, TripleHash> present;
+  std::vector<bool*> live;
+  live.reserve(ops.size());
+  for (const WriteBatch::Op& op : ops) {
+    auto [it, fresh] = present.try_emplace(op.t, false);
+    if (fresh) it->second = BaseContains(op.t);
+    live.push_back(&it->second);
+  }
+  for (size_t i = 0; i < ops.size(); ++i) {
+    WriteBatch::Op& op = ops[i];
     if (op.kind == WriteBatch::OpKind::kAdd) {
+      if (*live[i]) continue;  // already present — set semantics
+      *live[i] = true;
       AddBase(std::move(op.t), observer);
       ++res.added;
     } else {
+      *live[i] = false;
       res.removed += static_cast<int64_t>(RemoveBase(op.t, observer));
     }
   }
@@ -142,6 +168,27 @@ Graph::ApplyResult Graph::ApplyDelta(WriteBatch&& batch,
   size_t new_ops = 0;
   for (const WriteBatch::Op& op : batch.ops()) {
     if (op.kind == WriteBatch::OpKind::kAdd) {
+      // Set semantics under the delta mutex: skip the add when a live
+      // copy already exists (in the base table or as a net delta add).
+      // Doing this here — not at the statement layer — closes the race
+      // between two concurrent writers inserting the same triple. The
+      // base probe stays cheap in delta mode: the base table only
+      // changes at fold time, and folds hold the exclusive lock, so
+      // BaseContains' live-row set is stable under the shared lock.
+      size_t adds = 0;
+      bool cleared = false;
+      auto cit = delta_->cells.find(op.t);
+      if (cit != delta_->cells.end()) {
+        for (const DeltaOp& d : cit->second.ops) {
+          if (d.is_add) {
+            ++adds;
+          } else {
+            adds = 0;
+            cleared = true;
+          }
+        }
+      }
+      if (adds > 0 || (!cleared && BaseContains(op.t))) continue;
       DeltaCellFor(op.t).ops.push_back(DeltaOp{epoch, true});
       ++new_ops;
       ++res.added;
@@ -178,6 +225,7 @@ Graph::ApplyResult Graph::ApplyDelta(WriteBatch&& batch,
 void Graph::AddBase(Triple t, GraphListener* observer) {
   id_triples_.push_back(
       IdTriple{dict_.Intern(t.s), dict_.Intern(t.p), dict_.Intern(t.o)});
+  live_set_.insert(id_triples_.back());
   version_.fetch_add(1, std::memory_order_release);
   ++table_stamp_;
   if (listener_.ptr != nullptr) listener_.ptr->OnAdd(t);
@@ -192,6 +240,7 @@ size_t Graph::RemoveBase(const Triple& t, GraphListener* observer) {
   for (size_t i = 0; i < triples_.size(); ++i) {
     if (dead_[i] || !(triples_[i] == t)) continue;
     dead_[i] = true;
+    live_set_.erase(id_triples_[i]);
     ++dead_count_;
     ++removed;
     version_.fetch_add(1, std::memory_order_release);
@@ -211,6 +260,7 @@ void Graph::Clear() {
   dead_count_ = 0;
   dict_.Clear();
   id_triples_.clear();
+  live_set_.clear();
   if (delta_) {
     std::lock_guard<std::mutex> lock(delta_->mu);
     delta_->cells.clear();
@@ -262,6 +312,7 @@ size_t Graph::FoldDelta() {
     for (size_t i = 0; i < triples_.size(); ++i) {
       if (!dead_[i] && tombstoned.count(triples_[i]) > 0) {
         dead_[i] = true;
+        live_set_.erase(id_triples_[i]);
         ++dead_count_;
       }
     }
@@ -271,6 +322,7 @@ size_t Graph::FoldDelta() {
   for (const auto& a : appends) {
     const Triple& t = *a.first;
     IdTriple ids{dict_.Intern(t.s), dict_.Intern(t.p), dict_.Intern(t.o)};
+    live_set_.insert(ids);
     for (size_t i = 0; i < a.second; ++i) {
       id_triples_.push_back(ids);
       triples_.push_back(t);
@@ -356,6 +408,48 @@ size_t Graph::BaseMultiplicity(const Triple& t) const {
     return true;
   });
   return n;
+}
+
+bool Graph::BaseContains(const Triple& t) const {
+  // Mirrors ScanBase's constant-resolution rules, but answers from the
+  // live-row hash set instead of the permutation indexes — a stale index
+  // cache would force a full rebuild here, which a one-triple Apply
+  // (Graph::Add, per-statement INSERT) cannot afford on every call.
+  // The fallback scans the base table directly (never Contains/Match:
+  // ApplyDelta calls this holding the delta mutex, and the delta
+  // snapshot inside Match takes that same mutex).
+  auto base_scan = [this, &t]() {
+    bool found = false;
+    ScanBase(t.s, t.p, t.o, [&found](const Triple&) {
+      found = true;
+      return false;
+    });
+    return found;
+  };
+  IdTriple ids;
+  const Term* terms[3] = {&t.s, &t.p, &t.o};
+  uint32_t* slots[3] = {&ids.s, &ids.p, &ids.o};
+  for (int i = 0; i < 3; ++i) {
+    std::optional<uint32_t> id = dict_.Find(*terms[i]);
+    if (id.has_value()) {
+      if ((terms[i]->IsNumeric() && dict_.has_numeric_alias()) ||
+          terms[i]->IsArray()) {
+        // The ID does not speak for the term's whole value class: a
+        // value-equal copy may live under another ID. Filtered scan.
+        return base_scan();
+      }
+      *slots[i] = *id;
+    } else {
+      if (terms[i]->IsNumeric() || terms[i]->IsArray()) {
+        // Not interned, but a value-equal representation might be (2 vs
+        // 2.0, identity-interned arrays). Happens at most once per
+        // distinct value — the add that follows interns it.
+        return base_scan();
+      }
+      return false;  // exact-identity kind, never interned: absent
+    }
+  }
+  return live_set_.count(ids) > 0;
 }
 
 bool Graph::SnapshotDelta(uint64_t snapshot, const Term& s, const Term& p,

@@ -10,6 +10,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "rdf/dictionary.h"
@@ -72,8 +73,9 @@ class Graph {
 
   Graph Clone() const;
 
-  /// Outcome of applying one WriteBatch: copies inserted and copies
-  /// removed (a RemoveAll of an absent triple removes zero).
+  /// Outcome of applying one WriteBatch: triples actually inserted and
+  /// copies removed (a RemoveAll of an absent triple removes zero; an Add
+  /// of a triple already present counts zero — see Apply).
   struct ApplyResult {
     int64_t added = 0;
     int64_t removed = 0;
@@ -82,6 +84,15 @@ class Graph {
   /// Applies a batch of mutations atomically with respect to readers: no
   /// Match/ForEach ever observes a proper prefix of the batch. The only
   /// mutation entry point — Add/Remove are shims over one-element batches.
+  ///
+  /// RDF graphs are sets of triples: an Add whose triple is already live
+  /// (or was added earlier in the same batch) is skipped — it mutates
+  /// nothing, counts nothing, and fires no listener, so the WAL and the
+  /// replication stream never carry the duplicate. This is what makes
+  /// ground INSERT DATA idempotent end to end: a client that re-sends an
+  /// un-acked write after a failover cannot double-insert. In concurrent
+  /// mode the presence check runs under the delta mutex, closing the race
+  /// between two writers inserting the same triple.
   ///
   /// `observer`, when non-null, receives the same per-copy OnAdd/OnRemove
   /// callbacks as the registered listener (the WAL capture hook); it is
@@ -316,6 +327,15 @@ class Graph {
   /// Copies of `t` (value equality) live in the base table.
   size_t BaseMultiplicity(const Triple& t) const;
 
+  /// Whether a copy of `t` (value equality) is live in the base table.
+  /// O(1) via the live-row hash set when the dictionary pins all three
+  /// terms exactly (same rules as ScanBase's constant resolution); falls
+  /// back to a filtered table scan — never an index rebuild — for
+  /// aliasing-prone or not-yet-interned numeric/array terms. This is
+  /// what keeps Apply's set-semantics precheck cheap for the
+  /// one-triple-per-batch paths (Graph::Add, per-statement INSERT).
+  bool BaseContains(const Triple& t) const;
+
   /// Resolves every delta cell matching the pattern at `snapshot` into
   /// `out`; returns true if any matched cell tombstones base copies.
   bool SnapshotDelta(uint64_t snapshot, const Term& s, const Term& p,
@@ -337,8 +357,22 @@ class Graph {
   std::atomic<uint64_t> version_{0};
   ListenerRef listener_;
 
+  struct IdTripleHash {
+    size_t operator()(const IdTriple& t) const {
+      uint64_t h = (static_cast<uint64_t>(t.s) << 32) | t.p;
+      h = (h ^ (static_cast<uint64_t>(t.o) + 0x9e3779b97f4a7c15ull)) *
+          0xff51afd7ed558ccdull;
+      return static_cast<size_t>(h ^ (h >> 33));
+    }
+  };
+
   TermDictionary dict_;
   std::vector<IdTriple> id_triples_;  // parallel to triples_/dead_
+  /// ID tuples of the *live* base rows — the O(1) presence probe behind
+  /// BaseContains. Maintained wherever base rows flip liveness (AddBase,
+  /// RemoveBase, fold tombstones/appends, Clear); compaction rebuilds it
+  /// through Clear + AddBase like every other row structure.
+  std::unordered_set<IdTriple, IdTripleHash> live_set_;
   /// Bumps on *every* base-table rewrite — base-mode mutations, delta
   /// folds and compaction alike (the latter two renumber dictionary IDs
   /// even though version() stands still), so the ID-index cache can

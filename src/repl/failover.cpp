@@ -1,0 +1,286 @@
+#include "repl/failover.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "repl/shipper.h"
+#include "repl/wire.h"
+#include "sched/scheduler.h"
+
+namespace scisparql {
+namespace repl {
+
+namespace {
+
+obs::Counter& ElectionsCounter() {
+  return obs::DefaultMetrics().GetCounter(
+      "ssdm_repl_elections_total", "",
+      "Election rounds run by this node's failover coordinator.");
+}
+
+std::string Describe(const FailoverCoordinator::Peer& peer) {
+  return peer.host + ":" + std::to_string(peer.port);
+}
+
+}  // namespace
+
+FailoverCoordinator::FailoverCoordinator(SSDM* engine,
+                                         client::SsdmServer* server,
+                                         Options options)
+    : engine_(engine), server_(server), options_(std::move(options)) {
+  primary_ = options_.initial_primary;
+}
+
+FailoverCoordinator::~FailoverCoordinator() { Stop(); }
+
+Status FailoverCoordinator::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) return Status::OK();
+  }
+  if (server_->shipper() == nullptr || server_->scheduler() == nullptr) {
+    return Status::FailedPrecondition(
+        "failover coordinator requires a started server");
+  }
+  // A fetch carrying a newer term is the earliest deposition signal a
+  // primary can get — note it and let the next tick act on it.
+  server_->shipper()->set_on_stale_term([this](uint64_t t) {
+    uint64_t cur = observed_term_.load(std::memory_order_relaxed);
+    while (t > cur && !observed_term_.compare_exchange_weak(cur, t)) {
+    }
+    cv_.notify_all();
+  });
+  if (options_.initial_primary.port != 0) {
+    AdoptPrimary(options_.initial_primary, options_.applier.force_resync);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = true;
+  }
+  thread_ = std::thread([this]() { Loop(); });
+  return Status::OK();
+}
+
+void FailoverCoordinator::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_ && !thread_.joinable()) return;
+    running_ = false;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  if (applier_ != nullptr) applier_->Stop();
+}
+
+std::string FailoverCoordinator::current_primary() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return primary_.port != 0 ? Describe(primary_) : std::string();
+}
+
+bool FailoverCoordinator::WaitForPrimaryRole(
+    std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_for(lock, timeout,
+                      [&]() { return !engine_->replica_mode(); });
+}
+
+void FailoverCoordinator::Loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, options_.probe_interval,
+                   [this]() { return !running_; });
+      if (!running_) return;
+    }
+    if (engine_->replica_mode()) {
+      ReplicaTick();
+    } else {
+      PrimaryTick();
+    }
+  }
+}
+
+FailoverCoordinator::PeerView FailoverCoordinator::ProbePeer(
+    const Peer& peer) {
+  PeerView view;
+  view.peer = peer;
+  // One short-timeout dial, no retry ladder: a dead or black-holed peer
+  // must cost exactly one probe_timeout.
+  client::RemoteSession::RetryOptions retry;
+  retry.max_attempts = 1;
+  Result<client::RemoteSession> s = client::RemoteSession::Connect(
+      peer.host, peer.port, options_.probe_timeout, retry);
+  if (!s.ok()) return view;
+  client::RemoteSession session = std::move(*s);
+  Result<ReplProbeReply> reply = ProbeLsn(&session);
+  if (!reply.ok()) return view;
+  view.reachable = true;
+  view.replica = reply->replica;
+  view.lsn = reply->lsn;
+  view.term = reply->term;
+  view.node_id = reply->node_id;
+  return view;
+}
+
+std::vector<FailoverCoordinator::PeerView>
+FailoverCoordinator::ProbeAllPeers() {
+  std::vector<PeerView> views;
+  views.reserve(options_.peers.size());
+  for (const Peer& peer : options_.peers) views.push_back(ProbePeer(peer));
+  return views;
+}
+
+void FailoverCoordinator::ReplicaTick() {
+  Peer primary;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    primary = primary_;
+  }
+  if (primary.port == 0) {
+    // Nothing to follow (misconfiguration or a failed promotion): find a
+    // primary or become one.
+    RunElection();
+    return;
+  }
+  PeerView view = ProbePeer(primary);
+  if (view.reachable && !view.replica && view.term >= engine_->term()) {
+    misses_ = 0;  // healthy primary
+    return;
+  }
+  if (view.reachable) {
+    // It answered, but as a replica (it was deposed) or at a stale term
+    // (the cluster moved past it). No point counting misses — elect now.
+    misses_ = 0;
+    RunElection();
+    return;
+  }
+  if (++misses_ >= options_.liveness_misses) {
+    misses_ = 0;
+    RunElection();
+  }
+}
+
+void FailoverCoordinator::PrimaryTick() {
+  // Deposition watch: find any peer acting as primary at a newer term —
+  // either because the shipper flagged a newer-term fetch, or simply by
+  // probing (a restarted ex-primary discovers its successor this way).
+  std::vector<PeerView> views = ProbeAllPeers();
+  const PeerView* newer = nullptr;
+  for (const PeerView& v : views) {
+    if (v.reachable && !v.replica && v.term > engine_->term() &&
+        (newer == nullptr || v.term > newer->term)) {
+      newer = &v;
+    }
+  }
+  if (newer == nullptr) {
+    // A stale-term fetch without a visible successor: stay put (the fence
+    // lease already blocks writes) and keep probing until the new primary
+    // becomes reachable.
+    return;
+  }
+  demotions_.fetch_add(1);
+  Status st = server_->scheduler()->ExecuteExclusive([&](SSDM* engine) {
+    engine->DemoteToReplica(newer->term, Describe(newer->peer));
+    return Status::OK();
+  });
+  (void)st;  // DemoteToReplica itself cannot fail
+  // Our WAL may hold writes the new timeline never acknowledged —
+  // force_resync discards them for a snapshot of the winner's state.
+  AdoptPrimary(newer->peer, /*force_resync=*/true);
+  misses_ = 0;
+}
+
+void FailoverCoordinator::RunElection() {
+  elections_.fetch_add(1);
+  ElectionsCounter().Add();
+  std::vector<PeerView> views = ProbeAllPeers();
+  uint64_t my_term = engine_->term();
+  uint64_t max_term = my_term;
+  const PeerView* live_primary = nullptr;
+  for (const PeerView& v : views) {
+    if (!v.reachable) continue;
+    max_term = std::max(max_term, v.term);
+    if (!v.replica && v.term >= my_term &&
+        (live_primary == nullptr || v.term > live_primary->term)) {
+      live_primary = &v;
+    }
+  }
+  if (live_primary != nullptr) {
+    // Someone already won (or the "failure" was our link, not the
+    // primary). Follow it; the applier's own term probe decides whether a
+    // snapshot re-base is needed.
+    AdoptPrimary(live_primary->peer, /*force_resync=*/false);
+    misses_ = 0;
+    return;
+  }
+  // Deterministic candidate selection: highest applied LSN wins, node id
+  // breaks ties. Every reachable replica probes the same peers, so every
+  // survivor computes the same winner; only the winner acts.
+  uint64_t my_lsn = engine_->last_lsn();
+  const std::string& my_id = engine_->node_id();
+  bool self_wins = true;
+  for (const PeerView& v : views) {
+    if (!v.reachable || !v.replica) continue;
+    if (v.lsn > my_lsn || (v.lsn == my_lsn && v.node_id > my_id)) {
+      self_wins = false;
+      break;
+    }
+  }
+  if (self_wins) {
+    PromoteSelf(max_term);
+    return;
+  }
+  // Loser: give the winner a beat to promote, then the next tick's probe
+  // of the old primary fails again, re-enters here, and finds the winner
+  // as a live primary.
+  std::this_thread::sleep_for(options_.election_backoff);
+}
+
+void FailoverCoordinator::PromoteSelf(uint64_t observed_term) {
+  if (applier_ != nullptr) {
+    applier_->Stop();  // replay is at tip: the applier streamed to its
+    applier_.reset();  // last fetch, and the old primary is gone
+  }
+  uint64_t new_term = std::max(observed_term, engine_->term()) + 1;
+  Status st = server_->scheduler()->ExecuteExclusive(
+      [&](SSDM* engine) { return engine->Promote(new_term); });
+  if (!st.ok()) {
+    // Could not write the term bump (e.g. local store degraded). Stay a
+    // replica; the next tick re-elects — with this node's store broken,
+    // another candidate takes over.
+    Peer old;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      old = primary_;
+    }
+    if (old.port != 0) AdoptPrimary(old, /*force_resync=*/false);
+    return;
+  }
+  promotions_.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    primary_ = Peer{};
+  }
+  cv_.notify_all();
+}
+
+void FailoverCoordinator::AdoptPrimary(const Peer& primary,
+                                       bool force_resync) {
+  if (applier_ != nullptr) applier_->Stop();
+  applier_.reset();
+  ReplicaApplier::Options o = options_.applier;
+  o.primary_host = primary.host;
+  o.primary_port = primary.port;
+  o.force_resync = force_resync;
+  applier_ = std::make_unique<ReplicaApplier>(engine_, o);
+  Status st = applier_->Start(server_->scheduler());
+  (void)st;  // Start only fails before the server runs
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    primary_ = primary;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace repl
+}  // namespace scisparql

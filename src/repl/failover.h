@@ -1,0 +1,167 @@
+#ifndef SCISPARQL_REPL_FAILOVER_H_
+#define SCISPARQL_REPL_FAILOVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/server.h"
+#include "common/status.h"
+#include "engine/ssdm.h"
+#include "repl/replica.h"
+
+namespace scisparql {
+namespace repl {
+
+/// Automatic primary failover: failure detection, deterministic candidate
+/// selection, and fenced promotion. One coordinator runs per node,
+/// alongside its SsdmServer, and owns the node's ReplicaApplier (if any).
+///
+/// Replica ticks probe the current primary every `probe_interval`;
+/// `liveness_misses` consecutive failures (refused dials, black-holed
+/// connects, timeouts) trigger an election. Elections are quorum-free and
+/// deterministic: every reachable node is probed, and
+///
+///   - a reachable live primary at a term >= ours is simply (re)adopted —
+///     someone else already won;
+///   - otherwise the winner is the replica with the highest applied LSN,
+///     node id as the tie-break (highest wins). Every surviving replica
+///     probes the same peers, so all of them compute the same winner.
+///
+/// Only the winner acts: it stops its applier and promotes its engine
+/// under the scheduler's exclusive lock — replay is already at tip (the
+/// applier streamed to its last fetch), so promotion is just the fencing
+/// term bump (a WAL record that ships to every future follower) plus the
+/// role flip. Losers back off and re-probe until the winner's promotion
+/// becomes visible, then re-point their appliers at it.
+///
+/// Primary ticks watch for deposition: a peer probing as a primary with a
+/// higher term, or the shipper observing a higher-term fetch (the
+/// stale-term callback), demotes this node — engine back to replica mode,
+/// applier restarted against the new primary with force_resync, because a
+/// deposed primary's WAL may hold writes the new timeline never had.
+///
+/// What this does NOT give: with no quorum, replicas partitioned from
+/// each other can both promote (split brain). The fencing term bounds the
+/// damage — whichever promotion any node or router observes last (highest
+/// term) wins, stale primaries fence themselves (`fence_timeout`) and are
+/// refused by term-checked fetches — but writes acked by an abandoned
+/// timeline under sync_ack_timeout=0 are lost. Run with sync-ack on when
+/// that matters.
+class FailoverCoordinator {
+ public:
+  struct Peer {
+    std::string host = "127.0.0.1";
+    int port = 0;
+  };
+
+  struct Options {
+    /// Other nodes' client ports (NOT this node's own).
+    std::vector<Peer> peers;
+
+    /// Where this node's applier points at startup. Port 0 = this node
+    /// starts as the primary (no applier until deposed).
+    Peer initial_primary;
+
+    std::chrono::milliseconds probe_interval{100};
+    /// Consecutive failed probes of the primary before an election.
+    int liveness_misses = 5;
+    /// Per-probe connect/read budget. Bounds the accept-then-hang case:
+    /// a black-holed primary costs one probe_timeout, not forever.
+    std::chrono::milliseconds probe_timeout{250};
+    /// Loser's pause between election rounds while the winner promotes.
+    std::chrono::milliseconds election_backoff{150};
+
+    /// Template for appliers this coordinator creates (replica_id, retry,
+    /// poll cadence, durability knobs). primary_host/port/force_resync
+    /// are overwritten per adoption.
+    ReplicaApplier::Options applier;
+  };
+
+  /// `engine` and `server` must outlive the coordinator; the server must
+  /// already be started (the coordinator uses its scheduler and shipper).
+  FailoverCoordinator(SSDM* engine, client::SsdmServer* server,
+                      Options options);
+  ~FailoverCoordinator();
+
+  FailoverCoordinator(const FailoverCoordinator&) = delete;
+  FailoverCoordinator& operator=(const FailoverCoordinator&) = delete;
+
+  /// Starts the applier (when initial_primary is set), hooks the
+  /// shipper's stale-term callback, and starts the tick thread.
+  Status Start();
+
+  /// Stops the tick thread and the owned applier. Idempotent.
+  void Stop();
+
+  bool is_primary() const { return !engine_->replica_mode(); }
+  /// "host:port" of the primary this node follows; "" while primary.
+  std::string current_primary() const;
+
+  uint64_t elections() const { return elections_.load(); }
+  uint64_t promotions() const { return promotions_.load(); }
+  uint64_t demotions() const { return demotions_.load(); }
+
+  /// Blocks until this node becomes the primary (true) or `timeout`.
+  bool WaitForPrimaryRole(std::chrono::milliseconds timeout);
+
+  /// The applier currently streaming into this node (null while primary).
+  ReplicaApplier* applier() { return applier_.get(); }
+
+ private:
+  struct PeerView {
+    Peer peer;
+    bool reachable = false;
+    bool replica = false;
+    uint64_t lsn = 0;
+    uint64_t term = 0;
+    std::string node_id;
+  };
+
+  void Loop();
+  void ReplicaTick();
+  void PrimaryTick();
+  /// Probes one peer with a single short-timeout dial (no retries — a
+  /// dead peer must cost one probe_timeout, not a backoff ladder).
+  PeerView ProbePeer(const Peer& peer);
+  std::vector<PeerView> ProbeAllPeers();
+  /// Full election round; may promote self or adopt a discovered primary.
+  void RunElection();
+  /// Stops any applier and starts a fresh one against `primary`.
+  void AdoptPrimary(const Peer& primary, bool force_resync);
+  /// Stops the applier and promotes the engine to term
+  /// max(`observed_term`, ours) + 1 under the exclusive lock.
+  void PromoteSelf(uint64_t observed_term);
+
+  SSDM* engine_;
+  client::SsdmServer* server_;
+  Options options_;
+
+  std::unique_ptr<ReplicaApplier> applier_;
+  std::thread thread_;
+
+  mutable std::mutex mu_;  // guards running_, primary_; cv pairs with it
+  std::condition_variable cv_;
+  bool running_ = false;
+  Peer primary_;  ///< Who the applier follows; port 0 while primary.
+
+  int misses_ = 0;  // tick-thread only
+  /// Highest term seen in a rejected fetch (shipper callback) — a
+  /// deposition signal for the primary tick.
+  std::atomic<uint64_t> observed_term_{0};
+
+  std::atomic<uint64_t> elections_{0};
+  std::atomic<uint64_t> promotions_{0};
+  std::atomic<uint64_t> demotions_{0};
+};
+
+}  // namespace repl
+}  // namespace scisparql
+
+#endif  // SCISPARQL_REPL_FAILOVER_H_

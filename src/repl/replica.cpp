@@ -50,6 +50,7 @@ Status ReplicaApplier::Start(sched::QueryScheduler* sched) {
   std::lock_guard<std::mutex> lock(mu_);
   if (running_) return Status::OK();
   sched_ = sched;
+  resync_pending_ = options_.force_resync;
   engine_->EnterReplicaMode(options_.primary_host + ":" +
                             std::to_string(options_.primary_port));
   running_ = true;
@@ -119,8 +120,38 @@ bool ReplicaApplier::PollOnce() {
       return false;
     }
     session_ = std::make_unique<client::RemoteSession>(std::move(*s));
+    // Probe before streaming: the primary's term decides whether our local
+    // WAL is resumable (same term ⇒ prefix of its stream) or poisoned by a
+    // missed promotion (newer term ⇒ full re-base).
+    Result<ReplProbeReply> probe = ProbeLsn(session_.get());
+    if (!probe.ok()) {
+      SetError(probe.status());
+      session_.reset();
+      return false;
+    }
+    if (probe->replica) {
+      SetError(Status::Unavailable(
+          "configured primary is itself a replica; awaiting failover"));
+      session_.reset();
+      return false;
+    }
+    if (probe->term < engine_->term()) {
+      SetError(Status::WrongTerm(
+          "primary " + probe->node_id + " is at stale term " +
+          std::to_string(probe->term) + " (ours is " +
+          std::to_string(engine_->term()) + ")"));
+      session_.reset();
+      return false;
+    }
+    if (probe->term > engine_->term()) resync_pending_ = true;
     connected_.store(true);
     ConnectedGauge(options_.replica_id).Set(1);
+  }
+
+  if (resync_pending_) {
+    if (!Resync()) return false;
+    resync_pending_ = false;
+    return true;
   }
 
   ReplFetchRequest fetch;
@@ -128,39 +159,27 @@ bool ReplicaApplier::PollOnce() {
   fetch.after_lsn = engine_->last_lsn();
   fetch.applied_lsn = fetch.after_lsn;
   fetch.max_bytes = options_.max_fetch_bytes;
+  fetch.term = engine_->term();
   Result<ReplBatchReply> reply = FetchBatch(session_.get(), fetch);
   if (!reply.ok()) {
     if (reply.status().code() == StatusCode::kOutOfRange) {
       // Fell behind WAL retention: full resync, then resume streaming from
       // the snapshot's LSN.
-      Result<ReplSnapshotReply> snap = FetchSnapshot(session_.get());
-      if (!snap.ok()) {
-        SetError(snap.status());
-        return false;
-      }
-      Status applied = ApplyExclusive([&](SSDM* engine) {
-        return engine->BootstrapFromReplication(snap->sections, snap->lsn);
-      });
-      if (!applied.ok()) {
-        SetError(applied);
-        return false;
-      }
-      bootstraps_.fetch_add(1);
-      BootstrapCounter(options_.replica_id).Add();
-      primary_lsn_.store(std::max(primary_lsn_.load(), snap->lsn),
-                         std::memory_order_release);
-      AppliedLsnGauge(options_.replica_id)
-          .Set(static_cast<int64_t>(engine_->last_lsn()));
-      cv_.notify_all();
-      return true;
+      return Resync();
     }
     SetError(reply.status());
-    // Transport trouble: drop the session so the next round redials with
-    // the retry policy's backoff.
+    // Transport trouble (or a WrongTerm from a stale primary): drop the
+    // session so the next round redials — and re-probes — with backoff.
     session_.reset();
     connected_.store(false);
     ConnectedGauge(options_.replica_id).Set(0);
     return false;
+  }
+  if (reply->term > engine_->term()) {
+    // The stream itself ships the kTermBump record, but the reply header
+    // may carry the news first (frames still in flight). Adopt eagerly so
+    // our next fetch is not mistaken for a stale one.
+    engine_->AdoptTerm(reply->term);
   }
 
   primary_lsn_.store(reply->primary_lsn, std::memory_order_release);
@@ -197,6 +216,32 @@ bool ReplicaApplier::PollOnce() {
     });
     if (!ck.ok()) SetError(ck);
   }
+  return true;
+}
+
+bool ReplicaApplier::Resync() {
+  Result<ReplSnapshotReply> snap = FetchSnapshot(session_.get());
+  if (!snap.ok()) {
+    SetError(snap.status());
+    return false;
+  }
+  Status applied = ApplyExclusive([&](SSDM* engine) {
+    // Adopt the snapshot's term before re-basing so the checkpoint inside
+    // Bootstrap stamps it into the new store's footer.
+    engine->AdoptTerm(snap->term);
+    return engine->BootstrapFromReplication(snap->sections, snap->lsn);
+  });
+  if (!applied.ok()) {
+    SetError(applied);
+    return false;
+  }
+  bootstraps_.fetch_add(1);
+  BootstrapCounter(options_.replica_id).Add();
+  primary_lsn_.store(std::max(primary_lsn_.load(), snap->lsn),
+                     std::memory_order_release);
+  AppliedLsnGauge(options_.replica_id)
+      .Set(static_cast<int64_t>(engine_->last_lsn()));
+  cv_.notify_all();
   return true;
 }
 

@@ -32,6 +32,15 @@ namespace repl {
 /// replica writes the stream through to its own WAL and checkpoints
 /// periodically, so a restart recovers locally and rejoins the stream at
 /// its last applied LSN instead of re-bootstrapping.
+///
+/// Fencing terms: every fetch carries the local term, and on each
+/// (re)connect the applier probes the primary first. A primary at a term
+/// NEWER than ours means a promotion happened while we were away — our
+/// WAL may have diverged — so the applier re-bases from a snapshot before
+/// streaming. Term equality proves the local WAL is a prefix of the
+/// primary's stream (the promotion record itself ships through the WAL),
+/// so resuming by LSN is safe. A primary at an OLDER term is stale; the
+/// applier refuses it and waits for the coordinator to re-point it.
 class ReplicaApplier {
  public:
   struct Options {
@@ -54,6 +63,11 @@ class ReplicaApplier {
     /// Durable replicas checkpoint their local store after this many
     /// streamed bytes, bounding restart replay. 0 disables.
     uint64_t checkpoint_every_bytes = 32ull << 20;
+
+    /// Discard local state and re-base from a snapshot on first connect,
+    /// regardless of LSN. A demoted ex-primary must set this: its WAL may
+    /// hold writes the new timeline never acknowledged.
+    bool force_resync = false;
   };
 
   ReplicaApplier(SSDM* engine, Options options);
@@ -99,6 +113,9 @@ class ReplicaApplier {
   /// batch was applied (poll again immediately), false when caught up or
   /// the round failed (sleep before the next round).
   bool PollOnce();
+  /// Pulls a full snapshot and re-bases the local store (the OutOfRange
+  /// and missed-promotion paths). True on success.
+  bool Resync();
   Status ApplyExclusive(const std::function<Status(SSDM*)>& fn);
   void SetError(const Status& st);
 
@@ -120,6 +137,7 @@ class ReplicaApplier {
   std::atomic<uint64_t> bootstraps_{0};
   std::atomic<bool> connected_{false};
   uint64_t bytes_since_checkpoint_ = 0;  // apply-thread only
+  bool resync_pending_ = false;          // apply-thread only (set in Start)
 };
 
 }  // namespace repl

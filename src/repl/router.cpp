@@ -1,5 +1,6 @@
 #include "repl/router.h"
 
+#include <algorithm>
 #include <thread>
 
 #include "engine/ssdm.h"
@@ -23,11 +24,25 @@ bool IsReadRequest(const QueryRequest& req) {
          SSDM::ClassifyStatement(req.text) == sched::StatementClass::kRead;
 }
 
+/// A clean refusal that proves the statement never executed: a demoted
+/// node bouncing writes toward the primary, or a fenced primary refusing
+/// them while a failover is in progress. Safe to resend elsewhere —
+/// unlike a transport failure, where the statement may have committed.
+bool IsMovedResponse(const Status& st) {
+  if (st.code() != StatusCode::kUnavailable) return false;
+  const std::string& m = st.message();
+  return m.find("send writes to the primary") != std::string::npos ||
+         m.find("primary is fenced") != std::string::npos;
+}
+
 }  // namespace
 
-ReplicaRouter::ReplicaRouter(RouterOptions options,
+ReplicaRouter::ReplicaRouter(RouterOptions options, Endpoint primary_endpoint,
                              std::unique_ptr<client::RemoteSession> primary)
-    : options_(options), primary_(std::move(primary)) {}
+    : options_(options),
+      primary_endpoint_(primary_endpoint),
+      configured_primary_(std::move(primary_endpoint)),
+      primary_(std::move(primary)) {}
 
 Result<ReplicaRouter> ReplicaRouter::Connect(
     const Endpoint& primary, const std::vector<Endpoint>& replicas) {
@@ -42,7 +57,7 @@ Result<ReplicaRouter> ReplicaRouter::Connect(
       client::RemoteSession::Connect(primary.host, primary.port,
                                      options.timeout, options.retry));
   ReplicaRouter router(
-      options,
+      options, primary,
       std::make_unique<client::RemoteSession>(std::move(session)));
   for (const Endpoint& ep : replicas) {
     ReplicaSlot slot;
@@ -73,15 +88,90 @@ Status ReplicaRouter::EnsureSlot(ReplicaSlot* slot) {
     return s.status();
   }
   slot->session = std::make_unique<client::RemoteSession>(std::move(*s));
+  slot->strikes = 0;  // back in rotation at full cadence
   return Status::OK();
 }
 
 void ReplicaRouter::Quarantine(ReplicaSlot* slot) {
   slot->session.reset();
   slot->known_lsn = 0;
+  // Escalate on consecutive failures so a dead replica costs ever fewer
+  // redials, but cap it so a rejoin is noticed within 8 backoff periods.
+  int scale = 1 << std::min(slot->strikes, 3);
   slot->quarantined_until =
-      std::chrono::steady_clock::now() + options_.health_backoff;
+      std::chrono::steady_clock::now() + options_.health_backoff * scale;
+  ++slot->strikes;
   ++stats_.failovers;
+}
+
+void ReplicaRouter::ObserveTerm(uint64_t term) {
+  if (term > known_term_) known_term_ = term;
+}
+
+std::string ReplicaRouter::primary_endpoint() const {
+  return primary_endpoint_.host + ":" +
+         std::to_string(primary_endpoint_.port);
+}
+
+ReplicaRouter::RouterStats ReplicaRouter::stats() const {
+  RouterStats s = stats_;
+  s.quarantined = 0;
+  auto now = std::chrono::steady_clock::now();
+  for (const ReplicaSlot& slot : replicas_) {
+    if (now < slot.quarantined_until) ++s.quarantined;
+  }
+  return s;
+}
+
+bool ReplicaRouter::RediscoverPrimary() {
+  ++stats_.rediscoveries;
+  // Sweep every endpoint we know — the configured primary plus all
+  // replicas (after a failover the new primary IS one of the replicas) —
+  // and adopt the best claimant: a non-replica node at the highest term
+  // not below anything this session has already observed.
+  std::vector<Endpoint> candidates;
+  candidates.push_back(primary_endpoint_);
+  if (configured_primary_.host != primary_endpoint_.host ||
+      configured_primary_.port != primary_endpoint_.port) {
+    candidates.push_back(configured_primary_);
+  }
+  for (const ReplicaSlot& slot : replicas_) {
+    candidates.push_back(slot.endpoint);
+  }
+  client::RemoteSession::RetryOptions probe_retry;
+  probe_retry.max_attempts = 1;
+  auto deadline =
+      std::chrono::steady_clock::now() + options_.rediscovery_window;
+  for (;;) {
+    const Endpoint* best = nullptr;
+    uint64_t best_term = 0;
+    for (const Endpoint& ep : candidates) {
+      Result<client::RemoteSession> s = client::RemoteSession::Connect(
+          ep.host, ep.port, options_.rediscovery_probe_timeout, probe_retry);
+      if (!s.ok()) continue;
+      client::RemoteSession session = std::move(*s);
+      Result<ReplProbeReply> probe = ProbeLsn(&session);
+      if (!probe.ok() || probe->replica) continue;
+      if (probe->term < known_term_) continue;  // deposed claimant
+      if (best == nullptr || probe->term > best_term) {
+        best = &ep;
+        best_term = probe->term;
+      }
+    }
+    if (best != nullptr) {
+      Result<client::RemoteSession> s = client::RemoteSession::Connect(
+          best->host, best->port, options_.timeout, options_.retry);
+      if (s.ok()) {
+        primary_endpoint_ = *best;
+        primary_ =
+            std::make_unique<client::RemoteSession>(std::move(*s));
+        ObserveTerm(best_term);
+        return true;
+      }
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
 }
 
 Result<QueryOutcome> ReplicaRouter::TryReplica(ReplicaSlot* slot,
@@ -105,6 +195,7 @@ Result<QueryOutcome> ReplicaRouter::TryReplica(ReplicaSlot* slot,
       return probe.status();
     }
     slot->known_lsn = probe->lsn;
+    ObserveTerm(probe->term);
     if (slot->known_lsn < min_lsn) {
       ++stats_.stale_skips;
       return Status::Unavailable("replica behind the required LSN");
@@ -127,9 +218,37 @@ Result<QueryOutcome> ReplicaRouter::Execute(const QueryRequest& req) {
   // the primary; replicas reject it anyway.
   ++stats_.writes;
   Result<QueryOutcome> out = primary_->Execute(req);
+  if (!out.ok()) {
+    if (IsMovedResponse(out.status())) {
+      // The node refused cleanly, so the statement never ran: find the
+      // real primary and resend.
+      if (RediscoverPrimary()) {
+        ++stats_.moved_retries;
+        out = primary_->Execute(req);
+      }
+    } else if (IsTransportError(out.status())) {
+      // The statement was in flight when the connection died — it may or
+      // may not have committed, so it is NOT resent. Re-discover anyway:
+      // the caller's own retry (under its idempotency rules) should land
+      // on the new primary, not the dead socket.
+      RediscoverPrimary();
+    }
+  }
   if (out.ok() && out->kind() == QueryOutcome::Kind::kUpdateCount) {
-    uint64_t lsn = std::get<QueryOutcome::UpdateCount>(out->value).lsn;
-    if (lsn > last_write_lsn_) last_write_lsn_ = lsn;
+    const auto& ack = std::get<QueryOutcome::UpdateCount>(out->value);
+    if (ack.term != 0 && ack.term < known_term_) {
+      // An ack from a timeline this session already knows is dead: a
+      // deposed primary that has not yet noticed. The write may vanish
+      // with its timeline — do not advance the horizon, do not resend
+      // (it DID execute somewhere); surface it and move the session.
+      RediscoverPrimary();
+      return Status::Unavailable(
+          "update was acked by a deposed primary (term " +
+          std::to_string(ack.term) + " < " + std::to_string(known_term_) +
+          "); the write may not survive the failover");
+    }
+    ObserveTerm(ack.term);
+    if (ack.lsn > last_write_lsn_) last_write_lsn_ = ack.lsn;
   }
   return out;
 }
@@ -176,7 +295,12 @@ Result<QueryOutcome> ReplicaRouter::ExecuteRead(const QueryRequest& req,
     first_pass = std::chrono::steady_clock::now() < deadline;
   }
   ++stats_.primary_reads;
-  return primary_->Execute(req);
+  Result<QueryOutcome> out = primary_->Execute(req);
+  if (!out.ok() && IsTransportError(out.status()) && RediscoverPrimary()) {
+    // Reads are idempotent: after adopting the new primary, retry there.
+    out = primary_->Execute(req);
+  }
+  return out;
 }
 
 Result<sparql::QueryResult> ReplicaRouter::Query(const std::string& text) {

@@ -27,9 +27,24 @@ namespace repl {
 /// primary — a read after an acked write can never observe pre-update
 /// state, no matter which backend answers.
 ///
-/// A replica that fails transport-wise is quarantined for
-/// `health_backoff` and traffic routes around it (RemoteSession's own
-/// retry/backoff covers transient blips below that). Not thread-safe:
+/// A replica that fails transport-wise is quarantined and traffic routes
+/// around it (RemoteSession's own retry/backoff covers transient blips
+/// below that). Quarantine escalates: each consecutive failed redial
+/// doubles the hold-off (capped at 8x `health_backoff`), and a successful
+/// redial resets it — a replica that dies and rejoins re-enters the
+/// rotation at full cadence.
+///
+/// Failover awareness: the router tracks the highest fencing term it has
+/// seen in probes and update acks. When the primary refuses cleanly
+/// ("send writes to the primary" from a demoted node, "primary is
+/// fenced" during a failover) or fails transport-wise, the router
+/// re-probes every endpoint it knows, adopts the highest-term primary it
+/// finds, and — only for the clean refusals, which prove the statement
+/// never executed — resends the write. A write that failed mid-flight is
+/// never resent (it may have committed); the caller gets the error and
+/// retries under its own idempotency rules, but the router has already
+/// moved its session so that retry lands on the new primary. Reads are
+/// idempotent and always retried after a re-discovery. Not thread-safe:
 /// one router per client thread, like RemoteSession itself.
 class ReplicaRouter {
  public:
@@ -49,8 +64,16 @@ class ReplicaRouter {
     /// before falling back to the primary.
     std::chrono::milliseconds staleness_wait{250};
 
-    /// How long a transport-failed replica stays out of rotation.
+    /// Base quarantine for a transport-failed replica; consecutive
+    /// failures escalate it (doubling, capped at 8x).
     std::chrono::milliseconds health_backoff{500};
+
+    /// Total time RediscoverPrimary keeps sweeping the endpoints for a
+    /// node that answers as primary before giving up.
+    std::chrono::milliseconds rediscovery_window{2000};
+
+    /// Per-endpoint dial/probe budget during a re-discovery sweep.
+    std::chrono::milliseconds rediscovery_probe_timeout{250};
   };
 
   struct RouterStats {
@@ -59,6 +82,9 @@ class ReplicaRouter {
     uint64_t writes = 0;           ///< Statements routed to the primary.
     uint64_t stale_skips = 0;      ///< Replica skipped: LSN behind horizon.
     uint64_t failovers = 0;        ///< Replica quarantined after an error.
+    uint64_t rediscoveries = 0;    ///< Primary re-discovery sweeps run.
+    uint64_t moved_retries = 0;    ///< Writes resent after a clean refusal.
+    uint64_t quarantined = 0;      ///< Replicas currently out of rotation.
   };
 
   /// Connects to the primary (fatal on failure) and to each replica
@@ -86,8 +112,19 @@ class ReplicaRouter {
 
   /// The LSN of this session's last acked write (0 = none yet).
   uint64_t last_write_lsn() const { return last_write_lsn_; }
-  const RouterStats& stats() const { return stats_; }
+  /// Highest fencing term observed in probes and update acks.
+  uint64_t known_term() const { return known_term_; }
+  /// "host:port" of the endpoint currently holding the primary session.
+  std::string primary_endpoint() const;
+  RouterStats stats() const;  ///< By value: `quarantined` is computed.
   size_t replica_count() const { return replicas_.size(); }
+
+  /// Probes every known endpoint for a live primary at a term >= the
+  /// highest this router has seen, sweeping for up to
+  /// `rediscovery_window`, and re-points the primary session at the best
+  /// one found. Execute() calls this on primary failure; it is public so
+  /// harnesses can force a re-discovery. True when a primary was adopted.
+  bool RediscoverPrimary();
 
  private:
   struct ReplicaSlot {
@@ -95,9 +132,10 @@ class ReplicaRouter {
     std::unique_ptr<client::RemoteSession> session;  // null = not connected
     uint64_t known_lsn = 0;  ///< Last LSN this replica reported.
     std::chrono::steady_clock::time_point quarantined_until{};
+    int strikes = 0;  ///< Consecutive failures; scales the quarantine.
   };
 
-  ReplicaRouter(RouterOptions options,
+  ReplicaRouter(RouterOptions options, Endpoint primary_endpoint,
                 std::unique_ptr<client::RemoteSession> primary);
 
   /// Ensures the slot has a live session (redials past quarantine).
@@ -108,11 +146,21 @@ class ReplicaRouter {
   Result<QueryOutcome> TryReplica(ReplicaSlot* slot, const QueryRequest& req,
                                   uint64_t min_lsn, bool* transport_failed);
 
+  /// Notes a term observed on the wire (monotone max).
+  void ObserveTerm(uint64_t term);
+
   RouterOptions options_;
+  Endpoint primary_endpoint_;
+  /// The endpoint the session was configured with, immutable. Stays in
+  /// the re-discovery sweep even after an adoption moves
+  /// primary_endpoint_ elsewhere — a later election can hand the primary
+  /// role back to the original node.
+  Endpoint configured_primary_;
   std::unique_ptr<client::RemoteSession> primary_;
   std::vector<ReplicaSlot> replicas_;
   size_t next_replica_ = 0;  ///< Round-robin cursor.
   uint64_t last_write_lsn_ = 0;
+  uint64_t known_term_ = 0;
   RouterStats stats_;
 };
 

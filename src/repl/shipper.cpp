@@ -47,6 +47,12 @@ obs::Gauge& ReplicaLagGauge(const std::string& id) {
       "Primary durable LSN minus the replica's applied LSN, per replica.");
 }
 
+obs::Counter& WrongTermCounter() {
+  return obs::DefaultMetrics().GetCounter(
+      "ssdm_repl_wrong_term_total", "",
+      "Replication requests rejected for carrying a stale fencing term.");
+}
+
 }  // namespace
 
 WalShipper::WalShipper(SSDM* engine) : engine_(engine) {}
@@ -61,6 +67,8 @@ Result<std::string> WalShipper::Handle(const std::string& request,
       ReplProbeReply reply;
       reply.lsn = engine_->last_lsn();
       reply.replica = engine_->replica_mode();
+      reply.term = engine_->term();
+      reply.node_id = engine_->node_id();
       return EncodeProbeReply(reply);
     }
     case kReplFetch:
@@ -75,6 +83,21 @@ Result<std::string> WalShipper::Handle(const std::string& request,
 Result<std::string> WalShipper::HandleFetch(const std::string& request) {
   SCISPARQL_ASSIGN_OR_RETURN(ReplFetchRequest req,
                              DecodeFetchRequest(request));
+  // A fetch from the future: some node promoted past us. Refuse — our WAL
+  // may already have diverged from the new timeline — and wake the
+  // coordinator so this node demotes instead of shipping stale history.
+  if (req.term > engine_->term()) {
+    WrongTermCounter().Add();
+    std::function<void(uint64_t)> stale;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stale = on_stale_term_;
+    }
+    if (stale) stale(req.term);
+    return Status::WrongTerm(
+        "fetch term " + std::to_string(req.term) +
+        " is newer than this node's term " + std::to_string(engine_->term()));
+  }
   engine::DurabilityManager* dm = engine_->durability();
   if (dm == nullptr) {
     return Status::FailedPrecondition(
@@ -97,6 +120,7 @@ Result<std::string> WalShipper::HandleFetch(const std::string& request) {
     reply.truncated = shipment.truncated;
     reply.frames = std::move(shipment.frames);
   }
+  reply.term = engine_->term();
   FetchCounter().Add();
   ShippedBytesCounter().Add(reply.frames.size());
   NoteReplica(req, reply.last_lsn, durable);
@@ -141,6 +165,27 @@ void WalShipper::NoteReplica(const ReplFetchRequest& req,
   state.shipped_lsn = shipped_lsn;
   ++state.fetches;
   state.last_seen = std::chrono::steady_clock::now();
+  last_fetch_ = state.last_seen;
+  if (req.applied_lsn > max_applied_lsn_) max_applied_lsn_ = req.applied_lsn;
+  cv_.notify_all();
+}
+
+void WalShipper::set_on_stale_term(std::function<void(uint64_t)> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  on_stale_term_ = std::move(fn);
+}
+
+bool WalShipper::WaitForReplicaLsn(uint64_t lsn,
+                                   std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_for(lock, timeout,
+                      [&] { return max_applied_lsn_ >= lsn; });
+}
+
+bool WalShipper::FencedOut(std::chrono::milliseconds window) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (replicas_.empty()) return false;
+  return std::chrono::steady_clock::now() - last_fetch_ > window;
 }
 
 std::vector<std::pair<std::string, WalShipper::ReplicaState>>

@@ -2,7 +2,9 @@
 #define SCISPARQL_REPL_SHIPPER_H_
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -32,6 +34,12 @@ namespace repl {
 /// The shipper also keeps a per-replica registry (applied LSN, lag,
 /// last-seen time) fed by the fetch requests themselves, exported as
 /// ssdm_repl_* metrics.
+///
+/// Fencing: a fetch carries the replica's term. A fetch with a term NEWER
+/// than this engine's means the cluster moved on while we were primary —
+/// the request is answered WrongTerm and the stale-term callback fires so
+/// the failover coordinator can demote. (Fetches with older terms are
+/// served; the reply's term tells the replica to adopt ours.)
 class WalShipper {
  public:
   explicit WalShipper(SSDM* engine);
@@ -52,6 +60,22 @@ class WalShipper {
 
   std::vector<std::pair<std::string, ReplicaState>> replicas() const;
 
+  /// Fires (with the observed newer term) whenever a fetch arrives whose
+  /// term exceeds the engine's — the demotion trigger. Invoked on a
+  /// connection I/O thread; keep it cheap.
+  void set_on_stale_term(std::function<void(uint64_t)> fn);
+
+  /// Blocks until some replica reports `lsn` applied, or `timeout`
+  /// expires. The semi-synchronous ack wait: fetch requests double as the
+  /// acknowledgement channel (a replica fetching with applied_lsn >= lsn
+  /// has the write).
+  bool WaitForReplicaLsn(uint64_t lsn, std::chrono::milliseconds timeout);
+
+  /// True when this primary has replicas (some replica has fetched at
+  /// least once) but none fetched within `window` — the self-fencing
+  /// lease check. A primary that never had replicas is never fenced.
+  bool FencedOut(std::chrono::milliseconds window) const;
+
  private:
   Result<std::string> HandleFetch(const std::string& request);
   Result<std::string> HandleSnapshot(sched::QueryScheduler* sched);
@@ -61,7 +85,11 @@ class WalShipper {
   SSDM* engine_;
 
   mutable std::mutex mu_;
+  std::condition_variable cv_;  ///< Signaled on every NoteReplica.
   std::map<std::string, ReplicaState> replicas_;
+  std::chrono::steady_clock::time_point last_fetch_{};
+  std::function<void(uint64_t)> on_stale_term_;
+  uint64_t max_applied_lsn_ = 0;  ///< Highest applied LSN any replica sent.
 };
 
 }  // namespace repl

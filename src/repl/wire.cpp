@@ -42,6 +42,7 @@ std::string EncodeFetchRequest(const ReplFetchRequest& req) {
   PutU64(&out, req.after_lsn);
   PutU64(&out, req.applied_lsn);
   PutU32(&out, req.max_bytes);
+  PutU64(&out, req.term);
   return out;
 }
 
@@ -53,7 +54,8 @@ Result<ReplFetchRequest> DecodeFetchRequest(const std::string& payload) {
   if (!GetString(body, &pos, &req.replica_id) ||
       !GetU64(body, &pos, &req.after_lsn) ||
       !GetU64(body, &pos, &req.applied_lsn) ||
-      !GetU32(body, &pos, &req.max_bytes) || pos != body.size()) {
+      !GetU32(body, &pos, &req.max_bytes) ||
+      !GetU64(body, &pos, &req.term) || pos != body.size()) {
     return Status::IoError("malformed repl fetch body");
   }
   return req;
@@ -65,6 +67,8 @@ std::string EncodeProbeReply(const ReplProbeReply& reply) {
   out.push_back(kReplProbeReply);
   PutU64(&out, reply.lsn);
   out.push_back(reply.replica ? 1 : 0);
+  PutU64(&out, reply.term);
+  PutString(&out, reply.node_id);
   return out;
 }
 
@@ -73,10 +77,14 @@ Result<ReplProbeReply> DecodeProbeReply(const std::string& payload) {
                              Unwrap(payload, kReplProbeReply, "repl probe"));
   ReplProbeReply reply;
   size_t pos = 0;
-  if (!GetU64(body, &pos, &reply.lsn) || pos + 1 != body.size()) {
+  if (!GetU64(body, &pos, &reply.lsn) || pos >= body.size()) {
     return Status::IoError("malformed repl probe body");
   }
-  reply.replica = body[pos] != 0;
+  reply.replica = body[pos++] != 0;
+  if (!GetU64(body, &pos, &reply.term) ||
+      !GetString(body, &pos, &reply.node_id) || pos != body.size()) {
+    return Status::IoError("malformed repl probe body");
+  }
   return reply;
 }
 
@@ -88,6 +96,7 @@ std::string EncodeBatchReply(const ReplBatchReply& reply) {
   PutU64(&out, reply.last_lsn);
   out.push_back(reply.truncated ? 1 : 0);
   PutString(&out, reply.frames);
+  PutU64(&out, reply.term);
   return out;
 }
 
@@ -101,7 +110,8 @@ Result<ReplBatchReply> DecodeBatchReply(const std::string& payload) {
     return Status::IoError("malformed repl batch body");
   }
   reply.truncated = body[pos++] != 0;
-  if (!GetString(body, &pos, &reply.frames) || pos != body.size()) {
+  if (!GetString(body, &pos, &reply.frames) ||
+      !GetU64(body, &pos, &reply.term) || pos != body.size()) {
     return Status::IoError("malformed repl batch frames");
   }
   return reply;
@@ -109,7 +119,7 @@ Result<ReplBatchReply> DecodeBatchReply(const std::string& payload) {
 
 std::string EncodeSnapshotBody(
     const std::vector<std::pair<std::string, std::string>>& sections,
-    uint64_t lsn) {
+    uint64_t lsn, uint64_t term) {
   std::string out;
   PutU64(&out, lsn);
   PutU32(&out, static_cast<uint32_t>(sections.size()));
@@ -117,13 +127,15 @@ std::string EncodeSnapshotBody(
     PutString(&out, iri);
     PutString(&out, turtle);
   }
+  PutU64(&out, term);
   return out;
 }
 
 Status DecodeSnapshotBody(
     const std::string& body,
     std::vector<std::pair<std::string, std::string>>* sections,
-    uint64_t* lsn) {
+    uint64_t* lsn, uint64_t* term) {
+  *term = 0;
   size_t pos = 0;
   uint32_t n = 0;
   if (!GetU64(body, &pos, lsn) || !GetU32(body, &pos, &n)) {
@@ -137,6 +149,10 @@ Status DecodeSnapshotBody(
     }
     sections->emplace_back(std::move(iri), std::move(turtle));
   }
+  // Pre-failover snapshot bodies end here; newer ones append the term.
+  if (pos < body.size() && !GetU64(body, &pos, term)) {
+    return Status::IoError("malformed repl snapshot term");
+  }
   if (pos != body.size()) {
     return Status::IoError("trailing bytes in repl snapshot body");
   }
@@ -147,7 +163,7 @@ std::string EncodeSnapshotReply(const ReplSnapshotReply& reply) {
   std::string out;
   out.push_back(kReplMarker);
   out.push_back(kReplSnapshotReply);
-  out += EncodeSnapshotBody(reply.sections, reply.lsn);
+  out += EncodeSnapshotBody(reply.sections, reply.lsn, reply.term);
   return out;
 }
 
@@ -156,7 +172,7 @@ Result<ReplSnapshotReply> DecodeSnapshotReply(const std::string& payload) {
       std::string body, Unwrap(payload, kReplSnapshotReply, "repl snapshot"));
   ReplSnapshotReply reply;
   SCISPARQL_RETURN_NOT_OK(
-      DecodeSnapshotBody(body, &reply.sections, &reply.lsn));
+      DecodeSnapshotBody(body, &reply.sections, &reply.lsn, &reply.term));
   return reply;
 }
 

@@ -24,11 +24,14 @@ namespace repl {
 ///
 ///   requests:  [0x02]['L']                                  LSN probe
 ///              [0x02]['F'][string replica_id][u64 after_lsn]
-///                         [u64 applied_lsn][u32 max_bytes]   fetch batches
+///                         [u64 applied_lsn][u32 max_bytes]
+///                         [u64 term]                         fetch batches
 ///              [0x02]['S']                                  snapshot
-///   responses: [0x02]['A'][u64 lsn][u8 role]                probe reply
+///   responses: [0x02]['A'][u64 lsn][u8 role][u64 term]
+///                         [string node_id]                   probe reply
 ///              [0x02]['B'][u64 primary_lsn][u64 last_lsn]
-///                         [u8 truncated][string frames]      batch reply
+///                         [u8 truncated][string frames]
+///                         [u64 term]                         batch reply
 ///              [0x02]['T'][snapshot body]                   snapshot reply
 ///
 /// Errors reuse the query protocol's 'E' payload (status code byte +
@@ -40,10 +43,17 @@ namespace repl {
 /// retention answers OutOfRange: the replica must bootstrap from a
 /// snapshot ('S') and resume the stream at the snapshot's LSN.
 ///
+/// Every reply carries the answering node's fencing term; a fetch carries
+/// the replica's, and a primary holding a NEWER term answers WrongTerm —
+/// the replica is streaming from a deposed timeline and must re-discover.
+///
 /// The snapshot body is also the payload of the engine's `REPL SNAPSHOT`
 /// Info outcome (the shipper wraps it in the 'T' envelope):
 ///
-///   [u64 lsn][u32 n]([string graph_iri][string turtle])*   "" = default
+///   [u64 lsn][u32 n]([string graph_iri][string turtle])*[u64 term]
+///
+/// ("" = default graph; the trailing term is absent in pre-failover
+/// snapshots and decodes as 0.)
 
 constexpr char kReplMarker = '\x02';
 
@@ -63,11 +73,14 @@ struct ReplFetchRequest {
   uint64_t after_lsn = 0;
   uint64_t applied_lsn = 0;
   uint32_t max_bytes = 4u << 20;
+  uint64_t term = 0;  ///< The replica's fencing term (0 = don't care).
 };
 
 struct ReplProbeReply {
   uint64_t lsn = 0;
-  bool replica = false;  ///< Role of the answering engine.
+  bool replica = false;   ///< Role of the answering engine.
+  uint64_t term = 0;      ///< The answering engine's fencing term.
+  std::string node_id;    ///< Stable identity (election tie-breaks).
 };
 
 struct ReplBatchReply {
@@ -75,10 +88,12 @@ struct ReplBatchReply {
   uint64_t last_lsn = 0;     ///< Commit LSN of the final shipped batch.
   bool truncated = false;    ///< max_bytes cut the run short; fetch again.
   std::string frames;        ///< Raw WAL frames; empty = caught up.
+  uint64_t term = 0;         ///< The shipper's fencing term at reply time.
 };
 
 struct ReplSnapshotReply {
   uint64_t lsn = 0;
+  uint64_t term = 0;
   std::vector<std::pair<std::string, std::string>> sections;
 };
 
@@ -97,11 +112,11 @@ Result<ReplBatchReply> DecodeBatchReply(const std::string& payload);
 /// SSDM::BootstrapFromReplication.
 std::string EncodeSnapshotBody(
     const std::vector<std::pair<std::string, std::string>>& sections,
-    uint64_t lsn);
+    uint64_t lsn, uint64_t term);
 Status DecodeSnapshotBody(
     const std::string& body,
     std::vector<std::pair<std::string, std::string>>* sections,
-    uint64_t* lsn);
+    uint64_t* lsn, uint64_t* term);
 
 std::string EncodeSnapshotReply(const ReplSnapshotReply& reply);
 Result<ReplSnapshotReply> DecodeSnapshotReply(const std::string& payload);

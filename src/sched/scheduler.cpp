@@ -288,10 +288,17 @@ void QueryScheduler::CompactorLoop() {
   while (running_) {
     compact_cv_.wait_for(lock, options_.compact_interval);
     if (!running_) break;
-    if (engine_->PendingDeltaOps() < options_.compact_threshold) continue;
     lock.unlock();
-    size_t folded = 0;
+    // The probe walks the dataset's graph map, which a replica resync
+    // (snapshot re-base) replaces wholesale under the exclusive lock —
+    // so even the cheap read needs the shared lock.
+    size_t pending = 0;
     {
+      std::shared_lock<std::shared_mutex> engine_lock(engine_mu_);
+      pending = engine_->PendingDeltaOps();
+    }
+    size_t folded = 0;
+    if (pending >= options_.compact_threshold) {
       std::unique_lock<std::shared_mutex> engine_lock(engine_mu_);
       folded = engine_->FoldDeltas();
     }

@@ -27,6 +27,7 @@ std::string EncodeFooterPayload(const SnapshotFooter& footer) {
     rdf::PutU64(&payload, g.version);
     rdf::PutU64(&payload, g.triples);
   }
+  rdf::PutU64(&payload, footer.term);
   return payload;
 }
 
@@ -43,6 +44,13 @@ Result<SnapshotFooter> DecodeFooterPayload(const std::string& payload) {
     if (!rdf::GetString(payload, &pos, &g.iri) ||
         !rdf::GetU64(payload, &pos, &g.version) ||
         !rdf::GetU64(payload, &pos, &g.triples)) {
+      return Status::IoError("snapshot footer truncated");
+    }
+  }
+  // The fencing term was appended to the payload later; snapshots written
+  // before it simply end here and recover as term 0 (adopted upward).
+  if (pos < payload.size()) {
+    if (!rdf::GetU64(payload, &pos, &footer.term)) {
       return Status::IoError("snapshot footer truncated");
     }
   }

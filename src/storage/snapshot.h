@@ -31,6 +31,7 @@ struct SnapshotGraphInfo {
 /// contained in the snapshot; recovery replays the WAL strictly after it.
 struct SnapshotFooter {
   uint64_t wal_lsn = 0;
+  uint64_t term = 0;  ///< Replication fencing term at snapshot time.
   std::vector<SnapshotGraphInfo> graphs;
 };
 

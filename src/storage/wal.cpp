@@ -182,6 +182,9 @@ std::string EncodeRecordPayload(const WalRecord& rec, BatchTermEncoder* enc,
     case WalRecord::Type::kClearGraph:
       rdf::PutString(&payload, rec.graph);
       break;
+    case WalRecord::Type::kTermBump:
+      rdf::PutU64(&payload, rec.aux);
+      break;
     case WalRecord::Type::kClearAll:
     case WalRecord::Type::kCommit:
       break;
@@ -217,6 +220,11 @@ Result<WalRecord> DecodeRecordPayload(
     case WalRecord::Type::kClearGraph:
       if (!rdf::GetString(payload, &pos, &rec.graph)) {
         return Status::Internal("truncated WAL record graph");
+      }
+      return rec;
+    case WalRecord::Type::kTermBump:
+      if (!rdf::GetU64(payload, &pos, &rec.aux)) {
+        return Status::Internal("truncated WAL term-bump record");
       }
       return rec;
     case WalRecord::Type::kClearAll:

@@ -28,12 +28,14 @@ struct WalRecord {
     kClearGraph = 3,  ///< CLEAR of one graph ("" = default)
     kClearAll = 4,    ///< CLEAR ALL (default cleared, named graphs dropped)
     kCommit = 5,      ///< statement boundary (written by AppendBatch)
+    kTermBump = 6,    ///< fencing-term adoption (aux = new term)
   };
 
   Type type = Type::kAdd;
   uint64_t lsn = 0;   ///< Assigned by the writer.
   std::string graph;  ///< Target graph IRI; "" = default graph.
   Triple triple;      ///< For kAdd / kRemove.
+  uint64_t aux = 0;   ///< Type-specific scalar (kTermBump: the new term).
 };
 
 /// Segmented write-ahead log.

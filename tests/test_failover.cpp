@@ -1,0 +1,804 @@
+// Automatic failover end-to-end tests, all in-process over real sockets:
+// fencing terms (persistence, wire rejection, idempotent re-apply), the
+// self-fencing lease and semi-synchronous acks on the server, the
+// TransportFaults injection seam, the FailoverCoordinator's
+// kill-the-primary promotion / deposed-primary demotion protocol, and the
+// router's primary re-discovery across a failover — including the
+// kill-and-partition chaos matrix asserting no acked-write loss and
+// single-writer convergence.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/net.h"
+#include "client/server.h"
+#include "query_helpers.h"
+#include "repl/failover.h"
+#include "repl/replica.h"
+#include "repl/router.h"
+#include "repl/wire.h"
+#include "sched/scheduler.h"
+
+namespace scisparql {
+namespace {
+
+using std::chrono::milliseconds;
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/" + name;
+  (void)::system(("rm -rf " + dir).c_str());
+  return dir;
+}
+
+constexpr const char* kPrefix = "PREFIX ex: <http://example.org/> ";
+
+/// A cluster node: durable engine + server + failover coordinator. The
+/// coordinator owns the node's applier, so roles are dynamic.
+struct ClusterNode {
+  SSDM engine;
+  std::unique_ptr<client::SsdmServer> server;
+  std::unique_ptr<repl::FailoverCoordinator> coordinator;
+  std::string dir;
+  int port = 0;
+
+  /// Starts engine + server only (peers are not known yet — ephemeral
+  /// ports). `StartCoordinator` completes the bring-up.
+  Status StartServer(const std::string& id, const std::string& store_dir,
+                     client::SsdmServer::Options options =
+                         client::SsdmServer::Options()) {
+    dir = store_dir;
+    engine.prefixes().Set("ex", "http://example.org/");
+    if (!dir.empty()) {
+      Status st = engine.Open(dir);
+      if (!st.ok()) return st;
+    }
+    options.node_id = id;
+    server = std::make_unique<client::SsdmServer>(&engine, options);
+    auto bound = server->Start(port);
+    if (!bound.ok()) return bound.status();
+    port = *bound;
+    return Status::OK();
+  }
+
+  /// `primary_port` = 0 when this node starts as the primary.
+  Status StartCoordinator(int primary_port, const std::vector<int>& peers) {
+    repl::FailoverCoordinator::Options opts;
+    if (primary_port != 0) {
+      opts.initial_primary = {"127.0.0.1", primary_port};
+    }
+    for (int p : peers) opts.peers.push_back({"127.0.0.1", p});
+    opts.probe_interval = milliseconds(25);
+    opts.liveness_misses = 3;
+    opts.probe_timeout = milliseconds(250);
+    opts.election_backoff = milliseconds(50);
+    opts.applier.replica_id = engine.node_id();
+    opts.applier.poll_interval = milliseconds(10);
+    coordinator = std::make_unique<repl::FailoverCoordinator>(
+        &engine, server.get(), std::move(opts));
+    return coordinator->Start();
+  }
+
+  void Stop() {
+    if (coordinator != nullptr) coordinator->Stop();
+    if (server != nullptr) server->Stop();
+  }
+
+  ~ClusterNode() { Stop(); }
+};
+
+Result<uint64_t> CountRows(int port, const std::string& query) {
+  SCISPARQL_ASSIGN_OR_RETURN(
+      client::RemoteSession session,
+      client::RemoteSession::Connect("127.0.0.1", port));
+  SCISPARQL_ASSIGN_OR_RETURN(sparql::QueryResult rows, session.Query(query));
+  return static_cast<uint64_t>(rows.rows.size());
+}
+
+/// Waits until exactly one of `nodes` is primary; returns its index or -1.
+int WaitForSinglePrimary(std::vector<ClusterNode*> nodes, int timeout_ms) {
+  auto deadline =
+      std::chrono::steady_clock::now() + milliseconds(timeout_ms);
+  for (;;) {
+    int primary = -1, count = 0;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (!nodes[i]->engine.replica_mode()) {
+        primary = static_cast<int>(i);
+        ++count;
+      }
+    }
+    if (count == 1) return primary;
+    if (std::chrono::steady_clock::now() >= deadline) return -1;
+    std::this_thread::sleep_for(milliseconds(20));
+  }
+}
+
+// --- Fencing term mechanics. ---
+
+TEST(FencingTerm, PromotePersistsTermAcrossRestart) {
+  std::string dir = FreshDir("failover_term_persist");
+  {
+    SSDM engine;
+    engine.prefixes().Set("ex", "http://example.org/");
+    ASSERT_TRUE(engine.Open(dir).ok());
+    EXPECT_EQ(engine.term(), 1u);
+    ASSERT_TRUE(scisparql::Run(engine, std::string(kPrefix) +
+                                           "INSERT DATA { ex:a ex:p 1 }")
+                    .ok());
+    engine.EnterReplicaMode("elsewhere");
+    ASSERT_TRUE(engine.Promote(5).ok());
+    EXPECT_EQ(engine.term(), 5u);
+    EXPECT_FALSE(engine.replica_mode());
+    // Promotion past the current term always moves forward.
+    engine.EnterReplicaMode("elsewhere");
+    ASSERT_TRUE(engine.Promote(2).ok());
+    EXPECT_EQ(engine.term(), 6u);
+  }
+  {
+    // The term bump is a WAL record: replay recovers it.
+    SSDM engine;
+    ASSERT_TRUE(engine.Open(dir).ok());
+    EXPECT_EQ(engine.term(), 6u);
+    // And a checkpoint stamps it into the snapshot footer.
+    ASSERT_TRUE(engine.Execute("CHECKPOINT").ok());
+  }
+  {
+    SSDM engine;
+    ASSERT_TRUE(engine.Open(dir).ok());
+    EXPECT_EQ(engine.term(), 6u);
+  }
+}
+
+TEST(FencingTerm, PromoteRequiresReplicaMode) {
+  SSDM engine;
+  EXPECT_EQ(engine.Promote(2).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FencingTerm, StaleShipperRejectsNewerTermFetch) {
+  ClusterNode primary;
+  ASSERT_TRUE(primary.StartServer("p", FreshDir("failover_wrongterm")).ok());
+  ASSERT_TRUE(scisparql::Run(primary.engine, std::string(kPrefix) +
+                                                 "INSERT DATA { ex:a ex:p 1 }")
+                  .ok());
+  auto session =
+      *client::RemoteSession::Connect("127.0.0.1", primary.port);
+
+  // A fetch at the primary's own term is served.
+  repl::ReplFetchRequest fetch;
+  fetch.replica_id = "probe";
+  fetch.term = primary.engine.term();
+  auto ok = repl::FetchBatch(&session, fetch);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->term, primary.engine.term());
+  EXPECT_FALSE(ok->frames.empty());
+
+  // A fetch from the future means the cluster promoted past this node:
+  // it must refuse rather than ship a stale timeline.
+  fetch.term = primary.engine.term() + 1;
+  auto rejected = repl::FetchBatch(&session, fetch);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kWrongTerm)
+      << rejected.status().ToString();
+}
+
+TEST(FencingTerm, DuplicatedFrameDeliveryIsIdempotent) {
+  ClusterNode primary;
+  ASSERT_TRUE(primary.StartServer("p", FreshDir("failover_dup")).ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(scisparql::Run(primary.engine,
+                               std::string(kPrefix) + "INSERT DATA { ex:s" +
+                                   std::to_string(i) + " ex:p 1 }")
+                    .ok());
+  }
+  auto session =
+      *client::RemoteSession::Connect("127.0.0.1", primary.port);
+  repl::ReplFetchRequest fetch;
+  fetch.replica_id = "dup";
+  auto reply = repl::FetchBatch(&session, fetch);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+
+  // A dropped reply makes the replica refetch the same frames — apply
+  // must filter by LSN so the duplicate delivery is a no-op.
+  SSDM replica;
+  replica.prefixes().Set("ex", "http://example.org/");
+  replica.EnterReplicaMode("test");
+  ASSERT_TRUE(replica.ApplyReplicationFrames(reply->frames).ok());
+  uint64_t lsn = replica.last_lsn();
+  EXPECT_EQ(lsn, primary.engine.last_lsn());
+  ASSERT_TRUE(replica.ApplyReplicationFrames(reply->frames).ok());
+  EXPECT_EQ(replica.last_lsn(), lsn);
+  auto rows = replica.Execute(std::string(kPrefix) +
+                              "SELECT ?s WHERE { ?s ex:p 1 }");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows().rows.size(), 5u);
+}
+
+// --- Server-side write-loss guards. ---
+
+TEST(Failover, FenceLeaseRejectsWritesWhenFetchesStop) {
+  client::SsdmServer::Options options;
+  options.fence_timeout = milliseconds(200);
+  ClusterNode primary;
+  ASSERT_TRUE(
+      primary.StartServer("p", FreshDir("failover_fence"), options).ok());
+
+  auto session =
+      *client::RemoteSession::Connect("127.0.0.1", primary.port);
+  // No replica has ever fetched: the lease does not apply.
+  ASSERT_TRUE(session
+                  .Run(std::string(kPrefix) + "INSERT DATA { ex:a ex:p 1 }")
+                  .ok());
+
+  SSDM replica;
+  replica.prefixes().Set("ex", "http://example.org/");
+  repl::ReplicaApplier::Options ropts;
+  ropts.replica_id = "r1";
+  ropts.primary_port = primary.port;
+  ropts.poll_interval = milliseconds(10);
+  repl::ReplicaApplier applier(&replica, ropts);
+  ASSERT_TRUE(applier.Start().ok());
+  ASSERT_TRUE(applier.WaitForLsn(primary.engine.last_lsn(),
+                                 milliseconds(5000)));
+  ASSERT_TRUE(session
+                  .Run(std::string(kPrefix) + "INSERT DATA { ex:b ex:p 2 }")
+                  .ok());
+
+  // The replica goes silent (its side of a partition): once the lease
+  // expires the primary must assume a failover is in progress and stop
+  // accepting writes — before any successor could be elected.
+  applier.Stop();
+  std::this_thread::sleep_for(milliseconds(400));
+  auto fenced =
+      session.Run(std::string(kPrefix) + "INSERT DATA { ex:c ex:p 3 }");
+  ASSERT_FALSE(fenced.ok());
+  EXPECT_EQ(fenced.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(fenced.status().message().find("fenced"), std::string::npos)
+      << fenced.status().ToString();
+  // Reads still work on a fenced primary.
+  EXPECT_TRUE(session
+                  .Query(std::string(kPrefix) +
+                         "SELECT ?s WHERE { ?s ex:p ?v }")
+                  .ok());
+
+  // Fetches resuming lifts the fence.
+  repl::ReplicaApplier applier2(&replica, ropts);
+  ASSERT_TRUE(applier2.Start().ok());
+  auto deadline = std::chrono::steady_clock::now() + milliseconds(5000);
+  for (;;) {
+    auto out =
+        session.Run(std::string(kPrefix) + "INSERT DATA { ex:d ex:p 4 }");
+    if (out.ok()) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << out.status().ToString();
+    std::this_thread::sleep_for(milliseconds(50));
+  }
+}
+
+TEST(Failover, SyncAckTimesOutWithoutReplicas) {
+  client::SsdmServer::Options options;
+  options.sync_ack_timeout = milliseconds(150);
+  ClusterNode primary;
+  ASSERT_TRUE(
+      primary.StartServer("p", FreshDir("failover_syncack"), options).ok());
+  auto session =
+      *client::RemoteSession::Connect("127.0.0.1", primary.port);
+
+  // No replica: the ack wait must time out — durable locally, but the
+  // client is told the write is not failover-safe.
+  auto out =
+      session.Run(std::string(kPrefix) + "INSERT DATA { ex:a ex:p 1 }");
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(out.status().message().find("no replica acknowledged"),
+            std::string::npos);
+  // The write IS durable locally (it simply was not replica-acked).
+  EXPECT_GT(primary.engine.last_lsn(), 0u);
+
+  // With a live replica the same write acks within the window.
+  SSDM replica;
+  replica.prefixes().Set("ex", "http://example.org/");
+  repl::ReplicaApplier::Options ropts;
+  ropts.replica_id = "r1";
+  ropts.primary_port = primary.port;
+  ropts.poll_interval = milliseconds(5);
+  repl::ReplicaApplier applier(&replica, ropts);
+  ASSERT_TRUE(applier.Start().ok());
+  auto deadline = std::chrono::steady_clock::now() + milliseconds(5000);
+  for (;;) {
+    auto acked =
+        session.Run(std::string(kPrefix) + "INSERT DATA { ex:b ex:p 2 }");
+    if (acked.ok()) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << acked.status().ToString();
+    std::this_thread::sleep_for(milliseconds(20));
+  }
+}
+
+// --- TransportFaults: the network fault-injection seam. ---
+
+TEST(TransportFaults, PartitionRefusesDialsAndHealRestores) {
+  ClusterNode node;
+  ASSERT_TRUE(node.StartServer("p", "").ok());
+  auto& faults = client::net::TransportFaults::Instance();
+  faults.Enable();
+  faults.Partition(node.port);
+  client::RemoteSession::RetryOptions retry;
+  retry.max_attempts = 1;
+  auto refused = client::RemoteSession::Connect(
+      "127.0.0.1", node.port, milliseconds(500), retry);
+  EXPECT_FALSE(refused.ok());
+  EXPECT_GT(faults.faults_fired(), 0u);
+  faults.Heal(node.port);
+  auto healed = client::RemoteSession::Connect(
+      "127.0.0.1", node.port, milliseconds(500), retry);
+  EXPECT_TRUE(healed.ok()) << healed.status().ToString();
+  faults.Reset();
+}
+
+TEST(TransportFaults, PartitionFailsFramesOnEstablishedConnections) {
+  ClusterNode node;
+  ASSERT_TRUE(node.StartServer("p", "").ok());
+  ASSERT_TRUE(scisparql::Run(node.engine, std::string(kPrefix) +
+                                              "INSERT DATA { ex:a ex:p 1 }")
+                  .ok());
+  client::RemoteSession::RetryOptions retry;
+  retry.max_attempts = 1;
+  auto session = *client::RemoteSession::Connect("127.0.0.1", node.port,
+                                                 milliseconds(1000), retry);
+  std::string query =
+      std::string(kPrefix) + "SELECT ?s WHERE { ?s ex:p ?v }";
+  ASSERT_TRUE(session.Query(query).ok());
+
+  auto& faults = client::net::TransportFaults::Instance();
+  faults.Enable();
+  faults.Partition(node.port);
+  EXPECT_FALSE(session.Query(query).ok());  // frames dropped mid-session
+  faults.Heal(node.port);
+  faults.Reset();
+}
+
+TEST(TransportFaults, BlackholeTimesOutInsteadOfHanging) {
+  ClusterNode node;
+  ASSERT_TRUE(node.StartServer("p", "").ok());
+  auto& faults = client::net::TransportFaults::Instance();
+  faults.Enable();
+  faults.Blackhole(node.port, milliseconds(50));
+  client::RemoteSession::RetryOptions retry;
+  retry.max_attempts = 1;
+  auto start = std::chrono::steady_clock::now();
+  auto out = client::RemoteSession::Connect("127.0.0.1", node.port,
+                                            milliseconds(1000), retry);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kDeadlineExceeded);
+  // Bounded: the stall is the scripted 50ms, not forever.
+  EXPECT_LT(std::chrono::steady_clock::now() - start, milliseconds(900));
+  faults.Reset();
+}
+
+TEST(TransportFaults, DropAfterFramesIsOneShotAndRetryRecovers) {
+  ClusterNode node;
+  ASSERT_TRUE(node.StartServer("p", "").ok());
+  ASSERT_TRUE(scisparql::Run(node.engine, std::string(kPrefix) +
+                                              "INSERT DATA { ex:a ex:p 1 }")
+                  .ok());
+  auto session =
+      *client::RemoteSession::Connect("127.0.0.1", node.port);
+  std::string query =
+      std::string(kPrefix) + "SELECT ?s WHERE { ?s ex:p ?v }";
+  ASSERT_TRUE(session.Query(query).ok());
+
+  auto& faults = client::net::TransportFaults::Instance();
+  faults.Enable();
+  faults.DropAfterFrames(node.port, 0);  // next frame dies, then healthy
+  // Reads are retry-safe: the session redials and resends after the
+  // injected mid-stream drop, so the caller never sees it.
+  auto out = session.Query(query);
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->rows.size(), 1u);
+  EXPECT_GT(faults.faults_fired(), 0u);
+  faults.Reset();
+}
+
+// --- The failover protocol itself. ---
+
+TEST(Failover, KillPrimaryPromotesBestReplicaAndOldPrimaryRejoins) {
+  std::string pdir = FreshDir("failover_kill_p");
+  std::string r1dir = FreshDir("failover_kill_r1");
+  std::string r2dir = FreshDir("failover_kill_r2");
+
+  auto primary = std::make_unique<ClusterNode>();
+  ClusterNode r1, r2;
+  ASSERT_TRUE(primary->StartServer("p", pdir).ok());
+  ASSERT_TRUE(r1.StartServer("r1", r1dir).ok());
+  ASSERT_TRUE(r2.StartServer("r2", r2dir).ok());
+  int old_primary_port = primary->port;
+  ASSERT_TRUE(primary->StartCoordinator(0, {r1.port, r2.port}).ok());
+  ASSERT_TRUE(
+      r1.StartCoordinator(primary->port, {primary->port, r2.port}).ok());
+  ASSERT_TRUE(
+      r2.StartCoordinator(primary->port, {primary->port, r1.port}).ok());
+
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(scisparql::Run(primary->engine,
+                               std::string(kPrefix) + "INSERT DATA { ex:s" +
+                                   std::to_string(i) + " ex:p 1 }")
+                    .ok());
+  }
+  uint64_t target = primary->engine.last_lsn();
+  ASSERT_TRUE(r1.coordinator->applier()->WaitForLsn(target,
+                                                    milliseconds(10000)));
+  ASSERT_TRUE(r2.coordinator->applier()->WaitForLsn(target,
+                                                    milliseconds(10000)));
+
+  // Kill the primary (server down, coordinator down — process death).
+  primary->Stop();
+  primary.reset();
+
+  // Deterministic selection: both replicas are at `target`, so the node
+  // id breaks the tie — r2 ("r2" > "r1") must win.
+  int winner = WaitForSinglePrimary({&r1, &r2}, 10000);
+  ASSERT_EQ(winner, 1) << "r2 should win the LSN tie on node id";
+  EXPECT_TRUE(r2.coordinator->WaitForPrimaryRole(milliseconds(1000)));
+  EXPECT_GE(r2.engine.term(), 2u);
+  EXPECT_GE(r2.coordinator->promotions(), 1u);
+
+  // The loser re-points its applier at the winner.
+  auto deadline = std::chrono::steady_clock::now() + milliseconds(10000);
+  while (r1.coordinator->current_primary() !=
+         "127.0.0.1:" + std::to_string(r2.port)) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "r1 follows " << r1.coordinator->current_primary();
+    std::this_thread::sleep_for(milliseconds(20));
+  }
+
+  // The new primary serves writes; the loser replicates them.
+  auto session = *client::RemoteSession::Connect("127.0.0.1", r2.port);
+  ASSERT_TRUE(session
+                  .Run(std::string(kPrefix) +
+                       "INSERT DATA { ex:after ex:p 1 }")
+                  .ok());
+  uint64_t new_target = r2.engine.last_lsn();
+  ASSERT_TRUE(r1.coordinator->applier()->WaitForLsn(new_target,
+                                                    milliseconds(10000)));
+  auto count = CountRows(
+      r1.port, std::string(kPrefix) + "SELECT ?s WHERE { ?s ex:p 1 }");
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(*count, 11u);
+
+  // The old primary restarts (same store, same port) believing it is
+  // still a primary — at a stale term. Its coordinator must discover the
+  // successor, demote, and resync into the new timeline.
+  auto rejoined = std::make_unique<ClusterNode>();
+  rejoined->port = old_primary_port;
+  ASSERT_TRUE(rejoined->StartServer("p", pdir).ok());
+  EXPECT_FALSE(rejoined->engine.replica_mode());
+  EXPECT_EQ(rejoined->engine.term(), 1u);
+  ASSERT_TRUE(rejoined->StartCoordinator(0, {r1.port, r2.port}).ok());
+
+  deadline = std::chrono::steady_clock::now() + milliseconds(10000);
+  while (!rejoined->engine.replica_mode()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "old primary never demoted";
+    std::this_thread::sleep_for(milliseconds(20));
+  }
+  EXPECT_GE(rejoined->coordinator->demotions(), 1u);
+  EXPECT_GE(rejoined->engine.term(), r2.engine.term());
+  ASSERT_TRUE(rejoined->coordinator->applier()->WaitForLsn(
+      new_target, milliseconds(15000)));
+  count = CountRows(rejoined->port, std::string(kPrefix) +
+                                        "SELECT ?s WHERE { ?s ex:p 1 }");
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(*count, 11u);
+  // Still exactly one writer.
+  EXPECT_EQ(WaitForSinglePrimary({&r1, &r2, rejoined.get()}, 5000), 1);
+}
+
+TEST(Failover, PartitionedPrimaryIsDeposedAndDemotes) {
+  std::string pdir = FreshDir("failover_part_p");
+  std::string r1dir = FreshDir("failover_part_r1");
+  std::string r2dir = FreshDir("failover_part_r2");
+
+  client::SsdmServer::Options popts;
+  popts.fence_timeout = milliseconds(150);  // below liveness threshold
+  ClusterNode primary, r1, r2;
+  ASSERT_TRUE(primary.StartServer("p", pdir, popts).ok());
+  ASSERT_TRUE(r1.StartServer("r1", r1dir).ok());
+  ASSERT_TRUE(r2.StartServer("r2", r2dir).ok());
+  ASSERT_TRUE(primary.StartCoordinator(0, {r1.port, r2.port}).ok());
+  ASSERT_TRUE(
+      r1.StartCoordinator(primary.port, {primary.port, r2.port}).ok());
+  ASSERT_TRUE(
+      r2.StartCoordinator(primary.port, {primary.port, r1.port}).ok());
+
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(scisparql::Run(primary.engine,
+                               std::string(kPrefix) + "INSERT DATA { ex:s" +
+                                   std::to_string(i) + " ex:p 1 }")
+                    .ok());
+  }
+  uint64_t target = primary.engine.last_lsn();
+  ASSERT_TRUE(r1.coordinator->applier()->WaitForLsn(target,
+                                                    milliseconds(10000)));
+  ASSERT_TRUE(r2.coordinator->applier()->WaitForLsn(target,
+                                                    milliseconds(10000)));
+
+  // Cut the primary's service port off: dials refused, frames dropped on
+  // every connection touching it — replication fetches, probes, and
+  // client traffic alike. (Faults are keyed by port, so this is the
+  // "nobody can reach the primary" failure; the primary's own outbound
+  // probes to its peers still work, which is exactly how it will later
+  // learn it has been deposed.)
+  auto& faults = client::net::TransportFaults::Instance();
+  faults.Enable();
+  faults.Partition(primary.port);
+
+  // With no fetch able to arrive, the fence lease trips: the cut-off
+  // primary refuses writes on its own before any successor exists, so no
+  // client on its side of the partition can get an ack that would later
+  // be lost.
+  auto fence_deadline =
+      std::chrono::steady_clock::now() + milliseconds(2000);
+  while (!primary.server->shipper()->FencedOut(milliseconds(150)) &&
+         !primary.engine.replica_mode()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), fence_deadline);
+    std::this_thread::sleep_for(milliseconds(20));
+  }
+
+  // The replicas detect the loss and elect; the tie-break picks r2.
+  int winner = WaitForSinglePrimary({&r1, &r2}, 10000);
+  ASSERT_EQ(winner, 1);
+  EXPECT_GE(r2.engine.term(), 2u);
+
+  // The deposed primary's own probes find the successor at a higher term
+  // and it demotes — rejoining the new timeline as a replica.
+  auto deadline = std::chrono::steady_clock::now() + milliseconds(15000);
+  while (!primary.engine.replica_mode()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "cut-off ex-primary never demoted";
+    std::this_thread::sleep_for(milliseconds(20));
+  }
+  EXPECT_GE(primary.coordinator->demotions(), 1u);
+
+  // Heal the port so clients (and this test) can reach it again.
+  faults.Heal(primary.port);
+  faults.Reset();
+
+  auto session = *client::RemoteSession::Connect("127.0.0.1", r2.port);
+  ASSERT_TRUE(session
+                  .Run(std::string(kPrefix) +
+                       "INSERT DATA { ex:after ex:p 1 }")
+                  .ok());
+  uint64_t new_target = r2.engine.last_lsn();
+  ASSERT_TRUE(primary.coordinator->applier()->WaitForLsn(
+      new_target, milliseconds(15000)));
+  auto count = CountRows(primary.port, std::string(kPrefix) +
+                                           "SELECT ?s WHERE { ?s ex:p 1 }");
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(*count, 6u);
+  EXPECT_EQ(WaitForSinglePrimary({&primary, &r1, &r2}, 5000), 2);
+}
+
+// --- Router re-discovery across a failover. ---
+
+TEST(Failover, RouterRediscoversNewPrimaryAndKeepsAckedWrites) {
+  std::string pdir = FreshDir("failover_router_p");
+  std::string r1dir = FreshDir("failover_router_r1");
+  std::string r2dir = FreshDir("failover_router_r2");
+
+  auto primary = std::make_unique<ClusterNode>();
+  ClusterNode r1, r2;
+  ASSERT_TRUE(primary->StartServer("p", pdir).ok());
+  ASSERT_TRUE(r1.StartServer("r1", r1dir).ok());
+  ASSERT_TRUE(r2.StartServer("r2", r2dir).ok());
+  ASSERT_TRUE(primary->StartCoordinator(0, {r1.port, r2.port}).ok());
+  ASSERT_TRUE(
+      r1.StartCoordinator(primary->port, {primary->port, r2.port}).ok());
+  ASSERT_TRUE(
+      r2.StartCoordinator(primary->port, {primary->port, r1.port}).ok());
+
+  repl::ReplicaRouter::RouterOptions opts;
+  opts.retry.max_attempts = 1;
+  opts.timeout = milliseconds(2000);
+  opts.rediscovery_window = milliseconds(8000);
+  auto router = repl::ReplicaRouter::Connect(
+      {"127.0.0.1", primary->port},
+      {{"127.0.0.1", r1.port}, {"127.0.0.1", r2.port}}, opts);
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  std::vector<int> acked;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(router
+                    ->Run(std::string(kPrefix) + "INSERT DATA { ex:w" +
+                          std::to_string(i) + " ex:p 1 }")
+                    .ok());
+    acked.push_back(i);
+  }
+  uint64_t target = router->last_write_lsn();
+  ASSERT_TRUE(r1.coordinator->applier()->WaitForLsn(target,
+                                                    milliseconds(10000)));
+  ASSERT_TRUE(r2.coordinator->applier()->WaitForLsn(target,
+                                                    milliseconds(10000)));
+
+  primary->Stop();
+  primary.reset();
+  ASSERT_NE(WaitForSinglePrimary({&r1, &r2}, 10000), -1);
+
+  // The next write hits the dead socket; the router re-discovers and the
+  // caller's retry (a write that never acked is resendable by policy)
+  // lands on the new primary.
+  auto deadline = std::chrono::steady_clock::now() + milliseconds(15000);
+  for (int i = 5;; ++i) {
+    auto out = router->Run(std::string(kPrefix) + "INSERT DATA { ex:w" +
+                           std::to_string(i) + " ex:p 1 }");
+    if (out.ok()) {
+      acked.push_back(i);
+      break;
+    }
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << out.status().ToString();
+    std::this_thread::sleep_for(milliseconds(100));
+  }
+  EXPECT_GE(router->stats().rediscoveries, 1u);
+  EXPECT_GE(router->known_term(), 2u);
+
+  // Every acked write is readable through the router after the failover.
+  for (int i : acked) {
+    auto rows = router->Query(std::string(kPrefix) +
+                              "SELECT ?v WHERE { ex:w" + std::to_string(i) +
+                              " ex:p ?v }");
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+    EXPECT_EQ(rows->rows.size(), 1u) << "acked write w" << i << " lost";
+  }
+}
+
+// --- Kill-and-partition chaos matrix. ---
+
+TEST(Failover, ChaosKillAndPartitionMatrixLosesNoAckedWrites) {
+  // Three durable nodes with semi-sync acks: an acked write exists on a
+  // replica, so whichever node wins any later election must have it.
+  std::string dirs[3] = {FreshDir("failover_chaos_0"),
+                         FreshDir("failover_chaos_1"),
+                         FreshDir("failover_chaos_2")};
+  client::SsdmServer::Options sopts;
+  sopts.sync_ack_timeout = milliseconds(5000);
+  sopts.fence_timeout = milliseconds(150);
+
+  std::unique_ptr<ClusterNode> nodes[3];
+  for (int i = 0; i < 3; ++i) {
+    nodes[i] = std::make_unique<ClusterNode>();
+    ASSERT_TRUE(nodes[i]
+                    ->StartServer("n" + std::to_string(i), dirs[i], sopts)
+                    .ok());
+  }
+  int ports[3] = {nodes[0]->port, nodes[1]->port, nodes[2]->port};
+  ASSERT_TRUE(nodes[0]->StartCoordinator(0, {ports[1], ports[2]}).ok());
+  ASSERT_TRUE(
+      nodes[1]->StartCoordinator(ports[0], {ports[0], ports[2]}).ok());
+  ASSERT_TRUE(
+      nodes[2]->StartCoordinator(ports[0], {ports[0], ports[1]}).ok());
+
+  repl::ReplicaRouter::RouterOptions ropts;
+  ropts.retry.max_attempts = 1;
+  ropts.timeout = milliseconds(8000);
+  ropts.rediscovery_window = milliseconds(8000);
+  auto router = repl::ReplicaRouter::Connect(
+      {"127.0.0.1", ports[0]},
+      {{"127.0.0.1", ports[1]}, {"127.0.0.1", ports[2]}}, ropts);
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  auto& faults = client::net::TransportFaults::Instance();
+  faults.Enable();
+
+  // The matrix: rounds of (write under chaos; kill or partition the
+  // current primary; keep writing; recover the node). Writes only count
+  // as acked when the router returned OK — those must all survive.
+  std::vector<int> acked;
+  int next_write = 0;
+  auto write_some = [&](int n) {
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    for (int k = 0; k < n; ++k) {
+      int i = next_write++;
+      for (;;) {
+        auto out = router->Run(std::string(kPrefix) +
+                               "INSERT DATA { ex:c" + std::to_string(i) +
+                               " ex:p 1 }");
+        if (out.ok()) {
+          acked.push_back(i);
+          break;
+        }
+        // Un-acked: INSERT DATA is idempotent, resend until acked.
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << out.status().ToString();
+        std::this_thread::sleep_for(milliseconds(100));
+      }
+    }
+  };
+
+  auto current_primary_index = [&]() -> int {
+    for (int i = 0; i < 3; ++i) {
+      if (nodes[i] != nullptr && !nodes[i]->engine.replica_mode()) return i;
+    }
+    return -1;
+  };
+  auto live_nodes = [&]() {
+    std::vector<ClusterNode*> live;
+    for (int i = 0; i < 3; ++i) {
+      if (nodes[i] != nullptr) live.push_back(nodes[i].get());
+    }
+    return live;
+  };
+
+  for (int round = 0; round < 2; ++round) {
+    write_some(5);
+    int victim = current_primary_index();
+    ASSERT_NE(victim, -1);
+    if (round % 2 == 0) {
+      // Kill: process death — server, coordinator, applier all gone.
+      int victim_port = ports[victim];
+      std::string victim_dir = dirs[victim];
+      std::string victim_id = "n" + std::to_string(victim);
+      nodes[victim]->Stop();
+      nodes[victim].reset();
+      ASSERT_NE(WaitForSinglePrimary(live_nodes(), 20000), -1);
+      write_some(5);
+      // Restart on the same port with the same store: must demote and
+      // rejoin the new timeline.
+      nodes[victim] = std::make_unique<ClusterNode>();
+      nodes[victim]->port = victim_port;
+      ASSERT_TRUE(
+          nodes[victim]->StartServer(victim_id, victim_dir, sopts).ok());
+      std::vector<int> peers;
+      for (int i = 0; i < 3; ++i) {
+        if (i != victim) peers.push_back(ports[i]);
+      }
+      ASSERT_TRUE(nodes[victim]->StartCoordinator(0, peers).ok());
+    } else {
+      // Partition: the node stays up but is unreachable.
+      faults.Partition(ports[victim]);
+      ASSERT_NE(WaitForSinglePrimary(
+                    {nodes[(victim + 1) % 3].get(),
+                     nodes[(victim + 2) % 3].get()},
+                    20000),
+                -1);
+      write_some(5);
+      faults.Heal(ports[victim]);
+    }
+    // Let the cluster converge to a single writer before the next round.
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (WaitForSinglePrimary(live_nodes(), 1000) == -1) {
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "cluster never converged to a single primary";
+    }
+  }
+  faults.Reset();
+  write_some(3);
+
+  // Verdict: every acked write is present on the surviving primary, and
+  // exactly one node accepts writes.
+  int leader = current_primary_index();
+  ASSERT_NE(leader, -1);
+  for (int i : acked) {
+    auto rows = router->Query(std::string(kPrefix) +
+                              "SELECT ?v WHERE { ex:c" + std::to_string(i) +
+                              " ex:p ?v }");
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+    ASSERT_EQ(rows->rows.size(), 1u) << "acked write c" << i << " lost";
+  }
+  int primaries = 0;
+  for (int i = 0; i < 3; ++i) {
+    if (nodes[i] != nullptr && !nodes[i]->engine.replica_mode()) {
+      ++primaries;
+    }
+  }
+  EXPECT_EQ(primaries, 1);
+}
+
+}  // namespace
+}  // namespace scisparql

@@ -89,12 +89,25 @@ TEST(Graph, RemoveExactTriples) {
   EXPECT_EQ(g.Remove(Triple{I("alice"), I("knows"), I("bob")}), 0u);
 }
 
-TEST(Graph, DuplicatesAllowed) {
+TEST(Graph, DuplicateAddIsANoOp) {
+  // RDF graphs are sets of triples: re-adding a live triple changes
+  // nothing — which is what makes a retried INSERT DATA idempotent all
+  // the way through the WAL and the replication stream.
   Graph g;
   g.Add(I("a"), I("p"), I("b"));
   g.Add(I("a"), I("p"), I("b"));
-  EXPECT_EQ(g.size(), 2u);
-  EXPECT_EQ(g.Remove(Triple{I("a"), I("p"), I("b")}), 2u);
+  EXPECT_EQ(g.size(), 1u);
+  EXPECT_EQ(g.Remove(Triple{I("a"), I("p"), I("b")}), 1u);
+  EXPECT_EQ(g.size(), 0u);
+  // Remove-then-re-add in one batch nets one live copy back.
+  WriteBatch b;
+  b.Add(I("a"), I("p"), I("b"));
+  b.RemoveAll(Triple{I("a"), I("p"), I("b")});
+  b.Add(I("a"), I("p"), I("b"));
+  Graph::ApplyResult r = g.Apply(std::move(b));
+  EXPECT_EQ(r.added, 2);
+  EXPECT_EQ(r.removed, 1);
+  EXPECT_EQ(g.size(), 1u);
 }
 
 TEST(Graph, EstimateMatches) {

@@ -138,10 +138,13 @@ TEST(GraphStats, IncrementalMatchesRebuildUnderInterleavedMutations) {
         Triple t{subject(static_cast<int>(rng() % 40)),
                  preds[rng() % preds.size()],
                  object(static_cast<int>(rng() % 25))};
-        // Occasionally insert an exact duplicate.
+        // Occasionally insert an exact duplicate — a no-op, the graph
+        // is a set. The shadow mirrors that by staying duplicate-free.
         if (roll == 0 && !live.empty()) t = live[rng() % live.size()];
         g.Add(t);
-        live.push_back(t);
+        if (std::find(live.begin(), live.end(), t) == live.end()) {
+          live.push_back(t);
+        }
       } else if (roll < 9) {
         size_t idx = rng() % live.size();
         Triple t = live[idx];

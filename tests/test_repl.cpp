@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "client/server.h"
@@ -55,7 +56,7 @@ struct Node {
   }
 
   Status StartReplica(int primary_port, const std::string& id,
-                      const std::string& dir = "") {
+                      const std::string& dir = "", int poll_ms = 10) {
     engine.prefixes().Set("ex", "http://example.org/");
     if (!dir.empty()) {
       Status st = engine.Open(dir);
@@ -68,7 +69,7 @@ struct Node {
     repl::ReplicaApplier::Options opts;
     opts.replica_id = id;
     opts.primary_port = primary_port;
-    opts.poll_interval = milliseconds(10);
+    opts.poll_interval = milliseconds(poll_ms);
     applier = std::make_unique<repl::ReplicaApplier>(&engine, opts);
     return applier->Start(server->scheduler());
   }
@@ -363,6 +364,142 @@ TEST(Replication, RouterRoutesAroundDeadReplica) {
     EXPECT_EQ(rows->rows.size(), 1u);
   }
   EXPECT_EQ(router->stats().replica_reads, 6u);
+}
+
+TEST(Replication, ReplicaRebasesMidStreamAfterTruncation) {
+  Node primary;
+  ASSERT_TRUE(primary.StartPrimary(FreshDir("repl_rebase_p")).ok());
+  ASSERT_TRUE(
+      scisparql::Run(primary.engine, std::string(kPrefix) + "INSERT DATA { ex:s0 ex:p 0 }")
+          .ok());
+
+  // Slow poll: once caught up the applier sleeps ~1.5s, giving the
+  // primary a window to write AND truncate its WAL so the replica's next
+  // fetch — on the SAME established session, not a fresh connect — is
+  // answered OutOfRange and must re-base mid-stream.
+  std::string rdir = FreshDir("repl_rebase_r");
+  Node r1;
+  ASSERT_TRUE(
+      r1.StartReplica(primary.port, "r1", rdir, /*poll_ms=*/1500).ok());
+  ASSERT_TRUE(WaitCaughtUp(&r1, primary.engine.last_lsn()));
+  EXPECT_EQ(r1.applier->bootstraps(), 0u);
+  // Let the applier reach its inter-poll sleep before racing it.
+  std::this_thread::sleep_for(milliseconds(100));
+
+  for (int i = 1; i <= 9; ++i) {
+    ASSERT_TRUE(scisparql::Run(primary.engine, std::string(kPrefix) + "INSERT DATA { ex:s" +
+                         std::to_string(i) + " ex:p " + std::to_string(i) +
+                         " }")
+                    .ok());
+  }
+  // Same truncation idiom as the late-joiner test: the second checkpoint
+  // drops every WAL segment the first snapshot covers, so the replica's
+  // resume LSN is no longer streamable.
+  ASSERT_TRUE(primary.engine.Checkpoint().ok());
+  ASSERT_TRUE(
+      scisparql::Run(primary.engine, std::string(kPrefix) + "INSERT DATA { ex:extra ex:q 1 }")
+          .ok());
+  ASSERT_TRUE(primary.engine.Checkpoint().ok());
+
+  uint64_t target = primary.engine.last_lsn();
+  ASSERT_TRUE(WaitCaughtUp(&r1, target, 20000));
+  EXPECT_EQ(r1.applier->bootstraps(), 1u);
+  auto rows = r1.engine.Execute(std::string(kPrefix) +
+                                "SELECT ?s WHERE { ?s ex:p ?v }");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows().rows.size(), 10u);
+
+  uint64_t lsn_at_stop = r1.engine.last_lsn();
+  r1.Stop();
+
+  // The primary keeps writing while the re-based replica is down.
+  ASSERT_TRUE(
+      scisparql::Run(primary.engine, std::string(kPrefix) + "INSERT DATA { ex:z ex:p 99 }")
+          .ok());
+
+  // Durable-replica restart AFTER a mid-stream re-base: local recovery
+  // lands on the bootstrap snapshot, and the stream resumes by LSN with
+  // no second bootstrap.
+  Node r2;
+  ASSERT_TRUE(r2.StartReplica(primary.port, "r1", rdir).ok());
+  EXPECT_GE(r2.engine.last_lsn(), lsn_at_stop);
+  ASSERT_TRUE(WaitCaughtUp(&r2, primary.engine.last_lsn()));
+  EXPECT_EQ(r2.applier->bootstraps(), 0u);
+  rows = r2.engine.Execute(std::string(kPrefix) +
+                           "SELECT ?s WHERE { ?s ex:p ?v }");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->rows().rows.size(), 11u);
+}
+
+TEST(Replication, ReplicaDiesAndRejoinsMidRotation) {
+  Node primary;
+  ASSERT_TRUE(primary.StartPrimary(FreshDir("repl_rejoin_p")).ok());
+  ASSERT_TRUE(
+      scisparql::Run(primary.engine, std::string(kPrefix) + "INSERT DATA { ex:a ex:p 1 }")
+          .ok());
+  Node r1;
+  ASSERT_TRUE(r1.StartReplica(primary.port, "r1").ok());
+  ASSERT_TRUE(WaitCaughtUp(&r1, primary.engine.last_lsn()));
+
+  repl::ReplicaRouter::RouterOptions opts;
+  opts.read_your_writes = false;
+  opts.health_backoff = milliseconds(200);
+  auto router = repl::ReplicaRouter::Connect(
+      {"127.0.0.1", primary.port}, {{"127.0.0.1", r1.port}}, opts);
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  const std::string q =
+      std::string(kPrefix) + "SELECT ?v WHERE { ex:a ex:p ?v }";
+  auto read_ok = [&]() {
+    auto rows = router->Query(q);
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+    EXPECT_EQ(rows->rows.size(), 1u);
+  };
+
+  read_ok();
+  EXPECT_EQ(router->stats().replica_reads, 1u);
+  EXPECT_EQ(router->stats().quarantined, 0u);
+
+  // Kill the replica mid-rotation: the next read fails over to the
+  // primary and the endpoint is quarantined (strikes -> 1, 200ms).
+  r1.applier->Stop();
+  r1.server->Stop();
+  read_ok();
+  EXPECT_GE(router->stats().failovers, 1u);
+  EXPECT_EQ(router->stats().quarantined, 1u);
+
+  // A failed redial after the quarantine expires escalates the backoff
+  // (strikes -> 2, 400ms) — the replica is still down.
+  std::this_thread::sleep_for(milliseconds(250));
+  read_ok();
+  EXPECT_EQ(router->stats().quarantined, 1u);
+
+  // Rejoin on the SAME port (SO_REUSEADDR): a fresh server over the same
+  // engine. After the escalated window passes, the redial succeeds, the
+  // strike count resets, and the endpoint is back in rotation.
+  r1.server = std::make_unique<client::SsdmServer>(&r1.engine);
+  auto rebound = r1.server->Start(r1.port);
+  ASSERT_TRUE(rebound.ok()) << rebound.status().ToString();
+  ASSERT_EQ(*rebound, r1.port);
+  std::this_thread::sleep_for(milliseconds(450));
+  uint64_t replica_reads_before = router->stats().replica_reads;
+  read_ok();
+  EXPECT_GT(router->stats().replica_reads, replica_reads_before);
+  EXPECT_EQ(router->stats().quarantined, 0u);
+
+  // Strike reset is observable in the timing: a second death quarantines
+  // for the BASE window again (200ms, not the escalated 800ms).
+  r1.server->Stop();
+  read_ok();  // quarantines again
+  EXPECT_EQ(router->stats().quarantined, 1u);
+  r1.server = std::make_unique<client::SsdmServer>(&r1.engine);
+  rebound = r1.server->Start(r1.port);
+  ASSERT_TRUE(rebound.ok()) << rebound.status().ToString();
+  std::this_thread::sleep_for(milliseconds(250));
+  replica_reads_before = router->stats().replica_reads;
+  read_ok();
+  EXPECT_GT(router->stats().replica_reads, replica_reads_before);
+  EXPECT_EQ(router->stats().quarantined, 0u);
 }
 
 }  // namespace

@@ -1,0 +1,173 @@
+#!/usr/bin/env bash
+# Failover chaos harness: three durable scisparql_server processes with
+# automatic failover coordinators, a background writer that only counts a
+# write once the router acknowledged it, and rounds of primary faults —
+# kill -9 (process death) and SIGSTOP/SIGCONT (a black-holed node that is
+# alive but unresponsive, then heals). After every round repl_check
+# --verify asserts the two failover invariants:
+#
+#   1. no acked-write loss — every write the router acked is present on
+#      the surviving primary, and
+#   2. single-writer convergence — exactly one reachable node accepts
+#      writes; every other node bounces them.
+#
+# The full scenario transcript (writer stats, victims, verify verdicts)
+# is appended to the scenario log for artifact upload from CI.
+#
+# Usage: tools/failover_chaos.sh [build-dir] [scenario-log]
+set -euo pipefail
+
+BUILD="${1:-build}"
+SCENARIO="${2:-$BUILD/failover_chaos.log}"
+SERVER="$BUILD/examples/scisparql_server"
+CHECK="$BUILD/tools/repl_check"
+WORK="$(mktemp -d)"
+
+: >"$SCENARIO"
+note() { echo "chaos: $*" | tee -a "$SCENARIO"; }
+
+declare -a NPIDS=(0 0 0)
+cleanup() {
+  for pid in "${NPIDS[@]}"; do
+    [ "$pid" != 0 ] && { kill -CONT "$pid" 2>/dev/null || true
+                         kill "$pid" 2>/dev/null || true; }
+  done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Waits for a server log to print its serving line; echoes the port.
+wait_port() {
+  local log="$1" port=""
+  for _ in $(seq 1 150); do
+    port=$(sed -n 's/.*SSDM serving on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' \
+           "$log" 2>/dev/null | head -n1)
+    if [ -n "$port" ]; then echo "$port"; return 0; fi
+    sleep 0.1
+  done
+  echo "chaos: server did not come up ($log):" >&2
+  cat "$log" >&2
+  return 1
+}
+
+# Reserve three distinct ephemeral ports: bind three throwaway servers
+# concurrently (so the kernel hands out distinct ports), note them, then
+# free them. SO_REUSEADDR lets the real nodes rebind immediately.
+declare -a TPIDS=() PORTS=()
+for i in 0 1 2; do
+  "$SERVER" --port 0 </dev/null >"$WORK/reserve$i.log" 2>&1 &
+  TPIDS+=($!)
+done
+for i in 0 1 2; do PORTS[$i]=$(wait_port "$WORK/reserve$i.log"); done
+for pid in "${TPIDS[@]}"; do kill "$pid" 2>/dev/null || true; done
+for pid in "${TPIDS[@]}"; do wait "$pid" 2>/dev/null || true; done
+
+# Fence below the liveness threshold (probe 50ms x 5 misses = 250ms): a
+# cut-off primary stops accepting writes before anyone can be elected.
+FLAGS=(--probe-ms 50 --liveness 5 --fence-ms 200 --sync-ack-ms 2000)
+
+peer_flags() {
+  local me="$1" out=()
+  for j in 0 1 2; do
+    [ "$j" != "$me" ] && out+=(--peer "127.0.0.1:${PORTS[$j]}")
+  done
+  echo "${out[@]}"
+}
+
+start_node() {  # start_node <idx> [--replica-of HOST:PORT]
+  local i="$1"; shift
+  # shellcheck disable=SC2046
+  "$SERVER" --port "${PORTS[$i]}" --open "$WORK/n$i" --id "n$i" \
+      "${FLAGS[@]}" $(peer_flags "$i") "$@" \
+      </dev/null >"$WORK/n$i.log" 2>&1 &
+  NPIDS[$i]=$!
+  wait_port "$WORK/n$i.log" >/dev/null
+}
+
+index_of() {
+  for j in 0 1 2; do
+    if [ "${PORTS[$j]}" = "$1" ]; then echo "$j"; return 0; fi
+  done
+  return 1
+}
+
+find_primary_retry() {
+  local port=""
+  for _ in $(seq 1 50); do
+    port=$("$CHECK" --find-primary "$@" 2>/dev/null) && {
+      echo "$port"
+      return 0
+    }
+    sleep 0.2
+  done
+  echo "chaos: no live primary among $*" >&2
+  return 1
+}
+
+# Retry wrapper for --verify: a freshly restarted or healed ex-primary
+# may claim the primary role for a few probe intervals before demoting.
+verify_retry() {
+  local n=0
+  until "$CHECK" --verify --log "$WLOG" "$@" >>"$SCENARIO" 2>&1; do
+    n=$((n + 1))
+    if [ "$n" -ge 30 ]; then
+      note "verify FAILED after $n attempts"
+      tail -n 20 "$SCENARIO" >&2
+      return 1
+    fi
+    sleep 1
+  done
+}
+
+start_node 0
+start_node 1 --replica-of "127.0.0.1:${PORTS[0]}"
+start_node 2 --replica-of "127.0.0.1:${PORTS[0]}"
+note "cluster up: n0=${PORTS[0]} n1=${PORTS[1]} n2=${PORTS[2]}"
+
+"$CHECK" --tag base "${PORTS[@]}" >>"$SCENARIO" 2>&1
+note "baseline convergence OK"
+
+WLOG="$WORK/acked_writes.log"
+
+# --- Round 1: kill -9 the current primary mid-write. ---
+"$CHECK" --chaos --tag r1 --log "$WLOG" --count 20 "${PORTS[@]}" \
+    >>"$SCENARIO" 2>&1 &
+WRITER=$!
+sleep 0.5
+VPORT=$(find_primary_retry "${PORTS[@]}")
+VICTIM=$(index_of "$VPORT")
+kill -9 "${NPIDS[$VICTIM]}" 2>/dev/null || true
+wait "${NPIDS[$VICTIM]}" 2>/dev/null || true
+NPIDS[$VICTIM]=0
+note "round 1: killed primary n$VICTIM (port $VPORT) mid-write"
+wait "$WRITER"  # every write retried until acked by whoever is primary
+LIVE=()
+for j in 0 1 2; do [ "$j" != "$VICTIM" ] && LIVE+=("${PORTS[$j]}"); done
+verify_retry "${LIVE[@]}"
+note "round 1 verified: no acked-write loss, single writer"
+
+# Rejoin: restart the victim on the same port with the same store and no
+# --replica-of — it comes up claiming its stale term, discovers the
+# successor by probing its peers, demotes, and re-bases from a snapshot.
+start_node "$VICTIM"
+note "round 1: restarted n$VICTIM — must demote and rejoin"
+verify_retry "${PORTS[@]}"
+note "round 1 rejoin verified: ex-primary demoted, cluster converged"
+
+# --- Round 2: black-hole the current primary (SIGSTOP), then heal. ---
+"$CHECK" --chaos --tag r2 --log "$WLOG" --count 20 "${PORTS[@]}" \
+    >>"$SCENARIO" 2>&1 &
+WRITER=$!
+sleep 0.5
+VPORT=$(find_primary_retry "${PORTS[@]}")
+VICTIM=$(index_of "$VPORT")
+kill -STOP "${NPIDS[$VICTIM]}"
+note "round 2: black-holed primary n$VICTIM (port $VPORT) with SIGSTOP"
+sleep 3
+kill -CONT "${NPIDS[$VICTIM]}"
+note "round 2: healed n$VICTIM (SIGCONT) — must fence, demote, resync"
+wait "$WRITER"
+verify_retry "${PORTS[@]}"
+note "round 2 verified: no acked-write loss, single writer after heal"
+
+note "chaos matrix OK (scenario log: $SCENARIO)"

@@ -1,8 +1,28 @@
 // End-to-end replication checker, the assertion half of the replication
-// smoke test (tools/repl_smoke.sh). Drives a mixed read/write workload
-// through a ReplicaRouter against already-running server processes:
+// smoke test (tools/repl_smoke.sh) and of the failover chaos harness
+// (tools/failover_chaos.sh). Four modes against already-running servers:
 //
 //   repl_check [--tag T] <primary_port> <replica_port> [replica_port ...]
+//       the original smoke assertions (below);
+//
+//   repl_check --find-primary <port> [port ...]
+//       probes every port and prints the port of the live primary with
+//       the highest fencing term; exits 1 when none answers as primary;
+//
+//   repl_check --chaos --tag T --log FILE --count N <port> [port ...]
+//       the chaos writer: routes N INSERTs through a ReplicaRouter
+//       (first port as the configured primary, the rest as replicas),
+//       retrying each write until it is ACKED — re-discovery finds the
+//       new primary across failovers — and appends "T i lsn term" to
+//       FILE only after the ack. INSERT DATA is idempotent (RDF graphs
+//       are sets), so retrying an un-acked write cannot double-insert;
+//
+//   repl_check --verify --log FILE <port> [port ...]
+//       the post-chaos judge: finds the current primary, asserts every
+//       logged (acked) write is visible there — no acked-write loss —
+//       and asserts single-writer convergence: exactly one reachable
+//       node answers as primary, every other reachable node bounces a
+//       direct write with Unavailable.
 //
 // --tag namespaces this run's triples (subjects ex:item_T_i under
 // predicate ex:val_T), so repeated runs against the same long-lived
@@ -22,6 +42,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -39,27 +61,245 @@ constexpr const char* kPrefix = "PREFIX ex: <http://example.org/> ";
   std::exit(1);
 }
 
+struct ProbedNode {
+  int port = 0;
+  bool reachable = false;
+  bool replica = false;
+  uint64_t term = 0;
+  uint64_t lsn = 0;
+};
+
+ProbedNode ProbePort(int port) {
+  using namespace scisparql;
+  ProbedNode node;
+  node.port = port;
+  client::RemoteSession::RetryOptions retry;
+  retry.max_attempts = 1;
+  auto s = client::RemoteSession::Connect("127.0.0.1", port,
+                                          std::chrono::milliseconds(500),
+                                          retry);
+  if (!s.ok()) return node;
+  auto probe = repl::ProbeLsn(&*s);
+  if (!probe.ok()) return node;
+  node.reachable = true;
+  node.replica = probe->replica;
+  node.term = probe->term;
+  node.lsn = probe->lsn;
+  return node;
+}
+
+/// Highest-term reachable primary among `ports`, or port 0 when none.
+ProbedNode FindPrimary(const std::vector<int>& ports) {
+  ProbedNode best;
+  for (int port : ports) {
+    ProbedNode node = ProbePort(port);
+    if (node.reachable && !node.replica && node.term >= best.term) {
+      best = node;
+    }
+  }
+  return best;
+}
+
+int RunFindPrimary(const std::vector<int>& ports) {
+  ProbedNode best = FindPrimary(ports);
+  if (best.port == 0) {
+    std::fprintf(stderr, "repl_check: no live primary among the ports\n");
+    return 1;
+  }
+  std::printf("%d\n", best.port);
+  return 0;
+}
+
+int RunChaosWriter(const std::string& tag, const std::string& log_path,
+                   int count, const std::vector<int>& ports) {
+  using namespace scisparql;
+  repl::ReplicaRouter::Endpoint primary{"127.0.0.1", ports[0]};
+  std::vector<repl::ReplicaRouter::Endpoint> replicas;
+  for (size_t i = 1; i < ports.size(); ++i) {
+    replicas.push_back({"127.0.0.1", ports[i]});
+  }
+  repl::ReplicaRouter::RouterOptions opts;
+  opts.retry.max_attempts = 2;
+  opts.timeout = std::chrono::milliseconds(2000);
+  auto router = repl::ReplicaRouter::Connect(primary, replicas, opts);
+  if (!router.ok()) Fail("chaos connect: " + router.status().ToString());
+
+  std::ofstream log(log_path, std::ios::app);
+  if (!log) Fail("cannot open log " + log_path);
+
+  const std::string item = "ex:item_" + tag + "_";
+  const std::string pred = "ex:val_" + tag;
+  for (int i = 0; i < count; ++i) {
+    std::string stmt = std::string(kPrefix) + "INSERT DATA { " + item +
+                       std::to_string(i) + " " + pred + " " +
+                       std::to_string(i) + " }";
+    // Retry until ACKED (the router re-discovers the primary between
+    // attempts). A write is only logged — only *claimed* — once a
+    // primary acknowledged it; re-sending an un-acked INSERT is safe
+    // because RDF insertion is idempotent.
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    for (;;) {
+      QueryRequest req;
+      req.text = stmt;
+      auto out = router->Execute(req);
+      if (out.ok()) break;
+      if (std::chrono::steady_clock::now() >= deadline) {
+        Fail("chaos write " + std::to_string(i) +
+             " never acked: " + out.status().ToString());
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    log << tag << ' ' << i << ' ' << router->last_write_lsn() << ' '
+        << router->known_term() << '\n';
+    log.flush();
+  }
+  auto stats = router->stats();
+  std::printf(
+      "repl_check: chaos writer done — %d acked writes, rediscoveries=%llu "
+      "moved_retries=%llu\n",
+      count, static_cast<unsigned long long>(stats.rediscoveries),
+      static_cast<unsigned long long>(stats.moved_retries));
+  return 0;
+}
+
+int RunVerify(const std::string& log_path, const std::vector<int>& ports) {
+  using namespace scisparql;
+  // Give a mid-failover cluster a moment to converge on one primary.
+  ProbedNode best;
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  for (;;) {
+    best = FindPrimary(ports);
+    if (best.port != 0) break;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      Fail("verify: no live primary among the ports");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  auto session = client::RemoteSession::Connect("127.0.0.1", best.port);
+  if (!session.ok()) Fail("verify connect: " + session.status().ToString());
+
+  // 1. No acked-write loss: every logged write is visible on the winner.
+  std::ifstream log(log_path);
+  if (!log) Fail("cannot read log " + log_path);
+  std::string line;
+  int checked = 0, missing = 0;
+  while (std::getline(log, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string tag;
+    uint64_t i = 0, lsn = 0, term = 0;
+    if (!(fields >> tag >> i >> lsn >> term)) {
+      Fail("malformed log line: " + line);
+    }
+    auto rows = session->Query(
+        std::string(kPrefix) + "SELECT ?v WHERE { ex:item_" + tag + "_" +
+        std::to_string(i) + " ex:val_" + tag + " ?v }");
+    if (!rows.ok()) Fail("verify query: " + rows.status().ToString());
+    if (rows->rows.size() != 1) {
+      std::fprintf(stderr,
+                   "repl_check: acked write LOST: %s %llu (acked at lsn=%llu "
+                   "term=%llu, %zu rows on port %d)\n",
+                   tag.c_str(), static_cast<unsigned long long>(i),
+                   static_cast<unsigned long long>(lsn),
+                   static_cast<unsigned long long>(term), rows->rows.size(),
+                   best.port);
+      ++missing;
+    }
+    ++checked;
+  }
+  if (missing > 0) {
+    Fail(std::to_string(missing) + " of " + std::to_string(checked) +
+         " acked writes missing on the surviving primary");
+  }
+
+  // 2. Single-writer convergence: exactly one reachable primary; every
+  // other reachable node bounces a direct write without mutating state.
+  int primaries = 0;
+  for (int port : ports) {
+    ProbedNode node = ProbePort(port);
+    if (!node.reachable) continue;
+    if (!node.replica) {
+      ++primaries;
+      continue;
+    }
+    auto rs = client::RemoteSession::Connect("127.0.0.1", port);
+    if (!rs.ok()) continue;
+    auto reject = rs->Run(std::string(kPrefix) +
+                          "INSERT DATA { ex:rogue ex:rogue 1 }");
+    if (reject.ok()) {
+      Fail("node on port " + std::to_string(port) +
+           " accepted a write while not the primary");
+    }
+  }
+  if (primaries != 1) {
+    Fail("want exactly 1 primary after convergence, found " +
+         std::to_string(primaries));
+  }
+  std::printf(
+      "repl_check: verify OK — %d acked writes all present on port %d "
+      "(term %llu), single primary\n",
+      checked, best.port, static_cast<unsigned long long>(best.term));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace scisparql;
-  std::string tag = "a";
+  std::string tag = "a", log_path, mode;
+  int count = 50;
   int arg = 1;
-  if (arg + 1 < argc && std::string(argv[arg]) == "--tag") {
-    tag = argv[arg + 1];
-    arg += 2;
+  while (arg < argc && argv[arg][0] == '-') {
+    std::string a = argv[arg];
+    if (a == "--find-primary" || a == "--chaos" || a == "--verify") {
+      mode = a.substr(2);
+      ++arg;
+    } else if (a == "--tag" && arg + 1 < argc) {
+      tag = argv[arg + 1];
+      arg += 2;
+    } else if (a == "--log" && arg + 1 < argc) {
+      log_path = argv[arg + 1];
+      arg += 2;
+    } else if (a == "--count" && arg + 1 < argc) {
+      count = std::atoi(argv[arg + 1]);
+      arg += 2;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", a.c_str());
+      return 2;
+    }
   }
-  if (argc - arg < 2) {
+  std::vector<int> ports;
+  for (int i = arg; i < argc; ++i) ports.push_back(std::atoi(argv[i]));
+
+  if (mode == "find-primary") {
+    if (ports.empty()) Fail("--find-primary wants at least one port");
+    return RunFindPrimary(ports);
+  }
+  if (mode == "chaos") {
+    if (ports.empty() || log_path.empty()) {
+      Fail("--chaos wants --log FILE and at least one port");
+    }
+    return RunChaosWriter(tag, log_path, count, ports);
+  }
+  if (mode == "verify") {
+    if (ports.empty() || log_path.empty()) {
+      Fail("--verify wants --log FILE and at least one port");
+    }
+    return RunVerify(log_path, ports);
+  }
+
+  if (ports.size() < 2) {
     std::fprintf(stderr,
                  "usage: repl_check [--tag T] <primary_port> "
                  "<replica_port> ...\n");
     return 2;
   }
 
-  repl::ReplicaRouter::Endpoint primary{"127.0.0.1", std::atoi(argv[arg])};
+  repl::ReplicaRouter::Endpoint primary{"127.0.0.1", ports[0]};
   std::vector<repl::ReplicaRouter::Endpoint> replicas;
-  for (int i = arg + 1; i < argc; ++i) {
-    replicas.push_back({"127.0.0.1", std::atoi(argv[i])});
+  for (size_t i = 1; i < ports.size(); ++i) {
+    replicas.push_back({"127.0.0.1", ports[i]});
   }
   const std::string item = "ex:item_" + tag + "_";
   const std::string pred = "ex:val_" + tag;

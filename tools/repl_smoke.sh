@@ -6,6 +6,11 @@
 # and restarts it from its own store to prove it recovers locally and
 # catches back up to the primary's LSN.
 #
+# A second scenario exercises automatic failover: a three-node cluster
+# with coordinators, kill -9 of the primary, election + fenced promotion
+# of the best replica, and the restarted ex-primary demoting and
+# rejoining the new timeline.
+#
 # Usage: tools/repl_smoke.sh [build-dir]      (default: build)
 set -euo pipefail
 
@@ -70,3 +75,85 @@ R2PORT=$(wait_port "$WORK/r2-restart.log")
 "$CHECK" --tag c "$PPORT" "$R1PORT" "$R2PORT"
 
 echo "smoke: replication OK (restart catch-up verified)"
+
+# --- Failover scenario: kill the primary, promote, rejoin. ---
+echo "smoke: --- failover: kill primary -> promote -> rejoin ---"
+
+# Reserve three distinct ports by binding throwaway servers concurrently
+# (coordinators need every peer's port known up-front), then free them.
+TPIDS=()
+for i in 0 1 2; do
+  "$SERVER" --port 0 </dev/null >"$WORK/reserve$i.log" 2>&1 &
+  TPIDS+=($!)
+done
+F0=$(wait_port "$WORK/reserve0.log")
+F1=$(wait_port "$WORK/reserve1.log")
+F2=$(wait_port "$WORK/reserve2.log")
+for pid in "${TPIDS[@]}"; do kill "$pid" 2>/dev/null || true; done
+for pid in "${TPIDS[@]}"; do wait "$pid" 2>/dev/null || true; done
+
+FLAGS=(--probe-ms 50 --liveness 3)
+"$SERVER" --port "$F0" --open "$WORK/f0" --id f0 "${FLAGS[@]}" \
+    --peer "127.0.0.1:$F1" --peer "127.0.0.1:$F2" \
+    </dev/null >"$WORK/f0.log" 2>&1 &
+F0PID=$!
+PIDS+=($F0PID)
+wait_port "$WORK/f0.log" >/dev/null
+"$SERVER" --port "$F1" --open "$WORK/f1" --id f1 "${FLAGS[@]}" \
+    --replica-of "127.0.0.1:$F0" \
+    --peer "127.0.0.1:$F0" --peer "127.0.0.1:$F2" \
+    </dev/null >"$WORK/f1.log" 2>&1 &
+PIDS+=($!)
+wait_port "$WORK/f1.log" >/dev/null
+"$SERVER" --port "$F2" --open "$WORK/f2" --id f2 "${FLAGS[@]}" \
+    --replica-of "127.0.0.1:$F0" \
+    --peer "127.0.0.1:$F0" --peer "127.0.0.1:$F1" \
+    </dev/null >"$WORK/f2.log" 2>&1 &
+PIDS+=($!)
+wait_port "$WORK/f2.log" >/dev/null
+echo "smoke: failover cluster f0=$F0 f1=$F1 f2=$F2"
+
+"$CHECK" --tag f "$F0" "$F1" "$F2"
+
+# Kill the primary outright: the replicas detect the loss, elect the one
+# with the highest applied LSN (node id breaks the tie), and the winner
+# promotes with a fencing term bump.
+kill -9 "$F0PID" 2>/dev/null || true
+wait "$F0PID" 2>/dev/null || true
+NEWP=""
+for _ in $(seq 1 100); do
+  NEWP=$("$CHECK" --find-primary "$F1" "$F2" 2>/dev/null) && break
+  sleep 0.2
+done
+if [ -z "$NEWP" ]; then
+  echo "smoke: no replica promoted after primary kill" >&2
+  exit 1
+fi
+if [ "$NEWP" = "$F1" ]; then OTHER="$F2"; else OTHER="$F1"; fi
+echo "smoke: promoted new primary on port $NEWP"
+"$CHECK" --tag g "$NEWP" "$OTHER"
+
+# Rejoin: restart the old primary on its old port with its old store and
+# no --replica-of. It comes up claiming a stale term, finds the
+# successor by probing its peers, demotes, and re-bases onto the new
+# timeline — so a final check must see it serving as a replica.
+"$SERVER" --port "$F0" --open "$WORK/f0" --id f0 "${FLAGS[@]}" \
+    --peer "127.0.0.1:$F1" --peer "127.0.0.1:$F2" \
+    </dev/null >"$WORK/f0-restart.log" 2>&1 &
+PIDS+=($!)
+wait_port "$WORK/f0-restart.log" >/dev/null
+REJOINED=0
+for _ in $(seq 1 30); do
+  if "$CHECK" --tag h "$NEWP" "$OTHER" "$F0" 2>/dev/null; then
+    REJOINED=1
+    break
+  fi
+  sleep 1
+done
+if [ "$REJOINED" != 1 ]; then
+  echo "smoke: old primary never rejoined as a replica" >&2
+  cat "$WORK/f0-restart.log" >&2
+  exit 1
+fi
+
+echo "smoke: failover OK (promotion + rejoin verified)"
